@@ -1,0 +1,12 @@
+// Regenerates Figure 1 (AS concentration CDF) of "FTP: The Forgotten Cloud" (DSN'16).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Figure 1 (AS concentration CDF)");
+  const bench::BenchContext& ctx = bench::context();
+  std::printf("%s\n", analysis::render_fig1_as_cdf(ctx.summary).render().c_str());
+  return 0;
+}

@@ -1,0 +1,158 @@
+// Google-benchmark microbenchmarks for the hot paths: the scan permutation,
+// membership draws, protocol parsers, fingerprinting, and SHA-256.
+#include <benchmark/benchmark.h>
+
+#include "analysis/classify.h"
+#include "analysis/fingerprints.h"
+#include "common/hash.h"
+#include "common/rng.h"
+#include "ftp/listing_parser.h"
+#include "ftp/reply.h"
+#include "ftp/robots.h"
+#include "popgen/population.h"
+#include "scan/permutation.h"
+
+namespace {
+
+using namespace ftpc;
+
+void BM_ScanPermutationNext(benchmark::State& state) {
+  const scan::CyclicPermutation permutation(7);
+  auto walk = permutation.shard_walk(0, 1);
+  std::uint32_t address = 0;
+  for (auto _ : state) {
+    walk.next(address);
+    benchmark::DoNotOptimize(address);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScanPermutationNext);
+
+void BM_SipHashMembershipDraw(benchmark::State& state) {
+  std::uint64_t ip = 0x12345678;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(siphash24_u64(0x1111, 0x2222, ip++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SipHashMembershipDraw);
+
+void BM_PopulationMembership(benchmark::State& state) {
+  static popgen::SyntheticPopulation population(42);
+  Xoshiro256ss rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        population.has_ftp(Ipv4(static_cast<std::uint32_t>(rng.next()))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PopulationMembership);
+
+void BM_HostMaterialization(benchmark::State& state) {
+  static popgen::SyntheticPopulation population(42);
+  // Pre-find FTP addresses so the loop measures materialization only.
+  std::vector<Ipv4> hosts;
+  Xoshiro256ss rng(2);
+  while (hosts.size() < 256) {
+    const Ipv4 ip(static_cast<std::uint32_t>(rng.next()));
+    if (population.has_ftp(ip)) hosts.push_back(ip);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(population.host_config(hosts[i++ % 256]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HostMaterialization);
+
+void BM_ReplyParserSingleLine(benchmark::State& state) {
+  for (auto _ : state) {
+    ftp::ReplyParser parser;
+    parser.push("230 Login successful.\r\n");
+    benchmark::DoNotOptimize(parser.pop_reply());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReplyParserSingleLine);
+
+void BM_ListingParseUnixLine(benchmark::State& state) {
+  const std::string line =
+      "-rw-r--r--    1 ftp      ftp          1048576 Jun 18 09:42 "
+      "IMG_2034.JPG";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftp::parse_listing_line(line));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ListingParseUnixLine);
+
+void BM_ListingParse1000EntryBody(benchmark::State& state) {
+  std::string body;
+  for (int i = 0; i < 1000; ++i) {
+    body += "-rw-r--r--    1 ftp ftp 4096 Jun 18  2014 pkg-" +
+            std::to_string(i) + ".tar.gz\r\n";
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftp::parse_listing(body));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(body.size()));
+}
+BENCHMARK(BM_ListingParse1000EntryBody);
+
+void BM_RobotsParse(benchmark::State& state) {
+  const std::string robots =
+      "User-agent: *\nDisallow: /private/\nAllow: /private/pub/\n"
+      "Disallow: /*.zip$\nCrawl-delay: 2\n"
+      "User-agent: ftpcensus\nDisallow: /tmp/\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ftp::RobotsPolicy::parse(robots));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RobotsParse);
+
+void BM_RobotsMatch(benchmark::State& state) {
+  const auto policy = ftp::RobotsPolicy::parse(
+      "User-agent: *\nDisallow: /private/\nAllow: /private/pub/\n"
+      "Disallow: /*.zip$\n");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        policy.is_allowed("ftpcensus", "/private/pub/file.txt"));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RobotsMatch);
+
+void BM_FingerprintBanner(benchmark::State& state) {
+  const std::string banner =
+      "ProFTPD 1.3.5 Server (ProFTPD Default Installation) [198.51.100.5]";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::fingerprint_banner(banner));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FingerprintBanner);
+
+void BM_ClassifySensitivePath(benchmark::State& state) {
+  const std::string path = "/documents/taxes/TurboTax-export-7.txf";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::classify_sensitive(path));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClassifySensitivePath);
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  const std::string data(1024, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+}  // namespace
+
+BENCHMARK_MAIN();

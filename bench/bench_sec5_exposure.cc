@@ -1,0 +1,12 @@
+// Regenerates Section V (over-exposure) of "FTP: The Forgotten Cloud" (DSN'16).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Section V (over-exposure)");
+  const bench::BenchContext& ctx = bench::context();
+  std::printf("%s\n", analysis::render_sec5_exposure(ctx.summary).render().c_str());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Section VI (malicious use) of "FTP: The Forgotten Cloud" (DSN'16).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Section VI (malicious use)");
+  const bench::BenchContext& ctx = bench::context();
+  std::printf("%s\n", analysis::render_sec6_malicious(ctx.summary).render().c_str());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Section VII.B (PORT bouncing) of "FTP: The Forgotten Cloud" (DSN'16).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Section VII.B (PORT bouncing)");
+  const bench::BenchContext& ctx = bench::context();
+  std::printf("%s\n", analysis::render_sec7_bounce(ctx.summary, ctx.bounce).render().c_str());
+  return 0;
+}

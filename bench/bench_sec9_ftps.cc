@@ -1,0 +1,12 @@
+// Regenerates Section IX (FTPS impact) of "FTP: The Forgotten Cloud" (DSN'16).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Section IX (FTPS impact)");
+  const bench::BenchContext& ctx = bench::context();
+  std::printf("%s\n", analysis::render_sec9_ftps(ctx.summary).render().c_str());
+  return 0;
+}

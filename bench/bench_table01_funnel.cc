@@ -1,0 +1,12 @@
+// Regenerates Table I (scan funnel) of "FTP: The Forgotten Cloud" (DSN'16).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Table I (scan funnel)");
+  const bench::BenchContext& ctx = bench::context();
+  std::printf("%s\n", analysis::render_table1_funnel(ctx.summary).render().c_str());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Table II (server classification) of "FTP: The Forgotten Cloud" (DSN'16).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Table II (server classification)");
+  const bench::BenchContext& ctx = bench::context();
+  std::printf("%s\n", analysis::render_table2_classification(ctx.summary).render().c_str());
+  return 0;
+}

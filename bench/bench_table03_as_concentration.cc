@@ -1,0 +1,19 @@
+// Regenerates Table III (ASes accounting for 50% of all FTP types).
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "popgen/calibration.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Table III (AS concentration by type)");
+  const bench::BenchContext& ctx = bench::context();
+  // The AS table is deterministic in the seed; rebuild it for AS metadata.
+  const popgen::Calibration calibration = popgen::build_calibration(ctx.seed);
+  const net::AsTable as_table = popgen::build_as_table(calibration);
+  std::printf("%s\n",
+              analysis::render_table3_as_concentration(ctx.summary, as_table)
+                  .render()
+                  .c_str());
+  return 0;
+}

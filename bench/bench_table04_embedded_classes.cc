@@ -1,0 +1,12 @@
+// Regenerates Table IV (embedded device classes) of "FTP: The Forgotten Cloud" (DSN'16).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Table IV (embedded device classes)");
+  const bench::BenchContext& ctx = bench::context();
+  std::printf("%s\n", analysis::render_table4_embedded_classes(ctx.summary).render().c_str());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Table V (provider-deployed devices) of "FTP: The Forgotten Cloud" (DSN'16).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Table V (provider-deployed devices)");
+  const bench::BenchContext& ctx = bench::context();
+  std::printf("%s\n", analysis::render_table5_provider_devices(ctx.summary).render().c_str());
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Regenerates Table VI (top 10 ASes by anonymous FTP servers).
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "popgen/calibration.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Table VI (top ASes by anonymous servers)");
+  const bench::BenchContext& ctx = bench::context();
+  const popgen::Calibration calibration = popgen::build_calibration(ctx.seed);
+  const net::AsTable as_table = popgen::build_as_table(calibration);
+  std::printf("%s\n", analysis::render_table6_top_ases(ctx.summary, as_table)
+                          .render()
+                          .c_str());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Table VII (standalone embedded devices) of "FTP: The Forgotten Cloud" (DSN'16).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Table VII (standalone embedded devices)");
+  const bench::BenchContext& ctx = bench::context();
+  std::printf("%s\n", analysis::render_table7_soho_devices(ctx.summary).render().c_str());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Table VIII (SOHO file extensions) of "FTP: The Forgotten Cloud" (DSN'16).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Table VIII (SOHO file extensions)");
+  const bench::BenchContext& ctx = bench::context();
+  std::printf("%s\n", analysis::render_table8_extensions(ctx.summary).render().c_str());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Table IX (sensitive exposure) of "FTP: The Forgotten Cloud" (DSN'16).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Table IX (sensitive exposure)");
+  const bench::BenchContext& ctx = bench::context();
+  std::printf("%s\n", analysis::render_table9_sensitive(ctx.summary).render().c_str());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Table X (exposure by device class) of "FTP: The Forgotten Cloud" (DSN'16).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Table X (exposure by device class)");
+  const bench::BenchContext& ctx = bench::context();
+  std::printf("%s\n", analysis::render_table10_exposure_matrix(ctx.summary).render().c_str());
+  return 0;
+}

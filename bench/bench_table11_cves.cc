@@ -1,0 +1,12 @@
+// Regenerates Table XI (CVE-vulnerable servers) of "FTP: The Forgotten Cloud" (DSN'16).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Table XI (CVE-vulnerable servers)");
+  const bench::BenchContext& ctx = bench::context();
+  std::printf("%s\n", analysis::render_table11_cves(ctx.summary).render().c_str());
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Regenerates Table XII (top FTPS certificates) of "FTP: The Forgotten Cloud" (DSN'16).
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int main() {
+  using namespace ftpc;
+  bench::print_header("Table XII (top FTPS certificates)");
+  const bench::BenchContext& ctx = bench::context();
+  std::printf("%s\n", analysis::render_table12_ftps_certs(ctx.summary).render().c_str());
+  return 0;
+}

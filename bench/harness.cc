@@ -1,0 +1,169 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "analysis/classify.h"
+#include "analysis/summary_io.h"
+#include "core/bounce.h"
+#include "core/census.h"
+#include "net/internet.h"
+#include "popgen/population.h"
+#include "sim/network.h"
+
+namespace ftpc::bench {
+
+namespace {
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::strtoull(value, nullptr, 10);
+}
+
+std::string cache_dir() {
+  const char* dir = std::getenv("FTPCENSUS_CACHE_DIR");
+  if (dir != nullptr && *dir != '\0') return dir;
+  return "/tmp";
+}
+
+std::string cache_path(std::uint64_t seed, unsigned shift) {
+  return cache_dir() + "/ftpcensus-summary-s" + std::to_string(seed) +
+         "-x" + std::to_string(shift) + ".bin";
+}
+
+std::string bounce_cache_path(std::uint64_t seed, unsigned shift) {
+  return cache_dir() + "/ftpcensus-bounce-s" + std::to_string(seed) + "-x" +
+         std::to_string(shift) + ".bin";
+}
+
+bool save_bounce(const analysis::BounceSummary& b, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(&b, sizeof(b), 1, f) == 1;
+  std::fclose(f);
+  return ok;
+}
+
+std::optional<analysis::BounceSummary> load_bounce(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  analysis::BounceSummary b;
+  const bool ok = std::fread(&b, sizeof(b), 1, f) == 1;
+  std::fclose(f);
+  if (!ok) return std::nullopt;
+  return b;
+}
+
+BenchContext compute(std::uint64_t seed, unsigned shift) {
+  std::fprintf(stderr,
+               "[ftpcensus] computing census: seed=%llu scale=1/%llu "
+               "(cached for subsequent benches)...\n",
+               static_cast<unsigned long long>(seed), 1ULL << shift);
+
+  BenchContext ctx;
+  ctx.seed = seed;
+  ctx.scale_shift = shift;
+
+  popgen::SyntheticPopulation population(seed);
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  net::Internet internet(network, population, 256);
+
+  // Census pass: scan + enumerate + aggregate; also remember the anonymous
+  // hosts and which of them showed write evidence, for the bounce pass.
+  struct TeeSink : core::RecordSink {
+    explicit TeeSink(analysis::SummaryBuilder& builder) : builder(builder) {}
+    void on_host(const core::HostReport& report) override {
+      builder.on_host(report);
+      if (report.anonymous()) {
+        anonymous_hosts.push_back(report.ip.value());
+        for (const auto& file : report.files) {
+          const auto c = analysis::classify_campaign(file.path, file.is_dir);
+          if (c && analysis::indicates_world_writable(*c)) {
+            writable_hosts.insert(report.ip.value());
+            break;
+          }
+        }
+      }
+    }
+    analysis::SummaryBuilder& builder;
+    std::vector<std::uint32_t> anonymous_hosts;
+    std::set<std::uint32_t> writable_hosts;
+  };
+
+  analysis::SummaryBuilder builder(
+      population.as_table(), [&population](Ipv4 ip) {
+        const popgen::HttpProfile http = population.http_profile(ip);
+        return analysis::HttpSignal{
+            .has_http = http.has_http,
+            .server_side_scripting =
+                http.powered_by != popgen::HttpProfile::PoweredBy::kNone};
+      });
+  TeeSink sink(builder);
+
+  core::CensusConfig config;
+  config.seed = seed;
+  config.scale_shift = shift;
+  config.concurrency = 64;
+  core::Census census(network, config);
+  const core::CensusStats stats = census.run(sink);
+
+  ctx.summary = builder.take(seed, shift, stats.scan.probed,
+                             stats.scan.responsive);
+
+  // Bounce pass over the anonymous hosts (§VII.B).
+  core::BounceProber prober(network, {});
+  const auto results = prober.run(sink.anonymous_hosts);
+  ctx.bounce = analysis::summarize_bounce(
+      results, population.as_table(), [&sink](Ipv4 ip) {
+        return sink.writable_hosts.count(ip.value()) > 0;
+      });
+  return ctx;
+}
+
+}  // namespace
+
+const BenchContext& context() {
+  static const BenchContext ctx = [] {
+    const std::uint64_t seed = env_u64("FTPCENSUS_SEED", 42);
+    const auto shift =
+        static_cast<unsigned>(env_u64("FTPCENSUS_SCALE_SHIFT", 7));
+
+    BenchContext loaded;
+    loaded.seed = seed;
+    loaded.scale_shift = shift;
+    const std::string summary_file = cache_path(seed, shift);
+    const std::string bounce_file = bounce_cache_path(seed, shift);
+    auto summary = analysis::load_summary(summary_file);
+    auto bounce = load_bounce(bounce_file);
+    if (summary && bounce && summary->seed == seed &&
+        summary->scale_shift == shift) {
+      loaded.summary = std::move(*summary);
+      loaded.bounce = *bounce;
+      return loaded;
+    }
+    BenchContext computed = compute(seed, shift);
+    if (!analysis::save_summary(computed.summary, summary_file) ||
+        !save_bounce(computed.bounce, bounce_file)) {
+      std::fprintf(stderr, "[ftpcensus] warning: could not cache summary\n");
+    }
+    return computed;
+  }();
+  return ctx;
+}
+
+void print_header(const std::string& experiment) {
+  const BenchContext& ctx = context();
+  std::printf(
+      "ftpcensus bench: %s  [seed %llu, sampling 1/%llu of IPv4; "
+      "'~scaled' projects measurements to full scale]\n\n",
+      experiment.c_str(), static_cast<unsigned long long>(ctx.seed),
+      1ULL << ctx.scale_shift);
+}
+
+}  // namespace ftpc::bench

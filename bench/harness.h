@@ -1,0 +1,36 @@
+// Shared infrastructure for the per-table bench binaries.
+//
+// Each bench binary regenerates one of the paper's tables or figures. They
+// all consume the same census, so the first binary to run computes it
+// (scan + enumerate + aggregate + PORT-bounce probe) and caches the
+// serialized summary; the rest load it in milliseconds.
+//
+// Environment knobs:
+//   FTPCENSUS_SEED         population + scan seed        (default 42)
+//   FTPCENSUS_SCALE_SHIFT  scan 1/2^shift of IPv4        (default 7)
+//   FTPCENSUS_CACHE_DIR    where summaries are cached    (default /tmp)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "analysis/summary.h"
+#include "analysis/tables.h"
+
+namespace ftpc::bench {
+
+struct BenchContext {
+  std::uint64_t seed = 42;
+  unsigned scale_shift = 7;
+  analysis::CensusSummary summary;
+  analysis::BounceSummary bounce;
+};
+
+/// Loads (or computes and caches) the census summary + bounce-probe
+/// results for the configured seed/scale.
+const BenchContext& context();
+
+/// Prints a standard bench header (seed, scale, cache status).
+void print_header(const std::string& experiment);
+
+}  // namespace ftpc::bench

@@ -1,0 +1,95 @@
+// PORT-bounce audit (§VII.B): scan a sample, log into every anonymous FTP
+// server, and test — by actually observing the out-dial — whether it
+// validates PORT arguments. Reports the vulnerable population and the ASes
+// concentrating it.
+//
+//   ./port_bounce_audit [scale_shift] [seed]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/strings.h"
+#include "core/bounce.h"
+#include "core/census.h"
+#include "net/internet.h"
+#include "popgen/population.h"
+#include "sim/network.h"
+
+int main(int argc, char** argv) {
+  using namespace ftpc;
+  const unsigned scale_shift =
+      argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 11;
+  const std::uint64_t seed =
+      argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 42;
+
+  popgen::SyntheticPopulation population(seed);
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  net::Internet internet(network, population, 128);
+
+  // Phase 1: find the anonymous servers.
+  struct AnonSink : core::RecordSink {
+    std::vector<std::uint32_t> hosts;
+    void on_host(const core::HostReport& report) override {
+      if (report.anonymous()) hosts.push_back(report.ip.value());
+    }
+  } sink;
+  core::CensusConfig config;
+  config.seed = seed;
+  config.scale_shift = scale_shift;
+  config.enumerator.collect_surveys = false;  // login-only pass
+  config.enumerator.try_tls = false;
+  config.enumerator.request_cap = 10;
+  std::printf("Discovering anonymous FTP servers on 1/%llu of IPv4...\n",
+              1ULL << scale_shift);
+  core::Census(network, config).run(sink);
+  std::printf("Found %zu anonymous servers; probing PORT validation...\n",
+              sink.hosts.size());
+
+  // Phase 2: bounce-probe each of them.
+  core::BounceProber prober(network, {});
+  const auto results = prober.run(sink.hosts);
+
+  std::uint64_t logged_in = 0, accepted = 0, dialed = 0, nat = 0;
+  std::map<std::uint32_t, std::uint64_t> vulnerable_by_as;
+  for (const auto& r : results) {
+    if (!r.login_ok) continue;
+    ++logged_in;
+    if (r.pasv_ip && is_private(*r.pasv_ip)) ++nat;
+    if (r.port_accepted) ++accepted;
+    if (r.port_accepted && r.connection_observed) {
+      ++dialed;
+      if (const auto as_index = population.as_table().as_index_of(r.ip)) {
+        ++vulnerable_by_as[*as_index];
+      }
+    }
+  }
+
+  std::printf("\nResults:\n");
+  std::printf("  probed (logged in) ............ %llu\n",
+              static_cast<unsigned long long>(logged_in));
+  std::printf("  accepted third-party PORT ..... %llu\n",
+              static_cast<unsigned long long>(accepted));
+  std::printf("  actually dialed third party ... %llu (%s of probed)\n",
+              static_cast<unsigned long long>(dialed),
+              percent(double(dialed), double(logged_in)).c_str());
+  std::printf("  NAT'd (PASV private address) .. %llu\n",
+              static_cast<unsigned long long>(nat));
+  std::printf("  (paper: 143,073 = 12.74%% of anonymous servers failed "
+              "validation, 71.5%% in home.pl)\n");
+
+  std::printf("\nASes concentrating bounce-vulnerable servers:\n");
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> top;
+  for (const auto& [as_index, count] : vulnerable_by_as) {
+    top.emplace_back(count, as_index);
+  }
+  std::sort(top.rbegin(), top.rend());
+  for (std::size_t i = 0; i < 5 && i < top.size(); ++i) {
+    const auto& info = population.as_table().as_info(top[i].second);
+    std::printf("  AS%-6u %-28s %llu vulnerable (%s of all vulnerable)\n",
+                info.asn, info.name.c_str(),
+                static_cast<unsigned long long>(top[i].first),
+                percent(double(top[i].first), double(dialed)).c_str());
+  }
+  return 0;
+}

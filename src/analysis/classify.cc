@@ -1,0 +1,253 @@
+#include "analysis/classify.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace ftpc::analysis {
+
+std::string_view sensitive_class_name(SensitiveClass c) noexcept {
+  switch (c) {
+    case SensitiveClass::kTurboTax:
+      return "TurboTax Export";
+    case SensitiveClass::kQuicken:
+      return "Quicken Data";
+    case SensitiveClass::kKeePass:
+      return "KeePass/KeePassX";
+    case SensitiveClass::kOnePassword:
+      return "1Password";
+    case SensitiveClass::kSshHostKey:
+      return "SSH host private keys";
+    case SensitiveClass::kPuttyKey:
+      return "Putty SSH client keys";
+    case SensitiveClass::kPrivPem:
+      return "\"priv\" .pem files";
+    case SensitiveClass::kShadow:
+      return "shadow files";
+    case SensitiveClass::kPst:
+      return ".pst files";
+    case SensitiveClass::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::string_view sensitive_class_group(SensitiveClass c) noexcept {
+  switch (c) {
+    case SensitiveClass::kTurboTax:
+    case SensitiveClass::kQuicken:
+      return "Financial Information";
+    case SensitiveClass::kKeePass:
+    case SensitiveClass::kOnePassword:
+      return "Password Databases";
+    case SensitiveClass::kSshHostKey:
+    case SensitiveClass::kPuttyKey:
+    case SensitiveClass::kPrivPem:
+      return "Key Material";
+    default:
+      return "Other";
+  }
+}
+
+std::optional<SensitiveClass> classify_sensitive(std::string_view path) {
+  const std::string_view base = basename(path);
+  const std::string lowered = to_lower(base);
+  const std::string ext = file_extension(path);
+
+  if (ext == "txf" || contains(lowered, "turbotax") ||
+      lowered.rfind(".tax", lowered.size() > 8 ? lowered.size() - 8 : 0) !=
+          std::string::npos) {
+    if (ext == "txf" || contains(lowered, "turbotax")) {
+      return SensitiveClass::kTurboTax;
+    }
+  }
+  if (ext == "qdf" || ext == "qel" || ext == "qph") {
+    return SensitiveClass::kQuicken;
+  }
+  if (ext == "kdbx" || ext == "kdb") return SensitiveClass::kKeePass;
+  if (contains(lowered, "agilekeychain") ||
+      contains(lowered, "1password")) {
+    return SensitiveClass::kOnePassword;
+  }
+  if (lowered.rfind("ssh_host_", 0) == 0 && ext != "pub") {
+    return SensitiveClass::kSshHostKey;
+  }
+  if (ext == "ppk") return SensitiveClass::kPuttyKey;
+  if (ext == "pem" && contains(lowered, "priv")) {
+    return SensitiveClass::kPrivPem;
+  }
+  if (lowered == "shadow" || lowered == "shadow.bak" ||
+      lowered == "shadow-") {
+    return SensitiveClass::kShadow;
+  }
+  if (ext == "pst") return SensitiveClass::kPst;
+  return std::nullopt;
+}
+
+bool is_camera_photo(std::string_view path) {
+  const std::string_view base = basename(path);
+  const std::string ext = file_extension(path);
+  if (ext != "jpg" && ext != "jpeg") return false;
+  // Default camera stems: IMG_1234, DSC_0042, DSCN1234, P1050234, PICT0001.
+  auto digits_after = [&](std::string_view prefix) {
+    if (!istarts_with(base, prefix)) return false;
+    const std::string_view rest = base.substr(prefix.size());
+    const std::size_t dot = rest.find('.');
+    if (dot == std::string_view::npos || dot == 0) return false;
+    for (std::size_t i = 0; i < dot; ++i) {
+      if (!std::isdigit(static_cast<unsigned char>(rest[i]))) return false;
+    }
+    return true;
+  };
+  return digits_after("IMG_") || digits_after("DSC_") ||
+         digits_after("DSCN") || digits_after("PICT") || digits_after("P10");
+}
+
+bool is_script_source(std::string_view path) {
+  const std::string ext = file_extension(path);
+  return ext == "php" || ext == "asp" || ext == "aspx" || ext == "cgi" ||
+         ext == "pl" || ext == "jsp" || ext == "php3" || ext == "phtml";
+}
+
+bool is_htaccess(std::string_view path) {
+  return basename(path) == ".htaccess";
+}
+
+std::optional<OsRootKind> detect_os_root(
+    const std::vector<std::string>& top_level_names) {
+  int linux_hits = 0, mac_hits = 0, win_old = 0, win_new = 0;
+  bool has_applications = false, has_library = false;
+  for (const std::string& name : top_level_names) {
+    if (name == "bin" || name == "var" || name == "boot" || name == "etc") {
+      ++linux_hits;
+    }
+    if (name == "Applications") has_applications = true;
+    if (name == "Library") has_library = true;
+    if (name == "bin" || name == "var" || name == "Users") ++mac_hits;
+    if (name == "Program Files" || name == "Documents and Settings" ||
+        name == "WINDOWS") {
+      ++win_old;
+    }
+    if (name == "Windows" || name == "Program Files" || name == "Users") {
+      ++win_new;
+    }
+  }
+  // Mac requires its unambiguous markers; Windows needs most of its set;
+  // Linux needs at least three of {bin, var, boot, etc}.
+  if (has_applications && has_library && mac_hits >= 2) {
+    return OsRootKind::kMacOs;
+  }
+  if (win_old >= 3 || win_new >= 3) return OsRootKind::kWindows;
+  if (linux_hits >= 3) return OsRootKind::kLinux;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Campaign indicators
+// ---------------------------------------------------------------------------
+
+std::string_view campaign_indicator_name(CampaignIndicator c) noexcept {
+  switch (c) {
+    case CampaignIndicator::kWriteProbe:
+      return "write probe (w0000000t/sjutd/hello.world)";
+    case CampaignIndicator::kFtpchk3:
+      return "ftpchk3";
+    case CampaignIndicator::kHolyBible:
+      return "Holy Bible SEO";
+    case CampaignIndicator::kDdosHistory:
+      return "history.php DDoS";
+    case CampaignIndicator::kDdosPhz:
+      return "phzLtoxn.php DDoS";
+    case CampaignIndicator::kRatShell:
+      return "RAT shells";
+    case CampaignIndicator::kCrackFlier:
+      return "crack-service fliers";
+    case CampaignIndicator::kWarezDir:
+      return "WaReZ transport dirs";
+    case CampaignIndicator::kCount:
+      break;
+  }
+  return "?";
+}
+
+std::optional<CampaignIndicator> classify_campaign(std::string_view path,
+                                                   bool is_dir) {
+  const std::string_view base = basename(path);
+  const std::string lowered = to_lower(base);
+
+  if (is_dir) {
+    // WaReZ transport naming: YYMMDD + 6-digit time + 'p'.
+    if (lowered.size() == 13 && lowered.back() == 'p') {
+      bool all_digits = true;
+      for (std::size_t i = 0; i < 12; ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(lowered[i]))) {
+          all_digits = false;
+          break;
+        }
+      }
+      if (all_digits) return CampaignIndicator::kWarezDir;
+    }
+    return std::nullopt;
+  }
+
+  // Write probes: match the base name with optional ".N" rename suffixes.
+  auto strip_rename_suffix = [](std::string name) {
+    while (true) {
+      const std::size_t dot = name.rfind('.');
+      if (dot == std::string::npos || dot + 1 >= name.size()) return name;
+      bool digits = true;
+      for (std::size_t i = dot + 1; i < name.size(); ++i) {
+        if (!std::isdigit(static_cast<unsigned char>(name[i]))) {
+          digits = false;
+          break;
+        }
+      }
+      if (!digits) return name;
+      name.resize(dot);
+    }
+  };
+  const std::string stem = strip_rename_suffix(lowered);
+
+  if (stem == "w0000000t.txt" || stem == "w0000000t.php" ||
+      stem == "sjutd.txt" || stem == "hello.world.txt") {
+    return CampaignIndicator::kWriteProbe;
+  }
+  if (stem == "ftpchk3.txt" || stem == "ftpchk3.php") {
+    return CampaignIndicator::kFtpchk3;
+  }
+  if (lowered == "holy-bible.html") return CampaignIndicator::kHolyBible;
+  if (lowered == "history.php") return CampaignIndicator::kDdosHistory;
+  if (lowered == "phzltoxn.php") return CampaignIndicator::kDdosPhz;
+  if (lowered == "x.php") return CampaignIndicator::kRatShell;
+  if (lowered == "keygen-service.pdf" || lowered == "keygen-service.ps") {
+    return CampaignIndicator::kCrackFlier;
+  }
+  return std::nullopt;
+}
+
+bool indicates_world_writable(CampaignIndicator c) noexcept {
+  // The reference set (§VI.A): probe files and campaign payloads that are
+  // only ever planted through anonymous upload.
+  switch (c) {
+    case CampaignIndicator::kWriteProbe:
+    case CampaignIndicator::kFtpchk3:
+    case CampaignIndicator::kDdosHistory:
+    case CampaignIndicator::kDdosPhz:
+    case CampaignIndicator::kRatShell:
+    case CampaignIndicator::kCrackFlier:
+    case CampaignIndicator::kWarezDir:
+      return true;
+    // Holy-Bible spreads through scripting too; the paper keeps it out of
+    // the reference set and reports the 55.35% overlap instead.
+    case CampaignIndicator::kHolyBible:
+    case CampaignIndicator::kCount:
+      return false;
+  }
+  return false;
+}
+
+bool is_ramnit_banner(std::string_view banner) {
+  return icontains(banner, "RMNetwork FTP");
+}
+
+}  // namespace ftpc::analysis

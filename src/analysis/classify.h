@@ -1,0 +1,82 @@
+// Content classifiers over listed file paths (§V, §VI).
+//
+// These are the "reference sets" and filename heuristics of the study:
+// sensitive-document recognition (Table IX), camera-default photo names,
+// server-side script extensions, OS-root detection, and the
+// world-writable / campaign indicator files.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/records.h"
+
+namespace ftpc::analysis {
+
+/// Sensitive-document classes of Table IX.
+enum class SensitiveClass {
+  kTurboTax = 0,
+  kQuicken,
+  kKeePass,
+  kOnePassword,
+  kSshHostKey,
+  kPuttyKey,
+  kPrivPem,
+  kShadow,
+  kPst,
+  kCount,
+};
+
+std::string_view sensitive_class_name(SensitiveClass c) noexcept;
+std::string_view sensitive_class_group(SensitiveClass c) noexcept;
+
+/// Classifies one path; nullopt if not sensitive.
+std::optional<SensitiveClass> classify_sensitive(std::string_view path);
+
+/// Camera-default photo names (IMG_1234.JPG, DSC_0042.jpg, ...).
+bool is_camera_photo(std::string_view path);
+
+/// Server-side scripting source (.php, .asp, .aspx, .cgi, .pl, .jsp).
+bool is_script_source(std::string_view path);
+
+/// ".htaccess" exactly.
+bool is_htaccess(std::string_view path);
+
+/// Operating-system root detection from a host's top-level names (§V.A).
+enum class OsRootKind { kLinux, kWindows, kMacOs };
+std::optional<OsRootKind> detect_os_root(
+    const std::vector<std::string>& top_level_names);
+
+// ---------------------------------------------------------------------------
+// §VI: world-writable evidence and campaign indicators.
+// ---------------------------------------------------------------------------
+
+enum class CampaignIndicator {
+  kWriteProbe = 0,  // w0000000t.*, sjutd.txt, hello.world.txt
+  kFtpchk3,
+  kHolyBible,
+  kDdosHistory,
+  kDdosPhz,
+  kRatShell,
+  kCrackFlier,
+  kWarezDir,
+  kCount,
+};
+
+std::string_view campaign_indicator_name(CampaignIndicator c) noexcept;
+
+/// Classifies one path as a campaign indicator, if any.
+std::optional<CampaignIndicator> classify_campaign(std::string_view path,
+                                                   bool is_dir);
+
+/// True if the indicator belongs to the world-writable *reference set*
+/// (files that can only exist because an anonymous user uploaded them).
+bool indicates_world_writable(CampaignIndicator c) noexcept;
+
+/// The Ramnit banner signature (§VI.C).
+bool is_ramnit_banner(std::string_view banner);
+
+}  // namespace ftpc::analysis

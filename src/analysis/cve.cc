@@ -1,0 +1,104 @@
+#include "analysis/cve.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace ftpc::analysis {
+
+const std::vector<CveEntry>& cve_database() {
+  using Match = CveEntry::Match;
+  static const std::vector<CveEntry> db = {
+      {"CVE-2015-3306", "ProFTPD", 10.0, Match::kExact, "1.3.5"},
+      {"CVE-2013-4359", "ProFTPD", 5.0, Match::kExact, "1.3.4d"},
+      {"CVE-2012-6095", "ProFTPD", 1.2, Match::kAtMost, "1.3.4d"},
+      {"CVE-2011-4130", "ProFTPD", 9.0, Match::kAtMost, "1.3.3g"},
+      {"CVE-2011-1137", "ProFTPD", 5.0, Match::kAtMost, "1.3.3g"},
+      {"CVE-2011-1575", "Pure-FTPd", 5.8, Match::kExact, "1.0.29"},
+      {"CVE-2011-0418", "Pure-FTPd", 4.0, Match::kAtMost, "1.0.29"},
+      {"CVE-2015-1419", "vsFTPd", 5.0, Match::kAtMost, "3.0.2"},
+      {"CVE-2011-0762", "vsFTPd", 4.0, Match::kAtMost, "2.3.2"},
+      {"CVE-2011-4800", "Serv-U", 9.0, Match::kAtMost, "11.1.0.5"},
+  };
+  return db;
+}
+
+namespace {
+
+/// Splits a version into alternating numeric/alphabetic tokens.
+struct Token {
+  bool numeric = false;
+  std::uint64_t number = 0;
+  std::string_view text;
+};
+
+std::vector<Token> tokenize(std::string_view version) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < version.size()) {
+    const char c = version[i];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::uint64_t value = 0;
+      const std::size_t start = i;
+      while (i < version.size() &&
+             std::isdigit(static_cast<unsigned char>(version[i]))) {
+        value = value * 10 + static_cast<std::uint64_t>(version[i] - '0');
+        ++i;
+      }
+      tokens.push_back(Token{.numeric = true,
+                             .number = value,
+                             .text = version.substr(start, i - start)});
+    } else if (std::isalpha(static_cast<unsigned char>(c))) {
+      const std::size_t start = i;
+      while (i < version.size() &&
+             std::isalpha(static_cast<unsigned char>(version[i]))) {
+        ++i;
+      }
+      tokens.push_back(Token{.numeric = false,
+                             .text = version.substr(start, i - start)});
+    } else {
+      ++i;  // separators
+    }
+  }
+  return tokens;
+}
+
+}  // namespace
+
+int compare_versions(std::string_view a, std::string_view b) noexcept {
+  const auto ta = tokenize(a);
+  const auto tb = tokenize(b);
+  const std::size_t n = std::max(ta.size(), tb.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i >= ta.size()) {
+      // a is a prefix of b. A trailing letter ("1.3.5a" vs "1.3.5") means
+      // b is newer; a trailing number ("1.3.5.1") also means b is newer.
+      return -1;
+    }
+    if (i >= tb.size()) return 1;
+    const Token& x = ta[i];
+    const Token& y = tb[i];
+    if (x.numeric != y.numeric) {
+      // Numeric sorts after alphabetic at the same position (rare).
+      return x.numeric ? 1 : -1;
+    }
+    if (x.numeric) {
+      if (x.number != y.number) return x.number < y.number ? -1 : 1;
+    } else {
+      const int cmp = x.text.compare(y.text);
+      if (cmp != 0) return cmp < 0 ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+bool cve_matches(const CveEntry& entry, std::string_view implementation,
+                 std::string_view version) noexcept {
+  if (version.empty() || !iequals(entry.implementation, implementation)) {
+    return false;
+  }
+  const int cmp = compare_versions(version, entry.version);
+  return entry.kind == CveEntry::Match::kExact ? cmp == 0 : cmp <= 0;
+}
+
+}  // namespace ftpc::analysis

@@ -1,0 +1,32 @@
+// The CVE database behind Table XI: known vulnerabilities keyed on
+// implementation + affected-version predicates, matched against version
+// strings extracted from banners. The study "did not exploit any
+// vulnerabilities" — and neither do we: this is pure version bookkeeping.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftpc::analysis {
+
+struct CveEntry {
+  std::string id;              // "CVE-2015-3306"
+  std::string implementation;  // matches Fingerprint::implementation
+  double cvss = 0.0;
+  enum class Match { kExact, kAtMost } kind = Match::kAtMost;
+  std::string version;  // the exact / upper-bound version
+};
+
+/// Table XI's CVE set.
+const std::vector<CveEntry>& cve_database();
+
+/// Dotted-version comparison with letter suffixes: 1.3.4a < 1.3.4d <
+/// 1.3.5 < 1.3.5a. Returns <0, 0, >0.
+int compare_versions(std::string_view a, std::string_view b) noexcept;
+
+/// True if (implementation, version) is affected by `entry`.
+bool cve_matches(const CveEntry& entry, std::string_view implementation,
+                 std::string_view version) noexcept;
+
+}  // namespace ftpc::analysis

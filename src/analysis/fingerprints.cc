@@ -1,0 +1,195 @@
+#include "analysis/fingerprints.h"
+
+#include <vector>
+
+#include "common/strings.h"
+
+namespace ftpc::analysis {
+
+std::string_view fp_class_name(FpClass c) noexcept {
+  switch (c) {
+    case FpClass::kGenericServer:
+      return "Generic Server";
+    case FpClass::kHostedServer:
+      return "Hosted Server";
+    case FpClass::kNas:
+      return "NAS";
+    case FpClass::kHomeRouter:
+      return "Home Router";
+    case FpClass::kPrinter:
+      return "Printer";
+    case FpClass::kProviderCpe:
+      return "Provider CPE";
+    case FpClass::kOtherEmbedded:
+      return "Other Embedded";
+    case FpClass::kUnknown:
+      return "Unknown";
+  }
+  return "?";
+}
+
+std::optional<std::string> extract_version_after(std::string_view banner,
+                                                 std::string_view marker) {
+  // Case-insensitive search for the marker.
+  std::size_t pos = std::string_view::npos;
+  if (banner.size() >= marker.size()) {
+    for (std::size_t i = 0; i + marker.size() <= banner.size(); ++i) {
+      if (iequals(banner.substr(i, marker.size()), marker)) {
+        pos = i;
+        break;
+      }
+    }
+  }
+  if (pos == std::string_view::npos) return std::nullopt;
+  std::size_t start = pos + marker.size();
+  while (start < banner.size() && banner[start] == ' ') ++start;
+  if (start < banner.size() && banner[start] == 'v') ++start;  // "v11.1"
+  std::size_t end = start;
+  auto is_version_char = [](char c) {
+    return (c >= '0' && c <= '9') || c == '.' ||
+           (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+  };
+  while (end < banner.size() && is_version_char(banner[end])) ++end;
+  if (end == start) return std::nullopt;
+  // Require a leading digit — "Server" is not a version.
+  if (banner[start] < '0' || banner[start] > '9') return std::nullopt;
+  return std::string(banner.substr(start, end - start));
+}
+
+namespace {
+
+struct Pattern {
+  const char* needle;  // case-insensitive banner substring
+  const char* device;
+  FpClass cls;
+  const char* implementation;  // nullptr = none
+  const char* version_marker;  // nullptr = no version extraction
+};
+
+// Ordering matters: more specific patterns first (a QNAP banner mentions
+// ProFTPD; "NASFTPD" must win).
+constexpr Pattern kPatterns[] = {
+    // Consumer NAS.
+    {"nasftpd turbo station", "QNAP Turbo NAS", FpClass::kNas, nullptr,
+     nullptr},
+    {"synology diskstation", "Synology NAS devices", FpClass::kNas, nullptr,
+     nullptr},
+    {"buffalo linkstation", "Buffalo NAS storage", FpClass::kNas, nullptr,
+     nullptr},
+    {"zyxel/mitrastar", "ZyXEL/MitraStar NAS", FpClass::kNas, nullptr,
+     nullptr},
+    {"lacie cloudbox", "LaCie storage", FpClass::kNas, nullptr, nullptr},
+    {"seagate central", "Seagate Storage devices", FpClass::kNas, nullptr,
+     nullptr},
+    {"lg network storage", "LGE NAS", FpClass::kNas, nullptr, nullptr},
+    {"axentra hipserv", "Axentra HipServ", FpClass::kNas, nullptr, nullptr},
+    {"asustor", "AsusTor NAS", FpClass::kNas, nullptr, nullptr},
+    {"network storage ftp server", "Network Storage (misc)", FpClass::kNas,
+     nullptr, nullptr},
+
+    // Routers.
+    {"asus wireless router", "ASUS wireless routers", FpClass::kHomeRouter,
+     nullptr, nullptr},
+    {"linksys smart wi-fi", "Linksys Wifi Routers", FpClass::kHomeRouter,
+     nullptr, nullptr},
+    {"wireless router usb storage", "Smart router (misc)",
+     FpClass::kHomeRouter, nullptr, nullptr},
+
+    // Printers.
+    {"ricoh", "RICOH Printers", FpClass::kPrinter, nullptr, nullptr},
+    {"lexmark", "Lexmark Printers", FpClass::kPrinter, nullptr, nullptr},
+    {"xerox", "Xerox Printers", FpClass::kPrinter, nullptr, nullptr},
+    {"dell laser", "Dell Printers", FpClass::kPrinter, nullptr, nullptr},
+    {"network printer ftp service", "Network printer (misc)",
+     FpClass::kPrinter, nullptr, nullptr},
+
+    // Provider CPE.
+    {"fritz!box", "FRITZ!Box DSL modem", FpClass::kProviderCpe, nullptr,
+     nullptr},
+    {"zyxel p-660", "ZyXEL DSL Modem", FpClass::kProviderCpe, nullptr,
+     nullptr},
+    {"axis ", "AXIS Physical Security Device", FpClass::kProviderCpe,
+     nullptr, nullptr},
+    {"zte wimax", "ZTE WiMax Router", FpClass::kProviderCpe, nullptr,
+     nullptr},
+    {"speedport", "Speedport DSL Modem", FpClass::kProviderCpe, nullptr,
+     nullptr},
+    {"dreambox", "Dreambox Set-top Box", FpClass::kProviderCpe, nullptr,
+     nullptr},
+    {"zyxel usg", "ZyXEL Unified Security Gateway", FpClass::kProviderCpe,
+     nullptr, nullptr},
+    {"alcatel", "Alcatel Router", FpClass::kProviderCpe, nullptr, nullptr},
+    {"draytek vigor", "DrayTek Network Devices", FpClass::kProviderCpe,
+     nullptr, nullptr},
+
+    // Other embedded.
+    {"lutron homeworks", "Lutron HomeWorks Processor",
+     FpClass::kOtherEmbedded, nullptr, nullptr},
+    {"symon media player", "Symon Media Player", FpClass::kOtherEmbedded,
+     nullptr, nullptr},
+    {"stb embedded ftp", "Set-top box (misc)", FpClass::kOtherEmbedded,
+     nullptr, nullptr},
+    {"ip camera embedded ftp", "IP camera (misc)", FpClass::kOtherEmbedded,
+     nullptr, nullptr},
+    {"dvr embedded ftp", "DVR (misc)", FpClass::kOtherEmbedded, nullptr,
+     nullptr},
+    {"embedded media device", "Media player (misc)", FpClass::kOtherEmbedded,
+     nullptr, nullptr},
+
+    // Shared hosting.
+    {"pure-ftpd [cpanel]", "cPanel hosting (Pure-FTPd)", FpClass::kHostedServer,
+     "Pure-FTPd", nullptr},
+    {"proftpd - plesk", "Plesk hosting (ProFTPD)", FpClass::kHostedServer,
+     "ProFTPD", "ProFTPD "},
+    {"home.pl ftp server", "home.pl hosting", FpClass::kHostedServer, nullptr,
+     nullptr},
+    {"shared hosting ftp", "Shared hosting FTP", FpClass::kHostedServer,
+     nullptr, nullptr},
+
+    // Generic software (after the device/hosting patterns that embed the
+    // same implementation names).
+    {"proftpd", "ProFTPD", FpClass::kGenericServer, "ProFTPD", "ProFTPD "},
+    {"vsftpd", "vsftpd", FpClass::kGenericServer, "vsFTPd", "(vsFTPd "},
+    {"filezilla server", "FileZilla Server", FpClass::kGenericServer,
+     "FileZilla", "version "},
+    {"serv-u ftp server", "Serv-U", FpClass::kGenericServer, "Serv-U",
+     "Serv-U FTP Server "},
+    {"microsoft ftp service", "Microsoft FTP Service", FpClass::kGenericServer,
+     nullptr, nullptr},
+    {"pure-ftpd", "Pure-FTPd", FpClass::kGenericServer, "Pure-FTPd",
+     "Pure-FTPd "},
+    {"wu-", "wu-ftpd", FpClass::kGenericServer, "wu-ftpd", "Version wu-"},
+    {"gene6 ftp", "Gene6 FTP Server", FpClass::kGenericServer, nullptr,
+     nullptr},
+
+    // Malware.
+    {"rmnetwork ftp", "Ramnit RMNetwork", FpClass::kUnknown, nullptr,
+     nullptr},
+};
+
+}  // namespace
+
+Fingerprint fingerprint_banner(std::string_view banner) {
+  for (const Pattern& pattern : kPatterns) {
+    if (!icontains(banner, pattern.needle)) continue;
+    Fingerprint fp;
+    fp.device = pattern.device;
+    fp.device_class = pattern.cls;
+    if (pattern.implementation != nullptr) {
+      fp.implementation = pattern.implementation;
+    }
+    if (pattern.version_marker != nullptr) {
+      if (auto version = extract_version_after(banner,
+                                               pattern.version_marker)) {
+        fp.version = std::move(*version);
+      }
+    }
+    return fp;
+  }
+  return Fingerprint{.device = "Unknown",
+                     .device_class = FpClass::kUnknown,
+                     .implementation = "",
+                     .version = ""};
+}
+
+}  // namespace ftpc::analysis

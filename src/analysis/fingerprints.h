@@ -1,0 +1,57 @@
+// Banner/certificate fingerprinting (§IV).
+//
+// Maps observed banners to device/implementation identities, mirroring the
+// study's hand-built fingerprint set. These patterns were "derived by
+// iteratively processing the dataset" — i.e., they are written against
+// what servers actually send, not against generator internals (the
+// popgen/analysis cross-check test keeps them honest).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ftpc::analysis {
+
+/// Classification used by Tables II, IV and X.
+enum class FpClass {
+  kGenericServer,
+  kHostedServer,
+  kNas,
+  kHomeRouter,
+  kPrinter,
+  kProviderCpe,
+  kOtherEmbedded,
+  kUnknown,
+};
+
+std::string_view fp_class_name(FpClass c) noexcept;
+
+/// True for the three embedded sub-classes + CPE (Table II's "Embedded").
+constexpr bool is_embedded(FpClass c) noexcept {
+  return c == FpClass::kNas || c == FpClass::kHomeRouter ||
+         c == FpClass::kPrinter || c == FpClass::kProviderCpe ||
+         c == FpClass::kOtherEmbedded;
+}
+
+struct Fingerprint {
+  /// Device/implementation label as the paper's tables print it.
+  std::string device;
+  FpClass device_class = FpClass::kUnknown;
+  /// Software family for CVE matching ("ProFTPD", ...); empty if the
+  /// banner does not identify software.
+  std::string implementation;
+  /// Version string extracted from the banner, if visible.
+  std::string version;
+};
+
+/// Fingerprints a banner (first reply's full text). Returns kUnknown-class
+/// fingerprint when nothing matches.
+Fingerprint fingerprint_banner(std::string_view banner);
+
+/// Extracts "the version token following `marker`" from a banner, e.g.
+/// marker "ProFTPD " over "220 ProFTPD 1.3.5 Server ..." yields "1.3.5".
+std::optional<std::string> extract_version_after(std::string_view banner,
+                                                 std::string_view marker);
+
+}  // namespace ftpc::analysis

@@ -1,0 +1,155 @@
+#include "analysis/notify.h"
+
+#include <algorithm>
+
+#include "analysis/summary.h"
+#include "common/strings.h"
+
+namespace ftpc::analysis {
+
+std::string_view severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kInfo:
+      return "info";
+    case Severity::kSensitive:
+      return "sensitive";
+    case Severity::kCredential:
+      return "credential";
+    case Severity::kCompromised:
+      return "compromised";
+  }
+  return "?";
+}
+
+namespace {
+
+Severity sensitive_severity(SensitiveClass cls) {
+  switch (cls) {
+    case SensitiveClass::kKeePass:
+    case SensitiveClass::kOnePassword:
+    case SensitiveClass::kSshHostKey:
+    case SensitiveClass::kPuttyKey:
+    case SensitiveClass::kPrivPem:
+    case SensitiveClass::kShadow:
+      return Severity::kCredential;
+    default:
+      return Severity::kSensitive;
+  }
+}
+
+}  // namespace
+
+HostFinding assess_host(const core::HostReport& report) {
+  HostFinding finding;
+  finding.ip = report.ip;
+  if (!report.anonymous()) return finding;
+
+  std::uint64_t sensitive_counts[kSensitiveClassCount] = {};
+  std::uint64_t photo_files = 0;
+  bool malware = false;
+  std::vector<std::string> malware_names;
+
+  for (const core::FileRecord& file : report.files) {
+    if (const auto campaign = classify_campaign(file.path, file.is_dir)) {
+      if (indicates_world_writable(*campaign) ||
+          *campaign == CampaignIndicator::kHolyBible) {
+        if (!malware) {
+          malware = true;
+        }
+        const std::string name(campaign_indicator_name(*campaign));
+        if (std::find(malware_names.begin(), malware_names.end(), name) ==
+            malware_names.end()) {
+          malware_names.push_back(name);
+        }
+      }
+    }
+    if (file.is_dir) continue;
+    if (const auto cls = classify_sensitive(file.path)) {
+      ++sensitive_counts[static_cast<std::size_t>(*cls)];
+    }
+    if (is_camera_photo(file.path)) ++photo_files;
+  }
+
+  Severity severity = Severity::kInfo;
+  for (std::size_t i = 0; i < kSensitiveClassCount; ++i) {
+    if (sensitive_counts[i] == 0) continue;
+    const auto cls = static_cast<SensitiveClass>(i);
+    severity = std::max(severity, sensitive_severity(cls));
+    finding.evidence.push_back(
+        with_commas(sensitive_counts[i]) + "x " +
+        std::string(sensitive_class_name(cls)));
+  }
+  if (photo_files >= 20) {
+    severity = std::max(severity, Severity::kSensitive);
+    finding.evidence.push_back("personal photo library (" +
+                               with_commas(photo_files) + " images)");
+  }
+  if (malware) {
+    severity = std::max(severity, Severity::kCompromised);
+    for (const std::string& name : malware_names) {
+      finding.evidence.push_back("malware artifact: " + name);
+    }
+  }
+  finding.severity = severity;
+  return finding;
+}
+
+NotificationBuilder::NotificationBuilder(const net::AsTable& as_table)
+    : as_table_(as_table) {}
+
+void NotificationBuilder::on_host(const core::HostReport& report) {
+  HostFinding finding = assess_host(report);
+  if (finding.evidence.empty()) return;
+  const auto as_index = as_table_.as_index_of(report.ip);
+  if (!as_index) return;
+  ++flagged_;
+  by_as_[*as_index].push_back(std::move(finding));
+}
+
+std::vector<AsDigest> NotificationBuilder::digests(
+    Severity min_severity) const {
+  std::vector<AsDigest> out;
+  for (const auto& [as_index, findings] : by_as_) {
+    AsDigest digest;
+    digest.as_index = as_index;
+    for (const HostFinding& finding : findings) {
+      if (finding.severity < min_severity) continue;
+      digest.worst = std::max(digest.worst, finding.severity);
+      digest.hosts.push_back(finding);
+    }
+    if (!digest.hosts.empty()) {
+      std::sort(digest.hosts.begin(), digest.hosts.end(),
+                [](const HostFinding& a, const HostFinding& b) {
+                  return a.severity > b.severity;
+                });
+      out.push_back(std::move(digest));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const AsDigest& a, const AsDigest& b) {
+    if (a.worst != b.worst) return a.worst > b.worst;
+    return a.hosts.size() > b.hosts.size();
+  });
+  return out;
+}
+
+std::string NotificationBuilder::render(const AsDigest& digest) const {
+  const net::AsInfo& info = as_table_.as_info(digest.as_index);
+  std::string out = "To the abuse contact of AS" + std::to_string(info.asn) +
+                    " (" + info.name + "):\n\n";
+  out += "During an authorized Internet-measurement study we observed " +
+         with_commas(digest.hosts.size()) +
+         " host(s) in your network exposing sensitive data or malware over "
+         "anonymous FTP:\n\n";
+  for (const HostFinding& host : digest.hosts) {
+    out += "  " + host.ip.str() + "  [" +
+           std::string(severity_name(host.severity)) + "]\n";
+    for (const std::string& line : host.evidence) {
+      out += "    - " + line + "\n";
+    }
+  }
+  out += "\nWe recommend disabling anonymous FTP access on these hosts or "
+         "restricting it to intentionally public data.\n";
+  return out;
+}
+
+}  // namespace ftpc::analysis

@@ -1,0 +1,70 @@
+// Responsible-disclosure digests.
+//
+// §III.A: "We are working to notify responsible entities in likely
+// instances of sensitive information disclosure." This module turns raw
+// host reports into the artifact that process needs: per-AS digests
+// listing each affected host, what it exposes and how severe that is, so
+// an abuse desk gets one actionable message instead of a CSV of paths.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/classify.h"
+#include "core/records.h"
+#include "net/as_table.h"
+
+namespace ftpc::analysis {
+
+/// Severity buckets for prioritizing notifications.
+enum class Severity {
+  kInfo = 0,      // exposed media / generic files
+  kSensitive,     // financial docs, mailboxes, photos
+  kCredential,    // password databases, private keys, shadow files
+  kCompromised,   // malware artifacts present (already exploited)
+};
+
+std::string_view severity_name(Severity severity) noexcept;
+
+struct HostFinding {
+  Ipv4 ip;
+  Severity severity = Severity::kInfo;
+  /// Human-readable evidence lines ("3x SSH host private keys", ...).
+  std::vector<std::string> evidence;
+};
+
+struct AsDigest {
+  std::uint32_t as_index = 0;
+  std::vector<HostFinding> hosts;
+  Severity worst = Severity::kInfo;
+};
+
+/// Accumulates findings from streamed host reports.
+class NotificationBuilder : public core::RecordSink {
+ public:
+  explicit NotificationBuilder(const net::AsTable& as_table);
+
+  void on_host(const core::HostReport& report) override;
+
+  /// Digests for every AS with at least one finding at or above
+  /// `min_severity`, ordered most-severe first.
+  std::vector<AsDigest> digests(Severity min_severity) const;
+
+  /// Renders one digest as the text of an abuse-contact message.
+  std::string render(const AsDigest& digest) const;
+
+  std::uint64_t hosts_with_findings() const noexcept { return flagged_; }
+
+ private:
+  const net::AsTable& as_table_;
+  std::map<std::uint32_t, std::vector<HostFinding>> by_as_;
+  std::uint64_t flagged_ = 0;
+};
+
+/// Classifies one host report into a finding; severity kInfo with empty
+/// evidence means "nothing to report".
+HostFinding assess_host(const core::HostReport& report);
+
+}  // namespace ftpc::analysis

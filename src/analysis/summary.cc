@@ -1,0 +1,248 @@
+#include "analysis/summary.h"
+
+#include <cstring>
+
+#include "analysis/cve.h"
+#include "common/strings.h"
+#include "ftp/path.h"
+
+namespace ftpc::analysis {
+
+std::string_view exposure_kind_name(ExposureKind k) noexcept {
+  switch (k) {
+    case ExposureKind::kSensitiveDocs:
+      return "Sensitive Documents";
+    case ExposureKind::kPhotoLibrary:
+      return "Photo Libraries";
+    case ExposureKind::kOsRoot:
+      return "Root File Systems";
+    case ExposureKind::kScriptingSource:
+      return "Scripting Source";
+    case ExposureKind::kAny:
+      return "All";
+    case ExposureKind::kCount:
+      break;
+  }
+  return "?";
+}
+
+SummaryBuilder::SummaryBuilder(const net::AsTable& as_table,
+                               HttpLookup http_lookup)
+    : as_table_(as_table), http_lookup_(std::move(http_lookup)) {
+  summary_.as_counts.resize(as_table.as_count());
+}
+
+void SummaryBuilder::on_host(const core::HostReport& report) {
+  if (!report.ftp_compliant) return;
+  ++summary_.ftp_servers;
+
+  const Fingerprint fp = fingerprint_banner(report.banner);
+  const auto cls = static_cast<std::size_t>(fp.device_class);
+  ++summary_.class_counts[cls].total;
+  if (fp.device_class != FpClass::kUnknown || is_ramnit_banner(report.banner)) {
+    ++summary_.device_counts[fp.device].total;
+  }
+  if (is_ramnit_banner(report.banner)) ++summary_.ramnit_servers;
+
+  const auto as_index = as_table_.as_index_of(report.ip);
+  AsCounts* as_counts = nullptr;
+  if (as_index) {
+    as_counts = &summary_.as_counts[*as_index];
+    ++as_counts->ftp;
+  }
+
+  // HTTP overlap (§VI.B): joined per discovered FTP host, as the paper did
+  // with Censys data.
+  if (http_lookup_) {
+    const HttpSignal http = http_lookup_(report.ip);
+    if (http.has_http) ++summary_.ftp_with_http;
+    if (http.server_side_scripting) ++summary_.ftp_with_scripting_http;
+  }
+
+  // CVEs: version strings from banners (Table XI).
+  if (!fp.implementation.empty() && !fp.version.empty()) {
+    for (const CveEntry& entry : cve_database()) {
+      if (cve_matches(entry, fp.implementation, fp.version)) {
+        ++summary_.cve_counts[entry.id];
+      }
+    }
+  }
+
+  // FTPS (§IX, Tables XII, XIII).
+  if (report.ftps_supported && report.certificate) {
+    ++summary_.ftps_supported;
+    if (report.ftps_required_before_login) ++summary_.ftps_required;
+    const ftp::Certificate& cert = *report.certificate;
+    if (cert.self_signed()) ++summary_.ftps_self_signed;
+    if (cert.browser_trusted) ++summary_.ftps_browser_trusted;
+    CertUsage& usage = summary_.cert_by_cn[cert.subject_cn];
+    ++usage.servers;
+    usage.browser_trusted = cert.browser_trusted;
+    usage.self_signed = cert.self_signed();
+    std::uint64_t fp64 = 0;
+    std::memcpy(&fp64, cert.fingerprint().bytes.data(), sizeof(fp64));
+    cert_fingerprints_.insert(fp64);
+    ++cert_key_usage_[cert.key_id];
+  }
+
+  if (!report.anonymous()) return;
+
+  // ------------------------------------------------------------------
+  // Anonymous-only analyses.
+  // ------------------------------------------------------------------
+  ++summary_.anonymous_servers;
+  ++summary_.class_counts[cls].anonymous;
+  if (fp.device_class != FpClass::kUnknown) {
+    ++summary_.device_counts[fp.device].anonymous;
+  }
+  if (as_counts != nullptr) ++as_counts->anonymous;
+
+  if (report.robots_present) ++summary_.robots_servers;
+  if (report.robots_full_exclusion) ++summary_.robots_full_exclusion;
+  if (report.truncated_by_request_cap) ++summary_.truncated_servers;
+  if (report.server_terminated_early) ++summary_.terminated_servers;
+  if (report.pasv_ip && is_private(*report.pasv_ip)) ++summary_.nat_servers;
+
+  const bool soho = fp.device_class == FpClass::kNas ||
+                    fp.device_class == FpClass::kHomeRouter ||
+                    fp.device_class == FpClass::kPrinter;
+
+  // Single pass over the host's listing.
+  std::uint64_t files_here = 0;
+  std::uint64_t photo_files = 0, photo_readable = 0;
+  std::uint64_t script_files = 0, htaccess_files = 0, index_files = 0;
+  std::uint64_t sensitive_files[kSensitiveClassCount] = {};
+  ReadabilitySplit sensitive_read[kSensitiveClassCount];
+  std::uint64_t campaign_files[kCampaignCount] = {};
+  bool writable_evidence = false;
+  std::vector<std::string> top_level;
+  std::map<std::string, std::uint64_t> ext_files_here;
+
+  for (const core::FileRecord& record : report.files) {
+    if (record.is_dir) {
+      ++summary_.total_dirs;
+      if (ftp::path_depth(record.path) == 1) {
+        top_level.emplace_back(record.path.substr(1));
+      }
+    } else {
+      ++files_here;
+      ++summary_.total_files;
+    }
+
+    if (const auto campaign = classify_campaign(record.path, record.is_dir)) {
+      ++campaign_files[static_cast<std::size_t>(*campaign)];
+      if (indicates_world_writable(*campaign)) writable_evidence = true;
+    }
+    if (record.is_dir) continue;
+
+    const std::string ext = file_extension(record.path);
+    if (soho && !ext.empty()) ++ext_files_here[ext];
+
+    if (is_camera_photo(record.path)) {
+      ++photo_files;
+      if (record.readable == ftp::Readability::kReadable) ++photo_readable;
+    }
+    if (is_script_source(record.path)) ++script_files;
+    if (is_htaccess(record.path)) ++htaccess_files;
+    if (iequals(basename(record.path), "index.html")) ++index_files;
+
+    if (const auto sensitive = classify_sensitive(record.path)) {
+      const auto idx = static_cast<std::size_t>(*sensitive);
+      ++sensitive_files[idx];
+      sensitive_read[idx].add(record.readable);
+    }
+  }
+
+  // §IV: a server "exposes data" when at least one *file* is visible;
+  // empty or directory-only trees do not count (76% of anonymous
+  // servers in the paper).
+  if (files_here > 0) ++summary_.exposing_servers;
+
+  // Fold per-host tallies into the global summary.
+  for (const auto& [ext, count] : ext_files_here) {
+    ExtensionStats& stats = summary_.soho_extensions[ext];
+    stats.files += count;
+    ++stats.servers;
+  }
+  if (photo_files >= 20) {  // a library, not a stray image
+    ++summary_.photo_servers;
+    summary_.photo_files += photo_files;
+    summary_.photo_files_readable += photo_readable;
+  }
+  if (script_files > 0) {
+    ++summary_.scripting_servers;
+    summary_.scripting_files += script_files;
+  }
+  if (htaccess_files > 0) {
+    ++summary_.htaccess_servers;
+    summary_.htaccess_files += htaccess_files;
+  }
+  if (index_files > 0) {
+    ++summary_.index_html_servers;
+    summary_.index_html_files += index_files;
+  }
+
+  bool any_sensitive = false;
+  for (std::size_t i = 0; i < kSensitiveClassCount; ++i) {
+    if (sensitive_files[i] == 0) continue;
+    any_sensitive = true;
+    SensitiveStats& stats = summary_.sensitive[i];
+    ++stats.servers;
+    stats.files += sensitive_files[i];
+    stats.readability.readable += sensitive_read[i].readable;
+    stats.readability.non_readable += sensitive_read[i].non_readable;
+    stats.readability.unknown += sensitive_read[i].unknown;
+  }
+
+  const auto os_root = detect_os_root(top_level);
+  if (os_root) {
+    ++summary_.os_root_servers[static_cast<std::size_t>(*os_root)];
+  }
+
+  // Table X matrix.
+  auto mark = [&](ExposureKind kind) {
+    ++summary_.exposure_matrix[static_cast<std::size_t>(kind)][cls];
+  };
+  if (any_sensitive) mark(ExposureKind::kSensitiveDocs);
+  if (photo_files >= 20) mark(ExposureKind::kPhotoLibrary);
+  if (os_root) mark(ExposureKind::kOsRoot);
+  if (script_files > 0) mark(ExposureKind::kScriptingSource);
+  if (any_sensitive || photo_files >= 20 || os_root || script_files > 0) {
+    mark(ExposureKind::kAny);
+  }
+
+  // §VI: world-writable reference-set detection + campaign counts.
+  if (writable_evidence) {
+    ++summary_.writable_servers;
+    if (as_counts != nullptr) ++as_counts->writable;
+  }
+  for (std::size_t i = 0; i < kCampaignCount; ++i) {
+    if (campaign_files[i] == 0) continue;
+    CampaignStats& stats = summary_.campaigns[i];
+    ++stats.servers;
+    stats.files += campaign_files[i];
+  }
+  const auto holy = static_cast<std::size_t>(CampaignIndicator::kHolyBible);
+  if (campaign_files[holy] > 0 && writable_evidence) {
+    ++summary_.holy_bible_with_reference;
+  }
+}
+
+CensusSummary SummaryBuilder::take(std::uint64_t seed, unsigned scale_shift,
+                                   std::uint64_t addresses_scanned,
+                                   std::uint64_t port_open) {
+  summary_.seed = seed;
+  summary_.scale_shift = scale_shift;
+  summary_.addresses_scanned = addresses_scanned;
+  summary_.port_open = port_open;
+  summary_.unique_cert_count = cert_fingerprints_.size();
+  for (const auto& [key_id, servers] : cert_key_usage_) {
+    if (servers > 1) {
+      ++summary_.shared_key_clusters;
+      summary_.shared_key_servers += servers;
+    }
+  }
+  return std::move(summary_);
+}
+
+}  // namespace ftpc::analysis

@@ -1,0 +1,205 @@
+// CensusSummary: every aggregate the paper's tables and figures need,
+// folded incrementally from streamed HostReports so the census never holds
+// more than one host's listing in memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/classify.h"
+#include "analysis/fingerprints.h"
+#include "core/records.h"
+#include "net/as_table.h"
+
+namespace ftpc::analysis {
+
+/// HTTP co-deployment signal for one address (the Censys-join stand-in).
+struct HttpSignal {
+  bool has_http = false;
+  bool server_side_scripting = false;  // X-Powered-By: PHP / ASP.NET
+};
+using HttpLookup = std::function<HttpSignal(Ipv4)>;
+
+struct ReadabilitySplit {
+  std::uint64_t readable = 0;
+  std::uint64_t non_readable = 0;
+  std::uint64_t unknown = 0;
+  std::uint64_t total() const noexcept {
+    return readable + non_readable + unknown;
+  }
+  void add(ftp::Readability r, std::uint64_t n = 1) noexcept {
+    switch (r) {
+      case ftp::Readability::kReadable:
+        readable += n;
+        break;
+      case ftp::Readability::kNotReadable:
+        non_readable += n;
+        break;
+      case ftp::Readability::kUnknown:
+        unknown += n;
+        break;
+    }
+  }
+};
+
+struct DeviceCounts {
+  std::uint64_t total = 0;
+  std::uint64_t anonymous = 0;
+};
+
+struct SensitiveStats {
+  std::uint64_t servers = 0;
+  std::uint64_t files = 0;
+  ReadabilitySplit readability;
+};
+
+struct CampaignStats {
+  std::uint64_t servers = 0;
+  std::uint64_t files = 0;
+};
+
+struct ExtensionStats {
+  std::uint64_t files = 0;
+  std::uint64_t servers = 0;
+};
+
+struct CertUsage {
+  std::uint64_t servers = 0;
+  bool browser_trusted = false;
+  bool self_signed = false;
+};
+
+/// Per-AS counters driving Tables III & VI and Figure 1.
+struct AsCounts {
+  std::uint64_t ftp = 0;
+  std::uint64_t anonymous = 0;
+  std::uint64_t writable = 0;
+};
+
+/// Exposure kinds for the Table X matrix.
+enum class ExposureKind {
+  kSensitiveDocs = 0,
+  kPhotoLibrary,
+  kOsRoot,
+  kScriptingSource,
+  kAny,
+  kCount,
+};
+std::string_view exposure_kind_name(ExposureKind k) noexcept;
+
+constexpr std::size_t kFpClassCount = 8;
+constexpr std::size_t kExposureKindCount =
+    static_cast<std::size_t>(ExposureKind::kCount);
+constexpr std::size_t kSensitiveClassCount =
+    static_cast<std::size_t>(SensitiveClass::kCount);
+constexpr std::size_t kCampaignCount =
+    static_cast<std::size_t>(CampaignIndicator::kCount);
+
+struct CensusSummary {
+  std::uint64_t seed = 0;
+  unsigned scale_shift = 0;
+
+  // Table I funnel.
+  std::uint64_t addresses_scanned = 0;
+  std::uint64_t port_open = 0;
+  std::uint64_t ftp_servers = 0;
+  std::uint64_t anonymous_servers = 0;
+
+  // Tables II, IV, V, VII: class and device counts.
+  DeviceCounts class_counts[kFpClassCount];
+  std::map<std::string, DeviceCounts> device_counts;
+
+  // Tables III, VI, Figure 1.
+  std::vector<AsCounts> as_counts;  // indexed by AS table index
+
+  // §IV / §V traversal statistics.
+  std::uint64_t exposing_servers = 0;  // anonymous servers with >= 1 entry
+  std::uint64_t robots_servers = 0;
+  std::uint64_t robots_full_exclusion = 0;
+  std::uint64_t truncated_servers = 0;  // needed > request cap
+  std::uint64_t terminated_servers = 0;
+  std::uint64_t total_files = 0;
+  std::uint64_t total_dirs = 0;
+
+  // Table VIII: extensions on identified SOHO devices.
+  std::map<std::string, ExtensionStats> soho_extensions;
+
+  // Table IX.
+  SensitiveStats sensitive[kSensitiveClassCount];
+
+  // §V.A photos / OS roots / source exposure; index.html prevalence.
+  std::uint64_t photo_servers = 0;
+  std::uint64_t photo_files = 0;
+  std::uint64_t photo_files_readable = 0;
+  std::uint64_t os_root_servers[3] = {0, 0, 0};  // linux, windows, mac
+  std::uint64_t scripting_servers = 0;
+  std::uint64_t scripting_files = 0;
+  std::uint64_t htaccess_servers = 0;
+  std::uint64_t htaccess_files = 0;
+  std::uint64_t index_html_servers = 0;
+  std::uint64_t index_html_files = 0;
+
+  // Table X: exposing-server counts per (exposure kind, fingerprint class).
+  std::uint64_t exposure_matrix[kExposureKindCount][kFpClassCount] = {};
+
+  // §VI: world-writable + campaigns.
+  std::uint64_t writable_servers = 0;  // reference-set detection
+  CampaignStats campaigns[kCampaignCount];
+  std::uint64_t holy_bible_with_reference = 0;
+  std::uint64_t ramnit_servers = 0;
+
+  // §VI.B HTTP overlap.
+  std::uint64_t ftp_with_http = 0;
+  std::uint64_t ftp_with_scripting_http = 0;
+
+  // §VII.B NAT signal from the census traversal.
+  std::uint64_t nat_servers = 0;
+
+  // §IX / Tables XII, XIII: FTPS.
+  std::uint64_t ftps_supported = 0;
+  std::uint64_t ftps_required = 0;
+  std::uint64_t ftps_self_signed = 0;
+  std::uint64_t ftps_browser_trusted = 0;
+  std::map<std::string, CertUsage> cert_by_cn;
+  std::uint64_t unique_cert_count = 0;  // distinct fingerprints
+  /// §IX MITM exposure: servers whose certificate *private key* is shared
+  /// with at least one other server (extract the key from any one device
+  /// to intercept all of them).
+  std::uint64_t shared_key_servers = 0;
+  std::uint64_t shared_key_clusters = 0;
+
+  // Table XI: CVE id -> vulnerable server count.
+  std::map<std::string, std::uint64_t> cve_counts;
+
+  /// Multiplier back to paper scale.
+  double scale_factor() const noexcept {
+    return static_cast<double>(std::uint64_t{1} << scale_shift);
+  }
+};
+
+/// Streams HostReports into a CensusSummary.
+class SummaryBuilder : public core::RecordSink {
+ public:
+  SummaryBuilder(const net::AsTable& as_table, HttpLookup http_lookup);
+
+  void on_host(const core::HostReport& report) override;
+
+  /// Finalizes and returns the summary (call once).
+  CensusSummary take(std::uint64_t seed, unsigned scale_shift,
+                     std::uint64_t addresses_scanned,
+                     std::uint64_t port_open);
+
+ private:
+  const net::AsTable& as_table_;
+  HttpLookup http_lookup_;
+  CensusSummary summary_;
+  std::unordered_set<std::uint64_t> cert_fingerprints_;
+  std::unordered_map<std::uint64_t, std::uint64_t> cert_key_usage_;
+};
+
+}  // namespace ftpc::analysis

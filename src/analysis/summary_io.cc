@@ -1,0 +1,313 @@
+#include "analysis/summary_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace ftpc::analysis {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'T', 'P', 'C'};
+constexpr std::uint32_t kVersion = 4;
+
+class Writer {
+ public:
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void b(bool v) { u32(v ? 1 : 0); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool u32(std::uint32_t& v) { return raw(&v, sizeof(v)); }
+  bool u64(std::uint64_t& v) { return raw(&v, sizeof(v)); }
+  bool b(bool& v) {
+    std::uint32_t raw_value = 0;
+    if (!u32(raw_value)) return false;
+    v = raw_value != 0;
+    return true;
+  }
+  bool str(std::string& s) {
+    std::uint32_t len = 0;
+    if (!u32(len)) return false;
+    if (pos_ + len > data_.size()) return false;
+    s.assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  bool raw(void* p, std::size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string serialize_summary(const CensusSummary& s) {
+  Writer w;
+  w.u32(*reinterpret_cast<const std::uint32_t*>(kMagic));
+  w.u32(kVersion);
+  w.u64(s.seed);
+  w.u32(s.scale_shift);
+  w.u64(s.addresses_scanned);
+  w.u64(s.port_open);
+  w.u64(s.ftp_servers);
+  w.u64(s.anonymous_servers);
+
+  for (const auto& c : s.class_counts) {
+    w.u64(c.total);
+    w.u64(c.anonymous);
+  }
+  w.u32(static_cast<std::uint32_t>(s.device_counts.size()));
+  for (const auto& [name, counts] : s.device_counts) {
+    w.str(name);
+    w.u64(counts.total);
+    w.u64(counts.anonymous);
+  }
+  w.u32(static_cast<std::uint32_t>(s.as_counts.size()));
+  for (const AsCounts& c : s.as_counts) {
+    w.u64(c.ftp);
+    w.u64(c.anonymous);
+    w.u64(c.writable);
+  }
+
+  w.u64(s.exposing_servers);
+  w.u64(s.robots_servers);
+  w.u64(s.robots_full_exclusion);
+  w.u64(s.truncated_servers);
+  w.u64(s.terminated_servers);
+  w.u64(s.total_files);
+  w.u64(s.total_dirs);
+
+  w.u32(static_cast<std::uint32_t>(s.soho_extensions.size()));
+  for (const auto& [ext, stats] : s.soho_extensions) {
+    w.str(ext);
+    w.u64(stats.files);
+    w.u64(stats.servers);
+  }
+
+  for (const auto& stats : s.sensitive) {
+    w.u64(stats.servers);
+    w.u64(stats.files);
+    w.u64(stats.readability.readable);
+    w.u64(stats.readability.non_readable);
+    w.u64(stats.readability.unknown);
+  }
+
+  w.u64(s.photo_servers);
+  w.u64(s.photo_files);
+  w.u64(s.photo_files_readable);
+  for (const std::uint64_t v : s.os_root_servers) w.u64(v);
+  w.u64(s.scripting_servers);
+  w.u64(s.scripting_files);
+  w.u64(s.htaccess_servers);
+  w.u64(s.htaccess_files);
+  w.u64(s.index_html_servers);
+  w.u64(s.index_html_files);
+
+  for (const auto& row : s.exposure_matrix) {
+    for (const std::uint64_t v : row) w.u64(v);
+  }
+
+  w.u64(s.writable_servers);
+  for (const auto& stats : s.campaigns) {
+    w.u64(stats.servers);
+    w.u64(stats.files);
+  }
+  w.u64(s.holy_bible_with_reference);
+  w.u64(s.ramnit_servers);
+  w.u64(s.ftp_with_http);
+  w.u64(s.ftp_with_scripting_http);
+  w.u64(s.nat_servers);
+
+  w.u64(s.ftps_supported);
+  w.u64(s.ftps_required);
+  w.u64(s.ftps_self_signed);
+  w.u64(s.ftps_browser_trusted);
+  w.u32(static_cast<std::uint32_t>(s.cert_by_cn.size()));
+  for (const auto& [cn, usage] : s.cert_by_cn) {
+    w.str(cn);
+    w.u64(usage.servers);
+    w.b(usage.browser_trusted);
+    w.b(usage.self_signed);
+  }
+  w.u64(s.unique_cert_count);
+  w.u64(s.shared_key_servers);
+  w.u64(s.shared_key_clusters);
+
+  w.u32(static_cast<std::uint32_t>(s.cve_counts.size()));
+  for (const auto& [id, count] : s.cve_counts) {
+    w.str(id);
+    w.u64(count);
+  }
+  return w.take();
+}
+
+std::optional<CensusSummary> deserialize_summary(std::string_view data) {
+  Reader r(data);
+  std::uint32_t magic = 0, version = 0;
+  if (!r.u32(magic) || !r.u32(version)) return std::nullopt;
+  if (std::memcmp(&magic, kMagic, 4) != 0 || version != kVersion) {
+    return std::nullopt;
+  }
+
+  CensusSummary s;
+  bool ok = true;
+  ok &= r.u64(s.seed);
+  ok &= r.u32(s.scale_shift);
+  ok &= r.u64(s.addresses_scanned);
+  ok &= r.u64(s.port_open);
+  ok &= r.u64(s.ftp_servers);
+  ok &= r.u64(s.anonymous_servers);
+  if (!ok) return std::nullopt;
+
+  for (auto& c : s.class_counts) {
+    ok &= r.u64(c.total);
+    ok &= r.u64(c.anonymous);
+  }
+  std::uint32_t n = 0;
+  if (!r.u32(n)) return std::nullopt;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    DeviceCounts counts;
+    if (!r.str(name) || !r.u64(counts.total) || !r.u64(counts.anonymous)) {
+      return std::nullopt;
+    }
+    s.device_counts.emplace(std::move(name), counts);
+  }
+  if (!r.u32(n)) return std::nullopt;
+  s.as_counts.resize(n);
+  for (auto& c : s.as_counts) {
+    ok &= r.u64(c.ftp);
+    ok &= r.u64(c.anonymous);
+    ok &= r.u64(c.writable);
+  }
+  if (!ok) return std::nullopt;
+
+  ok &= r.u64(s.exposing_servers);
+  ok &= r.u64(s.robots_servers);
+  ok &= r.u64(s.robots_full_exclusion);
+  ok &= r.u64(s.truncated_servers);
+  ok &= r.u64(s.terminated_servers);
+  ok &= r.u64(s.total_files);
+  ok &= r.u64(s.total_dirs);
+  if (!ok) return std::nullopt;
+
+  if (!r.u32(n)) return std::nullopt;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string ext;
+    ExtensionStats stats;
+    if (!r.str(ext) || !r.u64(stats.files) || !r.u64(stats.servers)) {
+      return std::nullopt;
+    }
+    s.soho_extensions.emplace(std::move(ext), stats);
+  }
+
+  for (auto& stats : s.sensitive) {
+    ok &= r.u64(stats.servers);
+    ok &= r.u64(stats.files);
+    ok &= r.u64(stats.readability.readable);
+    ok &= r.u64(stats.readability.non_readable);
+    ok &= r.u64(stats.readability.unknown);
+  }
+  ok &= r.u64(s.photo_servers);
+  ok &= r.u64(s.photo_files);
+  ok &= r.u64(s.photo_files_readable);
+  for (std::uint64_t& v : s.os_root_servers) ok &= r.u64(v);
+  ok &= r.u64(s.scripting_servers);
+  ok &= r.u64(s.scripting_files);
+  ok &= r.u64(s.htaccess_servers);
+  ok &= r.u64(s.htaccess_files);
+  ok &= r.u64(s.index_html_servers);
+  ok &= r.u64(s.index_html_files);
+  if (!ok) return std::nullopt;
+
+  for (auto& row : s.exposure_matrix) {
+    for (std::uint64_t& v : row) ok &= r.u64(v);
+  }
+  ok &= r.u64(s.writable_servers);
+  for (auto& stats : s.campaigns) {
+    ok &= r.u64(stats.servers);
+    ok &= r.u64(stats.files);
+  }
+  ok &= r.u64(s.holy_bible_with_reference);
+  ok &= r.u64(s.ramnit_servers);
+  ok &= r.u64(s.ftp_with_http);
+  ok &= r.u64(s.ftp_with_scripting_http);
+  ok &= r.u64(s.nat_servers);
+  ok &= r.u64(s.ftps_supported);
+  ok &= r.u64(s.ftps_required);
+  ok &= r.u64(s.ftps_self_signed);
+  ok &= r.u64(s.ftps_browser_trusted);
+  if (!ok) return std::nullopt;
+
+  if (!r.u32(n)) return std::nullopt;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string cn;
+    CertUsage usage;
+    if (!r.str(cn) || !r.u64(usage.servers) || !r.b(usage.browser_trusted) ||
+        !r.b(usage.self_signed)) {
+      return std::nullopt;
+    }
+    s.cert_by_cn.emplace(std::move(cn), usage);
+  }
+  ok &= r.u64(s.unique_cert_count);
+  ok &= r.u64(s.shared_key_servers);
+  ok &= r.u64(s.shared_key_clusters);
+  if (!ok) return std::nullopt;
+
+  if (!r.u32(n)) return std::nullopt;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string id;
+    std::uint64_t count = 0;
+    if (!r.str(id) || !r.u64(count)) return std::nullopt;
+    s.cve_counts.emplace(std::move(id), count);
+  }
+  if (!r.done()) return std::nullopt;
+  return s;
+}
+
+bool save_summary(const CensusSummary& summary, const std::string& path) {
+  const std::string blob = serialize_summary(summary);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool ok = std::fwrite(blob.data(), 1, blob.size(), file) ==
+                  blob.size();
+  std::fclose(file);
+  return ok;
+}
+
+std::optional<CensusSummary> load_summary(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::string blob;
+  char buffer[65536];
+  std::size_t read = 0;
+  while ((read = std::fread(buffer, 1, sizeof(buffer), file)) > 0) {
+    blob.append(buffer, read);
+  }
+  std::fclose(file);
+  return deserialize_summary(blob);
+}
+
+}  // namespace ftpc::analysis

@@ -1,0 +1,24 @@
+// Binary (de)serialization of CensusSummary, used by the bench harness to
+// compute the census once and share it across the per-table binaries. The
+// format carries a magic, a version, and a trailing CRC-free length check;
+// any mismatch fails loading (the bench then recomputes).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "analysis/summary.h"
+
+namespace ftpc::analysis {
+
+/// Serializes `summary` to a byte string.
+std::string serialize_summary(const CensusSummary& summary);
+
+/// Parses a serialized summary; nullopt on any corruption or version skew.
+std::optional<CensusSummary> deserialize_summary(std::string_view data);
+
+/// Convenience file helpers. save returns false on I/O failure.
+bool save_summary(const CensusSummary& summary, const std::string& path);
+std::optional<CensusSummary> load_summary(const std::string& path);
+
+}  // namespace ftpc::analysis

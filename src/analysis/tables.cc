@@ -1,0 +1,734 @@
+#include "analysis/tables.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ftpc::analysis {
+
+namespace {
+
+std::string scaled(const CensusSummary& s, std::uint64_t measured) {
+  const auto scaled_up = static_cast<std::uint64_t>(
+      std::llround(static_cast<double>(measured) * s.scale_factor()));
+  return with_commas(scaled_up);
+}
+
+std::vector<Align> right_after_first(std::size_t columns) {
+  std::vector<Align> alignments(columns, Align::kRight);
+  alignments[0] = Align::kLeft;
+  return alignments;
+}
+
+}  // namespace
+
+std::string scaled_cell(const CensusSummary& s, std::uint64_t measured) {
+  return with_commas(measured) + " (~" + scaled(s, measured) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// Table I
+// ---------------------------------------------------------------------------
+
+TextTable render_table1_funnel(const CensusSummary& s) {
+  TextTable t("TABLE I. General metrics from FTP enumeration (measured at "
+              "1/" + std::to_string(std::uint64_t{1} << s.scale_shift) +
+              " sampling; '~scaled' projects to full IPv4)");
+  t.set_header({"Metric", "Measured", "~Scaled", "Paper (2015)"});
+  t.set_alignments(right_after_first(4));
+  t.add_row({"IPs scanned", with_commas(s.addresses_scanned),
+             scaled(s, s.addresses_scanned), "3,684,755,175"});
+  t.add_row({"Open port 21", with_commas(s.port_open), scaled(s, s.port_open),
+             "21,832,903"});
+  t.add_row({"FTP servers", with_commas(s.ftp_servers),
+             scaled(s, s.ftp_servers), "13,789,641"});
+  t.add_row({"Anonymous FTP servers", with_commas(s.anonymous_servers),
+             scaled(s, s.anonymous_servers), "1,123,326"});
+  t.set_footnote("Paper shares: open/scanned 0.59%, FTP/open 63.16%, "
+                 "anon/FTP 8.15%. Measured: " +
+                 percent(double(s.port_open), double(s.addresses_scanned)) +
+                 ", " + percent(double(s.ftp_servers), double(s.port_open)) +
+                 ", " +
+                 percent(double(s.anonymous_servers), double(s.ftp_servers)));
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Table II
+// ---------------------------------------------------------------------------
+
+TextTable render_table2_classification(const CensusSummary& s) {
+  TextTable t("TABLE II. Breakout of servers in each category");
+  t.set_header({"Classification", "All FTP", "% all", "Anon FTP", "% anon",
+                "Paper all", "Paper anon"});
+  t.set_alignments(right_after_first(7));
+
+  const auto row_for = [&](std::string name, DeviceCounts counts,
+                           std::string paper_all, std::string paper_anon) {
+    t.add_row({std::move(name), scaled(s, counts.total),
+               percent(double(counts.total), double(s.ftp_servers)),
+               scaled(s, counts.anonymous),
+               percent(double(counts.anonymous),
+                       double(s.anonymous_servers)),
+               std::move(paper_all), std::move(paper_anon)});
+  };
+
+  DeviceCounts embedded;
+  for (const FpClass cls :
+       {FpClass::kNas, FpClass::kHomeRouter, FpClass::kPrinter,
+        FpClass::kProviderCpe, FpClass::kOtherEmbedded}) {
+    embedded.total += s.class_counts[static_cast<int>(cls)].total;
+    embedded.anonymous += s.class_counts[static_cast<int>(cls)].anonymous;
+  }
+  row_for("Generic Server",
+          s.class_counts[static_cast<int>(FpClass::kGenericServer)],
+          "5,957,969 (43.21%)", "704,276 (62.66%)");
+  row_for("Hosted Server",
+          s.class_counts[static_cast<int>(FpClass::kHostedServer)],
+          "1,795,596 (13.02%)", "174,198 (15.50%)");
+  row_for("Embedded Server", embedded, "1,786,656 (12.95%)",
+          "93,484 (8.32%)");
+  row_for("Unknown", s.class_counts[static_cast<int>(FpClass::kUnknown)],
+          "4,249,417 (30.82%)", "151,927 (13.52%)");
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Table III / Figure 1 helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// ASes needed (descending by `metric`) to reach `share` of the total.
+template <typename Metric>
+std::uint64_t ases_for_share(const std::vector<AsCounts>& as_counts,
+                             double share, Metric metric,
+                             std::vector<std::uint32_t>* picked = nullptr) {
+  std::vector<std::uint64_t> values;
+  values.reserve(as_counts.size());
+  std::vector<std::uint32_t> order(as_counts.size());
+  for (std::uint32_t i = 0; i < as_counts.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return metric(as_counts[a]) > metric(as_counts[b]);
+            });
+  std::uint64_t total = 0;
+  for (const AsCounts& c : as_counts) total += metric(c);
+  if (total == 0) return 0;
+  std::uint64_t cumulative = 0;
+  std::uint64_t needed = 0;
+  for (const std::uint32_t idx : order) {
+    cumulative += metric(as_counts[idx]);
+    ++needed;
+    if (picked != nullptr) picked->push_back(idx);
+    if (static_cast<double>(cumulative) >=
+        share * static_cast<double>(total)) {
+      break;
+    }
+  }
+  return needed;
+}
+
+}  // namespace
+
+TextTable render_table3_as_concentration(const CensusSummary& s,
+                                         const net::AsTable& as_table) {
+  std::vector<std::uint32_t> all_picked, anon_picked;
+  const std::uint64_t all50 = ases_for_share(
+      s.as_counts, 0.5, [](const AsCounts& c) { return c.ftp; }, &all_picked);
+  const std::uint64_t anon50 = ases_for_share(
+      s.as_counts, 0.5, [](const AsCounts& c) { return c.anonymous; },
+      &anon_picked);
+
+  auto type_split = [&](const std::vector<std::uint32_t>& picked) {
+    std::uint64_t counts[4] = {};
+    for (const std::uint32_t idx : picked) {
+      ++counts[static_cast<int>(as_table.as_info(idx).type)];
+    }
+    return std::vector<std::uint64_t>(counts, counts + 4);
+  };
+  const auto all_types = type_split(all_picked);
+  const auto anon_types = type_split(anon_picked);
+
+  TextTable t("TABLE III. ASes accounting for 50% of all FTP types");
+  t.set_header({"AS Type", "All FTP (" + std::to_string(all50) + ")",
+                "Anon FTP (" + std::to_string(anon50) + ")",
+                "Paper all (78)", "Paper anon (42)"});
+  t.set_alignments(right_after_first(5));
+  using net::AsType;
+  t.add_row({"Hosting",
+             std::to_string(all_types[static_cast<int>(AsType::kHosting)]),
+             std::to_string(anon_types[static_cast<int>(AsType::kHosting)]),
+             "50", "29"});
+  t.add_row({"ISP",
+             std::to_string(all_types[static_cast<int>(AsType::kIsp)]),
+             std::to_string(anon_types[static_cast<int>(AsType::kIsp)]),
+             "25", "11"});
+  t.add_row({"Academic",
+             std::to_string(all_types[static_cast<int>(AsType::kAcademic)]),
+             std::to_string(anon_types[static_cast<int>(AsType::kAcademic)]),
+             "3", "2"});
+  t.add_row({"Other",
+             std::to_string(all_types[static_cast<int>(AsType::kOther)]),
+             std::to_string(anon_types[static_cast<int>(AsType::kOther)]),
+             "0", "0"});
+  return t;
+}
+
+TextTable render_fig1_as_cdf(const CensusSummary& s) {
+  TextTable t("FIGURE 1. Distribution of FTP servers by AS — number of ASes "
+              "covering each share of servers (CDF knee points)");
+  t.set_header({"Share", "All FTP ASes", "Anon FTP ASes", "Writable ASes"});
+  t.set_alignments(right_after_first(4));
+  for (const double share : {0.10, 0.25, 0.50, 0.75, 0.90, 1.00}) {
+    const auto all = ases_for_share(
+        s.as_counts, share, [](const AsCounts& c) { return c.ftp; });
+    const auto anon = ases_for_share(
+        s.as_counts, share, [](const AsCounts& c) { return c.anonymous; });
+    const auto writable = ases_for_share(
+        s.as_counts, share, [](const AsCounts& c) { return c.writable; });
+    char label[16];
+    std::snprintf(label, sizeof(label), "%3.0f%%", share * 100);
+    t.add_row({label, with_commas(all), with_commas(anon),
+               with_commas(writable)});
+  }
+  std::uint64_t as_with_ftp = 0, as_with_anon = 0, as_with_writable = 0;
+  for (const AsCounts& c : s.as_counts) {
+    if (c.ftp > 0) ++as_with_ftp;
+    if (c.anonymous > 0) ++as_with_anon;
+    if (c.writable > 0) ++as_with_writable;
+  }
+  t.set_footnote(
+      "Paper: 78 ASes hold 50% of all FTP; 42 hold 50% of anonymous; "
+      "writable spread over 3.4K ASes. Measured ASes containing servers: " +
+      with_commas(as_with_ftp) + " FTP (paper 34.7K), " +
+      with_commas(as_with_anon) + " anonymous (paper 16.4K), " +
+      with_commas(as_with_writable) + " writable.");
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Tables IV, V, VII: device breakdowns
+// ---------------------------------------------------------------------------
+
+namespace {
+
+DeviceCounts device_or_zero(const CensusSummary& s, const std::string& name) {
+  const auto it = s.device_counts.find(name);
+  return it == s.device_counts.end() ? DeviceCounts{} : it->second;
+}
+
+}  // namespace
+
+TextTable render_table4_embedded_classes(const CensusSummary& s) {
+  TextTable t("TABLE IV. Classes of embedded devices");
+  t.set_header({"Device Type", "All FTP", "Anon FTP", "Paper all",
+                "Paper anon"});
+  t.set_alignments(right_after_first(5));
+  const auto row_for = [&](std::string name, FpClass cls,
+                           std::string paper_all, std::string paper_anon) {
+    const DeviceCounts& c = s.class_counts[static_cast<int>(cls)];
+    t.add_row({std::move(name), scaled(s, c.total), scaled(s, c.anonymous),
+               std::move(paper_all), std::move(paper_anon)});
+  };
+  row_for("NAS", FpClass::kNas, "198,381", "18,116");
+  row_for("Home Router (user-deployed)", FpClass::kHomeRouter, "59,944",
+          "6,788");
+  row_for("Printers", FpClass::kPrinter, "62,567", "60,771");
+  return t;
+}
+
+TextTable render_table5_provider_devices(const CensusSummary& s) {
+  TextTable t("TABLE V. Common provider-deployed devices");
+  t.set_header({"Device", "# Found", "# Anonymous", "Paper found",
+                "Paper anon"});
+  t.set_alignments(right_after_first(5));
+  const struct {
+    const char* device;
+    const char* paper_found;
+    const char* paper_anon;
+  } rows[] = {
+      {"FRITZ!Box DSL modem", "152,520", "49"},
+      {"ZyXEL DSL Modem", "29,376", "1"},
+      {"AXIS Physical Security Device", "20,002", "58"},
+      {"ZTE WiMax Router", "14,245", "0"},
+      {"Speedport DSL Modem", "13,677", "0"},
+      {"Dreambox Set-top Box", "12,298", "0"},
+      {"ZyXEL Unified Security Gateway", "11,964", "0"},
+      {"Alcatel Router", "10,383", "0"},
+      {"DrayTek Network Devices", "4,161", "0"},
+  };
+  for (const auto& row : rows) {
+    const DeviceCounts c = device_or_zero(s, row.device);
+    t.add_row({row.device, scaled(s, c.total), scaled(s, c.anonymous),
+               row.paper_found, row.paper_anon});
+  }
+  return t;
+}
+
+TextTable render_table7_soho_devices(const CensusSummary& s) {
+  TextTable t("TABLE VII. Embedded server devices deployed as standalone");
+  t.set_header({"Device", "# Found", "# Anonymous", "Anon %", "Paper found",
+                "Paper anon %"});
+  t.set_alignments(right_after_first(6));
+  const struct {
+    const char* device;
+    const char* paper_found;
+    const char* paper_pct;
+  } rows[] = {
+      {"QNAP Turbo NAS", "57,655", "2.84%"},
+      {"ASUS wireless routers", "52,938", "11.13%"},
+      {"Synology NAS devices", "43,159", "6.82%"},
+      {"Buffalo NAS storage", "22,558", "39.32%"},
+      {"ZyXEL/MitraStar NAS", "9,456", "3.28%"},
+      {"RICOH Printers", "8,696", "87.47%"},
+      {"LaCie storage", "4,558", "64.04%"},
+      {"Lexmark Printers", "3,908", "99.69%"},
+      {"Xerox Printers", "3,130", "92.84%"},
+      {"Dell Printers", "2,555", "98.43%"},
+      {"Linksys Wifi Routers", "2,174", "28.72%"},
+      {"Lutron HomeWorks Processor", "1,006", "99.70%"},
+      {"Seagate Storage devices", "629", "94.44%"},
+  };
+  for (const auto& row : rows) {
+    const DeviceCounts c = device_or_zero(s, row.device);
+    t.add_row({row.device, scaled(s, c.total), scaled(s, c.anonymous),
+               percent(double(c.anonymous), double(c.total)),
+               row.paper_found, row.paper_pct});
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Table VI: top ASes
+// ---------------------------------------------------------------------------
+
+TextTable render_table6_top_ases(const CensusSummary& s,
+                                 const net::AsTable& as_table) {
+  std::vector<std::uint32_t> order(s.as_counts.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return s.as_counts[a].anonymous > s.as_counts[b].anonymous;
+  });
+
+  TextTable t("TABLE VI. Top 10 ASes by number of anonymous FTP servers");
+  t.set_header({"AS", "IPs advertised", "FTP servers", "Anonymous",
+                "Anon %"});
+  t.set_alignments(right_after_first(5));
+  for (std::size_t i = 0; i < 10 && i < order.size(); ++i) {
+    const std::uint32_t idx = order[i];
+    const net::AsInfo& info = as_table.as_info(idx);
+    const AsCounts& c = s.as_counts[idx];
+    t.add_row({"AS" + std::to_string(info.asn) + " " + info.name,
+               with_commas(info.ips_advertised), scaled(s, c.ftp),
+               scaled(s, c.anonymous),
+               percent(double(c.anonymous), double(c.ftp))});
+  }
+  t.set_footnote(
+      "Paper top-3: home.pl 136,765 FTP / 103,175 anon (75.44%); Unified "
+      "Layer 246,470 / 44,273 (17.96%); NTT 298,468 / 36,045 (12.08%).");
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Table VIII: extensions
+// ---------------------------------------------------------------------------
+
+TextTable render_table8_extensions(const CensusSummary& s) {
+  TextTable t("TABLE VIII. Most common file extensions across known SOHO "
+              "devices");
+  t.set_header({"Extension", "# Files", "# Servers", "Paper files",
+                "Paper servers"});
+  t.set_alignments(right_after_first(5));
+  const struct {
+    const char* ext;
+    const char* paper_files;
+    const char* paper_servers;
+  } rows[] = {
+      {"jpg", "15,962,091", "10,187"}, {"mp3", "2,443,285", "4,912"},
+      {"pdf", "1,010,005", "9,825"},   {"avi", "955,832", "4,954"},
+      {"gif", "762,581", "5,291"},     {"png", "476,530", "5,456"},
+      {"mp4", "456,471", "5,797"},     {"doc", "440,118", "3,924"},
+      {"html", "426,646", "5,275"},    {"zip", "294,649", "6,698"},
+  };
+  for (const auto& row : rows) {
+    const auto it = s.soho_extensions.find(row.ext);
+    const ExtensionStats stats =
+        it == s.soho_extensions.end() ? ExtensionStats{} : it->second;
+    t.add_row({std::string(".") + row.ext, scaled(s, stats.files),
+               scaled(s, stats.servers), row.paper_files,
+               row.paper_servers});
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Table IX: sensitive exposure
+// ---------------------------------------------------------------------------
+
+TextTable render_table9_sensitive(const CensusSummary& s) {
+  TextTable t("TABLE IX. Sensitive exposure via anonymous FTP, including "
+              "file permissions");
+  t.set_header({"Type", "File", "# Servers", "# Files", "# Readable",
+                "# Non-read", "# Unk-read", "Paper (srv/files/read)"});
+  std::vector<Align> alignments(8, Align::kRight);
+  alignments[0] = Align::kLeft;
+  alignments[1] = Align::kLeft;
+  t.set_alignments(alignments);
+  const struct {
+    SensitiveClass cls;
+    const char* paper;
+  } rows[] = {
+      {SensitiveClass::kTurboTax, "464 / 8,190 / 8,139"},
+      {SensitiveClass::kQuicken, "440 / 7,702 / 7,652"},
+      {SensitiveClass::kKeePass, "210 / 1,812 / 1,762"},
+      {SensitiveClass::kOnePassword, "11 / 24 / 23"},
+      {SensitiveClass::kSshHostKey, "819 / 1,597 / 139"},
+      {SensitiveClass::kPuttyKey, "82 / 128 / 98"},
+      {SensitiveClass::kPrivPem, "701 / 1,397 / 1,335"},
+      {SensitiveClass::kShadow, "590 / 718 / 238"},
+      {SensitiveClass::kPst, "2,419 / 12,636 / 10,918"},
+  };
+  for (const auto& row : rows) {
+    const SensitiveStats& stats =
+        s.sensitive[static_cast<std::size_t>(row.cls)];
+    t.add_row({std::string(sensitive_class_group(row.cls)),
+               std::string(sensitive_class_name(row.cls)),
+               scaled(s, stats.servers), scaled(s, stats.files),
+               scaled(s, stats.readability.readable),
+               scaled(s, stats.readability.non_readable),
+               scaled(s, stats.readability.unknown), row.paper});
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Table X: exposure matrix
+// ---------------------------------------------------------------------------
+
+TextTable render_table10_exposure_matrix(const CensusSummary& s) {
+  TextTable t("TABLE X. Breakout of devices exposing user information "
+              "(share of exposing servers per class)");
+  t.set_header({"Type of Exposure", "Generic", "NAS", "Router", "Other Emb",
+                "Hosting", "Unknown"});
+  t.set_alignments(right_after_first(7));
+
+  const auto class_share = [&](ExposureKind kind, FpClass cls) {
+    const auto* row = s.exposure_matrix[static_cast<std::size_t>(kind)];
+    std::uint64_t total = 0;
+    for (std::size_t c = 0; c < kFpClassCount; ++c) total += row[c];
+    const double value = static_cast<double>(row[static_cast<int>(cls)]);
+    return percent(value, static_cast<double>(total));
+  };
+  const auto other_embedded = [&](ExposureKind kind) {
+    const auto* row = s.exposure_matrix[static_cast<std::size_t>(kind)];
+    std::uint64_t total = 0, other = 0;
+    for (std::size_t c = 0; c < kFpClassCount; ++c) total += row[c];
+    other = row[static_cast<int>(FpClass::kPrinter)] +
+            row[static_cast<int>(FpClass::kProviderCpe)] +
+            row[static_cast<int>(FpClass::kOtherEmbedded)];
+    return percent(static_cast<double>(other), static_cast<double>(total));
+  };
+
+  for (const ExposureKind kind :
+       {ExposureKind::kSensitiveDocs, ExposureKind::kPhotoLibrary,
+        ExposureKind::kOsRoot, ExposureKind::kScriptingSource,
+        ExposureKind::kAny}) {
+    t.add_row({std::string(exposure_kind_name(kind)),
+               class_share(kind, FpClass::kGenericServer),
+               class_share(kind, FpClass::kNas),
+               class_share(kind, FpClass::kHomeRouter),
+               other_embedded(kind),
+               class_share(kind, FpClass::kHostedServer),
+               class_share(kind, FpClass::kUnknown)});
+  }
+  t.set_footnote("Paper 'All' row: 56.05 / 4.54 / 6.31 / 1.45 / 3.00 / "
+                 "28.67 (%); 12.3% of exposing devices identified.");
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Table XI: CVEs
+// ---------------------------------------------------------------------------
+
+TextTable render_table11_cves(const CensusSummary& s) {
+  TextTable t("TABLE XI. Number of servers vulnerable to CVEs");
+  t.set_header({"Implementation", "Vulnerability", "CVSS", "# IPs",
+                "Paper # IPs"});
+  std::vector<Align> alignments(5, Align::kRight);
+  alignments[0] = Align::kLeft;
+  alignments[1] = Align::kLeft;
+  t.set_alignments(alignments);
+  const struct {
+    const char* impl;
+    const char* cve;
+    const char* cvss;
+    const char* paper;
+  } rows[] = {
+      {"ProFTPD", "CVE-2015-3306", "10.0", "300,931"},
+      {"ProFTPD", "CVE-2013-4359", "5.0", "24,420"},
+      {"ProFTPD", "CVE-2012-6095", "1.2", "1,098,629"},
+      {"ProFTPD", "CVE-2011-4130", "9.0", "646,072"},
+      {"ProFTPD", "CVE-2011-1137", "5.0", "646,072"},
+      {"Pure-FTPD", "CVE-2011-1575", "5.8", "3,305"},
+      {"Pure-FTPD", "CVE-2011-0418", "4.0", "3,309"},
+      {"vsFTPD", "CVE-2015-1419", "5.0", "658,767"},
+      {"vsFTPD", "CVE-2011-0762", "4.0", "125,090"},
+      {"Serv-U", "CVE-2011-4800", "9.0", "244,060"},
+  };
+  for (const auto& row : rows) {
+    const auto it = s.cve_counts.find(row.cve);
+    const std::uint64_t count = it == s.cve_counts.end() ? 0 : it->second;
+    t.add_row({row.impl, row.cve, row.cvss, scaled(s, count), row.paper});
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Tables XII & XIII: FTPS certificates
+// ---------------------------------------------------------------------------
+
+TextTable render_table12_ftps_certs(const CensusSummary& s) {
+  std::vector<std::pair<std::string, CertUsage>> certs(s.cert_by_cn.begin(),
+                                                       s.cert_by_cn.end());
+  std::sort(certs.begin(), certs.end(), [](const auto& a, const auto& b) {
+    return a.second.servers > b.second.servers;
+  });
+  TextTable t("TABLE XII. Top 10 most common FTPS certificates (by CN)");
+  t.set_header({"Certificate CN", "# Servers", "Browser-trusted?",
+                "Paper rank/count"});
+  t.set_alignments({Align::kLeft, Align::kRight, Align::kLeft, Align::kLeft});
+  const struct {
+    const char* cn;
+    const char* count;
+  } paper[] = {
+      {"*.opentransfer.com", "193,392"}, {"*.securesites.com", "134,891"},
+      {"*.home.pl", "125,197"},          {"*.bluehost.com", "59,979"},
+      {"localhost", "47,887"},           {"ftp.Serv-U.com", "26,209"},
+      {"*.bizmw.com", "26,172"},         {"*.turnkeywebspace.com", "22,075"},
+      {"ispgateway.de", "19,355"},       {"*.sakura.ne.jp", "17,495"},
+  };
+  for (std::size_t i = 0; i < 10 && i < certs.size(); ++i) {
+    const auto& [cn, usage] = certs[i];
+    std::string paper_note = "-";
+    for (std::size_t j = 0; j < std::size(paper); ++j) {
+      if (cn == paper[j].cn) {
+        paper_note = "#" + std::to_string(j + 1) + " " + paper[j].count;
+        break;
+      }
+    }
+    t.add_row({cn, scaled(s, usage.servers),
+               usage.browser_trusted
+                   ? "Yes"
+                   : (usage.self_signed ? "No - self-signed" : "No"),
+               paper_note});
+  }
+  return t;
+}
+
+TextTable render_table13_shared_certs(const CensusSummary& s) {
+  TextTable t("TABLE XIII. Devices that share FTPS certificates");
+  t.set_header({"Device", "# Found", "Paper # found"});
+  t.set_alignments(right_after_first(3));
+  const struct {
+    const char* cn;
+    const char* paper;
+  } rows[] = {
+      {"QNAP NAS (#1)", "11,236"},    {"ZyXEL Unk", "8,402"},
+      {"Buffalo NAS", "7,365"},       {"LGE NAS", "6,220"},
+      {"Axentra HipServ", "2,965"},   {"ftp.Serv-U.com", "1,835"},
+      {"Symon Media Player", "606"},  {"QNAP NAS (#2)", "615"},
+      {"AsusTor NAS", "367"},
+  };
+  for (const auto& row : rows) {
+    const auto it = s.cert_by_cn.find(row.cn);
+    const std::uint64_t count =
+        it == s.cert_by_cn.end() ? 0 : it->second.servers;
+    const char* label =
+        std::string_view(row.cn) == "ftp.Serv-U.com" ? "RhinoSoft (Serv-U default)"
+                                                     : row.cn;
+    t.add_row({label, scaled(s, count), row.paper});
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// §V / §VI / §VII / §IX
+// ---------------------------------------------------------------------------
+
+TextTable render_sec5_exposure(const CensusSummary& s) {
+  TextTable t("SECTION V. Over-exposure headline numbers");
+  t.set_header({"Metric", "Measured (~scaled)", "Paper"});
+  t.set_alignments({Align::kLeft, Align::kRight, Align::kRight});
+  t.add_row({"Anonymous servers exposing data",
+             scaled_cell(s, s.exposing_servers), "268K (24%)"});
+  t.add_row({"Files+dirs listed",
+             scaled_cell(s, s.total_files + s.total_dirs), ">600M"});
+  t.add_row({"robots.txt servers", scaled_cell(s, s.robots_servers),
+             "11.3K"});
+  t.add_row({"robots.txt full exclusion",
+             scaled_cell(s, s.robots_full_exclusion), "5.9K"});
+  t.add_row({">500-request filesystems", scaled_cell(s, s.truncated_servers),
+             "26.7K"});
+  t.add_row({"index.html files / servers",
+             scaled_cell(s, s.index_html_files) + " / " +
+                 scaled_cell(s, s.index_html_servers),
+             "494K / ~25K"});
+  t.add_row({"Photo-library servers", scaled_cell(s, s.photo_servers),
+             "17K"});
+  t.add_row({"Camera photos (readable)",
+             scaled_cell(s, s.photo_files) + " (" +
+                 scaled_cell(s, s.photo_files_readable) + ")",
+             "13.7M (12.9M)"});
+  t.add_row({"OS roots Linux/Windows/OSX",
+             scaled(s, s.os_root_servers[0]) + " / " +
+                 scaled(s, s.os_root_servers[1]) + " / " +
+                 scaled(s, s.os_root_servers[2]),
+             "3,858 / 825 / 15"});
+  t.add_row({"Scripting-source servers / files",
+             scaled_cell(s, s.scripting_servers) + " / " +
+                 scaled_cell(s, s.scripting_files),
+             "32K / 10.2M"});
+  t.add_row({".htaccess servers / files",
+             scaled_cell(s, s.htaccess_servers) + " / " +
+                 scaled_cell(s, s.htaccess_files),
+             "4.5K / 189.4K"});
+  return t;
+}
+
+TextTable render_sec6_malicious(const CensusSummary& s) {
+  TextTable t("SECTION VI. Malicious use of anonymous FTP");
+  t.set_header({"Metric", "Measured (~scaled)", "Paper"});
+  t.set_alignments({Align::kLeft, Align::kRight, Align::kRight});
+
+  std::uint64_t writable_ases = 0;
+  for (const AsCounts& c : s.as_counts) {
+    if (c.writable > 0) ++writable_ases;
+  }
+  t.add_row({"World-writable servers (reference set)",
+             scaled_cell(s, s.writable_servers), "19.4K"});
+  t.add_row({"...spread across ASes", scaled_cell(s, writable_ases),
+             "3.4K"});
+
+  const auto campaign = [&](CampaignIndicator c) -> const CampaignStats& {
+    return s.campaigns[static_cast<std::size_t>(c)];
+  };
+  t.add_row({"ftpchk3 campaign servers",
+             scaled_cell(s, campaign(CampaignIndicator::kFtpchk3).servers),
+             "1,264"});
+  t.add_row({"Holy Bible SEO servers",
+             scaled_cell(s, campaign(CampaignIndicator::kHolyBible).servers),
+             "1,131"});
+  t.add_row({"Holy Bible w/ write-evidence",
+             percent(double(s.holy_bible_with_reference),
+                     double(campaign(CampaignIndicator::kHolyBible).servers)),
+             "55.35%"});
+  t.add_row({"UDP-DDoS servers (history.php + phzLtoxn.php)",
+             scaled_cell(
+                 s, campaign(CampaignIndicator::kDdosHistory).servers +
+                        campaign(CampaignIndicator::kDdosPhz).servers),
+             "1,792"});
+  t.add_row({"RAT files / servers",
+             scaled_cell(s, campaign(CampaignIndicator::kRatShell).files) +
+                 " / " +
+                 scaled_cell(s, campaign(CampaignIndicator::kRatShell).servers),
+             "6K / 724"});
+  t.add_row({"Crack-service flier servers",
+             scaled_cell(s, campaign(CampaignIndicator::kCrackFlier).servers),
+             "2,095"});
+  t.add_row({"WaReZ transport servers",
+             scaled_cell(s, campaign(CampaignIndicator::kWarezDir).servers),
+             "4,868"});
+  t.add_row({"Ramnit RMNetwork banners", scaled_cell(s, s.ramnit_servers),
+             "1,051"});
+  t.add_row({"FTP hosts also serving HTTP", scaled_cell(s, s.ftp_with_http),
+             "9.0M (65.27%)"});
+  t.add_row({"FTP hosts w/ server-side scripting headers",
+             scaled_cell(s, s.ftp_with_scripting_http), "2.1M (15.01%)"});
+  return t;
+}
+
+BounceSummary summarize_bounce(
+    const std::vector<core::BounceProbeResult>& results,
+    const net::AsTable& as_table,
+    const std::function<bool(Ipv4)>& is_writable) {
+  // The AS holding the most failing servers (home.pl in the paper).
+  std::map<std::uint32_t, std::uint64_t> fails_by_as;
+  BounceSummary out;
+  for (const core::BounceProbeResult& r : results) {
+    ++out.probed;
+    if (!r.login_ok) continue;
+    ++out.anonymous_ok;
+    const bool failed = r.port_accepted && r.connection_observed;
+    const bool nat = r.pasv_ip && is_private(*r.pasv_ip);
+    if (nat) ++out.nat_servers;
+    if (failed) {
+      ++out.failed_validation;
+      if (nat) ++out.nat_and_failed;
+      if (is_writable && is_writable(r.ip)) ++out.writable_and_failed;
+      if (const auto as_index = as_table.as_index_of(r.ip)) {
+        ++fails_by_as[*as_index];
+      }
+    }
+  }
+  for (const auto& [as_index, count] : fails_by_as) {
+    out.failed_validation_in_top_as =
+        std::max(out.failed_validation_in_top_as, count);
+  }
+  return out;
+}
+
+TextTable render_sec7_bounce(const CensusSummary& s,
+                             const BounceSummary& bounce) {
+  TextTable t("SECTION VII.B. PORT bouncing");
+  t.set_header({"Metric", "Measured (~scaled)", "Paper"});
+  t.set_alignments({Align::kLeft, Align::kRight, Align::kRight});
+  t.add_row({"Anonymous servers probed", scaled_cell(s, bounce.anonymous_ok),
+             "1.12M"});
+  t.add_row({"Failed PORT validation",
+             scaled_cell(s, bounce.failed_validation) + " (" +
+                 percent(double(bounce.failed_validation),
+                         double(bounce.anonymous_ok)) +
+                 ")",
+             "143,073 (12.74%)"});
+  t.add_row({"...share in single largest AS",
+             percent(double(bounce.failed_validation_in_top_as),
+                     double(bounce.failed_validation)),
+             "71.5% (home.pl)"});
+  t.add_row({"NAT'd servers (PASV mismatch)",
+             scaled_cell(s, bounce.nat_servers), "18,947"});
+  t.add_row({"NAT'd and fail PORT validation",
+             scaled_cell(s, bounce.nat_and_failed), "846"});
+  t.add_row({"World-writable and fail PORT validation",
+             scaled_cell(s, bounce.writable_and_failed), "1,973"});
+  return t;
+}
+
+TextTable render_sec9_ftps(const CensusSummary& s) {
+  TextTable t("SECTION IX. FTPS impact");
+  t.set_header({"Metric", "Measured (~scaled)", "Paper"});
+  t.set_alignments({Align::kLeft, Align::kRight, Align::kRight});
+  t.add_row({"Servers supporting FTPS",
+             scaled_cell(s, s.ftps_supported) + " (" +
+                 percent(double(s.ftps_supported), double(s.ftp_servers)) +
+                 " of FTP)",
+             "3.4M (25%)"});
+  t.add_row({"Require TLS before login", scaled_cell(s, s.ftps_required),
+             "<85K"});
+  t.add_row({"Self-signed certificates",
+             scaled_cell(s, s.ftps_self_signed) + " (" +
+                 percent(double(s.ftps_self_signed),
+                         double(s.ftps_supported)) +
+                 ")",
+             "1.7M (50%)"});
+  t.add_row({"Unique certificates", scaled_cell(s, s.unique_cert_count),
+             "793K"});
+  t.add_row({"Servers whose private key is shared (MITM exposure)",
+             scaled_cell(s, s.shared_key_servers) + " in " +
+                 with_commas(s.shared_key_clusters) + " clusters",
+             "noted qualitatively"});
+  return t;
+}
+
+}  // namespace ftpc::analysis

@@ -1,0 +1,66 @@
+// Renderers that turn a CensusSummary into the paper's tables and figures,
+// printing measured values, their scale-up to full-IPv4 equivalents, and
+// the paper's reported numbers side by side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/summary.h"
+#include "common/table.h"
+#include "core/bounce.h"
+#include "net/as_table.h"
+
+namespace ftpc::analysis {
+
+TextTable render_table1_funnel(const CensusSummary& s);
+TextTable render_table2_classification(const CensusSummary& s);
+TextTable render_table3_as_concentration(const CensusSummary& s,
+                                         const net::AsTable& as_table);
+TextTable render_table4_embedded_classes(const CensusSummary& s);
+TextTable render_table5_provider_devices(const CensusSummary& s);
+TextTable render_table6_top_ases(const CensusSummary& s,
+                                 const net::AsTable& as_table);
+TextTable render_table7_soho_devices(const CensusSummary& s);
+TextTable render_table8_extensions(const CensusSummary& s);
+TextTable render_table9_sensitive(const CensusSummary& s);
+TextTable render_table10_exposure_matrix(const CensusSummary& s);
+TextTable render_table11_cves(const CensusSummary& s);
+TextTable render_table12_ftps_certs(const CensusSummary& s);
+TextTable render_table13_shared_certs(const CensusSummary& s);
+
+/// Figure 1 as a CDF table: number of ASes needed to cover fixed
+/// percentiles of all / anonymous / writable FTP servers.
+TextTable render_fig1_as_cdf(const CensusSummary& s);
+
+/// §V headline numbers (photos, OS roots, source exposure, robots).
+TextTable render_sec5_exposure(const CensusSummary& s);
+
+/// §VI malicious-use numbers (world-writable, campaigns, HTTP overlap).
+TextTable render_sec6_malicious(const CensusSummary& s);
+
+/// §VII.B PORT-bounce numbers, combining census NAT signals with the
+/// dedicated prober's results.
+struct BounceSummary {
+  std::uint64_t probed = 0;
+  std::uint64_t anonymous_ok = 0;
+  std::uint64_t failed_validation = 0;      // accepted + dialed out
+  std::uint64_t failed_validation_in_top_as = 0;
+  std::uint64_t nat_servers = 0;
+  std::uint64_t nat_and_failed = 0;
+  std::uint64_t writable_and_failed = 0;
+};
+BounceSummary summarize_bounce(
+    const std::vector<core::BounceProbeResult>& results,
+    const net::AsTable& as_table,
+    const std::function<bool(Ipv4)>& is_writable);
+TextTable render_sec7_bounce(const CensusSummary& s,
+                             const BounceSummary& bounce);
+
+/// §IX FTPS adoption numbers.
+TextTable render_sec9_ftps(const CensusSummary& s);
+
+/// Helper shared by the bench binaries: "measured  (xN)  vs paper".
+std::string scaled_cell(const CensusSummary& s, std::uint64_t measured);
+
+}  // namespace ftpc::analysis

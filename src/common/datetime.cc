@@ -1,0 +1,86 @@
+#include "common/datetime.h"
+
+#include <cstdio>
+
+namespace ftpc {
+
+namespace {
+
+// Days-from-civil / civil-from-days after Howard Hinnant's algorithms.
+std::int64_t days_from_civil(int y, int m, int d) noexcept {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, int& y, int& m, int& d) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t yr = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  d = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  m = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  y = static_cast<int>(yr + (m <= 2));
+}
+
+constexpr const char* kMonths[] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                                   "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+}  // namespace
+
+CivilDateTime civil_from_unix(std::int64_t unix_seconds) noexcept {
+  std::int64_t days = unix_seconds / 86400;
+  std::int64_t rem = unix_seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    --days;
+  }
+  CivilDateTime c;
+  civil_from_days(days, c.year, c.month, c.day);
+  c.hour = static_cast<int>(rem / 3600);
+  c.minute = static_cast<int>((rem % 3600) / 60);
+  c.second = static_cast<int>(rem % 60);
+  return c;
+}
+
+std::int64_t unix_from_civil(const CivilDateTime& c) noexcept {
+  return days_from_civil(c.year, c.month, c.day) * 86400 + c.hour * 3600 +
+         c.minute * 60 + c.second;
+}
+
+const char* month_abbrev(int month) noexcept {
+  if (month < 1 || month > 12) return "???";
+  return kMonths[month - 1];
+}
+
+std::string ls_date(std::int64_t mtime_unix, int current_year) {
+  const CivilDateTime c = civil_from_unix(mtime_unix);
+  char buf[32];
+  if (c.year == current_year) {
+    std::snprintf(buf, sizeof(buf), "%s %2d %02d:%02d", month_abbrev(c.month),
+                  c.day, c.hour, c.minute);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s %2d  %d", month_abbrev(c.month), c.day,
+                  c.year);
+  }
+  return buf;
+}
+
+std::string dir_date(std::int64_t mtime_unix) {
+  const CivilDateTime c = civil_from_unix(mtime_unix);
+  const int hour12 = c.hour % 12 == 0 ? 12 : c.hour % 12;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%02d-%02d-%02d  %02d:%02d%s", c.month,
+                c.day, c.year % 100, hour12, c.minute,
+                c.hour < 12 ? "AM" : "PM");
+  return buf;
+}
+
+}  // namespace ftpc

@@ -1,0 +1,35 @@
+// Civil date/time math (proleptic Gregorian), independent of the C runtime
+// so virtual timestamps format identically everywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ftpc {
+
+struct CivilDateTime {
+  int year = 1970;
+  int month = 1;  // 1-12
+  int day = 1;    // 1-31
+  int hour = 0;
+  int minute = 0;
+  int second = 0;
+};
+
+/// Converts Unix seconds to a civil UTC date/time.
+CivilDateTime civil_from_unix(std::int64_t unix_seconds) noexcept;
+
+/// Converts a civil UTC date/time to Unix seconds.
+std::int64_t unix_from_civil(const CivilDateTime& c) noexcept;
+
+/// "Jun", "Dec", ... (1-based month).
+const char* month_abbrev(int month) noexcept;
+
+/// `ls -l` style date column: "Jun 18  2015" if not `current_year`, else
+/// "Jun 18 09:42".
+std::string ls_date(std::int64_t mtime_unix, int current_year);
+
+/// Windows DIR style: "06-18-15  09:42AM".
+std::string dir_date(std::int64_t mtime_unix);
+
+}  // namespace ftpc

@@ -1,0 +1,254 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace ftpc {
+
+std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+inline std::uint64_t load_le64(const std::uint8_t* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, 8);  // little-endian hosts only (x86-64/aarch64)
+  return v;
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  void round() noexcept {
+    v0 += v1;
+    v1 = rotl(v1, 13);
+    v1 ^= v0;
+    v0 = rotl(v0, 32);
+    v2 += v3;
+    v3 = rotl(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl(v1, 17);
+    v1 ^= v2;
+    v2 = rotl(v2, 32);
+  }
+};
+
+}  // namespace
+
+std::uint64_t siphash24(std::uint64_t k0, std::uint64_t k1,
+                        std::span<const std::uint8_t> data) noexcept {
+  SipState s{
+      .v0 = 0x736f6d6570736575ULL ^ k0,
+      .v1 = 0x646f72616e646f6dULL ^ k1,
+      .v2 = 0x6c7967656e657261ULL ^ k0,
+      .v3 = 0x7465646279746573ULL ^ k1,
+  };
+
+  const std::size_t n = data.size();
+  const std::uint8_t* p = data.data();
+  const std::size_t full = n & ~std::size_t{7};
+
+  for (std::size_t i = 0; i < full; i += 8) {
+    const std::uint64_t m = load_le64(p + i);
+    s.v3 ^= m;
+    s.round();
+    s.round();
+    s.v0 ^= m;
+  }
+
+  std::uint64_t last = static_cast<std::uint64_t>(n) << 56;
+  for (std::size_t i = full; i < n; ++i) {
+    last |= static_cast<std::uint64_t>(p[i]) << (8 * (i - full));
+  }
+  s.v3 ^= last;
+  s.round();
+  s.round();
+  s.v0 ^= last;
+
+  s.v2 ^= 0xff;
+  s.round();
+  s.round();
+  s.round();
+  s.round();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+std::uint64_t siphash24_u64(std::uint64_t k0, std::uint64_t k1,
+                            std::uint64_t value) noexcept {
+  std::uint8_t buf[8];
+  std::memcpy(buf, &value, 8);
+  return siphash24(k0, k1, buf);
+}
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+constexpr std::uint32_t rotr(std::uint32_t x, int b) noexcept {
+  return (x >> b) | (x << (32 - b));
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+}  // namespace
+
+Sha256::Sha256() noexcept
+    : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f,
+             0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
+
+void Sha256::update(std::string_view data) noexcept {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+void Sha256::update(std::span<const std::uint8_t> data) noexcept {
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    buffered_ = data.size() - offset;
+    std::memcpy(buffer_.data(), data.data() + offset, buffered_);
+  }
+}
+
+void Sha256::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * i + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * i + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + s1 + ch + kSha256K[i] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+Sha256Digest Sha256::finish() noexcept {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  const std::uint8_t pad_byte = 0x80;
+  update(std::span<const std::uint8_t>(&pad_byte, 1));
+  const std::uint8_t zero = 0;
+  while (buffered_ != 56) {
+    update(std::span<const std::uint8_t>(&zero, 1));
+  }
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  update(std::span<const std::uint8_t>(len_be, 8));
+
+  Sha256Digest digest;
+  for (int i = 0; i < 8; ++i) {
+    digest.bytes[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
+    digest.bytes[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    digest.bytes[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    digest.bytes[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return digest;
+}
+
+Sha256Digest sha256(std::string_view data) noexcept {
+  Sha256 hasher;
+  hasher.update(data);
+  return hasher.finish();
+}
+
+std::string Sha256Digest::hex() const {
+  std::string out;
+  out.reserve(64);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xf]);
+  }
+  return out;
+}
+
+std::string Sha256Digest::fingerprint() const {
+  std::string out;
+  out.reserve(95);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    if (i > 0) out.push_back(':');
+    const char lo = kHexDigits[bytes[i] & 0xf];
+    const char hi = kHexDigits[bytes[i] >> 4];
+    out.push_back(hi >= 'a' ? static_cast<char>(hi - 32) : hi);
+    out.push_back(lo >= 'a' ? static_cast<char>(lo - 32) : lo);
+  }
+  return out;
+}
+
+}  // namespace ftpc

@@ -1,0 +1,61 @@
+// Hashing primitives: FNV-1a, SipHash-2-4, and SHA-256.
+//
+// FNV-1a is used for cheap domain separation; SipHash-2-4 keys the lazy
+// host-materialization function (ip -> profile) so population membership is
+// both deterministic and statistically uniform; SHA-256 fingerprints
+// simulated X.509 certificates exactly the way a real study would.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace ftpc {
+
+/// 64-bit FNV-1a over a byte string.
+std::uint64_t fnv1a64(std::string_view data) noexcept;
+
+/// SipHash-2-4 with a 128-bit key given as two 64-bit halves.
+std::uint64_t siphash24(std::uint64_t k0, std::uint64_t k1,
+                        std::span<const std::uint8_t> data) noexcept;
+
+/// Convenience: SipHash-2-4 of a little-endian encoded 64-bit value.
+std::uint64_t siphash24_u64(std::uint64_t k0, std::uint64_t k1,
+                            std::uint64_t value) noexcept;
+
+/// SHA-256 digest.
+struct Sha256Digest {
+  std::array<std::uint8_t, 32> bytes{};
+
+  /// Lower-case hex rendering ("e3b0c442...").
+  std::string hex() const;
+
+  /// Colon-separated upper-case fingerprint form ("E3:B0:C4:...").
+  std::string fingerprint() const;
+
+  friend bool operator==(const Sha256Digest&, const Sha256Digest&) = default;
+};
+
+/// One-shot SHA-256 of `data`.
+Sha256Digest sha256(std::string_view data) noexcept;
+
+/// Incremental SHA-256 (FIPS 180-4).
+class Sha256 {
+ public:
+  Sha256() noexcept;
+  void update(std::string_view data) noexcept;
+  void update(std::span<const std::uint8_t> data) noexcept;
+  Sha256Digest finish() noexcept;
+
+ private:
+  void process_block(const std::uint8_t* block) noexcept;
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace ftpc

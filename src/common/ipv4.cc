@@ -1,0 +1,115 @@
+#include "common/ipv4.h"
+
+#include <charconv>
+
+namespace ftpc {
+
+std::string Ipv4::str() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = p + text.size();
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+    unsigned octet = 0;
+    const auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || next == p || octet > 255) return std::nullopt;
+    // Reject leading zeros like "01" to avoid octal ambiguity.
+    if (next - p > 1 && *p == '0') return std::nullopt;
+    value = (value << 8) | octet;
+    p = next;
+  }
+  if (p != end) return std::nullopt;
+  return Ipv4(value);
+}
+
+std::string Cidr::str() const {
+  return network.str() + "/" + std::to_string(prefix_len);
+}
+
+std::optional<Cidr> Cidr::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto ip = Ipv4::parse(text.substr(0, slash));
+  if (!ip) return std::nullopt;
+  unsigned len = 0;
+  const auto rest = text.substr(slash + 1);
+  const auto [next, ec] =
+      std::from_chars(rest.data(), rest.data() + rest.size(), len);
+  if (ec != std::errc{} || next != rest.data() + rest.size() || len > 32) {
+    return std::nullopt;
+  }
+  const std::uint32_t mask =
+      len == 0 ? 0 : (0xffffffffu << (32 - len));
+  return Cidr{Ipv4(ip->value() & mask), static_cast<std::uint8_t>(len)};
+}
+
+namespace {
+
+// The reserved set below mirrors the ZMap default blocklist (RFC 6890
+// special-purpose registries) plus multicast and class E.
+using Range = IpRange;
+
+constexpr std::uint32_t ip(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                           std::uint8_t d) {
+  return (std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+         (std::uint32_t{c} << 8) | std::uint32_t{d};
+}
+
+constexpr Range kReserved[] = {
+    {ip(0, 0, 0, 0), ip(0, 255, 255, 255)},          // 0.0.0.0/8
+    {ip(10, 0, 0, 0), ip(10, 255, 255, 255)},        // 10/8 private
+    {ip(100, 64, 0, 0), ip(100, 127, 255, 255)},     // 100.64/10 CGN
+    {ip(127, 0, 0, 0), ip(127, 255, 255, 255)},      // loopback
+    {ip(169, 254, 0, 0), ip(169, 254, 255, 255)},    // link-local
+    {ip(172, 16, 0, 0), ip(172, 31, 255, 255)},      // 172.16/12 private
+    {ip(192, 0, 0, 0), ip(192, 0, 0, 255)},          // IETF protocol
+    {ip(192, 0, 2, 0), ip(192, 0, 2, 255)},          // TEST-NET-1
+    {ip(192, 88, 99, 0), ip(192, 88, 99, 255)},      // 6to4 relay
+    {ip(192, 168, 0, 0), ip(192, 168, 255, 255)},    // 192.168/16 private
+    {ip(198, 18, 0, 0), ip(198, 19, 255, 255)},      // benchmarking
+    {ip(198, 51, 100, 0), ip(198, 51, 100, 255)},    // TEST-NET-2
+    {ip(203, 0, 113, 0), ip(203, 0, 113, 255)},      // TEST-NET-3
+    {ip(224, 0, 0, 0), ip(255, 255, 255, 255)},      // multicast + class E
+};
+
+}  // namespace
+
+bool is_reserved(Ipv4 addr) noexcept {
+  const std::uint32_t v = addr.value();
+  for (const auto& range : kReserved) {
+    if (v >= range.first && v <= range.last) return true;
+  }
+  return false;
+}
+
+bool is_private(Ipv4 addr) noexcept {
+  const std::uint32_t v = addr.value();
+  return (v >= ip(10, 0, 0, 0) && v <= ip(10, 255, 255, 255)) ||
+         (v >= ip(172, 16, 0, 0) && v <= ip(172, 31, 255, 255)) ||
+         (v >= ip(192, 168, 0, 0) && v <= ip(192, 168, 255, 255));
+}
+
+std::span<const IpRange> reserved_ranges() noexcept { return kReserved; }
+
+std::uint64_t public_ipv4_count() noexcept {
+  std::uint64_t reserved = 0;
+  for (const auto& range : kReserved) {
+    reserved += std::uint64_t{range.last} - range.first + 1;
+  }
+  return (std::uint64_t{1} << 32) - reserved;
+}
+
+}  // namespace ftpc

@@ -1,0 +1,86 @@
+// IPv4 address representation and classification.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace ftpc {
+
+/// An IPv4 address stored in host byte order ("a.b.c.d" has `a` in the most
+/// significant byte). Value type, totally ordered.
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(std::uint32_t value) noexcept : value_(value) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+  constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// Dotted-quad rendering, e.g. "141.212.120.1".
+  std::string str() const;
+
+  /// Parses a dotted quad. Rejects out-of-range octets, empty parts, and
+  /// trailing garbage. Returns nullopt on malformed input.
+  static std::optional<Ipv4> parse(std::string_view text);
+
+  friend constexpr auto operator<=>(Ipv4, Ipv4) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix (network address + prefix length). The network address is
+/// canonicalized (host bits cleared).
+struct Cidr {
+  Ipv4 network;
+  std::uint8_t prefix_len = 0;
+
+  constexpr std::uint32_t first() const noexcept { return network.value(); }
+  constexpr std::uint32_t last() const noexcept {
+    return network.value() | (prefix_len == 0 ? 0xffffffffu
+                                              : (0xffffffffu >> prefix_len));
+  }
+  constexpr std::uint64_t size() const noexcept {
+    return std::uint64_t{1} << (32 - prefix_len);
+  }
+  constexpr bool contains(Ipv4 ip) const noexcept {
+    return ip.value() >= first() && ip.value() <= last();
+  }
+
+  std::string str() const;
+  static std::optional<Cidr> parse(std::string_view text);
+};
+
+/// True for addresses a public Internet scan must never target: RFC 1918
+/// private space, loopback, link-local, multicast, class E, 0.0.0.0/8,
+/// 100.64/10 (CGN), 192.0.2.0/24 etc. Mirrors the ZMap default blocklist.
+bool is_reserved(Ipv4 ip) noexcept;
+
+/// True for RFC 1918 private addresses only (10/8, 172.16/12, 192.168/16).
+/// The paper uses these to spot NAT'd devices that leak internal addresses.
+bool is_private(Ipv4 ip) noexcept;
+
+/// Number of non-reserved ("publicly scannable") IPv4 addresses. The paper
+/// scanned 3,684,755,175 of them; our reserved set yields a close figure.
+std::uint64_t public_ipv4_count() noexcept;
+
+/// An inclusive address range [first, last] in host byte order.
+struct IpRange {
+  std::uint32_t first = 0;
+  std::uint32_t last = 0;
+};
+
+/// The reserved ranges behind is_reserved(), sorted and disjoint.
+std::span<const IpRange> reserved_ranges() noexcept;
+
+}  // namespace ftpc

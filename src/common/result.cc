@@ -1,0 +1,33 @@
+#include "common/result.h"
+
+namespace ftpc {
+
+std::string_view error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kConnectionRefused:
+      return "connection_refused";
+    case ErrorCode::kConnectionReset:
+      return "connection_reset";
+    case ErrorCode::kProtocolError:
+      return "protocol_error";
+    case ErrorCode::kPermissionDenied:
+      return "permission_denied";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kLimitExceeded:
+      return "limit_exceeded";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kUnavailable:
+      return "unavailable";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+}  // namespace ftpc

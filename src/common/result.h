@@ -1,0 +1,112 @@
+// Lightweight Status / Result<T> error handling.
+//
+// Recoverable conditions (network resets, protocol violations by remote
+// peers, malformed data) are returned as values; assertions guard
+// programmer errors. No exceptions cross module boundaries.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ftpc {
+
+/// Coarse error taxonomy shared by all modules.
+enum class ErrorCode {
+  kOk = 0,
+  kTimeout,           // peer did not respond in time
+  kConnectionRefused, // no listener on (ip, port)
+  kConnectionReset,   // peer or network dropped the connection mid-stream
+  kProtocolError,     // peer sent something we could not parse
+  kPermissionDenied,  // authenticated action refused by the peer
+  kNotFound,          // path / object does not exist
+  kLimitExceeded,     // request cap, size cap, or rate cap hit
+  kInvalidArgument,   // caller-supplied value out of contract
+  kUnavailable,       // service exists but refuses to serve (e.g. banner-only)
+  kInternal,          // bug-adjacent: should not happen in a healthy run
+};
+
+/// Human-readable name for an ErrorCode ("timeout", "protocol_error", ...).
+std::string_view error_code_name(ErrorCode code) noexcept;
+
+/// A status: OK or (code, message).
+class [[nodiscard]] Status {
+ public:
+  Status() noexcept : code_(ErrorCode::kOk) {}
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != ErrorCode::kOk);
+  }
+
+  static Status ok() noexcept { return Status(); }
+
+  bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// "timeout: no banner within 10s" or "ok".
+  std::string str() const {
+    if (is_ok()) return "ok";
+    std::string out{error_code_name(code_)};
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  ErrorCode code_;
+  std::string message_;
+};
+
+/// A value or a Status. Accessing the value of a failed Result is a
+/// programmer error (asserted).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : storage_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(storage_).is_ok() &&
+           "Result must not be constructed from an OK status");
+  }
+  Result(ErrorCode code, std::string message)
+      : storage_(Status(code, std::move(message))) {}
+
+  bool is_ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  ErrorCode code() const noexcept {
+    return is_ok() ? ErrorCode::kOk : std::get<Status>(storage_).code();
+  }
+
+  const T& value() const& {
+    assert(is_ok());
+    return std::get<T>(storage_);
+  }
+  T& value() & {
+    assert(is_ok());
+    return std::get<T>(storage_);
+  }
+  T&& take() && {
+    assert(is_ok());
+    return std::get<T>(std::move(storage_));
+  }
+
+  const Status& status() const& {
+    assert(!is_ok());
+    return std::get<Status>(storage_);
+  }
+
+  /// Value if OK, otherwise `fallback`.
+  T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace ftpc

@@ -1,0 +1,96 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace ftpc {
+
+std::uint64_t split_mix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t value) noexcept {
+  std::uint64_t state = value;
+  return split_mix64(state);
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::string_view label) noexcept {
+  return mix64(seed ^ fnv1a64(label));
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t n) noexcept {
+  return mix64(seed ^ mix64(n ^ 0xa5a5a5a5a5a5a5a5ULL));
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256ss::Xoshiro256ss(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = split_mix64(sm);
+}
+
+std::uint64_t Xoshiro256ss::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Xoshiro256ss::next_below(std::uint64_t bound) noexcept {
+  // Lemire's multiply-shift; for our use (bounds << 2^64) the modulo bias of
+  // the plain variant is far below statistical noise in any experiment.
+  const unsigned __int128 product =
+      static_cast<unsigned __int128>(next()) * bound;
+  return static_cast<std::uint64_t>(product >> 64);
+}
+
+std::uint64_t Xoshiro256ss::next_in(std::uint64_t lo, std::uint64_t hi) noexcept {
+  return lo + next_below(hi - lo + 1);
+}
+
+double Xoshiro256ss::next_double() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256ss::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+std::uint64_t Xoshiro256ss::pareto(double alpha, std::uint64_t xmin,
+                                   std::uint64_t cap) noexcept {
+  // Inverse-CDF sampling of a Pareto(alpha, xmin), truncated at cap.
+  const double u = 1.0 - next_double();  // in (0, 1]
+  const double x = static_cast<double>(xmin) / std::pow(u, 1.0 / alpha);
+  if (x >= static_cast<double>(cap)) return cap;
+  const auto v = static_cast<std::uint64_t>(x);
+  return v < xmin ? xmin : v;
+}
+
+std::size_t pick_cumulative(Xoshiro256ss& rng, const double* cumulative,
+                            std::size_t n) noexcept {
+  const double total = cumulative[n - 1];
+  const double r = rng.next_double() * total;
+  // Linear scan: distributions here are short (device catalogs, AS types).
+  for (std::size_t i = 0; i < n; ++i) {
+    if (r < cumulative[i]) return i;
+  }
+  return n - 1;
+}
+
+}  // namespace ftpc

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic decision in ftpcensus flows through these generators so
+// that a single 64-bit seed reproduces an entire study: the AS table, the
+// host population, each host's filesystem, and each attacker's behaviour.
+//
+// Two generators are provided:
+//  - SplitMix64: stateless-ish stream generator, used for seed derivation.
+//  - Xoshiro256ss: the workhorse generator (xoshiro256**), used everywhere
+//    a stream of numbers is needed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace ftpc {
+
+/// SplitMix64 step: advances `state` and returns the next 64-bit output.
+/// Useful on its own for seed sequencing (it is an excellent mixer).
+std::uint64_t split_mix64(std::uint64_t& state) noexcept;
+
+/// Mixes `value` through one SplitMix64 round without carrying state.
+/// Used to derive independent sub-seeds from (seed, label) pairs.
+std::uint64_t mix64(std::uint64_t value) noexcept;
+
+/// Derives a sub-seed from a parent seed and a domain-separation label.
+/// Different labels yield statistically independent streams.
+std::uint64_t derive_seed(std::uint64_t seed, std::string_view label) noexcept;
+
+/// Derives a sub-seed from a parent seed and a numeric discriminator.
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t n) noexcept;
+
+/// xoshiro256** 1.0 by Blackman & Vigna. Fast, high quality, 256-bit state.
+class Xoshiro256ss {
+ public:
+  /// Seeds the state via SplitMix64 so any 64-bit seed (including 0) is safe.
+  explicit Xoshiro256ss(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit output.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses Lemire's
+  /// nearly-divisionless method; bias is negligible for our bounds.
+  std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t next_in(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept;
+
+  /// Bernoulli trial with probability `p` (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Geometric-ish heavy-tail sample: Pareto with shape `alpha`, min `xmin`,
+  /// truncated at `cap`. Used for file counts and AS sizes.
+  std::uint64_t pareto(double alpha, std::uint64_t xmin,
+                       std::uint64_t cap) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+/// Picks an index from a discrete distribution given cumulative weights.
+/// `cumulative` must be non-empty and non-decreasing with a positive final
+/// value. Returns an index in [0, cumulative.size()).
+std::size_t pick_cumulative(Xoshiro256ss& rng, const double* cumulative,
+                            std::size_t n) noexcept;
+
+}  // namespace ftpc

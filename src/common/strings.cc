@@ -1,0 +1,135 @@
+#include "common/strings.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace ftpc {
+
+namespace {
+bool is_space(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+         c == '\v';
+}
+char lower(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c + 32) : c;
+}
+}  // namespace
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](char c) { return lower(c); });
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (lower(a[i]) != lower(b[i])) return false;
+  }
+  return true;
+}
+
+bool istarts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.size() >= prefix.size() && iequals(s.substr(0, prefix.size()), prefix);
+}
+
+bool contains(std::string_view s, std::string_view needle) noexcept {
+  return s.find(needle) != std::string_view::npos;
+}
+
+bool icontains(std::string_view s, std::string_view needle) noexcept {
+  if (needle.empty()) return true;
+  if (s.size() < needle.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= s.size(); ++i) {
+    if (iequals(s.substr(i, needle.size()), needle)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> split_whitespace(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && is_space(s[i])) ++i;
+    const std::size_t start = i;
+    while (i < s.size() && !is_space(s[i])) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> parse_u64(std::string_view s) noexcept {
+  if (s.empty()) return std::nullopt;
+  std::uint64_t value = 0;
+  const auto [next, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || next != s.data() + s.size()) return std::nullopt;
+  return value;
+}
+
+std::string with_commas(std::uint64_t count) {
+  std::string digits = std::to_string(count);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string percent(double numerator, double denominator) {
+  if (denominator == 0.0) return "n/a";
+  const double pct = 100.0 * numerator / denominator;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f%%", pct);
+  return buf;
+}
+
+std::string file_extension(std::string_view path) {
+  const std::string_view base = basename(path);
+  const std::size_t dot = base.rfind('.');
+  if (dot == std::string_view::npos || dot == 0 || dot + 1 == base.size()) {
+    return "";
+  }
+  return to_lower(base.substr(dot + 1));
+}
+
+std::string_view basename(std::string_view path) noexcept {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string_view::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace ftpc

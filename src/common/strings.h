@@ -1,0 +1,56 @@
+// Small string utilities shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftpc {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Lower-cases ASCII letters.
+std::string to_lower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Case-insensitive prefix test.
+bool istarts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// Case-sensitive substring test (s contains needle).
+bool contains(std::string_view s, std::string_view needle) noexcept;
+
+/// Case-insensitive substring test.
+bool icontains(std::string_view s, std::string_view needle) noexcept;
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; drops empty fields.
+std::vector<std::string_view> split_whitespace(std::string_view s);
+
+/// Joins pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Parses a non-negative decimal integer; rejects garbage and overflow.
+std::optional<std::uint64_t> parse_u64(std::string_view s) noexcept;
+
+/// Formats `count` with thousands separators: 13789641 -> "13,789,641".
+std::string with_commas(std::uint64_t count);
+
+/// Formats a ratio as a percentage with two decimals: "12.74%".
+std::string percent(double numerator, double denominator);
+
+/// File extension (lower-cased, without dot) of a path's last component,
+/// or "" if none: "a/B.Tar.GZ" -> "gz", "a/Makefile" -> "".
+std::string file_extension(std::string_view path);
+
+/// Last path component: "a/b/c.txt" -> "c.txt"; "/" -> "".
+std::string_view basename(std::string_view path) noexcept;
+
+}  // namespace ftpc

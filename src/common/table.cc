@@ -1,0 +1,90 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+namespace ftpc {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::set_alignments(std::vector<Align> alignments) {
+  alignments_ = std::move(alignments);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(Row{.cells = std::move(row), .separator = false});
+}
+
+void TextTable::add_separator() {
+  rows_.push_back(Row{.cells = {}, .separator = true});
+}
+
+std::string TextTable::render() const {
+  // Column widths.
+  std::vector<std::size_t> widths;
+  auto grow = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  grow(header_);
+  for (const Row& row : rows_) {
+    if (!row.separator) grow(row.cells);
+  }
+
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  if (total >= 2) total -= 2;
+
+  std::string out;
+  auto rule = [&out, total](char c) {
+    out.append(total, c);
+    out.push_back('\n');
+  };
+
+  if (!title_.empty()) {
+    out += title_;
+    out.push_back('\n');
+  }
+  rule('=');
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : "";
+      const Align align =
+          i < alignments_.size() ? alignments_[i] : Align::kLeft;
+      const std::size_t pad = widths[i] - cell.size();
+      if (align == Align::kRight) out.append(pad, ' ');
+      out += cell;
+      if (i + 1 < widths.size()) {
+        if (align == Align::kLeft) out.append(pad, ' ');
+        out += "  ";
+      }
+    }
+    // Trim trailing spaces from left-aligned last columns.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out.push_back('\n');
+  };
+
+  if (!header_.empty()) {
+    emit(header_);
+    rule('-');
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      rule('-');
+    } else {
+      emit(row.cells);
+    }
+  }
+  rule('=');
+  if (!footnote_.empty()) {
+    out += footnote_;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace ftpc

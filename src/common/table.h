@@ -1,0 +1,49 @@
+// Plain-text table renderer used by the bench harness to print paper-style
+// tables (aligned columns, optional title and footnote).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftpc {
+
+/// Column alignment.
+enum class Align { kLeft, kRight };
+
+/// Builds and renders an aligned text table.
+///
+///   TextTable t("TABLE I. General metrics");
+///   t.set_header({"Metric", "Count"});
+///   t.add_row({"IPs scanned", "3,684,755,175"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  TextTable() = default;
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void set_alignments(std::vector<Align> alignments);
+  void add_row(std::vector<std::string> row);
+  void add_separator();
+  void set_footnote(std::string footnote) { footnote_ = std::move(footnote); }
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Renders the table; every line ends with '\n'.
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::string footnote_;
+  std::vector<std::string> header_;
+  std::vector<Align> alignments_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace ftpc

@@ -1,0 +1,170 @@
+#include "core/bounce.h"
+
+#include <memory>
+#include <unordered_set>
+
+namespace ftpc::core {
+
+namespace {
+
+/// One probe session, self-owning like HostEnumerator.
+class ProbeSession : public std::enable_shared_from_this<ProbeSession> {
+ public:
+  using Done = std::function<void(BounceProbeResult)>;
+
+  static void start(sim::Network& network, const BounceProberConfig& config,
+                    Ipv4 target, std::uint16_t unique_port, Done done) {
+    std::shared_ptr<ProbeSession> session(
+        new ProbeSession(network, config, target, unique_port,
+                         std::move(done)));
+    session->self_ = session;
+    session->begin();
+  }
+
+  /// Called by the shared third-party listener when a connection arrives
+  /// on this session's unique port.
+  void connection_arrived() { result_.connection_observed = true; }
+
+ private:
+  ProbeSession(sim::Network& network, const BounceProberConfig& config,
+               Ipv4 target, std::uint16_t unique_port, Done done)
+      : network_(network),
+        config_(config),
+        unique_port_(unique_port),
+        done_(std::move(done)) {
+    result_.ip = target;
+  }
+
+  void begin() {
+    ftp::FtpClient::Options options;
+    options.client_ip = config_.client_ip;
+    client_ = ftp::FtpClient::create(network_, options);
+    auto self = shared_from_this();
+
+    // Dedicated third-party listener for this probe: a connection here can
+    // only have come from the server under test.
+    network_.listen(config_.third_party_ip, unique_port_,
+                    [self](std::shared_ptr<sim::Connection> conn) {
+                      self->connection_arrived();
+                      conn->reset();
+                    });
+
+    client_->connect(result_.ip, 21, [self](Result<ftp::Reply> r) {
+      if (!r.is_ok() || r.value().code != 220) {
+        self->finish();
+        return;
+      }
+      self->client_->send("USER", "anonymous",
+                          [self](Result<ftp::Reply> r2) {
+                            self->on_user(std::move(r2));
+                          });
+    });
+  }
+
+  void on_user(Result<ftp::Reply> r) {
+    if (!r.is_ok()) return finish();
+    if (r.value().code == 230) {
+      result_.login_ok = true;
+      return check_pasv();
+    }
+    if (r.value().code != 331 && r.value().code != 332) return finish();
+    auto self = shared_from_this();
+    client_->send("PASS", "bounce-probe@research.example.edu",
+                  [self](Result<ftp::Reply> r2) {
+                    if (r2.is_ok() && r2.value().code == 230) {
+                      self->result_.login_ok = true;
+                      self->check_pasv();
+                    } else {
+                      self->finish();
+                    }
+                  });
+  }
+
+  void check_pasv() {
+    auto self = shared_from_this();
+    client_->send("PASV", "", [self](Result<ftp::Reply> r) {
+      if (r.is_ok() && r.value().code == 227) {
+        if (const auto hp = ftp::parse_pasv_reply(r.value().full_text())) {
+          if (Ipv4(hp->ip) != self->result_.ip) {
+            self->result_.pasv_ip = Ipv4(hp->ip);
+          }
+        }
+      }
+      self->send_port();
+    });
+  }
+
+  void send_port() {
+    const ftp::HostPort target{.ip = config_.third_party_ip.value(),
+                               .port = unique_port_};
+    auto self = shared_from_this();
+    client_->send("PORT", target.wire(), [self](Result<ftp::Reply> r) {
+      if (!r.is_ok() || !r.value().is_positive_completion()) {
+        self->finish();
+        return;
+      }
+      self->result_.port_accepted = true;
+      // Trigger the data connection; the reply does not matter — the
+      // listener tells us whether the server dialed out.
+      self->client_->send("NLST", "/", [self](Result<ftp::Reply>) {
+        self->network_.loop().schedule_after(
+            self->config_.verdict_wait, [self] { self->finish(); });
+      });
+    });
+  }
+
+  void finish() {
+    if (finished_) return;
+    finished_ = true;
+    network_.stop_listening(config_.third_party_ip, unique_port_);
+    auto self = self_;
+    self_.reset();
+    client_->abort_session();
+    done_(result_);
+  }
+
+  sim::Network& network_;
+  const BounceProberConfig& config_;
+  std::uint16_t unique_port_;
+  Done done_;
+  std::shared_ptr<ftp::FtpClient> client_;
+  BounceProbeResult result_;
+  bool finished_ = false;
+  std::shared_ptr<ProbeSession> self_;
+};
+
+}  // namespace
+
+BounceProber::BounceProber(sim::Network& network, BounceProberConfig config)
+    : network_(network), config_(config) {}
+
+std::vector<BounceProbeResult> BounceProber::run(
+    const std::vector<std::uint32_t>& targets) {
+  std::vector<BounceProbeResult> results;
+  results.reserve(targets.size());
+
+  std::size_t next = 0;
+  std::uint64_t in_flight = 0;
+  std::uint16_t port_rotor = 0;
+
+  std::function<void()> launch = [&] {
+    while (in_flight < config_.concurrency && next < targets.size()) {
+      const Ipv4 target(targets[next++]);
+      ++in_flight;
+      const std::uint16_t port = static_cast<std::uint16_t>(
+          config_.third_party_port + (port_rotor++ % 16000));
+      ProbeSession::start(network_, config_, target, port,
+                          [&](BounceProbeResult result) {
+                            --in_flight;
+                            results.push_back(std::move(result));
+                            launch();
+                          });
+    }
+  };
+  launch();
+  network_.loop().run_while_pending(
+      [&] { return in_flight == 0 && next >= targets.size(); });
+  return results;
+}
+
+}  // namespace ftpc::core

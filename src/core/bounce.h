@@ -1,0 +1,54 @@
+// The PORT-bounce prober (§VII.B).
+//
+// For each anonymous FTP server, the prober logs in, records the PASV
+// address (NAT detection), then sends a PORT command naming a third-party
+// address the prober controls and asks for a listing. A server that
+// accepts the command *and* dials the third party fails PORT validation —
+// the classic FTP bounce primitive (CERT CA-1997-27).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/ipv4.h"
+#include "ftp/client.h"
+#include "sim/network.h"
+
+namespace ftpc::core {
+
+struct BounceProbeResult {
+  Ipv4 ip;
+  bool login_ok = false;
+  /// The server's 227 address differed from its control address.
+  std::optional<Ipv4> pasv_ip;
+  /// The PORT command naming our third-party address drew a 2xx.
+  bool port_accepted = false;
+  /// The server actually connected to the third-party address.
+  bool connection_observed = false;
+};
+
+struct BounceProberConfig {
+  Ipv4 client_ip{141, 212, 120, 31};
+  /// The "third party" the server must not be allowed to reach.
+  Ipv4 third_party_ip{141, 212, 121, 99};
+  std::uint16_t third_party_port = 47000;
+  std::uint32_t concurrency = 64;
+  sim::SimTime verdict_wait = 5 * sim::kSecond;
+};
+
+class BounceProber {
+ public:
+  BounceProber(sim::Network& network, BounceProberConfig config);
+
+  /// Probes every target; returns one result per target (same order not
+  /// guaranteed). Drives the event loop to completion.
+  std::vector<BounceProbeResult> run(const std::vector<std::uint32_t>& targets);
+
+ private:
+  sim::Network& network_;
+  BounceProberConfig config_;
+};
+
+}  // namespace ftpc::core

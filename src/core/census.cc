@@ -1,0 +1,64 @@
+#include "core/census.h"
+
+#include "common/log.h"
+
+namespace ftpc::core {
+
+Census::Census(sim::Network& network, CensusConfig config)
+    : network_(network), config_(config) {}
+
+CensusStats Census::run(RecordSink& sink) {
+  CensusStats stats;
+  const sim::SimTime started = network_.loop().now();
+
+  // Stage 1: ZMap host discovery.
+  scan::ScanConfig scan_config;
+  scan_config.port = 21;
+  scan_config.seed = config_.seed;
+  scan_config.scale_shift = config_.scale_shift;
+  scan::Scanner scanner(network_, scan_config);
+  std::vector<std::uint32_t> hits;
+  stats.scan = scanner.run([&hits](Ipv4 ip) { hits.push_back(ip.value()); });
+  if (config_.max_hosts != 0 && hits.size() > config_.max_hosts) {
+    hits.resize(config_.max_hosts);
+  }
+  log_info() << "census: scan found " << hits.size() << " responsive hosts";
+
+  // Stage 2: concurrent enumeration. A fixed-width window of sessions
+  // drains the hit list; each completion starts the next host.
+  std::size_t next = 0;
+  std::uint64_t in_flight = 0;
+  std::uint32_t client_rotor = 0;
+
+  // Self-referencing launcher; lives on the stack of run() — safe because
+  // run() drives the loop to completion before returning.
+  std::function<void()> launch = [&] {
+    while (in_flight < config_.concurrency && next < hits.size()) {
+      const Ipv4 target(hits[next++]);
+      ++in_flight;
+      EnumeratorOptions options = config_.enumerator;
+      options.client_ip =
+          Ipv4(config_.client_net.value() + 1 + (client_rotor++ % 200));
+      HostEnumerator::start(
+          network_, target, options, [&](HostReport report) {
+            --in_flight;
+            ++stats.hosts_enumerated;
+            if (report.ftp_compliant) ++stats.ftp_compliant;
+            if (report.anonymous()) ++stats.anonymous;
+            if (!report.error.is_ok()) ++stats.sessions_errored;
+            sink.on_host(report);
+            launch();
+          });
+    }
+  };
+  launch();
+
+  // Drive the loop until every session has completed.
+  network_.loop().run_while_pending(
+      [&] { return in_flight == 0 && next >= hits.size(); });
+
+  stats.virtual_duration = network_.loop().now() - started;
+  return stats;
+}
+
+}  // namespace ftpc::core

@@ -1,0 +1,282 @@
+#include "core/dataset.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace ftpc::core {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'T', 'P', 'D'};
+constexpr std::uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  std::string out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+  bool u8(std::uint8_t& v) {
+    if (pos_ >= data_.size()) return false;
+    v = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+  bool u32(std::uint32_t& v) { return raw(&v, sizeof(v)); }
+  bool u64(std::uint64_t& v) { return raw(&v, sizeof(v)); }
+  bool str(std::string& s) {
+    std::uint32_t len = 0;
+    if (!u32(len) || pos_ + len > data_.size()) return false;
+    s.assign(data_.data() + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  bool raw(void* p, std::size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string encode_host_report(const HostReport& r) {
+  Writer w;
+  w.u32(r.ip.value());
+  w.u8(r.connected ? 1 : 0);
+  w.u8(r.ftp_compliant ? 1 : 0);
+  w.str(r.banner);
+  w.u8(static_cast<std::uint8_t>(r.login));
+
+  w.u32(static_cast<std::uint32_t>(r.files.size()));
+  for (const FileRecord& f : r.files) {
+    w.str(f.path);
+    w.u8(f.is_dir ? 1 : 0);
+    w.u64(f.size);
+    w.u8(static_cast<std::uint8_t>(f.readable));
+    w.u8(f.world_writable ? 1 : 0);
+    w.u8(f.has_permissions ? 1 : 0);
+    w.str(f.owner);
+  }
+  w.u64(r.dirs_listed);
+  w.u64(r.listing_lines_skipped);
+  w.u8(r.robots_present ? 1 : 0);
+  w.u8(r.robots_full_exclusion ? 1 : 0);
+  w.u8(r.truncated_by_request_cap ? 1 : 0);
+  w.u8(r.server_terminated_early ? 1 : 0);
+  w.u32(r.requests_used);
+
+  w.str(r.syst_reply);
+  w.u32(static_cast<std::uint32_t>(r.feat_lines.size()));
+  for (const std::string& line : r.feat_lines) w.str(line);
+  w.str(r.help_text);
+  w.str(r.site_text);
+
+  w.u8(r.ftps_supported ? 1 : 0);
+  w.u8(r.ftps_required_before_login ? 1 : 0);
+  w.u8(r.certificate ? 1 : 0);
+  if (r.certificate) w.str(r.certificate->encode());
+  w.u8(r.pasv_ip ? 1 : 0);
+  if (r.pasv_ip) w.u32(r.pasv_ip->value());
+  w.u8(r.error.is_ok() ? 0 : 1);
+  if (!r.error.is_ok()) {
+    w.u8(static_cast<std::uint8_t>(r.error.code()));
+    w.str(r.error.message());
+  }
+  return w.take();
+}
+
+std::optional<HostReport> decode_host_report(std::string_view frame) {
+  Reader reader(frame);
+  HostReport r;
+  std::uint32_t ip = 0;
+  std::uint8_t flag = 0;
+  if (!reader.u32(ip)) return std::nullopt;
+  r.ip = Ipv4(ip);
+  if (!reader.u8(flag)) return std::nullopt;
+  r.connected = flag != 0;
+  if (!reader.u8(flag)) return std::nullopt;
+  r.ftp_compliant = flag != 0;
+  if (!reader.str(r.banner)) return std::nullopt;
+  if (!reader.u8(flag) || flag > static_cast<int>(LoginOutcome::kError)) {
+    return std::nullopt;
+  }
+  r.login = static_cast<LoginOutcome>(flag);
+
+  std::uint32_t files = 0;
+  if (!reader.u32(files)) return std::nullopt;
+  r.files.reserve(std::min<std::uint32_t>(files, 1 << 20));
+  for (std::uint32_t i = 0; i < files; ++i) {
+    FileRecord f;
+    std::uint8_t readable = 0;
+    if (!reader.str(f.path)) return std::nullopt;
+    if (!reader.u8(flag)) return std::nullopt;
+    f.is_dir = flag != 0;
+    if (!reader.u64(f.size)) return std::nullopt;
+    if (!reader.u8(readable) || readable > 2) return std::nullopt;
+    f.readable = static_cast<ftp::Readability>(readable);
+    if (!reader.u8(flag)) return std::nullopt;
+    f.world_writable = flag != 0;
+    if (!reader.u8(flag)) return std::nullopt;
+    f.has_permissions = flag != 0;
+    if (!reader.str(f.owner)) return std::nullopt;
+    r.files.push_back(std::move(f));
+  }
+  if (!reader.u64(r.dirs_listed)) return std::nullopt;
+  if (!reader.u64(r.listing_lines_skipped)) return std::nullopt;
+  if (!reader.u8(flag)) return std::nullopt;
+  r.robots_present = flag != 0;
+  if (!reader.u8(flag)) return std::nullopt;
+  r.robots_full_exclusion = flag != 0;
+  if (!reader.u8(flag)) return std::nullopt;
+  r.truncated_by_request_cap = flag != 0;
+  if (!reader.u8(flag)) return std::nullopt;
+  r.server_terminated_early = flag != 0;
+  if (!reader.u32(r.requests_used)) return std::nullopt;
+
+  if (!reader.str(r.syst_reply)) return std::nullopt;
+  std::uint32_t feats = 0;
+  if (!reader.u32(feats)) return std::nullopt;
+  for (std::uint32_t i = 0; i < feats; ++i) {
+    std::string line;
+    if (!reader.str(line)) return std::nullopt;
+    r.feat_lines.push_back(std::move(line));
+  }
+  if (!reader.str(r.help_text)) return std::nullopt;
+  if (!reader.str(r.site_text)) return std::nullopt;
+
+  if (!reader.u8(flag)) return std::nullopt;
+  r.ftps_supported = flag != 0;
+  if (!reader.u8(flag)) return std::nullopt;
+  r.ftps_required_before_login = flag != 0;
+  if (!reader.u8(flag)) return std::nullopt;
+  if (flag != 0) {
+    std::string encoded;
+    if (!reader.str(encoded)) return std::nullopt;
+    auto cert = ftp::Certificate::decode(encoded);
+    if (!cert) return std::nullopt;
+    r.certificate = std::move(*cert);
+  }
+  if (!reader.u8(flag)) return std::nullopt;
+  if (flag != 0) {
+    std::uint32_t pasv = 0;
+    if (!reader.u32(pasv)) return std::nullopt;
+    r.pasv_ip = Ipv4(pasv);
+  }
+  if (!reader.u8(flag)) return std::nullopt;
+  if (flag != 0) {
+    std::uint8_t code = 0;
+    std::string message;
+    if (!reader.u8(code) || !reader.str(message)) return std::nullopt;
+    if (code == 0 || code > static_cast<int>(ErrorCode::kInternal)) {
+      return std::nullopt;
+    }
+    r.error = Status(static_cast<ErrorCode>(code), std::move(message));
+  }
+  if (!reader.done()) return std::nullopt;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// File framing
+// ---------------------------------------------------------------------------
+
+DatasetWriter::DatasetWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return;
+  if (std::fwrite(kMagic, 1, 4, file_) != 4 ||
+      std::fwrite(&kVersion, sizeof(kVersion), 1, file_) != 1) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+DatasetWriter::~DatasetWriter() { close(); }
+
+void DatasetWriter::on_host(const HostReport& report) {
+  if (file_ == nullptr || failed_) return;
+  const std::string frame = encode_host_report(report);
+  const auto length = static_cast<std::uint32_t>(frame.size());
+  const std::uint64_t checksum = fnv1a64(frame);
+  if (std::fwrite(&length, sizeof(length), 1, file_) != 1 ||
+      std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fwrite(&checksum, sizeof(checksum), 1, file_) != 1) {
+    failed_ = true;
+    return;
+  }
+  ++records_;
+}
+
+bool DatasetWriter::close() {
+  if (file_ == nullptr) return !failed_;
+  const bool ok = std::fclose(file_) == 0 && !failed_;
+  file_ = nullptr;
+  return ok;
+}
+
+DatasetReader::DatasetReader(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return;
+  char magic[4];
+  std::uint32_t version = 0;
+  header_ok_ = std::fread(magic, 1, 4, file_) == 4 &&
+               std::memcmp(magic, kMagic, 4) == 0 &&
+               std::fread(&version, sizeof(version), 1, file_) == 1 &&
+               version == kVersion;
+}
+
+DatasetReader::~DatasetReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::optional<HostReport> DatasetReader::next() {
+  if (!ok()) return std::nullopt;
+  std::uint32_t length = 0;
+  const std::size_t got = std::fread(&length, sizeof(length), 1, file_);
+  if (got != 1) return std::nullopt;  // clean EOF
+  if (length > (64u << 20)) {
+    truncated_ = true;
+    return std::nullopt;
+  }
+  std::string frame(length, '\0');
+  if (std::fread(frame.data(), 1, length, file_) != length) {
+    truncated_ = true;
+    return std::nullopt;
+  }
+  std::uint64_t checksum = 0;
+  if (std::fread(&checksum, sizeof(checksum), 1, file_) != 1 ||
+      checksum != fnv1a64(frame)) {
+    truncated_ = true;
+    return std::nullopt;
+  }
+  auto report = decode_host_report(frame);
+  if (!report) {
+    truncated_ = true;
+    return std::nullopt;
+  }
+  ++records_;
+  return report;
+}
+
+}  // namespace ftpc::core

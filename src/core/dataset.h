@@ -1,0 +1,78 @@
+// Full-record dataset persistence.
+//
+// The aggregate CensusSummary answers the paper's tables, but a real study
+// also archives the raw enumeration output for later re-analysis (the
+// authors "iteratively processed the dataset"). DatasetWriter streams
+// HostReports to a framed binary file as they complete; DatasetReader
+// replays them one at a time, so re-analysis is as memory-bounded as the
+// census itself.
+//
+// Format: magic "FTPD", version u32, then one length-prefixed frame per
+// host, each ending with an FNV-1a checksum of the frame body. A truncated
+// tail (census interrupted mid-write) is detected and reported.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+
+#include "core/records.h"
+
+namespace ftpc::core {
+
+/// Serializes one HostReport to a framed byte string (exposed for tests).
+std::string encode_host_report(const HostReport& report);
+
+/// Decodes a frame body; nullopt on malformed input.
+std::optional<HostReport> decode_host_report(std::string_view frame);
+
+/// A RecordSink that streams every report to disk.
+class DatasetWriter : public RecordSink {
+ public:
+  /// Opens `path` for writing; check ok() before use.
+  explicit DatasetWriter(const std::string& path);
+  ~DatasetWriter() override;
+  DatasetWriter(const DatasetWriter&) = delete;
+  DatasetWriter& operator=(const DatasetWriter&) = delete;
+
+  bool ok() const noexcept { return file_ != nullptr; }
+  std::uint64_t records_written() const noexcept { return records_; }
+
+  void on_host(const HostReport& report) override;
+
+  /// Flushes and closes; returns false if any write failed.
+  bool close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::uint64_t records_ = 0;
+  bool failed_ = false;
+};
+
+/// Streams reports back from a dataset file.
+class DatasetReader {
+ public:
+  explicit DatasetReader(const std::string& path);
+  ~DatasetReader();
+  DatasetReader(const DatasetReader&) = delete;
+  DatasetReader& operator=(const DatasetReader&) = delete;
+
+  /// True if the file opened and carried a valid header.
+  bool ok() const noexcept { return file_ != nullptr && header_ok_; }
+
+  /// Next report; nullopt at end of file. After nullopt, truncated()
+  /// reports whether the file ended cleanly.
+  std::optional<HostReport> next();
+
+  /// True if the file ended mid-frame or a checksum failed.
+  bool truncated() const noexcept { return truncated_; }
+  std::uint64_t records_read() const noexcept { return records_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  bool header_ok_ = false;
+  bool truncated_ = false;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace ftpc::core

@@ -1,0 +1,438 @@
+#include "core/enumerator.h"
+
+#include "common/strings.h"
+#include "ftp/path.h"
+
+namespace ftpc::core {
+
+std::string_view login_outcome_name(LoginOutcome outcome) noexcept {
+  switch (outcome) {
+    case LoginOutcome::kNotAttempted:
+      return "not_attempted";
+    case LoginOutcome::kAccepted:
+      return "accepted";
+    case LoginOutcome::kRejected:
+      return "rejected";
+    case LoginOutcome::kNeedVirtualHost:
+      return "need_virtual_host";
+    case LoginOutcome::kFtpsRequired:
+      return "ftps_required";
+    case LoginOutcome::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::shared_ptr<HostEnumerator> HostEnumerator::start(
+    sim::Network& network, Ipv4 target, EnumeratorOptions options,
+    DoneHandler done) {
+  std::shared_ptr<HostEnumerator> session(
+      new HostEnumerator(network, target, std::move(options), std::move(done)));
+  session->self_ = session;
+  session->begin();
+  return session;
+}
+
+HostEnumerator::HostEnumerator(sim::Network& network, Ipv4 target,
+                               EnumeratorOptions options, DoneHandler done)
+    : network_(network), options_(std::move(options)), done_(std::move(done)) {
+  report_.ip = target;
+}
+
+void HostEnumerator::begin() {
+  ftp::FtpClient::Options client_options;
+  client_options.client_ip = options_.client_ip;
+  client_ = ftp::FtpClient::create(network_, client_options);
+  auto self = shared_from_this();
+  client_->connect(report_.ip, 21,
+                   [self](Result<ftp::Reply> result) {
+                     self->on_banner(std::move(result));
+                   });
+}
+
+void HostEnumerator::after_gap(std::function<void()> fn) {
+  auto self = shared_from_this();
+  network_.loop().schedule_after(options_.request_gap,
+                                 [self, fn = std::move(fn)] {
+                                   if (!self->finished_) fn();
+                                 });
+}
+
+bool HostEnumerator::budget_exhausted() const {
+  return client_->commands_sent() >= options_.request_cap;
+}
+
+// ---------------------------------------------------------------------------
+// Contact + login
+// ---------------------------------------------------------------------------
+
+void HostEnumerator::on_banner(Result<ftp::Reply> result) {
+  if (!result.is_ok()) {
+    // Refused, timed out, or spoke something that is not FTP.
+    report_.connected = result.code() != ErrorCode::kConnectionRefused &&
+                        result.code() != ErrorCode::kTimeout;
+    report_.ftp_compliant = false;
+    finalize(result.status());
+    return;
+  }
+  const ftp::Reply& banner = result.value();
+  report_.connected = true;
+  if (banner.code != 220) {
+    report_.ftp_compliant = false;
+    finalize(Status(ErrorCode::kProtocolError,
+                    "banner code " + std::to_string(banner.code)));
+    return;
+  }
+  report_.ftp_compliant = true;
+  report_.banner = banner.full_text();
+
+  // §III.A: parse banners for "no anonymous access" statements and skip
+  // the login attempt entirely.
+  if (icontains(report_.banner, "no anonymous")) {
+    report_.login = LoginOutcome::kNotAttempted;
+    after_login();
+    return;
+  }
+  start_login();
+}
+
+void HostEnumerator::start_login() {
+  auto self = shared_from_this();
+  after_gap([self] {
+    self->client_->send("USER", "anonymous", [self](Result<ftp::Reply> r) {
+      self->on_user_reply(std::move(r));
+    });
+  });
+}
+
+void HostEnumerator::on_user_reply(Result<ftp::Reply> result) {
+  if (!result.is_ok()) {
+    report_.login = LoginOutcome::kError;
+    abort_with(result.status());
+    return;
+  }
+  const ftp::Reply& reply = result.value();
+  if (reply.code == 230) {
+    report_.login = LoginOutcome::kAccepted;
+    after_login();
+    return;
+  }
+  if (reply.code == 530) {
+    report_.login = LoginOutcome::kRejected;
+    after_login();
+    return;
+  }
+  if (reply.code != 331 && reply.code != 332) {
+    report_.login = LoginOutcome::kError;
+    after_login();
+    return;
+  }
+
+  // The four meanings of 331 (§II). The text is only a hint; we still send
+  // PASS, because some implementations reject in the 331 text yet accept
+  // the login anyway.
+  const std::string text = reply.full_text();
+  if (icontains(text, "secure connection") || icontains(text, "ssl") ||
+      icontains(text, "tls")) {
+    report_.ftps_required_before_login = true;
+  }
+  const bool wants_vhost =
+      icontains(text, "virtual") && icontains(text, "hostname");
+
+  auto self = shared_from_this();
+  after_gap([self, wants_vhost] {
+    self->client_->send("PASS", self->options_.password,
+                        [self, wants_vhost](Result<ftp::Reply> r) {
+                          if (r.is_ok() && !r.value().is_positive_completion() &&
+                              wants_vhost) {
+                            self->report_.login =
+                                LoginOutcome::kNeedVirtualHost;
+                            self->after_login();
+                            return;
+                          }
+                          self->on_pass_reply(std::move(r));
+                        });
+  });
+}
+
+void HostEnumerator::on_pass_reply(Result<ftp::Reply> result) {
+  if (!result.is_ok()) {
+    report_.login = LoginOutcome::kError;
+    abort_with(result.status());
+    return;
+  }
+  const int code = result.value().code;
+  if (code == 230) {
+    report_.login = LoginOutcome::kAccepted;
+  } else if (report_.ftps_required_before_login) {
+    report_.login = LoginOutcome::kFtpsRequired;
+  } else {
+    report_.login = LoginOutcome::kRejected;
+  }
+  after_login();
+}
+
+void HostEnumerator::after_login() {
+  if (report_.anonymous()) {
+    fetch_robots();
+  } else {
+    start_surveys();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// robots.txt
+// ---------------------------------------------------------------------------
+
+void HostEnumerator::fetch_robots() {
+  if (!options_.honor_robots) {
+    start_traversal();
+    return;
+  }
+  auto self = shared_from_this();
+  after_gap([self] {
+    self->client_->download(
+        "RETR", "/robots.txt",
+        [self](Result<ftp::TransferOutcome> result) {
+          if (!result.is_ok()) {
+            self->abort_with(result.status());
+            return;
+          }
+          const ftp::TransferOutcome& outcome = result.value();
+          if (!outcome.refused && !outcome.data.empty()) {
+            self->report_.robots_present = true;
+            self->robots_ = ftp::RobotsPolicy::parse(outcome.data);
+            self->have_robots_ = true;
+            // Honor Crawl-delay by stretching the inter-request gap (the
+            // paper's 2 req/s is the floor, not the ceiling).
+            if (const auto delay =
+                    self->robots_.crawl_delay(self->options_.user_agent)) {
+              const auto gap = static_cast<sim::SimTime>(
+                  *delay * static_cast<double>(sim::kSecond));
+              if (gap > self->options_.request_gap) {
+                self->options_.request_gap = gap;
+              }
+            }
+            if (self->robots_.excludes_everything(
+                    self->options_.user_agent)) {
+              // §IV: 5.9K servers excluded the entire filesystem; we honor
+              // that and skip traversal.
+              self->report_.robots_full_exclusion = true;
+              self->start_surveys();
+              return;
+            }
+          }
+          self->start_traversal();
+        });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Traversal
+// ---------------------------------------------------------------------------
+
+void HostEnumerator::start_traversal() {
+  frontier_.push_back("/");
+  visited_.insert("/");
+  traversal_step();
+}
+
+void HostEnumerator::traversal_step() {
+  if (finished_) return;
+  if (frontier_.empty()) {
+    start_surveys();
+    return;
+  }
+  if (budget_exhausted()) {
+    report_.truncated_by_request_cap = true;
+    start_surveys();
+    return;
+  }
+  std::string dir;
+  if (options_.breadth_first) {
+    dir = std::move(frontier_.front());
+    frontier_.pop_front();
+  } else {
+    dir = std::move(frontier_.back());
+    frontier_.pop_back();
+  }
+  auto self = shared_from_this();
+  after_gap([self, dir = std::move(dir)]() mutable {
+    std::string arg = dir;
+    self->client_->download(
+        "LIST", std::move(arg),
+        [self, dir = std::move(dir)](Result<ftp::TransferOutcome> result) {
+          self->on_listing(dir, std::move(result));
+        });
+  });
+}
+
+void HostEnumerator::on_listing(std::string dir,
+                                Result<ftp::TransferOutcome> result) {
+  if (finished_) return;
+  if (!result.is_ok()) {
+    // §III.A: termination mid-traversal is an explicit refusal of service;
+    // cease interaction.
+    report_.server_terminated_early = true;
+    abort_with(result.status());
+    return;
+  }
+  const ftp::TransferOutcome& outcome = result.value();
+  ++report_.dirs_listed;
+  if (!outcome.refused) {
+    listing_bytes_ += outcome.data.size();
+    std::size_t skipped = 0;
+    const auto entries = ftp::parse_listing(outcome.data, &skipped);
+    report_.listing_lines_skipped += skipped;
+    const std::size_t depth = ftp::path_depth(dir);
+    for (const ftp::ListingEntry& entry : entries) {
+      if (report_.files.size() >= options_.max_files) break;
+      FileRecord record;
+      record.path = ftp::join_path(dir, entry.name);
+      record.is_dir = entry.is_dir;
+      record.size = entry.size;
+      record.readable = entry.readable;
+      record.world_writable = entry.world_writable;
+      record.has_permissions = entry.has_permissions;
+      record.owner = entry.owner;
+
+      if (entry.is_dir && depth + 1 < options_.max_depth &&
+          listing_bytes_ < options_.max_listing_bytes) {
+        const std::string& path = record.path;
+        const bool allowed =
+            !options_.honor_robots || !have_robots_ ||
+            robots_.is_allowed(options_.user_agent, path + "/");
+        if (allowed && visited_.insert(path).second) {
+          frontier_.push_back(path);
+        }
+      }
+      report_.files.push_back(std::move(record));
+    }
+  }
+  traversal_step();
+}
+
+// ---------------------------------------------------------------------------
+// Surveys (SYST / FEAT / HELP / SITE)
+// ---------------------------------------------------------------------------
+
+void HostEnumerator::start_surveys() {
+  report_.requests_used =
+      static_cast<std::uint32_t>(client_->commands_sent());
+  if (!options_.collect_surveys || !report_.anonymous()) {
+    // FEAT usually answers pre-login; everything else needs auth.
+    survey_step(1);
+    return;
+  }
+  survey_step(0);
+}
+
+void HostEnumerator::survey_step(int stage) {
+  if (finished_) return;
+  auto self = shared_from_this();
+  auto advance = [self](int next) { self->survey_step(next); };
+  switch (stage) {
+    case 0:
+      after_gap([self, advance] {
+        self->client_->send("SYST", "", [self, advance](Result<ftp::Reply> r) {
+          if (r.is_ok()) self->report_.syst_reply = r.value().full_text();
+          advance(1);
+        });
+      });
+      return;
+    case 1:
+      if (!options_.collect_surveys) {
+        advance(4);
+        return;
+      }
+      after_gap([self, advance] {
+        self->client_->send("FEAT", "", [self, advance](Result<ftp::Reply> r) {
+          if (r.is_ok() && r.value().is_positive_completion()) {
+            self->report_.feat_lines = r.value().lines;
+          }
+          advance(self->report_.anonymous() ? 2 : 4);
+        });
+      });
+      return;
+    case 2:
+      after_gap([self, advance] {
+        self->client_->send("HELP", "", [self, advance](Result<ftp::Reply> r) {
+          if (r.is_ok()) self->report_.help_text = r.value().full_text();
+          advance(3);
+        });
+      });
+      return;
+    case 3:
+      after_gap([self, advance] {
+        self->client_->send("SITE", "HELP",
+                            [self, advance](Result<ftp::Reply> r) {
+                              if (r.is_ok()) {
+                                self->report_.site_text =
+                                    r.value().full_text();
+                              }
+                              advance(4);
+                            });
+      });
+      return;
+    default:
+      start_tls_probe();
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FTPS probe + teardown
+// ---------------------------------------------------------------------------
+
+void HostEnumerator::start_tls_probe() {
+  if (finished_) return;
+  // Record the NAT signal gathered during traversal.
+  if (const auto hp = client_->last_pasv_hostport()) {
+    if (Ipv4(hp->ip) != report_.ip) report_.pasv_ip = Ipv4(hp->ip);
+  }
+  if (!options_.try_tls) {
+    finish_session();
+    return;
+  }
+  auto self = shared_from_this();
+  after_gap([self] {
+    self->client_->auth_tls([self](Result<ftp::Certificate> result) {
+      if (result.is_ok()) {
+        self->report_.ftps_supported = true;
+        self->report_.certificate = std::move(result).take();
+      } else if (result.code() != ErrorCode::kUnavailable) {
+        // Connection died during the handshake; keep what we have.
+        self->finalize(result.status());
+        return;
+      }
+      self->finish_session();
+    });
+  });
+}
+
+void HostEnumerator::finish_session() {
+  if (finished_) return;
+  auto self = shared_from_this();
+  client_->quit([self] { self->finalize(Status::ok()); });
+}
+
+void HostEnumerator::abort_with(Status error) {
+  if (finished_) return;
+  client_->abort_session();
+  finalize(std::move(error));
+}
+
+void HostEnumerator::finalize(Status error) {
+  if (finished_) return;
+  finished_ = true;
+  report_.error = std::move(error);
+  report_.requests_used =
+      static_cast<std::uint32_t>(client_->commands_sent());
+  client_->abort_session();
+  DoneHandler done = std::move(done_);
+  HostReport report = std::move(report_);
+  auto keep_alive = std::move(self_);  // drop self-ownership after `done`
+  done(std::move(report));
+}
+
+}  // namespace ftpc::core

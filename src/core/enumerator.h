@@ -1,0 +1,106 @@
+// The robust FTP enumerator — the paper's core engineering contribution.
+//
+// One HostEnumerator drives one host through the full measurement
+// protocol, mirroring §III:
+//   1. connect, read the 220 banner (bail out on non-FTP speakers);
+//   2. attempt an anonymous login per RFC 1635 (password = abuse-contact
+//      e-mail), skipping the attempt if the banner forbids it, and
+//      classifying the zoo of 331-reply meanings;
+//   3. fetch and honor robots.txt (Google semantics);
+//   4. traverse the directory tree breadth-first, at most two requests per
+//      second and 500 requests per connection, recording every listing
+//      entry with its permission bits;
+//   5. collect SYST/FEAT/HELP/SITE output;
+//   6. attempt AUTH TLS regardless of login success and record the
+//      certificate;
+//   7. QUIT.
+//
+// A server that resets or closes mid-traversal is treated as an explicit
+// refusal of service: interaction stops and the partial report is kept.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+
+#include "common/ipv4.h"
+#include "core/records.h"
+#include "ftp/client.h"
+#include "ftp/robots.h"
+#include "sim/network.h"
+
+namespace ftpc::core {
+
+struct EnumeratorOptions {
+  Ipv4 client_ip{141, 212, 120, 7};  // scanner host (descriptive WHOIS...)
+  std::string password = "ftp-census@research.example.edu";
+  std::string user_agent = "ftpcensus";
+
+  std::uint32_t request_cap = 500;            // per connection (§III.A)
+  sim::SimTime request_gap = sim::kSecond / 2;  // <= 2 requests/second
+  std::uint32_t max_depth = 16;
+  std::uint64_t max_listing_bytes = 32ull << 20;
+  std::uint64_t max_files = 200'000;
+
+  bool honor_robots = true;
+  bool collect_surveys = true;
+  bool try_tls = true;
+  bool breadth_first = true;  // ablation: depth-first when false
+};
+
+/// Runs the enumeration of a single host. Self-owning: keeps itself alive
+/// until the completion callback fires.
+class HostEnumerator : public std::enable_shared_from_this<HostEnumerator> {
+ public:
+  using DoneHandler = std::function<void(HostReport)>;
+
+  static std::shared_ptr<HostEnumerator> start(sim::Network& network,
+                                               Ipv4 target,
+                                               EnumeratorOptions options,
+                                               DoneHandler done);
+
+ private:
+  HostEnumerator(sim::Network& network, Ipv4 target,
+                 EnumeratorOptions options, DoneHandler done);
+
+  void begin();
+  void on_banner(Result<ftp::Reply> result);
+  void start_login();
+  void on_user_reply(Result<ftp::Reply> result);
+  void on_pass_reply(Result<ftp::Reply> result);
+  void after_login();
+  void fetch_robots();
+  void start_traversal();
+  void traversal_step();
+  void on_listing(std::string dir, Result<ftp::TransferOutcome> result);
+  void start_surveys();
+  void survey_step(int stage);
+  void start_tls_probe();
+  void finish_session();
+  void finalize(Status error);
+  void abort_with(Status error);
+
+  /// Schedules `fn` after the inter-request gap (rate limiting).
+  void after_gap(std::function<void()> fn);
+
+  bool budget_exhausted() const;
+
+  sim::Network& network_;
+  EnumeratorOptions options_;
+  DoneHandler done_;
+  std::shared_ptr<ftp::FtpClient> client_;
+  HostReport report_;
+
+  ftp::RobotsPolicy robots_;
+  bool have_robots_ = false;
+  std::deque<std::string> frontier_;
+  std::unordered_set<std::string> visited_;
+  std::uint64_t listing_bytes_ = 0;
+  bool finished_ = false;
+  std::shared_ptr<HostEnumerator> self_;  // released on completion
+};
+
+}  // namespace ftpc::core

@@ -1,0 +1,104 @@
+// The enumeration data model: what one census session learns about one
+// host. Hosts are processed independently; a HostReport (with its full
+// file listing) is handed to a RecordSink and then discarded, so census
+// memory stays bounded regardless of scale.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ipv4.h"
+#include "common/result.h"
+#include "ftp/cert.h"
+#include "ftp/listing_parser.h"
+
+namespace ftpc::core {
+
+/// Outcome of the RFC 1635 anonymous login attempt.
+enum class LoginOutcome {
+  kNotAttempted,   // banner stated anonymous access is forbidden
+  kAccepted,       // 230 — we are in
+  kRejected,       // 530 (directly or after PASS)
+  kNeedVirtualHost,  // 331 asked for "anonymous@vhost"
+  kFtpsRequired,   // server demands TLS before login
+  kError,          // connection died / unparseable replies
+};
+
+std::string_view login_outcome_name(LoginOutcome outcome) noexcept;
+
+/// One listed file or directory.
+struct FileRecord {
+  std::string path;  // absolute, normalized
+  bool is_dir = false;
+  std::uint64_t size = 0;
+  ftp::Readability readable = ftp::Readability::kUnknown;
+  bool world_writable = false;
+  bool has_permissions = false;
+  std::string owner;
+};
+
+/// Everything one enumeration session produced.
+struct HostReport {
+  Ipv4 ip;
+
+  // Contact phase.
+  bool connected = false;
+  bool ftp_compliant = false;  // sent a parseable 220 banner
+  std::string banner;
+
+  // Login phase.
+  LoginOutcome login = LoginOutcome::kError;
+  bool anonymous() const noexcept { return login == LoginOutcome::kAccepted; }
+
+  // Traversal phase.
+  std::vector<FileRecord> files;
+  std::uint64_t dirs_listed = 0;
+  std::uint64_t listing_lines_skipped = 0;  // robustness signal
+  bool robots_present = false;
+  bool robots_full_exclusion = false;
+  bool truncated_by_request_cap = false;
+  bool server_terminated_early = false;  // reset/close mid-traversal
+  std::uint32_t requests_used = 0;
+
+  // Survey phase.
+  std::string syst_reply;
+  std::vector<std::string> feat_lines;
+  std::string help_text;
+  std::string site_text;
+
+  // FTPS phase.
+  bool ftps_supported = false;
+  bool ftps_required_before_login = false;
+  std::optional<ftp::Certificate> certificate;
+
+  // NAT signal: address the server reported in its 227 replies, when it
+  // differs from the address we connected to.
+  std::optional<Ipv4> pasv_ip;
+
+  // Terminal error, if the session ended abnormally.
+  Status error;
+};
+
+/// Receives completed host reports. Implementations must tolerate reports
+/// in any host order (sessions run concurrently).
+class RecordSink {
+ public:
+  virtual ~RecordSink() = default;
+  virtual void on_host(const HostReport& report) = 0;
+};
+
+/// Keeps every report (tests and small studies).
+class VectorSink : public RecordSink {
+ public:
+  void on_host(const HostReport& report) override {
+    reports_.push_back(report);
+  }
+  const std::vector<HostReport>& reports() const noexcept { return reports_; }
+
+ private:
+  std::vector<HostReport> reports_;
+};
+
+}  // namespace ftpc::core

@@ -1,0 +1,69 @@
+#include "ftp/cert.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace ftpc::ftp {
+
+namespace {
+[[maybe_unused]] bool field_ok(std::string_view s) noexcept {
+  return s.find('|') == std::string_view::npos &&
+         s.find('\r') == std::string_view::npos &&
+         s.find('\n') == std::string_view::npos;
+}
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+}  // namespace
+
+std::string Certificate::encode() const {
+  assert(field_ok(subject_cn) && field_ok(issuer_cn));
+  std::string out = "CN=" + subject_cn + "|IS=" + issuer_cn +
+                    "|SN=" + hex_u64(serial) + "|KID=" + hex_u64(key_id) +
+                    "|TR=" + (browser_trusted ? "1" : "0");
+  return out;
+}
+
+std::optional<Certificate> Certificate::decode(std::string_view encoded) {
+  Certificate cert;
+  bool have_cn = false, have_is = false;
+  for (const std::string_view field : split(encoded, '|')) {
+    const std::size_t eq = field.find('=');
+    if (eq == std::string_view::npos) return std::nullopt;
+    const std::string_view key = field.substr(0, eq);
+    const std::string_view value = field.substr(eq + 1);
+    if (key == "CN") {
+      cert.subject_cn = std::string(value);
+      have_cn = true;
+    } else if (key == "IS") {
+      cert.issuer_cn = std::string(value);
+      have_is = true;
+    } else if (key == "SN" || key == "KID") {
+      std::uint64_t v = 0;
+      for (const char c : value) {
+        const int digit = (c >= '0' && c <= '9')   ? c - '0'
+                          : (c >= 'a' && c <= 'f') ? c - 'a' + 10
+                          : (c >= 'A' && c <= 'F') ? c - 'A' + 10
+                                                   : -1;
+        if (digit < 0) return std::nullopt;
+        v = (v << 4) | static_cast<std::uint64_t>(digit);
+      }
+      (key == "SN" ? cert.serial : cert.key_id) = v;
+    } else if (key == "TR") {
+      cert.browser_trusted = value == "1";
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (!have_cn || !have_is) return std::nullopt;
+  return cert;
+}
+
+Sha256Digest Certificate::fingerprint() const { return sha256(encode()); }
+
+}  // namespace ftpc::ftp

@@ -1,0 +1,44 @@
+// X.509-lite certificates for the FTPS (AUTH TLS) metadata simulation.
+//
+// The paper's FTPS analysis is about certificate *identity*: how many
+// distinct certificates exist across 3.4M FTPS servers, which CNs dominate,
+// which are browser-trusted vs self-signed, and which device vendors ship
+// one key pair in every unit. None of that needs real cryptography — it
+// needs a certificate object with subject/issuer/serial/key identity and a
+// stable fingerprint. The simulated TLS upgrade (ftp/tls.h) transports
+// these over the control channel after a successful AUTH TLS.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/hash.h"
+
+namespace ftpc::ftp {
+
+struct Certificate {
+  std::string subject_cn;  // e.g. "*.home.pl", "QNAP NAS", "localhost"
+  std::string issuer_cn;   // equals subject_cn for self-signed certs
+  std::uint64_t serial = 0;
+  /// Identifies the private key. Devices that ship the same key in every
+  /// unit share this value — the paper's MITM observation hinges on it.
+  std::uint64_t key_id = 0;
+  bool browser_trusted = false;
+
+  bool self_signed() const noexcept { return subject_cn == issuer_cn; }
+
+  /// Stable SHA-256 fingerprint over the canonical encoding. Two certs
+  /// compare equal for the study's purposes iff fingerprints match.
+  Sha256Digest fingerprint() const;
+
+  /// Canonical single-line encoding used both for fingerprinting and for
+  /// the simulated TLS handshake. Fields must not contain '|' or CR/LF.
+  std::string encode() const;
+  static std::optional<Certificate> decode(std::string_view encoded);
+
+  friend bool operator==(const Certificate&, const Certificate&) = default;
+};
+
+}  // namespace ftpc::ftp

@@ -1,0 +1,570 @@
+#include "ftp/client.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/log.h"
+#include "common/strings.h"
+
+namespace ftpc::ftp {
+
+// ---------------------------------------------------------------------------
+// Transfer state
+// ---------------------------------------------------------------------------
+
+struct FtpClient::Transfer {
+  std::string verb;
+  std::string arg;
+  std::string upload_content;
+  bool is_upload = false;
+  TransferHandler handler;
+
+  std::shared_ptr<sim::Connection> data_conn;
+  bool data_closed = false;
+  bool command_sent = false;
+  bool opening_received = false;
+  bool completion_received = false;
+  Reply opening;
+  Reply completion;
+  std::string data;
+
+  // Active-mode listener bookkeeping.
+  bool listener_active = false;
+  sim::Endpoint listen_endpoint;
+
+  sim::TimerId timer = 0;
+  bool timer_armed = false;
+  bool done = false;
+};
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<FtpClient> FtpClient::create(sim::Network& network,
+                                             Options options) {
+  return std::shared_ptr<FtpClient>(new FtpClient(network, options));
+}
+
+FtpClient::FtpClient(sim::Network& network, Options options)
+    : network_(network), options_(options) {}
+
+FtpClient::~FtpClient() { abort_session(); }
+
+void FtpClient::abort_session() {
+  disarm_timeout();
+  if (transfer_) {
+    auto transfer = transfer_;
+    transfer_.reset();
+    if (transfer->timer_armed) network_.loop().cancel(transfer->timer);
+    if (transfer->listener_active) {
+      network_.stop_listening(transfer->listen_endpoint.ip,
+                              transfer->listen_endpoint.port);
+    }
+    if (transfer->data_conn) {
+      transfer->data_conn->set_callbacks({});
+      transfer->data_conn->reset();
+      transfer->data_conn.reset();
+    }
+  }
+  if (control_) {
+    control_->set_callbacks({});
+    control_->reset();
+    control_.reset();
+  }
+  pending_reply_ = nullptr;
+  pending_cert_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Control connection
+// ---------------------------------------------------------------------------
+
+void FtpClient::connect(Ipv4 server_ip, std::uint16_t port,
+                        ReplyHandler on_banner) {
+  assert(!control_ && "client already connected");
+  assert(!pending_reply_ && "operation already outstanding");
+  server_ip_ = server_ip;
+  pending_reply_ = std::move(on_banner);
+  arm_timeout(options_.reply_timeout + network_.config().connect_timeout);
+
+  std::weak_ptr<FtpClient> weak = weak_from_this();
+  network_.connect(
+      options_.client_ip, server_ip, port,
+      [weak](Result<std::shared_ptr<sim::Connection>> result) {
+        auto self = weak.lock();
+        if (!self) return;
+        if (!result.is_ok()) {
+          self->disarm_timeout();
+          self->fail_pending(result.status());
+          return;
+        }
+        self->control_ = std::move(result).take();
+        self->install_control_callbacks();
+        // The 220 banner arrives as ordinary reply data; the pending
+        // handler fires once it parses.
+      });
+}
+
+void FtpClient::install_control_callbacks() {
+  std::weak_ptr<FtpClient> weak = weak_from_this();
+  sim::ConnCallbacks callbacks;
+  callbacks.on_data = [weak](std::string_view data) {
+    if (auto self = weak.lock()) self->on_control_data(data);
+  };
+  callbacks.on_close = [weak] {
+    if (auto self = weak.lock()) {
+      self->on_control_gone(
+          Status(ErrorCode::kConnectionReset, "server closed control"));
+    }
+  };
+  callbacks.on_reset = [weak](Status status) {
+    if (auto self = weak.lock()) self->on_control_gone(std::move(status));
+  };
+  control_->set_callbacks(std::move(callbacks));
+}
+
+void FtpClient::on_control_gone(Status status) {
+  if (control_) {
+    control_->set_callbacks({});
+    control_.reset();
+  }
+  disarm_timeout();
+  fail_pending(std::move(status));
+}
+
+void FtpClient::on_control_data(std::string_view data) {
+  if (in_tls_handshake_) {
+    tls_line_reader_.push(data);
+    while (auto line = tls_line_reader_.pop_line()) {
+      if (istarts_with(*line, "~TLS CERT ")) {
+        const auto cert = Certificate::decode(std::string_view(*line).substr(10));
+        if (!cert) {
+          disarm_timeout();
+          in_tls_handshake_ = false;
+          if (pending_cert_) {
+            auto handler = std::move(pending_cert_);
+            pending_cert_ = nullptr;
+            handler(Status(ErrorCode::kProtocolError, "bad TLS certificate"));
+          }
+          return;
+        }
+        // Stash until the OK record arrives.
+        pending_cert_value_ = *cert;
+        have_cert_value_ = true;
+      } else if (*line == "~TLS OK") {
+        disarm_timeout();
+        in_tls_handshake_ = false;
+        tls_active_ = true;
+        auto handler = std::move(pending_cert_);
+        pending_cert_ = nullptr;
+        if (handler) {
+          if (have_cert_value_) {
+            handler(pending_cert_value_);
+          } else {
+            handler(Status(ErrorCode::kProtocolError,
+                           "TLS OK without certificate"));
+          }
+        }
+        return;
+      } else {
+        disarm_timeout();
+        in_tls_handshake_ = false;
+        auto handler = std::move(pending_cert_);
+        pending_cert_ = nullptr;
+        if (handler) {
+          handler(Status(ErrorCode::kProtocolError,
+                         "unexpected TLS record: " + *line));
+        }
+        return;
+      }
+    }
+    return;
+  }
+
+  reply_parser_.push(data);
+  if (reply_parser_.poisoned()) {
+    on_control_gone(Status(ErrorCode::kProtocolError,
+                           "server is not speaking FTP"));
+    return;
+  }
+  dispatch_replies();
+}
+
+void FtpClient::dispatch_replies() {
+  while (auto reply = reply_parser_.pop_reply()) {
+    if (pending_reply_) {
+      disarm_timeout();
+      auto handler = std::move(pending_reply_);
+      pending_reply_ = nullptr;
+      handler(std::move(*reply));
+      continue;
+    }
+    if (transfer_ && !transfer_->done) {
+      auto transfer = transfer_;
+      if (!transfer->opening_received) {
+        transfer->opening_received = true;
+        transfer->opening = *reply;
+        if (reply->is_transient_negative() || reply->is_permanent_negative()) {
+          // Refused (550 no such dir, 425 can't open data connection, ...).
+          TransferOutcome outcome;
+          outcome.opening = std::move(*reply);
+          outcome.refused = true;
+          transfer->done = true;
+          if (transfer->timer_armed) network_.loop().cancel(transfer->timer);
+          if (transfer->listener_active) {
+            network_.stop_listening(transfer->listen_endpoint.ip,
+                                    transfer->listen_endpoint.port);
+          }
+          if (transfer->data_conn) {
+            transfer->data_conn->set_callbacks({});
+            transfer->data_conn->close();
+            transfer->data_conn.reset();
+          }
+          transfer_.reset();
+          transfer->handler(std::move(outcome));
+        } else if (reply->is_positive_completion()) {
+          // Some servers send a lone 2xx for an empty transfer.
+          transfer->completion_received = true;
+          transfer->completion = std::move(*reply);
+          transfer_maybe_finish(transfer);
+        } else if (transfer->is_upload) {
+          // 150: the server is ready for our bytes.
+          if (transfer->data_conn) {
+            transfer->data_conn->send(transfer->upload_content);
+            transfer->data_conn->close();
+            transfer->data_closed = true;
+          }
+        }
+      } else if (!transfer->completion_received) {
+        transfer->completion_received = true;
+        transfer->completion = std::move(*reply);
+        transfer_maybe_finish(transfer);
+      }
+      continue;
+    }
+    log_debug() << "unsolicited reply " << reply->code << " from "
+                << server_ip_.str();
+  }
+}
+
+void FtpClient::fail_pending(Status status) {
+  if (pending_reply_) {
+    auto handler = std::move(pending_reply_);
+    pending_reply_ = nullptr;
+    handler(status);
+  }
+  if (pending_cert_) {
+    in_tls_handshake_ = false;
+    auto handler = std::move(pending_cert_);
+    pending_cert_ = nullptr;
+    handler(status);
+  }
+  if (transfer_ && !transfer_->done) {
+    // Copy: transfer_fail() resets transfer_, which must not invalidate
+    // the argument it is still using.
+    auto transfer = transfer_;
+    transfer_fail(transfer, status);
+  }
+}
+
+void FtpClient::arm_timeout(sim::SimTime delay) {
+  disarm_timeout();
+  std::weak_ptr<FtpClient> weak = weak_from_this();
+  timeout_armed_ = true;
+  timeout_timer_ = network_.loop().schedule_after(delay, [weak] {
+    auto self = weak.lock();
+    if (!self) return;
+    self->timeout_armed_ = false;
+    self->fail_pending(Status(ErrorCode::kTimeout, "no reply from server"));
+  });
+}
+
+void FtpClient::disarm_timeout() {
+  if (timeout_armed_) {
+    network_.loop().cancel(timeout_timer_);
+    timeout_armed_ = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Simple commands
+// ---------------------------------------------------------------------------
+
+void FtpClient::send_command(Command command, ReplyHandler on_reply) {
+  assert(!pending_reply_ && !pending_cert_ && "operation already outstanding");
+  if (!control_ || !control_->is_open()) {
+    network_.loop().schedule_after(0, [on_reply] {
+      on_reply(Status(ErrorCode::kConnectionReset, "control connection dead"));
+    });
+    return;
+  }
+  ++commands_sent_;
+  pending_reply_ = std::move(on_reply);
+  arm_timeout(options_.reply_timeout);
+  control_->send(command.wire());
+}
+
+void FtpClient::send(std::string verb, std::string arg,
+                     ReplyHandler on_reply) {
+  send_command(Command{.verb = std::move(verb), .arg = std::move(arg)},
+               std::move(on_reply));
+}
+
+// ---------------------------------------------------------------------------
+// AUTH TLS
+// ---------------------------------------------------------------------------
+
+void FtpClient::auth_tls(CertHandler handler) {
+  std::weak_ptr<FtpClient> weak = weak_from_this();
+  send("AUTH", "TLS", [weak, handler](Result<Reply> result) {
+    auto self = weak.lock();
+    if (!self) return;
+    if (!result.is_ok()) {
+      handler(result.status());
+      return;
+    }
+    const Reply& reply = result.value();
+    if (reply.code != 234) {
+      handler(Status(ErrorCode::kUnavailable,
+                     "AUTH TLS refused with " + std::to_string(reply.code)));
+      return;
+    }
+    if (!self->control_ || !self->control_->is_open()) {
+      handler(Status(ErrorCode::kConnectionReset, "control connection dead"));
+      return;
+    }
+    self->in_tls_handshake_ = true;
+    self->have_cert_value_ = false;
+    self->pending_cert_ = handler;
+    self->arm_timeout(self->options_.reply_timeout);
+    self->control_->send("~TLS HELLO\r\n");
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Transfers
+// ---------------------------------------------------------------------------
+
+void FtpClient::download(std::string verb, std::string arg,
+                         TransferHandler handler) {
+  begin_transfer(std::move(verb), std::move(arg), std::string(),
+                 std::move(handler));
+}
+
+void FtpClient::upload(std::string path, std::string content,
+                       TransferHandler handler) {
+  begin_transfer("STOR", std::move(path), std::move(content),
+                 std::move(handler));
+}
+
+void FtpClient::begin_transfer(std::string verb, std::string arg,
+                               std::string upload, TransferHandler handler) {
+  assert(!transfer_ && "transfer already in progress");
+  auto transfer = std::make_shared<Transfer>();
+  transfer->verb = std::move(verb);
+  transfer->arg = std::move(arg);
+  transfer->upload_content = std::move(upload);
+  transfer->is_upload = transfer->verb == "STOR";
+  transfer->handler = std::move(handler);
+  transfer_ = transfer;
+
+  std::weak_ptr<FtpClient> weak = weak_from_this();
+  transfer->timer_armed = true;
+  transfer->timer = network_.loop().schedule_after(
+      options_.transfer_timeout, [weak, transfer] {
+        auto self = weak.lock();
+        if (!self || transfer->done) return;
+        transfer->timer_armed = false;
+        self->transfer_fail(transfer,
+                            Status(ErrorCode::kTimeout, "transfer timeout"));
+      });
+
+  if (options_.transfer_mode == TransferMode::kPassive) {
+    send("PASV", "", [weak, transfer](Result<Reply> result) {
+      auto self = weak.lock();
+      if (!self || transfer->done) return;
+      if (!result.is_ok()) {
+        self->transfer_fail(transfer, result.status());
+        return;
+      }
+      const Reply& reply = result.value();
+      if (reply.code == 227) self->last_pasv_reply_ = reply;
+      if (reply.code != 227) {
+        self->transfer_fail(
+            transfer, Status(ErrorCode::kProtocolError,
+                             "PASV refused: " + std::to_string(reply.code)));
+        return;
+      }
+      const auto hp = parse_pasv_reply(reply.full_text());
+      if (!hp) {
+        self->transfer_fail(transfer, Status(ErrorCode::kProtocolError,
+                                             "unparseable 227 reply"));
+        return;
+      }
+      // NAT'd servers advertise their internal address in the 227 reply
+      // (the paper's NAT detection signal). Like real clients, dial the
+      // control-channel address instead of the unroutable one.
+      Ipv4 data_ip(hp->ip);
+      if (data_ip != self->server_ip_) data_ip = self->server_ip_;
+      self->network_.connect(
+          self->options_.client_ip, data_ip, hp->port,
+          [weak, transfer](Result<std::shared_ptr<sim::Connection>> conn) {
+            auto self2 = weak.lock();
+            if (!self2 || transfer->done) return;
+            if (!conn.is_ok()) {
+              self2->transfer_fail(transfer, conn.status());
+              return;
+            }
+            transfer->data_conn = std::move(conn).take();
+            self2->transfer_open_data(transfer);
+          });
+    });
+    return;
+  }
+
+  // Active mode: listen on an ephemeral port and invite the server in.
+  const std::uint16_t port = network_.allocate_ephemeral_port();
+  transfer->listen_endpoint = sim::Endpoint{options_.client_ip, port};
+  transfer->listener_active = true;
+  network_.listen(options_.client_ip, port,
+                  [weak, transfer](std::shared_ptr<sim::Connection> conn) {
+                    auto self = weak.lock();
+                    if (!self || transfer->done) {
+                      conn->reset();
+                      return;
+                    }
+                    self->network_.stop_listening(
+                        transfer->listen_endpoint.ip,
+                        transfer->listen_endpoint.port);
+                    transfer->listener_active = false;
+                    transfer->data_conn = std::move(conn);
+                    self->transfer_open_data(transfer);
+                  });
+
+  const HostPort hp{.ip = options_.client_ip.value(), .port = port};
+  send("PORT", hp.wire(), [weak, transfer](Result<Reply> result) {
+    auto self = weak.lock();
+    if (!self || transfer->done) return;
+    if (!result.is_ok()) {
+      self->transfer_fail(transfer, result.status());
+      return;
+    }
+    if (!result.value().is_positive_completion()) {
+      self->transfer_fail(transfer,
+                          Status(ErrorCode::kProtocolError,
+                                 "PORT refused: " +
+                                     std::to_string(result.value().code)));
+      return;
+    }
+    // Issue the transfer command; the server will connect back to us.
+    if (!transfer->command_sent) {
+      transfer->command_sent = true;
+      ++self->commands_sent_;
+      self->control_->send(
+          Command{.verb = transfer->verb, .arg = transfer->arg}.wire());
+    }
+  });
+}
+
+void FtpClient::transfer_open_data(const std::shared_ptr<Transfer>& transfer) {
+  std::weak_ptr<FtpClient> weak = weak_from_this();
+  sim::ConnCallbacks callbacks;
+  callbacks.on_data = [weak, transfer](std::string_view data) {
+    auto self = weak.lock();
+    if (!self || transfer->done) return;
+    transfer->data += data;
+    self->bytes_downloaded_ += data.size();
+  };
+  callbacks.on_close = [weak, transfer] {
+    auto self = weak.lock();
+    if (!self || transfer->done) return;
+    transfer->data_closed = true;
+    self->transfer_maybe_finish(transfer);
+  };
+  callbacks.on_reset = [weak, transfer](Status status) {
+    auto self = weak.lock();
+    if (!self || transfer->done) return;
+    self->transfer_fail(transfer, std::move(status));
+  };
+  transfer->data_conn->set_callbacks(std::move(callbacks));
+
+  if (!transfer->command_sent) {
+    transfer->command_sent = true;
+    if (!control_ || !control_->is_open()) {
+      transfer_fail(transfer, Status(ErrorCode::kConnectionReset,
+                                     "control connection dead"));
+      return;
+    }
+    ++commands_sent_;
+    control_->send(
+        Command{.verb = transfer->verb, .arg = transfer->arg}.wire());
+  }
+}
+
+void FtpClient::transfer_maybe_finish(
+    const std::shared_ptr<Transfer>& transfer) {
+  if (transfer->done || !transfer->completion_received) return;
+  // Downloads also require the data connection to have drained; uploads
+  // close it themselves; refusals never opened one.
+  if (!transfer->is_upload && transfer->data_conn && !transfer->data_closed) {
+    return;
+  }
+  transfer->done = true;
+  if (transfer->timer_armed) network_.loop().cancel(transfer->timer);
+  if (transfer->listener_active) {
+    network_.stop_listening(transfer->listen_endpoint.ip,
+                            transfer->listen_endpoint.port);
+  }
+  if (transfer->data_conn) {
+    // Break the Transfer <-> Connection callback cycle.
+    transfer->data_conn->set_callbacks({});
+    transfer->data_conn->close();
+    transfer->data_conn.reset();
+  }
+  if (transfer_ == transfer) transfer_.reset();
+
+  TransferOutcome outcome;
+  outcome.opening = std::move(transfer->opening);
+  outcome.completion = std::move(transfer->completion);
+  outcome.data = std::move(transfer->data);
+  outcome.refused = false;
+  transfer->handler(std::move(outcome));
+}
+
+void FtpClient::transfer_fail(const std::shared_ptr<Transfer>& transfer,
+                              Status status) {
+  if (transfer->done) return;
+  transfer->done = true;
+  if (transfer->timer_armed) network_.loop().cancel(transfer->timer);
+  if (transfer->listener_active) {
+    network_.stop_listening(transfer->listen_endpoint.ip,
+                            transfer->listen_endpoint.port);
+  }
+  if (transfer->data_conn) {
+    transfer->data_conn->set_callbacks({});
+    transfer->data_conn->reset();
+    transfer->data_conn.reset();
+  }
+  if (transfer_ == transfer) transfer_.reset();
+  transfer->handler(std::move(status));
+}
+
+// ---------------------------------------------------------------------------
+// QUIT
+// ---------------------------------------------------------------------------
+
+void FtpClient::quit(VoidHandler done) {
+  if (!control_ || !control_->is_open()) {
+    abort_session();
+    network_.loop().schedule_after(0, done);
+    return;
+  }
+  std::weak_ptr<FtpClient> weak = weak_from_this();
+  send("QUIT", "", [weak, done](Result<Reply>) {
+    if (auto self = weak.lock()) self->abort_session();
+    done();
+  });
+}
+
+}  // namespace ftpc::ftp

@@ -1,0 +1,152 @@
+// Event-driven FTP client over the simulated network.
+//
+// Mirrors the architecture of the paper's enumerator (C + libevent): a
+// single control-connection state machine with one outstanding operation at
+// a time, passive- or active-mode data transfers, and a simulated AUTH TLS
+// upgrade that captures the server certificate.
+//
+// The client is deliberately conservative and robust: every await carries a
+// timeout, unparseable reply streams poison the session, and a reset at any
+// point fails the pending operation with a descriptive status.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/ipv4.h"
+#include "common/result.h"
+#include "ftp/cert.h"
+#include "ftp/command.h"
+#include "ftp/reply.h"
+#include "sim/network.h"
+
+namespace ftpc::ftp {
+
+/// How data connections are established.
+enum class TransferMode { kPassive, kActive };
+
+/// Outcome of a data transfer (LIST/NLST/RETR/STOR).
+struct TransferOutcome {
+  /// The reply that opened the transfer (150/125, or the 4xx/5xx refusal).
+  Reply opening;
+  /// The completion reply (226/250); code 0 if the transfer never opened.
+  Reply completion;
+  /// Downloaded bytes (empty for uploads and refused transfers).
+  std::string data;
+  /// True if the server refused the transfer (opening reply negative).
+  bool refused = false;
+};
+
+class FtpClient : public std::enable_shared_from_this<FtpClient> {
+ public:
+  struct Options {
+    Ipv4 client_ip;
+    sim::SimTime reply_timeout = 30 * sim::kSecond;
+    sim::SimTime transfer_timeout = 120 * sim::kSecond;
+    TransferMode transfer_mode = TransferMode::kPassive;
+  };
+
+  using ReplyHandler = std::function<void(Result<Reply>)>;
+  using TransferHandler = std::function<void(Result<TransferOutcome>)>;
+  using CertHandler = std::function<void(Result<Certificate>)>;
+  using VoidHandler = std::function<void()>;
+
+  static std::shared_ptr<FtpClient> create(sim::Network& network,
+                                           Options options);
+  ~FtpClient();
+
+  /// Connects to (server_ip, port) and awaits the 220 banner.
+  void connect(Ipv4 server_ip, std::uint16_t port, ReplyHandler on_banner);
+
+  /// Sends one command and awaits one reply. Only one operation may be
+  /// outstanding (asserted).
+  void send_command(Command command, ReplyHandler on_reply);
+
+  /// Convenience: send_command with a verb/arg pair.
+  void send(std::string verb, std::string arg, ReplyHandler on_reply);
+
+  /// Runs a full data-channel download (LIST, NLST, or RETR): negotiates
+  /// the data connection per the transfer mode, issues `verb arg`, and
+  /// collects bytes until the transfer completes.
+  void download(std::string verb, std::string arg, TransferHandler handler);
+
+  /// Uploads `content` via STOR `path`.
+  void upload(std::string path, std::string content, TransferHandler handler);
+
+  /// Issues AUTH TLS and, on 234, performs the simulated TLS handshake,
+  /// yielding the server certificate. On a negative reply the handler gets
+  /// kUnavailable (server does not support FTPS).
+  void auth_tls(CertHandler handler);
+
+  /// Sends QUIT, waits briefly for 221, then closes. Safe to call when the
+  /// connection is already dead.
+  void quit(VoidHandler done);
+
+  /// Hard-closes the control (and any data) connection immediately.
+  void abort_session();
+
+  bool connected() const noexcept { return control_ != nullptr; }
+  Ipv4 server_ip() const noexcept { return server_ip_; }
+  std::uint64_t commands_sent() const noexcept { return commands_sent_; }
+  std::uint64_t bytes_downloaded() const noexcept { return bytes_downloaded_; }
+  /// True once a simulated TLS session has been established.
+  bool tls_active() const noexcept { return tls_active_; }
+
+  /// The host/port tuple from the most recent 227 reply, if any. The paper
+  /// flags servers whose PASV address differs from the control address as
+  /// NAT'd (§VII.B).
+  const std::optional<Reply>& last_pasv_reply() const noexcept {
+    return last_pasv_reply_;
+  }
+  std::optional<HostPort> last_pasv_hostport() const {
+    if (!last_pasv_reply_) return std::nullopt;
+    return parse_pasv_reply(last_pasv_reply_->full_text());
+  }
+
+ private:
+  FtpClient(sim::Network& network, Options options);
+
+  void install_control_callbacks();
+  void on_control_data(std::string_view data);
+  void on_control_gone(Status status);
+  void dispatch_replies();
+  void fail_pending(Status status);
+  void arm_timeout(sim::SimTime delay);
+  void disarm_timeout();
+
+  // Transfer plumbing.
+  struct Transfer;
+  void begin_transfer(std::string verb, std::string arg, std::string upload,
+                      TransferHandler handler);
+  void transfer_open_data(const std::shared_ptr<Transfer>& transfer);
+  void transfer_maybe_finish(const std::shared_ptr<Transfer>& transfer);
+  void transfer_fail(const std::shared_ptr<Transfer>& transfer, Status status);
+
+  sim::Network& network_;
+  Options options_;
+  std::shared_ptr<sim::Connection> control_;
+  Ipv4 server_ip_;
+  ReplyParser reply_parser_;
+  LineReader tls_line_reader_;
+  bool tls_active_ = false;
+  bool in_tls_handshake_ = false;
+
+  // Pending single-reply operation.
+  ReplyHandler pending_reply_;
+  CertHandler pending_cert_;
+  Certificate pending_cert_value_;
+  bool have_cert_value_ = false;
+  sim::TimerId timeout_timer_ = 0;
+  bool timeout_armed_ = false;
+
+  std::shared_ptr<Transfer> transfer_;
+  std::optional<Reply> last_pasv_reply_;
+
+  std::uint64_t commands_sent_ = 0;
+  std::uint64_t bytes_downloaded_ = 0;
+};
+
+}  // namespace ftpc::ftp

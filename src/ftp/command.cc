@@ -1,0 +1,55 @@
+#include "ftp/command.h"
+
+#include "common/strings.h"
+
+namespace ftpc::ftp {
+
+std::string Command::wire() const {
+  std::string out = verb;
+  if (!arg.empty()) {
+    out.push_back(' ');
+    out += arg;
+  }
+  out += "\r\n";
+  return out;
+}
+
+std::optional<Command> parse_command(std::string_view line) {
+  const std::string_view trimmed = trim(line);
+  if (trimmed.empty()) return std::nullopt;
+  if (trimmed.find('\0') != std::string_view::npos) return std::nullopt;
+
+  const std::size_t space = trimmed.find(' ');
+  Command cmd;
+  if (space == std::string_view::npos) {
+    cmd.verb = to_lower(trimmed);
+  } else {
+    cmd.verb = to_lower(trimmed.substr(0, space));
+    cmd.arg = std::string(trim(trimmed.substr(space + 1)));
+  }
+  for (char& c : cmd.verb) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 32);
+  }
+  return cmd;
+}
+
+void LineReader::push(std::string_view data) { buffer_ += data; }
+
+std::optional<std::string> LineReader::pop_line() {
+  const std::size_t lf = buffer_.find('\n');
+  if (lf == std::string::npos) {
+    if (buffer_.size() > kMaxLineBytes) {
+      std::string oversized = std::move(buffer_);
+      buffer_.clear();
+      return oversized;
+    }
+    return std::nullopt;
+  }
+  std::size_t end = lf;
+  if (end > 0 && buffer_[end - 1] == '\r') --end;
+  std::string line = buffer_.substr(0, end);
+  buffer_.erase(0, lf + 1);
+  return line;
+}
+
+}  // namespace ftpc::ftp

@@ -1,0 +1,52 @@
+// FTP control-channel commands: parsing and serialization (RFC 959 framing,
+// "<VERB> [arg]\r\n"), plus an incremental CRLF line reader for the server
+// side of the control connection.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace ftpc::ftp {
+
+/// A parsed client command. The verb is upper-cased; the argument is the
+/// raw remainder after the first space (untrimmed of interior spaces, as
+/// file names may contain them).
+struct Command {
+  std::string verb;
+  std::string arg;
+
+  /// Serializes to wire form: "VERB arg\r\n" (or "VERB\r\n" with no arg).
+  std::string wire() const;
+};
+
+/// Parses one command line (without CRLF). Tolerates leading whitespace and
+/// a missing argument. Returns nullopt for an empty or unparseable line
+/// (e.g. embedded NUL).
+std::optional<Command> parse_command(std::string_view line);
+
+/// Incremental CRLF-delimited line reader. Push raw bytes; pop complete
+/// lines (CRLF stripped). Tolerates bare-LF line endings, which sloppy
+/// clients in the wild produce.
+class LineReader {
+ public:
+  /// Appends raw bytes from the transport.
+  void push(std::string_view data);
+
+  /// Pops the next complete line, or nullopt if none is buffered.
+  std::optional<std::string> pop_line();
+
+  /// Bytes currently buffered without a line terminator.
+  std::size_t pending_bytes() const noexcept { return buffer_.size(); }
+
+  /// Guard against hostile peers: if a "line" exceeds this many bytes
+  /// without a terminator, pop_line() returns the oversized chunk as-is so
+  /// the caller can reject it.
+  static constexpr std::size_t kMaxLineBytes = 8192;
+
+ private:
+  std::string buffer_;
+};
+
+}  // namespace ftpc::ftp

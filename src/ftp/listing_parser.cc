@@ -1,0 +1,170 @@
+#include "ftp/listing_parser.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace ftpc::ftp {
+
+namespace {
+
+bool looks_like_unix_mode(std::string_view field) {
+  if (field.size() < 10) return false;
+  const char type = field[0];
+  if (type != '-' && type != 'd' && type != 'l' && type != 'b' &&
+      type != 'c' && type != 'p' && type != 's') {
+    return false;
+  }
+  for (int i = 1; i < 10; ++i) {
+    const char c = field[i];
+    if (c != '-' && c != 'r' && c != 'w' && c != 'x' && c != 's' &&
+        c != 'S' && c != 't' && c != 'T') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Unix dialect:
+///   -rw-r--r--   1 ftp      ftp          1024 Jun 18  2015 file name.txt
+/// Fields: mode, links, owner, group, size, month, day, (year|time), name.
+/// The name is everything after the 8th field's trailing space, so names
+/// with spaces survive.
+std::optional<ListingEntry> parse_unix_line(std::string_view line) {
+  if (line.size() < 10 || !looks_like_unix_mode(line.substr(0, 10))) {
+    return std::nullopt;
+  }
+
+  // Walk fields manually to find the byte offset where the name begins.
+  std::size_t pos = 0;
+  auto skip_spaces = [&] {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+  };
+  auto skip_field = [&] {
+    while (pos < line.size() && line[pos] != ' ') ++pos;
+  };
+
+  std::string_view fields[8];
+  for (int i = 0; i < 8; ++i) {
+    skip_spaces();
+    const std::size_t start = pos;
+    skip_field();
+    if (pos == start) return std::nullopt;  // fewer than 8 fields
+    fields[i] = line.substr(start, pos - start);
+  }
+  // Exactly one space separates the date block from the name in ls output;
+  // additional leading spaces belong to the name only in pathological
+  // cases, so consume the single separator.
+  if (pos >= line.size() || line[pos] != ' ') return std::nullopt;
+  ++pos;
+  if (pos >= line.size()) return std::nullopt;
+
+  ListingEntry entry;
+  const std::string_view mode = fields[0];
+  entry.has_permissions = true;
+  entry.is_dir = mode[0] == 'd';
+  entry.readable = (mode[7] == 'r') ? Readability::kReadable
+                                    : Readability::kNotReadable;
+  entry.world_writable = mode[8] == 'w';
+  entry.owner = std::string(fields[2]);
+  entry.size = parse_u64(fields[4]).value_or(0);
+  entry.name = std::string(line.substr(pos));
+  // Symlink form "name -> target": keep the link name only.
+  if (mode[0] == 'l') {
+    const std::size_t arrow = entry.name.find(" -> ");
+    if (arrow != std::string::npos) entry.name.resize(arrow);
+  }
+  if (entry.name.empty() || entry.name == "." || entry.name == "..") {
+    return std::nullopt;
+  }
+  return entry;
+}
+
+/// Windows dialect:
+///   06-18-15  09:42AM       <DIR>          dirname
+///   06-18-15  09:42AM                 1024 file name.txt
+std::optional<ListingEntry> parse_windows_line(std::string_view line) {
+  const auto looks_like_date = [](std::string_view f) {
+    // MM-DD-YY, with either '-' or '/' separators.
+    return f.size() == 8 && std::isdigit((unsigned char)f[0]) &&
+           std::isdigit((unsigned char)f[1]) && (f[2] == '-' || f[2] == '/') &&
+           std::isdigit((unsigned char)f[3]) &&
+           std::isdigit((unsigned char)f[4]) && (f[5] == '-' || f[5] == '/') &&
+           std::isdigit((unsigned char)f[6]) &&
+           std::isdigit((unsigned char)f[7]);
+  };
+
+  std::size_t pos = 0;
+  auto skip_spaces = [&] {
+    while (pos < line.size() && line[pos] == ' ') ++pos;
+  };
+  auto next_field = [&]() -> std::string_view {
+    skip_spaces();
+    const std::size_t start = pos;
+    while (pos < line.size() && line[pos] != ' ') ++pos;
+    return line.substr(start, pos - start);
+  };
+
+  const std::string_view date = next_field();
+  if (!looks_like_date(date)) return std::nullopt;
+  const std::string_view time = next_field();
+  if (time.size() < 6) return std::nullopt;  // "09:42AM"
+  const std::string_view size_or_dir = next_field();
+  if (size_or_dir.empty()) return std::nullopt;
+
+  skip_spaces();
+  if (pos >= line.size()) return std::nullopt;
+
+  ListingEntry entry;
+  entry.has_permissions = false;
+  entry.readable = Readability::kUnknown;
+  entry.name = std::string(line.substr(pos));
+  if (iequals(size_or_dir, "<DIR>")) {
+    entry.is_dir = true;
+  } else {
+    const auto size = parse_u64(size_or_dir);
+    if (!size) return std::nullopt;
+    entry.size = *size;
+  }
+  if (entry.name.empty() || entry.name == "." || entry.name == "..") {
+    return std::nullopt;
+  }
+  return entry;
+}
+
+}  // namespace
+
+std::optional<ListingEntry> parse_listing_line(std::string_view line) {
+  // Trim only the trailing CR that a CRLF split can leave behind; leading
+  // spaces are significant for field detection.
+  while (!line.empty() && (line.back() == '\r' || line.back() == '\n')) {
+    line.remove_suffix(1);
+  }
+  if (line.empty()) return std::nullopt;
+  if (auto entry = parse_unix_line(line)) return entry;
+  return parse_windows_line(line);
+}
+
+std::vector<ListingEntry> parse_listing(std::string_view body,
+                                        std::size_t* skipped_lines) {
+  std::vector<ListingEntry> out;
+  std::size_t skipped = 0;
+  std::size_t start = 0;
+  while (start <= body.size()) {
+    std::size_t lf = body.find('\n', start);
+    if (lf == std::string_view::npos) lf = body.size();
+    std::string_view line = body.substr(start, lf - start);
+    start = lf + 1;
+    if (trim(line).empty()) continue;
+    if (auto entry = parse_listing_line(line)) {
+      out.push_back(std::move(*entry));
+    } else {
+      ++skipped;
+    }
+    if (lf == body.size()) break;
+  }
+  if (skipped_lines != nullptr) *skipped_lines = skipped;
+  return out;
+}
+
+}  // namespace ftpc::ftp

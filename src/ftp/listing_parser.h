@@ -1,0 +1,45 @@
+// Parsers for LIST output dialects.
+//
+// The enumerator must consume both the Unix `ls -l` dialect (which carries
+// permission bits — the paper reads the all-users bits to decide whether a
+// file is anonymously readable) and the Windows `DIR` dialect (which does
+// not — such files become "unk-readability" in Table IX).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftpc::ftp {
+
+/// Whether the anonymous user can likely read a listed file, derived from
+/// the all-users permission bits when the listing exposes them.
+enum class Readability { kReadable, kNotReadable, kUnknown };
+
+struct ListingEntry {
+  std::string name;
+  bool is_dir = false;
+  std::uint64_t size = 0;
+  Readability readable = Readability::kUnknown;
+  /// All-users write bit, when permissions are visible.
+  bool world_writable = false;
+  /// True when the line carried Unix permission bits.
+  bool has_permissions = false;
+  /// Owner field for Unix-style lines ("ftp", "0", ...); empty otherwise.
+  std::string owner;
+};
+
+/// Parses one listing line of either dialect. Returns nullopt for lines
+/// that match neither (e.g. "total 42" headers, blank lines, banners that
+/// leak into the data channel).
+std::optional<ListingEntry> parse_listing_line(std::string_view line);
+
+/// Parses a full LIST body (CRLF or LF separated), skipping unparseable
+/// lines. `skipped_lines`, when non-null, receives the count of non-empty
+/// lines that failed to parse (a robustness signal the enumerator logs).
+std::vector<ListingEntry> parse_listing(std::string_view body,
+                                        std::size_t* skipped_lines = nullptr);
+
+}  // namespace ftpc::ftp

@@ -1,0 +1,69 @@
+#include "ftp/path.h"
+
+#include <vector>
+
+namespace ftpc::ftp {
+
+std::string resolve_path(std::string_view cwd, std::string_view arg) {
+  std::vector<std::string_view> stack;
+
+  auto push_segments = [&stack](std::string_view path) {
+    std::size_t i = 0;
+    while (i < path.size()) {
+      while (i < path.size() && path[i] == '/') ++i;
+      const std::size_t start = i;
+      while (i < path.size() && path[i] != '/') ++i;
+      const std::string_view seg = path.substr(start, i - start);
+      if (seg.empty() || seg == ".") continue;
+      if (seg == "..") {
+        if (!stack.empty()) stack.pop_back();
+      } else {
+        stack.push_back(seg);
+      }
+    }
+  };
+
+  if (arg.empty() || arg[0] != '/') push_segments(cwd);
+  push_segments(arg);
+
+  if (stack.empty()) return "/";
+  std::string out;
+  for (const std::string_view seg : stack) {
+    out.push_back('/');
+    out += seg;
+  }
+  return out;
+}
+
+std::string join_path(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  if (out.empty() || out.back() != '/') out.push_back('/');
+  out += name;
+  return out;
+}
+
+bool is_normalized(std::string_view path) noexcept {
+  if (path.empty() || path[0] != '/') return false;
+  if (path == "/") return true;
+  if (path.back() == '/') return false;
+  std::size_t i = 1;
+  while (i < path.size()) {
+    const std::size_t start = i;
+    while (i < path.size() && path[i] != '/') ++i;
+    const std::string_view seg = path.substr(start, i - start);
+    if (seg.empty() || seg == "." || seg == "..") return false;
+    ++i;  // skip slash
+  }
+  return true;
+}
+
+std::size_t path_depth(std::string_view path) noexcept {
+  if (path == "/" || path.empty()) return 0;
+  std::size_t depth = 0;
+  for (const char c : path) {
+    if (c == '/') ++depth;
+  }
+  return depth;
+}
+
+}  // namespace ftpc::ftp

@@ -1,0 +1,29 @@
+// FTP path resolution: turning (current directory, command argument) into
+// a normalized absolute path, with "." and ".." handling and escape
+// prevention (".." never climbs above the root).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ftpc::ftp {
+
+/// Resolves `arg` against `cwd`. `cwd` must be absolute ("/" or "/a/b").
+/// Returns a normalized absolute path with no trailing slash (except the
+/// root itself, "/"). Examples:
+///   resolve_path("/a/b", "c")      -> "/a/b/c"
+///   resolve_path("/a/b", "../x")   -> "/a/x"
+///   resolve_path("/a", "/etc//./") -> "/etc"
+///   resolve_path("/", "..")        -> "/"
+std::string resolve_path(std::string_view cwd, std::string_view arg);
+
+/// Joins a normalized absolute directory and a child name.
+std::string join_path(std::string_view dir, std::string_view name);
+
+/// True if `path` is normalized-absolute per resolve_path's output rules.
+bool is_normalized(std::string_view path) noexcept;
+
+/// Depth of a normalized path ("/"->0, "/a"->1, "/a/b"->2).
+std::size_t path_depth(std::string_view path) noexcept;
+
+}  // namespace ftpc::ftp

@@ -1,0 +1,166 @@
+#include "ftp/reply.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace ftpc::ftp {
+
+std::string Reply::full_text() const {
+  std::string out;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i > 0) out.push_back('\n');
+    out += lines[i];
+  }
+  return out;
+}
+
+std::string Reply::wire() const {
+  std::string out;
+  const std::string code_str = std::to_string(code);
+  if (lines.empty()) {
+    out = code_str + " \r\n";
+    return out;
+  }
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const bool last = i + 1 == lines.size();
+    out += code_str;
+    out.push_back(last ? ' ' : '-');
+    out += lines[i];
+    out += "\r\n";
+  }
+  return out;
+}
+
+namespace {
+
+bool starts_with_code(std::string_view line, int& code_out, char& sep_out) {
+  if (line.size() < 3) return false;
+  for (int i = 0; i < 3; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(line[i]))) return false;
+  }
+  code_out = (line[0] - '0') * 100 + (line[1] - '0') * 10 + (line[2] - '0');
+  sep_out = line.size() > 3 ? line[3] : ' ';
+  return true;
+}
+
+}  // namespace
+
+void ReplyParser::push(std::string_view data) {
+  if (poisoned_) return;
+  buffer_ += data;
+  consume_lines();
+}
+
+std::size_t ReplyParser::pending_bytes() const noexcept {
+  return buffer_.size();
+}
+
+void ReplyParser::consume_lines() {
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t lf = buffer_.find('\n', pos);
+    if (lf == std::string::npos) break;
+    std::size_t end = lf;
+    if (end > pos && buffer_[end - 1] == '\r') --end;
+    const std::string_view line(buffer_.data() + pos, end - pos);
+    pos = lf + 1;
+
+    int code = 0;
+    char sep = ' ';
+    const bool has_code = starts_with_code(line, code, sep);
+
+    if (!open_) {
+      if (!has_code) {
+        // A reply must open with a code. Garbage here means the peer is
+        // not speaking FTP; poison the stream.
+        poisoned_ = true;
+        buffer_.clear();
+        return;
+      }
+      const std::string text(line.size() > 4 ? line.substr(4)
+                                             : std::string_view{});
+      if (sep == '-') {
+        open_ = Pending{.code = code, .lines = {text}};
+      } else {
+        Reply reply;
+        reply.code = code;
+        reply.lines.push_back(text);
+        complete_.push_back(std::move(reply));
+      }
+      continue;
+    }
+
+    // Inside a multi-line reply: it ends at "<code><space>"; any other line
+    // (including lines with other codes or no code) is continuation text.
+    if (has_code && code == open_->code && sep == ' ') {
+      open_->lines.emplace_back(line.size() > 4 ? line.substr(4)
+                                                : std::string_view{});
+      Reply reply;
+      reply.code = open_->code;
+      reply.lines = std::move(open_->lines);
+      complete_.push_back(std::move(reply));
+      open_.reset();
+    } else if (has_code && code == open_->code && sep == '-') {
+      // Continuation line carrying the code prefix: strip it.
+      open_->lines.emplace_back(line.size() > 4 ? line.substr(4)
+                                                : std::string_view{});
+    } else {
+      open_->lines.emplace_back(line);
+    }
+  }
+  buffer_.erase(0, pos);
+}
+
+std::optional<Reply> ReplyParser::pop_reply() {
+  if (complete_.empty()) return std::nullopt;
+  Reply reply = std::move(complete_.front());
+  complete_.erase(complete_.begin());
+  return reply;
+}
+
+std::string HostPort::wire() const {
+  const auto octet = [this](int shift) {
+    return std::to_string((ip >> shift) & 0xff);
+  };
+  return octet(24) + "," + octet(16) + "," + octet(8) + "," + octet(0) + "," +
+         std::to_string(port >> 8) + "," + std::to_string(port & 0xff);
+}
+
+std::optional<HostPort> parse_host_port(std::string_view text) {
+  const auto parts = split(trim(text), ',');
+  if (parts.size() != 6) return std::nullopt;
+  std::uint32_t values[6];
+  for (int i = 0; i < 6; ++i) {
+    const auto v = parse_u64(trim(parts[i]));
+    if (!v || *v > 255) return std::nullopt;
+    values[i] = static_cast<std::uint32_t>(*v);
+  }
+  HostPort hp;
+  hp.ip = (values[0] << 24) | (values[1] << 16) | (values[2] << 8) | values[3];
+  hp.port = static_cast<std::uint16_t>((values[4] << 8) | values[5]);
+  return hp;
+}
+
+std::optional<HostPort> parse_pasv_reply(std::string_view reply_text) {
+  // Find the first run of digits-and-commas containing exactly 5 commas.
+  for (std::size_t i = 0; i < reply_text.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(reply_text[i]))) continue;
+    std::size_t j = i;
+    int commas = 0;
+    while (j < reply_text.size() &&
+           (std::isdigit(static_cast<unsigned char>(reply_text[j])) ||
+            reply_text[j] == ',')) {
+      if (reply_text[j] == ',') ++commas;
+      ++j;
+    }
+    if (commas == 5) {
+      const auto hp = parse_host_port(reply_text.substr(i, j - i));
+      if (hp) return hp;
+    }
+    i = j;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ftpc::ftp

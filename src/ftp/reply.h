@@ -1,0 +1,90 @@
+// FTP server replies: the three-digit code taxonomy, single- and
+// multi-line serialization, and an incremental parser for the client side.
+//
+// Multi-line form per RFC 959:
+//   230-Welcome to example FTP.\r\n
+//   230-Mirror of ftp.example.org.\r\n
+//   230 Login successful.\r\n
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftpc::ftp {
+
+/// A complete server reply.
+struct Reply {
+  int code = 0;
+  /// Text lines, without code prefixes or CRLF. At least one line.
+  std::vector<std::string> lines;
+
+  Reply() = default;
+  Reply(int c, std::string text) : code(c), lines{std::move(text)} {}
+
+  const std::string& text() const noexcept { return lines.front(); }
+
+  /// Full text joined with '\n' (useful for banner fingerprinting).
+  std::string full_text() const;
+
+  /// Wire form including code prefixes and CRLFs.
+  std::string wire() const;
+
+  bool is_positive_preliminary() const noexcept { return code / 100 == 1; }
+  bool is_positive_completion() const noexcept { return code / 100 == 2; }
+  bool is_positive_intermediate() const noexcept { return code / 100 == 3; }
+  bool is_transient_negative() const noexcept { return code / 100 == 4; }
+  bool is_permanent_negative() const noexcept { return code / 100 == 5; }
+};
+
+/// Incremental reply parser for the client side of the control channel.
+/// Push raw bytes; pop complete replies. Handles multi-line replies,
+/// continuation lines without a code prefix (seen in the wild), and bare-LF
+/// terminators.
+class ReplyParser {
+ public:
+  void push(std::string_view data);
+
+  /// Pops the next complete reply, or nullopt if more bytes are needed.
+  /// A line that cannot begin a reply (no 3-digit code) while no reply is
+  /// open marks the parser poisoned; poisoned() then returns true and
+  /// pop_reply() returns nullopt forever (the session should abort).
+  std::optional<Reply> pop_reply();
+
+  bool poisoned() const noexcept { return poisoned_; }
+
+  /// Bytes buffered but not yet consumed into a reply.
+  std::size_t pending_bytes() const noexcept;
+
+ private:
+  struct Pending {
+    int code = 0;
+    std::vector<std::string> lines;
+  };
+
+  std::string buffer_;
+  std::optional<Pending> open_;
+  std::vector<Reply> complete_;
+  bool poisoned_ = false;
+
+  void consume_lines();
+};
+
+/// Parses "h1,h2,h3,h4,p1,p2" (PORT argument / 227 reply payload).
+/// Returns nullopt on malformed input or out-of-range numbers.
+struct HostPort {
+  std::uint32_t ip = 0;   // host byte order
+  std::uint16_t port = 0;
+
+  std::string wire() const;  // "h1,h2,h3,h4,p1,p2"
+};
+std::optional<HostPort> parse_host_port(std::string_view text);
+
+/// Extracts the host/port tuple from a 227 "Entering Passive Mode
+/// (h1,h2,h3,h4,p1,p2)" reply text. Tolerates implementations that omit
+/// the parentheses or add prose around the tuple.
+std::optional<HostPort> parse_pasv_reply(std::string_view reply_text);
+
+}  // namespace ftpc::ftp

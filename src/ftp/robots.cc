@@ -1,0 +1,161 @@
+#include "ftp/robots.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace ftpc::ftp {
+
+RobotsPolicy RobotsPolicy::parse(std::string_view content) {
+  RobotsPolicy policy;
+  Group* open = nullptr;
+  bool last_was_agent = false;
+
+  std::size_t start = 0;
+  while (start <= content.size()) {
+    std::size_t lf = content.find('\n', start);
+    if (lf == std::string_view::npos) lf = content.size();
+    std::string_view line = content.substr(start, lf - start);
+    const bool at_end = lf == content.size();
+    start = lf + 1;
+
+    // Strip comments and whitespace.
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) {
+      if (at_end) break;
+      continue;
+    }
+
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      if (at_end) break;
+      continue;
+    }
+    const std::string_view field = trim(line.substr(0, colon));
+    const std::string_view value = trim(line.substr(colon + 1));
+
+    if (iequals(field, "user-agent")) {
+      if (!last_was_agent) {
+        policy.groups_.emplace_back();
+        open = &policy.groups_.back();
+      }
+      if (open != nullptr) open->agents.push_back(to_lower(value));
+      last_was_agent = true;
+    } else if (iequals(field, "disallow") || iequals(field, "allow")) {
+      last_was_agent = false;
+      if (open == nullptr) {
+        if (at_end) break;
+        continue;  // rule before any user-agent line: ignored per spec
+      }
+      // An empty Disallow means "allow everything" — representable as a
+      // rule with an empty pattern that matches nothing.
+      if (!value.empty()) {
+        open->rules.push_back(
+            Rule{.allow = iequals(field, "allow"),
+                 .pattern = std::string(value)});
+      }
+    } else if (iequals(field, "crawl-delay")) {
+      last_was_agent = false;
+      if (open != nullptr) {
+        double delay = 0;
+        const auto* begin = value.data();
+        const auto* end = value.data() + value.size();
+        if (std::from_chars(begin, end, delay).ec == std::errc{} &&
+            delay >= 0) {
+          open->crawl_delay = delay;
+        }
+      }
+    } else {
+      last_was_agent = false;  // unknown field: skip
+    }
+    if (at_end) break;
+  }
+  return policy;
+}
+
+bool RobotsPolicy::pattern_matches(std::string_view pattern,
+                                   std::string_view path) {
+  bool anchored = false;
+  if (!pattern.empty() && pattern.back() == '$') {
+    anchored = true;
+    pattern.remove_suffix(1);
+  }
+
+  // Greedy wildcard matching with backtracking over '*' (pattern sizes are
+  // tiny, so the quadratic worst case is irrelevant).
+  std::size_t p = 0, s = 0;
+  std::size_t star_p = std::string_view::npos, star_s = 0;
+  while (s < path.size()) {
+    if (p < pattern.size() && (pattern[p] == path[s])) {
+      ++p;
+      ++s;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star_p = p++;
+      star_s = s;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      s = ++star_s;
+    } else {
+      // Path exhausted the pattern: a prefix match unless anchored.
+      return p == pattern.size() && !anchored;
+    }
+    if (p == pattern.size() && !anchored) {
+      return true;  // whole pattern consumed; prefix match suffices
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+const RobotsPolicy::Group* RobotsPolicy::select_group(
+    std::string_view user_agent) const {
+  const std::string ua = to_lower(user_agent);
+  const Group* best = nullptr;
+  std::size_t best_len = 0;
+  const Group* wildcard = nullptr;
+  for (const Group& group : groups_) {
+    for (const std::string& agent : group.agents) {
+      if (agent == "*") {
+        if (wildcard == nullptr) wildcard = &group;
+      } else if (ua.find(agent) != std::string::npos &&
+                 agent.size() > best_len) {
+        best = &group;
+        best_len = agent.size();
+      }
+    }
+  }
+  return best != nullptr ? best : wildcard;
+}
+
+bool RobotsPolicy::is_allowed(std::string_view user_agent,
+                              std::string_view path) const {
+  const Group* group = select_group(user_agent);
+  if (group == nullptr) return true;
+
+  // Longest-match precedence; Allow wins ties.
+  std::size_t best_len = 0;
+  bool allowed = true;
+  for (const Rule& rule : group->rules) {
+    if (!pattern_matches(rule.pattern, path)) continue;
+    const std::size_t len = rule.pattern.size();
+    if (len > best_len || (len == best_len && rule.allow && !allowed)) {
+      best_len = len;
+      allowed = rule.allow;
+    }
+  }
+  return allowed;
+}
+
+bool RobotsPolicy::excludes_everything(std::string_view user_agent) const {
+  return !is_allowed(user_agent, "/");
+}
+
+std::optional<double> RobotsPolicy::crawl_delay(
+    std::string_view user_agent) const {
+  const Group* group = select_group(user_agent);
+  return group != nullptr ? group->crawl_delay : std::nullopt;
+}
+
+}  // namespace ftpc::ftp

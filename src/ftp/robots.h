@@ -1,0 +1,62 @@
+// robots.txt parsing and matching, following Google's robots specification
+// (the paper: "fetching each host's robots.txt file, if present, and
+// following it per Google's specification").
+//
+// Supported subset: User-agent groups, Disallow/Allow rules, longest-match
+// precedence with Allow winning ties, '*' wildcards and '$' end anchors in
+// rule paths, and case-insensitive field names. Crawl-delay is parsed and
+// exposed because the enumerator's rate limiter honors it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftpc::ftp {
+
+class RobotsPolicy {
+ public:
+  /// Parses robots.txt content. Never fails: unparseable lines are skipped,
+  /// per the spec's error tolerance.
+  static RobotsPolicy parse(std::string_view content);
+
+  /// True if `path` (absolute, '/'-prefixed) may be fetched by `user_agent`.
+  bool is_allowed(std::string_view user_agent, std::string_view path) const;
+
+  /// True if the policy excludes the entire filesystem for `user_agent`
+  /// ("Disallow: /" with no overriding Allow). The paper found 5.9K servers
+  /// doing this and honored them.
+  bool excludes_everything(std::string_view user_agent) const;
+
+  /// Crawl-delay (seconds) for the best-matching group, if present.
+  std::optional<double> crawl_delay(std::string_view user_agent) const;
+
+  /// Number of rule groups parsed.
+  std::size_t group_count() const noexcept { return groups_.size(); }
+
+ private:
+  struct Rule {
+    bool allow = false;
+    std::string pattern;  // may contain '*' and a trailing '$'
+  };
+  struct Group {
+    std::vector<std::string> agents;  // lower-cased tokens, "*" for default
+    std::vector<Rule> rules;
+    std::optional<double> crawl_delay;
+  };
+
+  /// The group whose user-agent token best matches, or nullptr.
+  const Group* select_group(std::string_view user_agent) const;
+
+  /// True if `pattern` matches a prefix of `path` per the spec's wildcard
+  /// semantics. Exposed for tests via friend.
+  static bool pattern_matches(std::string_view pattern,
+                              std::string_view path);
+
+  std::vector<Group> groups_;
+
+  friend class RobotsPolicyTestPeer;
+};
+
+}  // namespace ftpc::ftp

@@ -1,0 +1,21 @@
+#include "ftpd/personality.h"
+
+namespace ftpc::ftpd {
+
+std::string Personality::render_banner(Ipv4 public_ip) const {
+  const std::string ip_str = believed_ip(public_ip).str();
+  std::string out;
+  out.reserve(banner.size() + ip_str.size());
+  for (std::size_t i = 0; i < banner.size();) {
+    if (banner.compare(i, 4, "{ip}") == 0) {
+      out += ip_str;
+      i += 4;
+    } else {
+      out.push_back(banner[i]);
+      ++i;
+    }
+  }
+  return out;
+}
+
+}  // namespace ftpc::ftpd

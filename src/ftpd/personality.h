@@ -1,0 +1,119 @@
+// Server personalities: the knobs that make one simulated FTP daemon behave
+// like ProFTPD 1.3.5 on a hosting box and another like the firmware of a
+// Buffalo NAS.
+//
+// The paper's methodology section stresses that FTP's "patchwork of
+// extensions" produced wildly divergent server behaviour (four meanings of
+// reply 331, two LIST dialects, servers that accept uploads but refuse the
+// download until approval, servers that blindly honor PORT to third
+// parties). Each quirk is a field here so the enumerator has to cope with
+// all of them, just like the real one did.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ipv4.h"
+#include "ftp/cert.h"
+#include "vfs/listing.h"
+
+namespace ftpc::ftpd {
+
+/// What a USER command elicits — the paper's "four meanings of 331" plus
+/// the well-behaved cases.
+enum class UserReplyStyle {
+  /// 331 "Please specify the password." then PASS decides.
+  kStandard,
+  /// 230 immediately on USER anonymous (no password wanted).
+  kImmediate230,
+  /// 331 whose *text* is a rejection ("Anonymous login not allowed");
+  /// the subsequent PASS draws 530.
+  kRejectIn331,
+  /// 331 "Send virtual-site hostname with username" — expects
+  /// "USER anonymous@vhost"; a plain PASS draws 530.
+  kNeedVirtualHost,
+  /// 331 "Rejected--secure connection required" unless TLS is active.
+  kFtpsRequiredIn331,
+  /// 530 straight away (anonymous access disabled).
+  kReject530,
+};
+
+/// How anonymous STOR conflicts with an existing name are handled.
+enum class UploadConflictPolicy {
+  kOverwrite,
+  kRefuse,
+  /// Appends ".1", ".2", ... — the behaviour that litters world-writable
+  /// servers with "name", "name.1", "name.2" (paper §VI.A).
+  kRenameWithSuffix,
+};
+
+struct Personality {
+  // Identity --------------------------------------------------------------
+  /// Implementation family, e.g. "ProFTPD", "Pure-FTPd", "vsftpd",
+  /// "FileZilla", "Serv-U", or a device firmware name.
+  std::string implementation;
+  std::string version;  // "1.3.5"; empty if the banner hides it
+  /// 220 banner text. "{ip}" expands to the IP the server believes it has
+  /// (embedded devices leak their private address this way).
+  std::string banner;
+  std::string syst_reply = "UNIX Type: L8";
+  std::vector<std::string> feat_lines;  // FEAT body (without leading space)
+  std::vector<std::string> help_lines;
+  std::string site_reply = "214 Help OK.";
+
+  // Listing ---------------------------------------------------------------
+  vfs::ListingFormat listing_format = vfs::ListingFormat::kUnix;
+  int listing_year = 2015;  // "current year" for ls time-vs-year column
+
+  // Login policy ----------------------------------------------------------
+  bool allow_anonymous = false;
+  UserReplyStyle user_reply_style = UserReplyStyle::kStandard;
+  /// Extra banner line announcing "NO ANONYMOUS ACCESS" (the enumerator
+  /// parses banners and skips the login attempt on such servers).
+  bool banner_forbids_anonymous = false;
+  /// Non-anonymous credentials accepted by this host (honeypots use weak
+  /// pairs here; production hosts accept none).
+  std::vector<std::pair<std::string, std::string>> valid_credentials;
+
+  // PORT handling ---------------------------------------------------------
+  /// When true the server verifies the PORT argument's address equals the
+  /// control peer's; when false it happily connects anywhere — the classic
+  /// bounce vulnerability (12.74% of anonymous servers in the paper).
+  bool validate_port_ip = true;
+
+  // Write policy (anonymous) ----------------------------------------------
+  bool anonymous_writable = false;
+  /// Pure-FTPd semantics: anonymous uploads land but RETR answers
+  /// "This file has been uploaded by an anonymous user. It has not yet
+  /// been approved for downloading by the site administrators."
+  bool uploads_need_approval = false;
+  UploadConflictPolicy upload_conflict = UploadConflictPolicy::kRefuse;
+  bool allow_anonymous_delete = false;
+  bool allow_anonymous_mkd = false;
+
+  // FTPS ------------------------------------------------------------------
+  bool supports_ftps = false;
+  /// Refuses USER until AUTH TLS completes.
+  bool requires_ftps_before_login = false;
+  std::optional<ftp::Certificate> certificate;
+
+  // Network quirks ----------------------------------------------------------
+  /// Address the device believes it has. Unset for public-facing hosts;
+  /// RFC 1918 for NAT'd devices (leaks via PASV replies and banners).
+  std::optional<Ipv4> internal_ip;
+  /// If non-zero the server closes the control connection after this many
+  /// commands (the enumerator treats termination as refusal of service).
+  std::uint32_t max_commands_per_session = 0;
+
+  /// Expands "{ip}" in the banner against the believed address.
+  std::string render_banner(Ipv4 public_ip) const;
+
+  /// The address used in PASV replies and banner expansion.
+  Ipv4 believed_ip(Ipv4 public_ip) const {
+    return internal_ip.value_or(public_ip);
+  }
+};
+
+}  // namespace ftpc::ftpd

@@ -1,0 +1,51 @@
+#include "ftpd/server.h"
+
+#include "ftpd/session.h"
+
+namespace ftpc::ftpd {
+
+FtpServer::FtpServer(Ipv4 public_ip,
+                     std::shared_ptr<const Personality> personality,
+                     std::shared_ptr<LazyFilesystem> filesystem,
+                     SessionObserver* observer, std::uint16_t port)
+    : public_ip_(public_ip),
+      port_(port),
+      personality_(std::move(personality)),
+      filesystem_(std::move(filesystem)),
+      observer_(observer) {}
+
+FtpServer::FtpServer(Ipv4 public_ip,
+                     std::shared_ptr<const Personality> personality,
+                     std::shared_ptr<vfs::Vfs> filesystem,
+                     SessionObserver* observer, std::uint16_t port)
+    : FtpServer(public_ip, std::move(personality),
+                std::make_shared<LazyFilesystem>(std::move(filesystem)),
+                observer, port) {}
+
+void FtpServer::attach(sim::Network& network) {
+  std::weak_ptr<FtpServer> weak = weak_from_this();
+  sim::Network* net = &network;
+  network.listen(public_ip_, port_,
+                 [weak, net](std::shared_ptr<sim::Connection> conn) {
+                   auto self = weak.lock();
+                   if (!self) {
+                     conn->reset();
+                     return;
+                   }
+                   self->accept(*net, std::move(conn));
+                 });
+}
+
+void FtpServer::detach(sim::Network& network) {
+  network.stop_listening(public_ip_, port_);
+}
+
+void FtpServer::accept(sim::Network& network,
+                       std::shared_ptr<sim::Connection> conn) {
+  ++sessions_;
+  // The session keeps itself alive through its connection callbacks.
+  ServerSession::start(network, std::move(conn), public_ip_, personality_,
+                       filesystem_, observer_);
+}
+
+}  // namespace ftpc::ftpd

@@ -1,0 +1,104 @@
+// The FTP server engine: one class, many personalities.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/ipv4.h"
+#include "ftp/command.h"
+#include "ftpd/personality.h"
+#include "sim/network.h"
+#include "vfs/vfs.h"
+
+namespace ftpc::ftpd {
+
+/// Observation hooks, primarily for the honeypot study (§VIII): every
+/// command, login attempt, upload, and PORT-to-third-party is reported.
+/// Default implementations ignore everything.
+class SessionObserver {
+ public:
+  virtual ~SessionObserver() = default;
+  virtual void on_connect(Ipv4 /*client*/) {}
+  virtual void on_command(Ipv4 /*client*/, const ftp::Command& /*cmd*/) {}
+  virtual void on_login_attempt(Ipv4 /*client*/, const std::string& /*user*/,
+                                const std::string& /*password*/,
+                                bool /*success*/) {}
+  virtual void on_upload(Ipv4 /*client*/, const std::string& /*path*/,
+                         std::size_t /*bytes*/) {}
+  virtual void on_delete(Ipv4 /*client*/, const std::string& /*path*/) {}
+  virtual void on_mkdir(Ipv4 /*client*/, const std::string& /*path*/) {}
+  /// A PORT command naming an address other than the control peer was
+  /// accepted (the server is bounce-vulnerable and will connect out).
+  virtual void on_port_bounce(Ipv4 /*client*/, Ipv4 /*target*/,
+                              std::uint16_t /*port*/) {}
+  virtual void on_auth_tls(Ipv4 /*client*/) {}
+};
+
+/// A filesystem that may not exist yet. A census touches hundreds of
+/// thousands of hosts whose filesystems are never listed (login refused,
+/// banner-only contact); building their trees eagerly would dominate run
+/// time and memory. The factory runs on first access.
+class LazyFilesystem {
+ public:
+  using Factory = std::function<std::shared_ptr<vfs::Vfs>()>;
+
+  explicit LazyFilesystem(std::shared_ptr<vfs::Vfs> ready)
+      : fs_(std::move(ready)) {}
+  explicit LazyFilesystem(Factory factory) : factory_(std::move(factory)) {}
+
+  /// Materializes (once) and returns the filesystem.
+  const std::shared_ptr<vfs::Vfs>& get() {
+    if (!fs_) {
+      fs_ = factory_ ? factory_() : std::make_shared<vfs::Vfs>();
+      factory_ = nullptr;
+    }
+    return fs_;
+  }
+
+  bool materialized() const noexcept { return fs_ != nullptr; }
+
+ private:
+  std::shared_ptr<vfs::Vfs> fs_;
+  Factory factory_;
+};
+
+/// An FTP daemon bound to (public_ip, port). Attach/detach register and
+/// unregister the control listener; sessions created while attached stay
+/// valid after detach (they share the personality and filesystem).
+class FtpServer : public std::enable_shared_from_this<FtpServer> {
+ public:
+  FtpServer(Ipv4 public_ip, std::shared_ptr<const Personality> personality,
+            std::shared_ptr<LazyFilesystem> filesystem,
+            SessionObserver* observer = nullptr, std::uint16_t port = 21);
+
+  /// Convenience: wraps an already-built filesystem.
+  FtpServer(Ipv4 public_ip, std::shared_ptr<const Personality> personality,
+            std::shared_ptr<vfs::Vfs> filesystem,
+            SessionObserver* observer = nullptr, std::uint16_t port = 21);
+
+  void attach(sim::Network& network);
+  void detach(sim::Network& network);
+
+  Ipv4 public_ip() const noexcept { return public_ip_; }
+  std::uint16_t port() const noexcept { return port_; }
+  const Personality& personality() const noexcept { return *personality_; }
+  const std::shared_ptr<LazyFilesystem>& filesystem() const noexcept {
+    return filesystem_;
+  }
+  SessionObserver* observer() const noexcept { return observer_; }
+
+  std::uint64_t sessions_accepted() const noexcept { return sessions_; }
+
+ private:
+  void accept(sim::Network& network, std::shared_ptr<sim::Connection> conn);
+
+  Ipv4 public_ip_;
+  std::uint16_t port_;
+  std::shared_ptr<const Personality> personality_;
+  std::shared_ptr<LazyFilesystem> filesystem_;
+  SessionObserver* observer_;
+  std::uint64_t sessions_ = 0;
+};
+
+}  // namespace ftpc::ftpd

@@ -1,0 +1,780 @@
+#include "ftpd/session.h"
+
+#include <cassert>
+
+#include "common/datetime.h"
+#include "common/strings.h"
+#include "ftp/path.h"
+#include "vfs/listing.h"
+
+namespace ftpc::ftpd {
+
+namespace {
+
+/// Cap on synthesized RETR payloads: metadata-only files report their true
+/// size over SIZE/LIST but stream at most this many bytes (the study never
+/// bulk-downloads, so only probes hit this path).
+constexpr std::size_t kMaxSynthesizedRetr = 16 * 1024;
+
+constexpr const char* kApprovalText =
+    "This file has been uploaded by an anonymous user. It has not yet been "
+    "approved for downloading by the site administrators.";
+
+std::string synthesize_content(const vfs::Node& node) {
+  if (!node.content.empty()) return node.content;
+  const std::size_t n =
+      std::min<std::size_t>(node.size, kMaxSynthesizedRetr);
+  std::string out;
+  out.reserve(n);
+  static constexpr std::string_view kPattern =
+      "SIMULATED-CONTENT-DO-NOT-INTERPRET\n";
+  while (out.size() < n) {
+    out.append(kPattern.substr(0, std::min(kPattern.size(), n - out.size())));
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<ServerSession> ServerSession::start(
+    sim::Network& network, std::shared_ptr<sim::Connection> conn,
+    Ipv4 public_ip, std::shared_ptr<const Personality> personality,
+    std::shared_ptr<LazyFilesystem> filesystem, SessionObserver* observer) {
+  std::shared_ptr<ServerSession> session(
+      new ServerSession(network, std::move(conn), public_ip,
+                        std::move(personality), std::move(filesystem),
+                        observer));
+  session->install_callbacks();
+  if (observer != nullptr) observer->on_connect(session->client_ip_);
+
+  // 220 banner (possibly multi-line). The rendered text must outlive the
+  // views split() hands back.
+  ftp::Reply banner;
+  banner.code = 220;
+  const std::string banner_text =
+      session->personality_->render_banner(public_ip);
+  for (auto piece : split(banner_text, '\n')) {
+    // Personality banners are written as full wire lines ("220 ProFTPD
+    // ..."); the reply serializer re-adds the code, so strip it here.
+    if (piece.rfind("220", 0) == 0) {
+      piece.remove_prefix(piece.size() > 3 && (piece[3] == ' ') ? 4 : 3);
+    }
+    banner.lines.emplace_back(piece);
+  }
+  if (session->personality_->banner_forbids_anonymous) {
+    banner.lines.push_back("NO ANONYMOUS ACCESS -- authorized users only");
+  }
+  if (banner.lines.empty()) banner.lines.emplace_back("FTP server ready.");
+  session->send_reply(banner);
+  return session;
+}
+
+ServerSession::ServerSession(sim::Network& network,
+                             std::shared_ptr<sim::Connection> conn,
+                             Ipv4 public_ip,
+                             std::shared_ptr<const Personality> personality,
+                             std::shared_ptr<LazyFilesystem> filesystem,
+                             SessionObserver* observer)
+    : network_(network),
+      control_(std::move(conn)),
+      public_ip_(public_ip),
+      client_ip_(control_->remote().ip),
+      personality_(std::move(personality)),
+      vfs_(std::move(filesystem)),
+      observer_(observer) {}
+
+ServerSession::~ServerSession() { teardown_data(); }
+
+void ServerSession::install_callbacks() {
+  auto self = shared_from_this();
+  sim::ConnCallbacks callbacks;
+  callbacks.on_data = [self](std::string_view data) { self->on_data(data); };
+  callbacks.on_close = [self] { self->on_gone(); };
+  callbacks.on_reset = [self](Status) { self->on_gone(); };
+  control_->set_callbacks(std::move(callbacks));
+}
+
+void ServerSession::on_gone() {
+  closed_ = true;
+  teardown_data();
+  // Dropping the callbacks releases the shared_ptr cycle; the session dies
+  // once the last in-flight event referencing it fires.
+  control_->set_callbacks({});
+}
+
+void ServerSession::close_session() {
+  if (closed_) return;
+  closed_ = true;
+  teardown_data();
+  control_->close();
+  control_->set_callbacks({});
+}
+
+void ServerSession::terminate_abruptly() {
+  if (closed_) return;
+  closed_ = true;
+  teardown_data();
+  control_->reset();
+  control_->set_callbacks({});
+}
+
+void ServerSession::teardown_data() {
+  if (pasv_listening_) {
+    network_.stop_listening(public_ip_, pasv_port_);
+    pasv_listening_ = false;
+  }
+  if (pending_data_timer_armed_) {
+    network_.loop().cancel(pending_data_timer_);
+    pending_data_timer_armed_ = false;
+  }
+  pending_data_action_ = nullptr;
+  if (pasv_conn_) {
+    pasv_conn_->set_callbacks({});
+    pasv_conn_->close();
+    pasv_conn_.reset();
+  }
+  if (upload_conn_) {
+    // The upload callbacks hold a shared_ptr to this session; clear them
+    // or the session leaks through the cycle.
+    upload_conn_->set_callbacks({});
+    upload_conn_->close();
+    upload_conn_.reset();
+  }
+  upload_.reset();
+  port_target_.reset();
+}
+
+void ServerSession::send_reply(const ftp::Reply& reply) {
+  if (closed_ || !control_->is_open()) return;
+  control_->send(reply.wire());
+}
+
+void ServerSession::send_text_reply(int code, std::string_view text) {
+  send_reply(ftp::Reply(code, std::string(text)));
+}
+
+// ---------------------------------------------------------------------------
+// Input handling
+// ---------------------------------------------------------------------------
+
+void ServerSession::on_data(std::string_view data) {
+  if (closed_) return;
+  // A command handler (QUIT, over-cap termination) may drop the last
+  // owning reference to this session; keep it alive for the loop below.
+  auto self = shared_from_this();
+  lines_.push(data);
+  while (auto line = lines_.pop_line()) {
+    if (closed_) return;
+
+    if (expecting_tls_hello_) {
+      expecting_tls_hello_ = false;
+      if (*line == "~TLS HELLO" && personality_->certificate) {
+        tls_active_ = true;
+        control_->send("~TLS CERT " + personality_->certificate->encode() +
+                       "\r\n~TLS OK\r\n");
+      } else {
+        send_text_reply(421, "TLS negotiation failed.");
+        close_session();
+      }
+      continue;
+    }
+
+    const auto cmd = ftp::parse_command(*line);
+    if (!cmd) {
+      send_text_reply(500, "Invalid command.");
+      continue;
+    }
+    ++commands_seen_;
+    if (observer_ != nullptr) observer_->on_command(client_ip_, *cmd);
+    if (personality_->max_commands_per_session != 0 &&
+        commands_seen_ > personality_->max_commands_per_session) {
+      // Some implementations silently drop clients that talk too much; the
+      // enumerator treats this as explicit refusal of service.
+      terminate_abruptly();
+      return;
+    }
+    handle_command(*cmd);
+  }
+}
+
+bool ServerSession::require_login() {
+  if (logged_in_) return true;
+  send_text_reply(530, "Please login with USER and PASS.");
+  return false;
+}
+
+bool ServerSession::anonymous_user(const std::string& user) const {
+  // RFC 1635 names "anonymous"; "ftp" is the traditional alias. Virtual
+  // host suffixes ("anonymous@example.com") count as anonymous too.
+  const std::string lowered = to_lower(user);
+  return lowered == "anonymous" || lowered == "ftp" ||
+         lowered.rfind("anonymous@", 0) == 0;
+}
+
+std::string ServerSession::resolve_arg(const std::string& arg) const {
+  // Strip `ls`-style flag words ("-la /dir") that some clients send.
+  std::string_view view = trim(arg);
+  while (!view.empty() && view.front() == '-') {
+    const std::size_t space = view.find(' ');
+    if (space == std::string_view::npos) {
+      view = {};
+      break;
+    }
+    view = trim(view.substr(space + 1));
+  }
+  return ftp::resolve_path(cwd_, view);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void ServerSession::handle_command(const ftp::Command& cmd) {
+  const std::string& verb = cmd.verb;
+  if (verb == "USER") return cmd_user(cmd.arg);
+  if (verb == "PASS") return cmd_pass(cmd.arg);
+  if (verb == "QUIT") {
+    send_text_reply(221, "Goodbye.");
+    close_session();
+    return;
+  }
+  if (verb == "AUTH") return cmd_auth(cmd.arg);
+  if (verb == "SYST") return send_text_reply(215, personality_->syst_reply);
+  if (verb == "NOOP") return send_text_reply(200, "NOOP ok.");
+  if (verb == "FEAT") return cmd_feat();
+  if (verb == "HELP") return cmd_help();
+  if (verb == "SITE") {
+    if (personality_->site_reply.empty()) {
+      return send_text_reply(500, "SITE not understood.");
+    }
+    // site_reply carries its own code prefix ("214 ...").
+    const auto space = personality_->site_reply.find(' ');
+    const int code = space != std::string::npos
+                         ? std::atoi(personality_->site_reply.substr(0, space)
+                                         .c_str())
+                         : 214;
+    return send_text_reply(code == 0 ? 214 : code,
+                           space != std::string::npos
+                               ? personality_->site_reply.substr(space + 1)
+                               : personality_->site_reply);
+  }
+
+  // Everything below needs authentication.
+  if (!require_login()) return;
+
+  if (verb == "PWD" || verb == "XPWD") {
+    return send_text_reply(257, "\"" + cwd_ + "\" is the current directory");
+  }
+  if (verb == "CWD") return cmd_cwd(cmd.arg);
+  if (verb == "CDUP") return cmd_cwd("..");
+  if (verb == "TYPE") return send_text_reply(200, "Type set to " + cmd.arg);
+  if (verb == "STRU" || verb == "MODE") return send_text_reply(200, "OK.");
+  if (verb == "PASV") return cmd_pasv();
+  if (verb == "PORT") return cmd_port(cmd.arg);
+  if (verb == "LIST") return cmd_list(cmd.arg, /*names_only=*/false);
+  if (verb == "NLST") return cmd_list(cmd.arg, /*names_only=*/true);
+  if (verb == "RETR") return cmd_retr(cmd.arg);
+  if (verb == "STOR") return cmd_stor(cmd.arg);
+  if (verb == "DELE") return cmd_dele(cmd.arg);
+  if (verb == "MKD" || verb == "XMKD") return cmd_mkd(cmd.arg);
+  if (verb == "RMD" || verb == "XRMD") return cmd_rmd(cmd.arg);
+  if (verb == "SIZE") return cmd_size(cmd.arg);
+  if (verb == "MDTM") return cmd_mdtm(cmd.arg);
+  if (verb == "REST") return send_text_reply(350, "Restarting at " + cmd.arg);
+  if (verb == "ABOR") return send_text_reply(226, "Abort successful.");
+  if (verb == "STAT") {
+    return send_text_reply(211, personality_->implementation + " status OK");
+  }
+  send_text_reply(500, "Unknown command.");
+}
+
+// ---------------------------------------------------------------------------
+// Login
+// ---------------------------------------------------------------------------
+
+void ServerSession::cmd_user(const std::string& arg) {
+  pending_user_ = arg;
+  const bool anon = anonymous_user(arg);
+
+  if (personality_->requires_ftps_before_login && !tls_active_) {
+    send_text_reply(331, "Rejected--secure connection required");
+    return;
+  }
+
+  if (anon) {
+    switch (personality_->user_reply_style) {
+      case UserReplyStyle::kStandard:
+        send_text_reply(331, "Please specify the password.");
+        return;
+      case UserReplyStyle::kImmediate230:
+        if (personality_->allow_anonymous) {
+          logged_in_ = true;
+          anonymous_ = true;
+          if (observer_ != nullptr) {
+            observer_->on_login_attempt(client_ip_, arg, "", true);
+          }
+          send_text_reply(230, "Anonymous access granted.");
+        } else {
+          if (observer_ != nullptr) {
+            observer_->on_login_attempt(client_ip_, arg, "", false);
+          }
+          send_text_reply(530, "Anonymous access denied.");
+        }
+        return;
+      case UserReplyStyle::kRejectIn331:
+        // The dreaded quirk: a 331 whose text is a rejection.
+        send_text_reply(331, "Anonymous login not allowed on this server.");
+        return;
+      case UserReplyStyle::kNeedVirtualHost:
+        send_text_reply(331, "Send virtual-site hostname with username.");
+        return;
+      case UserReplyStyle::kFtpsRequiredIn331:
+        if (!tls_active_) {
+          send_text_reply(331, "Rejected--secure connection required");
+        } else {
+          send_text_reply(331, "Please specify the password.");
+        }
+        return;
+      case UserReplyStyle::kReject530:
+        if (observer_ != nullptr) {
+          observer_->on_login_attempt(client_ip_, arg, "", false);
+        }
+        send_text_reply(530, "Anonymous access denied.");
+        return;
+    }
+  }
+  send_text_reply(331, "Password required for " + arg + ".");
+}
+
+void ServerSession::cmd_pass(const std::string& arg) {
+  if (pending_user_.empty()) {
+    send_text_reply(503, "Login with USER first.");
+    return;
+  }
+  const bool anon = anonymous_user(pending_user_);
+
+  if (personality_->requires_ftps_before_login && !tls_active_) {
+    if (observer_ != nullptr) {
+      observer_->on_login_attempt(client_ip_, pending_user_, arg, false);
+    }
+    send_text_reply(530, "Secure connection required before login.");
+    return;
+  }
+
+  bool success = false;
+  if (anon) {
+    success = personality_->allow_anonymous &&
+              personality_->user_reply_style != UserReplyStyle::kRejectIn331 &&
+              personality_->user_reply_style != UserReplyStyle::kReject530;
+    // Virtual-host servers want "anonymous@vhost"; a bare "anonymous" login
+    // never completes there.
+    if (personality_->user_reply_style == UserReplyStyle::kNeedVirtualHost &&
+        to_lower(pending_user_).rfind("anonymous@", 0) != 0) {
+      success = false;
+    }
+  } else {
+    for (const auto& [user, pass] : personality_->valid_credentials) {
+      if (user == pending_user_ && pass == arg) {
+        success = true;
+        break;
+      }
+    }
+  }
+
+  if (observer_ != nullptr) {
+    observer_->on_login_attempt(client_ip_, pending_user_, arg, success);
+  }
+  if (success) {
+    logged_in_ = true;
+    anonymous_ = anon;
+    send_text_reply(230, anon ? "Anonymous access granted, restrictions apply."
+                              : "User logged in.");
+  } else {
+    send_text_reply(530, "Login incorrect.");
+  }
+}
+
+void ServerSession::cmd_auth(const std::string& arg) {
+  const bool tls_requested = iequals(arg, "TLS") || iequals(arg, "SSL");
+  if (!tls_requested) {
+    send_text_reply(504, "Unknown AUTH type.");
+    return;
+  }
+  if (observer_ != nullptr) observer_->on_auth_tls(client_ip_);
+  if (!personality_->supports_ftps || !personality_->certificate) {
+    send_text_reply(530, "TLS not available.");
+    return;
+  }
+  send_text_reply(234, "Proceed with negotiation.");
+  expecting_tls_hello_ = true;
+}
+
+// ---------------------------------------------------------------------------
+// Directory / metadata commands
+// ---------------------------------------------------------------------------
+
+void ServerSession::cmd_cwd(const std::string& arg) {
+  const std::string path = resolve_arg(arg);
+  const vfs::Node* node = vfs_->get()->lookup(path);
+  if (node == nullptr || !node->is_dir()) {
+    send_text_reply(550, "Failed to change directory.");
+    return;
+  }
+  cwd_ = path;
+  send_text_reply(250, "Directory successfully changed.");
+}
+
+void ServerSession::cmd_size(const std::string& arg) {
+  const vfs::Node* node = vfs_->get()->lookup(resolve_arg(arg));
+  if (node == nullptr || node->is_dir()) {
+    send_text_reply(550, "Could not get file size.");
+    return;
+  }
+  send_text_reply(213, std::to_string(node->size));
+}
+
+void ServerSession::cmd_mdtm(const std::string& arg) {
+  const vfs::Node* node = vfs_->get()->lookup(resolve_arg(arg));
+  if (node == nullptr || node->is_dir()) {
+    send_text_reply(550, "Could not get file modification time.");
+    return;
+  }
+  const CivilDateTime c = civil_from_unix(node->mtime);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%04d%02d%02d%02d%02d%02d", c.year, c.month,
+                c.day, c.hour, c.minute, c.second);
+  send_text_reply(213, buf);
+}
+
+void ServerSession::cmd_feat() {
+  ftp::Reply reply;
+  reply.code = 211;
+  reply.lines.push_back("Features:");
+  for (const std::string& feat : personality_->feat_lines) {
+    reply.lines.push_back(" " + feat);
+  }
+  reply.lines.push_back("End");
+  send_reply(reply);
+}
+
+void ServerSession::cmd_help() {
+  ftp::Reply reply;
+  reply.code = 214;
+  if (personality_->help_lines.empty()) {
+    reply.lines.push_back("The following commands are recognized.");
+    reply.lines.push_back("Help OK.");
+  } else {
+    reply.lines = personality_->help_lines;
+  }
+  send_reply(reply);
+}
+
+// ---------------------------------------------------------------------------
+// Data-channel negotiation
+// ---------------------------------------------------------------------------
+
+void ServerSession::cmd_pasv() {
+  // Replace any previous passive state.
+  if (pasv_listening_) {
+    network_.stop_listening(public_ip_, pasv_port_);
+    pasv_listening_ = false;
+  }
+  pasv_conn_.reset();
+  port_target_.reset();
+
+  pasv_port_ = network_.allocate_ephemeral_port();
+  pasv_listening_ = true;
+  auto self = shared_from_this();
+  network_.listen(public_ip_, pasv_port_,
+                  [self](std::shared_ptr<sim::Connection> conn) {
+                    if (self->closed_ || self->pasv_conn_) {
+                      conn->reset();
+                      return;
+                    }
+                    self->pasv_conn_ = std::move(conn);
+                    if (self->pending_data_action_) {
+                      auto action = std::move(self->pending_data_action_);
+                      self->pending_data_action_ = nullptr;
+                      if (self->pending_data_timer_armed_) {
+                        self->network_.loop().cancel(self->pending_data_timer_);
+                        self->pending_data_timer_armed_ = false;
+                      }
+                      action(self->pasv_conn_);
+                    }
+                  });
+
+  // NAT'd devices advertise the address they believe they have — the paper
+  // detects NAT exactly this way (PASV address != control address).
+  const ftp::HostPort hp{
+      .ip = personality_->believed_ip(public_ip_).value(),
+      .port = pasv_port_,
+  };
+  send_text_reply(227, "Entering Passive Mode (" + hp.wire() + ").");
+}
+
+void ServerSession::cmd_port(const std::string& arg) {
+  const auto hp = ftp::parse_host_port(arg);
+  if (!hp) {
+    send_text_reply(501, "Illegal PORT command.");
+    return;
+  }
+  const Ipv4 target_ip(hp->ip);
+  if (personality_->validate_port_ip && target_ip != client_ip_) {
+    send_text_reply(500, "Illegal PORT command.");
+    return;
+  }
+  if (target_ip != client_ip_ && observer_ != nullptr) {
+    observer_->on_port_bounce(client_ip_, target_ip, hp->port);
+  }
+  // Dropping PASV state: PORT supersedes it.
+  if (pasv_listening_) {
+    network_.stop_listening(public_ip_, pasv_port_);
+    pasv_listening_ = false;
+  }
+  pasv_conn_.reset();
+  port_target_ = sim::Endpoint{target_ip, hp->port};
+  send_text_reply(200, "PORT command successful.");
+}
+
+void ServerSession::with_data_connection(
+    std::function<void(std::shared_ptr<sim::Connection>)> action) {
+  if (pasv_conn_) {
+    auto conn = pasv_conn_;
+    action(std::move(conn));
+    return;
+  }
+  if (pasv_listening_) {
+    // Client has not dialed in yet; park the transfer briefly.
+    auto self = shared_from_this();
+    pending_data_action_ = std::move(action);
+    pending_data_timer_armed_ = true;
+    pending_data_timer_ =
+        network_.loop().schedule_after(30 * sim::kSecond, [self] {
+          self->pending_data_timer_armed_ = false;
+          if (self->pending_data_action_) {
+            self->pending_data_action_ = nullptr;
+            self->send_text_reply(425, "Failed to establish connection.");
+          }
+        });
+    return;
+  }
+  if (port_target_) {
+    const sim::Endpoint target = *port_target_;
+    port_target_.reset();
+    auto self = shared_from_this();
+    network_.connect(
+        public_ip_, target.ip, target.port,
+        [self, action = std::move(action)](
+            Result<std::shared_ptr<sim::Connection>> result) {
+          if (self->closed_) return;
+          if (!result.is_ok()) {
+            self->send_text_reply(425, "Can't open data connection.");
+            return;
+          }
+          action(std::move(result).take());
+        });
+    return;
+  }
+  send_text_reply(425, "Use PORT or PASV first.");
+}
+
+void ServerSession::send_over_data(std::string payload,
+                                   std::string opening_text) {
+  auto self = shared_from_this();
+  with_data_connection([self, payload = std::move(payload),
+                        opening_text = std::move(opening_text)](
+                           std::shared_ptr<sim::Connection> data) {
+    if (self->closed_) return;
+    self->send_text_reply(150, opening_text);
+    data->send(payload);
+    data->close();
+    if (self->pasv_conn_ == data) self->pasv_conn_.reset();
+    if (self->pasv_listening_) {
+      self->network_.stop_listening(self->public_ip_, self->pasv_port_);
+      self->pasv_listening_ = false;
+    }
+    self->send_text_reply(226, "Transfer complete.");
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Transfers
+// ---------------------------------------------------------------------------
+
+void ServerSession::cmd_list(const std::string& arg, bool names_only) {
+  const std::string path = resolve_arg(arg);
+  const auto entries = vfs_->get()->list(path);
+  if (!entries.is_ok()) {
+    send_text_reply(550, "Failed to open directory.");
+    return;
+  }
+  const std::string payload =
+      names_only
+          ? vfs::render_nlst(entries.value())
+          : vfs::render_listing(entries.value(), personality_->listing_format,
+                                personality_->listing_year);
+  send_over_data(payload, "Here comes the directory listing.");
+}
+
+void ServerSession::cmd_retr(const std::string& arg) {
+  const std::string path = resolve_arg(arg);
+  const vfs::Node* node = vfs_->get()->lookup(path);
+  if (node == nullptr || node->is_dir()) {
+    send_text_reply(550, "Failed to open file.");
+    return;
+  }
+  if (node->pending_approval && personality_->uploads_need_approval) {
+    send_text_reply(550, kApprovalText);
+    return;
+  }
+  if (anonymous_ && !node->mode.world_readable()) {
+    send_text_reply(550, "Permission denied.");
+    return;
+  }
+  send_over_data(synthesize_content(*node),
+                 "Opening BINARY mode data connection for " + node->name +
+                     " (" + std::to_string(node->size) + " bytes).");
+}
+
+void ServerSession::cmd_stor(const std::string& arg) {
+  if (anonymous_ && !personality_->anonymous_writable) {
+    send_text_reply(550, "Permission denied.");
+    return;
+  }
+  std::string path = resolve_arg(arg);
+  if (path == "/" || path.empty()) {
+    send_text_reply(553, "Could not create file.");
+    return;
+  }
+
+  if (vfs_->get()->lookup(path) != nullptr) {
+    switch (personality_->upload_conflict) {
+      case UploadConflictPolicy::kOverwrite:
+        break;
+      case UploadConflictPolicy::kRefuse:
+        send_text_reply(553, "File exists.");
+        return;
+      case UploadConflictPolicy::kRenameWithSuffix: {
+        // "name", "name.1", "name.2", ... — the pattern the paper observed
+        // littering world-writable servers.
+        int suffix = 1;
+        std::string candidate;
+        do {
+          candidate = path + "." + std::to_string(suffix++);
+        } while (vfs_->get()->lookup(candidate) != nullptr && suffix < 1000);
+        path = candidate;
+        break;
+      }
+    }
+  }
+
+  auto upload = std::make_shared<Upload>();
+  upload->path = path;
+  upload->pending_approval =
+      anonymous_ && personality_->uploads_need_approval;
+
+  auto self = shared_from_this();
+  with_data_connection([self, upload](std::shared_ptr<sim::Connection> data) {
+    if (self->closed_) return;
+    self->upload_ = upload;
+    self->upload_conn_ = data;
+    self->send_text_reply(150, "Ok to send data.");
+
+    sim::ConnCallbacks callbacks;
+    callbacks.on_data = [upload](std::string_view bytes) {
+      upload->data += bytes;
+    };
+    callbacks.on_close = [self, upload] {
+      if (self->closed_ || self->upload_ != upload) return;
+      vfs::FileAttrs attrs;
+      attrs.content = upload->data;
+      attrs.mode = vfs::Mode{0666};
+      attrs.owner = self->anonymous_ ? "anonymous" : "user";
+      attrs.mtime = static_cast<std::int64_t>(
+          self->network_.loop().now() / sim::kSecond);
+      auto created = self->vfs_->get()->add_file(upload->path, std::move(attrs));
+      if (created.is_ok()) {
+        created.value()->pending_approval = upload->pending_approval;
+        if (self->observer_ != nullptr) {
+          self->observer_->on_upload(self->client_ip_, upload->path,
+                                     upload->data.size());
+        }
+        self->send_text_reply(226, "Transfer complete.");
+      } else {
+        self->send_text_reply(553, "Could not create file.");
+      }
+      self->upload_.reset();
+      if (self->upload_conn_) self->upload_conn_->set_callbacks({});
+      self->upload_conn_.reset();
+      if (self->pasv_conn_) self->pasv_conn_.reset();
+      if (self->pasv_listening_) {
+        self->network_.stop_listening(self->public_ip_, self->pasv_port_);
+        self->pasv_listening_ = false;
+      }
+    };
+    callbacks.on_reset = [self, upload](Status) {
+      if (self->closed_ || self->upload_ != upload) return;
+      self->send_text_reply(426, "Connection closed; transfer aborted.");
+      self->upload_.reset();
+      if (self->upload_conn_) self->upload_conn_->set_callbacks({});
+      self->upload_conn_.reset();
+    };
+    data->set_callbacks(std::move(callbacks));
+  });
+}
+
+void ServerSession::cmd_dele(const std::string& arg) {
+  if (anonymous_ && (!personality_->anonymous_writable ||
+                     !personality_->allow_anonymous_delete)) {
+    send_text_reply(550, "Permission denied.");
+    return;
+  }
+  const std::string path = resolve_arg(arg);
+  if (vfs_->get()->remove(path).is_ok()) {
+    if (observer_ != nullptr) observer_->on_delete(client_ip_, path);
+    send_text_reply(250, "Delete operation successful.");
+  } else {
+    send_text_reply(550, "Delete operation failed.");
+  }
+}
+
+void ServerSession::cmd_mkd(const std::string& arg) {
+  if (anonymous_ && (!personality_->anonymous_writable ||
+                     !personality_->allow_anonymous_mkd)) {
+    send_text_reply(550, "Permission denied.");
+    return;
+  }
+  const std::string path = resolve_arg(arg);
+  if (vfs_->get()->lookup(path) != nullptr) {
+    send_text_reply(550, "Directory exists.");
+    return;
+  }
+  if (vfs_->get()->mkdir(path, vfs::Mode{0777},
+                  static_cast<std::int64_t>(network_.loop().now() /
+                                            sim::kSecond))
+          .is_ok()) {
+    if (observer_ != nullptr) observer_->on_mkdir(client_ip_, path);
+    send_text_reply(257, "\"" + path + "\" created");
+  } else {
+    send_text_reply(550, "Create directory operation failed.");
+  }
+}
+
+void ServerSession::cmd_rmd(const std::string& arg) {
+  if (anonymous_ && (!personality_->anonymous_writable ||
+                     !personality_->allow_anonymous_delete)) {
+    send_text_reply(550, "Permission denied.");
+    return;
+  }
+  if (vfs_->get()->remove(resolve_arg(arg)).is_ok()) {
+    send_text_reply(250, "Remove directory operation successful.");
+  } else {
+    send_text_reply(550, "Remove directory operation failed.");
+  }
+}
+
+}  // namespace ftpc::ftpd

@@ -1,0 +1,123 @@
+// One server-side control-connection session.
+//
+// Sessions are self-owning: the connection callbacks keep a shared_ptr to
+// the session alive until the connection dies. The session shares the
+// host's personality and filesystem with its FtpServer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/ipv4.h"
+#include "ftp/command.h"
+#include "ftp/reply.h"
+#include "ftpd/personality.h"
+#include "ftpd/server.h"
+#include "sim/network.h"
+#include "vfs/vfs.h"
+
+namespace ftpc::ftpd {
+
+class ServerSession : public std::enable_shared_from_this<ServerSession> {
+ public:
+  /// Creates the session, installs connection callbacks, and sends the
+  /// 220 banner.
+  static std::shared_ptr<ServerSession> start(
+      sim::Network& network, std::shared_ptr<sim::Connection> conn,
+      Ipv4 public_ip, std::shared_ptr<const Personality> personality,
+      std::shared_ptr<LazyFilesystem> filesystem, SessionObserver* observer);
+
+  ~ServerSession();
+
+ private:
+  ServerSession(sim::Network& network, std::shared_ptr<sim::Connection> conn,
+                Ipv4 public_ip, std::shared_ptr<const Personality> personality,
+                std::shared_ptr<LazyFilesystem> filesystem,
+                SessionObserver* observer);
+
+  // Wiring -----------------------------------------------------------------
+  void install_callbacks();
+  void on_data(std::string_view data);
+  void on_gone();
+  void send_reply(const ftp::Reply& reply);
+  void send_text_reply(int code, std::string_view text);
+  void close_session();
+  void terminate_abruptly();
+
+  // Command dispatch ---------------------------------------------------------
+  void handle_command(const ftp::Command& cmd);
+  void cmd_user(const std::string& arg);
+  void cmd_pass(const std::string& arg);
+  void cmd_auth(const std::string& arg);
+  void cmd_pasv();
+  void cmd_port(const std::string& arg);
+  void cmd_list(const std::string& arg, bool names_only);
+  void cmd_retr(const std::string& arg);
+  void cmd_stor(const std::string& arg);
+  void cmd_dele(const std::string& arg);
+  void cmd_mkd(const std::string& arg);
+  void cmd_rmd(const std::string& arg);
+  void cmd_cwd(const std::string& arg);
+  void cmd_size(const std::string& arg);
+  void cmd_mdtm(const std::string& arg);
+  void cmd_feat();
+  void cmd_help();
+
+  // Data-channel plumbing ----------------------------------------------------
+  /// Ensures a data connection exists (PASV-accepted or PORT-dialed), then
+  /// runs `action(data_conn)`; replies 425 if none can be made.
+  void with_data_connection(
+      std::function<void(std::shared_ptr<sim::Connection>)> action);
+  void send_over_data(std::string payload, std::string opening_text);
+  void teardown_data();
+
+  bool require_login();
+  bool anonymous_user(const std::string& user) const;
+  std::string resolve_arg(const std::string& arg) const;
+
+  sim::Network& network_;
+  std::shared_ptr<sim::Connection> control_;
+  Ipv4 public_ip_;
+  Ipv4 client_ip_;
+  std::shared_ptr<const Personality> personality_;
+  std::shared_ptr<LazyFilesystem> vfs_;
+  SessionObserver* observer_;
+
+  ftp::LineReader lines_;
+  bool expecting_tls_hello_ = false;
+  bool tls_active_ = false;
+
+  // Login state.
+  std::string pending_user_;
+  bool logged_in_ = false;
+  bool anonymous_ = false;
+
+  std::string cwd_ = "/";
+  std::uint32_t commands_seen_ = 0;
+
+  // Passive-mode listener.
+  bool pasv_listening_ = false;
+  std::uint16_t pasv_port_ = 0;
+  std::shared_ptr<sim::Connection> pasv_conn_;  // accepted, idle
+  // Transfer action parked while waiting for the PASV peer to dial in.
+  std::function<void(std::shared_ptr<sim::Connection>)> pending_data_action_;
+  sim::TimerId pending_data_timer_ = 0;
+  bool pending_data_timer_armed_ = false;
+  // Active-mode target from the last PORT command.
+  std::optional<sim::Endpoint> port_target_;
+  // Upload in progress over the data channel.
+  struct Upload {
+    std::string path;
+    std::string data;
+    bool pending_approval = false;
+  };
+  std::shared_ptr<Upload> upload_;
+  std::shared_ptr<sim::Connection> upload_conn_;
+
+  bool closed_ = false;
+};
+
+}  // namespace ftpc::ftpd

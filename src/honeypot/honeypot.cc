@@ -1,0 +1,153 @@
+#include "honeypot/honeypot.h"
+
+#include <map>
+
+#include "common/strings.h"
+#include "vfs/vfs.h"
+
+namespace ftpc::honeypot {
+
+// ---------------------------------------------------------------------------
+// HoneypotLog
+// ---------------------------------------------------------------------------
+
+void HoneypotLog::on_connect(Ipv4 client) { scanners_.insert(client.value()); }
+
+void HoneypotLog::on_command(Ipv4 client, const ftp::Command& cmd) {
+  // HTTP clients blindly issue "GET / HTTP/1.x" at the FTP port; the verb
+  // parser dutifully reports verb "GET".
+  if (cmd.verb == "GET") {
+    http_get_.insert(client.value());
+    return;
+  }
+  ftp_speakers_.insert(client.value());
+  if (cmd.verb == "CWD" || cmd.verb == "CDUP") {
+    traversers_.insert(client.value());
+  }
+  if (cmd.verb == "LIST" || cmd.verb == "NLST") {
+    listers_.insert(client.value());
+  }
+  if (cmd.verb == "SITE" &&
+      (istarts_with(cmd.arg, "CPFR") || istarts_with(cmd.arg, "CPTO"))) {
+    // ProFTPD mod_copy (CVE-2015-3306) exploitation attempt.
+    ++cve_mod_copy_;
+  }
+}
+
+void HoneypotLog::on_login_attempt(Ipv4 client, const std::string& user,
+                                   const std::string& password,
+                                   bool success) {
+  credentials_.emplace(user, password);
+  if (success && to_lower(user) == "root") ++root_logins_;
+  ftp_speakers_.insert(client.value());
+}
+
+void HoneypotLog::on_upload(Ipv4 client, const std::string& /*path*/,
+                            std::size_t /*bytes*/) {
+  ++uploads_;
+  upload_ips_.insert(client.value());
+}
+
+std::uint64_t HoneypotLog::mkdirs_without_upload() const {
+  std::uint64_t count = 0;
+  for (const std::uint32_t ip : mkdir_ips_) {
+    if (upload_ips_.count(ip) == 0) ++count;
+  }
+  return count;
+}
+
+void HoneypotLog::on_delete(Ipv4 /*client*/, const std::string& /*path*/) {
+  ++deletes_;
+}
+
+void HoneypotLog::on_mkdir(Ipv4 client, const std::string& /*path*/) {
+  mkdir_ips_.insert(client.value());
+}
+
+void HoneypotLog::on_port_bounce(Ipv4 client, Ipv4 target,
+                                 std::uint16_t /*port*/) {
+  bounce_ips_.insert(client.value());
+  bounce_targets_.insert(target.value());
+}
+
+void HoneypotLog::on_auth_tls(Ipv4 client) {
+  auth_tls_.insert(client.value());
+  ftp_speakers_.insert(client.value());
+}
+
+double HoneypotLog::dominant_prefix_share() const {
+  std::map<std::uint32_t, std::size_t> by_prefix16;
+  for (const std::uint32_t ip : scanners_) ++by_prefix16[ip >> 16];
+  std::size_t best = 0;
+  for (const auto& [prefix, count] : by_prefix16) {
+    best = std::max(best, count);
+  }
+  return scanners_.empty()
+             ? 0.0
+             : static_cast<double>(best) / static_cast<double>(scanners_.size());
+}
+
+// ---------------------------------------------------------------------------
+// HoneypotFleet
+// ---------------------------------------------------------------------------
+
+HoneypotFleet::HoneypotFleet(sim::Network& network, Ipv4 base_ip)
+    : network_(network) {
+  for (int i = 0; i < 8; ++i) {
+    const Ipv4 ip(base_ip.value() + static_cast<std::uint32_t>(i));
+    addresses_.push_back(ip);
+
+    auto personality = std::make_shared<ftpd::Personality>();
+    if (i == 7) {
+      // One Seagate-flavored honeypot: stock firmware, password-less root.
+      personality->implementation = "Seagate Central";
+      personality->banner = "220 Seagate Central Shared Storage FTP server";
+      personality->valid_credentials.emplace_back("root", "");
+    } else {
+      personality->implementation = "ProFTPD";
+      personality->version = "1.3.5";
+      personality->banner =
+          "220 ProFTPD 1.3.5 Server (ProFTPD Default Installation) [{ip}]";
+    }
+    personality->allow_anonymous = true;
+    personality->anonymous_writable = true;
+    personality->allow_anonymous_delete = true;
+    personality->allow_anonymous_mkd = true;
+    personality->upload_conflict = ftpd::UploadConflictPolicy::kOverwrite;
+    // Honeypots deliberately accept PORT to anywhere so bounce attempts
+    // are observable.
+    personality->validate_port_ip = false;
+
+    auto filesystem = std::make_shared<vfs::Vfs>();
+    (void)filesystem->mkdir("/incoming", vfs::Mode{0777});
+    (void)filesystem->mkdir("/pub");
+    (void)filesystem->add_file("/pub/README.txt",
+                               {.size = 512, .mode = vfs::Mode{0644}});
+
+    auto server = std::make_shared<ftpd::FtpServer>(
+        ip, std::move(personality), std::move(filesystem), &log_);
+    server->attach(network_);
+    servers_.push_back(std::move(server));
+  }
+}
+
+HoneypotFleet::~HoneypotFleet() {
+  for (const auto& server : servers_) server->detach(network_);
+}
+
+void HoneypotFleet::populate_probed_paths() {
+  // Reaction to observed blind traversals: stand up the web-root paths the
+  // attackers keep probing, with representative content.
+  for (const auto& server : servers_) {
+    const auto& fs = server->filesystem()->get();
+    for (const char* dir : {"/cgi-bin", "/www", "/public_html"}) {
+      (void)fs->mkdir(dir, vfs::Mode{0755});
+    }
+    (void)fs->add_file("/public_html/index.html",
+                       {.size = 4096, .mode = vfs::Mode{0644}});
+    (void)fs->add_file("/www/site.php",
+                       {.size = 2048, .mode = vfs::Mode{0644}});
+  }
+}
+
+}  // namespace ftpc::honeypot

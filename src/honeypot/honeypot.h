@@ -1,0 +1,99 @@
+// The honeypot study (§VIII): eight anonymous, world-writable FTP servers
+// observed over three (virtual) months.
+//
+// HoneypotLog implements ftpd::SessionObserver and tallies exactly what
+// the paper reports: scanner IPs, FTP speakers vs HTTP-GET confusion,
+// traversals and listings (including blind ones), credential guesses,
+// CVE-2015-3306 (mod_copy SITE CPFR/CPTO) attempts, the Seagate
+// password-less-root exploit, PORT-bounce tests, AUTH TLS device
+// identification, and WaReZ-style mkdir-without-upload behaviour.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/ipv4.h"
+#include "ftpd/server.h"
+#include "sim/network.h"
+
+namespace ftpc::honeypot {
+
+class HoneypotLog : public ftpd::SessionObserver {
+ public:
+  void on_connect(Ipv4 client) override;
+  void on_command(Ipv4 client, const ftp::Command& cmd) override;
+  void on_login_attempt(Ipv4 client, const std::string& user,
+                        const std::string& password, bool success) override;
+  void on_upload(Ipv4 client, const std::string& path,
+                 std::size_t bytes) override;
+  void on_delete(Ipv4 client, const std::string& path) override;
+  void on_mkdir(Ipv4 client, const std::string& path) override;
+  void on_port_bounce(Ipv4 client, Ipv4 target, std::uint16_t port) override;
+  void on_auth_tls(Ipv4 client) override;
+
+  // §VIII.A's numbers.
+  std::size_t unique_scanners() const { return scanners_.size(); }
+  std::size_t spoke_ftp() const { return ftp_speakers_.size(); }
+  std::size_t http_get_ips() const { return http_get_.size(); }
+  std::size_t traversal_ips() const { return traversers_.size(); }
+  std::size_t listing_ips() const { return listers_.size(); }
+  std::size_t unique_credentials() const { return credentials_.size(); }
+  std::size_t bounce_ips() const { return bounce_ips_.size(); }
+  std::size_t bounce_targets() const { return bounce_targets_.size(); }
+  std::size_t auth_tls_ips() const { return auth_tls_.size(); }
+  std::uint64_t cve_2015_3306_attempts() const { return cve_mod_copy_; }
+  /// Successful password-less root logins (the Seagate firmware bug).
+  std::uint64_t root_login_attempts() const { return root_logins_; }
+  std::uint64_t uploads() const { return uploads_; }
+  std::uint64_t deletes() const { return deletes_; }
+  std::size_t mkdir_ips() const { return mkdir_ips_.size(); }
+  /// IPs that created directories but never uploaded anything into them —
+  /// the WaReZ-transporter signature of §VIII.B.
+  std::uint64_t mkdirs_without_upload() const;
+  /// Share of scanners from the dominant /16 ("China Unicom Henan").
+  double dominant_prefix_share() const;
+
+ private:
+  std::set<std::uint32_t> scanners_;
+  std::set<std::uint32_t> ftp_speakers_;
+  std::set<std::uint32_t> http_get_;
+  std::set<std::uint32_t> traversers_;
+  std::set<std::uint32_t> listers_;
+  std::set<std::pair<std::string, std::string>> credentials_;
+  std::set<std::uint32_t> bounce_ips_;
+  std::set<std::uint32_t> bounce_targets_;
+  std::set<std::uint32_t> auth_tls_;
+  std::set<std::uint32_t> mkdir_ips_;
+  std::set<std::uint32_t> upload_ips_;
+  std::uint64_t cve_mod_copy_ = 0;
+  std::uint64_t root_logins_ = 0;
+  std::uint64_t uploads_ = 0;
+  std::uint64_t deletes_ = 0;
+};
+
+/// Deploys the eight honeypots and exposes their shared log.
+class HoneypotFleet {
+ public:
+  /// `base_ip` anchors the eight addresses (base, base+1, ...). One of the
+  /// eight presents Seagate-like firmware (password-less root).
+  HoneypotFleet(sim::Network& network, Ipv4 base_ip);
+  ~HoneypotFleet();
+
+  const std::vector<Ipv4>& addresses() const noexcept { return addresses_; }
+  HoneypotLog& log() noexcept { return log_; }
+
+  /// §VIII: "we created those paths and populated them with representative
+  /// files" after watching blind traversals — call between phases.
+  void populate_probed_paths();
+
+ private:
+  sim::Network& network_;
+  HoneypotLog log_;
+  std::vector<Ipv4> addresses_;
+  std::vector<std::shared_ptr<ftpd::FtpServer>> servers_;
+};
+
+}  // namespace ftpc::honeypot

@@ -1,0 +1,52 @@
+#include "net/as_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ftpc::net {
+
+std::string_view as_type_name(AsType type) noexcept {
+  switch (type) {
+    case AsType::kHosting:
+      return "Hosting";
+    case AsType::kIsp:
+      return "ISP";
+    case AsType::kAcademic:
+      return "Academic";
+    case AsType::kOther:
+      return "Other";
+  }
+  return "?";
+}
+
+AsTable::AsTable(std::vector<AsInfo> ases,
+                 std::vector<Allocation> allocations)
+    : ases_(std::move(ases)), allocations_(std::move(allocations)) {
+  std::sort(allocations_.begin(), allocations_.end(),
+            [](const Allocation& a, const Allocation& b) {
+              return a.first < b.first;
+            });
+  for (std::size_t i = 0; i < allocations_.size(); ++i) {
+    const Allocation& alloc = allocations_[i];
+    assert(alloc.first <= alloc.last);
+    assert(alloc.as_index < ases_.size());
+    assert(i == 0 || allocations_[i - 1].last < alloc.first);
+    allocated_ += std::uint64_t{alloc.last} - alloc.first + 1;
+  }
+}
+
+std::optional<std::uint32_t> AsTable::as_index_of(Ipv4 ip) const noexcept {
+  const std::uint32_t v = ip.value();
+  // Binary search for the last allocation with first <= v.
+  const auto it = std::upper_bound(
+      allocations_.begin(), allocations_.end(), v,
+      [](std::uint32_t value, const Allocation& alloc) {
+        return value < alloc.first;
+      });
+  if (it == allocations_.begin()) return std::nullopt;
+  const Allocation& candidate = *(it - 1);
+  if (v > candidate.last) return std::nullopt;
+  return candidate.as_index;
+}
+
+}  // namespace ftpc::net

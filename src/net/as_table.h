@@ -1,0 +1,70 @@
+// The synthetic autonomous-system table.
+//
+// The paper's AS-level findings (Tables III and VI, Figure 1) hinge on the
+// heavy-tailed distribution of FTP servers across ASes: 78 ASes hold 50% of
+// all FTP servers, 42 hold 50% of anonymous ones, and the top-10 list is
+// dominated by shared-hosting providers. We reproduce that by constructing
+// an AS population whose head is the paper's literal Table VI (scaled) and
+// whose tail is Pareto-distributed, then carving the public IPv4 space into
+// prefixes owned by those ASes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/ipv4.h"
+
+namespace ftpc::net {
+
+/// Broad AS categories used by Table III.
+enum class AsType { kHosting, kIsp, kAcademic, kOther };
+
+std::string_view as_type_name(AsType type) noexcept;
+
+struct AsInfo {
+  std::uint32_t asn = 0;
+  std::string name;
+  AsType type = AsType::kOther;
+  /// Total addresses advertised by this AS (sum of its prefixes).
+  std::uint64_t ips_advertised = 0;
+  /// Index of the population profile applied to this AS's address space
+  /// (interpreted by popgen; the net layer only stores it).
+  std::uint16_t profile = 0;
+};
+
+/// Immutable mapping from IPv4 address to AS, plus per-AS metadata.
+class AsTable {
+ public:
+  /// A contiguous address range owned by one AS.
+  struct Allocation {
+    std::uint32_t first = 0;
+    std::uint32_t last = 0;
+    std::uint32_t as_index = 0;  // index into as_list()
+  };
+
+  AsTable(std::vector<AsInfo> ases, std::vector<Allocation> allocations);
+
+  /// AS owning `ip`, or nullopt for unallocated/reserved space.
+  std::optional<std::uint32_t> as_index_of(Ipv4 ip) const noexcept;
+
+  const AsInfo& as_info(std::uint32_t index) const noexcept {
+    return ases_[index];
+  }
+  std::size_t as_count() const noexcept { return ases_.size(); }
+  const std::vector<AsInfo>& as_list() const noexcept { return ases_; }
+  const std::vector<Allocation>& allocations() const noexcept {
+    return allocations_;
+  }
+
+  /// Total addresses covered by allocations.
+  std::uint64_t allocated_addresses() const noexcept { return allocated_; }
+
+ private:
+  std::vector<AsInfo> ases_;
+  std::vector<Allocation> allocations_;  // sorted by `first`, disjoint
+  std::uint64_t allocated_ = 0;
+};
+
+}  // namespace ftpc::net

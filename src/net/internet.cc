@@ -1,0 +1,70 @@
+#include "net/internet.h"
+
+#include <cassert>
+
+namespace ftpc::net {
+
+Internet::Internet(sim::Network& network, PopulationModel& population,
+                   std::size_t capacity)
+    : network_(network), population_(population), capacity_(capacity) {
+  assert(capacity_ > 0);
+  network_.set_probe_fn([this](Ipv4 ip, std::uint16_t port) {
+    return population_.port_open(ip, port);
+  });
+  network_.set_host_resolver([this](Ipv4 ip, std::uint16_t port) {
+    return resolve(ip, port);
+  });
+}
+
+Internet::~Internet() {
+  flush();
+  network_.set_probe_fn(nullptr);
+  network_.set_host_resolver(nullptr);
+}
+
+bool Internet::resolve(Ipv4 ip, std::uint16_t port) {
+  const std::uint32_t key = ip.value();
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    touch(key);
+    // Host exists but may simply not listen on this port; the network
+    // re-checks the listener table after we return.
+    return network_.is_listening(ip, port);
+  }
+
+  std::unique_ptr<HostModel> host = population_.materialize(ip);
+  if (!host) return false;
+
+  while (cache_.size() >= capacity_) evict_one();
+
+  std::shared_ptr<HostModel> shared(std::move(host));
+  shared->attach(network_);
+  lru_.push_front(key);
+  cache_.emplace(key, Entry{std::move(shared), lru_.begin()});
+  ++materialized_;
+  return network_.is_listening(ip, port);
+}
+
+void Internet::touch(std::uint32_t key) {
+  auto& entry = cache_.at(key);
+  lru_.erase(entry.lru_pos);
+  lru_.push_front(key);
+  entry.lru_pos = lru_.begin();
+}
+
+void Internet::evict_one() {
+  assert(!lru_.empty());
+  const std::uint32_t key = lru_.back();
+  lru_.pop_back();
+  const auto it = cache_.find(key);
+  assert(it != cache_.end());
+  it->second.host->detach(network_);
+  cache_.erase(it);
+  ++evicted_;
+}
+
+void Internet::flush() {
+  while (!cache_.empty()) evict_one();
+}
+
+}  // namespace ftpc::net

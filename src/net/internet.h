@@ -1,0 +1,87 @@
+// Glue between the simulated network and a lazily-materialized host
+// population.
+//
+// A census touches tens of millions of addresses but talks to only a few
+// at a time. `Internet` installs hooks on sim::Network so that:
+//   - the scanner's stateless probes answer from a pure function
+//     (PopulationModel::port_open) without creating anything, and
+//   - a real connect materializes the full host (FTP daemon + filesystem)
+//     on demand, holding it in a bounded LRU cache.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+
+#include "common/ipv4.h"
+#include "sim/network.h"
+
+namespace ftpc::net {
+
+/// A materialized host: owns its services' state and their listeners.
+class HostModel {
+ public:
+  virtual ~HostModel() = default;
+
+  /// Registers this host's listeners on the network. Called exactly once,
+  /// immediately after materialization.
+  virtual void attach(sim::Network& network) = 0;
+
+  /// Unregisters listeners. Called exactly once, on eviction. Active
+  /// connections keep whatever state they share; only new connects stop.
+  virtual void detach(sim::Network& network) = 0;
+};
+
+/// The (lazy) population: a pure membership function plus a factory.
+class PopulationModel {
+ public:
+  virtual ~PopulationModel() = default;
+
+  /// True iff a SYN to (ip, port) would be answered. Must be cheap and
+  /// side-effect free: the scanner calls it for every probed address.
+  virtual bool port_open(Ipv4 ip, std::uint16_t port) const = 0;
+
+  /// Builds the full host at `ip`, or nullptr if no host lives there.
+  virtual std::unique_ptr<HostModel> materialize(Ipv4 ip) = 0;
+};
+
+class Internet {
+ public:
+  /// `capacity` bounds the number of simultaneously-materialized hosts.
+  Internet(sim::Network& network, PopulationModel& population,
+           std::size_t capacity = 128);
+  ~Internet();
+  Internet(const Internet&) = delete;
+  Internet& operator=(const Internet&) = delete;
+
+  sim::Network& network() noexcept { return network_; }
+
+  /// Materialized-host statistics.
+  std::uint64_t hosts_materialized() const noexcept { return materialized_; }
+  std::uint64_t hosts_evicted() const noexcept { return evicted_; }
+  std::size_t resident_hosts() const noexcept { return cache_.size(); }
+
+  /// Evicts every materialized host (e.g. between experiment phases).
+  void flush();
+
+ private:
+  bool resolve(Ipv4 ip, std::uint16_t port);
+  void touch(std::uint32_t key);
+  void evict_one();
+
+  struct Entry {
+    std::shared_ptr<HostModel> host;
+    std::list<std::uint32_t>::iterator lru_pos;
+  };
+
+  sim::Network& network_;
+  PopulationModel& population_;
+  std::size_t capacity_;
+  std::unordered_map<std::uint32_t, Entry> cache_;
+  std::list<std::uint32_t> lru_;  // front = most recently used
+  std::uint64_t materialized_ = 0;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace ftpc::net

@@ -1,0 +1,469 @@
+#include "popgen/calibration.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/ipv4.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "popgen/catalog.h"
+
+namespace ftpc::popgen {
+
+std::uint64_t Calibration::total_ftp_target() const {
+  std::uint64_t total = 0;
+  for (const AsSpec& as_spec : ases) total += as_spec.ftp_target;
+  return total;
+}
+
+std::uint64_t Calibration::total_advertised() const {
+  std::uint64_t total = 0;
+  for (const AsSpec& as_spec : ases) total += as_spec.advertised;
+  return total;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Global per-template population targets (full IPv4 scale).
+//
+// Generic software totals are chosen so the class sums match Table II and
+// the version mixes in catalog.cc reproduce Table XI; device totals are the
+// literal Tables IV, V, VII counts (plus catch-all fillers closing each
+// class's gap to Table II).
+// ---------------------------------------------------------------------------
+const std::vector<std::pair<const char*, std::uint64_t>>& template_targets() {
+  static const std::vector<std::pair<const char*, std::uint64_t>> targets = {
+      // Generic servers: sum 5,957,969 (Table II).
+      {"proftpd", 1'400'000},
+      {"vsftpd", 1'450'000},
+      {"filezilla", 409'000},   // §VII.B: "409K Filezilla implementations"
+      {"servu", 400'000},
+      {"msftp", 900'000},
+      {"pureftpd", 600'000},
+      {"pureftpd-old", 3'309},  // Table XI Pure-FTPd rows
+      {"wuftpd", 200'000},
+      {"g6ftp", 595'660},
+
+      // Hosted servers: sum 1,795,596 (Table II). home.pl's own share is
+      // pinned to its AS below.
+      {"hosted-cpanel", 900'000},
+      {"hosted-plesk", 400'000},
+      {"hosted-homepl", 136'765},  // == home.pl AS FTP count (Table VI)
+      {"hosted-generic", 358'831},
+
+      // NAS (Table IV total 198,381; named rows from Tables VII/XIII).
+      {"qnap-nas", 57'655},
+      {"synology-nas", 43'159},
+      {"buffalo-nas", 22'558},
+      {"zyxel-nas", 9'456},
+      {"lacie-nas", 4'558},
+      {"seagate-nas", 629},
+      {"lge-nas", 9'000},
+      {"axentra-nas", 4'100},
+      {"asustor-nas", 1'200},
+      {"other-nas", 46'066},
+
+      // Home routers (Table IV total 59,944).
+      {"asus-router", 52'938},
+      {"linksys-router", 2'174},
+      {"other-router", 4'832},
+
+      // Printers (Table IV total 62,567).
+      {"ricoh-printer", 8'696},
+      {"lexmark-printer", 3'908},
+      {"xerox-printer", 3'130},
+      {"dell-printer", 2'555},
+      {"other-printer", 44'278},
+
+      // Provider CPE (Table V, sum 268,626).
+      {"fritzbox", 152'520},
+      {"zyxel-dsl", 29'376},
+      {"axis", 20'002},
+      {"zte-wimax", 14'245},
+      {"speedport", 13'677},
+      {"dreambox", 12'298},
+      {"zyxel-usg", 11'964},
+      {"alcatel", 10'383},
+      {"draytek", 4'161},
+
+      // Other embedded: closes the Table II Embedded row to 1,786,656.
+      {"lutron", 1'006},
+      {"symon", 1'000},
+      {"settop", 400'000},
+      {"ipcam", 420'000},
+      {"dvr", 250'000},
+      {"mediaplayer", 125'132},
+
+      // Unknown (Table II: 4,249,417), incl. the 1,051 Ramnit banners.
+      {"unknown-a", 1'700'000},
+      {"unknown-b", 1'400'000},
+      {"unknown-c", 1'148'366},
+      {"ramnit", 1'051},
+  };
+  return targets;
+}
+
+// Profile indices, kept in sync with the construction order below.
+enum ProfileId : std::uint32_t {
+  kProfHostingMajor = 0,
+  kProfHomePl,
+  kProfGenericDc,
+  kProfIspMixed,
+  kProfIspCpeDt,
+  kProfIspCpeMixed,
+  kProfAcademic,
+  kProfResidual,  // computed numerically; must stay last
+};
+
+std::vector<Profile> base_profiles() {
+  std::vector<Profile> profiles(kProfResidual + 1);
+  profiles[kProfHostingMajor] = Profile{
+      "hosting-major",
+      {{"hosted-cpanel", 0.225}, {"hosted-plesk", 0.100},
+       {"hosted-generic", 0.090}, {"pureftpd", 0.095}, {"proftpd", 0.115},
+       {"vsftpd", 0.095}, {"filezilla", 0.018}, {"msftp", 0.055},
+       {"g6ftp", 0.045}, {"unknown-a", 0.075}, {"unknown-b", 0.055},
+       {"unknown-c", 0.032}}};
+  profiles[kProfHomePl] = Profile{"homepl", {{"hosted-homepl", 1.0}}};
+  profiles[kProfGenericDc] = Profile{
+      "generic-dc",
+      {{"proftpd", 0.22}, {"vsftpd", 0.22}, {"msftp", 0.13},
+       {"pureftpd", 0.08}, {"filezilla", 0.05}, {"servu", 0.05},
+       {"g6ftp", 0.05}, {"unknown-a", 0.10}, {"unknown-b", 0.10}}};
+  profiles[kProfIspMixed] = Profile{
+      "isp-mixed",
+      {{"proftpd", 0.075}, {"vsftpd", 0.085}, {"msftp", 0.055},
+       {"filezilla", 0.030}, {"servu", 0.030}, {"unknown-a", 0.160},
+       {"unknown-b", 0.130}, {"unknown-c", 0.110}, {"settop", 0.090},
+       {"ipcam", 0.085}, {"dvr", 0.055}, {"mediaplayer", 0.025},
+       {"other-nas", 0.010}, {"qnap-nas", 0.012}, {"synology-nas", 0.009},
+       {"asus-router", 0.012}, {"other-printer", 0.012},
+       {"ricoh-printer", 0.002}, {"g6ftp", 0.048}}};
+  profiles[kProfIspCpeDt] = Profile{
+      "isp-cpe-dt",
+      {{"fritzbox", 0.870}, {"speedport", 0.078}, {"unknown-a", 0.030},
+       {"vsftpd", 0.022}}};
+  profiles[kProfIspCpeMixed] = Profile{
+      "isp-cpe-mixed",
+      {{"zyxel-dsl", 0.0112}, {"axis", 0.0077}, {"zte-wimax", 0.0054},
+       {"dreambox", 0.0047}, {"zyxel-usg", 0.0046}, {"alcatel", 0.0040},
+       {"draytek", 0.0016}, {"settop", 0.0650}, {"ipcam", 0.0700},
+       {"dvr", 0.0500}, {"unknown-a", 0.2000}, {"unknown-b", 0.1600},
+       {"unknown-c", 0.1200}, {"vsftpd", 0.0900}, {"proftpd", 0.0700},
+       {"msftp", 0.0500}, {"qnap-nas", 0.0120}, {"asus-router", 0.0140},
+       {"other-printer", 0.0130}, {"buffalo-nas", 0.0048},
+       {"synology-nas", 0.0090}, {"other-nas", 0.0070}}};
+  profiles[kProfAcademic] = Profile{
+      "academic",
+      {{"wuftpd", 0.25}, {"proftpd", 0.33}, {"vsftpd", 0.22},
+       {"unknown-a", 0.20}}};
+  profiles[kProfResidual] = Profile{"residual", {}};  // filled below
+  return profiles;
+}
+
+void normalize(Profile& profile) {
+  double total = 0.0;
+  for (const auto& [key, w] : profile.mix) total += w;
+  assert(total > 0.0);
+  for (auto& [key, w] : profile.mix) w /= total;
+}
+
+}  // namespace
+
+Calibration build_calibration(std::uint64_t seed) {
+  Calibration cal;
+  cal.profiles = base_profiles();
+  for (std::size_t i = 0; i + 1 < cal.profiles.size(); ++i) {
+    if (!cal.profiles[i].mix.empty()) normalize(cal.profiles[i]);
+  }
+
+  auto& ases = cal.ases;
+  std::uint32_t next_asn = 60000;  // synthetic ASNs live in a high range
+
+  // -------------------------------------------------------------------------
+  // Bespoke head: Table VI's top-10 by anonymous servers (advertised + FTP
+  // counts are the paper's), plus the providers behind Table XII's top
+  // certificates and Deutsche Telekom's FRITZ!Box fleet (Table V).
+  // -------------------------------------------------------------------------
+  auto bespoke = [&](std::uint32_t asn, std::string name, net::AsType type,
+                     std::uint64_t advertised, std::uint64_t ftp,
+                     std::uint32_t profile, std::optional<double> anon,
+                     std::optional<double> ftps, std::string cert_cn,
+                     bool cert_trusted = true) {
+    ases.push_back(AsSpec{.asn = asn,
+                          .name = std::move(name),
+                          .type = type,
+                          .advertised = advertised,
+                          .ftp_target = ftp,
+                          .profile = profile,
+                          .anon_override = anon,
+                          .ftps_override = ftps,
+                          .provider_cert_cn = std::move(cert_cn),
+                          .provider_cert_trusted = cert_trusted});
+  };
+
+  using net::AsType;
+  bespoke(12824, "home.pl S.A.", AsType::kHosting, 205'312, 136'765,
+          kProfHomePl, 0.7544, 0.9154, "*.home.pl");
+  bespoke(46606, "Unified Layer", AsType::kHosting, 516'864, 246'470,
+          kProfHostingMajor, 0.1796, 0.2434, "*.bluehost.com");
+  bespoke(2914, "NTT America, Inc.", AsType::kHosting, 7'880'192, 298'468,
+          kProfGenericDc, 0.1208, std::nullopt, "");
+  bespoke(20013, "CyrusOne LLC", AsType::kHosting, 111'360, 64'790,
+          kProfHostingMajor, 0.4750, std::nullopt, "");
+  bespoke(40676, "Psychz Networks", AsType::kHosting, 641'024, 64'233,
+          kProfHostingMajor, 0.4282, std::nullopt, "");
+  bespoke(34011, "domainfactory GmbH", AsType::kHosting, 93'440, 21'153,
+          kProfHostingMajor, 0.9019, 0.915, "ispgateway.de",
+          /*cert_trusted=*/false);
+  bespoke(4134, "Chinanet", AsType::kIsp, 120'757'504, 464'384, kProfIspMixed,
+          0.0409, std::nullopt, "");
+  bespoke(18978, "Enzu Inc", AsType::kHosting, 727'808, 73'541,
+          kProfHostingMajor, 0.2381, std::nullopt, "");
+  bespoke(18779, "EGIHosting", AsType::kHosting, 1'890'304, 27'804,
+          kProfHostingMajor, 0.5873, std::nullopt, "");
+  bespoke(4766, "Korea Telecom", AsType::kIsp, 53'733'632, 211'479,
+          kProfIspMixed, 0.0767, std::nullopt, "");
+
+  // Table XII certificate providers not in the anonymous top-10.
+  bespoke(next_asn++, "OpenTransfer (EIG)", AsType::kHosting, 900'000,
+          230'000, kProfHostingMajor, 0.020, 0.8408, "*.opentransfer.com");
+  bespoke(next_asn++, "SecureSites Hosting", AsType::kHosting, 500'000,
+          160'000, kProfHostingMajor, 0.020, 0.8431, "*.securesites.com");
+  bespoke(next_asn++, "BizMW Hosting", AsType::kHosting, 120'000, 31'000,
+          kProfHostingMajor, 0.030, 0.8443, "*.bizmw.com");
+  bespoke(next_asn++, "TurnKey Webspace", AsType::kHosting, 100'000, 26'200,
+          kProfHostingMajor, 0.030, 0.8425, "*.turnkeywebspace.com");
+  bespoke(next_asn++, "Sakura Internet", AsType::kHosting, 110'000, 20'800,
+          kProfHostingMajor, 0.030, 0.8411, "*.sakura.ne.jp");
+
+  // Deutsche Telekom's CPE fleet: ~150K FRITZ!Boxes, essentially no
+  // anonymous access (Table V).
+  bespoke(3320, "Deutsche Telekom AG", AsType::kIsp, 33'000'000, 175'000,
+          kProfIspCpeDt, std::nullopt, std::nullopt, "");
+
+  // -------------------------------------------------------------------------
+  // Synthetic head: with the bespoke ASes above this brings the head to 78
+  // ASes holding 50% of all FTP servers (Table III, Figure 1). Type split
+  // per Table III: 50 hosting, 25 ISP, 3 academic.
+  // -------------------------------------------------------------------------
+  Xoshiro256ss rng(derive_seed(seed, "calibration-ases"));
+
+  // 34 synthetic hosting ASes (plus 16 bespoke = 50 head hosting ASes),
+  // declining sizes, anonymous rate declining 22% -> 4% so the anonymous
+  // CDF reaches 50% around 42 ASes (Figure 1).
+  for (int i = 0; i < 34; ++i) {
+    const auto ftp = static_cast<std::uint64_t>(
+        150'000.0 * std::pow(0.955, i));
+    const double anon = 0.10 * std::pow(0.93, i) + 0.02;
+    // Two in five of the smaller providers never bought a CA-signed
+    // wildcard — their shared certificate is self-signed (cf. Table XII's
+    // ispgateway.de row).
+    bespoke(next_asn++, "HostCo-" + std::to_string(i + 1), AsType::kHosting,
+            static_cast<std::uint64_t>(ftp / 0.35), ftp, kProfHostingMajor,
+            anon, 0.17, "*.hostco-" + std::to_string(i + 1) + ".net",
+            /*cert_trusted=*/i % 5 >= 2);
+  }
+  // 23 synthetic ISP head ASes carrying the non-DT CPE fleets (+ Chinanet
+  // and Korea Telecom above = 25 head ISP ASes).
+  for (int i = 0; i < 23; ++i) {
+    const auto ftp = static_cast<std::uint64_t>(
+        150'000.0 * std::pow(0.94, i));
+    bespoke(next_asn++, "Telecom-" + std::to_string(i + 1), AsType::kIsp,
+            static_cast<std::uint64_t>(ftp / 0.006), ftp, kProfIspCpeMixed,
+            std::nullopt, std::nullopt, "");
+  }
+  // 3 academic networks (Table III).
+  for (int i = 0; i < 3; ++i) {
+    const std::uint64_t ftp = 80'000 - 10'000 * i;
+    bespoke(next_asn++, "University-" + std::to_string(i + 1),
+            AsType::kAcademic, static_cast<std::uint64_t>(ftp / 0.02), ftp,
+            kProfAcademic, 0.12, std::nullopt, "");
+  }
+
+  // -------------------------------------------------------------------------
+  // Middle: 700 medium networks.
+  // -------------------------------------------------------------------------
+  for (int i = 0; i < 700; ++i) {
+    const std::uint64_t ftp = 1'500 + rng.pareto(1.2, 600, 12'000);
+    const AsType type = i % 5 < 2   ? AsType::kHosting
+                        : i % 5 < 4 ? AsType::kIsp
+                                    : AsType::kOther;
+    const double density = type == AsType::kHosting ? 0.08 : 0.008;
+    bespoke(next_asn++, "MidNet-" + std::to_string(i + 1), type,
+            static_cast<std::uint64_t>(ftp / density), ftp, kProfResidual,
+            std::nullopt, std::nullopt, "");
+  }
+
+  // -------------------------------------------------------------------------
+  // Tail: ~33.9K small networks. Their advertised space absorbs whatever
+  // public IPv4 space the head and middle did not claim, so the scan covers
+  // the paper's 3.68B addresses.
+  // -------------------------------------------------------------------------
+  const std::uint64_t ftp_so_far = cal.total_ftp_target();
+  const std::uint64_t ftp_total_target = 13'789'641;
+  const std::uint64_t tail_ftp =
+      ftp_total_target > ftp_so_far ? ftp_total_target - ftp_so_far : 0;
+  const int tail_count = 34'700 - static_cast<int>(ases.size());
+  assert(tail_count > 30'000);
+
+  std::vector<std::uint64_t> tail_sizes(tail_count);
+  std::uint64_t tail_sum = 0;
+  for (auto& size : tail_sizes) {
+    size = rng.pareto(1.05, 8, 3'000);
+    tail_sum += size;
+  }
+  // Rescale tail FTP counts to land exactly on the global target.
+  const std::uint64_t advertised_so_far = cal.total_advertised();
+  const std::uint64_t public_space = public_ipv4_count();
+  assert(advertised_so_far < public_space);
+  const std::uint64_t tail_space = public_space - advertised_so_far;
+  // Pre-compute each tail AS's FTP share so the space allocator can reserve
+  // a minimum footprint (4 addresses per server) for the ASes still to come.
+  std::vector<std::uint64_t> tail_ftp_counts(tail_count);
+  {
+    std::uint64_t assigned = 0;
+    for (int i = 0; i < tail_count; ++i) {
+      std::uint64_t ftp =
+          i + 1 == tail_count
+              ? (tail_ftp - assigned)
+              : static_cast<std::uint64_t>(static_cast<double>(tail_sizes[i]) *
+                                           tail_ftp / tail_sum);
+      if (ftp == 0) ftp = 1;
+      tail_ftp_counts[i] = ftp;
+      assigned += ftp;
+    }
+  }
+  std::uint64_t ftp_still_needed = 0;
+  for (const std::uint64_t f : tail_ftp_counts) ftp_still_needed += f;
+
+  std::uint64_t space_left = tail_space;
+  for (int i = 0; i < tail_count; ++i) {
+    const bool last = i + 1 == tail_count;
+    const std::uint64_t ftp = tail_ftp_counts[i];
+    ftp_still_needed -= ftp;
+    std::uint64_t advertised =
+        last ? space_left
+             : static_cast<std::uint64_t>(static_cast<double>(tail_sizes[i]) *
+                                          tail_space / tail_sum);
+    if (advertised < ftp * 4) advertised = ftp * 4;
+    // Never starve the ASes still to come of their minimum footprint.
+    const std::uint64_t reserve = ftp_still_needed * 4;
+    if (advertised + reserve > space_left) {
+      advertised = space_left > reserve ? space_left - reserve : ftp * 4;
+    }
+    space_left -= std::min(advertised, space_left);
+    const AsType type = i % 7 == 0 ? AsType::kHosting
+                        : i % 7 < 5 ? AsType::kIsp
+                                    : AsType::kOther;
+    bespoke(next_asn++, "TailNet-" + std::to_string(i + 1), type, advertised,
+            ftp, kProfResidual, std::nullopt, std::nullopt, "");
+  }
+
+  // -------------------------------------------------------------------------
+  // Solve the residual profile: global template target minus what the
+  // named-profile ASes consume, spread over the residual-profile FTP mass.
+  // -------------------------------------------------------------------------
+  std::unordered_map<std::string, double> residual;
+  for (const auto& [key, target] : template_targets()) {
+    residual[key] = static_cast<double>(target);
+  }
+  double residual_mass = 0.0;
+  for (const AsSpec& as_spec : ases) {
+    if (as_spec.profile == kProfResidual) {
+      residual_mass += static_cast<double>(as_spec.ftp_target);
+      continue;
+    }
+    for (const auto& [key, weight] : cal.profiles[as_spec.profile].mix) {
+      residual[key] -= weight * static_cast<double>(as_spec.ftp_target);
+    }
+  }
+  Profile& residual_profile = cal.profiles[kProfResidual];
+  double clamped = 0.0;
+  for (const auto& [key, target] : template_targets()) {
+    const double remaining = residual[key];
+    if (remaining <= 0.0) {
+      clamped += -remaining;
+      continue;
+    }
+    residual_profile.mix.emplace_back(key, remaining);
+  }
+  if (clamped > 1000.0) {
+    log_warn() << "calibration: named profiles over-consume "
+               << static_cast<std::uint64_t>(clamped)
+               << " hosts relative to global template targets";
+  }
+  normalize(residual_profile);
+
+  return cal;
+}
+
+net::AsTable build_as_table(const Calibration& calibration) {
+  // Free (non-reserved) address ranges: the complement of the reserved set.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> free_ranges;
+  {
+    std::uint64_t cursor = 0;
+    for (const IpRange& reserved : reserved_ranges()) {
+      if (cursor < reserved.first) {
+        free_ranges.emplace_back(static_cast<std::uint32_t>(cursor),
+                                 reserved.first - 1);
+      }
+      cursor = std::uint64_t{reserved.last} + 1;
+    }
+    if (cursor < (std::uint64_t{1} << 32)) {
+      free_ranges.emplace_back(static_cast<std::uint32_t>(cursor),
+                               0xffffffffu);
+    }
+  }
+
+  std::vector<net::AsInfo> infos;
+  infos.reserve(calibration.ases.size());
+  for (const AsSpec& as_spec : calibration.ases) {
+    infos.push_back(net::AsInfo{
+        .asn = as_spec.asn,
+        .name = as_spec.name,
+        .type = as_spec.type,
+        .ips_advertised = as_spec.advertised,
+        .profile = static_cast<std::uint16_t>(as_spec.profile),
+    });
+  }
+
+  std::vector<net::AsTable::Allocation> allocations;
+  std::size_t range_idx = 0;
+  std::uint64_t range_pos =
+      free_ranges.empty() ? 0 : free_ranges[0].first;
+  for (std::uint32_t as_index = 0; as_index < calibration.ases.size();
+       ++as_index) {
+    std::uint64_t remaining = calibration.ases[as_index].advertised;
+    while (remaining > 0 && range_idx < free_ranges.size()) {
+      const auto [first, last] = free_ranges[range_idx];
+      const std::uint64_t available = std::uint64_t{last} - range_pos + 1;
+      const std::uint64_t take = std::min(remaining, available);
+      allocations.push_back(net::AsTable::Allocation{
+          .first = static_cast<std::uint32_t>(range_pos),
+          .last = static_cast<std::uint32_t>(range_pos + take - 1),
+          .as_index = as_index,
+      });
+      remaining -= take;
+      range_pos += take;
+      if (range_pos > last) {
+        ++range_idx;
+        if (range_idx < free_ranges.size()) {
+          range_pos = free_ranges[range_idx].first;
+        }
+      }
+    }
+    if (remaining > 0) {
+      log_warn() << "as table: ran out of address space at AS "
+                 << calibration.ases[as_index].name;
+      break;
+    }
+  }
+
+  return net::AsTable(std::move(infos), std::move(allocations));
+}
+
+}  // namespace ftpc::popgen

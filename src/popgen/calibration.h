@@ -1,0 +1,71 @@
+// The population calibration: every paper-derived rate in one place.
+//
+// build_calibration() produces the full synthetic-Internet specification:
+// the AS list (Table VI's top-10 verbatim, a heavy-tailed head/middle/tail
+// for Figure 1 and Table III), per-AS device-mix profiles, and per-AS
+// overrides (anonymous rate, FTPS rate, provider certificate CN).
+//
+// The "residual" profile is solved numerically: after head ASes consume
+// their share of each device template, whatever remains of each template's
+// global target (Tables II, IV, V, VII and the software totals behind
+// Table XI) is spread across the middle and tail ASes. This keeps the
+// global marginals pinned to the paper while letting individual ASes look
+// like real networks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/as_table.h"
+
+namespace ftpc::popgen {
+
+struct Profile {
+  std::string name;
+  /// (device template key, unnormalized weight) pairs.
+  std::vector<std::pair<std::string, double>> mix;
+};
+
+struct AsSpec {
+  std::uint32_t asn = 0;
+  std::string name;
+  net::AsType type = net::AsType::kOther;
+  std::uint64_t advertised = 0;  // addresses this AS announces
+  std::uint64_t ftp_target = 0;  // expected FTP servers in this AS
+  std::uint32_t profile = 0;     // index into Calibration::profiles
+
+  /// Overrides applied to every host materialized in this AS.
+  std::optional<double> anon_override;
+  std::optional<double> ftps_override;
+  /// CN for hosts whose template uses CertPolicy::kProviderWildcard.
+  std::string provider_cert_cn;
+  bool provider_cert_trusted = true;
+};
+
+struct Calibration {
+  std::vector<Profile> profiles;
+  std::vector<AsSpec> ases;
+
+  /// P(host has FTP on port 21) for an address inside AS `i`.
+  double ftp_density(std::uint32_t as_index) const {
+    const AsSpec& as_spec = ases[as_index];
+    if (as_spec.advertised == 0) return 0.0;
+    return static_cast<double>(as_spec.ftp_target) /
+           static_cast<double>(as_spec.advertised);
+  }
+
+  std::uint64_t total_ftp_target() const;
+  std::uint64_t total_advertised() const;
+};
+
+/// Builds the calibrated population spec. Deterministic in `seed` (the seed
+/// shapes only the synthetic middle/tail AS sizes, not the paper-derived
+/// head).
+Calibration build_calibration(std::uint64_t seed);
+
+/// Lays the calibration's ASes out over the non-reserved IPv4 space.
+net::AsTable build_as_table(const Calibration& calibration);
+
+}  // namespace ftpc::popgen

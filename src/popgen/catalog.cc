@@ -1,0 +1,652 @@
+#include "popgen/catalog.h"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace ftpc::popgen {
+
+std::string_view device_class_name(DeviceClass c) noexcept {
+  switch (c) {
+    case DeviceClass::kGenericServer:
+      return "Generic Server";
+    case DeviceClass::kHostedServer:
+      return "Hosted Server";
+    case DeviceClass::kNas:
+      return "NAS";
+    case DeviceClass::kHomeRouter:
+      return "Home Router";
+    case DeviceClass::kPrinter:
+      return "Printer";
+    case DeviceClass::kProviderCpe:
+      return "Provider CPE";
+    case DeviceClass::kOtherEmbedded:
+      return "Other Embedded";
+    case DeviceClass::kUnknown:
+      return "Unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+// Shorthand builders keep the table below readable.
+DeviceTemplate software(std::string key, std::string display,
+                        std::string impl, std::string banner,
+                        std::vector<VersionChoice> versions) {
+  DeviceTemplate t;
+  t.key = std::move(key);
+  t.display_name = std::move(display);
+  t.device_class = DeviceClass::kGenericServer;
+  t.implementation = std::move(impl);
+  t.banner = std::move(banner);
+  t.versions = std::move(versions);
+  return t;
+}
+
+DeviceTemplate device(std::string key, std::string display, DeviceClass cls,
+                      std::string banner, double anon_p) {
+  DeviceTemplate t;
+  t.key = std::move(key);
+  t.display_name = std::move(display);
+  t.device_class = cls;
+  t.banner = std::move(banner);
+  t.anon_probability = anon_p;
+  return t;
+}
+
+std::vector<DeviceTemplate> build_catalog() {
+  std::vector<DeviceTemplate> out;
+
+  // =========================================================================
+  // Generic server software. Version weights are calibrated so that, at the
+  // population sizes set in calibration.cc, the CVE-vulnerable version
+  // counts reproduce Table XI.
+  // =========================================================================
+  {
+    // ProFTPD: ~1.4M generic + ~0.4M Plesk-hosted (below) = 1.8M total.
+    // Table XI: CVE-2015-3306 300,931 (1.3.5); CVE-2012-6095 1,098,629
+    // (<= 1.3.4d); CVE-2011-4130/-1137 646,072 (<= 1.3.3g);
+    // CVE-2013-4359 24,420 (1.3.4d).
+    auto t = software(
+        "proftpd", "ProFTPD", "ProFTPD",
+        "220 ProFTPD {version} Server (ProFTPD Default Installation) [{ip}]",
+        {{"1.3.5", 0.1672}, {"1.3.5a", 0.2219}, {"1.3.4a", 0.2378},
+         {"1.3.4d", 0.0136}, {"1.3.3g", 0.3595}});
+    t.anon_probability = 0.140;
+    t.writable_given_anon = 0.028;
+    t.ftps_probability = 0.28;
+    t.cert_policy = CertPolicy::kPerHost;
+    t.cert_trusted_p = 0.18;
+    t.port_validation_failure = 0.012;
+    t.fs_template = FsTemplate::kGenericMirror;
+    t.feat_lines = {"LANG en-US", "MDTM", "MFMT", "SIZE", "AUTH TLS"};
+    out.push_back(std::move(t));
+  }
+  {
+    // vsftpd: 1.45M. Table XI: CVE-2015-1419 658,767 (<= 3.0.2);
+    // CVE-2011-0762 125,090 (<= 2.3.2).
+    auto t = software("vsftpd", "vsftpd", "vsFTPd",
+                      "220 (vsFTPd {version})",
+                      {{"2.0.5", 0.0431}, {"2.3.2", 0.0432},
+                       {"2.3.5", 0.1840}, {"3.0.2", 0.1841},
+                       {"3.0.3", 0.5456}});
+    t.anon_probability = 0.125;
+    t.writable_given_anon = 0.025;
+    t.ftps_probability = 0.19;
+    t.cert_policy = CertPolicy::kPerHost;
+    t.cert_trusted_p = 0.12;
+    t.port_validation_failure = 0.004;
+    t.user_styles.reject_in_331 = 0.06;  // 331-text rejection quirk
+    t.fs_template = FsTemplate::kGenericMirror;
+    out.push_back(std::move(t));
+  }
+  {
+    // FileZilla Server: 409K. Every release from 2003 to May 2015 fails
+    // PORT validation; 0.9.41 dominates the 2015 population.
+    auto t = software("filezilla", "FileZilla Server", "FileZilla",
+                      "220-FileZilla Server version {version} beta\n"
+                      "220 written by Tim Kosse (Tim.Kosse@gmx.de)",
+                      {{"0.9.41", 0.94}, {"0.9.53", 0.06}});
+    t.syst_reply = "UNIX emulated by FileZilla";
+    t.anon_probability = 0.022;
+    t.writable_given_anon = 0.045;
+    t.port_validation_failure = 0.94;
+    t.ftps_probability = 0.14;
+    t.cert_policy = CertPolicy::kPerHost;
+    t.cert_trusted_p = 0.05;
+    t.fs_template = FsTemplate::kGenericMirror;
+    out.push_back(std::move(t));
+  }
+  {
+    // Serv-U: 400K; CVE-2011-4800 244,060 (<= 11.1.0.5). Ships a default
+    // "ftp.Serv-U.com" certificate (Table XII row 6).
+    auto t = software("servu", "Serv-U", "Serv-U",
+                      "220 Serv-U FTP Server v{version} ready for new user",
+                      {{"11.1.0.3", 0.6102}, {"15.1.2", 0.3898}});
+    t.listing_format = vfs::ListingFormat::kWindows;
+    t.syst_reply = "UNIX Type: L8";
+    t.anon_probability = 0.029;
+    t.writable_given_anon = 0.032;
+    t.ftps_probability = 0.0655;
+    t.cert_policy = CertPolicy::kSharedDevice;
+    t.cert_cn = "ftp.Serv-U.com";
+    t.cert_trusted = false;
+    t.fs_template = FsTemplate::kGenericMirror;
+    out.push_back(std::move(t));
+  }
+  {
+    // Microsoft IIS FTP: 900K, Windows listing, no version in banner.
+    auto t = software("msftp", "Microsoft FTP Service", "",
+                      "220 Microsoft FTP Service", {});
+    t.listing_format = vfs::ListingFormat::kWindows;
+    t.syst_reply = "Windows_NT";
+    t.anon_probability = 0.080;
+    t.writable_given_anon = 0.035;
+    t.ftps_probability = 0.16;
+    t.cert_policy = CertPolicy::kPerHost;
+    t.cert_trusted_p = 0.18;
+    t.fs_template = FsTemplate::kGenericMirror;
+    out.push_back(std::move(t));
+  }
+  {
+    // Pure-FTPd (generic, version hidden): 600K. The approval-gated
+    // anonymous-upload behaviour (§VI.A) is a Pure-FTPd trademark.
+    auto t = software(
+        "pureftpd", "Pure-FTPd", "Pure-FTPd",
+        "220---------- Welcome to Pure-FTPd [privsep] [TLS] ----------\n"
+        "220 You will be disconnected after 15 minutes of inactivity.",
+        {});
+    t.anon_probability = 0.115;
+    t.writable_given_anon = 0.032;
+    t.uploads_need_approval_given_writable = 0.90;
+    t.ftps_probability = 0.42;
+    t.cert_policy = CertPolicy::kPerHost;
+    t.cert_trusted_p = 0.10;
+    t.fs_template = FsTemplate::kGenericMirror;
+    out.push_back(std::move(t));
+  }
+  {
+    // Pre-2011 Pure-FTPd still showing a version: the 3.3K servers behind
+    // Table XI's CVE-2011-1575 / CVE-2011-0418 rows.
+    auto t = software("pureftpd-old", "Pure-FTPd (old)", "Pure-FTPd",
+                      "220 Welcome to Pure-FTPd {version}",
+                      {{"1.0.29", 0.9988}, {"1.0.21", 0.0012}});
+    t.anon_probability = 0.18;
+    t.writable_given_anon = 0.03;
+    t.uploads_need_approval_given_writable = 0.90;
+    t.fs_template = FsTemplate::kGenericMirror;
+    out.push_back(std::move(t));
+  }
+  {
+    // wu-ftpd: the fossil record; public mirrors, high anonymous rate.
+    auto t = software("wuftpd", "wu-ftpd", "wu-ftpd",
+                      "220 {ip} FTP server (Version wu-2.6.2(1)) ready.",
+                      {});
+    t.anon_probability = 0.190;
+    t.writable_given_anon = 0.045;
+    t.port_validation_failure = 0.35;  // ancient builds predate validation
+    t.user_styles.need_virtual_host = 0.08;
+    t.fs_template = FsTemplate::kGenericMirror;
+    out.push_back(std::move(t));
+  }
+  {
+    // Misc commercial servers lumped under one recognizable banner.
+    auto t = software("g6ftp", "Gene6 FTP Server", "",
+                      "220 Gene6 FTP Server v3.10.0 ready", {});
+    t.listing_format = vfs::ListingFormat::kWindows;
+    t.syst_reply = "Windows_NT";
+    t.anon_probability = 0.140;
+    t.writable_given_anon = 0.030;
+    t.ftps_probability = 0.14;
+    t.cert_policy = CertPolicy::kPerHost;
+    t.cert_trusted_p = 0.05;
+    t.fs_template = FsTemplate::kGenericMirror;
+    out.push_back(std::move(t));
+  }
+
+  // =========================================================================
+  // Shared-hosting fingerprints (Table II "Hosted Server").
+  // =========================================================================
+  {
+    auto t = software(
+        "hosted-cpanel", "cPanel hosting (Pure-FTPd)", "Pure-FTPd",
+        "220---------- Welcome to Pure-FTPd [cPanel] ----------\n"
+        "220 This is a private system - No anonymous login", {});
+    t.device_class = DeviceClass::kHostedServer;
+    t.anon_probability = 0.012;
+    t.writable_given_anon = 0.008;
+    t.uploads_need_approval_given_writable = 0.90;
+    t.ftps_probability = 0.80;
+    t.cert_policy = CertPolicy::kProviderWildcard;
+    t.fs_template = FsTemplate::kHostingWebroot;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = software("hosted-plesk", "Plesk hosting (ProFTPD)", "ProFTPD",
+                      "220 ProFTPD {version} Server (ProFTPD - Plesk) [{ip}]",
+                      {{"1.3.5", 0.1672}, {"1.3.5a", 0.2219},
+                       {"1.3.4a", 0.2378}, {"1.3.4d", 0.0136},
+                       {"1.3.3g", 0.3595}});
+    t.device_class = DeviceClass::kHostedServer;
+    t.anon_probability = 0.012;
+    t.writable_given_anon = 0.008;
+    t.ftps_probability = 0.80;
+    t.cert_policy = CertPolicy::kProviderWildcard;
+    t.fs_template = FsTemplate::kHostingWebroot;
+    out.push_back(std::move(t));
+  }
+  {
+    // home.pl's in-house service: anonymous by default and blind to PORT
+    // arguments — the source of 71.5% of all bounce-vulnerable servers.
+    auto t = software("hosted-homepl", "home.pl hosting", "",
+                      "220 home.pl FTP server ready", {});
+    t.device_class = DeviceClass::kHostedServer;
+    t.anon_probability = 0.7544;
+    t.writable_given_anon = 0.004;
+    t.port_validation_failure = 0.992;
+    t.ftps_probability = 0.92;
+    t.cert_policy = CertPolicy::kProviderWildcard;
+    t.user_styles.immediate230 = 1.0;
+    t.user_styles.standard = 0.0;
+    t.fs_template = FsTemplate::kHostingWebroot;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = software("hosted-generic", "Shared hosting FTP", "",
+                      "220 Shared hosting FTP service ready.", {});
+    t.device_class = DeviceClass::kHostedServer;
+    t.anon_probability = 0.012;
+    t.writable_given_anon = 0.008;
+    t.ftps_probability = 0.75;
+    t.cert_policy = CertPolicy::kProviderWildcard;
+    t.fs_template = FsTemplate::kHostingWebroot;
+    out.push_back(std::move(t));
+  }
+
+  // =========================================================================
+  // Consumer NAS devices (Tables VII, XIII).
+  // =========================================================================
+  {
+    auto t = device("qnap-nas", "QNAP Turbo NAS", DeviceClass::kNas,
+                    "220 NASFTPD Turbo station 1.3.2e Server (ProFTPD) [{ip}]",
+                    0.0284);
+    t.writable_given_anon = 0.030;
+    t.nat_probability = 0.30;
+    t.ftps_probability = 0.2056;  // 11,236 + 615 of 57,655
+    t.cert_policy = CertPolicy::kSharedDevice;
+    t.cert_cn = "QNAP NAS (#1)";
+    t.cert_cn_alt = "QNAP NAS (#2)";
+    t.cert_alt_probability = 0.052;
+    t.fs_template = FsTemplate::kNasPersonal;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("synology-nas", "Synology NAS devices", DeviceClass::kNas,
+                    "220 Synology DiskStation FTP server ready.", 0.0682);
+    t.writable_given_anon = 0.028;
+    t.nat_probability = 0.28;
+    t.ftps_probability = 0.10;
+    t.cert_policy = CertPolicy::kPerHost;
+    t.fs_template = FsTemplate::kNasPersonal;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("buffalo-nas", "Buffalo NAS storage", DeviceClass::kNas,
+                    "220 Buffalo LinkStation FTP server ready.", 0.3932);
+    t.writable_given_anon = 0.045;
+    t.nat_probability = 0.32;
+    t.ftps_probability = 0.3265;  // 7,365 of 22,558
+    t.cert_policy = CertPolicy::kSharedDevice;
+    t.cert_cn = "Buffalo NAS";
+    t.fs_template = FsTemplate::kNasPersonal;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("zyxel-nas", "ZyXEL/MitraStar NAS", DeviceClass::kNas,
+                    "220 NSA-320 FTP server ready. (ZyXEL/MitraStar)",
+                    0.0328);
+    t.writable_given_anon = 0.030;
+    t.nat_probability = 0.25;
+    t.ftps_probability = 0.0;  // the shared "ZyXEL Unk" cert rides on CPE
+    t.fs_template = FsTemplate::kNasPersonal;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("lacie-nas", "LaCie storage", DeviceClass::kNas,
+                    "220 LaCie CloudBox FTP Server ready.", 0.6404);
+    t.writable_given_anon = 0.040;
+    t.nat_probability = 0.38;
+    t.fs_template = FsTemplate::kNasPersonal;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("seagate-nas", "Seagate Storage devices",
+                    DeviceClass::kNas,
+                    "220 Seagate Central Shared Storage FTP server", 0.9444);
+    t.writable_given_anon = 0.060;
+    t.nat_probability = 0.30;
+    // The Exploit4Arab advisory the honeypots saw exercised: no root
+    // password on the stock firmware.
+    t.fs_template = FsTemplate::kNasPersonal;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("lge-nas", "LGE NAS", DeviceClass::kNas,
+                    "220 LG Network Storage FTP server ready.", 0.012);
+    t.ftps_probability = 0.69;  // 6,220 of ~9K ship the baked-in cert
+    t.cert_policy = CertPolicy::kSharedDevice;
+    t.cert_cn = "LGE NAS";
+    t.fs_template = FsTemplate::kNasPersonal;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("axentra-nas", "Axentra HipServ", DeviceClass::kNas,
+                    "220 Axentra HipServ FTP ready.", 0.015);
+    t.ftps_probability = 0.72;
+    t.cert_policy = CertPolicy::kSharedDevice;
+    t.cert_cn = "Axentra HipServ";
+    t.fs_template = FsTemplate::kNasPersonal;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("asustor-nas", "AsusTor NAS", DeviceClass::kNas,
+                    "220 ASUSTOR FTP server ready.", 0.020);
+    t.ftps_probability = 0.30;
+    t.cert_policy = CertPolicy::kSharedDevice;
+    t.cert_cn = "AsusTor NAS";
+    t.fs_template = FsTemplate::kNasPersonal;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("other-nas", "Network Storage (misc)", DeviceClass::kNas,
+                    "220 Network Storage FTP server ready.", 0.014);
+    t.writable_given_anon = 0.030;
+    t.nat_probability = 0.30;
+    t.fs_template = FsTemplate::kNasPersonal;
+    out.push_back(std::move(t));
+  }
+
+  // =========================================================================
+  // Consumer routers.
+  // =========================================================================
+  {
+    // ASUS smart routers: for a time anonymous access auto-enabled for any
+    // attached USB drive (§V.B).
+    auto t = device("asus-router", "ASUS wireless routers",
+                    DeviceClass::kHomeRouter,
+                    "220 Welcome to ASUS wireless router FTP service.",
+                    0.1113);
+    t.writable_given_anon = 0.070;
+    t.nat_probability = 0.05;  // routers sit on the edge themselves
+    t.port_validation_failure = 0.10;
+    t.fs_template = FsTemplate::kRouterUsbShare;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("linksys-router", "Linksys Wifi Routers",
+                    DeviceClass::kHomeRouter,
+                    "220 Linksys Smart Wi-Fi FTP server ready.", 0.2872);
+    t.writable_given_anon = 0.045;
+    t.fs_template = FsTemplate::kRouterUsbShare;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("other-router", "Smart router (misc)",
+                    DeviceClass::kHomeRouter,
+                    "220 Wireless router USB storage FTP ready.", 0.0565);
+    t.writable_given_anon = 0.045;
+    t.fs_template = FsTemplate::kRouterUsbShare;
+    out.push_back(std::move(t));
+  }
+
+  // =========================================================================
+  // Printers: scan-to-FTP boxes that ship with anonymous access enabled —
+  // the >90% anonymous rates of Table VII.
+  // =========================================================================
+  {
+    auto t = device("ricoh-printer", "RICOH Printers", DeviceClass::kPrinter,
+                    "220 Ricoh Aficio MP C3003 FTP server (RICOH Network "
+                    "Printer)",
+                    0.8747);
+    t.writable_given_anon = 0.012;
+    t.fs_template = FsTemplate::kPrinterScans;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("lexmark-printer", "Lexmark Printers",
+                    DeviceClass::kPrinter,
+                    "220 Lexmark MarkNet FTP Server ready.", 0.9969);
+    t.writable_given_anon = 0.012;
+    t.fs_template = FsTemplate::kPrinterScans;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("xerox-printer", "Xerox Printers", DeviceClass::kPrinter,
+                    "220 Xerox WorkCentre FTP service ready.", 0.9284);
+    t.writable_given_anon = 0.012;
+    t.fs_template = FsTemplate::kPrinterScans;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("dell-printer", "Dell Printers", DeviceClass::kPrinter,
+                    "220 Dell Laser MFP FTP Server ready.", 0.9843);
+    t.writable_given_anon = 0.012;
+    t.fs_template = FsTemplate::kPrinterScans;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("other-printer", "Network printer (misc)",
+                    DeviceClass::kPrinter,
+                    "220 Network printer FTP service ready (scan-to-FTP).",
+                    0.9903);
+    t.writable_given_anon = 0.010;
+    t.fs_template = FsTemplate::kPrinterScans;
+    out.push_back(std::move(t));
+  }
+
+  // =========================================================================
+  // Provider-deployed CPE (Table V): FTP on, anonymous (almost) never.
+  // =========================================================================
+  {
+    auto t = device("fritzbox", "FRITZ!Box DSL modem",
+                    DeviceClass::kProviderCpe,
+                    "220 FRITZ!Box7490 FTP server ready.", 0.000321);
+    t.nat_probability = 0.55;
+    t.banner_forbids_anon_given_no_anon = 0.10;
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("zyxel-dsl", "ZyXEL DSL Modem", DeviceClass::kProviderCpe,
+                    "220 ZyXEL P-660HN FTP version 1.0 ready", 0.000034);
+    t.nat_probability = 0.50;
+    t.ftps_probability = 0.286;  // the "ZyXEL Unk" shared cert, 8,402 units
+    t.cert_policy = CertPolicy::kSharedDevice;
+    t.cert_cn = "ZyXEL Unk";
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("axis", "AXIS Physical Security Device",
+                    DeviceClass::kProviderCpe,
+                    "220 AXIS P3301 Network Camera ready.", 0.0029);
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("zte-wimax", "ZTE WiMax Router", DeviceClass::kProviderCpe,
+                    "220 ZTE WiMax CPE FTP server ready.", 0.0);
+    t.nat_probability = 0.45;
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("speedport", "Speedport DSL Modem",
+                    DeviceClass::kProviderCpe,
+                    "220 Speedport W724V FTP server ready.", 0.0);
+    t.nat_probability = 0.50;
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("dreambox", "Dreambox Set-top Box",
+                    DeviceClass::kProviderCpe,
+                    "220 Dreambox DM800 dreambox FTP server ready.", 0.0);
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("zyxel-usg", "ZyXEL Unified Security Gateway",
+                    DeviceClass::kProviderCpe,
+                    "220 ZyXEL USG-60 FTP Server ready.", 0.0);
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("alcatel", "Alcatel Router", DeviceClass::kProviderCpe,
+                    "220 Alcatel-Lucent CellPipe FTP server ready.", 0.0);
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("draytek", "DrayTek Network Devices",
+                    DeviceClass::kProviderCpe,
+                    "220 DrayTek Vigor FTP server ready.", 0.0);
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+
+  // =========================================================================
+  // Other embedded devices (the bulk of Table II's Embedded row).
+  // =========================================================================
+  {
+    auto t = device("lutron", "Lutron HomeWorks Processor",
+                    DeviceClass::kOtherEmbedded,
+                    "220 Lutron HomeWorks Processor FTP server ready.",
+                    0.9970);
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("symon", "Symon Media Player", DeviceClass::kOtherEmbedded,
+                    "220 Symon Media Player FTP ready.", 0.02);
+    t.ftps_probability = 0.61;
+    t.cert_policy = CertPolicy::kSharedDevice;
+    t.cert_cn = "Symon Media Player";
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("settop", "Set-top box (misc)", DeviceClass::kOtherEmbedded,
+                    "220 STB embedded FTP daemon ready.", 0.0052);
+    t.nat_probability = 0.38;
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("ipcam", "IP camera (misc)", DeviceClass::kOtherEmbedded,
+                    "220 IP Camera embedded FTP server ready.", 0.0058);
+    t.nat_probability = 0.42;
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("dvr", "DVR (misc)", DeviceClass::kOtherEmbedded,
+                    "220 DVR embedded FTP Service ready.", 0.0055);
+    t.nat_probability = 0.42;
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("mediaplayer", "Media player (misc)",
+                    DeviceClass::kOtherEmbedded,
+                    "220 Embedded media device FTP ready.", 0.0050);
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+
+  // =========================================================================
+  // Unidentifiable banners (Table II "Unknown").
+  // =========================================================================
+  {
+    auto t = device("unknown-a", "Unknown", DeviceClass::kUnknown,
+                    "220 FTP server ready.", 0.024);
+    t.writable_given_anon = 0.035;
+    t.port_validation_failure = 0.02;
+    t.ftps_probability = 0.15;
+    t.cert_policy = CertPolicy::kPerHost;
+    t.cert_trusted_p = 0.10;
+    t.fs_template = FsTemplate::kGenericMirror;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("unknown-b", "Unknown", DeviceClass::kUnknown,
+                    "220 Service ready for new user.", 0.024);
+    t.writable_given_anon = 0.035;
+    t.nat_probability = 0.12;
+    t.ftps_probability = 0.15;
+    t.cert_policy = CertPolicy::kPerHost;
+    t.cert_trusted_p = 0.10;
+    t.fs_template = FsTemplate::kGenericMirror;
+    out.push_back(std::move(t));
+  }
+  {
+    auto t = device("unknown-c", "Unknown", DeviceClass::kUnknown,
+                    "220 Welcome to FTP service.", 0.024);
+    t.writable_given_anon = 0.035;
+    t.listing_format = vfs::ListingFormat::kWindows;
+    t.ftps_probability = 0.15;
+    t.cert_policy = CertPolicy::kPerHost;
+    t.cert_trusted_p = 0.10;
+    t.fs_template = FsTemplate::kGenericMirror;
+    out.push_back(std::move(t));
+  }
+  {
+    // Ramnit-infected victims expose the botnet's built-in server: banner
+    // "220 220 RMNetwork FTP", never anonymous (§VI.C).
+    auto t = device("ramnit", "Ramnit RMNetwork", DeviceClass::kUnknown,
+                    "220 220 RMNetwork FTP", 0.0);
+    t.user_styles.standard = 0.0;
+    t.user_styles.reject_530 = 1.0;
+    t.fs_template = FsTemplate::kEmptyShare;
+    out.push_back(std::move(t));
+  }
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<DeviceTemplate>& device_catalog() {
+  static const std::vector<DeviceTemplate> catalog = build_catalog();
+  return catalog;
+}
+
+std::size_t template_index(std::string_view key) {
+  static const std::unordered_map<std::string_view, std::size_t> index = [] {
+    std::unordered_map<std::string_view, std::size_t> map;
+    const auto& catalog = device_catalog();
+    for (std::size_t i = 0; i < catalog.size(); ++i) {
+      map.emplace(catalog[i].key, i);
+    }
+    return map;
+  }();
+  const auto it = index.find(key);
+  assert(it != index.end() && "unknown device template key");
+  return it->second;
+}
+
+const VersionChoice& pick_version(const DeviceTemplate& tmpl,
+                                  double uniform01) {
+  assert(!tmpl.versions.empty());
+  double total = 0.0;
+  for (const auto& v : tmpl.versions) total += v.weight;
+  double r = uniform01 * total;
+  for (const auto& v : tmpl.versions) {
+    if (r < v.weight) return v;
+    r -= v.weight;
+  }
+  return tmpl.versions.back();
+}
+
+}  // namespace ftpc::popgen

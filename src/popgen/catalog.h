@@ -1,0 +1,132 @@
+// The device & implementation catalog.
+//
+// Every simulated FTP host instantiates one DeviceTemplate: a software
+// implementation (ProFTPD 1.3.5, vsftpd 3.0.2, ...) or an embedded device
+// (QNAP Turbo NAS, FRITZ!Box, Lexmark printer, ...). Templates carry the
+// banner/fingerprint surface the analysis pipeline must recognize, the
+// per-device probabilities (anonymous enabled, FTPS, world-writable,
+// PORT-validation bug, NAT), the version mix that drives the CVE analysis
+// (Table XI), and the filesystem template that drives the exposure analysis
+// (Tables VIII-X).
+//
+// Population *rates* (which template appears where, and how often) live in
+// calibration.cc; this file is about what each template looks like.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ftpd/personality.h"
+#include "vfs/listing.h"
+
+namespace ftpc::popgen {
+
+/// Coarse device classes. Tables II, IV and X aggregate over these.
+enum class DeviceClass {
+  kGenericServer,   // recognizable standalone server software
+  kHostedServer,    // shared-hosting fingerprint (cPanel/Plesk-style)
+  kNas,             // consumer NAS appliance
+  kHomeRouter,      // consumer "smart" router
+  kPrinter,         // network printer
+  kProviderCpe,     // ISP-deployed modem/CPE
+  kOtherEmbedded,   // set-top boxes, cameras, misc appliances
+  kUnknown,         // no identifiable banner
+};
+
+std::string_view device_class_name(DeviceClass c) noexcept;
+
+/// Which filesystem builder populates the host (see fsgen.h).
+enum class FsTemplate {
+  kEmptyShare,       // configured but nothing exposed (the 76% majority)
+  kHostingWebroot,   // per-site docroots: index.html, PHP, .htaccess
+  kNasPersonal,      // personal data: photos, media, documents
+  kRouterUsbShare,   // USB disk behind a smart router
+  kPrinterScans,     // scan-to-FTP output directory
+  kGenericMirror,    // public mirror / pub directory
+  kOsRoot,           // full filesystem root exposed
+};
+
+/// How the host's FTPS certificate is chosen.
+enum class CertPolicy {
+  kNone,              // no FTPS
+  kProviderWildcard,  // shared browser-trusted wildcard from the AS owner
+  kSharedDevice,      // identical cert+key baked into every device unit
+  kPerHost,           // per-host cert: trusted w.p. cert_trusted_p, else
+                      // self-signed (CN frequently "localhost")
+};
+
+/// One version of an implementation, with its deployment weight. Version
+/// strings are what the CVE matcher (Table XI) keys on.
+struct VersionChoice {
+  std::string version;
+  double weight = 1.0;
+};
+
+/// Relative weights of the USER-reply quirks a template exhibits.
+struct UserStyleWeights {
+  double standard = 1.0;
+  double immediate230 = 0.0;
+  double reject_in_331 = 0.0;
+  double need_virtual_host = 0.0;
+  double ftps_required = 0.0;
+  double reject_530 = 0.0;
+};
+
+struct DeviceTemplate {
+  std::string key;           // stable identifier, e.g. "qnap-nas"
+  std::string display_name;  // the paper's label, e.g. "QNAP Turbo NAS"
+  DeviceClass device_class = DeviceClass::kUnknown;
+
+  /// Implementation family for CVE matching ("ProFTPD", "vsftpd", ...).
+  /// Empty when the banner does not identify software.
+  std::string implementation;
+  /// Banner template: "{version}" expands to the drawn version, "{ip}" to
+  /// the believed address (ftpd expands the latter).
+  std::string banner;
+  std::vector<VersionChoice> versions;
+
+  std::string syst_reply = "UNIX Type: L8";
+  std::vector<std::string> feat_lines{"PASV", "SIZE", "MDTM"};
+  vfs::ListingFormat listing_format = vfs::ListingFormat::kUnix;
+
+  /// Probabilities (evaluated per host with its deterministic RNG).
+  double anon_probability = 0.0;
+  double writable_given_anon = 0.0;
+  double uploads_need_approval_given_writable = 0.0;
+  double port_validation_failure = 0.0;  // P(accepts third-party PORT)
+  double nat_probability = 0.0;          // P(believes an RFC1918 address)
+  double ftps_probability = 0.0;
+  double ftps_required_given_ftps = 0.0;
+  double banner_forbids_anon_given_no_anon = 0.0;
+  UserStyleWeights user_styles;
+
+  CertPolicy cert_policy = CertPolicy::kNone;
+  /// CN of the shared device certificate (Table XIII) when policy is
+  /// kSharedDevice.
+  std::string cert_cn;
+  bool cert_trusted = false;
+  /// Optional second shared-cert generation (e.g. QNAP ships two).
+  std::string cert_cn_alt;
+  double cert_alt_probability = 0.0;
+  /// For kPerHost: probability the per-host cert is browser-trusted.
+  double cert_trusted_p = 0.0;
+
+  FsTemplate fs_template = FsTemplate::kEmptyShare;
+  /// Scales the generated filesystem size (1.0 = class default).
+  double fs_scale = 1.0;
+};
+
+/// The full catalog, indexed by dense id. Stable across runs.
+const std::vector<DeviceTemplate>& device_catalog();
+
+/// Index of a template by key; asserts the key exists.
+std::size_t template_index(std::string_view key);
+
+/// Sum of weights helper for version selection.
+const VersionChoice& pick_version(const DeviceTemplate& tmpl,
+                                  double uniform01);
+
+}  // namespace ftpc::popgen

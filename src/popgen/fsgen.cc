@@ -1,0 +1,602 @@
+#include "popgen/fsgen.h"
+
+#include <cstdio>
+#include <string>
+
+#include "common/datetime.h"
+#include "common/rng.h"
+
+namespace ftpc::popgen {
+
+namespace {
+
+// Virtual "now" for generated content: the paper's scan window.
+constexpr std::int64_t kScanTime = 1434672000;  // 2015-06-19 00:00:00 UTC
+
+class FsBuilder {
+ public:
+  explicit FsBuilder(const FsPlan& plan)
+      : plan_(plan),
+        rng_(derive_seed(plan.seed, "fsgen")),
+        fs_(std::make_shared<vfs::Vfs>()) {}
+
+  std::shared_ptr<vfs::Vfs> build() {
+    switch (plan_.fs_template) {
+      case FsTemplate::kEmptyShare:
+        build_empty_share();
+        break;
+      case FsTemplate::kHostingWebroot:
+        build_hosting_webroot();
+        break;
+      case FsTemplate::kNasPersonal:
+        build_nas_personal();
+        break;
+      case FsTemplate::kRouterUsbShare:
+        build_router_share();
+        break;
+      case FsTemplate::kPrinterScans:
+        build_printer_scans();
+        break;
+      case FsTemplate::kGenericMirror:
+        build_generic_mirror();
+        break;
+      case FsTemplate::kOsRoot:
+        break;  // handled by the os_root flag below
+    }
+
+    if (plan_.os_root) add_os_root();
+    if (plan_.photos) add_photo_library("/");
+    if (plan_.media) add_media_library("/");
+    if (plan_.documents) add_documents("/");
+    if (plan_.web_backup) add_web_backup("/backup");
+    if (plan_.scripting) add_scripting_source();
+    add_sensitive_files();
+    if (plan_.writable) add_upload_area();
+    if (plan_.writable_evidence || plan_.campaign_mask != 0) {
+      add_malicious_artifacts();
+    }
+    if (plan_.has_robots) add_robots();
+    return std::move(fs_);
+  }
+
+ private:
+  // -- primitives -----------------------------------------------------------
+
+  std::int64_t random_mtime() {
+    // 2009-01-01 .. scan time.
+    return static_cast<std::int64_t>(
+        rng_.next_in(1230768000, static_cast<std::uint64_t>(kScanTime)));
+  }
+
+  void dir(const std::string& path, std::uint16_t mode = 0755) {
+    (void)fs_->mkdir(path, vfs::Mode{mode}, random_mtime());
+  }
+
+  void file(const std::string& path, std::uint64_t lo, std::uint64_t hi,
+            std::uint16_t mode = 0644, std::string content = {}) {
+    vfs::FileAttrs attrs;
+    attrs.size = rng_.next_in(lo, hi);
+    attrs.mode = vfs::Mode{mode};
+    attrs.mtime = random_mtime();
+    attrs.content = std::move(content);
+    (void)fs_->add_file(path, std::move(attrs));
+  }
+
+  std::uint64_t scaled(std::uint64_t n) {
+    const auto v = static_cast<std::uint64_t>(
+        static_cast<double>(n) * plan_.size_scale);
+    return v == 0 ? 1 : v;
+  }
+
+  std::string seq(const char* fmt, std::uint64_t i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), fmt, static_cast<unsigned long long>(i));
+    return buf;
+  }
+
+  // -- templates ------------------------------------------------------------
+
+  void build_empty_share() {
+    if (!plan_.exposes_data) {
+      if (rng_.chance(0.5)) dir("/share");
+      return;
+    }
+    dir("/share");
+    const std::uint64_t n = rng_.next_in(1, 6);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      file("/share/" + seq("file%03llu.dat", i), 1024, 1 << 20);
+    }
+  }
+
+  void build_hosting_webroot() {
+    if (!plan_.exposes_data) {
+      // The common case on shared hosting: login works, docroot is empty
+      // or permission-blocked.
+      dir("/public_html", rng_.chance(0.5) ? 0750 : 0755);
+      return;
+    }
+    // A handful of vhost docroots, each with an index and assets. The
+    // paper found index.html to be the single most common file (~20
+    // instances per hosting server that exposes anything).
+    const std::uint64_t vhosts = rng_.next_in(2, 8);
+    for (std::uint64_t v = 0; v < vhosts; ++v) {
+      const std::string root =
+          v == 0 ? "/public_html" : seq("/domains/site%02llu", v);
+      dir(root);
+      file(root + "/index.html", 2048, 65536);
+      const std::uint64_t pages = rng_.next_in(2, 12);
+      for (std::uint64_t p = 0; p < pages; ++p) {
+        file(root + seq("/page%02llu.html", p), 1024, 32768);
+      }
+      const std::uint64_t images = rng_.next_in(2, 20);
+      dir(root + "/images");
+      for (std::uint64_t i = 0; i < images; ++i) {
+        file(root + "/images/" + seq("img%03llu.gif", i), 1024, 200000);
+      }
+    }
+  }
+
+  void build_nas_personal() {
+    if (!plan_.exposes_data) {
+      dir("/Public");
+      return;
+    }
+    dir("/Public");
+    dir("/Family", 0777);
+    const std::uint64_t n = rng_.next_in(3, 25);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      file("/Public/" + seq("backup-%03llu.bak", i), 40960, 4 << 20);
+    }
+  }
+
+  void build_router_share() {
+    if (!plan_.exposes_data) {
+      dir("/sda1");
+      return;
+    }
+    dir("/sda1");
+    const std::uint64_t blobs = rng_.next_in(5, 60);
+    for (std::uint64_t i = 0; i < blobs; ++i) {
+      const bool zip = rng_.chance(0.5);
+      file("/sda1/" + seq(zip ? "backup-%03llu.zip" : "backup-%03llu.img", i),
+           1 << 20, 200 << 20);
+    }
+  }
+
+  void build_printer_scans() {
+    if (!plan_.exposes_data) {
+      dir("/scans");
+      return;
+    }
+    dir("/scans");
+    // Scan-to-FTP output: each job lands as PDF or JPEG.
+    const std::uint64_t jobs = scaled(rng_.next_in(40, 4000));
+    std::uint64_t dir_index = 0;
+    for (std::uint64_t i = 0; i < jobs; ++i) {
+      if (i % 500 == 0 && i > 0) ++dir_index;
+      const std::string base =
+          dir_index == 0 ? "/scans" : seq("/scans/archive%02llu", dir_index);
+      if (i % 500 == 0 && dir_index > 0) dir(base);
+      const bool pdf = rng_.chance(0.07);
+      file(base + seq(pdf ? "/scan_2015%04llu.pdf" : "/scan_2015%04llu.jpg",
+                      i),
+           200000, 9 << 20);
+    }
+  }
+
+  void build_generic_mirror() {
+    if (!plan_.exposes_data) {
+      if (rng_.chance(0.4)) dir("/pub");
+      return;
+    }
+    dir("/pub");
+    // Flat-ish mirror: heavy-tailed file count, moderate directory count.
+    std::uint64_t files = plan_.huge_tree
+                              ? rng_.next_in(8'000, 60'000)
+                              : (rng_.chance(0.15)
+                                     ? rng_.next_in(2'000, 12'000)
+                                     : rng_.next_in(40, 800));
+    files = scaled(files);
+    const std::uint64_t dirs =
+        plan_.huge_tree ? rng_.next_in(500, 2'000)
+                        : std::max<std::uint64_t>(1, files / 400);
+    static constexpr const char* kExts[] = {"tar.gz", "zip", "iso", "txt",
+                                            "rpm",    "deb", "pdf", "html"};
+    for (std::uint64_t d = 0; d < dirs; ++d) {
+      const std::string base =
+          d == 0 ? "/pub" : "/pub/" + seq("dist-%04llu", d);
+      if (d > 0) dir(base);
+      const std::uint64_t here = files / dirs + (d == 0 ? files % dirs : 0);
+      for (std::uint64_t i = 0; i < here; ++i) {
+        const char* ext = kExts[rng_.next_below(std::size(kExts))];
+        file(base + "/" + seq("pkg-%05llu.", i) + ext, 4096, 600 << 20);
+      }
+    }
+    file("/welcome.msg", 128, 2048);
+  }
+
+  // -- cross-cutting components ---------------------------------------------
+
+  void add_photo_library(const std::string& under) {
+    // Camera-default names in event-labelled directories: the "intimate
+    // glimpse into users' personal lives" of §V.A.
+    static constexpr const char* kEvents[] = {
+        "Wedding",  "Family-Reunion", "Vacation-2014", "Birthday-Party",
+        "Holidays", "Kids",           "Camping-Trip",  "Graduation"};
+    const std::string root = under == "/" ? "/photos" : under + "/photos";
+    dir(root);
+    std::uint64_t photos = scaled(rng_.chance(0.2)
+                                      ? rng_.next_in(1'200, 3'200)
+                                      : rng_.next_in(80, 1'100));
+    std::uint64_t emitted = 0;
+    std::uint64_t event_idx = 0;
+    while (emitted < photos) {
+      const std::string event =
+          root + "/" + kEvents[event_idx % std::size(kEvents)] +
+          (event_idx >= std::size(kEvents) ? seq("-%llu", event_idx) : "");
+      dir(event);
+      const std::uint64_t here =
+          std::min<std::uint64_t>(photos - emitted, rng_.next_in(40, 220));
+      const bool canon = rng_.chance(0.5);
+      for (std::uint64_t i = 0; i < here; ++i) {
+        file(event + "/" +
+                 seq(canon ? "IMG_%04llu.JPG" : "DSC_%04llu.jpg",
+                     emitted + i),
+             1 << 20, 9 << 20);
+      }
+      // Consumer cameras sprinkle short video clips among the stills.
+      if (rng_.chance(0.12)) {
+        file(event + "/" + seq("MVI_%04llu.mp4", emitted), 20 << 20,
+             300 << 20);
+      }
+      emitted += here;
+      ++event_idx;
+    }
+  }
+
+  void add_media_library(const std::string& under) {
+    const std::string music =
+        under == "/" ? "/music" : under + "/music";
+    dir(music);
+    const std::uint64_t tracks = scaled(rng_.next_in(150, 900));
+    std::uint64_t emitted = 0;
+    std::uint64_t artist = 0;
+    while (emitted < tracks) {
+      const std::string adir = music + "/" + seq("Artist-%02llu", artist);
+      dir(adir);
+      const std::uint64_t here =
+          std::min<std::uint64_t>(tracks - emitted, rng_.next_in(8, 30));
+      for (std::uint64_t i = 0; i < here; ++i) {
+        file(adir + "/" + seq("%02llu-track.mp3", i), 3 << 20, 12 << 20);
+      }
+      emitted += here;
+      ++artist;
+    }
+    const std::string movies =
+        under == "/" ? "/movies" : under + "/movies";
+    dir(movies);
+    const std::uint64_t films = scaled(rng_.next_in(100, 500));
+    for (std::uint64_t i = 0; i < films; ++i) {
+      const bool avi = rng_.chance(0.70);
+      file(movies + "/" + seq(avi ? "movie-%03llu.avi" : "movie-%03llu.mp4",
+                              i),
+           300 << 20, 1400ull << 20);
+    }
+  }
+
+  void add_documents(const std::string& under) {
+    const std::string docs =
+        under == "/" ? "/documents" : under + "/documents";
+    dir(docs);
+    const std::uint64_t n = scaled(rng_.next_in(40, 260));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const double r = rng_.next_double();
+      const char* fmt = r < 0.50   ? "report-%03llu.doc"
+                        : r < 0.80 ? "statement-%03llu.pdf"
+                                   : "archive-%03llu.zip";
+      file(docs + "/" + seq(fmt, i), 20480, 8 << 20);
+    }
+  }
+
+  void add_web_backup(const std::string& under) {
+    dir(under);
+    const std::uint64_t pages = scaled(rng_.next_in(30, 120));
+    for (std::uint64_t i = 0; i < pages; ++i) {
+      file(under + "/" + seq("page-%03llu.html", i), 2048, 65536);
+    }
+    dir(under + "/assets");
+    const std::uint64_t assets = scaled(rng_.next_in(100, 420));
+    for (std::uint64_t i = 0; i < assets; ++i) {
+      const bool gif = rng_.chance(0.6);
+      file(under + "/assets/" + seq(gif ? "asset-%03llu.gif"
+                                        : "asset-%03llu.png",
+                                    i),
+           1024, 400000);
+    }
+  }
+
+  void add_scripting_source() {
+    // Server-side source: 10.2M files over 32K servers (~320/server),
+    // .htaccess on ~14% of them (189.4K files over 4.5K servers).
+    const std::string root =
+        fs_->lookup("/public_html") != nullptr ? "/public_html" : "/www";
+    dir(root);
+    const std::uint64_t scripts = scaled(rng_.next_in(60, 600));
+    const std::uint64_t dirs = std::max<std::uint64_t>(1, scripts / 12);
+    for (std::uint64_t d = 0; d < dirs; ++d) {
+      const std::string base =
+          d == 0 ? root : root + "/" + seq("app%02llu", d);
+      if (d > 0) dir(base);
+      const std::uint64_t here = scripts / dirs;
+      for (std::uint64_t i = 0; i < here; ++i) {
+        file(base + "/" + seq("module-%03llu.php", i), 1024, 120000);
+      }
+      if (plan_.htaccess) {
+        file(base + "/.htaccess", 64, 2048, 0644,
+             "RewriteEngine On\nRewriteRule ^(.*)$ index.php [QSA,L]\n");
+      }
+    }
+    // Inline secrets: the wp-config-style file with API keys (§V.A).
+    file(root + "/wp-config.php", 2048, 4096, 0644,
+         "<?php define('DB_PASSWORD', 'hunter2');\n"
+         "define('API_KEY', 'AKIASIMULATEDSECRET');\n");
+  }
+
+  void add_os_root() {
+    switch (plan_.os_root_kind) {
+      case 0: {  // Linux
+        for (const char* d : {"/bin", "/boot", "/etc", "/var", "/usr",
+                              "/home"}) {
+          dir(d);
+        }
+        file("/etc/hostname", 8, 64);
+        file("/etc/passwd", 1024, 4096);
+        file("/bin/busybox", 1 << 20, 2 << 20, 0755);
+        file("/boot/vmlinuz", 2 << 20, 8 << 20);
+        // Most exposed roots do NOT leak /etc/shadow through FTP (the 590
+        // shadow servers of Table IX are tracked separately).
+        if (rng_.chance(0.05)) {
+          file("/etc/shadow", 512, 2048, 0600);
+        }
+        break;
+      }
+      case 1: {  // Windows
+        for (const char* d :
+             {"/Windows", "/Program Files", "/Users",
+              "/Documents and Settings"}) {
+          dir(d);
+        }
+        file("/Windows/explorer.exe", 1 << 20, 4 << 20);
+        file("/Users/Public/desktop.ini", 128, 512);
+        break;
+      }
+      default: {  // OS X
+        for (const char* d :
+             {"/Applications", "/Library", "/Users", "/bin", "/var"}) {
+          dir(d);
+        }
+        file("/Users/shared/.DS_Store", 4096, 16384);
+        break;
+      }
+    }
+  }
+
+  void add_sensitive_files() {
+    const std::uint32_t mask = plan_.sensitive_mask;
+    if (mask == 0) return;
+    auto has = [mask](SensitiveKind k) { return (mask & bit(k)) != 0; };
+
+    if (has(SensitiveKind::kTurboTax)) {
+      // ~17.6 files per affected server (Table IX), nearly all readable.
+      dir("/documents/taxes");
+      const std::uint64_t n = rng_.next_in(6, 30);
+      for (std::uint64_t y = 0; y < n; ++y) {
+        file("/documents/taxes/" + seq("TurboTax-export-%llu.txf", y), 8192,
+             262144, rng_.chance(0.995) ? 0644 : 0600);
+      }
+    }
+    if (has(SensitiveKind::kQuicken)) {
+      dir("/documents/finance");
+      const std::uint64_t n = rng_.next_in(6, 30);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        file("/documents/finance/" + seq("household-%llu.qdf", i), 65536,
+             4 << 20, rng_.chance(0.995) ? 0644 : 0600);
+      }
+    }
+    if (has(SensitiveKind::kKeePass)) {
+      const std::uint64_t n = rng_.next_in(3, 15);
+      dir("/documents");
+      for (std::uint64_t i = 0; i < n; ++i) {
+        file("/documents/" + seq("passwords-%llu.kdbx", i), 4096, 262144,
+             rng_.chance(0.97) ? 0644 : 0600);
+      }
+    }
+    if (has(SensitiveKind::kOnePassword)) {
+      dir("/documents");
+      file("/documents/1Password.agilekeychain", 65536, 1 << 20,
+           rng_.chance(0.95) ? 0644 : 0600);
+      if (rng_.chance(0.5)) {
+        file("/documents/1Password-backup.agilekeychain_zip", 65536, 1 << 20);
+      }
+    }
+    if (has(SensitiveKind::kSshHostKey)) {
+      // SSH host keys ride along with config backups; ~90% keep their
+      // restrictive 0600 bits (Table IX: 1,427 of 1,597 non-readable).
+      dir("/backup/etc/ssh");
+      const std::uint64_t n = rng_.next_in(1, 3);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::uint16_t mode = rng_.chance(0.90) ? 0600 : 0644;
+        file("/backup/etc/ssh/" + seq("ssh_host_rsa_key.%llu", i), 1024,
+             4096, mode);
+        file("/backup/etc/ssh/" + seq("ssh_host_rsa_key.%llu.pub", i), 256,
+             1024);
+      }
+    }
+    if (has(SensitiveKind::kPuttyKey)) {
+      dir("/documents/keys");
+      const std::uint64_t n = rng_.next_in(1, 3);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        file("/documents/keys/" + seq("server-login-%llu.ppk", i), 1024,
+             4096, rng_.chance(0.80) ? 0644 : 0600);
+      }
+    }
+    if (has(SensitiveKind::kPrivPem)) {
+      dir("/backup/certs");
+      const std::uint64_t n = rng_.next_in(1, 4);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        file("/backup/certs/" + seq("server-%llu-priv.pem", i), 1024, 8192,
+             rng_.chance(0.95) ? 0644 : 0600);
+      }
+    }
+    if (has(SensitiveKind::kShadow)) {
+      // Unix password databases in config backups; about two-thirds keep
+      // root-only bits (Table IX: 473 of 718).
+      dir("/backup/etc");
+      file("/backup/etc/shadow", 512, 4096,
+           rng_.chance(0.66) ? 0600 : 0644);
+      if (rng_.chance(0.15)) {
+        file("/backup/etc/shadow.bak", 512, 4096, 0644);
+      }
+    }
+    if (has(SensitiveKind::kPst)) {
+      // Outlook mailboxes: ~5 per affected server; one outlier company
+      // backup held 688 (§V.A).
+      dir("/mail-archive");
+      const std::uint64_t n =
+          rng_.chance(0.004) ? 688 : rng_.next_in(1, 10);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        file("/mail-archive/" + seq("mailbox-%03llu.pst", i), 10 << 20,
+             900 << 20, rng_.chance(0.98) ? 0644 : 0600);
+      }
+    }
+  }
+
+  void add_upload_area() {
+    dir("/incoming", 0777);
+  }
+
+  void add_malicious_artifacts() {
+    const std::uint32_t mask = plan_.campaign_mask;
+    auto has = [mask](Campaign c) { return (mask & bit(c)) != 0; };
+
+    if (plan_.writable_evidence) {
+      // At least one probe artifact marks the server as world-writable for
+      // the reference-set detector (§VI.A).
+      if (has(Campaign::kProbeW0t) || mask == 0) {
+        file("/incoming/w0000000t.txt", 0, 0, 0666, "Anonymous");
+        if (rng_.chance(0.3)) {
+          file("/incoming/w0000000t.php", 0, 0, 0666, "Anonymous");
+        }
+        // The rename-on-conflict trail of repeated probing.
+        if (rng_.chance(0.35)) {
+          file("/incoming/w0000000t.txt.1", 0, 0, 0666, "Anonymous");
+        }
+        if (rng_.chance(0.15)) {
+          file("/incoming/w0000000t.txt.2", 0, 0, 0666, "Anonymous");
+        }
+      }
+      if (has(Campaign::kProbeSjutd)) {
+        file("/incoming/sjutd.txt", 0, 0, 0666, "test");
+      }
+      if (has(Campaign::kProbeHello)) {
+        file("/incoming/hello.world.txt", 0, 0, 0666,
+             "aGVsbG8gd29ybGQ=");  // small base64 blob, as observed
+      }
+    }
+
+    if (has(Campaign::kFtpchk3)) {
+      // Stages 1-3 of the four-stage campaign (§VI.B).
+      file("/incoming/ftpchk3.txt", 0, 0, 0666, "ftpchk3");
+      if (rng_.chance(0.7)) {
+        file("/incoming/ftpchk3.php", 0, 0, 0666, "<?php echo 'OK'; ?>");
+      }
+      if (rng_.chance(0.4)) {
+        file("/ftpchk3.php", 0, 0, 0666,
+             "<?php echo phpversion(); print_r(get_loaded_extensions());");
+      }
+    }
+    if (has(Campaign::kHolyBible)) {
+      file("/Holy-Bible.html", 0, 0, 0666,
+           "<html><!-- holy bible seo tag --></html>");
+      if (rng_.chance(0.6)) {
+        file("/index.php", 0, 0, 0666,
+             "<?php /* injected href farm */ ?>");
+      }
+    }
+    if (has(Campaign::kDdosHistory)) {
+      file("/history.php", 0, 0, 0666,
+           "<?php $t=$_GET['t'];$p=$_GET['p'];$l=$_GET['l'];"
+           "/* 65kB UDP flood loop */ ?>");
+    }
+    if (has(Campaign::kDdosPhz)) {
+      file("/phzLtoxn.php", 0, 0, 0666,
+           "<?php /* UDP flood: host,port,time from GET */ ?>");
+    }
+    if (has(Campaign::kRat)) {
+      // Sprayed across the tree hoping to land inside a web root.
+      const std::uint64_t copies = rng_.next_in(3, 14);
+      for (std::uint64_t i = 0; i < copies; ++i) {
+        const std::string where =
+            i == 0 ? "/x.php"
+                   : "/" + seq("dir%02llu", i) + "/x.php";
+        if (i > 0) dir("/" + seq("dir%02llu", i), 0777);
+        file(where, 0, 0, 0666, "<?php eval($_POST[5]);?>");
+      }
+    }
+    if (has(Campaign::kCrackFlier)) {
+      file("/incoming/keygen-service.pdf", 20480, 200000, 0666,
+           "We make keygens and dongle emulators. Bitmessage us. $300/$500");
+      if (rng_.chance(0.6)) {
+        file("/incoming/keygen-service.ps", 20480, 200000, 0666,
+             "%!PS cracking service flier");
+      }
+    }
+    if (has(Campaign::kWarez)) {
+      // Date-stamped transport directories, frequently already emptied.
+      const std::uint64_t n = rng_.next_in(1, 6);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const std::int64_t when =
+            kScanTime - static_cast<std::int64_t>(
+                            rng_.next_in(0, 300 * 86400ull));
+        const CivilDateTime c = civil_from_unix(when);
+        char name[32];
+        std::snprintf(name, sizeof(name), "%02d%02d%02d%02d%02d%02dp",
+                      c.year % 100, c.month, c.day, c.hour, c.minute,
+                      c.second);
+        const std::string base = std::string("/incoming/") + name;
+        dir(base, 0777);
+        if (rng_.chance(0.30)) {
+          const std::uint64_t files = rng_.next_in(1, 20);
+          for (std::uint64_t f = 0; f < files; ++f) {
+            file(base + "/" + seq("release-%02llu.rar", f), 50 << 20,
+                 700ull << 20, 0666);
+          }
+        }
+      }
+    }
+  }
+
+  void add_robots() {
+    std::string content;
+    if (plan_.robots_full_exclusion) {
+      content = "User-agent: *\nDisallow: /\n";
+    } else {
+      content = "User-agent: *\nDisallow: /private/\nDisallow: /tmp/\n";
+      dir("/private");
+      file("/private/secret-notes.txt", 1024, 8192);
+    }
+    file("/robots.txt", 0, 0, 0644, std::move(content));
+  }
+
+  const FsPlan& plan_;
+  Xoshiro256ss rng_;
+  std::shared_ptr<vfs::Vfs> fs_;
+};
+
+}  // namespace
+
+std::shared_ptr<vfs::Vfs> build_filesystem(const FsPlan& plan) {
+  return FsBuilder(plan).build();
+}
+
+}  // namespace ftpc::popgen

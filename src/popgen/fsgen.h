@@ -1,0 +1,89 @@
+// Filesystem generation: what an anonymous visitor sees on each host.
+//
+// The generator reproduces the paper's exposure landscape:
+//   - Table VIII's extension mix on SOHO devices (photo libraries, media
+//     collections, scan-to-FTP output, office documents),
+//   - Table IX's sensitive files with realistic permission bits (SSH host
+//     keys mostly 0600, tax exports world-readable, ...),
+//   - §V's OS-root exposures and web-source trees,
+//   - §VI's malicious artifacts on world-writable servers (write-probe
+//     files, ftpchk3 stages, Holy-Bible SEO, DDoS PHP, RATs, piracy
+//     fliers, WaReZ date-stamped directories).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "popgen/catalog.h"
+#include "vfs/vfs.h"
+
+namespace ftpc::popgen {
+
+/// Sensitive-file classes of Table IX (bit positions for FsPlan masks).
+enum class SensitiveKind : std::uint32_t {
+  kTurboTax = 0,
+  kQuicken,
+  kKeePass,
+  kOnePassword,
+  kSshHostKey,
+  kPuttyKey,
+  kPrivPem,
+  kShadow,
+  kPst,
+  kCount,
+};
+
+/// Malicious campaigns of §VI (bit positions for FsPlan masks).
+enum class Campaign : std::uint32_t {
+  kProbeW0t = 0,     // w0000000t.txt / w0000000t.php
+  kProbeSjutd,       // sjutd.txt
+  kProbeHello,       // hello.world.txt
+  kFtpchk3,          // ftpchk3.txt / ftpchk3.php (multi-stage)
+  kHolyBible,        // Holy-Bible.html SEO campaign
+  kDdosHistory,      // history.php UDP flooder
+  kDdosPhz,          // phzLtoxn.php UDP flooder
+  kRat,              // "<?php eval($_POST[5]);?>" shells
+  kCrackFlier,       // keygen/dongle-emulator advertising fliers
+  kWarez,            // YYMMDDHHMMSS+"p" transport directories
+  kCount,
+};
+
+/// Everything build_filesystem() needs; drawn deterministically per host by
+/// the population model.
+struct FsPlan {
+  std::uint64_t seed = 0;
+  DeviceClass device_class = DeviceClass::kUnknown;
+  FsTemplate fs_template = FsTemplate::kEmptyShare;
+  vfs::ListingFormat listing_format = vfs::ListingFormat::kUnix;
+
+  bool exposes_data = false;  // if false, at most empty directories
+  bool photos = false;        // personal photo library
+  bool media = false;         // music/video collection
+  bool documents = false;     // office docs / backups
+  bool web_backup = false;    // html/png/gif site backup (NAS "web station")
+  bool scripting = false;     // server-side source exposure (§V)
+  bool htaccess = false;      // .htaccess files among the source
+  bool os_root = false;
+  int os_root_kind = 0;       // 0=Linux, 1=Windows, 2=OS X
+  bool huge_tree = false;     // needs >500 requests to traverse fully
+  std::uint32_t sensitive_mask = 0;  // bits of SensitiveKind
+  std::uint32_t campaign_mask = 0;   // bits of Campaign
+  bool writable = false;             // anonymous STOR accepted
+  bool writable_evidence = false;    // probe/campaign files present
+  bool has_robots = false;
+  bool robots_full_exclusion = false;
+  double size_scale = 1.0;
+};
+
+constexpr std::uint32_t bit(SensitiveKind k) {
+  return 1u << static_cast<std::uint32_t>(k);
+}
+constexpr std::uint32_t bit(Campaign c) {
+  return 1u << static_cast<std::uint32_t>(c);
+}
+
+/// Builds the host filesystem described by `plan`. Deterministic in
+/// plan.seed.
+std::shared_ptr<vfs::Vfs> build_filesystem(const FsPlan& plan);
+
+}  // namespace ftpc::popgen

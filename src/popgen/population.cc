@@ -1,0 +1,569 @@
+#include "popgen/population.h"
+
+#include <cassert>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "ftpd/server.h"
+#include "popgen/catalog.h"
+
+namespace ftpc::popgen {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Per-class exposure rates (probability that an *anonymous* host of the
+// class exposes each content kind). Derived from Tables VIII-X and §V as
+// documented in DESIGN.md; Table X's row distributions emerge from these
+// conditionals multiplied by the class anonymous populations.
+// ---------------------------------------------------------------------------
+struct ExposureRates {
+  double base_share;  // plain (non-special) data exposure
+  double photos;
+  double media;
+  double documents;
+  double web_backup;
+  double sensitive;
+  double os_root;
+  double scripting;
+};
+
+ExposureRates exposure_rates(DeviceClass cls) {
+  switch (cls) {
+    case DeviceClass::kGenericServer:
+      return {.base_share = 0.240, .photos = 0.0097, .media = 0.004,
+              .documents = 0.010, .web_backup = 0.004, .sensitive = 0.00168,
+              .os_root = 0.00095, .scripting = 0.0329};
+    case DeviceClass::kHostedServer:
+      return {.base_share = 0.138, .photos = 0.0030, .media = 0.001,
+              .documents = 0.004, .web_backup = 0.010, .sensitive = 0.00003,
+              .os_root = 0.0, .scripting = 0.0064};
+    case DeviceClass::kNas:
+      return {.base_share = 0.400, .photos = 0.1160, .media = 0.250,
+              .documents = 0.200, .web_backup = 0.280, .sensitive = 0.01760,
+              .os_root = 0.00180, .scripting = 0.0307};
+    case DeviceClass::kHomeRouter:
+      return {.base_share = 0.200, .photos = 0.2880, .media = 0.060,
+              .documents = 0.060, .web_backup = 0.020, .sensitive = 0.13400,
+              .os_root = 0.00900, .scripting = 0.1540};
+    case DeviceClass::kPrinter:
+      return {.base_share = 0.100, .photos = 0.0, .media = 0.0,
+              .documents = 0.0, .web_backup = 0.0, .sensitive = 0.0,
+              .os_root = 0.0, .scripting = 0.0};
+    case DeviceClass::kProviderCpe:
+      return {.base_share = 0.020, .photos = 0.0, .media = 0.0,
+              .documents = 0.0, .web_backup = 0.0, .sensitive = 0.0,
+              .os_root = 0.0, .scripting = 0.0};
+    case DeviceClass::kOtherEmbedded:
+      return {.base_share = 0.100, .photos = 0.0002, .media = 0.002,
+              .documents = 0.002, .web_backup = 0.0, .sensitive = 0.00012,
+              .os_root = 0.0, .scripting = 0.0110};
+    case DeviceClass::kUnknown:
+      return {.base_share = 0.100, .photos = 0.0369, .media = 0.012,
+              .documents = 0.020, .web_backup = 0.008, .sensitive = 0.01350,
+              .os_root = 0.02500, .scripting = 0.0349};
+  }
+  return {};
+}
+
+// Relative server counts of Table IX, used to pick which sensitive kinds a
+// sensitive host carries.
+struct SensitiveWeight {
+  SensitiveKind kind;
+  double weight;
+};
+constexpr SensitiveWeight kSensitiveWeights[] = {
+    {SensitiveKind::kPst, 2419},      {SensitiveKind::kSshHostKey, 819},
+    {SensitiveKind::kPrivPem, 701},   {SensitiveKind::kShadow, 590},
+    {SensitiveKind::kTurboTax, 464},  {SensitiveKind::kQuicken, 440},
+    {SensitiveKind::kKeePass, 210},   {SensitiveKind::kPuttyKey, 82},
+    {SensitiveKind::kOnePassword, 11},
+};
+
+// Campaign presence rates conditioned on "world-writable with probe
+// evidence" (the ~19.4K detected servers), scaled from §VI's counts.
+struct CampaignRate {
+  Campaign campaign;
+  double p;
+};
+constexpr CampaignRate kCampaignRates[] = {
+    {Campaign::kProbeW0t, 0.75},    {Campaign::kProbeSjutd, 0.25},
+    {Campaign::kProbeHello, 0.35},  {Campaign::kFtpchk3, 0.065},
+    {Campaign::kHolyBible, 0.032},  {Campaign::kDdosHistory, 0.055},
+    {Campaign::kDdosPhz, 0.037},    {Campaign::kRat, 0.037},
+    {Campaign::kCrackFlier, 0.108}, {Campaign::kWarez, 0.250},
+};
+
+/// A port-21 listener that is not an FTP server: sends a non-FTP banner (or
+/// nothing) and drops the connection. Accounts for Table I's gap between
+/// "open port 21" and "FTP servers".
+class JunkHost : public net::HostModel {
+ public:
+  JunkHost(Ipv4 ip, int flavor) : ip_(ip), flavor_(flavor) {}
+
+  void attach(sim::Network& network) override {
+    network.listen(ip_, 21, [flavor = flavor_](
+                               std::shared_ptr<sim::Connection> conn) {
+      switch (flavor) {
+        case 0:
+          conn->send("SSH-2.0-dropbear_2014.63\r\n");
+          conn->close();
+          break;
+        case 1:
+          conn->send("\xff\xfb\x03\xff\xfb\x01login: ");  // telnet-ish
+          conn->close();
+          break;
+        default:
+          // Accepts and hangs silently; the enumerator's banner timeout
+          // classifies it as non-FTP.
+          break;
+      }
+    });
+  }
+
+  void detach(sim::Network& network) override {
+    network.stop_listening(ip_, 21);
+  }
+
+ private:
+  Ipv4 ip_;
+  int flavor_;
+};
+
+class PopulatedHost : public net::HostModel {
+ public:
+  explicit PopulatedHost(std::shared_ptr<ftpd::FtpServer> server)
+      : server_(std::move(server)) {}
+
+  void attach(sim::Network& network) override { server_->attach(network); }
+  void detach(sim::Network& network) override { server_->detach(network); }
+
+ private:
+  std::shared_ptr<ftpd::FtpServer> server_;
+};
+
+}  // namespace
+
+SyntheticPopulation::SyntheticPopulation(std::uint64_t seed)
+    : seed_(seed),
+      calibration_(build_calibration(seed)),
+      as_table_(build_as_table(calibration_)),
+      sip_k0_(derive_seed(seed, "ftp-membership-k0")),
+      sip_k1_(derive_seed(seed, "ftp-membership-k1")),
+      junk_k0_(derive_seed(seed, "junk-k0")),
+      junk_k1_(derive_seed(seed, "junk-k1")) {
+  // Table I: 21,832,903 open ports vs 13,789,641 FTP servers. The gap is
+  // spread uniformly over allocated space.
+  const double gap = 21'832'903.0 - 13'789'641.0;
+  junk_density_ = gap / static_cast<double>(as_table_.allocated_addresses());
+}
+
+std::uint64_t SyntheticPopulation::host_seed(Ipv4 ip) const {
+  return derive_seed(derive_seed(seed_, "host"), ip.value());
+}
+
+bool SyntheticPopulation::has_ftp(Ipv4 ip) const {
+  const auto as_index = as_table_.as_index_of(ip);
+  if (!as_index) return false;
+  const double density = calibration_.ftp_density(*as_index);
+  if (density <= 0.0) return false;
+  const std::uint64_t h = siphash24_u64(sip_k0_, sip_k1_, ip.value());
+  return static_cast<double>(h) < density * 18446744073709551616.0;
+}
+
+bool SyntheticPopulation::has_junk_listener(Ipv4 ip) const {
+  if (!as_table_.as_index_of(ip)) return false;
+  const std::uint64_t h = siphash24_u64(junk_k0_, junk_k1_, ip.value());
+  return static_cast<double>(h) < junk_density_ * 18446744073709551616.0;
+}
+
+bool SyntheticPopulation::port_open(Ipv4 ip, std::uint16_t port) const {
+  if (port != 21) return false;
+  return has_ftp(ip) || has_junk_listener(ip);
+}
+
+std::optional<HostConfig> SyntheticPopulation::host_config(Ipv4 ip) const {
+  if (!has_ftp(ip)) return std::nullopt;
+  const std::uint32_t as_index = *as_table_.as_index_of(ip);
+  const AsSpec& as_spec = calibration_.ases[as_index];
+  const Profile& profile = calibration_.profiles[as_spec.profile];
+
+  Xoshiro256ss rng(host_seed(ip));
+
+  // Pick the device template from the AS profile's mixture.
+  double r = rng.next_double();
+  std::size_t template_id = template_index(profile.mix.back().first);
+  for (const auto& [key, weight] : profile.mix) {
+    if (r < weight) {
+      template_id = template_index(key);
+      break;
+    }
+    r -= weight;
+  }
+
+  HostConfig config;
+  config.ip = ip;
+  config.as_index = as_index;
+  config.template_id = template_id;
+  config.personality = build_personality(ip, as_index, template_id, rng);
+  config.fs_plan =
+      build_fs_plan(ip, template_id, *config.personality, rng);
+  return config;
+}
+
+std::shared_ptr<const ftpd::Personality>
+SyntheticPopulation::build_personality(Ipv4 ip, std::uint32_t as_index,
+                                       std::size_t template_id,
+                                       Xoshiro256ss& rng) const {
+  const DeviceTemplate& tmpl = device_catalog()[template_id];
+  const AsSpec& as_spec = calibration_.ases[as_index];
+
+  auto p = std::make_shared<ftpd::Personality>();
+  p->implementation = tmpl.implementation.empty() ? tmpl.display_name
+                                                  : tmpl.implementation;
+  p->syst_reply = tmpl.syst_reply;
+  p->feat_lines = tmpl.feat_lines;
+  p->listing_format = tmpl.listing_format;
+
+  // Version + banner.
+  std::string banner = tmpl.banner;
+  if (!tmpl.versions.empty()) {
+    const VersionChoice& version = pick_version(tmpl, rng.next_double());
+    p->version = version.version;
+    const std::size_t pos = banner.find("{version}");
+    if (pos != std::string::npos) {
+      banner.replace(pos, 9, version.version);
+    }
+  }
+  p->banner = std::move(banner);
+
+  // Login policy.
+  const double anon_p = as_spec.anon_override.value_or(tmpl.anon_probability);
+  p->allow_anonymous = rng.chance(anon_p);
+  {
+    const UserStyleWeights& w = tmpl.user_styles;
+    const double total = w.standard + w.immediate230 + w.reject_in_331 +
+                         w.need_virtual_host + w.ftps_required + w.reject_530;
+    double pick = rng.next_double() * (total > 0 ? total : 1.0);
+    using Style = ftpd::UserReplyStyle;
+    auto take = [&pick](double weight) {
+      if (pick < weight) return true;
+      pick -= weight;
+      return false;
+    };
+    if (take(w.standard)) {
+      p->user_reply_style = Style::kStandard;
+    } else if (take(w.immediate230)) {
+      p->user_reply_style = Style::kImmediate230;
+    } else if (take(w.reject_in_331)) {
+      p->user_reply_style = Style::kRejectIn331;
+    } else if (take(w.need_virtual_host)) {
+      p->user_reply_style = Style::kNeedVirtualHost;
+    } else if (take(w.ftps_required)) {
+      p->user_reply_style = Style::kFtpsRequiredIn331;
+    } else {
+      p->user_reply_style = Style::kReject530;
+    }
+    // Servers that disallow anonymous logins mostly say so with a 530 (or
+    // advertise it in the banner).
+    if (!p->allow_anonymous &&
+        p->user_reply_style == Style::kStandard && rng.chance(0.5)) {
+      p->user_reply_style = Style::kReject530;
+    }
+    // The rejection styles only make sense on servers that actually reject;
+    // an anonymous-enabled host drawing one falls back to the normal flow.
+    if (p->allow_anonymous && (p->user_reply_style == Style::kRejectIn331 ||
+                               p->user_reply_style == Style::kReject530)) {
+      p->user_reply_style = Style::kStandard;
+    }
+  }
+  if (!p->allow_anonymous) {
+    p->banner_forbids_anonymous =
+        rng.chance(tmpl.banner_forbids_anon_given_no_anon);
+  }
+
+  // Write policy.
+  if (p->allow_anonymous && rng.chance(tmpl.writable_given_anon)) {
+    p->anonymous_writable = true;
+    p->uploads_need_approval =
+        rng.chance(tmpl.uploads_need_approval_given_writable);
+    const double conflict = rng.next_double();
+    p->upload_conflict = conflict < 0.60
+                             ? ftpd::UploadConflictPolicy::kRenameWithSuffix
+                         : conflict < 0.90
+                             ? ftpd::UploadConflictPolicy::kOverwrite
+                             : ftpd::UploadConflictPolicy::kRefuse;
+    p->allow_anonymous_delete = rng.chance(0.5);
+    p->allow_anonymous_mkd = true;
+  }
+
+  // PORT validation.
+  p->validate_port_ip = !rng.chance(tmpl.port_validation_failure);
+
+  // NAT.
+  if (rng.chance(tmpl.nat_probability)) {
+    const bool ten = rng.chance(0.35);
+    p->internal_ip =
+        ten ? Ipv4(10, static_cast<std::uint8_t>(rng.next_below(256)),
+                   static_cast<std::uint8_t>(rng.next_below(256)),
+                   static_cast<std::uint8_t>(rng.next_in(2, 250)))
+            : Ipv4(192, 168, static_cast<std::uint8_t>(rng.next_below(256)),
+                   static_cast<std::uint8_t>(rng.next_in(2, 250)));
+  }
+
+  // FTPS.
+  const double ftps_p = as_spec.ftps_override.value_or(tmpl.ftps_probability);
+  if (rng.chance(ftps_p)) {
+    p->supports_ftps = true;
+    // §IX: fewer than 85K of 3.4M FTPS servers require TLS before login.
+    p->requires_ftps_before_login = rng.chance(0.024);
+
+    ftp::Certificate cert;
+    switch (tmpl.cert_policy) {
+      case CertPolicy::kProviderWildcard: {
+        const std::string cn = !as_spec.provider_cert_cn.empty()
+                                   ? as_spec.provider_cert_cn
+                                   : "*.as" + std::to_string(as_spec.asn) +
+                                         ".example.net";
+        cert.subject_cn = cn;
+        cert.browser_trusted = as_spec.provider_cert_trusted;
+        cert.issuer_cn = cert.browser_trusted ? "SimTrust CA" : cn;
+        cert.key_id = fnv1a64(cn);
+        cert.serial = fnv1a64(cn) ^ 0x5a5a;
+        break;
+      }
+      case CertPolicy::kSharedDevice: {
+        const bool alt = tmpl.cert_alt_probability > 0.0 &&
+                         rng.chance(tmpl.cert_alt_probability);
+        const std::string& cn = alt ? tmpl.cert_cn_alt : tmpl.cert_cn;
+        cert.subject_cn = cn;
+        cert.browser_trusted = tmpl.cert_trusted;
+        cert.issuer_cn = cert.browser_trusted ? "SimTrust CA" : cn;
+        cert.key_id = fnv1a64(cn);  // one key in every unit shipped
+        cert.serial = fnv1a64(cn) ^ 0xdead;
+        break;
+      }
+      case CertPolicy::kPerHost:
+      case CertPolicy::kNone: {
+        // On shared hosting, even stock daemons usually serve the
+        // provider's wildcard certificate — the big reason the paper found
+        // only 793K distinct certs across 3.4M FTPS servers.
+        if (calibration_.ases[as_index].type == net::AsType::kHosting &&
+            rng.chance(0.85)) {
+          const std::string cn = !as_spec.provider_cert_cn.empty()
+                                     ? as_spec.provider_cert_cn
+                                     : "*.as" + std::to_string(as_spec.asn) +
+                                           ".example.net";
+          cert.subject_cn = cn;
+          cert.browser_trusted = as_spec.provider_cert_trusted;
+          cert.issuer_cn = cert.browser_trusted ? "SimTrust CA" : cn;
+          cert.key_id = fnv1a64(cn);
+          cert.serial = fnv1a64(cn) ^ 0x5a5a;
+          break;
+        }
+        const bool trusted = rng.chance(tmpl.cert_trusted_p);
+        if (trusted) {
+          cert.subject_cn = "ftp-" + std::to_string(ip.value() % 100000) +
+                            ".hosted.example.com";
+          cert.issuer_cn = "SimTrust CA";
+          cert.browser_trusted = true;
+          cert.key_id = derive_seed(ip.value(), "per-host-key");
+          cert.serial = derive_seed(ip.value(), "per-host-serial");
+        } else if (rng.chance(0.65)) {
+          // Cloned VM images and distro "snakeoil" defaults: the same
+          // self-signed certificate appears on thousands of hosts (cf.
+          // Heninger et al.'s weak-key results the paper cites). A small
+          // pool of distinct certs covers most of the self-signed mass.
+          const std::uint64_t pool =
+              siphash24_u64(seed_, 0x536e616b65ULL, ip.value()) % 256;
+          cert.subject_cn = "ftpd-default-" + std::to_string(pool) + ".local";
+          cert.issuer_cn = cert.subject_cn;
+          cert.browser_trusted = false;
+          cert.key_id = derive_seed(pool, "snakeoil-key");
+          cert.serial = derive_seed(pool, "snakeoil-serial");
+        } else {
+          // Locally generated: "localhost" is the classic default CN.
+          cert.subject_cn = rng.chance(0.11) ? "localhost" : ip.str();
+          cert.issuer_cn = cert.subject_cn;
+          cert.browser_trusted = false;
+          cert.key_id = derive_seed(ip.value(), "per-host-key");
+          cert.serial = derive_seed(ip.value(), "per-host-serial");
+        }
+        break;
+      }
+    }
+    p->certificate = std::move(cert);
+    p->feat_lines.push_back("AUTH TLS");
+  }
+
+  // A small fraction of servers drop chatty clients mid-session; the
+  // enumerator must treat that as refusal of service.
+  if (rng.chance(0.02)) {
+    p->max_commands_per_session = static_cast<std::uint32_t>(
+        rng.next_in(25, 120));
+  }
+
+  // Stock Seagate firmware famously has a password-less root account (the
+  // honeypots saw it exploited).
+  if (tmpl.key == "seagate-nas") {
+    p->valid_credentials.emplace_back("root", "");
+  }
+  return p;
+}
+
+FsPlan SyntheticPopulation::build_fs_plan(
+    Ipv4 ip, std::size_t template_id, const ftpd::Personality& personality,
+    Xoshiro256ss& rng) const {
+  const DeviceTemplate& tmpl = device_catalog()[template_id];
+  FsPlan plan;
+  plan.seed = derive_seed(host_seed(ip), "fs");
+  plan.device_class = tmpl.device_class;
+  plan.fs_template = tmpl.fs_template;
+  plan.listing_format = tmpl.listing_format;
+
+  if (!personality.allow_anonymous) {
+    // Never traversed anonymously; keep it trivial.
+    return plan;
+  }
+
+  const ExposureRates rates = exposure_rates(tmpl.device_class);
+  plan.photos = rng.chance(rates.photos);
+  plan.media = rng.chance(rates.media);
+  plan.documents = rng.chance(rates.documents);
+  plan.web_backup = rng.chance(rates.web_backup);
+  plan.scripting = rng.chance(rates.scripting);
+  if (plan.scripting) plan.htaccess = rng.chance(0.14);
+  plan.os_root = rng.chance(rates.os_root);
+  if (plan.os_root) {
+    // §V.A: 3,858 Linux, 825 Windows, 15 OS X.
+    const double r = rng.next_double();
+    plan.os_root_kind = r < 0.8213 ? 0 : (r < 0.9968 ? 1 : 2);
+  }
+  if (rng.chance(rates.sensitive)) {
+    double total = 0.0;
+    for (const auto& [kind, weight] : kSensitiveWeights) total += weight;
+    // A sensitive host carries one kind, sometimes several (office-wide
+    // backups mix mailboxes, keys and finance files).
+    const int kinds = rng.chance(0.12) ? 2 : 1;
+    for (int k = 0; k < kinds; ++k) {
+      double pick = rng.next_double() * total;
+      for (const auto& [kind, weight] : kSensitiveWeights) {
+        if (pick < weight) {
+          plan.sensitive_mask |= bit(kind);
+          break;
+        }
+        pick -= weight;
+      }
+    }
+  }
+
+  plan.exposes_data = plan.photos || plan.media || plan.documents ||
+                      plan.web_backup || plan.scripting || plan.os_root ||
+                      plan.sensitive_mask != 0 ||
+                      rng.chance(rates.base_share);
+  // §IV: 26.7K servers (about 10% of those exposing data) have trees too
+  // large for the 500-request budget.
+  plan.huge_tree = plan.exposes_data && rng.chance(0.10);
+
+  plan.writable = personality.anonymous_writable;
+  if (plan.writable) {
+    plan.exposes_data = true;  // the upload area itself is visible
+    // §VI.A is explicit that the reference-set method is a lower bound:
+    // only ~65% of writable servers carry probe/campaign evidence.
+    plan.writable_evidence = rng.chance(0.65);
+    if (plan.writable_evidence) {
+      for (const auto& [campaign, p] : kCampaignRates) {
+        if (rng.chance(p)) plan.campaign_mask |= bit(campaign);
+      }
+    } else if (rng.chance(0.048)) {
+      // Holy-Bible also shows up where no probe evidence survived
+      // (§VI.B: only 55.35% co-occur with the reference set).
+      plan.campaign_mask |= bit(Campaign::kHolyBible);
+    }
+  }
+
+  // robots.txt on ~1% of anonymous servers; half of those exclude all.
+  plan.has_robots = rng.chance(0.0101);
+  if (plan.has_robots) {
+    plan.robots_full_exclusion = rng.chance(0.52);
+    plan.exposes_data = true;  // robots.txt itself is data
+  }
+  return plan;
+}
+
+std::unique_ptr<net::HostModel> SyntheticPopulation::materialize(Ipv4 ip) {
+  if (has_ftp(ip)) {
+    auto config = host_config(ip);
+    assert(config.has_value());
+    const FsPlan plan = config->fs_plan;
+    auto filesystem = std::make_shared<ftpd::LazyFilesystem>(
+        [plan] { return build_filesystem(plan); });
+    auto server = std::make_shared<ftpd::FtpServer>(
+        ip, config->personality, std::move(filesystem));
+    return std::make_unique<PopulatedHost>(std::move(server));
+  }
+  if (has_junk_listener(ip)) {
+    return std::make_unique<JunkHost>(
+        ip, static_cast<int>(siphash24_u64(junk_k1_, junk_k0_, ip.value()) %
+                             3));
+  }
+  return nullptr;
+}
+
+HttpProfile SyntheticPopulation::http_profile(Ipv4 ip) const {
+  // §VI.B: 9.0M of 13.8M FTP hosts co-run HTTP (65.27%); 2.1M of those
+  // advertise PHP or ASP.NET via X-Powered-By (15.01% of FTP hosts).
+  const auto config_seed = derive_seed(host_seed(ip), "http");
+  Xoshiro256ss rng(config_seed);
+  const auto config = host_config(ip);
+  HttpProfile profile;
+  if (!config) return profile;
+  const DeviceClass cls = device_catalog()[config->template_id].device_class;
+  double http_p = 0.0, script_p = 0.0, asp_share = 0.2;
+  switch (cls) {
+    case DeviceClass::kHostedServer:
+      http_p = 0.99;
+      script_p = 0.62;
+      asp_share = 0.12;
+      break;
+    case DeviceClass::kGenericServer:
+      http_p = 0.70;
+      script_p = 0.11;
+      asp_share = 0.30;
+      break;
+    case DeviceClass::kUnknown:
+      http_p = 0.55;
+      script_p = 0.05;
+      break;
+    case DeviceClass::kNas:
+      http_p = 0.50;
+      script_p = 0.08;
+      asp_share = 0.0;
+      break;
+    case DeviceClass::kHomeRouter:
+      http_p = 0.40;
+      script_p = 0.02;
+      asp_share = 0.0;
+      break;
+    case DeviceClass::kPrinter:
+      http_p = 0.80;
+      break;
+    case DeviceClass::kProviderCpe:
+      http_p = 0.70;
+      break;
+    case DeviceClass::kOtherEmbedded:
+      http_p = 0.50;
+      script_p = 0.01;
+      break;
+  }
+  profile.has_http = rng.chance(http_p);
+  if (profile.has_http && rng.chance(script_p / std::max(http_p, 1e-9))) {
+    profile.powered_by = rng.chance(asp_share)
+                             ? HttpProfile::PoweredBy::kAspNet
+                             : HttpProfile::PoweredBy::kPhp;
+  }
+  return profile;
+}
+
+}  // namespace ftpc::popgen

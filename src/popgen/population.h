@@ -1,0 +1,90 @@
+// The synthetic Internet population: a pure function from IPv4 address to
+// host configuration, evaluated lazily.
+//
+// No host exists until something connects to it. Membership ("does this
+// address answer on TCP/21?") is a SipHash draw against the owning AS's
+// calibrated FTP density, so the ZMap-style scanner can probe tens of
+// millions of addresses cheaply; the full host (personality + filesystem
+// plan) is derived from the same per-address seed when the enumerator
+// actually connects.
+//
+// Besides FTP servers, the population includes "junk" port-21 responders
+// (the gap between Table I's 21.8M open ports and 13.8M FTP banners) and a
+// deterministic HTTP co-deployment profile standing in for the paper's
+// Censys HTTP dataset (§VI.B).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "common/ipv4.h"
+#include "common/rng.h"
+#include "ftpd/personality.h"
+#include "net/as_table.h"
+#include "net/internet.h"
+#include "popgen/calibration.h"
+#include "popgen/fsgen.h"
+
+namespace ftpc::popgen {
+
+/// Ground truth for one host. Tests and the EXPERIMENTS comparison use
+/// this; the measurement pipeline itself only ever sees the wire.
+struct HostConfig {
+  Ipv4 ip;
+  std::uint32_t as_index = 0;
+  std::size_t template_id = 0;
+  std::shared_ptr<const ftpd::Personality> personality;
+  FsPlan fs_plan;
+};
+
+/// Stand-in for the Censys HTTP scan the paper joined against (§VI.B).
+struct HttpProfile {
+  bool has_http = false;
+  enum class PoweredBy { kNone, kPhp, kAspNet } powered_by = PoweredBy::kNone;
+};
+
+class SyntheticPopulation : public net::PopulationModel {
+ public:
+  explicit SyntheticPopulation(std::uint64_t seed);
+
+  // net::PopulationModel ------------------------------------------------------
+  bool port_open(Ipv4 ip, std::uint16_t port) const override;
+  std::unique_ptr<net::HostModel> materialize(Ipv4 ip) override;
+
+  // Pure membership functions -------------------------------------------------
+  /// True iff `ip` runs an FTP-compliant server on TCP/21.
+  bool has_ftp(Ipv4 ip) const;
+  /// True iff `ip` answers on TCP/21 without speaking FTP.
+  bool has_junk_listener(Ipv4 ip) const;
+
+  /// Full deterministic host configuration; nullopt if no FTP host at `ip`.
+  std::optional<HostConfig> host_config(Ipv4 ip) const;
+
+  /// The simulated Censys join: HTTP presence and X-Powered-By signal.
+  HttpProfile http_profile(Ipv4 ip) const;
+
+  const net::AsTable& as_table() const noexcept { return as_table_; }
+  const Calibration& calibration() const noexcept { return calibration_; }
+  std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  friend class PopulationTestPeer;
+
+  std::uint64_t host_seed(Ipv4 ip) const;
+  std::shared_ptr<const ftpd::Personality> build_personality(
+      Ipv4 ip, std::uint32_t as_index, std::size_t template_id,
+      Xoshiro256ss& rng) const;
+  FsPlan build_fs_plan(Ipv4 ip, std::size_t template_id,
+                       const ftpd::Personality& personality,
+                       Xoshiro256ss& rng) const;
+
+  std::uint64_t seed_;
+  Calibration calibration_;
+  net::AsTable as_table_;
+  std::uint64_t sip_k0_, sip_k1_;    // FTP membership draw
+  std::uint64_t junk_k0_, junk_k1_;  // junk-listener draw
+  double junk_density_;
+};
+
+}  // namespace ftpc::popgen

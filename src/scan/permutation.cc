@@ -1,0 +1,77 @@
+#include "scan/permutation.h"
+
+#include "common/rng.h"
+
+namespace ftpc::scan {
+
+namespace {
+// p - 1 = 2 * 3^2 * 5 * 131 * 364289.
+constexpr std::uint64_t kGroupOrder = CyclicPermutation::kPrime - 1;
+constexpr std::uint64_t kOrderPrimeFactors[] = {2, 3, 5, 131, 364289};
+}  // namespace
+
+std::uint64_t CyclicPermutation::mul_mod(std::uint64_t a,
+                                         std::uint64_t b) noexcept {
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % kPrime);
+}
+
+std::uint64_t CyclicPermutation::pow_mod(std::uint64_t base,
+                                         std::uint64_t exponent) noexcept {
+  std::uint64_t result = 1;
+  base %= kPrime;
+  while (exponent > 0) {
+    if (exponent & 1) result = mul_mod(result, base);
+    base = mul_mod(base, base);
+    exponent >>= 1;
+  }
+  return result;
+}
+
+bool CyclicPermutation::is_primitive_root(std::uint64_t g) noexcept {
+  if (g <= 1 || g >= kPrime) return false;
+  for (const std::uint64_t q : kOrderPrimeFactors) {
+    if (pow_mod(g, kGroupOrder / q) == 1) return false;
+  }
+  return true;
+}
+
+CyclicPermutation::CyclicPermutation(std::uint64_t seed) {
+  Xoshiro256ss rng(derive_seed(seed, "zmap-permutation"));
+  // 3 is a primitive root of p; 3^x is one too iff gcd(x, p-1) == 1.
+  // Rejection-sample x, then double-check explicitly.
+  for (;;) {
+    const std::uint64_t x = 1 + rng.next_below(kGroupOrder - 1);
+    const std::uint64_t candidate = pow_mod(3, x);
+    if (is_primitive_root(candidate)) {
+      generator_ = candidate;
+      break;
+    }
+  }
+  start_ = 1 + rng.next_below(kGroupOrder);  // any element of [1, p-1]
+}
+
+CyclicPermutation::Walk CyclicPermutation::shard_walk(
+    std::uint32_t shard, std::uint32_t total_shards) const {
+  const std::uint64_t first =
+      mul_mod(start_, pow_mod(generator_, shard));
+  const std::uint64_t step = pow_mod(generator_, total_shards);
+  return Walk(first, step);
+}
+
+bool CyclicPermutation::Walk::next(std::uint32_t& address_out) noexcept {
+  for (;;) {
+    if (started_ && current_ == first_) return false;  // full circle
+    const std::uint64_t element = current_;
+    started_ = true;
+    current_ = mul_mod(current_, step_);
+    if (element <= (std::uint64_t{1} << 32)) {
+      ++emitted_;
+      address_out = static_cast<std::uint32_t>(element - 1);
+      return true;
+    }
+    // Elements in (2^32, p-1] do not map to addresses; skip them.
+  }
+}
+
+}  // namespace ftpc::scan

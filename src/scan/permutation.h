@@ -1,0 +1,68 @@
+// ZMap-style address permutation.
+//
+// ZMap iterates the multiplicative cyclic group of integers modulo the
+// prime p = 2^32 + 15. Starting from a random group element and stepping by
+// a random primitive root g visits every element of [1, p-1] exactly once
+// in an order indistinguishable (for scanning purposes) from random, with
+// O(1) state — no shuffled array of four billion addresses. Elements larger
+// than 2^32 (there are 15) are skipped; element e maps to address e - 1.
+//
+// Sharding follows ZMap's scheme: shard i of n starts at start*g^i and
+// steps by g^n, so the shards partition the cycle exactly.
+#pragma once
+
+#include <cstdint>
+
+namespace ftpc::scan {
+
+class CyclicPermutation {
+ public:
+  /// The ZMap prime: the smallest prime larger than 2^32.
+  static constexpr std::uint64_t kPrime = 4294967311ULL;  // 2^32 + 15
+
+  /// Derives a random primitive root and starting element from `seed`.
+  explicit CyclicPermutation(std::uint64_t seed);
+
+  std::uint64_t generator() const noexcept { return generator_; }
+  std::uint64_t start_element() const noexcept { return start_; }
+
+  /// True iff `g` generates the full group (checked against the known
+  /// factorization of p-1 = 2 * 3^2 * 5 * 131 * 364289).
+  static bool is_primitive_root(std::uint64_t g) noexcept;
+
+  /// One shard's walk over the cycle.
+  class Walk {
+   public:
+    /// Next address in this shard's sequence. Returns false once the walk
+    /// has come full circle (all addresses of the shard emitted).
+    bool next(std::uint32_t& address_out) noexcept;
+
+    /// Addresses emitted so far.
+    std::uint64_t emitted() const noexcept { return emitted_; }
+
+   private:
+    friend class CyclicPermutation;
+    Walk(std::uint64_t first, std::uint64_t step) noexcept
+        : first_(first), step_(step), current_(first) {}
+
+    std::uint64_t first_;
+    std::uint64_t step_;
+    std::uint64_t current_;
+    bool started_ = false;
+    std::uint64_t emitted_ = 0;
+  };
+
+  /// The walk for shard `shard` of `total_shards`.
+  Walk shard_walk(std::uint32_t shard, std::uint32_t total_shards) const;
+
+  /// Modular helpers (exposed for tests).
+  static std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b) noexcept;
+  static std::uint64_t pow_mod(std::uint64_t base,
+                               std::uint64_t exponent) noexcept;
+
+ private:
+  std::uint64_t generator_;
+  std::uint64_t start_;
+};
+
+}  // namespace ftpc::scan

@@ -1,0 +1,43 @@
+#include "scan/scanner.h"
+
+namespace ftpc::scan {
+
+Scanner::Scanner(sim::Network& network, ScanConfig config)
+    : network_(network), config_(config) {}
+
+ScanStats Scanner::run(const HitHandler& on_hit) {
+  ScanStats stats;
+  const CyclicPermutation permutation(config_.seed);
+  CyclicPermutation::Walk walk =
+      permutation.shard_walk(config_.shard, config_.total_shards);
+
+  // Sampling budget: the shard's share of 2^32 / 2^scale_shift.
+  const std::uint64_t budget =
+      ((std::uint64_t{1} << 32) >> config_.scale_shift) /
+      config_.total_shards;
+
+  std::uint32_t address = 0;
+  while (stats.addresses_walked < budget && walk.next(address)) {
+    ++stats.addresses_walked;
+    const Ipv4 ip(address);
+    if (is_reserved(ip)) {
+      ++stats.blocklisted;
+      continue;
+    }
+    ++stats.probed;
+    if (network_.probe(ip, config_.port)) {
+      ++stats.responsive;
+      on_hit(ip);
+    }
+  }
+
+  // Account for the wire time of the probes.
+  if (config_.probes_per_second > 0) {
+    const sim::SimTime elapsed =
+        stats.probed * sim::kSecond / config_.probes_per_second;
+    network_.loop().run_until(network_.loop().now() + elapsed);
+  }
+  return stats;
+}
+
+}  // namespace ftpc::scan

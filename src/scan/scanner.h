@@ -1,0 +1,57 @@
+// Stateless host-discovery scanner (the ZMap stage of the pipeline).
+//
+// Walks the cyclic address permutation, skips the blocklist (reserved
+// ranges), and probes each remaining address with a stateless SYN probe.
+// Supports sampling (scan only the first fraction of the permutation — how
+// this reproduction scales the paper's full-IPv4 scan down) and sharding
+// across cooperating scanner instances.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/ipv4.h"
+#include "scan/permutation.h"
+#include "sim/network.h"
+
+namespace ftpc::scan {
+
+struct ScanConfig {
+  std::uint16_t port = 21;
+  std::uint64_t seed = 1;
+  /// Scan 1/2^scale_shift of the address space (0 = full IPv4 scan).
+  unsigned scale_shift = 0;
+  std::uint32_t shard = 0;
+  std::uint32_t total_shards = 1;
+  /// Simulated probe rate, packets/second, used to advance virtual time
+  /// (the paper's scans ran at a polite fraction of ZMap's capacity).
+  std::uint64_t probes_per_second = 1'000'000;
+};
+
+struct ScanStats {
+  std::uint64_t addresses_walked = 0;   // permutation elements consumed
+  std::uint64_t blocklisted = 0;        // reserved, never probed
+  std::uint64_t probed = 0;
+  std::uint64_t responsive = 0;         // SYN-ACK received
+};
+
+/// Called for each responsive address.
+using HitHandler = std::function<void(Ipv4)>;
+
+class Scanner {
+ public:
+  Scanner(sim::Network& network, ScanConfig config);
+
+  /// Runs the scan to completion (or the sampling budget), invoking
+  /// `on_hit` for every responsive host, and advances virtual time to
+  /// account for the probe rate.
+  ScanStats run(const HitHandler& on_hit);
+
+  const ScanConfig& config() const noexcept { return config_; }
+
+ private:
+  sim::Network& network_;
+  ScanConfig config_;
+};
+
+}  // namespace ftpc::scan

@@ -1,0 +1,109 @@
+#include "sim/connection.h"
+
+#include "sim/network.h"
+
+namespace ftpc::sim {
+
+Connection::Connection(Network* network, std::uint64_t conn_id, Endpoint local,
+                       Endpoint remote)
+    : network_(network), id_(conn_id), local_(local), remote_(remote) {}
+
+Connection::~Connection() = default;
+
+void Connection::link(const std::shared_ptr<Connection>& a,
+                      const std::shared_ptr<Connection>& b) {
+  a->peer_ = b;
+  b->peer_ = a;
+}
+
+void Connection::set_callbacks(ConnCallbacks callbacks) {
+  callbacks_ = std::move(callbacks);
+}
+
+bool Connection::is_open() const noexcept { return open_; }
+
+void Connection::send(std::string_view data) {
+  if (!open_ || data.empty()) return;
+  bytes_sent_ += data.size();
+
+  if (network_->faults_ != nullptr) {
+    const Status fault = network_->faults_->on_send(id_, data.size());
+    if (!fault.is_ok()) {
+      // The network eats the segment and kills the connection: both sides
+      // observe a reset (self immediately, peer after latency).
+      auto peer = peer_.lock();
+      open_ = false;
+      auto self = shared_from_this();
+      network_->loop_.schedule_after(0, [self, fault] {
+        if (self->callbacks_.on_reset) self->callbacks_.on_reset(fault);
+      });
+      if (peer) {
+        network_->loop_.schedule_after(
+            network_->config_.one_way_latency,
+            [peer, fault] { peer->deliver_reset(fault); });
+      }
+      return;
+    }
+  }
+
+  auto peer = peer_.lock();
+  if (!peer) return;
+  std::string payload(data);
+  network_->stats_.bytes_delivered += payload.size();
+  network_->loop_.schedule_after(
+      network_->config_.one_way_latency,
+      [peer, payload = std::move(payload)] { peer->deliver_data(payload); });
+}
+
+void Connection::close() {
+  if (!open_) return;
+  open_ = false;
+  auto peer = peer_.lock();
+  if (!peer) return;
+  network_->loop_.schedule_after(network_->config_.one_way_latency,
+                                 [peer] { peer->deliver_close(); });
+}
+
+void Connection::reset() {
+  if (!open_) return;
+  open_ = false;
+  auto peer = peer_.lock();
+  if (!peer) return;
+  const Status status(ErrorCode::kConnectionReset, "peer reset");
+  network_->loop_.schedule_after(
+      network_->config_.one_way_latency,
+      [peer, status] { peer->deliver_reset(status); });
+}
+
+// The handlers below invoke local copies of the callbacks: a handler may
+// replace this connection's callbacks (e.g. a server session tearing itself
+// down on QUIT), which would otherwise destroy the std::function currently
+// executing.
+
+void Connection::deliver_data(const std::string& data) {
+  if (!open_) return;  // arrived after local close: dropped
+  if (callbacks_.on_data) {
+    auto handler = callbacks_.on_data;
+    handler(data);
+  }
+}
+
+void Connection::deliver_close() {
+  if (!open_) return;
+  open_ = false;
+  if (callbacks_.on_close) {
+    auto handler = callbacks_.on_close;
+    handler();
+  }
+}
+
+void Connection::deliver_reset(Status status) {
+  if (!open_) return;
+  open_ = false;
+  if (callbacks_.on_reset) {
+    auto handler = callbacks_.on_reset;
+    handler(std::move(status));
+  }
+}
+
+}  // namespace ftpc::sim

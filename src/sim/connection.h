@@ -1,0 +1,104 @@
+// A simulated duplex TCP-like stream between two endpoints.
+//
+// Each logical connection has two `Connection` handles (one per side)
+// sharing an internal link. Data written on one side is delivered to the
+// other side's on_data callback after the network's one-way latency.
+// Orderly close and abortive reset propagate the same way.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/ipv4.h"
+#include "common/result.h"
+#include "sim/event_loop.h"
+
+namespace ftpc::sim {
+
+class Network;
+
+/// One endpoint of a connection: (ip, port).
+struct Endpoint {
+  Ipv4 ip;
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+  std::string str() const { return ip.str() + ":" + std::to_string(port); }
+};
+
+/// Callbacks a connection owner installs to receive events. All callbacks
+/// fire from the event loop; none re-enter synchronously from send().
+struct ConnCallbacks {
+  /// Bytes arrived from the peer.
+  std::function<void(std::string_view)> on_data;
+  /// Peer closed its side in an orderly way (FIN). No more data follows.
+  std::function<void()> on_close;
+  /// Connection aborted (RST, network fault). No more data follows.
+  std::function<void(Status)> on_reset;
+};
+
+/// One side of a simulated connection. Obtained from Network::connect (the
+/// client side, via the on_established callback) or from an accept handler
+/// (the server side). Handles are shared_ptr-managed; the link is torn down
+/// once both sides have closed or reset.
+class Connection : public std::enable_shared_from_this<Connection> {
+ public:
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Installs (or replaces) the event callbacks for this side.
+  void set_callbacks(ConnCallbacks callbacks);
+
+  /// Sends bytes to the peer; delivered after one-way latency. Sending on
+  /// a closed connection is a no-op (the bytes vanish, as with a dead TCP
+  /// peer whose RST has not arrived yet).
+  void send(std::string_view data);
+
+  /// Orderly close of this side. The peer sees on_close after latency.
+  void close();
+
+  /// Abortive reset. The peer sees on_reset after latency.
+  void reset();
+
+  /// True until this side has closed/reset or observed the peer doing so.
+  bool is_open() const noexcept;
+
+  const Endpoint& local() const noexcept { return local_; }
+  const Endpoint& remote() const noexcept { return remote_; }
+
+  /// Monotonic id, unique within a Network. Useful for logging and for
+  /// deterministic per-connection fault decisions.
+  std::uint64_t id() const noexcept { return id_; }
+
+  /// Bytes sent from this side so far.
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+
+ private:
+  friend class Network;
+
+  Connection(Network* network, std::uint64_t conn_id, Endpoint local,
+             Endpoint remote);
+
+  /// Wires two sides together (called by Network during establishment).
+  static void link(const std::shared_ptr<Connection>& a,
+                   const std::shared_ptr<Connection>& b);
+
+  void deliver_data(const std::string& data);
+  void deliver_close();
+  void deliver_reset(Status status);
+
+  Network* network_;  // non-owning; Network outlives all connections
+  std::uint64_t id_;
+  Endpoint local_;
+  Endpoint remote_;
+  std::weak_ptr<Connection> peer_;
+  ConnCallbacks callbacks_;
+  bool open_ = true;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace ftpc::sim

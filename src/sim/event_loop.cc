@@ -1,0 +1,77 @@
+#include "sim/event_loop.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ftpc::sim {
+
+TimerId EventLoop::schedule_at(SimTime when, std::function<void()> fn) {
+  assert(fn && "scheduled callback must be callable");
+  if (when < now_) when = now_;
+  const TimerId id = next_id_++;
+  queue_.push(Event{.when = when, .seq = next_seq_++, .id = id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+TimerId EventLoop::schedule_after(SimTime delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventLoop::cancel(TimerId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  cancelled_.insert(id);
+  return true;
+}
+
+bool EventLoop::run_one() {
+  while (!queue_.empty()) {
+    const Event event = queue_.top();
+    queue_.pop();
+    if (cancelled_.erase(event.id) > 0) continue;  // skip cancelled
+    const auto it = callbacks_.find(event.id);
+    assert(it != callbacks_.end());
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    now_ = event.when;
+    ++processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t EventLoop::run_until_idle() {
+  std::uint64_t n = 0;
+  while (run_one()) ++n;
+  return n;
+}
+
+std::uint64_t EventLoop::run_until(SimTime deadline) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    // Peek past cancelled entries without firing.
+    const Event& top = queue_.top();
+    if (cancelled_.count(top.id) > 0) {
+      cancelled_.erase(top.id);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > deadline) break;
+    run_one();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+bool EventLoop::run_while_pending(const std::function<bool()>& done) {
+  while (!done()) {
+    if (!run_one()) return false;
+  }
+  return true;
+}
+
+}  // namespace ftpc::sim

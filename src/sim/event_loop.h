@@ -1,0 +1,100 @@
+// Deterministic discrete-event loop with virtual time.
+//
+// All network activity in ftpcensus is driven by this loop. Time is virtual
+// (microseconds since simulation start), so a three-month honeypot
+// deployment or a rate-limited Internet-wide enumeration runs in however
+// long the event processing itself takes.
+//
+// Determinism: events fire in (time, insertion order). No wall clock, no
+// threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace ftpc::sim {
+
+/// Virtual time in microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+constexpr SimTime kDay = 24 * kHour;
+
+/// Identifies a scheduled event so it can be cancelled before firing.
+using TimerId = std::uint64_t;
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const noexcept { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `when` (clamped to >= now).
+  TimerId schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Schedules `fn` after a relative delay.
+  TimerId schedule_after(SimTime delay, std::function<void()> fn);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown id is
+  /// a harmless no-op (returns false).
+  bool cancel(TimerId id);
+
+  /// Runs the earliest pending event; returns false if the queue is empty.
+  bool run_one();
+
+  /// Runs until no events remain. Returns the number of events processed.
+  std::uint64_t run_until_idle();
+
+  /// Runs events with time <= `deadline`; advances now() to `deadline`
+  /// even if the queue empties early. Returns events processed.
+  std::uint64_t run_until(SimTime deadline);
+
+  /// Runs until `predicate()` is true or the queue is empty. Returns true
+  /// if the predicate was satisfied.
+  bool run_while_pending(const std::function<bool()>& done);
+
+  /// Total events processed over the loop's lifetime.
+  std::uint64_t events_processed() const noexcept { return processed_; }
+
+  /// Pending (non-cancelled) event count.
+  std::size_t pending() const noexcept {
+    return queue_.size() - cancelled_.size();
+  }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;  // tie-break: FIFO among same-time events
+    TimerId id;
+    // The callback lives outside the priority queue entry so that moving
+    // entries around the heap stays cheap.
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<TimerId> cancelled_;
+  // id -> callback for pending events.
+  std::unordered_map<TimerId, std::function<void()>> callbacks_;
+};
+
+}  // namespace ftpc::sim

@@ -1,0 +1,96 @@
+#include "sim/network.h"
+
+#include <utility>
+
+namespace ftpc::sim {
+
+Network::Network(EventLoop& loop, NetworkConfig config)
+    : loop_(loop), config_(config) {}
+
+void Network::listen(Ipv4 ip, std::uint16_t port, AcceptHandler handler) {
+  listeners_[key(ip, port)] = std::move(handler);
+}
+
+void Network::stop_listening(Ipv4 ip, std::uint16_t port) {
+  listeners_.erase(key(ip, port));
+}
+
+bool Network::is_listening(Ipv4 ip, std::uint16_t port) const {
+  return listeners_.count(key(ip, port)) > 0;
+}
+
+void Network::set_host_resolver(HostResolver resolver) {
+  resolver_ = std::move(resolver);
+}
+
+void Network::set_probe_fn(ProbeFn probe) { probe_fn_ = std::move(probe); }
+
+std::uint16_t Network::allocate_ephemeral_port() noexcept {
+  const std::uint16_t port = next_ephemeral_;
+  next_ephemeral_ = next_ephemeral_ == 65535 ? 49152 : next_ephemeral_ + 1;
+  return port;
+}
+
+void Network::connect(Ipv4 src_ip, Ipv4 dst_ip, std::uint16_t dst_port,
+                      ConnectHandler handler) {
+  ++stats_.connects_attempted;
+  const std::uint64_t conn_id = next_conn_id_++;
+
+  if (faults_ != nullptr) {
+    const Status fault = faults_->on_connect(conn_id, dst_ip, dst_port);
+    if (!fault.is_ok()) {
+      ++stats_.connects_faulted;
+      loop_.schedule_after(config_.connect_timeout,
+                           [handler, fault] { handler(fault); });
+      return;
+    }
+  }
+
+  auto it = listeners_.find(key(dst_ip, dst_port));
+  if (it == listeners_.end() && resolver_) {
+    // Lazy materialization: give the population a chance to bring the host
+    // into existence now that someone is actually talking to it.
+    if (resolver_(dst_ip, dst_port)) {
+      it = listeners_.find(key(dst_ip, dst_port));
+    }
+  }
+  if (it == listeners_.end()) {
+    ++stats_.connects_refused;
+    const Status refused(ErrorCode::kConnectionRefused,
+                         "no listener on " + dst_ip.str() + ":" +
+                             std::to_string(dst_port));
+    loop_.schedule_after(config_.one_way_latency,
+                         [handler, refused] { handler(refused); });
+    return;
+  }
+
+  const Endpoint client_ep{src_ip, allocate_ephemeral_port()};
+  const Endpoint server_ep{dst_ip, dst_port};
+
+  // shared_ptr via explicit new: the constructor is private.
+  std::shared_ptr<Connection> client(
+      new Connection(this, conn_id, client_ep, server_ep));
+  std::shared_ptr<Connection> server(
+      new Connection(this, conn_id, server_ep, client_ep));
+  Connection::link(client, server);
+
+  ++stats_.connects_established;
+  AcceptHandler accept = it->second;  // copy: listener may unregister itself
+
+  // SYN + SYN-ACK: the server learns of the connection after one one-way
+  // latency; the client's handler fires after a full RTT.
+  loop_.schedule_after(config_.one_way_latency,
+                       [accept, server] { accept(server); });
+  loop_.schedule_after(2 * config_.one_way_latency,
+                       [handler, client] { handler(client); });
+}
+
+bool Network::probe(Ipv4 ip, std::uint16_t port) {
+  ++stats_.probes;
+  bool open = listeners_.count(key(ip, port)) > 0;
+  if (!open && probe_fn_) open = probe_fn_(ip, port);
+  if (open) ++stats_.probe_hits;
+  return open;
+}
+
+}  // namespace ftpc::sim

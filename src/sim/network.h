@@ -1,0 +1,142 @@
+// The simulated network: connects endpoints, delivers bytes with latency,
+// hosts the listener registry, and supports lazy host materialization so a
+// 2^32-address population never has to exist in memory at once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/ipv4.h"
+#include "common/result.h"
+#include "sim/connection.h"
+#include "sim/event_loop.h"
+
+namespace ftpc::sim {
+
+/// Invoked with the server-side connection when a client connects to a
+/// listening endpoint.
+using AcceptHandler = std::function<void(std::shared_ptr<Connection>)>;
+
+/// Lazy host materialization hook. When a client connects to (ip, port) and
+/// no listener is registered, the network asks the resolver to materialize
+/// one. Returns true if the resolver registered a listener for the endpoint
+/// (the connect then proceeds), false for "connection refused".
+using HostResolver = std::function<bool(Ipv4 ip, std::uint16_t port)>;
+
+/// Fast-path port probe used by the stateless scanner: true iff a SYN to
+/// (ip, port) would be answered with SYN-ACK. Must not materialize hosts.
+using ProbeFn = std::function<bool(Ipv4 ip, std::uint16_t port)>;
+
+/// Optional fault injection, consulted on every connect and send.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Called before establishing `conn_id` to (ip, port). Return a non-OK
+  /// status to fail the connect (timeout / refused).
+  virtual Status on_connect(std::uint64_t conn_id, Ipv4 dst,
+                            std::uint16_t port) = 0;
+
+  /// Called per send; return non-OK to reset the connection mid-stream
+  /// instead of delivering the bytes.
+  virtual Status on_send(std::uint64_t conn_id, std::size_t bytes) = 0;
+};
+
+/// Tuning knobs for the latency model.
+struct NetworkConfig {
+  SimTime one_way_latency = 20 * kMillisecond;  // fixed one-way delay
+  SimTime connect_timeout = 10 * kSecond;       // refused/resolver-miss delay
+};
+
+/// Aggregate counters, cheap to read at any time.
+struct NetworkStats {
+  std::uint64_t connects_attempted = 0;
+  std::uint64_t connects_established = 0;
+  std::uint64_t connects_refused = 0;
+  std::uint64_t connects_faulted = 0;
+  std::uint64_t bytes_delivered = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t probe_hits = 0;
+};
+
+class Network {
+ public:
+  explicit Network(EventLoop& loop, NetworkConfig config = {});
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  EventLoop& loop() noexcept { return loop_; }
+  const NetworkConfig& config() const noexcept { return config_; }
+  const NetworkStats& stats() const noexcept { return stats_; }
+
+  // --- Listeners -----------------------------------------------------------
+
+  /// Registers a listener. Overwrites any existing listener on the endpoint.
+  void listen(Ipv4 ip, std::uint16_t port, AcceptHandler handler);
+
+  /// Removes a listener; no-op if absent.
+  void stop_listening(Ipv4 ip, std::uint16_t port);
+
+  bool is_listening(Ipv4 ip, std::uint16_t port) const;
+
+  /// Number of registered listeners (materialized endpoints).
+  std::size_t listener_count() const noexcept { return listeners_.size(); }
+
+  /// Installs the lazy materialization hook (see HostResolver).
+  void set_host_resolver(HostResolver resolver);
+
+  /// Installs the stateless probe hook (see ProbeFn).
+  void set_probe_fn(ProbeFn probe);
+
+  /// Installs a fault injector (nullptr to clear).
+  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+
+  // --- Connections ---------------------------------------------------------
+
+  /// Result of an asynchronous connect.
+  using ConnectHandler =
+      std::function<void(Result<std::shared_ptr<Connection>>)>;
+
+  /// Initiates a connection from `src_ip` (an ephemeral source port is
+  /// allocated) to (dst_ip, dst_port). The handler fires after one RTT on
+  /// success, or after config.connect_timeout on refusal/timeout.
+  void connect(Ipv4 src_ip, Ipv4 dst_ip, std::uint16_t dst_port,
+               ConnectHandler handler);
+
+  /// Stateless SYN probe (scanner fast path): consults registered listeners
+  /// first, then the probe hook. Never materializes a host.
+  bool probe(Ipv4 ip, std::uint16_t port);
+
+  /// Allocates an ephemeral port (49152-65535, round-robin per network).
+  std::uint16_t allocate_ephemeral_port() noexcept;
+
+ private:
+  friend class Connection;
+
+  struct EndpointKey {
+    std::uint64_t packed;
+    friend bool operator==(EndpointKey, EndpointKey) = default;
+  };
+  struct EndpointKeyHash {
+    std::size_t operator()(EndpointKey k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.packed * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+  static EndpointKey key(Ipv4 ip, std::uint16_t port) noexcept {
+    return EndpointKey{(std::uint64_t{ip.value()} << 16) | port};
+  }
+
+  EventLoop& loop_;
+  NetworkConfig config_;
+  NetworkStats stats_;
+  std::unordered_map<EndpointKey, AcceptHandler, EndpointKeyHash> listeners_;
+  HostResolver resolver_;
+  ProbeFn probe_fn_;
+  FaultInjector* faults_ = nullptr;
+  std::uint64_t next_conn_id_ = 1;
+  std::uint16_t next_ephemeral_ = 49152;
+};
+
+}  // namespace ftpc::sim

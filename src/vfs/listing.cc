@@ -1,0 +1,58 @@
+#include "vfs/listing.h"
+
+#include <cstdio>
+
+#include "common/datetime.h"
+
+namespace ftpc::vfs {
+
+std::string render_listing_line(const Node& node, ListingFormat format,
+                                int current_year) {
+  char buf[512];
+  if (format == ListingFormat::kUnix) {
+    const char type_char = node.is_dir() ? 'd' : '-';
+    const int links = node.is_dir()
+                          ? static_cast<int>(2 + node.children.size())
+                          : 1;
+    std::snprintf(buf, sizeof(buf), "%c%s %4d %-8s %-8s %12llu %s %s",
+                  type_char, node.mode.str().c_str(), links,
+                  node.owner.c_str(), node.group.c_str(),
+                  static_cast<unsigned long long>(node.size),
+                  ls_date(node.mtime, current_year).c_str(),
+                  node.name.c_str());
+    return buf;
+  }
+  // Windows DIR format: no permissions are exposed, which is exactly why
+  // the paper labels such files "unk-readability".
+  if (node.is_dir()) {
+    std::snprintf(buf, sizeof(buf), "%s       <DIR>          %s",
+                  dir_date(node.mtime).c_str(), node.name.c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s %20llu %s",
+                  dir_date(node.mtime).c_str(),
+                  static_cast<unsigned long long>(node.size),
+                  node.name.c_str());
+  }
+  return buf;
+}
+
+std::string render_listing(const std::vector<const Node*>& entries,
+                           ListingFormat format, int current_year) {
+  std::string out;
+  for (const Node* node : entries) {
+    out += render_listing_line(*node, format, current_year);
+    out += "\r\n";
+  }
+  return out;
+}
+
+std::string render_nlst(const std::vector<const Node*>& entries) {
+  std::string out;
+  for (const Node* node : entries) {
+    out += node->name;
+    out += "\r\n";
+  }
+  return out;
+}
+
+}  // namespace ftpc::vfs

@@ -1,0 +1,32 @@
+// LIST output renderers: Unix `ls -l` style and Windows `DIR` style.
+//
+// Real FTP servers disagree about listing formats; the enumerator must
+// parse both. These renderers produce the two dominant dialects so the
+// parser has something real to chew on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "vfs/vfs.h"
+
+namespace ftpc::vfs {
+
+enum class ListingFormat {
+  kUnix,     // "-rw-r--r--   1 ftp  ftp   1024 Jun 18  2015 name"
+  kWindows,  // "06-18-15  09:42AM       <DIR>       name"
+};
+
+/// Renders one listing line for `node` (no trailing CRLF).
+std::string render_listing_line(const Node& node, ListingFormat format,
+                                int current_year);
+
+/// Renders a full LIST response body: one line per child of `dir`, each
+/// terminated with CRLF, in deterministic name order.
+std::string render_listing(const std::vector<const Node*>& entries,
+                           ListingFormat format, int current_year);
+
+/// Renders NLST output (bare names, CRLF separated).
+std::string render_nlst(const std::vector<const Node*>& entries);
+
+}  // namespace ftpc::vfs

@@ -1,0 +1,172 @@
+#include "vfs/vfs.h"
+
+#include "common/strings.h"
+
+namespace ftpc::vfs {
+
+std::string Mode::str() const {
+  std::string out(9, '-');
+  static constexpr char kChars[] = {'r', 'w', 'x'};
+  for (int i = 0; i < 9; ++i) {
+    if ((bits >> (8 - i)) & 1) out[i] = kChars[i % 3];
+  }
+  return out;
+}
+
+Vfs::Vfs() : root_(std::make_unique<Node>()) {
+  root_->name = "/";
+  root_->type = NodeType::kDirectory;
+  root_->mode = Mode{0755};
+}
+
+void Vfs::split_path(std::string_view path,
+                     std::vector<std::string_view>& out) {
+  out.clear();
+  std::size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') ++i;
+    const std::size_t start = i;
+    while (i < path.size() && path[i] != '/') ++i;
+    if (i > start) out.push_back(path.substr(start, i - start));
+  }
+}
+
+Node* Vfs::descend(std::string_view path) noexcept {
+  std::vector<std::string_view> parts;
+  split_path(path, parts);
+  Node* node = root_.get();
+  for (const std::string_view part : parts) {
+    if (!node->is_dir()) return nullptr;
+    const auto it = node->children.find(part);
+    if (it == node->children.end()) return nullptr;
+    node = it->second.get();
+  }
+  return node;
+}
+
+const Node* Vfs::lookup(std::string_view path) const noexcept {
+  return const_cast<Vfs*>(this)->descend(path);
+}
+
+Node* Vfs::lookup(std::string_view path) noexcept { return descend(path); }
+
+Result<Node*> Vfs::mkdir(std::string_view path, Mode mode,
+                         std::int64_t mtime) {
+  std::vector<std::string_view> parts;
+  split_path(path, parts);
+  Node* node = root_.get();
+  for (const std::string_view part : parts) {
+    if (!node->is_dir()) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "path component is a file: " + std::string(part));
+    }
+    const auto it = node->children.find(part);
+    if (it != node->children.end()) {
+      node = it->second.get();
+      continue;
+    }
+    auto child = std::make_unique<Node>();
+    child->name = std::string(part);
+    child->type = NodeType::kDirectory;
+    child->mode = mode;
+    child->mtime = mtime;
+    Node* raw = child.get();
+    node->children.emplace(raw->name, std::move(child));
+    ++node_count_;
+    node = raw;
+  }
+  if (!node->is_dir()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "file exists at " + std::string(path));
+  }
+  return node;
+}
+
+Result<Node*> Vfs::add_file(std::string_view path, FileAttrs attrs) {
+  const std::string_view base = basename(path);
+  if (base.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "empty file name");
+  }
+  const std::size_t dir_len = path.size() - base.size();
+  Node* dir = root_.get();
+  if (dir_len > 0) {
+    auto parent = mkdir(path.substr(0, dir_len));
+    if (!parent.is_ok()) return parent.status();
+    dir = parent.value();
+  }
+
+  auto& slot = dir->children[std::string(base)];
+  if (!slot) {
+    slot = std::make_unique<Node>();
+    ++node_count_;
+  } else if (slot->is_dir()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "directory exists at " + std::string(path));
+  }
+  Node* node = slot.get();
+  node->name = std::string(base);
+  node->type = NodeType::kFile;
+  node->mode = attrs.mode;
+  node->mtime = attrs.mtime;
+  node->owner = std::move(attrs.owner);
+  node->group = std::move(attrs.group);
+  node->content = std::move(attrs.content);
+  node->size = node->content.empty() ? attrs.size : node->content.size();
+  node->children.clear();
+  return node;
+}
+
+Status Vfs::remove(std::string_view path) {
+  const std::string_view base = basename(path);
+  if (base.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "cannot remove root");
+  }
+  Node* dir = descend(path.substr(0, path.size() - base.size()));
+  if (dir == nullptr || !dir->is_dir()) {
+    return Status(ErrorCode::kNotFound, "no such directory");
+  }
+  const auto it = dir->children.find(base);
+  if (it == dir->children.end()) {
+    return Status(ErrorCode::kNotFound, "no such file: " + std::string(path));
+  }
+  if (it->second->is_dir() && !it->second->children.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "directory not empty");
+  }
+  dir->children.erase(it);
+  --node_count_;
+  return Status::ok();
+}
+
+Result<std::vector<const Node*>> Vfs::list(std::string_view path) const {
+  const Node* node = lookup(path);
+  if (node == nullptr) {
+    return Status(ErrorCode::kNotFound, "no such path: " + std::string(path));
+  }
+  if (!node->is_dir()) {
+    return Status(ErrorCode::kInvalidArgument,
+                  "not a directory: " + std::string(path));
+  }
+  std::vector<const Node*> out;
+  out.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) out.push_back(child.get());
+  return out;
+}
+
+namespace {
+void walk_impl(const std::string& prefix, const Node& node,
+               const std::function<void(const std::string&, const Node&)>&
+                   visitor) {
+  for (const auto& [name, child] : node.children) {
+    const std::string path = prefix + "/" + name;
+    visitor(path, *child);
+    if (child->is_dir()) walk_impl(path, *child, visitor);
+  }
+}
+}  // namespace
+
+void Vfs::walk(const std::function<void(const std::string&, const Node&)>&
+                   visitor) const {
+  walk_impl("", *root_, visitor);
+}
+
+}  // namespace ftpc::vfs

@@ -1,0 +1,113 @@
+// In-memory virtual filesystem with Unix permission semantics.
+//
+// Each simulated FTP host owns a Vfs. Most files carry only metadata
+// (name, size, mode, mtime, owner); files whose bytes matter (robots.txt,
+// malware probe files, uploaded payloads) carry inline content.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ftpc::vfs {
+
+enum class NodeType { kFile, kDirectory };
+
+/// Unix permission bits (lower 9 bits of st_mode).
+struct Mode {
+  std::uint16_t bits = 0644;
+
+  static constexpr std::uint16_t kOtherRead = 04;
+  static constexpr std::uint16_t kOtherWrite = 02;
+
+  bool world_readable() const noexcept { return (bits & kOtherRead) != 0; }
+  bool world_writable() const noexcept { return (bits & kOtherWrite) != 0; }
+
+  /// "rwxr-xr--" rendering of the 9 permission bits.
+  std::string str() const;
+};
+
+struct Node {
+  std::string name;
+  NodeType type = NodeType::kFile;
+  Mode mode;
+  std::uint64_t size = 0;
+  std::int64_t mtime = 0;  // Unix seconds
+  std::string owner = "ftp";
+  std::string group = "ftp";
+  /// Inline bytes for files whose content matters; empty for metadata-only
+  /// files (their `size` field still reports the simulated size).
+  std::string content;
+  /// True for files created via anonymous STOR that await admin approval
+  /// (Pure-FTPd semantics: visible in listings but RETR is refused).
+  bool pending_approval = false;
+
+  // Children of a directory, ordered by name for deterministic listings.
+  std::map<std::string, std::unique_ptr<Node>, std::less<>> children;
+
+  bool is_dir() const noexcept { return type == NodeType::kDirectory; }
+};
+
+/// Attributes for file creation.
+struct FileAttrs {
+  std::uint64_t size = 0;
+  Mode mode{0644};
+  std::int64_t mtime = 0;
+  std::string owner = "ftp";
+  std::string group = "ftp";
+  std::string content;  // implies size = content.size() when non-empty
+};
+
+/// A filesystem rooted at "/". Paths are absolute, '/'-separated, already
+/// normalized (no "." or ".." segments — resolution happens in the FTP
+/// layer). The empty path and "/" both denote the root.
+class Vfs {
+ public:
+  Vfs();
+
+  /// Creates a directory (and missing parents). Returns the node. If the
+  /// path exists as a directory this is idempotent; if a file is in the
+  /// way, fails with kInvalidArgument.
+  Result<Node*> mkdir(std::string_view path, Mode mode = Mode{0755},
+                      std::int64_t mtime = 0);
+
+  /// Creates (or overwrites) a file, creating parent directories.
+  Result<Node*> add_file(std::string_view path, FileAttrs attrs);
+
+  /// Looks up a node; nullptr if absent.
+  const Node* lookup(std::string_view path) const noexcept;
+  Node* lookup(std::string_view path) noexcept;
+
+  /// Removes a file or empty directory.
+  Status remove(std::string_view path);
+
+  /// Children of a directory, in name order.
+  Result<std::vector<const Node*>> list(std::string_view path) const;
+
+  const Node& root() const noexcept { return *root_; }
+
+  /// Total node count (excluding the root directory itself).
+  std::size_t node_count() const noexcept { return node_count_; }
+
+  /// Walks every node depth-first; visitor receives (path, node). Paths
+  /// start with '/'.
+  void walk(const std::function<void(const std::string&, const Node&)>&
+                visitor) const;
+
+ private:
+  static void split_path(std::string_view path,
+                         std::vector<std::string_view>& out);
+  Node* descend(std::string_view path) noexcept;
+
+  std::unique_ptr<Node> root_;
+  std::size_t node_count_ = 0;
+};
+
+}  // namespace ftpc::vfs

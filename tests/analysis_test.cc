@@ -1,0 +1,585 @@
+#include <gtest/gtest.h>
+
+#include "analysis/classify.h"
+#include "analysis/cve.h"
+#include "analysis/fingerprints.h"
+#include "analysis/summary.h"
+#include "analysis/summary_io.h"
+#include "analysis/tables.h"
+#include "popgen/catalog.h"
+#include "popgen/population.h"
+
+namespace ftpc::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+TEST(Fingerprints, RecognizesMajorSoftware) {
+  const Fingerprint fp = fingerprint_banner(
+      "ProFTPD 1.3.5 Server (ProFTPD Default Installation) [1.2.3.4]");
+  EXPECT_EQ(fp.device, "ProFTPD");
+  EXPECT_EQ(fp.device_class, FpClass::kGenericServer);
+  EXPECT_EQ(fp.implementation, "ProFTPD");
+  EXPECT_EQ(fp.version, "1.3.5");
+}
+
+TEST(Fingerprints, VsftpdVersionInParens) {
+  const Fingerprint fp = fingerprint_banner("(vsFTPd 3.0.2)");
+  EXPECT_EQ(fp.implementation, "vsFTPd");
+  EXPECT_EQ(fp.version, "3.0.2");
+}
+
+TEST(Fingerprints, QnapBeatsProftpdSubstring) {
+  // QNAP banners mention ProFTPD; the device pattern must win.
+  const Fingerprint fp = fingerprint_banner(
+      "NASFTPD Turbo station 1.3.2e Server (ProFTPD) [192.168.1.5]");
+  EXPECT_EQ(fp.device, "QNAP Turbo NAS");
+  EXPECT_EQ(fp.device_class, FpClass::kNas);
+}
+
+TEST(Fingerprints, PleskBeatsGenericProftpd) {
+  const Fingerprint fp =
+      fingerprint_banner("ProFTPD 1.3.4a Server (ProFTPD - Plesk) [1.2.3.4]");
+  EXPECT_EQ(fp.device_class, FpClass::kHostedServer);
+  EXPECT_EQ(fp.version, "1.3.4a");
+}
+
+TEST(Fingerprints, UnknownBannerIsUnknown) {
+  const Fingerprint fp = fingerprint_banner("FTP server ready.");
+  EXPECT_EQ(fp.device_class, FpClass::kUnknown);
+  EXPECT_TRUE(fp.implementation.empty());
+}
+
+TEST(Fingerprints, RamnitBanner) {
+  EXPECT_TRUE(is_ramnit_banner("220 RMNetwork FTP"));
+  EXPECT_FALSE(is_ramnit_banner("ProFTPD ready"));
+}
+
+TEST(Fingerprints, VersionExtraction) {
+  EXPECT_EQ(extract_version_after("Serv-U FTP Server v15.1.2 ready",
+                                  "Serv-U FTP Server "),
+            "15.1.2");
+  EXPECT_EQ(extract_version_after("FTP server (Version wu-2.6.2(1)) ready.",
+                                  "Version wu-"),
+            "2.6.2");
+  EXPECT_FALSE(extract_version_after("no version here", "Version "));
+  EXPECT_FALSE(extract_version_after("Server ready", "Server"));
+}
+
+// The cross-check the DESIGN calls for: every catalog banner must be
+// classified into its own class by the independently-written fingerprint
+// table (the generator and the analyzer agree on reality).
+class CatalogFingerprintTest
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CatalogFingerprintTest, CatalogBannerRoundTrips) {
+  const auto& tmpl = popgen::device_catalog()[GetParam()];
+  // Render the banner as the wire shows it (strip "220 " prefixes, expand
+  // placeholders).
+  std::string banner = tmpl.banner;
+  auto replace = [&banner](std::string_view what, std::string_view with) {
+    const auto pos = banner.find(what);
+    if (pos != std::string::npos) {
+      banner.replace(pos, what.size(), with);
+    }
+  };
+  replace("{version}",
+          tmpl.versions.empty() ? "1.0" : tmpl.versions.front().version);
+  replace("{ip}", "1.2.3.4");
+
+  const Fingerprint fp = fingerprint_banner(banner);
+  EXPECT_EQ(static_cast<int>(fp.device_class),
+            static_cast<int>(tmpl.device_class))
+      << tmpl.key << " banner: " << banner << " -> " << fp.device;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTemplates, CatalogFingerprintTest,
+    ::testing::Range<std::size_t>(0, popgen::device_catalog().size()));
+
+// ---------------------------------------------------------------------------
+// CVE matching
+// ---------------------------------------------------------------------------
+
+struct VersionCase {
+  const char* a;
+  const char* b;
+  int expected;  // sign
+};
+
+class VersionCompareTest : public ::testing::TestWithParam<VersionCase> {};
+
+TEST_P(VersionCompareTest, Compares) {
+  const auto& c = GetParam();
+  const int result = compare_versions(c.a, c.b);
+  if (c.expected < 0) EXPECT_LT(result, 0) << c.a << " vs " << c.b;
+  if (c.expected == 0) EXPECT_EQ(result, 0) << c.a << " vs " << c.b;
+  if (c.expected > 0) EXPECT_GT(result, 0) << c.a << " vs " << c.b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, VersionCompareTest,
+    ::testing::Values(VersionCase{"1.3.4", "1.3.5", -1},
+                      VersionCase{"1.3.5", "1.3.5", 0},
+                      VersionCase{"1.3.5a", "1.3.5", 1},
+                      VersionCase{"1.3.4a", "1.3.4d", -1},
+                      VersionCase{"1.3.3g", "1.3.4a", -1},
+                      VersionCase{"2.3.2", "3.0.2", -1},
+                      VersionCase{"11.1.0.3", "11.1.0.5", -1},
+                      VersionCase{"15.1.2", "11.1.0.5", 1},
+                      VersionCase{"1.0.21", "1.0.29", -1},
+                      VersionCase{"3.0.3", "3.0.2", 1}));
+
+TEST(CveTest, Proftpd135VulnerableToModCopyOnly) {
+  int matches = 0;
+  for (const CveEntry& entry : cve_database()) {
+    if (cve_matches(entry, "ProFTPD", "1.3.5")) {
+      ++matches;
+      EXPECT_EQ(entry.id, "CVE-2015-3306");
+    }
+  }
+  EXPECT_EQ(matches, 1);
+}
+
+TEST(CveTest, Proftpd133gMatchesThreeCves) {
+  std::set<std::string> ids;
+  for (const CveEntry& entry : cve_database()) {
+    if (cve_matches(entry, "ProFTPD", "1.3.3g")) ids.insert(entry.id);
+  }
+  EXPECT_EQ(ids, (std::set<std::string>{"CVE-2012-6095", "CVE-2011-4130",
+                                        "CVE-2011-1137"}));
+}
+
+TEST(CveTest, SafeVersionsMatchNothing) {
+  for (const CveEntry& entry : cve_database()) {
+    EXPECT_FALSE(cve_matches(entry, "ProFTPD", "1.3.5a")) << entry.id;
+    EXPECT_FALSE(cve_matches(entry, "vsFTPd", "3.0.3")) << entry.id;
+    EXPECT_FALSE(cve_matches(entry, "Pure-FTPd", "1.0.36")) << entry.id;
+  }
+}
+
+TEST(CveTest, EmptyVersionNeverMatches) {
+  for (const CveEntry& entry : cve_database()) {
+    EXPECT_FALSE(cve_matches(entry, "ProFTPD", ""));
+  }
+}
+
+TEST(CveTest, ImplementationMustMatch) {
+  const CveEntry& mod_copy = cve_database().front();
+  EXPECT_FALSE(cve_matches(mod_copy, "vsFTPd", "1.3.5"));
+}
+
+// ---------------------------------------------------------------------------
+// Content classification
+// ---------------------------------------------------------------------------
+
+TEST(Classify, SensitiveKinds) {
+  using SC = SensitiveClass;
+  EXPECT_EQ(classify_sensitive("/docs/TurboTax-export-3.txf"), SC::kTurboTax);
+  EXPECT_EQ(classify_sensitive("/home/household-1.qdf"), SC::kQuicken);
+  EXPECT_EQ(classify_sensitive("/passwords.kdbx"), SC::kKeePass);
+  EXPECT_EQ(classify_sensitive("/1Password.agilekeychain"),
+            SC::kOnePassword);
+  EXPECT_EQ(classify_sensitive("/etc/ssh/ssh_host_rsa_key"), SC::kSshHostKey);
+  EXPECT_FALSE(classify_sensitive("/etc/ssh/ssh_host_rsa_key.pub"));
+  EXPECT_EQ(classify_sensitive("/keys/login.ppk"), SC::kPuttyKey);
+  EXPECT_EQ(classify_sensitive("/certs/server-priv.pem"), SC::kPrivPem);
+  EXPECT_FALSE(classify_sensitive("/certs/server-public.pem"));
+  EXPECT_EQ(classify_sensitive("/backup/etc/shadow"), SC::kShadow);
+  EXPECT_EQ(classify_sensitive("/mail/archive-2014.pst"), SC::kPst);
+  EXPECT_FALSE(classify_sensitive("/pub/readme.txt"));
+}
+
+TEST(Classify, CameraPhotos) {
+  EXPECT_TRUE(is_camera_photo("/photos/Wedding/IMG_1234.JPG"));
+  EXPECT_TRUE(is_camera_photo("/DSC_0042.jpg"));
+  EXPECT_TRUE(is_camera_photo("/DSCN9999.jpg"));
+  EXPECT_TRUE(is_camera_photo("/P1050234.jpg"));
+  EXPECT_FALSE(is_camera_photo("/IMG_1234.png"));     // wrong extension
+  EXPECT_FALSE(is_camera_photo("/IMG_abcd.jpg"));     // non-digits
+  EXPECT_FALSE(is_camera_photo("/holiday-photo.jpg"));  // free-form name
+}
+
+TEST(Classify, Scripts) {
+  EXPECT_TRUE(is_script_source("/www/index.php"));
+  EXPECT_TRUE(is_script_source("/app.aspx"));
+  EXPECT_TRUE(is_script_source("/cgi-bin/form.cgi"));
+  EXPECT_FALSE(is_script_source("/index.html"));
+  EXPECT_TRUE(is_htaccess("/www/.htaccess"));
+  EXPECT_FALSE(is_htaccess("/www/htaccess.txt"));
+}
+
+TEST(Classify, OsRootDetection) {
+  EXPECT_EQ(detect_os_root({"bin", "var", "boot", "etc", "home"}),
+            OsRootKind::kLinux);
+  EXPECT_EQ(detect_os_root({"Windows", "Program Files", "Users"}),
+            OsRootKind::kWindows);
+  EXPECT_EQ(detect_os_root({"WINDOWS", "Program Files",
+                            "Documents and Settings"}),
+            OsRootKind::kWindows);
+  EXPECT_EQ(detect_os_root({"Applications", "Library", "Users", "bin",
+                            "var"}),
+            OsRootKind::kMacOs);
+  EXPECT_FALSE(detect_os_root({"pub", "incoming"}));
+  EXPECT_FALSE(detect_os_root({"bin", "photos"}));  // too few markers
+}
+
+TEST(Classify, CampaignIndicators) {
+  using CI = CampaignIndicator;
+  EXPECT_EQ(classify_campaign("/incoming/w0000000t.txt", false),
+            CI::kWriteProbe);
+  EXPECT_EQ(classify_campaign("/incoming/w0000000t.txt.2", false),
+            CI::kWriteProbe);  // rename-suffix trail
+  EXPECT_EQ(classify_campaign("/sjutd.txt", false), CI::kWriteProbe);
+  EXPECT_EQ(classify_campaign("/hello.world.txt", false), CI::kWriteProbe);
+  EXPECT_EQ(classify_campaign("/ftpchk3.php", false), CI::kFtpchk3);
+  EXPECT_EQ(classify_campaign("/Holy-Bible.html", false), CI::kHolyBible);
+  EXPECT_EQ(classify_campaign("/history.php", false), CI::kDdosHistory);
+  EXPECT_EQ(classify_campaign("/phzLtoxn.php", false), CI::kDdosPhz);
+  EXPECT_EQ(classify_campaign("/dir03/x.php", false), CI::kRatShell);
+  EXPECT_EQ(classify_campaign("/keygen-service.pdf", false),
+            CI::kCrackFlier);
+  EXPECT_EQ(classify_campaign("/incoming/150618123456p", true),
+            CI::kWarezDir);
+  EXPECT_FALSE(classify_campaign("/incoming/150618123456p", false));
+  EXPECT_FALSE(classify_campaign("/regular.txt", false));
+  EXPECT_FALSE(classify_campaign("/photos", true));
+}
+
+TEST(Classify, ReferenceSetExcludesHolyBible) {
+  EXPECT_TRUE(indicates_world_writable(CampaignIndicator::kWriteProbe));
+  EXPECT_TRUE(indicates_world_writable(CampaignIndicator::kWarezDir));
+  EXPECT_FALSE(indicates_world_writable(CampaignIndicator::kHolyBible));
+}
+
+// ---------------------------------------------------------------------------
+// SummaryBuilder
+// ---------------------------------------------------------------------------
+
+class SummaryTest : public ::testing::Test {
+ protected:
+  SummaryTest()
+      : as_table_({net::AsInfo{.asn = 1, .name = "TestNet",
+                               .type = net::AsType::kHosting,
+                               .ips_advertised = 256}},
+                  {net::AsTable::Allocation{
+                      .first = Ipv4(5, 0, 0, 0).value(),
+                      .last = Ipv4(5, 0, 0, 255).value(),
+                      .as_index = 0}}) {}
+
+  core::HostReport anon_report(std::uint32_t last_octet) {
+    core::HostReport report;
+    report.ip = Ipv4(5, 0, 0, static_cast<std::uint8_t>(last_octet));
+    report.connected = true;
+    report.ftp_compliant = true;
+    report.banner = "Buffalo LinkStation FTP server ready.";
+    report.login = core::LoginOutcome::kAccepted;
+    return report;
+  }
+
+  core::FileRecord file(std::string path,
+                        ftp::Readability readable =
+                            ftp::Readability::kReadable) {
+    core::FileRecord record;
+    record.path = std::move(path);
+    record.readable = readable;
+    record.has_permissions = true;
+    return record;
+  }
+
+  net::AsTable as_table_;
+};
+
+TEST_F(SummaryTest, FunnelAndClassCounting) {
+  SummaryBuilder builder(as_table_, nullptr);
+  builder.on_host(anon_report(1));
+  core::HostReport rejected = anon_report(2);
+  rejected.login = core::LoginOutcome::kRejected;
+  builder.on_host(rejected);
+  core::HostReport junk;
+  junk.ip = Ipv4(5, 0, 0, 3);
+  junk.ftp_compliant = false;
+  builder.on_host(junk);
+
+  const CensusSummary s = builder.take(1, 0, 1000, 3);
+  EXPECT_EQ(s.ftp_servers, 2u);
+  EXPECT_EQ(s.anonymous_servers, 1u);
+  EXPECT_EQ(s.addresses_scanned, 1000u);
+  EXPECT_EQ(s.port_open, 3u);
+  EXPECT_EQ(s.class_counts[static_cast<int>(FpClass::kNas)].total, 2u);
+  EXPECT_EQ(s.class_counts[static_cast<int>(FpClass::kNas)].anonymous, 1u);
+  EXPECT_EQ(s.device_counts.at("Buffalo NAS storage").total, 2u);
+  EXPECT_EQ(s.as_counts[0].ftp, 2u);
+  EXPECT_EQ(s.as_counts[0].anonymous, 1u);
+}
+
+TEST_F(SummaryTest, SensitiveReadabilitySplit) {
+  SummaryBuilder builder(as_table_, nullptr);
+  core::HostReport report = anon_report(1);
+  report.files.push_back(file("/backup/etc/shadow",
+                              ftp::Readability::kNotReadable));
+  report.files.push_back(file("/docs/taxes/TurboTax-export-1.txf"));
+  report.files.push_back(file("/mail/box.pst", ftp::Readability::kUnknown));
+  builder.on_host(report);
+  const CensusSummary s = builder.take(1, 0, 0, 0);
+
+  const auto& shadow =
+      s.sensitive[static_cast<int>(SensitiveClass::kShadow)];
+  EXPECT_EQ(shadow.servers, 1u);
+  EXPECT_EQ(shadow.readability.non_readable, 1u);
+  const auto& pst = s.sensitive[static_cast<int>(SensitiveClass::kPst)];
+  EXPECT_EQ(pst.readability.unknown, 1u);
+  const auto& turbotax =
+      s.sensitive[static_cast<int>(SensitiveClass::kTurboTax)];
+  EXPECT_EQ(turbotax.readability.readable, 1u);
+}
+
+TEST_F(SummaryTest, WritableDetectionViaReferenceSet) {
+  SummaryBuilder builder(as_table_, nullptr);
+  core::HostReport with_probe = anon_report(1);
+  with_probe.files.push_back(file("/incoming/w0000000t.txt"));
+  builder.on_host(with_probe);
+
+  core::HostReport holy_only = anon_report(2);
+  holy_only.files.push_back(file("/Holy-Bible.html"));
+  builder.on_host(holy_only);
+
+  core::HostReport both = anon_report(3);
+  both.files.push_back(file("/Holy-Bible.html"));
+  both.files.push_back(file("/incoming/hello.world.txt"));
+  builder.on_host(both);
+
+  const CensusSummary s = builder.take(1, 0, 0, 0);
+  EXPECT_EQ(s.writable_servers, 2u);  // Holy-Bible alone is not evidence
+  const auto& holy =
+      s.campaigns[static_cast<int>(CampaignIndicator::kHolyBible)];
+  EXPECT_EQ(holy.servers, 2u);
+  EXPECT_EQ(s.holy_bible_with_reference, 1u);
+  EXPECT_EQ(s.as_counts[0].writable, 2u);
+}
+
+TEST_F(SummaryTest, PhotoLibraryThreshold) {
+  SummaryBuilder builder(as_table_, nullptr);
+  core::HostReport few = anon_report(1);
+  for (int i = 0; i < 5; ++i) {
+    few.files.push_back(file("/photos/IMG_000" + std::to_string(i) + ".jpg"));
+  }
+  builder.on_host(few);
+  core::HostReport many = anon_report(2);
+  for (int i = 0; i < 50; ++i) {
+    many.files.push_back(file("/photos/IMG_00" + std::to_string(10 + i) +
+                              ".jpg"));
+  }
+  builder.on_host(many);
+  const CensusSummary s = builder.take(1, 0, 0, 0);
+  EXPECT_EQ(s.photo_servers, 1u);  // 5 strays don't count as a library
+  EXPECT_EQ(s.photo_files, 50u);
+}
+
+TEST_F(SummaryTest, FtpsCertAccounting) {
+  SummaryBuilder builder(as_table_, nullptr);
+  for (int i = 1; i <= 3; ++i) {
+    core::HostReport report = anon_report(static_cast<std::uint32_t>(i));
+    report.ftps_supported = true;
+    ftp::Certificate cert;
+    cert.subject_cn = i < 3 ? "Buffalo NAS" : "localhost";
+    cert.issuer_cn = cert.subject_cn;
+    cert.serial = i < 3 ? 7 : static_cast<std::uint64_t>(i);
+    cert.key_id = cert.serial;
+    report.certificate = cert;
+    builder.on_host(report);
+  }
+  const CensusSummary s = builder.take(1, 0, 0, 0);
+  EXPECT_EQ(s.ftps_supported, 3u);
+  EXPECT_EQ(s.ftps_self_signed, 3u);
+  EXPECT_EQ(s.cert_by_cn.at("Buffalo NAS").servers, 2u);
+  EXPECT_EQ(s.unique_cert_count, 2u);  // shared cert counted once
+}
+
+TEST_F(SummaryTest, CveCountingFromBannerVersions) {
+  SummaryBuilder builder(as_table_, nullptr);
+  core::HostReport report = anon_report(1);
+  report.banner = "ProFTPD 1.3.3g Server (ProFTPD Default Installation)";
+  builder.on_host(report);
+  const CensusSummary s = builder.take(1, 0, 0, 0);
+  EXPECT_EQ(s.cve_counts.at("CVE-2011-4130"), 1u);
+  EXPECT_EQ(s.cve_counts.at("CVE-2012-6095"), 1u);
+  EXPECT_EQ(s.cve_counts.count("CVE-2015-3306"), 0u);
+}
+
+TEST_F(SummaryTest, HttpJoin) {
+  SummaryBuilder builder(as_table_, [](Ipv4 ip) {
+    return HttpSignal{.has_http = ip.octet(3) % 2 == 0,
+                      .server_side_scripting = ip.octet(3) % 4 == 0};
+  });
+  for (std::uint32_t i = 0; i < 8; ++i) builder.on_host(anon_report(i));
+  const CensusSummary s = builder.take(1, 0, 0, 0);
+  EXPECT_EQ(s.ftp_with_http, 4u);
+  EXPECT_EQ(s.ftp_with_scripting_http, 2u);
+}
+
+TEST_F(SummaryTest, NatCountsOnlyPrivatePasv) {
+  SummaryBuilder builder(as_table_, nullptr);
+  core::HostReport nat = anon_report(1);
+  nat.pasv_ip = Ipv4(192, 168, 0, 9);
+  builder.on_host(nat);
+  core::HostReport multihomed = anon_report(2);
+  multihomed.pasv_ip = Ipv4(8, 8, 8, 8);  // different but public
+  builder.on_host(multihomed);
+  const CensusSummary s = builder.take(1, 0, 0, 0);
+  EXPECT_EQ(s.nat_servers, 1u);
+}
+
+TEST_F(SummaryTest, OsRootFromTopLevelDirs) {
+  SummaryBuilder builder(as_table_, nullptr);
+  core::HostReport report = anon_report(1);
+  for (const char* d : {"/bin", "/etc", "/boot", "/var"}) {
+    core::FileRecord record;
+    record.path = d;
+    record.is_dir = true;
+    report.files.push_back(record);
+  }
+  builder.on_host(report);
+  const CensusSummary s = builder.take(1, 0, 0, 0);
+  EXPECT_EQ(s.os_root_servers[0], 1u);  // Linux
+}
+
+// ---------------------------------------------------------------------------
+// Serialization round trip
+// ---------------------------------------------------------------------------
+
+TEST(SummaryIo, RoundTrip) {
+  CensusSummary s;
+  s.seed = 42;
+  s.scale_shift = 6;
+  s.ftp_servers = 123456;
+  s.anonymous_servers = 9999;
+  s.device_counts["QNAP Turbo NAS"] = {900, 25};
+  s.as_counts.push_back({10, 2, 1});
+  s.soho_extensions["jpg"] = {100000, 250};
+  s.sensitive[0] = {5, 80, {70, 4, 6}};
+  s.campaigns[3] = {17, 40};
+  s.cert_by_cn["*.home.pl"] = {1955, true, false};
+  s.cve_counts["CVE-2015-3306"] = 4700;
+  s.unique_cert_count = 321;
+  s.exposure_matrix[1][2] = 55;
+
+  const std::string blob = serialize_summary(s);
+  const auto restored = deserialize_summary(blob);
+  ASSERT_TRUE(restored);
+  EXPECT_EQ(restored->seed, 42u);
+  EXPECT_EQ(restored->scale_shift, 6u);
+  EXPECT_EQ(restored->ftp_servers, 123456u);
+  EXPECT_EQ(restored->device_counts.at("QNAP Turbo NAS").anonymous, 25u);
+  EXPECT_EQ(restored->as_counts[0].writable, 1u);
+  EXPECT_EQ(restored->soho_extensions.at("jpg").files, 100000u);
+  EXPECT_EQ(restored->sensitive[0].readability.readable, 70u);
+  EXPECT_EQ(restored->campaigns[3].files, 40u);
+  EXPECT_TRUE(restored->cert_by_cn.at("*.home.pl").browser_trusted);
+  EXPECT_EQ(restored->cve_counts.at("CVE-2015-3306"), 4700u);
+  EXPECT_EQ(restored->unique_cert_count, 321u);
+  EXPECT_EQ(restored->exposure_matrix[1][2], 55u);
+}
+
+TEST(SummaryIo, RejectsCorruption) {
+  CensusSummary s;
+  s.seed = 1;
+  std::string blob = serialize_summary(s);
+  EXPECT_TRUE(deserialize_summary(blob));
+  EXPECT_FALSE(deserialize_summary(blob.substr(0, blob.size() - 3)));
+  EXPECT_FALSE(deserialize_summary(blob + "x"));
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(deserialize_summary(bad_magic));
+  EXPECT_FALSE(deserialize_summary(""));
+}
+
+TEST(SummaryIo, FileHelpers) {
+  CensusSummary s;
+  s.seed = 77;
+  s.ftp_servers = 5;
+  const std::string path = ::testing::TempDir() + "/summary_io_test.bin";
+  ASSERT_TRUE(save_summary(s, path));
+  const auto loaded = load_summary(path);
+  ASSERT_TRUE(loaded);
+  EXPECT_EQ(loaded->seed, 77u);
+  EXPECT_FALSE(load_summary(path + ".missing"));
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Table rendering smoke checks
+// ---------------------------------------------------------------------------
+
+TEST(Tables, AllRenderersProduceOutput) {
+  CensusSummary s;
+  s.scale_shift = 6;
+  s.addresses_scanned = 1000;
+  s.port_open = 100;
+  s.ftp_servers = 60;
+  s.anonymous_servers = 5;
+  s.as_counts.resize(3);
+  s.as_counts[0] = {40, 3, 1};
+  s.as_counts[1] = {15, 2, 0};
+  s.as_counts[2] = {5, 0, 0};
+  net::AsTable table(
+      {net::AsInfo{.asn = 1, .name = "A", .type = net::AsType::kHosting},
+       net::AsInfo{.asn = 2, .name = "B", .type = net::AsType::kIsp},
+       net::AsInfo{.asn = 3, .name = "C", .type = net::AsType::kAcademic}},
+      {});
+
+  EXPECT_NE(render_table1_funnel(s).render().find("FTP servers"),
+            std::string::npos);
+  EXPECT_NE(render_table2_classification(s).render().find("Hosted"),
+            std::string::npos);
+  EXPECT_NE(render_table3_as_concentration(s, table).render().find("Hosting"),
+            std::string::npos);
+  EXPECT_NE(render_table4_embedded_classes(s).render().find("NAS"),
+            std::string::npos);
+  EXPECT_NE(render_table5_provider_devices(s).render().find("FRITZ!Box"),
+            std::string::npos);
+  EXPECT_NE(render_table6_top_ases(s, table).render().find("AS"),
+            std::string::npos);
+  EXPECT_NE(render_table7_soho_devices(s).render().find("QNAP"),
+            std::string::npos);
+  EXPECT_NE(render_table8_extensions(s).render().find(".jpg"),
+            std::string::npos);
+  EXPECT_NE(render_table9_sensitive(s).render().find("shadow"),
+            std::string::npos);
+  EXPECT_NE(render_table10_exposure_matrix(s).render().find("Photo"),
+            std::string::npos);
+  EXPECT_NE(render_table11_cves(s).render().find("CVE-2015-3306"),
+            std::string::npos);
+  EXPECT_NE(render_table12_ftps_certs(s).render().find("Certificate"),
+            std::string::npos);
+  EXPECT_NE(render_table13_shared_certs(s).render().find("QNAP"),
+            std::string::npos);
+  EXPECT_NE(render_fig1_as_cdf(s).render().find("50%"), std::string::npos);
+  EXPECT_NE(render_sec5_exposure(s).render().find("robots"),
+            std::string::npos);
+  EXPECT_NE(render_sec6_malicious(s).render().find("ftpchk3"),
+            std::string::npos);
+  EXPECT_NE(render_sec9_ftps(s).render().find("FTPS"), std::string::npos);
+}
+
+TEST(Tables, AsCdfCountsConcentration) {
+  CensusSummary s;
+  s.as_counts.resize(100);
+  // One dominant AS with half the servers, the rest spread thin.
+  s.as_counts[0].ftp = 1000;
+  for (int i = 1; i < 100; ++i) s.as_counts[i].ftp = 10;
+  const std::string out = render_fig1_as_cdf(s).render();
+  // 50% is reached by exactly 1 AS.
+  EXPECT_NE(out.find(" 50%"), std::string::npos);
+}
+
+TEST(Tables, ScaledCellScalesByShift) {
+  CensusSummary s;
+  s.scale_shift = 3;  // x8
+  EXPECT_EQ(scaled_cell(s, 10), "10 (~80)");
+}
+
+}  // namespace
+}  // namespace ftpc::analysis

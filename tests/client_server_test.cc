@@ -1,0 +1,623 @@
+// Integration tests: FtpClient against the ftpd engine over the simulated
+// network, exercising every personality quirk the paper documents.
+#include <gtest/gtest.h>
+
+#include "ftp/client.h"
+#include "ftpd/server.h"
+#include "sim/network.h"
+#include "vfs/vfs.h"
+
+namespace ftpc {
+namespace {
+
+using ftp::FtpClient;
+using ftp::Reply;
+using ftp::TransferOutcome;
+using ftpd::FtpServer;
+using ftpd::Personality;
+using ftpd::UserReplyStyle;
+
+class ClientServerTest : public ::testing::Test {
+ protected:
+  ClientServerTest() : network_(loop_) {}
+
+  std::shared_ptr<Personality> base_personality() {
+    auto p = std::make_shared<Personality>();
+    p->implementation = "TestFTPd";
+    p->banner = "220 TestFTPd ready.";
+    p->allow_anonymous = true;
+    return p;
+  }
+
+  std::shared_ptr<vfs::Vfs> base_filesystem() {
+    auto fs = std::make_shared<vfs::Vfs>();
+    (void)fs->mkdir("/pub");
+    (void)fs->add_file("/pub/readme.txt",
+                       {.size = 0, .mode = vfs::Mode{0644},
+                        .content = "hello world"});
+    (void)fs->add_file("/pub/secret.key",
+                       {.size = 128, .mode = vfs::Mode{0600}});
+    return fs;
+  }
+
+  /// Deploys a server and returns it (attached).
+  std::shared_ptr<FtpServer> deploy(std::shared_ptr<Personality> personality,
+                                    std::shared_ptr<vfs::Vfs> fs,
+                                    ftpd::SessionObserver* observer = nullptr) {
+    auto server = std::make_shared<FtpServer>(server_ip_, std::move(personality),
+                                              std::move(fs), observer);
+    server->attach(network_);
+    return server;
+  }
+
+  std::shared_ptr<FtpClient> make_client() {
+    FtpClient::Options options;
+    options.client_ip = client_ip_;
+    return FtpClient::create(network_, options);
+  }
+
+  /// Connects and returns the banner (drives the loop).
+  Reply connect_and_banner(const std::shared_ptr<FtpClient>& client) {
+    Reply banner;
+    bool done = false;
+    client->connect(server_ip_, 21, [&](Result<Reply> r) {
+      EXPECT_TRUE(r.is_ok()) << r.is_ok();
+      if (r.is_ok()) banner = r.value();
+      done = true;
+    });
+    loop_.run_while_pending([&] { return done; });
+    return banner;
+  }
+
+  /// Sends a command and returns the reply (drives the loop).
+  Reply roundtrip(const std::shared_ptr<FtpClient>& client, std::string verb,
+                  std::string arg) {
+    Reply reply;
+    bool done = false;
+    client->send(std::move(verb), std::move(arg), [&](Result<Reply> r) {
+      EXPECT_TRUE(r.is_ok());
+      if (r.is_ok()) reply = r.value();
+      done = true;
+    });
+    loop_.run_while_pending([&] { return done; });
+    return reply;
+  }
+
+  /// Anonymous login helper; returns final reply code.
+  int login_anonymous(const std::shared_ptr<FtpClient>& client) {
+    const Reply user = roundtrip(client, "USER", "anonymous");
+    if (user.code == 230) return 230;
+    if (user.code != 331 && user.code != 332) return user.code;
+    return roundtrip(client, "PASS", "test@example.com").code;
+  }
+
+  Result<TransferOutcome> download(const std::shared_ptr<FtpClient>& client,
+                                   std::string verb, std::string arg) {
+    std::optional<Result<TransferOutcome>> out;
+    client->download(std::move(verb), std::move(arg),
+                     [&](Result<TransferOutcome> r) { out = std::move(r); });
+    loop_.run_while_pending([&] { return out.has_value(); });
+    return std::move(*out);
+  }
+
+  sim::EventLoop loop_;
+  sim::Network network_;
+  const Ipv4 server_ip_{198, 51, 100, 1};
+  const Ipv4 client_ip_{198, 51, 100, 2};
+};
+
+// ---------------------------------------------------------------------------
+// Login flows
+// ---------------------------------------------------------------------------
+
+TEST_F(ClientServerTest, BannerAndAnonymousLogin) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  const Reply banner = connect_and_banner(client);
+  EXPECT_EQ(banner.code, 220);
+  EXPECT_EQ(banner.text(), "TestFTPd ready.");
+  EXPECT_EQ(login_anonymous(client), 230);
+}
+
+TEST_F(ClientServerTest, AnonymousDisabled530) {
+  auto p = base_personality();
+  p->allow_anonymous = false;
+  p->user_reply_style = UserReplyStyle::kReject530;
+  auto server = deploy(p, base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  EXPECT_EQ(roundtrip(client, "USER", "anonymous").code, 530);
+}
+
+TEST_F(ClientServerTest, RejectIn331Quirk) {
+  auto p = base_personality();
+  p->allow_anonymous = false;
+  p->user_reply_style = UserReplyStyle::kRejectIn331;
+  auto server = deploy(p, base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  const Reply user = roundtrip(client, "USER", "anonymous");
+  EXPECT_EQ(user.code, 331);
+  EXPECT_NE(user.text().find("not allowed"), std::string::npos);
+  EXPECT_EQ(roundtrip(client, "PASS", "x@y.z").code, 530);
+}
+
+TEST_F(ClientServerTest, Immediate230Quirk) {
+  auto p = base_personality();
+  p->user_reply_style = UserReplyStyle::kImmediate230;
+  auto server = deploy(p, base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  EXPECT_EQ(roundtrip(client, "USER", "anonymous").code, 230);
+}
+
+TEST_F(ClientServerTest, VirtualHostQuirk) {
+  auto p = base_personality();
+  p->user_reply_style = UserReplyStyle::kNeedVirtualHost;
+  auto server = deploy(p, base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  const Reply user = roundtrip(client, "USER", "anonymous");
+  EXPECT_EQ(user.code, 331);
+  EXPECT_NE(user.text().find("virtual"), std::string::npos);
+  EXPECT_EQ(roundtrip(client, "PASS", "x@y.z").code, 530);
+  // With the vhost suffix the login completes.
+  EXPECT_EQ(roundtrip(client, "USER", "anonymous@site.example").code, 331);
+  EXPECT_EQ(roundtrip(client, "PASS", "x@y.z").code, 230);
+}
+
+TEST_F(ClientServerTest, FtpsRequiredBeforeLogin) {
+  auto p = base_personality();
+  p->supports_ftps = true;
+  p->requires_ftps_before_login = true;
+  ftp::Certificate cert;
+  cert.subject_cn = "test";
+  cert.issuer_cn = "test";
+  p->certificate = cert;
+  auto server = deploy(p, base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  const Reply user = roundtrip(client, "USER", "anonymous");
+  EXPECT_EQ(user.code, 331);
+  EXPECT_NE(user.text().find("secure"), std::string::npos);
+  EXPECT_EQ(roundtrip(client, "PASS", "x@y.z").code, 530);
+
+  // After AUTH TLS, the login succeeds.
+  std::optional<Result<ftp::Certificate>> got;
+  client->auth_tls([&](Result<ftp::Certificate> r) { got = std::move(r); });
+  loop_.run_while_pending([&] { return got.has_value(); });
+  ASSERT_TRUE(got->is_ok());
+  EXPECT_EQ(got->value().subject_cn, "test");
+  EXPECT_TRUE(client->tls_active());
+  EXPECT_EQ(login_anonymous(client), 230);
+}
+
+TEST_F(ClientServerTest, RealCredentialsAccepted) {
+  auto p = base_personality();
+  p->allow_anonymous = false;
+  p->valid_credentials.emplace_back("root", "");
+  auto server = deploy(p, base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  EXPECT_EQ(roundtrip(client, "USER", "root").code, 331);
+  EXPECT_EQ(roundtrip(client, "PASS", "").code, 230);
+}
+
+TEST_F(ClientServerTest, PassWithoutUser503) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  EXPECT_EQ(roundtrip(client, "PASS", "whatever").code, 503);
+}
+
+TEST_F(ClientServerTest, BannerForbidsAnonymousLine) {
+  auto p = base_personality();
+  p->allow_anonymous = false;
+  p->banner_forbids_anonymous = true;
+  auto server = deploy(p, base_filesystem());
+  auto client = make_client();
+  const Reply banner = connect_and_banner(client);
+  EXPECT_NE(banner.full_text().find("NO ANONYMOUS ACCESS"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Commands requiring auth
+// ---------------------------------------------------------------------------
+
+TEST_F(ClientServerTest, CommandsRejectedBeforeLogin) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  EXPECT_EQ(roundtrip(client, "PWD", "").code, 530);
+  EXPECT_EQ(roundtrip(client, "PASV", "").code, 530);
+  EXPECT_EQ(roundtrip(client, "CWD", "/pub").code, 530);
+}
+
+TEST_F(ClientServerTest, PreLoginCommandsWork) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  EXPECT_EQ(roundtrip(client, "SYST", "").code, 215);
+  EXPECT_EQ(roundtrip(client, "FEAT", "").code, 211);
+  EXPECT_EQ(roundtrip(client, "NOOP", "").code, 200);
+}
+
+TEST_F(ClientServerTest, CwdAndPwd) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  EXPECT_NE(roundtrip(client, "PWD", "").text().find("\"/\""),
+            std::string::npos);
+  EXPECT_EQ(roundtrip(client, "CWD", "pub").code, 250);
+  EXPECT_NE(roundtrip(client, "PWD", "").text().find("\"/pub\""),
+            std::string::npos);
+  EXPECT_EQ(roundtrip(client, "CDUP", "").code, 250);
+  EXPECT_EQ(roundtrip(client, "CWD", "/missing").code, 550);
+}
+
+TEST_F(ClientServerTest, SizeAndMdtm) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  const Reply size = roundtrip(client, "SIZE", "/pub/readme.txt");
+  EXPECT_EQ(size.code, 213);
+  EXPECT_EQ(size.text(), "11");  // "hello world"
+  EXPECT_EQ(roundtrip(client, "SIZE", "/pub").code, 550);
+  EXPECT_EQ(roundtrip(client, "MDTM", "/pub/readme.txt").code, 213);
+}
+
+TEST_F(ClientServerTest, UnknownCommand500) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  EXPECT_EQ(roundtrip(client, "MAGIC", "xyzzy").code, 500);
+}
+
+// ---------------------------------------------------------------------------
+// Transfers
+// ---------------------------------------------------------------------------
+
+TEST_F(ClientServerTest, PassiveListing) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  auto result = download(client, "LIST", "/pub");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_FALSE(result.value().refused);
+  EXPECT_NE(result.value().data.find("readme.txt"), std::string::npos);
+  EXPECT_NE(result.value().data.find("secret.key"), std::string::npos);
+  EXPECT_EQ(result.value().completion.code, 226);
+}
+
+TEST_F(ClientServerTest, ActiveModeListing) {
+  auto server = deploy(base_personality(), base_filesystem());
+  FtpClient::Options options;
+  options.client_ip = client_ip_;
+  options.transfer_mode = ftp::TransferMode::kActive;
+  auto client = FtpClient::create(network_, options);
+  connect_and_banner(client);
+  login_anonymous(client);
+  auto result = download(client, "LIST", "/pub");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_NE(result.value().data.find("readme.txt"), std::string::npos);
+}
+
+TEST_F(ClientServerTest, RetrReadableFile) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  auto result = download(client, "RETR", "/pub/readme.txt");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().data, "hello world");
+}
+
+TEST_F(ClientServerTest, RetrPermissionDenied) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  auto result = download(client, "RETR", "/pub/secret.key");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().refused);
+  EXPECT_EQ(result.value().opening.code, 550);
+}
+
+TEST_F(ClientServerTest, RetrMissingFile) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  auto result = download(client, "RETR", "/nope.txt");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().refused);
+}
+
+TEST_F(ClientServerTest, ListMissingDirRefused) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  auto result = download(client, "LIST", "/missing");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().refused);
+  EXPECT_EQ(result.value().opening.code, 550);
+}
+
+TEST_F(ClientServerTest, NlstReturnsBareNames) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  auto result = download(client, "NLST", "/pub");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().data, "readme.txt\r\nsecret.key\r\n");
+}
+
+TEST_F(ClientServerTest, WindowsListingFormat) {
+  auto p = base_personality();
+  p->listing_format = vfs::ListingFormat::kWindows;
+  auto server = deploy(p, base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  auto result = download(client, "LIST", "/pub");
+  ASSERT_TRUE(result.is_ok());
+  // No permission bits in DIR format.
+  EXPECT_EQ(result.value().data.find("-rw-"), std::string::npos);
+  EXPECT_NE(result.value().data.find("readme.txt"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Uploads (§VI.A behaviours)
+// ---------------------------------------------------------------------------
+
+TEST_F(ClientServerTest, UploadRefusedWhenNotWritable) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  std::optional<Result<TransferOutcome>> out;
+  client->upload("/probe.txt", "data",
+                 [&](Result<TransferOutcome> r) { out = std::move(r); });
+  loop_.run_while_pending([&] { return out.has_value(); });
+  ASSERT_TRUE(out->is_ok());
+  EXPECT_TRUE(out->value().refused);
+}
+
+TEST_F(ClientServerTest, UploadSucceedsWhenWritable) {
+  auto p = base_personality();
+  p->anonymous_writable = true;
+  auto fs = base_filesystem();
+  auto server = deploy(p, fs);
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  std::optional<Result<TransferOutcome>> out;
+  client->upload("/w0000000t.txt", "Anonymous",
+                 [&](Result<TransferOutcome> r) { out = std::move(r); });
+  loop_.run_while_pending([&] { return out.has_value(); });
+  ASSERT_TRUE(out->is_ok());
+  EXPECT_FALSE(out->value().refused);
+  EXPECT_EQ(out->value().completion.code, 226);
+  const vfs::Node* node = fs->lookup("/w0000000t.txt");
+  ASSERT_NE(node, nullptr);
+  EXPECT_EQ(node->content, "Anonymous");
+}
+
+TEST_F(ClientServerTest, UploadApprovalGate) {
+  // Pure-FTPd semantics: upload lands but RETR is refused with the
+  // approval message.
+  auto p = base_personality();
+  p->anonymous_writable = true;
+  p->uploads_need_approval = true;
+  auto server = deploy(p, base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  std::optional<Result<TransferOutcome>> out;
+  client->upload("/up.txt", "x",
+                 [&](Result<TransferOutcome> r) { out = std::move(r); });
+  loop_.run_while_pending([&] { return out.has_value(); });
+  ASSERT_TRUE(out->is_ok());
+  auto retr = download(client, "RETR", "/up.txt");
+  ASSERT_TRUE(retr.is_ok());
+  EXPECT_TRUE(retr.value().refused);
+  EXPECT_NE(retr.value().opening.text().find("has not yet been approved"),
+            std::string::npos);
+}
+
+TEST_F(ClientServerTest, UploadRenameOnConflict) {
+  auto p = base_personality();
+  p->anonymous_writable = true;
+  p->upload_conflict = ftpd::UploadConflictPolicy::kRenameWithSuffix;
+  auto fs = base_filesystem();
+  auto server = deploy(p, fs);
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  for (int i = 0; i < 3; ++i) {
+    std::optional<Result<TransferOutcome>> out;
+    client->upload("/name", "v" + std::to_string(i),
+                   [&](Result<TransferOutcome> r) { out = std::move(r); });
+    loop_.run_while_pending([&] { return out.has_value(); });
+    ASSERT_TRUE(out->is_ok());
+  }
+  // "name", "name.1", "name.2" — the §VI.A trail.
+  EXPECT_NE(fs->lookup("/name"), nullptr);
+  EXPECT_NE(fs->lookup("/name.1"), nullptr);
+  EXPECT_NE(fs->lookup("/name.2"), nullptr);
+}
+
+TEST_F(ClientServerTest, DeleteRespectsPolicy) {
+  auto p = base_personality();
+  p->anonymous_writable = true;
+  p->allow_anonymous_delete = true;
+  auto fs = base_filesystem();
+  auto server = deploy(p, fs);
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  EXPECT_EQ(roundtrip(client, "DELE", "/pub/readme.txt").code, 250);
+  EXPECT_EQ(fs->lookup("/pub/readme.txt"), nullptr);
+  EXPECT_EQ(roundtrip(client, "DELE", "/pub/readme.txt").code, 550);
+}
+
+TEST_F(ClientServerTest, MkdRequiresPolicy) {
+  auto p = base_personality();
+  auto server = deploy(p, base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  EXPECT_EQ(roundtrip(client, "MKD", "newdir").code, 550);
+}
+
+// ---------------------------------------------------------------------------
+// PORT validation / bounce (§VII.B)
+// ---------------------------------------------------------------------------
+
+class BounceObserver : public ftpd::SessionObserver {
+ public:
+  int bounces = 0;
+  void on_port_bounce(Ipv4, Ipv4, std::uint16_t) override { ++bounces; }
+};
+
+TEST_F(ClientServerTest, ValidatingServerRejectsThirdPartyPort) {
+  auto p = base_personality();
+  p->validate_port_ip = true;
+  BounceObserver observer;
+  auto server = deploy(p, base_filesystem(), &observer);
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  const ftp::HostPort third{.ip = Ipv4(203, 0, 113, 77).value(), .port = 9000};
+  EXPECT_EQ(roundtrip(client, "PORT", third.wire()).code, 500);
+  EXPECT_EQ(observer.bounces, 0);
+}
+
+TEST_F(ClientServerTest, VulnerableServerDialsThirdParty) {
+  auto p = base_personality();
+  p->validate_port_ip = false;
+  BounceObserver observer;
+  auto server = deploy(p, base_filesystem(), &observer);
+
+  // A listener standing in for the third-party victim.
+  const Ipv4 third_ip(198, 51, 100, 99);
+  bool victim_contacted = false;
+  network_.listen(third_ip, 9000, [&](std::shared_ptr<sim::Connection> conn) {
+    victim_contacted = true;
+    conn->reset();
+  });
+
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  const ftp::HostPort third{.ip = third_ip.value(), .port = 9000};
+  EXPECT_EQ(roundtrip(client, "PORT", third.wire()).code, 200);
+  roundtrip(client, "NLST", "/");
+  loop_.run_until_idle();
+  EXPECT_TRUE(victim_contacted);
+  EXPECT_EQ(observer.bounces, 1);
+}
+
+TEST_F(ClientServerTest, OwnAddressPortIsNotBounce) {
+  auto p = base_personality();
+  p->validate_port_ip = true;
+  auto server = deploy(p, base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  const ftp::HostPort own{.ip = client_ip_.value(), .port = 50001};
+  EXPECT_EQ(roundtrip(client, "PORT", own.wire()).code, 200);
+}
+
+// ---------------------------------------------------------------------------
+// NAT / PASV address
+// ---------------------------------------------------------------------------
+
+TEST_F(ClientServerTest, NatServerAdvertisesInternalAddress) {
+  auto p = base_personality();
+  p->internal_ip = Ipv4(192, 168, 1, 10);
+  auto server = deploy(p, base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  const Reply pasv = roundtrip(client, "PASV", "");
+  EXPECT_EQ(pasv.code, 227);
+  const auto hp = ftp::parse_pasv_reply(pasv.full_text());
+  ASSERT_TRUE(hp);
+  EXPECT_EQ(Ipv4(hp->ip), Ipv4(192, 168, 1, 10));
+}
+
+TEST_F(ClientServerTest, BannerIpExpansion) {
+  auto p = base_personality();
+  p->banner = "220 Device at {ip} ready.";
+  p->internal_ip = Ipv4(10, 0, 0, 42);
+  auto server = deploy(p, base_filesystem());
+  auto client = make_client();
+  const Reply banner = connect_and_banner(client);
+  EXPECT_NE(banner.text().find("10.0.0.42"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness
+// ---------------------------------------------------------------------------
+
+TEST_F(ClientServerTest, MaxCommandsTermination) {
+  auto p = base_personality();
+  p->max_commands_per_session = 3;
+  auto server = deploy(p, base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  EXPECT_EQ(roundtrip(client, "NOOP", "").code, 200);
+  EXPECT_EQ(roundtrip(client, "NOOP", "").code, 200);
+  EXPECT_EQ(roundtrip(client, "NOOP", "").code, 200);
+  // The 4th command trips the cap: abrupt termination, no reply.
+  bool failed = false;
+  bool done = false;
+  client->send("NOOP", "", [&](Result<Reply> r) {
+    failed = !r.is_ok();
+    done = true;
+  });
+  loop_.run_while_pending([&] { return done; });
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(ClientServerTest, QuitClosesCleanly) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  bool done = false;
+  client->quit([&] { done = true; });
+  loop_.run_while_pending([&] { return done; });
+  EXPECT_FALSE(client->connected());
+}
+
+TEST_F(ClientServerTest, AuthTlsWithoutSupport) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  std::optional<Result<ftp::Certificate>> got;
+  client->auth_tls([&](Result<ftp::Certificate> r) { got = std::move(r); });
+  loop_.run_while_pending([&] { return got.has_value(); });
+  EXPECT_FALSE(got->is_ok());
+  EXPECT_EQ(got->code(), ErrorCode::kUnavailable);
+}
+
+TEST_F(ClientServerTest, ListArgWithFlags) {
+  auto server = deploy(base_personality(), base_filesystem());
+  auto client = make_client();
+  connect_and_banner(client);
+  login_anonymous(client);
+  auto result = download(client, "LIST", "-la /pub");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_NE(result.value().data.find("readme.txt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftpc

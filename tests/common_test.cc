@@ -1,0 +1,529 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <unordered_set>
+
+#include "common/datetime.h"
+#include "common/hash.h"
+#include "common/ipv4.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/table.h"
+
+namespace ftpc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+TEST(Rng, SplitMix64KnownValues) {
+  // Reference values from the SplitMix64 reference implementation with
+  // seed 0: first three outputs.
+  std::uint64_t state = 0;
+  EXPECT_EQ(split_mix64(state), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(split_mix64(state), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(split_mix64(state), 0x06c45d188009454fULL);
+}
+
+TEST(Rng, DeriveSeedIsLabelSensitive) {
+  EXPECT_NE(derive_seed(1, "a"), derive_seed(1, "b"));
+  EXPECT_NE(derive_seed(1, "a"), derive_seed(2, "a"));
+  EXPECT_EQ(derive_seed(7, "x"), derive_seed(7, "x"));
+}
+
+TEST(Rng, DeriveSeedNumericDiscriminator) {
+  EXPECT_NE(derive_seed(1, std::uint64_t{0}), derive_seed(1, std::uint64_t{1}));
+  EXPECT_EQ(derive_seed(3, std::uint64_t{9}), derive_seed(3, std::uint64_t{9}));
+}
+
+TEST(Rng, XoshiroDeterministic) {
+  Xoshiro256ss a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, XoshiroDifferentSeedsDiffer) {
+  Xoshiro256ss a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Xoshiro256ss rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Xoshiro256ss rng(9);
+  std::uint64_t lo = 1000, hi = 1003;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next_in(lo, hi);
+    EXPECT_GE(v, lo);
+    EXPECT_LE(v, hi);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoshiro256ss rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.next_double();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 20000, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Xoshiro256ss rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+    EXPECT_FALSE(rng.chance(-0.5));
+    EXPECT_TRUE(rng.chance(1.5));
+  }
+}
+
+TEST(Rng, ChanceRateApproximatelyCorrect) {
+  Xoshiro256ss rng(2);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.chance(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.25, 0.01);
+}
+
+TEST(Rng, ParetoRespectsBounds) {
+  Xoshiro256ss rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.pareto(1.2, 10, 5000);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 5000u);
+  }
+}
+
+TEST(Rng, ParetoIsHeavyTailed) {
+  Xoshiro256ss rng(4);
+  int small = 0, large = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = rng.pareto(1.0, 10, 1000000);
+    if (v < 100) ++small;
+    if (v > 10000) ++large;
+  }
+  EXPECT_GT(small, 15000);  // most mass near xmin
+  EXPECT_GT(large, 5);      // but a real tail exists
+}
+
+TEST(Rng, PickCumulative) {
+  Xoshiro256ss rng(6);
+  const double cumulative[] = {0.1, 0.1, 0.6, 1.0};  // weights .1 0 .5 .4
+  int counts[4] = {};
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[pick_cumulative(rng, cumulative, 4)];
+  }
+  EXPECT_NEAR(counts[0] / 40000.0, 0.1, 0.02);
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 40000.0, 0.5, 0.02);
+  EXPECT_NEAR(counts[3] / 40000.0, 0.4, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+TEST(Hash, Fnv1a64KnownValues) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Hash, SipHashReferenceVector) {
+  // The reference SipHash-2-4 test vector: key 000102...0f, input
+  // 000102...3e produces a known table; spot-check a couple of entries.
+  const std::uint64_t k0 = 0x0706050403020100ULL;
+  const std::uint64_t k1 = 0x0f0e0d0c0b0a0908ULL;
+  std::vector<std::uint8_t> input;
+  // vectors[len] from the SipHash reference implementation.
+  const std::uint64_t expected_len0 = 0x726fdb47dd0e0e31ULL;
+  const std::uint64_t expected_len1 = 0x74f839c593dc67fdULL;
+  const std::uint64_t expected_len8 = 0x93f5f5799a932462ULL;
+  EXPECT_EQ(siphash24(k0, k1, input), expected_len0);
+  input.push_back(0);
+  EXPECT_EQ(siphash24(k0, k1, input), expected_len1);
+  while (input.size() < 8) {
+    input.push_back(static_cast<std::uint8_t>(input.size()));
+  }
+  EXPECT_EQ(siphash24(k0, k1, input), expected_len8);
+}
+
+TEST(Hash, SipHashU64MatchesByteForm) {
+  const std::uint64_t value = 0x1122334455667788ULL;
+  std::uint8_t bytes[8];
+  std::memcpy(bytes, &value, 8);
+  EXPECT_EQ(siphash24_u64(1, 2, value), siphash24(1, 2, bytes));
+}
+
+TEST(Hash, Sha256EmptyString) {
+  EXPECT_EQ(sha256("").hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Hash, Sha256Abc) {
+  EXPECT_EQ(sha256("abc").hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Hash, Sha256TwoBlockMessage) {
+  EXPECT_EQ(sha256("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+                .hex(),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Hash, Sha256MillionAs) {
+  Sha256 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  EXPECT_EQ(hasher.finish().hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Hash, Sha256IncrementalMatchesOneShot) {
+  Sha256 hasher;
+  hasher.update("hello ");
+  hasher.update("world");
+  EXPECT_EQ(hasher.finish().hex(), sha256("hello world").hex());
+}
+
+TEST(Hash, Sha256FingerprintFormat) {
+  const std::string fp = sha256("x").fingerprint();
+  EXPECT_EQ(fp.size(), 95u);  // 32 bytes * 2 chars + 31 colons
+  EXPECT_EQ(fp[2], ':');
+  for (const char c : fp) {
+    EXPECT_TRUE(c == ':' || (c >= '0' && c <= '9') || (c >= 'A' && c <= 'F'))
+        << c;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// IPv4
+// ---------------------------------------------------------------------------
+
+TEST(Ipv4Test, FormatAndParseRoundTrip) {
+  const Ipv4 addr(141, 212, 120, 1);
+  EXPECT_EQ(addr.str(), "141.212.120.1");
+  EXPECT_EQ(Ipv4::parse("141.212.120.1"), addr);
+}
+
+TEST(Ipv4Test, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4::parse(""));
+  EXPECT_FALSE(Ipv4::parse("1.2.3"));
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4.5"));
+  EXPECT_FALSE(Ipv4::parse("256.1.1.1"));
+  EXPECT_FALSE(Ipv4::parse("1.2.3.04"));  // leading zero
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4 "));
+  EXPECT_FALSE(Ipv4::parse("a.b.c.d"));
+  EXPECT_FALSE(Ipv4::parse("1..2.3"));
+}
+
+TEST(Ipv4Test, ParseBoundaryValues) {
+  EXPECT_EQ(Ipv4::parse("0.0.0.0")->value(), 0u);
+  EXPECT_EQ(Ipv4::parse("255.255.255.255")->value(), 0xffffffffu);
+}
+
+TEST(Ipv4Test, Octets) {
+  const Ipv4 addr(10, 20, 30, 40);
+  EXPECT_EQ(addr.octet(0), 10);
+  EXPECT_EQ(addr.octet(3), 40);
+}
+
+TEST(Ipv4Test, Ordering) {
+  EXPECT_LT(Ipv4(1, 0, 0, 0), Ipv4(2, 0, 0, 0));
+  EXPECT_EQ(Ipv4(9, 9, 9, 9), Ipv4(9, 9, 9, 9));
+}
+
+TEST(CidrTest, ParseAndContains) {
+  const auto cidr = Cidr::parse("192.168.0.0/16");
+  ASSERT_TRUE(cidr);
+  EXPECT_TRUE(cidr->contains(Ipv4(192, 168, 5, 5)));
+  EXPECT_FALSE(cidr->contains(Ipv4(192, 169, 0, 0)));
+  EXPECT_EQ(cidr->size(), 65536u);
+}
+
+TEST(CidrTest, Canonicalizes) {
+  const auto cidr = Cidr::parse("10.1.2.3/8");
+  ASSERT_TRUE(cidr);
+  EXPECT_EQ(cidr->network, Ipv4(10, 0, 0, 0));
+  EXPECT_EQ(cidr->str(), "10.0.0.0/8");
+}
+
+TEST(CidrTest, ParseRejectsBad) {
+  EXPECT_FALSE(Cidr::parse("10.0.0.0"));
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/33"));
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/x"));
+}
+
+TEST(Ipv4Test, ReservedRanges) {
+  EXPECT_TRUE(is_reserved(Ipv4(10, 1, 2, 3)));
+  EXPECT_TRUE(is_reserved(Ipv4(127, 0, 0, 1)));
+  EXPECT_TRUE(is_reserved(Ipv4(192, 168, 1, 1)));
+  EXPECT_TRUE(is_reserved(Ipv4(224, 0, 0, 1)));
+  EXPECT_TRUE(is_reserved(Ipv4(255, 255, 255, 255)));
+  EXPECT_TRUE(is_reserved(Ipv4(100, 64, 0, 1)));
+  EXPECT_FALSE(is_reserved(Ipv4(8, 8, 8, 8)));
+  EXPECT_FALSE(is_reserved(Ipv4(141, 212, 120, 1)));
+}
+
+TEST(Ipv4Test, PrivateIsSubsetOfReserved) {
+  EXPECT_TRUE(is_private(Ipv4(10, 0, 0, 1)));
+  EXPECT_TRUE(is_private(Ipv4(172, 16, 0, 1)));
+  EXPECT_TRUE(is_private(Ipv4(172, 31, 255, 255)));
+  EXPECT_FALSE(is_private(Ipv4(172, 32, 0, 0)));
+  EXPECT_TRUE(is_private(Ipv4(192, 168, 0, 1)));
+  EXPECT_FALSE(is_private(Ipv4(8, 8, 8, 8)));
+  EXPECT_FALSE(is_private(Ipv4(127, 0, 0, 1)));  // loopback != private
+}
+
+TEST(Ipv4Test, PublicCountNearPaperScanSize) {
+  // The paper scanned 3,684,755,175 addresses; our reserved set should
+  // land within 1%.
+  const double paper = 3'684'755'175.0;
+  EXPECT_NEAR(static_cast<double>(public_ipv4_count()) / paper, 1.0, 0.01);
+}
+
+TEST(Ipv4Test, ReservedRangesSortedDisjoint) {
+  const auto ranges = reserved_ranges();
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    EXPECT_GT(ranges[i].first, ranges[i - 1].last);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Result / Status
+// ---------------------------------------------------------------------------
+
+TEST(ResultTest, OkStatus) {
+  const Status status = Status::ok();
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.str(), "ok");
+}
+
+TEST(ResultTest, ErrorStatusFormatting) {
+  const Status status(ErrorCode::kTimeout, "no banner");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.str(), "timeout: no banner");
+}
+
+TEST(ResultTest, ValueAccess) {
+  Result<int> r(42);
+  EXPECT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, ErrorAccess) {
+  Result<int> r(ErrorCode::kNotFound, "gone");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string taken = std::move(r).take();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, AllErrorCodesHaveNames) {
+  for (int code = 0; code <= static_cast<int>(ErrorCode::kInternal); ++code) {
+    EXPECT_NE(error_code_name(static_cast<ErrorCode>(code)), "unknown");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strings
+// ---------------------------------------------------------------------------
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("\r\nabc\t"), "abc");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+  EXPECT_TRUE(iequals("FTP", "ftp"));
+  EXPECT_FALSE(iequals("FTP", "ftps"));
+  EXPECT_TRUE(istarts_with("220 ProFTPD", "220 pro"));
+  EXPECT_TRUE(icontains("Welcome to Pure-FTPd", "pure-ftpd"));
+  EXPECT_FALSE(icontains("abc", "abcd"));
+  EXPECT_TRUE(icontains("anything", ""));
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitWhitespace) {
+  const auto parts = split_whitespace("  -rw-r--r--   1 ftp  ftp ");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "-rw-r--r--");
+  EXPECT_EQ(parts[3], "ftp");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, ParseU64) {
+  EXPECT_EQ(parse_u64("12345"), 12345u);
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("12x"));
+  EXPECT_FALSE(parse_u64("-3"));
+}
+
+TEST(Strings, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(13789641), "13,789,641");
+  EXPECT_EQ(with_commas(3684755175ULL), "3,684,755,175");
+}
+
+TEST(Strings, Percent) {
+  EXPECT_EQ(percent(1, 8), "12.50%");
+  EXPECT_EQ(percent(0, 0), "n/a");
+}
+
+TEST(Strings, FileExtension) {
+  EXPECT_EQ(file_extension("a/B.Tar.GZ"), "gz");
+  EXPECT_EQ(file_extension("a/Makefile"), "");
+  EXPECT_EQ(file_extension(".htaccess"), "");  // leading-dot is not an ext
+  EXPECT_EQ(file_extension("photo.JPG"), "jpg");
+  EXPECT_EQ(file_extension("noext."), "");
+}
+
+TEST(Strings, Basename) {
+  EXPECT_EQ(basename("/a/b/c.txt"), "c.txt");
+  EXPECT_EQ(basename("c.txt"), "c.txt");
+  EXPECT_EQ(basename("/a/b/"), "");
+}
+
+// ---------------------------------------------------------------------------
+// Datetime
+// ---------------------------------------------------------------------------
+
+TEST(Datetime, EpochIsKnown) {
+  const CivilDateTime c = civil_from_unix(0);
+  EXPECT_EQ(c.year, 1970);
+  EXPECT_EQ(c.month, 1);
+  EXPECT_EQ(c.day, 1);
+}
+
+TEST(Datetime, PaperScanDate) {
+  // 2015-06-19 00:00:00 UTC = 1434672000.
+  const CivilDateTime c = civil_from_unix(1434672000);
+  EXPECT_EQ(c.year, 2015);
+  EXPECT_EQ(c.month, 6);
+  EXPECT_EQ(c.day, 19);
+  EXPECT_EQ(c.hour, 0);
+}
+
+TEST(Datetime, RoundTripRandomTimes) {
+  Xoshiro256ss rng(13);
+  for (int i = 0; i < 2000; ++i) {
+    const auto t = static_cast<std::int64_t>(rng.next_below(4102444800ULL));
+    EXPECT_EQ(unix_from_civil(civil_from_unix(t)), t);
+  }
+}
+
+TEST(Datetime, LeapYearHandling) {
+  const CivilDateTime c = civil_from_unix(1456704000);  // 2016-02-29
+  EXPECT_EQ(c.year, 2016);
+  EXPECT_EQ(c.month, 2);
+  EXPECT_EQ(c.day, 29);
+}
+
+TEST(Datetime, LsDateRecentVsOld) {
+  const std::int64_t t = unix_from_civil({2015, 6, 18, 9, 42, 0});
+  EXPECT_EQ(ls_date(t, 2015), "Jun 18 09:42");
+  EXPECT_EQ(ls_date(t, 2016), "Jun 18  2015");
+}
+
+TEST(Datetime, DirDateFormat) {
+  const std::int64_t t = unix_from_civil({2015, 6, 18, 14, 5, 0});
+  EXPECT_EQ(dir_date(t), "06-18-15  02:05PM");
+  const std::int64_t midnight = unix_from_civil({2015, 1, 2, 0, 0, 0});
+  EXPECT_EQ(dir_date(midnight), "01-02-15  12:00AM");
+}
+
+TEST(Datetime, MonthAbbrevBounds) {
+  EXPECT_STREQ(month_abbrev(1), "Jan");
+  EXPECT_STREQ(month_abbrev(12), "Dec");
+  EXPECT_STREQ(month_abbrev(0), "???");
+  EXPECT_STREQ(month_abbrev(13), "???");
+}
+
+// ---------------------------------------------------------------------------
+// TextTable
+// ---------------------------------------------------------------------------
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t("Title");
+  t.set_header({"Name", "Count"});
+  t.set_alignments({Align::kLeft, Align::kRight});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "1000"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Right-aligned: "1000" ends at the same column as "1".
+  const auto line1_end = out.find("alpha");
+  ASSERT_NE(line1_end, std::string::npos);
+}
+
+TEST(TextTableTest, FootnoteAndSeparator) {
+  TextTable t;
+  t.set_header({"A"});
+  t.add_row({"x"});
+  t.add_separator();
+  t.add_row({"y"});
+  t.set_footnote("note");
+  const std::string out = t.render();
+  EXPECT_NE(out.find("note"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 3u);  // 2 rows + separator
+}
+
+TEST(TextTableTest, HandlesRaggedRows) {
+  TextTable t;
+  t.set_header({"A", "B", "C"});
+  t.add_row({"only-one"});
+  EXPECT_NE(t.render().find("only-one"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftpc

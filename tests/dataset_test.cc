@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/dataset.h"
+
+namespace ftpc::core {
+namespace {
+
+HostReport sample_report(std::uint32_t ip_value) {
+  HostReport r;
+  r.ip = Ipv4(ip_value);
+  r.connected = true;
+  r.ftp_compliant = true;
+  r.banner = "ProFTPD 1.3.5 Server (ProFTPD Default Installation)";
+  r.login = LoginOutcome::kAccepted;
+  for (int i = 0; i < 3; ++i) {
+    FileRecord f;
+    f.path = "/pub/file-" + std::to_string(i) + ".txt";
+    f.size = 100 + static_cast<std::uint64_t>(i);
+    f.readable = ftp::Readability::kReadable;
+    f.has_permissions = true;
+    f.owner = "ftp";
+    r.files.push_back(std::move(f));
+  }
+  FileRecord dir;
+  dir.path = "/pub";
+  dir.is_dir = true;
+  r.files.push_back(dir);
+  r.dirs_listed = 2;
+  r.requests_used = 9;
+  r.syst_reply = "UNIX Type: L8";
+  r.feat_lines = {"Features:", " MDTM", "End"};
+  r.help_text = "214 Help OK.";
+  r.ftps_supported = true;
+  ftp::Certificate cert;
+  cert.subject_cn = "*.home.pl";
+  cert.issuer_cn = "SimTrust CA";
+  cert.browser_trusted = true;
+  cert.serial = 7;
+  cert.key_id = 9;
+  r.certificate = cert;
+  r.pasv_ip = Ipv4(192, 168, 1, 4);
+  return r;
+}
+
+TEST(DatasetCodec, RoundTripsFullReport) {
+  const HostReport original = sample_report(0x01020304);
+  const auto decoded = decode_host_report(encode_host_report(original));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->ip, original.ip);
+  EXPECT_EQ(decoded->banner, original.banner);
+  EXPECT_EQ(decoded->login, original.login);
+  ASSERT_EQ(decoded->files.size(), original.files.size());
+  EXPECT_EQ(decoded->files[0].path, original.files[0].path);
+  EXPECT_EQ(decoded->files[0].size, original.files[0].size);
+  EXPECT_EQ(decoded->files[3].is_dir, true);
+  EXPECT_EQ(decoded->feat_lines, original.feat_lines);
+  ASSERT_TRUE(decoded->certificate);
+  EXPECT_EQ(*decoded->certificate, *original.certificate);
+  ASSERT_TRUE(decoded->pasv_ip);
+  EXPECT_EQ(*decoded->pasv_ip, *original.pasv_ip);
+  EXPECT_TRUE(decoded->error.is_ok());
+}
+
+TEST(DatasetCodec, RoundTripsErrorStatus) {
+  HostReport report;
+  report.ip = Ipv4(9, 9, 9, 9);
+  report.error = Status(ErrorCode::kTimeout, "no banner");
+  const auto decoded = decode_host_report(encode_host_report(report));
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->error.code(), ErrorCode::kTimeout);
+  EXPECT_EQ(decoded->error.message(), "no banner");
+}
+
+TEST(DatasetCodec, RejectsTruncatedFrames) {
+  const std::string frame = encode_host_report(sample_report(1));
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{3},
+                                frame.size() / 2, frame.size() - 1}) {
+    EXPECT_FALSE(decode_host_report(std::string_view(frame).substr(0, cut)))
+        << "cut at " << cut;
+  }
+  EXPECT_FALSE(decode_host_report(frame + "extra"));
+}
+
+class DatasetFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/dataset_test.ftpd";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(DatasetFileTest, WriteReadRoundTrip) {
+  {
+    DatasetWriter writer(path_);
+    ASSERT_TRUE(writer.ok());
+    for (std::uint32_t i = 0; i < 50; ++i) {
+      writer.on_host(sample_report(i));
+    }
+    EXPECT_EQ(writer.records_written(), 50u);
+    EXPECT_TRUE(writer.close());
+  }
+  DatasetReader reader(path_);
+  ASSERT_TRUE(reader.ok());
+  std::uint32_t expected = 0;
+  while (auto report = reader.next()) {
+    EXPECT_EQ(report->ip.value(), expected++);
+  }
+  EXPECT_EQ(expected, 50u);
+  EXPECT_FALSE(reader.truncated());
+  EXPECT_EQ(reader.records_read(), 50u);
+}
+
+TEST_F(DatasetFileTest, DetectsTruncatedTail) {
+  {
+    DatasetWriter writer(path_);
+    ASSERT_TRUE(writer.ok());
+    for (std::uint32_t i = 0; i < 10; ++i) writer.on_host(sample_report(i));
+    ASSERT_TRUE(writer.close());
+  }
+  // Chop the last 5 bytes: the final frame's checksum is damaged.
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path_.c_str(), size - 5), 0);
+
+  DatasetReader reader(path_);
+  ASSERT_TRUE(reader.ok());
+  std::uint64_t count = 0;
+  while (reader.next()) ++count;
+  EXPECT_EQ(count, 9u);
+  EXPECT_TRUE(reader.truncated());
+}
+
+TEST_F(DatasetFileTest, DetectsCorruptedByte) {
+  {
+    DatasetWriter writer(path_);
+    ASSERT_TRUE(writer.ok());
+    writer.on_host(sample_report(1));
+    writer.on_host(sample_report(2));
+    ASSERT_TRUE(writer.close());
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 40, SEEK_SET);  // somewhere inside the first frame body
+  std::fputc(0xFF, f);
+  std::fclose(f);
+
+  DatasetReader reader(path_);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_FALSE(reader.next());  // checksum mismatch
+  EXPECT_TRUE(reader.truncated());
+}
+
+TEST_F(DatasetFileTest, RejectsWrongMagic) {
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOTAFTPD", f);
+  std::fclose(f);
+  DatasetReader reader(path_);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST_F(DatasetFileTest, MissingFileNotOk) {
+  DatasetReader reader(path_ + ".missing");
+  EXPECT_FALSE(reader.ok());
+  EXPECT_FALSE(reader.next());
+}
+
+TEST_F(DatasetFileTest, UnwritablePathNotOk) {
+  DatasetWriter writer("/nonexistent-dir/x.ftpd");
+  EXPECT_FALSE(writer.ok());
+}
+
+}  // namespace
+}  // namespace ftpc::core

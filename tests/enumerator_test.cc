@@ -1,0 +1,320 @@
+// End-to-end tests of the HostEnumerator against crafted hosts.
+#include <gtest/gtest.h>
+#include <optional>
+#include <set>
+
+#include "core/enumerator.h"
+#include "ftpd/server.h"
+#include "sim/network.h"
+#include "vfs/vfs.h"
+
+namespace ftpc::core {
+namespace {
+
+class EnumeratorTest : public ::testing::Test {
+ protected:
+  EnumeratorTest() : network_(loop_) {}
+
+  std::shared_ptr<ftpd::Personality> personality() {
+    auto p = std::make_shared<ftpd::Personality>();
+    p->implementation = "TestFTPd";
+    p->banner = "220 TestFTPd 9.9 ready.";
+    p->allow_anonymous = true;
+    return p;
+  }
+
+  std::shared_ptr<vfs::Vfs> tree() {
+    auto fs = std::make_shared<vfs::Vfs>();
+    (void)fs->mkdir("/pub/sub");
+    (void)fs->add_file("/pub/a.txt", {.size = 10});
+    (void)fs->add_file("/pub/sub/b.txt", {.size = 20});
+    (void)fs->add_file("/top.zip", {.size = 30});
+    return fs;
+  }
+
+  HostReport enumerate(std::shared_ptr<ftpd::Personality> p,
+                       std::shared_ptr<vfs::Vfs> fs,
+                       EnumeratorOptions options = {}) {
+    auto server = std::make_shared<ftpd::FtpServer>(target_, std::move(p),
+                                                    std::move(fs));
+    server->attach(network_);
+    std::optional<HostReport> report;
+    HostEnumerator::start(network_, target_, options,
+                          [&](HostReport r) { report = std::move(r); });
+    loop_.run_while_pending([&] { return report.has_value(); });
+    server->detach(network_);
+    return std::move(*report);
+  }
+
+  sim::EventLoop loop_;
+  sim::Network network_;
+  const Ipv4 target_{198, 51, 100, 10};
+};
+
+TEST_F(EnumeratorTest, FullTraversal) {
+  const HostReport report = enumerate(personality(), tree());
+  EXPECT_TRUE(report.ftp_compliant);
+  EXPECT_EQ(report.login, LoginOutcome::kAccepted);
+  EXPECT_TRUE(report.error.is_ok());
+  EXPECT_NE(report.banner.find("TestFTPd"), std::string::npos);
+
+  // Every node appears exactly once: /pub, /top.zip, /pub/a.txt,
+  // /pub/sub, /pub/sub/b.txt.
+  EXPECT_EQ(report.files.size(), 5u);
+  std::set<std::string> paths;
+  for (const auto& f : report.files) paths.insert(f.path);
+  EXPECT_TRUE(paths.count("/pub/sub/b.txt"));
+  EXPECT_TRUE(paths.count("/top.zip"));
+  EXPECT_EQ(report.dirs_listed, 3u);  // "/", "/pub", "/pub/sub"
+  EXPECT_FALSE(report.truncated_by_request_cap);
+}
+
+TEST_F(EnumeratorTest, FileMetadataCaptured) {
+  auto fs = std::make_shared<vfs::Vfs>();
+  (void)fs->add_file("/secret.key", {.size = 128, .mode = vfs::Mode{0600}});
+  (void)fs->add_file("/open.txt", {.size = 5, .mode = vfs::Mode{0644}});
+  const HostReport report = enumerate(personality(), fs);
+  ASSERT_EQ(report.files.size(), 2u);
+  for (const auto& f : report.files) {
+    if (f.path == "/secret.key") {
+      EXPECT_EQ(f.readable, ftp::Readability::kNotReadable);
+    } else {
+      EXPECT_EQ(f.readable, ftp::Readability::kReadable);
+    }
+    EXPECT_TRUE(f.has_permissions);
+  }
+}
+
+TEST_F(EnumeratorTest, WindowsFormatYieldsUnknownReadability) {
+  auto p = personality();
+  p->listing_format = vfs::ListingFormat::kWindows;
+  const HostReport report = enumerate(p, tree());
+  ASSERT_FALSE(report.files.empty());
+  for (const auto& f : report.files) {
+    EXPECT_EQ(f.readable, ftp::Readability::kUnknown);
+    EXPECT_FALSE(f.has_permissions);
+  }
+}
+
+TEST_F(EnumeratorTest, BannerForbidsAnonymousSkipsLogin) {
+  auto p = personality();
+  p->allow_anonymous = false;
+  p->banner_forbids_anonymous = true;
+  const HostReport report = enumerate(p, tree());
+  EXPECT_EQ(report.login, LoginOutcome::kNotAttempted);
+  EXPECT_TRUE(report.files.empty());
+}
+
+TEST_F(EnumeratorTest, RejectedLoginStillSurveysTls) {
+  auto p = personality();
+  p->allow_anonymous = false;
+  p->user_reply_style = ftpd::UserReplyStyle::kReject530;
+  p->supports_ftps = true;
+  ftp::Certificate cert;
+  cert.subject_cn = "shared-device";
+  cert.issuer_cn = "shared-device";
+  p->certificate = cert;
+  const HostReport report = enumerate(p, tree());
+  EXPECT_EQ(report.login, LoginOutcome::kRejected);
+  EXPECT_TRUE(report.files.empty());
+  EXPECT_TRUE(report.ftps_supported);
+  ASSERT_TRUE(report.certificate);
+  EXPECT_EQ(report.certificate->subject_cn, "shared-device");
+}
+
+TEST_F(EnumeratorTest, RejectIn331TextThenPassStillTried) {
+  auto p = personality();
+  p->allow_anonymous = false;
+  p->user_reply_style = ftpd::UserReplyStyle::kRejectIn331;
+  const HostReport report = enumerate(p, tree());
+  EXPECT_EQ(report.login, LoginOutcome::kRejected);
+}
+
+TEST_F(EnumeratorTest, VirtualHostOutcome) {
+  auto p = personality();
+  p->user_reply_style = ftpd::UserReplyStyle::kNeedVirtualHost;
+  const HostReport report = enumerate(p, tree());
+  EXPECT_EQ(report.login, LoginOutcome::kNeedVirtualHost);
+}
+
+TEST_F(EnumeratorTest, FtpsRequiredOutcome) {
+  auto p = personality();
+  p->requires_ftps_before_login = true;
+  p->supports_ftps = true;
+  ftp::Certificate cert;
+  cert.subject_cn = "x";
+  cert.issuer_cn = "x";
+  p->certificate = cert;
+  const HostReport report = enumerate(p, tree());
+  EXPECT_EQ(report.login, LoginOutcome::kFtpsRequired);
+  EXPECT_TRUE(report.ftps_required_before_login);
+}
+
+TEST_F(EnumeratorTest, RobotsFullExclusionHonored) {
+  auto fs = tree();
+  (void)fs->add_file("/robots.txt",
+                     {.size = 0, .mode = vfs::Mode{0644},
+                      .content = "User-agent: *\nDisallow: /\n"});
+  const HostReport report = enumerate(personality(), fs);
+  EXPECT_TRUE(report.robots_present);
+  EXPECT_TRUE(report.robots_full_exclusion);
+  EXPECT_TRUE(report.files.empty());
+  EXPECT_EQ(report.dirs_listed, 0u);
+}
+
+TEST_F(EnumeratorTest, RobotsPartialExclusionSkipsSubtree) {
+  auto fs = tree();
+  (void)fs->add_file("/robots.txt",
+                     {.size = 0, .mode = vfs::Mode{0644},
+                      .content = "User-agent: *\nDisallow: /pub/sub/\n"});
+  const HostReport report = enumerate(personality(), fs);
+  EXPECT_TRUE(report.robots_present);
+  EXPECT_FALSE(report.robots_full_exclusion);
+  std::set<std::string> paths;
+  for (const auto& f : report.files) paths.insert(f.path);
+  EXPECT_TRUE(paths.count("/pub/a.txt"));
+  EXPECT_TRUE(paths.count("/pub/sub"));        // listed as an entry...
+  EXPECT_FALSE(paths.count("/pub/sub/b.txt")); // ...but never traversed
+}
+
+TEST_F(EnumeratorTest, RobotsIgnoredWhenDisabled) {
+  auto fs = tree();
+  (void)fs->add_file("/robots.txt",
+                     {.size = 0, .mode = vfs::Mode{0644},
+                      .content = "User-agent: *\nDisallow: /\n"});
+  EnumeratorOptions options;
+  options.honor_robots = false;
+  const HostReport report = enumerate(personality(), fs, options);
+  EXPECT_FALSE(report.robots_present);  // never even fetched
+  EXPECT_GT(report.files.size(), 0u);
+}
+
+TEST_F(EnumeratorTest, RequestCapTruncatesTraversal) {
+  auto fs = std::make_shared<vfs::Vfs>();
+  for (int i = 0; i < 60; ++i) {
+    (void)fs->mkdir("/d" + std::to_string(i));
+    (void)fs->add_file("/d" + std::to_string(i) + "/f.txt", {.size = 1});
+  }
+  EnumeratorOptions options;
+  options.request_cap = 20;
+  const HostReport report = enumerate(personality(), fs, options);
+  EXPECT_TRUE(report.truncated_by_request_cap);
+  EXPECT_LT(report.dirs_listed, 60u);
+  EXPECT_LE(report.requests_used, 30u);  // cap + post-traversal surveys
+}
+
+TEST_F(EnumeratorTest, ServerTerminationStopsInteraction) {
+  auto p = personality();
+  p->max_commands_per_session = 8;
+  auto fs = std::make_shared<vfs::Vfs>();
+  for (int i = 0; i < 20; ++i) {
+    (void)fs->mkdir("/dir" + std::to_string(i));
+  }
+  const HostReport report = enumerate(p, fs);
+  EXPECT_TRUE(report.server_terminated_early);
+  EXPECT_FALSE(report.error.is_ok());
+}
+
+TEST_F(EnumeratorTest, SurveysCollected) {
+  auto p = personality();
+  p->syst_reply = "UNIX Type: L8";
+  p->feat_lines = {"MDTM", "SIZE"};
+  const HostReport report = enumerate(p, tree());
+  EXPECT_EQ(report.syst_reply, "UNIX Type: L8");
+  ASSERT_GE(report.feat_lines.size(), 3u);  // "Features:" + entries + "End"
+  EXPECT_FALSE(report.help_text.empty());
+  EXPECT_FALSE(report.site_text.empty());
+}
+
+TEST_F(EnumeratorTest, NatPasvRecorded) {
+  auto p = personality();
+  p->internal_ip = Ipv4(192, 168, 77, 5);
+  const HostReport report = enumerate(p, tree());
+  ASSERT_TRUE(report.pasv_ip);
+  EXPECT_EQ(*report.pasv_ip, Ipv4(192, 168, 77, 5));
+}
+
+TEST_F(EnumeratorTest, NonNatHasNoPasvMismatch) {
+  const HostReport report = enumerate(personality(), tree());
+  EXPECT_FALSE(report.pasv_ip);
+}
+
+TEST_F(EnumeratorTest, RefusedConnectionReported) {
+  std::optional<HostReport> report;
+  HostEnumerator::start(network_, Ipv4(203, 0, 113, 250), {},
+                        [&](HostReport r) { report = std::move(r); });
+  loop_.run_while_pending([&] { return report.has_value(); });
+  EXPECT_FALSE(report->connected);
+  EXPECT_FALSE(report->ftp_compliant);
+  EXPECT_FALSE(report->error.is_ok());
+}
+
+TEST_F(EnumeratorTest, NonFtpSpeakerNotCompliant) {
+  network_.listen(target_, 21, [](std::shared_ptr<sim::Connection> conn) {
+    conn->send("SSH-2.0-dropbear\r\n");
+    conn->close();
+  });
+  std::optional<HostReport> report;
+  HostEnumerator::start(network_, target_, {},
+                        [&](HostReport r) { report = std::move(r); });
+  loop_.run_while_pending([&] { return report.has_value(); });
+  network_.stop_listening(target_, 21);
+  EXPECT_TRUE(report->connected);
+  EXPECT_FALSE(report->ftp_compliant);
+}
+
+TEST_F(EnumeratorTest, SilentListenerTimesOut) {
+  network_.listen(target_, 21, [](std::shared_ptr<sim::Connection>) {});
+  std::optional<HostReport> report;
+  HostEnumerator::start(network_, target_, {},
+                        [&](HostReport r) { report = std::move(r); });
+  loop_.run_while_pending([&] { return report.has_value(); });
+  network_.stop_listening(target_, 21);
+  EXPECT_FALSE(report->ftp_compliant);
+  EXPECT_EQ(report->error.code(), ErrorCode::kTimeout);
+}
+
+TEST_F(EnumeratorTest, DepthFirstAblationCoversSameTree) {
+  EnumeratorOptions options;
+  options.breadth_first = false;
+  const HostReport report = enumerate(personality(), tree(), options);
+  EXPECT_EQ(report.files.size(), 5u);
+}
+
+TEST_F(EnumeratorTest, RateLimitSpacingRespected) {
+  EnumeratorOptions options;
+  options.request_gap = sim::kSecond;  // 1 req/s
+  const sim::SimTime start = loop_.now();
+  const HostReport report = enumerate(personality(), tree(), options);
+  // One inter-request gap precedes each LIST (and each survey step), so at
+  // least dirs_listed seconds of virtual time must have elapsed.
+  EXPECT_GE(loop_.now() - start, report.dirs_listed * sim::kSecond);
+}
+
+TEST_F(EnumeratorTest, TlsDisabledSkipsCert) {
+  auto p = personality();
+  p->supports_ftps = true;
+  ftp::Certificate cert;
+  cert.subject_cn = "x";
+  cert.issuer_cn = "x";
+  p->certificate = cert;
+  EnumeratorOptions options;
+  options.try_tls = false;
+  const HostReport report = enumerate(p, tree(), options);
+  EXPECT_FALSE(report.ftps_supported);
+  EXPECT_FALSE(report.certificate);
+}
+
+TEST_F(EnumeratorTest, MaxFilesCapRespected) {
+  auto fs = std::make_shared<vfs::Vfs>();
+  for (int i = 0; i < 100; ++i) {
+    (void)fs->add_file("/f" + std::to_string(i), {.size = 1});
+  }
+  EnumeratorOptions options;
+  options.max_files = 25;
+  const HostReport report = enumerate(personality(), fs, options);
+  EXPECT_EQ(report.files.size(), 25u);
+}
+
+}  // namespace
+}  // namespace ftpc::core

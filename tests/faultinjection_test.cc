@@ -1,0 +1,160 @@
+// Failure-injection tests: the census pipeline must complete and stay
+// self-consistent when the network randomly drops connects and resets
+// streams mid-session — the enumerator treats damage as refusal of
+// service, never hangs, never double-reports a host.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <set>
+#include <tuple>
+
+#include "common/rng.h"
+#include "core/census.h"
+#include "ftpd/server.h"
+#include "net/internet.h"
+#include "popgen/population.h"
+#include "sim/network.h"
+
+namespace ftpc {
+namespace {
+
+/// Deterministic chaos: a fraction of connects time out, a fraction of
+/// sends kill the connection.
+class ChaosInjector : public sim::FaultInjector {
+ public:
+  ChaosInjector(std::uint64_t seed, double connect_fail_p, double send_fail_p)
+      : rng_(seed), connect_fail_p_(connect_fail_p), send_fail_p_(send_fail_p) {}
+
+  Status on_connect(std::uint64_t, Ipv4, std::uint16_t) override {
+    if (rng_.chance(connect_fail_p_)) {
+      ++connect_faults_;
+      return Status(ErrorCode::kTimeout, "injected connect loss");
+    }
+    return Status::ok();
+  }
+
+  Status on_send(std::uint64_t, std::size_t) override {
+    if (rng_.chance(send_fail_p_)) {
+      ++send_faults_;
+      return Status(ErrorCode::kConnectionReset, "injected stream loss");
+    }
+    return Status::ok();
+  }
+
+  std::uint64_t connect_faults() const noexcept { return connect_faults_; }
+  std::uint64_t send_faults() const noexcept { return send_faults_; }
+
+ private:
+  Xoshiro256ss rng_;
+  double connect_fail_p_;
+  double send_fail_p_;
+  std::uint64_t connect_faults_ = 0;
+  std::uint64_t send_faults_ = 0;
+};
+
+struct CountingSink : core::RecordSink {
+  std::uint64_t reports = 0;
+  std::uint64_t compliant = 0;
+  std::uint64_t anonymous = 0;
+  std::uint64_t terminated = 0;
+  std::set<std::uint32_t> seen;
+  bool duplicates = false;
+
+  void on_host(const core::HostReport& report) override {
+    ++reports;
+    if (!seen.insert(report.ip.value()).second) duplicates = true;
+    if (report.ftp_compliant) ++compliant;
+    if (report.anonymous()) ++anonymous;
+    if (report.server_terminated_early) ++terminated;
+  }
+};
+
+class FaultInjectionTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FaultInjectionTest, CensusCompletesUnderChaos) {
+  const double fault_rate = GetParam();
+
+  popgen::SyntheticPopulation population(42);
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  net::Internet internet(network, population, 64);
+  ChaosInjector chaos(99, fault_rate, fault_rate / 20);
+  network.set_fault_injector(&chaos);
+
+  core::CensusConfig config;
+  config.seed = 42;
+  config.scale_shift = 14;
+  CountingSink sink;
+  core::Census census(network, config);
+  const core::CensusStats stats = census.run(sink);
+
+  // Every discovered host produced exactly one report, chaos or not.
+  EXPECT_EQ(sink.reports, stats.scan.responsive);
+  EXPECT_FALSE(sink.duplicates);
+  EXPECT_LE(sink.anonymous, sink.compliant);
+  // The loop fully drained: no stuck session left events behind forever.
+  EXPECT_LE(loop.pending(), 2u);
+  if (fault_rate > 0.0) {
+    EXPECT_GT(chaos.connect_faults() + chaos.send_faults(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChaosLevels, FaultInjectionTest,
+                         ::testing::Values(0.0, 0.02, 0.10, 0.30));
+
+TEST(FaultInjectionTest, HeavyChaosDegradesButNeverCorrupts) {
+  popgen::SyntheticPopulation population(42);
+
+  auto run_with = [&](double rate) {
+    sim::EventLoop loop;
+    sim::Network network(loop);
+    net::Internet internet(network, population, 64);
+    ChaosInjector chaos(7, rate, rate / 10);
+    network.set_fault_injector(&chaos);
+    core::CensusConfig config;
+    config.seed = 42;
+    config.scale_shift = 14;
+    CountingSink sink;
+    core::Census census(network, config);
+    census.run(sink);
+    return std::tuple(sink.compliant, sink.anonymous);
+  };
+
+  const auto [clean_compliant, clean_anon] = run_with(0.0);
+  const auto [dirty_compliant, dirty_anon] = run_with(0.5);
+  // Heavy chaos can only lose hosts, never invent them.
+  EXPECT_LT(dirty_compliant, clean_compliant);
+  EXPECT_LE(dirty_anon, clean_anon);
+  EXPECT_GT(dirty_compliant, 0u);  // but the study still produces data
+}
+
+TEST(FaultInjectionTest, MidTraversalResetKeepsPartialListing) {
+  // A server that dies after N commands yields a partial, truncated-marked
+  // report rather than nothing.
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  auto personality = std::make_shared<ftpd::Personality>();
+  personality->banner = "220 flaky";
+  personality->allow_anonymous = true;
+  personality->max_commands_per_session = 6;
+  auto fs = std::make_shared<vfs::Vfs>();
+  for (int i = 0; i < 10; ++i) {
+    (void)fs->mkdir("/d" + std::to_string(i));
+    (void)fs->add_file("/d" + std::to_string(i) + "/f", {.size = 1});
+  }
+  const Ipv4 ip(8, 7, 6, 5);
+  auto server = std::make_shared<ftpd::FtpServer>(ip, personality, fs);
+  server->attach(network);
+
+  std::optional<core::HostReport> report;
+  core::HostEnumerator::start(network, ip, {},
+                              [&](core::HostReport r) { report = std::move(r); });
+  loop.run_while_pending([&] { return report.has_value(); });
+  ASSERT_TRUE(report);
+  EXPECT_TRUE(report->server_terminated_early);
+  EXPECT_GT(report->files.size(), 0u);  // partial data survived
+  EXPECT_FALSE(report->error.is_ok());
+}
+
+}  // namespace
+}  // namespace ftpc

@@ -1,0 +1,536 @@
+#include <gtest/gtest.h>
+
+#include "common/ipv4.h"
+#include "ftp/cert.h"
+#include "ftp/command.h"
+#include "ftp/listing_parser.h"
+#include "ftp/path.h"
+#include "ftp/reply.h"
+#include "ftp/robots.h"
+
+namespace ftpc::ftp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Commands
+// ---------------------------------------------------------------------------
+
+TEST(CommandTest, ParseBasics) {
+  const auto cmd = parse_command("USER anonymous");
+  ASSERT_TRUE(cmd);
+  EXPECT_EQ(cmd->verb, "USER");
+  EXPECT_EQ(cmd->arg, "anonymous");
+}
+
+TEST(CommandTest, VerbIsUppercased) {
+  EXPECT_EQ(parse_command("list /pub")->verb, "LIST");
+  EXPECT_EQ(parse_command("Cwd dir")->verb, "CWD");
+}
+
+TEST(CommandTest, NoArgument) {
+  const auto cmd = parse_command("PASV");
+  ASSERT_TRUE(cmd);
+  EXPECT_EQ(cmd->verb, "PASV");
+  EXPECT_TRUE(cmd->arg.empty());
+}
+
+TEST(CommandTest, ArgumentKeepsInteriorSpaces) {
+  const auto cmd = parse_command("RETR my file name.txt");
+  ASSERT_TRUE(cmd);
+  EXPECT_EQ(cmd->arg, "my file name.txt");
+}
+
+TEST(CommandTest, RejectsEmptyAndNul) {
+  EXPECT_FALSE(parse_command(""));
+  EXPECT_FALSE(parse_command("   "));
+  EXPECT_FALSE(parse_command(std::string_view("US\0ER", 5)));
+}
+
+TEST(CommandTest, WireForm) {
+  EXPECT_EQ((Command{.verb = "USER", .arg = "ftp"}).wire(), "USER ftp\r\n");
+  EXPECT_EQ((Command{.verb = "QUIT", .arg = ""}).wire(), "QUIT\r\n");
+}
+
+TEST(LineReaderTest, SplitsCrlfLines) {
+  LineReader reader;
+  reader.push("USER a\r\nPASS b\r\n");
+  EXPECT_EQ(reader.pop_line(), "USER a");
+  EXPECT_EQ(reader.pop_line(), "PASS b");
+  EXPECT_FALSE(reader.pop_line());
+}
+
+TEST(LineReaderTest, HandlesPartialPushes) {
+  LineReader reader;
+  reader.push("US");
+  EXPECT_FALSE(reader.pop_line());
+  reader.push("ER anonymous\r");
+  EXPECT_FALSE(reader.pop_line());
+  reader.push("\n");
+  EXPECT_EQ(reader.pop_line(), "USER anonymous");
+}
+
+TEST(LineReaderTest, ToleratesBareLf) {
+  LineReader reader;
+  reader.push("NOOP\n");
+  EXPECT_EQ(reader.pop_line(), "NOOP");
+}
+
+TEST(LineReaderTest, OversizedLineIsSurfaced) {
+  LineReader reader;
+  reader.push(std::string(LineReader::kMaxLineBytes + 10, 'x'));
+  const auto line = reader.pop_line();
+  ASSERT_TRUE(line);
+  EXPECT_GT(line->size(), LineReader::kMaxLineBytes);
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Replies
+// ---------------------------------------------------------------------------
+
+TEST(ReplyTest, WireSingleLine) {
+  const Reply reply(230, "Login successful.");
+  EXPECT_EQ(reply.wire(), "230 Login successful.\r\n");
+}
+
+TEST(ReplyTest, WireMultiLine) {
+  Reply reply;
+  reply.code = 220;
+  reply.lines = {"Welcome", "Second line", "Ready."};
+  EXPECT_EQ(reply.wire(), "220-Welcome\r\n220-Second line\r\n220 Ready.\r\n");
+}
+
+TEST(ReplyTest, CodeClassPredicates) {
+  EXPECT_TRUE(Reply(150, "").is_positive_preliminary());
+  EXPECT_TRUE(Reply(226, "").is_positive_completion());
+  EXPECT_TRUE(Reply(331, "").is_positive_intermediate());
+  EXPECT_TRUE(Reply(425, "").is_transient_negative());
+  EXPECT_TRUE(Reply(530, "").is_permanent_negative());
+}
+
+TEST(ReplyParserTest, SingleReply) {
+  ReplyParser parser;
+  parser.push("220 FTP server ready.\r\n");
+  const auto reply = parser.pop_reply();
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->code, 220);
+  EXPECT_EQ(reply->text(), "FTP server ready.");
+  EXPECT_FALSE(parser.pop_reply());
+}
+
+TEST(ReplyParserTest, MultiLineReply) {
+  ReplyParser parser;
+  parser.push("230-Welcome\r\n230-More\r\n230 Done\r\n");
+  const auto reply = parser.pop_reply();
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->code, 230);
+  ASSERT_EQ(reply->lines.size(), 3u);
+  EXPECT_EQ(reply->full_text(), "Welcome\nMore\nDone");
+}
+
+TEST(ReplyParserTest, ContinuationWithoutCodePrefix) {
+  // Seen in the wild: raw text lines inside a multi-line reply.
+  ReplyParser parser;
+  parser.push("214-Commands:\r\n USER PASS\r\n LIST RETR\r\n214 End\r\n");
+  const auto reply = parser.pop_reply();
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->lines.size(), 4u);
+  EXPECT_EQ(reply->lines[1], " USER PASS");
+}
+
+TEST(ReplyParserTest, DifferentCodeInsideMultilineIsText) {
+  ReplyParser parser;
+  parser.push("220-Banner says 530 sometimes\r\n530 not the end\r\n"
+              "220 real end\r\n");
+  const auto reply = parser.pop_reply();
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->code, 220);
+  EXPECT_EQ(reply->lines.size(), 3u);
+}
+
+TEST(ReplyParserTest, ByteAtATime) {
+  ReplyParser parser;
+  const std::string wire = "331 Please specify the password.\r\n";
+  for (const char c : wire) parser.push(std::string_view(&c, 1));
+  const auto reply = parser.pop_reply();
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->code, 331);
+}
+
+TEST(ReplyParserTest, MultipleRepliesQueue) {
+  ReplyParser parser;
+  parser.push("150 Opening\r\n226 Done\r\n");
+  EXPECT_EQ(parser.pop_reply()->code, 150);
+  EXPECT_EQ(parser.pop_reply()->code, 226);
+}
+
+TEST(ReplyParserTest, PoisonedByNonFtp) {
+  ReplyParser parser;
+  parser.push("SSH-2.0-OpenSSH_6.6\r\n");
+  EXPECT_FALSE(parser.pop_reply());
+  EXPECT_TRUE(parser.poisoned());
+  parser.push("220 too late\r\n");
+  EXPECT_FALSE(parser.pop_reply());
+}
+
+TEST(ReplyParserTest, EmptyReplyTextAllowed) {
+  ReplyParser parser;
+  parser.push("200 \r\n");
+  const auto reply = parser.pop_reply();
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->code, 200);
+}
+
+TEST(ReplyParserTest, ShortCodeOnlyLine) {
+  ReplyParser parser;
+  parser.push("220\r\n");  // no separator, no text
+  const auto reply = parser.pop_reply();
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->code, 220);
+  EXPECT_EQ(reply->text(), "");
+}
+
+// ---------------------------------------------------------------------------
+// HostPort / PASV
+// ---------------------------------------------------------------------------
+
+TEST(HostPortTest, WireRoundTrip) {
+  const HostPort hp{.ip = ftpc::Ipv4(192, 0, 2, 10).value(), .port = 50000};
+  EXPECT_EQ(hp.wire(), "192,0,2,10,195,80");
+  const auto parsed = parse_host_port(hp.wire());
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->ip, hp.ip);
+  EXPECT_EQ(parsed->port, hp.port);
+}
+
+TEST(HostPortTest, RejectsBadInput) {
+  EXPECT_FALSE(parse_host_port("1,2,3,4,5"));         // too few
+  EXPECT_FALSE(parse_host_port("1,2,3,4,5,6,7"));     // too many
+  EXPECT_FALSE(parse_host_port("256,2,3,4,5,6"));     // octet range
+  EXPECT_FALSE(parse_host_port("a,2,3,4,5,6"));       // non-numeric
+}
+
+TEST(HostPortTest, ToleratesSpaces) {
+  const auto parsed = parse_host_port(" 10, 0, 0, 1, 4, 0 ");
+  ASSERT_TRUE(parsed);
+  EXPECT_EQ(parsed->ip, ftpc::Ipv4(10, 0, 0, 1).value());
+  EXPECT_EQ(parsed->port, 1024);
+}
+
+TEST(PasvReplyTest, StandardParenthesized) {
+  const auto hp =
+      parse_pasv_reply("Entering Passive Mode (10,0,0,5,195,149).");
+  ASSERT_TRUE(hp);
+  EXPECT_EQ(hp->ip, ftpc::Ipv4(10, 0, 0, 5).value());
+  EXPECT_EQ(hp->port, 50069);
+}
+
+TEST(PasvReplyTest, WithoutParentheses) {
+  const auto hp = parse_pasv_reply("Entering Passive Mode 10,0,0,5,4,1");
+  ASSERT_TRUE(hp);
+  EXPECT_EQ(hp->port, 1025);
+}
+
+TEST(PasvReplyTest, IgnoresLeadingNumbers) {
+  const auto hp = parse_pasv_reply("227 ok =10,1,2,3,10,0");
+  ASSERT_TRUE(hp);
+  EXPECT_EQ(hp->ip, ftpc::Ipv4(10, 1, 2, 3).value());
+}
+
+TEST(PasvReplyTest, NoTupleReturnsNull) {
+  EXPECT_FALSE(parse_pasv_reply("Passive mode refused"));
+  EXPECT_FALSE(parse_pasv_reply("1,2,3 only"));
+}
+
+// ---------------------------------------------------------------------------
+// Listing parser
+// ---------------------------------------------------------------------------
+
+TEST(ListingParserTest, UnixFile) {
+  const auto entry = parse_listing_line(
+      "-rw-r--r--    1 ftp      ftp              1024 Jun 18 09:42 data.bin");
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->name, "data.bin");
+  EXPECT_FALSE(entry->is_dir);
+  EXPECT_EQ(entry->size, 1024u);
+  EXPECT_EQ(entry->readable, Readability::kReadable);
+  EXPECT_FALSE(entry->world_writable);
+  EXPECT_TRUE(entry->has_permissions);
+  EXPECT_EQ(entry->owner, "ftp");
+}
+
+TEST(ListingParserTest, UnixDirectory) {
+  const auto entry = parse_listing_line(
+      "drwxrwxrwx    5 ftp      ftp              4096 Jan  5  2014 incoming");
+  ASSERT_TRUE(entry);
+  EXPECT_TRUE(entry->is_dir);
+  EXPECT_TRUE(entry->world_writable);
+  EXPECT_EQ(entry->name, "incoming");
+}
+
+TEST(ListingParserTest, UnixNonReadable) {
+  const auto entry = parse_listing_line(
+      "-rw-------    1 root     root              718 Mar  3  2013 shadow");
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->readable, Readability::kNotReadable);
+  EXPECT_EQ(entry->owner, "root");
+}
+
+TEST(ListingParserTest, UnixNameWithSpaces) {
+  const auto entry = parse_listing_line(
+      "-rw-r--r--    1 ftp      ftp            52224 Jun 18  2014 Tax Return "
+      "2013.pdf");
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->name, "Tax Return 2013.pdf");
+}
+
+TEST(ListingParserTest, UnixSymlinkKeepsLinkName) {
+  const auto entry = parse_listing_line(
+      "lrwxrwxrwx    1 ftp      ftp                11 Jun 18  2014 www -> "
+      "public_html");
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->name, "www");
+}
+
+TEST(ListingParserTest, WindowsFile) {
+  const auto entry = parse_listing_line(
+      "06-18-15  09:42AM                52224 report.doc");
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->name, "report.doc");
+  EXPECT_EQ(entry->size, 52224u);
+  EXPECT_EQ(entry->readable, Readability::kUnknown);
+  EXPECT_FALSE(entry->has_permissions);
+}
+
+TEST(ListingParserTest, WindowsDirectory) {
+  const auto entry = parse_listing_line(
+      "11-02-12  05:30PM       <DIR>          WINDOWS");
+  ASSERT_TRUE(entry);
+  EXPECT_TRUE(entry->is_dir);
+  EXPECT_EQ(entry->name, "WINDOWS");
+}
+
+TEST(ListingParserTest, WindowsNameWithSpaces) {
+  const auto entry = parse_listing_line(
+      "11-02-12  05:30PM       <DIR>          Program Files");
+  ASSERT_TRUE(entry);
+  EXPECT_EQ(entry->name, "Program Files");
+}
+
+TEST(ListingParserTest, RejectsGarbage) {
+  EXPECT_FALSE(parse_listing_line("total 42"));
+  EXPECT_FALSE(parse_listing_line(""));
+  EXPECT_FALSE(parse_listing_line("welcome to my ftp"));
+  EXPECT_FALSE(parse_listing_line("-rw-r--r--"));  // truncated
+}
+
+TEST(ListingParserTest, SkipsDotEntries) {
+  EXPECT_FALSE(parse_listing_line(
+      "drwxr-xr-x    2 ftp      ftp              4096 Jun 18  2014 ."));
+  EXPECT_FALSE(parse_listing_line(
+      "drwxr-xr-x    2 ftp      ftp              4096 Jun 18  2014 .."));
+}
+
+TEST(ListingParserTest, FullBodyCountsSkipped) {
+  const std::string body =
+      "total 2\r\n"
+      "-rw-r--r--    1 ftp ftp 100 Jun 18  2014 a.txt\r\n"
+      "garbage line\r\n"
+      "-rw-r--r--    1 ftp ftp 200 Jun 18  2014 b.txt\r\n";
+  std::size_t skipped = 0;
+  const auto entries = parse_listing(body, &skipped);
+  EXPECT_EQ(entries.size(), 2u);
+  EXPECT_EQ(skipped, 2u);  // "total 2" and "garbage line"
+}
+
+TEST(ListingParserTest, MixedDialectsInOneBody) {
+  const std::string body =
+      "-rw-r--r--    1 ftp ftp 100 Jun 18  2014 unix.txt\r\n"
+      "06-18-15  09:42AM                  100 windows.txt\r\n";
+  const auto entries = parse_listing(body);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_TRUE(entries[0].has_permissions);
+  EXPECT_FALSE(entries[1].has_permissions);
+}
+
+// ---------------------------------------------------------------------------
+// robots.txt
+// ---------------------------------------------------------------------------
+
+TEST(RobotsTest, EmptyAllowsEverything) {
+  const auto policy = RobotsPolicy::parse("");
+  EXPECT_TRUE(policy.is_allowed("ftpcensus", "/anything"));
+  EXPECT_FALSE(policy.excludes_everything("ftpcensus"));
+}
+
+TEST(RobotsTest, FullExclusion) {
+  const auto policy = RobotsPolicy::parse("User-agent: *\nDisallow: /\n");
+  EXPECT_TRUE(policy.excludes_everything("ftpcensus"));
+  EXPECT_FALSE(policy.is_allowed("ftpcensus", "/pub/file"));
+}
+
+TEST(RobotsTest, PathPrefixes) {
+  const auto policy = RobotsPolicy::parse(
+      "User-agent: *\nDisallow: /private/\nDisallow: /tmp\n");
+  EXPECT_FALSE(policy.is_allowed("x", "/private/file"));
+  EXPECT_TRUE(policy.is_allowed("x", "/privateer"));  // needs the slash
+  EXPECT_FALSE(policy.is_allowed("x", "/tmpfile"));   // no trailing slash
+  EXPECT_TRUE(policy.is_allowed("x", "/public"));
+}
+
+TEST(RobotsTest, AllowOverridesAtLongerMatch) {
+  const auto policy = RobotsPolicy::parse(
+      "User-agent: *\nDisallow: /pub/\nAllow: /pub/open/\n");
+  EXPECT_FALSE(policy.is_allowed("x", "/pub/secret"));
+  EXPECT_TRUE(policy.is_allowed("x", "/pub/open/file"));
+}
+
+TEST(RobotsTest, AllowWinsTies) {
+  const auto policy = RobotsPolicy::parse(
+      "User-agent: *\nDisallow: /dir/\nAllow: /dir/\n");
+  EXPECT_TRUE(policy.is_allowed("x", "/dir/file"));
+}
+
+TEST(RobotsTest, SpecificAgentGroupWins) {
+  const auto policy = RobotsPolicy::parse(
+      "User-agent: *\nDisallow: /\n\nUser-agent: ftpcensus\nDisallow: "
+      "/private/\n");
+  EXPECT_TRUE(policy.is_allowed("ftpcensus", "/pub"));
+  EXPECT_FALSE(policy.is_allowed("ftpcensus", "/private/x"));
+  EXPECT_FALSE(policy.is_allowed("otherbot", "/pub"));
+}
+
+TEST(RobotsTest, SharedGroupAgents) {
+  const auto policy = RobotsPolicy::parse(
+      "User-agent: a\nUser-agent: b\nDisallow: /x/\n");
+  EXPECT_FALSE(policy.is_allowed("a", "/x/1"));
+  EXPECT_FALSE(policy.is_allowed("b", "/x/1"));
+  EXPECT_TRUE(policy.is_allowed("c", "/x/1"));  // no wildcard group
+}
+
+TEST(RobotsTest, WildcardsInPaths) {
+  const auto policy = RobotsPolicy::parse(
+      "User-agent: *\nDisallow: /*.zip$\nDisallow: /backup*/\n");
+  EXPECT_FALSE(policy.is_allowed("x", "/data.zip"));
+  EXPECT_TRUE(policy.is_allowed("x", "/data.zip.txt"));  // $ anchor
+  EXPECT_FALSE(policy.is_allowed("x", "/backup-2015/f"));
+}
+
+TEST(RobotsTest, CommentsAndCaseInsensitiveFields) {
+  const auto policy = RobotsPolicy::parse(
+      "# a comment\nUSER-AGENT: *  # trailing\nDISALLOW: /secret/\n");
+  EXPECT_FALSE(policy.is_allowed("x", "/secret/f"));
+}
+
+TEST(RobotsTest, CrawlDelay) {
+  const auto policy = RobotsPolicy::parse(
+      "User-agent: *\nCrawl-delay: 2.5\nDisallow: /x/\n");
+  ASSERT_TRUE(policy.crawl_delay("anybot"));
+  EXPECT_DOUBLE_EQ(*policy.crawl_delay("anybot"), 2.5);
+}
+
+TEST(RobotsTest, EmptyDisallowMeansAllowAll) {
+  const auto policy = RobotsPolicy::parse("User-agent: *\nDisallow:\n");
+  EXPECT_TRUE(policy.is_allowed("x", "/anything"));
+}
+
+TEST(RobotsTest, NoTrailingNewline) {
+  const auto policy =
+      RobotsPolicy::parse("User-agent: *\nDisallow: /private/");
+  EXPECT_FALSE(policy.is_allowed("x", "/private/f"));
+}
+
+// ---------------------------------------------------------------------------
+// Path resolution
+// ---------------------------------------------------------------------------
+
+struct PathCase {
+  const char* cwd;
+  const char* arg;
+  const char* expected;
+};
+
+class PathResolveTest : public ::testing::TestWithParam<PathCase> {};
+
+TEST_P(PathResolveTest, Resolves) {
+  const PathCase& c = GetParam();
+  EXPECT_EQ(resolve_path(c.cwd, c.arg), c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, PathResolveTest,
+    ::testing::Values(
+        PathCase{"/", "", "/"}, PathCase{"/", "pub", "/pub"},
+        PathCase{"/a/b", "c", "/a/b/c"}, PathCase{"/a/b", "../x", "/a/x"},
+        PathCase{"/a", "/etc//./", "/etc"}, PathCase{"/", "..", "/"},
+        PathCase{"/a/b/c", "../../..", "/"},
+        PathCase{"/a", "./b/./c", "/a/b/c"},
+        PathCase{"/x", "/abs/path", "/abs/path"},
+        PathCase{"/x", "a/../b", "/x/b"},
+        PathCase{"/", "../../escape", "/escape"}));
+
+TEST(PathTest, JoinPath) {
+  EXPECT_EQ(join_path("/", "a"), "/a");
+  EXPECT_EQ(join_path("/a", "b"), "/a/b");
+}
+
+TEST(PathTest, IsNormalized) {
+  EXPECT_TRUE(is_normalized("/"));
+  EXPECT_TRUE(is_normalized("/a/b"));
+  EXPECT_FALSE(is_normalized(""));
+  EXPECT_FALSE(is_normalized("a/b"));
+  EXPECT_FALSE(is_normalized("/a/"));
+  EXPECT_FALSE(is_normalized("/a//b"));
+  EXPECT_FALSE(is_normalized("/a/../b"));
+}
+
+TEST(PathTest, Depth) {
+  EXPECT_EQ(path_depth("/"), 0u);
+  EXPECT_EQ(path_depth("/a"), 1u);
+  EXPECT_EQ(path_depth("/a/b/c"), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Certificates
+// ---------------------------------------------------------------------------
+
+TEST(CertTest, EncodeDecodeRoundTrip) {
+  Certificate cert;
+  cert.subject_cn = "*.home.pl";
+  cert.issuer_cn = "SimTrust CA";
+  cert.serial = 0x1234;
+  cert.key_id = 0xabcd;
+  cert.browser_trusted = true;
+  const auto decoded = Certificate::decode(cert.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(*decoded, cert);
+}
+
+TEST(CertTest, SelfSignedDetection) {
+  Certificate cert;
+  cert.subject_cn = "localhost";
+  cert.issuer_cn = "localhost";
+  EXPECT_TRUE(cert.self_signed());
+  cert.issuer_cn = "CA";
+  EXPECT_FALSE(cert.self_signed());
+}
+
+TEST(CertTest, FingerprintStableAndDistinct) {
+  Certificate a;
+  a.subject_cn = "QNAP NAS (#1)";
+  a.issuer_cn = a.subject_cn;
+  Certificate b = a;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.serial = 99;
+  EXPECT_FALSE(a.fingerprint() == b.fingerprint());
+}
+
+TEST(CertTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Certificate::decode(""));
+  EXPECT_FALSE(Certificate::decode("CN=x"));           // missing issuer
+  EXPECT_FALSE(Certificate::decode("CN=x|IS=y|SN=zz")); // bad hex
+  EXPECT_FALSE(Certificate::decode("XX=1|CN=x|IS=y"));  // unknown field
+}
+
+}  // namespace
+}  // namespace ftpc::ftp

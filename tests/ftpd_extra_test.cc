@@ -1,0 +1,213 @@
+// Additional ftpd behaviour coverage: miscellaneous commands, the FEAT
+// surface, multi-session isolation, and PASV bookkeeping edge cases.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "ftp/client.h"
+#include "ftpd/server.h"
+#include "sim/network.h"
+#include "vfs/vfs.h"
+
+namespace ftpc {
+namespace {
+
+class FtpdExtraTest : public ::testing::Test {
+ protected:
+  FtpdExtraTest() : network_(loop_) {}
+
+  std::shared_ptr<ftpd::FtpServer> deploy(
+      std::shared_ptr<ftpd::Personality> personality,
+      std::shared_ptr<vfs::Vfs> fs) {
+    auto server = std::make_shared<ftpd::FtpServer>(server_ip_, personality,
+                                                    std::move(fs));
+    server->attach(network_);
+    return server;
+  }
+
+  std::shared_ptr<ftpd::Personality> personality() {
+    auto p = std::make_shared<ftpd::Personality>();
+    p->banner = "220 extra";
+    p->allow_anonymous = true;
+    p->feat_lines = {"MDTM", "SIZE", "REST STREAM"};
+    return p;
+  }
+
+  std::shared_ptr<ftp::FtpClient> connected_client() {
+    ftp::FtpClient::Options options;
+    options.client_ip = client_ip_;
+    auto client = ftp::FtpClient::create(network_, options);
+    bool done = false;
+    client->connect(server_ip_, 21, [&](Result<ftp::Reply>) { done = true; });
+    loop_.run_while_pending([&] { return done; });
+    return client;
+  }
+
+  ftp::Reply roundtrip(const std::shared_ptr<ftp::FtpClient>& client,
+                       std::string verb, std::string arg) {
+    std::optional<ftp::Reply> reply;
+    client->send(std::move(verb), std::move(arg), [&](Result<ftp::Reply> r) {
+      reply = r.is_ok() ? r.value() : ftp::Reply(0, r.status().str());
+    });
+    loop_.run_while_pending([&] { return reply.has_value(); });
+    return *reply;
+  }
+
+  void login(const std::shared_ptr<ftp::FtpClient>& client) {
+    roundtrip(client, "USER", "anonymous");
+    roundtrip(client, "PASS", "t@e.st");
+  }
+
+  sim::EventLoop loop_;
+  sim::Network network_;
+  const Ipv4 server_ip_{203, 0, 113, 50};
+  const Ipv4 client_ip_{203, 0, 113, 51};
+};
+
+TEST_F(FtpdExtraTest, FeatListsConfiguredFeatures) {
+  auto server = deploy(personality(), std::make_shared<vfs::Vfs>());
+  auto client = connected_client();
+  const ftp::Reply feat = roundtrip(client, "FEAT", "");
+  EXPECT_EQ(feat.code, 211);
+  EXPECT_NE(feat.full_text().find("MDTM"), std::string::npos);
+  EXPECT_NE(feat.full_text().find("REST STREAM"), std::string::npos);
+  EXPECT_EQ(feat.lines.back(), "End");
+}
+
+TEST_F(FtpdExtraTest, MiscCommands) {
+  auto server = deploy(personality(), std::make_shared<vfs::Vfs>());
+  auto client = connected_client();
+  login(client);
+  EXPECT_EQ(roundtrip(client, "TYPE", "I").code, 200);
+  EXPECT_EQ(roundtrip(client, "STRU", "F").code, 200);
+  EXPECT_EQ(roundtrip(client, "MODE", "S").code, 200);
+  EXPECT_EQ(roundtrip(client, "REST", "100").code, 350);
+  EXPECT_EQ(roundtrip(client, "ABOR", "").code, 226);
+  EXPECT_EQ(roundtrip(client, "STAT", "").code, 211);
+  EXPECT_EQ(roundtrip(client, "XPWD", "").code, 257);
+}
+
+TEST_F(FtpdExtraTest, SiteReplyUsesConfiguredCode) {
+  auto p = personality();
+  p->site_reply = "200 SITE noop accepted";
+  auto server = deploy(p, std::make_shared<vfs::Vfs>());
+  auto client = connected_client();
+  const ftp::Reply site = roundtrip(client, "SITE", "HELP");
+  EXPECT_EQ(site.code, 200);
+  EXPECT_NE(site.text().find("SITE noop"), std::string::npos);
+}
+
+TEST_F(FtpdExtraTest, TwoConcurrentSessionsAreIsolated) {
+  auto fs = std::make_shared<vfs::Vfs>();
+  ASSERT_TRUE(fs->mkdir("/a").is_ok());
+  ASSERT_TRUE(fs->mkdir("/b").is_ok());
+  auto server = deploy(personality(), fs);
+
+  auto c1 = connected_client();
+  ftp::FtpClient::Options options;
+  options.client_ip = Ipv4(203, 0, 113, 52);
+  auto c2 = ftp::FtpClient::create(network_, options);
+  bool done = false;
+  c2->connect(server_ip_, 21, [&](Result<ftp::Reply>) { done = true; });
+  loop_.run_while_pending([&] { return done; });
+
+  login(c1);
+  login(c2);
+  EXPECT_EQ(roundtrip(c1, "CWD", "/a").code, 250);
+  EXPECT_EQ(roundtrip(c2, "CWD", "/b").code, 250);
+  // Working directories do not bleed across sessions.
+  EXPECT_NE(roundtrip(c1, "PWD", "").text().find("\"/a\""),
+            std::string::npos);
+  EXPECT_NE(roundtrip(c2, "PWD", "").text().find("\"/b\""),
+            std::string::npos);
+  EXPECT_EQ(server->sessions_accepted(), 2u);
+}
+
+TEST_F(FtpdExtraTest, RepeatedPasvReplacesListener) {
+  auto server = deploy(personality(), std::make_shared<vfs::Vfs>());
+  auto client = connected_client();
+  login(client);
+  const ftp::Reply first = roundtrip(client, "PASV", "");
+  const ftp::Reply second = roundtrip(client, "PASV", "");
+  ASSERT_EQ(first.code, 227);
+  ASSERT_EQ(second.code, 227);
+  const auto hp1 = ftp::parse_pasv_reply(first.full_text());
+  const auto hp2 = ftp::parse_pasv_reply(second.full_text());
+  ASSERT_TRUE(hp1 && hp2);
+  EXPECT_NE(hp1->port, hp2->port);
+  // The stale listener is gone; only the new port accepts.
+  EXPECT_FALSE(network_.is_listening(server_ip_, hp1->port));
+  EXPECT_TRUE(network_.is_listening(server_ip_, hp2->port));
+}
+
+TEST_F(FtpdExtraTest, TransferWithoutDataChannelGets425) {
+  auto server = deploy(personality(), std::make_shared<vfs::Vfs>());
+  auto client = connected_client();
+  login(client);
+  // LIST with no preceding PASV/PORT.
+  const ftp::Reply reply = roundtrip(client, "LIST", "/");
+  EXPECT_EQ(reply.code, 425);
+}
+
+TEST_F(FtpdExtraTest, PasvWithoutDialInTimesOutWith425) {
+  auto server = deploy(personality(), std::make_shared<vfs::Vfs>());
+  // The server gives up waiting for the data dial-in after 30 virtual
+  // seconds; the client must outwait that to observe the 425.
+  ftp::FtpClient::Options options;
+  options.client_ip = client_ip_;
+  options.reply_timeout = 120 * sim::kSecond;
+  auto client = ftp::FtpClient::create(network_, options);
+  bool done = false;
+  client->connect(server_ip_, 21, [&](Result<ftp::Reply>) { done = true; });
+  loop_.run_while_pending([&] { return done; });
+  login(client);
+  ASSERT_EQ(roundtrip(client, "PASV", "").code, 227);
+  // Issue LIST but never open the data connection; the server must give
+  // up with 425 after its internal timeout rather than hang.
+  const ftp::Reply reply = roundtrip(client, "LIST", "/");
+  EXPECT_EQ(reply.code, 425);
+}
+
+TEST_F(FtpdExtraTest, UploadToNestedMissingPathFails) {
+  auto p = personality();
+  p->anonymous_writable = true;
+  auto server = deploy(p, std::make_shared<vfs::Vfs>());
+  auto client = connected_client();
+  login(client);
+  std::optional<Result<ftp::TransferOutcome>> out;
+  client->upload("/", "x", [&](Result<ftp::TransferOutcome> r) {
+    out = std::move(r);
+  });
+  loop_.run_while_pending([&] { return out.has_value(); });
+  ASSERT_TRUE(out->is_ok());
+  EXPECT_TRUE(out->value().refused);
+}
+
+TEST_F(FtpdExtraTest, AnonymousAliasesAccepted) {
+  auto server = deploy(personality(), std::make_shared<vfs::Vfs>());
+  auto client = connected_client();
+  // "ftp" is the traditional anonymous alias.
+  EXPECT_EQ(roundtrip(client, "USER", "ftp").code, 331);
+  EXPECT_EQ(roundtrip(client, "PASS", "x@y.z").code, 230);
+}
+
+TEST_F(FtpdExtraTest, DetachStopsNewSessionsButNotActiveOnes) {
+  auto server = deploy(personality(), std::make_shared<vfs::Vfs>());
+  auto client = connected_client();
+  login(client);
+  server->detach(network_);
+  // The live session still answers.
+  EXPECT_EQ(roundtrip(client, "NOOP", "").code, 200);
+  // New connections are refused.
+  ftp::FtpClient::Options options;
+  options.client_ip = Ipv4(203, 0, 113, 53);
+  auto c2 = ftp::FtpClient::create(network_, options);
+  std::optional<bool> ok;
+  c2->connect(server_ip_, 21,
+              [&](Result<ftp::Reply> r) { ok = r.is_ok(); });
+  loop_.run_while_pending([&] { return ok.has_value(); });
+  EXPECT_FALSE(*ok);
+}
+
+}  // namespace
+}  // namespace ftpc

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "honeypot/attackers.h"
+#include "honeypot/honeypot.h"
+#include "sim/network.h"
+
+namespace ftpc::honeypot {
+namespace {
+
+class HoneypotTest : public ::testing::Test {
+ protected:
+  HoneypotTest() : network_(loop_) {}
+
+  sim::EventLoop loop_;
+  sim::Network network_;
+};
+
+TEST_F(HoneypotTest, FleetDeploysEightListeners) {
+  HoneypotFleet fleet(network_, Ipv4(141, 212, 121, 1));
+  EXPECT_EQ(fleet.addresses().size(), 8u);
+  for (const Ipv4 ip : fleet.addresses()) {
+    EXPECT_TRUE(network_.is_listening(ip, 21));
+  }
+}
+
+TEST_F(HoneypotTest, FullStudyReproducesMix) {
+  HoneypotFleet fleet(network_, Ipv4(141, 212, 121, 1));
+  AttackerMix mix;  // defaults sized to §VIII
+  AttackerPopulation attackers(network_, 7, mix);
+  EXPECT_EQ(attackers.total_attackers(), 457u);
+
+  attackers.deploy(fleet.addresses(), 90 * sim::kDay);
+  loop_.run_until_idle();
+
+  const HoneypotLog& log = fleet.log();
+  // §VIII.A: 457 unique scanner IPs. A couple may fail to connect (e.g.
+  // scheduling edge), so allow slack downward only.
+  EXPECT_GE(log.unique_scanners(), 450u);
+  EXPECT_LE(log.unique_scanners(), 457u);
+
+  // 85 spoke FTP.
+  EXPECT_GE(log.spoke_ftp(), 80u);
+  EXPECT_LE(log.spoke_ftp(), 90u);
+
+  // Most of the rest asked for a web page.
+  EXPECT_GE(log.http_get_ips(), 320u);
+
+  // 16 traversed, 21 listed.
+  EXPECT_EQ(log.traversal_ips(), 16u);
+  EXPECT_EQ(log.listing_ips(), 21u);
+
+  // >1,400 unique credential pairs.
+  EXPECT_GE(log.unique_credentials(), 1400u);
+
+  // 8 bounce attempts, all aimed at one third party.
+  EXPECT_EQ(log.bounce_ips(), 8u);
+  EXPECT_EQ(log.bounce_targets(), 1u);
+
+  // AUTH TLS device identification.
+  EXPECT_EQ(log.auth_tls_ips(), 36u);
+
+  // One mod_copy exploit attempt (two SITE CPFR/CPTO commands).
+  EXPECT_GE(log.cve_2015_3306_attempts(), 1u);
+
+  // Seagate password-less root.
+  EXPECT_GE(log.root_login_attempts(), 1u);
+
+  // WaReZ mkdir-without-upload behaviour.
+  EXPECT_GE(log.mkdirs_without_upload(), 1u);
+
+  // ~30% of scanners share one /16 ("China Unicom Henan").
+  EXPECT_NEAR(log.dominant_prefix_share(), 0.30, 0.08);
+}
+
+TEST_F(HoneypotTest, WriteProberUploadsAndDeletes) {
+  HoneypotFleet fleet(network_, Ipv4(141, 212, 121, 1));
+  AttackerMix mix{};
+  mix.http_get_clients = 0;
+  mix.silent_connects = 0;
+  mix.tls_identifiers = 0;
+  mix.traversers = 0;
+  mix.pure_listers = 0;
+  mix.brute_forcers = 0;
+  mix.write_probers = 5;
+  mix.port_bouncers = 0;
+  mix.mod_copy_exploiters = 0;
+  mix.seagate_exploiters = 0;
+  mix.warez_mkdir_clients = 0;
+  AttackerPopulation attackers(network_, 11, mix);
+  attackers.deploy(fleet.addresses(), sim::kDay);
+  loop_.run_until_idle();
+  EXPECT_EQ(fleet.log().uploads(), 5u);
+  EXPECT_EQ(fleet.log().deletes(), 5u);
+}
+
+TEST_F(HoneypotTest, PopulateProbedPathsAddsWebRoots) {
+  HoneypotFleet fleet(network_, Ipv4(141, 212, 121, 1));
+  fleet.populate_probed_paths();
+  // Re-deployment of paths is observable through a traverser now finding
+  // the directory.
+  AttackerMix mix{};
+  mix.http_get_clients = 0;
+  mix.silent_connects = 0;
+  mix.tls_identifiers = 0;
+  mix.traversers = 1;
+  mix.pure_listers = 0;
+  mix.brute_forcers = 0;
+  mix.write_probers = 0;
+  mix.port_bouncers = 0;
+  mix.mod_copy_exploiters = 0;
+  mix.seagate_exploiters = 0;
+  mix.warez_mkdir_clients = 0;
+  AttackerPopulation attackers(network_, 13, mix);
+  attackers.deploy(fleet.addresses(), sim::kHour);
+  loop_.run_until_idle();
+  EXPECT_EQ(fleet.log().traversal_ips(), 1u);
+}
+
+TEST_F(HoneypotTest, LogIgnoresHttpGetAsFtp) {
+  HoneypotLog log;
+  log.on_command(Ipv4(1, 2, 3, 4), ftp::Command{.verb = "GET", .arg = "/"});
+  EXPECT_EQ(log.spoke_ftp(), 0u);
+  EXPECT_EQ(log.http_get_ips(), 1u);
+  log.on_command(Ipv4(1, 2, 3, 5), ftp::Command{.verb = "USER", .arg = "x"});
+  EXPECT_EQ(log.spoke_ftp(), 1u);
+}
+
+TEST_F(HoneypotTest, ModCopyDetection) {
+  HoneypotLog log;
+  log.on_command(Ipv4(1, 1, 1, 1),
+                 ftp::Command{.verb = "SITE", .arg = "CPFR /etc/passwd"});
+  log.on_command(Ipv4(1, 1, 1, 1),
+                 ftp::Command{.verb = "SITE", .arg = "CPTO /tmp/x"});
+  log.on_command(Ipv4(1, 1, 1, 1),
+                 ftp::Command{.verb = "SITE", .arg = "HELP"});
+  EXPECT_EQ(log.cve_2015_3306_attempts(), 2u);
+}
+
+}  // namespace
+}  // namespace ftpc::honeypot

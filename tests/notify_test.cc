@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "analysis/notify.h"
+
+namespace ftpc::analysis {
+namespace {
+
+core::HostReport anon_host(Ipv4 ip) {
+  core::HostReport report;
+  report.ip = ip;
+  report.connected = true;
+  report.ftp_compliant = true;
+  report.banner = "FTP server ready.";
+  report.login = core::LoginOutcome::kAccepted;
+  return report;
+}
+
+core::FileRecord file(std::string path, bool is_dir = false) {
+  core::FileRecord record;
+  record.path = std::move(path);
+  record.is_dir = is_dir;
+  record.readable = ftp::Readability::kReadable;
+  return record;
+}
+
+net::AsTable one_as_table() {
+  return net::AsTable(
+      {net::AsInfo{.asn = 64500, .name = "ExampleNet",
+                   .type = net::AsType::kIsp, .ips_advertised = 65536}},
+      {net::AsTable::Allocation{.first = Ipv4(6, 0, 0, 0).value(),
+                                .last = Ipv4(6, 0, 255, 255).value(),
+                                .as_index = 0}});
+}
+
+TEST(AssessHost, CleanHostHasNoFinding) {
+  core::HostReport report = anon_host(Ipv4(6, 0, 0, 1));
+  report.files.push_back(file("/pub/readme.txt"));
+  const HostFinding finding = assess_host(report);
+  EXPECT_TRUE(finding.evidence.empty());
+  EXPECT_EQ(finding.severity, Severity::kInfo);
+}
+
+TEST(AssessHost, NonAnonymousIgnored) {
+  core::HostReport report = anon_host(Ipv4(6, 0, 0, 1));
+  report.login = core::LoginOutcome::kRejected;
+  report.files.push_back(file("/backup/etc/shadow"));
+  EXPECT_TRUE(assess_host(report).evidence.empty());
+}
+
+TEST(AssessHost, CredentialSeverityForKeys) {
+  core::HostReport report = anon_host(Ipv4(6, 0, 0, 2));
+  report.files.push_back(file("/backup/etc/ssh/ssh_host_rsa_key"));
+  report.files.push_back(file("/docs/passwords.kdbx"));
+  const HostFinding finding = assess_host(report);
+  EXPECT_EQ(finding.severity, Severity::kCredential);
+  EXPECT_EQ(finding.evidence.size(), 2u);
+}
+
+TEST(AssessHost, FinancialIsSensitive) {
+  core::HostReport report = anon_host(Ipv4(6, 0, 0, 3));
+  report.files.push_back(file("/taxes/TurboTax-export-1.txf"));
+  EXPECT_EQ(assess_host(report).severity, Severity::kSensitive);
+}
+
+TEST(AssessHost, PhotoLibraryNeedsTwentyImages) {
+  core::HostReport few = anon_host(Ipv4(6, 0, 0, 4));
+  for (int i = 0; i < 19; ++i) {
+    few.files.push_back(file("/photos/IMG_00" + std::to_string(10 + i) +
+                             ".jpg"));
+  }
+  EXPECT_TRUE(assess_host(few).evidence.empty());
+  few.files.push_back(file("/photos/IMG_0042.jpg"));
+  const HostFinding finding = assess_host(few);
+  EXPECT_EQ(finding.severity, Severity::kSensitive);
+  ASSERT_EQ(finding.evidence.size(), 1u);
+  EXPECT_NE(finding.evidence[0].find("photo library"), std::string::npos);
+}
+
+TEST(AssessHost, MalwareOutranksEverything) {
+  core::HostReport report = anon_host(Ipv4(6, 0, 0, 5));
+  report.files.push_back(file("/backup/etc/shadow"));
+  report.files.push_back(file("/incoming/ftpchk3.php"));
+  report.files.push_back(file("/history.php"));
+  const HostFinding finding = assess_host(report);
+  EXPECT_EQ(finding.severity, Severity::kCompromised);
+  // Deduplicated campaign names: ftpchk3 + history.php DDoS + shadow.
+  EXPECT_EQ(finding.evidence.size(), 3u);
+}
+
+TEST(NotificationBuilderTest, GroupsByAsAndFilters) {
+  const net::AsTable table = one_as_table();
+  NotificationBuilder builder(table);
+
+  core::HostReport credential = anon_host(Ipv4(6, 0, 0, 10));
+  credential.files.push_back(file("/backup/etc/shadow"));
+  builder.on_host(credential);
+
+  core::HostReport sensitive = anon_host(Ipv4(6, 0, 0, 11));
+  sensitive.files.push_back(file("/mail/a.pst"));
+  builder.on_host(sensitive);
+
+  core::HostReport clean = anon_host(Ipv4(6, 0, 0, 12));
+  clean.files.push_back(file("/pub/file.zip"));
+  builder.on_host(clean);
+
+  // Outside any allocation: dropped even with findings.
+  core::HostReport orphan = anon_host(Ipv4(9, 0, 0, 1));
+  orphan.files.push_back(file("/backup/etc/shadow"));
+  builder.on_host(orphan);
+
+  EXPECT_EQ(builder.hosts_with_findings(), 2u);
+
+  const auto all = builder.digests(Severity::kSensitive);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].hosts.size(), 2u);
+  EXPECT_EQ(all[0].worst, Severity::kCredential);
+  // Most severe host listed first.
+  EXPECT_EQ(all[0].hosts[0].severity, Severity::kCredential);
+
+  const auto credential_only = builder.digests(Severity::kCredential);
+  ASSERT_EQ(credential_only.size(), 1u);
+  EXPECT_EQ(credential_only[0].hosts.size(), 1u);
+}
+
+TEST(NotificationBuilderTest, RenderContainsContactEssentials) {
+  const net::AsTable table = one_as_table();
+  NotificationBuilder builder(table);
+  core::HostReport report = anon_host(Ipv4(6, 0, 0, 20));
+  report.files.push_back(file("/docs/keys/login.ppk"));
+  builder.on_host(report);
+  const auto digests = builder.digests(Severity::kInfo);
+  ASSERT_EQ(digests.size(), 1u);
+  const std::string text = builder.render(digests[0]);
+  EXPECT_NE(text.find("AS64500"), std::string::npos);
+  EXPECT_NE(text.find("ExampleNet"), std::string::npos);
+  EXPECT_NE(text.find("6.0.0.20"), std::string::npos);
+  EXPECT_NE(text.find("Putty"), std::string::npos);
+  EXPECT_NE(text.find("disabling anonymous FTP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ftpc::analysis

@@ -1,0 +1,486 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "popgen/calibration.h"
+#include "popgen/catalog.h"
+#include "popgen/fsgen.h"
+#include "popgen/population.h"
+
+namespace ftpc::popgen {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Catalog
+// ---------------------------------------------------------------------------
+
+TEST(Catalog, KeysAreUnique) {
+  std::map<std::string, int> seen;
+  for (const auto& tmpl : device_catalog()) {
+    EXPECT_EQ(seen[tmpl.key]++, 0) << "duplicate key " << tmpl.key;
+  }
+}
+
+TEST(Catalog, TemplateIndexResolvesEveryKey) {
+  for (std::size_t i = 0; i < device_catalog().size(); ++i) {
+    EXPECT_EQ(template_index(device_catalog()[i].key), i);
+  }
+}
+
+TEST(Catalog, ProbabilitiesAreValid) {
+  for (const auto& t : device_catalog()) {
+    EXPECT_GE(t.anon_probability, 0.0) << t.key;
+    EXPECT_LE(t.anon_probability, 1.0) << t.key;
+    EXPECT_GE(t.writable_given_anon, 0.0) << t.key;
+    EXPECT_LE(t.writable_given_anon, 1.0) << t.key;
+    EXPECT_GE(t.ftps_probability, 0.0) << t.key;
+    EXPECT_LE(t.ftps_probability, 1.0) << t.key;
+    EXPECT_GE(t.port_validation_failure, 0.0) << t.key;
+    EXPECT_LE(t.port_validation_failure, 1.0) << t.key;
+  }
+}
+
+TEST(Catalog, BannersNonEmptyAndPrefixed) {
+  for (const auto& t : device_catalog()) {
+    EXPECT_FALSE(t.banner.empty()) << t.key;
+    EXPECT_EQ(t.banner.rfind("220", 0), 0u) << t.key;
+  }
+}
+
+TEST(Catalog, SharedCertTemplatesDeclareCn) {
+  for (const auto& t : device_catalog()) {
+    if (t.cert_policy == CertPolicy::kSharedDevice) {
+      EXPECT_FALSE(t.cert_cn.empty()) << t.key;
+    }
+  }
+}
+
+TEST(Catalog, VersionWeightsPositive) {
+  for (const auto& t : device_catalog()) {
+    for (const auto& v : t.versions) {
+      EXPECT_GT(v.weight, 0.0) << t.key << " " << v.version;
+    }
+  }
+}
+
+TEST(Catalog, PickVersionHonorsWeights) {
+  const auto& proftpd = device_catalog()[template_index("proftpd")];
+  Xoshiro256ss rng(3);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[pick_version(proftpd, rng.next_double()).version];
+  }
+  // 1.3.3g has weight .3595 — the most common.
+  EXPECT_NEAR(counts["1.3.3g"] / 50000.0, 0.3595, 0.02);
+  EXPECT_NEAR(counts["1.3.5"] / 50000.0, 0.1672, 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Calibration
+// ---------------------------------------------------------------------------
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  static const Calibration& cal() {
+    static const Calibration instance = build_calibration(42);
+    return instance;
+  }
+};
+
+TEST_F(CalibrationTest, GlobalFtpTargetMatchesPaper) {
+  EXPECT_EQ(cal().total_ftp_target(), 13'789'641u);
+}
+
+TEST_F(CalibrationTest, AsCountMatchesPaper) {
+  // §IV.A: 34.7K ASes contain FTP servers.
+  EXPECT_EQ(cal().ases.size(), 34'700u);
+}
+
+TEST_F(CalibrationTest, AdvertisedSpaceFitsPublicIpv4) {
+  EXPECT_LE(cal().total_advertised(), public_ipv4_count());
+  // And covers nearly all of it (the paper scanned ~3.68B addresses).
+  EXPECT_GT(cal().total_advertised(), public_ipv4_count() * 99 / 100);
+}
+
+TEST_F(CalibrationTest, ProfilesAreNormalized) {
+  for (const Profile& profile : cal().profiles) {
+    if (profile.mix.empty()) continue;
+    double sum = 0;
+    for (const auto& [key, w] : profile.mix) {
+      EXPECT_GE(w, 0.0) << profile.name;
+      (void)template_index(key);  // asserts key exists
+      sum += w;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << profile.name;
+  }
+}
+
+TEST_F(CalibrationTest, Top10AnonymousAsesArePinned) {
+  // Table VI head entries exist with the paper's advertised counts.
+  bool found_homepl = false, found_chinanet = false;
+  for (const AsSpec& as_spec : cal().ases) {
+    if (as_spec.name == "home.pl S.A.") {
+      found_homepl = true;
+      EXPECT_EQ(as_spec.advertised, 205'312u);
+      EXPECT_EQ(as_spec.ftp_target, 136'765u);
+      ASSERT_TRUE(as_spec.anon_override);
+      EXPECT_NEAR(*as_spec.anon_override, 0.7544, 1e-6);
+    }
+    if (as_spec.name == "Chinanet") {
+      found_chinanet = true;
+      EXPECT_EQ(as_spec.advertised, 120'757'504u);
+    }
+  }
+  EXPECT_TRUE(found_homepl);
+  EXPECT_TRUE(found_chinanet);
+}
+
+TEST_F(CalibrationTest, ExpectedClassTotalsMatchTableII) {
+  std::map<DeviceClass, double> per_class;
+  for (const AsSpec& as_spec : cal().ases) {
+    for (const auto& [key, w] : cal().profiles[as_spec.profile].mix) {
+      const auto& tmpl = device_catalog()[template_index(key)];
+      per_class[tmpl.device_class] +=
+          w * static_cast<double>(as_spec.ftp_target);
+    }
+  }
+  const double embedded = per_class[DeviceClass::kNas] +
+                          per_class[DeviceClass::kHomeRouter] +
+                          per_class[DeviceClass::kPrinter] +
+                          per_class[DeviceClass::kProviderCpe] +
+                          per_class[DeviceClass::kOtherEmbedded];
+  EXPECT_NEAR(per_class[DeviceClass::kGenericServer], 5'957'969, 60'000);
+  EXPECT_NEAR(per_class[DeviceClass::kHostedServer], 1'795'596, 20'000);
+  EXPECT_NEAR(embedded, 1'786'656, 20'000);
+  EXPECT_NEAR(per_class[DeviceClass::kUnknown], 4'249'417, 45'000);
+}
+
+TEST_F(CalibrationTest, DeterministicInSeed) {
+  const Calibration a = build_calibration(7);
+  const Calibration b = build_calibration(7);
+  ASSERT_EQ(a.ases.size(), b.ases.size());
+  for (std::size_t i = 0; i < a.ases.size(); ++i) {
+    EXPECT_EQ(a.ases[i].ftp_target, b.ases[i].ftp_target);
+    EXPECT_EQ(a.ases[i].advertised, b.ases[i].advertised);
+  }
+}
+
+TEST_F(CalibrationTest, AsTableLookupConsistent) {
+  const net::AsTable table = build_as_table(cal());
+  EXPECT_EQ(table.as_count(), cal().ases.size());
+  // Every allocation's endpoints resolve back to their AS.
+  const auto& allocations = table.allocations();
+  ASSERT_FALSE(allocations.empty());
+  for (std::size_t i = 0; i < allocations.size(); i += 997) {
+    const auto& alloc = allocations[i];
+    EXPECT_EQ(table.as_index_of(Ipv4(alloc.first)), alloc.as_index);
+    EXPECT_EQ(table.as_index_of(Ipv4(alloc.last)), alloc.as_index);
+  }
+}
+
+TEST_F(CalibrationTest, ReservedSpaceIsUnallocated) {
+  const net::AsTable table = build_as_table(cal());
+  EXPECT_FALSE(table.as_index_of(Ipv4(10, 1, 2, 3)));
+  EXPECT_FALSE(table.as_index_of(Ipv4(127, 0, 0, 1)));
+  EXPECT_FALSE(table.as_index_of(Ipv4(239, 1, 2, 3)));
+}
+
+// ---------------------------------------------------------------------------
+// Population
+// ---------------------------------------------------------------------------
+
+class PopulationTest : public ::testing::Test {
+ protected:
+  static SyntheticPopulation& pop() {
+    static SyntheticPopulation instance(42);
+    return instance;
+  }
+};
+
+TEST_F(PopulationTest, MembershipIsDeterministic) {
+  Xoshiro256ss rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4 ip(static_cast<std::uint32_t>(rng.next()));
+    EXPECT_EQ(pop().has_ftp(ip), pop().has_ftp(ip));
+    EXPECT_EQ(pop().port_open(ip, 21), pop().port_open(ip, 21));
+  }
+}
+
+TEST_F(PopulationTest, OnlyPort21Answers) {
+  Xoshiro256ss rng(2);
+  for (int i = 0; i < 20000; ++i) {
+    const Ipv4 ip(static_cast<std::uint32_t>(rng.next()));
+    EXPECT_FALSE(pop().port_open(ip, 22));
+    EXPECT_FALSE(pop().port_open(ip, 80));
+  }
+}
+
+TEST_F(PopulationTest, GlobalDensityNearPaper) {
+  // Expected: 13.79M FTP / 3.70B public ≈ 0.373%; junk adds ~0.22%.
+  Xoshiro256ss rng(3);
+  std::uint64_t sampled = 0, ftp = 0, open = 0;
+  while (sampled < 3'000'000) {
+    const Ipv4 ip(static_cast<std::uint32_t>(rng.next()));
+    if (is_reserved(ip)) continue;
+    ++sampled;
+    if (pop().has_ftp(ip)) ++ftp;
+    if (pop().port_open(ip, 21)) ++open;
+  }
+  const double ftp_rate = static_cast<double>(ftp) / 3e6;
+  const double open_rate = static_cast<double>(open) / 3e6;
+  EXPECT_NEAR(ftp_rate, 13'789'641.0 / 3'702'000'000.0, 0.0005);
+  EXPECT_NEAR(open_rate, 21'832'903.0 / 3'702'000'000.0, 0.0006);
+}
+
+TEST_F(PopulationTest, HostConfigOnlyForFtpHosts) {
+  Xoshiro256ss rng(4);
+  int checked = 0;
+  for (int i = 0; checked < 300 && i < 5'000'000; ++i) {
+    const Ipv4 ip(static_cast<std::uint32_t>(rng.next()));
+    const bool has = pop().has_ftp(ip);
+    const auto config = pop().host_config(ip);
+    EXPECT_EQ(has, config.has_value());
+    if (config) {
+      ++checked;
+      EXPECT_EQ(config->ip, ip);
+      EXPECT_TRUE(config->personality != nullptr);
+      EXPECT_FALSE(config->personality->banner.empty());
+    }
+  }
+  EXPECT_EQ(checked, 300);
+}
+
+TEST_F(PopulationTest, HostConfigDeterministic) {
+  // Find an FTP host, then rebuild its config and compare key fields.
+  Xoshiro256ss rng(5);
+  for (int i = 0; i < 5'000'000; ++i) {
+    const Ipv4 ip(static_cast<std::uint32_t>(rng.next()));
+    const auto a = pop().host_config(ip);
+    if (!a) continue;
+    const auto b = pop().host_config(ip);
+    ASSERT_TRUE(b);
+    EXPECT_EQ(a->template_id, b->template_id);
+    EXPECT_EQ(a->personality->banner, b->personality->banner);
+    EXPECT_EQ(a->personality->allow_anonymous,
+              b->personality->allow_anonymous);
+    EXPECT_EQ(a->fs_plan.seed, b->fs_plan.seed);
+    return;
+  }
+  FAIL() << "no FTP host found";
+}
+
+TEST_F(PopulationTest, AnonymousRateNearPaper) {
+  Xoshiro256ss rng(6);
+  int ftp = 0, anon = 0;
+  for (int i = 0; ftp < 4000 && i < 30'000'000; ++i) {
+    const Ipv4 ip(static_cast<std::uint32_t>(rng.next()));
+    const auto config = pop().host_config(ip);
+    if (!config) continue;
+    ++ftp;
+    if (config->personality->allow_anonymous) ++anon;
+  }
+  ASSERT_EQ(ftp, 4000);
+  // Paper: 8.15% of FTP servers allow anonymous access.
+  EXPECT_NEAR(anon / 4000.0, 0.0815, 0.02);
+}
+
+TEST_F(PopulationTest, MaterializeRegistersFtpListener) {
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 5'000'000; ++i) {
+    const Ipv4 ip(static_cast<std::uint32_t>(rng.next()));
+    if (!pop().has_ftp(ip)) continue;
+    auto host = pop().materialize(ip);
+    ASSERT_TRUE(host);
+    sim::EventLoop loop;
+    sim::Network network(loop);
+    host->attach(network);
+    EXPECT_TRUE(network.is_listening(ip, 21));
+    host->detach(network);
+    EXPECT_FALSE(network.is_listening(ip, 21));
+    return;
+  }
+  FAIL() << "no FTP host found";
+}
+
+TEST_F(PopulationTest, HttpProfileRatesSane) {
+  Xoshiro256ss rng(8);
+  int ftp = 0, http = 0, scripting = 0;
+  for (int i = 0; ftp < 4000 && i < 30'000'000; ++i) {
+    const Ipv4 ip(static_cast<std::uint32_t>(rng.next()));
+    if (!pop().has_ftp(ip)) continue;
+    ++ftp;
+    const HttpProfile profile = pop().http_profile(ip);
+    if (profile.has_http) ++http;
+    if (profile.powered_by != HttpProfile::PoweredBy::kNone) ++scripting;
+  }
+  // Paper: 65.27% HTTP overlap, 15.01% scripting headers.
+  EXPECT_NEAR(http / 4000.0, 0.6527, 0.05);
+  EXPECT_NEAR(scripting / 4000.0, 0.1501, 0.04);
+}
+
+// ---------------------------------------------------------------------------
+// Filesystem generation
+// ---------------------------------------------------------------------------
+
+FsPlan base_plan() {
+  FsPlan plan;
+  plan.seed = 99;
+  plan.device_class = DeviceClass::kNas;
+  plan.fs_template = FsTemplate::kNasPersonal;
+  plan.exposes_data = true;
+  return plan;
+}
+
+TEST(Fsgen, Deterministic) {
+  const auto a = build_filesystem(base_plan());
+  const auto b = build_filesystem(base_plan());
+  EXPECT_EQ(a->node_count(), b->node_count());
+}
+
+TEST(Fsgen, EmptyPlanStaysSmall) {
+  FsPlan plan;
+  plan.seed = 1;
+  plan.fs_template = FsTemplate::kEmptyShare;
+  const auto fs = build_filesystem(plan);
+  EXPECT_LE(fs->node_count(), 2u);
+}
+
+TEST(Fsgen, PhotosGeneratedWhenPlanned) {
+  FsPlan plan = base_plan();
+  plan.photos = true;
+  const auto fs = build_filesystem(plan);
+  int photos = 0;
+  fs->walk([&](const std::string& path, const vfs::Node& node) {
+    if (!node.is_dir() && path.find("/photos/") != std::string::npos &&
+        (path.find(".jpg") != std::string::npos ||
+         path.find(".JPG") != std::string::npos)) {
+      ++photos;
+    }
+  });
+  EXPECT_GE(photos, 100);
+}
+
+TEST(Fsgen, SensitiveFilesMatchMask) {
+  FsPlan plan = base_plan();
+  plan.sensitive_mask = bit(SensitiveKind::kShadow) |
+                        bit(SensitiveKind::kSshHostKey);
+  const auto fs = build_filesystem(plan);
+  EXPECT_NE(fs->lookup("/backup/etc/shadow"), nullptr);
+  bool ssh_key = false;
+  fs->walk([&](const std::string& path, const vfs::Node&) {
+    if (path.find("ssh_host_rsa_key") != std::string::npos) ssh_key = true;
+  });
+  EXPECT_TRUE(ssh_key);
+  // Unplanned kinds absent.
+  bool pst = false;
+  fs->walk([&](const std::string& path, const vfs::Node&) {
+    if (path.find(".pst") != std::string::npos) pst = true;
+  });
+  EXPECT_FALSE(pst);
+}
+
+TEST(Fsgen, WritableEvidencePlantsProbeFiles) {
+  FsPlan plan = base_plan();
+  plan.writable = true;
+  plan.writable_evidence = true;
+  plan.campaign_mask = bit(Campaign::kProbeW0t) | bit(Campaign::kFtpchk3) |
+                       bit(Campaign::kDdosHistory);
+  const auto fs = build_filesystem(plan);
+  EXPECT_NE(fs->lookup("/incoming/w0000000t.txt"), nullptr);
+  EXPECT_NE(fs->lookup("/incoming/ftpchk3.txt"), nullptr);
+  EXPECT_NE(fs->lookup("/history.php"), nullptr);
+  const vfs::Node* incoming = fs->lookup("/incoming");
+  ASSERT_NE(incoming, nullptr);
+  EXPECT_TRUE(incoming->mode.world_writable());
+}
+
+TEST(Fsgen, RamnitStyleCampaignFilesHaveContent) {
+  FsPlan plan = base_plan();
+  plan.writable = true;
+  plan.writable_evidence = true;
+  plan.campaign_mask = bit(Campaign::kRat);
+  const auto fs = build_filesystem(plan);
+  const vfs::Node* rat = fs->lookup("/x.php");
+  ASSERT_NE(rat, nullptr);
+  EXPECT_EQ(rat->content, "<?php eval($_POST[5]);?>");
+}
+
+TEST(Fsgen, WarezDirsUseDateStampNames) {
+  FsPlan plan = base_plan();
+  plan.writable = true;
+  plan.writable_evidence = true;
+  plan.campaign_mask = bit(Campaign::kWarez);
+  const auto fs = build_filesystem(plan);
+  int warez_dirs = 0;
+  fs->walk([&](const std::string& path, const vfs::Node& node) {
+    if (!node.is_dir()) return;
+    const auto name = path.substr(path.rfind('/') + 1);
+    if (name.size() == 13 && name.back() == 'p') ++warez_dirs;
+  });
+  EXPECT_GE(warez_dirs, 1);
+}
+
+TEST(Fsgen, RobotsFullExclusion) {
+  FsPlan plan = base_plan();
+  plan.has_robots = true;
+  plan.robots_full_exclusion = true;
+  const auto fs = build_filesystem(plan);
+  const vfs::Node* robots = fs->lookup("/robots.txt");
+  ASSERT_NE(robots, nullptr);
+  EXPECT_NE(robots->content.find("Disallow: /"), std::string::npos);
+}
+
+TEST(Fsgen, OsRootLinux) {
+  FsPlan plan = base_plan();
+  plan.os_root = true;
+  plan.os_root_kind = 0;
+  const auto fs = build_filesystem(plan);
+  EXPECT_NE(fs->lookup("/bin"), nullptr);
+  EXPECT_NE(fs->lookup("/etc"), nullptr);
+  EXPECT_NE(fs->lookup("/boot"), nullptr);
+  EXPECT_NE(fs->lookup("/var"), nullptr);
+}
+
+TEST(Fsgen, OsRootWindows) {
+  FsPlan plan = base_plan();
+  plan.os_root = true;
+  plan.os_root_kind = 1;
+  const auto fs = build_filesystem(plan);
+  EXPECT_NE(fs->lookup("/Windows"), nullptr);
+  EXPECT_NE(fs->lookup("/Program Files"), nullptr);
+  EXPECT_NE(fs->lookup("/Users"), nullptr);
+}
+
+TEST(Fsgen, ScriptingSourceWithHtaccess) {
+  FsPlan plan = base_plan();
+  plan.scripting = true;
+  plan.htaccess = true;
+  const auto fs = build_filesystem(plan);
+  int php = 0, htaccess = 0;
+  fs->walk([&](const std::string& path, const vfs::Node& node) {
+    if (node.is_dir()) return;
+    if (path.find(".php") != std::string::npos) ++php;
+    if (path.find(".htaccess") != std::string::npos) ++htaccess;
+  });
+  EXPECT_GE(php, 30);
+  EXPECT_GE(htaccess, 1);
+}
+
+TEST(Fsgen, HugeTreeIsActuallyHuge) {
+  FsPlan plan;
+  plan.seed = 5;
+  plan.device_class = DeviceClass::kGenericServer;
+  plan.fs_template = FsTemplate::kGenericMirror;
+  plan.exposes_data = true;
+  plan.huge_tree = true;
+  const auto fs = build_filesystem(plan);
+  std::size_t dirs = 0;
+  fs->walk([&](const std::string&, const vfs::Node& node) {
+    if (node.is_dir()) ++dirs;
+  });
+  EXPECT_GT(dirs, 500u);  // needs > 500 LIST requests to traverse
+}
+
+}  // namespace
+}  // namespace ftpc::popgen

@@ -1,0 +1,278 @@
+// Property-style sweeps over cross-module invariants.
+#include <gtest/gtest.h>
+
+#include "analysis/classify.h"
+#include "analysis/cve.h"
+#include "common/rng.h"
+#include "ftp/listing_parser.h"
+#include "ftp/path.h"
+#include "ftp/reply.h"
+#include "popgen/catalog.h"
+#include "popgen/fsgen.h"
+#include "popgen/population.h"
+#include "vfs/listing.h"
+
+namespace ftpc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Render -> parse round trips: whatever the server engine can emit, the
+// enumerator must parse back faithfully. Swept across both dialects and a
+// grid of permissions/sizes/names.
+// ---------------------------------------------------------------------------
+
+struct RoundTripCase {
+  vfs::ListingFormat format;
+  std::uint16_t mode;
+  std::uint64_t size;
+  const char* name;
+  bool is_dir;
+};
+
+class ListingRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(ListingRoundTrip, RenderedLineParsesBack) {
+  const RoundTripCase& c = GetParam();
+  vfs::Node node;
+  node.name = c.name;
+  node.type = c.is_dir ? vfs::NodeType::kDirectory : vfs::NodeType::kFile;
+  node.mode = vfs::Mode{c.mode};
+  node.size = c.size;
+  node.mtime = 1426000000;  // 2015-03-10
+
+  const std::string line =
+      vfs::render_listing_line(node, c.format, 2015);
+  const auto entry = ftp::parse_listing_line(line);
+  ASSERT_TRUE(entry) << line;
+  EXPECT_EQ(entry->name, c.name);
+  EXPECT_EQ(entry->is_dir, c.is_dir);
+  if (!c.is_dir) EXPECT_EQ(entry->size, c.size);
+  if (c.format == vfs::ListingFormat::kUnix) {
+    EXPECT_TRUE(entry->has_permissions);
+    EXPECT_EQ(entry->readable == ftp::Readability::kReadable,
+              (c.mode & 04) != 0);
+    EXPECT_EQ(entry->world_writable, (c.mode & 02) != 0);
+  } else {
+    EXPECT_EQ(entry->readable, ftp::Readability::kUnknown);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ListingRoundTrip,
+    ::testing::Values(
+        RoundTripCase{vfs::ListingFormat::kUnix, 0644, 1024, "a.txt", false},
+        RoundTripCase{vfs::ListingFormat::kUnix, 0600, 0, "shadow", false},
+        RoundTripCase{vfs::ListingFormat::kUnix, 0666, 12345678901ULL,
+                      "big file with spaces.iso", false},
+        RoundTripCase{vfs::ListingFormat::kUnix, 0777, 4096, "incoming",
+                      true},
+        RoundTripCase{vfs::ListingFormat::kUnix, 0000, 1, "locked", false},
+        RoundTripCase{vfs::ListingFormat::kWindows, 0644, 52224,
+                      "report.doc", false},
+        RoundTripCase{vfs::ListingFormat::kWindows, 0644, 0, "empty.txt",
+                      false},
+        RoundTripCase{vfs::ListingFormat::kWindows, 0755, 0,
+                      "Program Files", true},
+        RoundTripCase{vfs::ListingFormat::kWindows, 0644, 999999999,
+                      "name.with.dots.zip", false}));
+
+TEST(ListingRoundTrip, RandomizedSweep) {
+  Xoshiro256ss rng(2024);
+  for (int i = 0; i < 3000; ++i) {
+    vfs::Node node;
+    node.name = "f" + std::to_string(rng.next_below(1000000)) + ".bin";
+    node.type = rng.chance(0.3) ? vfs::NodeType::kDirectory
+                                : vfs::NodeType::kFile;
+    node.mode = vfs::Mode{static_cast<std::uint16_t>(rng.next_below(01000))};
+    node.size = rng.next();
+    node.size >>= rng.next_below(40);  // heavy-tailed sizes
+    node.mtime = static_cast<std::int64_t>(rng.next_below(1600000000));
+    const auto format = rng.chance(0.5) ? vfs::ListingFormat::kUnix
+                                        : vfs::ListingFormat::kWindows;
+    const std::string line = vfs::render_listing_line(node, format, 2015);
+    const auto entry = ftp::parse_listing_line(line);
+    ASSERT_TRUE(entry) << line;
+    EXPECT_EQ(entry->name, node.name) << line;
+    EXPECT_EQ(entry->is_dir, node.is_dir()) << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reply wire round trip for arbitrary code/line combinations.
+// ---------------------------------------------------------------------------
+
+TEST(ReplyRoundTrip, RandomizedMultilineSweep) {
+  Xoshiro256ss rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    ftp::Reply original;
+    original.code = static_cast<int>(rng.next_in(100, 599));
+    const std::uint64_t lines = rng.next_in(1, 6);
+    for (std::uint64_t l = 0; l < lines; ++l) {
+      std::string text;
+      const std::uint64_t len = rng.next_below(60);
+      for (std::uint64_t k = 0; k < len; ++k) {
+        text.push_back(static_cast<char>('!' + rng.next_below(90)));
+      }
+      original.lines.push_back(std::move(text));
+    }
+    ftp::ReplyParser parser;
+    parser.push(original.wire());
+    const auto parsed = parser.pop_reply();
+    ASSERT_TRUE(parsed);
+    EXPECT_EQ(parsed->code, original.code);
+    ASSERT_EQ(parsed->lines.size(), original.lines.size());
+    for (std::size_t l = 0; l < original.lines.size(); ++l) {
+      EXPECT_EQ(parsed->lines[l], original.lines[l]);
+    }
+    EXPECT_FALSE(parser.poisoned());
+    EXPECT_EQ(parser.pending_bytes(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Path resolution invariants.
+// ---------------------------------------------------------------------------
+
+TEST(PathProperties, ResolvedPathsAreAlwaysNormalized) {
+  Xoshiro256ss rng(11);
+  static constexpr const char* kSegments[] = {"a",  "..",   ".",  "pub",
+                                              "x y", "dir1", "..", "deep"};
+  for (int i = 0; i < 5000; ++i) {
+    std::string cwd = "/";
+    std::string arg;
+    const std::uint64_t cwd_parts = rng.next_below(4);
+    for (std::uint64_t p = 0; p < cwd_parts; ++p) {
+      cwd += std::string(kSegments[rng.next_below(4) * 2 % 8]) + "/";
+    }
+    if (cwd.size() > 1 && cwd.back() == '/') cwd.pop_back();
+    const std::uint64_t arg_parts = rng.next_in(1, 5);
+    if (rng.chance(0.3)) arg = "/";
+    for (std::uint64_t p = 0; p < arg_parts; ++p) {
+      arg += std::string(kSegments[rng.next_below(std::size(kSegments))]);
+      if (p + 1 < arg_parts) arg += rng.chance(0.2) ? "//" : "/";
+    }
+    const std::string resolved = ftp::resolve_path(cwd, arg);
+    EXPECT_TRUE(ftp::is_normalized(resolved)) << cwd << " + " << arg << " -> "
+                                              << resolved;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CVE monotonicity: if version A <= B and B matches an at-most rule, then
+// A matches too.
+// ---------------------------------------------------------------------------
+
+TEST(CveProperties, AtMostRulesAreDownwardClosed) {
+  static constexpr const char* kVersions[] = {
+      "1.0.21", "1.0.29", "1.3.3g", "1.3.4a", "1.3.4d", "1.3.5", "1.3.5a",
+      "2.0.5",  "2.3.2",  "2.3.5",  "3.0.2",  "3.0.3",  "11.1.0.3",
+      "11.1.0.5", "15.1.2"};
+  for (const analysis::CveEntry& entry : analysis::cve_database()) {
+    if (entry.kind != analysis::CveEntry::Match::kAtMost) continue;
+    for (const char* a : kVersions) {
+      for (const char* b : kVersions) {
+        if (analysis::compare_versions(a, b) > 0) continue;
+        if (analysis::cve_matches(entry, entry.implementation, b)) {
+          EXPECT_TRUE(analysis::cve_matches(entry, entry.implementation, a))
+              << entry.id << " matches " << b << " but not " << a;
+        }
+      }
+    }
+  }
+}
+
+TEST(CveProperties, CompareIsAntisymmetricAndTotalOnCatalogVersions) {
+  std::vector<std::string> versions;
+  for (const auto& tmpl : popgen::device_catalog()) {
+    for (const auto& v : tmpl.versions) versions.push_back(v.version);
+  }
+  for (const auto& a : versions) {
+    EXPECT_EQ(analysis::compare_versions(a, a), 0) << a;
+    for (const auto& b : versions) {
+      EXPECT_EQ(analysis::compare_versions(a, b),
+                -analysis::compare_versions(b, a))
+          << a << " vs " << b;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Generated filesystems are classifiable: everything fsgen plants as a
+// campaign artifact must trip the analysis detectors, and planted sensitive
+// kinds must be recovered from paths alone.
+// ---------------------------------------------------------------------------
+
+class FsgenClassifyAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(FsgenClassifyAgreement, CampaignsRoundTrip) {
+  const int campaign_index = GetParam();
+  popgen::FsPlan plan;
+  plan.seed = 1000 + campaign_index;
+  plan.device_class = popgen::DeviceClass::kGenericServer;
+  plan.fs_template = popgen::FsTemplate::kGenericMirror;
+  plan.exposes_data = true;
+  plan.writable = true;
+  plan.writable_evidence = true;
+  plan.campaign_mask = 1u << campaign_index;
+  const auto fs = popgen::build_filesystem(plan);
+
+  bool detected = false;
+  fs->walk([&](const std::string& path, const vfs::Node& node) {
+    const auto c = analysis::classify_campaign(path, node.is_dir());
+    if (c && static_cast<int>(*c) <= campaign_index) detected = true;
+  });
+  EXPECT_TRUE(detected) << "campaign bit " << campaign_index
+                        << " left no detectable artifact";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCampaigns, FsgenClassifyAgreement,
+    ::testing::Range(0, static_cast<int>(popgen::Campaign::kCount)));
+
+class SensitiveRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SensitiveRoundTrip, PlantedKindIsRecovered) {
+  const int kind = GetParam();
+  popgen::FsPlan plan;
+  plan.seed = 2000 + kind;
+  plan.device_class = popgen::DeviceClass::kNas;
+  plan.fs_template = popgen::FsTemplate::kNasPersonal;
+  plan.exposes_data = true;
+  plan.sensitive_mask = 1u << kind;
+  const auto fs = popgen::build_filesystem(plan);
+
+  bool found = false;
+  fs->walk([&](const std::string& path, const vfs::Node& node) {
+    if (node.is_dir()) return;
+    const auto cls = analysis::classify_sensitive(path);
+    if (cls && static_cast<int>(*cls) == kind) found = true;
+  });
+  EXPECT_TRUE(found) << "sensitive kind " << kind << " not recovered";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, SensitiveRoundTrip,
+    ::testing::Range(0, static_cast<int>(popgen::SensitiveKind::kCount)));
+
+// ---------------------------------------------------------------------------
+// Population invariants swept across seeds.
+// ---------------------------------------------------------------------------
+
+class PopulationSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PopulationSeedSweep, StructuralInvariantsHold) {
+  const popgen::Calibration cal = popgen::build_calibration(GetParam());
+  EXPECT_EQ(cal.total_ftp_target(), 13'789'641u);
+  EXPECT_EQ(cal.ases.size(), 34'700u);
+  EXPECT_LE(cal.total_advertised(), public_ipv4_count());
+  for (const auto& as_spec : cal.ases) {
+    EXPECT_GE(as_spec.advertised, as_spec.ftp_target)
+        << as_spec.name << " advertises fewer IPs than it hosts";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PopulationSeedSweep,
+                         ::testing::Values(1, 7, 42, 99, 123456789));
+
+}  // namespace
+}  // namespace ftpc

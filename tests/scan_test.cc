@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "scan/permutation.h"
+#include "scan/scanner.h"
+#include "sim/network.h"
+
+namespace ftpc::scan {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Modular arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(Permutation, PrimeIsCorrect) {
+  EXPECT_EQ(CyclicPermutation::kPrime, (1ULL << 32) + 15);
+}
+
+TEST(Permutation, MulModMatchesWideArithmetic) {
+  const std::uint64_t a = 4294967290ULL, b = 4294967291ULL;
+  const auto expected = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(a) * b) % CyclicPermutation::kPrime);
+  EXPECT_EQ(CyclicPermutation::mul_mod(a, b), expected);
+}
+
+TEST(Permutation, PowModBasics) {
+  EXPECT_EQ(CyclicPermutation::pow_mod(3, 0), 1u);
+  EXPECT_EQ(CyclicPermutation::pow_mod(3, 1), 3u);
+  EXPECT_EQ(CyclicPermutation::pow_mod(2, 10), 1024u);
+  // Fermat: g^(p-1) == 1 mod p.
+  EXPECT_EQ(CyclicPermutation::pow_mod(3, CyclicPermutation::kPrime - 1), 1u);
+}
+
+TEST(Permutation, ThreeIsPrimitiveRoot) {
+  EXPECT_TRUE(CyclicPermutation::is_primitive_root(3));
+}
+
+TEST(Permutation, NonGeneratorsRejected) {
+  EXPECT_FALSE(CyclicPermutation::is_primitive_root(1));
+  EXPECT_FALSE(CyclicPermutation::is_primitive_root(0));
+  EXPECT_FALSE(CyclicPermutation::is_primitive_root(CyclicPermutation::kPrime));
+  // A quadratic residue can't generate the full group: 3^2.
+  EXPECT_FALSE(CyclicPermutation::is_primitive_root(9));
+}
+
+TEST(Permutation, SeedSelectsValidGenerator) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const CyclicPermutation p(seed);
+    EXPECT_TRUE(CyclicPermutation::is_primitive_root(p.generator()));
+    EXPECT_GE(p.start_element(), 1u);
+    EXPECT_LT(p.start_element(), CyclicPermutation::kPrime);
+  }
+}
+
+TEST(Permutation, DifferentSeedsDifferentOrders) {
+  CyclicPermutation a(1), b(2);
+  auto wa = a.shard_walk(0, 1);
+  auto wb = b.shard_walk(0, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    std::uint32_t x = 0, y = 0;
+    ASSERT_TRUE(wa.next(x));
+    ASSERT_TRUE(wb.next(y));
+    if (x == y) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Permutation, WalkEmitsDistinctAddresses) {
+  const CyclicPermutation p(7);
+  auto walk = p.shard_walk(0, 1);
+  std::unordered_set<std::uint32_t> seen;
+  std::uint32_t address = 0;
+  for (int i = 0; i < 2'000'000; ++i) {
+    ASSERT_TRUE(walk.next(address));
+    ASSERT_TRUE(seen.insert(address).second) << "duplicate at " << i;
+  }
+}
+
+TEST(Permutation, WalkIsDeterministic) {
+  const CyclicPermutation p(11);
+  auto w1 = p.shard_walk(0, 1);
+  auto w2 = p.shard_walk(0, 1);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint32_t a = 0, b = 0;
+    ASSERT_TRUE(w1.next(a));
+    ASSERT_TRUE(w2.next(b));
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(Permutation, ShardsAreDisjoint) {
+  const CyclicPermutation p(3);
+  std::unordered_set<std::uint32_t> seen;
+  for (std::uint32_t shard = 0; shard < 4; ++shard) {
+    auto walk = p.shard_walk(shard, 4);
+    std::uint32_t address = 0;
+    for (int i = 0; i < 100'000; ++i) {
+      ASSERT_TRUE(walk.next(address));
+      ASSERT_TRUE(seen.insert(address).second)
+          << "shard " << shard << " emitted a duplicate";
+    }
+  }
+}
+
+TEST(Permutation, AddressesSpreadAcrossSpace) {
+  // A uniform permutation should hit every /8-sized bucket quickly.
+  const CyclicPermutation p(5);
+  auto walk = p.shard_walk(0, 1);
+  std::unordered_set<std::uint32_t> buckets;
+  std::uint32_t address = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    ASSERT_TRUE(walk.next(address));
+    buckets.insert(address >> 24);
+  }
+  EXPECT_EQ(buckets.size(), 256u);
+}
+
+// ---------------------------------------------------------------------------
+// Scanner
+// ---------------------------------------------------------------------------
+
+TEST(Scanner, HitRateMatchesPopulationDensity) {
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  // One responsive host per 4096 addresses, everywhere.
+  network.set_probe_fn([](Ipv4 ip, std::uint16_t port) {
+    return port == 21 && ip.value() % 4096 == 0;
+  });
+
+  ScanConfig config;
+  config.seed = 17;
+  config.scale_shift = 8;  // 1/256 of the space: ~16.8M addresses
+  Scanner scanner(network, config);
+  std::unordered_set<std::uint32_t> hits;
+  const ScanStats stats =
+      scanner.run([&](Ipv4 ip) { hits.insert(ip.value()); });
+
+  EXPECT_EQ(stats.addresses_walked, (std::uint64_t{1} << 24));
+  EXPECT_EQ(stats.probed + stats.blocklisted, stats.addresses_walked);
+  // ~13.8% of IPv4 is reserved.
+  EXPECT_NEAR(static_cast<double>(stats.blocklisted) /
+                  static_cast<double>(stats.addresses_walked),
+              0.138, 0.01);
+  EXPECT_EQ(stats.responsive, hits.size());
+  EXPECT_NEAR(static_cast<double>(stats.responsive),
+              static_cast<double>(stats.probed) / 4096.0,
+              0.05 * static_cast<double>(stats.probed) / 4096.0 + 20);
+  for (const std::uint32_t hit : hits) EXPECT_EQ(hit % 4096, 0u);
+}
+
+TEST(Scanner, SamplingBudget) {
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  network.set_probe_fn([](Ipv4, std::uint16_t) { return false; });
+  ScanConfig config;
+  config.seed = 1;
+  config.scale_shift = 16;  // 1/65536 of the space
+  Scanner scanner(network, config);
+  const ScanStats stats = scanner.run([](Ipv4) {});
+  EXPECT_EQ(stats.addresses_walked, (std::uint64_t{1} << 16));
+}
+
+TEST(Scanner, NeverProbesReservedSpace) {
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  std::uint64_t reserved_probes = 0;
+  network.set_probe_fn([&](Ipv4 ip, std::uint16_t) {
+    if (is_reserved(ip)) ++reserved_probes;
+    return false;
+  });
+  ScanConfig config;
+  config.seed = 2;
+  config.scale_shift = 12;
+  Scanner scanner(network, config);
+  scanner.run([](Ipv4) {});
+  EXPECT_EQ(reserved_probes, 0u);
+}
+
+TEST(Scanner, ShardsPartitionTheSample) {
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  network.set_probe_fn([](Ipv4, std::uint16_t) { return true; });
+
+  std::unordered_set<std::uint32_t> all;
+  std::uint64_t total_hits = 0;
+  for (std::uint32_t shard = 0; shard < 4; ++shard) {
+    ScanConfig config;
+    config.seed = 9;
+    config.scale_shift = 16;
+    config.shard = shard;
+    config.total_shards = 4;
+    Scanner scanner(network, config);
+    const ScanStats stats = scanner.run([&](Ipv4 ip) {
+      EXPECT_TRUE(all.insert(ip.value()).second);
+    });
+    total_hits += stats.responsive;
+  }
+  EXPECT_EQ(all.size(), total_hits);
+}
+
+TEST(Scanner, AdvancesVirtualTimeByRate) {
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  network.set_probe_fn([](Ipv4, std::uint16_t) { return false; });
+  ScanConfig config;
+  config.seed = 3;
+  config.scale_shift = 16;
+  config.probes_per_second = 1000;
+  Scanner scanner(network, config);
+  const ScanStats stats = scanner.run([](Ipv4) {});
+  EXPECT_EQ(loop.now(), stats.probed * sim::kSecond / 1000);
+}
+
+TEST(Scanner, DeterministicAcrossRuns) {
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  network.set_probe_fn([](Ipv4 ip, std::uint16_t) {
+    return ip.value() % 4096 == 0;
+  });
+  auto run_once = [&] {
+    ScanConfig config;
+    config.seed = 77;
+    config.scale_shift = 14;
+    Scanner scanner(network, config);
+    std::vector<std::uint32_t> hits;
+    scanner.run([&](Ipv4 ip) { hits.push_back(ip.value()); });
+    return hits;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace ftpc::scan

@@ -1,0 +1,446 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/connection.h"
+#include "sim/event_loop.h"
+#include "sim/network.h"
+
+namespace ftpc::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventLoop
+// ---------------------------------------------------------------------------
+
+TEST(EventLoop, FiresInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30u);
+}
+
+TEST(EventLoop, SameTimeIsFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  loop.run_until_idle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventLoop, PastTimesClampToNow) {
+  EventLoop loop;
+  loop.schedule_at(100, [] {});
+  loop.run_until_idle();
+  bool fired = false;
+  loop.schedule_at(50, [&] { fired = true; });  // in the past
+  loop.run_one();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(loop.now(), 100u);  // time never goes backwards
+}
+
+TEST(EventLoop, CancelPreventsFiring) {
+  EventLoop loop;
+  bool fired = false;
+  const TimerId id = loop.schedule_after(10, [&] { fired = true; });
+  EXPECT_TRUE(loop.cancel(id));
+  EXPECT_FALSE(loop.cancel(id));  // double-cancel is a no-op
+  loop.run_until_idle();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventLoop, CancelUnknownIdReturnsFalse) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.cancel(424242));
+}
+
+TEST(EventLoop, RunUntilAdvancesTimeEvenWhenEmpty) {
+  EventLoop loop;
+  EXPECT_EQ(loop.run_until(500), 0u);
+  EXPECT_EQ(loop.now(), 500u);
+}
+
+TEST(EventLoop, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  std::vector<int> fired;
+  loop.schedule_at(10, [&] { fired.push_back(1); });
+  loop.schedule_at(20, [&] { fired.push_back(2); });
+  loop.schedule_at(30, [&] { fired.push_back(3); });
+  EXPECT_EQ(loop.run_until(20), 2u);
+  EXPECT_EQ(fired, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.now(), 20u);
+  loop.run_until_idle();
+  EXPECT_EQ(fired.size(), 3u);
+}
+
+TEST(EventLoop, EventsMayScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) loop.schedule_after(1, recurse);
+  };
+  loop.schedule_after(0, recurse);
+  loop.run_until_idle();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(loop.events_processed(), 100u);
+}
+
+TEST(EventLoop, RunWhilePendingStopsOnPredicate) {
+  EventLoop loop;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(i, [&] { ++count; });
+  }
+  EXPECT_TRUE(loop.run_while_pending([&] { return count >= 4; }));
+  EXPECT_EQ(count, 4);
+}
+
+TEST(EventLoop, RunWhilePendingReturnsFalseWhenDrained) {
+  EventLoop loop;
+  loop.schedule_at(1, [] {});
+  EXPECT_FALSE(loop.run_while_pending([] { return false; }));
+}
+
+TEST(EventLoop, PendingCountExcludesCancelled) {
+  EventLoop loop;
+  loop.schedule_at(1, [] {});
+  const TimerId id = loop.schedule_at(2, [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.cancel(id);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Network + Connection
+// ---------------------------------------------------------------------------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : network_(loop_) {}
+
+  EventLoop loop_;
+  Network network_;
+  const Ipv4 server_ip_{10, 0, 0, 1};
+  const Ipv4 client_ip_{10, 0, 0, 2};
+};
+
+TEST_F(NetworkTest, ConnectToListener) {
+  std::shared_ptr<Connection> server_side;
+  network_.listen(server_ip_, 21, [&](std::shared_ptr<Connection> conn) {
+    server_side = std::move(conn);
+  });
+
+  std::shared_ptr<Connection> client_side;
+  network_.connect(client_ip_, server_ip_, 21,
+                   [&](Result<std::shared_ptr<Connection>> result) {
+                     ASSERT_TRUE(result.is_ok());
+                     client_side = std::move(result).take();
+                   });
+  loop_.run_until_idle();
+  ASSERT_TRUE(server_side);
+  ASSERT_TRUE(client_side);
+  EXPECT_EQ(server_side->remote().ip, client_ip_);
+  EXPECT_EQ(client_side->remote().ip, server_ip_);
+  EXPECT_EQ(client_side->remote().port, 21);
+  EXPECT_EQ(network_.stats().connects_established, 1u);
+}
+
+TEST_F(NetworkTest, ConnectRefusedWithoutListener) {
+  bool failed = false;
+  network_.connect(client_ip_, server_ip_, 21,
+                   [&](Result<std::shared_ptr<Connection>> result) {
+                     EXPECT_FALSE(result.is_ok());
+                     EXPECT_EQ(result.code(), ErrorCode::kConnectionRefused);
+                     failed = true;
+                   });
+  loop_.run_until_idle();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(network_.stats().connects_refused, 1u);
+}
+
+TEST_F(NetworkTest, ServerLearnsBeforeClientHandler) {
+  // Accept fires at one-way latency, client handler at a full RTT — so a
+  // banner sent from the accept handler is never lost.
+  std::string received;
+  network_.listen(server_ip_, 21, [&](std::shared_ptr<Connection> conn) {
+    conn->send("220 hello\r\n");
+  });
+  std::shared_ptr<Connection> client_side;
+  network_.connect(client_ip_, server_ip_, 21,
+                   [&](Result<std::shared_ptr<Connection>> result) {
+                     ASSERT_TRUE(result.is_ok());
+                     client_side = std::move(result).take();
+                     client_side->set_callbacks(ConnCallbacks{
+                         .on_data = [&](std::string_view d) { received += d; },
+                     });
+                   });
+  loop_.run_until_idle();
+  EXPECT_EQ(received, "220 hello\r\n");
+}
+
+TEST_F(NetworkTest, DataFlowsBothWays) {
+  std::string server_got, client_got;
+  std::shared_ptr<Connection> server_side, client_side;
+  network_.listen(server_ip_, 21, [&](std::shared_ptr<Connection> conn) {
+    server_side = conn;
+    conn->set_callbacks(ConnCallbacks{
+        .on_data = [&](std::string_view d) { server_got += d; }});
+  });
+  network_.connect(client_ip_, server_ip_, 21,
+                   [&](Result<std::shared_ptr<Connection>> result) {
+                     client_side = std::move(result).take();
+                     client_side->set_callbacks(ConnCallbacks{
+                         .on_data = [&](std::string_view d) {
+                           client_got += d;
+                         }});
+                     client_side->send("USER anonymous\r\n");
+                   });
+  loop_.run_until_idle();
+  ASSERT_TRUE(server_side);
+  server_side->send("331 ok\r\n");
+  loop_.run_until_idle();
+  EXPECT_EQ(server_got, "USER anonymous\r\n");
+  EXPECT_EQ(client_got, "331 ok\r\n");
+}
+
+TEST_F(NetworkTest, SendsArriveInOrder) {
+  std::string got;
+  network_.listen(server_ip_, 21, [&](std::shared_ptr<Connection> conn) {
+    conn->set_callbacks(
+        ConnCallbacks{.on_data = [&](std::string_view d) { got += d; }});
+    // Keep the server side alive for the test duration.
+    static std::shared_ptr<Connection> keeper;
+    keeper = conn;
+  });
+  network_.connect(client_ip_, server_ip_, 21,
+                   [&](Result<std::shared_ptr<Connection>> result) {
+                     auto conn = std::move(result).take();
+                     conn->send("a");
+                     conn->send("b");
+                     conn->send("c");
+                     static std::shared_ptr<Connection> keeper;
+                     keeper = conn;
+                   });
+  loop_.run_until_idle();
+  EXPECT_EQ(got, "abc");
+}
+
+TEST_F(NetworkTest, CloseDeliversOnce) {
+  int closes = 0;
+  std::shared_ptr<Connection> server_side, client_side;
+  network_.listen(server_ip_, 21, [&](std::shared_ptr<Connection> conn) {
+    server_side = conn;
+    conn->set_callbacks(ConnCallbacks{.on_close = [&] { ++closes; }});
+  });
+  network_.connect(client_ip_, server_ip_, 21,
+                   [&](Result<std::shared_ptr<Connection>> result) {
+                     client_side = std::move(result).take();
+                   });
+  loop_.run_until_idle();
+  client_side->close();
+  client_side->close();  // idempotent
+  loop_.run_until_idle();
+  EXPECT_EQ(closes, 1);
+  EXPECT_FALSE(server_side->is_open());
+  EXPECT_FALSE(client_side->is_open());
+}
+
+TEST_F(NetworkTest, ResetDeliversStatus) {
+  Status seen = Status::ok();
+  std::shared_ptr<Connection> server_side, client_side;
+  network_.listen(server_ip_, 21, [&](std::shared_ptr<Connection> conn) {
+    server_side = conn;
+    conn->set_callbacks(
+        ConnCallbacks{.on_reset = [&](Status s) { seen = std::move(s); }});
+  });
+  network_.connect(client_ip_, server_ip_, 21,
+                   [&](Result<std::shared_ptr<Connection>> result) {
+                     client_side = std::move(result).take();
+                   });
+  loop_.run_until_idle();
+  client_side->reset();
+  loop_.run_until_idle();
+  EXPECT_EQ(seen.code(), ErrorCode::kConnectionReset);
+}
+
+TEST_F(NetworkTest, SendAfterCloseIsDropped) {
+  std::string got;
+  std::shared_ptr<Connection> server_side, client_side;
+  network_.listen(server_ip_, 21, [&](std::shared_ptr<Connection> conn) {
+    server_side = conn;
+    conn->set_callbacks(
+        ConnCallbacks{.on_data = [&](std::string_view d) { got += d; }});
+  });
+  network_.connect(client_ip_, server_ip_, 21,
+                   [&](Result<std::shared_ptr<Connection>> result) {
+                     client_side = std::move(result).take();
+                   });
+  loop_.run_until_idle();
+  client_side->close();
+  client_side->send("late");
+  loop_.run_until_idle();
+  EXPECT_EQ(got, "");
+}
+
+TEST_F(NetworkTest, LatencyIsApplied) {
+  const SimTime latency = network_.config().one_way_latency;
+  SimTime banner_at = 0;
+  network_.listen(server_ip_, 21, [&](std::shared_ptr<Connection> conn) {
+    conn->send("hi");
+    static std::shared_ptr<Connection> keeper;
+    keeper = conn;
+  });
+  const SimTime start = loop_.now();
+  network_.connect(client_ip_, server_ip_, 21,
+                   [&](Result<std::shared_ptr<Connection>> result) {
+                     auto conn = std::move(result).take();
+                     conn->set_callbacks(ConnCallbacks{
+                         .on_data = [&](std::string_view) {
+                           banner_at = loop_.now();
+                         }});
+                     static std::shared_ptr<Connection> keeper;
+                     keeper = conn;
+                   });
+  loop_.run_until_idle();
+  // SYN (1 latency) + banner (1 latency) = 2 one-way latencies.
+  EXPECT_EQ(banner_at - start, 2 * latency);
+}
+
+TEST_F(NetworkTest, StopListeningRefusesNewConnects) {
+  network_.listen(server_ip_, 21, [](std::shared_ptr<Connection>) {});
+  EXPECT_TRUE(network_.is_listening(server_ip_, 21));
+  network_.stop_listening(server_ip_, 21);
+  EXPECT_FALSE(network_.is_listening(server_ip_, 21));
+  bool refused = false;
+  network_.connect(client_ip_, server_ip_, 21,
+                   [&](Result<std::shared_ptr<Connection>> result) {
+                     refused = !result.is_ok();
+                   });
+  loop_.run_until_idle();
+  EXPECT_TRUE(refused);
+}
+
+TEST_F(NetworkTest, HostResolverMaterializesListener) {
+  int resolver_calls = 0;
+  network_.set_host_resolver([&](Ipv4 ip, std::uint16_t port) {
+    ++resolver_calls;
+    if (ip == server_ip_ && port == 21) {
+      network_.listen(ip, port, [](std::shared_ptr<Connection>) {});
+      return true;
+    }
+    return false;
+  });
+  bool connected = false;
+  network_.connect(client_ip_, server_ip_, 21,
+                   [&](Result<std::shared_ptr<Connection>> result) {
+                     connected = result.is_ok();
+                   });
+  loop_.run_until_idle();
+  EXPECT_TRUE(connected);
+  EXPECT_EQ(resolver_calls, 1);
+}
+
+TEST_F(NetworkTest, ProbeChecksListenersThenHook) {
+  network_.listen(server_ip_, 21, [](std::shared_ptr<Connection>) {});
+  EXPECT_TRUE(network_.probe(server_ip_, 21));
+  EXPECT_FALSE(network_.probe(server_ip_, 22));
+  network_.set_probe_fn(
+      [&](Ipv4 ip, std::uint16_t port) { return port == 8080; });
+  EXPECT_TRUE(network_.probe(client_ip_, 8080));
+  EXPECT_FALSE(network_.probe(client_ip_, 81));
+  EXPECT_EQ(network_.stats().probes, 4u);
+  EXPECT_EQ(network_.stats().probe_hits, 2u);
+}
+
+TEST_F(NetworkTest, EphemeralPortsRotate) {
+  const std::uint16_t first = network_.allocate_ephemeral_port();
+  const std::uint16_t second = network_.allocate_ephemeral_port();
+  EXPECT_GE(first, 49152);
+  EXPECT_NE(first, second);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+class FailNthConnect : public FaultInjector {
+ public:
+  explicit FailNthConnect(std::uint64_t n) : n_(n) {}
+  Status on_connect(std::uint64_t conn_id, Ipv4, std::uint16_t) override {
+    if (conn_id == n_) return Status(ErrorCode::kTimeout, "injected");
+    return Status::ok();
+  }
+  Status on_send(std::uint64_t, std::size_t) override { return Status::ok(); }
+
+ private:
+  std::uint64_t n_;
+};
+
+class ResetAfterBytes : public FaultInjector {
+ public:
+  explicit ResetAfterBytes(std::size_t limit) : limit_(limit) {}
+  Status on_connect(std::uint64_t, Ipv4, std::uint16_t) override {
+    return Status::ok();
+  }
+  Status on_send(std::uint64_t, std::size_t bytes) override {
+    sent_ += bytes;
+    if (sent_ > limit_) {
+      return Status(ErrorCode::kConnectionReset, "injected mid-stream");
+    }
+    return Status::ok();
+  }
+
+ private:
+  std::size_t limit_;
+  std::size_t sent_ = 0;
+};
+
+TEST_F(NetworkTest, InjectedConnectFault) {
+  FailNthConnect faults(1);
+  network_.set_fault_injector(&faults);
+  network_.listen(server_ip_, 21, [](std::shared_ptr<Connection>) {});
+  ErrorCode seen = ErrorCode::kOk;
+  network_.connect(client_ip_, server_ip_, 21,
+                   [&](Result<std::shared_ptr<Connection>> result) {
+                     seen = result.code();
+                   });
+  loop_.run_until_idle();
+  EXPECT_EQ(seen, ErrorCode::kTimeout);
+  EXPECT_EQ(network_.stats().connects_faulted, 1u);
+}
+
+TEST_F(NetworkTest, InjectedMidStreamReset) {
+  ResetAfterBytes faults(4);
+  network_.set_fault_injector(&faults);
+  bool server_reset = false, client_reset = false;
+  std::shared_ptr<Connection> client_side;
+  network_.listen(server_ip_, 21, [&](std::shared_ptr<Connection> conn) {
+    conn->set_callbacks(
+        ConnCallbacks{.on_reset = [&](Status) { server_reset = true; }});
+    static std::shared_ptr<Connection> keeper;
+    keeper = conn;
+  });
+  network_.connect(client_ip_, server_ip_, 21,
+                   [&](Result<std::shared_ptr<Connection>> result) {
+                     client_side = std::move(result).take();
+                     client_side->set_callbacks(ConnCallbacks{
+                         .on_reset = [&](Status) { client_reset = true; }});
+                   });
+  loop_.run_until_idle();
+  client_side->send("1234");   // within budget
+  client_side->send("5678");   // exceeds: reset both ways
+  loop_.run_until_idle();
+  EXPECT_TRUE(client_reset);
+  EXPECT_TRUE(server_reset);
+  EXPECT_FALSE(client_side->is_open());
+}
+
+}  // namespace
+}  // namespace ftpc::sim

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "common/datetime.h"
+#include "vfs/listing.h"
+#include "vfs/vfs.h"
+
+namespace ftpc::vfs {
+namespace {
+
+TEST(Mode, PermissionBits) {
+  EXPECT_TRUE(Mode{0644}.world_readable());
+  EXPECT_FALSE(Mode{0644}.world_writable());
+  EXPECT_TRUE(Mode{0666}.world_writable());
+  EXPECT_FALSE(Mode{0600}.world_readable());
+  EXPECT_FALSE(Mode{0750}.world_readable());
+}
+
+TEST(Mode, StringRendering) {
+  EXPECT_EQ(Mode{0644}.str(), "rw-r--r--");
+  EXPECT_EQ(Mode{0755}.str(), "rwxr-xr-x");
+  EXPECT_EQ(Mode{0600}.str(), "rw-------");
+  EXPECT_EQ(Mode{0777}.str(), "rwxrwxrwx");
+  EXPECT_EQ(Mode{0}.str(), "---------");
+}
+
+TEST(VfsTest, RootExists) {
+  Vfs fs;
+  const Node* root = fs.lookup("/");
+  ASSERT_NE(root, nullptr);
+  EXPECT_TRUE(root->is_dir());
+  EXPECT_EQ(fs.node_count(), 0u);
+}
+
+TEST(VfsTest, MkdirCreatesParents) {
+  Vfs fs;
+  auto result = fs.mkdir("/a/b/c");
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(fs.lookup("/a")->is_dir());
+  EXPECT_TRUE(fs.lookup("/a/b")->is_dir());
+  EXPECT_TRUE(fs.lookup("/a/b/c")->is_dir());
+  EXPECT_EQ(fs.node_count(), 3u);
+}
+
+TEST(VfsTest, MkdirIsIdempotent) {
+  Vfs fs;
+  ASSERT_TRUE(fs.mkdir("/a/b").is_ok());
+  ASSERT_TRUE(fs.mkdir("/a/b").is_ok());
+  EXPECT_EQ(fs.node_count(), 2u);
+}
+
+TEST(VfsTest, MkdirFailsThroughFile) {
+  Vfs fs;
+  ASSERT_TRUE(fs.add_file("/a", {.size = 10}).is_ok());
+  EXPECT_FALSE(fs.mkdir("/a/b").is_ok());
+  EXPECT_FALSE(fs.mkdir("/a").is_ok());  // file exists at path
+}
+
+TEST(VfsTest, AddFileWithMetadata) {
+  Vfs fs;
+  FileAttrs attrs;
+  attrs.size = 1234;
+  attrs.mode = Mode{0600};
+  attrs.owner = "alice";
+  auto result = fs.add_file("/docs/report.pdf", std::move(attrs));
+  ASSERT_TRUE(result.is_ok());
+  const Node* node = fs.lookup("/docs/report.pdf");
+  ASSERT_NE(node, nullptr);
+  EXPECT_FALSE(node->is_dir());
+  EXPECT_EQ(node->size, 1234u);
+  EXPECT_EQ(node->owner, "alice");
+  EXPECT_FALSE(node->mode.world_readable());
+}
+
+TEST(VfsTest, ContentImpliesSize) {
+  Vfs fs;
+  FileAttrs attrs;
+  attrs.size = 9999;  // ignored when content is present
+  attrs.content = "hello";
+  auto result = fs.add_file("/x.txt", std::move(attrs));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value()->size, 5u);
+  EXPECT_EQ(result.value()->content, "hello");
+}
+
+TEST(VfsTest, OverwriteKeepsNodeCount) {
+  Vfs fs;
+  ASSERT_TRUE(fs.add_file("/f", {.size = 1}).is_ok());
+  ASSERT_TRUE(fs.add_file("/f", {.size = 2}).is_ok());
+  EXPECT_EQ(fs.node_count(), 1u);
+  EXPECT_EQ(fs.lookup("/f")->size, 2u);
+}
+
+TEST(VfsTest, CannotOverwriteDirWithFile) {
+  Vfs fs;
+  ASSERT_TRUE(fs.mkdir("/d").is_ok());
+  EXPECT_FALSE(fs.add_file("/d", {.size = 1}).is_ok());
+}
+
+TEST(VfsTest, RemoveFile) {
+  Vfs fs;
+  ASSERT_TRUE(fs.add_file("/a/f", {.size = 1}).is_ok());
+  EXPECT_TRUE(fs.remove("/a/f").is_ok());
+  EXPECT_EQ(fs.lookup("/a/f"), nullptr);
+  EXPECT_EQ(fs.node_count(), 1u);  // /a remains
+}
+
+TEST(VfsTest, RemoveRules) {
+  Vfs fs;
+  ASSERT_TRUE(fs.add_file("/a/f", {.size = 1}).is_ok());
+  EXPECT_FALSE(fs.remove("/a").is_ok());     // not empty
+  EXPECT_FALSE(fs.remove("/nope").is_ok());  // missing
+  EXPECT_FALSE(fs.remove("/").is_ok());      // root
+  ASSERT_TRUE(fs.remove("/a/f").is_ok());
+  EXPECT_TRUE(fs.remove("/a").is_ok());  // now empty
+}
+
+TEST(VfsTest, ListSortedByName) {
+  Vfs fs;
+  ASSERT_TRUE(fs.add_file("/zeta", {.size = 1}).is_ok());
+  ASSERT_TRUE(fs.add_file("/alpha", {.size = 1}).is_ok());
+  ASSERT_TRUE(fs.mkdir("/mid").is_ok());
+  auto listing = fs.list("/");
+  ASSERT_TRUE(listing.is_ok());
+  ASSERT_EQ(listing.value().size(), 3u);
+  EXPECT_EQ(listing.value()[0]->name, "alpha");
+  EXPECT_EQ(listing.value()[1]->name, "mid");
+  EXPECT_EQ(listing.value()[2]->name, "zeta");
+}
+
+TEST(VfsTest, ListErrors) {
+  Vfs fs;
+  ASSERT_TRUE(fs.add_file("/f", {.size = 1}).is_ok());
+  EXPECT_FALSE(fs.list("/missing").is_ok());
+  EXPECT_FALSE(fs.list("/f").is_ok());
+}
+
+TEST(VfsTest, WalkVisitsEverything) {
+  Vfs fs;
+  ASSERT_TRUE(fs.add_file("/a/b/c.txt", {.size = 1}).is_ok());
+  ASSERT_TRUE(fs.add_file("/a/d.txt", {.size = 1}).is_ok());
+  std::vector<std::string> paths;
+  fs.walk([&](const std::string& path, const Node&) { paths.push_back(path); });
+  EXPECT_EQ(paths.size(), 4u);  // /a, /a/b, /a/b/c.txt, /a/d.txt
+  EXPECT_EQ(paths[0], "/a");
+}
+
+TEST(VfsTest, PathNormalizationInLookup) {
+  Vfs fs;
+  ASSERT_TRUE(fs.mkdir("/a/b").is_ok());
+  EXPECT_NE(fs.lookup("a/b"), nullptr);    // missing leading slash ok
+  EXPECT_NE(fs.lookup("/a//b"), nullptr);  // doubled separator ok
+  EXPECT_NE(fs.lookup("/a/b/"), nullptr);  // trailing slash ok
+}
+
+// ---------------------------------------------------------------------------
+// Listing renderers
+// ---------------------------------------------------------------------------
+
+class ListingTest : public ::testing::Test {
+ protected:
+  Node make_file(const std::string& name, std::uint64_t size,
+                 std::uint16_t mode) {
+    Node node;
+    node.name = name;
+    node.type = NodeType::kFile;
+    node.size = size;
+    node.mode = Mode{mode};
+    node.mtime = unix_from_civil({2015, 6, 18, 9, 42, 0});
+    return node;
+  }
+};
+
+TEST_F(ListingTest, UnixFileLine) {
+  const Node node = make_file("data.bin", 1024, 0644);
+  const std::string line =
+      render_listing_line(node, ListingFormat::kUnix, 2015);
+  EXPECT_EQ(line,
+            "-rw-r--r--    1 ftp      ftp              1024 Jun 18 09:42 "
+            "data.bin");
+}
+
+TEST_F(ListingTest, UnixDirectoryLine) {
+  Node node;
+  node.name = "pub";
+  node.type = NodeType::kDirectory;
+  node.mode = Mode{0755};
+  node.mtime = unix_from_civil({2014, 1, 5, 0, 0, 0});
+  const std::string line =
+      render_listing_line(node, ListingFormat::kUnix, 2015);
+  EXPECT_TRUE(line.rfind("drwxr-xr-x", 0) == 0) << line;
+  EXPECT_NE(line.find("Jan  5  2014"), std::string::npos) << line;
+  EXPECT_NE(line.find(" pub"), std::string::npos);
+}
+
+TEST_F(ListingTest, WindowsFileLine) {
+  const Node node = make_file("report.doc", 52224, 0644);
+  const std::string line =
+      render_listing_line(node, ListingFormat::kWindows, 2015);
+  EXPECT_EQ(line, "06-18-15  09:42AM                52224 report.doc");
+}
+
+TEST_F(ListingTest, WindowsDirLine) {
+  Node node;
+  node.name = "WINDOWS";
+  node.type = NodeType::kDirectory;
+  node.mtime = unix_from_civil({2012, 11, 2, 17, 30, 0});
+  const std::string line =
+      render_listing_line(node, ListingFormat::kWindows, 2015);
+  EXPECT_EQ(line, "11-02-12  05:30PM       <DIR>          WINDOWS");
+}
+
+TEST_F(ListingTest, FullListingUsesCrlf) {
+  Vfs fs;
+  ASSERT_TRUE(fs.add_file("/a.txt", {.size = 5}).is_ok());
+  ASSERT_TRUE(fs.mkdir("/dir").is_ok());
+  const auto entries = fs.list("/");
+  ASSERT_TRUE(entries.is_ok());
+  const std::string body =
+      render_listing(entries.value(), ListingFormat::kUnix, 2015);
+  EXPECT_NE(body.find("a.txt\r\n"), std::string::npos);
+  EXPECT_NE(body.find("dir\r\n"), std::string::npos);
+}
+
+TEST_F(ListingTest, NlstIsBareNames) {
+  Vfs fs;
+  ASSERT_TRUE(fs.add_file("/a.txt", {.size = 5}).is_ok());
+  ASSERT_TRUE(fs.add_file("/b.txt", {.size = 5}).is_ok());
+  const auto entries = fs.list("/");
+  ASSERT_TRUE(entries.is_ok());
+  EXPECT_EQ(render_nlst(entries.value()), "a.txt\r\nb.txt\r\n");
+}
+
+}  // namespace
+}  // namespace ftpc::vfs

@@ -1,0 +1,305 @@
+// ftpcensus — the command-line front end a downstream user drives.
+//
+//   ftpcensus census  [--scale N] [--seed S] [--dataset out.ftpd] [--tables]
+//   ftpcensus analyze --dataset in.ftpd [--seed S]
+//   ftpcensus bounce  [--scale N] [--seed S]
+//   ftpcensus notify  --dataset in.ftpd [--seed S] [--max N]
+//   ftpcensus honeypot [--days D] [--seed S]
+//
+// `census` runs the scan + enumeration pipeline, optionally archiving every
+// raw host report to a dataset file, and prints the paper's tables.
+// `analyze` re-runs the full analysis over an archived dataset without
+// touching the (simulated) network — the paper's "iteratively processing
+// the dataset" workflow.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/notify.h"
+#include "analysis/summary.h"
+#include "analysis/tables.h"
+#include "core/bounce.h"
+#include "core/census.h"
+#include "core/dataset.h"
+#include "honeypot/attackers.h"
+#include "honeypot/honeypot.h"
+#include "net/internet.h"
+#include "popgen/calibration.h"
+#include "popgen/population.h"
+#include "sim/network.h"
+
+namespace {
+
+using namespace ftpc;
+
+struct Options {
+  std::string command;
+  std::uint64_t seed = 42;
+  unsigned scale_shift = 10;
+  unsigned days = 90;
+  std::string dataset;
+  bool tables = false;
+  unsigned max_digests = 10;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: ftpcensus <census|analyze|bounce|notify|honeypot> "
+               "[--seed S] [--scale N] [--dataset FILE] [--tables] "
+               "[--days D] [--max N]\n");
+}
+
+bool parse_options(int argc, char** argv, Options& options) {
+  if (argc < 2) return false;
+  options.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--scale") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.scale_shift = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--days") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.days = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--dataset") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.dataset = v;
+    } else if (arg == "--max") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.max_digests = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--tables") {
+      options.tables = true;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", argv[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+void print_tables(const analysis::CensusSummary& summary,
+                  const net::AsTable& as_table) {
+  std::printf("%s\n", analysis::render_table1_funnel(summary).render().c_str());
+  std::printf("%s\n",
+              analysis::render_table2_classification(summary).render().c_str());
+  std::printf("%s\n", analysis::render_table3_as_concentration(summary,
+                                                               as_table)
+                          .render()
+                          .c_str());
+  std::printf("%s\n",
+              analysis::render_table4_embedded_classes(summary).render().c_str());
+  std::printf("%s\n",
+              analysis::render_table6_top_ases(summary, as_table).render().c_str());
+  std::printf("%s\n",
+              analysis::render_table9_sensitive(summary).render().c_str());
+  std::printf("%s\n", analysis::render_sec5_exposure(summary).render().c_str());
+  std::printf("%s\n", analysis::render_sec6_malicious(summary).render().c_str());
+  std::printf("%s\n", analysis::render_sec9_ftps(summary).render().c_str());
+  std::printf("%s\n", analysis::render_fig1_as_cdf(summary).render().c_str());
+}
+
+int run_census(const Options& options) {
+  popgen::SyntheticPopulation population(options.seed);
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  net::Internet internet(network, population, 256);
+
+  analysis::SummaryBuilder builder(
+      population.as_table(), [&population](Ipv4 ip) {
+        const popgen::HttpProfile http = population.http_profile(ip);
+        return analysis::HttpSignal{
+            .has_http = http.has_http,
+            .server_side_scripting =
+                http.powered_by != popgen::HttpProfile::PoweredBy::kNone};
+      });
+
+  // Optionally tee every raw report into a dataset archive.
+  struct Tee : core::RecordSink {
+    core::RecordSink* a = nullptr;
+    core::RecordSink* b = nullptr;
+    void on_host(const core::HostReport& report) override {
+      a->on_host(report);
+      if (b != nullptr) b->on_host(report);
+    }
+  } tee;
+  tee.a = &builder;
+  std::unique_ptr<core::DatasetWriter> writer;
+  if (!options.dataset.empty()) {
+    writer = std::make_unique<core::DatasetWriter>(options.dataset);
+    if (!writer->ok()) {
+      std::fprintf(stderr, "cannot open dataset %s\n",
+                   options.dataset.c_str());
+      return 1;
+    }
+    tee.b = writer.get();
+  }
+
+  core::CensusConfig config;
+  config.seed = options.seed;
+  config.scale_shift = options.scale_shift;
+  std::fprintf(stderr, "scanning 1/%llu of IPv4 (seed %llu)...\n",
+               1ULL << options.scale_shift,
+               static_cast<unsigned long long>(options.seed));
+  core::Census census(network, config);
+  const core::CensusStats stats = census.run(tee);
+
+  if (writer) {
+    if (!writer->close()) {
+      std::fprintf(stderr, "dataset write failed\n");
+      return 1;
+    }
+    std::fprintf(stderr, "archived %llu host reports to %s\n",
+                 static_cast<unsigned long long>(writer->records_written()),
+                 options.dataset.c_str());
+  }
+
+  const analysis::CensusSummary summary = builder.take(
+      options.seed, options.scale_shift, stats.scan.probed,
+      stats.scan.responsive);
+  if (options.tables || options.dataset.empty()) {
+    print_tables(summary, population.as_table());
+  }
+  return 0;
+}
+
+int run_analyze(const Options& options) {
+  if (options.dataset.empty()) {
+    std::fprintf(stderr, "analyze requires --dataset\n");
+    return 1;
+  }
+  // AS metadata and the HTTP join are reconstructed from the seed; the raw
+  // protocol data comes entirely from the archive.
+  popgen::SyntheticPopulation population(options.seed);
+  analysis::SummaryBuilder builder(
+      population.as_table(), [&population](Ipv4 ip) {
+        const popgen::HttpProfile http = population.http_profile(ip);
+        return analysis::HttpSignal{
+            .has_http = http.has_http,
+            .server_side_scripting =
+                http.powered_by != popgen::HttpProfile::PoweredBy::kNone};
+      });
+
+  core::DatasetReader reader(options.dataset);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "cannot read dataset %s\n", options.dataset.c_str());
+    return 1;
+  }
+  std::uint64_t port_open = 0;
+  while (auto report = reader.next()) {
+    ++port_open;
+    builder.on_host(*report);
+  }
+  if (reader.truncated()) {
+    std::fprintf(stderr, "warning: dataset truncated after %llu records\n",
+                 static_cast<unsigned long long>(reader.records_read()));
+  }
+  const analysis::CensusSummary summary =
+      builder.take(options.seed, options.scale_shift, 0, port_open);
+  print_tables(summary, population.as_table());
+  return 0;
+}
+
+int run_bounce(const Options& options) {
+  popgen::SyntheticPopulation population(options.seed);
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  net::Internet internet(network, population, 256);
+
+  struct AnonSink : core::RecordSink {
+    std::vector<std::uint32_t> hosts;
+    void on_host(const core::HostReport& report) override {
+      if (report.anonymous()) hosts.push_back(report.ip.value());
+    }
+  } sink;
+  core::CensusConfig config;
+  config.seed = options.seed;
+  config.scale_shift = options.scale_shift;
+  config.enumerator.collect_surveys = false;
+  config.enumerator.try_tls = false;
+  config.enumerator.request_cap = 8;
+  core::Census(network, config).run(sink);
+
+  core::BounceProber prober(network, {});
+  const auto results = prober.run(sink.hosts);
+  const analysis::BounceSummary bounce =
+      analysis::summarize_bounce(results, population.as_table(), nullptr);
+  analysis::CensusSummary scale_only;
+  scale_only.scale_shift = options.scale_shift;
+  std::printf("%s\n",
+              analysis::render_sec7_bounce(scale_only, bounce).render().c_str());
+  return 0;
+}
+
+int run_notify(const Options& options) {
+  if (options.dataset.empty()) {
+    std::fprintf(stderr, "notify requires --dataset\n");
+    return 1;
+  }
+  popgen::SyntheticPopulation population(options.seed);
+  analysis::NotificationBuilder builder(population.as_table());
+  core::DatasetReader reader(options.dataset);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "cannot read dataset %s\n", options.dataset.c_str());
+    return 1;
+  }
+  while (auto report = reader.next()) builder.on_host(*report);
+  const auto digests = builder.digests(analysis::Severity::kSensitive);
+  std::printf("%llu hosts with findings across %zu networks; showing the "
+              "%u most severe digests.\n\n",
+              static_cast<unsigned long long>(builder.hosts_with_findings()),
+              digests.size(), options.max_digests);
+  unsigned shown = 0;
+  for (const auto& digest : digests) {
+    if (shown++ >= options.max_digests) break;
+    std::printf("%s\n----------------------------------------\n",
+                builder.render(digest).c_str());
+  }
+  return 0;
+}
+
+int run_honeypot(const Options& options) {
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  honeypot::HoneypotFleet fleet(network, Ipv4(141, 212, 121, 1));
+  honeypot::AttackerPopulation attackers(network, options.seed);
+  attackers.deploy(fleet.addresses(), options.days * sim::kDay);
+  loop.run_until_idle();
+  const honeypot::HoneypotLog& log = fleet.log();
+  std::printf("scanners=%zu ftp=%zu http=%zu traverse=%zu list=%zu "
+              "creds=%zu bounce=%zu tls=%zu\n",
+              log.unique_scanners(), log.spoke_ftp(), log.http_get_ips(),
+              log.traversal_ips(), log.listing_ips(),
+              log.unique_credentials(), log.bounce_ips(),
+              log.auth_tls_ips());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_options(argc, argv, options)) {
+    usage();
+    return 2;
+  }
+  if (options.command == "census") return run_census(options);
+  if (options.command == "analyze") return run_analyze(options);
+  if (options.command == "bounce") return run_bounce(options);
+  if (options.command == "notify") return run_notify(options);
+  if (options.command == "honeypot") return run_honeypot(options);
+  usage();
+  return 2;
+}
