@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_enumerator"
+  "../bench/bench_ablation_enumerator.pdb"
+  "CMakeFiles/bench_ablation_enumerator.dir/bench_ablation_enumerator.cc.o"
+  "CMakeFiles/bench_ablation_enumerator.dir/bench_ablation_enumerator.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_enumerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec5_exposure"
+  "../bench/bench_sec5_exposure.pdb"
+  "CMakeFiles/bench_sec5_exposure.dir/bench_sec5_exposure.cc.o"
+  "CMakeFiles/bench_sec5_exposure.dir/bench_sec5_exposure.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_exposure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec6_malicious"
+  "../bench/bench_sec6_malicious.pdb"
+  "CMakeFiles/bench_sec6_malicious.dir/bench_sec6_malicious.cc.o"
+  "CMakeFiles/bench_sec6_malicious.dir/bench_sec6_malicious.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec6_malicious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec7_port_bounce"
+  "../bench/bench_sec7_port_bounce.pdb"
+  "CMakeFiles/bench_sec7_port_bounce.dir/bench_sec7_port_bounce.cc.o"
+  "CMakeFiles/bench_sec7_port_bounce.dir/bench_sec7_port_bounce.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_port_bounce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

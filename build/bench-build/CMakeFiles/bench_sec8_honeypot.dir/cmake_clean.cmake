@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec8_honeypot"
+  "../bench/bench_sec8_honeypot.pdb"
+  "CMakeFiles/bench_sec8_honeypot.dir/bench_sec8_honeypot.cc.o"
+  "CMakeFiles/bench_sec8_honeypot.dir/bench_sec8_honeypot.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_honeypot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec9_ftps"
+  "../bench/bench_sec9_ftps.pdb"
+  "CMakeFiles/bench_sec9_ftps.dir/bench_sec9_ftps.cc.o"
+  "CMakeFiles/bench_sec9_ftps.dir/bench_sec9_ftps.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec9_ftps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table01_funnel"
+  "../bench/bench_table01_funnel.pdb"
+  "CMakeFiles/bench_table01_funnel.dir/bench_table01_funnel.cc.o"
+  "CMakeFiles/bench_table01_funnel.dir/bench_table01_funnel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table01_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

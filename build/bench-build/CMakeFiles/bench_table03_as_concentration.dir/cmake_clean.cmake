@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table03_as_concentration"
+  "../bench/bench_table03_as_concentration.pdb"
+  "CMakeFiles/bench_table03_as_concentration.dir/bench_table03_as_concentration.cc.o"
+  "CMakeFiles/bench_table03_as_concentration.dir/bench_table03_as_concentration.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_as_concentration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

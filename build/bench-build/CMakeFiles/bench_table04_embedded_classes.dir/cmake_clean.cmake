@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table04_embedded_classes"
+  "../bench/bench_table04_embedded_classes.pdb"
+  "CMakeFiles/bench_table04_embedded_classes.dir/bench_table04_embedded_classes.cc.o"
+  "CMakeFiles/bench_table04_embedded_classes.dir/bench_table04_embedded_classes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_embedded_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

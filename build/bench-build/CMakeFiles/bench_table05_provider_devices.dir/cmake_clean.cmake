@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table05_provider_devices"
+  "../bench/bench_table05_provider_devices.pdb"
+  "CMakeFiles/bench_table05_provider_devices.dir/bench_table05_provider_devices.cc.o"
+  "CMakeFiles/bench_table05_provider_devices.dir/bench_table05_provider_devices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_provider_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

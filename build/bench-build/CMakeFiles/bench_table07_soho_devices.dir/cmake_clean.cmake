@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table07_soho_devices"
+  "../bench/bench_table07_soho_devices.pdb"
+  "CMakeFiles/bench_table07_soho_devices.dir/bench_table07_soho_devices.cc.o"
+  "CMakeFiles/bench_table07_soho_devices.dir/bench_table07_soho_devices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_soho_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table08_extensions"
+  "../bench/bench_table08_extensions.pdb"
+  "CMakeFiles/bench_table08_extensions.dir/bench_table08_extensions.cc.o"
+  "CMakeFiles/bench_table08_extensions.dir/bench_table08_extensions.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table08_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

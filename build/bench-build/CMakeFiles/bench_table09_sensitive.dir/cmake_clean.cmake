@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table09_sensitive"
+  "../bench/bench_table09_sensitive.pdb"
+  "CMakeFiles/bench_table09_sensitive.dir/bench_table09_sensitive.cc.o"
+  "CMakeFiles/bench_table09_sensitive.dir/bench_table09_sensitive.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_sensitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

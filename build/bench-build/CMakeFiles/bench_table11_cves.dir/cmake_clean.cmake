@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table11_cves"
+  "../bench/bench_table11_cves.pdb"
+  "CMakeFiles/bench_table11_cves.dir/bench_table11_cves.cc.o"
+  "CMakeFiles/bench_table11_cves.dir/bench_table11_cves.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_cves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

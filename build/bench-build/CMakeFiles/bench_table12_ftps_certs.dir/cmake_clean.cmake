@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table12_ftps_certs"
+  "../bench/bench_table12_ftps_certs.pdb"
+  "CMakeFiles/bench_table12_ftps_certs.dir/bench_table12_ftps_certs.cc.o"
+  "CMakeFiles/bench_table12_ftps_certs.dir/bench_table12_ftps_certs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_ftps_certs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

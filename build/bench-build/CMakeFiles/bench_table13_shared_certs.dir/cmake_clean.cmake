@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table13_shared_certs"
+  "../bench/bench_table13_shared_certs.pdb"
+  "CMakeFiles/bench_table13_shared_certs.dir/bench_table13_shared_certs.cc.o"
+  "CMakeFiles/bench_table13_shared_certs.dir/bench_table13_shared_certs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table13_shared_certs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpc_benchlib.dir/harness.cc.o"
+  "CMakeFiles/ftpc_benchlib.dir/harness.cc.o.d"
+  "libftpc_benchlib.a"
+  "libftpc_benchlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpc_benchlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

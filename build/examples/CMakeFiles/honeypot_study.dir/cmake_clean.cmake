@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/honeypot_study.dir/honeypot_study.cpp.o"
+  "CMakeFiles/honeypot_study.dir/honeypot_study.cpp.o.d"
+  "honeypot_study"
+  "honeypot_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/honeypot_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/port_bounce_audit.dir/port_bounce_audit.cpp.o"
+  "CMakeFiles/port_bounce_audit.dir/port_bounce_audit.cpp.o.d"
+  "port_bounce_audit"
+  "port_bounce_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/port_bounce_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/classify.cc" "src/analysis/CMakeFiles/ftpc_analysis.dir/classify.cc.o" "gcc" "src/analysis/CMakeFiles/ftpc_analysis.dir/classify.cc.o.d"
+  "/root/repo/src/analysis/cve.cc" "src/analysis/CMakeFiles/ftpc_analysis.dir/cve.cc.o" "gcc" "src/analysis/CMakeFiles/ftpc_analysis.dir/cve.cc.o.d"
+  "/root/repo/src/analysis/fingerprints.cc" "src/analysis/CMakeFiles/ftpc_analysis.dir/fingerprints.cc.o" "gcc" "src/analysis/CMakeFiles/ftpc_analysis.dir/fingerprints.cc.o.d"
+  "/root/repo/src/analysis/notify.cc" "src/analysis/CMakeFiles/ftpc_analysis.dir/notify.cc.o" "gcc" "src/analysis/CMakeFiles/ftpc_analysis.dir/notify.cc.o.d"
+  "/root/repo/src/analysis/summary.cc" "src/analysis/CMakeFiles/ftpc_analysis.dir/summary.cc.o" "gcc" "src/analysis/CMakeFiles/ftpc_analysis.dir/summary.cc.o.d"
+  "/root/repo/src/analysis/summary_io.cc" "src/analysis/CMakeFiles/ftpc_analysis.dir/summary_io.cc.o" "gcc" "src/analysis/CMakeFiles/ftpc_analysis.dir/summary_io.cc.o.d"
+  "/root/repo/src/analysis/tables.cc" "src/analysis/CMakeFiles/ftpc_analysis.dir/tables.cc.o" "gcc" "src/analysis/CMakeFiles/ftpc_analysis.dir/tables.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ftpc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftp/CMakeFiles/ftpc_ftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/ftpc_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpc_analysis.dir/classify.cc.o"
+  "CMakeFiles/ftpc_analysis.dir/classify.cc.o.d"
+  "CMakeFiles/ftpc_analysis.dir/cve.cc.o"
+  "CMakeFiles/ftpc_analysis.dir/cve.cc.o.d"
+  "CMakeFiles/ftpc_analysis.dir/fingerprints.cc.o"
+  "CMakeFiles/ftpc_analysis.dir/fingerprints.cc.o.d"
+  "CMakeFiles/ftpc_analysis.dir/notify.cc.o"
+  "CMakeFiles/ftpc_analysis.dir/notify.cc.o.d"
+  "CMakeFiles/ftpc_analysis.dir/summary.cc.o"
+  "CMakeFiles/ftpc_analysis.dir/summary.cc.o.d"
+  "CMakeFiles/ftpc_analysis.dir/summary_io.cc.o"
+  "CMakeFiles/ftpc_analysis.dir/summary_io.cc.o.d"
+  "CMakeFiles/ftpc_analysis.dir/tables.cc.o"
+  "CMakeFiles/ftpc_analysis.dir/tables.cc.o.d"
+  "libftpc_analysis.a"
+  "libftpc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpc_common.dir/datetime.cc.o"
+  "CMakeFiles/ftpc_common.dir/datetime.cc.o.d"
+  "CMakeFiles/ftpc_common.dir/hash.cc.o"
+  "CMakeFiles/ftpc_common.dir/hash.cc.o.d"
+  "CMakeFiles/ftpc_common.dir/ipv4.cc.o"
+  "CMakeFiles/ftpc_common.dir/ipv4.cc.o.d"
+  "CMakeFiles/ftpc_common.dir/log.cc.o"
+  "CMakeFiles/ftpc_common.dir/log.cc.o.d"
+  "CMakeFiles/ftpc_common.dir/result.cc.o"
+  "CMakeFiles/ftpc_common.dir/result.cc.o.d"
+  "CMakeFiles/ftpc_common.dir/rng.cc.o"
+  "CMakeFiles/ftpc_common.dir/rng.cc.o.d"
+  "CMakeFiles/ftpc_common.dir/strings.cc.o"
+  "CMakeFiles/ftpc_common.dir/strings.cc.o.d"
+  "CMakeFiles/ftpc_common.dir/table.cc.o"
+  "CMakeFiles/ftpc_common.dir/table.cc.o.d"
+  "libftpc_common.a"
+  "libftpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

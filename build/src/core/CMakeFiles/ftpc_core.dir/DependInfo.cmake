@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounce.cc" "src/core/CMakeFiles/ftpc_core.dir/bounce.cc.o" "gcc" "src/core/CMakeFiles/ftpc_core.dir/bounce.cc.o.d"
+  "/root/repo/src/core/census.cc" "src/core/CMakeFiles/ftpc_core.dir/census.cc.o" "gcc" "src/core/CMakeFiles/ftpc_core.dir/census.cc.o.d"
+  "/root/repo/src/core/dataset.cc" "src/core/CMakeFiles/ftpc_core.dir/dataset.cc.o" "gcc" "src/core/CMakeFiles/ftpc_core.dir/dataset.cc.o.d"
+  "/root/repo/src/core/enumerator.cc" "src/core/CMakeFiles/ftpc_core.dir/enumerator.cc.o" "gcc" "src/core/CMakeFiles/ftpc_core.dir/enumerator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ftpc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftp/CMakeFiles/ftpc_ftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/ftpc_scan.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpc_core.dir/bounce.cc.o"
+  "CMakeFiles/ftpc_core.dir/bounce.cc.o.d"
+  "CMakeFiles/ftpc_core.dir/census.cc.o"
+  "CMakeFiles/ftpc_core.dir/census.cc.o.d"
+  "CMakeFiles/ftpc_core.dir/dataset.cc.o"
+  "CMakeFiles/ftpc_core.dir/dataset.cc.o.d"
+  "CMakeFiles/ftpc_core.dir/enumerator.cc.o"
+  "CMakeFiles/ftpc_core.dir/enumerator.cc.o.d"
+  "libftpc_core.a"
+  "libftpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

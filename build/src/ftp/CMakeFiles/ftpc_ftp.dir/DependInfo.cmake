@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftp/cert.cc" "src/ftp/CMakeFiles/ftpc_ftp.dir/cert.cc.o" "gcc" "src/ftp/CMakeFiles/ftpc_ftp.dir/cert.cc.o.d"
+  "/root/repo/src/ftp/client.cc" "src/ftp/CMakeFiles/ftpc_ftp.dir/client.cc.o" "gcc" "src/ftp/CMakeFiles/ftpc_ftp.dir/client.cc.o.d"
+  "/root/repo/src/ftp/command.cc" "src/ftp/CMakeFiles/ftpc_ftp.dir/command.cc.o" "gcc" "src/ftp/CMakeFiles/ftpc_ftp.dir/command.cc.o.d"
+  "/root/repo/src/ftp/listing_parser.cc" "src/ftp/CMakeFiles/ftpc_ftp.dir/listing_parser.cc.o" "gcc" "src/ftp/CMakeFiles/ftpc_ftp.dir/listing_parser.cc.o.d"
+  "/root/repo/src/ftp/path.cc" "src/ftp/CMakeFiles/ftpc_ftp.dir/path.cc.o" "gcc" "src/ftp/CMakeFiles/ftpc_ftp.dir/path.cc.o.d"
+  "/root/repo/src/ftp/reply.cc" "src/ftp/CMakeFiles/ftpc_ftp.dir/reply.cc.o" "gcc" "src/ftp/CMakeFiles/ftpc_ftp.dir/reply.cc.o.d"
+  "/root/repo/src/ftp/robots.cc" "src/ftp/CMakeFiles/ftpc_ftp.dir/robots.cc.o" "gcc" "src/ftp/CMakeFiles/ftpc_ftp.dir/robots.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpc_ftp.dir/cert.cc.o"
+  "CMakeFiles/ftpc_ftp.dir/cert.cc.o.d"
+  "CMakeFiles/ftpc_ftp.dir/client.cc.o"
+  "CMakeFiles/ftpc_ftp.dir/client.cc.o.d"
+  "CMakeFiles/ftpc_ftp.dir/command.cc.o"
+  "CMakeFiles/ftpc_ftp.dir/command.cc.o.d"
+  "CMakeFiles/ftpc_ftp.dir/listing_parser.cc.o"
+  "CMakeFiles/ftpc_ftp.dir/listing_parser.cc.o.d"
+  "CMakeFiles/ftpc_ftp.dir/path.cc.o"
+  "CMakeFiles/ftpc_ftp.dir/path.cc.o.d"
+  "CMakeFiles/ftpc_ftp.dir/reply.cc.o"
+  "CMakeFiles/ftpc_ftp.dir/reply.cc.o.d"
+  "CMakeFiles/ftpc_ftp.dir/robots.cc.o"
+  "CMakeFiles/ftpc_ftp.dir/robots.cc.o.d"
+  "libftpc_ftp.a"
+  "libftpc_ftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpc_ftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpc_ftpd.dir/personality.cc.o"
+  "CMakeFiles/ftpc_ftpd.dir/personality.cc.o.d"
+  "CMakeFiles/ftpc_ftpd.dir/server.cc.o"
+  "CMakeFiles/ftpc_ftpd.dir/server.cc.o.d"
+  "CMakeFiles/ftpc_ftpd.dir/session.cc.o"
+  "CMakeFiles/ftpc_ftpd.dir/session.cc.o.d"
+  "libftpc_ftpd.a"
+  "libftpc_ftpd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpc_ftpd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

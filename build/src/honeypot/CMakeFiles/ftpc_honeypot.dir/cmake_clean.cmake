@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpc_honeypot.dir/attackers.cc.o"
+  "CMakeFiles/ftpc_honeypot.dir/attackers.cc.o.d"
+  "CMakeFiles/ftpc_honeypot.dir/honeypot.cc.o"
+  "CMakeFiles/ftpc_honeypot.dir/honeypot.cc.o.d"
+  "libftpc_honeypot.a"
+  "libftpc_honeypot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpc_honeypot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

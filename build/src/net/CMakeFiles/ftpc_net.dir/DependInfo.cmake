@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/as_table.cc" "src/net/CMakeFiles/ftpc_net.dir/as_table.cc.o" "gcc" "src/net/CMakeFiles/ftpc_net.dir/as_table.cc.o.d"
+  "/root/repo/src/net/internet.cc" "src/net/CMakeFiles/ftpc_net.dir/internet.cc.o" "gcc" "src/net/CMakeFiles/ftpc_net.dir/internet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

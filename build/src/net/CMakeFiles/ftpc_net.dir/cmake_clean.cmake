@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpc_net.dir/as_table.cc.o"
+  "CMakeFiles/ftpc_net.dir/as_table.cc.o.d"
+  "CMakeFiles/ftpc_net.dir/internet.cc.o"
+  "CMakeFiles/ftpc_net.dir/internet.cc.o.d"
+  "libftpc_net.a"
+  "libftpc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

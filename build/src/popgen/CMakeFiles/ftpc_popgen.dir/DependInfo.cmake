@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/popgen/calibration.cc" "src/popgen/CMakeFiles/ftpc_popgen.dir/calibration.cc.o" "gcc" "src/popgen/CMakeFiles/ftpc_popgen.dir/calibration.cc.o.d"
+  "/root/repo/src/popgen/catalog.cc" "src/popgen/CMakeFiles/ftpc_popgen.dir/catalog.cc.o" "gcc" "src/popgen/CMakeFiles/ftpc_popgen.dir/catalog.cc.o.d"
+  "/root/repo/src/popgen/fsgen.cc" "src/popgen/CMakeFiles/ftpc_popgen.dir/fsgen.cc.o" "gcc" "src/popgen/CMakeFiles/ftpc_popgen.dir/fsgen.cc.o.d"
+  "/root/repo/src/popgen/population.cc" "src/popgen/CMakeFiles/ftpc_popgen.dir/population.cc.o" "gcc" "src/popgen/CMakeFiles/ftpc_popgen.dir/population.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ftpc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftpd/CMakeFiles/ftpc_ftpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/ftpc_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftp/CMakeFiles/ftpc_ftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

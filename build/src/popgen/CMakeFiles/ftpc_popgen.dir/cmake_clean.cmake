@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpc_popgen.dir/calibration.cc.o"
+  "CMakeFiles/ftpc_popgen.dir/calibration.cc.o.d"
+  "CMakeFiles/ftpc_popgen.dir/catalog.cc.o"
+  "CMakeFiles/ftpc_popgen.dir/catalog.cc.o.d"
+  "CMakeFiles/ftpc_popgen.dir/fsgen.cc.o"
+  "CMakeFiles/ftpc_popgen.dir/fsgen.cc.o.d"
+  "CMakeFiles/ftpc_popgen.dir/population.cc.o"
+  "CMakeFiles/ftpc_popgen.dir/population.cc.o.d"
+  "libftpc_popgen.a"
+  "libftpc_popgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpc_popgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libftpc_popgen.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scan/permutation.cc" "src/scan/CMakeFiles/ftpc_scan.dir/permutation.cc.o" "gcc" "src/scan/CMakeFiles/ftpc_scan.dir/permutation.cc.o.d"
+  "/root/repo/src/scan/scanner.cc" "src/scan/CMakeFiles/ftpc_scan.dir/scanner.cc.o" "gcc" "src/scan/CMakeFiles/ftpc_scan.dir/scanner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ftpc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftpc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

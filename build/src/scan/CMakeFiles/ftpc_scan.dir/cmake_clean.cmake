@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpc_scan.dir/permutation.cc.o"
+  "CMakeFiles/ftpc_scan.dir/permutation.cc.o.d"
+  "CMakeFiles/ftpc_scan.dir/scanner.cc.o"
+  "CMakeFiles/ftpc_scan.dir/scanner.cc.o.d"
+  "libftpc_scan.a"
+  "libftpc_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpc_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

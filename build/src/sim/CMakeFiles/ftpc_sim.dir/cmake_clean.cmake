@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpc_sim.dir/connection.cc.o"
+  "CMakeFiles/ftpc_sim.dir/connection.cc.o.d"
+  "CMakeFiles/ftpc_sim.dir/event_loop.cc.o"
+  "CMakeFiles/ftpc_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/ftpc_sim.dir/network.cc.o"
+  "CMakeFiles/ftpc_sim.dir/network.cc.o.d"
+  "libftpc_sim.a"
+  "libftpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpc_vfs.dir/listing.cc.o"
+  "CMakeFiles/ftpc_vfs.dir/listing.cc.o.d"
+  "CMakeFiles/ftpc_vfs.dir/vfs.cc.o"
+  "CMakeFiles/ftpc_vfs.dir/vfs.cc.o.d"
+  "libftpc_vfs.a"
+  "libftpc_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpc_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faultinjection_test.dir/faultinjection_test.cc.o"
+  "CMakeFiles/faultinjection_test.dir/faultinjection_test.cc.o.d"
+  "faultinjection_test"
+  "faultinjection_test.pdb"
+  "faultinjection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faultinjection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpd_extra_test.dir/ftpd_extra_test.cc.o"
+  "CMakeFiles/ftpd_extra_test.dir/ftpd_extra_test.cc.o.d"
+  "ftpd_extra_test"
+  "ftpd_extra_test.pdb"
+  "ftpd_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpd_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notify_test.dir/notify_test.cc.o"
+  "CMakeFiles/notify_test.dir/notify_test.cc.o.d"
+  "notify_test"
+  "notify_test.pdb"
+  "notify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

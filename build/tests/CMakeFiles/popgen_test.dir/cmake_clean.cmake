@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popgen_test.dir/popgen_test.cc.o"
+  "CMakeFiles/popgen_test.dir/popgen_test.cc.o.d"
+  "popgen_test"
+  "popgen_test.pdb"
+  "popgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

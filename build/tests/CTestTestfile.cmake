@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/vfs_test[1]_include.cmake")
+include("/root/repo/build/tests/ftp_test[1]_include.cmake")
+include("/root/repo/build/tests/client_server_test[1]_include.cmake")
+include("/root/repo/build/tests/enumerator_test[1]_include.cmake")
+include("/root/repo/build/tests/scan_test[1]_include.cmake")
+include("/root/repo/build/tests/popgen_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/honeypot_test[1]_include.cmake")
+include("/root/repo/build/tests/census_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/dataset_test[1]_include.cmake")
+include("/root/repo/build/tests/notify_test[1]_include.cmake")
+include("/root/repo/build/tests/faultinjection_test[1]_include.cmake")
+include("/root/repo/build/tests/ftpd_extra_test[1]_include.cmake")

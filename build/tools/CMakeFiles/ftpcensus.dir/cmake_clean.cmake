@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ftpcensus.dir/ftpcensus.cc.o"
+  "CMakeFiles/ftpcensus.dir/ftpcensus.cc.o.d"
+  "ftpcensus"
+  "ftpcensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ftpcensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
