@@ -147,22 +147,29 @@ bench-build/CMakeFiles/bench_table01_funnel.dir/bench_table01_funnel.cc.o: \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/core/records.h /root/repo/src/common/ipv4.h \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/common/result.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/ftp/cert.h \
- /root/repo/src/common/hash.h /root/repo/src/ftp/listing_parser.h \
+ /root/repo/src/core/records.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/common/ipv4.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/common/result.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/ftp/cert.h /root/repo/src/common/hash.h \
+ /root/repo/src/ftp/listing_parser.h \
  /root/repo/src/analysis/fingerprints.h /root/repo/src/net/as_table.h \
  /root/repo/src/analysis/tables.h /root/repo/src/common/table.h \
  /root/repo/src/core/bounce.h /root/repo/src/ftp/client.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
- /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
- /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
- /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/ostream /usr/include/c++/12/ios \
+ /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
  /usr/include/pthread.h /usr/include/sched.h \
@@ -223,12 +230,18 @@ bench-build/CMakeFiles/bench_table01_funnel.dir/bench_table01_funnel.cc.o: \
  /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/ftp/command.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /root/repo/src/ftp/command.h \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/ftp/reply.h \
  /root/repo/src/sim/network.h /root/repo/src/sim/connection.h \
  /root/repo/src/sim/event_loop.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h

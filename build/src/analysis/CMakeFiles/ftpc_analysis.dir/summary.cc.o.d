@@ -144,13 +144,21 @@ src/analysis/CMakeFiles/ftpc_analysis.dir/summary.cc.o: \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/bits/nested_exception.h \
- /root/repo/src/core/records.h /root/repo/src/common/ipv4.h \
- /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/common/result.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
- /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/ftp/cert.h \
- /root/repo/src/common/hash.h /root/repo/src/ftp/listing_parser.h \
+ /root/repo/src/core/records.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/common/ipv4.h /usr/include/c++/12/span \
+ /usr/include/c++/12/cstddef /root/repo/src/common/result.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/ftp/cert.h /root/repo/src/common/hash.h \
+ /root/repo/src/ftp/listing_parser.h \
  /root/repo/src/analysis/fingerprints.h /root/repo/src/net/as_table.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/analysis/cve.h /root/repo/src/common/strings.h \

@@ -149,6 +149,13 @@ src/analysis/CMakeFiles/ftpc_analysis.dir/summary_io.cc.o: \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/analysis/classify.h /root/repo/src/core/records.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/numeric \
+ /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/common/ipv4.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/common/result.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \

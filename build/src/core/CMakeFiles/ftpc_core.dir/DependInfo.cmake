@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/census.cc" "src/core/CMakeFiles/ftpc_core.dir/census.cc.o" "gcc" "src/core/CMakeFiles/ftpc_core.dir/census.cc.o.d"
   "/root/repo/src/core/dataset.cc" "src/core/CMakeFiles/ftpc_core.dir/dataset.cc.o" "gcc" "src/core/CMakeFiles/ftpc_core.dir/dataset.cc.o.d"
   "/root/repo/src/core/enumerator.cc" "src/core/CMakeFiles/ftpc_core.dir/enumerator.cc.o" "gcc" "src/core/CMakeFiles/ftpc_core.dir/enumerator.cc.o.d"
+  "/root/repo/src/core/sharded_census.cc" "src/core/CMakeFiles/ftpc_core.dir/sharded_census.cc.o" "gcc" "src/core/CMakeFiles/ftpc_core.dir/sharded_census.cc.o.d"
   )
 
 # Targets to which this target links.

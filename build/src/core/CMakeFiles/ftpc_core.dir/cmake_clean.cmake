@@ -7,6 +7,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ftpc_core.dir/dataset.cc.o.d"
   "CMakeFiles/ftpc_core.dir/enumerator.cc.o"
   "CMakeFiles/ftpc_core.dir/enumerator.cc.o.d"
+  "CMakeFiles/ftpc_core.dir/sharded_census.cc.o"
+  "CMakeFiles/ftpc_core.dir/sharded_census.cc.o.d"
   "libftpc_core.a"
   "libftpc_core.pdb"
 )

@@ -215,6 +215,11 @@ src/core/CMakeFiles/ftpc_core.dir/enumerator.cc.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/common/ipv4.h \
  /usr/include/c++/12/optional /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/src/core/records.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/common/result.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
@@ -224,5 +229,13 @@ src/core/CMakeFiles/ftpc_core.dir/enumerator.cc.o: \
  /root/repo/src/ftp/reply.h /root/repo/src/sim/network.h \
  /root/repo/src/sim/connection.h /root/repo/src/sim/event_loop.h \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
+ /usr/include/c++/12/thread /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
  /root/repo/src/ftp/robots.h /root/repo/src/common/strings.h \
  /root/repo/src/ftp/path.h

@@ -294,7 +294,13 @@ tests/CMakeFiles/notify_test.dir/notify_test.cc.o: \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/analysis/notify.h /root/repo/src/analysis/classify.h \
- /root/repo/src/core/records.h /root/repo/src/common/ipv4.h \
- /usr/include/c++/12/span /root/repo/src/common/result.h \
- /root/repo/src/ftp/cert.h /root/repo/src/common/hash.h \
- /root/repo/src/ftp/listing_parser.h /root/repo/src/net/as_table.h
+ /root/repo/src/core/records.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/common/ipv4.h /usr/include/c++/12/span \
+ /root/repo/src/common/result.h /root/repo/src/ftp/cert.h \
+ /root/repo/src/common/hash.h /root/repo/src/ftp/listing_parser.h \
+ /root/repo/src/net/as_table.h

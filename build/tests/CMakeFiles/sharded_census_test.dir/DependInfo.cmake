@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sharded_census_test.cc" "tests/CMakeFiles/sharded_census_test.dir/sharded_census_test.cc.o" "gcc" "tests/CMakeFiles/sharded_census_test.dir/sharded_census_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ftpc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ftpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/popgen/CMakeFiles/ftpc_popgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/honeypot/CMakeFiles/ftpc_honeypot.dir/DependInfo.cmake"
+  "/root/repo/build/src/scan/CMakeFiles/ftpc_scan.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftpd/CMakeFiles/ftpc_ftpd.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftp/CMakeFiles/ftpc_ftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ftpc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/ftpc_vfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ftpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ftpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

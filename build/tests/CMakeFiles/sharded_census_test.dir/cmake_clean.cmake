@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_census_test.dir/sharded_census_test.cc.o"
+  "CMakeFiles/sharded_census_test.dir/sharded_census_test.cc.o.d"
+  "sharded_census_test"
+  "sharded_census_test.pdb"
+  "sharded_census_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_census_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

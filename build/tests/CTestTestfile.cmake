@@ -15,6 +15,7 @@ include("/root/repo/build/tests/popgen_test[1]_include.cmake")
 include("/root/repo/build/tests/analysis_test[1]_include.cmake")
 include("/root/repo/build/tests/honeypot_test[1]_include.cmake")
 include("/root/repo/build/tests/census_test[1]_include.cmake")
+include("/root/repo/build/tests/sharded_census_test[1]_include.cmake")
 include("/root/repo/build/tests/property_test[1]_include.cmake")
 include("/root/repo/build/tests/dataset_test[1]_include.cmake")
 include("/root/repo/build/tests/notify_test[1]_include.cmake")

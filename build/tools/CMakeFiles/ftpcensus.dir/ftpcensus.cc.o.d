@@ -206,23 +206,28 @@ tools/CMakeFiles/ftpcensus.dir/ftpcensus.cc.o: \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/analysis/classify.h \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/core/records.h /root/repo/src/common/ipv4.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /usr/include/c++/12/cstddef /root/repo/src/common/result.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h \
- /root/repo/src/ftp/cert.h /root/repo/src/common/hash.h \
- /root/repo/src/ftp/listing_parser.h /root/repo/src/net/as_table.h \
- /root/repo/src/analysis/summary.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/core/records.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/common/ipv4.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /root/repo/src/common/result.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/ftp/cert.h \
+ /root/repo/src/common/hash.h /root/repo/src/ftp/listing_parser.h \
+ /root/repo/src/net/as_table.h /root/repo/src/analysis/summary.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/analysis/fingerprints.h /root/repo/src/analysis/tables.h \
@@ -232,12 +237,21 @@ tools/CMakeFiles/ftpcensus.dir/ftpcensus.cc.o: \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/ftp/reply.h \
  /root/repo/src/sim/network.h /root/repo/src/sim/connection.h \
  /root/repo/src/sim/event_loop.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/core/census.h \
- /root/repo/src/core/enumerator.h /root/repo/src/ftp/robots.h \
- /root/repo/src/net/internet.h /usr/include/c++/12/list \
- /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/scan/scanner.h /root/repo/src/scan/permutation.h \
- /root/repo/src/core/dataset.h /root/repo/src/honeypot/attackers.h \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread \
+ /usr/include/c++/12/stop_token /usr/include/c++/12/atomic \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /root/repo/src/core/census.h /root/repo/src/core/enumerator.h \
+ /root/repo/src/ftp/robots.h /root/repo/src/net/internet.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /root/repo/src/scan/scanner.h \
+ /root/repo/src/scan/permutation.h /root/repo/src/core/dataset.h \
+ /root/repo/src/core/sharded_census.h /root/repo/src/honeypot/attackers.h \
  /root/repo/src/common/rng.h /root/repo/src/honeypot/honeypot.h \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/ftpd/server.h \

@@ -1,34 +1,40 @@
 #include "core/census.h"
 
 #include "common/log.h"
+#include "common/rng.h"
 
 namespace ftpc::core {
 
 Census::Census(sim::Network& network, CensusConfig config)
     : network_(network), config_(config) {}
 
-CensusStats Census::run(RecordSink& sink) {
+CensusStats Census::run(RecordSink& sink) { return run_shard(sink, 0, 1); }
+
+CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
+                              std::uint32_t total_shards) {
   CensusStats stats;
   const sim::SimTime started = network_.loop().now();
 
-  // Stage 1: ZMap host discovery.
+  // Stage 1: ZMap host discovery over this shard's permutation slice.
   scan::ScanConfig scan_config;
   scan_config.port = 21;
   scan_config.seed = config_.seed;
   scan_config.scale_shift = config_.scale_shift;
+  scan_config.shard = shard;
+  scan_config.total_shards = total_shards;
   scan::Scanner scanner(network_, scan_config);
   std::vector<std::uint32_t> hits;
   stats.scan = scanner.run([&hits](Ipv4 ip) { hits.push_back(ip.value()); });
   if (config_.max_hosts != 0 && hits.size() > config_.max_hosts) {
     hits.resize(config_.max_hosts);
   }
-  log_info() << "census: scan found " << hits.size() << " responsive hosts";
+  log_info() << "census: shard " << shard << "/" << total_shards
+             << " scan found " << hits.size() << " responsive hosts";
 
   // Stage 2: concurrent enumeration. A fixed-width window of sessions
   // drains the hit list; each completion starts the next host.
   std::size_t next = 0;
   std::uint64_t in_flight = 0;
-  std::uint32_t client_rotor = 0;
 
   // Self-referencing launcher; lives on the stack of run() — safe because
   // run() drives the loop to completion before returning.
@@ -37,8 +43,12 @@ CensusStats Census::run(RecordSink& sink) {
       const Ipv4 target(hits[next++]);
       ++in_flight;
       EnumeratorOptions options = config_.enumerator;
-      options.client_ip =
-          Ipv4(config_.client_net.value() + 1 + (client_rotor++ % 200));
+      // Client address is a pure function of the target, not of launch
+      // order: sequential and sharded runs must contact each host from the
+      // same client for their reports to be identical.
+      options.client_ip = Ipv4(config_.client_net.value() + 1 +
+                               static_cast<std::uint32_t>(
+                                   mix64(target.value()) % 200));
       HostEnumerator::start(
           network_, target, options, [&](HostReport report) {
             --in_flight;

@@ -3,6 +3,7 @@
 // callable unit.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -21,11 +22,19 @@ struct CensusConfig {
   /// Concurrent enumeration sessions, "spread across a large number of
   /// widely dispersed hosts" (§III.A).
   std::uint32_t concurrency = 64;
-  /// Client addresses rotate through this /24.
+  /// Client addresses are drawn from this /24, assigned per target by a
+  /// pure hash of the target address (so shard decomposition cannot change
+  /// which client contacts which host).
   Ipv4 client_net{141, 212, 120, 0};
   EnumeratorOptions enumerator;
-  /// Debug cap on enumerated hosts (0 = all discovered hosts).
+  /// Debug cap on enumerated hosts (0 = all discovered hosts). Applies per
+  /// shard; incompatible with the sharded-vs-sequential equivalence
+  /// contract, so leave it 0 when shards > 1.
   std::uint64_t max_hosts = 0;
+  /// Disjoint address-space partitions to census (see ShardedCensus).
+  std::uint32_t shards = 1;
+  /// Worker threads executing those shards (0 = hardware concurrency).
+  std::uint32_t threads = 1;
 };
 
 struct CensusStats {
@@ -34,7 +43,23 @@ struct CensusStats {
   std::uint64_t ftp_compliant = 0;
   std::uint64_t anonymous = 0;
   std::uint64_t sessions_errored = 0;  // died before completing cleanly
+  /// Per shard: that shard's simulated wall clock. Merged: the slowest
+  /// shard (shards run concurrently in the simulated world too).
   sim::SimTime virtual_duration = 0;
+  std::uint32_t shards_run = 1;
+
+  /// Folds another shard's counters into this one. Pure sums except
+  /// virtual_duration (max), so the merged value is independent of merge
+  /// order up to the commutativity of +/max — i.e. fully deterministic.
+  void merge_from(const CensusStats& other) noexcept {
+    scan.merge_from(other.scan);
+    hosts_enumerated += other.hosts_enumerated;
+    ftp_compliant += other.ftp_compliant;
+    anonymous += other.anonymous;
+    sessions_errored += other.sessions_errored;
+    virtual_duration = std::max(virtual_duration, other.virtual_duration);
+    shards_run += other.shards_run;
+  }
 };
 
 /// Runs the full pipeline synchronously (driving the event loop until all
@@ -44,6 +69,14 @@ class Census {
   Census(sim::Network& network, CensusConfig config);
 
   CensusStats run(RecordSink& sink);
+
+  /// Runs this census instance as shard `shard` of `total_shards`: scans
+  /// only that shard's slice of the address permutation and enumerates its
+  /// hits. `run(sink)` is shard 0 of 1. The caller provides one private
+  /// network (and event loop) per shard; ShardedCensus wraps the
+  /// multi-shard orchestration.
+  CensusStats run_shard(RecordSink& sink, std::uint32_t shard,
+                        std::uint32_t total_shards);
 
  private:
   sim::Network& network_;

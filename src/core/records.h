@@ -4,7 +4,9 @@
 // memory stays bounded regardless of scale.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <numeric>
 #include <optional>
 #include <string>
 #include <vector>
@@ -81,8 +83,17 @@ struct HostReport {
   Status error;
 };
 
-/// Receives completed host reports. Implementations must tolerate reports
-/// in any host order (sessions run concurrently).
+/// Receives completed host reports.
+///
+/// Ordering contract: implementations must tolerate reports in any host
+/// order (sessions run concurrently), but every producer serializes its
+/// on_host calls — a sink is never invoked from two threads at once, and
+/// is not required to be internally synchronized. The sharded census
+/// upholds this by giving each shard a private ShardMergeSink slot and
+/// replaying the union into the downstream sink from one thread, in
+/// canonical order (ascending IP), after every shard has finished. That
+/// replay order is what makes `shards=K, threads=T` produce byte-identical
+/// downstream output for every K and T.
 class RecordSink {
  public:
   virtual ~RecordSink() = default;
@@ -99,6 +110,73 @@ class VectorSink : public RecordSink {
 
  private:
   std::vector<HostReport> reports_;
+};
+
+/// The sharded census's deterministic reducer: one buffering slot per
+/// shard, merged into a downstream sink in canonical order once all shards
+/// are done.
+///
+/// Concurrency: slots are disjoint, so K worker threads writing their own
+/// slots never share mutable state and no locking is needed; merge_into()
+/// must be called after the workers have been joined. Memory: the merge is
+/// a barrier, so reports buffer here until it runs — the price of an
+/// order-stable reduction over unordered shard streams (see DESIGN.md,
+/// "Sharded census").
+///
+/// Canonical order: ascending (IP, per-shard arrival index). Scanned
+/// addresses are unique across shards, so the IP alone determines the
+/// order; the arrival index keeps the sort stable should a sink ever
+/// receive duplicates.
+class ShardMergeSink {
+ public:
+  explicit ShardMergeSink(std::uint32_t shards) : slots_(shards) {}
+
+  /// The private sub-sink for `shard`. Only that shard's worker may use it.
+  RecordSink& shard(std::uint32_t shard) { return slots_.at(shard); }
+
+  /// Replays every buffered report into `downstream` in canonical order
+  /// and releases the buffers. Call exactly once, after all shards finish.
+  void merge_into(RecordSink& downstream) {
+    struct Key {
+      std::uint32_t ip;
+      std::uint32_t shard;
+      std::uint32_t index;
+    };
+    std::vector<Key> keys;
+    keys.reserve(total_reports());
+    for (std::uint32_t s = 0; s < slots_.size(); ++s) {
+      for (std::uint32_t i = 0; i < slots_[s].reports.size(); ++i) {
+        keys.push_back({slots_[s].reports[i].ip.value(), s, i});
+      }
+    }
+    std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+      if (a.ip != b.ip) return a.ip < b.ip;
+      if (a.shard != b.shard) return a.shard < b.shard;
+      return a.index < b.index;
+    });
+    for (const Key& key : keys) {
+      downstream.on_host(slots_[key.shard].reports[key.index]);
+    }
+    for (Slot& slot : slots_) {
+      slot.reports.clear();
+      slot.reports.shrink_to_fit();
+    }
+  }
+
+  std::uint64_t total_reports() const noexcept {
+    return std::accumulate(
+        slots_.begin(), slots_.end(), std::uint64_t{0},
+        [](std::uint64_t n, const Slot& s) { return n + s.reports.size(); });
+  }
+
+ private:
+  struct Slot : RecordSink {
+    void on_host(const HostReport& report) override {
+      reports.push_back(report);
+    }
+    std::vector<HostReport> reports;
+  };
+  std::vector<Slot> slots_;
 };
 
 }  // namespace ftpc::core

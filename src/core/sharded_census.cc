@@ -1,0 +1,84 @@
+#include "core/sharded_census.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/network.h"
+
+namespace ftpc::core {
+
+ShardedCensus::ShardedCensus(PopulationFactory population_factory,
+                             CensusConfig config,
+                             std::size_t host_cache_capacity)
+    : population_factory_(std::move(population_factory)),
+      config_(config),
+      host_cache_capacity_(host_cache_capacity) {}
+
+CensusStats ShardedCensus::run_one_shard(std::uint32_t shard,
+                                         std::uint32_t total_shards,
+                                         RecordSink& shard_sink) const {
+  // A complete private stack: loop, network, population, host cache. The
+  // loop binds to this worker thread on first use (debug builds assert
+  // no other thread ever drives it).
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  std::unique_ptr<net::PopulationModel> population = population_factory_();
+  net::Internet internet(network, *population, host_cache_capacity_);
+  Census census(network, config_);
+  return census.run_shard(shard_sink, shard, total_shards);
+}
+
+CensusStats ShardedCensus::run(RecordSink& sink) {
+  const std::uint32_t shards = std::max<std::uint32_t>(1, config_.shards);
+  std::uint32_t threads = config_.threads != 0
+                              ? config_.threads
+                              : std::thread::hardware_concurrency();
+  threads = std::clamp<std::uint32_t>(threads, 1, shards);
+
+  ShardMergeSink merge(shards);
+  std::vector<CensusStats> per_shard(shards);
+
+  // Workers pull shard indices from a shared counter; each shard writes
+  // only its own merge slot and stats entry, so the workers share nothing
+  // mutable but the counter itself.
+  std::atomic<std::uint32_t> next_shard{0};
+  std::mutex failure_mutex;
+  std::exception_ptr failure;
+  auto worker = [&]() noexcept {
+    for (;;) {
+      const std::uint32_t shard =
+          next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (shard >= shards) return;
+      try {
+        per_shard[shard] = run_one_shard(shard, shards, merge.shard(shard));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(failure_mutex);
+        if (!failure) failure = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::uint32_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  if (failure) std::rethrow_exception(failure);
+
+  // Single-threaded from here: deterministic replay + order-free fold.
+  merge.merge_into(sink);
+  CensusStats total = per_shard[0];
+  for (std::uint32_t shard = 1; shard < shards; ++shard) {
+    total.merge_from(per_shard[shard]);
+  }
+  return total;
+}
+
+}  // namespace ftpc::core

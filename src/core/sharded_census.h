@@ -1,0 +1,64 @@
+// Space-partitioned parallel census.
+//
+// The paper's collection ran "spread across a large number of widely
+// dispersed hosts" (§III.A); this is that architecture in one process.
+// The scanned address space is split into K disjoint shards along the
+// scan permutation's cyclic-group walk (ZMap's sharding scheme), and each
+// shard runs the complete pipeline — scanner, enumerator window, record
+// stream — on its own sim::EventLoop + sim::Network + population stack,
+// so shards share no mutable state at all. T worker threads drain the K
+// shard tasks, per-shard record streams buffer in a ShardMergeSink, and
+// the merged stream replays into the caller's sink in canonical order.
+//
+// Determinism contract: for a fixed (seed, scale_shift, enumerator
+// options), every (shards=K, threads=T) configuration produces the same
+// merged record stream, byte for byte, as the sequential Census — the
+// property tests/sharded_census_test.cc pins. The three mechanisms that
+// make it hold:
+//   1. element-indexed shard budgets: the K shard slices partition the
+//      sequential scan sample exactly (scan/permutation.h);
+//   2. per-host purity: a host's report depends only on (seed, target);
+//      the client address is a hash of the target, never of launch order;
+//   3. order-stable reduction: the merge replays reports sorted by IP,
+//      erasing shard-completion and thread-scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/census.h"
+#include "core/records.h"
+#include "net/internet.h"
+
+namespace ftpc::core {
+
+/// Builds one shard's population model. Invoked once per shard, possibly
+/// concurrently from several worker threads, so it must be thread-safe and
+/// must return identically-seeded populations — every shard has to see the
+/// same simulated Internet for the partition to reassemble exactly.
+using PopulationFactory =
+    std::function<std::unique_ptr<net::PopulationModel>()>;
+
+class ShardedCensus {
+ public:
+  /// `host_cache_capacity` is the per-shard net::Internet LRU bound.
+  ShardedCensus(PopulationFactory population_factory, CensusConfig config,
+                std::size_t host_cache_capacity = 256);
+
+  /// Runs config.shards shards on config.threads worker threads (0 =
+  /// hardware concurrency; clamped to the shard count), merges the record
+  /// streams into `sink` in canonical order, and returns the summed stats.
+  /// Blocks until everything — workers included — has finished.
+  CensusStats run(RecordSink& sink);
+
+ private:
+  CensusStats run_one_shard(std::uint32_t shard, std::uint32_t total_shards,
+                            RecordSink& shard_sink) const;
+
+  PopulationFactory population_factory_;
+  CensusConfig config_;
+  std::size_t host_cache_capacity_;
+};
+
+}  // namespace ftpc::core

@@ -52,19 +52,33 @@ CyclicPermutation::CyclicPermutation(std::uint64_t seed) {
 }
 
 CyclicPermutation::Walk CyclicPermutation::shard_walk(
-    std::uint32_t shard, std::uint32_t total_shards) const {
+    std::uint32_t shard, std::uint32_t total_shards,
+    std::uint64_t element_limit) const {
   const std::uint64_t first =
       mul_mod(start_, pow_mod(generator_, shard));
   const std::uint64_t step = pow_mod(generator_, total_shards);
-  return Walk(first, step);
+  return Walk(first, step, element_limit);
+}
+
+std::uint64_t CyclicPermutation::shard_prefix_elements(
+    std::uint64_t prefix_elements, std::uint32_t shard,
+    std::uint32_t total_shards) noexcept {
+  if (total_shards == 0 || shard >= total_shards ||
+      prefix_elements <= shard) {
+    return 0;
+  }
+  // Indices shard, shard + K, shard + 2K, ... below prefix_elements.
+  return (prefix_elements - shard - 1) / total_shards + 1;
 }
 
 bool CyclicPermutation::Walk::next(std::uint32_t& address_out) noexcept {
   for (;;) {
+    if (consumed_ >= limit_) return false;             // budget exhausted
     if (started_ && current_ == first_) return false;  // full circle
     const std::uint64_t element = current_;
     started_ = true;
     current_ = mul_mod(current_, step_);
+    ++consumed_;
     if (element <= (std::uint64_t{1} << 32)) {
       ++emitted_;
       address_out = static_cast<std::uint32_t>(element - 1);

@@ -5,10 +5,15 @@
 // a random primitive root g visits every element of [1, p-1] exactly once
 // in an order indistinguishable (for scanning purposes) from random, with
 // O(1) state — no shuffled array of four billion addresses. Elements larger
-// than 2^32 (there are 15) are skipped; element e maps to address e - 1.
+// than 2^32 (there are 14) are skipped; element e maps to address e - 1.
 //
 // Sharding follows ZMap's scheme: shard i of n starts at start*g^i and
-// steps by g^n, so the shards partition the cycle exactly.
+// steps by g^n, so shard i visits exactly the elements at cycle indices
+// ≡ i (mod n): the shards partition the cycle, and any element-indexed
+// prefix of it, exactly. Sampling budgets are therefore expressed in
+// *elements consumed*, not addresses emitted — a skipped element charges
+// the budget of whichever shard owns its index, which is what keeps the
+// union of K sharded prefixes byte-identical to the K=1 prefix.
 #pragma once
 
 #include <cstdint>
@@ -30,30 +35,51 @@ class CyclicPermutation {
   /// factorization of p-1 = 2 * 3^2 * 5 * 131 * 364289).
   static bool is_primitive_root(std::uint64_t g) noexcept;
 
+  /// No element budget: walk until the cycle closes.
+  static constexpr std::uint64_t kUnlimited = ~std::uint64_t{0};
+
   /// One shard's walk over the cycle.
   class Walk {
    public:
     /// Next address in this shard's sequence. Returns false once the walk
-    /// has come full circle (all addresses of the shard emitted).
+    /// has come full circle (all addresses of the shard emitted) or its
+    /// element budget is exhausted.
     bool next(std::uint32_t& address_out) noexcept;
 
     /// Addresses emitted so far.
     std::uint64_t emitted() const noexcept { return emitted_; }
 
+    /// Group elements consumed so far (emitted addresses plus skipped
+    /// elements). The global cycle index of the most recently emitted
+    /// address is `shard + (consumed() - 1) * total_shards`.
+    std::uint64_t consumed() const noexcept { return consumed_; }
+
    private:
     friend class CyclicPermutation;
-    Walk(std::uint64_t first, std::uint64_t step) noexcept
-        : first_(first), step_(step), current_(first) {}
+    Walk(std::uint64_t first, std::uint64_t step,
+         std::uint64_t element_limit) noexcept
+        : first_(first), step_(step), current_(first), limit_(element_limit) {}
 
     std::uint64_t first_;
     std::uint64_t step_;
     std::uint64_t current_;
+    std::uint64_t limit_;
     bool started_ = false;
     std::uint64_t emitted_ = 0;
+    std::uint64_t consumed_ = 0;
   };
 
-  /// The walk for shard `shard` of `total_shards`.
-  Walk shard_walk(std::uint32_t shard, std::uint32_t total_shards) const;
+  /// The walk for shard `shard` of `total_shards`, consuming at most
+  /// `element_limit` elements of the shard's subsequence.
+  Walk shard_walk(std::uint32_t shard, std::uint32_t total_shards,
+                  std::uint64_t element_limit = kUnlimited) const;
+
+  /// Number of cycle indices in [0, prefix_elements) owned by `shard` of
+  /// `total_shards` — the element budget that makes K sharded walks
+  /// partition the unsharded `prefix_elements`-element prefix exactly.
+  static std::uint64_t shard_prefix_elements(
+      std::uint64_t prefix_elements, std::uint32_t shard,
+      std::uint32_t total_shards) noexcept;
 
   /// Modular helpers (exposed for tests).
   static std::uint64_t mul_mod(std::uint64_t a, std::uint64_t b) noexcept;

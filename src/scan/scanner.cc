@@ -8,16 +8,20 @@ Scanner::Scanner(sim::Network& network, ScanConfig config)
 ScanStats Scanner::run(const HitHandler& on_hit) {
   ScanStats stats;
   const CyclicPermutation permutation(config_.seed);
-  CyclicPermutation::Walk walk =
-      permutation.shard_walk(config_.shard, config_.total_shards);
 
-  // Sampling budget: the shard's share of 2^32 / 2^scale_shift.
-  const std::uint64_t budget =
-      ((std::uint64_t{1} << 32) >> config_.scale_shift) /
-      config_.total_shards;
+  // Sampling budget: the shard's element indices within the first
+  // 2^32 >> scale_shift elements of the cycle. Budgeting in elements (not
+  // emitted addresses) is what makes the K shards an exact partition of
+  // the unsharded sample for every seed — see permutation.h.
+  const std::uint64_t sample_elements =
+      (std::uint64_t{1} << 32) >> config_.scale_shift;
+  const std::uint64_t budget = CyclicPermutation::shard_prefix_elements(
+      sample_elements, config_.shard, config_.total_shards);
+  CyclicPermutation::Walk walk =
+      permutation.shard_walk(config_.shard, config_.total_shards, budget);
 
   std::uint32_t address = 0;
-  while (stats.addresses_walked < budget && walk.next(address)) {
+  while (walk.next(address)) {
     ++stats.addresses_walked;
     const Ipv4 ip(address);
     if (is_reserved(ip)) {
@@ -30,6 +34,8 @@ ScanStats Scanner::run(const HitHandler& on_hit) {
       on_hit(ip);
     }
   }
+
+  stats.elements_walked = walk.consumed();
 
   // Account for the wire time of the probes.
   if (config_.probes_per_second > 0) {

@@ -19,7 +19,10 @@ namespace ftpc::scan {
 struct ScanConfig {
   std::uint16_t port = 21;
   std::uint64_t seed = 1;
-  /// Scan 1/2^scale_shift of the address space (0 = full IPv4 scan).
+  /// Scan 1/2^scale_shift of the address space (0 = full IPv4 scan). The
+  /// sample is the first 2^32 >> scale_shift *elements* of the permutation
+  /// cycle; shards split those element indices round-robin, so the K-shard
+  /// scan probes exactly the addresses of the unsharded sample.
   unsigned scale_shift = 0;
   std::uint32_t shard = 0;
   std::uint32_t total_shards = 1;
@@ -29,10 +32,20 @@ struct ScanConfig {
 };
 
 struct ScanStats {
-  std::uint64_t addresses_walked = 0;   // permutation elements consumed
+  std::uint64_t elements_walked = 0;    // permutation elements consumed
+  std::uint64_t addresses_walked = 0;   // addresses emitted by the walk
   std::uint64_t blocklisted = 0;        // reserved, never probed
   std::uint64_t probed = 0;
   std::uint64_t responsive = 0;         // SYN-ACK received
+
+  /// Accumulates another shard's counters (all counters are sums).
+  void merge_from(const ScanStats& other) noexcept {
+    elements_walked += other.elements_walked;
+    addresses_walked += other.addresses_walked;
+    blocklisted += other.blocklisted;
+    probed += other.probed;
+    responsive += other.responsive;
+  }
 };
 
 /// Called for each responsive address.

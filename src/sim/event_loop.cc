@@ -1,14 +1,23 @@
 #include "sim/event_loop.h"
 
+#include <atomic>
 #include <cassert>
 #include <utility>
 
 namespace ftpc::sim {
 
+namespace {
+// Process-wide id source: ids stay unique across the per-shard loops of a
+// sharded census, so a TimerId can never be "reused" by a sibling loop.
+std::atomic<std::uint64_t> g_next_timer_id{1};
+}  // namespace
+
 TimerId EventLoop::schedule_at(SimTime when, std::function<void()> fn) {
   assert(fn && "scheduled callback must be callable");
+  assert_owned_by_current_thread();
   if (when < now_) when = now_;
-  const TimerId id = next_id_++;
+  const TimerId id =
+      g_next_timer_id.fetch_add(1, std::memory_order_relaxed);
   queue_.push(Event{.when = when, .seq = next_seq_++, .id = id});
   callbacks_.emplace(id, std::move(fn));
   return id;
@@ -19,6 +28,7 @@ TimerId EventLoop::schedule_after(SimTime delay, std::function<void()> fn) {
 }
 
 bool EventLoop::cancel(TimerId id) {
+  assert_owned_by_current_thread();
   const auto it = callbacks_.find(id);
   if (it == callbacks_.end()) return false;
   callbacks_.erase(it);
@@ -27,6 +37,7 @@ bool EventLoop::cancel(TimerId id) {
 }
 
 bool EventLoop::run_one() {
+  assert_owned_by_current_thread();
   while (!queue_.empty()) {
     const Event event = queue_.top();
     queue_.pop();

@@ -5,13 +5,20 @@
 // deployment or a rate-limited Internet-wide enumeration runs in however
 // long the event processing itself takes.
 //
-// Determinism: events fire in (time, insertion order). No wall clock, no
-// threads.
+// Determinism: events fire in (time, insertion order). No wall clock, and
+// no internal threads — but the sharded census runs one private loop per
+// worker thread, so TimerIds are allocated from a process-wide counter
+// (an id from loop A can never alias a pending event of loop B; cancelling
+// it on the wrong loop is a detectable no-op rather than silent corruption)
+// and, in debug builds, each loop asserts it is only ever driven by the
+// thread that first used it.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -29,6 +36,9 @@ constexpr SimTime kHour = 60 * kMinute;
 constexpr SimTime kDay = 24 * kHour;
 
 /// Identifies a scheduled event so it can be cancelled before firing.
+/// Ids are unique across every EventLoop in the process and are never
+/// reused, so a stale or foreign id can only ever miss (cancel() returns
+/// false), never hit another event.
 using TimerId = std::uint64_t;
 
 class EventLoop {
@@ -87,9 +97,26 @@ class EventLoop {
     }
   };
 
+  /// Debug-only single-owner check: a loop binds to the first thread that
+  /// schedules on or drives it; any use from another thread is a bug (each
+  /// census shard owns its loop exclusively).
+  void assert_owned_by_current_thread() noexcept {
+#ifndef NDEBUG
+    if (!owner_bound_) {
+      owner_ = std::this_thread::get_id();
+      owner_bound_ = true;
+    }
+    assert(owner_ == std::this_thread::get_id() &&
+           "EventLoop used from a thread other than its owner");
+#endif
+  }
+
+#ifndef NDEBUG
+  std::thread::id owner_;
+  bool owner_bound_ = false;
+#endif
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::unordered_set<TimerId> cancelled_;

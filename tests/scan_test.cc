@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "scan/permutation.h"
 #include "scan/scanner.h"
@@ -104,6 +106,109 @@ TEST(Permutation, ShardsAreDisjoint) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Shard-partition properties (ZMap's sharding invariant): the K shard
+// slices of an element-indexed prefix are pairwise disjoint, cover the
+// prefix exactly once, and each equals the unsharded walk filtered to the
+// element indices that shard owns.
+// ---------------------------------------------------------------------------
+
+// The first `elements` entries of the unsharded walk as (global element
+// index, address) pairs; skipped group elements consume an index without
+// producing a pair.
+std::vector<std::pair<std::uint64_t, std::uint32_t>> unsharded_prefix(
+    const CyclicPermutation& p, std::uint64_t elements) {
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> out;
+  auto walk = p.shard_walk(0, 1, elements);
+  std::uint32_t address = 0;
+  while (walk.next(address)) {
+    out.emplace_back(walk.consumed() - 1, address);
+  }
+  return out;
+}
+
+TEST(Permutation, ShardSlicesEqualFilteredUnshardedWalk) {
+  const CyclicPermutation p(21);
+  const std::uint64_t kElements = 1 << 16;
+  const auto full = unsharded_prefix(p, kElements);
+  for (const std::uint32_t total_shards : {1u, 2u, 3u, 4u, 5u, 8u}) {
+    for (std::uint32_t shard = 0; shard < total_shards; ++shard) {
+      const std::uint64_t budget = CyclicPermutation::shard_prefix_elements(
+          kElements, shard, total_shards);
+      auto walk = p.shard_walk(shard, total_shards, budget);
+      std::vector<std::uint32_t> got;
+      std::uint32_t address = 0;
+      while (walk.next(address)) got.push_back(address);
+      EXPECT_EQ(walk.consumed(), budget);
+
+      std::vector<std::uint32_t> expected;
+      for (const auto& [index, addr] : full) {
+        if (index % total_shards == shard) expected.push_back(addr);
+      }
+      EXPECT_EQ(got, expected)
+          << "shard " << shard << "/" << total_shards
+          << " is not the index-filtered unsharded walk";
+    }
+  }
+}
+
+TEST(Permutation, ShardSlicesAreDisjointAndCoverThePrefix) {
+  const CyclicPermutation p(33);
+  const std::uint64_t kElements = 1 << 15;
+  const auto full = unsharded_prefix(p, kElements);
+  for (const std::uint32_t total_shards : {2u, 3u, 7u, 16u}) {
+    std::unordered_set<std::uint32_t> seen;
+    std::uint64_t total_elements = 0;
+    for (std::uint32_t shard = 0; shard < total_shards; ++shard) {
+      const std::uint64_t budget = CyclicPermutation::shard_prefix_elements(
+          kElements, shard, total_shards);
+      total_elements += budget;
+      auto walk = p.shard_walk(shard, total_shards, budget);
+      std::uint32_t address = 0;
+      while (walk.next(address)) {
+        EXPECT_TRUE(seen.insert(address).second)
+            << "address emitted by two shards (K=" << total_shards << ")";
+      }
+    }
+    // Element budgets tile the prefix exactly, even when K does not
+    // divide it, ...
+    EXPECT_EQ(total_elements, kElements);
+    // ... and the union of shard outputs is exactly the unsharded prefix.
+    EXPECT_EQ(seen.size(), full.size());
+    for (const auto& [index, addr] : full) {
+      EXPECT_TRUE(seen.count(addr)) << "address missing from every shard";
+    }
+  }
+}
+
+TEST(Permutation, ShardPrefixElementBudgets) {
+  // 10 indices over 4 shards: 3, 3, 2, 2.
+  EXPECT_EQ(CyclicPermutation::shard_prefix_elements(10, 0, 4), 3u);
+  EXPECT_EQ(CyclicPermutation::shard_prefix_elements(10, 1, 4), 3u);
+  EXPECT_EQ(CyclicPermutation::shard_prefix_elements(10, 2, 4), 2u);
+  EXPECT_EQ(CyclicPermutation::shard_prefix_elements(10, 3, 4), 2u);
+  // Degenerate cases.
+  EXPECT_EQ(CyclicPermutation::shard_prefix_elements(0, 0, 4), 0u);
+  EXPECT_EQ(CyclicPermutation::shard_prefix_elements(2, 3, 4), 0u);
+  EXPECT_EQ(CyclicPermutation::shard_prefix_elements(10, 5, 4), 0u);
+  EXPECT_EQ(CyclicPermutation::shard_prefix_elements(10, 0, 0), 0u);
+  EXPECT_EQ(CyclicPermutation::shard_prefix_elements(10, 0, 1), 10u);
+}
+
+TEST(Permutation, WalkElementLimitStopsExactly) {
+  const CyclicPermutation p(13);
+  auto limited = p.shard_walk(0, 1, 100);
+  std::uint32_t address = 0;
+  std::uint64_t emitted = 0;
+  while (limited.next(address)) ++emitted;
+  EXPECT_EQ(limited.consumed(), 100u);
+  EXPECT_EQ(limited.emitted(), emitted);
+  EXPECT_LE(emitted, 100u);
+  // A second call after exhaustion stays exhausted.
+  EXPECT_FALSE(limited.next(address));
+  EXPECT_EQ(limited.consumed(), 100u);
+}
+
 TEST(Permutation, AddressesSpreadAcrossSpace) {
   // A uniform permutation should hit every /8-sized bucket quickly.
   const CyclicPermutation p(5);
@@ -159,6 +264,9 @@ TEST(Scanner, SamplingBudget) {
   config.scale_shift = 16;  // 1/65536 of the space
   Scanner scanner(network, config);
   const ScanStats stats = scanner.run([](Ipv4) {});
+  // The budget is 2^16 *elements*; every element of this seed's prefix
+  // maps to an address, so the two counters agree here.
+  EXPECT_EQ(stats.elements_walked, (std::uint64_t{1} << 16));
   EXPECT_EQ(stats.addresses_walked, (std::uint64_t{1} << 16));
 }
 
@@ -198,6 +306,56 @@ TEST(Scanner, ShardsPartitionTheSample) {
     total_hits += stats.responsive;
   }
   EXPECT_EQ(all.size(), total_hits);
+}
+
+TEST(Scanner, ShardedScanHitsEqualSequentialScanHits) {
+  // Scanner-level statement of the partition invariant: the union of K
+  // shards' hits is exactly the sequential scan's hit set, and every
+  // counter partitions. Uses a sparse deterministic responder so hit sets
+  // are small but non-trivial.
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  network.set_probe_fn([](Ipv4 ip, std::uint16_t) {
+    return ip.value() % 1024 == 3;
+  });
+
+  auto run_scan = [&](std::uint32_t shard, std::uint32_t total) {
+    ScanConfig config;
+    config.seed = 123;
+    config.scale_shift = 14;
+    config.shard = shard;
+    config.total_shards = total;
+    Scanner scanner(network, config);
+    std::vector<std::uint32_t> hits;
+    const ScanStats stats =
+        scanner.run([&](Ipv4 ip) { hits.push_back(ip.value()); });
+    return std::pair(stats, hits);
+  };
+
+  const auto [seq_stats, seq_hits] = run_scan(0, 1);
+  ASSERT_GT(seq_hits.size(), 50u);
+
+  for (const std::uint32_t total_shards : {2u, 3u, 8u}) {
+    ScanStats merged;
+    std::unordered_set<std::uint32_t> merged_hits;
+    for (std::uint32_t shard = 0; shard < total_shards; ++shard) {
+      const auto [stats, hits] = run_scan(shard, total_shards);
+      merged.merge_from(stats);
+      for (const std::uint32_t hit : hits) {
+        EXPECT_TRUE(merged_hits.insert(hit).second)
+            << "hit discovered by two shards";
+      }
+    }
+    EXPECT_EQ(merged.elements_walked, seq_stats.elements_walked);
+    EXPECT_EQ(merged.addresses_walked, seq_stats.addresses_walked);
+    EXPECT_EQ(merged.blocklisted, seq_stats.blocklisted);
+    EXPECT_EQ(merged.probed, seq_stats.probed);
+    EXPECT_EQ(merged.responsive, seq_stats.responsive);
+    EXPECT_EQ(merged_hits.size(), seq_hits.size());
+    for (const std::uint32_t hit : seq_hits) {
+      EXPECT_TRUE(merged_hits.count(hit));
+    }
+  }
 }
 
 TEST(Scanner, AdvancesVirtualTimeByRate) {

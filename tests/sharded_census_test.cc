@@ -1,0 +1,275 @@
+// Determinism-equivalence suite for the sharded census engine.
+//
+// The contract under test (see sharded_census.h): for a fixed seed and
+// scale, every (shards=K, threads=T) configuration produces a merged
+// record stream and summary byte-identical to the sequential pipeline.
+// Streams are compared through the dataset wire encoding and summaries
+// through summary_io serialization, so "identical" here really is
+// byte-for-byte, not just equal counters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/summary.h"
+#include "analysis/summary_io.h"
+#include "core/census.h"
+#include "core/dataset.h"
+#include "core/records.h"
+#include "core/sharded_census.h"
+#include "net/internet.h"
+#include "popgen/population.h"
+#include "sim/network.h"
+
+namespace ftpc {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+constexpr unsigned kScaleShift = 16;  // ~65K addresses: CI-sized
+
+// Canonical byte encoding of a record stream: reports sorted by IP (the
+// sharded engine's merge order), each framed by the dataset encoder.
+std::string encode_stream_sorted(std::vector<core::HostReport> reports) {
+  std::sort(reports.begin(), reports.end(),
+            [](const core::HostReport& a, const core::HostReport& b) {
+              return a.ip.value() < b.ip.value();
+            });
+  std::string bytes;
+  for (const core::HostReport& report : reports) {
+    bytes += core::encode_host_report(report);
+  }
+  return bytes;
+}
+
+// Serialized summary built by replaying `reports` (already in canonical
+// order for sharded runs; sorted here for sequential ones).
+std::string encode_summary(const std::vector<core::HostReport>& reports,
+                           const popgen::SyntheticPopulation& population,
+                           const core::CensusStats& stats,
+                           std::uint64_t seed, unsigned scale_shift) {
+  analysis::SummaryBuilder builder(
+      population.as_table(), [&population](Ipv4 ip) {
+        const popgen::HttpProfile http = population.http_profile(ip);
+        return analysis::HttpSignal{
+            .has_http = http.has_http,
+            .server_side_scripting =
+                http.powered_by != popgen::HttpProfile::PoweredBy::kNone};
+      });
+  std::vector<core::HostReport> sorted = reports;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const core::HostReport& a, const core::HostReport& b) {
+              return a.ip.value() < b.ip.value();
+            });
+  for (const core::HostReport& report : sorted) builder.on_host(report);
+  const analysis::CensusSummary summary = builder.take(
+      seed, scale_shift, stats.scan.probed, stats.scan.responsive);
+  return analysis::serialize_summary(summary);
+}
+
+struct RunOutput {
+  core::CensusStats stats;
+  std::string stream_bytes;   // canonical-order dataset encoding
+  std::string summary_bytes;  // serialized CensusSummary
+  std::size_t report_count = 0;
+};
+
+// The pre-sharding pipeline: one stack, Census::run.
+RunOutput run_sequential(std::uint64_t seed, unsigned scale_shift) {
+  popgen::SyntheticPopulation population(seed);
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  net::Internet internet(network, population, 256);
+  core::CensusConfig config;
+  config.seed = seed;
+  config.scale_shift = scale_shift;
+  core::VectorSink sink;
+  core::Census census(network, config);
+  RunOutput out;
+  out.stats = census.run(sink);
+  out.report_count = sink.reports().size();
+  out.stream_bytes = encode_stream_sorted(sink.reports());
+  out.summary_bytes = encode_summary(sink.reports(), population, out.stats,
+                                     seed, scale_shift);
+  return out;
+}
+
+RunOutput run_sharded(std::uint64_t seed, unsigned scale_shift,
+                      std::uint32_t shards, std::uint32_t threads) {
+  core::CensusConfig config;
+  config.seed = seed;
+  config.scale_shift = scale_shift;
+  config.shards = shards;
+  config.threads = threads;
+  core::ShardedCensus census(
+      [seed] { return std::make_unique<popgen::SyntheticPopulation>(seed); },
+      config);
+  core::VectorSink sink;
+  RunOutput out;
+  out.stats = census.run(sink);
+  out.report_count = sink.reports().size();
+  // The merged stream arrives in canonical order already; encode as-is to
+  // additionally pin the merge order itself.
+  std::string bytes;
+  for (const core::HostReport& report : sink.reports()) {
+    bytes += core::encode_host_report(report);
+  }
+  out.stream_bytes = std::move(bytes);
+  popgen::SyntheticPopulation analysis_population(seed);
+  out.summary_bytes = encode_summary(sink.reports(), analysis_population,
+                                     out.stats, seed, scale_shift);
+  return out;
+}
+
+void expect_equivalent(const RunOutput& sequential, const RunOutput& sharded,
+                       const std::string& label) {
+  EXPECT_EQ(sequential.report_count, sharded.report_count) << label;
+  // Scan counters partition exactly (element-indexed shard budgets).
+  EXPECT_EQ(sequential.stats.scan.elements_walked,
+            sharded.stats.scan.elements_walked) << label;
+  EXPECT_EQ(sequential.stats.scan.addresses_walked,
+            sharded.stats.scan.addresses_walked) << label;
+  EXPECT_EQ(sequential.stats.scan.blocklisted,
+            sharded.stats.scan.blocklisted) << label;
+  EXPECT_EQ(sequential.stats.scan.probed, sharded.stats.scan.probed) << label;
+  EXPECT_EQ(sequential.stats.scan.responsive,
+            sharded.stats.scan.responsive) << label;
+  // Enumeration counters are pure sums over identical per-host reports.
+  EXPECT_EQ(sequential.stats.hosts_enumerated,
+            sharded.stats.hosts_enumerated) << label;
+  EXPECT_EQ(sequential.stats.ftp_compliant,
+            sharded.stats.ftp_compliant) << label;
+  EXPECT_EQ(sequential.stats.anonymous, sharded.stats.anonymous) << label;
+  EXPECT_EQ(sequential.stats.sessions_errored,
+            sharded.stats.sessions_errored) << label;
+  // The golden properties: byte-identical stream and summary.
+  EXPECT_EQ(sequential.stream_bytes, sharded.stream_bytes)
+      << label << ": merged record stream diverged from sequential";
+  EXPECT_EQ(sequential.summary_bytes, sharded.summary_bytes)
+      << label << ": merged summary diverged from sequential";
+}
+
+class ShardedCensusTest : public ::testing::Test {
+ protected:
+  // The sequential golden run is shared across tests (computed once).
+  static const RunOutput& golden() {
+    static const RunOutput output = run_sequential(kSeed, kScaleShift);
+    return output;
+  }
+};
+
+TEST_F(ShardedCensusTest, GoldenRunIsNonTrivial) {
+  // Guard against the suite passing vacuously on an empty census.
+  EXPECT_GT(golden().report_count, 25u);
+  EXPECT_GT(golden().stats.ftp_compliant, 10u);
+  EXPECT_GT(golden().stats.anonymous, 0u);
+  EXPECT_FALSE(golden().stream_bytes.empty());
+}
+
+TEST_F(ShardedCensusTest, SingleShardSingleThreadMatchesSequential) {
+  expect_equivalent(golden(), run_sharded(kSeed, kScaleShift, 1, 1), "K1T1");
+}
+
+TEST_F(ShardedCensusTest, ShardedRunsMatchSequentialAcrossKandT) {
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    for (const std::uint32_t threads : {1u, 2u, 4u}) {
+      const std::string label = "K" + std::to_string(shards) + "T" +
+                                std::to_string(threads);
+      expect_equivalent(golden(),
+                        run_sharded(kSeed, kScaleShift, shards, threads),
+                        label);
+    }
+  }
+}
+
+TEST_F(ShardedCensusTest, OddShardCountPartitionsExactly) {
+  // Non-power-of-two K exercises the uneven element-budget split.
+  expect_equivalent(golden(), run_sharded(kSeed, kScaleShift, 3, 2), "K3T2");
+  expect_equivalent(golden(), run_sharded(kSeed, kScaleShift, 7, 3), "K7T3");
+}
+
+TEST_F(ShardedCensusTest, ThreadCountExceedingShardsIsClamped) {
+  expect_equivalent(golden(), run_sharded(kSeed, kScaleShift, 2, 16), "K2T16");
+}
+
+TEST_F(ShardedCensusTest, MergedStatsCountShards) {
+  EXPECT_EQ(run_sharded(kSeed, kScaleShift, 4, 2).stats.shards_run, 4u);
+  EXPECT_EQ(golden().stats.shards_run, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism stress: same config, repeated runs, different thread counts —
+// full serialized outputs diffed byte-for-byte.
+// ---------------------------------------------------------------------------
+
+TEST_F(ShardedCensusTest, RepeatedRunsAreByteIdenticalAcrossThreadCounts) {
+  const RunOutput first = run_sharded(kSeed, kScaleShift, 8, 1);
+  const RunOutput second = run_sharded(kSeed, kScaleShift, 8, 4);
+  const RunOutput third = run_sharded(kSeed, kScaleShift, 8, 8);
+  EXPECT_EQ(first.stream_bytes, second.stream_bytes);
+  EXPECT_EQ(first.stream_bytes, third.stream_bytes);
+  EXPECT_EQ(first.summary_bytes, second.summary_bytes);
+  EXPECT_EQ(first.summary_bytes, third.summary_bytes);
+  // Re-run of the identical config is also bit-stable (no hidden global
+  // state leaks between ShardedCensus instances).
+  const RunOutput again = run_sharded(kSeed, kScaleShift, 8, 4);
+  EXPECT_EQ(first.stream_bytes, again.stream_bytes);
+  EXPECT_EQ(first.summary_bytes, again.summary_bytes);
+}
+
+TEST_F(ShardedCensusTest, DifferentSeedsProduceDifferentBytes) {
+  // Guards against trivially-passing comparisons (e.g. everything
+  // serializing to empty strings).
+  const RunOutput a = run_sharded(kSeed, kScaleShift, 4, 2);
+  const RunOutput b = run_sharded(kSeed + 1, kScaleShift, 4, 2);
+  EXPECT_NE(a.stream_bytes, b.stream_bytes);
+  EXPECT_NE(a.summary_bytes, b.summary_bytes);
+}
+
+// ---------------------------------------------------------------------------
+// ShardMergeSink unit behavior
+// ---------------------------------------------------------------------------
+
+core::HostReport report_for(std::uint32_t ip) {
+  core::HostReport report;
+  report.ip = Ipv4(ip);
+  return report;
+}
+
+TEST(ShardMergeSink, ReplaysInAscendingIpOrder) {
+  core::ShardMergeSink merge(3);
+  merge.shard(1).on_host(report_for(30));
+  merge.shard(0).on_host(report_for(20));
+  merge.shard(2).on_host(report_for(10));
+  merge.shard(0).on_host(report_for(40));
+  EXPECT_EQ(merge.total_reports(), 4u);
+
+  core::VectorSink out;
+  merge.merge_into(out);
+  ASSERT_EQ(out.reports().size(), 4u);
+  EXPECT_EQ(out.reports()[0].ip.value(), 10u);
+  EXPECT_EQ(out.reports()[1].ip.value(), 20u);
+  EXPECT_EQ(out.reports()[2].ip.value(), 30u);
+  EXPECT_EQ(out.reports()[3].ip.value(), 40u);
+  EXPECT_EQ(merge.total_reports(), 0u);  // buffers released
+}
+
+TEST(ShardMergeSink, DuplicateIpsAreStableByShardThenArrival) {
+  core::ShardMergeSink merge(2);
+  core::HostReport a = report_for(7);
+  a.banner = "first-from-shard1";
+  core::HostReport b = report_for(7);
+  b.banner = "second-from-shard0";
+  merge.shard(1).on_host(a);
+  merge.shard(0).on_host(b);
+  core::VectorSink out;
+  merge.merge_into(out);
+  ASSERT_EQ(out.reports().size(), 2u);
+  EXPECT_EQ(out.reports()[0].banner, "second-from-shard0");
+  EXPECT_EQ(out.reports()[1].banner, "first-from-shard1");
+}
+
+}  // namespace
+}  // namespace ftpc

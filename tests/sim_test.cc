@@ -108,6 +108,86 @@ TEST(EventLoop, RunWhilePendingReturnsFalseWhenDrained) {
   EXPECT_FALSE(loop.run_while_pending([] { return false; }));
 }
 
+TEST(EventLoop, CancelAlreadyFiredIdIsHarmless) {
+  EventLoop loop;
+  bool refired = false;
+  const TimerId id = loop.schedule_at(5, [] {});
+  loop.run_until_idle();
+  // The id is spent: cancelling it must report false...
+  EXPECT_FALSE(loop.cancel(id));
+  // ...and must not disturb later events or the pending count.
+  loop.schedule_at(10, [&] { refired = true; });
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_FALSE(loop.cancel(id));  // still a no-op with an event pending
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run_until_idle();
+  EXPECT_TRUE(refired);
+}
+
+TEST(EventLoop, CancelOwnIdFromInsideFiringCallback) {
+  EventLoop loop;
+  bool cancel_result = true;
+  TimerId id = 0;
+  id = loop.schedule_at(5, [&] {
+    // By the time the callback runs, the event has fired; cancelling the
+    // id from inside its own callback must be a no-op returning false.
+    cancel_result = loop.cancel(id);
+  });
+  loop.run_until_idle();
+  EXPECT_FALSE(cancel_result);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, ScheduleFromInsideFiringCallback) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(5, [&] {
+    order.push_back(1);
+    // Same-time reschedule: must fire later in the same drain, after any
+    // already-queued same-time events (FIFO by insertion).
+    loop.schedule_at(5, [&] { order.push_back(3); });
+    // Past-time schedule from inside a callback clamps to now.
+    loop.schedule_at(1, [&] { order.push_back(4); });
+  });
+  loop.schedule_at(5, [&] { order.push_back(2); });
+  loop.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(loop.now(), 5u);
+}
+
+TEST(EventLoop, CancelAndRescheduleFromInsideCallback) {
+  EventLoop loop;
+  std::vector<int> fired;
+  TimerId victim = 0;
+  loop.schedule_at(5, [&] {
+    fired.push_back(1);
+    EXPECT_TRUE(loop.cancel(victim));     // pending same-time event
+    EXPECT_FALSE(loop.cancel(victim));    // double-cancel inside callback
+    loop.schedule_at(6, [&] { fired.push_back(3); });
+  });
+  victim = loop.schedule_at(5, [&] { fired.push_back(2); });
+  loop.run_until_idle();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventLoop, TimerIdsAreUniqueAcrossLoops) {
+  // Per-shard loops each own a private queue, but TimerIds come from one
+  // process-wide sequence: an id minted by loop A can never alias a
+  // pending event of loop B, so cancelling on the wrong loop is a
+  // detectable no-op instead of silently killing an unrelated event.
+  EventLoop a;
+  EventLoop b;
+  const TimerId ida = a.schedule_at(1, [] {});
+  bool b_fired = false;
+  const TimerId idb = b.schedule_at(1, [&] { b_fired = true; });
+  EXPECT_NE(ida, idb);
+  EXPECT_FALSE(b.cancel(ida));  // foreign id: miss, not corruption
+  EXPECT_EQ(b.pending(), 1u);
+  b.run_until_idle();
+  EXPECT_TRUE(b_fired);
+  EXPECT_TRUE(a.cancel(ida));  // the real owner can still cancel it
+}
+
 TEST(EventLoop, PendingCountExcludesCancelled) {
   EventLoop loop;
   loop.schedule_at(1, [] {});

@@ -1,6 +1,7 @@
 // ftpcensus — the command-line front end a downstream user drives.
 //
-//   ftpcensus census  [--scale N] [--seed S] [--dataset out.ftpd] [--tables]
+//   ftpcensus census  [--scale N] [--seed S] [--shards K] [--threads T]
+//                     [--dataset out.ftpd] [--tables]
 //   ftpcensus analyze --dataset in.ftpd [--seed S]
 //   ftpcensus bounce  [--scale N] [--seed S]
 //   ftpcensus notify  --dataset in.ftpd [--seed S] [--max N]
@@ -24,6 +25,7 @@
 #include "core/bounce.h"
 #include "core/census.h"
 #include "core/dataset.h"
+#include "core/sharded_census.h"
 #include "honeypot/attackers.h"
 #include "honeypot/honeypot.h"
 #include "net/internet.h"
@@ -43,13 +45,15 @@ struct Options {
   std::string dataset;
   bool tables = false;
   unsigned max_digests = 10;
+  std::uint32_t shards = 1;
+  std::uint32_t threads = 1;  // 0 = hardware concurrency
 };
 
 void usage() {
   std::fprintf(stderr,
                "usage: ftpcensus <census|analyze|bounce|notify|honeypot> "
-               "[--seed S] [--scale N] [--dataset FILE] [--tables] "
-               "[--days D] [--max N]\n");
+               "[--seed S] [--scale N] [--shards K] [--threads T] "
+               "[--dataset FILE] [--tables] [--days D] [--max N]\n");
 }
 
 bool parse_options(int argc, char** argv, Options& options) {
@@ -80,6 +84,15 @@ bool parse_options(int argc, char** argv, Options& options) {
       const char* v = value();
       if (v == nullptr) return false;
       options.max_digests = static_cast<unsigned>(std::atoi(v));
+    } else if (arg == "--shards") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.shards = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+      if (options.shards == 0) return false;
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.threads = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--tables") {
       options.tables = true;
     } else {
@@ -113,9 +126,6 @@ void print_tables(const analysis::CensusSummary& summary,
 
 int run_census(const Options& options) {
   popgen::SyntheticPopulation population(options.seed);
-  sim::EventLoop loop;
-  sim::Network network(loop);
-  net::Internet internet(network, population, 256);
 
   analysis::SummaryBuilder builder(
       population.as_table(), [&population](Ipv4 ip) {
@@ -150,10 +160,22 @@ int run_census(const Options& options) {
   core::CensusConfig config;
   config.seed = options.seed;
   config.scale_shift = options.scale_shift;
-  std::fprintf(stderr, "scanning 1/%llu of IPv4 (seed %llu)...\n",
+  config.shards = options.shards;
+  config.threads = options.threads;
+  std::fprintf(stderr,
+               "scanning 1/%llu of IPv4 (seed %llu, %u shard(s), "
+               "%u thread(s))...\n",
                1ULL << options.scale_shift,
-               static_cast<unsigned long long>(options.seed));
-  core::Census census(network, config);
+               static_cast<unsigned long long>(options.seed), options.shards,
+               options.threads);
+  // Always route through the sharded engine (K=1 by default): the merged
+  // stream arrives in canonical ascending-IP order, so the dataset archive
+  // is byte-identical for every --shards/--threads combination.
+  core::ShardedCensus census(
+      [seed = options.seed] {
+        return std::make_unique<popgen::SyntheticPopulation>(seed);
+      },
+      config);
   const core::CensusStats stats = census.run(tee);
 
   if (writer) {

@@ -1,0 +1,45 @@
+#!/bin/sh
+# run_tsan.sh — build the suite under ThreadSanitizer and run the tests
+# that exercise cross-thread behavior (plus anything extra you name).
+#
+#   tools/run_tsan.sh                 # sharded_census_test + sim_test + scan_test
+#   tools/run_tsan.sh census_test ... # additional test binaries to run
+#
+# Uses a dedicated build tree (build-tsan) so the instrumented objects
+# never mix with the regular build. Debug build type keeps asserts live:
+# the EventLoop thread-ownership assertions in src/sim/event_loop.h are
+# compiled out under NDEBUG, and TSan + asserts together are the point.
+# Exits nonzero if the build fails, a test fails, or TSan reports a race.
+set -eu
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=build-tsan
+
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DFTPC_SANITIZE=thread >/dev/null
+
+TESTS="sharded_census_test sim_test scan_test"
+[ "$#" -gt 0 ] && TESTS="$TESTS $*"
+
+# shellcheck disable=SC2086
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target $TESTS
+
+# halt_on_error makes the first race fail the run instead of a warning
+# scrolling past; second_deadlock_stack improves lock-order reports.
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+export TSAN_OPTIONS
+
+status=0
+for test in $TESTS; do
+  echo "== tsan: $test"
+  "./$BUILD_DIR/tests/$test" || status=$?
+  [ "$status" -ne 0 ] && break
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "== tsan: clean"
+else
+  echo "== tsan: FAILED (exit $status)" >&2
+fi
+exit "$status"
