@@ -9,6 +9,7 @@
 #include "ftp/listing_parser.h"
 #include "ftp/reply.h"
 #include "ftp/robots.h"
+#include "obs/metrics.h"
 #include "popgen/population.h"
 #include "scan/permutation.h"
 
@@ -152,6 +153,42 @@ void BM_Sha256_1KiB(benchmark::State& state) {
                           1024);
 }
 BENCHMARK(BM_Sha256_1KiB);
+
+void BM_MetricsCounterCachedCell(benchmark::State& state) {
+  // The probe hot path: resolve the cell once, bump through the pointer.
+  obs::MetricsRegistry registry;
+  std::uint64_t* cell = &registry.counter("net.probes");
+  for (auto _ : state) {
+    ++*cell;
+    benchmark::DoNotOptimize(*cell);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterCachedCell);
+
+void BM_MetricsCounterByName(benchmark::State& state) {
+  // The per-host paths: name lookup (map find) on every add.
+  obs::MetricsRegistry registry;
+  registry.add("funnel.done.completed");
+  for (auto _ : state) {
+    registry.add("funnel.done.completed");
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsCounterByName);
+
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  obs::Histogram histogram(
+      {1'000, 5'000, 10'000, 20'000, 40'000, 80'000, 200'000, 1'000'000});
+  std::uint64_t value = 17;
+  for (auto _ : state) {
+    histogram.record(value);
+    value = value * 31 % 2'000'000;
+  }
+  benchmark::DoNotOptimize(histogram.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramRecord);
 
 }  // namespace
 

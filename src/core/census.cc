@@ -2,6 +2,7 @@
 
 #include "common/log.h"
 #include "common/rng.h"
+#include "core/funnel.h"
 
 namespace ftpc::core {
 
@@ -15,6 +16,18 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
   CensusStats stats;
   const sim::SimTime started = network_.loop().now();
 
+  // Attach this shard's registry for the duration of the run so every
+  // layer (network, client, enumerator, scanner) records into it. RAII:
+  // the pointer must not outlive `stats`, whatever path exits this frame.
+  obs::MetricsRegistry* metrics =
+      config_.collect_metrics ? &stats.metrics : nullptr;
+  struct MetricsDetach {
+    sim::Network& network;
+    ~MetricsDetach() { network.set_metrics(nullptr); }
+  } detach{network_};
+  network_.set_metrics(metrics);
+  obs::ProgressCounters* progress = config_.progress;
+
   // Stage 1: ZMap host discovery over this shard's permutation slice.
   scan::ScanConfig scan_config;
   scan_config.port = 21;
@@ -27,6 +40,9 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
   stats.scan = scanner.run([&hits](Ipv4 ip) { hits.push_back(ip.value()); });
   if (config_.max_hosts != 0 && hits.size() > config_.max_hosts) {
     hits.resize(config_.max_hosts);
+  }
+  if (progress != nullptr) {
+    progress->scan_hits.fetch_add(hits.size(), std::memory_order_relaxed);
   }
   log_info() << "census: shard " << shard << "/" << total_shards
              << " scan found " << hits.size() << " responsive hosts";
@@ -56,6 +72,28 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
             if (report.ftp_compliant) ++stats.ftp_compliant;
             if (report.anonymous()) ++stats.anonymous;
             if (!report.error.is_ok()) ++stats.sessions_errored;
+            if (metrics != nullptr) {
+              metrics->add("census.hosts_enumerated");
+              metrics->add("census.requests_used", report.requests_used);
+              record_host_funnel(report, *metrics);
+            }
+            if (progress != nullptr) {
+              progress->hosts_enumerated.fetch_add(1,
+                                                   std::memory_order_relaxed);
+              if (report.connected) {
+                progress->connected.fetch_add(1, std::memory_order_relaxed);
+              }
+              if (report.ftp_compliant) {
+                progress->ftp_compliant.fetch_add(1,
+                                                  std::memory_order_relaxed);
+              }
+              if (report.anonymous()) {
+                progress->anonymous.fetch_add(1, std::memory_order_relaxed);
+              }
+              if (!report.error.is_ok()) {
+                progress->errored.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
             sink.on_host(report);
             launch();
           });

@@ -10,6 +10,8 @@
 #include "core/enumerator.h"
 #include "core/records.h"
 #include "net/internet.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
 #include "scan/scanner.h"
 #include "sim/network.h"
 
@@ -35,6 +37,13 @@ struct CensusConfig {
   std::uint32_t shards = 1;
   /// Worker threads executing those shards (0 = hardware concurrency).
   std::uint32_t threads = 1;
+  /// Record deterministic metrics (funnel, net/ftp/enum counters) into
+  /// CensusStats::metrics. Off = zero instrumentation cost.
+  bool collect_metrics = true;
+  /// Optional live progress counters, bumped as hosts finish (display
+  /// only; never feeds the deterministic metrics). May be shared across
+  /// shards — the fields are atomics.
+  obs::ProgressCounters* progress = nullptr;
 };
 
 struct CensusStats {
@@ -47,11 +56,17 @@ struct CensusStats {
   /// shard (shards run concurrently in the simulated world too).
   sim::SimTime virtual_duration = 0;
   std::uint32_t shards_run = 1;
+  /// Deterministic observability counters/histograms (funnel accounting,
+  /// net/ftp/enum instrumentation). Every entry is a per-host-pure
+  /// quantity or an exact shard partition, so the merged registry — and
+  /// its JSON — is byte-identical for every (shards, threads) split.
+  /// Deliberately excludes virtual_duration, which is shard-dependent.
+  obs::MetricsRegistry metrics;
 
   /// Folds another shard's counters into this one. Pure sums except
   /// virtual_duration (max), so the merged value is independent of merge
   /// order up to the commutativity of +/max — i.e. fully deterministic.
-  void merge_from(const CensusStats& other) noexcept {
+  void merge_from(const CensusStats& other) {
     scan.merge_from(other.scan);
     hosts_enumerated += other.hosts_enumerated;
     ftp_compliant += other.ftp_compliant;
@@ -59,6 +74,7 @@ struct CensusStats {
     sessions_errored += other.sessions_errored;
     virtual_duration = std::max(virtual_duration, other.virtual_duration);
     shards_run += other.shards_run;
+    metrics.merge_from(other.metrics);
   }
 };
 

@@ -43,6 +43,19 @@ void HostEnumerator::begin() {
   ftp::FtpClient::Options client_options;
   client_options.client_ip = options_.client_ip;
   client_ = ftp::FtpClient::create(network_, client_options);
+
+  // A server that drops the control connection during a request gap would
+  // otherwise only be noticed by the next (doomed) command. Abort promptly
+  // instead; a close mid-traversal is the paper's "explicit refusal of
+  // service" signal. Weak capture: the client outlives us only via us.
+  std::weak_ptr<HostEnumerator> weak = weak_from_this();
+  client_->set_idle_disconnect([weak](Status status) {
+    auto self = weak.lock();
+    if (!self || self->finished_) return;
+    if (self->in_traversal_) self->report_.server_terminated_early = true;
+    self->abort_with(std::move(status));
+  });
+
   auto self = shared_from_this();
   client_->connect(report_.ip, 21,
                    [self](Result<ftp::Reply> result) {
@@ -52,10 +65,12 @@ void HostEnumerator::begin() {
 
 void HostEnumerator::after_gap(std::function<void()> fn) {
   auto self = shared_from_this();
-  network_.loop().schedule_after(options_.request_gap,
-                                 [self, fn = std::move(fn)] {
-                                   if (!self->finished_) fn();
-                                 });
+  gap_armed_ = true;
+  gap_timer_ = network_.loop().schedule_after(
+      options_.request_gap, [self, fn = std::move(fn)] {
+        self->gap_armed_ = false;
+        if (!self->finished_) fn();
+      });
 }
 
 bool HostEnumerator::budget_exhausted() const {
@@ -68,9 +83,12 @@ bool HostEnumerator::budget_exhausted() const {
 
 void HostEnumerator::on_banner(Result<ftp::Reply> result) {
   if (!result.is_ok()) {
-    // Refused, timed out, or spoke something that is not FTP.
-    report_.connected = result.code() != ErrorCode::kConnectionRefused &&
-                        result.code() != ErrorCode::kTimeout;
+    // `connected` reflects TCP establishment, not banner success: a refused
+    // or timed-out *connect* never reached the host, while a silent
+    // listener (banner timeout), a reset, or a non-FTP speaker all happened
+    // on an established connection. Both phases surface kTimeout here, so
+    // ask the client which side of the handshake the failure fell on.
+    report_.connected = client_->ever_connected();
     report_.ftp_compliant = false;
     finalize(result.status());
     return;
@@ -232,6 +250,7 @@ void HostEnumerator::fetch_robots() {
 // ---------------------------------------------------------------------------
 
 void HostEnumerator::start_traversal() {
+  in_traversal_ = true;
   frontier_.push_back("/");
   visited_.insert("/");
   traversal_step();
@@ -317,6 +336,7 @@ void HostEnumerator::on_listing(std::string dir,
 // ---------------------------------------------------------------------------
 
 void HostEnumerator::start_surveys() {
+  in_traversal_ = false;
   report_.requests_used =
       static_cast<std::uint32_t>(client_->commands_sent());
   if (!options_.collect_surveys || !report_.anonymous()) {
@@ -425,10 +445,31 @@ void HostEnumerator::abort_with(Status error) {
 void HostEnumerator::finalize(Status error) {
   if (finished_) return;
   finished_ = true;
+  if (gap_armed_) {
+    // Drop the pending gap closure; it holds a shared_ptr to us and would
+    // otherwise pin the session (and its report buffers) in the event loop
+    // for up to a full request gap after completion.
+    network_.loop().cancel(gap_timer_);
+    gap_armed_ = false;
+  }
   report_.error = std::move(error);
   report_.requests_used =
       static_cast<std::uint32_t>(client_->commands_sent());
   client_->abort_session();
+  if (auto* metrics = network_.metrics()) {
+    metrics->add("enum.sessions");
+    metrics->add("enum.dirs_listed", report_.dirs_listed);
+    metrics->add("enum.files_recorded", report_.files.size());
+    metrics->add("enum.listing_lines_skipped", report_.listing_lines_skipped);
+    static const std::vector<std::uint64_t> kRequestBounds{
+        0, 2, 4, 8, 16, 32, 64, 128, 256, 500};
+    metrics->histogram("enum.requests_per_host", kRequestBounds)
+        .record(report_.requests_used);
+    static const std::vector<std::uint64_t> kFileBounds{
+        0, 1, 4, 16, 64, 256, 1'024, 4'096, 16'384, 65'536, 200'000};
+    metrics->histogram("enum.files_per_host", kFileBounds)
+        .record(report_.files.size());
+  }
   DoneHandler done = std::move(done_);
   HostReport report = std::move(report_);
   auto keep_alive = std::move(self_);  // drop self-ownership after `done`

@@ -100,6 +100,11 @@ class HostEnumerator : public std::enable_shared_from_this<HostEnumerator> {
   std::unordered_set<std::string> visited_;
   std::uint64_t listing_bytes_ = 0;
   bool finished_ = false;
+  bool in_traversal_ = false;  // between start_traversal() and start_surveys()
+  // Pending inter-request gap timer; cancelled on finalize so an aborted
+  // session doesn't leave a closure (owning `this`) in the event loop.
+  sim::TimerId gap_timer_ = 0;
+  bool gap_armed_ = false;
   std::shared_ptr<HostEnumerator> self_;  // released on completion
 };
 

@@ -1,0 +1,104 @@
+#include "core/funnel.h"
+
+#include <string>
+
+namespace ftpc::core {
+
+std::string_view funnel_stage_name(FunnelStage stage) noexcept {
+  switch (stage) {
+    case FunnelStage::kProbe:
+      return "probe";
+    case FunnelStage::kConnect:
+      return "connect";
+    case FunnelStage::kBanner:
+      return "banner";
+    case FunnelStage::kLogin:
+      return "login";
+    case FunnelStage::kTraverse:
+      return "traverse";
+    case FunnelStage::kFinalize:
+      return "finalize";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string_view drop_reason(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kTimeout:
+      return "timeout";
+    case ErrorCode::kConnectionRefused:
+      return "refused";
+    case ErrorCode::kConnectionReset:
+      return "reset";
+    case ErrorCode::kProtocolError:
+      return "protocol";
+    default:
+      return error_code_name(code);
+  }
+}
+
+}  // namespace
+
+FunnelOutcome classify_funnel(const HostReport& report) noexcept {
+  if (report.error.is_ok()) {
+    return {FunnelStage::kFinalize, "completed", true};
+  }
+  const ErrorCode code = report.error.code();
+
+  // connected reflects TCP establishment only (see the banner-timeout fix
+  // in enumerator.cc): a host that never completed the handshake dropped at
+  // the connect edge, everything else got at least as far as the banner.
+  if (!report.connected) {
+    return {FunnelStage::kConnect, drop_reason(code), false};
+  }
+  if (!report.ftp_compliant) {
+    // Connected but no parseable 220: silent listener (timeout), non-FTP
+    // speaker (protocol garbage poisoned the stream), bad banner code, or
+    // a reset while awaiting the banner.
+    const std::string_view reason =
+        code == ErrorCode::kProtocolError ? "not_ftp" : drop_reason(code);
+    return {FunnelStage::kBanner, reason, false};
+  }
+  if (report.login == LoginOutcome::kError) {
+    return {FunnelStage::kLogin, drop_reason(code), false};
+  }
+  // Mid-traversal termination is flagged explicitly; an anonymous session
+  // that died before listing anything fell in the robots/traversal phase.
+  if (report.server_terminated_early ||
+      (report.anonymous() && report.dirs_listed == 0)) {
+    return {FunnelStage::kTraverse, drop_reason(code), false};
+  }
+  // Login resolved, traversal (if any) done: died in surveys/TLS/QUIT.
+  return {FunnelStage::kFinalize, drop_reason(code), false};
+}
+
+void record_host_funnel(const HostReport& report, obs::MetricsRegistry& m) {
+  const FunnelOutcome outcome = classify_funnel(report);
+
+  // funnel.stage.<s> counts sessions that *entered* stage s. Every
+  // enumerated (= probe-responsive) host enters the connect stage; each
+  // later stage is gated by surviving the previous one. The funnel is not
+  // strictly linear past login: non-anonymous sessions skip traverse and
+  // go straight to finalize.
+  m.add("funnel.stage.connect");
+  if (report.connected) m.add("funnel.stage.banner");
+  if (report.ftp_compliant) {
+    m.add("funnel.stage.login");
+    m.add(std::string("funnel.login.") +
+          std::string(login_outcome_name(report.login)));
+  }
+  if (report.anonymous()) m.add("funnel.stage.traverse");
+  if (outcome.stage == FunnelStage::kFinalize) m.add("funnel.stage.finalize");
+
+  if (outcome.completed) {
+    m.add("funnel.done.completed");
+  } else {
+    m.add(std::string("funnel.drop.") +
+          std::string(funnel_stage_name(outcome.stage)) + "." +
+          std::string(outcome.reason));
+  }
+}
+
+}  // namespace ftpc::core

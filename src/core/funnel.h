@@ -1,0 +1,58 @@
+// Funnel accounting: why each probed address fell out of the pipeline.
+//
+// The paper's Table I depends on precise per-stage attrition numbers over
+// 3.68B probes; this module gives every enumerated host exactly one
+// terminal outcome counter, so the funnel is auditable instead of implied.
+//
+// Stages: probe -> connect -> banner -> login -> traverse -> finalize.
+// Counter naming (all in the census MetricsRegistry):
+//   funnel.stage.<stage>          sessions that entered the stage
+//   funnel.drop.<stage>.<reason>  sessions that fell out at that stage
+//   funnel.done.completed         sessions that finished cleanly
+//   funnel.login.<outcome>        resolved login outcome (banner-OK hosts)
+//
+// Invariant (asserted in tests): for a census with no max_hosts cap,
+//   funnel.stage.probe == funnel.drop.* (summed) + funnel.done.completed
+// i.e. every probe is accounted for by exactly one labeled reason.
+//
+// The probe-stage counters are recorded by scan::Scanner (which sees the
+// unresponsive addresses); everything downstream is derived here from the
+// completed HostReport. Because a report depends only on (seed, target),
+// these counters partition exactly across shards and merge to the same
+// totals for every (--shards, --threads) configuration.
+#pragma once
+
+#include <string_view>
+
+#include "core/records.h"
+#include "obs/metrics.h"
+
+namespace ftpc::core {
+
+enum class FunnelStage {
+  kProbe,     // SYN probe sent
+  kConnect,   // TCP connect to port 21
+  kBanner,    // awaiting / parsing the 220 banner
+  kLogin,     // RFC 1635 anonymous login exchange
+  kTraverse,  // robots.txt fetch + directory traversal
+  kFinalize,  // surveys, AUTH TLS, QUIT
+};
+
+std::string_view funnel_stage_name(FunnelStage stage) noexcept;
+
+/// The single terminal outcome of one enumeration session.
+struct FunnelOutcome {
+  FunnelStage stage = FunnelStage::kFinalize;
+  std::string_view reason = "completed";  // drop reason, or "completed"
+  bool completed = true;
+};
+
+/// Derives the terminal outcome from a finished report. Pure: no state, no
+/// side effects; the same report always classifies identically.
+FunnelOutcome classify_funnel(const HostReport& report) noexcept;
+
+/// Records `report`'s stage-entry counters and its terminal outcome
+/// (exactly one funnel.drop.* or funnel.done.completed increment).
+void record_host_funnel(const HostReport& report, obs::MetricsRegistry& m);
+
+}  // namespace ftpc::core

@@ -54,6 +54,10 @@ CensusStats ShardedCensus::run(RecordSink& sink) {
       if (shard >= shards) return;
       try {
         per_shard[shard] = run_one_shard(shard, shards, merge.shard(shard));
+        if (config_.progress != nullptr) {
+          config_.progress->shards_done.fetch_add(1,
+                                                  std::memory_order_relaxed);
+        }
       } catch (...) {
         const std::lock_guard<std::mutex> lock(failure_mutex);
         if (!failure) failure = std::current_exception();

@@ -74,6 +74,7 @@ void FtpClient::abort_session() {
   }
   pending_reply_ = nullptr;
   pending_cert_ = nullptr;
+  on_idle_disconnect_ = nullptr;
 }
 
 // ---------------------------------------------------------------------------
@@ -86,6 +87,8 @@ void FtpClient::connect(Ipv4 server_ip, std::uint16_t port,
   assert(!pending_reply_ && "operation already outstanding");
   server_ip_ = server_ip;
   pending_reply_ = std::move(on_banner);
+  op_started_ = network_.loop().now();
+  op_timed_ = true;
   arm_timeout(options_.reply_timeout + network_.config().connect_timeout);
 
   std::weak_ptr<FtpClient> weak = weak_from_this();
@@ -100,6 +103,7 @@ void FtpClient::connect(Ipv4 server_ip, std::uint16_t port,
           return;
         }
         self->control_ = std::move(result).take();
+        self->ever_connected_ = true;
         self->install_control_callbacks();
         // The 220 banner arrives as ordinary reply data; the pending
         // handler fires once it parses.
@@ -130,7 +134,18 @@ void FtpClient::on_control_gone(Status status) {
     control_.reset();
   }
   disarm_timeout();
-  fail_pending(std::move(status));
+  // With an operation outstanding, the death is that operation's failure.
+  // Without one (e.g. the server closed mid request-gap), no handler would
+  // ever hear about it — notify the idle-disconnect hook so the session
+  // owner can abort instead of issuing further doomed commands.
+  const bool idle =
+      !pending_reply_ && !pending_cert_ && (!transfer_ || transfer_->done);
+  fail_pending(status);
+  if (idle && on_idle_disconnect_) {
+    auto handler = std::move(on_idle_disconnect_);
+    on_idle_disconnect_ = nullptr;
+    handler(std::move(status));
+  }
 }
 
 void FtpClient::on_control_data(std::string_view data) {
@@ -195,6 +210,7 @@ void FtpClient::dispatch_replies() {
   while (auto reply = reply_parser_.pop_reply()) {
     if (pending_reply_) {
       disarm_timeout();
+      note_reply_latency();
       auto handler = std::move(pending_reply_);
       pending_reply_ = nullptr;
       handler(std::move(*reply));
@@ -222,6 +238,9 @@ void FtpClient::dispatch_replies() {
             transfer->data_conn.reset();
           }
           transfer_.reset();
+          if (auto* metrics = network_.metrics()) {
+            metrics->add("ftp.transfers_refused");
+          }
           transfer->handler(std::move(outcome));
         } else if (reply->is_positive_completion()) {
           // Some servers send a lone 2xx for an empty transfer.
@@ -248,7 +267,25 @@ void FtpClient::dispatch_replies() {
   }
 }
 
+void FtpClient::note_command_sent() {
+  ++commands_sent_;
+  if (auto* metrics = network_.metrics()) metrics->add("ftp.commands_sent");
+}
+
+void FtpClient::note_reply_latency() {
+  if (!op_timed_) return;
+  op_timed_ = false;
+  auto* metrics = network_.metrics();
+  if (metrics == nullptr) return;
+  static const std::vector<std::uint64_t> kLatencyBounds{
+      10'000,    20'000,    50'000,     100'000,    200'000,    500'000,
+      1'000'000, 5'000'000, 10'000'000, 30'000'000, 60'000'000, 120'000'000};
+  metrics->histogram("ftp.reply_latency_us", kLatencyBounds)
+      .record(network_.loop().now() - op_started_);
+}
+
 void FtpClient::fail_pending(Status status) {
+  op_timed_ = false;  // the awaited reply never arrived; don't time it
   if (pending_reply_) {
     auto handler = std::move(pending_reply_);
     pending_reply_ = nullptr;
@@ -299,8 +336,10 @@ void FtpClient::send_command(Command command, ReplyHandler on_reply) {
     });
     return;
   }
-  ++commands_sent_;
+  note_command_sent();
   pending_reply_ = std::move(on_reply);
+  op_started_ = network_.loop().now();
+  op_timed_ = true;
   arm_timeout(options_.reply_timeout);
   control_->send(command.wire());
 }
@@ -460,7 +499,7 @@ void FtpClient::begin_transfer(std::string verb, std::string arg,
     // Issue the transfer command; the server will connect back to us.
     if (!transfer->command_sent) {
       transfer->command_sent = true;
-      ++self->commands_sent_;
+      self->note_command_sent();
       self->control_->send(
           Command{.verb = transfer->verb, .arg = transfer->arg}.wire());
     }
@@ -496,7 +535,7 @@ void FtpClient::transfer_open_data(const std::shared_ptr<Transfer>& transfer) {
                                      "control connection dead"));
       return;
     }
-    ++commands_sent_;
+    note_command_sent();
     control_->send(
         Command{.verb = transfer->verb, .arg = transfer->arg}.wire());
   }
@@ -524,6 +563,15 @@ void FtpClient::transfer_maybe_finish(
   }
   if (transfer_ == transfer) transfer_.reset();
 
+  if (auto* metrics = network_.metrics()) {
+    metrics->add("ftp.transfers_completed");
+    metrics->add("ftp.bytes_downloaded", transfer->data.size());
+    static const std::vector<std::uint64_t> kTransferBounds{
+        0, 64, 256, 1'024, 4'096, 16'384, 65'536, 262'144, 1'048'576};
+    metrics->histogram("ftp.transfer_bytes", kTransferBounds)
+        .record(transfer->data.size());
+  }
+
   TransferOutcome outcome;
   outcome.opening = std::move(transfer->opening);
   outcome.completion = std::move(transfer->completion);
@@ -547,6 +595,9 @@ void FtpClient::transfer_fail(const std::shared_ptr<Transfer>& transfer,
     transfer->data_conn.reset();
   }
   if (transfer_ == transfer) transfer_.reset();
+  if (auto* metrics = network_.metrics()) {
+    metrics->add("ftp.transfers_failed");
+  }
   transfer->handler(std::move(status));
 }
 

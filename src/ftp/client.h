@@ -53,6 +53,7 @@ class FtpClient : public std::enable_shared_from_this<FtpClient> {
   using TransferHandler = std::function<void(Result<TransferOutcome>)>;
   using CertHandler = std::function<void(Result<Certificate>)>;
   using VoidHandler = std::function<void()>;
+  using StatusHandler = std::function<void(Status)>;
 
   static std::shared_ptr<FtpClient> create(sim::Network& network,
                                            Options options);
@@ -88,7 +89,21 @@ class FtpClient : public std::enable_shared_from_this<FtpClient> {
   /// Hard-closes the control (and any data) connection immediately.
   void abort_session();
 
+  /// Fires when the control connection dies while NO operation is
+  /// outstanding (e.g. the server closes mid request-gap). With an
+  /// operation pending the death is reported through that operation's
+  /// handler instead, and this never fires. One-shot; cleared by
+  /// abort_session().
+  void set_idle_disconnect(StatusHandler handler) {
+    on_idle_disconnect_ = std::move(handler);
+  }
+
   bool connected() const noexcept { return control_ != nullptr; }
+  /// True once the TCP handshake has completed at least once, regardless of
+  /// what happened afterwards. Distinguishes "never reached the host"
+  /// (connect refused / connect timeout) from "connected but the session
+  /// died later" (silent banner, reset, non-FTP speaker).
+  bool ever_connected() const noexcept { return ever_connected_; }
   Ipv4 server_ip() const noexcept { return server_ip_; }
   std::uint64_t commands_sent() const noexcept { return commands_sent_; }
   std::uint64_t bytes_downloaded() const noexcept { return bytes_downloaded_; }
@@ -116,6 +131,8 @@ class FtpClient : public std::enable_shared_from_this<FtpClient> {
   void fail_pending(Status status);
   void arm_timeout(sim::SimTime delay);
   void disarm_timeout();
+  void note_command_sent();
+  void note_reply_latency();
 
   // Transfer plumbing.
   struct Transfer;
@@ -133,6 +150,11 @@ class FtpClient : public std::enable_shared_from_this<FtpClient> {
   LineReader tls_line_reader_;
   bool tls_active_ = false;
   bool in_tls_handshake_ = false;
+  bool ever_connected_ = false;
+  StatusHandler on_idle_disconnect_;
+  // Virtual-time stamp of the op awaiting a reply, for the latency metric.
+  sim::SimTime op_started_ = 0;
+  bool op_timed_ = false;
 
   // Pending single-reply operation.
   ReplyHandler pending_reply_;

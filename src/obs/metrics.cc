@@ -1,0 +1,94 @@
+#include "obs/metrics.h"
+
+#include <cassert>
+
+namespace ftpc::obs {
+
+void Histogram::merge_from(const Histogram& other) {
+  assert(bounds_ == other.bounds_ &&
+         "merging histograms with different bucket bounds");
+  if (buckets_.size() != other.buckets_.size()) return;  // release: drop
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::uint64_t MetricsRegistry::sum_with_prefix(std::string_view prefix) const {
+  std::uint64_t total = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    const std::string& name = it->first;
+    if (name.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second;
+  }
+  return total;
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counter(name) += value;
+  }
+  for (const auto& [name, histogram] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, histogram);
+    } else {
+      it->second.merge_from(histogram);
+    }
+  }
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    // Metric names are plain identifiers; escape defensively anyway.
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+
+void append_u64_array(std::string& out, const std::vector<std::uint64_t>& v) {
+  out.push_back('[');
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::to_string(v[i]);
+  }
+  out.push_back(']');
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::string out;
+  out += "{\"schema\":\"ftpc.metrics.v1\",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out += std::to_string(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out += ":{\"bounds\":";
+    append_u64_array(out, histogram.bounds());
+    out += ",\"buckets\":";
+    append_u64_array(out, histogram.buckets());
+    out += ",\"count\":" + std::to_string(histogram.count());
+    out += ",\"sum\":" + std::to_string(histogram.sum());
+    out.push_back('}');
+  }
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace ftpc::obs

@@ -1,0 +1,128 @@
+// Deterministic observability: named counters and fixed-bucket histograms.
+//
+// "Ten Years of ZMap" credits much of ZMap's operational longevity to its
+// built-in per-stage statistics; this layer is that substrate for the
+// census pipeline. Everything here is engineered for the same determinism
+// contract the sharded census already upholds for data (see
+// sharded_census.h): every metric is either a pure per-host quantity or an
+// exact per-shard partition of the sequential run, all merge operations
+// are commutative sums, and serialization iterates names in sorted order —
+// so the aggregated metrics JSON is byte-identical for every
+// (--shards, --threads) configuration of the same (seed, scale).
+//
+// No locks, no atomics: one MetricsRegistry belongs to one shard (one
+// thread). Cross-shard aggregation happens after the workers join, via
+// merge_from() in canonical shard order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftpc::obs {
+
+/// A fixed-bucket histogram: counts per bucket, plus total count and sum.
+/// Bucket i counts values <= bounds[i] (first matching bucket wins); values
+/// above the last bound land in an implicit overflow bucket. Bounds are
+/// fixed at creation so that every shard builds the identical shape and
+/// merging is element-wise addition.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<std::uint64_t> bounds)
+      : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
+
+  void record(std::uint64_t value) noexcept {
+    std::size_t i = 0;
+    while (i < bounds_.size() && value > bounds_[i]) ++i;
+    ++buckets_[i];
+    ++count_;
+    sum_ += value;
+  }
+
+  /// Element-wise accumulation. Both histograms must have been created with
+  /// identical bounds (guaranteed when both sides used the same registry
+  /// call sites); mismatched shapes are a programmer error.
+  void merge_from(const Histogram& other);
+
+  const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
+  const std::vector<std::uint64_t>& buckets() const noexcept {
+    return buckets_;
+  }
+  std::uint64_t count() const noexcept { return count_; }
+  std::uint64_t sum() const noexcept { return sum_; }
+
+ private:
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> buckets_{0};  // overflow-only when no bounds
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+/// A registry of named counters and histograms. Node-based maps keep
+/// references stable, so hot paths can resolve a counter reference once and
+/// increment through it; sorted iteration makes serialization canonical.
+class MetricsRegistry {
+ public:
+  /// The stable counter cell for `name` (created at zero on first use).
+  std::uint64_t& counter(std::string_view name) {
+    const auto it = counters_.find(name);
+    if (it != counters_.end()) return it->second;
+    return counters_.emplace(std::string(name), 0).first->second;
+  }
+
+  void add(std::string_view name, std::uint64_t delta = 1) {
+    counter(name) += delta;
+  }
+
+  /// Read-only lookup; 0 for a counter that was never touched.
+  std::uint64_t value(std::string_view name) const {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  /// The histogram `name`, created with `bounds` on first use. Later calls
+  /// ignore `bounds` (the shape is fixed); callers must pass the same
+  /// bounds at every site, or merging across shards would be undefined.
+  Histogram& histogram(std::string_view name,
+                       const std::vector<std::uint64_t>& bounds) {
+    const auto it = histograms_.find(name);
+    if (it != histograms_.end()) return it->second;
+    return histograms_.emplace(std::string(name), Histogram(bounds))
+        .first->second;
+  }
+
+  const std::map<std::string, std::uint64_t, std::less<>>& counters()
+      const noexcept {
+    return counters_;
+  }
+  const std::map<std::string, Histogram, std::less<>>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+
+  /// Sums of drop-reason counters and stage counters (see funnel naming in
+  /// core/funnel.h): convenience for invariant checks.
+  std::uint64_t sum_with_prefix(std::string_view prefix) const;
+
+  /// Folds another registry's metrics into this one. Counters add;
+  /// histograms add bucket-wise (absent names are adopted). Commutative and
+  /// associative, so the merged result is independent of shard order.
+  void merge_from(const MetricsRegistry& other);
+
+  /// Canonical JSON: stable schema ("ftpc.metrics.v1"), keys in sorted
+  /// order, integers only — byte-identical for equal metric content.
+  ///   {"schema":"ftpc.metrics.v1",
+  ///    "counters":{"name":123,...},
+  ///    "histograms":{"name":{"bounds":[...],"buckets":[...],
+  ///                          "count":N,"sum":S},...}}
+  std::string to_json() const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace ftpc::obs

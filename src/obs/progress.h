@@ -1,0 +1,29 @@
+// Live progress counters for the census front end.
+//
+// Unlike MetricsRegistry (single-owner, deterministic, merged after the
+// fact), these are relaxed atomics that shard workers bump as hosts finish,
+// so a wall-clock reporter thread can print a periodic progress line while
+// the census runs. They feed *display only* — nothing read from here enters
+// the deterministic metrics output.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ftpc::obs {
+
+struct ProgressCounters {
+  std::atomic<std::uint64_t> scan_hits{0};         // responsive addresses
+  std::atomic<std::uint64_t> hosts_enumerated{0};  // sessions finished
+  std::atomic<std::uint64_t> connected{0};         // TCP connect succeeded
+  std::atomic<std::uint64_t> ftp_compliant{0};     // spoke a 220 banner
+  std::atomic<std::uint64_t> anonymous{0};         // anonymous login accepted
+  std::atomic<std::uint64_t> errored{0};           // session died abnormally
+  std::atomic<std::uint32_t> shards_done{0};
+
+  ProgressCounters() = default;
+  ProgressCounters(const ProgressCounters&) = delete;
+  ProgressCounters& operator=(const ProgressCounters&) = delete;
+};
+
+}  // namespace ftpc::obs

@@ -1,5 +1,7 @@
 #include "scan/scanner.h"
 
+#include "obs/metrics.h"
+
 namespace ftpc::scan {
 
 Scanner::Scanner(sim::Network& network, ScanConfig config)
@@ -36,6 +38,21 @@ ScanStats Scanner::run(const HitHandler& on_hit) {
   }
 
   stats.elements_walked = walk.consumed();
+
+  if (auto* metrics = network_.metrics()) {
+    metrics->add("scan.elements_walked", stats.elements_walked);
+    metrics->add("scan.addresses_walked", stats.addresses_walked);
+    metrics->add("scan.blocklisted", stats.blocklisted);
+    metrics->add("scan.probed", stats.probed);
+    metrics->add("scan.responsive", stats.responsive);
+    // Funnel head: every probe enters the funnel; unresponsive addresses
+    // drop here, responsive ones are accounted for downstream by
+    // record_host_funnel (see core/funnel.h for the conservation
+    // invariant).
+    metrics->add("funnel.stage.probe", stats.probed);
+    metrics->add("funnel.drop.probe.unresponsive",
+                 stats.probed - stats.responsive);
+  }
 
   // Account for the wire time of the probes.
   if (config_.probes_per_second > 0) {

@@ -25,6 +25,29 @@ void Network::set_host_resolver(HostResolver resolver) {
 
 void Network::set_probe_fn(ProbeFn probe) { probe_fn_ = std::move(probe); }
 
+void Network::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ != nullptr) {
+    // Pre-create the cells so even an idle run serializes them (keeps the
+    // metrics JSON schema stable across configurations), and cache the
+    // references for the per-probe / per-segment hot paths.
+    m_probes_ = &metrics_->counter("net.probes");
+    m_probe_hits_ = &metrics_->counter("net.probe_hits");
+    metrics_->counter("net.connects_attempted");
+    metrics_->counter("net.connects_established");
+    metrics_->counter("net.connects_refused");
+    metrics_->counter("net.connects_faulted");
+    // Raw wire-byte totals deliberately stay out of the registry: reply
+    // *lengths* embed ephemeral port digits (227 PASV replies), and the
+    // ephemeral allocator is shared per network, so byte totals are not
+    // per-host pure and would break the cross-shard identity contract.
+    // NetworkStats::bytes_delivered still has them.
+  } else {
+    m_probes_ = nullptr;
+    m_probe_hits_ = nullptr;
+  }
+}
+
 std::uint16_t Network::allocate_ephemeral_port() noexcept {
   const std::uint16_t port = next_ephemeral_;
   next_ephemeral_ = next_ephemeral_ == 65535 ? 49152 : next_ephemeral_ + 1;
@@ -34,12 +57,14 @@ std::uint16_t Network::allocate_ephemeral_port() noexcept {
 void Network::connect(Ipv4 src_ip, Ipv4 dst_ip, std::uint16_t dst_port,
                       ConnectHandler handler) {
   ++stats_.connects_attempted;
+  if (metrics_ != nullptr) metrics_->add("net.connects_attempted");
   const std::uint64_t conn_id = next_conn_id_++;
 
   if (faults_ != nullptr) {
     const Status fault = faults_->on_connect(conn_id, dst_ip, dst_port);
     if (!fault.is_ok()) {
       ++stats_.connects_faulted;
+      if (metrics_ != nullptr) metrics_->add("net.connects_faulted");
       loop_.schedule_after(config_.connect_timeout,
                            [handler, fault] { handler(fault); });
       return;
@@ -56,6 +81,7 @@ void Network::connect(Ipv4 src_ip, Ipv4 dst_ip, std::uint16_t dst_port,
   }
   if (it == listeners_.end()) {
     ++stats_.connects_refused;
+    if (metrics_ != nullptr) metrics_->add("net.connects_refused");
     const Status refused(ErrorCode::kConnectionRefused,
                          "no listener on " + dst_ip.str() + ":" +
                              std::to_string(dst_port));
@@ -75,6 +101,16 @@ void Network::connect(Ipv4 src_ip, Ipv4 dst_ip, std::uint16_t dst_port,
   Connection::link(client, server);
 
   ++stats_.connects_established;
+  if (metrics_ != nullptr) {
+    metrics_->add("net.connects_established");
+    // The simulated handshake RTT as the client experiences it. Constant
+    // today (fixed one-way latency), but keeps the schema honest if the
+    // latency model ever grows jitter.
+    static const std::vector<std::uint64_t> kRttBounds{
+        1'000, 5'000, 10'000, 20'000, 40'000, 80'000, 200'000, 1'000'000};
+    metrics_->histogram("net.connect_rtt_us", kRttBounds)
+        .record(2 * config_.one_way_latency);
+  }
   AcceptHandler accept = it->second;  // copy: listener may unregister itself
 
   // SYN + SYN-ACK: the server learns of the connection after one one-way
@@ -87,9 +123,13 @@ void Network::connect(Ipv4 src_ip, Ipv4 dst_ip, std::uint16_t dst_port,
 
 bool Network::probe(Ipv4 ip, std::uint16_t port) {
   ++stats_.probes;
+  if (m_probes_ != nullptr) ++*m_probes_;
   bool open = listeners_.count(key(ip, port)) > 0;
   if (!open && probe_fn_) open = probe_fn_(ip, port);
-  if (open) ++stats_.probe_hits;
+  if (open) {
+    ++stats_.probe_hits;
+    if (m_probe_hits_ != nullptr) ++*m_probe_hits_;
+  }
   return open;
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/ipv4.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 #include "sim/connection.h"
 #include "sim/event_loop.h"
 
@@ -93,6 +94,15 @@ class Network {
   /// Installs a fault injector (nullptr to clear).
   void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
 
+  /// Attaches a metrics registry (nullptr to detach). The network then
+  /// records connects (attempted/established/refused/faulted), simulated
+  /// connect RTTs, delivered bytes, and probe counters into it; higher
+  /// layers (FtpClient, HostEnumerator, Scanner) reach the same registry
+  /// through metrics(). The registry must outlive the attachment; the
+  /// census attaches its per-shard registry for the duration of a run.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
+
   // --- Connections ---------------------------------------------------------
 
   /// Result of an asynchronous connect.
@@ -135,6 +145,11 @@ class Network {
   HostResolver resolver_;
   ProbeFn probe_fn_;
   FaultInjector* faults_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Hot-path counter cells resolved once at attach time (probe() runs for
+  // every sampled address).
+  std::uint64_t* m_probes_ = nullptr;
+  std::uint64_t* m_probe_hits_ = nullptr;
   std::uint64_t next_conn_id_ = 1;
   std::uint16_t next_ephemeral_ = 49152;
 };

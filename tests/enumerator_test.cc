@@ -274,6 +274,88 @@ TEST_F(EnumeratorTest, SilentListenerTimesOut) {
   EXPECT_EQ(report->error.code(), ErrorCode::kTimeout);
 }
 
+TEST_F(EnumeratorTest, BannerTimeoutStillCountsConnected) {
+  // A silent listener accepts TCP but never sends the 220 banner. The
+  // session times out in the *banner* phase, after a successful handshake:
+  // the host must be counted as connected (funnel drop at the banner edge),
+  // unlike a connect-phase timeout where the host was never reached.
+  network_.listen(target_, 21, [](std::shared_ptr<sim::Connection>) {});
+  std::optional<HostReport> report;
+  HostEnumerator::start(network_, target_, {},
+                        [&](HostReport r) { report = std::move(r); });
+  loop_.run_while_pending([&] { return report.has_value(); });
+  network_.stop_listening(target_, 21);
+  EXPECT_EQ(report->error.code(), ErrorCode::kTimeout);
+  EXPECT_TRUE(report->connected);
+  EXPECT_FALSE(report->ftp_compliant);
+}
+
+TEST_F(EnumeratorTest, ConnectTimeoutReportsNotConnected) {
+  // The converse of the banner-timeout case: a timeout during the TCP
+  // handshake itself means the host was never reached.
+  struct ConnectLossInjector : sim::FaultInjector {
+    Status on_connect(std::uint64_t, Ipv4, std::uint16_t) override {
+      return Status(ErrorCode::kTimeout, "injected connect loss");
+    }
+    Status on_send(std::uint64_t, std::size_t) override {
+      return Status::ok();
+    }
+  } injector;
+  network_.set_fault_injector(&injector);
+  std::optional<HostReport> report;
+  HostEnumerator::start(network_, target_, {},
+                        [&](HostReport r) { report = std::move(r); });
+  loop_.run_while_pending([&] { return report.has_value(); });
+  network_.set_fault_injector(nullptr);
+  EXPECT_EQ(report->error.code(), ErrorCode::kTimeout);
+  EXPECT_FALSE(report->connected);
+  EXPECT_FALSE(report->ftp_compliant);
+}
+
+TEST_F(EnumeratorTest, IdleServerCloseAbortsPromptlyAndCancelsGapTimer) {
+  // A hand-rolled server that greets, accepts the USER command, and then
+  // closes the control connection — landing the close inside the client's
+  // inter-request gap, when no operation is outstanding. Regression test
+  // for two bugs: (a) the death went unnoticed until the next doomed
+  // command, and (b) the armed gap timer kept a closure owning the session
+  // alive in the event loop after finalize.
+  network_.listen(target_, 21, [](std::shared_ptr<sim::Connection> conn) {
+    conn->send("220 flaky ready\r\n");
+    sim::ConnCallbacks callbacks;
+    callbacks.on_data = [conn](std::string_view) {
+      conn->send("230 welcome\r\n");
+      conn->close();
+    };
+    conn->set_callbacks(std::move(callbacks));
+  });
+
+  EnumeratorOptions options;
+  std::optional<HostReport> report;
+  const sim::SimTime started = loop_.now();
+  std::weak_ptr<HostEnumerator> weak = HostEnumerator::start(
+      network_, target_, options, [&](HostReport r) { report = std::move(r); });
+  loop_.run_while_pending([&] { return report.has_value(); });
+  network_.stop_listening(target_, 21);
+  const sim::SimTime done_at = loop_.now();
+
+  // The close arrived mid-gap and aborted the session immediately: one gap
+  // precedes USER, and the close lands right after the 230. Waiting out a
+  // second gap to discover the death via a doomed command (the old
+  // behavior) would need two full gaps.
+  EXPECT_LT(done_at - started, 2 * options.request_gap);
+  EXPECT_EQ(report->login, LoginOutcome::kAccepted);
+  EXPECT_EQ(report->error.code(), ErrorCode::kConnectionReset);
+  // The close preceded traversal, so it is not a mid-traversal refusal.
+  EXPECT_FALSE(report->server_terminated_early);
+
+  // Draining the loop must neither resurrect the session nor advance time
+  // by the request gap: the pending gap closure was cancelled, not left to
+  // fire into a finished session.
+  loop_.run_until_idle();
+  EXPECT_TRUE(weak.expired());
+  EXPECT_LT(loop_.now() - done_at, options.request_gap / 2);
+}
+
 TEST_F(EnumeratorTest, DepthFirstAblationCoversSameTree) {
   EnumeratorOptions options;
   options.breadth_first = false;

@@ -190,6 +190,85 @@ TEST(ReplyParserTest, ShortCodeOnlyLine) {
   EXPECT_EQ(reply->text(), "");
 }
 
+TEST(ReplyParserTest, MultilineSplitAtEveryByteBoundary) {
+  // A multi-line reply must parse identically no matter how the network
+  // fragments it. Split the wire form at every possible boundary into two
+  // pushes, and also feed it one byte at a time.
+  const std::string wire =
+      "230-Welcome\r\nplain text line\r\n230-more\r\n230 Done\r\n";
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    ReplyParser parser;
+    parser.push(std::string_view(wire).substr(0, split));
+    EXPECT_FALSE(parser.poisoned()) << "split at " << split;
+    parser.push(std::string_view(wire).substr(split));
+    const auto reply = parser.pop_reply();
+    ASSERT_TRUE(reply) << "split at " << split;
+    EXPECT_EQ(reply->code, 230);
+    ASSERT_EQ(reply->lines.size(), 4u) << "split at " << split;
+    EXPECT_EQ(reply->lines[1], "plain text line");
+    EXPECT_FALSE(parser.pop_reply());
+    EXPECT_EQ(parser.pending_bytes(), 0u);
+  }
+  ReplyParser parser;
+  for (const char c : wire) parser.push(std::string_view(&c, 1));
+  const auto reply = parser.pop_reply();
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->lines.size(), 4u);
+}
+
+TEST(ReplyParserTest, MultilineTerminatedByBareCodeLine) {
+  // The terminator line may be exactly "226" — three digits, no separator,
+  // no text. starts_with_code treats the missing separator as a space, so
+  // this closes the reply rather than reading as continuation text.
+  ReplyParser parser;
+  parser.push("226-Transfer starting\r\n226\r\n");
+  const auto reply = parser.pop_reply();
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->code, 226);
+  ASSERT_EQ(reply->lines.size(), 2u);
+  EXPECT_EQ(reply->lines[1], "");
+  EXPECT_FALSE(parser.poisoned());
+}
+
+TEST(ReplyParserTest, DifferentCodeWithDashInsideMultilineIsText) {
+  // A continuation line opening with a *different* code and a dash must
+  // not start a nested reply; only "<own code><space>" terminates.
+  ReplyParser parser;
+  parser.push("220-header\r\n530-looks like another opener\r\n220 end\r\n");
+  const auto reply = parser.pop_reply();
+  ASSERT_TRUE(reply);
+  EXPECT_EQ(reply->code, 220);
+  ASSERT_EQ(reply->lines.size(), 3u);
+  EXPECT_EQ(reply->lines[1], "530-looks like another opener");
+  EXPECT_FALSE(parser.pop_reply());
+}
+
+TEST(ReplyParserTest, GarbageBetweenRepliesPoisonsButKeepsEarlierReplies) {
+  // Garbage is only fatal *between* replies (no reply open). Replies that
+  // completed before the poison are still retrievable; everything after —
+  // including well-formed replies — is discarded.
+  ReplyParser parser;
+  parser.push("220 hello\r\nnot ftp at all\r\n220 too late\r\n");
+  EXPECT_TRUE(parser.poisoned());
+  EXPECT_EQ(parser.pending_bytes(), 0u);  // buffer dropped on poison
+  const auto first = parser.pop_reply();
+  ASSERT_TRUE(first);
+  EXPECT_EQ(first->code, 220);
+  EXPECT_EQ(first->text(), "hello");
+  EXPECT_FALSE(parser.pop_reply());
+  parser.push("230 still ignored\r\n");
+  EXPECT_FALSE(parser.pop_reply());
+}
+
+TEST(ReplyParserTest, TwoDigitPrefixPoisons) {
+  // "22 ready" is not a three-digit code; with no reply open that is a
+  // protocol violation, not continuation text.
+  ReplyParser parser;
+  parser.push("22 ready\r\n");
+  EXPECT_TRUE(parser.poisoned());
+  EXPECT_FALSE(parser.pop_reply());
+}
+
 // ---------------------------------------------------------------------------
 // HostPort / PASV
 // ---------------------------------------------------------------------------

@@ -1,0 +1,352 @@
+// Tests for the deterministic observability layer: metric primitives,
+// funnel classification, end-to-end funnel accounting against crafted
+// hosts, and the cross-shard byte-identity contract for the census
+// metrics JSON.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/census.h"
+#include "core/enumerator.h"
+#include "core/funnel.h"
+#include "core/records.h"
+#include "core/sharded_census.h"
+#include "net/internet.h"
+#include "obs/metrics.h"
+#include "popgen/population.h"
+#include "sim/network.h"
+
+namespace ftpc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+TEST(HistogramTest, BucketPlacementAndOverflow) {
+  obs::Histogram h({10, 100, 1000});
+  h.record(0);     // <= 10
+  h.record(10);    // <= 10 (bounds are inclusive)
+  h.record(11);    // <= 100
+  h.record(1000);  // <= 1000
+  h.record(1001);  // overflow
+  ASSERT_EQ(h.buckets().size(), 4u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 1u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 0u + 10 + 11 + 1000 + 1001);
+}
+
+TEST(HistogramTest, MergeAddsBucketwise) {
+  obs::Histogram a({10, 100});
+  obs::Histogram b({10, 100});
+  a.record(5);
+  a.record(500);
+  b.record(50);
+  a.merge_from(b);
+  EXPECT_EQ(a.buckets()[0], 1u);
+  EXPECT_EQ(a.buckets()[1], 1u);
+  EXPECT_EQ(a.buckets()[2], 1u);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.sum(), 555u);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterCellIsStable) {
+  obs::MetricsRegistry registry;
+  std::uint64_t& cell = registry.counter("a");
+  // Creating many more counters must not invalidate the reference.
+  for (int i = 0; i < 100; ++i) {
+    registry.add("filler." + std::to_string(i));
+  }
+  cell += 7;
+  EXPECT_EQ(registry.value("a"), 7u);
+  EXPECT_EQ(registry.value("never.touched"), 0u);
+}
+
+TEST(MetricsRegistryTest, SumWithPrefix) {
+  obs::MetricsRegistry registry;
+  registry.add("funnel.drop.connect.refused", 3);
+  registry.add("funnel.drop.banner.timeout", 2);
+  registry.add("funnel.done.completed", 5);
+  registry.add("funnel.dropout", 100);  // prefix is literal, not a segment
+  EXPECT_EQ(registry.sum_with_prefix("funnel.drop."), 5u);
+  EXPECT_EQ(registry.sum_with_prefix("funnel."), 110u);
+  EXPECT_EQ(registry.sum_with_prefix("nope."), 0u);
+}
+
+TEST(MetricsRegistryTest, MergeAddsAndAdopts) {
+  obs::MetricsRegistry a;
+  obs::MetricsRegistry b;
+  a.add("shared", 1);
+  b.add("shared", 2);
+  b.add("only.b", 4);
+  b.histogram("h", {10}).record(3);
+  a.merge_from(b);
+  EXPECT_EQ(a.value("shared"), 3u);
+  EXPECT_EQ(a.value("only.b"), 4u);
+  EXPECT_EQ(a.histograms().at("h").count(), 1u);
+}
+
+TEST(MetricsRegistryTest, JsonIsCanonicalAndInsertionOrderFree) {
+  obs::MetricsRegistry forward;
+  forward.add("alpha", 1);
+  forward.add("beta", 2);
+  forward.histogram("h1", {5}).record(1);
+  forward.histogram("h2", {5}).record(9);
+
+  obs::MetricsRegistry backward;
+  backward.histogram("h2", {5}).record(9);
+  backward.histogram("h1", {5}).record(1);
+  backward.add("beta", 2);
+  backward.add("alpha", 1);
+
+  EXPECT_EQ(forward.to_json(), backward.to_json());
+}
+
+TEST(MetricsRegistryTest, JsonSchemaIsStable) {
+  obs::MetricsRegistry registry;
+  registry.add("c", 3);
+  registry.histogram("h", {1, 2}).record(2);
+  EXPECT_EQ(registry.to_json(),
+            "{\"schema\":\"ftpc.metrics.v1\",\"counters\":{\"c\":3},"
+            "\"histograms\":{\"h\":{\"bounds\":[1,2],\"buckets\":[0,1,0],"
+            "\"count\":1,\"sum\":2}}}\n");
+}
+
+// ---------------------------------------------------------------------------
+// classify_funnel
+// ---------------------------------------------------------------------------
+
+core::HostReport base_report() {
+  core::HostReport report;
+  report.ip = Ipv4(198, 51, 100, 10);
+  return report;
+}
+
+TEST(FunnelClassifyTest, CleanCompletion) {
+  core::HostReport report = base_report();
+  report.connected = true;
+  report.ftp_compliant = true;
+  const auto outcome = core::classify_funnel(report);
+  EXPECT_TRUE(outcome.completed);
+  EXPECT_EQ(outcome.stage, core::FunnelStage::kFinalize);
+  EXPECT_EQ(outcome.reason, "completed");
+}
+
+TEST(FunnelClassifyTest, ConnectDrops) {
+  core::HostReport report = base_report();
+  report.error = Status(ErrorCode::kConnectionRefused, "refused");
+  auto outcome = core::classify_funnel(report);
+  EXPECT_EQ(outcome.stage, core::FunnelStage::kConnect);
+  EXPECT_EQ(outcome.reason, "refused");
+
+  report.error = Status(ErrorCode::kTimeout, "injected connect loss");
+  outcome = core::classify_funnel(report);
+  EXPECT_EQ(outcome.stage, core::FunnelStage::kConnect);
+  EXPECT_EQ(outcome.reason, "timeout");
+}
+
+TEST(FunnelClassifyTest, BannerDrops) {
+  core::HostReport report = base_report();
+  report.connected = true;
+  report.error = Status(ErrorCode::kTimeout, "no reply from server");
+  auto outcome = core::classify_funnel(report);
+  EXPECT_EQ(outcome.stage, core::FunnelStage::kBanner);
+  EXPECT_EQ(outcome.reason, "timeout");
+
+  report.error = Status(ErrorCode::kProtocolError, "server is not speaking FTP");
+  outcome = core::classify_funnel(report);
+  EXPECT_EQ(outcome.stage, core::FunnelStage::kBanner);
+  EXPECT_EQ(outcome.reason, "not_ftp");
+}
+
+TEST(FunnelClassifyTest, LoginTraverseAndFinalizeDrops) {
+  core::HostReport report = base_report();
+  report.connected = true;
+  report.ftp_compliant = true;
+  report.login = core::LoginOutcome::kError;
+  report.error = Status(ErrorCode::kConnectionReset, "reset");
+  auto outcome = core::classify_funnel(report);
+  EXPECT_EQ(outcome.stage, core::FunnelStage::kLogin);
+  EXPECT_EQ(outcome.reason, "reset");
+
+  // Anonymous session that died before listing anything: traversal drop.
+  report.login = core::LoginOutcome::kAccepted;
+  report.dirs_listed = 0;
+  outcome = core::classify_funnel(report);
+  EXPECT_EQ(outcome.stage, core::FunnelStage::kTraverse);
+
+  // Explicit mid-traversal termination is a traverse drop too.
+  report.dirs_listed = 3;
+  report.server_terminated_early = true;
+  outcome = core::classify_funnel(report);
+  EXPECT_EQ(outcome.stage, core::FunnelStage::kTraverse);
+
+  // Traversal finished, died later (surveys/TLS/QUIT): finalize drop.
+  report.server_terminated_early = false;
+  outcome = core::classify_funnel(report);
+  EXPECT_EQ(outcome.stage, core::FunnelStage::kFinalize);
+  EXPECT_FALSE(outcome.completed);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end funnel accounting against crafted hosts
+// ---------------------------------------------------------------------------
+
+// Faults connects to exactly one victim address.
+struct VictimInjector : sim::FaultInjector {
+  Ipv4 victim;
+  Status on_connect(std::uint64_t, Ipv4 dst, std::uint16_t) override {
+    if (dst == victim) return Status(ErrorCode::kTimeout, "injected loss");
+    return Status::ok();
+  }
+  Status on_send(std::uint64_t, std::size_t) override { return Status::ok(); }
+};
+
+TEST(FunnelAccountingTest, EachFailureModeLandsInItsCounter) {
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  obs::MetricsRegistry metrics;
+  network.set_metrics(&metrics);
+
+  const Ipv4 refused_host(203, 0, 113, 1);   // nothing listens
+  const Ipv4 conn_timeout_host(203, 0, 113, 2);  // connect faulted
+  const Ipv4 banner_timeout_host(203, 0, 113, 3);  // accepts, stays silent
+  const Ipv4 not_ftp_host(203, 0, 113, 4);   // speaks SSH
+
+  VictimInjector injector;
+  injector.victim = conn_timeout_host;
+  network.set_fault_injector(&injector);
+  network.listen(banner_timeout_host, 21,
+                 [](std::shared_ptr<sim::Connection>) {});
+  network.listen(not_ftp_host, 21, [](std::shared_ptr<sim::Connection> conn) {
+    conn->send("SSH-2.0-dropbear\r\n");
+    conn->close();
+  });
+
+  for (const Ipv4 target : {refused_host, conn_timeout_host,
+                            banner_timeout_host, not_ftp_host}) {
+    std::optional<core::HostReport> report;
+    core::HostEnumerator::start(network, target, {},
+                                [&](core::HostReport r) {
+                                  report = std::move(r);
+                                });
+    loop.run_while_pending([&] { return report.has_value(); });
+    core::record_host_funnel(*report, metrics);
+  }
+  network.set_metrics(nullptr);
+  network.set_fault_injector(nullptr);
+
+  EXPECT_EQ(metrics.value("funnel.drop.connect.refused"), 1u);
+  EXPECT_EQ(metrics.value("funnel.drop.connect.timeout"), 1u);
+  EXPECT_EQ(metrics.value("funnel.drop.banner.timeout"), 1u);
+  EXPECT_EQ(metrics.value("funnel.drop.banner.not_ftp"), 1u);
+
+  // Stage-entry accounting: all four attempted the connect; only the
+  // silent listener and the SSH speaker got a TCP connection.
+  EXPECT_EQ(metrics.value("funnel.stage.connect"), 4u);
+  EXPECT_EQ(metrics.value("funnel.stage.banner"), 2u);
+  EXPECT_EQ(metrics.value("funnel.stage.login"), 0u);
+
+  // Every session has exactly one terminal outcome.
+  EXPECT_EQ(metrics.sum_with_prefix("funnel.drop.") +
+                metrics.value("funnel.done.completed"),
+            4u);
+}
+
+// ---------------------------------------------------------------------------
+// Census metrics: cross-shard byte-identity + probe conservation
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kSeed = 42;
+constexpr unsigned kScaleShift = 16;  // ~65K addresses: CI-sized
+
+core::CensusStats run_sequential_census() {
+  popgen::SyntheticPopulation population(kSeed);
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  net::Internet internet(network, population, 256);
+  core::CensusConfig config;
+  config.seed = kSeed;
+  config.scale_shift = kScaleShift;
+  core::VectorSink sink;
+  return core::Census(network, config).run(sink);
+}
+
+core::CensusStats run_sharded_census(std::uint32_t shards,
+                                     std::uint32_t threads) {
+  core::CensusConfig config;
+  config.seed = kSeed;
+  config.scale_shift = kScaleShift;
+  config.shards = shards;
+  config.threads = threads;
+  core::ShardedCensus census(
+      [] { return std::make_unique<popgen::SyntheticPopulation>(kSeed); },
+      config);
+  core::VectorSink sink;
+  return census.run(sink);
+}
+
+class CensusMetricsTest : public ::testing::Test {
+ protected:
+  // One sequential baseline for the whole suite; it is the most expensive
+  // configuration and every test compares against it.
+  static const core::CensusStats& sequential() {
+    static const core::CensusStats stats = run_sequential_census();
+    return stats;
+  }
+};
+
+TEST_F(CensusMetricsTest, JsonByteIdenticalAcrossShardConfigs) {
+  const std::string baseline = sequential().metrics.to_json();
+  for (const auto& [shards, threads] :
+       std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {1, 1}, {4, 1}, {4, 8}}) {
+    const core::CensusStats stats = run_sharded_census(shards, threads);
+    EXPECT_EQ(stats.metrics.to_json(), baseline)
+        << "shards=" << shards << " threads=" << threads;
+  }
+}
+
+TEST_F(CensusMetricsTest, EveryProbeHasExactlyOneOutcome) {
+  const core::CensusStats& stats = sequential();
+  const obs::MetricsRegistry& m = stats.metrics;
+  EXPECT_EQ(m.value("funnel.stage.probe"), stats.scan.probed);
+  EXPECT_EQ(m.sum_with_prefix("funnel.drop.") +
+                m.value("funnel.done.completed"),
+            m.value("funnel.stage.probe"));
+  // And the funnel head is fed by real probes, not synthesized numbers.
+  EXPECT_EQ(m.value("net.probes"), stats.scan.probed);
+  EXPECT_EQ(m.value("net.probe_hits"), stats.scan.responsive);
+  EXPECT_EQ(m.value("census.hosts_enumerated"), stats.hosts_enumerated);
+  EXPECT_GT(m.value("ftp.commands_sent"), 0u);
+}
+
+TEST_F(CensusMetricsTest, CollectMetricsOffLeavesRegistryEmpty) {
+  popgen::SyntheticPopulation population(kSeed);
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  net::Internet internet(network, population, 256);
+  core::CensusConfig config;
+  config.seed = kSeed;
+  config.scale_shift = 20;  // small: this test is about the flag only
+  config.collect_metrics = false;
+  core::VectorSink sink;
+  const core::CensusStats stats = core::Census(network, config).run(sink);
+  EXPECT_TRUE(stats.metrics.counters().empty());
+  EXPECT_TRUE(stats.metrics.histograms().empty());
+  EXPECT_EQ(network.metrics(), nullptr);
+}
+
+}  // namespace
+}  // namespace ftpc

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Fails if any file under a build tree is tracked by git. Registered as a
+# tier-1 ctest test so an accidental `git add build/` (the seed repo
+# shipped with 940 such files) is caught before it lands.
+#
+# Usage: check_no_tracked_build_artifacts.sh [repo-root]
+set -u
+
+repo_root="${1:-$(dirname "$0")/..}"
+cd "$repo_root" || exit 2
+
+if ! git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+  echo "SKIP: not a git work tree"
+  exit 0
+fi
+
+tracked="$(git ls-files -- 'build/*' 'build-*/*' 'cmake-build-*/*')"
+if [ -n "$tracked" ]; then
+  count="$(printf '%s\n' "$tracked" | wc -l)"
+  echo "FAIL: $count tracked file(s) under build trees:"
+  printf '%s\n' "$tracked" | head -20
+  [ "$count" -gt 20 ] && echo "  ... ($((count - 20)) more)"
+  echo "Fix: git rm -r --cached <tree>  (build trees are gitignored)"
+  exit 1
+fi
+
+echo "OK: no tracked files under build trees"
+exit 0

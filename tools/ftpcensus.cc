@@ -2,6 +2,7 @@
 //
 //   ftpcensus census  [--scale N] [--seed S] [--shards K] [--threads T]
 //                     [--dataset out.ftpd] [--tables]
+//                     [--metrics-out metrics.json] [--progress]
 //   ftpcensus analyze --dataset in.ftpd [--seed S]
 //   ftpcensus bounce  [--scale N] [--seed S]
 //   ftpcensus notify  --dataset in.ftpd [--seed S] [--max N]
@@ -12,11 +13,16 @@
 // `analyze` re-runs the full analysis over an archived dataset without
 // touching the (simulated) network — the paper's "iteratively processing
 // the dataset" workflow.
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "analysis/notify.h"
@@ -29,6 +35,7 @@
 #include "honeypot/attackers.h"
 #include "honeypot/honeypot.h"
 #include "net/internet.h"
+#include "obs/progress.h"
 #include "popgen/calibration.h"
 #include "popgen/population.h"
 #include "sim/network.h"
@@ -47,13 +54,16 @@ struct Options {
   unsigned max_digests = 10;
   std::uint32_t shards = 1;
   std::uint32_t threads = 1;  // 0 = hardware concurrency
+  std::string metrics_out;
+  bool progress = false;  // force the progress line even when not a tty
 };
 
 void usage() {
   std::fprintf(stderr,
                "usage: ftpcensus <census|analyze|bounce|notify|honeypot> "
                "[--seed S] [--scale N] [--shards K] [--threads T] "
-               "[--dataset FILE] [--tables] [--days D] [--max N]\n");
+               "[--dataset FILE] [--tables] [--days D] [--max N] "
+               "[--metrics-out FILE] [--progress]\n");
 }
 
 bool parse_options(int argc, char** argv, Options& options) {
@@ -93,6 +103,12 @@ bool parse_options(int argc, char** argv, Options& options) {
       const char* v = value();
       if (v == nullptr) return false;
       options.threads = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--metrics-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.metrics_out = v;
+    } else if (arg == "--progress") {
+      options.progress = true;
     } else if (arg == "--tables") {
       options.tables = true;
     } else {
@@ -102,6 +118,71 @@ bool parse_options(int argc, char** argv, Options& options) {
   }
   return true;
 }
+
+// Prints a progress line to stderr every couple of wall-clock seconds
+// while the census runs, fed by the relaxed ProgressCounters the shard
+// workers bump. Display only: the deterministic output is untouched.
+class ProgressReporter {
+ public:
+  explicit ProgressReporter(const obs::ProgressCounters& counters,
+                            std::uint32_t shards)
+      : counters_(counters), shards_(shards), thread_([this] { loop(); }) {}
+
+  ~ProgressReporter() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    print_line();  // final totals
+    std::fputc('\n', stderr);
+  }
+
+ private:
+  void loop() {
+    using namespace std::chrono_literals;
+    auto last_print = std::chrono::steady_clock::now();
+    while (!stop_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(100ms);
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_print < 2s) continue;
+      const double secs =
+          std::chrono::duration<double>(now - last_print).count();
+      const std::uint64_t hosts =
+          counters_.hosts_enumerated.load(std::memory_order_relaxed);
+      rate_ = static_cast<double>(hosts - last_hosts_) / secs;
+      last_hosts_ = hosts;
+      last_print = now;
+      print_line();
+    }
+  }
+
+  void print_line() const {
+    std::fprintf(
+        stderr,
+        "\rprogress: hits %llu | enum %llu (%.0f hosts/s) | "
+        "conn %llu ftp %llu anon %llu err %llu | shards %u/%u   ",
+        static_cast<unsigned long long>(
+            counters_.scan_hits.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            counters_.hosts_enumerated.load(std::memory_order_relaxed)),
+        rate_,
+        static_cast<unsigned long long>(
+            counters_.connected.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            counters_.ftp_compliant.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            counters_.anonymous.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            counters_.errored.load(std::memory_order_relaxed)),
+        counters_.shards_done.load(std::memory_order_relaxed), shards_);
+    std::fflush(stderr);
+  }
+
+  const obs::ProgressCounters& counters_;
+  const std::uint32_t shards_;
+  std::atomic<bool> stop_{false};
+  std::uint64_t last_hosts_ = 0;
+  double rate_ = 0.0;
+  std::thread thread_;
+};
 
 void print_tables(const analysis::CensusSummary& summary,
                   const net::AsTable& as_table) {
@@ -162,6 +243,13 @@ int run_census(const Options& options) {
   config.scale_shift = options.scale_shift;
   config.shards = options.shards;
   config.threads = options.threads;
+
+  obs::ProgressCounters progress;
+  config.progress = &progress;
+  // Periodic progress only when someone is watching (or asked for it):
+  // carriage-return redraws make piped stderr logs unreadable.
+  const bool show_progress = options.progress || isatty(STDERR_FILENO) == 1;
+
   std::fprintf(stderr,
                "scanning 1/%llu of IPv4 (seed %llu, %u shard(s), "
                "%u thread(s))...\n",
@@ -176,7 +264,34 @@ int run_census(const Options& options) {
         return std::make_unique<popgen::SyntheticPopulation>(seed);
       },
       config);
-  const core::CensusStats stats = census.run(tee);
+  core::CensusStats stats;
+  {
+    std::unique_ptr<ProgressReporter> reporter;
+    if (show_progress) {
+      reporter =
+          std::make_unique<ProgressReporter>(progress, options.shards);
+    }
+    stats = census.run(tee);
+  }
+
+  if (!options.metrics_out.empty()) {
+    const std::string json = stats.metrics.to_json();
+    std::FILE* out = std::fopen(options.metrics_out.c_str(), "wb");
+    bool ok = out != nullptr;
+    if (ok) {
+      ok = std::fwrite(json.data(), 1, json.size(), out) == json.size();
+      ok = std::fclose(out) == 0 && ok;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   options.metrics_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu metrics to %s\n",
+                 stats.metrics.counters().size() +
+                     stats.metrics.histograms().size(),
+                 options.metrics_out.c_str());
+  }
 
   if (writer) {
     if (!writer->close()) {
