@@ -23,9 +23,16 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
       config_.collect_metrics ? &stats.metrics : nullptr;
   struct MetricsDetach {
     sim::Network& network;
-    ~MetricsDetach() { network.set_metrics(nullptr); }
+    ~MetricsDetach() {
+      network.set_metrics(nullptr);
+      network.set_trace(nullptr);
+    }
   } detach{network_};
   network_.set_metrics(metrics);
+  // Trace collector lives on this frame; its buffer moves into `stats`
+  // (already canonicalized) just before return.
+  obs::TraceCollector trace_collector(config_.trace, config_.seed);
+  if (config_.trace.enabled) network_.set_trace(&trace_collector);
   obs::ProgressCounters* progress = config_.progress;
 
   // Stage 1: ZMap host discovery over this shard's permutation slice.
@@ -106,6 +113,11 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
       [&] { return in_flight == 0 && next >= hits.size(); });
 
   stats.virtual_duration = network_.loop().now() - started;
+  if (config_.trace.enabled) {
+    network_.set_trace(nullptr);
+    stats.trace = std::move(trace_collector.buffer());
+    stats.trace.canonicalize();
+  }
   return stats;
 }
 

@@ -40,6 +40,9 @@ struct CensusConfig {
   /// Record deterministic metrics (funnel, net/ftp/enum counters) into
   /// CensusStats::metrics. Off = zero instrumentation cost.
   bool collect_metrics = true;
+  /// Deterministic trace spans + wire transcripts into CensusStats::trace
+  /// (see obs/trace.h). Disabled costs one null check per probe/session.
+  obs::TraceOptions trace;
   /// Optional live progress counters, bumped as hosts finish (display
   /// only; never feeds the deterministic metrics). May be shared across
   /// shards — the fields are atomics.
@@ -62,6 +65,10 @@ struct CensusStats {
   /// its JSON — is byte-identical for every (shards, threads) split.
   /// Deliberately excludes virtual_duration, which is shard-dependent.
   obs::MetricsRegistry metrics;
+  /// Deterministic trace events (spans + wire transcript). Timestamps are
+  /// session-relative and ports are normalized, so after canonicalize()
+  /// the merged buffer is byte-identical across shard/thread splits.
+  obs::TraceBuffer trace;
 
   /// Folds another shard's counters into this one. Pure sums except
   /// virtual_duration (max), so the merged value is independent of merge
@@ -75,6 +82,7 @@ struct CensusStats {
     virtual_duration = std::max(virtual_duration, other.virtual_duration);
     shards_run += other.shards_run;
     metrics.merge_from(other.metrics);
+    trace.merge_from(other.trace);
   }
 };
 

@@ -1,6 +1,7 @@
 #include "core/enumerator.h"
 
 #include "common/strings.h"
+#include "core/funnel.h"
 #include "ftp/path.h"
 
 namespace ftpc::core {
@@ -40,8 +41,16 @@ HostEnumerator::HostEnumerator(sim::Network& network, Ipv4 target,
 }
 
 void HostEnumerator::begin() {
+  // Session-relative trace clock starts now: everything downstream of this
+  // point is a pure function of (seed, target), so relative stamps are
+  // identical in every shard split (see obs/trace.h).
+  if (auto* collector = network_.trace()) {
+    trace_ = collector->open_session(report_.ip.value(), network_.loop().now());
+  }
+
   ftp::FtpClient::Options client_options;
   client_options.client_ip = options_.client_ip;
+  client_options.trace = trace_;
   client_ = ftp::FtpClient::create(network_, client_options);
 
   // A server that drops the control connection during a request gap would
@@ -103,6 +112,11 @@ void HostEnumerator::on_banner(Result<ftp::Reply> result) {
   }
   report_.ftp_compliant = true;
   report_.banner = banner.full_text();
+  if (trace_ != nullptr) {
+    const auto now = network_.loop().now();
+    trace_->stage_end("ok", now);
+    trace_->stage_begin("login", now);
+  }
 
   // §III.A: parse banners for "no anonymous access" statements and skip
   // the login attempt entirely.
@@ -191,6 +205,14 @@ void HostEnumerator::on_pass_reply(Result<ftp::Reply> result) {
 }
 
 void HostEnumerator::after_login() {
+  if (trace_ != nullptr) {
+    // The login span's status is the resolved outcome, matching the
+    // funnel.login.* taxonomy; non-anonymous sessions skip straight to the
+    // finalize stage, exactly like the funnel accounting.
+    const auto now = network_.loop().now();
+    trace_->stage_end(login_outcome_name(report_.login), now);
+    trace_->stage_begin(report_.anonymous() ? "traverse" : "finalize", now);
+  }
   if (report_.anonymous()) {
     fetch_robots();
   } else {
@@ -337,6 +359,14 @@ void HostEnumerator::on_listing(std::string dir,
 
 void HostEnumerator::start_surveys() {
   in_traversal_ = false;
+  if (trace_ != nullptr && trace_->open_stage() == "traverse") {
+    const auto now = network_.loop().now();
+    trace_->stage_end(report_.truncated_by_request_cap ? "truncated"
+                      : report_.robots_full_exclusion  ? "robots_excluded"
+                                                       : "ok",
+                      now);
+    trace_->stage_begin("finalize", now);
+  }
   report_.requests_used =
       static_cast<std::uint32_t>(client_->commands_sent());
   if (!options_.collect_surveys || !report_.anonymous()) {
@@ -455,6 +485,14 @@ void HostEnumerator::finalize(Status error) {
   report_.error = std::move(error);
   report_.requests_used =
       static_cast<std::uint32_t>(client_->commands_sent());
+  if (trace_ != nullptr && trace_->stage_open()) {
+    // Terminal span status = the funnel outcome, so a trace and the
+    // metrics funnel always tell the same story about where a host fell
+    // out and why.
+    const FunnelOutcome outcome = classify_funnel(report_);
+    trace_->stage_end(outcome.completed ? "completed" : outcome.reason,
+                      network_.loop().now());
+  }
   client_->abort_session();
   if (auto* metrics = network_.metrics()) {
     metrics->add("enum.sessions");

@@ -93,6 +93,9 @@ class HostEnumerator : public std::enable_shared_from_this<HostEnumerator> {
   DoneHandler done_;
   std::shared_ptr<ftp::FtpClient> client_;
   HostReport report_;
+  // Per-session trace handle (owned by the network's TraceCollector);
+  // nullptr when tracing is off or this host is unsampled.
+  obs::TraceSession* trace_ = nullptr;
 
   ftp::RobotsPolicy robots_;
   bool have_robots_ = false;

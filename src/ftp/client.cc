@@ -89,6 +89,9 @@ void FtpClient::connect(Ipv4 server_ip, std::uint16_t port,
   pending_reply_ = std::move(on_banner);
   op_started_ = network_.loop().now();
   op_timed_ = true;
+  if (options_.trace != nullptr) {
+    options_.trace->stage_begin("connect", network_.loop().now());
+  }
   arm_timeout(options_.reply_timeout + network_.config().connect_timeout);
 
   std::weak_ptr<FtpClient> weak = weak_from_this();
@@ -98,12 +101,22 @@ void FtpClient::connect(Ipv4 server_ip, std::uint16_t port,
         auto self = weak.lock();
         if (!self) return;
         if (!result.is_ok()) {
+          // A failed connect leaves the "connect" span open; the session
+          // owner closes it with the classified drop reason.
           self->disarm_timeout();
           self->fail_pending(result.status());
           return;
         }
         self->control_ = std::move(result).take();
         self->ever_connected_ = true;
+        if (auto* trace = self->options_.trace) {
+          // The TCP handshake is done; the banner wait starts here. The
+          // enumerator closes the banner span once the 220 parses (or the
+          // session dies).
+          const auto now = self->network_.loop().now();
+          trace->stage_end("ok", now);
+          trace->stage_begin("banner", now);
+        }
         self->install_control_callbacks();
         // The 220 banner arrives as ordinary reply data; the pending
         // handler fires once it parses.
@@ -149,6 +162,7 @@ void FtpClient::on_control_gone(Status status) {
 }
 
 void FtpClient::on_control_data(std::string_view data) {
+  trace_recv(data);
   if (in_tls_handshake_) {
     tls_line_reader_.push(data);
     while (auto line = tls_line_reader_.pop_line()) {
@@ -272,6 +286,27 @@ void FtpClient::note_command_sent() {
   if (auto* metrics = network_.metrics()) metrics->add("ftp.commands_sent");
 }
 
+void FtpClient::trace_send(std::string_view wire) {
+  auto* trace = options_.trace;
+  if (trace == nullptr || !trace->capture_wire()) return;
+  while (!wire.empty() && (wire.back() == '\n' || wire.back() == '\r')) {
+    wire.remove_suffix(1);
+  }
+  trace->wire_send(wire, network_.loop().now());
+}
+
+void FtpClient::trace_recv(std::string_view data) {
+  auto* trace = options_.trace;
+  if (trace == nullptr || !trace->capture_wire()) return;
+  // A private line reader keeps the transcript byte-exact without touching
+  // the reply parser's framing (TLS pseudo-records included).
+  trace_line_reader_.push(data);
+  const auto now = network_.loop().now();
+  while (auto line = trace_line_reader_.pop_line()) {
+    trace->wire_recv(*line, now);
+  }
+}
+
 void FtpClient::note_reply_latency() {
   if (!op_timed_) return;
   op_timed_ = false;
@@ -341,7 +376,9 @@ void FtpClient::send_command(Command command, ReplyHandler on_reply) {
   op_started_ = network_.loop().now();
   op_timed_ = true;
   arm_timeout(options_.reply_timeout);
-  control_->send(command.wire());
+  const std::string wire = command.wire();
+  trace_send(wire);
+  control_->send(wire);
 }
 
 void FtpClient::send(std::string verb, std::string arg,
@@ -377,6 +414,7 @@ void FtpClient::auth_tls(CertHandler handler) {
     self->have_cert_value_ = false;
     self->pending_cert_ = handler;
     self->arm_timeout(self->options_.reply_timeout);
+    self->trace_send("~TLS HELLO\r\n");
     self->control_->send("~TLS HELLO\r\n");
   });
 }
@@ -500,8 +538,10 @@ void FtpClient::begin_transfer(std::string verb, std::string arg,
     if (!transfer->command_sent) {
       transfer->command_sent = true;
       self->note_command_sent();
-      self->control_->send(
-          Command{.verb = transfer->verb, .arg = transfer->arg}.wire());
+      const std::string wire =
+          Command{.verb = transfer->verb, .arg = transfer->arg}.wire();
+      self->trace_send(wire);
+      self->control_->send(wire);
     }
   });
 }
@@ -536,8 +576,10 @@ void FtpClient::transfer_open_data(const std::shared_ptr<Transfer>& transfer) {
       return;
     }
     note_command_sent();
-    control_->send(
-        Command{.verb = transfer->verb, .arg = transfer->arg}.wire());
+    const std::string wire =
+        Command{.verb = transfer->verb, .arg = transfer->arg}.wire();
+    trace_send(wire);
+    control_->send(wire);
   }
 }
 

@@ -19,6 +19,7 @@
 #include "common/ipv4.h"
 #include "common/result.h"
 #include "ftp/cert.h"
+#include "obs/trace.h"
 #include "ftp/command.h"
 #include "ftp/reply.h"
 #include "sim/network.h"
@@ -47,6 +48,12 @@ class FtpClient : public std::enable_shared_from_this<FtpClient> {
     sim::SimTime reply_timeout = 30 * sim::kSecond;
     sim::SimTime transfer_timeout = 120 * sim::kSecond;
     TransferMode transfer_mode = TransferMode::kPassive;
+    /// Optional per-session trace handle (owned by the shard's
+    /// TraceCollector; must outlive the client). When set, the client
+    /// records the connect/banner span boundary and a byte-exact,
+    /// ephemeral-port-normalized transcript of every control-channel line
+    /// in both directions.
+    obs::TraceSession* trace = nullptr;
   };
 
   using ReplyHandler = std::function<void(Result<Reply>)>;
@@ -133,6 +140,10 @@ class FtpClient : public std::enable_shared_from_this<FtpClient> {
   void disarm_timeout();
   void note_command_sent();
   void note_reply_latency();
+  /// Trace hooks (no-ops without a trace session). `wire` still carries its
+  /// CRLF; received chunks are split into lines by trace_line_reader_.
+  void trace_send(std::string_view wire);
+  void trace_recv(std::string_view data);
 
   // Transfer plumbing.
   struct Transfer;
@@ -148,6 +159,7 @@ class FtpClient : public std::enable_shared_from_this<FtpClient> {
   Ipv4 server_ip_;
   ReplyParser reply_parser_;
   LineReader tls_line_reader_;
+  LineReader trace_line_reader_;  // transcript capture only
   bool tls_active_ = false;
   bool in_tls_handshake_ = false;
   bool ever_connected_ = false;

@@ -1,0 +1,247 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/hash.h"
+#include "common/ipv4.h"
+
+namespace ftpc::obs {
+
+std::string_view trace_event_kind_name(TraceEventKind kind) noexcept {
+  switch (kind) {
+    case TraceEventKind::kSpan:
+      return "span";
+    case TraceEventKind::kSend:
+      return "send";
+    case TraceEventKind::kRecv:
+      return "recv";
+  }
+  return "?";
+}
+
+std::string normalize_ephemeral_ports(std::string_view line) {
+  std::string out;
+  out.reserve(line.size());
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(line[i]))) {
+      out.push_back(line[i]);
+      ++i;
+      continue;
+    }
+    // Measure a maximal comma-separated run of digit groups.
+    std::size_t groups = 0;
+    std::size_t j = i;
+    std::size_t fourth_group_end = 0;  // end of group 4, if reached
+    while (j < line.size() && std::isdigit(static_cast<unsigned char>(line[j]))) {
+      while (j < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[j]))) {
+        ++j;
+      }
+      ++groups;
+      if (groups == 4) fourth_group_end = j;
+      if (j + 1 < line.size() && line[j] == ',' &&
+          std::isdigit(static_cast<unsigned char>(line[j + 1]))) {
+        ++j;  // consume the comma, continue with the next group
+        continue;
+      }
+      break;
+    }
+    if (groups == 6) {
+      // h1,h2,h3,h4,p1,p2: keep the address, scrub the port digits.
+      out.append(line.substr(i, fourth_group_end - i));
+      out += ",?,?";
+    } else {
+      out.append(line.substr(i, j - i));
+    }
+    i = j;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuffer
+// ---------------------------------------------------------------------------
+
+void TraceBuffer::merge_from(const TraceBuffer& other) {
+  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+}
+
+void TraceBuffer::canonicalize() {
+  std::sort(events_.begin(), events_.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.host != b.host) return a.host < b.host;
+              return a.seq < b.seq;
+            });
+}
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  static const char* kHex = "0123456789abcdef";
+  out.push_back('"');
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u < 0x20) {
+      out += "\\u00";
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xf]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string TraceBuffer::to_jsonl() {
+  canonicalize();
+  std::string out = "{\"schema\":\"ftpc.trace.v1\"}\n";
+  for (const TraceEvent& event : events_) {
+    out += "{\"t\":" + std::to_string(event.start);
+    if (event.kind == TraceEventKind::kSpan) {
+      out += ",\"dur\":" + std::to_string(event.dur);
+    }
+    out += ",\"host\":";
+    append_json_string(out, Ipv4(event.host).str());
+    out += ",\"seq\":" + std::to_string(event.seq);
+    out += ",\"ev\":\"";
+    out += trace_event_kind_name(event.kind);
+    out += '"';
+    if (event.kind == TraceEventKind::kSpan) {
+      out += ",\"name\":";
+      append_json_string(out, event.name);
+      out += ",\"status\":";
+      append_json_string(out, event.status);
+    } else {
+      out += ",\"line\":";
+      append_json_string(out, event.name);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string TraceBuffer::to_chrome_json() {
+  canonicalize();
+  // One tid per host keeps every host's spans on its own track; pid groups
+  // the whole census. chrome://tracing and Perfetto both accept this shape.
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& event : events_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\n{\"pid\":1,\"tid\":" + std::to_string(event.host);
+    out += ",\"ts\":" + std::to_string(event.start);
+    if (event.kind == TraceEventKind::kSpan) {
+      out += ",\"ph\":\"X\",\"dur\":" + std::to_string(event.dur);
+      out += ",\"name\":";
+      append_json_string(out, event.name);
+      out += ",\"cat\":\"stage\",\"args\":{\"host\":";
+      append_json_string(out, Ipv4(event.host).str());
+      out += ",\"status\":";
+      append_json_string(out, event.status);
+      out += "}}";
+    } else {
+      out += ",\"ph\":\"i\",\"s\":\"t\",\"name\":";
+      append_json_string(out, event.name);
+      out += ",\"cat\":\"wire.";
+      out += trace_event_kind_name(event.kind);
+      out += "\",\"args\":{\"host\":";
+      append_json_string(out, Ipv4(event.host).str());
+      out += "}}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSession
+// ---------------------------------------------------------------------------
+
+void TraceSession::stage_begin(std::string_view name, TraceTime now) {
+  if (stage_open_) stage_end("ok", now);
+  stage_open_ = true;
+  open_name_.assign(name);
+  open_started_ = rel(now);
+}
+
+void TraceSession::stage_end(std::string_view status, TraceTime now) {
+  if (!stage_open_) return;
+  stage_open_ = false;
+  TraceEvent event;
+  event.start = open_started_;
+  event.dur = rel(now) - open_started_;
+  event.host = host_;
+  event.seq = next_seq_++;
+  event.kind = TraceEventKind::kSpan;
+  event.name = std::move(open_name_);
+  event.status.assign(status);
+  open_name_.clear();
+  buffer_->append(std::move(event));
+}
+
+void TraceSession::wire(TraceEventKind kind, std::string_view line,
+                        TraceTime now) {
+  if (!capture_wire_) return;
+  TraceEvent event;
+  event.start = rel(now);
+  event.host = host_;
+  event.seq = next_seq_++;
+  event.kind = kind;
+  event.name = normalize_ephemeral_ports(line);
+  buffer_->append(std::move(event));
+}
+
+void TraceSession::wire_send(std::string_view line, TraceTime now) {
+  wire(TraceEventKind::kSend, line, now);
+}
+
+void TraceSession::wire_recv(std::string_view line, TraceTime now) {
+  wire(TraceEventKind::kRecv, line, now);
+}
+
+// ---------------------------------------------------------------------------
+// TraceCollector
+// ---------------------------------------------------------------------------
+
+bool TraceCollector::should_trace(std::uint32_t host) const noexcept {
+  for (const std::uint32_t forced : options_.force_hosts) {
+    if (forced == host) return true;
+  }
+  if (options_.sample_rate >= 1.0) return true;
+  if (options_.sample_rate <= 0.0) return false;
+  // Fixed-point per-IP coin flip: pure in (seed, host), uniform via
+  // SipHash, so the sampled set partitions exactly across shards.
+  constexpr std::uint64_t kTraceSampleKey = 0x66747063'74726163ULL;  // "ftpctrac"
+  const std::uint64_t hash = siphash24_u64(seed_, kTraceSampleKey, host);
+  const auto threshold =
+      static_cast<std::uint64_t>(options_.sample_rate * 4294967296.0);
+  return (hash & 0xffffffffULL) < threshold;
+}
+
+void TraceCollector::record_probe(std::uint32_t host, bool responsive) {
+  if (!should_trace(host)) return;
+  TraceEvent event;
+  event.host = host;
+  event.seq = 0;
+  event.kind = TraceEventKind::kSpan;
+  event.name = "probe";
+  event.status = responsive ? "responsive" : "unresponsive";
+  buffer_.append(std::move(event));
+}
+
+TraceSession* TraceCollector::open_session(std::uint32_t host, TraceTime now) {
+  if (!should_trace(host)) return nullptr;
+  sessions_.emplace_back(&buffer_, host, now, options_.capture_wire);
+  return &sessions_.back();
+}
+
+}  // namespace ftpc::obs

@@ -1,0 +1,194 @@
+// Deterministic structured tracing: per-host stage spans and control-channel
+// wire transcripts for the census pipeline.
+//
+// Where the MetricsRegistry (metrics.h) aggregates the census into counters,
+// this layer keeps the per-host *narrative*: one span per funnel stage
+// (probe -> connect -> banner -> login -> traverse -> finalize, statuses
+// drawn from the same drop-reason taxonomy as core/funnel.h) and, optionally,
+// every control-channel line each side sent — the raw material for debugging
+// the ~10% of hosts that violate the RFC ("Web Execution Bundles" argues a
+// measurement run should leave exactly this kind of archivable artifact).
+//
+// Determinism contract (mirrors metrics.h): the exported trace is
+// byte-identical for every (--shards, --threads) split of the same
+// (seed, scale). Three rules make that hold:
+//   1. Timestamps are *session-relative* virtual time (microseconds since
+//      the host's session began). A host's absolute launch time depends on
+//      the shard layout, but everything a session does after it starts is a
+//      pure function of (seed, target) — so relative stamps are shard-free.
+//   2. Events merge across shards with a stable (time, host, seq) sort,
+//      where seq is a per-host counter; per-host event order is pure, and
+//      the sort erases cross-host interleaving.
+//   3. Wire lines embedding ephemeral ports (227 PASV replies, PORT
+//      commands) are normalized — the ephemeral allocator is shared per
+//      network, so raw port digits would leak launch order. Nothing else
+//      on the control channel is allowed to be launch-order dependent.
+// Sampling is keyed on a per-IP seeded hash (never on arrival order), so
+// the sampled host set is itself split-invariant.
+//
+// Like MetricsRegistry: no locks, no atomics. One TraceCollector belongs to
+// one shard; buffers merge after the workers join.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftpc::obs {
+
+/// Virtual microseconds relative to a host session's start. (Deliberately
+/// not sim::SimTime: obs must not depend on sim, and absolute stamps would
+/// break split-invariance anyway — see the header comment.)
+using TraceTime = std::uint64_t;
+
+enum class TraceEventKind : std::uint8_t {
+  kSpan,  // a completed stage span: [start, start+dur], name + status
+  kSend,  // one control-channel line we sent (CRLF stripped, normalized)
+  kRecv,  // one control-channel line the server sent
+};
+
+std::string_view trace_event_kind_name(TraceEventKind kind) noexcept;
+
+struct TraceEvent {
+  TraceTime start = 0;  // session-relative virtual µs
+  TraceTime dur = 0;    // span duration; 0 for wire events
+  std::uint32_t host = 0;
+  std::uint32_t seq = 0;  // per-host event index (probe span = 0)
+  TraceEventKind kind = TraceEventKind::kSpan;
+  std::string name;    // span: stage name; wire: the line text
+  std::string status;  // span: "ok"/"completed"/drop reason; wire: empty
+};
+
+/// Replaces the port digits in any "h1,h2,h3,h4,p1,p2" tuple (227 PASV
+/// replies, PORT arguments) with "?": exactly-six-number comma runs keep
+/// their first four numbers (the address — host-pure) and lose the last two
+/// (the ephemeral port — allocator order). Everything else passes through
+/// byte-exact.
+std::string normalize_ephemeral_ports(std::string_view line);
+
+/// An ordered batch of trace events. Per-shard instances merge by
+/// concatenation; canonicalize() then imposes the split-invariant order.
+class TraceBuffer {
+ public:
+  void append(TraceEvent event) { events_.push_back(std::move(event)); }
+  void merge_from(const TraceBuffer& other);
+
+  /// Sorts events by (start, host, seq) — a total order, since seq is
+  /// unique per host. Exporters require (and enforce) canonical order.
+  void canonicalize();
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+  bool empty() const noexcept { return events_.empty(); }
+
+  /// Compact JSONL: a "ftpc.trace.v1" header line, then one JSON object
+  /// per event. Canonicalizes first. Byte-identical for equal content:
+  ///   {"schema":"ftpc.trace.v1"}
+  ///   {"t":0,"dur":0,"host":"1.2.3.4","seq":0,"ev":"span",
+  ///    "name":"probe","status":"responsive"}
+  ///   {"t":40000,"host":"1.2.3.4","seq":3,"ev":"recv","line":"220 ..."}
+  std::string to_jsonl();
+
+  /// Chrome trace-event JSON (chrome://tracing, Perfetto): spans as
+  /// complete ("ph":"X") events, wire lines as thread-scoped instants,
+  /// one tid per host. Canonicalizes first.
+  std::string to_chrome_json();
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Per-host-session recording handle. Owned by the TraceCollector; the
+/// enumerator and FTP client borrow a raw pointer for the session's
+/// lifetime. Tracks one open stage at a time (sessions are sequential).
+class TraceSession {
+ public:
+  TraceSession(TraceBuffer* buffer, std::uint32_t host, TraceTime session_start,
+               bool capture_wire)
+      : buffer_(buffer),
+        host_(host),
+        start_(session_start),
+        capture_wire_(capture_wire) {}
+
+  /// Opens stage `name` at absolute virtual time `now`. At most one stage
+  /// may be open; opening over an open stage ends it with status "ok".
+  void stage_begin(std::string_view name, TraceTime now);
+
+  /// Ends the open stage with `status` at `now`; no-op with none open.
+  void stage_end(std::string_view status, TraceTime now);
+
+  bool stage_open() const noexcept { return stage_open_; }
+  std::string_view open_stage() const noexcept {
+    return stage_open_ ? std::string_view(open_name_) : std::string_view();
+  }
+
+  /// Records one control-channel line (CRLF already stripped). Lines are
+  /// normalized for ephemeral ports; see normalize_ephemeral_ports().
+  void wire_send(std::string_view line, TraceTime now);
+  void wire_recv(std::string_view line, TraceTime now);
+
+  bool capture_wire() const noexcept { return capture_wire_; }
+
+ private:
+  TraceTime rel(TraceTime now) const noexcept {
+    return now >= start_ ? now - start_ : 0;
+  }
+  void wire(TraceEventKind kind, std::string_view line, TraceTime now);
+
+  TraceBuffer* buffer_;
+  std::uint32_t host_;
+  TraceTime start_;
+  bool capture_wire_;
+  std::uint32_t next_seq_ = 1;  // 0 is reserved for the probe span
+  bool stage_open_ = false;
+  std::string open_name_;
+  TraceTime open_started_ = 0;
+};
+
+/// Knobs for a census trace (CensusConfig::trace).
+struct TraceOptions {
+  bool enabled = false;
+  /// Deterministic per-IP sampling: a host is traced iff its seeded hash
+  /// falls under this rate. 1.0 = everything, 0.0 = only forced hosts.
+  double sample_rate = 1.0;
+  /// Hosts traced regardless of the sampling rate (--trace-host).
+  std::vector<std::uint32_t> force_hosts;
+  /// Capture per-line control-channel transcripts, not just stage spans.
+  bool capture_wire = true;
+};
+
+/// One shard's trace recorder: owns the event buffer and the per-host
+/// session handles, and decides (deterministically) which hosts to trace.
+/// Attached to the shard's sim::Network for the duration of a census run,
+/// exactly like the MetricsRegistry.
+class TraceCollector {
+ public:
+  TraceCollector(TraceOptions options, std::uint64_t seed)
+      : options_(std::move(options)), seed_(seed) {}
+
+  /// Pure per-IP sampling decision: hash(seed, host) under the rate, or a
+  /// forced host. Never consults order or time.
+  bool should_trace(std::uint32_t host) const noexcept;
+
+  /// Records the probe-stage span for a sampled probed address (the funnel
+  /// head; unresponsive hosts get exactly this one event). Checks
+  /// should_trace internally — callers just report every probe.
+  void record_probe(std::uint32_t host, bool responsive);
+
+  /// Opens a session handle for `host` (nullptr if unsampled). The handle
+  /// stays valid until the collector is destroyed.
+  TraceSession* open_session(std::uint32_t host, TraceTime now);
+
+  TraceBuffer& buffer() noexcept { return buffer_; }
+  const TraceOptions& options() const noexcept { return options_; }
+
+ private:
+  TraceOptions options_;
+  std::uint64_t seed_;
+  TraceBuffer buffer_;
+  std::deque<TraceSession> sessions_;  // deque: stable addresses
+};
+
+}  // namespace ftpc::obs

@@ -22,6 +22,7 @@ ScanStats Scanner::run(const HitHandler& on_hit) {
   CyclicPermutation::Walk walk =
       permutation.shard_walk(config_.shard, config_.total_shards, budget);
 
+  obs::TraceCollector* trace = network_.trace();
   std::uint32_t address = 0;
   while (walk.next(address)) {
     ++stats.addresses_walked;
@@ -31,7 +32,9 @@ ScanStats Scanner::run(const HitHandler& on_hit) {
       continue;
     }
     ++stats.probed;
-    if (network_.probe(ip, config_.port)) {
+    const bool responsive = network_.probe(ip, config_.port);
+    if (trace != nullptr) trace->record_probe(address, responsive);
+    if (responsive) {
       ++stats.responsive;
       on_hit(ip);
     }

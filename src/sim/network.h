@@ -11,6 +11,7 @@
 #include "common/ipv4.h"
 #include "common/result.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/connection.h"
 #include "sim/event_loop.h"
 
@@ -103,6 +104,13 @@ class Network {
   void set_metrics(obs::MetricsRegistry* metrics);
   obs::MetricsRegistry* metrics() const noexcept { return metrics_; }
 
+  /// Attaches a trace collector (nullptr to detach), the same ownership
+  /// contract as set_metrics(): one collector per shard, attached for the
+  /// duration of a census run. The scanner records probe spans through it;
+  /// the enumerator and FTP client open per-host sessions.
+  void set_trace(obs::TraceCollector* trace) noexcept { trace_ = trace; }
+  obs::TraceCollector* trace() const noexcept { return trace_; }
+
   // --- Connections ---------------------------------------------------------
 
   /// Result of an asynchronous connect.
@@ -146,6 +154,7 @@ class Network {
   ProbeFn probe_fn_;
   FaultInjector* faults_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceCollector* trace_ = nullptr;
   // Hot-path counter cells resolved once at attach time (probe() runs for
   // every sampled address).
   std::uint64_t* m_probes_ = nullptr;

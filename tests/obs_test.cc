@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <string>
@@ -330,6 +332,49 @@ TEST_F(CensusMetricsTest, EveryProbeHasExactlyOneOutcome) {
   EXPECT_EQ(m.value("net.probe_hits"), stats.scan.responsive);
   EXPECT_EQ(m.value("census.hosts_enumerated"), stats.hosts_enumerated);
   EXPECT_GT(m.value("ftp.commands_sent"), 0u);
+}
+
+// The ftpc.metrics.v1 surface downstream dashboards key on: every counter
+// name and every histogram name + bucket bounds, pinned against a golden
+// file. Values are deliberately NOT pinned — behavior may evolve, but a
+// renamed or re-bucketed metric must show up as a reviewed golden diff.
+// Regenerate with: FTPC_UPDATE_GOLDEN=1 ./obs_test
+TEST_F(CensusMetricsTest, MetricsSchemaMatchesGoldenFile) {
+  const obs::MetricsRegistry& m = sequential().metrics;
+  std::string schema;
+  for (const auto& [name, value] : m.counters()) {
+    (void)value;
+    schema += "counter " + name + "\n";
+  }
+  for (const auto& [name, histogram] : m.histograms()) {
+    schema += "histogram " + name + " bounds";
+    for (const std::uint64_t bound : histogram.bounds()) {
+      schema += " " + std::to_string(bound);
+    }
+    schema += "\n";
+  }
+
+  const std::string path =
+      std::string(FTPC_GOLDEN_DIR) + "/metrics_schema_v1.txt";
+  if (std::getenv("FTPC_UPDATE_GOLDEN") != nullptr) {
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr) << "cannot write " << path;
+    std::fwrite(schema.data(), 1, schema.size(), out);
+    std::fclose(out);
+    GTEST_SKIP() << "golden file regenerated at " << path;
+  }
+
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(in, nullptr)
+      << path << " missing; run with FTPC_UPDATE_GOLDEN=1 to create it";
+  std::string golden;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, in)) > 0) golden.append(buf, n);
+  std::fclose(in);
+  EXPECT_EQ(schema, golden)
+      << "ftpc.metrics.v1 schema drifted; if intentional, regenerate with "
+         "FTPC_UPDATE_GOLDEN=1 and commit the golden diff";
 }
 
 TEST_F(CensusMetricsTest, CollectMetricsOffLeavesRegistryEmpty) {

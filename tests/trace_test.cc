@@ -1,0 +1,373 @@
+// Tests for the deterministic tracing subsystem: ephemeral-port
+// normalization, span/sequence mechanics, pure per-IP sampling, byte-exact
+// wire transcripts against a scripted server, and the cross-shard
+// byte-identity contract for both trace exporters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ipv4.h"
+#include "core/census.h"
+#include "core/sharded_census.h"
+#include "ftp/client.h"
+#include "net/internet.h"
+#include "obs/trace.h"
+#include "popgen/population.h"
+#include "sim/network.h"
+
+namespace ftpc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// normalize_ephemeral_ports
+// ---------------------------------------------------------------------------
+
+TEST(NormalizePortsTest, PasvReplyLosesPortKeepsAddress) {
+  EXPECT_EQ(obs::normalize_ephemeral_ports(
+                "227 Entering Passive Mode (198,51,100,7,217,44)."),
+            "227 Entering Passive Mode (198,51,100,7,?,?).");
+}
+
+TEST(NormalizePortsTest, PortCommandNormalized) {
+  EXPECT_EQ(obs::normalize_ephemeral_ports("PORT 141,212,120,9,200,21"),
+            "PORT 141,212,120,9,?,?");
+}
+
+TEST(NormalizePortsTest, NonSixGroupRunsPassThrough) {
+  // Fewer than six groups: untouched.
+  EXPECT_EQ(obs::normalize_ephemeral_ports("250 sizes 1,2,3,4,5 ok"),
+            "250 sizes 1,2,3,4,5 ok");
+  // More than six groups: untouched (not a host-port tuple).
+  EXPECT_EQ(obs::normalize_ephemeral_ports("x 1,2,3,4,5,6,7 y"),
+            "x 1,2,3,4,5,6,7 y");
+  // Plain text and lone numbers: untouched.
+  EXPECT_EQ(obs::normalize_ephemeral_ports("220 FTP server ready"),
+            "220 FTP server ready");
+  EXPECT_EQ(obs::normalize_ephemeral_ports(""), "");
+}
+
+TEST(NormalizePortsTest, TupleAtEndOfLineAndMultipleRuns) {
+  EXPECT_EQ(obs::normalize_ephemeral_ports("PORT 10,0,0,1,4,5"),
+            "PORT 10,0,0,1,?,?");
+  EXPECT_EQ(obs::normalize_ephemeral_ports("a 1,2,3,4,5,6 b 9,8,7,6,5,4"),
+            "a 1,2,3,4,?,? b 9,8,7,6,?,?");
+}
+
+// ---------------------------------------------------------------------------
+// TraceSession / TraceBuffer
+// ---------------------------------------------------------------------------
+
+TEST(TraceSessionTest, SpansAreSessionRelativeAndSequenced) {
+  obs::TraceBuffer buffer;
+  // Session starts at absolute virtual time 1000.
+  obs::TraceSession session(&buffer, Ipv4(1, 2, 3, 4).value(), 1000, true);
+  session.stage_begin("connect", 1000);
+  session.stage_end("ok", 1500);
+  session.stage_begin("banner", 1500);
+  session.wire_recv("220 hello", 1700);
+  session.stage_end("ok", 1700);
+
+  ASSERT_EQ(buffer.size(), 3u);
+  const auto& events = buffer.events();
+  EXPECT_EQ(events[0].name, "connect");
+  EXPECT_EQ(events[0].start, 0u);  // relative to the 1000 session start
+  EXPECT_EQ(events[0].dur, 500u);
+  EXPECT_EQ(events[0].seq, 1u);  // seq 0 is reserved for the probe span
+  EXPECT_EQ(events[1].kind, obs::TraceEventKind::kRecv);
+  EXPECT_EQ(events[1].start, 700u);
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_EQ(events[2].name, "banner");
+  EXPECT_EQ(events[2].seq, 3u);  // span sequenced at close, after the line
+}
+
+TEST(TraceSessionTest, BeginOverOpenStageClosesItOk) {
+  obs::TraceBuffer buffer;
+  obs::TraceSession session(&buffer, 1, 0, true);
+  session.stage_begin("login", 10);
+  session.stage_begin("traverse", 20);  // implicitly ends login as "ok"
+  ASSERT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer.events()[0].name, "login");
+  EXPECT_EQ(buffer.events()[0].status, "ok");
+  EXPECT_TRUE(session.stage_open());
+  EXPECT_EQ(session.open_stage(), "traverse");
+}
+
+TEST(TraceSessionTest, CaptureWireOffDropsLinesKeepsSpans) {
+  obs::TraceBuffer buffer;
+  obs::TraceSession session(&buffer, 1, 0, /*capture_wire=*/false);
+  session.stage_begin("banner", 0);
+  session.wire_recv("220 hello", 5);
+  session.wire_send("USER anonymous", 6);
+  session.stage_end("ok", 10);
+  ASSERT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer.events()[0].kind, obs::TraceEventKind::kSpan);
+}
+
+TEST(TraceBufferTest, ExportersEmitCanonicalOrderAndSchema) {
+  obs::TraceBuffer a;
+  obs::TraceBuffer b;
+  obs::TraceSession host2(&a, 2, 0, true);
+  obs::TraceSession host1(&b, 1, 0, true);
+  host2.stage_begin("connect", 0);
+  host2.stage_end("ok", 7);
+  host1.stage_begin("connect", 0);
+  host1.stage_end("timeout", 9);
+  // Merge in "wrong" order; canonical sort must erase it.
+  obs::TraceBuffer merged_ab;
+  merged_ab.merge_from(a);
+  merged_ab.merge_from(b);
+  obs::TraceBuffer merged_ba;
+  merged_ba.merge_from(b);
+  merged_ba.merge_from(a);
+  EXPECT_EQ(merged_ab.to_jsonl(), merged_ba.to_jsonl());
+  EXPECT_EQ(merged_ab.to_chrome_json(), merged_ba.to_chrome_json());
+
+  const std::string jsonl = merged_ab.to_jsonl();
+  EXPECT_EQ(jsonl.find("{\"schema\":\"ftpc.trace.v1\"}\n"), 0u);
+  // host 0.0.0.1 sorts before 0.0.0.2 at equal start times.
+  EXPECT_LT(jsonl.find("0.0.0.1"), jsonl.find("0.0.0.2"));
+  EXPECT_NE(jsonl.find("\"status\":\"timeout\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling
+// ---------------------------------------------------------------------------
+
+TEST(TraceSamplingTest, RateEdgesAndForcedHosts) {
+  obs::TraceOptions all;
+  all.enabled = true;
+  all.sample_rate = 1.0;
+  obs::TraceCollector everything(all, 7);
+  EXPECT_TRUE(everything.should_trace(123));
+
+  obs::TraceOptions none;
+  none.enabled = true;
+  none.sample_rate = 0.0;
+  none.force_hosts = {42};
+  obs::TraceCollector forced_only(none, 7);
+  EXPECT_FALSE(forced_only.should_trace(123));
+  EXPECT_TRUE(forced_only.should_trace(42));
+}
+
+TEST(TraceSamplingTest, DecisionIsPureInSeedAndHost) {
+  obs::TraceOptions options;
+  options.enabled = true;
+  options.sample_rate = 0.5;
+  obs::TraceCollector a(options, 42);
+  obs::TraceCollector b(options, 42);
+  obs::TraceCollector c(options, 43);
+  std::size_t sampled = 0;
+  bool seed_changes_some_decision = false;
+  for (std::uint32_t host = 1; host <= 2000; ++host) {
+    EXPECT_EQ(a.should_trace(host), b.should_trace(host));
+    if (a.should_trace(host) != c.should_trace(host)) {
+      seed_changes_some_decision = true;
+    }
+    if (a.should_trace(host)) ++sampled;
+  }
+  // A fair coin over 2000 hosts: far inside [800, 1200].
+  EXPECT_GT(sampled, 800u);
+  EXPECT_LT(sampled, 1200u);
+  EXPECT_TRUE(seed_changes_some_decision);
+}
+
+// ---------------------------------------------------------------------------
+// Wire transcript against a scripted server
+// ---------------------------------------------------------------------------
+
+TEST(TraceTranscriptTest, CapturesBothDirectionsByteExactAndNormalized) {
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  const Ipv4 server(203, 0, 113, 9);
+  const Ipv4 client_ip(198, 51, 100, 1);
+
+  // Minimal scripted FTP endpoint: rejects the login, answers PASV with a
+  // fixed bogus tuple (the port digits must come out normalized), quits.
+  network.listen(server, 21, [](std::shared_ptr<sim::Connection> conn) {
+    auto carry = std::make_shared<std::string>();
+    sim::ConnCallbacks callbacks;
+    callbacks.on_data = [conn, carry](std::string_view data) {
+      carry->append(data);
+      std::size_t eol;
+      while ((eol = carry->find("\r\n")) != std::string::npos) {
+        const std::string line = carry->substr(0, eol);
+        carry->erase(0, eol + 2);
+        if (line.rfind("USER", 0) == 0) {
+          conn->send("530 Login incorrect.\r\n");
+        } else if (line.rfind("PASV", 0) == 0) {
+          conn->send("227 Entering Passive Mode (203,0,113,9,217,44).\r\n");
+        } else if (line.rfind("QUIT", 0) == 0) {
+          conn->send("221 Goodbye.\r\n");
+          conn->close();
+        } else {
+          conn->send("502 Not implemented.\r\n");
+        }
+      }
+    };
+    conn->set_callbacks(std::move(callbacks));
+    conn->send("220 trace test server\r\n");
+  });
+
+  obs::TraceOptions trace_options;
+  trace_options.enabled = true;
+  obs::TraceCollector collector(trace_options, 1);
+  obs::TraceSession* session =
+      collector.open_session(server.value(), loop.now());
+  ASSERT_NE(session, nullptr);
+
+  ftp::FtpClient::Options options;
+  options.client_ip = client_ip;
+  options.trace = session;
+  auto client = ftp::FtpClient::create(network, options);
+  bool finished = false;
+  client->connect(server, 21, [&](Result<ftp::Reply> banner) {
+    ASSERT_TRUE(banner.is_ok());
+    client->send("USER", "anonymous", [&](Result<ftp::Reply> user) {
+      ASSERT_TRUE(user.is_ok());
+      EXPECT_EQ(user.value().code, 530);
+      client->send("PASV", "", [&](Result<ftp::Reply> pasv) {
+        ASSERT_TRUE(pasv.is_ok());
+        client->quit([&] { finished = true; });
+      });
+    });
+  });
+  loop.run_until_idle();
+  ASSERT_TRUE(finished);
+
+  obs::TraceBuffer& buffer = collector.buffer();
+  buffer.canonicalize();
+  std::vector<std::pair<obs::TraceEventKind, std::string>> wire;
+  bool saw_connect_span = false;
+  for (const auto& event : buffer.events()) {
+    if (event.kind == obs::TraceEventKind::kSpan) {
+      if (event.name == "connect") {
+        saw_connect_span = true;
+        EXPECT_EQ(event.status, "ok");
+      }
+      continue;
+    }
+    wire.emplace_back(event.kind, event.name);
+  }
+  EXPECT_TRUE(saw_connect_span);
+
+  using K = obs::TraceEventKind;
+  const std::vector<std::pair<K, std::string>> expected = {
+      {K::kRecv, "220 trace test server"},
+      {K::kSend, "USER anonymous"},
+      {K::kRecv, "530 Login incorrect."},
+      {K::kSend, "PASV"},
+      {K::kRecv, "227 Entering Passive Mode (203,0,113,9,?,?)."},
+      {K::kSend, "QUIT"},
+      {K::kRecv, "221 Goodbye."},
+  };
+  EXPECT_EQ(wire, expected);
+}
+
+// ---------------------------------------------------------------------------
+// Split invariance: the tentpole contract
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kSeed = 42;
+constexpr unsigned kScaleShift = 16;  // ~65K addresses: CI-sized
+
+core::CensusConfig traced_config() {
+  core::CensusConfig config;
+  config.seed = kSeed;
+  config.scale_shift = kScaleShift;
+  config.trace.enabled = true;
+  // Sample well below 1.0 so the pure-sampling path is what the identity
+  // check exercises; force one host to keep that path covered end to end.
+  config.trace.sample_rate = 0.35;
+  config.trace.force_hosts = {Ipv4(1, 2, 3, 4).value()};
+  return config;
+}
+
+core::CensusStats run_traced_sequential() {
+  popgen::SyntheticPopulation population(kSeed);
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  net::Internet internet(network, population, 256);
+  core::VectorSink sink;
+  return core::Census(network, traced_config()).run(sink);
+}
+
+core::CensusStats run_traced_sharded(std::uint32_t shards,
+                                     std::uint32_t threads) {
+  core::CensusConfig config = traced_config();
+  config.shards = shards;
+  config.threads = threads;
+  core::ShardedCensus census(
+      [] { return std::make_unique<popgen::SyntheticPopulation>(kSeed); },
+      config);
+  core::VectorSink sink;
+  return census.run(sink);
+}
+
+class TraceSplitInvariance : public ::testing::Test {
+ protected:
+  // One sequential baseline for the whole suite (the expensive run).
+  static core::CensusStats& sequential() {
+    static core::CensusStats stats = run_traced_sequential();
+    return stats;
+  }
+};
+
+TEST_F(TraceSplitInvariance, ExportsByteIdenticalAcrossShardConfigs) {
+  const std::string baseline_jsonl = sequential().trace.to_jsonl();
+  const std::string baseline_chrome = sequential().trace.to_chrome_json();
+  ASSERT_GT(sequential().trace.size(), 0u);
+  for (const auto& [shards, threads] :
+       std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {1, 1}, {4, 1}, {4, 8}}) {
+    core::CensusStats stats = run_traced_sharded(shards, threads);
+    EXPECT_EQ(stats.trace.to_jsonl(), baseline_jsonl)
+        << "shards=" << shards << " threads=" << threads;
+    EXPECT_EQ(stats.trace.to_chrome_json(), baseline_chrome)
+        << "shards=" << shards << " threads=" << threads;
+  }
+}
+
+TEST_F(TraceSplitInvariance, TraceTellsTheFunnelStory) {
+  core::CensusStats& stats = sequential();
+  // Every sampled probe appears as a seq-0 probe span, and sampled
+  // responsive hosts carry a connect span plus wire traffic.
+  std::size_t probe_spans = 0;
+  std::size_t connect_spans = 0;
+  std::size_t wire_lines = 0;
+  for (const auto& event : stats.trace.events()) {
+    if (event.kind != obs::TraceEventKind::kSpan) {
+      ++wire_lines;
+      continue;
+    }
+    if (event.name == "probe") {
+      ++probe_spans;
+      EXPECT_EQ(event.seq, 0u);
+    }
+    if (event.name == "connect") ++connect_spans;
+  }
+  EXPECT_GT(probe_spans, 0u);
+  EXPECT_GT(connect_spans, 0u);
+  EXPECT_GT(wire_lines, 0u);
+  EXPECT_LT(probe_spans, stats.scan.probed);  // sampling actually sampled
+}
+
+TEST(TraceDisabledTest, DefaultConfigLeavesBufferEmptyAndDetaches) {
+  popgen::SyntheticPopulation population(kSeed);
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  net::Internet internet(network, population, 256);
+  core::CensusConfig config;
+  config.seed = kSeed;
+  config.scale_shift = 22;  // tiny: this test is about the flag only
+  core::VectorSink sink;
+  const core::CensusStats stats = core::Census(network, config).run(sink);
+  EXPECT_TRUE(stats.trace.empty());
+  EXPECT_EQ(network.trace(), nullptr);
+}
+
+}  // namespace
+}  // namespace ftpc

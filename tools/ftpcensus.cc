@@ -55,7 +55,21 @@ struct Options {
   std::uint32_t shards = 1;
   std::uint32_t threads = 1;  // 0 = hardware concurrency
   std::string metrics_out;
+  std::string trace_out;     // JSONL trace ("-" = stdout)
+  std::string trace_chrome;  // Chrome trace-event JSON
+  double trace_sample = 1.0;
+  std::vector<std::uint32_t> trace_hosts;  // forced regardless of sampling
+  bool trace_no_wire = false;
   bool progress = false;  // force the progress line even when not a tty
+
+  bool tracing_requested() const {
+    return !trace_out.empty() || !trace_chrome.empty();
+  }
+  /// True when some deterministic artifact goes to stdout ("-"): the live
+  /// progress line must then stay out of the way entirely.
+  bool stdout_output() const {
+    return metrics_out == "-" || trace_out == "-" || trace_chrome == "-";
+  }
 };
 
 void usage() {
@@ -63,7 +77,9 @@ void usage() {
                "usage: ftpcensus <census|analyze|bounce|notify|honeypot> "
                "[--seed S] [--scale N] [--shards K] [--threads T] "
                "[--dataset FILE] [--tables] [--days D] [--max N] "
-               "[--metrics-out FILE] [--progress]\n");
+               "[--metrics-out FILE|-] [--trace-out FILE|-] "
+               "[--trace-chrome FILE|-] [--trace-sample RATE] "
+               "[--trace-host IP] [--trace-no-wire] [--progress]\n");
 }
 
 bool parse_options(int argc, char** argv, Options& options) {
@@ -107,6 +123,33 @@ bool parse_options(int argc, char** argv, Options& options) {
       const char* v = value();
       if (v == nullptr) return false;
       options.metrics_out = v;
+    } else if (arg == "--trace-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.trace_out = v;
+    } else if (arg == "--trace-chrome") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.trace_chrome = v;
+    } else if (arg == "--trace-sample") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.trace_sample = std::strtod(v, nullptr);
+      if (options.trace_sample < 0.0 || options.trace_sample > 1.0) {
+        std::fprintf(stderr, "--trace-sample must be in [0,1]\n");
+        return false;
+      }
+    } else if (arg == "--trace-host") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      const auto ip = Ipv4::parse(v);
+      if (!ip) {
+        std::fprintf(stderr, "--trace-host: bad address %s\n", v);
+        return false;
+      }
+      options.trace_hosts.push_back(ip->value());
+    } else if (arg == "--trace-no-wire") {
+      options.trace_no_wire = true;
     } else if (arg == "--progress") {
       options.progress = true;
     } else if (arg == "--tables") {
@@ -131,8 +174,25 @@ class ProgressReporter {
   ~ProgressReporter() {
     stop_.store(true, std::memory_order_relaxed);
     thread_.join();
-    print_line();  // final totals
+    print_line();  // final totals on the live (\r-redrawn) line
     std::fputc('\n', stderr);
+    // One plain terminal line so the totals survive in scrollback/logs even
+    // after later stderr output, and greppably ("census complete").
+    std::fprintf(
+        stderr,
+        "census complete: %llu hosts enumerated "
+        "(%llu connected, %llu ftp, %llu anonymous, %llu errored)\n",
+        static_cast<unsigned long long>(
+            counters_.hosts_enumerated.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            counters_.connected.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            counters_.ftp_compliant.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            counters_.anonymous.load(std::memory_order_relaxed)),
+        static_cast<unsigned long long>(
+            counters_.errored.load(std::memory_order_relaxed)));
+    std::fflush(stderr);
   }
 
  private:
@@ -205,6 +265,29 @@ void print_tables(const analysis::CensusSummary& summary,
   std::printf("%s\n", analysis::render_fig1_as_cdf(summary).render().c_str());
 }
 
+/// Writes a deterministic artifact to `path`, where "-" means stdout (for
+/// piping straight into jq / ftpctrace). Returns false (with a message) on
+/// any I/O failure.
+bool write_artifact(const std::string& path, const std::string& content,
+                    const char* what) {
+  if (path == "-") {
+    const bool ok =
+        std::fwrite(content.data(), 1, content.size(), stdout) ==
+            content.size() &&
+        std::fflush(stdout) == 0;
+    if (!ok) std::fprintf(stderr, "cannot write %s to stdout\n", what);
+    return ok;
+  }
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  bool ok = out != nullptr;
+  if (ok) {
+    ok = std::fwrite(content.data(), 1, content.size(), out) == content.size();
+    ok = std::fclose(out) == 0 && ok;
+  }
+  if (!ok) std::fprintf(stderr, "cannot write %s to %s\n", what, path.c_str());
+  return ok;
+}
+
 int run_census(const Options& options) {
   popgen::SyntheticPopulation population(options.seed);
 
@@ -243,12 +326,22 @@ int run_census(const Options& options) {
   config.scale_shift = options.scale_shift;
   config.shards = options.shards;
   config.threads = options.threads;
+  if (options.tracing_requested()) {
+    config.trace.enabled = true;
+    config.trace.sample_rate = options.trace_sample;
+    config.trace.force_hosts = options.trace_hosts;
+    config.trace.capture_wire = !options.trace_no_wire;
+  }
 
   obs::ProgressCounters progress;
   config.progress = &progress;
   // Periodic progress only when someone is watching (or asked for it):
-  // carriage-return redraws make piped stderr logs unreadable.
-  const bool show_progress = options.progress || isatty(STDERR_FILENO) == 1;
+  // carriage-return redraws make piped stderr logs unreadable. Forced off
+  // when a deterministic artifact streams to stdout — a consumer piping
+  // `--metrics-out -` must not have to untangle a live status display.
+  const bool show_progress =
+      !options.stdout_output() &&
+      (options.progress || isatty(STDERR_FILENO) == 1);
 
   std::fprintf(stderr,
                "scanning 1/%llu of IPv4 (seed %llu, %u shard(s), "
@@ -275,22 +368,29 @@ int run_census(const Options& options) {
   }
 
   if (!options.metrics_out.empty()) {
-    const std::string json = stats.metrics.to_json();
-    std::FILE* out = std::fopen(options.metrics_out.c_str(), "wb");
-    bool ok = out != nullptr;
-    if (ok) {
-      ok = std::fwrite(json.data(), 1, json.size(), out) == json.size();
-      ok = std::fclose(out) == 0 && ok;
-    }
-    if (!ok) {
-      std::fprintf(stderr, "cannot write metrics to %s\n",
-                   options.metrics_out.c_str());
+    if (!write_artifact(options.metrics_out, stats.metrics.to_json(),
+                        "metrics")) {
       return 1;
     }
     std::fprintf(stderr, "wrote %zu metrics to %s\n",
                  stats.metrics.counters().size() +
                      stats.metrics.histograms().size(),
                  options.metrics_out.c_str());
+  }
+  if (!options.trace_out.empty()) {
+    if (!write_artifact(options.trace_out, stats.trace.to_jsonl(), "trace")) {
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu trace events to %s\n", stats.trace.size(),
+                 options.trace_out.c_str());
+  }
+  if (!options.trace_chrome.empty()) {
+    if (!write_artifact(options.trace_chrome, stats.trace.to_chrome_json(),
+                        "chrome trace")) {
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %zu trace events to %s\n", stats.trace.size(),
+                 options.trace_chrome.c_str());
   }
 
   if (writer) {
@@ -306,7 +406,8 @@ int run_census(const Options& options) {
   const analysis::CensusSummary summary = builder.take(
       options.seed, options.scale_shift, stats.scan.probed,
       stats.scan.responsive);
-  if (options.tables || options.dataset.empty()) {
+  // Tables share stdout with "-" artifacts; never interleave the two.
+  if (!options.stdout_output() && (options.tables || options.dataset.empty())) {
     print_tables(summary, population.as_table());
   }
   return 0;

@@ -1,0 +1,218 @@
+// ftpctrace — inspector for ftpc.trace.v1 JSONL traces (see DESIGN.md).
+//
+//   ftpctrace summarize FILE
+//   ftpctrace grep FILE [--host IP] [--stage NAME] [--status S] [--ev KIND]
+//   ftpctrace diff FILE1 FILE2
+//
+// `summarize` prints per-stage span/status counts and wire-line totals.
+// `grep` filters events (conjunctive; raw JSONL lines out, pipe to jq).
+// `diff` compares two traces line-by-line and pinpoints the first
+// diverging event — the debugging primitive the split-invariance contract
+// buys: two runs of the same (seed, scale) must diff clean whatever the
+// shard/thread split, so the first divergence between a good and a bad run
+// names the first host whose session behaved differently.
+//
+// FILE may be "-" for stdin (except at most one side of `diff`).
+// Exit: 0 ok / traces identical, 1 divergence found, 2 usage or I/O error.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+constexpr std::string_view kSchemaLine = "{\"schema\":\"ftpc.trace.v1\"}";
+
+bool read_lines(const std::string& path, std::vector<std::string>& lines) {
+  std::FILE* in = path == "-" ? stdin : std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "ftpctrace: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string current;
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(static_cast<char>(c));
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  if (in != stdin) std::fclose(in);
+  if (lines.empty() || lines.front() != kSchemaLine) {
+    std::fprintf(stderr, "ftpctrace: %s is not an ftpc.trace.v1 file\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Extracts a `"key":"value"` string field from one JSONL event line.
+/// Field values in this schema that we query on (host, ev, name, status)
+/// never contain escaped quotes, so scanning to the closing quote is exact.
+std::optional<std::string> string_field(std::string_view line,
+                                        std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":\"";
+  const auto at = line.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  const auto begin = at + needle.size();
+  const auto end = line.find('"', begin);
+  if (end == std::string_view::npos) return std::nullopt;
+  return std::string(line.substr(begin, end - begin));
+}
+
+/// One-line context for an event: host, kind, and name/line text.
+std::string describe(std::string_view line) {
+  const auto host = string_field(line, "host");
+  const auto ev = string_field(line, "ev");
+  const auto name = string_field(line, "name");
+  const auto text = string_field(line, "line");
+  const auto status = string_field(line, "status");
+  std::string out;
+  out += "host " + host.value_or("?");
+  out += " ev " + ev.value_or("?");
+  if (name) out += " name \"" + *name + "\"";
+  if (status) out += " status " + *status;
+  if (text) out += " line \"" + *text + "\"";
+  return out;
+}
+
+int run_summarize(const std::string& path) {
+  std::vector<std::string> lines;
+  if (!read_lines(path, lines)) return 2;
+
+  std::set<std::string> hosts;
+  std::size_t spans = 0, sends = 0, recvs = 0;
+  // stage -> status -> count; std::map keeps the report deterministic.
+  std::map<std::string, std::map<std::string, std::size_t>> stages;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (auto host = string_field(line, "host")) hosts.insert(*host);
+    const auto ev = string_field(line, "ev");
+    if (!ev) continue;
+    if (*ev == "span") {
+      ++spans;
+      const auto name = string_field(line, "name");
+      const auto status = string_field(line, "status");
+      if (name) ++stages[*name][status.value_or("?")];
+    } else if (*ev == "send") {
+      ++sends;
+    } else if (*ev == "recv") {
+      ++recvs;
+    }
+  }
+  std::printf("%zu events across %zu hosts: %zu spans, %zu sent lines, "
+              "%zu received lines\n",
+              lines.size() - 1, hosts.size(), spans, sends, recvs);
+  for (const auto& [stage, statuses] : stages) {
+    std::size_t total = 0;
+    for (const auto& [status, count] : statuses) total += count;
+    std::printf("  %-10s %6zu ", stage.c_str(), total);
+    bool first = true;
+    for (const auto& [status, count] : statuses) {
+      std::printf("%s%s=%zu", first ? "" : " ", status.c_str(), count);
+      first = false;
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int run_grep(const std::string& path, const char* host, const char* stage,
+             const char* status, const char* ev) {
+  std::vector<std::string> lines;
+  if (!read_lines(path, lines)) return 2;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (host != nullptr && string_field(line, "host") != host) continue;
+    if (ev != nullptr && string_field(line, "ev") != ev) continue;
+    if (stage != nullptr) {
+      // --stage implies spans: wire lines have no stage name.
+      if (string_field(line, "ev") != "span") continue;
+      if (string_field(line, "name") != stage) continue;
+    }
+    if (status != nullptr && string_field(line, "status") != status) continue;
+    std::printf("%s\n", line.c_str());
+  }
+  return 0;
+}
+
+int run_diff(const std::string& path_a, const std::string& path_b) {
+  std::vector<std::string> a, b;
+  if (!read_lines(path_a, a) || !read_lines(path_b, b)) return 2;
+  const std::size_t common = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < common; ++i) {
+    if (a[i] == b[i]) continue;
+    std::printf("traces diverge at line %zu:\n", i + 1);
+    std::printf("  %s: %s\n", path_a.c_str(), describe(a[i]).c_str());
+    std::printf("  %s: %s\n", path_b.c_str(), describe(b[i]).c_str());
+    std::printf("  < %s\n  > %s\n", a[i].c_str(), b[i].c_str());
+    return 1;
+  }
+  if (a.size() != b.size()) {
+    const auto& longer = a.size() > b.size() ? a : b;
+    std::printf("traces diverge at line %zu: %s has %zu extra event(s), "
+                "first: %s\n",
+                common + 1,
+                (a.size() > b.size() ? path_a : path_b).c_str(),
+                longer.size() - common, describe(longer[common]).c_str());
+    return 1;
+  }
+  std::printf("traces identical: %zu events\n", a.size() - 1);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: ftpctrace summarize FILE\n"
+      "       ftpctrace grep FILE [--host IP] [--stage NAME] [--status S] "
+      "[--ev span|send|recv]\n"
+      "       ftpctrace diff FILE1 FILE2\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+  const std::string_view command = argv[1];
+  if (command == "summarize" && argc == 3) return run_summarize(argv[2]);
+  if (command == "diff" && argc == 4) return run_diff(argv[2], argv[3]);
+  if (command == "grep") {
+    const char* host = nullptr;
+    const char* stage = nullptr;
+    const char* status = nullptr;
+    const char* ev = nullptr;
+    for (int i = 3; i < argc; i += 2) {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      const std::string_view flag = argv[i];
+      if (flag == "--host") {
+        host = argv[i + 1];
+      } else if (flag == "--stage") {
+        stage = argv[i + 1];
+      } else if (flag == "--status") {
+        status = argv[i + 1];
+      } else if (flag == "--ev") {
+        ev = argv[i + 1];
+      } else {
+        usage();
+        return 2;
+      }
+    }
+    return run_grep(argv[2], host, stage, status, ev);
+  }
+  usage();
+  return 2;
+}

@@ -2,7 +2,8 @@
 # run_tsan.sh — build the suite under ThreadSanitizer and run the tests
 # that exercise cross-thread behavior (plus anything extra you name).
 #
-#   tools/run_tsan.sh                 # sharded_census_test + sim_test + scan_test
+#   tools/run_tsan.sh                 # sharded_census_test + sim_test +
+#                                     # scan_test + trace_test
 #   tools/run_tsan.sh census_test ... # additional test binaries to run
 #
 # Uses a dedicated build tree (build-tsan) so the instrumented objects
@@ -19,7 +20,9 @@ cmake -B "$BUILD_DIR" -S . \
   -DCMAKE_BUILD_TYPE=Debug \
   -DFTPC_SANITIZE=thread >/dev/null
 
-TESTS="sharded_census_test sim_test scan_test"
+# trace_test exercises the per-shard trace buffers and their post-join
+# merge (TraceSplitInvariance runs 4-shard/8-thread censuses).
+TESTS="sharded_census_test sim_test scan_test trace_test"
 [ "$#" -gt 0 ] && TESTS="$TESTS $*"
 
 # shellcheck disable=SC2086
