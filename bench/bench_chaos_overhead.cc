@@ -1,0 +1,206 @@
+// bench_chaos_overhead — cost of the sim::chaos fault-plan engine.
+//
+// Runs the identical sequential census through four configurations per
+// round, back to back, and compares min-of-N wall times:
+//   base     chaos disabled (no engine attached — the default posture;
+//            the hot paths pay one null check per probe/connect/send)
+//   idle     an engine attached with an all-zero profile: the chaos
+//            machinery is live but plan_for() short-circuits to kNone,
+//            so this prices the dispatch a chaos-capable build adds
+//   lossy    the "lossy" preset with --retries 2 (reported, not gated:
+//            injected faults change the work itself)
+//   hostile  the "hostile" preset with --retries 2 (report only)
+//
+// Gate (exit 1 on violation): idle vs base < 1%. Chaos must be free when
+// it is off. A gate only trips when the absolute delta also exceeds 20ms,
+// so a tiny --scale run on a noisy machine cannot fail on jitter alone.
+//
+// Results also land in BENCH_chaos.json (cwd) for machine consumption.
+//
+// Environment knobs (same as the table benches):
+//   FTPCENSUS_SEED         population + scan seed   (default 42)
+//   FTPCENSUS_SCALE_SHIFT  scan 1/2^shift of IPv4   (default 14)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "core/census.h"
+#include "core/records.h"
+#include "net/internet.h"
+#include "popgen/population.h"
+#include "sim/chaos.h"
+#include "sim/network.h"
+
+namespace {
+
+using namespace ftpc;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+enum class Leg { kBase, kIdle, kLossy, kHostile };
+
+constexpr const char* kLegNames[] = {"base", "idle", "lossy", "hostile"};
+constexpr int kLegs = 4;
+
+struct RunResult {
+  double seconds = 0.0;
+  std::uint64_t hosts = 0;
+  std::uint64_t injected = 0;  // chaos.injected.* total, sanity only
+};
+
+RunResult run_census(std::uint64_t seed, unsigned scale_shift, Leg leg) {
+  popgen::SyntheticPopulation population(seed);
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  net::Internet internet(network, population, 256);
+  core::CensusConfig config;
+  config.seed = seed;
+  config.scale_shift = scale_shift;
+  switch (leg) {
+    case Leg::kBase:
+      break;
+    case Leg::kIdle:
+      config.chaos_enabled = true;  // engine attached, profile all-zero
+      break;
+    case Leg::kLossy:
+      config.chaos_enabled = true;
+      config.chaos = *sim::ChaosProfile::named("lossy");
+      config.probe_retries = 2;
+      config.enumerator.command_retries = 2;
+      break;
+    case Leg::kHostile:
+      config.chaos_enabled = true;
+      config.chaos = *sim::ChaosProfile::named("hostile");
+      config.probe_retries = 2;
+      config.enumerator.command_retries = 2;
+      break;
+  }
+  core::VectorSink sink;
+  core::Census census(network, config);
+
+  const auto start = std::chrono::steady_clock::now();
+  const core::CensusStats stats = census.run(sink);
+  const auto stop = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.seconds = std::chrono::duration<double>(stop - start).count();
+  result.hosts = stats.hosts_enumerated;
+  result.injected = stats.metrics.sum_with_prefix("chaos.injected.");
+  return result;
+}
+
+// Relative gates are meaningless at micro time scales: require the leg to
+// also be this much slower in absolute terms before failing the binary.
+constexpr double kMinAbsDelta = 0.020;
+constexpr double kIdleMaxPct = 1.0;
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = env_u64("FTPCENSUS_SEED", 42);
+  const unsigned scale_shift =
+      static_cast<unsigned>(env_u64("FTPCENSUS_SCALE_SHIFT", 14));
+  constexpr int kRounds = 3;
+
+  std::printf("bench_chaos_overhead: seed=%llu scale_shift=%u rounds=%d\n",
+              static_cast<unsigned long long>(seed), scale_shift, kRounds);
+
+  // Warm-up: populate allocator arenas and page in the code paths so the
+  // first timed round is not structurally slower.
+  run_census(seed, scale_shift, Leg::kHostile);
+
+  double best[kLegs];
+  std::fill(best, best + kLegs, 1e30);
+  RunResult sample[kLegs];
+  for (int round = 0; round < kRounds; ++round) {
+    std::printf("  round %d:", round + 1);
+    for (int leg = 0; leg < kLegs; ++leg) {
+      const RunResult result =
+          run_census(seed, scale_shift, static_cast<Leg>(leg));
+      best[leg] = std::min(best[leg], result.seconds);
+      sample[leg] = result;
+      std::printf(" %s %.3fs", kLegNames[leg], result.seconds);
+    }
+    std::printf("\n");
+  }
+
+  // Sanity: base and idle run the same census (no faults fire), and the
+  // faulted legs really did inject.
+  if (sample[static_cast<int>(Leg::kIdle)].hosts !=
+      sample[static_cast<int>(Leg::kBase)].hosts) {
+    std::printf("FAIL: idle chaos changed the host count (%llu vs %llu)\n",
+                static_cast<unsigned long long>(
+                    sample[static_cast<int>(Leg::kIdle)].hosts),
+                static_cast<unsigned long long>(
+                    sample[static_cast<int>(Leg::kBase)].hosts));
+    return 1;
+  }
+  if (sample[static_cast<int>(Leg::kIdle)].injected != 0) {
+    std::printf("FAIL: idle chaos injected faults\n");
+    return 1;
+  }
+  if (sample[static_cast<int>(Leg::kLossy)].injected == 0 ||
+      sample[static_cast<int>(Leg::kHostile)].injected == 0) {
+    std::printf("FAIL: a faulted leg injected nothing\n");
+    return 1;
+  }
+
+  std::printf("hosts=%llu injected: lossy=%llu hostile=%llu\n",
+              static_cast<unsigned long long>(sample[0].hosts),
+              static_cast<unsigned long long>(
+                  sample[static_cast<int>(Leg::kLossy)].injected),
+              static_cast<unsigned long long>(
+                  sample[static_cast<int>(Leg::kHostile)].injected));
+
+  const double base_s = best[static_cast<int>(Leg::kBase)];
+  const double idle_s = best[static_cast<int>(Leg::kIdle)];
+  const double idle_pct = (idle_s / base_s - 1.0) * 100.0;
+  const bool idle_violated =
+      idle_pct > kIdleMaxPct && (idle_s - base_s) > kMinAbsDelta;
+  std::printf("idle           %+6.2f%% vs base%s\n", idle_pct,
+              idle_violated ? "  FAIL" : "  ok");
+  for (const Leg leg : {Leg::kLossy, Leg::kHostile}) {
+    std::printf("%-14s %+6.2f%% vs base (report only)\n",
+                kLegNames[static_cast<int>(leg)],
+                (best[static_cast<int>(leg)] / base_s - 1.0) * 100.0);
+  }
+
+  const bool pass = !idle_violated;
+  std::string json = "{\"bench\":\"chaos_overhead\",\"seed\":" +
+                     std::to_string(seed) +
+                     ",\"scale_shift\":" + std::to_string(scale_shift) +
+                     ",\"hosts\":" + std::to_string(sample[0].hosts) +
+                     ",\"seconds\":{";
+  for (int leg = 0; leg < kLegs; ++leg) {
+    if (leg > 0) json += ",";
+    json += "\"" + std::string(kLegNames[leg]) +
+            "\":" + std::to_string(best[leg]);
+  }
+  json += "},\"gates\":{\"idle\":{\"overhead_pct\":" +
+          std::to_string(idle_pct) +
+          ",\"max_pct\":" + std::to_string(kIdleMaxPct) + ",\"pass\":" +
+          (idle_violated ? "false" : "true") + "}},\"pass\":";
+  json += pass ? "true" : "false";
+  json += "}\n";
+  std::FILE* out = std::fopen("BENCH_chaos.json", "wb");
+  if (out != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("wrote BENCH_chaos.json\n");
+  } else {
+    std::printf("warning: cannot write BENCH_chaos.json\n");
+  }
+
+  if (!pass) {
+    std::printf("FAIL: chaos-disabled overhead gate violated\n");
+    return 1;
+  }
+  std::printf("PASS: chaos overhead gates satisfied\n");
+  return 0;
+}

@@ -26,6 +26,7 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
     ~MetricsDetach() {
       network.set_metrics(nullptr);
       network.set_trace(nullptr);
+      network.set_chaos(nullptr);
     }
   } detach{network_};
   network_.set_metrics(metrics);
@@ -33,6 +34,12 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
   // (already canonicalized) just before return.
   obs::TraceCollector trace_collector(config_.trace, config_.seed);
   if (config_.trace.enabled) network_.set_trace(&trace_collector);
+  // Per-shard chaos engine, same frame-scoped attachment: fault plans are
+  // pure per IP, so every shard's engine agrees on every host's plan.
+  sim::ChaosEngine chaos_engine(
+      config_.chaos,
+      config_.chaos_seed != 0 ? config_.chaos_seed : config_.seed);
+  if (config_.chaos_enabled) network_.set_chaos(&chaos_engine);
   obs::ProgressCounters* progress = config_.progress;
 
   // Stage 1: ZMap host discovery over this shard's permutation slice.
@@ -42,6 +49,7 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
   scan_config.scale_shift = config_.scale_shift;
   scan_config.shard = shard;
   scan_config.total_shards = total_shards;
+  scan_config.probe_retries = config_.probe_retries;
   scan::Scanner scanner(network_, scan_config);
   std::vector<std::uint32_t> hits;
   stats.scan = scanner.run([&hits](Ipv4 ip) { hits.push_back(ip.value()); });

@@ -13,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/progress.h"
 #include "scan/scanner.h"
+#include "sim/chaos.h"
 #include "sim/network.h"
 
 namespace ftpc::core {
@@ -29,6 +30,16 @@ struct CensusConfig {
   /// which client contacts which host).
   Ipv4 client_net{141, 212, 120, 0};
   EnumeratorOptions enumerator;
+  /// SYN retransmit budget per scanned address (scan::ScanConfig).
+  std::uint32_t probe_retries = 0;
+  /// Chaos engineering (sim::chaos): when enabled, each shard attaches a
+  /// private ChaosEngine with this profile for the duration of its run.
+  /// Fault plans are a pure hash of (chaos_seed, ip) — never shared RNG
+  /// state — so chaos composes with the split-invariance contract.
+  bool chaos_enabled = false;
+  sim::ChaosProfile chaos;
+  /// Seed for the fault-plan hash; 0 = derive from `seed`.
+  std::uint64_t chaos_seed = 0;
   /// Debug cap on enumerated hosts (0 = all discovered hosts). Applies per
   /// shard; incompatible with the sharded-vs-sequential equivalence
   /// contract, so leave it 0 when shards > 1.

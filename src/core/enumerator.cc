@@ -50,6 +50,9 @@ void HostEnumerator::begin() {
 
   ftp::FtpClient::Options client_options;
   client_options.client_ip = options_.client_ip;
+  client_options.command_retries = options_.command_retries;
+  client_options.retry_backoff = options_.retry_backoff;
+  client_options.retry_backoff_cap = options_.retry_backoff_cap;
   client_options.trace = trace_;
   client_ = ftp::FtpClient::create(network_, client_options);
 

@@ -49,6 +49,12 @@ struct EnumeratorOptions {
   bool collect_surveys = true;
   bool try_tls = true;
   bool breadth_first = true;  // ablation: depth-first when false
+
+  /// Reply-timeout retries per command, passed through to the FtpClient
+  /// (0 = fail a command on its first lost reply, the pre-chaos posture).
+  std::uint32_t command_retries = 0;
+  sim::SimTime retry_backoff = sim::kSecond;
+  sim::SimTime retry_backoff_cap = 8 * sim::kSecond;
 };
 
 /// Runs the enumeration of a single host. Self-owning: keeps itself alive

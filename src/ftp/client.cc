@@ -53,6 +53,10 @@ FtpClient::~FtpClient() { abort_session(); }
 
 void FtpClient::abort_session() {
   disarm_timeout();
+  // The inter-retry backoff timer holds only a weak self-reference, but an
+  // uncancelled timer would still keep the event loop busy past session
+  // finalize — the same hazard class as the enumerator's request-gap timer.
+  disarm_backoff();
   if (transfer_) {
     auto transfer = transfer_;
     transfer_.reset();
@@ -87,6 +91,7 @@ void FtpClient::connect(Ipv4 server_ip, std::uint16_t port,
   assert(!pending_reply_ && "operation already outstanding");
   server_ip_ = server_ip;
   pending_reply_ = std::move(on_banner);
+  last_command_wire_.clear();  // a lost banner cannot be re-elicited
   op_started_ = network_.loop().now();
   op_timed_ = true;
   if (options_.trace != nullptr) {
@@ -224,6 +229,7 @@ void FtpClient::dispatch_replies() {
   while (auto reply = reply_parser_.pop_reply()) {
     if (pending_reply_) {
       disarm_timeout();
+      disarm_backoff();
       note_reply_latency();
       auto handler = std::move(pending_reply_);
       pending_reply_ = nullptr;
@@ -321,6 +327,7 @@ void FtpClient::note_reply_latency() {
 
 void FtpClient::fail_pending(Status status) {
   op_timed_ = false;  // the awaited reply never arrived; don't time it
+  disarm_backoff();
   if (pending_reply_) {
     auto handler = std::move(pending_reply_);
     pending_reply_ = nullptr;
@@ -348,7 +355,7 @@ void FtpClient::arm_timeout(sim::SimTime delay) {
     auto self = weak.lock();
     if (!self) return;
     self->timeout_armed_ = false;
-    self->fail_pending(Status(ErrorCode::kTimeout, "no reply from server"));
+    self->handle_reply_timeout();
   });
 }
 
@@ -356,6 +363,62 @@ void FtpClient::disarm_timeout() {
   if (timeout_armed_) {
     network_.loop().cancel(timeout_timer_);
     timeout_armed_ = false;
+  }
+}
+
+void FtpClient::handle_reply_timeout() {
+  const bool retryable = pending_reply_ != nullptr && !in_tls_handshake_ &&
+                         !last_command_wire_.empty() && control_ != nullptr &&
+                         control_->is_open() &&
+                         retries_used_ < options_.command_retries;
+  if (!retryable) {
+    if (retries_used_ > 0 && network_.metrics() != nullptr) {
+      network_.metrics()->add("retry.giveup");
+    }
+    fail_pending(Status(ErrorCode::kTimeout, "no reply from server"));
+    return;
+  }
+  ++retries_used_;
+  if (auto* metrics = network_.metrics()) metrics->add("retry.command");
+  sim::SimTime backoff = options_.retry_backoff;
+  for (std::uint32_t i = 1;
+       i < retries_used_ && backoff < options_.retry_backoff_cap; ++i) {
+    backoff *= 2;
+  }
+  if (backoff > options_.retry_backoff_cap) backoff = options_.retry_backoff_cap;
+  std::weak_ptr<FtpClient> weak = weak_from_this();
+  backoff_armed_ = true;
+  backoff_timer_ = network_.loop().schedule_after(backoff, [weak] {
+    auto self = weak.lock();
+    if (!self) return;
+    self->backoff_armed_ = false;
+    self->resend_last_command();
+  });
+}
+
+void FtpClient::resend_last_command() {
+  if (!pending_reply_) return;  // the operation resolved during the backoff
+  if (!control_ || !control_->is_open()) {
+    fail_pending(Status(ErrorCode::kConnectionReset, "control connection dead"));
+    return;
+  }
+  // A retransmit is a real command on the wire: it counts toward the
+  // request budget, and the server answers it like any other.
+  note_command_sent();
+  op_started_ = network_.loop().now();
+  op_timed_ = true;
+  arm_timeout(options_.reply_timeout);
+  // Pseudo-record in the transcript (never on the wire), same convention as
+  // the ~TLS records: makes retransmits visible to ftpctrace.
+  trace_send("~RETRY " + std::to_string(retries_used_) + "\r\n");
+  trace_send(last_command_wire_);
+  control_->send(last_command_wire_);
+}
+
+void FtpClient::disarm_backoff() {
+  if (backoff_armed_) {
+    network_.loop().cancel(backoff_timer_);
+    backoff_armed_ = false;
   }
 }
 
@@ -373,12 +436,13 @@ void FtpClient::send_command(Command command, ReplyHandler on_reply) {
   }
   note_command_sent();
   pending_reply_ = std::move(on_reply);
+  last_command_wire_ = command.wire();
+  retries_used_ = 0;
   op_started_ = network_.loop().now();
   op_timed_ = true;
   arm_timeout(options_.reply_timeout);
-  const std::string wire = command.wire();
-  trace_send(wire);
-  control_->send(wire);
+  trace_send(last_command_wire_);
+  control_->send(last_command_wire_);
 }
 
 void FtpClient::send(std::string verb, std::string arg,

@@ -48,6 +48,15 @@ class FtpClient : public std::enable_shared_from_this<FtpClient> {
     sim::SimTime reply_timeout = 30 * sim::kSecond;
     sim::SimTime transfer_timeout = 120 * sim::kSecond;
     TransferMode transfer_mode = TransferMode::kPassive;
+    /// Reply-timeout retries per command: after a reply timeout the client
+    /// retransmits the pending command up to this many times, waiting
+    /// retry_backoff, 2*retry_backoff, ... (capped) between attempts, then
+    /// fails the operation. Only plain command replies are retryable —
+    /// banners, TLS handshakes, and transfer replies abort on first
+    /// timeout (there is nothing safe to retransmit for them).
+    std::uint32_t command_retries = 0;
+    sim::SimTime retry_backoff = sim::kSecond;
+    sim::SimTime retry_backoff_cap = 8 * sim::kSecond;
     /// Optional per-session trace handle (owned by the shard's
     /// TraceCollector; must outlive the client). When set, the client
     /// records the connect/banner span boundary and a byte-exact,
@@ -138,6 +147,11 @@ class FtpClient : public std::enable_shared_from_this<FtpClient> {
   void fail_pending(Status status);
   void arm_timeout(sim::SimTime delay);
   void disarm_timeout();
+  /// Reply-timeout policy: retransmit the pending command after a capped
+  /// exponential backoff while budget remains, else fail the operation.
+  void handle_reply_timeout();
+  void resend_last_command();
+  void disarm_backoff();
   void note_command_sent();
   void note_reply_latency();
   /// Trace hooks (no-ops without a trace session). `wire` still carries its
@@ -175,6 +189,12 @@ class FtpClient : public std::enable_shared_from_this<FtpClient> {
   bool have_cert_value_ = false;
   sim::TimerId timeout_timer_ = 0;
   bool timeout_armed_ = false;
+  // Retry state for the pending command. last_command_wire_ is empty when
+  // the outstanding operation is not retryable (banner, TLS records).
+  std::string last_command_wire_;
+  std::uint32_t retries_used_ = 0;
+  sim::TimerId backoff_timer_ = 0;
+  bool backoff_armed_ = false;
 
   std::shared_ptr<Transfer> transfer_;
   std::optional<Reply> last_pasv_reply_;

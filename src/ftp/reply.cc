@@ -60,7 +60,24 @@ void ReplyParser::consume_lines() {
   std::size_t pos = 0;
   while (true) {
     const std::size_t lf = buffer_.find('\n', pos);
-    if (lf == std::string::npos) break;
+    if (lf == std::string::npos) {
+      // No terminator in sight: an unterminated line (bare-CR endings
+      // included) may buffer up to the cap, after which the stream is
+      // declared hostile rather than held open forever.
+      if (buffer_.size() - pos > kMaxLineBytes) {
+        poisoned_ = true;
+        open_.reset();
+        buffer_.clear();
+        return;
+      }
+      break;
+    }
+    if (lf - pos > kMaxLineBytes) {
+      poisoned_ = true;
+      open_.reset();
+      buffer_.clear();
+      return;
+    }
     std::size_t end = lf;
     if (end > pos && buffer_[end - 1] == '\r') --end;
     const std::string_view line(buffer_.data() + pos, end - pos);
@@ -107,6 +124,14 @@ void ReplyParser::consume_lines() {
                                                 : std::string_view{});
     } else {
       open_->lines.emplace_back(line);
+    }
+    if (open_ && open_->lines.size() > kMaxReplyLines) {
+      // A multi-line reply that never closes (e.g. a truncated sentinel
+      // followed by an endless banner) is abuse, not FTP.
+      poisoned_ = true;
+      open_.reset();
+      buffer_.clear();
+      return;
     }
   }
   buffer_.erase(0, pos);

@@ -43,8 +43,20 @@ struct Reply {
 /// Push raw bytes; pop complete replies. Handles multi-line replies,
 /// continuation lines without a code prefix (seen in the wild), and bare-LF
 /// terminators.
+///
+/// Hardened against stream abuse: a single line longer than kMaxLineBytes
+/// (terminated or not) and a multi-line reply accumulating more than
+/// kMaxReplyLines both poison the parser, so a hostile or garbled server
+/// costs the client a bounded buffer and a clean abort — never unbounded
+/// memory or a silent hang.
 class ReplyParser {
  public:
+  /// Longest acceptable reply line, terminator included. RFC 959 replies
+  /// are tiny; 4 KiB leaves room for long banner prose.
+  static constexpr std::size_t kMaxLineBytes = 4096;
+  /// Most lines one (multi-line) reply may accumulate.
+  static constexpr std::size_t kMaxReplyLines = 256;
+
   void push(std::string_view data);
 
   /// Pops the next complete reply, or nullopt if more bytes are needed.

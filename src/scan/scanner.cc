@@ -32,7 +32,20 @@ ScanStats Scanner::run(const HitHandler& on_hit) {
       continue;
     }
     ++stats.probed;
-    const bool responsive = network_.probe(ip, config_.port);
+    sim::ProbeResult result = network_.probe_attempt(ip, config_.port, 0);
+    // Retransmit only on a lost SYN: a live "no listener" answer (RST in
+    // real life) settles the address on the first attempt. The retransmit
+    // count per address is a pure function of (chaos_seed, ip), so shard
+    // splits agree on every counter below.
+    std::uint32_t attempt = 0;
+    while (result == sim::ProbeResult::kSynLost &&
+           attempt < config_.probe_retries) {
+      ++attempt;
+      ++stats.probe_retransmits;
+      result = network_.probe_attempt(ip, config_.port, attempt);
+    }
+    const bool responsive = result == sim::ProbeResult::kAck;
+    if (result == sim::ProbeResult::kSynLost) ++stats.probe_timeouts;
     if (trace != nullptr) trace->record_probe(address, responsive);
     if (responsive) {
       ++stats.responsive;
@@ -48,19 +61,26 @@ ScanStats Scanner::run(const HitHandler& on_hit) {
     metrics->add("scan.blocklisted", stats.blocklisted);
     metrics->add("scan.probed", stats.probed);
     metrics->add("scan.responsive", stats.responsive);
-    // Funnel head: every probe enters the funnel; unresponsive addresses
-    // drop here, responsive ones are accounted for downstream by
-    // record_host_funnel (see core/funnel.h for the conservation
-    // invariant).
+    // Funnel head: every probed address enters the funnel; unresponsive and
+    // timed-out addresses drop here, responsive ones are accounted for
+    // downstream by record_host_funnel (see core/funnel.h for the
+    // conservation invariant). The retry counters appear only when they
+    // fire so a chaos-off run keeps the pre-chaos metrics schema.
     metrics->add("funnel.stage.probe", stats.probed);
     metrics->add("funnel.drop.probe.unresponsive",
-                 stats.probed - stats.responsive);
+                 stats.probed - stats.responsive - stats.probe_timeouts);
+    if (stats.probe_timeouts > 0) {
+      metrics->add("funnel.drop.probe.timeout", stats.probe_timeouts);
+    }
+    if (stats.probe_retransmits > 0) {
+      metrics->add("retry.probe", stats.probe_retransmits);
+    }
   }
 
-  // Account for the wire time of the probes.
+  // Account for the wire time of the probes (retransmitted SYNs included).
   if (config_.probes_per_second > 0) {
-    const sim::SimTime elapsed =
-        stats.probed * sim::kSecond / config_.probes_per_second;
+    const sim::SimTime elapsed = (stats.probed + stats.probe_retransmits) *
+                                 sim::kSecond / config_.probes_per_second;
     network_.loop().run_until(network_.loop().now() + elapsed);
   }
   return stats;

@@ -29,6 +29,11 @@ struct ScanConfig {
   /// Simulated probe rate, packets/second, used to advance virtual time
   /// (the paper's scans ran at a polite fraction of ZMap's capacity).
   std::uint64_t probes_per_second = 1'000'000;
+  /// SYN retransmit budget per address: after a lost SYN, up to this many
+  /// more SYNs are sent before the address is written off as a probe
+  /// timeout. 0 reproduces the classic one-SYN ZMap posture ("Ten Years of
+  /// ZMap" measures exactly this retransmission gap).
+  std::uint32_t probe_retries = 0;
 };
 
 struct ScanStats {
@@ -37,6 +42,8 @@ struct ScanStats {
   std::uint64_t blocklisted = 0;        // reserved, never probed
   std::uint64_t probed = 0;
   std::uint64_t responsive = 0;         // SYN-ACK received
+  std::uint64_t probe_retransmits = 0;  // extra SYNs after a loss
+  std::uint64_t probe_timeouts = 0;     // budget drained, no answer
 
   /// Accumulates another shard's counters (all counters are sums).
   void merge_from(const ScanStats& other) noexcept {
@@ -45,6 +52,8 @@ struct ScanStats {
     blocklisted += other.blocklisted;
     probed += other.probed;
     responsive += other.responsive;
+    probe_retransmits += other.probe_retransmits;
+    probe_timeouts += other.probe_timeouts;
   }
 };
 

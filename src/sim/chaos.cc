@@ -1,0 +1,314 @@
+#include "sim/chaos.h"
+
+#include "common/hash.h"
+#include "common/rng.h"
+
+namespace ftpc::sim {
+namespace {
+
+// Domain-separation key halves for the per-IP plan hash.
+constexpr std::uint64_t kPlanKey = 0x6674'7063'6368'616fULL;  // "ftpcchao"
+
+// What a kGarbledReply host emits instead of its reply: line-shaped (so the
+// transcript stays printable) but with no 3-digit code, which poisons the
+// reply parser and surfaces as a protocol error, never a hang.
+constexpr std::string_view kGarbage = "!! GARBLED NON-PROTOCOL LINE !!\r\n";
+
+constexpr std::string_view kPrematureReply =
+    "421 Service not available, closing control connection.\r\n";
+
+/// Truncates one reply wire image so it can never terminate: a multi-line
+/// reply loses its final (sentinel) line; a single-line reply has its
+/// "NNN " separator flipped to "NNN-" (now an unterminated multiline with
+/// the text preserved); anything else (TLS pseudo-records) loses its CRLF.
+std::string truncate_reply(std::string_view wire) {
+  std::string out(wire);
+  if (out.size() >= 2 && out.compare(out.size() - 2, 2, "\r\n") == 0) {
+    out.resize(out.size() - 2);
+  }
+  const std::size_t last_line = out.rfind('\n');
+  if (last_line != std::string::npos) {
+    // Multi-line: keep everything through the penultimate line's newline.
+    out.resize(last_line + 1);
+    return out;
+  }
+  const bool coded = out.size() >= 4 && out[0] >= '0' && out[0] <= '9' &&
+                     out[1] >= '0' && out[1] <= '9' && out[2] >= '0' &&
+                     out[2] <= '9' && out[3] == ' ';
+  if (coded) {
+    out[3] = '-';
+    out += "\r\n";
+  }
+  return out;
+}
+
+}  // namespace
+
+double ChaosProfile::total() const noexcept {
+  return syn_loss + connect_timeout + rst + stall + truncate + garble +
+         premature_close + data_fail;
+}
+
+std::optional<ChaosProfile> ChaosProfile::named(std::string_view name) {
+  ChaosProfile p;
+  if (name == "off") return p;
+  if (name == "lossy") {
+    // The paper's operational reality: flaky consumer links. Mostly probe
+    // loss and stalled replies, a sprinkle of hung connects.
+    p.syn_loss = 0.15;
+    p.stall = 0.05;
+    p.connect_timeout = 0.02;
+    return p;
+  }
+  if (name == "flaky") {
+    // Every fault kind at a few percent: the broad-coverage profile the
+    // chaos matrix suite uses for its mixed sweep.
+    p.syn_loss = 0.05;
+    p.connect_timeout = 0.03;
+    p.rst = 0.03;
+    p.stall = 0.04;
+    p.truncate = 0.02;
+    p.garble = 0.02;
+    p.premature_close = 0.03;
+    p.data_fail = 0.03;
+    return p;
+  }
+  if (name == "hostile") {
+    // Half the population misbehaves; stresses the funnel taxonomy.
+    p.syn_loss = 0.12;
+    p.connect_timeout = 0.06;
+    p.rst = 0.08;
+    p.stall = 0.08;
+    p.truncate = 0.04;
+    p.garble = 0.04;
+    p.premature_close = 0.04;
+    p.data_fail = 0.04;
+    return p;
+  }
+  return std::nullopt;
+}
+
+ChaosProfile ChaosProfile::single(FaultKind kind, double p) {
+  ChaosProfile profile;
+  switch (kind) {
+    case FaultKind::kNone:
+      break;
+    case FaultKind::kSynLoss:
+      profile.syn_loss = p;
+      break;
+    case FaultKind::kConnectTimeout:
+      profile.connect_timeout = p;
+      break;
+    case FaultKind::kRstAtByte:
+      profile.rst = p;
+      break;
+    case FaultKind::kReplyStall:
+      profile.stall = p;
+      break;
+    case FaultKind::kTruncatedReply:
+      profile.truncate = p;
+      break;
+    case FaultKind::kGarbledReply:
+      profile.garble = p;
+      break;
+    case FaultKind::kPrematureClose:
+      profile.premature_close = p;
+      break;
+    case FaultKind::kDataChannelFailure:
+      profile.data_fail = p;
+      break;
+  }
+  return profile;
+}
+
+std::string_view fault_kind_name(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kSynLoss:
+      return "syn_loss";
+    case FaultKind::kConnectTimeout:
+      return "connect_timeout";
+    case FaultKind::kRstAtByte:
+      return "rst";
+    case FaultKind::kReplyStall:
+      return "stall";
+    case FaultKind::kTruncatedReply:
+      return "truncate";
+    case FaultKind::kGarbledReply:
+      return "garble";
+    case FaultKind::kPrematureClose:
+      return "premature_close";
+    case FaultKind::kDataChannelFailure:
+      return "data_fail";
+  }
+  return "unknown";
+}
+
+ChaosEngine::ChaosEngine(ChaosProfile profile, std::uint64_t chaos_seed)
+    : profile_(profile), key_(derive_seed(chaos_seed, "sim.chaos")) {}
+
+ChaosEngine ChaosEngine::fixed(FaultPlan plan,
+                               std::optional<std::uint32_t> victim) {
+  ChaosEngine engine(ChaosProfile{}, 0);
+  engine.fixed_plan_ = plan;
+  engine.fixed_victim_ = victim;
+  return engine;
+}
+
+FaultPlan ChaosEngine::plan_for(std::uint32_t ip) const noexcept {
+  if (fixed_plan_.has_value()) {
+    if (fixed_victim_.has_value() && *fixed_victim_ != ip) return {};
+    return *fixed_plan_;
+  }
+  if (profile_.empty()) return {};
+
+  const std::uint64_t h = siphash24_u64(key_, kPlanKey, ip);
+  // 53 uniform mantissa bits -> u in [0, 1).
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+
+  struct Row {
+    double p;
+    FaultKind kind;
+  };
+  const Row rows[] = {
+      {profile_.syn_loss, FaultKind::kSynLoss},
+      {profile_.connect_timeout, FaultKind::kConnectTimeout},
+      {profile_.rst, FaultKind::kRstAtByte},
+      {profile_.stall, FaultKind::kReplyStall},
+      {profile_.truncate, FaultKind::kTruncatedReply},
+      {profile_.garble, FaultKind::kGarbledReply},
+      {profile_.premature_close, FaultKind::kPrematureClose},
+      {profile_.data_fail, FaultKind::kDataChannelFailure},
+  };
+  FaultKind kind = FaultKind::kNone;
+  double cumulative = 0.0;
+  for (const Row& row : rows) {
+    cumulative += row.p;
+    if (u < cumulative) {
+      kind = row.kind;
+      break;
+    }
+  }
+  if (kind == FaultKind::kNone) return {};
+
+  FaultPlan plan;
+  plan.kind = kind;
+  // Independent parameter stream: a second mix of the same per-IP hash.
+  const std::uint64_t params = mix64(h ^ 0x9e3779b97f4a7c15ULL);
+  switch (kind) {
+    case FaultKind::kSynLoss:
+      // 1..3 lost SYNs: a --retries 3 census recovers every such host,
+      // --retries 0 loses them all, and the counts in between are monotone.
+      plan.syn_losses = 1 + static_cast<std::uint32_t>(params % 3);
+      break;
+    case FaultKind::kRstAtByte:
+      // Somewhere between the first banner byte and mid-login.
+      plan.trigger_byte = 1 + (params % 512);
+      break;
+    case FaultKind::kReplyStall:
+      plan.trigger_send = static_cast<std::uint32_t>(params % 6);
+      plan.stall_count = 1 + static_cast<std::uint32_t>((params >> 8) % 2);
+      break;
+    case FaultKind::kTruncatedReply:
+    case FaultKind::kPrematureClose:
+      plan.trigger_send = static_cast<std::uint32_t>(params % 6);
+      break;
+    case FaultKind::kGarbledReply:
+      plan.trigger_send = static_cast<std::uint32_t>(params % 5);
+      break;
+    case FaultKind::kNone:
+    case FaultKind::kConnectTimeout:
+    case FaultKind::kDataChannelFailure:
+      break;
+  }
+  return plan;
+}
+
+bool ChaosEngine::probe_syn_lost(std::uint32_t ip,
+                                 std::uint32_t attempt) const noexcept {
+  const FaultPlan plan = plan_for(ip);
+  return plan.kind == FaultKind::kSynLoss && attempt < plan.syn_losses;
+}
+
+ConnectFault ChaosEngine::classify_connect(Ipv4 dst,
+                                           std::uint16_t port) const noexcept {
+  const FaultPlan plan = plan_for(dst.value());
+  if (plan.kind == FaultKind::kConnectTimeout && port == control_port_) {
+    return ConnectFault::kTimeout;
+  }
+  if (plan.kind == FaultKind::kDataChannelFailure && port != control_port_) {
+    return ConnectFault::kDataTimeout;
+  }
+  return ConnectFault::kNone;
+}
+
+SendAction ChaosEngine::on_control_send(std::uint64_t conn_id,
+                                        std::uint32_t host, bool from_host,
+                                        std::string_view payload) {
+  const FaultPlan plan = plan_for(host);
+  switch (plan.kind) {
+    case FaultKind::kNone:
+    case FaultKind::kSynLoss:
+    case FaultKind::kConnectTimeout:
+    case FaultKind::kDataChannelFailure:
+      return {};
+    default:
+      break;
+  }
+
+  ConnState& state = conns_[conn_id];
+  if (state.spent) return {};
+
+  if (plan.kind == FaultKind::kRstAtByte) {
+    // Direction-agnostic: the RST lands once the scripted number of bytes
+    // has flowed over the control connection in either direction.
+    state.bytes += payload.size();
+    if (state.bytes > plan.trigger_byte) {
+      state.spent = true;
+      return {SendAction::Kind::kReset, FaultKind::kRstAtByte, {}};
+    }
+    return {};
+  }
+
+  // The remaining kinds manipulate server replies only.
+  if (!from_host) return {};
+  const std::uint32_t index = state.host_sends++;
+
+  switch (plan.kind) {
+    case FaultKind::kReplyStall:
+      // Swallow `stall_count` consecutive server segments starting at the
+      // trigger. A client that retransmits the pending command re-elicits
+      // the reply, so a retry budget >= stall_count recovers the session.
+      if (index >= plan.trigger_send && state.swallowed < plan.stall_count) {
+        ++state.swallowed;
+        return {SendAction::Kind::kSwallow, FaultKind::kReplyStall, {}};
+      }
+      return {};
+    case FaultKind::kTruncatedReply:
+      if (index == plan.trigger_send) {
+        state.spent = true;
+        return {SendAction::Kind::kReplace, FaultKind::kTruncatedReply,
+                truncate_reply(payload)};
+      }
+      return {};
+    case FaultKind::kGarbledReply:
+      if (index == plan.trigger_send) {
+        state.spent = true;
+        return {SendAction::Kind::kReplace, FaultKind::kGarbledReply,
+                std::string(kGarbage)};
+      }
+      return {};
+    case FaultKind::kPrematureClose:
+      if (index >= plan.trigger_send) {
+        state.spent = true;
+        return {SendAction::Kind::kReplaceThenClose, FaultKind::kPrematureClose,
+                std::string(kPrematureReply)};
+      }
+      return {};
+    default:
+      return {};
+  }
+}
+
+}  // namespace ftpc::sim

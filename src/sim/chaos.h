@@ -1,0 +1,160 @@
+// Seeded, per-IP deterministic fault-plan engine (sim::chaos).
+//
+// Every host's fault plan is a pure function of (chaos_seed, ip): the engine
+// hashes the pair, picks one fault kind from the profile's probability
+// table, and derives the fault's parameters (trigger offsets, retry-drain
+// counts) from further hash mixes. No shared RNG state exists, so the plan
+// a host receives is identical whatever order hosts are visited in — the
+// property that keeps a chaos-enabled census byte-identical across every
+// --shards/--threads split (see DESIGN.md, "Chaos model").
+//
+// One plan per host, one kind per plan: fault kinds never compose on a
+// single host. That restriction is what makes "more retries never yields
+// fewer completed hosts" provable — each host's outcome is a monotone
+// function of the retry budget in isolation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/ipv4.h"
+
+namespace ftpc::sim {
+
+/// The fault matrix. Each host is assigned exactly one kind (usually kNone).
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kSynLoss,             // probe SYNs vanish; retransmits may get through
+  kConnectTimeout,      // control-port connects hang until the timeout
+  kRstAtByte,           // control connection RST once N bytes have flowed
+  kReplyStall,          // server reply segments swallowed (slow-loris)
+  kTruncatedReply,      // one reply loses its terminating line
+  kGarbledReply,        // one reply replaced with non-protocol bytes
+  kPrematureClose,      // server replies 421 and closes mid-session
+  kDataChannelFailure,  // data connects fail; control channel is healthy
+};
+
+inline constexpr std::size_t kFaultKindCount = 9;
+
+/// Stable lower_snake name for metrics ("chaos.injected.<name>") and logs.
+std::string_view fault_kind_name(FaultKind kind) noexcept;
+
+/// One host's scripted misbehaviour. All parameters are derived from the
+/// (chaos_seed, ip) hash; only the fields relevant to `kind` are meaningful.
+struct FaultPlan {
+  FaultKind kind = FaultKind::kNone;
+  std::uint32_t syn_losses = 0;     // kSynLoss: SYNs dropped before an ACK
+  std::uint64_t trigger_byte = 0;   // kRstAtByte: RST after this many bytes
+  std::uint32_t trigger_send = 0;   // reply faults: server send index hit
+  std::uint32_t stall_count = 0;    // kReplyStall: consecutive swallows
+};
+
+/// Per-kind assignment probabilities. Probabilities are cumulative across
+/// kinds; if they sum past 1.0 the tail kinds are simply never assigned
+/// (the named profiles all sum well below 1).
+struct ChaosProfile {
+  double syn_loss = 0.0;
+  double connect_timeout = 0.0;
+  double rst = 0.0;
+  double stall = 0.0;
+  double truncate = 0.0;
+  double garble = 0.0;
+  double premature_close = 0.0;
+  double data_fail = 0.0;
+
+  double total() const noexcept;
+  bool empty() const noexcept { return total() <= 0.0; }
+
+  /// Named presets for the CLI: "off", "lossy" (mostly SYN loss and stalls),
+  /// "flaky" (every kind at a few percent), "hostile" (half the population
+  /// misbehaves). Unknown names return nullopt.
+  static std::optional<ChaosProfile> named(std::string_view name);
+
+  /// A profile that assigns `kind` to every host with probability `p`.
+  static ChaosProfile single(FaultKind kind, double p = 1.0);
+};
+
+/// What the network should do with one segment on a chaos-managed
+/// control connection.
+struct SendAction {
+  enum class Kind : std::uint8_t {
+    kDeliver,           // pass through untouched
+    kSwallow,           // segment vanishes, connection stays up
+    kReset,             // both sides observe an RST
+    kReplace,           // deliver `payload` instead of the original bytes
+    kReplaceThenClose,  // deliver `payload`, then orderly-close the sender
+  };
+  Kind kind = Kind::kDeliver;
+  FaultKind fault = FaultKind::kNone;  // which fault fired (kind != kDeliver)
+  std::string payload;                 // kReplace / kReplaceThenClose
+};
+
+/// How a connect attempt should fail, if at all.
+enum class ConnectFault : std::uint8_t {
+  kNone,
+  kTimeout,      // control connect hangs for the full connect timeout
+  kDataTimeout,  // data-channel connect hangs (kDataChannelFailure hosts)
+};
+
+/// The engine itself. Stateless with respect to hosts (plans are recomputed
+/// from the hash on demand); the only mutable state is per-connection fault
+/// progress (bytes seen, server sends seen), which is private to whichever
+/// shard owns the connection.
+///
+/// Thread model: one engine per shard, used only from that shard's event
+/// loop thread — the same ownership contract as Network itself.
+class ChaosEngine {
+ public:
+  ChaosEngine(ChaosProfile profile, std::uint64_t chaos_seed);
+
+  /// Directed engine for tests: every host — or only `victim`, when given —
+  /// receives exactly `plan`. Bypasses the hash entirely.
+  static ChaosEngine fixed(FaultPlan plan,
+                           std::optional<std::uint32_t> victim = std::nullopt);
+
+  /// The plan for one host. Pure: depends only on (chaos_seed, ip).
+  FaultPlan plan_for(std::uint32_t ip) const noexcept;
+
+  /// True iff probe SYN number `attempt` (0-based) to `ip` is lost.
+  bool probe_syn_lost(std::uint32_t ip, std::uint32_t attempt) const noexcept;
+
+  /// Classifies a connect to (dst, port). Control-port connects fail for
+  /// kConnectTimeout hosts; non-control connects fail for
+  /// kDataChannelFailure hosts (both directions of an FTP data channel
+  /// terminate on an ephemeral port on at least one side, and the sim's
+  /// passive-mode data connects always target the server, so keying the
+  /// fault on the destination host covers the paths the census exercises).
+  ConnectFault classify_connect(Ipv4 dst, std::uint16_t port) const noexcept;
+
+  /// Decides the fate of one segment on a control connection whose host
+  /// (server) side is `host`. `from_host` is true when the server sent the
+  /// segment. Mutates per-connection progress state keyed on `conn_id`;
+  /// the state map lives as long as the engine (one engine per census run).
+  SendAction on_control_send(std::uint64_t conn_id, std::uint32_t host,
+                             bool from_host, std::string_view payload);
+
+  /// The port treated as "control" for plan targeting (FTP: 21).
+  std::uint16_t control_port() const noexcept { return control_port_; }
+
+  const ChaosProfile& profile() const noexcept { return profile_; }
+
+ private:
+  struct ConnState {
+    std::uint64_t bytes = 0;        // both directions, for kRstAtByte
+    std::uint32_t host_sends = 0;   // server->client segments seen
+    std::uint32_t swallowed = 0;    // kReplyStall progress
+    bool spent = false;             // one-shot faults already fired
+  };
+
+  ChaosProfile profile_;
+  std::uint64_t key_;  // derive_seed(chaos_seed, "sim.chaos")
+  std::uint16_t control_port_ = 21;
+  std::optional<FaultPlan> fixed_plan_;
+  std::optional<std::uint32_t> fixed_victim_;
+  std::unordered_map<std::uint64_t, ConnState> conns_;
+};
+
+}  // namespace ftpc::sim

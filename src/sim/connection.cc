@@ -26,33 +26,67 @@ void Connection::send(std::string_view data) {
   if (!open_ || data.empty()) return;
   bytes_sent_ += data.size();
 
-  if (network_->faults_ != nullptr) {
-    const Status fault = network_->faults_->on_send(id_, data.size());
-    if (!fault.is_ok()) {
-      // The network eats the segment and kills the connection: both sides
-      // observe a reset (self immediately, peer after latency).
-      auto peer = peer_.lock();
-      open_ = false;
-      auto self = shared_from_this();
-      network_->loop_.schedule_after(0, [self, fault] {
-        if (self->callbacks_.on_reset) self->callbacks_.on_reset(fault);
-      });
-      if (peer) {
-        network_->loop_.schedule_after(
-            network_->config_.one_way_latency,
-            [peer, fault] { peer->deliver_reset(fault); });
+  bool close_after = false;
+  std::string replacement;  // storage when chaos rewrites the segment
+  if (ChaosEngine* chaos = network_->chaos_; chaos != nullptr) {
+    // Chaos manages control connections only; the managed host is whichever
+    // side sits on the control port (the server in every census flow).
+    const std::uint16_t control = chaos->control_port();
+    const bool from_host = local_.port == control;
+    const bool managed = from_host || remote_.port == control;
+    if (managed) {
+      const std::uint32_t host =
+          from_host ? local_.ip.value() : remote_.ip.value();
+      SendAction action = chaos->on_control_send(id_, host, from_host, data);
+      switch (action.kind) {
+        case SendAction::Kind::kDeliver:
+          break;
+        case SendAction::Kind::kSwallow:
+          network_->count_injection(action.fault);
+          return;  // the segment vanishes; the connection stays up
+        case SendAction::Kind::kReset: {
+          network_->count_injection(action.fault);
+          // The network eats the segment and kills the connection: both
+          // sides observe a reset (self immediately, peer after latency).
+          const Status fault(ErrorCode::kConnectionReset,
+                             "injected connection reset");
+          auto peer = peer_.lock();
+          open_ = false;
+          auto self = shared_from_this();
+          network_->loop_.schedule_after(0, [self, fault] {
+            if (self->callbacks_.on_reset) self->callbacks_.on_reset(fault);
+          });
+          if (peer) {
+            network_->loop_.schedule_after(
+                network_->config_.one_way_latency,
+                [peer, fault] { peer->deliver_reset(fault); });
+          }
+          return;
+        }
+        case SendAction::Kind::kReplace:
+        case SendAction::Kind::kReplaceThenClose:
+          network_->count_injection(action.fault);
+          replacement = std::move(action.payload);
+          data = replacement;
+          close_after = action.kind == SendAction::Kind::kReplaceThenClose;
+          break;
       }
-      return;
+      if (data.empty()) {
+        if (close_after) close();
+        return;
+      }
     }
   }
 
   auto peer = peer_.lock();
-  if (!peer) return;
-  std::string payload(data);
-  network_->stats_.bytes_delivered += payload.size();
-  network_->loop_.schedule_after(
-      network_->config_.one_way_latency,
-      [peer, payload = std::move(payload)] { peer->deliver_data(payload); });
+  if (peer) {
+    std::string payload(data);
+    network_->stats_.bytes_delivered += payload.size();
+    network_->loop_.schedule_after(
+        network_->config_.one_way_latency,
+        [peer, payload = std::move(payload)] { peer->deliver_data(payload); });
+  }
+  if (close_after) close();
 }
 
 void Connection::close() {

@@ -60,11 +60,18 @@ void Network::connect(Ipv4 src_ip, Ipv4 dst_ip, std::uint16_t dst_port,
   if (metrics_ != nullptr) metrics_->add("net.connects_attempted");
   const std::uint64_t conn_id = next_conn_id_++;
 
-  if (faults_ != nullptr) {
-    const Status fault = faults_->on_connect(conn_id, dst_ip, dst_port);
-    if (!fault.is_ok()) {
+  if (chaos_ != nullptr) {
+    const ConnectFault chaos_fault = chaos_->classify_connect(dst_ip, dst_port);
+    if (chaos_fault != ConnectFault::kNone) {
       ++stats_.connects_faulted;
       if (metrics_ != nullptr) metrics_->add("net.connects_faulted");
+      count_injection(chaos_fault == ConnectFault::kTimeout
+                          ? FaultKind::kConnectTimeout
+                          : FaultKind::kDataChannelFailure);
+      const Status fault(ErrorCode::kTimeout,
+                         chaos_fault == ConnectFault::kTimeout
+                             ? "injected connect timeout"
+                             : "injected data-channel failure");
       loop_.schedule_after(config_.connect_timeout,
                            [handler, fault] { handler(fault); });
       return;
@@ -121,16 +128,30 @@ void Network::connect(Ipv4 src_ip, Ipv4 dst_ip, std::uint16_t dst_port,
                        [handler, client] { handler(client); });
 }
 
-bool Network::probe(Ipv4 ip, std::uint16_t port) {
-  ++stats_.probes;
+ProbeResult Network::probe_attempt(Ipv4 ip, std::uint16_t port,
+                                   std::uint32_t attempt) {
+  ++stats_.probes;  // counts SYNs actually sent, retransmits included
   if (m_probes_ != nullptr) ++*m_probes_;
+  if (chaos_ != nullptr && port == chaos_->control_port() &&
+      chaos_->probe_syn_lost(ip.value(), attempt)) {
+    count_injection(FaultKind::kSynLoss);
+    return ProbeResult::kSynLost;
+  }
   bool open = listeners_.count(key(ip, port)) > 0;
   if (!open && probe_fn_) open = probe_fn_(ip, port);
-  if (open) {
-    ++stats_.probe_hits;
-    if (m_probe_hits_ != nullptr) ++*m_probe_hits_;
+  if (!open) return ProbeResult::kNoListener;
+  ++stats_.probe_hits;
+  if (m_probe_hits_ != nullptr) ++*m_probe_hits_;
+  return ProbeResult::kAck;
+}
+
+void Network::count_injection(FaultKind kind) {
+  // Built on demand rather than pre-created in set_metrics: a chaos-off run
+  // must serialize the exact same schema as before the chaos engine
+  // existed, so chaos.injected.* cells only exist once a fault fires.
+  if (metrics_ != nullptr) {
+    metrics_->add("chaos.injected." + std::string(fault_kind_name(kind)));
   }
-  return open;
 }
 
 }  // namespace ftpc::sim

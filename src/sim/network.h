@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/chaos.h"
 #include "sim/connection.h"
 #include "sim/event_loop.h"
 
@@ -31,19 +32,11 @@ using HostResolver = std::function<bool(Ipv4 ip, std::uint16_t port)>;
 /// (ip, port) would be answered with SYN-ACK. Must not materialize hosts.
 using ProbeFn = std::function<bool(Ipv4 ip, std::uint16_t port)>;
 
-/// Optional fault injection, consulted on every connect and send.
-class FaultInjector {
- public:
-  virtual ~FaultInjector() = default;
-
-  /// Called before establishing `conn_id` to (ip, port). Return a non-OK
-  /// status to fail the connect (timeout / refused).
-  virtual Status on_connect(std::uint64_t conn_id, Ipv4 dst,
-                            std::uint16_t port) = 0;
-
-  /// Called per send; return non-OK to reset the connection mid-stream
-  /// instead of delivering the bytes.
-  virtual Status on_send(std::uint64_t conn_id, std::size_t bytes) = 0;
+/// Outcome of one stateless probe SYN (see Network::probe_attempt).
+enum class ProbeResult : std::uint8_t {
+  kAck,         // SYN-ACK received: a listener (real or probeable) answered
+  kNoListener,  // nothing listening; retrying is pointless
+  kSynLost,     // chaos ate the SYN; a retransmit may get through
 };
 
 /// Tuning knobs for the latency model.
@@ -92,8 +85,13 @@ class Network {
   /// Installs the stateless probe hook (see ProbeFn).
   void set_probe_fn(ProbeFn probe);
 
-  /// Installs a fault injector (nullptr to clear).
-  void set_fault_injector(FaultInjector* injector) { faults_ = injector; }
+  /// Attaches a chaos engine (nullptr to detach). The network then consults
+  /// it on every probe SYN, connect, and control-channel send; decisions
+  /// are pure per host, so an attached engine never breaks the cross-shard
+  /// determinism contract. The engine must outlive the attachment (the
+  /// census attaches a per-shard engine for the duration of a run).
+  void set_chaos(ChaosEngine* chaos) noexcept { chaos_ = chaos; }
+  ChaosEngine* chaos() const noexcept { return chaos_; }
 
   /// Attaches a metrics registry (nullptr to detach). The network then
   /// records connects (attempted/established/refused/faulted), simulated
@@ -123,9 +121,17 @@ class Network {
   void connect(Ipv4 src_ip, Ipv4 dst_ip, std::uint16_t dst_port,
                ConnectHandler handler);
 
-  /// Stateless SYN probe (scanner fast path): consults registered listeners
-  /// first, then the probe hook. Never materializes a host.
-  bool probe(Ipv4 ip, std::uint16_t port);
+  /// Stateless SYN probe (scanner fast path): consults the chaos engine
+  /// first (a lost SYN never reaches the wire), then registered listeners,
+  /// then the probe hook. Never materializes a host. `attempt` is the
+  /// 0-based retransmit index, which chaos SYN-loss plans key on.
+  ProbeResult probe_attempt(Ipv4 ip, std::uint16_t port,
+                            std::uint32_t attempt);
+
+  /// Single-attempt convenience wrapper: true iff the SYN was ACKed.
+  bool probe(Ipv4 ip, std::uint16_t port) {
+    return probe_attempt(ip, port, 0) == ProbeResult::kAck;
+  }
 
   /// Allocates an ephemeral port (49152-65535, round-robin per network).
   std::uint16_t allocate_ephemeral_port() noexcept;
@@ -150,9 +156,12 @@ class Network {
   NetworkConfig config_;
   NetworkStats stats_;
   std::unordered_map<EndpointKey, AcceptHandler, EndpointKeyHash> listeners_;
+  /// Bumps "chaos.injected.<kind>" in the attached registry, if any.
+  void count_injection(FaultKind kind);
+
   HostResolver resolver_;
   ProbeFn probe_fn_;
-  FaultInjector* faults_ = nullptr;
+  ChaosEngine* chaos_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceCollector* trace_ = nullptr;
   // Hot-path counter cells resolved once at attach time (probe() runs for

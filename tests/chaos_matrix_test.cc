@@ -1,0 +1,222 @@
+// The chaos fault-matrix determinism suite — the acceptance gate for
+// sim::chaos and the retry layer above it. For every fault kind (and two
+// mixed profiles) it pins three properties:
+//
+//   1. Split invariance: a chaos-enabled census produces byte-identical
+//      metrics JSON, trace JSONL, and record stream for every
+//      (shards, threads) decomposition, because each host's fault plan is
+//      a pure hash of (chaos_seed, ip) — never shared RNG state.
+//   2. Funnel conservation: every probed address has exactly one terminal
+//      outcome, faults included:
+//        funnel.stage.probe == sum(funnel.drop.*) + funnel.done.completed
+//   3. Monotone recovery: raising the retry budget (SYN retransmits +
+//      command retries) never yields fewer completed hosts. One fault kind
+//      per host is what makes this provable — see src/sim/chaos.h.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/census.h"
+#include "core/records.h"
+#include "core/sharded_census.h"
+#include "net/internet.h"
+#include "obs/metrics.h"
+#include "popgen/population.h"
+#include "sim/chaos.h"
+#include "sim/network.h"
+
+namespace ftpc {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+constexpr unsigned kScaleShift = 16;  // ~65K addresses: CI-sized
+
+struct MatrixEntry {
+  std::string name;
+  sim::ChaosProfile profile;
+};
+
+// Every fault kind alone at a rate high enough to hit dozens of hosts,
+// plus the two mixed presets.
+std::vector<MatrixEntry> fault_matrix() {
+  std::vector<MatrixEntry> matrix;
+  for (const sim::FaultKind kind :
+       {sim::FaultKind::kSynLoss, sim::FaultKind::kConnectTimeout,
+        sim::FaultKind::kRstAtByte, sim::FaultKind::kReplyStall,
+        sim::FaultKind::kTruncatedReply, sim::FaultKind::kGarbledReply,
+        sim::FaultKind::kPrematureClose,
+        sim::FaultKind::kDataChannelFailure}) {
+    matrix.push_back({std::string(sim::fault_kind_name(kind)),
+                      sim::ChaosProfile::single(kind, 0.5)});
+  }
+  matrix.push_back({"flaky", *sim::ChaosProfile::named("flaky")});
+  matrix.push_back({"hostile", *sim::ChaosProfile::named("hostile")});
+  return matrix;
+}
+
+core::CensusConfig matrix_config(const sim::ChaosProfile& profile,
+                                 std::uint32_t retries, bool with_trace) {
+  core::CensusConfig config;
+  config.seed = kSeed;
+  config.scale_shift = kScaleShift;
+  config.chaos_enabled = true;
+  config.chaos = profile;
+  config.probe_retries = retries;
+  config.enumerator.command_retries = retries;
+  if (with_trace) {
+    config.trace.enabled = true;
+    config.trace.sample_rate = 0.25;  // per-IP pure: split-invariant
+    config.trace.capture_wire = true;
+  }
+  return config;
+}
+
+// One line per report, sorted by IP: the sharded merge replays in
+// ascending-IP order while the sequential census emits in discovery
+// order, so comparisons must be order-normalized.
+std::string record_digest(std::vector<core::HostReport> reports) {
+  std::sort(reports.begin(), reports.end(),
+            [](const core::HostReport& a, const core::HostReport& b) {
+              return a.ip.value() < b.ip.value();
+            });
+  std::string out;
+  for (const core::HostReport& r : reports) {
+    out += std::to_string(r.ip.value()) + '|' + std::to_string(r.connected) +
+           std::to_string(r.ftp_compliant) +
+           std::to_string(static_cast<int>(r.login)) + '|' +
+           std::to_string(r.files.size()) + '|' +
+           std::to_string(r.dirs_listed) + '|' +
+           std::to_string(r.requests_used) + '|' +
+           std::to_string(static_cast<int>(r.error.code())) + '\n';
+  }
+  return out;
+}
+
+struct RunOutput {
+  std::string metrics_json;
+  std::string trace_jsonl;
+  std::string records;
+  std::uint64_t probed = 0;
+  std::uint64_t completed = 0;
+  obs::MetricsRegistry metrics;
+};
+
+RunOutput digest(core::CensusStats stats, core::VectorSink& sink) {
+  RunOutput out;
+  out.metrics_json = stats.metrics.to_json();
+  out.trace_jsonl = stats.trace.to_jsonl();
+  out.records = record_digest(sink.reports());
+  out.probed = stats.scan.probed;
+  out.completed = stats.metrics.value("funnel.done.completed");
+  out.metrics = std::move(stats.metrics);
+  return out;
+}
+
+RunOutput run_sequential(const core::CensusConfig& config) {
+  popgen::SyntheticPopulation population(kSeed);
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  net::Internet internet(network, population, 256);
+  core::VectorSink sink;
+  core::CensusStats stats = core::Census(network, config).run(sink);
+  return digest(std::move(stats), sink);
+}
+
+RunOutput run_sharded(core::CensusConfig config, std::uint32_t shards,
+                      std::uint32_t threads) {
+  config.shards = shards;
+  config.threads = threads;
+  core::ShardedCensus census(
+      [] { return std::make_unique<popgen::SyntheticPopulation>(kSeed); },
+      config);
+  core::VectorSink sink;
+  core::CensusStats stats = census.run(sink);
+  return digest(std::move(stats), sink);
+}
+
+// ---------------------------------------------------------------------------
+// 1. Split invariance
+// ---------------------------------------------------------------------------
+
+TEST(ChaosMatrixTest, EveryFaultKindIsSplitInvariant) {
+  for (const MatrixEntry& entry : fault_matrix()) {
+    // retries=1 so the invariance check also covers the retransmit and
+    // backoff paths, not just first-attempt outcomes.
+    const core::CensusConfig config =
+        matrix_config(entry.profile, /*retries=*/1, /*with_trace=*/true);
+    const RunOutput baseline = run_sequential(config);
+    ASSERT_GT(baseline.probed, 0u) << entry.name;
+    ASSERT_GT(baseline.metrics.sum_with_prefix("chaos.injected."), 0u)
+        << entry.name << ": profile injected nothing; the matrix row is"
+        << " vacuous";
+
+    for (const std::uint32_t shards : {1u, 2u, 4u}) {
+      for (const std::uint32_t threads : {1u, 4u}) {
+        const RunOutput split = run_sharded(config, shards, threads);
+        const auto label = entry.name + " shards=" +
+                           std::to_string(shards) +
+                           " threads=" + std::to_string(threads);
+        EXPECT_EQ(split.metrics_json, baseline.metrics_json) << label;
+        EXPECT_EQ(split.trace_jsonl, baseline.trace_jsonl) << label;
+        EXPECT_EQ(split.records, baseline.records) << label;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Funnel conservation
+// ---------------------------------------------------------------------------
+
+TEST(ChaosMatrixTest, FunnelConservesEveryProbedAddress) {
+  for (const MatrixEntry& entry : fault_matrix()) {
+    for (const std::uint32_t retries : {0u, 2u}) {
+      const RunOutput out = run_sequential(
+          matrix_config(entry.profile, retries, /*with_trace=*/false));
+      const obs::MetricsRegistry& m = out.metrics;
+      EXPECT_EQ(m.value("funnel.stage.probe"), out.probed)
+          << entry.name << " retries=" << retries;
+      EXPECT_EQ(
+          m.sum_with_prefix("funnel.drop.") + m.value("funnel.done.completed"),
+          m.value("funnel.stage.probe"))
+          << entry.name << " retries=" << retries
+          << ": a probed address leaked out of (or was double-counted in)"
+          << " the funnel";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 3. Monotone recovery
+// ---------------------------------------------------------------------------
+
+TEST(ChaosMatrixTest, MoreRetriesNeverCompleteFewerHosts) {
+  for (const MatrixEntry& entry : fault_matrix()) {
+    std::uint64_t previous = 0;
+    std::vector<std::uint64_t> completed_by_retries;
+    for (const std::uint32_t retries : {0u, 1u, 2u, 3u}) {
+      const RunOutput out = run_sequential(
+          matrix_config(entry.profile, retries, /*with_trace=*/false));
+      EXPECT_GE(out.completed, previous)
+          << entry.name << ": raising the retry budget to " << retries
+          << " lost completed hosts";
+      previous = out.completed;
+      completed_by_retries.push_back(out.completed);
+    }
+    // Retries must actually buy something for the recoverable kinds: a
+    // syn_loss plan drops 1-3 SYNs, so a budget of 3 recovers every
+    // faulted host; a stalled reply is re-elicited by a retransmit.
+    if (entry.name == "syn_loss" || entry.name == "stall") {
+      EXPECT_GT(completed_by_retries.back(), completed_by_retries.front())
+          << entry.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ftpc

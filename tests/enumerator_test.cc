@@ -5,6 +5,7 @@
 
 #include "core/enumerator.h"
 #include "ftpd/server.h"
+#include "sim/chaos.h"
 #include "sim/network.h"
 #include "vfs/vfs.h"
 
@@ -293,20 +294,14 @@ TEST_F(EnumeratorTest, BannerTimeoutStillCountsConnected) {
 TEST_F(EnumeratorTest, ConnectTimeoutReportsNotConnected) {
   // The converse of the banner-timeout case: a timeout during the TCP
   // handshake itself means the host was never reached.
-  struct ConnectLossInjector : sim::FaultInjector {
-    Status on_connect(std::uint64_t, Ipv4, std::uint16_t) override {
-      return Status(ErrorCode::kTimeout, "injected connect loss");
-    }
-    Status on_send(std::uint64_t, std::size_t) override {
-      return Status::ok();
-    }
-  } injector;
-  network_.set_fault_injector(&injector);
+  sim::ChaosEngine chaos = sim::ChaosEngine::fixed(
+      {.kind = sim::FaultKind::kConnectTimeout}, target_.value());
+  network_.set_chaos(&chaos);
   std::optional<HostReport> report;
   HostEnumerator::start(network_, target_, {},
                         [&](HostReport r) { report = std::move(r); });
   loop_.run_while_pending([&] { return report.has_value(); });
-  network_.set_fault_injector(nullptr);
+  network_.set_chaos(nullptr);
   EXPECT_EQ(report->error.code(), ErrorCode::kTimeout);
   EXPECT_FALSE(report->connected);
   EXPECT_FALSE(report->ftp_compliant);
@@ -354,6 +349,48 @@ TEST_F(EnumeratorTest, IdleServerCloseAbortsPromptlyAndCancelsGapTimer) {
   loop_.run_until_idle();
   EXPECT_TRUE(weak.expired());
   EXPECT_LT(loop_.now() - done_at, options.request_gap / 2);
+}
+
+TEST_F(EnumeratorTest, BackoffTimerCancelledWhenServerDiesMidBackoff) {
+  // The reply-retry backoff timer is the same hazard class as the gap timer
+  // above: it is armed while no reply timeout guards the session, so a
+  // connection death inside the backoff window must cancel it on finalize.
+  // Script: the server greets, swallows USER without replying (the client's
+  // reply timeout fires and arms a 20 s backoff), then closes the control
+  // connection 10 s into that window.
+  obs::MetricsRegistry metrics;
+  network_.set_metrics(&metrics);
+  network_.listen(target_, 21, [&](std::shared_ptr<sim::Connection> conn) {
+    conn->send("220 mute\r\n");
+    sim::ConnCallbacks callbacks;
+    callbacks.on_data = [this, conn](std::string_view) {
+      loop_.schedule_after(40 * sim::kSecond, [conn] { conn->close(); });
+    };
+    conn->set_callbacks(std::move(callbacks));
+  });
+
+  EnumeratorOptions options;
+  options.command_retries = 3;
+  options.retry_backoff = 20 * sim::kSecond;
+  options.retry_backoff_cap = 80 * sim::kSecond;
+  std::optional<HostReport> report;
+  std::weak_ptr<HostEnumerator> weak = HostEnumerator::start(
+      network_, target_, options, [&](HostReport r) { report = std::move(r); });
+  loop_.run_while_pending([&] { return report.has_value(); });
+  network_.stop_listening(target_, 21);
+  network_.set_metrics(nullptr);
+  const sim::SimTime done_at = loop_.now();
+
+  // The timeout really fired and a retry was pending when the close landed.
+  EXPECT_EQ(metrics.value("retry.command"), 1u);
+  EXPECT_EQ(report->error.code(), ErrorCode::kConnectionReset);
+  EXPECT_TRUE(report->connected);
+
+  // Draining the loop must not advance time to the backoff expiry: the
+  // armed backoff closure was cancelled on finalize, not left to fire.
+  loop_.run_until_idle();
+  EXPECT_TRUE(weak.expired());
+  EXPECT_LT(loop_.now() - done_at, sim::kSecond);
 }
 
 TEST_F(EnumeratorTest, DepthFirstAblationCoversSameTree) {

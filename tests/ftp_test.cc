@@ -269,6 +269,72 @@ TEST(ReplyParserTest, TwoDigitPrefixPoisons) {
   EXPECT_FALSE(parser.pop_reply());
 }
 
+TEST(ReplyParserTest, TruncatedAndGarbledStreamsAbortCleanlyTable) {
+  // The reply shapes sim::chaos manufactures (truncated multilines, garbled
+  // non-protocol bytes) plus classic stream abuse (bare-CR terminators,
+  // oversized lines). Each row must end in a bounded, clean terminal state
+  // — poisoned or still-waiting — never a parsed reply from damaged input
+  // and never unbounded buffering.
+  struct Row {
+    const char* name;
+    std::string wire;
+    bool expect_poisoned;
+    std::size_t expect_replies;
+  };
+  const std::vector<Row> rows = {
+      // Bare-CR line endings never terminate a line; the bytes sit in the
+      // buffer awaiting an LF that may never come.
+      {"bare_cr_terminators", "220 hello\r221 bye\r", false, 0},
+      // ...but a bare-CR stream cannot buffer forever: past the line cap
+      // the peer is declared hostile.
+      {"bare_cr_flood",
+       "220 hello\r" + std::string(ReplyParser::kMaxLineBytes + 1, 'x'),
+       true, 0},
+      // A multiline whose end sentinel never arrives accumulates
+      // continuation lines only up to the reply-size cap.
+      {"missing_multiline_sentinel", [] {
+         std::string wire = "230-Welcome\r\n";
+         for (std::size_t i = 0; i <= ReplyParser::kMaxReplyLines; ++i) {
+           wire += "prose line\r\n";
+         }
+         return wire;
+       }(), true, 0},
+      // One line larger than the cap, LF-terminated and not.
+      {"oversized_line_terminated",
+       "220 " + std::string(ReplyParser::kMaxLineBytes, 'a') + "\r\n", true,
+       0},
+      {"oversized_line_unterminated",
+       "150 " + std::string(ReplyParser::kMaxLineBytes + 8, 'b'), true, 0},
+      // The chaos engine's garble payload: non-protocol bytes between
+      // replies.
+      {"chaos_garble", "!! GARBLED NON-PROTOCOL LINE !!\r\n", true, 0},
+      // Chaos truncation drops the closing line of a multiline; the reply
+      // stays open (no false completion) until the retransmitted reply's
+      // opener arrives with the closing form.
+      {"chaos_truncated_multiline_recovered",
+       "230-Welcome\r\n230 Login successful.\r\n", false, 1},
+  };
+
+  for (const Row& row : rows) {
+    ReplyParser parser;
+    parser.push(row.wire);
+    std::size_t replies = 0;
+    while (parser.pop_reply()) ++replies;
+    EXPECT_EQ(parser.poisoned(), row.expect_poisoned) << row.name;
+    EXPECT_EQ(replies, row.expect_replies) << row.name;
+    // Bounded memory whatever the damage: at most one uncapped line plus
+    // slack may remain buffered.
+    EXPECT_LE(parser.pending_bytes(), ReplyParser::kMaxLineBytes + 1)
+        << row.name;
+    // A poisoned parser ignores all further bytes — the session above it
+    // aborts instead of waiting on a reply that cannot arrive.
+    parser.push("220 resurrection attempt\r\n");
+    if (row.expect_poisoned) {
+      EXPECT_FALSE(parser.pop_reply()) << row.name;
+    }
+  }
+}
+
 // ---------------------------------------------------------------------------
 // HostPort / PASV
 // ---------------------------------------------------------------------------

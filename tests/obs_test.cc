@@ -20,6 +20,7 @@
 #include "net/internet.h"
 #include "obs/metrics.h"
 #include "popgen/population.h"
+#include "sim/chaos.h"
 #include "sim/network.h"
 
 namespace ftpc {
@@ -205,16 +206,6 @@ TEST(FunnelClassifyTest, LoginTraverseAndFinalizeDrops) {
 // End-to-end funnel accounting against crafted hosts
 // ---------------------------------------------------------------------------
 
-// Faults connects to exactly one victim address.
-struct VictimInjector : sim::FaultInjector {
-  Ipv4 victim;
-  Status on_connect(std::uint64_t, Ipv4 dst, std::uint16_t) override {
-    if (dst == victim) return Status(ErrorCode::kTimeout, "injected loss");
-    return Status::ok();
-  }
-  Status on_send(std::uint64_t, std::size_t) override { return Status::ok(); }
-};
-
 TEST(FunnelAccountingTest, EachFailureModeLandsInItsCounter) {
   sim::EventLoop loop;
   sim::Network network(loop);
@@ -226,9 +217,10 @@ TEST(FunnelAccountingTest, EachFailureModeLandsInItsCounter) {
   const Ipv4 banner_timeout_host(203, 0, 113, 3);  // accepts, stays silent
   const Ipv4 not_ftp_host(203, 0, 113, 4);   // speaks SSH
 
-  VictimInjector injector;
-  injector.victim = conn_timeout_host;
-  network.set_fault_injector(&injector);
+  // Chaos faults connects to exactly one victim address.
+  sim::ChaosEngine chaos = sim::ChaosEngine::fixed(
+      {.kind = sim::FaultKind::kConnectTimeout}, conn_timeout_host.value());
+  network.set_chaos(&chaos);
   network.listen(banner_timeout_host, 21,
                  [](std::shared_ptr<sim::Connection>) {});
   network.listen(not_ftp_host, 21, [](std::shared_ptr<sim::Connection> conn) {
@@ -247,7 +239,7 @@ TEST(FunnelAccountingTest, EachFailureModeLandsInItsCounter) {
     core::record_host_funnel(*report, metrics);
   }
   network.set_metrics(nullptr);
-  network.set_fault_injector(nullptr);
+  network.set_chaos(nullptr);
 
   EXPECT_EQ(metrics.value("funnel.drop.connect.refused"), 1u);
   EXPECT_EQ(metrics.value("funnel.drop.connect.timeout"), 1u);

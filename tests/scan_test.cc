@@ -4,8 +4,10 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "scan/permutation.h"
 #include "scan/scanner.h"
+#include "sim/chaos.h"
 #include "sim/network.h"
 
 namespace ftpc::scan {
@@ -369,6 +371,80 @@ TEST(Scanner, AdvancesVirtualTimeByRate) {
   Scanner scanner(network, config);
   const ScanStats stats = scanner.run([](Ipv4) {});
   EXPECT_EQ(loop.now(), stats.probed * sim::kSecond / 1000);
+}
+
+// ---------------------------------------------------------------------------
+// SYN retransmits under chaos (sim::chaos)
+// ---------------------------------------------------------------------------
+
+TEST(Scanner, TotalSynLossDrainsRetryBudgetWithoutHangOrDoubleReport) {
+  // Every host loses exactly 2 SYNs. A retry budget below that drains
+  // fully and lands every address in probe_timeouts — exactly once, with
+  // no hit reported and no hang (the scan loop is synchronous; returning
+  // at all is the no-hang proof).
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  network.set_probe_fn([](Ipv4, std::uint16_t) { return true; });
+  sim::ChaosEngine chaos =
+      sim::ChaosEngine::fixed({.kind = sim::FaultKind::kSynLoss,
+                               .syn_losses = 2});
+  network.set_chaos(&chaos);
+  obs::MetricsRegistry metrics;
+  network.set_metrics(&metrics);
+
+  ScanConfig config;
+  config.seed = 5;
+  config.scale_shift = 18;  // ~16K elements
+  config.probe_retries = 1;
+  Scanner scanner(network, config);
+  std::uint64_t hits = 0;
+  const ScanStats stats = scanner.run([&](Ipv4) { ++hits; });
+  network.set_metrics(nullptr);
+  network.set_chaos(nullptr);
+
+  EXPECT_GT(stats.probed, 0u);
+  EXPECT_EQ(hits, 0u);
+  EXPECT_EQ(stats.responsive, 0u);
+  // Budget of 1 retransmit per address, drained on every address.
+  EXPECT_EQ(stats.probe_retransmits, stats.probed);
+  EXPECT_EQ(stats.probe_timeouts, stats.probed);
+  // Funnel: every probed address dropped exactly once, as a timeout.
+  EXPECT_EQ(metrics.value("funnel.stage.probe"), stats.probed);
+  EXPECT_EQ(metrics.value("funnel.drop.probe.timeout"), stats.probed);
+  EXPECT_EQ(metrics.value("funnel.drop.probe.unresponsive"), 0u);
+  EXPECT_EQ(metrics.value("retry.probe"), stats.probe_retransmits);
+  EXPECT_EQ(metrics.value("chaos.injected.syn_loss"),
+            stats.probed + stats.probe_retransmits);
+}
+
+TEST(Scanner, SufficientRetryBudgetRecoversEveryHost) {
+  // Same plan (2 lost SYNs per address), budget of 2: the third SYN gets
+  // through everywhere, timeouts vanish, and virtual time accounts for
+  // the retransmitted probes too.
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  network.set_probe_fn([](Ipv4, std::uint16_t) { return true; });
+  sim::ChaosEngine chaos =
+      sim::ChaosEngine::fixed({.kind = sim::FaultKind::kSynLoss,
+                               .syn_losses = 2});
+  network.set_chaos(&chaos);
+
+  ScanConfig config;
+  config.seed = 5;
+  config.scale_shift = 18;
+  config.probe_retries = 2;
+  Scanner scanner(network, config);
+  std::unordered_set<std::uint32_t> hits;
+  const ScanStats stats = scanner.run(
+      [&](Ipv4 ip) { EXPECT_TRUE(hits.insert(ip.value()).second); });
+  network.set_chaos(nullptr);
+
+  EXPECT_EQ(stats.responsive, stats.probed);
+  EXPECT_EQ(hits.size(), stats.probed);
+  EXPECT_EQ(stats.probe_timeouts, 0u);
+  EXPECT_EQ(stats.probe_retransmits, 2 * stats.probed);
+  EXPECT_EQ(loop.now(), (stats.probed + stats.probe_retransmits) *
+                            sim::kSecond / config.probes_per_second);
 }
 
 TEST(Scanner, DeterministicAcrossRuns) {

@@ -447,44 +447,46 @@ TEST_F(NetworkTest, EphemeralPortsRotate) {
 }
 
 // ---------------------------------------------------------------------------
-// Fault injection
+// Chaos engine (sim::chaos)
 // ---------------------------------------------------------------------------
 
-class FailNthConnect : public FaultInjector {
- public:
-  explicit FailNthConnect(std::uint64_t n) : n_(n) {}
-  Status on_connect(std::uint64_t conn_id, Ipv4, std::uint16_t) override {
-    if (conn_id == n_) return Status(ErrorCode::kTimeout, "injected");
-    return Status::ok();
+TEST(ChaosEngineTest, PlansArePureAndSeedDependent) {
+  const ChaosProfile profile = *ChaosProfile::named("hostile");
+  ChaosEngine a(profile, 42);
+  ChaosEngine b(profile, 42);
+  ChaosEngine c(profile, 43);
+  int assigned = 0;
+  int differs = 0;
+  for (std::uint32_t ip = 0; ip < 4096; ++ip) {
+    const FaultPlan pa = a.plan_for(ip);
+    const FaultPlan pb = b.plan_for(ip);
+    EXPECT_EQ(pa.kind, pb.kind);
+    EXPECT_EQ(pa.syn_losses, pb.syn_losses);
+    EXPECT_EQ(pa.trigger_byte, pb.trigger_byte);
+    EXPECT_EQ(pa.trigger_send, pb.trigger_send);
+    EXPECT_EQ(pa.stall_count, pb.stall_count);
+    if (pa.kind != FaultKind::kNone) ++assigned;
+    if (pa.kind != c.plan_for(ip).kind) ++differs;
   }
-  Status on_send(std::uint64_t, std::size_t) override { return Status::ok(); }
+  // "hostile" assigns roughly half the population a fault, and a different
+  // seed must reshuffle the assignment.
+  EXPECT_GT(assigned, 4096 / 3);
+  EXPECT_LT(assigned, 4096 * 2 / 3);
+  EXPECT_GT(differs, 1000);
+}
 
- private:
-  std::uint64_t n_;
-};
+TEST(ChaosEngineTest, ProbeSynLossRespectsAttemptIndex) {
+  ChaosEngine engine = ChaosEngine::fixed(
+      FaultPlan{.kind = FaultKind::kSynLoss, .syn_losses = 2});
+  EXPECT_TRUE(engine.probe_syn_lost(7, 0));
+  EXPECT_TRUE(engine.probe_syn_lost(7, 1));
+  EXPECT_FALSE(engine.probe_syn_lost(7, 2));
+}
 
-class ResetAfterBytes : public FaultInjector {
- public:
-  explicit ResetAfterBytes(std::size_t limit) : limit_(limit) {}
-  Status on_connect(std::uint64_t, Ipv4, std::uint16_t) override {
-    return Status::ok();
-  }
-  Status on_send(std::uint64_t, std::size_t bytes) override {
-    sent_ += bytes;
-    if (sent_ > limit_) {
-      return Status(ErrorCode::kConnectionReset, "injected mid-stream");
-    }
-    return Status::ok();
-  }
-
- private:
-  std::size_t limit_;
-  std::size_t sent_ = 0;
-};
-
-TEST_F(NetworkTest, InjectedConnectFault) {
-  FailNthConnect faults(1);
-  network_.set_fault_injector(&faults);
+TEST_F(NetworkTest, ChaosConnectTimeout) {
+  ChaosEngine engine = ChaosEngine::fixed(
+      FaultPlan{.kind = FaultKind::kConnectTimeout}, server_ip_.value());
+  network_.set_chaos(&engine);
   network_.listen(server_ip_, 21, [](std::shared_ptr<Connection>) {});
   ErrorCode seen = ErrorCode::kOk;
   network_.connect(client_ip_, server_ip_, 21,
@@ -494,11 +496,31 @@ TEST_F(NetworkTest, InjectedConnectFault) {
   loop_.run_until_idle();
   EXPECT_EQ(seen, ErrorCode::kTimeout);
   EXPECT_EQ(network_.stats().connects_faulted, 1u);
+  network_.set_chaos(nullptr);
 }
 
-TEST_F(NetworkTest, InjectedMidStreamReset) {
-  ResetAfterBytes faults(4);
-  network_.set_fault_injector(&faults);
+TEST_F(NetworkTest, ChaosSynLossDrainsIntoRetransmits) {
+  ChaosEngine engine = ChaosEngine::fixed(
+      FaultPlan{.kind = FaultKind::kSynLoss, .syn_losses = 2},
+      server_ip_.value());
+  network_.set_chaos(&engine);
+  network_.listen(server_ip_, 21, [](std::shared_ptr<Connection>) {});
+  EXPECT_EQ(network_.probe_attempt(server_ip_, 21, 0), ProbeResult::kSynLost);
+  EXPECT_EQ(network_.probe_attempt(server_ip_, 21, 1), ProbeResult::kSynLost);
+  EXPECT_EQ(network_.probe_attempt(server_ip_, 21, 2), ProbeResult::kAck);
+  // A host without a plan answers first try; one without a listener is a
+  // live "no listener", never a loss.
+  EXPECT_EQ(network_.probe_attempt(client_ip_, 21, 0),
+            ProbeResult::kNoListener);
+  EXPECT_EQ(network_.stats().probes, 4u);
+  EXPECT_EQ(network_.stats().probe_hits, 1u);
+  network_.set_chaos(nullptr);
+}
+
+TEST_F(NetworkTest, ChaosMidStreamReset) {
+  ChaosEngine engine = ChaosEngine::fixed(
+      FaultPlan{.kind = FaultKind::kRstAtByte, .trigger_byte = 4});
+  network_.set_chaos(&engine);
   bool server_reset = false, client_reset = false;
   std::shared_ptr<Connection> client_side;
   network_.listen(server_ip_, 21, [&](std::shared_ptr<Connection> conn) {
@@ -520,6 +542,46 @@ TEST_F(NetworkTest, InjectedMidStreamReset) {
   EXPECT_TRUE(client_reset);
   EXPECT_TRUE(server_reset);
   EXPECT_FALSE(client_side->is_open());
+  network_.set_chaos(nullptr);
+}
+
+TEST_F(NetworkTest, ChaosReplyManipulationOnServerSends) {
+  // One engine, three victims, three reply faults: swallow, truncate,
+  // garble — exercised at the raw connection layer.
+  ChaosEngine engine = ChaosEngine::fixed(
+      FaultPlan{.kind = FaultKind::kReplyStall,
+                .trigger_send = 0,
+                .stall_count = 1});
+  network_.set_chaos(&engine);
+  std::string client_saw;
+  std::shared_ptr<Connection> server_side;
+  network_.listen(server_ip_, 21, [&](std::shared_ptr<Connection> conn) {
+    server_side = std::move(conn);
+  });
+  std::shared_ptr<Connection> client_side;
+  network_.connect(client_ip_, server_ip_, 21,
+                   [&](Result<std::shared_ptr<Connection>> result) {
+                     client_side = std::move(result).take();
+                     client_side->set_callbacks(ConnCallbacks{
+                         .on_data = [&](std::string_view data) {
+                           client_saw += data;
+                         }});
+                   });
+  loop_.run_until_idle();
+  server_side->send("220 swallowed banner\r\n");  // send 0: eaten
+  loop_.run_until_idle();
+  EXPECT_EQ(client_saw, "");
+  server_side->send("220 retransmitted banner\r\n");  // send 1: delivered
+  loop_.run_until_idle();
+  EXPECT_EQ(client_saw, "220 retransmitted banner\r\n");
+  // Client->server sends are never reply-manipulated.
+  std::string server_saw;
+  server_side->set_callbacks(ConnCallbacks{
+      .on_data = [&](std::string_view data) { server_saw += data; }});
+  client_side->send("USER anonymous\r\n");
+  loop_.run_until_idle();
+  EXPECT_EQ(server_saw, "USER anonymous\r\n");
+  network_.set_chaos(nullptr);
 }
 
 }  // namespace

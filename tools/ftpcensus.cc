@@ -61,6 +61,9 @@ struct Options {
   std::vector<std::uint32_t> trace_hosts;  // forced regardless of sampling
   bool trace_no_wire = false;
   bool progress = false;  // force the progress line even when not a tty
+  std::string chaos_profile;     // "" = chaos off
+  std::uint64_t chaos_seed = 0;  // 0 = derive from --seed
+  std::uint32_t retries = 0;     // probe + command retry budget
 
   bool tracing_requested() const {
     return !trace_out.empty() || !trace_chrome.empty();
@@ -79,7 +82,9 @@ void usage() {
                "[--dataset FILE] [--tables] [--days D] [--max N] "
                "[--metrics-out FILE|-] [--trace-out FILE|-] "
                "[--trace-chrome FILE|-] [--trace-sample RATE] "
-               "[--trace-host IP] [--trace-no-wire] [--progress]\n");
+               "[--trace-host IP] [--trace-no-wire] [--progress] "
+               "[--chaos-profile off|lossy|flaky|hostile] [--chaos-seed S] "
+               "[--retries N]\n");
 }
 
 bool parse_options(int argc, char** argv, Options& options) {
@@ -148,6 +153,23 @@ bool parse_options(int argc, char** argv, Options& options) {
         return false;
       }
       options.trace_hosts.push_back(ip->value());
+    } else if (arg == "--chaos-profile") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      if (!sim::ChaosProfile::named(v)) {
+        std::fprintf(stderr, "--chaos-profile: unknown profile %s\n", v);
+        return false;
+      }
+      options.chaos_profile = v;
+    } else if (arg == "--chaos-seed") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.chaos_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--retries") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.retries =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--trace-no-wire") {
       options.trace_no_wire = true;
     } else if (arg == "--progress") {
@@ -332,6 +354,13 @@ int run_census(const Options& options) {
     config.trace.force_hosts = options.trace_hosts;
     config.trace.capture_wire = !options.trace_no_wire;
   }
+  if (!options.chaos_profile.empty() && options.chaos_profile != "off") {
+    config.chaos_enabled = true;
+    config.chaos = *sim::ChaosProfile::named(options.chaos_profile);
+    config.chaos_seed = options.chaos_seed;
+  }
+  config.probe_retries = options.retries;
+  config.enumerator.command_retries = options.retries;
 
   obs::ProgressCounters progress;
   config.progress = &progress;

@@ -3,7 +3,8 @@
 # that exercise cross-thread behavior (plus anything extra you name).
 #
 #   tools/run_tsan.sh                 # sharded_census_test + sim_test +
-#                                     # scan_test + trace_test
+#                                     # scan_test + trace_test +
+#                                     # chaos_matrix_test
 #   tools/run_tsan.sh census_test ... # additional test binaries to run
 #
 # Uses a dedicated build tree (build-tsan) so the instrumented objects
@@ -21,8 +22,10 @@ cmake -B "$BUILD_DIR" -S . \
   -DFTPC_SANITIZE=thread >/dev/null
 
 # trace_test exercises the per-shard trace buffers and their post-join
-# merge (TraceSplitInvariance runs 4-shard/8-thread censuses).
-TESTS="sharded_census_test sim_test scan_test trace_test"
+# merge (TraceSplitInvariance runs 4-shard/8-thread censuses);
+# chaos_matrix_test runs every fault kind through multi-thread shard
+# splits, so the per-shard ChaosEngine attachment is raced here too.
+TESTS="sharded_census_test sim_test scan_test trace_test chaos_matrix_test"
 [ "$#" -gt 0 ] && TESTS="$TESTS $*"
 
 # shellcheck disable=SC2086
