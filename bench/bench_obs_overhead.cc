@@ -9,17 +9,23 @@
 //                   host short-circuits out, so this prices the null checks
 //   trace_sampled   metrics on + tracing at --trace-sample 0.01
 //   trace_full      metrics on + tracing at sample 1.0 with transcripts
+//   timeline_off    metrics on, timeline off — prices the always-on
+//                   timeline null checks in the scanner/enumerator hot path
+//   timeline_on     metrics on + --timeline-out recording at 1s cadence
 //
 // Gates (exit 1 on violation):
 //   metrics        vs base    < 5%
 //   trace_disabled vs metrics < 1%
 //   trace_sampled  vs metrics < 5%
+//   timeline_off   vs metrics < 1%
+//   timeline_on    vs metrics < 5%
 //   trace_full is reported but not gated — full transcripts are a debug
 //   mode, priced for the record.
 // A gate only trips when the absolute delta also exceeds 20ms, so a tiny
 // --scale run on a noisy machine cannot fail on scheduler jitter alone.
 //
-// Results also land in BENCH_obs.json (cwd) for machine consumption.
+// Results land in BENCH_obs.json (cwd) for machine consumption; the
+// timeline gates are additionally broken out into BENCH_timeline.json.
 //
 // Environment knobs (same as the table benches):
 //   FTPCENSUS_SEED         population + scan seed   (default 42)
@@ -46,17 +52,28 @@ std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
   return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
 }
 
-enum class Leg { kBase, kMetrics, kTraceDisabled, kTraceSampled, kTraceFull };
+enum class Leg {
+  kBase,
+  kMetrics,
+  kTraceDisabled,
+  kTraceSampled,
+  kTraceFull,
+  kTimelineOff,
+  kTimelineOn,
+};
 
-constexpr const char* kLegNames[] = {"base", "metrics", "trace_disabled",
-                                     "trace_sampled", "trace_full"};
-constexpr int kLegs = 5;
+constexpr const char* kLegNames[] = {"base",          "metrics",
+                                     "trace_disabled", "trace_sampled",
+                                     "trace_full",     "timeline_off",
+                                     "timeline_on"};
+constexpr int kLegs = 7;
 
 struct RunResult {
   double seconds = 0.0;
   std::uint64_t hosts = 0;
-  std::uint64_t counters = 0;      // registry size, sanity only
-  std::uint64_t trace_events = 0;  // buffer size, sanity only
+  std::uint64_t counters = 0;       // registry size, sanity only
+  std::uint64_t trace_events = 0;   // buffer size, sanity only
+  std::uint64_t timeline_hits = 0;  // recorded timeline hosts, sanity only
 };
 
 RunResult run_census(std::uint64_t seed, unsigned scale_shift, Leg leg) {
@@ -84,6 +101,11 @@ RunResult run_census(std::uint64_t seed, unsigned scale_shift, Leg leg) {
       config.trace.enabled = true;
       config.trace.sample_rate = 1.0;
       break;
+    case Leg::kTimelineOff:
+      break;  // identical to kMetrics: prices the disabled-path null checks
+    case Leg::kTimelineOn:
+      config.timeline.enabled = true;
+      break;
   }
   core::VectorSink sink;
   core::Census census(network, config);
@@ -97,6 +119,7 @@ RunResult run_census(std::uint64_t seed, unsigned scale_shift, Leg leg) {
   result.hosts = stats.hosts_enumerated;
   result.counters = stats.metrics.counters().size();
   result.trace_events = stats.trace.size();
+  result.timeline_hits = stats.timeline.hosts().size();
   return result;
 }
 
@@ -112,6 +135,8 @@ constexpr Gate kGates[] = {
     {"trace_disabled", Leg::kTraceDisabled, Leg::kMetrics, 1.0},
     {"trace_sampled", Leg::kTraceSampled, Leg::kMetrics, 5.0},
     {"trace_full", Leg::kTraceFull, Leg::kMetrics, -1.0},
+    {"timeline_off", Leg::kTimelineOff, Leg::kMetrics, 1.0},
+    {"timeline_on", Leg::kTimelineOn, Leg::kMetrics, 5.0},
 };
 
 // Relative gates are meaningless at micro time scales: require the leg to
@@ -206,12 +231,49 @@ int main() {
     std::printf("warning: cannot write BENCH_obs.json\n");
   }
 
+  // Timeline-specific record (same data, stable location for the timeline
+  // PR's CI trend line).
+  {
+    const double metrics_s = best[static_cast<int>(Leg::kMetrics)];
+    const double off_s = best[static_cast<int>(Leg::kTimelineOff)];
+    const double on_s = best[static_cast<int>(Leg::kTimelineOn)];
+    std::string tl = "{\"bench\":\"timeline_overhead\",\"seed\":" +
+                     std::to_string(seed) +
+                     ",\"scale_shift\":" + std::to_string(scale_shift) +
+                     ",\"hosts\":" + std::to_string(sample[0].hosts) +
+                     ",\"timeline_hits\":" +
+                     std::to_string(sample[static_cast<int>(Leg::kTimelineOn)]
+                                        .timeline_hits) +
+                     ",\"seconds\":{\"metrics\":" + std::to_string(metrics_s) +
+                     ",\"timeline_off\":" + std::to_string(off_s) +
+                     ",\"timeline_on\":" + std::to_string(on_s) +
+                     "},\"overhead_pct\":{\"timeline_off\":" +
+                     std::to_string((off_s / metrics_s - 1.0) * 100.0) +
+                     ",\"timeline_on\":" +
+                     std::to_string((on_s / metrics_s - 1.0) * 100.0) +
+                     "},\"pass\":";
+    tl += pass ? "true" : "false";
+    tl += "}\n";
+    std::FILE* tl_out = std::fopen("BENCH_timeline.json", "wb");
+    if (tl_out != nullptr) {
+      std::fwrite(tl.data(), 1, tl.size(), tl_out);
+      std::fclose(tl_out);
+      std::printf("wrote BENCH_timeline.json\n");
+    } else {
+      std::printf("warning: cannot write BENCH_timeline.json\n");
+    }
+  }
+
   if (sample[static_cast<int>(Leg::kMetrics)].counters == 0) {
     std::printf("FAIL: instrumented run recorded no counters\n");
     return 1;
   }
   if (sample[static_cast<int>(Leg::kTraceFull)].trace_events == 0) {
     std::printf("FAIL: trace_full run recorded no trace events\n");
+    return 1;
+  }
+  if (sample[static_cast<int>(Leg::kTimelineOn)].timeline_hits == 0) {
+    std::printf("FAIL: timeline_on run recorded no timeline hits\n");
     return 1;
   }
   if (!pass) {

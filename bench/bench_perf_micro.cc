@@ -190,6 +190,49 @@ void BM_MetricsHistogramRecord(benchmark::State& state) {
 }
 BENCHMARK(BM_MetricsHistogramRecord);
 
+// Long bounds list: the case that motivated moving Histogram::record from a
+// linear scan to std::lower_bound. 64 buckets is a plausible latency-profile
+// resolution; the linear reference leg below prices the old behavior so the
+// win stays visible in BENCH output.
+std::vector<std::uint64_t> long_bounds() {
+  std::vector<std::uint64_t> bounds;
+  std::uint64_t b = 100;
+  for (int i = 0; i < 64; ++i) {
+    bounds.push_back(b);
+    b += b / 4 + 100;  // roughly geometric, strictly increasing
+  }
+  return bounds;
+}
+
+void BM_MetricsHistogramRecordLongBounds(benchmark::State& state) {
+  obs::Histogram histogram(long_bounds());
+  std::uint64_t value = 17;
+  for (auto _ : state) {
+    histogram.record(value);
+    value = value * 31 % 2'000'000;
+  }
+  benchmark::DoNotOptimize(histogram.count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramRecordLongBounds);
+
+void BM_MetricsHistogramLinearReference(benchmark::State& state) {
+  // The pre-binary-search algorithm, kept as a local reference so the
+  // speedup on long bounds lists is measurable side by side.
+  const std::vector<std::uint64_t> bounds = long_bounds();
+  std::vector<std::uint64_t> buckets(bounds.size() + 1, 0);
+  std::uint64_t value = 17;
+  for (auto _ : state) {
+    std::size_t i = 0;
+    while (i < bounds.size() && bounds[i] < value) ++i;
+    ++buckets[i];
+    value = value * 31 % 2'000'000;
+  }
+  benchmark::DoNotOptimize(buckets.data());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramLinearReference);
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -1,5 +1,7 @@
 #include "core/census.h"
 
+#include <chrono>
+
 #include "common/log.h"
 #include "common/rng.h"
 #include "core/funnel.h"
@@ -15,6 +17,7 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
                               std::uint32_t total_shards) {
   CensusStats stats;
   const sim::SimTime started = network_.loop().now();
+  const auto wall_started = std::chrono::steady_clock::now();
 
   // Attach this shard's registry for the duration of the run so every
   // layer (network, client, enumerator, scanner) records into it. RAII:
@@ -27,6 +30,8 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
       network.set_metrics(nullptr);
       network.set_trace(nullptr);
       network.set_chaos(nullptr);
+      network.set_timeline(nullptr);
+      network.set_perf(nullptr);
     }
   } detach{network_};
   network_.set_metrics(metrics);
@@ -34,6 +39,18 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
   // (already canonicalized) just before return.
   obs::TraceCollector trace_collector(config_.trace, config_.seed);
   if (config_.trace.enabled) network_.set_trace(&trace_collector);
+  // Timeline collector, same frame-scoped attachment: records this shard's
+  // split-invariant facts (scan boundary samples, per-session outcomes);
+  // the merged facts project to the canonical rows at export time.
+  obs::TimelineCollector timeline_collector(config_.timeline,
+                                            config_.concurrency);
+  if (config_.timeline.enabled) network_.set_timeline(&timeline_collector);
+  // Perf collector (wall/CPU stage attribution + live load samples). Never
+  // feeds a deterministic artifact; see obs/perf.h.
+  obs::PerfCollector perf_collector;
+  obs::PerfCollector* perf =
+      config_.perf_enabled ? &perf_collector : nullptr;
+  if (perf != nullptr) network_.set_perf(perf);
   // Per-shard chaos engine, same frame-scoped attachment: fault plans are
   // pure per IP, so every shard's engine agrees on every host's plan.
   sim::ChaosEngine chaos_engine(
@@ -52,7 +69,10 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
   scan_config.probe_retries = config_.probe_retries;
   scan::Scanner scanner(network_, scan_config);
   std::vector<std::uint32_t> hits;
-  stats.scan = scanner.run([&hits](Ipv4 ip) { hits.push_back(ip.value()); });
+  {
+    obs::ScopedStageTimer probe_timer(perf, obs::PerfStage::kProbe);
+    stats.scan = scanner.run([&hits](Ipv4 ip) { hits.push_back(ip.value()); });
+  }
   if (config_.max_hosts != 0 && hits.size() > config_.max_hosts) {
     hits.resize(config_.max_hosts);
   }
@@ -116,15 +136,52 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
   };
   launch();
 
+  // Perf plane: a periodic sim-timer samples live shard-local gauges
+  // (in-flight window, undrained hit queue, timer-heap size). The timer
+  // self-reschedules, so it must be cancelled once the drive loop exits —
+  // run_while_pending checks its predicate before every event, so the
+  // sampler can never keep the loop alive on its own.
+  sim::TimerId sampler_timer = 0;
+  bool sampler_armed = false;
+  std::function<void()> sample;
+  if (perf != nullptr) {
+    const sim::SimTime cadence =
+        config_.timeline.interval_us > 0 ? config_.timeline.interval_us
+                                         : sim::kSecond;
+    sample = [&, cadence] {
+      perf_collector.live_sample(in_flight, hits.size() - next,
+                                 network_.loop().pending());
+      sampler_timer = network_.loop().schedule_after(cadence, [&] { sample(); });
+    };
+    sampler_timer =
+        network_.loop().schedule_after(cadence, [&] { sample(); });
+    sampler_armed = true;
+  }
+
   // Drive the loop until every session has completed.
   network_.loop().run_while_pending(
       [&] { return in_flight == 0 && next >= hits.size(); });
+  if (sampler_armed) network_.loop().cancel(sampler_timer);
 
   stats.virtual_duration = network_.loop().now() - started;
   if (config_.trace.enabled) {
     network_.set_trace(nullptr);
     stats.trace = std::move(trace_collector.buffer());
     stats.trace.canonicalize();
+  }
+  if (config_.timeline.enabled) {
+    network_.set_timeline(nullptr);
+    stats.timeline = timeline_collector.take();
+  }
+  if (perf != nullptr) {
+    network_.set_perf(nullptr);
+    perf_collector.set_shard(shard);
+    perf_collector.set_items(stats.hosts_enumerated);
+    perf_collector.set_wall(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_started)
+            .count());
+    stats.perf.add_collector(perf_collector);
   }
   return stats;
 }

@@ -11,7 +11,9 @@
 #include "core/records.h"
 #include "net/internet.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
 #include "obs/progress.h"
+#include "obs/timeline.h"
 #include "scan/scanner.h"
 #include "sim/chaos.h"
 #include "sim/network.h"
@@ -58,6 +60,14 @@ struct CensusConfig {
   /// only; never feeds the deterministic metrics). May be shared across
   /// shards — the fields are atomics.
   obs::ProgressCounters* progress = nullptr;
+  /// Deterministic timeline telemetry (obs/timeline.h): sim-time gauge
+  /// snapshots into CensusStats::timeline, byte-identical across shard
+  /// and thread splits. Off = one null check per probe/session.
+  obs::TimelineOptions timeline;
+  /// Perf plane (obs/perf.h): real wall/CPU stage attribution and a
+  /// per-shard load-skew report into CensusStats::perf. Display/tuning
+  /// only — explicitly exempt from the byte-identity contract.
+  bool perf_enabled = false;
 };
 
 struct CensusStats {
@@ -80,6 +90,14 @@ struct CensusStats {
   /// session-relative and ports are normalized, so after canonicalize()
   /// the merged buffer is byte-identical across shard/thread splits.
   obs::TraceBuffer trace;
+  /// Deterministic timeline facts (scan series + per-host outcomes). The
+  /// projection/export (to_jsonl) is byte-identical across splits because
+  /// every recorded fact is either an exact shard partition (scan series)
+  /// or a per-host-pure quantity (session outcomes).
+  obs::Timeline timeline;
+  /// Perf-plane report (ftpc.perf.v1) — real seconds, shard layout, load
+  /// skew. NOT deterministic; never feeds a deterministic artifact.
+  obs::PerfReport perf;
 
   /// Folds another shard's counters into this one. Pure sums except
   /// virtual_duration (max), so the merged value is independent of merge
@@ -94,6 +112,8 @@ struct CensusStats {
     shards_run += other.shards_run;
     metrics.merge_from(other.metrics);
     trace.merge_from(other.trace);
+    timeline.merge_from(other.timeline);
+    perf.merge_from(other.perf);
   }
 };
 

@@ -41,11 +41,13 @@ HostEnumerator::HostEnumerator(sim::Network& network, Ipv4 target,
 }
 
 void HostEnumerator::begin() {
+  obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kConnect);
+  started_ = network_.loop().now();
   // Session-relative trace clock starts now: everything downstream of this
   // point is a pure function of (seed, target), so relative stamps are
   // identical in every shard split (see obs/trace.h).
   if (auto* collector = network_.trace()) {
-    trace_ = collector->open_session(report_.ip.value(), network_.loop().now());
+    trace_ = collector->open_session(report_.ip.value(), started_);
   }
 
   ftp::FtpClient::Options client_options;
@@ -94,6 +96,7 @@ bool HostEnumerator::budget_exhausted() const {
 // ---------------------------------------------------------------------------
 
 void HostEnumerator::on_banner(Result<ftp::Reply> result) {
+  obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kBanner);
   if (!result.is_ok()) {
     // `connected` reflects TCP establishment, not banner success: a refused
     // or timed-out *connect* never reached the host, while a silent
@@ -141,6 +144,7 @@ void HostEnumerator::start_login() {
 }
 
 void HostEnumerator::on_user_reply(Result<ftp::Reply> result) {
+  obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kLogin);
   if (!result.is_ok()) {
     report_.login = LoginOutcome::kError;
     abort_with(result.status());
@@ -191,6 +195,7 @@ void HostEnumerator::on_user_reply(Result<ftp::Reply> result) {
 }
 
 void HostEnumerator::on_pass_reply(Result<ftp::Reply> result) {
+  obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kLogin);
   if (!result.is_ok()) {
     report_.login = LoginOutcome::kError;
     abort_with(result.status());
@@ -282,6 +287,7 @@ void HostEnumerator::start_traversal() {
 }
 
 void HostEnumerator::traversal_step() {
+  obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kEnumerate);
   if (finished_) return;
   if (frontier_.empty()) {
     start_surveys();
@@ -313,6 +319,7 @@ void HostEnumerator::traversal_step() {
 
 void HostEnumerator::on_listing(std::string dir,
                                 Result<ftp::TransferOutcome> result) {
+  obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kEnumerate);
   if (finished_) return;
   if (!result.is_ok()) {
     // §III.A: termination mid-traversal is an explicit refusal of service;
@@ -381,6 +388,7 @@ void HostEnumerator::start_surveys() {
 }
 
 void HostEnumerator::survey_step(int stage) {
+  obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kFinalize);
   if (finished_) return;
   auto self = shared_from_this();
   auto advance = [self](int next) { self->survey_step(next); };
@@ -476,6 +484,7 @@ void HostEnumerator::abort_with(Status error) {
 }
 
 void HostEnumerator::finalize(Status error) {
+  obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kFinalize);
   if (finished_) return;
   finished_ = true;
   if (gap_armed_) {
@@ -497,6 +506,21 @@ void HostEnumerator::finalize(Status error) {
                       network_.loop().now());
   }
   client_->abort_session();
+  if (auto* timeline = network_.timeline()) {
+    // Everything here is pure in (seed, target): the session duration,
+    // command/retry counts, and funnel flags are identical no matter which
+    // shard ran the host, so the timeline exporter can replay completions
+    // deterministically (see obs/timeline.h).
+    obs::TimelineSessionFacts facts;
+    facts.duration_us = network_.loop().now() - started_;
+    facts.connected = report_.connected;
+    facts.ftp_compliant = report_.ftp_compliant;
+    facts.anonymous = report_.anonymous();
+    facts.errored = !report_.error.is_ok();
+    facts.requests = report_.requests_used;
+    facts.retries = client_->retries_total();
+    timeline->record_session(report_.ip.value(), facts);
+  }
   if (auto* metrics = network_.metrics()) {
     metrics->add("enum.sessions");
     metrics->add("enum.dirs_listed", report_.dirs_listed);

@@ -102,6 +102,10 @@ class HostEnumerator : public std::enable_shared_from_this<HostEnumerator> {
   // Per-session trace handle (owned by the network's TraceCollector);
   // nullptr when tracing is off or this host is unsampled.
   obs::TraceSession* trace_ = nullptr;
+  // Session launch time: everything after begin() is a pure function of
+  // (seed, target), so the finalize-time duration (now - started_) is
+  // split-invariant and safe for the deterministic timeline.
+  sim::SimTime started_ = 0;
 
   ftp::RobotsPolicy robots_;
   bool have_robots_ = false;

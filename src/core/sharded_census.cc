@@ -1,11 +1,13 @@
 #include "core/sharded_census.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/perf.h"
 #include "sim/network.h"
 
 namespace ftpc::core {
@@ -77,10 +79,22 @@ CensusStats ShardedCensus::run(RecordSink& sink) {
   if (failure) std::rethrow_exception(failure);
 
   // Single-threaded from here: deterministic replay + order-free fold.
+  // The merge stage runs after the workers join, so its cost lands on the
+  // final report directly rather than through a shard collector.
+  const auto merge_started = std::chrono::steady_clock::now();
+  const double merge_cpu_started = obs::ScopedStageTimer::thread_cpu_seconds();
   merge.merge_into(sink);
   CensusStats total = per_shard[0];
   for (std::uint32_t shard = 1; shard < shards; ++shard) {
     total.merge_from(per_shard[shard]);
+  }
+  if (config_.perf_enabled) {
+    total.perf.add_stage(
+        obs::PerfStage::kMerge,
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      merge_started)
+            .count(),
+        obs::ScopedStageTimer::thread_cpu_seconds() - merge_cpu_started);
   }
   return total;
 }

@@ -379,6 +379,7 @@ void FtpClient::handle_reply_timeout() {
     return;
   }
   ++retries_used_;
+  ++retries_total_;
   if (auto* metrics = network_.metrics()) metrics->add("retry.command");
   sim::SimTime backoff = options_.retry_backoff;
   for (std::uint32_t i = 1;

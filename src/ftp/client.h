@@ -122,6 +122,10 @@ class FtpClient : public std::enable_shared_from_this<FtpClient> {
   bool ever_connected() const noexcept { return ever_connected_; }
   Ipv4 server_ip() const noexcept { return server_ip_; }
   std::uint64_t commands_sent() const noexcept { return commands_sent_; }
+  /// Command retransmits after reply timeouts over the whole session
+  /// (retries_used_ resets per operation; this never does). Feeds the
+  /// timeline's retry gauge — a pure per-host quantity under chaos.
+  std::uint64_t retries_total() const noexcept { return retries_total_; }
   std::uint64_t bytes_downloaded() const noexcept { return bytes_downloaded_; }
   /// True once a simulated TLS session has been established.
   bool tls_active() const noexcept { return tls_active_; }
@@ -193,6 +197,7 @@ class FtpClient : public std::enable_shared_from_this<FtpClient> {
   // the outstanding operation is not retryable (banner, TLS records).
   std::string last_command_wire_;
   std::uint32_t retries_used_ = 0;
+  std::uint64_t retries_total_ = 0;
   sim::TimerId backoff_timer_ = 0;
   bool backoff_armed_ = false;
 

@@ -15,6 +15,7 @@
 // merge_from() in canonical shard order.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -35,8 +36,12 @@ class Histogram {
       : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
 
   void record(std::uint64_t value) noexcept {
-    std::size_t i = 0;
-    while (i < bounds_.size() && value > bounds_[i]) ++i;
+    // Binary search for the first bound >= value; a value equal to a bound
+    // belongs in that bound's bucket, values above every bound land in the
+    // overflow bucket at index bounds_.size().
+    const std::size_t i = static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin());
     ++buckets_[i];
     ++count_;
     sum_ += value;

@@ -1,0 +1,161 @@
+#include "obs/perf.h"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ftpc::obs {
+
+const char* perf_stage_name(PerfStage stage) noexcept {
+  switch (stage) {
+    case PerfStage::kProbe:
+      return "probe";
+    case PerfStage::kConnect:
+      return "connect";
+    case PerfStage::kBanner:
+      return "banner";
+    case PerfStage::kLogin:
+      return "login";
+    case PerfStage::kEnumerate:
+      return "enumerate";
+    case PerfStage::kFinalize:
+      return "finalize";
+    case PerfStage::kMerge:
+      return "merge";
+  }
+  return "?";
+}
+
+double ScopedStageTimer::thread_cpu_seconds() noexcept {
+#ifdef CLOCK_THREAD_CPUTIME_ID
+  struct timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return 0.0;
+}
+
+void PerfReport::add_collector(const PerfCollector& collector) {
+  for (std::size_t i = 0; i < kPerfStageCount; ++i) {
+    stages_[i].wall_s += collector.stages()[i].wall_s;
+    stages_[i].cpu_s += collector.stages()[i].cpu_s;
+    stages_[i].calls += collector.stages()[i].calls;
+  }
+  shards_.push_back(collector.shard());
+}
+
+void PerfReport::add_stage(PerfStage stage, double wall_s, double cpu_s) {
+  PerfStageTotals& totals = stages_[static_cast<std::size_t>(stage)];
+  totals.wall_s += wall_s;
+  totals.cpu_s += cpu_s;
+  ++totals.calls;
+}
+
+void PerfReport::merge_from(const PerfReport& other) {
+  for (std::size_t i = 0; i < kPerfStageCount; ++i) {
+    stages_[i].wall_s += other.stages_[i].wall_s;
+    stages_[i].cpu_s += other.stages_[i].cpu_s;
+    stages_[i].calls += other.stages_[i].calls;
+  }
+  shards_.insert(shards_.end(), other.shards_.begin(), other.shards_.end());
+}
+
+bool PerfReport::empty() const noexcept {
+  if (!shards_.empty()) return false;
+  for (const PerfStageTotals& totals : stages_) {
+    if (totals.calls != 0) return false;
+  }
+  return true;
+}
+
+double PerfReport::imbalance() const noexcept {
+  if (shards_.empty()) return 0.0;
+  double max_wall = 0.0;
+  double sum_wall = 0.0;
+  for (const PerfShard& shard : shards_) {
+    max_wall = std::max(max_wall, shard.wall_s);
+    sum_wall += shard.wall_s;
+  }
+  const double mean = sum_wall / static_cast<double>(shards_.size());
+  return mean > 0.0 ? max_wall / mean : 0.0;
+}
+
+namespace {
+
+std::string fmt_seconds(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6f", seconds);
+  return buffer;
+}
+
+}  // namespace
+
+std::string PerfReport::to_json() const {
+  std::vector<PerfShard> shards = shards_;
+  std::sort(shards.begin(), shards.end(),
+            [](const PerfShard& a, const PerfShard& b) {
+              return a.shard < b.shard;
+            });
+
+  std::string out = "{\"schema\":\"ftpc.perf.v1\"";
+  out += ",\"stages\":{";
+  bool first = true;
+  for (std::size_t i = 0; i < kPerfStageCount; ++i) {
+    const PerfStageTotals& totals = stages_[i];
+    if (totals.calls == 0) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out += perf_stage_name(static_cast<PerfStage>(i));
+    out += "\":{\"wall_s\":" + fmt_seconds(totals.wall_s);
+    out += ",\"cpu_s\":" + fmt_seconds(totals.cpu_s);
+    out += ",\"calls\":" + std::to_string(totals.calls) + "}";
+  }
+  out += "},\"per_shard\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const PerfShard& shard = shards[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"shard\":" + std::to_string(shard.shard);
+    out += ",\"items\":" + std::to_string(shard.items);
+    out += ",\"wall_s\":" + fmt_seconds(shard.wall_s);
+    out += ",\"samples\":" + std::to_string(shard.samples);
+    out += ",\"peak_in_flight\":" + std::to_string(shard.peak_in_flight);
+    out += ",\"peak_queue\":" + std::to_string(shard.peak_queue);
+    out += ",\"peak_timers\":" + std::to_string(shard.peak_timers);
+    const double mean_in_flight =
+        shard.samples > 0 ? static_cast<double>(shard.sum_in_flight) /
+                                static_cast<double>(shard.samples)
+                          : 0.0;
+    out += ",\"mean_in_flight\":" + fmt_seconds(mean_in_flight) + "}";
+  }
+  out += "],\"skew\":{";
+  double max_wall = 0.0;
+  double sum_wall = 0.0;
+  std::uint64_t max_items = 0;
+  std::uint64_t sum_items = 0;
+  for (const PerfShard& shard : shards) {
+    max_wall = std::max(max_wall, shard.wall_s);
+    sum_wall += shard.wall_s;
+    max_items = std::max(max_items, shard.items);
+    sum_items += shard.items;
+  }
+  const double mean_wall =
+      shards.empty() ? 0.0 : sum_wall / static_cast<double>(shards.size());
+  const double mean_items =
+      shards.empty() ? 0.0
+                     : static_cast<double>(sum_items) /
+                           static_cast<double>(shards.size());
+  out += "\"shards\":" + std::to_string(shards.size());
+  out += ",\"max_wall_s\":" + fmt_seconds(max_wall);
+  out += ",\"mean_wall_s\":" + fmt_seconds(mean_wall);
+  out += ",\"wall_imbalance\":" + fmt_seconds(imbalance());
+  out += ",\"max_items\":" + std::to_string(max_items);
+  out += ",\"mean_items\":" + fmt_seconds(mean_items);
+  out += "}}\n";
+  return out;
+}
+
+}  // namespace ftpc::obs

@@ -1,0 +1,163 @@
+// Perf plane: real wall/CPU attribution for the census pipeline.
+//
+// Where the deterministic timeline (obs/timeline.h) answers "what did the
+// simulated run do over simulated time, identically for every shard
+// split", this plane answers the question that is *deliberately* shard-
+// and machine-dependent: where did the real CPU go, and how evenly did
+// the shards share the load? It is the substrate perf PRs are judged
+// against, and it is explicitly EXEMPT from the byte-identity contract —
+// wall time, thread scheduling, and shard layout are exactly what it
+// measures. Perf output must therefore never be mixed into a
+// deterministic artifact; it serializes separately as ftpc.perf.v1.
+//
+// Two kinds of data:
+//   - stage timers: ScopedStageTimer RAII guards accumulate the wall and
+//     thread-CPU time spent *executing* each pipeline stage's handlers
+//     (probe walk, connect/banner/login/enumerate/finalize callbacks, and
+//     the post-join merge). In a discrete-event simulation a stage has no
+//     meaningful real-time extent — what costs money is handler
+//     execution, and that is what the guards measure.
+//   - load samples: a periodic sim-timer in each shard samples live
+//     shard-local gauges (in-flight sessions, enumeration queue depth,
+//     event-loop timer-heap size). These per-shard series are the data
+//     the deterministic plane cannot carry (a K-shard run has K
+//     concurrent windows, not one), summarized here per shard.
+//
+// Like the other obs channels: no locks, no atomics. One PerfCollector
+// per shard; reports merge after the workers join.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ftpc::obs {
+
+enum class PerfStage : std::size_t {
+  kProbe = 0,
+  kConnect,
+  kBanner,
+  kLogin,
+  kEnumerate,
+  kFinalize,
+  kMerge,
+};
+constexpr std::size_t kPerfStageCount = 7;
+
+const char* perf_stage_name(PerfStage stage) noexcept;
+
+struct PerfStageTotals {
+  double wall_s = 0.0;
+  double cpu_s = 0.0;
+  std::uint64_t calls = 0;
+};
+
+/// One shard's contribution to the load-skew report.
+struct PerfShard {
+  std::uint32_t shard = 0;
+  std::uint64_t items = 0;  // hosts enumerated by this shard
+  double wall_s = 0.0;      // real time run_shard took on its worker
+  std::uint64_t samples = 0;
+  std::uint64_t peak_in_flight = 0;
+  std::uint64_t peak_queue = 0;
+  std::uint64_t peak_timers = 0;  // event-loop timer-heap high-water mark
+  std::uint64_t sum_in_flight = 0;  // for the mean across samples
+};
+
+/// Per-shard recorder, attached to the shard's sim::Network for the
+/// duration of a census run (same contract as the metrics registry).
+class PerfCollector {
+ public:
+  void add_stage(PerfStage stage, double wall_s, double cpu_s) {
+    PerfStageTotals& totals = stages_[static_cast<std::size_t>(stage)];
+    totals.wall_s += wall_s;
+    totals.cpu_s += cpu_s;
+    ++totals.calls;
+  }
+
+  /// Periodic sim-timer sample of live shard-local gauges.
+  void live_sample(std::uint64_t in_flight, std::uint64_t queue,
+                   std::uint64_t timers) {
+    ++shard_.samples;
+    shard_.sum_in_flight += in_flight;
+    if (in_flight > shard_.peak_in_flight) shard_.peak_in_flight = in_flight;
+    if (queue > shard_.peak_queue) shard_.peak_queue = queue;
+    if (timers > shard_.peak_timers) shard_.peak_timers = timers;
+  }
+
+  void set_shard(std::uint32_t shard) { shard_.shard = shard; }
+  void set_items(std::uint64_t items) { shard_.items = items; }
+  void set_wall(double wall_s) { shard_.wall_s = wall_s; }
+
+  const PerfStageTotals* stages() const noexcept { return stages_; }
+  const PerfShard& shard() const noexcept { return shard_; }
+
+ private:
+  PerfStageTotals stages_[kPerfStageCount];
+  PerfShard shard_;
+};
+
+/// Merged perf data across shards; serializes as ftpc.perf.v1.
+class PerfReport {
+ public:
+  void add_collector(const PerfCollector& collector);
+
+  /// Post-join work (the merge stage) is recorded directly on the report.
+  void add_stage(PerfStage stage, double wall_s, double cpu_s);
+
+  void merge_from(const PerfReport& other);
+
+  bool empty() const noexcept;
+  const std::vector<PerfShard>& shards() const noexcept { return shards_; }
+
+  /// Load imbalance: max shard wall time over mean shard wall time
+  /// (1.0 = perfectly balanced; 0 when fewer than one shard reported).
+  double imbalance() const noexcept;
+
+  /// ftpc.perf.v1 JSON: stage totals, a per-shard load table (sorted by
+  /// shard id), and the skew summary. Values are real seconds — this
+  /// artifact is NOT deterministic and is documented as exempt from the
+  /// byte-identity contract.
+  std::string to_json() const;
+
+ private:
+  PerfStageTotals stages_[kPerfStageCount];
+  std::vector<PerfShard> shards_;
+};
+
+/// RAII stage timer: accumulates the guarded scope's wall and thread-CPU
+/// time into the collector. A null collector makes the guard free apart
+/// from one branch, so call sites can stay unconditional.
+class ScopedStageTimer {
+ public:
+  ScopedStageTimer(PerfCollector* collector, PerfStage stage) noexcept
+      : collector_(collector), stage_(stage) {
+    if (collector_ != nullptr) {
+      wall_start_ = std::chrono::steady_clock::now();
+      cpu_start_ = thread_cpu_seconds();
+    }
+  }
+  ~ScopedStageTimer() {
+    if (collector_ != nullptr) {
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start_)
+              .count();
+      collector_->add_stage(stage_, wall, thread_cpu_seconds() - cpu_start_);
+    }
+  }
+  ScopedStageTimer(const ScopedStageTimer&) = delete;
+  ScopedStageTimer& operator=(const ScopedStageTimer&) = delete;
+
+  /// Current thread's consumed CPU time, seconds.
+  static double thread_cpu_seconds() noexcept;
+
+ private:
+  PerfCollector* collector_;
+  PerfStage stage_;
+  std::chrono::steady_clock::time_point wall_start_;
+  double cpu_start_ = 0.0;
+};
+
+}  // namespace ftpc::obs

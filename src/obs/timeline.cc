@@ -1,0 +1,296 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ftpc::obs {
+
+const std::array<const char*, Timeline::kGaugeCount>&
+Timeline::gauge_names() noexcept {
+  static const std::array<const char*, kGaugeCount> kNames = {
+      "scan.elements",    "scan.probed",      "scan.responsive",
+      "scan.retransmits", "enum.launched",    "enum.in_flight",
+      "enum.queue",       "enum.done",        "funnel.connected",
+      "funnel.ftp",       "funnel.anonymous", "funnel.errored",
+      "ftp.requests",     "retry.commands",
+  };
+  return kNames;
+}
+
+void Timeline::merge_from(const Timeline& other) {
+  for (const auto& series : other.scan_series_) scan_series_.push_back(series);
+  hosts_.insert(hosts_.end(), other.hosts_.begin(), other.hosts_.end());
+  if (pps_ == 0) pps_ = other.pps_;
+}
+
+Timeline::ScanTotals Timeline::scan_totals() const noexcept {
+  // Each shard's series closes with the shard's totals (scan_totals()),
+  // so the merged totals are the sum of the series tails.
+  ScanTotals totals;
+  for (const auto& series : scan_series_) {
+    if (series.empty()) continue;
+    const TimelineScanSample& last = series.back();
+    totals.elements += last.elements;
+    totals.probed += last.probed;
+    totals.responsive += last.responsive;
+    totals.retransmits += last.retransmits;
+  }
+  return totals;
+}
+
+std::uint64_t Timeline::t0_us() const noexcept {
+  if (pps_ == 0) return 0;
+  const ScanTotals totals = scan_totals();
+  // Matches scan::Scanner's end-of-run advance byte for byte: one division
+  // over the total wire-packet count, kSecond = 1e6 µs.
+  return (totals.probed + totals.retransmits) * 1'000'000 / pps_;
+}
+
+std::vector<Timeline::Row> Timeline::project() const {
+  std::vector<Row> rows;
+  const std::uint64_t interval = std::max<std::uint64_t>(1, options_.interval_us);
+  // Events at time t land in the first tick that samples them:
+  // tick k = ceil(t / interval), so a snapshot at k*interval counts every
+  // event with time <= k*interval.
+  const auto bucket = [interval](std::uint64_t t) -> std::uint64_t {
+    return (t + interval - 1) / interval;
+  };
+
+  const std::uint64_t t0 = t0_us();
+  const std::uint64_t scan_end_tick = bucket(t0);
+
+  // --- Enumeration replay: canonical sequential window schedule ----------
+  std::vector<TimelineHost> sessions;
+  sessions.reserve(hosts_.size());
+  for (const TimelineHost& host : hosts_) {
+    if (host.enumerated) sessions.push_back(host);
+  }
+  std::sort(sessions.begin(), sessions.end(),
+            [](const TimelineHost& a, const TimelineHost& b) {
+              return a.global_index < b.global_index;
+            });
+
+  std::uint64_t last_tick = scan_end_tick;
+  struct Delta {
+    std::int64_t launched = 0;
+    std::int64_t done = 0;
+    std::int64_t connected = 0;
+    std::int64_t ftp = 0;
+    std::int64_t anonymous = 0;
+    std::int64_t errored = 0;
+    std::int64_t requests = 0;
+    std::int64_t retries = 0;
+  };
+  // Tick -> event deltas. A map keeps the replay O(M log M) regardless of
+  // how sparse the run is; rows are dense-filled afterwards.
+  std::vector<std::pair<std::uint64_t, Delta>> flat;
+  {
+    std::unordered_map<std::uint64_t, Delta> deltas;
+    std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                        std::greater<>>
+        window;  // min-heap of completion times
+    const std::uint32_t cap = std::max<std::uint32_t>(1, concurrency_);
+    for (const TimelineHost& host : sessions) {
+      std::uint64_t launch = t0;
+      if (window.size() >= cap) {
+        launch = window.top();
+        window.pop();
+      }
+      const std::uint64_t completion = launch + host.duration_us;
+      window.push(completion);
+      Delta& at_launch = deltas[bucket(launch)];
+      ++at_launch.launched;
+      Delta& at_done = deltas[bucket(completion)];
+      ++at_done.done;
+      if (host.connected) ++at_done.connected;
+      if (host.ftp_compliant) ++at_done.ftp;
+      if (host.anonymous) ++at_done.anonymous;
+      if (host.errored) ++at_done.errored;
+      at_done.requests += static_cast<std::int64_t>(host.requests);
+      at_done.retries += static_cast<std::int64_t>(host.retries);
+      last_tick = std::max(last_tick, bucket(completion));
+    }
+    flat.assign(deltas.begin(), deltas.end());
+    std::sort(flat.begin(), flat.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  if (last_tick == 0) return rows;
+
+  // --- Scan column cursors: per-series forward fill -----------------------
+  struct SeriesCursor {
+    const std::vector<TimelineScanSample>* series;
+    std::size_t next = 0;
+    TimelineScanSample current{};  // all-zero before the first boundary
+  };
+  std::vector<SeriesCursor> cursors;
+  cursors.reserve(scan_series_.size());
+  for (const auto& series : scan_series_) {
+    cursors.push_back({&series, 0, {}});
+  }
+  const ScanTotals totals = scan_totals();
+
+  rows.reserve(last_tick);
+  std::size_t flat_at = 0;
+  Delta cum;  // running prefix of the enumeration deltas
+  for (std::uint64_t k = 1; k <= last_tick; ++k) {
+    Row row;
+    row.t = k * interval;
+
+    if (k >= scan_end_tick) {
+      // At (and beyond) the canonical scan end, the exact merged totals:
+      // the element-pacing approximation below never outlives the scan.
+      row.gauges[kScanElements] = totals.elements;
+      row.gauges[kScanProbed] = totals.probed;
+      row.gauges[kScanResponsive] = totals.responsive;
+      row.gauges[kScanRetransmits] = totals.retransmits;
+    } else {
+      for (SeriesCursor& cursor : cursors) {
+        while (cursor.next < cursor.series->size() &&
+               (*cursor.series)[cursor.next].boundary <= k) {
+          cursor.current = (*cursor.series)[cursor.next++];
+        }
+        row.gauges[kScanElements] += cursor.current.elements;
+        row.gauges[kScanProbed] += cursor.current.probed;
+        row.gauges[kScanResponsive] += cursor.current.responsive;
+        row.gauges[kScanRetransmits] += cursor.current.retransmits;
+      }
+    }
+
+    while (flat_at < flat.size() && flat[flat_at].first <= k) {
+      const Delta& d = flat[flat_at++].second;
+      cum.launched += d.launched;
+      cum.done += d.done;
+      cum.connected += d.connected;
+      cum.ftp += d.ftp;
+      cum.anonymous += d.anonymous;
+      cum.errored += d.errored;
+      cum.requests += d.requests;
+      cum.retries += d.retries;
+    }
+    row.gauges[kEnumLaunched] = static_cast<std::uint64_t>(cum.launched);
+    row.gauges[kEnumInFlight] =
+        static_cast<std::uint64_t>(cum.launched - cum.done);
+    // Queue depth: hits the canonical schedule has discovered (the scan is
+    // over from the first post-T0 tick) but not yet launched.
+    const std::uint64_t discovered =
+        k >= scan_end_tick ? sessions.size() : 0;
+    row.gauges[kEnumQueue] =
+        discovered - static_cast<std::uint64_t>(cum.launched);
+    row.gauges[kEnumDone] = static_cast<std::uint64_t>(cum.done);
+    row.gauges[kFunnelConnected] = static_cast<std::uint64_t>(cum.connected);
+    row.gauges[kFunnelFtp] = static_cast<std::uint64_t>(cum.ftp);
+    row.gauges[kFunnelAnonymous] = static_cast<std::uint64_t>(cum.anonymous);
+    row.gauges[kFunnelErrored] = static_cast<std::uint64_t>(cum.errored);
+    row.gauges[kFtpRequests] = static_cast<std::uint64_t>(cum.requests);
+    row.gauges[kRetryCommands] = static_cast<std::uint64_t>(cum.retries);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::string Timeline::to_jsonl() const {
+  const std::vector<Row> rows = project();
+  std::uint64_t sessions = 0;
+  for (const TimelineHost& host : hosts_) {
+    if (host.enumerated) ++sessions;
+  }
+  std::string out = "{\"schema\":\"ftpc.tsdb.v1\"";
+  out += ",\"interval_us\":" + std::to_string(options_.interval_us);
+  out += ",\"pps\":" + std::to_string(pps_);
+  out += ",\"concurrency\":" + std::to_string(concurrency_);
+  out += ",\"t0_us\":" + std::to_string(t0_us());
+  out += ",\"hits\":" + std::to_string(hosts_.size());
+  out += ",\"sessions\":" + std::to_string(sessions);
+  out += ",\"ticks\":" + std::to_string(rows.size());
+  out += "}\n";
+  const auto& names = gauge_names();
+  for (const Row& row : rows) {
+    out += "{\"t\":" + std::to_string(row.t);
+    for (std::size_t i = 0; i < kGaugeCount; ++i) {
+      out += ",\"";
+      out += names[i];
+      out += "\":" + std::to_string(row.gauges[i]);
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+std::string Timeline::to_chrome_json() const {
+  const std::vector<Row> rows = project();
+  // Four counter tracks per tick ("ph":"C"), grouped so related gauges
+  // stack in one track each: scan / enum / funnel / ftp.
+  struct Track {
+    const char* name;
+    std::size_t first;
+    std::size_t count;
+  };
+  static constexpr Track kTracks[] = {
+      {"scan", kScanElements, 4},
+      {"enum", kEnumLaunched, 4},
+      {"funnel", kFunnelConnected, 4},
+      {"ftp", kFtpRequests, 2},
+  };
+  const auto& names = gauge_names();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Row& row : rows) {
+    for (const Track& track : kTracks) {
+      if (!first) out.push_back(',');
+      first = false;
+      out += "\n{\"pid\":1,\"tid\":0,\"ph\":\"C\",\"ts\":" +
+             std::to_string(row.t);
+      out += ",\"name\":\"";
+      out += track.name;
+      out += "\",\"args\":{";
+      for (std::size_t i = 0; i < track.count; ++i) {
+        if (i > 0) out.push_back(',');
+        out.push_back('"');
+        out += names[track.first + i];
+        out += "\":" + std::to_string(row.gauges[track.first + i]);
+      }
+      out += "}}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TimelineCollector
+// ---------------------------------------------------------------------------
+
+void TimelineCollector::record_hit(std::uint32_t ip,
+                                   std::uint64_t global_index) {
+  TimelineHost host;
+  host.global_index = global_index;
+  host.ip = ip;
+  host_index_.emplace(ip, hosts_.size());
+  hosts_.push_back(host);
+}
+
+void TimelineCollector::record_session(std::uint32_t ip,
+                                       const TimelineSessionFacts& facts) {
+  const auto it = host_index_.find(ip);
+  if (it == host_index_.end()) return;
+  TimelineHost& host = hosts_[it->second];
+  host.enumerated = true;
+  host.duration_us = facts.duration_us;
+  host.connected = facts.connected;
+  host.ftp_compliant = facts.ftp_compliant;
+  host.anonymous = facts.anonymous;
+  host.errored = facts.errored;
+  host.requests = facts.requests;
+  host.retries = facts.retries;
+}
+
+Timeline TimelineCollector::take() {
+  timeline_.add_scan_series(std::move(scan_samples_));
+  for (const TimelineHost& host : hosts_) timeline_.add_host(host);
+  scan_samples_.clear();
+  hosts_.clear();
+  host_index_.clear();
+  return std::move(timeline_);
+}
+
+}  // namespace ftpc::obs

@@ -1,0 +1,245 @@
+// Deterministic timeline telemetry: the census's third observability
+// channel, alongside the MetricsRegistry (point-in-time counters) and the
+// Trace (per-host narratives). A timeline answers the question neither of
+// those can: how did the run *evolve* — in-flight sessions, queue depth,
+// funnel progress, retry activity — as a function of simulated time?
+//
+// Two strictly separated planes share this header's naming but nothing
+// else (the perf plane lives in obs/perf.h):
+//
+//   deterministic plane (this file): gauge snapshots on a fixed sim-time
+//     cadence, serialized as ftpc.tsdb.v1 JSONL. The contract mirrors
+//     metrics.h and trace.h: the exported artifact is byte-identical for
+//     every (--shards, --threads) split of the same (seed, scale), chaos
+//     included.
+//
+//   perf plane (obs/perf.h): real wall/CPU attribution and per-shard load
+//     samples. Explicitly EXEMPT from the byte-identity contract — wall
+//     time and shard layout are exactly the things it measures.
+//
+// How the deterministic plane survives sharding: a K-shard census runs K
+// *concurrent* simulated timelines, so naively sampling live per-shard
+// gauges can never be split-invariant (each shard's scan takes 1/K of the
+// sequential scan's virtual time, and K independent enumeration windows
+// are not one window). Instead, each shard records split-invariant *facts*
+// — per-element scan progress indexed by global permutation position, and
+// per-host session outcomes (duration, funnel flags, request/retry counts,
+// all pure functions of (seed, target)) tagged with the hit's global scan
+// index — and the exporter *projects* the canonical sequential schedule
+// from the merged facts:
+//
+//   1. Scan phase: the canonical scanner emits one probe per permutation
+//      element at `pps` packets/second, so cumulative scan counters at
+//      global element index g are split-invariant sums of per-shard
+//      boundary samples. The projection places tick k at the first k*ept
+//      elements (ept = elements per tick) and lands the exact merged
+//      totals at the canonical scan end T0 = (probed + retransmits) *
+//      1e6 / pps µs — the same integer arithmetic the live sequential
+//      scanner uses to advance virtual time.
+//   2. Enumeration phase: the sequential census launches hits in global
+//      scan order through a fixed window of `concurrency` sessions, each
+//      completion starting the next host at exactly the completion time.
+//      Given per-host durations, that schedule is a pure min-heap replay:
+//      the first C hosts launch at T0, and the j-th launch beyond the
+//      window happens at the (j-C)-th smallest completion time. Every
+//      gauge below falls out of the replay.
+//
+// Like the other channels: no locks, no atomics. One TimelineCollector
+// belongs to one shard; Timelines merge after the workers join.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ftpc::obs {
+
+/// Knobs for a census timeline (CensusConfig::timeline).
+struct TimelineOptions {
+  bool enabled = false;
+  /// Gauge snapshot cadence in virtual microseconds (default: 1 sim-second).
+  std::uint64_t interval_us = 1'000'000;
+};
+
+/// Cumulative per-shard scan counters recorded when the shard's walk
+/// crosses a global-element-index tick boundary (boundary b covers all
+/// elements with global index < b*ept). The final sample of a shard's
+/// series carries the shard's scan totals.
+struct TimelineScanSample {
+  std::uint64_t boundary = 0;  // tick index this sample is valid at
+  std::uint64_t elements = 0;
+  std::uint64_t probed = 0;
+  std::uint64_t responsive = 0;
+  std::uint64_t retransmits = 0;
+};
+
+/// Per-host facts the enumeration replay needs; every field is a pure
+/// function of (seed, target) — see the header comment.
+struct TimelineHost {
+  std::uint64_t global_index = 0;  // position in the canonical scan order
+  std::uint32_t ip = 0;
+  bool enumerated = false;  // a session ran (false: hit dropped by max_hosts)
+  std::uint64_t duration_us = 0;  // session start -> finalize, virtual µs
+  bool connected = false;
+  bool ftp_compliant = false;
+  bool anonymous = false;
+  bool errored = false;
+  std::uint64_t requests = 0;  // control-channel commands sent
+  std::uint64_t retries = 0;   // command retransmits after reply timeouts
+};
+
+/// Session outcome handed to the collector at finalize time.
+struct TimelineSessionFacts {
+  std::uint64_t duration_us = 0;
+  bool connected = false;
+  bool ftp_compliant = false;
+  bool anonymous = false;
+  bool errored = false;
+  std::uint64_t requests = 0;
+  std::uint64_t retries = 0;
+};
+
+/// The merged, serializable timeline: split-invariant facts in, canonical
+/// gauge rows out.
+class Timeline {
+ public:
+  /// Fixed gauge column order — the ftpc.tsdb.v1 schema. Appending a
+  /// column is a schema change (regenerate the golden file).
+  static constexpr std::size_t kGaugeCount = 14;
+  static const std::array<const char*, kGaugeCount>& gauge_names() noexcept;
+
+  enum Gauge : std::size_t {
+    kScanElements = 0,
+    kScanProbed,
+    kScanResponsive,
+    kScanRetransmits,
+    kEnumLaunched,
+    kEnumInFlight,
+    kEnumQueue,
+    kEnumDone,
+    kFunnelConnected,
+    kFunnelFtp,
+    kFunnelAnonymous,
+    kFunnelErrored,
+    kFtpRequests,
+    kRetryCommands,
+  };
+
+  /// One projected snapshot: gauge values at virtual time `t` (µs). A
+  /// snapshot at t counts every event with time <= t.
+  struct Row {
+    std::uint64_t t = 0;
+    std::array<std::uint64_t, kGaugeCount> gauges{};
+  };
+
+  Timeline() = default;
+  Timeline(TimelineOptions options, std::uint32_t concurrency)
+      : options_(options), concurrency_(concurrency) {}
+
+  const TimelineOptions& options() const noexcept { return options_; }
+  std::uint32_t concurrency() const noexcept { return concurrency_; }
+  std::uint64_t pps() const noexcept { return pps_; }
+  void set_pps(std::uint64_t pps) noexcept { pps_ = pps; }
+
+  void add_scan_series(std::vector<TimelineScanSample> series) {
+    scan_series_.push_back(std::move(series));
+  }
+  void add_host(TimelineHost host) { hosts_.push_back(host); }
+
+  const std::vector<TimelineHost>& hosts() const noexcept { return hosts_; }
+  bool empty() const noexcept {
+    return scan_series_.empty() && hosts_.empty();
+  }
+
+  /// Folds another shard's facts into this one: series and host lists
+  /// concatenate. The projection sums series and sorts hosts by global
+  /// index, so the merged export is independent of merge order.
+  void merge_from(const Timeline& other);
+
+  /// Canonical scan end / enumeration start, virtual µs — exactly the
+  /// virtual time the sequential scanner's rate accounting lands on.
+  std::uint64_t t0_us() const noexcept;
+
+  /// Projects the canonical sequential schedule (see header comment) into
+  /// per-tick gauge rows at t = interval, 2*interval, ...
+  std::vector<Row> project() const;
+
+  /// ftpc.tsdb.v1 JSONL: a header object, then one object per tick with
+  /// the fixed gauge columns. Byte-identical for equal facts:
+  ///   {"schema":"ftpc.tsdb.v1","interval_us":1000000,...}
+  ///   {"t":1000000,"scan.elements":65536,...,"retry.commands":0}
+  std::string to_jsonl() const;
+
+  /// Chrome trace-event counter tracks ("ph":"C"): four counter series
+  /// (scan / enum / funnel / ftp) per tick, loadable in chrome://tracing
+  /// or Perfetto alongside the span trace from obs/trace.h.
+  std::string to_chrome_json() const;
+
+ private:
+  struct ScanTotals {
+    std::uint64_t elements = 0;
+    std::uint64_t probed = 0;
+    std::uint64_t responsive = 0;
+    std::uint64_t retransmits = 0;
+  };
+  ScanTotals scan_totals() const noexcept;
+
+  TimelineOptions options_;
+  std::uint32_t concurrency_ = 64;
+  std::uint64_t pps_ = 0;
+  std::vector<std::vector<TimelineScanSample>> scan_series_;
+  std::vector<TimelineHost> hosts_;
+};
+
+/// One shard's timeline recorder, attached to the shard's sim::Network for
+/// the duration of a census run (same ownership contract as the metrics
+/// registry and trace collector). The scanner feeds it global-indexed scan
+/// progress; the enumerator reports per-session outcomes.
+class TimelineCollector {
+ public:
+  TimelineCollector(TimelineOptions options, std::uint32_t concurrency)
+      : timeline_(options, concurrency) {}
+
+  std::uint64_t interval_us() const noexcept {
+    return timeline_.options().interval_us;
+  }
+
+  /// Scanner: declares the probe rate (packets/second) before the walk.
+  void scan_begin(std::uint64_t pps) { timeline_.set_pps(pps); }
+
+  /// Scanner: cumulative shard counters at a global tick boundary.
+  void scan_boundary(std::uint64_t boundary, std::uint64_t elements,
+                     std::uint64_t probed, std::uint64_t responsive,
+                     std::uint64_t retransmits) {
+    scan_samples_.push_back(
+        {boundary, elements, probed, responsive, retransmits});
+  }
+
+  /// Scanner: final shard totals, closing the series at `boundary` (the
+  /// first boundary the walk never reached).
+  void scan_totals(std::uint64_t boundary, std::uint64_t elements,
+                   std::uint64_t probed, std::uint64_t responsive,
+                   std::uint64_t retransmits) {
+    scan_boundary(boundary, elements, probed, responsive, retransmits);
+  }
+
+  /// Scanner: a responsive host at global scan position `global_index`.
+  void record_hit(std::uint32_t ip, std::uint64_t global_index);
+
+  /// Enumerator: session outcome for a previously recorded hit. Unknown
+  /// hosts are ignored (a session outside the census pipeline).
+  void record_session(std::uint32_t ip, const TimelineSessionFacts& facts);
+
+  /// Moves the recorded facts out (ends the collection).
+  Timeline take();
+
+ private:
+  Timeline timeline_;
+  std::vector<TimelineScanSample> scan_samples_;
+  std::vector<TimelineHost> hosts_;
+  std::unordered_map<std::uint32_t, std::size_t> host_index_;
+};
+
+}  // namespace ftpc::obs

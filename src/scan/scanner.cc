@@ -1,5 +1,7 @@
 #include "scan/scanner.h"
 
+#include <algorithm>
+
 #include "obs/metrics.h"
 
 namespace ftpc::scan {
@@ -23,8 +25,39 @@ ScanStats Scanner::run(const HitHandler& on_hit) {
       permutation.shard_walk(config_.shard, config_.total_shards, budget);
 
   obs::TraceCollector* trace = network_.trace();
+  // Timeline sampling: record cumulative shard counters whenever the walk
+  // crosses a global-element-index tick boundary. Budgeting boundaries in
+  // *global* indices (one tick = ept elements of the full permutation, at
+  // the canonical one-probe-per-element pacing) is what lets the per-shard
+  // samples sum to the sequential run's cumulative counters — the same
+  // trick the element-indexed shard budgets play for the scan itself.
+  obs::TimelineCollector* timeline = network_.timeline();
+  std::uint64_t ept = 1;  // permutation elements per timeline tick
+  std::uint64_t next_boundary = 1;
+  if (timeline != nullptr) {
+    timeline->scan_begin(config_.probes_per_second);
+    ept = std::max<std::uint64_t>(
+        1, config_.probes_per_second * timeline->interval_us() / 1'000'000);
+  }
+
   std::uint32_t address = 0;
   while (walk.next(address)) {
+    // Global position of this element in the unsharded permutation walk:
+    // shard i visits cycle indices congruent to i mod total_shards.
+    std::uint64_t global_index = 0;
+    if (timeline != nullptr) {
+      global_index = config_.shard +
+                     (walk.consumed() - 1) *
+                         static_cast<std::uint64_t>(config_.total_shards);
+      while (global_index >= next_boundary * ept) {
+        // Cumulative counters over this shard's elements strictly before
+        // the boundary (the current element is not yet processed).
+        timeline->scan_boundary(next_boundary, walk.consumed() - 1,
+                                stats.probed, stats.responsive,
+                                stats.probe_retransmits);
+        ++next_boundary;
+      }
+    }
     ++stats.addresses_walked;
     const Ipv4 ip(address);
     if (is_reserved(ip)) {
@@ -49,11 +82,19 @@ ScanStats Scanner::run(const HitHandler& on_hit) {
     if (trace != nullptr) trace->record_probe(address, responsive);
     if (responsive) {
       ++stats.responsive;
+      if (timeline != nullptr) timeline->record_hit(address, global_index);
       on_hit(ip);
     }
   }
 
   stats.elements_walked = walk.consumed();
+  if (timeline != nullptr) {
+    // Close the shard's series with its totals at the first boundary the
+    // walk never reached; the exporter forward-fills from here and clamps
+    // the tail to the exact merged totals at the canonical scan end.
+    timeline->scan_totals(next_boundary, stats.elements_walked, stats.probed,
+                          stats.responsive, stats.probe_retransmits);
+  }
 
   if (auto* metrics = network_.metrics()) {
     metrics->add("scan.elements_walked", stats.elements_walked);

@@ -11,6 +11,8 @@
 #include "common/ipv4.h"
 #include "common/result.h"
 #include "obs/metrics.h"
+#include "obs/perf.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "sim/chaos.h"
 #include "sim/connection.h"
@@ -109,6 +111,22 @@ class Network {
   void set_trace(obs::TraceCollector* trace) noexcept { trace_ = trace; }
   obs::TraceCollector* trace() const noexcept { return trace_; }
 
+  /// Attaches a timeline collector (nullptr to detach), same per-shard
+  /// ownership contract as set_metrics(). The scanner records
+  /// global-indexed scan progress and hits through it; the enumerator
+  /// reports per-session outcomes at finalize.
+  void set_timeline(obs::TimelineCollector* timeline) noexcept {
+    timeline_ = timeline;
+  }
+  obs::TimelineCollector* timeline() const noexcept { return timeline_; }
+
+  /// Attaches a perf collector (nullptr to detach), same per-shard
+  /// ownership contract. Stage handlers then accumulate wall/CPU time;
+  /// the census's periodic sim-timer feeds live load samples. Perf data
+  /// is display/tuning only — it never touches a deterministic artifact.
+  void set_perf(obs::PerfCollector* perf) noexcept { perf_ = perf; }
+  obs::PerfCollector* perf() const noexcept { return perf_; }
+
   // --- Connections ---------------------------------------------------------
 
   /// Result of an asynchronous connect.
@@ -164,6 +182,8 @@ class Network {
   ChaosEngine* chaos_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceCollector* trace_ = nullptr;
+  obs::TimelineCollector* timeline_ = nullptr;
+  obs::PerfCollector* perf_ = nullptr;
   // Hot-path counter cells resolved once at attach time (probe() runs for
   // every sampled address).
   std::uint64_t* m_probes_ = nullptr;

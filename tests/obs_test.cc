@@ -46,6 +46,33 @@ TEST(HistogramTest, BucketPlacementAndOverflow) {
   EXPECT_EQ(h.sum(), 0u + 10 + 11 + 1000 + 1001);
 }
 
+TEST(HistogramTest, BinarySearchAgreesWithLinearReference) {
+  // The lower_bound fast path must place values exactly where the obvious
+  // linear scan would, across every edge: below the first bound, equal to
+  // each bound, between bounds, and above the last.
+  const std::vector<std::uint64_t> bounds{3, 7, 7, 20, 1000};
+  obs::Histogram h(bounds);
+  std::vector<std::uint64_t> reference(bounds.size() + 1, 0);
+  const std::vector<std::uint64_t> values{0, 3, 4, 7, 8, 19, 20, 21,
+                                          999, 1000, 1001, ~0ull};
+  for (const std::uint64_t v : values) {
+    h.record(v);
+    std::size_t i = 0;
+    while (i < bounds.size() && bounds[i] < v) ++i;
+    ++reference[i];
+  }
+  EXPECT_EQ(h.buckets(), reference);
+  EXPECT_EQ(h.count(), values.size());
+}
+
+TEST(HistogramTest, EmptyBoundsSendEverythingToOverflow) {
+  obs::Histogram h(std::vector<std::uint64_t>{});
+  h.record(0);
+  h.record(42);
+  ASSERT_EQ(h.buckets().size(), 1u);
+  EXPECT_EQ(h.buckets()[0], 2u);
+}
+
 TEST(HistogramTest, MergeAddsBucketwise) {
   obs::Histogram a({10, 100});
   obs::Histogram b({10, 100});

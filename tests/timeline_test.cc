@@ -1,0 +1,306 @@
+// Tests for the deterministic timeline channel (obs/timeline.h): the
+// canonical projection (window replay, tick bucketing, scan boundary
+// merging), merge-order independence, the ftpc.tsdb.v1 golden schema, and
+// the tentpole contract — the exported timeline is byte-identical for
+// every (--shards, --threads) split of the same (seed, scale), with and
+// without chaos.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ipv4.h"
+#include "core/census.h"
+#include "core/sharded_census.h"
+#include "net/internet.h"
+#include "obs/timeline.h"
+#include "popgen/population.h"
+#include "sim/network.h"
+
+namespace ftpc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Projection unit tests
+// ---------------------------------------------------------------------------
+
+obs::TimelineOptions second_interval() {
+  obs::TimelineOptions options;
+  options.enabled = true;
+  options.interval_us = 1'000'000;
+  return options;
+}
+
+obs::TimelineHost host(std::uint64_t global_index, std::uint64_t duration_us,
+                       std::uint64_t requests = 0,
+                       std::uint64_t retries = 0) {
+  obs::TimelineHost h;
+  h.global_index = global_index;
+  h.ip = static_cast<std::uint32_t>(0x0a000000 + global_index);
+  h.enumerated = true;
+  h.duration_us = duration_us;
+  h.connected = true;
+  h.ftp_compliant = true;
+  h.requests = requests;
+  h.retries = retries;
+  return h;
+}
+
+TEST(TimelineProjectionTest, EmptyTimelineProjectsNoRows) {
+  obs::Timeline timeline(second_interval(), 4);
+  EXPECT_TRUE(timeline.empty());
+  EXPECT_TRUE(timeline.project().empty());
+  EXPECT_EQ(timeline.t0_us(), 0u);
+}
+
+TEST(TimelineProjectionTest, WindowReplayMatchesHandSchedule) {
+  // 100 probes at 1M pps -> T0 = 100 µs, scan ends inside tick 1.
+  obs::Timeline timeline(second_interval(), /*concurrency=*/2);
+  timeline.set_pps(1'000'000);
+  timeline.add_scan_series({{1, 100, 100, 3, 0}});
+  // Window of 2: hosts 1 and 2 launch at T0; host 3 launches when host 1
+  // (the shorter session) completes at T0 + 0.5s and finishes at T0 + 0.9s.
+  timeline.add_host(host(1, 500'000, /*requests=*/7));
+  timeline.add_host(host(2, 1'500'000, /*requests=*/9));
+  timeline.add_host(host(3, 400'000, /*requests=*/5, /*retries=*/2));
+
+  const auto rows = timeline.project();
+  ASSERT_EQ(rows.size(), 2u);
+  using TL = obs::Timeline;
+
+  // Tick 1 (t=1s): all three launched; hosts 1 and 3 completed.
+  EXPECT_EQ(rows[0].t, 1'000'000u);
+  EXPECT_EQ(rows[0].gauges[TL::kScanProbed], 100u);
+  EXPECT_EQ(rows[0].gauges[TL::kScanResponsive], 3u);
+  EXPECT_EQ(rows[0].gauges[TL::kEnumLaunched], 3u);
+  EXPECT_EQ(rows[0].gauges[TL::kEnumDone], 2u);
+  EXPECT_EQ(rows[0].gauges[TL::kEnumInFlight], 1u);
+  EXPECT_EQ(rows[0].gauges[TL::kEnumQueue], 0u);
+  EXPECT_EQ(rows[0].gauges[TL::kFtpRequests], 12u);   // hosts 1 + 3
+  EXPECT_EQ(rows[0].gauges[TL::kRetryCommands], 2u);  // host 3
+
+  // Tick 2: host 2 completes at T0 + 1.5s.
+  EXPECT_EQ(rows[1].gauges[TL::kEnumDone], 3u);
+  EXPECT_EQ(rows[1].gauges[TL::kEnumInFlight], 0u);
+  EXPECT_EQ(rows[1].gauges[TL::kFunnelConnected], 3u);
+  EXPECT_EQ(rows[1].gauges[TL::kFtpRequests], 21u);
+}
+
+TEST(TimelineProjectionTest, EventOnTickBoundaryCountsInThatTick) {
+  // A session completing exactly at t = k*interval belongs to snapshot k
+  // (a snapshot at t counts every event with time <= t).
+  obs::Timeline timeline(second_interval(), 1);
+  timeline.set_pps(1'000'000);
+  timeline.add_scan_series({{1, 10, 10, 1, 0}});  // T0 = 10 µs
+  timeline.add_host(host(1, 1'000'000 - 10));     // completes at exactly 1s
+  const auto rows = timeline.project();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].gauges[obs::Timeline::kEnumDone], 1u);
+}
+
+TEST(TimelineProjectionTest, QueueTracksDiscoveredMinusLaunched) {
+  // Window of 1 serializes three sessions; the queue drains one per launch.
+  obs::Timeline timeline(second_interval(), 1);
+  timeline.set_pps(1'000'000);
+  timeline.add_scan_series({{1, 10, 10, 3, 0}});
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    // T0 = 10 µs, so each back-to-back session completes exactly on a
+    // tick boundary: one session per tick.
+    timeline.add_host(host(i, 999'990 + (i > 1 ? 10 : 0)));
+  }
+  const auto rows = timeline.project();
+  ASSERT_EQ(rows.size(), 3u);
+  using TL = obs::Timeline;
+  EXPECT_EQ(rows[0].gauges[TL::kEnumLaunched], 2u);  // 2nd launches at 1s
+  EXPECT_EQ(rows[0].gauges[TL::kEnumQueue], 1u);
+  EXPECT_EQ(rows[1].gauges[TL::kEnumQueue], 0u);
+  EXPECT_EQ(rows[2].gauges[TL::kEnumDone], 3u);
+}
+
+TEST(TimelineProjectionTest, MergeOrderDoesNotChangeTheExport) {
+  const auto build = [](bool reversed) {
+    obs::Timeline a(second_interval(), 2);
+    a.set_pps(1'000'000);
+    a.add_scan_series({{1, 50, 50, 1, 0}});
+    a.add_host(host(2, 700'000));
+    obs::Timeline b(second_interval(), 2);
+    b.set_pps(1'000'000);
+    b.add_scan_series({{1, 50, 50, 1, 0}});
+    b.add_host(host(1, 300'000));
+    obs::Timeline merged(second_interval(), 2);
+    if (reversed) {
+      merged.merge_from(b);
+      merged.merge_from(a);
+    } else {
+      merged.merge_from(a);
+      merged.merge_from(b);
+    }
+    return merged;
+  };
+  EXPECT_EQ(build(false).to_jsonl(), build(true).to_jsonl());
+  EXPECT_EQ(build(false).to_chrome_json(), build(true).to_chrome_json());
+}
+
+// ---------------------------------------------------------------------------
+// Census-level: the split-invariance contract
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kSeed = 42;
+constexpr unsigned kScaleShift = 16;  // ~65K addresses: CI-sized
+
+core::CensusConfig timeline_config() {
+  core::CensusConfig config;
+  config.seed = kSeed;
+  config.scale_shift = kScaleShift;
+  config.timeline.enabled = true;
+  return config;
+}
+
+core::CensusStats run_sequential(core::CensusConfig config) {
+  popgen::SyntheticPopulation population(kSeed);
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  net::Internet internet(network, population, 256);
+  core::VectorSink sink;
+  return core::Census(network, config).run(sink);
+}
+
+core::CensusStats run_sharded(core::CensusConfig config, std::uint32_t shards,
+                              std::uint32_t threads) {
+  config.shards = shards;
+  config.threads = threads;
+  core::ShardedCensus census(
+      [] { return std::make_unique<popgen::SyntheticPopulation>(kSeed); },
+      config);
+  core::VectorSink sink;
+  return census.run(sink);
+}
+
+class TimelineSplitInvariance : public ::testing::Test {
+ protected:
+  // One sequential baseline for the whole suite (the expensive run).
+  static core::CensusStats& sequential() {
+    static core::CensusStats stats = run_sequential(timeline_config());
+    return stats;
+  }
+};
+
+TEST_F(TimelineSplitInvariance, ExportsByteIdenticalAcrossShardConfigs) {
+  const std::string baseline_jsonl = sequential().timeline.to_jsonl();
+  const std::string baseline_chrome = sequential().timeline.to_chrome_json();
+  ASSERT_FALSE(sequential().timeline.empty());
+  for (const auto& [shards, threads] :
+       std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {1, 1}, {2, 1}, {2, 4}, {4, 1}, {4, 8}}) {
+    core::CensusStats stats = run_sharded(timeline_config(), shards, threads);
+    EXPECT_EQ(stats.timeline.to_jsonl(), baseline_jsonl)
+        << "shards=" << shards << " threads=" << threads;
+    EXPECT_EQ(stats.timeline.to_chrome_json(), baseline_chrome)
+        << "shards=" << shards << " threads=" << threads;
+  }
+}
+
+TEST_F(TimelineSplitInvariance, SubSecondCadenceMergesScanBoundaries) {
+  // A 10 ms cadence puts dozens of tick boundaries inside the scan phase,
+  // exercising the per-shard boundary samples summing to the sequential
+  // cumulative counters (not just the post-scan clamp).
+  core::CensusConfig config = timeline_config();
+  config.timeline.interval_us = 10'000;
+  const std::string baseline = run_sequential(config).timeline.to_jsonl();
+  core::CensusStats stats = run_sharded(config, 4, 4);
+  EXPECT_EQ(stats.timeline.to_jsonl(), baseline);
+}
+
+TEST_F(TimelineSplitInvariance, ChaosRunsStayByteIdentical) {
+  core::CensusConfig config = timeline_config();
+  config.chaos_enabled = true;
+  config.chaos = *sim::ChaosProfile::named("lossy");
+  config.probe_retries = 2;
+  config.enumerator.command_retries = 2;
+  const core::CensusStats baseline = run_sequential(config);
+  const std::string baseline_jsonl = baseline.timeline.to_jsonl();
+  ASSERT_FALSE(baseline.timeline.empty());
+  core::CensusStats stats = run_sharded(config, 4, 4);
+  EXPECT_EQ(stats.timeline.to_jsonl(), baseline_jsonl);
+  EXPECT_EQ(stats.timeline.to_chrome_json(),
+            baseline.timeline.to_chrome_json());
+}
+
+TEST_F(TimelineSplitInvariance, FinalRowAgreesWithCensusTotals) {
+  const core::CensusStats& stats = sequential();
+  const auto rows = stats.timeline.project();
+  ASSERT_FALSE(rows.empty());
+  using TL = obs::Timeline;
+  const auto& last = rows.back().gauges;
+  EXPECT_EQ(last[TL::kEnumDone], stats.hosts_enumerated);
+  EXPECT_EQ(last[TL::kEnumInFlight], 0u);
+  EXPECT_EQ(last[TL::kEnumQueue], 0u);
+  EXPECT_EQ(last[TL::kFunnelAnonymous], stats.anonymous);
+  EXPECT_EQ(last[TL::kFunnelErrored], stats.sessions_errored);
+  EXPECT_EQ(last[TL::kFunnelFtp], stats.ftp_compliant);
+  EXPECT_EQ(last[TL::kScanProbed], stats.scan.probed);
+  EXPECT_EQ(last[TL::kScanResponsive], stats.scan.responsive);
+  // Cumulative gauges never decrease.
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    for (const std::size_t g :
+         {TL::kScanProbed, TL::kEnumLaunched, TL::kEnumDone,
+          TL::kFunnelConnected, TL::kFtpRequests}) {
+      EXPECT_GE(rows[i].gauges[g], rows[i - 1].gauges[g]) << "tick " << i;
+    }
+  }
+}
+
+TEST_F(TimelineSplitInvariance, DisabledTimelineRecordsNothing) {
+  core::CensusConfig config = timeline_config();
+  config.timeline.enabled = false;
+  core::CensusStats stats = run_sequential(config);
+  EXPECT_TRUE(stats.timeline.empty());
+  EXPECT_TRUE(stats.timeline.project().empty());
+}
+
+// ---------------------------------------------------------------------------
+// ftpc.tsdb.v1 golden file
+// ---------------------------------------------------------------------------
+
+// The serialized timeline is pinned byte for byte (schema AND values: the
+// whole point of the channel is that these bytes are reproducible). Any
+// intentional change — a new gauge column, different tick placement —
+// must show up as a reviewed golden diff.
+// Regenerate with: FTPC_UPDATE_GOLDEN=1 ./timeline_test
+TEST(TimelineGoldenTest, TsdbV1MatchesGoldenFile) {
+  core::CensusConfig config = timeline_config();
+  config.scale_shift = 18;                   // small: keeps the golden short
+  config.timeline.interval_us = 10'000'000;  // 10 s cadence -> a few rows
+  const core::CensusStats stats = run_sequential(config);
+  const std::string jsonl = stats.timeline.to_jsonl();
+
+  const std::string path =
+      std::string(FTPC_GOLDEN_DIR) + "/timeline_v1.jsonl";
+  if (std::getenv("FTPC_UPDATE_GOLDEN") != nullptr) {
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr) << "cannot write " << path;
+    std::fwrite(jsonl.data(), 1, jsonl.size(), out);
+    std::fclose(out);
+    GTEST_SKIP() << "golden file regenerated at " << path;
+  }
+
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(in, nullptr)
+      << path << " missing; run with FTPC_UPDATE_GOLDEN=1 to create it";
+  std::string golden;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, in)) > 0) golden.append(buf, n);
+  std::fclose(in);
+  EXPECT_EQ(jsonl, golden)
+      << "ftpc.tsdb.v1 output drifted; if intentional, regenerate with "
+         "FTPC_UPDATE_GOLDEN=1 and commit the golden diff";
+}
+
+}  // namespace
+}  // namespace ftpc

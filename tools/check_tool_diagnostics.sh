@@ -1,0 +1,72 @@
+#!/bin/sh
+# Checks that the artifact inspectors reject bad input with a diagnostic
+# and a nonzero exit instead of producing a bogus report.
+#
+#   check_tool_diagnostics.sh <ftpctrace> <ftpcreport>
+set -u
+
+FTPCTRACE="$1"
+FTPCREPORT="$2"
+TMP="${TMPDIR:-/tmp}/ftpc_tool_diag_$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+expect_fail() {
+  desc="$1"
+  shift
+  out=$("$@" 2>&1)
+  code=$?
+  if [ "$code" -eq 0 ]; then
+    echo "FAIL: $desc: expected nonzero exit, got 0" >&2
+    fail=1
+  elif [ -z "$out" ]; then
+    echo "FAIL: $desc: no diagnostic printed" >&2
+    fail=1
+  fi
+}
+
+# Empty files.
+: > "$TMP/empty"
+expect_fail "ftpctrace empty file" "$FTPCTRACE" summarize "$TMP/empty"
+expect_fail "ftpcreport empty file" "$FTPCREPORT" "$TMP/empty"
+
+# Missing files.
+expect_fail "ftpctrace missing file" "$FTPCTRACE" summarize "$TMP/nonexistent"
+expect_fail "ftpcreport missing file" "$FTPCREPORT" "$TMP/nonexistent"
+
+# Wrong schema.
+printf '{"schema":"ftpc.trace.v1"}\n' > "$TMP/trace"
+printf '{"schema":"something.else"}\n' > "$TMP/other"
+expect_fail "ftpctrace wrong schema" "$FTPCTRACE" summarize "$TMP/other"
+expect_fail "ftpcreport wrong schema" "$FTPCREPORT" "$TMP/other"
+
+# Truncated: final line lacks its newline.
+printf '{"schema":"ftpc.trace.v1"}\n{"ev":"span"' > "$TMP/trunc_trace"
+expect_fail "ftpctrace truncated file" "$FTPCTRACE" summarize "$TMP/trunc_trace"
+printf '{"schema":"ftpc.tsdb.v1","interval_us":1000000,"ticks":1}' \
+  > "$TMP/trunc_tl"
+expect_fail "ftpcreport truncated header" "$FTPCREPORT" "$TMP/trunc_tl"
+
+# Truncated row set: header promises more ticks than the file carries.
+printf '{"schema":"ftpc.tsdb.v1","interval_us":1000000,"pps":1,"concurrency":1,"t0_us":0,"hits":0,"sessions":0,"ticks":3}\n{"t":1000000}\n' \
+  > "$TMP/short_tl"
+expect_fail "ftpcreport short timeline" "$FTPCREPORT" "$TMP/short_tl"
+
+# diff cannot read stdin twice.
+expect_fail "ftpctrace diff - -" sh -c \
+  "printf '{\"schema\":\"ftpc.trace.v1\"}\n' | '$FTPCTRACE' diff - -"
+
+# Sanity: well-formed input still succeeds.
+if ! "$FTPCTRACE" summarize "$TMP/trace" > /dev/null 2>&1; then
+  echo "FAIL: ftpctrace rejects a valid trace" >&2
+  fail=1
+fi
+printf '{"schema":"ftpc.tsdb.v1","interval_us":1000000,"pps":1000000,"concurrency":4,"t0_us":1000000,"hits":1,"sessions":1,"ticks":1}\n{"t":1000000,"scan.elements":10,"scan.probed":9,"scan.responsive":1,"scan.retransmits":0,"enum.launched":1,"enum.in_flight":0,"enum.queue":0,"enum.done":1,"funnel.connected":1,"funnel.ftp":1,"funnel.anonymous":0,"funnel.errored":0,"ftp.requests":5,"retry.commands":0}\n' \
+  > "$TMP/good_tl"
+if ! "$FTPCREPORT" "$TMP/good_tl" > /dev/null 2>&1; then
+  echo "FAIL: ftpcreport rejects a valid timeline" >&2
+  fail=1
+fi
+
+exit "$fail"

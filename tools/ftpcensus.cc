@@ -60,7 +60,11 @@ struct Options {
   double trace_sample = 1.0;
   std::vector<std::uint32_t> trace_hosts;  // forced regardless of sampling
   bool trace_no_wire = false;
-  bool progress = false;  // force the progress line even when not a tty
+  std::string timeline_out;     // ftpc.tsdb.v1 JSONL ("-" = stdout)
+  std::string timeline_chrome;  // Chrome counter-track JSON
+  double timeline_interval = 1.0;  // gauge cadence, sim-seconds
+  std::string perf_out;            // ftpc.perf.v1 JSON ("-" = stdout)
+  bool progress = false;  // force plain progress lines even when not a tty
   std::string chaos_profile;     // "" = chaos off
   std::uint64_t chaos_seed = 0;  // 0 = derive from --seed
   std::uint32_t retries = 0;     // probe + command retry budget
@@ -68,10 +72,14 @@ struct Options {
   bool tracing_requested() const {
     return !trace_out.empty() || !trace_chrome.empty();
   }
-  /// True when some deterministic artifact goes to stdout ("-"): the live
-  /// progress line must then stay out of the way entirely.
+  bool timeline_requested() const {
+    return !timeline_out.empty() || !timeline_chrome.empty();
+  }
+  /// True when some deterministic artifact goes to stdout ("-"): the
+  /// tables must then stay out of the way entirely.
   bool stdout_output() const {
-    return metrics_out == "-" || trace_out == "-" || trace_chrome == "-";
+    return metrics_out == "-" || trace_out == "-" || trace_chrome == "-" ||
+           timeline_out == "-" || timeline_chrome == "-" || perf_out == "-";
   }
 };
 
@@ -82,7 +90,10 @@ void usage() {
                "[--dataset FILE] [--tables] [--days D] [--max N] "
                "[--metrics-out FILE|-] [--trace-out FILE|-] "
                "[--trace-chrome FILE|-] [--trace-sample RATE] "
-               "[--trace-host IP] [--trace-no-wire] [--progress] "
+               "[--trace-host IP] [--trace-no-wire] "
+               "[--timeline-out FILE|-] [--timeline-chrome FILE|-] "
+               "[--timeline-interval SECONDS] [--perf-out FILE|-] "
+               "[--progress] "
                "[--chaos-profile off|lossy|flaky|hostile] [--chaos-seed S] "
                "[--retries N]\n");
 }
@@ -153,6 +164,26 @@ bool parse_options(int argc, char** argv, Options& options) {
         return false;
       }
       options.trace_hosts.push_back(ip->value());
+    } else if (arg == "--timeline-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.timeline_out = v;
+    } else if (arg == "--timeline-chrome") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.timeline_chrome = v;
+    } else if (arg == "--timeline-interval") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.timeline_interval = std::strtod(v, nullptr);
+      if (!(options.timeline_interval > 0.0)) {
+        std::fprintf(stderr, "--timeline-interval must be > 0 seconds\n");
+        return false;
+      }
+    } else if (arg == "--perf-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.perf_out = v;
     } else if (arg == "--chaos-profile") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -187,17 +218,22 @@ bool parse_options(int argc, char** argv, Options& options) {
 // Prints a progress line to stderr every couple of wall-clock seconds
 // while the census runs, fed by the relaxed ProgressCounters the shard
 // workers bump. Display only: the deterministic output is untouched.
+// On a terminal the line redraws in place (\r); piped stderr (--progress
+// forced it on) gets plain newline-terminated lines so logs stay readable.
 class ProgressReporter {
  public:
-  explicit ProgressReporter(const obs::ProgressCounters& counters,
-                            std::uint32_t shards)
-      : counters_(counters), shards_(shards), thread_([this] { loop(); }) {}
+  ProgressReporter(const obs::ProgressCounters& counters, std::uint32_t shards,
+                   bool tty)
+      : counters_(counters), shards_(shards), tty_(tty),
+        thread_([this] { loop(); }) {}
 
   ~ProgressReporter() {
     stop_.store(true, std::memory_order_relaxed);
     thread_.join();
-    print_line();  // final totals on the live (\r-redrawn) line
-    std::fputc('\n', stderr);
+    if (tty_) {
+      print_line();  // final totals on the live (\r-redrawn) line
+      std::fputc('\n', stderr);
+    }
     // One plain terminal line so the totals survive in scrollback/logs even
     // after later stderr output, and greppably ("census complete").
     std::fprintf(
@@ -239,8 +275,9 @@ class ProgressReporter {
   void print_line() const {
     std::fprintf(
         stderr,
-        "\rprogress: hits %llu | enum %llu (%.0f hosts/s) | "
-        "conn %llu ftp %llu anon %llu err %llu | shards %u/%u   ",
+        "%sprogress: hits %llu | enum %llu (%.0f hosts/s) | "
+        "conn %llu ftp %llu anon %llu err %llu | shards %u/%u%s",
+        tty_ ? "\r" : "",
         static_cast<unsigned long long>(
             counters_.scan_hits.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
@@ -254,12 +291,14 @@ class ProgressReporter {
             counters_.anonymous.load(std::memory_order_relaxed)),
         static_cast<unsigned long long>(
             counters_.errored.load(std::memory_order_relaxed)),
-        counters_.shards_done.load(std::memory_order_relaxed), shards_);
+        counters_.shards_done.load(std::memory_order_relaxed), shards_,
+        tty_ ? "   " : "\n");
     std::fflush(stderr);
   }
 
   const obs::ProgressCounters& counters_;
   const std::uint32_t shards_;
+  const bool tty_;
   std::atomic<bool> stop_{false};
   std::uint64_t last_hosts_ = 0;
   double rate_ = 0.0;
@@ -362,15 +401,21 @@ int run_census(const Options& options) {
   config.probe_retries = options.retries;
   config.enumerator.command_retries = options.retries;
 
+  if (options.timeline_requested()) {
+    config.timeline.enabled = true;
+    config.timeline.interval_us = static_cast<std::uint64_t>(
+        options.timeline_interval * 1'000'000.0 + 0.5);
+    if (config.timeline.interval_us == 0) config.timeline.interval_us = 1;
+  }
+  config.perf_enabled = !options.perf_out.empty();
+
   obs::ProgressCounters progress;
   config.progress = &progress;
-  // Periodic progress only when someone is watching (or asked for it):
-  // carriage-return redraws make piped stderr logs unreadable. Forced off
-  // when a deterministic artifact streams to stdout — a consumer piping
-  // `--metrics-out -` must not have to untangle a live status display.
-  const bool show_progress =
-      !options.stdout_output() &&
-      (options.progress || isatty(STDERR_FILENO) == 1);
+  // Progress goes to stderr, so it never mixes with `-` artifacts on
+  // stdout. A terminal gets the live \r-redrawn display; piped stderr is
+  // kept clean unless --progress asks for plain periodic lines.
+  const bool stderr_tty = isatty(STDERR_FILENO) == 1;
+  const bool show_progress = stderr_tty || options.progress;
 
   std::fprintf(stderr,
                "scanning 1/%llu of IPv4 (seed %llu, %u shard(s), "
@@ -390,8 +435,8 @@ int run_census(const Options& options) {
   {
     std::unique_ptr<ProgressReporter> reporter;
     if (show_progress) {
-      reporter =
-          std::make_unique<ProgressReporter>(progress, options.shards);
+      reporter = std::make_unique<ProgressReporter>(progress, options.shards,
+                                                    stderr_tty);
     }
     stats = census.run(tee);
   }
@@ -420,6 +465,30 @@ int run_census(const Options& options) {
     }
     std::fprintf(stderr, "wrote %zu trace events to %s\n", stats.trace.size(),
                  options.trace_chrome.c_str());
+  }
+  if (!options.timeline_out.empty()) {
+    if (!write_artifact(options.timeline_out, stats.timeline.to_jsonl(),
+                        "timeline")) {
+      return 1;
+    }
+    std::fprintf(stderr, "wrote timeline (%zu hits) to %s\n",
+                 stats.timeline.hosts().size(), options.timeline_out.c_str());
+  }
+  if (!options.timeline_chrome.empty()) {
+    if (!write_artifact(options.timeline_chrome,
+                        stats.timeline.to_chrome_json(), "chrome timeline")) {
+      return 1;
+    }
+    std::fprintf(stderr, "wrote chrome timeline to %s\n",
+                 options.timeline_chrome.c_str());
+  }
+  if (!options.perf_out.empty()) {
+    if (!write_artifact(options.perf_out, stats.perf.to_json(),
+                        "perf report")) {
+      return 1;
+    }
+    std::fprintf(stderr, "wrote perf report (%zu shard(s)) to %s\n",
+                 stats.perf.shards().size(), options.perf_out.c_str());
   }
 
   if (writer) {

@@ -1,0 +1,449 @@
+// ftpcreport — renders an ftpc.tsdb.v1 timeline (see obs/timeline.h) into
+// human-readable throughput/percentile tables and a final run report.
+//
+//   ftpcreport FILE [--perf PERF.json]
+//
+// FILE may be "-" for stdin. Sections:
+//   - run header (cadence, probe rate, window size, scan end T0)
+//   - scan phase summary (probed / responsive / retransmits, hit rate)
+//   - enumeration throughput windows (completions per window of ticks)
+//   - per-tick completion percentiles (p50/p90/p99/max)
+//   - final report: peak concurrency, queue high-water mark, and stall
+//     windows (consecutive ticks where no gauge advanced)
+//   - with --perf: the ftpc.perf.v1 stage table and load-skew summary
+//     (real seconds — the perf plane is exempt from byte-identity).
+//
+// The timeline is deterministic, so this report is too (bar --perf).
+// Exit: 0 ok, 2 usage or empty/truncated/non-timeline input.
+#include <cstdio>
+#include <cstdint>
+#include <cstdlib>
+#include <algorithm>
+#include <array>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+constexpr std::string_view kSchemaPrefix = "{\"schema\":\"ftpc.tsdb.v1\"";
+
+constexpr std::size_t kGauges = 14;
+constexpr std::array<std::string_view, kGauges> kGaugeNames = {
+    "scan.elements",    "scan.probed",      "scan.responsive",
+    "scan.retransmits", "enum.launched",    "enum.in_flight",
+    "enum.queue",       "enum.done",        "funnel.connected",
+    "funnel.ftp",       "funnel.anonymous", "funnel.errored",
+    "ftp.requests",     "retry.commands",
+};
+enum GaugeIndex : std::size_t {
+  kScanElements = 0,
+  kScanProbed,
+  kScanResponsive,
+  kScanRetransmits,
+  kEnumLaunched,
+  kEnumInFlight,
+  kEnumQueue,
+  kEnumDone,
+  kFunnelConnected,
+  kFunnelFtp,
+  kFunnelAnonymous,
+  kFunnelErrored,
+  kFtpRequests,
+  kRetryCommands,
+};
+
+struct Row {
+  std::uint64_t t = 0;
+  std::array<std::uint64_t, kGauges> g{};
+};
+
+/// Extracts the numeric value following `"key":` (integers only in both
+/// schemas' deterministic fields).
+std::optional<std::uint64_t> num_field(std::string_view line,
+                                       std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle.push_back('"');
+  needle.append(key);
+  needle.append("\":");
+  const auto at = line.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  const std::string tail(line.substr(at + needle.size()));
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(tail.c_str(), &end, 10);
+  if (end == tail.c_str()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> float_field(std::string_view line,
+                                  std::string_view key) {
+  std::string needle;
+  needle.reserve(key.size() + 3);
+  needle.push_back('"');
+  needle.append(key);
+  needle.append("\":");
+  const auto at = line.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  const std::string tail(line.substr(at + needle.size()));
+  char* end = nullptr;
+  const double value = std::strtod(tail.c_str(), &end);
+  if (end == tail.c_str()) return std::nullopt;
+  return value;
+}
+
+/// Reads newline-terminated lines; rejects empty and truncated input with
+/// a diagnostic (every ftpc artifact writer terminates the last line).
+bool read_lines(const std::string& path, std::vector<std::string>& lines) {
+  std::FILE* in = path == "-" ? stdin : std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "ftpcreport: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::string current;
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(static_cast<char>(c));
+    }
+  }
+  if (in != stdin) std::fclose(in);
+  if (lines.empty() && current.empty()) {
+    std::fprintf(stderr,
+                 "ftpcreport: %s is empty (not an ftpc.tsdb.v1 file)\n",
+                 path.c_str());
+    return false;
+  }
+  if (!current.empty()) {
+    std::fprintf(stderr,
+                 "ftpcreport: %s is truncated (final line has no newline, "
+                 "%zu complete line(s) before it)\n",
+                 path.c_str(), lines.size());
+    return false;
+  }
+  return true;
+}
+
+std::string fmt_time(std::uint64_t us) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3fs",
+                static_cast<double>(us) / 1e6);
+  return buffer;
+}
+
+int run_report(const std::string& path, const std::string& perf_path) {
+  std::vector<std::string> lines;
+  if (!read_lines(path, lines)) return 2;
+  if (lines.front().rfind(kSchemaPrefix, 0) != 0) {
+    std::fprintf(stderr, "ftpcreport: %s is not an ftpc.tsdb.v1 file\n",
+                 path.c_str());
+    return 2;
+  }
+
+  const std::string& header = lines.front();
+  const std::uint64_t interval_us = num_field(header, "interval_us").value_or(0);
+  const std::uint64_t pps = num_field(header, "pps").value_or(0);
+  const std::uint64_t concurrency = num_field(header, "concurrency").value_or(0);
+  const std::uint64_t t0_us = num_field(header, "t0_us").value_or(0);
+  const std::uint64_t hits = num_field(header, "hits").value_or(0);
+  const std::uint64_t sessions = num_field(header, "sessions").value_or(0);
+  const std::uint64_t ticks_declared = num_field(header, "ticks").value_or(0);
+  if (interval_us == 0) {
+    std::fprintf(stderr, "ftpcreport: %s: header missing interval_us\n",
+                 path.c_str());
+    return 2;
+  }
+
+  std::vector<Row> rows;
+  rows.reserve(lines.size() - 1);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    Row row;
+    const auto t = num_field(lines[i], "t");
+    if (!t) {
+      std::fprintf(stderr, "ftpcreport: %s: line %zu has no \"t\" field\n",
+                   path.c_str(), i + 1);
+      return 2;
+    }
+    row.t = *t;
+    for (std::size_t gi = 0; gi < kGauges; ++gi) {
+      row.g[gi] = num_field(lines[i], kGaugeNames[gi]).value_or(0);
+    }
+    rows.push_back(row);
+  }
+  if (rows.size() != ticks_declared) {
+    std::fprintf(stderr,
+                 "ftpcreport: %s is truncated (header declares %llu ticks, "
+                 "file has %zu)\n",
+                 path.c_str(),
+                 static_cast<unsigned long long>(ticks_declared), rows.size());
+    return 2;
+  }
+
+  std::printf("timeline: %zu ticks every %s | pps %llu | window %llu | "
+              "scan ends %s\n",
+              rows.size(), fmt_time(interval_us).c_str(),
+              static_cast<unsigned long long>(pps),
+              static_cast<unsigned long long>(concurrency),
+              fmt_time(t0_us).c_str());
+  if (rows.empty()) {
+    std::printf("empty run: no gauge rows (nothing scanned or enumerated)\n");
+    return 0;
+  }
+  const Row& last = rows.back();
+
+  // --- Scan phase ---------------------------------------------------------
+  const std::uint64_t probed = last.g[kScanProbed];
+  const std::uint64_t responsive = last.g[kScanResponsive];
+  const double scan_secs = static_cast<double>(t0_us) / 1e6;
+  std::printf("\nscan: %llu probed (%llu retransmit(s)), %llu responsive "
+              "(%.4f%%)%s\n",
+              static_cast<unsigned long long>(probed),
+              static_cast<unsigned long long>(last.g[kScanRetransmits]),
+              static_cast<unsigned long long>(responsive),
+              probed > 0 ? 100.0 * static_cast<double>(responsive) /
+                               static_cast<double>(probed)
+                         : 0.0,
+              hits != responsive ? " [hit count differs from responsive]" : "");
+  if (scan_secs > 0.0) {
+    std::printf("scan rate: %.0f probes/s over %s\n",
+                static_cast<double>(probed + last.g[kScanRetransmits]) /
+                    scan_secs,
+                fmt_time(t0_us).c_str());
+  }
+
+  // --- Enumeration throughput windows -------------------------------------
+  // Per-tick completion deltas drive both the window table and the
+  // percentiles below.
+  std::vector<std::uint64_t> done_deltas(rows.size());
+  std::uint64_t prev_done = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    done_deltas[i] = rows[i].g[kEnumDone] - prev_done;
+    prev_done = rows[i].g[kEnumDone];
+  }
+  std::printf("\nenumeration: %llu session(s) of %llu hit(s), "
+              "%llu connected, %llu ftp, %llu anonymous, %llu errored\n",
+              static_cast<unsigned long long>(sessions),
+              static_cast<unsigned long long>(hits),
+              static_cast<unsigned long long>(last.g[kFunnelConnected]),
+              static_cast<unsigned long long>(last.g[kFunnelFtp]),
+              static_cast<unsigned long long>(last.g[kFunnelAnonymous]),
+              static_cast<unsigned long long>(last.g[kFunnelErrored]));
+  std::printf("requests: %llu total, %llu command retransmit(s)\n",
+              static_cast<unsigned long long>(last.g[kFtpRequests]),
+              static_cast<unsigned long long>(last.g[kRetryCommands]));
+
+  constexpr std::size_t kMaxWindows = 12;
+  const std::size_t per_window =
+      (rows.size() + kMaxWindows - 1) / kMaxWindows;
+  std::printf("\n%-21s %10s %10s %12s %10s\n", "window", "launched", "done",
+              "hosts/s", "in-flight");
+  for (std::size_t begin = 0; begin < rows.size(); begin += per_window) {
+    const std::size_t end = std::min(begin + per_window, rows.size());
+    std::uint64_t done = 0;
+    for (std::size_t i = begin; i < end; ++i) done += done_deltas[i];
+    const std::uint64_t launched_before =
+        begin > 0 ? rows[begin - 1].g[kEnumLaunched] : 0;
+    const std::uint64_t launched =
+        rows[end - 1].g[kEnumLaunched] - launched_before;
+    const double secs = static_cast<double>(end - begin) *
+                        static_cast<double>(interval_us) / 1e6;
+    const std::string span = fmt_time(begin == 0 ? 0 : rows[begin - 1].t) +
+                             "-" + fmt_time(rows[end - 1].t);
+    std::printf("%-21s %10llu %10llu %12.1f %10llu\n", span.c_str(),
+                static_cast<unsigned long long>(launched),
+                static_cast<unsigned long long>(done),
+                secs > 0.0 ? static_cast<double>(done) / secs : 0.0,
+                static_cast<unsigned long long>(rows[end - 1].g[kEnumInFlight]));
+  }
+
+  // --- Percentiles ---------------------------------------------------------
+  std::vector<std::uint64_t> sorted = done_deltas;
+  std::sort(sorted.begin(), sorted.end());
+  const auto pct = [&sorted](double p) -> std::uint64_t {
+    if (sorted.empty()) return 0;
+    const std::size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+    return sorted[idx];
+  };
+  std::printf("\ncompletions per tick: p50 %llu | p90 %llu | p99 %llu | "
+              "max %llu\n",
+              static_cast<unsigned long long>(pct(0.50)),
+              static_cast<unsigned long long>(pct(0.90)),
+              static_cast<unsigned long long>(pct(0.99)),
+              static_cast<unsigned long long>(sorted.back()));
+
+  // --- Final report --------------------------------------------------------
+  std::uint64_t peak_in_flight = 0, peak_in_flight_t = 0;
+  std::uint64_t peak_queue = 0, peak_queue_t = 0;
+  for (const Row& row : rows) {
+    if (row.g[kEnumInFlight] > peak_in_flight) {
+      peak_in_flight = row.g[kEnumInFlight];
+      peak_in_flight_t = row.t;
+    }
+    if (row.g[kEnumQueue] > peak_queue) {
+      peak_queue = row.g[kEnumQueue];
+      peak_queue_t = row.t;
+    }
+  }
+  std::printf("\npeak concurrency: %llu in flight at %s "
+              "(window %llu); queue high-water %llu at %s\n",
+              static_cast<unsigned long long>(peak_in_flight),
+              fmt_time(peak_in_flight_t).c_str(),
+              static_cast<unsigned long long>(concurrency),
+              static_cast<unsigned long long>(peak_queue),
+              fmt_time(peak_queue_t).c_str());
+
+  // Stall windows: maximal runs of >= 2 consecutive ticks in which no
+  // gauge advanced — the run was waiting (timeouts, backoff) rather than
+  // progressing.
+  std::size_t stall_count = 0, stalled_ticks = 0;
+  std::size_t longest = 0;
+  std::uint64_t longest_start = 0;
+  std::size_t run = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].g == rows[i - 1].g) {
+      ++run;
+    } else {
+      if (run >= 2) {
+        ++stall_count;
+        stalled_ticks += run;
+        if (run > longest) {
+          longest = run;
+          longest_start = rows[i - run].t;
+        }
+      }
+      run = 0;
+    }
+  }
+  if (run >= 2) {
+    ++stall_count;
+    stalled_ticks += run;
+    if (run > longest) {
+      longest = run;
+      longest_start = rows[rows.size() - run].t;
+    }
+  }
+  if (stall_count == 0) {
+    std::printf("stalls: none (every tick advanced at least one gauge)\n");
+  } else {
+    std::printf("stalls: %zu window(s), %zu tick(s) total; longest %s "
+                "starting at %s\n",
+                stall_count, stalled_ticks,
+                fmt_time(static_cast<std::uint64_t>(longest) * interval_us)
+                    .c_str(),
+                fmt_time(longest_start).c_str());
+  }
+
+  // --- Perf plane (optional) ----------------------------------------------
+  if (!perf_path.empty()) {
+    std::vector<std::string> perf_lines;
+    if (!read_lines(perf_path, perf_lines)) return 2;
+    std::string perf;
+    for (const std::string& line : perf_lines) perf += line;
+    if (perf.rfind("{\"schema\":\"ftpc.perf.v1\"", 0) != 0) {
+      std::fprintf(stderr, "ftpcreport: %s is not an ftpc.perf.v1 file\n",
+                   perf_path.c_str());
+      return 2;
+    }
+    std::printf("\nperf (real seconds; NOT deterministic):\n");
+    static constexpr std::string_view kStages[] = {
+        "probe", "connect", "banner", "login",
+        "enumerate", "finalize", "merge"};
+    std::printf("%-12s %12s %12s %10s\n", "stage", "wall_s", "cpu_s", "calls");
+    for (const std::string_view stage : kStages) {
+      std::string needle;
+      needle.push_back('"');
+      needle.append(stage);
+      needle.append("\":{");
+      const auto at = perf.find(needle);
+      if (at == std::string::npos) continue;
+      const std::string_view entry =
+          std::string_view(perf).substr(at + needle.size());
+      std::printf("%-12s %12.6f %12.6f %10llu\n", std::string(stage).c_str(),
+                  float_field(entry, "wall_s").value_or(0.0),
+                  float_field(entry, "cpu_s").value_or(0.0),
+                  static_cast<unsigned long long>(
+                      num_field(entry, "calls").value_or(0)));
+    }
+    // Per-shard load table.
+    auto shard_at = perf.find("\"per_shard\":[");
+    if (shard_at != std::string::npos) {
+      std::printf("%-8s %10s %12s %10s %10s %10s\n", "shard", "items",
+                  "wall_s", "peak_if", "peak_q", "peak_tmr");
+      std::string_view rest = std::string_view(perf).substr(shard_at);
+      const auto array_end = rest.find(']');
+      rest = rest.substr(0, array_end);
+      for (auto entry_at = rest.find("{\"shard\":");
+           entry_at != std::string_view::npos;
+           entry_at = rest.find("{\"shard\":", entry_at + 1)) {
+        const std::string_view entry = rest.substr(entry_at);
+        std::printf("%-8llu %10llu %12.6f %10llu %10llu %10llu\n",
+                    static_cast<unsigned long long>(
+                        num_field(entry, "shard").value_or(0)),
+                    static_cast<unsigned long long>(
+                        num_field(entry, "items").value_or(0)),
+                    float_field(entry, "wall_s").value_or(0.0),
+                    static_cast<unsigned long long>(
+                        num_field(entry, "peak_in_flight").value_or(0)),
+                    static_cast<unsigned long long>(
+                        num_field(entry, "peak_queue").value_or(0)),
+                    static_cast<unsigned long long>(
+                        num_field(entry, "peak_timers").value_or(0)));
+      }
+    }
+    const auto skew_at = perf.find("\"skew\":{");
+    if (skew_at != std::string::npos) {
+      const std::string_view skew = std::string_view(perf).substr(skew_at);
+      std::printf("skew: %llu shard(s), max wall %.6fs / mean %.6fs "
+                  "= imbalance %.3f\n",
+                  static_cast<unsigned long long>(
+                      num_field(skew, "shards").value_or(0)),
+                  float_field(skew, "max_wall_s").value_or(0.0),
+                  float_field(skew, "mean_wall_s").value_or(0.0),
+                  float_field(skew, "wall_imbalance").value_or(0.0));
+    }
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: ftpcreport FILE [--perf PERF.json]\n"
+               "  FILE: ftpc.tsdb.v1 timeline (\"-\" = stdin)\n"
+               "  PERF: optional ftpc.perf.v1 report to append\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string perf_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--perf") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      perf_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      usage();
+      return 2;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 2;
+  }
+  return run_report(path, perf_path);
+}

@@ -43,9 +43,22 @@ bool read_lines(const std::string& path, std::vector<std::string>& lines) {
       current.push_back(static_cast<char>(c));
     }
   }
-  if (!current.empty()) lines.push_back(std::move(current));
   if (in != stdin) std::fclose(in);
-  if (lines.empty() || lines.front() != kSchemaLine) {
+  if (lines.empty() && current.empty()) {
+    std::fprintf(stderr, "ftpctrace: %s is empty (not an ftpc.trace.v1 file)\n",
+                 path.c_str());
+    return false;
+  }
+  if (!current.empty()) {
+    // Every writer terminates the last event with '\n'; a partial final
+    // line means the producing run died (or a copy was cut short).
+    std::fprintf(stderr,
+                 "ftpctrace: %s is truncated (final line has no newline, "
+                 "%zu complete event(s) before it)\n",
+                 path.c_str(), lines.empty() ? 0 : lines.size() - 1);
+    return false;
+  }
+  if (lines.front() != kSchemaLine) {
     std::fprintf(stderr, "ftpctrace: %s is not an ftpc.trace.v1 file\n",
                  path.c_str());
     return false;
@@ -58,7 +71,13 @@ bool read_lines(const std::string& path, std::vector<std::string>& lines) {
 /// never contain escaped quotes, so scanning to the closing quote is exact.
 std::optional<std::string> string_field(std::string_view line,
                                         std::string_view key) {
-  const std::string needle = "\"" + std::string(key) + "\":\"";
+  // Built piecewise: `"..." + std::string(sv)` trips a GCC 12 -Wrestrict
+  // false positive once inlined into the callers below.
+  std::string needle;
+  needle.reserve(key.size() + 4);
+  needle.push_back('"');
+  needle.append(key);
+  needle.append("\":\"");
   const auto at = line.find(needle);
   if (at == std::string_view::npos) return std::nullopt;
   const auto begin = at + needle.size();
@@ -144,6 +163,12 @@ int run_grep(const std::string& path, const char* host, const char* stage,
 }
 
 int run_diff(const std::string& path_a, const std::string& path_b) {
+  if (path_a == "-" && path_b == "-") {
+    // stdin cannot be read twice; the old behavior silently compared the
+    // stream against its own exhausted remainder.
+    std::fprintf(stderr, "ftpctrace: diff can read at most one side from -\n");
+    return 2;
+  }
   std::vector<std::string> a, b;
   if (!read_lines(path_a, a) || !read_lines(path_b, b)) return 2;
   const std::size_t common = a.size() < b.size() ? a.size() : b.size();

@@ -4,7 +4,7 @@
 #
 #   tools/run_tsan.sh                 # sharded_census_test + sim_test +
 #                                     # scan_test + trace_test +
-#                                     # chaos_matrix_test
+#                                     # chaos_matrix_test + timeline_test
 #   tools/run_tsan.sh census_test ... # additional test binaries to run
 #
 # Uses a dedicated build tree (build-tsan) so the instrumented objects
@@ -24,8 +24,10 @@ cmake -B "$BUILD_DIR" -S . \
 # trace_test exercises the per-shard trace buffers and their post-join
 # merge (TraceSplitInvariance runs 4-shard/8-thread censuses);
 # chaos_matrix_test runs every fault kind through multi-thread shard
-# splits, so the per-shard ChaosEngine attachment is raced here too.
-TESTS="sharded_census_test sim_test scan_test trace_test chaos_matrix_test"
+# splits, so the per-shard ChaosEngine attachment is raced here too;
+# timeline_test races the per-shard TimelineCollector/PerfCollector
+# attachment and the merge-order reduction of their outputs.
+TESTS="sharded_census_test sim_test scan_test trace_test chaos_matrix_test timeline_test"
 [ "$#" -gt 0 ] && TESTS="$TESTS $*"
 
 # shellcheck disable=SC2086
