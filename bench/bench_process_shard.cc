@@ -1,0 +1,249 @@
+// bench_process_shard — cost of the process-level shard + merge pipeline.
+//
+// Runs the same census three ways per round and compares min-of-N walls:
+//   single   one in-process run with every deterministic channel enabled,
+//            artifacts rendered to bytes (the baseline a user pays anyway)
+//   shards   N=4 checkpointed shard slices, each writing its own
+//            ftpc.shard.v1 artifact directory (sum and critical-path max
+//            reported)
+//   merge    ftpcmerge's reducer over the 4 directories
+//
+// Gate (exit 1 on violation): merge wall < 5% of the single-process census
+// wall. The merge is pure I/O + sort/sum over already-computed facts; if
+// it creeps toward census cost, the artifact reduction has regressed into
+// recomputation. The gate only trips when the absolute delta also exceeds
+// 20ms so tiny scales cannot fail on scheduler jitter.
+//
+// The census runs a survey-shaped channel configuration: 10% wire-trace
+// sampling and a 100ms timeline cadence. Full-sample wire capture is a
+// debugging profile whose artifacts outweigh the census compute ~50x, and
+// gating on it measures the box's disk throughput, not merge work; the
+// full-sample byte-identity contract is pinned separately (and
+// scale-independently) by tests/process_shard_test.cc.
+//
+// Byte-identity of the merged artifacts against the single-process run is
+// asserted every round — a fast merge that merges wrong must fail loudly.
+//
+// Results land in BENCH_process_shard.json (cwd).
+//
+// Environment knobs (same as the table benches):
+//   FTPCENSUS_SEED         population + scan seed   (default 42)
+//   FTPCENSUS_SCALE_SHIFT  scan 1/2^shift of IPv4   (default 14)
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/census.h"
+#include "core/dataset.h"
+#include "core/records.h"
+#include "core/shard_artifact.h"
+#include "core/shard_slice.h"
+#include "core/sharded_census.h"
+#include "popgen/population.h"
+
+namespace {
+
+using namespace ftpc;
+
+constexpr std::uint32_t kShards = 4;
+constexpr std::uint64_t kCheckpointInterval = 16384;
+constexpr double kMergeMaxPct = 5.0;
+constexpr double kMinAbsDelta = 0.020;
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+core::CensusConfig make_config(std::uint64_t seed, unsigned scale_shift) {
+  core::CensusConfig config;
+  config.seed = seed;
+  config.scale_shift = scale_shift;
+  config.trace.enabled = true;
+  config.trace.sample_rate = 0.1;
+  config.timeline.enabled = true;
+  config.timeline.interval_us = 100'000;
+  return config;
+}
+
+core::PopulationFactory factory(std::uint64_t seed) {
+  return [seed] { return std::make_unique<popgen::SyntheticPopulation>(seed); };
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return {};
+  std::string out;
+  char buffer[8192];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
+    out.append(buffer, got);
+  }
+  std::fclose(in);
+  return out;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct SingleRun {
+  double seconds = 0.0;
+  std::uint64_t records = 0;
+  std::string records_bytes;
+  std::string metrics;
+  std::string trace;
+  std::string timeline;
+};
+
+SingleRun run_single(std::uint64_t seed, unsigned scale_shift) {
+  const auto start = std::chrono::steady_clock::now();
+  core::CensusConfig config = make_config(seed, scale_shift);
+  config.shards = 1;
+  config.threads = 1;
+  core::ShardedCensus census(factory(seed), config);
+  core::VectorSink sink;
+  core::CensusStats stats = census.run(sink);
+  SingleRun out;
+  out.records_bytes = core::dataset_file_header();
+  for (const core::HostReport& report : sink.reports()) {
+    out.records_bytes += core::encode_host_frame(report);
+  }
+  out.metrics = stats.metrics.to_json();
+  out.trace = stats.trace.to_jsonl();
+  out.timeline = stats.timeline.to_jsonl();
+  out.seconds = seconds_since(start);
+  out.records = sink.reports().size();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = env_u64("FTPCENSUS_SEED", 42);
+  const unsigned scale_shift =
+      static_cast<unsigned>(env_u64("FTPCENSUS_SCALE_SHIFT", 14));
+  constexpr int kRounds = 3;
+
+  std::printf("bench_process_shard: seed=%llu scale_shift=%u shards=%u "
+              "rounds=%d\n",
+              static_cast<unsigned long long>(seed), scale_shift, kShards,
+              kRounds);
+
+  const char* tmp_env = std::getenv("TMPDIR");
+  const std::string root = std::string(tmp_env != nullptr ? tmp_env : "/tmp") +
+                           "/ftpc_bench_pshard";
+  ::mkdir(root.c_str(), 0777);
+
+  // Warm-up pass pages in the code paths before the timed rounds.
+  run_single(seed, scale_shift);
+
+  double best_single = 1e30, best_shards_total = 1e30,
+         best_shards_max = 1e30, best_merge = 1e30;
+  std::uint64_t records = 0;
+  bool identical = true;
+  for (int round = 0; round < kRounds; ++round) {
+    const SingleRun single = run_single(seed, scale_shift);
+    records = single.records;
+
+    std::vector<std::string> dirs;
+    double shards_total = 0.0, shards_max = 0.0;
+    for (std::uint32_t shard = 0; shard < kShards; ++shard) {
+      core::ShardSliceConfig slice;
+      slice.census = make_config(seed, scale_shift);
+      slice.shard = shard;
+      slice.total_shards = kShards;
+      slice.out_dir = root + "/shard" + std::to_string(shard);
+      slice.checkpoint_interval = kCheckpointInterval;
+      const auto start = std::chrono::steady_clock::now();
+      const auto result = core::run_shard_slice(slice, factory(seed));
+      const double elapsed = seconds_since(start);
+      if (!result.ok) {
+        std::printf("FAIL: shard %u: %s\n", shard, result.error.c_str());
+        return 1;
+      }
+      shards_total += elapsed;
+      shards_max = std::max(shards_max, elapsed);
+      dirs.push_back(slice.out_dir);
+    }
+
+    const std::string merged_dir = root + "/merged";
+    const auto merge_start = std::chrono::steady_clock::now();
+    const core::MergeResult merged =
+        core::merge_shard_artifacts(dirs, merged_dir);
+    const double merge_s = seconds_since(merge_start);
+    if (!merged.ok) {
+      std::printf("FAIL: merge: %s\n", merged.error.c_str());
+      return 1;
+    }
+
+    identical = identical &&
+                read_file(merged_dir + "/records.ftpd") ==
+                    single.records_bytes &&
+                read_file(merged_dir + "/metrics.json") == single.metrics &&
+                read_file(merged_dir + "/trace.jsonl") == single.trace &&
+                read_file(merged_dir + "/timeline.jsonl") == single.timeline;
+
+    best_single = std::min(best_single, single.seconds);
+    best_shards_total = std::min(best_shards_total, shards_total);
+    best_shards_max = std::min(best_shards_max, shards_max);
+    best_merge = std::min(best_merge, merge_s);
+    std::printf("  round %d: single %.3fs | shards sum %.3fs max %.3fs | "
+                "merge %.3fs\n",
+                round + 1, single.seconds, shards_total, shards_max, merge_s);
+  }
+
+  if (!identical) {
+    std::printf("FAIL: merged artifacts diverged from single-process bytes\n");
+    return 1;
+  }
+
+  const double merge_pct = best_merge / best_single * 100.0;
+  const bool merge_violated = merge_pct > kMergeMaxPct &&
+                              (best_merge - best_single * kMergeMaxPct /
+                                                100.0) > kMinAbsDelta;
+  std::printf("records=%llu\n", static_cast<unsigned long long>(records));
+  std::printf("merge overhead  %5.2f%% of census wall (max %.1f%%)%s\n",
+              merge_pct, kMergeMaxPct, merge_violated ? "  FAIL" : "  ok");
+
+  const bool pass = !merge_violated;
+  std::string json =
+      "{\"bench\":\"process_shard\",\"seed\":" + std::to_string(seed) +
+      ",\"scale_shift\":" + std::to_string(scale_shift) +
+      ",\"shards\":" + std::to_string(kShards) +
+      ",\"records\":" + std::to_string(records) + ",\"seconds\":{\"single\":" +
+      std::to_string(best_single) +
+      ",\"shards_total\":" + std::to_string(best_shards_total) +
+      ",\"shards_max\":" + std::to_string(best_shards_max) +
+      ",\"merge\":" + std::to_string(best_merge) +
+      "},\"byte_identical\":true,\"gates\":{\"merge\":{\"overhead_pct\":" +
+      std::to_string(merge_pct) +
+      ",\"max_pct\":" + std::to_string(kMergeMaxPct) + ",\"pass\":" +
+      (merge_violated ? "false" : "true") + "}},\"pass\":";
+  json += pass ? "true" : "false";
+  json += "}\n";
+  std::FILE* out = std::fopen("BENCH_process_shard.json", "wb");
+  if (out != nullptr) {
+    std::fwrite(json.data(), 1, json.size(), out);
+    std::fclose(out);
+    std::printf("wrote BENCH_process_shard.json\n");
+  } else {
+    std::printf("warning: cannot write BENCH_process_shard.json\n");
+  }
+
+  if (!pass) {
+    std::printf("FAIL: merge overhead gate violated\n");
+    return 1;
+  }
+  std::printf("PASS: process-shard gates satisfied\n");
+  return 0;
+}

@@ -1,0 +1,307 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace ftpc::json {
+
+const Value* Value::find(std::string_view key) const noexcept {
+  if (type_ != Type::kObject) return nullptr;
+  const auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::optional<std::uint64_t> Value::u64(std::string_view key) const noexcept {
+  const Value* member = find(key);
+  return member != nullptr ? member->as_u64() : std::nullopt;
+}
+
+std::optional<std::string_view> Value::str(std::string_view key) const noexcept {
+  const Value* member = find(key);
+  if (member == nullptr || !member->is_string()) return std::nullopt;
+  return std::string_view(member->as_string());
+}
+
+namespace {
+constexpr int kMaxDepth = 64;
+}  // namespace
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  std::optional<Value> run(std::string* error) {
+    Value value;
+    if (!parse_value(value, 0)) {
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing garbage after document");
+      if (error != nullptr) *error = error_;
+      return std::nullopt;
+    }
+    return value;
+  }
+
+ private:
+  bool fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return fail("bad literal");
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool parse_hex4(std::uint32_t& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return fail("bad \\u escape digit");
+      }
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    } else {
+      out.push_back(static_cast<char>(0xf0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return fail("expected string");
+    }
+    ++pos_;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!parse_hex4(cp)) return false;
+          // Surrogate pair: combine when a low surrogate follows.
+          if (cp >= 0xd800 && cp <= 0xdbff &&
+              text_.substr(pos_, 2) == "\\u") {
+            const std::size_t rewind = pos_;
+            pos_ += 2;
+            std::uint32_t low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low >= 0xdc00 && low <= 0xdfff) {
+              cp = 0x10000 + ((cp - 0xd800) << 10) + (low - 0xdc00);
+            } else {
+              pos_ = rewind;  // lone high surrogate; emit as-is
+            }
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Value& out) {
+    const std::size_t begin = pos_;
+    bool negative = false;
+    bool fractional = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') {
+      negative = true;
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == begin + (negative ? 1 : 0)) return fail("bad number");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      fractional = true;
+      ++pos_;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      fractional = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string token(text_.substr(begin, pos_ - begin));
+    out.type_ = Value::Type::kNumber;
+    out.double_ = std::strtod(token.c_str(), nullptr);
+    out.integral_ = false;
+    if (!negative && !fractional) {
+      // Exact u64 path: reject on overflow rather than rounding.
+      std::uint64_t value = 0;
+      bool overflow = false;
+      for (const char digit : token) {
+        const auto d = static_cast<std::uint64_t>(digit - '0');
+        if (value > (~std::uint64_t{0} - d) / 10) {
+          overflow = true;
+          break;
+        }
+        value = value * 10 + d;
+      }
+      if (!overflow) {
+        out.integral_ = true;
+        out.u64_ = value;
+      }
+    }
+    return true;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of document");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': {
+        ++pos_;
+        out.type_ = Value::Type::kObject;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          skip_ws();
+          std::string key;
+          if (!parse_string(key)) return false;
+          skip_ws();
+          if (pos_ >= text_.size() || text_[pos_] != ':') {
+            return fail("expected ':' in object");
+          }
+          ++pos_;
+          Value member;
+          if (!parse_value(member, depth + 1)) return false;
+          out.object_.insert_or_assign(std::move(key), std::move(member));
+          skip_ws();
+          if (pos_ >= text_.size()) return fail("unterminated object");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == '}') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or '}' in object");
+        }
+      }
+      case '[': {
+        ++pos_;
+        out.type_ = Value::Type::kArray;
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        for (;;) {
+          Value element;
+          if (!parse_value(element, depth + 1)) return false;
+          out.array_.push_back(std::move(element));
+          skip_ws();
+          if (pos_ >= text_.size()) return fail("unterminated array");
+          if (text_[pos_] == ',') {
+            ++pos_;
+            continue;
+          }
+          if (text_[pos_] == ']') {
+            ++pos_;
+            return true;
+          }
+          return fail("expected ',' or ']' in array");
+        }
+      }
+      case '"':
+        out.type_ = Value::Type::kString;
+        return parse_string(out.string_);
+      case 't':
+        out.type_ = Value::Type::kBool;
+        out.bool_ = true;
+        return literal("true");
+      case 'f':
+        out.type_ = Value::Type::kBool;
+        out.bool_ = false;
+        return literal("false");
+      case 'n':
+        out.type_ = Value::Type::kNull;
+        return literal("null");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+std::optional<Value> Value::parse(std::string_view text, std::string* error) {
+  return Parser(text).run(error);
+}
+
+}  // namespace ftpc::json

@@ -1,0 +1,78 @@
+// Minimal JSON document parser for the cross-process artifact formats.
+//
+// The shard artifact machinery (core/shard_artifact.h) has to read back
+// what the observability exporters wrote: manifests, checkpoints, journal
+// lines, metrics documents, trace events, timeline facts. Those writers
+// emit a narrow, canonical subset of JSON (objects, arrays, strings with
+// standard escapes, unsigned integers, the occasional double), and this
+// parser accepts exactly standard JSON — a superset of what we write — so
+// hand-edited or corrupted inputs fail loudly instead of half-parsing.
+//
+// Deliberately tiny: no DOM mutation, no serialization (each schema owns
+// its canonical writer), objects as sorted maps, numbers kept in both u64
+// and double forms so exact integer round-trips never pass through a
+// double.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ftpc::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::kNull; }
+  bool is_bool() const noexcept { return type_ == Type::kBool; }
+  bool is_number() const noexcept { return type_ == Type::kNumber; }
+  bool is_string() const noexcept { return type_ == Type::kString; }
+  bool is_array() const noexcept { return type_ == Type::kArray; }
+  bool is_object() const noexcept { return type_ == Type::kObject; }
+
+  bool as_bool() const noexcept { return bool_; }
+  /// Exact unsigned value; nullopt for negatives, fractions, or non-numbers.
+  std::optional<std::uint64_t> as_u64() const noexcept {
+    if (type_ != Type::kNumber || !integral_) return std::nullopt;
+    return u64_;
+  }
+  double as_double() const noexcept { return double_; }
+  const std::string& as_string() const noexcept { return string_; }
+  const std::vector<Value>& array() const noexcept { return array_; }
+  const std::map<std::string, Value>& object() const noexcept {
+    return object_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const noexcept;
+
+  /// Convenience: the u64 member `key`, or nullopt when absent/mistyped.
+  std::optional<std::uint64_t> u64(std::string_view key) const noexcept;
+  /// Convenience: the string member `key`, or nullopt when absent/mistyped.
+  std::optional<std::string_view> str(std::string_view key) const noexcept;
+
+  /// Parses one complete JSON document (trailing whitespace allowed,
+  /// trailing garbage rejected). On failure returns nullopt and, when
+  /// `error` is non-null, stores a one-line diagnostic with a byte offset.
+  static std::optional<Value> parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+ private:
+  friend class Parser;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  bool integral_ = false;      // number fits exactly in u64_
+  std::uint64_t u64_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> object_;
+};
+
+}  // namespace ftpc::json

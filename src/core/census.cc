@@ -13,6 +13,94 @@ Census::Census(sim::Network& network, CensusConfig config)
 
 CensusStats Census::run(RecordSink& sink) { return run_shard(sink, 0, 1); }
 
+void drive_enumeration_window(sim::Network& network,
+                              const CensusConfig& config,
+                              const std::vector<std::uint32_t>& hits,
+                              CensusStats& stats,
+                              obs::MetricsRegistry* metrics, RecordSink& sink,
+                              obs::PerfCollector* perf) {
+  // A fixed-width window of sessions drains the hit list; each completion
+  // starts the next host.
+  std::size_t next = 0;
+  std::uint64_t in_flight = 0;
+  obs::ProgressCounters* progress = config.progress;
+
+  // Self-referencing launcher; lives on this frame — safe because the
+  // function drives the loop to completion before returning.
+  std::function<void()> launch = [&] {
+    while (in_flight < config.concurrency && next < hits.size()) {
+      const Ipv4 target(hits[next++]);
+      ++in_flight;
+      EnumeratorOptions options = config.enumerator;
+      // Client address is a pure function of the target, not of launch
+      // order: sequential and sharded runs must contact each host from the
+      // same client for their reports to be identical.
+      options.client_ip = Ipv4(config.client_net.value() + 1 +
+                               static_cast<std::uint32_t>(
+                                   mix64(target.value()) % 200));
+      HostEnumerator::start(
+          network, target, options, [&](HostReport report) {
+            --in_flight;
+            ++stats.hosts_enumerated;
+            if (report.ftp_compliant) ++stats.ftp_compliant;
+            if (report.anonymous()) ++stats.anonymous;
+            if (!report.error.is_ok()) ++stats.sessions_errored;
+            if (metrics != nullptr) {
+              metrics->add("census.hosts_enumerated");
+              metrics->add("census.requests_used", report.requests_used);
+              record_host_funnel(report, *metrics);
+            }
+            if (progress != nullptr) {
+              progress->hosts_enumerated.fetch_add(1,
+                                                   std::memory_order_relaxed);
+              if (report.connected) {
+                progress->connected.fetch_add(1, std::memory_order_relaxed);
+              }
+              if (report.ftp_compliant) {
+                progress->ftp_compliant.fetch_add(1,
+                                                  std::memory_order_relaxed);
+              }
+              if (report.anonymous()) {
+                progress->anonymous.fetch_add(1, std::memory_order_relaxed);
+              }
+              if (!report.error.is_ok()) {
+                progress->errored.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+            sink.on_host(report);
+            launch();
+          });
+    }
+  };
+  launch();
+
+  // Perf plane: a periodic sim-timer samples live shard-local gauges
+  // (in-flight window, undrained hit queue, timer-heap size). The timer
+  // self-reschedules, so it must be cancelled once the drive loop exits —
+  // run_while_pending checks its predicate before every event, so the
+  // sampler can never keep the loop alive on its own.
+  sim::TimerId sampler_timer = 0;
+  bool sampler_armed = false;
+  std::function<void()> sample;
+  if (perf != nullptr) {
+    const sim::SimTime cadence =
+        config.timeline.interval_us > 0 ? config.timeline.interval_us
+                                        : sim::kSecond;
+    sample = [&, cadence] {
+      perf->live_sample(in_flight, hits.size() - next,
+                        network.loop().pending());
+      sampler_timer = network.loop().schedule_after(cadence, [&] { sample(); });
+    };
+    sampler_timer = network.loop().schedule_after(cadence, [&] { sample(); });
+    sampler_armed = true;
+  }
+
+  // Drive the loop until every session has completed.
+  network.loop().run_while_pending(
+      [&] { return in_flight == 0 && next >= hits.size(); });
+  if (sampler_armed) network.loop().cancel(sampler_timer);
+}
+
 CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
                               std::uint32_t total_shards) {
   CensusStats stats;
@@ -82,86 +170,9 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
   log_info() << "census: shard " << shard << "/" << total_shards
              << " scan found " << hits.size() << " responsive hosts";
 
-  // Stage 2: concurrent enumeration. A fixed-width window of sessions
-  // drains the hit list; each completion starts the next host.
-  std::size_t next = 0;
-  std::uint64_t in_flight = 0;
-
-  // Self-referencing launcher; lives on the stack of run() — safe because
-  // run() drives the loop to completion before returning.
-  std::function<void()> launch = [&] {
-    while (in_flight < config_.concurrency && next < hits.size()) {
-      const Ipv4 target(hits[next++]);
-      ++in_flight;
-      EnumeratorOptions options = config_.enumerator;
-      // Client address is a pure function of the target, not of launch
-      // order: sequential and sharded runs must contact each host from the
-      // same client for their reports to be identical.
-      options.client_ip = Ipv4(config_.client_net.value() + 1 +
-                               static_cast<std::uint32_t>(
-                                   mix64(target.value()) % 200));
-      HostEnumerator::start(
-          network_, target, options, [&](HostReport report) {
-            --in_flight;
-            ++stats.hosts_enumerated;
-            if (report.ftp_compliant) ++stats.ftp_compliant;
-            if (report.anonymous()) ++stats.anonymous;
-            if (!report.error.is_ok()) ++stats.sessions_errored;
-            if (metrics != nullptr) {
-              metrics->add("census.hosts_enumerated");
-              metrics->add("census.requests_used", report.requests_used);
-              record_host_funnel(report, *metrics);
-            }
-            if (progress != nullptr) {
-              progress->hosts_enumerated.fetch_add(1,
-                                                   std::memory_order_relaxed);
-              if (report.connected) {
-                progress->connected.fetch_add(1, std::memory_order_relaxed);
-              }
-              if (report.ftp_compliant) {
-                progress->ftp_compliant.fetch_add(1,
-                                                  std::memory_order_relaxed);
-              }
-              if (report.anonymous()) {
-                progress->anonymous.fetch_add(1, std::memory_order_relaxed);
-              }
-              if (!report.error.is_ok()) {
-                progress->errored.fetch_add(1, std::memory_order_relaxed);
-              }
-            }
-            sink.on_host(report);
-            launch();
-          });
-    }
-  };
-  launch();
-
-  // Perf plane: a periodic sim-timer samples live shard-local gauges
-  // (in-flight window, undrained hit queue, timer-heap size). The timer
-  // self-reschedules, so it must be cancelled once the drive loop exits —
-  // run_while_pending checks its predicate before every event, so the
-  // sampler can never keep the loop alive on its own.
-  sim::TimerId sampler_timer = 0;
-  bool sampler_armed = false;
-  std::function<void()> sample;
-  if (perf != nullptr) {
-    const sim::SimTime cadence =
-        config_.timeline.interval_us > 0 ? config_.timeline.interval_us
-                                         : sim::kSecond;
-    sample = [&, cadence] {
-      perf_collector.live_sample(in_flight, hits.size() - next,
-                                 network_.loop().pending());
-      sampler_timer = network_.loop().schedule_after(cadence, [&] { sample(); });
-    };
-    sampler_timer =
-        network_.loop().schedule_after(cadence, [&] { sample(); });
-    sampler_armed = true;
-  }
-
-  // Drive the loop until every session has completed.
-  network_.loop().run_while_pending(
-      [&] { return in_flight == 0 && next >= hits.size(); });
-  if (sampler_armed) network_.loop().cancel(sampler_timer);
+  // Stage 2: concurrent enumeration over the discovered hits.
+  drive_enumeration_window(network_, config_, hits, stats, metrics, sink,
+                           perf);
 
   stats.virtual_duration = network_.loop().now() - started;
   if (config_.trace.enabled) {

@@ -117,6 +117,20 @@ struct CensusStats {
   }
 };
 
+/// Drives one enumeration window over `hits` to completion: launches a
+/// session per hit through a fixed window of `config.concurrency`, each
+/// completion starting the next host; outcomes accumulate into `stats` /
+/// `metrics` / `config.progress` and reports stream into `sink`. Shared by
+/// Census::run_shard and the checkpointed slice runner (shard_slice.h) —
+/// per-host reports are pure in (seed, target), so driving the hits in one
+/// window or several consecutive ones yields identical per-host outcomes.
+void drive_enumeration_window(sim::Network& network,
+                              const CensusConfig& config,
+                              const std::vector<std::uint32_t>& hits,
+                              CensusStats& stats,
+                              obs::MetricsRegistry* metrics, RecordSink& sink,
+                              obs::PerfCollector* perf);
+
 /// Runs the full pipeline synchronously (driving the event loop until all
 /// sessions complete). Reports stream into `sink`.
 class Census {

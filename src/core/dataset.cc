@@ -202,6 +202,24 @@ std::optional<HostReport> decode_host_report(std::string_view frame) {
 // File framing
 // ---------------------------------------------------------------------------
 
+std::string dataset_file_header() {
+  std::string out(kMagic, 4);
+  out.append(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  return out;
+}
+
+std::string encode_host_frame(const HostReport& report) {
+  const std::string body = encode_host_report(report);
+  const auto length = static_cast<std::uint32_t>(body.size());
+  const std::uint64_t checksum = fnv1a64(body);
+  std::string out;
+  out.reserve(sizeof(length) + body.size() + sizeof(checksum));
+  out.append(reinterpret_cast<const char*>(&length), sizeof(length));
+  out.append(body);
+  out.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  return out;
+}
+
 DatasetWriter::DatasetWriter(const std::string& path) {
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) return;

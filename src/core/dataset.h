@@ -26,6 +26,14 @@ std::string encode_host_report(const HostReport& report);
 /// Decodes a frame body; nullopt on malformed input.
 std::optional<HostReport> decode_host_report(std::string_view frame);
 
+/// The 8-byte dataset file header (magic + version) — lets checkpointed
+/// shards and ftpcmerge emit files byte-identical to DatasetWriter's.
+std::string dataset_file_header();
+
+/// One on-disk frame for `report`: u32 length + body + u64 FNV-1a checksum,
+/// exactly the bytes DatasetWriter::on_host appends.
+std::string encode_host_frame(const HostReport& report);
+
 /// A RecordSink that streams every report to disk.
 class DatasetWriter : public RecordSink {
  public:

@@ -1,0 +1,1239 @@
+#include "core/shard_artifact.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/ipv4.h"
+#include "core/dataset.h"
+
+namespace ftpc::core {
+
+namespace {
+
+void append_json_string(std::string& out, std::string_view s) {
+  static const char* kHex = "0123456789abcdef";
+  out.push_back('"');
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (u < 0x20) {
+      out += "\\u00";
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xf]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+void append_bool(std::string& out, bool v) { out += v ? "true" : "false"; }
+
+void append_scan_stats(std::string& out, const scan::ScanStats& s) {
+  out += "{\"elements\":" + std::to_string(s.elements_walked);
+  out += ",\"addresses\":" + std::to_string(s.addresses_walked);
+  out += ",\"blocklisted\":" + std::to_string(s.blocklisted);
+  out += ",\"probed\":" + std::to_string(s.probed);
+  out += ",\"responsive\":" + std::to_string(s.responsive);
+  out += ",\"retransmits\":" + std::to_string(s.probe_retransmits);
+  out += ",\"timeouts\":" + std::to_string(s.probe_timeouts);
+  out.push_back('}');
+}
+
+bool parse_scan_stats(const json::Value* v, scan::ScanStats& s) {
+  if (v == nullptr || !v->is_object()) return false;
+  const auto get = [v](const char* key, std::uint64_t& out) {
+    const auto n = v->u64(key);
+    if (!n) return false;
+    out = *n;
+    return true;
+  };
+  return get("elements", s.elements_walked) &&
+         get("addresses", s.addresses_walked) &&
+         get("blocklisted", s.blocklisted) && get("probed", s.probed) &&
+         get("responsive", s.responsive) &&
+         get("retransmits", s.probe_retransmits) &&
+         get("timeouts", s.probe_timeouts);
+}
+
+bool get_bool(const json::Value& v, const char* key, bool& out) {
+  const json::Value* member = v.find(key);
+  if (member == nullptr || !member->is_bool()) return false;
+  out = member->as_bool();
+  return true;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::string content;
+  // Size up front so multi-megabyte artifacts land in one read instead of
+  // a realloc-per-64KB append loop; the chunk loop still handles whatever
+  // the stat missed.
+  struct stat st{};
+  if (::fstat(::fileno(file), &st) == 0 && S_ISREG(st.st_mode) &&
+      st.st_size > 0) {
+    content.resize(static_cast<std::size_t>(st.st_size));
+    const std::size_t got = std::fread(content.data(), 1, content.size(), file);
+    content.resize(got);
+  }
+  char buffer[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(buffer, 1, sizeof(buffer), file);
+    content.append(buffer, got);
+    if (got < sizeof(buffer)) break;
+  }
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  if (!ok) return std::nullopt;
+  return content;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), file) == content.size();
+  return (std::fclose(file) == 0) && ok;
+}
+
+/// Splits a JSONL document into lines (without the terminating '\n').
+std::vector<std::string_view> split_lines(std::string_view text) {
+  std::vector<std::string_view> lines;
+  while (!text.empty()) {
+    const std::size_t eol = text.find('\n');
+    if (eol == std::string_view::npos) {
+      lines.push_back(text);
+      break;
+    }
+    lines.push_back(text.substr(0, eol));
+    text.remove_prefix(eol + 1);
+  }
+  return lines;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Config fingerprint
+// ---------------------------------------------------------------------------
+
+std::uint64_t census_config_fingerprint(const CensusConfig& config) {
+  // A labeled, canonical serialization of every field that feeds the
+  // deterministic artifacts, FNV-hashed. Execution layout (shards, threads,
+  // checkpoint cadence, progress/perf plumbing) is excluded on purpose;
+  // doubles print at full precision so distinct profiles never collide via
+  // rounding.
+  std::string s;
+  const auto field = [&s](const char* name, const std::string& value) {
+    s += name;
+    s.push_back('=');
+    s += value;
+    s.push_back('\n');
+  };
+  const auto u64f = [&field](const char* name, std::uint64_t v) {
+    field(name, std::to_string(v));
+  };
+  const auto dblf = [&field](const char* name, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    field(name, buf);
+  };
+  u64f("seed", config.seed);
+  u64f("scale_shift", config.scale_shift);
+  u64f("concurrency", config.concurrency);
+  u64f("client_net", config.client_net.value());
+  const EnumeratorOptions& e = config.enumerator;
+  field("enum.password", e.password);
+  field("enum.user_agent", e.user_agent);
+  u64f("enum.request_cap", e.request_cap);
+  u64f("enum.request_gap", e.request_gap);
+  u64f("enum.max_depth", e.max_depth);
+  u64f("enum.max_listing_bytes", e.max_listing_bytes);
+  u64f("enum.max_files", e.max_files);
+  u64f("enum.honor_robots", e.honor_robots ? 1 : 0);
+  u64f("enum.collect_surveys", e.collect_surveys ? 1 : 0);
+  u64f("enum.try_tls", e.try_tls ? 1 : 0);
+  u64f("enum.breadth_first", e.breadth_first ? 1 : 0);
+  u64f("enum.command_retries", e.command_retries);
+  u64f("enum.retry_backoff", e.retry_backoff);
+  u64f("enum.retry_backoff_cap", e.retry_backoff_cap);
+  u64f("probe_retries", config.probe_retries);
+  u64f("chaos_enabled", config.chaos_enabled ? 1 : 0);
+  dblf("chaos.syn_loss", config.chaos.syn_loss);
+  dblf("chaos.connect_timeout", config.chaos.connect_timeout);
+  dblf("chaos.rst", config.chaos.rst);
+  dblf("chaos.stall", config.chaos.stall);
+  dblf("chaos.truncate", config.chaos.truncate);
+  dblf("chaos.garble", config.chaos.garble);
+  dblf("chaos.premature_close", config.chaos.premature_close);
+  dblf("chaos.data_fail", config.chaos.data_fail);
+  u64f("chaos_seed", config.chaos_seed);
+  u64f("max_hosts", config.max_hosts);
+  u64f("collect_metrics", config.collect_metrics ? 1 : 0);
+  u64f("trace.enabled", config.trace.enabled ? 1 : 0);
+  dblf("trace.sample_rate", config.trace.sample_rate);
+  for (const std::uint32_t host : config.trace.force_hosts) {
+    u64f("trace.force_host", host);
+  }
+  u64f("trace.capture_wire", config.trace.capture_wire ? 1 : 0);
+  u64f("timeline.enabled", config.timeline.enabled ? 1 : 0);
+  u64f("timeline.interval_us", config.timeline.interval_us);
+  return fnv1a64(s);
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+std::string ShardManifest::to_json() const {
+  std::string out = "{\"schema\":\"ftpc.shard.v1\"";
+  out += ",\"shard\":" + std::to_string(shard);
+  out += ",\"total_shards\":" + std::to_string(total_shards);
+  out += ",\"seed\":" + std::to_string(seed);
+  out += ",\"scale_shift\":" + std::to_string(scale_shift);
+  out += ",\"config_hash\":" + std::to_string(config_hash);
+  out += ",\"records\":" + std::to_string(records);
+  out += ",\"scan\":";
+  append_scan_stats(out, scan);
+  out += ",\"enum\":{\"hosts\":" + std::to_string(hosts_enumerated);
+  out += ",\"ftp\":" + std::to_string(ftp_compliant);
+  out += ",\"anonymous\":" + std::to_string(anonymous);
+  out += ",\"errored\":" + std::to_string(sessions_errored);
+  out += "},\"channels\":{\"metrics\":";
+  append_bool(out, has_metrics);
+  out += ",\"trace\":";
+  append_bool(out, has_trace);
+  out += ",\"timeline\":";
+  append_bool(out, has_timeline);
+  out += "},\"timeline\":{\"interval_us\":" +
+         std::to_string(timeline_interval_us);
+  out += ",\"pps\":" + std::to_string(pps);
+  out += ",\"concurrency\":" + std::to_string(concurrency);
+  out += "}}\n";
+  return out;
+}
+
+std::optional<ShardManifest> ShardManifest::parse(std::string_view text,
+                                                  std::string* error) {
+  std::string parse_error;
+  const auto doc = json::Value::parse(text, &parse_error);
+  if (!doc) {
+    if (error != nullptr) *error = "invalid JSON: " + parse_error;
+    return std::nullopt;
+  }
+  const auto fail = [error](const char* what) -> std::optional<ShardManifest> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  const auto schema = doc->str("schema");
+  if (!schema || *schema != "ftpc.shard.v1") {
+    return fail("not a ftpc.shard.v1 manifest");
+  }
+  ShardManifest m;
+  const auto shard = doc->u64("shard");
+  const auto total = doc->u64("total_shards");
+  const auto seed = doc->u64("seed");
+  const auto scale = doc->u64("scale_shift");
+  const auto hash = doc->u64("config_hash");
+  const auto records = doc->u64("records");
+  if (!shard || !total || !seed || !scale || !hash || !records) {
+    return fail("manifest missing a required field");
+  }
+  if (*total == 0 || *shard >= *total) {
+    return fail("manifest shard index out of range");
+  }
+  m.shard = static_cast<std::uint32_t>(*shard);
+  m.total_shards = static_cast<std::uint32_t>(*total);
+  m.seed = *seed;
+  m.scale_shift = static_cast<unsigned>(*scale);
+  m.config_hash = *hash;
+  m.records = *records;
+  if (!parse_scan_stats(doc->find("scan"), m.scan)) {
+    return fail("manifest missing scan totals");
+  }
+  const json::Value* enumeration = doc->find("enum");
+  if (enumeration == nullptr || !enumeration->is_object()) {
+    return fail("manifest missing enum totals");
+  }
+  const auto hosts = enumeration->u64("hosts");
+  const auto ftp = enumeration->u64("ftp");
+  const auto anon = enumeration->u64("anonymous");
+  const auto errored = enumeration->u64("errored");
+  if (!hosts || !ftp || !anon || !errored) {
+    return fail("manifest missing enum totals");
+  }
+  m.hosts_enumerated = *hosts;
+  m.ftp_compliant = *ftp;
+  m.anonymous = *anon;
+  m.sessions_errored = *errored;
+  const json::Value* channels = doc->find("channels");
+  if (channels == nullptr ||
+      !get_bool(*channels, "metrics", m.has_metrics) ||
+      !get_bool(*channels, "trace", m.has_trace) ||
+      !get_bool(*channels, "timeline", m.has_timeline)) {
+    return fail("manifest missing channel flags");
+  }
+  const json::Value* timeline = doc->find("timeline");
+  if (timeline == nullptr) return fail("manifest missing timeline options");
+  const auto interval = timeline->u64("interval_us");
+  const auto pps = timeline->u64("pps");
+  const auto conc = timeline->u64("concurrency");
+  if (!interval || !pps || !conc) {
+    return fail("manifest missing timeline options");
+  }
+  m.timeline_interval_us = *interval;
+  m.pps = *pps;
+  m.concurrency = static_cast<std::uint32_t>(*conc);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint
+// ---------------------------------------------------------------------------
+
+std::string ShardCheckpoint::to_json() const {
+  std::string out = "{\"schema\":\"ftpc.ckpt.v1\"";
+  out += ",\"config_hash\":" + std::to_string(config_hash);
+  out += ",\"shard\":" + std::to_string(shard);
+  out += ",\"total_shards\":" + std::to_string(total_shards);
+  out += ",\"boundary_element\":" + std::to_string(boundary_element);
+  out += ",\"elements_consumed\":" + std::to_string(elements_consumed);
+  out += ",\"next_boundary\":" + std::to_string(next_boundary);
+  out += ",\"scan\":";
+  append_scan_stats(out, scan);
+  out += ",\"enum\":{\"hosts\":" + std::to_string(hosts_enumerated);
+  out += ",\"ftp\":" + std::to_string(ftp_compliant);
+  out += ",\"anonymous\":" + std::to_string(anonymous);
+  out += ",\"errored\":" + std::to_string(sessions_errored);
+  out += "},\"records_count\":" + std::to_string(records_count);
+  out += ",\"records_bytes\":" + std::to_string(records_bytes);
+  out += "}\n";
+  return out;
+}
+
+std::optional<ShardCheckpoint> ShardCheckpoint::parse(std::string_view text,
+                                                      std::string* error) {
+  std::string parse_error;
+  const auto doc = json::Value::parse(text, &parse_error);
+  if (!doc) {
+    if (error != nullptr) *error = "invalid JSON: " + parse_error;
+    return std::nullopt;
+  }
+  const auto fail =
+      [error](const char* what) -> std::optional<ShardCheckpoint> {
+    if (error != nullptr) *error = what;
+    return std::nullopt;
+  };
+  const auto schema = doc->str("schema");
+  if (!schema || *schema != "ftpc.ckpt.v1") {
+    return fail("not a ftpc.ckpt.v1 checkpoint");
+  }
+  ShardCheckpoint c;
+  const auto hash = doc->u64("config_hash");
+  const auto shard = doc->u64("shard");
+  const auto total = doc->u64("total_shards");
+  const auto boundary = doc->u64("boundary_element");
+  const auto consumed = doc->u64("elements_consumed");
+  const auto next_boundary = doc->u64("next_boundary");
+  const auto records_count = doc->u64("records_count");
+  const auto records_bytes = doc->u64("records_bytes");
+  if (!hash || !shard || !total || !boundary || !consumed || !next_boundary ||
+      !records_count || !records_bytes) {
+    return fail("checkpoint missing a required field");
+  }
+  c.config_hash = *hash;
+  c.shard = static_cast<std::uint32_t>(*shard);
+  c.total_shards = static_cast<std::uint32_t>(*total);
+  c.boundary_element = *boundary;
+  c.elements_consumed = *consumed;
+  c.next_boundary = *next_boundary;
+  c.records_count = *records_count;
+  c.records_bytes = *records_bytes;
+  if (!parse_scan_stats(doc->find("scan"), c.scan)) {
+    return fail("checkpoint missing scan counters");
+  }
+  const json::Value* enumeration = doc->find("enum");
+  if (enumeration == nullptr || !enumeration->is_object()) {
+    return fail("checkpoint missing enum counters");
+  }
+  const auto hosts = enumeration->u64("hosts");
+  const auto ftp = enumeration->u64("ftp");
+  const auto anon = enumeration->u64("anonymous");
+  const auto errored = enumeration->u64("errored");
+  if (!hosts || !ftp || !anon || !errored) {
+    return fail("checkpoint missing enum counters");
+  }
+  c.hosts_enumerated = *hosts;
+  c.ftp_compliant = *ftp;
+  c.anonymous = *anon;
+  c.sessions_errored = *errored;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Fact line codecs
+// ---------------------------------------------------------------------------
+
+std::string timeline_scan_series_line(
+    const std::vector<obs::TimelineScanSample>& series) {
+  std::string out = "{\"k\":\"scan\",\"samples\":[";
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const obs::TimelineScanSample& s = series[i];
+    if (i > 0) out.push_back(',');
+    out.push_back('[');
+    out += std::to_string(s.boundary);
+    out += ',' + std::to_string(s.elements);
+    out += ',' + std::to_string(s.probed);
+    out += ',' + std::to_string(s.responsive);
+    out += ',' + std::to_string(s.retransmits);
+    out.push_back(']');
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::optional<std::vector<obs::TimelineScanSample>> parse_timeline_scan_series(
+    const json::Value& line) {
+  const json::Value* samples = line.find("samples");
+  if (samples == nullptr || !samples->is_array()) return std::nullopt;
+  std::vector<obs::TimelineScanSample> series;
+  series.reserve(samples->array().size());
+  for (const json::Value& entry : samples->array()) {
+    if (!entry.is_array() || entry.array().size() != 5) return std::nullopt;
+    obs::TimelineScanSample s;
+    std::uint64_t* fields[5] = {&s.boundary, &s.elements, &s.probed,
+                                &s.responsive, &s.retransmits};
+    for (std::size_t i = 0; i < 5; ++i) {
+      const auto v = entry.array()[i].as_u64();
+      if (!v) return std::nullopt;
+      *fields[i] = *v;
+    }
+    series.push_back(s);
+  }
+  return series;
+}
+
+std::string timeline_host_line(const obs::TimelineHost& host) {
+  std::string out = "{\"k\":\"host\",\"gi\":" + std::to_string(host.global_index);
+  out += ",\"ip\":" + std::to_string(host.ip);
+  out += ",\"enumerated\":";
+  append_bool(out, host.enumerated);
+  out += ",\"dur\":" + std::to_string(host.duration_us);
+  out += ",\"connected\":";
+  append_bool(out, host.connected);
+  out += ",\"ftp\":";
+  append_bool(out, host.ftp_compliant);
+  out += ",\"anon\":";
+  append_bool(out, host.anonymous);
+  out += ",\"err\":";
+  append_bool(out, host.errored);
+  out += ",\"req\":" + std::to_string(host.requests);
+  out += ",\"retry\":" + std::to_string(host.retries);
+  out += "}\n";
+  return out;
+}
+
+std::optional<obs::TimelineHost> parse_timeline_host(const json::Value& line) {
+  obs::TimelineHost host;
+  const auto gi = line.u64("gi");
+  const auto ip = line.u64("ip");
+  const auto dur = line.u64("dur");
+  const auto req = line.u64("req");
+  const auto retry = line.u64("retry");
+  if (!gi || !ip || !dur || !req || !retry ||
+      *ip > 0xffffffffULL ||
+      !get_bool(line, "enumerated", host.enumerated) ||
+      !get_bool(line, "connected", host.connected) ||
+      !get_bool(line, "ftp", host.ftp_compliant) ||
+      !get_bool(line, "anon", host.anonymous) ||
+      !get_bool(line, "err", host.errored)) {
+    return std::nullopt;
+  }
+  host.global_index = *gi;
+  host.ip = static_cast<std::uint32_t>(*ip);
+  host.duration_us = *dur;
+  host.requests = *req;
+  host.retries = *retry;
+  return host;
+}
+
+std::optional<obs::TraceEvent> parse_trace_event(const json::Value& line) {
+  obs::TraceEvent event;
+  const auto t = line.u64("t");
+  const auto seq = line.u64("seq");
+  const auto host = line.str("host");
+  const auto ev = line.str("ev");
+  if (!t || !seq || !host || !ev || *seq > 0xffffffffULL) return std::nullopt;
+  const auto ip = Ipv4::parse(*host);
+  if (!ip) return std::nullopt;
+  event.start = *t;
+  event.host = ip->value();
+  event.seq = static_cast<std::uint32_t>(*seq);
+  if (*ev == "span") {
+    event.kind = obs::TraceEventKind::kSpan;
+    const auto dur = line.u64("dur");
+    const auto name = line.str("name");
+    const auto status = line.str("status");
+    if (!dur || !name || !status) return std::nullopt;
+    event.dur = *dur;
+    event.name.assign(*name);
+    event.status.assign(*status);
+  } else if (*ev == "send" || *ev == "recv") {
+    event.kind = *ev == "send" ? obs::TraceEventKind::kSend
+                               : obs::TraceEventKind::kRecv;
+    const auto text = line.str("line");
+    if (!text) return std::nullopt;
+    event.name.assign(*text);
+  } else {
+    return std::nullopt;
+  }
+  return event;
+}
+
+std::string trace_event_line(const obs::TraceEvent& event) {
+  std::string out = "{\"k\":\"trace\",\"t\":" + std::to_string(event.start);
+  if (event.kind == obs::TraceEventKind::kSpan) {
+    out += ",\"dur\":" + std::to_string(event.dur);
+  }
+  out += ",\"host\":\"" + Ipv4(event.host).str() + "\"";
+  out += ",\"seq\":" + std::to_string(event.seq);
+  out += ",\"ev\":\"";
+  out += trace_event_kind_name(event.kind);
+  out.push_back('"');
+  if (event.kind == obs::TraceEventKind::kSpan) {
+    out += ",\"name\":";
+    append_json_string(out, event.name);
+    out += ",\"status\":";
+    append_json_string(out, event.status);
+  } else {
+    out += ",\"line\":";
+    append_json_string(out, event.name);
+  }
+  out += "}\n";
+  return out;
+}
+
+bool merge_metrics_document(const json::Value& doc,
+                            obs::MetricsRegistry& into, std::string* error) {
+  const auto fail = [error](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  const auto schema = doc.str("schema");
+  if (!schema || *schema != "ftpc.metrics.v1") {
+    return fail("not a ftpc.metrics.v1 document");
+  }
+  const json::Value* counters = doc.find("counters");
+  if (counters == nullptr || !counters->is_object()) {
+    return fail("metrics document missing counters object");
+  }
+  for (const auto& [name, value] : counters->object()) {
+    const auto v = value.as_u64();
+    if (!v) return fail("counter " + name + " is not an unsigned integer");
+    into.add(name, *v);
+  }
+  const json::Value* histograms = doc.find("histograms");
+  if (histograms == nullptr || !histograms->is_object()) {
+    return fail("metrics document missing histograms object");
+  }
+  for (const auto& [name, entry] : histograms->object()) {
+    const json::Value* bounds = entry.find("bounds");
+    const json::Value* buckets = entry.find("buckets");
+    const auto count = entry.u64("count");
+    const auto sum = entry.u64("sum");
+    if (bounds == nullptr || !bounds->is_array() || buckets == nullptr ||
+        !buckets->is_array() || !count || !sum) {
+      return fail("histogram " + name + " is malformed");
+    }
+    const auto to_u64s = [](const json::Value& array,
+                            std::vector<std::uint64_t>& out) {
+      out.reserve(array.array().size());
+      for (const json::Value& v : array.array()) {
+        const auto u = v.as_u64();
+        if (!u) return false;
+        out.push_back(*u);
+      }
+      return true;
+    };
+    std::vector<std::uint64_t> bound_values;
+    std::vector<std::uint64_t> bucket_values;
+    if (!to_u64s(*bounds, bound_values) || !to_u64s(*buckets, bucket_values) ||
+        bucket_values.size() != bound_values.size() + 1) {
+      return fail("histogram " + name + " is malformed");
+    }
+    into.merge_histogram(
+        name, obs::Histogram::from_parts(std::move(bound_values),
+                                         std::move(bucket_values), *count,
+                                         *sum));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Merge
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parses one JSONL line, reporting path:line on failure.
+std::optional<json::Value> parse_line(std::string_view line,
+                                      const std::string& path,
+                                      std::size_t line_number,
+                                      std::string& error) {
+  std::string parse_error;
+  auto value = json::Value::parse(line, &parse_error);
+  if (!value) {
+    error = path + ":" + std::to_string(line_number) + ": " + parse_error;
+  }
+  return value;
+}
+
+// The merge hot path never parses JSON generically: shard artifacts are
+// written by our own canonical serializers, so a strict scanner that
+// accepts exactly those bytes (and nothing else) both validates and
+// extracts keys in one linear pass. Any deviation — hand-edited files,
+// foreign escapes, unsorted events — drops that channel back to the
+// json::Value path, which keeps the permissive semantics and the
+// first-divergence diagnostics the corruption suite pins.
+
+/// Cursor over one line with matchers for the canonical grammar.
+class LineScanner {
+ public:
+  explicit LineScanner(std::string_view line)
+      : p_(line.data()), end_(line.data() + line.size()) {}
+
+  bool done() const { return p_ == end_; }
+
+  bool lit(std::string_view s) {
+    if (static_cast<std::size_t>(end_ - p_) < s.size() ||
+        std::memcmp(p_, s.data(), s.size()) != 0) {
+      return false;
+    }
+    p_ += s.size();
+    return true;
+  }
+
+  /// Canonical u64 decimal — exactly what std::to_string emits: no sign,
+  /// no leading zero, fits in 64 bits.
+  bool num(std::uint64_t& out) {
+    if (p_ == end_ || *p_ < '0' || *p_ > '9') return false;
+    if (*p_ == '0') {
+      ++p_;
+      if (p_ != end_ && *p_ >= '0' && *p_ <= '9') return false;
+      out = 0;
+      return true;
+    }
+    std::uint64_t value = 0;
+    while (p_ != end_ && *p_ >= '0' && *p_ <= '9') {
+      const std::uint64_t digit = static_cast<std::uint64_t>(*p_ - '0');
+      if (value > (~std::uint64_t{0} - digit) / 10) return false;
+      value = value * 10 + digit;
+      ++p_;
+    }
+    out = value;
+    return true;
+  }
+
+  bool boolean(bool& out) {
+    if (lit("true")) {
+      out = true;
+      return true;
+    }
+    if (lit("false")) {
+      out = false;
+      return true;
+    }
+    return false;
+  }
+
+  /// Canonical dotted quad as Ipv4::str prints it: octets 0-255, no
+  /// leading zeros.
+  bool quad(std::uint32_t& out) {
+    std::uint32_t ip = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (i > 0 && !lit(".")) return false;
+      std::uint64_t octet = 0;
+      if (!num(octet) || octet > 255) return false;
+      ip = (ip << 8) | static_cast<std::uint32_t>(octet);
+    }
+    out = ip;
+    return true;
+  }
+
+  /// A quoted string in exactly append_json_string's form: the only
+  /// escapes are \" \\ and \u00XX (lowercase hex, value < 0x20); raw
+  /// control bytes never appear. Anything else re-serializes differently,
+  /// so it must not take the fast path.
+  bool jstr() {
+    if (!lit("\"")) return false;
+    while (p_ != end_) {
+      const unsigned char c = static_cast<unsigned char>(*p_);
+      if (c == '"') {
+        ++p_;
+        return true;
+      }
+      if (c == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+        if (*p_ == '"' || *p_ == '\\') {
+          ++p_;
+          continue;
+        }
+        if (*p_ != 'u' || end_ - p_ < 5 || p_[1] != '0' || p_[2] != '0') {
+          return false;
+        }
+        const auto hex = [](char h) {
+          return h >= '0' && h <= '9'   ? h - '0'
+                 : h >= 'a' && h <= 'f' ? h - 'a' + 10
+                                        : -1;
+        };
+        const int hi = hex(p_[3]);
+        const int lo = hex(p_[4]);
+        if (hi < 0 || lo < 0 || hi * 16 + lo >= 0x20) return false;
+        p_ += 5;
+        continue;
+      }
+      if (c < 0x20) return false;
+      ++p_;
+    }
+    return false;
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+/// The (start, host, seq) canonical trace order.
+struct TraceKey {
+  std::uint64_t t = 0;
+  std::uint32_t host = 0;
+  std::uint32_t seq = 0;
+
+  bool operator<(const TraceKey& o) const {
+    if (t != o.t) return t < o.t;
+    if (host != o.host) return host < o.host;
+    return seq < o.seq;
+  }
+  bool operator==(const TraceKey& o) const {
+    return t == o.t && host == o.host && seq == o.seq;
+  }
+};
+
+/// True iff `line` is byte-for-byte a TraceBuffer::to_jsonl event line;
+/// extracts its sort key. Valid-but-noncanonical JSON returns false.
+bool scan_canonical_trace_line(std::string_view line, TraceKey& key) {
+  LineScanner s(line);
+  std::uint64_t dur = 0;
+  bool has_dur = false;
+  if (!s.lit("{\"t\":") || !s.num(key.t)) return false;
+  if (s.lit(",\"dur\":")) {
+    has_dur = true;
+    if (!s.num(dur)) return false;
+  }
+  if (!s.lit(",\"host\":\"")) return false;
+  if (!s.quad(key.host)) return false;
+  std::uint64_t seq = 0;
+  if (!s.lit("\",\"seq\":") || !s.num(seq) || seq > 0xffffffffULL) {
+    return false;
+  }
+  key.seq = static_cast<std::uint32_t>(seq);
+  if (!s.lit(",\"ev\":\"")) return false;
+  if (s.lit("span\"")) {
+    if (!has_dur || !s.lit(",\"name\":") || !s.jstr() ||
+        !s.lit(",\"status\":") || !s.jstr()) {
+      return false;
+    }
+  } else if (s.lit("send\"") || s.lit("recv\"")) {
+    if (has_dur || !s.lit(",\"line\":") || !s.jstr()) return false;
+  } else {
+    return false;
+  }
+  return s.lit("}") && s.done();
+}
+
+/// Fast parse of a timeline_host_line fact; nullopt falls back to the
+/// generic JSON path (the projection doesn't echo input bytes, so this
+/// only needs to accept the canonical form, not prove it).
+std::optional<obs::TimelineHost> scan_timeline_host_line(
+    std::string_view line) {
+  LineScanner s(line);
+  obs::TimelineHost host;
+  std::uint64_t ip = 0;
+  if (s.lit("{\"k\":\"host\",\"gi\":") && s.num(host.global_index) &&
+      s.lit(",\"ip\":") && s.num(ip) && ip <= 0xffffffffULL &&
+      s.lit(",\"enumerated\":") && s.boolean(host.enumerated) &&
+      s.lit(",\"dur\":") && s.num(host.duration_us) &&
+      s.lit(",\"connected\":") && s.boolean(host.connected) &&
+      s.lit(",\"ftp\":") && s.boolean(host.ftp_compliant) &&
+      s.lit(",\"anon\":") && s.boolean(host.anonymous) &&
+      s.lit(",\"err\":") && s.boolean(host.errored) && s.lit(",\"req\":") &&
+      s.num(host.requests) && s.lit(",\"retry\":") && s.num(host.retries) &&
+      s.lit("}") && s.done()) {
+    host.ip = static_cast<std::uint32_t>(ip);
+    return host;
+  }
+  return std::nullopt;
+}
+
+/// Fast parse of a timeline_scan_series_line fact; nullopt falls back.
+std::optional<std::vector<obs::TimelineScanSample>> scan_scan_series_line(
+    std::string_view line) {
+  LineScanner s(line);
+  if (!s.lit("{\"k\":\"scan\",\"samples\":[")) return std::nullopt;
+  std::vector<obs::TimelineScanSample> series;
+  if (!s.lit("]}")) {
+    for (;;) {
+      obs::TimelineScanSample sample;
+      if (!s.lit("[") || !s.num(sample.boundary) || !s.lit(",") ||
+          !s.num(sample.elements) || !s.lit(",") || !s.num(sample.probed) ||
+          !s.lit(",") || !s.num(sample.responsive) || !s.lit(",") ||
+          !s.num(sample.retransmits) || !s.lit("]")) {
+        return std::nullopt;
+      }
+      series.push_back(sample);
+      if (s.lit(",")) continue;
+      if (s.lit("]}")) break;
+      return std::nullopt;
+    }
+  }
+  if (!s.done()) return std::nullopt;
+  return series;
+}
+
+/// Stage walls to stderr when FTPCMERGE_TIMING is set — for chasing merge
+/// regressions against the bench_process_shard gate.
+class StageTimer {
+ public:
+  StageTimer() : enabled_(std::getenv("FTPCMERGE_TIMING") != nullptr) {}
+  void mark(const char* stage) {
+    if (!enabled_) return;
+    const auto now = std::chrono::steady_clock::now();
+    std::fprintf(stderr, "ftpcmerge: %-10s %8.3fms\n", stage,
+                 std::chrono::duration<double, std::milli>(now - last_)
+                     .count());
+    last_ = now;
+  }
+
+ private:
+  bool enabled_;
+  std::chrono::steady_clock::time_point last_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace
+
+MergeResult merge_shard_artifacts(const std::vector<std::string>& shard_dirs,
+                                  const std::string& out_dir) {
+  MergeResult result;
+  StageTimer timer;
+  if (shard_dirs.empty()) {
+    result.error = "no shard artifact directories given";
+    return result;
+  }
+
+  // --- Manifests: the validation gate -------------------------------------
+  std::vector<ShardManifest> manifests;
+  manifests.reserve(shard_dirs.size());
+  for (const std::string& dir : shard_dirs) {
+    const std::string path = dir + "/" + kShardManifestFile;
+    const auto text = read_file(path);
+    if (!text) {
+      result.error = path + ": missing manifest (incomplete shard artifact)";
+      return result;
+    }
+    std::string parse_error;
+    const auto manifest = ShardManifest::parse(*text, &parse_error);
+    if (!manifest) {
+      result.error = path + ": " + parse_error;
+      return result;
+    }
+    manifests.push_back(*manifest);
+  }
+  const ShardManifest& first = manifests.front();
+  if (shard_dirs.size() != first.total_shards) {
+    result.error = shard_dirs.front() + "/" + kShardManifestFile +
+                   ": declares " + std::to_string(first.total_shards) +
+                   " shard(s) but " + std::to_string(shard_dirs.size()) +
+                   " artifact dir(s) were given";
+    return result;
+  }
+  for (std::size_t i = 1; i < manifests.size(); ++i) {
+    const ShardManifest& m = manifests[i];
+    const std::string path = shard_dirs[i] + "/" + kShardManifestFile;
+    if (m.config_hash != first.config_hash) {
+      result.error = path + ": config hash " + std::to_string(m.config_hash) +
+                     " does not match " + shard_dirs.front() + " (" +
+                     std::to_string(first.config_hash) + ")";
+      return result;
+    }
+    if (m.total_shards != first.total_shards || m.seed != first.seed ||
+        m.scale_shift != first.scale_shift ||
+        m.has_metrics != first.has_metrics ||
+        m.has_trace != first.has_trace ||
+        m.has_timeline != first.has_timeline ||
+        m.timeline_interval_us != first.timeline_interval_us ||
+        m.pps != first.pps || m.concurrency != first.concurrency) {
+      result.error = path + ": shard options do not match " +
+                     shard_dirs.front();
+      return result;
+    }
+  }
+  // Shard ids must be exactly {0..N-1}.
+  std::vector<int> owner(first.total_shards, -1);
+  for (std::size_t i = 0; i < manifests.size(); ++i) {
+    const std::uint32_t shard = manifests[i].shard;
+    if (owner[shard] >= 0) {
+      result.error = shard_dirs[i] + "/" + kShardManifestFile +
+                     ": duplicate shard " + std::to_string(shard) +
+                     " (also in " + shard_dirs[owner[shard]] + ")";
+      return result;
+    }
+    owner[shard] = static_cast<int>(i);
+  }
+  // With N dirs, N declared shards, and no duplicates, every id is present;
+  // the loop above is still the source of the "missing shard" diagnostic
+  // when the count check is bypassed by a duplicate + absence pair.
+  for (std::uint32_t shard = 0; shard < first.total_shards; ++shard) {
+    if (owner[shard] < 0) {
+      result.error = "missing shard " + std::to_string(shard) + " of " +
+                     std::to_string(first.total_shards);
+      return result;
+    }
+  }
+
+  ::mkdir(out_dir.c_str(), 0777);  // EEXIST is fine; writes catch the rest
+  result.shards = first.total_shards;
+  timer.mark("manifests");
+
+  // --- Records: checksum-gated frame copy, canonical sort ------------------
+  // Frames are never decoded here: every frame carries an FNV-1a checksum
+  // of its body, and a frame that verifies was produced by our own
+  // encoder, so copying it verbatim IS the canonical re-encoding. The
+  // scan mirrors DatasetReader's acceptance exactly — bad header, torn
+  // frame, and checksum damage produce the same diagnostics.
+  struct FrameRef {
+    std::uint32_t ip;
+    std::uint32_t shard;
+    std::uint32_t index;
+    std::string_view frame;  // length prefix + body + checksum, verbatim
+  };
+  std::vector<std::string> records_texts(first.total_shards);
+  std::vector<FrameRef> frames;
+  std::size_t frames_bytes = 0;
+  const std::string records_header = dataset_file_header();
+  for (std::uint32_t shard = 0; shard < first.total_shards; ++shard) {
+    const std::string& dir = shard_dirs[owner[shard]];
+    const std::string path = dir + "/" + kShardRecordsFile;
+    auto text = read_file(path);
+    if (!text || text->size() < records_header.size() ||
+        std::memcmp(text->data(), records_header.data(),
+                    records_header.size()) != 0) {
+      result.error = path + ": cannot read (missing or bad FTPD header)";
+      return result;
+    }
+    records_texts[shard] = std::move(*text);
+    const std::string_view bytes = records_texts[shard];
+    std::size_t cursor = records_header.size();
+    std::uint32_t index = 0;
+    for (;;) {
+      // Fewer than 4 trailing bytes is a clean EOF, as in DatasetReader.
+      if (bytes.size() - cursor < sizeof(std::uint32_t)) break;
+      std::uint32_t length = 0;
+      std::memcpy(&length, bytes.data() + cursor, sizeof(length));
+      const std::size_t frame_size =
+          sizeof(length) + length + sizeof(std::uint64_t);
+      std::uint64_t checksum = 0;
+      const bool intact =
+          length >= sizeof(std::uint32_t) && length <= (64u << 20) &&
+          bytes.size() - cursor >= frame_size &&
+          (std::memcpy(&checksum,
+                       bytes.data() + cursor + sizeof(length) + length,
+                       sizeof(checksum)),
+           checksum ==
+               fnv1a64(bytes.substr(cursor + sizeof(length), length)));
+      if (!intact) {
+        result.error = path + ": truncated after " + std::to_string(index) +
+                       " record(s)";
+        return result;
+      }
+      std::uint32_t ip = 0;
+      std::memcpy(&ip, bytes.data() + cursor + sizeof(length), sizeof(ip));
+      frames.push_back({ip, shard, index, bytes.substr(cursor, frame_size)});
+      frames_bytes += frame_size;
+      ++index;
+      cursor += frame_size;
+    }
+    if (index != manifests[owner[shard]].records) {
+      result.error = path + ": holds " + std::to_string(index) +
+                     " record(s) but the manifest declares " +
+                     std::to_string(manifests[owner[shard]].records);
+      return result;
+    }
+  }
+  // The same canonical order ShardMergeSink replays: ascending (IP, shard,
+  // index). Scanned addresses are unique across shards, so a repeated IP
+  // means overlapping slices — reject it.
+  std::sort(frames.begin(), frames.end(),
+            [](const FrameRef& a, const FrameRef& b) {
+              if (a.ip != b.ip) return a.ip < b.ip;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.index < b.index;
+            });
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    if (frames[i].ip == frames[i - 1].ip) {
+      result.error = "duplicate host " + Ipv4(frames[i].ip).str() +
+                     " in shard " + std::to_string(frames[i - 1].shard) +
+                     " and shard " + std::to_string(frames[i].shard) +
+                     " (overlapping slices?)";
+      return result;
+    }
+  }
+  {
+    std::string merged;
+    merged.reserve(records_header.size() + frames_bytes);
+    merged += records_header;
+    for (const FrameRef& frame : frames) {
+      merged.append(frame.frame.data(), frame.frame.size());
+    }
+    const std::string path = out_dir + "/" + kShardRecordsFile;
+    if (!write_file(path, merged)) {
+      result.error = path + ": write failed";
+      return result;
+    }
+    result.records = frames.size();
+  }
+  records_texts.clear();
+  timer.mark("records");
+
+  // --- Metrics: commutative sum in shard order -----------------------------
+  if (first.has_metrics) {
+    obs::MetricsRegistry merged;
+    for (std::uint32_t shard = 0; shard < first.total_shards; ++shard) {
+      const std::string path =
+          shard_dirs[owner[shard]] + "/" + kShardMetricsFile;
+      const auto text = read_file(path);
+      if (!text) {
+        result.error = path + ": missing metrics document";
+        return result;
+      }
+      std::string parse_error;
+      const auto doc = json::Value::parse(*text, &parse_error);
+      if (!doc) {
+        result.error = path + ": " + parse_error;
+        return result;
+      }
+      std::string merge_error;
+      if (!merge_metrics_document(*doc, merged, &merge_error)) {
+        result.error = path + ": " + merge_error;
+        return result;
+      }
+    }
+    const std::string path = out_dir + "/" + kShardMetricsFile;
+    if (!write_file(path, merged.to_json())) {
+      result.error = path + ": write failed";
+      return result;
+    }
+    result.wrote_metrics = true;
+  }
+  timer.mark("metrics");
+
+  // --- Trace: interleave already-canonical per-shard streams ---------------
+  // Each shard's trace.jsonl came out of TraceBuffer::to_jsonl, so its
+  // lines are already in canonical (t, host, seq) order and canonical
+  // bytes; hosts never repeat across shards. The merged file is therefore
+  // exactly a k-way merge of the input lines. The strict scanner proves
+  // each line is in that canonical form; any deviation — or out-of-order
+  // or colliding keys — sends the whole channel down the generic
+  // parse-and-resort path instead.
+  if (first.has_trace) {
+    const std::uint32_t n = first.total_shards;
+    std::vector<std::string> texts(n);
+    std::vector<std::string> paths(n);
+    std::vector<std::vector<std::string_view>> shard_lines(n);
+    std::size_t trace_bytes = 0;
+    for (std::uint32_t shard = 0; shard < n; ++shard) {
+      paths[shard] = shard_dirs[owner[shard]] + "/" + kShardTraceFile;
+      auto text = read_file(paths[shard]);
+      if (!text) {
+        result.error = paths[shard] + ": missing trace";
+        return result;
+      }
+      trace_bytes += text->size();
+      texts[shard] = std::move(*text);
+      shard_lines[shard] = split_lines(texts[shard]);
+      if (shard_lines[shard].empty() ||
+          shard_lines[shard][0] != "{\"schema\":\"ftpc.trace.v1\"}") {
+        result.error = paths[shard] + ":1: missing ftpc.trace.v1 header";
+        return result;
+      }
+    }
+    struct KeyedLine {
+      TraceKey key;
+      std::string_view line;
+    };
+    std::vector<std::vector<KeyedLine>> keyed(n);
+    bool fast = true;
+    for (std::uint32_t shard = 0; shard < n && fast; ++shard) {
+      const auto& lines = shard_lines[shard];
+      keyed[shard].reserve(lines.size());
+      for (std::size_t i = 1; i < lines.size(); ++i) {
+        TraceKey key;
+        if (!scan_canonical_trace_line(lines[i], key) ||
+            (!keyed[shard].empty() &&
+             !(keyed[shard].back().key < key))) {
+          fast = false;
+          break;
+        }
+        keyed[shard].push_back({key, lines[i]});
+      }
+    }
+    bool wrote_fast = false;
+    if (fast) {
+      std::string out_text;
+      out_text.reserve(trace_bytes + 1);
+      out_text += "{\"schema\":\"ftpc.trace.v1\"}\n";
+      std::vector<std::size_t> cursor(n, 0);
+      for (;;) {
+        int best = -1;
+        for (std::uint32_t shard = 0; shard < n; ++shard) {
+          if (cursor[shard] >= keyed[shard].size()) continue;
+          const TraceKey& key = keyed[shard][cursor[shard]].key;
+          if (best < 0) {
+            best = static_cast<int>(shard);
+          } else if (key == keyed[best][cursor[best]].key) {
+            fast = false;  // cross-shard key collision: resort generically
+            break;
+          } else if (key < keyed[best][cursor[best]].key) {
+            best = static_cast<int>(shard);
+          }
+        }
+        if (!fast || best < 0) break;
+        const std::string_view line = keyed[best][cursor[best]].line;
+        out_text.append(line.data(), line.size());
+        out_text.push_back('\n');
+        ++cursor[best];
+      }
+      if (fast) {
+        const std::string path = out_dir + "/" + kShardTraceFile;
+        if (!write_file(path, out_text)) {
+          result.error = path + ": write failed";
+          return result;
+        }
+        wrote_fast = true;
+      }
+    }
+    if (!wrote_fast) {
+      obs::TraceBuffer merged;
+      for (std::uint32_t shard = 0; shard < n; ++shard) {
+        const auto& lines = shard_lines[shard];
+        for (std::size_t i = 1; i < lines.size(); ++i) {
+          const auto value =
+              parse_line(lines[i], paths[shard], i + 1, result.error);
+          if (!value) return result;
+          const auto event = parse_trace_event(*value);
+          if (!event) {
+            result.error = paths[shard] + ":" + std::to_string(i + 1) +
+                           ": malformed trace event";
+            return result;
+          }
+          merged.append(*event);
+        }
+      }
+      const std::string path = out_dir + "/" + kShardTraceFile;
+      if (!write_file(path, merged.to_jsonl())) {
+        result.error = path + ": write failed";
+        return result;
+      }
+    }
+    result.wrote_trace = true;
+  }
+  timer.mark("trace");
+
+  // --- Timeline: merge facts, project once ---------------------------------
+  if (first.has_timeline) {
+    obs::TimelineOptions options;
+    options.enabled = true;
+    options.interval_us = first.timeline_interval_us;
+    obs::Timeline merged(options, first.concurrency);
+    merged.set_pps(first.pps);
+    for (std::uint32_t shard = 0; shard < first.total_shards; ++shard) {
+      const std::string path =
+          shard_dirs[owner[shard]] + "/" + kShardTimelineFactsFile;
+      const auto text = read_file(path);
+      if (!text) {
+        result.error = path + ": missing timeline facts";
+        return result;
+      }
+      const auto lines = split_lines(*text);
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (i == 0) {
+          const auto value = parse_line(lines[i], path, i + 1, result.error);
+          if (!value) return result;
+          const auto schema = value->str("schema");
+          if (!schema || *schema != "ftpc.shardtl.v1") {
+            result.error = path + ":1: missing ftpc.shardtl.v1 header";
+            return result;
+          }
+          continue;
+        }
+        // Canonical fact lines take the strict scanners; anything else
+        // falls through to the generic JSON path below (projection output
+        // never echoes input bytes, so lenient acceptance is safe here).
+        if (const auto host = scan_timeline_host_line(lines[i])) {
+          merged.add_host(*host);
+          continue;
+        }
+        if (const auto series = scan_scan_series_line(lines[i])) {
+          merged.add_scan_series(*series);
+          continue;
+        }
+        const auto value = parse_line(lines[i], path, i + 1, result.error);
+        if (!value) return result;
+        const auto kind = value->str("k");
+        if (kind && *kind == "scan") {
+          const auto series = parse_timeline_scan_series(*value);
+          if (!series) {
+            result.error = path + ":" + std::to_string(i + 1) +
+                           ": malformed scan series";
+            return result;
+          }
+          merged.add_scan_series(*series);
+        } else if (kind && *kind == "host") {
+          const auto host = parse_timeline_host(*value);
+          if (!host) {
+            result.error =
+                path + ":" + std::to_string(i + 1) + ": malformed host fact";
+            return result;
+          }
+          merged.add_host(*host);
+        } else {
+          result.error = path + ":" + std::to_string(i + 1) +
+                         ": unknown timeline fact kind";
+          return result;
+        }
+      }
+    }
+    const std::string path = out_dir + "/" + kShardTimelineFile;
+    if (!write_file(path, merged.to_jsonl())) {
+      result.error = path + ": write failed";
+      return result;
+    }
+    result.wrote_timeline = true;
+  }
+  timer.mark("timeline");
+
+  result.ok = true;
+  return result;
+}
+
+}  // namespace ftpc::core

@@ -1,0 +1,163 @@
+// Cross-process shard artifacts (ftpc.shard.v1) and their reducer.
+//
+// A process-level shard run (`ftpcensus census --shard-id k/N`, implemented
+// by core/shard_slice.h) emits one self-contained artifact directory:
+//
+//   manifest.json        ftpc.shard.v1 — config hash, slice bounds, totals.
+//                        Written LAST: its presence marks completion.
+//   records.ftpd         this shard's host reports (FTPD framing, in the
+//                        shard's deterministic completion order)
+//   metrics.json         ftpc.metrics.v1 — this shard's metrics delta
+//   trace.jsonl          ftpc.trace.v1 — this shard's trace events
+//   timeline.jsonl       ftpc.tsdb.v1 — this shard's facts, projected
+//   timeline_facts.jsonl ftpc.shardtl.v1 — the raw split-invariant facts
+//                        (boundary series + per-host outcomes) the merge
+//                        needs; the projected timeline.jsonl cannot be
+//                        summed across shards, the facts can
+//   journal.jsonl        ftpc.shardjournal.v1 — segment-by-segment replay
+//                        log backing checkpoint/resume (shard_slice.h)
+//   checkpoint.json      ftpc.ckpt.v1 — last committed cursor, pure in
+//                        (config, global element boundary)
+//
+// merge_shard_artifacts() reduces N such directories into byte-identical
+// copies of the single-process artifacts — the cross-process extension of
+// the in-process split-invariance contract (see DESIGN.md). The reduction
+// is the same one ShardedCensus applies in memory: records sort by unique
+// IP, metrics sum, trace events concatenate then canonicalize, timeline
+// facts concatenate then project.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "core/census.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+
+namespace ftpc::core {
+
+// File names inside a shard artifact directory.
+inline constexpr const char* kShardManifestFile = "manifest.json";
+inline constexpr const char* kShardRecordsFile = "records.ftpd";
+inline constexpr const char* kShardMetricsFile = "metrics.json";
+inline constexpr const char* kShardTraceFile = "trace.jsonl";
+inline constexpr const char* kShardTimelineFile = "timeline.jsonl";
+inline constexpr const char* kShardTimelineFactsFile = "timeline_facts.jsonl";
+inline constexpr const char* kShardJournalFile = "journal.jsonl";
+inline constexpr const char* kShardCheckpointFile = "checkpoint.json";
+
+/// FNV-1a fingerprint of every determinism-relevant CensusConfig field
+/// (seed, scale, enumerator options, chaos profile, channel options).
+/// Deliberately EXCLUDES the execution layout — shards, threads,
+/// checkpoint cadence — so all N shards of one logical census share one
+/// hash and the merge can reject mixed-config artifact sets.
+std::uint64_t census_config_fingerprint(const CensusConfig& config);
+
+/// manifest.json — the shard's completion record.
+struct ShardManifest {
+  std::uint32_t shard = 0;
+  std::uint32_t total_shards = 1;
+  std::uint64_t seed = 0;
+  unsigned scale_shift = 0;
+  std::uint64_t config_hash = 0;
+  std::uint64_t records = 0;  // host reports in records.ftpd
+  scan::ScanStats scan;       // this shard's slice totals
+  std::uint64_t hosts_enumerated = 0;
+  std::uint64_t ftp_compliant = 0;
+  std::uint64_t anonymous = 0;
+  std::uint64_t sessions_errored = 0;
+  bool has_metrics = false;
+  bool has_trace = false;
+  bool has_timeline = false;
+  std::uint64_t timeline_interval_us = 0;
+  std::uint64_t pps = 0;
+  std::uint32_t concurrency = 0;
+
+  std::string to_json() const;
+  static std::optional<ShardManifest> parse(std::string_view text,
+                                            std::string* error = nullptr);
+};
+
+/// checkpoint.json — ftpc.ckpt.v1. Every field is a pure function of
+/// (CensusConfig, boundary_element): the global element boundary fixes the
+/// shard-local consumed count, the consumed count fixes the counters, and
+/// the per-host purity of reports fixes the committed records bytes. The
+/// checkpoint cadence is deliberately NOT part of the state — two runs
+/// checkpointing every I and every 2I elements write byte-identical
+/// checkpoints at their common boundaries (checkpoint_resume_test pins
+/// this).
+struct ShardCheckpoint {
+  std::uint64_t config_hash = 0;
+  std::uint32_t shard = 0;
+  std::uint32_t total_shards = 1;
+  std::uint64_t boundary_element = 0;   // global element index committed
+  std::uint64_t elements_consumed = 0;  // shard-local
+  std::uint64_t next_boundary = 1;      // timeline tick cursor
+  scan::ScanStats scan;
+  std::uint64_t hosts_enumerated = 0;
+  std::uint64_t ftp_compliant = 0;
+  std::uint64_t anonymous = 0;
+  std::uint64_t sessions_errored = 0;
+  std::uint64_t records_count = 0;
+  std::uint64_t records_bytes = 0;  // committed records.ftpd size, header incl.
+
+  std::string to_json() const;
+  static std::optional<ShardCheckpoint> parse(std::string_view text,
+                                              std::string* error = nullptr);
+};
+
+// --- Fact line codecs (journal + timeline_facts) ---------------------------
+// One-line JSON codecs for the split-invariant facts. Writers are
+// canonical (fixed key order, integers only) so equal facts give equal
+// bytes; parsers accept exactly what the writers emit.
+
+std::string timeline_scan_series_line(
+    const std::vector<obs::TimelineScanSample>& series);
+std::optional<std::vector<obs::TimelineScanSample>> parse_timeline_scan_series(
+    const json::Value& line);
+
+std::string timeline_host_line(const obs::TimelineHost& host);
+std::optional<obs::TimelineHost> parse_timeline_host(const json::Value& line);
+
+/// trace.jsonl event line -> TraceEvent (the inverse of
+/// obs::TraceBuffer::to_jsonl's per-event rendering, which is lossless:
+/// timestamps are session-relative integers and ports are already
+/// normalized at record time).
+std::optional<obs::TraceEvent> parse_trace_event(const json::Value& line);
+
+/// One journal line for a trace event: the to_jsonl rendering plus a
+/// leading "k":"trace" tag. parse_trace_event accepts both shapes.
+std::string trace_event_line(const obs::TraceEvent& event);
+
+/// ftpc.metrics.v1 document -> registry merge. Returns false (with a
+/// diagnostic) on schema or shape errors.
+bool merge_metrics_document(const json::Value& doc,
+                            obs::MetricsRegistry& into, std::string* error);
+
+// --- Merge -----------------------------------------------------------------
+
+struct MergeResult {
+  bool ok = false;
+  std::string error;  // first-divergence diagnostic (file + position)
+  std::uint64_t shards = 0;
+  std::uint64_t records = 0;
+  bool wrote_metrics = false;
+  bool wrote_trace = false;
+  bool wrote_timeline = false;
+};
+
+/// Validates `shard_dirs` as one complete ftpc.shard.v1 set (N distinct
+/// shards 0..N-1 of one config hash) and writes the merged single-process
+/// artifacts into `out_dir` (created if missing): records.ftpd, and — for
+/// each channel the manifests declare — metrics.json, trace.jsonl,
+/// timeline.jsonl. On any validation failure (missing/duplicate shard,
+/// config-hash mismatch, truncated records, garbled JSON) returns ok=false
+/// with a diagnostic naming the first offending file.
+MergeResult merge_shard_artifacts(const std::vector<std::string>& shard_dirs,
+                                  const std::string& out_dir);
+
+}  // namespace ftpc::core

@@ -1,0 +1,651 @@
+#include "core/shard_slice.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/log.h"
+#include "core/dataset.h"
+#include "core/shard_artifact.h"
+#include "net/internet.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+#include "scan/scanner.h"
+#include "sim/chaos.h"
+#include "sim/network.h"
+
+namespace ftpc::core {
+
+namespace {
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::string content;
+  char buffer[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(buffer, 1, sizeof(buffer), file);
+    content.append(buffer, got);
+    if (got < sizeof(buffer)) break;
+  }
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  if (!ok) return std::nullopt;
+  return content;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), file) == content.size();
+  return (std::fclose(file) == 0) && ok;
+}
+
+/// fclose-on-scope-exit wrapper for the append-mode artifact files.
+struct File {
+  std::FILE* f = nullptr;
+  ~File() { close(); }
+  bool close() {
+    if (f == nullptr) return true;
+    const bool ok = std::fclose(f) == 0;
+    f = nullptr;
+    return ok;
+  }
+};
+
+/// RecordSink appending completed reports as FTPD frames, tracking the
+/// committed byte/record counts the checkpoint persists.
+struct FrameAppendSink : RecordSink {
+  std::FILE* file = nullptr;
+  std::uint64_t* bytes = nullptr;
+  std::uint64_t* count = nullptr;
+  bool failed = false;
+
+  void on_host(const HostReport& report) override {
+    if (failed) return;
+    const std::string frame = encode_host_frame(report);
+    if (std::fwrite(frame.data(), 1, frame.size(), file) != frame.size()) {
+      failed = true;
+      return;
+    }
+    *bytes += frame.size();
+    *count += 1;
+  }
+};
+
+std::string journal_header_line(std::uint64_t config_hash, std::uint32_t shard,
+                                std::uint32_t total_shards, std::uint64_t seed,
+                                std::uint64_t checkpoint_interval) {
+  std::string out = "{\"schema\":\"ftpc.shardjournal.v1\"";
+  out += ",\"config_hash\":" + std::to_string(config_hash);
+  out += ",\"shard\":" + std::to_string(shard);
+  out += ",\"total_shards\":" + std::to_string(total_shards);
+  out += ",\"seed\":" + std::to_string(seed);
+  out += ",\"checkpoint_interval\":" + std::to_string(checkpoint_interval);
+  out += "}\n";
+  return out;
+}
+
+std::string commit_line(std::uint64_t boundary, std::uint64_t records_count,
+                        std::uint64_t records_bytes) {
+  std::string out = "{\"k\":\"commit\",\"boundary\":" + std::to_string(boundary);
+  out += ",\"records_count\":" + std::to_string(records_count);
+  out += ",\"records_bytes\":" + std::to_string(records_bytes);
+  out += "}\n";
+  return out;
+}
+
+std::optional<std::uint64_t> file_size(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) return std::nullopt;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+}  // namespace
+
+ShardSliceResult run_shard_slice(const ShardSliceConfig& slice,
+                                 const PopulationFactory& population_factory,
+                                 std::size_t host_cache_capacity) {
+  ShardSliceResult result;
+  const CensusConfig& census = slice.census;
+  if (slice.total_shards == 0 || slice.shard >= slice.total_shards) {
+    result.error = "shard index out of range";
+    return result;
+  }
+  if (slice.out_dir.empty()) {
+    result.error = "no artifact directory given";
+    return result;
+  }
+  ::mkdir(slice.out_dir.c_str(), 0777);
+
+  const std::uint64_t config_hash = census_config_fingerprint(census);
+  const std::string manifest_path = slice.out_dir + "/" + kShardManifestFile;
+  const std::string records_path = slice.out_dir + "/" + kShardRecordsFile;
+  const std::string journal_path = slice.out_dir + "/" + kShardJournalFile;
+  const std::string checkpoint_path =
+      slice.checkpoint_path.empty() ? slice.out_dir + "/" + kShardCheckpointFile
+                                    : slice.checkpoint_path;
+  const std::uint64_t interval = slice.checkpoint_interval;
+
+  // A manifest is only ever written after a complete run, so resuming a
+  // finished shard is an idempotent success.
+  if (slice.resume) {
+    if (const auto text = read_file(manifest_path)) {
+      std::string parse_error;
+      const auto manifest = ShardManifest::parse(*text, &parse_error);
+      if (!manifest) {
+        result.error = manifest_path + ": " + parse_error;
+        return result;
+      }
+      if (manifest->config_hash != config_hash ||
+          manifest->shard != slice.shard ||
+          manifest->total_shards != slice.total_shards) {
+        result.error = manifest_path +
+                       ": existing manifest does not match this configuration";
+        return result;
+      }
+      result.ok = true;
+      result.records = manifest->records;
+      result.stats.scan = manifest->scan;
+      result.stats.hosts_enumerated = manifest->hosts_enumerated;
+      result.stats.ftp_compliant = manifest->ftp_compliant;
+      result.stats.anonymous = manifest->anonymous;
+      result.stats.sessions_errored = manifest->sessions_errored;
+      return result;
+    }
+  }
+
+  // --- Cumulative slice state (fresh, or rebuilt from checkpoint+journal) --
+  scan::ScanCursor cursor;
+  std::vector<obs::TimelineScanSample> scan_samples;  // spliced, one series
+  std::vector<obs::TimelineHost> fact_hosts;
+  obs::TraceBuffer trace;
+  obs::MetricsRegistry metrics;
+  std::uint64_t hosts_enumerated = 0;
+  std::uint64_t ftp_compliant = 0;
+  std::uint64_t anonymous = 0;
+  std::uint64_t sessions_errored = 0;
+  std::uint64_t records_count = 0;
+  std::uint64_t records_bytes = 0;
+  std::uint64_t next_ckpt_boundary = interval;
+  bool resumed = false;
+
+  if (slice.resume) {
+    if (const auto ckpt_text = read_file(checkpoint_path)) {
+      std::string parse_error;
+      const auto ckpt = ShardCheckpoint::parse(*ckpt_text, &parse_error);
+      if (!ckpt) {
+        result.error = checkpoint_path + ": " + parse_error;
+        return result;
+      }
+      if (ckpt->config_hash != config_hash) {
+        result.error = checkpoint_path + ": config hash " +
+                       std::to_string(ckpt->config_hash) +
+                       " does not match the current configuration (" +
+                       std::to_string(config_hash) + ")";
+        return result;
+      }
+      if (ckpt->shard != slice.shard ||
+          ckpt->total_shards != slice.total_shards) {
+        result.error = checkpoint_path + ": checkpoint is for shard " +
+                       std::to_string(ckpt->shard) + "/" +
+                       std::to_string(ckpt->total_shards) + ", not " +
+                       std::to_string(slice.shard) + "/" +
+                       std::to_string(slice.total_shards);
+        return result;
+      }
+
+      const auto journal_text = read_file(journal_path);
+      if (!journal_text) {
+        result.error = journal_path + ": missing journal";
+        return result;
+      }
+      // Walk the journal: header, then fact/commit lines, stopping at the
+      // commit matching the checkpoint boundary. Anything beyond that
+      // commit — a torn segment from the kill — is truncated away.
+      std::size_t offset = 0;
+      std::size_t line_number = 0;
+      const std::string_view text(*journal_text);
+      const auto next_line = [&](std::string_view& line) {
+        if (offset >= text.size()) return false;
+        std::size_t eol = text.find('\n', offset);
+        if (eol == std::string_view::npos) eol = text.size();
+        line = text.substr(offset, eol - offset);
+        offset = std::min(eol + 1, text.size());
+        ++line_number;
+        return true;
+      };
+      const auto line_error = [&](const std::string& what) {
+        result.error =
+            journal_path + ":" + std::to_string(line_number) + ": " + what;
+        return result;
+      };
+      std::string_view line;
+      if (!next_line(line)) return line_error("empty journal");
+      auto header = json::Value::parse(line, &parse_error);
+      if (!header) return line_error(parse_error);
+      const auto schema = header->str("schema");
+      if (!schema || *schema != "ftpc.shardjournal.v1") {
+        return line_error("missing ftpc.shardjournal.v1 header");
+      }
+      if (header->u64("config_hash") != std::optional(config_hash) ||
+          header->u64("shard") != std::optional<std::uint64_t>(slice.shard) ||
+          header->u64("total_shards") !=
+              std::optional<std::uint64_t>(slice.total_shards) ||
+          header->u64("seed") != std::optional(census.seed)) {
+        return line_error("journal header does not match this configuration");
+      }
+      if (header->u64("checkpoint_interval") != std::optional(interval)) {
+        return line_error(
+            "journal checkpoint interval does not match --checkpoint-interval");
+      }
+
+      bool found_commit = false;
+      std::size_t commit_end = 0;
+      while (next_line(line)) {
+        auto value = json::Value::parse(line, &parse_error);
+        if (!value) return line_error(parse_error);
+        const auto kind = value->str("k");
+        if (!kind) return line_error("journal line has no kind");
+        if (*kind == "scan") {
+          const auto series = parse_timeline_scan_series(*value);
+          if (!series) return line_error("malformed scan series");
+          scan_samples.insert(scan_samples.end(), series->begin(),
+                              series->end());
+        } else if (*kind == "host") {
+          const auto host = parse_timeline_host(*value);
+          if (!host) return line_error("malformed host fact");
+          fact_hosts.push_back(*host);
+        } else if (*kind == "trace") {
+          const auto event = parse_trace_event(*value);
+          if (!event) return line_error("malformed trace event");
+          trace.append(*event);
+        } else if (*kind == "metrics") {
+          const json::Value* doc = value->find("doc");
+          std::string merge_error;
+          if (doc == nullptr ||
+              !merge_metrics_document(*doc, metrics, &merge_error)) {
+            return line_error(merge_error.empty() ? "malformed metrics delta"
+                                                  : merge_error);
+          }
+        } else if (*kind == "commit") {
+          const auto boundary = value->u64("boundary");
+          const auto count = value->u64("records_count");
+          const auto bytes = value->u64("records_bytes");
+          if (!boundary || !count || !bytes) {
+            return line_error("malformed commit");
+          }
+          if (*boundary == ckpt->boundary_element) {
+            if (*count != ckpt->records_count ||
+                *bytes != ckpt->records_bytes) {
+              return line_error(
+                  "commit record counts disagree with the checkpoint");
+            }
+            found_commit = true;
+            commit_end = offset;
+            break;
+          }
+        } else {
+          return line_error("unknown journal line kind");
+        }
+      }
+      if (!found_commit) {
+        result.error = journal_path + ": no commit for checkpoint boundary " +
+                       std::to_string(ckpt->boundary_element);
+        return result;
+      }
+
+      const auto records_size = file_size(records_path);
+      if (!records_size || *records_size < ckpt->records_bytes) {
+        result.error =
+            records_path + ": shorter than the checkpointed record bytes";
+        return result;
+      }
+      if (::truncate(journal_path.c_str(),
+                     static_cast<off_t>(commit_end)) != 0 ||
+          ::truncate(records_path.c_str(),
+                     static_cast<off_t>(ckpt->records_bytes)) != 0) {
+        result.error = slice.out_dir + ": cannot truncate torn tail";
+        return result;
+      }
+
+      cursor.elements_consumed = ckpt->elements_consumed;
+      cursor.next_boundary = ckpt->next_boundary;
+      cursor.stats = ckpt->scan;
+      hosts_enumerated = ckpt->hosts_enumerated;
+      ftp_compliant = ckpt->ftp_compliant;
+      anonymous = ckpt->anonymous;
+      sessions_errored = ckpt->sessions_errored;
+      records_count = ckpt->records_count;
+      records_bytes = ckpt->records_bytes;
+      next_ckpt_boundary = ckpt->boundary_element + interval;
+      resumed = true;
+      log_info() << "shard " << slice.shard << "/" << slice.total_shards
+                 << ": resuming from boundary " << ckpt->boundary_element
+                 << " (" << records_count << " records committed)";
+    }
+    // No checkpoint at all: degrade to a fresh run.
+  }
+
+  // --- Artifact files -------------------------------------------------------
+  File records_file;
+  File journal_file;
+  if (resumed) {
+    records_file.f = std::fopen(records_path.c_str(), "ab");
+    journal_file.f = std::fopen(journal_path.c_str(), "ab");
+  } else {
+    records_file.f = std::fopen(records_path.c_str(), "wb");
+    journal_file.f = std::fopen(journal_path.c_str(), "wb");
+    if (records_file.f != nullptr && journal_file.f != nullptr) {
+      const std::string header = dataset_file_header();
+      if (std::fwrite(header.data(), 1, header.size(), records_file.f) !=
+          header.size()) {
+        result.error = records_path + ": write failed";
+        return result;
+      }
+      records_bytes = header.size();
+      const std::string journal_header = journal_header_line(
+          config_hash, slice.shard, slice.total_shards, census.seed, interval);
+      if (std::fwrite(journal_header.data(), 1, journal_header.size(),
+                      journal_file.f) != journal_header.size()) {
+        result.error = journal_path + ": write failed";
+        return result;
+      }
+    }
+  }
+  if (records_file.f == nullptr || journal_file.f == nullptr) {
+    result.error = slice.out_dir + ": cannot open artifact files";
+    return result;
+  }
+  // A stale manifest must never coexist with an in-progress run: remove it
+  // so a crash mid-run cannot be mistaken for completion.
+  std::remove(manifest_path.c_str());
+
+  // --- The private simulation stack (same shape as ShardedCensus) ----------
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  std::unique_ptr<net::PopulationModel> population = population_factory();
+  if (!population) {
+    result.error = "population factory returned no model";
+    return result;
+  }
+  net::Internet internet(network, *population, host_cache_capacity);
+  struct Detach {
+    sim::Network& network;
+    ~Detach() {
+      network.set_metrics(nullptr);
+      network.set_trace(nullptr);
+      network.set_chaos(nullptr);
+      network.set_timeline(nullptr);
+    }
+  } detach{network};
+  // One chaos engine for the whole slice: fault plans are pure per IP and
+  // per-connection chaos progress never spans a segment (sessions complete
+  // inside the segment that launched them).
+  sim::ChaosEngine chaos_engine(
+      census.chaos,
+      census.chaos_seed != 0 ? census.chaos_seed : census.seed);
+  if (census.chaos_enabled) network.set_chaos(&chaos_engine);
+
+  scan::ScanConfig scan_config;
+  scan_config.port = 21;
+  scan_config.seed = census.seed;
+  scan_config.scale_shift = census.scale_shift;
+  scan_config.shard = slice.shard;
+  scan_config.total_shards = slice.total_shards;
+  scan_config.probe_retries = census.probe_retries;
+  scan::Scanner scanner(network, scan_config);
+
+  FrameAppendSink sink;
+  sink.file = records_file.f;
+  sink.bytes = &records_bytes;
+  sink.count = &records_count;
+
+  // --- Segment loop ---------------------------------------------------------
+  while (!cursor.finished) {
+    std::uint64_t grant = scan::CyclicPermutation::kUnlimited;
+    if (interval > 0) {
+      // This shard's share of the global elements below the next boundary.
+      const std::uint64_t target =
+          scan::CyclicPermutation::shard_prefix_elements(
+              next_ckpt_boundary, slice.shard, slice.total_shards);
+      grant = target > cursor.elements_consumed
+                  ? target - cursor.elements_consumed
+                  : 0;
+    }
+
+    // Fresh per-segment collectors: their contents are exactly this
+    // segment's delta, which is what the journal persists.
+    CensusStats segment;
+    obs::MetricsRegistry* segment_metrics =
+        census.collect_metrics ? &segment.metrics : nullptr;
+    network.set_metrics(segment_metrics);
+    obs::TraceCollector trace_collector(census.trace, census.seed);
+    if (census.trace.enabled) network.set_trace(&trace_collector);
+    obs::TimelineCollector timeline_collector(census.timeline,
+                                              census.concurrency);
+    if (census.timeline.enabled) network.set_timeline(&timeline_collector);
+
+    std::vector<std::uint32_t> hits;
+    scanner.run_segment(cursor, grant,
+                        [&hits](Ipv4 ip) { hits.push_back(ip.value()); });
+    if (census.max_hosts != 0) {
+      const std::uint64_t left = census.max_hosts > hosts_enumerated
+                                     ? census.max_hosts - hosts_enumerated
+                                     : 0;
+      if (hits.size() > left) hits.resize(left);
+    }
+    drive_enumeration_window(network, census, hits, segment, segment_metrics,
+                             sink, nullptr);
+    if (sink.failed) {
+      result.error = records_path + ": write failed";
+      return result;
+    }
+    network.set_metrics(nullptr);
+    network.set_trace(nullptr);
+    network.set_timeline(nullptr);
+
+    // Fold the segment delta into the cumulative slice state.
+    hosts_enumerated += segment.hosts_enumerated;
+    ftp_compliant += segment.ftp_compliant;
+    anonymous += segment.anonymous;
+    sessions_errored += segment.sessions_errored;
+    obs::Timeline segment_timeline = timeline_collector.take();
+    trace_collector.buffer().canonicalize();
+    for (const obs::TraceEvent& event : trace_collector.buffer().events()) {
+      trace.append(event);
+    }
+    metrics.merge_from(segment.metrics);
+
+    // Journal the segment, then commit.
+    std::string chunk;
+    if (census.timeline.enabled) {
+      std::vector<obs::TimelineScanSample> segment_samples;
+      for (const auto& series : segment_timeline.scan_series()) {
+        segment_samples.insert(segment_samples.end(), series.begin(),
+                               series.end());
+      }
+      chunk += timeline_scan_series_line(segment_samples);
+      for (const obs::TimelineHost& host : segment_timeline.hosts()) {
+        chunk += timeline_host_line(host);
+      }
+      scan_samples.insert(scan_samples.end(), segment_samples.begin(),
+                          segment_samples.end());
+      fact_hosts.insert(fact_hosts.end(), segment_timeline.hosts().begin(),
+                        segment_timeline.hosts().end());
+    }
+    if (census.trace.enabled) {
+      for (const obs::TraceEvent& event : trace_collector.buffer().events()) {
+        chunk += trace_event_line(event);
+      }
+    }
+    if (census.collect_metrics) {
+      std::string doc = segment.metrics.to_json();
+      while (!doc.empty() && doc.back() == '\n') doc.pop_back();
+      chunk += "{\"k\":\"metrics\",\"doc\":" + doc + "}\n";
+    }
+    const std::uint64_t committed_boundary =
+        cursor.finished ? (std::uint64_t{1} << 32) >> census.scale_shift
+                        : next_ckpt_boundary;
+    chunk += commit_line(committed_boundary, records_count, records_bytes);
+    if (std::fwrite(chunk.data(), 1, chunk.size(), journal_file.f) !=
+        chunk.size()) {
+      result.error = journal_path + ": write failed";
+      return result;
+    }
+    // Commit order: data planes reach the disk before the checkpoint that
+    // references them.
+    std::fflush(records_file.f);
+    std::fflush(journal_file.f);
+
+    if (!cursor.finished && interval > 0) {
+      ShardCheckpoint ckpt;
+      ckpt.config_hash = config_hash;
+      ckpt.shard = slice.shard;
+      ckpt.total_shards = slice.total_shards;
+      ckpt.boundary_element = next_ckpt_boundary;
+      ckpt.elements_consumed = cursor.elements_consumed;
+      ckpt.next_boundary = cursor.next_boundary;
+      ckpt.scan = cursor.stats;
+      ckpt.hosts_enumerated = hosts_enumerated;
+      ckpt.ftp_compliant = ftp_compliant;
+      ckpt.anonymous = anonymous;
+      ckpt.sessions_errored = sessions_errored;
+      ckpt.records_count = records_count;
+      ckpt.records_bytes = records_bytes;
+      const std::string tmp_path = checkpoint_path + ".tmp";
+      if (!write_file(tmp_path, ckpt.to_json()) ||
+          std::rename(tmp_path.c_str(), checkpoint_path.c_str()) != 0) {
+        result.error = checkpoint_path + ": write failed";
+        return result;
+      }
+      ++result.checkpoints_written;
+      next_ckpt_boundary += interval;
+      if (slice.crash_after_checkpoints > 0 &&
+          result.checkpoints_written >= slice.crash_after_checkpoints) {
+        // Simulated kill: stop with everything up to this checkpoint
+        // committed and nothing finalized. The directory is resumable.
+        result.crashed = true;
+        result.records = records_count;
+        result.stats.scan = cursor.stats;
+        result.stats.hosts_enumerated = hosts_enumerated;
+        result.stats.ftp_compliant = ftp_compliant;
+        result.stats.anonymous = anonymous;
+        result.stats.sessions_errored = sessions_errored;
+        return result;
+      }
+    }
+  }
+
+  // --- Finalize: totals sample + scan metrics + virtual-time advance -------
+  // Recomputed from the cumulative cursor under fresh collectors, never
+  // journaled — the one piece that must not be summed per segment.
+  obs::MetricsRegistry finish_metrics;
+  obs::TimelineCollector finish_timeline(census.timeline, census.concurrency);
+  network.set_metrics(census.collect_metrics ? &finish_metrics : nullptr);
+  if (census.timeline.enabled) network.set_timeline(&finish_timeline);
+  scanner.finish(cursor);
+  network.set_metrics(nullptr);
+  network.set_timeline(nullptr);
+  metrics.merge_from(finish_metrics);
+  const obs::Timeline finish_facts = finish_timeline.take();
+  for (const auto& series : finish_facts.scan_series()) {
+    scan_samples.insert(scan_samples.end(), series.begin(), series.end());
+  }
+
+  if (!records_file.close() || !journal_file.close()) {
+    result.error = slice.out_dir + ": closing artifact files failed";
+    return result;
+  }
+
+  // --- Exports --------------------------------------------------------------
+  const std::uint64_t pps = scan_config.probes_per_second;
+  if (census.collect_metrics) {
+    const std::string path = slice.out_dir + "/" + kShardMetricsFile;
+    if (!write_file(path, metrics.to_json())) {
+      result.error = path + ": write failed";
+      return result;
+    }
+  }
+  if (census.trace.enabled) {
+    const std::string path = slice.out_dir + "/" + kShardTraceFile;
+    if (!write_file(path, trace.to_jsonl())) {
+      result.error = path + ": write failed";
+      return result;
+    }
+  }
+  if (census.timeline.enabled) {
+    std::string facts = "{\"schema\":\"ftpc.shardtl.v1\",\"interval_us\":" +
+                        std::to_string(census.timeline.interval_us);
+    facts += ",\"pps\":" + std::to_string(pps);
+    facts += ",\"concurrency\":" + std::to_string(census.concurrency);
+    facts += "}\n";
+    facts += timeline_scan_series_line(scan_samples);
+    for (const obs::TimelineHost& host : fact_hosts) {
+      facts += timeline_host_line(host);
+    }
+    const std::string facts_path =
+        slice.out_dir + "/" + kShardTimelineFactsFile;
+    if (!write_file(facts_path, facts)) {
+      result.error = facts_path + ": write failed";
+      return result;
+    }
+    obs::Timeline projected(census.timeline, census.concurrency);
+    projected.set_pps(pps);
+    projected.add_scan_series(scan_samples);
+    for (const obs::TimelineHost& host : fact_hosts) {
+      projected.add_host(host);
+    }
+    const std::string timeline_path = slice.out_dir + "/" + kShardTimelineFile;
+    if (!write_file(timeline_path, projected.to_jsonl())) {
+      result.error = timeline_path + ": write failed";
+      return result;
+    }
+  }
+
+  // Manifest last: the completion marker.
+  ShardManifest manifest;
+  manifest.shard = slice.shard;
+  manifest.total_shards = slice.total_shards;
+  manifest.seed = census.seed;
+  manifest.scale_shift = census.scale_shift;
+  manifest.config_hash = config_hash;
+  manifest.records = records_count;
+  manifest.scan = cursor.stats;
+  manifest.hosts_enumerated = hosts_enumerated;
+  manifest.ftp_compliant = ftp_compliant;
+  manifest.anonymous = anonymous;
+  manifest.sessions_errored = sessions_errored;
+  manifest.has_metrics = census.collect_metrics;
+  manifest.has_trace = census.trace.enabled;
+  manifest.has_timeline = census.timeline.enabled;
+  manifest.timeline_interval_us = census.timeline.interval_us;
+  manifest.pps = pps;
+  manifest.concurrency = census.concurrency;
+  if (!write_file(manifest_path, manifest.to_json())) {
+    result.error = manifest_path + ": write failed";
+    return result;
+  }
+
+  result.ok = true;
+  result.records = records_count;
+  result.stats.scan = cursor.stats;
+  result.stats.hosts_enumerated = hosts_enumerated;
+  result.stats.ftp_compliant = ftp_compliant;
+  result.stats.anonymous = anonymous;
+  result.stats.sessions_errored = sessions_errored;
+  result.stats.virtual_duration = loop.now();
+  log_info() << "shard " << slice.shard << "/" << slice.total_shards << ": "
+             << records_count << " records, "
+             << result.checkpoints_written << " checkpoint(s)"
+             << (resumed ? " (resumed)" : "");
+  return result;
+}
+
+}  // namespace ftpc::core

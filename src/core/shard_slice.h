@@ -1,0 +1,90 @@
+// Checkpointed single-shard census slice: the process-level execution unit
+// behind `ftpcensus census --shard-id k/N`.
+//
+// run_shard_slice() runs exactly shard k's element-index slice of the scan
+// permutation and emits a self-contained ftpc.shard.v1 artifact directory
+// (see core/shard_artifact.h for the layout). Unlike Census::run_shard, the
+// slice executes as a sequence of *segments* cut at global-element-index
+// checkpoint boundaries. Each segment scans to the next boundary,
+// enumerates the hits it discovered, appends the finished records, journals
+// its split-invariant facts, and then commits an atomic checkpoint
+// (checkpoint.json.tmp + rename). A killed process restarts with
+// `resume = true`: the checkpoint fixes the scan cursor and committed
+// record bytes, the journal replays the already-emitted facts, any torn
+// tail past the last commit is truncated, and the run continues — landing
+// on the byte-identical artifact set an uninterrupted run produces
+// (tests/checkpoint_resume_test.cc pins this at every boundary).
+//
+// Why segmentation preserves the artifact bytes:
+//   - the scan cursor is a pure function of (config, elements consumed),
+//     so a resumed walk continues the exact permutation sequence
+//     (scan/permutation.h, shard_walk_from);
+//   - per-host reports are pure in (seed, target), and a fresh process's
+//     event loop restarts at virtual time 0 — shifting every event of the
+//     segment by a constant, which preserves the completion order the
+//     records stream depends on;
+//   - the observability channels record facts that are either exact
+//     element-range partitions (scan boundary samples, metrics deltas) or
+//     per-host-pure (trace events with session-relative stamps, timeline
+//     host outcomes), so per-segment deltas concatenate/sum to the
+//     single-segment values. The closing totals sample, the scan metric
+//     block, and the virtual-time advance are recomputed at finalize time
+//     from the cumulative cursor — never journaled — so they cannot double
+//     up across segments (scan::Scanner::finish).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/census.h"
+#include "core/sharded_census.h"
+
+namespace ftpc::core {
+
+struct ShardSliceConfig {
+  /// The logical census configuration. `shards`/`threads` inside it are
+  /// ignored — this runner always executes exactly one shard slice.
+  CensusConfig census;
+  std::uint32_t shard = 0;
+  std::uint32_t total_shards = 1;
+  /// Artifact directory (created if missing); see shard_artifact.h.
+  std::string out_dir;
+  /// Checkpoint cadence in *global* permutation elements: a checkpoint is
+  /// committed each time the slice crosses a multiple of this boundary.
+  /// 0 = run the whole slice as one segment (no checkpoints).
+  std::uint64_t checkpoint_interval = 0;
+  /// Where the atomic checkpoint lives (`--checkpoint-out`). Empty = the
+  /// default `<out_dir>/checkpoint.json`.
+  std::string checkpoint_path;
+  /// Continue from out_dir's checkpoint + journal instead of starting
+  /// over. With a completed manifest already present this is an idempotent
+  /// success; with no checkpoint at all it degrades to a fresh run.
+  bool resume = false;
+  /// Test hook: stop (as if killed) immediately after committing this many
+  /// checkpoints. 0 = never. The result reports crashed=true; the process
+  /// wrapper turns that into a distinct exit code.
+  std::uint32_t crash_after_checkpoints = 0;
+};
+
+struct ShardSliceResult {
+  bool ok = false;
+  /// True when the crash_after_checkpoints hook fired (ok stays false but
+  /// error stays empty — the artifact directory is resumable, not broken).
+  bool crashed = false;
+  std::string error;
+  std::uint64_t records = 0;
+  std::uint64_t checkpoints_written = 0;
+  /// Slice totals (scan counters + enumeration outcomes). The heavy
+  /// channels live in the artifact directory, not here.
+  CensusStats stats;
+};
+
+/// Runs shard `config.shard` of `config.total_shards` as a checkpointed
+/// slice and writes its ftpc.shard.v1 artifact directory. Synchronous;
+/// builds a private EventLoop/Network/population stack exactly like
+/// ShardedCensus does per shard.
+ShardSliceResult run_shard_slice(const ShardSliceConfig& config,
+                                 const PopulationFactory& population_factory,
+                                 std::size_t host_cache_capacity = 256);
+
+}  // namespace ftpc::core

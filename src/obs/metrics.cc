@@ -30,12 +30,17 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
     counter(name) += value;
   }
   for (const auto& [name, histogram] : other.histograms_) {
-    const auto it = histograms_.find(name);
-    if (it == histograms_.end()) {
-      histograms_.emplace(name, histogram);
-    } else {
-      it->second.merge_from(histogram);
-    }
+    merge_histogram(name, histogram);
+  }
+}
+
+void MetricsRegistry::merge_histogram(std::string_view name,
+                                      const Histogram& histogram) {
+  const auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    histograms_.emplace(std::string(name), histogram);
+  } else {
+    it->second.merge_from(histogram);
   }
 }
 

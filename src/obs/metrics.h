@@ -52,6 +52,20 @@ class Histogram {
   /// call sites); mismatched shapes are a programmer error.
   void merge_from(const Histogram& other);
 
+  /// Reconstructs a histogram from serialized parts (the inverse of the
+  /// to_json fields). `buckets` must have bounds.size() + 1 entries;
+  /// returns an empty histogram otherwise (callers validate upstream).
+  static Histogram from_parts(std::vector<std::uint64_t> bounds,
+                              std::vector<std::uint64_t> buckets,
+                              std::uint64_t count, std::uint64_t sum) {
+    Histogram h(std::move(bounds));
+    if (buckets.size() != h.buckets_.size()) return Histogram();
+    h.buckets_ = std::move(buckets);
+    h.count_ = count;
+    h.sum_ = sum;
+    return h;
+  }
+
   const std::vector<std::uint64_t>& bounds() const noexcept { return bounds_; }
   const std::vector<std::uint64_t>& buckets() const noexcept {
     return buckets_;
@@ -116,6 +130,10 @@ class MetricsRegistry {
   /// histograms add bucket-wise (absent names are adopted). Commutative and
   /// associative, so the merged result is independent of shard order.
   void merge_from(const MetricsRegistry& other);
+
+  /// Adopt-or-merge a single reconstructed histogram (the histogram half of
+  /// merge_from, for callers rebuilding registries from serialized parts).
+  void merge_histogram(std::string_view name, const Histogram& histogram);
 
   /// Canonical JSON: stable schema ("ftpc.metrics.v1"), keys in sorted
   /// order, integers only — byte-identical for equal metric content.

@@ -149,6 +149,13 @@ class Timeline {
   void add_host(TimelineHost host) { hosts_.push_back(host); }
 
   const std::vector<TimelineHost>& hosts() const noexcept { return hosts_; }
+  /// The recorded per-shard boundary series (one vector per shard). Exposed
+  /// so a checkpointed shard can persist its facts and a merge tool can
+  /// re-add them — see core/shard_artifact.h.
+  const std::vector<std::vector<TimelineScanSample>>& scan_series()
+      const noexcept {
+    return scan_series_;
+  }
   bool empty() const noexcept {
     return scan_series_.empty() && hosts_.empty();
   }

@@ -60,6 +60,19 @@ CyclicPermutation::Walk CyclicPermutation::shard_walk(
   return Walk(first, step, element_limit);
 }
 
+CyclicPermutation::Walk CyclicPermutation::shard_walk_from(
+    std::uint32_t shard, std::uint32_t total_shards,
+    std::uint64_t element_offset, std::uint64_t element_limit) const {
+  const std::uint64_t step = pow_mod(generator_, total_shards);
+  // One pow_mod jumps the walk over the consumed prefix in O(log offset):
+  // the element after `element_offset` steps of the shard's subsequence is
+  // start * g^shard * step^element_offset.
+  const std::uint64_t first = mul_mod(
+      mul_mod(start_, pow_mod(generator_, shard)),
+      pow_mod(step, element_offset));
+  return Walk(first, step, element_limit);
+}
+
 std::uint64_t CyclicPermutation::shard_prefix_elements(
     std::uint64_t prefix_elements, std::uint32_t shard,
     std::uint32_t total_shards) noexcept {

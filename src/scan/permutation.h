@@ -74,6 +74,17 @@ class CyclicPermutation {
   Walk shard_walk(std::uint32_t shard, std::uint32_t total_shards,
                   std::uint64_t element_limit = kUnlimited) const;
 
+  /// The same shard's walk resumed after `element_offset` elements of its
+  /// subsequence have already been consumed (by an earlier run): the walk
+  /// starts at start*g^shard*(g^total_shards)^element_offset and consumes
+  /// at most `element_limit` *further* elements. A resumed walk's
+  /// consumed()/emitted() count only its own elements, and its full-circle
+  /// detection is relative to the resume point — callers checkpointing
+  /// mid-cycle always pass a finite budget (scan::Scanner does).
+  Walk shard_walk_from(std::uint32_t shard, std::uint32_t total_shards,
+                       std::uint64_t element_offset,
+                       std::uint64_t element_limit = kUnlimited) const;
+
   /// Number of cycle indices in [0, prefix_elements) owned by `shard` of
   /// `total_shards` — the element budget that makes K sharded walks
   /// partition the unsharded `prefix_elements`-element prefix exactly.

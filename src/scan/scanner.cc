@@ -9,20 +9,33 @@ namespace ftpc::scan {
 Scanner::Scanner(sim::Network& network, ScanConfig config)
     : network_(network), config_(config) {}
 
-ScanStats Scanner::run(const HitHandler& on_hit) {
-  ScanStats stats;
-  const CyclicPermutation permutation(config_.seed);
-
+std::uint64_t Scanner::shard_budget() const noexcept {
   // Sampling budget: the shard's element indices within the first
   // 2^32 >> scale_shift elements of the cycle. Budgeting in elements (not
   // emitted addresses) is what makes the K shards an exact partition of
   // the unsharded sample for every seed — see permutation.h.
   const std::uint64_t sample_elements =
       (std::uint64_t{1} << 32) >> config_.scale_shift;
-  const std::uint64_t budget = CyclicPermutation::shard_prefix_elements(
+  return CyclicPermutation::shard_prefix_elements(
       sample_elements, config_.shard, config_.total_shards);
-  CyclicPermutation::Walk walk =
-      permutation.shard_walk(config_.shard, config_.total_shards, budget);
+}
+
+std::uint64_t Scanner::run_segment(ScanCursor& cursor,
+                                   std::uint64_t max_elements,
+                                   const HitHandler& on_hit) {
+  const std::uint64_t budget = shard_budget();
+  if (cursor.elements_consumed >= budget) {
+    cursor.finished = true;
+    return 0;
+  }
+  const std::uint64_t granted =
+      std::min(max_elements, budget - cursor.elements_consumed);
+  if (granted == 0) return 0;
+
+  const CyclicPermutation permutation(config_.seed);
+  CyclicPermutation::Walk walk = permutation.shard_walk_from(
+      config_.shard, config_.total_shards, cursor.elements_consumed, granted);
+  ScanStats& stats = cursor.stats;
 
   obs::TraceCollector* trace = network_.trace();
   // Timeline sampling: record cumulative shard counters whenever the walk
@@ -33,7 +46,6 @@ ScanStats Scanner::run(const HitHandler& on_hit) {
   // trick the element-indexed shard budgets play for the scan itself.
   obs::TimelineCollector* timeline = network_.timeline();
   std::uint64_t ept = 1;  // permutation elements per timeline tick
-  std::uint64_t next_boundary = 1;
   if (timeline != nullptr) {
     timeline->scan_begin(config_.probes_per_second);
     ept = std::max<std::uint64_t>(
@@ -42,20 +54,24 @@ ScanStats Scanner::run(const HitHandler& on_hit) {
 
   std::uint32_t address = 0;
   while (walk.next(address)) {
+    // Cumulative shard-local element count including the current element;
+    // the walk counts only this segment, the cursor carries the rest.
+    const std::uint64_t consumed_total =
+        cursor.elements_consumed + walk.consumed();
     // Global position of this element in the unsharded permutation walk:
     // shard i visits cycle indices congruent to i mod total_shards.
     std::uint64_t global_index = 0;
     if (timeline != nullptr) {
       global_index = config_.shard +
-                     (walk.consumed() - 1) *
+                     (consumed_total - 1) *
                          static_cast<std::uint64_t>(config_.total_shards);
-      while (global_index >= next_boundary * ept) {
+      while (global_index >= cursor.next_boundary * ept) {
         // Cumulative counters over this shard's elements strictly before
         // the boundary (the current element is not yet processed).
-        timeline->scan_boundary(next_boundary, walk.consumed() - 1,
+        timeline->scan_boundary(cursor.next_boundary, consumed_total - 1,
                                 stats.probed, stats.responsive,
                                 stats.probe_retransmits);
-        ++next_boundary;
+        ++cursor.next_boundary;
       }
     }
     ++stats.addresses_walked;
@@ -87,44 +103,66 @@ ScanStats Scanner::run(const HitHandler& on_hit) {
     }
   }
 
-  stats.elements_walked = walk.consumed();
-  if (timeline != nullptr) {
+  const std::uint64_t consumed = walk.consumed();
+  cursor.elements_consumed += consumed;
+  stats.elements_walked = cursor.elements_consumed;
+  // The cycle closing early (consumed < granted) also ends the slice.
+  if (cursor.elements_consumed >= budget || consumed < granted) {
+    cursor.finished = true;
+  }
+  return consumed;
+}
+
+void Scanner::finish(const ScanCursor& cursor) {
+  const ScanStats& stats = cursor.stats;
+  if (obs::TimelineCollector* timeline = network_.timeline()) {
+    timeline->scan_begin(config_.probes_per_second);
     // Close the shard's series with its totals at the first boundary the
     // walk never reached; the exporter forward-fills from here and clamps
     // the tail to the exact merged totals at the canonical scan end.
-    timeline->scan_totals(next_boundary, stats.elements_walked, stats.probed,
-                          stats.responsive, stats.probe_retransmits);
+    timeline->scan_totals(cursor.next_boundary, stats.elements_walked,
+                          stats.probed, stats.responsive,
+                          stats.probe_retransmits);
   }
-
   if (auto* metrics = network_.metrics()) {
-    metrics->add("scan.elements_walked", stats.elements_walked);
-    metrics->add("scan.addresses_walked", stats.addresses_walked);
-    metrics->add("scan.blocklisted", stats.blocklisted);
-    metrics->add("scan.probed", stats.probed);
-    metrics->add("scan.responsive", stats.responsive);
-    // Funnel head: every probed address enters the funnel; unresponsive and
-    // timed-out addresses drop here, responsive ones are accounted for
-    // downstream by record_host_funnel (see core/funnel.h for the
-    // conservation invariant). The retry counters appear only when they
-    // fire so a chaos-off run keeps the pre-chaos metrics schema.
-    metrics->add("funnel.stage.probe", stats.probed);
-    metrics->add("funnel.drop.probe.unresponsive",
-                 stats.probed - stats.responsive - stats.probe_timeouts);
-    if (stats.probe_timeouts > 0) {
-      metrics->add("funnel.drop.probe.timeout", stats.probe_timeouts);
-    }
-    if (stats.probe_retransmits > 0) {
-      metrics->add("retry.probe", stats.probe_retransmits);
-    }
+    record_scan_metrics(stats, *metrics);
   }
-
   // Account for the wire time of the probes (retransmitted SYNs included).
   if (config_.probes_per_second > 0) {
     const sim::SimTime elapsed = (stats.probed + stats.probe_retransmits) *
                                  sim::kSecond / config_.probes_per_second;
     network_.loop().run_until(network_.loop().now() + elapsed);
   }
-  return stats;
+}
+
+ScanStats Scanner::run(const HitHandler& on_hit) {
+  ScanCursor cursor;
+  run_segment(cursor, CyclicPermutation::kUnlimited, on_hit);
+  finish(cursor);
+  return cursor.stats;
+}
+
+void record_scan_metrics(const ScanStats& stats,
+                         obs::MetricsRegistry& metrics) {
+  metrics.add("scan.elements_walked", stats.elements_walked);
+  metrics.add("scan.addresses_walked", stats.addresses_walked);
+  metrics.add("scan.blocklisted", stats.blocklisted);
+  metrics.add("scan.probed", stats.probed);
+  metrics.add("scan.responsive", stats.responsive);
+  // Funnel head: every probed address enters the funnel; unresponsive and
+  // timed-out addresses drop here, responsive ones are accounted for
+  // downstream by record_host_funnel (see core/funnel.h for the
+  // conservation invariant). The retry counters appear only when they
+  // fire so a chaos-off run keeps the pre-chaos metrics schema.
+  metrics.add("funnel.stage.probe", stats.probed);
+  metrics.add("funnel.drop.probe.unresponsive",
+              stats.probed - stats.responsive - stats.probe_timeouts);
+  if (stats.probe_timeouts > 0) {
+    metrics.add("funnel.drop.probe.timeout", stats.probe_timeouts);
+  }
+  if (stats.probe_retransmits > 0) {
+    metrics.add("retry.probe", stats.probe_retransmits);
+  }
 }
 
 }  // namespace ftpc::scan

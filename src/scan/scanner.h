@@ -11,6 +11,7 @@
 #include <functional>
 
 #include "common/ipv4.h"
+#include "obs/metrics.h"
 #include "scan/permutation.h"
 #include "sim/network.h"
 
@@ -60,6 +61,22 @@ struct ScanStats {
 /// Called for each responsive address.
 using HitHandler = std::function<void(Ipv4)>;
 
+/// Resumable scan position: cumulative progress of one shard's slice
+/// across run_segment() calls. Every field is a pure function of
+/// (ScanConfig, elements_consumed), which is exactly what lets a
+/// checkpoint persist a cursor and a resumed process reconstruct the
+/// identical scan — see core/shard_slice.h.
+struct ScanCursor {
+  /// Shard-local permutation elements consumed so far.
+  std::uint64_t elements_consumed = 0;
+  /// Next timeline tick boundary to record (see Scanner::run's pacing).
+  std::uint64_t next_boundary = 1;
+  /// Cumulative counters over the consumed elements.
+  ScanStats stats;
+  /// Set once the slice budget is exhausted (or the cycle closed).
+  bool finished = false;
+};
+
 class Scanner {
  public:
   Scanner(sim::Network& network, ScanConfig config);
@@ -69,11 +86,35 @@ class Scanner {
   /// account for the probe rate.
   ScanStats run(const HitHandler& on_hit);
 
+  /// This shard's total element budget: its share of the first
+  /// 2^32 >> scale_shift elements of the permutation cycle.
+  std::uint64_t shard_budget() const noexcept;
+
+  /// Walks at most `max_elements` further elements of this shard's slice,
+  /// continuing from `cursor`. Timeline boundary samples are recorded into
+  /// whatever collector is attached *during the segment* (checkpointed
+  /// runs attach a fresh collector per segment and journal its facts);
+  /// the closing totals sample, the scan metrics, and the virtual-time
+  /// advance are deferred to finish(). Returns the elements consumed by
+  /// this segment and marks the cursor finished when the budget drains.
+  std::uint64_t run_segment(ScanCursor& cursor, std::uint64_t max_elements,
+                            const HitHandler& on_hit);
+
+  /// Closes a segmented scan: records the totals sample and the scan
+  /// metrics (both pure functions of the cumulative cursor) into the
+  /// currently attached collectors and advances virtual time for the
+  /// whole slice. run() == run_segment(everything) + finish().
+  void finish(const ScanCursor& cursor);
+
   const ScanConfig& config() const noexcept { return config_; }
 
  private:
   sim::Network& network_;
   ScanConfig config_;
 };
+
+/// Records the scan-stage metric counters for `stats` (shared by
+/// Scanner::finish and anything replaying checkpointed scan state).
+void record_scan_metrics(const ScanStats& stats, obs::MetricsRegistry& metrics);
 
 }  // namespace ftpc::scan

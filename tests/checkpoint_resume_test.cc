@@ -1,0 +1,288 @@
+// Crash-recovery determinism battery for checkpointed shard slices.
+//
+// The contract under test (see core/shard_slice.h): a shard process killed
+// after any committed checkpoint, restarted with resume=true, produces an
+// artifact directory byte-identical — every file, journal and checkpoint
+// included — to an uninterrupted run with the same checkpoint cadence.
+// Torn tails past the last commit (a partial journal line, extra record
+// bytes from a mid-write kill) are truncated on resume and leave no residue
+// in the final bytes. The checkpoint itself is pinned as a pure function of
+// (config, global element boundary): the cadence that produced it must not
+// leak into its bytes, so runs checkpointing every I and every 2I elements
+// write identical checkpoints at their common boundaries.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/census.h"
+#include "core/shard_artifact.h"
+#include "core/shard_slice.h"
+#include "popgen/population.h"
+
+namespace ftpc {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+constexpr unsigned kScaleShift = 16;       // 65536 global elements
+constexpr std::uint64_t kInterval = 16384;  // boundaries at 16384/32768/49152
+
+core::PopulationFactory factory(std::uint64_t seed) {
+  return [seed] { return std::make_unique<popgen::SyntheticPopulation>(seed); };
+}
+
+core::CensusConfig shard_config(std::uint64_t seed) {
+  core::CensusConfig config;
+  config.seed = seed;
+  config.scale_shift = kScaleShift;
+  config.trace.enabled = true;
+  config.timeline.enabled = true;
+  config.timeline.interval_us = 10'000;
+  return config;
+}
+
+core::ShardSliceConfig slice_config(const std::string& out_dir,
+                                    std::uint64_t seed = kSeed,
+                                    std::uint32_t shard = 0,
+                                    std::uint32_t total = 1,
+                                    std::uint64_t interval = kInterval) {
+  core::ShardSliceConfig slice;
+  slice.census = shard_config(seed);
+  slice.shard = shard;
+  slice.total_shards = total;
+  slice.out_dir = out_dir;
+  slice.checkpoint_interval = interval;
+  return slice;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return {};
+  std::string out;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
+    out.append(buffer, got);
+  }
+  std::fclose(in);
+  return out;
+}
+
+void append_bytes(const std::string& path, const std::string& bytes) {
+  std::FILE* out = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(out, nullptr) << path;
+  std::fwrite(bytes.data(), 1, bytes.size(), out);
+  std::fclose(out);
+}
+
+std::string make_temp_root(const std::string& tag) {
+  const std::string root = ::testing::TempDir() + "ftpc_ckpt_" + tag;
+  ::mkdir(root.c_str(), 0777);
+  return root;
+}
+
+const char* const kArtifactFiles[] = {
+    "manifest.json", "records.ftpd",         "metrics.json",
+    "trace.jsonl",   "timeline.jsonl",       "timeline_facts.jsonl",
+    "journal.jsonl", "checkpoint.json",
+};
+
+void expect_dirs_identical(const std::string& expected_dir,
+                           const std::string& actual_dir,
+                           const std::string& label) {
+  for (const char* file : kArtifactFiles) {
+    const std::string expected = read_file(expected_dir + "/" + file);
+    const std::string actual = read_file(actual_dir + "/" + file);
+    ASSERT_FALSE(expected.empty()) << label << ": reference " << file
+                                   << " is empty — vacuous comparison";
+    EXPECT_EQ(expected, actual)
+        << label << ": " << file << " diverged after crash/resume";
+  }
+}
+
+class CheckpointResumeTest : public ::testing::Test {
+ protected:
+  // The uninterrupted same-cadence run every crash leg is compared to.
+  static const std::string& reference_dir() {
+    static const std::string dir = [] {
+      const std::string root = make_temp_root("reference");
+      const auto result =
+          core::run_shard_slice(slice_config(root + "/shard"), factory(kSeed));
+      EXPECT_TRUE(result.ok) << result.error;
+      EXPECT_EQ(result.checkpoints_written, 3u);
+      return root + "/shard";
+    }();
+    return dir;
+  }
+};
+
+TEST_F(CheckpointResumeTest, KillAtEveryCheckpointBoundaryThenResume) {
+  for (const std::uint32_t crash_after : {1u, 2u, 3u}) {
+    const std::string label = "crash-after-" + std::to_string(crash_after);
+    const std::string dir = make_temp_root(label) + "/shard";
+
+    core::ShardSliceConfig crash = slice_config(dir);
+    crash.crash_after_checkpoints = crash_after;
+    const auto crashed = core::run_shard_slice(crash, factory(kSeed));
+    EXPECT_FALSE(crashed.ok) << label;
+    EXPECT_TRUE(crashed.crashed) << label;
+    EXPECT_TRUE(crashed.error.empty()) << label << ": " << crashed.error;
+    EXPECT_EQ(crashed.checkpoints_written, crash_after) << label;
+    // A crashed run must never look complete.
+    EXPECT_TRUE(read_file(dir + "/manifest.json").empty()) << label;
+
+    core::ShardSliceConfig resume = slice_config(dir);
+    resume.resume = true;
+    const auto resumed = core::run_shard_slice(resume, factory(kSeed));
+    ASSERT_TRUE(resumed.ok) << label << ": " << resumed.error;
+    expect_dirs_identical(reference_dir(), dir, label);
+  }
+}
+
+TEST_F(CheckpointResumeTest, RepeatedKillsAcrossSuccessiveBoundaries) {
+  // The worst operational case: the process dies again after every single
+  // checkpoint it manages to commit. Three kills walk all three
+  // boundaries; the final resume still lands on the reference bytes.
+  const std::string dir = make_temp_root("repeated") + "/shard";
+  core::ShardSliceConfig crash = slice_config(dir);
+  crash.crash_after_checkpoints = 1;
+  const auto first = core::run_shard_slice(crash, factory(kSeed));
+  EXPECT_TRUE(first.crashed);
+
+  crash.resume = true;  // keep dying one checkpoint after each restart
+  for (int restart = 0; restart < 2; ++restart) {
+    const auto again = core::run_shard_slice(crash, factory(kSeed));
+    EXPECT_TRUE(again.crashed) << "restart " << restart;
+    EXPECT_EQ(again.checkpoints_written, 1u) << "restart " << restart;
+  }
+  core::ShardSliceConfig resume = slice_config(dir);
+  resume.resume = true;
+  const auto resumed = core::run_shard_slice(resume, factory(kSeed));
+  ASSERT_TRUE(resumed.ok) << resumed.error;
+  expect_dirs_identical(reference_dir(), dir, "repeated-kills");
+}
+
+TEST_F(CheckpointResumeTest, TornTailsAreTruncatedOnResume) {
+  // A kill mid-write leaves bytes past the last commit: a partial journal
+  // line and a partial record frame. Resume must discard both.
+  const std::string dir = make_temp_root("torn") + "/shard";
+  core::ShardSliceConfig crash = slice_config(dir);
+  crash.crash_after_checkpoints = 2;
+  EXPECT_TRUE(core::run_shard_slice(crash, factory(kSeed)).crashed);
+
+  append_bytes(dir + "/journal.jsonl", "{\"k\":\"trace\",\"t\":99");
+  append_bytes(dir + "/records.ftpd", std::string("\x13\x37garbage", 9));
+
+  core::ShardSliceConfig resume = slice_config(dir);
+  resume.resume = true;
+  const auto resumed = core::run_shard_slice(resume, factory(kSeed));
+  ASSERT_TRUE(resumed.ok) << resumed.error;
+  expect_dirs_identical(reference_dir(), dir, "torn-tails");
+}
+
+TEST_F(CheckpointResumeTest, ResumeOfCompletedShardIsIdempotent) {
+  const std::string before = read_file(reference_dir() + "/manifest.json");
+  core::ShardSliceConfig resume = slice_config(reference_dir());
+  resume.resume = true;
+  const auto resumed = core::run_shard_slice(resume, factory(kSeed));
+  ASSERT_TRUE(resumed.ok) << resumed.error;
+  EXPECT_FALSE(resumed.crashed);
+  EXPECT_EQ(read_file(reference_dir() + "/manifest.json"), before);
+}
+
+TEST_F(CheckpointResumeTest, ResumeRejectsMismatchedConfig) {
+  const std::string dir = make_temp_root("mismatch") + "/shard";
+  core::ShardSliceConfig crash = slice_config(dir);
+  crash.crash_after_checkpoints = 1;
+  EXPECT_TRUE(core::run_shard_slice(crash, factory(kSeed)).crashed);
+
+  core::ShardSliceConfig resume = slice_config(dir, kSeed + 1);
+  resume.resume = true;
+  const auto resumed = core::run_shard_slice(resume, factory(kSeed + 1));
+  EXPECT_FALSE(resumed.ok);
+  EXPECT_FALSE(resumed.crashed);
+  EXPECT_NE(resumed.error.find("config"), std::string::npos) << resumed.error;
+}
+
+TEST_F(CheckpointResumeTest, MultiShardSliceResumesIdentically) {
+  // Shard 1 of 2: the resumed walk has to re-derive an interior slice
+  // (start offset + stride jump), not just the k=0 prefix.
+  const std::string ref_root = make_temp_root("ms_ref");
+  const auto ref = core::run_shard_slice(
+      slice_config(ref_root + "/shard", kSeed, 1, 2), factory(kSeed));
+  ASSERT_TRUE(ref.ok) << ref.error;
+
+  const std::string dir = make_temp_root("ms_crash") + "/shard";
+  core::ShardSliceConfig crash = slice_config(dir, kSeed, 1, 2);
+  crash.crash_after_checkpoints = 1;
+  EXPECT_TRUE(core::run_shard_slice(crash, factory(kSeed)).crashed);
+  core::ShardSliceConfig resume = slice_config(dir, kSeed, 1, 2);
+  resume.resume = true;
+  const auto resumed = core::run_shard_slice(resume, factory(kSeed));
+  ASSERT_TRUE(resumed.ok) << resumed.error;
+  expect_dirs_identical(ref_root + "/shard", dir, "shard-1-of-2");
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint purity: the state is a function of (config, boundary), never
+// of the cadence that happened to produce it.
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointPurity, CadenceDoesNotLeakIntoCheckpointBytes) {
+  // I = 16384 crashing after its 2nd checkpoint and I = 32768 crashing
+  // after its 1st both stop at global boundary 32768 — the checkpoint
+  // files must match byte for byte.
+  const std::string dir_fine = make_temp_root("purity_fine") + "/shard";
+  core::ShardSliceConfig fine = slice_config(dir_fine, kSeed, 0, 1, 16384);
+  fine.crash_after_checkpoints = 2;
+  EXPECT_TRUE(core::run_shard_slice(fine, factory(kSeed)).crashed);
+
+  const std::string dir_coarse = make_temp_root("purity_coarse") + "/shard";
+  core::ShardSliceConfig coarse = slice_config(dir_coarse, kSeed, 0, 1, 32768);
+  coarse.crash_after_checkpoints = 1;
+  EXPECT_TRUE(core::run_shard_slice(coarse, factory(kSeed)).crashed);
+
+  const std::string fine_bytes = read_file(dir_fine + "/checkpoint.json");
+  const std::string coarse_bytes = read_file(dir_coarse + "/checkpoint.json");
+  ASSERT_FALSE(fine_bytes.empty());
+  EXPECT_EQ(fine_bytes, coarse_bytes)
+      << "checkpoint at boundary 32768 depends on the cadence that wrote it";
+
+  std::string error;
+  const auto parsed = core::ShardCheckpoint::parse(fine_bytes, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->boundary_element, 32768u);
+  EXPECT_EQ(parsed->config_hash,
+            core::census_config_fingerprint(shard_config(kSeed)));
+  // Round trip is canonical: parse + re-serialize gives the same bytes.
+  EXPECT_EQ(parsed->to_json(), fine_bytes);
+}
+
+TEST(CheckpointPurity, SeedChangesEveryCheckpointField) {
+  const std::string dir_a = make_temp_root("purity_seed_a") + "/shard";
+  core::ShardSliceConfig a = slice_config(dir_a, kSeed);
+  a.crash_after_checkpoints = 1;
+  EXPECT_TRUE(core::run_shard_slice(a, factory(kSeed)).crashed);
+
+  const std::string dir_b = make_temp_root("purity_seed_b") + "/shard";
+  core::ShardSliceConfig b = slice_config(dir_b, kSeed + 1);
+  b.crash_after_checkpoints = 1;
+  EXPECT_TRUE(core::run_shard_slice(b, factory(kSeed + 1)).crashed);
+
+  const auto ca = core::ShardCheckpoint::parse(
+      read_file(dir_a + "/checkpoint.json"));
+  const auto cb = core::ShardCheckpoint::parse(
+      read_file(dir_b + "/checkpoint.json"));
+  ASSERT_TRUE(ca.has_value());
+  ASSERT_TRUE(cb.has_value());
+  EXPECT_EQ(ca->boundary_element, cb->boundary_element);
+  EXPECT_NE(ca->config_hash, cb->config_hash);
+  EXPECT_NE(ca->records_bytes, cb->records_bytes);
+}
+
+}  // namespace
+}  // namespace ftpc

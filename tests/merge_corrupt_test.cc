@@ -1,0 +1,268 @@
+// Adversarial-input suite for merge_shard_artifacts (the ftpcmerge core).
+//
+// A merge is only trustworthy if it refuses to produce output from a
+// damaged or incoherent shard set: every corruption — truncated records,
+// garbled JSON, duplicate or missing shards, mixed census configs — must
+// fail the merge with a first-divergence diagnostic naming the offending
+// file, never silently drop or double-count data. The manifest schema
+// itself is pinned against tests/golden/shard_manifest_v1.json so any
+// drift in ftpc.shard.v1 shows up in review.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/census.h"
+#include "core/dataset.h"
+#include "core/records.h"
+#include "core/shard_artifact.h"
+#include "core/shard_slice.h"
+#include "popgen/population.h"
+
+namespace ftpc {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+constexpr unsigned kScaleShift = 12;  // small: corruption, not scale
+
+core::PopulationFactory factory(std::uint64_t seed) {
+  return [seed] { return std::make_unique<popgen::SyntheticPopulation>(seed); };
+}
+
+/// Mirrors the config `ftpcensus census --shard-id k/N --scale 12 --seed 42
+/// --timeline-interval 0.01` builds — the golden manifest was generated
+/// through that exact CLI invocation.
+core::CensusConfig shard_config(std::uint64_t seed = kSeed) {
+  core::CensusConfig config;
+  config.seed = seed;
+  config.scale_shift = kScaleShift;
+  config.trace.enabled = true;
+  config.trace.sample_rate = 1.0;
+  config.trace.capture_wire = true;
+  config.timeline.enabled = true;
+  config.timeline.interval_us = 10'000;
+  return config;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return {};
+  std::string out;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
+    out.append(buffer, got);
+  }
+  std::fclose(in);
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(out, nullptr) << path;
+  std::fwrite(bytes.data(), 1, bytes.size(), out);
+  std::fclose(out);
+}
+
+void append_file(const std::string& path, const std::string& bytes) {
+  std::FILE* out = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(out, nullptr) << path;
+  std::fwrite(bytes.data(), 1, bytes.size(), out);
+  std::fclose(out);
+}
+
+/// Fresh two-shard artifact set per test: corruption legs mutate in
+/// place, so each test gets a byte copy of one shared pristine run.
+class MergeCorruptTest : public ::testing::Test {
+ protected:
+  static constexpr const char* kFiles[] = {
+      "manifest.json", "records.ftpd",         "metrics.json",
+      "trace.jsonl",   "timeline.jsonl",       "timeline_facts.jsonl",
+      "journal.jsonl", "checkpoint.json",
+  };
+
+  static const std::vector<std::string>& pristine_dirs() {
+    static const std::vector<std::string> dirs = [] {
+      const std::string root = ::testing::TempDir() + "ftpc_mcorrupt_pristine";
+      ::mkdir(root.c_str(), 0777);
+      std::vector<std::string> out;
+      for (std::uint32_t shard = 0; shard < 2; ++shard) {
+        core::ShardSliceConfig slice;
+        slice.census = shard_config();
+        slice.shard = shard;
+        slice.total_shards = 2;
+        slice.out_dir = root + "/shard" + std::to_string(shard);
+        // A cadence, so checkpoint.json exists and every artifact file is
+        // present in the copies the corruption legs start from. The
+        // manifest bytes are cadence-independent (checkpoint purity), so
+        // the golden comparison below is unaffected.
+        slice.checkpoint_interval = 262'144;
+        const auto result = core::run_shard_slice(slice, factory(kSeed));
+        EXPECT_TRUE(result.ok) << result.error;
+        out.push_back(slice.out_dir);
+      }
+      return out;
+    }();
+    return dirs;
+  }
+
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "ftpc_mcorrupt_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ::mkdir(root_.c_str(), 0777);
+    for (std::uint32_t shard = 0; shard < 2; ++shard) {
+      const std::string dir = root_ + "/shard" + std::to_string(shard);
+      ::mkdir(dir.c_str(), 0777);
+      for (const char* file : kFiles) {
+        const std::string bytes =
+            read_file(pristine_dirs()[shard] + "/" + file);
+        ASSERT_FALSE(bytes.empty()) << file;
+        write_file(dir + "/" + file, bytes);
+      }
+      dirs_.push_back(dir);
+    }
+  }
+
+  core::MergeResult merge(const std::vector<std::string>& dirs) {
+    return core::merge_shard_artifacts(dirs, root_ + "/merged");
+  }
+
+  void expect_rejected(const core::MergeResult& result,
+                       const std::string& needle) {
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.error.find(needle), std::string::npos)
+        << "diagnostic \"" << result.error << "\" does not mention \""
+        << needle << "\"";
+  }
+
+  std::string root_;
+  std::vector<std::string> dirs_;
+};
+
+TEST_F(MergeCorruptTest, HealthySetMerges) {
+  const auto result = merge(dirs_);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.shards, 2u);
+  EXPECT_GT(result.records, 0u);
+}
+
+TEST_F(MergeCorruptTest, ManifestMatchesGoldenBytes) {
+  // ftpc.shard.v1 is an interchange format now: its exact serialization is
+  // part of the contract. Regenerate the golden via
+  //   ftpcensus census --scale 12 --seed 42 --timeline-interval 0.01 \
+  //     --shard-id 0/2 --shard-out DIR
+  // if the schema deliberately changes.
+  const std::string golden =
+      read_file(std::string(FTPC_GOLDEN_DIR) + "/shard_manifest_v1.json");
+  ASSERT_FALSE(golden.empty());
+  EXPECT_EQ(read_file(dirs_[0] + "/manifest.json"), golden);
+}
+
+TEST_F(MergeCorruptTest, RejectsMissingManifest) {
+  ASSERT_EQ(::unlink((dirs_[1] + "/manifest.json").c_str()), 0);
+  expect_rejected(merge(dirs_), "manifest");
+}
+
+TEST_F(MergeCorruptTest, RejectsGarbledManifest) {
+  write_file(dirs_[0] + "/manifest.json", "{\"schema\":\"ftpc.shard.v1\",");
+  const auto result = merge(dirs_);
+  expect_rejected(result, "manifest.json");
+}
+
+TEST_F(MergeCorruptTest, RejectsWrongManifestSchema) {
+  std::string manifest = read_file(dirs_[0] + "/manifest.json");
+  const auto at = manifest.find("ftpc.shard.v1");
+  ASSERT_NE(at, std::string::npos);
+  manifest.replace(at, 13, "ftpc.other.v9");
+  write_file(dirs_[0] + "/manifest.json", manifest);
+  expect_rejected(merge(dirs_), "manifest.json");
+}
+
+TEST_F(MergeCorruptTest, RejectsTruncatedRecords) {
+  const std::string path = dirs_[1] + "/records.ftpd";
+  const std::string bytes = read_file(path);
+  ASSERT_GT(bytes.size(), 16u);
+  write_file(path, bytes.substr(0, bytes.size() - 7));  // torn final frame
+  expect_rejected(merge(dirs_), "truncated");
+}
+
+TEST_F(MergeCorruptTest, RejectsRecordsHeaderDamage) {
+  const std::string path = dirs_[0] + "/records.ftpd";
+  std::string bytes = read_file(path);
+  bytes[0] = 'X';  // breaks the FTPD magic
+  write_file(path, bytes);
+  expect_rejected(merge(dirs_), "records.ftpd");
+}
+
+TEST_F(MergeCorruptTest, RejectsRecordCountMismatch) {
+  // An extra well-formed frame: the file parses fine but disagrees with
+  // the manifest's declared count — silent gain must be caught too.
+  core::HostReport extra;
+  extra.ip = Ipv4(10, 0, 0, 1);
+  append_file(dirs_[0] + "/records.ftpd", core::encode_host_frame(extra));
+  expect_rejected(merge(dirs_), "manifest");
+}
+
+TEST_F(MergeCorruptTest, RejectsDuplicateShard) {
+  expect_rejected(merge({dirs_[0], dirs_[0]}), "duplicate shard 0");
+}
+
+TEST_F(MergeCorruptTest, RejectsIncompleteShardSet) {
+  expect_rejected(merge({dirs_[0]}), "2 shard(s)");
+}
+
+TEST_F(MergeCorruptTest, RejectsConfigHashMismatch) {
+  // Shard 1 regenerated under a different seed: same layout, different
+  // census. Mixing the two must name both hashes, not merge garbage.
+  core::ShardSliceConfig slice;
+  slice.census = shard_config(kSeed + 1);
+  slice.shard = 1;
+  slice.total_shards = 2;
+  slice.out_dir = root_ + "/alien";
+  ASSERT_TRUE(core::run_shard_slice(slice, factory(kSeed + 1)).ok);
+  expect_rejected(merge({dirs_[0], slice.out_dir}), "config");
+}
+
+TEST_F(MergeCorruptTest, RejectsGarbledTraceLine) {
+  append_file(dirs_[1] + "/trace.jsonl", "this is not a trace event\n");
+  expect_rejected(merge(dirs_), "trace.jsonl");
+}
+
+TEST_F(MergeCorruptTest, RejectsWrongTraceHeader) {
+  std::string trace = read_file(dirs_[0] + "/trace.jsonl");
+  const auto eol = trace.find('\n');
+  ASSERT_NE(eol, std::string::npos);
+  trace.replace(0, eol, "{\"schema\":\"ftpc.trace.v2\"}");
+  write_file(dirs_[0] + "/trace.jsonl", trace);
+  expect_rejected(merge(dirs_), "trace.jsonl");
+}
+
+TEST_F(MergeCorruptTest, RejectsGarbledMetrics) {
+  write_file(dirs_[1] + "/metrics.json", "{\"schema\":\"ftpc.metrics.v1\"");
+  expect_rejected(merge(dirs_), "metrics.json");
+}
+
+TEST_F(MergeCorruptTest, RejectsGarbledTimelineFacts) {
+  append_file(dirs_[0] + "/timeline_facts.jsonl", "{\"k\":\"host\"}\n");
+  expect_rejected(merge(dirs_), "timeline_facts.jsonl");
+}
+
+TEST_F(MergeCorruptTest, DiagnosticNamesTheOffendingDirectory) {
+  // Two shards, one corrupted: the diagnostic must point at shard1, the
+  // broken one, so an operator reruns the right process.
+  const std::string path = dirs_[1] + "/records.ftpd";
+  const std::string bytes = read_file(path);
+  write_file(path, bytes.substr(0, bytes.size() - 3));
+  const auto result = merge(dirs_);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("shard1"), std::string::npos) << result.error;
+  EXPECT_EQ(result.error.find("shard0/"), std::string::npos) << result.error;
+}
+
+}  // namespace
+}  // namespace ftpc

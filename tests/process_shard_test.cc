@@ -1,0 +1,297 @@
+// Cross-process split-invariance suite for ftpc.shard.v1 artifacts.
+//
+// The contract under test (see core/shard_artifact.h + core/shard_slice.h):
+// running the census as N independent single-shard processes and reducing
+// the N artifact directories with merge_shard_artifacts() reproduces the
+// single-process outputs *byte-identically* on all four deterministic
+// channels — records (FTPD framing), ftpc.metrics.v1, ftpc.trace.v1 and
+// ftpc.tsdb.v1. The matrix covers N in {1,2,4,8}, a chaos profile with
+// retries (the hardest ordering case: retransmits + per-connection fault
+// plans), shuffled merge input order, and — when the driver passes the
+// tool binaries — a true multi-process leg through `ftpcensus census
+// --shard-id k/N` + `ftpcmerge`.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/census.h"
+#include "core/dataset.h"
+#include "core/shard_artifact.h"
+#include "core/shard_slice.h"
+#include "core/sharded_census.h"
+#include "popgen/population.h"
+#include "sim/chaos.h"
+
+namespace ftpc {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+constexpr unsigned kScaleShift = 16;  // ~65K addresses: CI-sized
+
+core::PopulationFactory factory(std::uint64_t seed) {
+  return [seed] { return std::make_unique<popgen::SyntheticPopulation>(seed); };
+}
+
+/// The exact census configuration `ftpcensus census --shard-id k/N` builds:
+/// every deterministic channel on, so the artifacts are self-contained.
+core::CensusConfig shard_config(std::uint64_t seed, unsigned scale_shift,
+                                bool chaos_lossy = false,
+                                std::uint32_t retries = 0) {
+  core::CensusConfig config;
+  config.seed = seed;
+  config.scale_shift = scale_shift;
+  config.trace.enabled = true;
+  config.trace.sample_rate = 1.0;
+  config.trace.capture_wire = true;
+  config.timeline.enabled = true;
+  config.timeline.interval_us = 10'000;  // 10k elements per tick at 1M pps
+  if (chaos_lossy) {
+    config.chaos_enabled = true;
+    config.chaos = *sim::ChaosProfile::named("lossy");
+  }
+  config.probe_retries = retries;
+  config.enumerator.command_retries = retries;
+  return config;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return {};
+  std::string out;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
+    out.append(buffer, got);
+  }
+  std::fclose(in);
+  return out;
+}
+
+std::string make_temp_root(const std::string& tag) {
+  const std::string root = ::testing::TempDir() + "ftpc_pshard_" + tag;
+  ::mkdir(root.c_str(), 0777);
+  return root;
+}
+
+/// The single-process reference: one in-process sharded run (K=1,T=1) with
+/// the same config, artifacts rendered exactly as ftpcensus writes them.
+struct SingleProcessArtifacts {
+  std::string records;  // dataset header + canonical-order frames
+  std::string metrics;
+  std::string trace;
+  std::string timeline;
+};
+
+SingleProcessArtifacts run_single_process(const core::CensusConfig& base) {
+  core::CensusConfig config = base;
+  config.shards = 1;
+  config.threads = 1;
+  core::ShardedCensus census(factory(base.seed), config);
+  core::VectorSink sink;
+  core::CensusStats stats = census.run(sink);
+  SingleProcessArtifacts out;
+  out.records = core::dataset_file_header();
+  for (const core::HostReport& report : sink.reports()) {
+    out.records += core::encode_host_frame(report);
+  }
+  out.metrics = stats.metrics.to_json();
+  out.trace = stats.trace.to_jsonl();
+  out.timeline = stats.timeline.to_jsonl();
+  return out;
+}
+
+/// Runs each shard as its own slice (fresh EventLoop/Network/population per
+/// call — exactly what N separate processes would build) into `root`.
+std::vector<std::string> run_slices(const core::CensusConfig& base,
+                                    std::uint32_t total_shards,
+                                    const std::string& root) {
+  std::vector<std::string> dirs;
+  for (std::uint32_t shard = 0; shard < total_shards; ++shard) {
+    core::ShardSliceConfig slice;
+    slice.census = base;
+    slice.shard = shard;
+    slice.total_shards = total_shards;
+    slice.out_dir = root + "/shard" + std::to_string(shard);
+    const core::ShardSliceResult result =
+        core::run_shard_slice(slice, factory(base.seed));
+    EXPECT_TRUE(result.ok) << "shard " << shard << "/" << total_shards << ": "
+                           << result.error;
+    dirs.push_back(slice.out_dir);
+  }
+  return dirs;
+}
+
+void expect_merge_matches(const SingleProcessArtifacts& expected,
+                          const std::vector<std::string>& shard_dirs,
+                          const std::string& out_dir,
+                          const std::string& label) {
+  const core::MergeResult merged =
+      core::merge_shard_artifacts(shard_dirs, out_dir);
+  ASSERT_TRUE(merged.ok) << label << ": " << merged.error;
+  EXPECT_EQ(merged.shards, shard_dirs.size()) << label;
+  EXPECT_TRUE(merged.wrote_metrics) << label;
+  EXPECT_TRUE(merged.wrote_trace) << label;
+  EXPECT_TRUE(merged.wrote_timeline) << label;
+  EXPECT_EQ(expected.records, read_file(out_dir + "/records.ftpd"))
+      << label << ": merged records diverged from single-process bytes";
+  EXPECT_EQ(expected.metrics, read_file(out_dir + "/metrics.json"))
+      << label << ": merged metrics diverged from single-process bytes";
+  EXPECT_EQ(expected.trace, read_file(out_dir + "/trace.jsonl"))
+      << label << ": merged trace diverged from single-process bytes";
+  EXPECT_EQ(expected.timeline, read_file(out_dir + "/timeline.jsonl"))
+      << label << ": merged timeline diverged from single-process bytes";
+}
+
+class ProcessShardTest : public ::testing::Test {
+ protected:
+  // Single-process golden artifacts, shared across the matrix.
+  static const SingleProcessArtifacts& golden() {
+    static const SingleProcessArtifacts artifacts =
+        run_single_process(shard_config(kSeed, kScaleShift));
+    return artifacts;
+  }
+};
+
+TEST_F(ProcessShardTest, GoldenRunIsNonTrivial) {
+  // Guard against the suite passing vacuously on empty artifacts.
+  EXPECT_GT(golden().records.size(), core::dataset_file_header().size());
+  EXPECT_FALSE(golden().metrics.empty());
+  EXPECT_GT(golden().trace.size(), 1000u);
+  EXPECT_GT(golden().timeline.size(), 100u);
+}
+
+TEST_F(ProcessShardTest, ShardMergeIsByteIdenticalAcrossN) {
+  for (const std::uint32_t total : {1u, 2u, 4u, 8u}) {
+    const std::string label = "N" + std::to_string(total);
+    const std::string root = make_temp_root(label);
+    const auto dirs =
+        run_slices(shard_config(kSeed, kScaleShift), total, root);
+    expect_merge_matches(golden(), dirs, root + "/merged", label);
+  }
+}
+
+TEST_F(ProcessShardTest, MergeInputOrderDoesNotMatter) {
+  // The manifests carry the shard index; the directory argument order is
+  // presentation, not semantics.
+  const std::string root = make_temp_root("shuffled");
+  auto dirs = run_slices(shard_config(kSeed, kScaleShift), 4, root);
+  std::vector<std::string> shuffled = {dirs[2], dirs[0], dirs[3], dirs[1]};
+  expect_merge_matches(golden(), shuffled, root + "/merged", "shuffled-N4");
+}
+
+TEST_F(ProcessShardTest, ChaosWithRetriesStaysByteIdentical) {
+  // Lossy chaos + retry budget: retransmissions and per-connection fault
+  // plans must stay pure per (chaos_seed, target) across the process split.
+  const core::CensusConfig config =
+      shard_config(kSeed, kScaleShift, /*chaos_lossy=*/true, /*retries=*/2);
+  const SingleProcessArtifacts expected = run_single_process(config);
+  EXPECT_GT(expected.records.size(), core::dataset_file_header().size());
+  const std::string root = make_temp_root("chaos");
+  const auto dirs = run_slices(config, 2, root);
+  expect_merge_matches(expected, dirs, root + "/merged", "chaos-lossy-N2");
+}
+
+TEST_F(ProcessShardTest, ManifestRoundTripsAndFingerprintIsLayoutBlind) {
+  const std::string root = make_temp_root("manifest");
+  const auto dirs = run_slices(shard_config(kSeed, kScaleShift), 2, root);
+  std::string error;
+  const auto manifest =
+      core::ShardManifest::parse(read_file(dirs[1] + "/manifest.json"), &error);
+  ASSERT_TRUE(manifest.has_value()) << error;
+  EXPECT_EQ(manifest->shard, 1u);
+  EXPECT_EQ(manifest->total_shards, 2u);
+  EXPECT_EQ(manifest->seed, kSeed);
+  EXPECT_TRUE(manifest->has_metrics);
+  EXPECT_TRUE(manifest->has_trace);
+  EXPECT_TRUE(manifest->has_timeline);
+  // The config hash must not depend on the execution layout...
+  core::CensusConfig a = shard_config(kSeed, kScaleShift);
+  core::CensusConfig b = a;
+  b.shards = 8;
+  b.threads = 4;
+  EXPECT_EQ(core::census_config_fingerprint(a),
+            core::census_config_fingerprint(b));
+  EXPECT_EQ(manifest->config_hash, core::census_config_fingerprint(a));
+  // ...but must distinguish every determinism-relevant knob.
+  core::CensusConfig c = a;
+  c.seed = kSeed + 1;
+  EXPECT_NE(core::census_config_fingerprint(a),
+            core::census_config_fingerprint(c));
+  core::CensusConfig d = a;
+  d.probe_retries = 2;
+  EXPECT_NE(core::census_config_fingerprint(a),
+            core::census_config_fingerprint(d));
+}
+
+// ---------------------------------------------------------------------------
+// True multi-process leg: the same contract through the shipped binaries.
+// Smaller scale — this is about CLI plumbing, not the reduction math.
+// ---------------------------------------------------------------------------
+
+#if defined(FTPC_FTPCENSUS_BIN) && defined(FTPC_FTPCMERGE_BIN)
+
+int run_command(const std::string& command) {
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(ProcessShardCli, BinariesReproduceSingleProcessBytes) {
+  const std::string root = make_temp_root("cli");
+  const std::string quiet = " >/dev/null 2>&1";
+  // Flags mirror shard mode's forced channels: trace + timeline + metrics
+  // on, 0.01 sim-seconds = the 10'000us tick the library tests use.
+  const std::string common =
+      " --scale 12 --seed 42 --timeline-interval 0.01";
+  ASSERT_EQ(0, run_command(std::string(FTPC_FTPCENSUS_BIN) + " census" +
+                           common + " --dataset " + root +
+                           "/single.ftpd --metrics-out " + root +
+                           "/metrics.json --trace-out " + root +
+                           "/trace.jsonl --timeline-out " + root +
+                           "/timeline.jsonl" + quiet));
+  for (int shard = 0; shard < 2; ++shard) {
+    ASSERT_EQ(0, run_command(std::string(FTPC_FTPCENSUS_BIN) + " census" +
+                             common + " --shard-id " + std::to_string(shard) +
+                             "/2 --shard-out " + root + "/shard" +
+                             std::to_string(shard) + quiet));
+  }
+  ASSERT_EQ(0, run_command(std::string(FTPC_FTPCMERGE_BIN) + " --out " + root +
+                           "/merged " + root + "/shard0 " + root + "/shard1" +
+                           quiet));
+  const std::string records = read_file(root + "/single.ftpd");
+  ASSERT_GT(records.size(), core::dataset_file_header().size());
+  EXPECT_EQ(records, read_file(root + "/merged/records.ftpd"));
+  EXPECT_EQ(read_file(root + "/metrics.json"),
+            read_file(root + "/merged/metrics.json"));
+  EXPECT_EQ(read_file(root + "/trace.jsonl"),
+            read_file(root + "/merged/trace.jsonl"));
+  EXPECT_EQ(read_file(root + "/timeline.jsonl"),
+            read_file(root + "/merged/timeline.jsonl"));
+}
+
+TEST(ProcessShardCli, ShardModeRejectsBadUsage) {
+  // --shard-id without --shard-out, malformed K/N, K >= N: all usage
+  // errors (exit 2), never a partial artifact.
+  const std::string quiet = " >/dev/null 2>&1";
+  EXPECT_EQ(2, run_command(std::string(FTPC_FTPCENSUS_BIN) +
+                           " census --shard-id 0/2" + quiet));
+  EXPECT_EQ(2, run_command(std::string(FTPC_FTPCENSUS_BIN) +
+                           " census --shard-id 2of4 --shard-out /tmp/x" +
+                           quiet));
+  EXPECT_EQ(2, run_command(std::string(FTPC_FTPCENSUS_BIN) +
+                           " census --shard-id 4/4 --shard-out /tmp/x" +
+                           quiet));
+  EXPECT_EQ(2, run_command(std::string(FTPC_FTPCENSUS_BIN) +
+                           " census --resume" + quiet));
+}
+
+#endif  // FTPC_FTPCENSUS_BIN && FTPC_FTPCMERGE_BIN
+
+}  // namespace
+}  // namespace ftpc

@@ -2,11 +2,12 @@
 # Checks that the artifact inspectors reject bad input with a diagnostic
 # and a nonzero exit instead of producing a bogus report.
 #
-#   check_tool_diagnostics.sh <ftpctrace> <ftpcreport>
+#   check_tool_diagnostics.sh <ftpctrace> <ftpcreport> <ftpcmerge>
 set -u
 
 FTPCTRACE="$1"
 FTPCREPORT="$2"
+FTPCMERGE="$3"
 TMP="${TMPDIR:-/tmp}/ftpc_tool_diag_$$"
 mkdir -p "$TMP"
 trap 'rm -rf "$TMP"' EXIT
@@ -57,6 +58,29 @@ expect_fail "ftpcreport short timeline" "$FTPCREPORT" "$TMP/short_tl"
 expect_fail "ftpctrace diff - -" sh -c \
   "printf '{\"schema\":\"ftpc.trace.v1\"}\n' | '$FTPCTRACE' diff - -"
 
+# ftpcmerge usage errors.
+expect_fail "ftpcmerge no args" "$FTPCMERGE"
+expect_fail "ftpcmerge no shard dirs" "$FTPCMERGE" --out "$TMP/merged"
+expect_fail "ftpcmerge unknown flag" "$FTPCMERGE" --bogus
+
+# ftpcmerge: a shard dir without a manifest is an incomplete artifact.
+mkdir -p "$TMP/shard_empty"
+expect_fail "ftpcmerge missing manifest" \
+  "$FTPCMERGE" --out "$TMP/merged" "$TMP/shard_empty"
+
+# ftpcmerge: a garbled manifest must name the offending file.
+mkdir -p "$TMP/shard_garbled"
+printf 'not json at all\n' > "$TMP/shard_garbled/manifest.json"
+expect_fail "ftpcmerge garbled manifest" \
+  "$FTPCMERGE" --out "$TMP/merged" "$TMP/shard_garbled"
+
+# ftpcmerge: an incomplete shard set (manifest declares 2, one given).
+mkdir -p "$TMP/shard_lonely"
+printf '{"schema":"ftpc.shard.v1","shard":0,"total_shards":2,"seed":1,"scale_shift":4,"config_hash":1,"records":0,"scan":{"elements":0,"addresses":0,"blocklisted":0,"probed":0,"responsive":0,"retransmits":0,"timeouts":0},"enum":{"hosts":0,"ftp":0,"anonymous":0,"errored":0},"channels":{"metrics":false,"trace":false,"timeline":false},"timeline":{"interval_us":0,"pps":0,"concurrency":0}}\n' \
+  > "$TMP/shard_lonely/manifest.json"
+expect_fail "ftpcmerge incomplete shard set" \
+  "$FTPCMERGE" --out "$TMP/merged" "$TMP/shard_lonely"
+
 # Sanity: well-formed input still succeeds.
 if ! "$FTPCTRACE" summarize "$TMP/trace" > /dev/null 2>&1; then
   echo "FAIL: ftpctrace rejects a valid trace" >&2
@@ -66,6 +90,20 @@ printf '{"schema":"ftpc.tsdb.v1","interval_us":1000000,"pps":1000000,"concurrenc
   > "$TMP/good_tl"
 if ! "$FTPCREPORT" "$TMP/good_tl" > /dev/null 2>&1; then
   echo "FAIL: ftpcreport rejects a valid timeline" >&2
+  fail=1
+fi
+
+# Artifact-directory inputs: both inspectors accept a shard/merge dir and
+# read the channel file inside it.
+mkdir -p "$TMP/artifact_dir"
+cp "$TMP/trace" "$TMP/artifact_dir/trace.jsonl"
+cp "$TMP/good_tl" "$TMP/artifact_dir/timeline.jsonl"
+if ! "$FTPCTRACE" summarize "$TMP/artifact_dir" > /dev/null 2>&1; then
+  echo "FAIL: ftpctrace rejects an artifact directory" >&2
+  fail=1
+fi
+if ! "$FTPCREPORT" "$TMP/artifact_dir" > /dev/null 2>&1; then
+  echo "FAIL: ftpcreport rejects an artifact directory" >&2
   fail=1
 fi
 

@@ -31,6 +31,7 @@
 #include "core/bounce.h"
 #include "core/census.h"
 #include "core/dataset.h"
+#include "core/shard_slice.h"
 #include "core/sharded_census.h"
 #include "honeypot/attackers.h"
 #include "honeypot/honeypot.h"
@@ -69,6 +70,16 @@ struct Options {
   std::uint64_t chaos_seed = 0;  // 0 = derive from --seed
   std::uint32_t retries = 0;     // probe + command retry budget
 
+  // Process-level sharding (--shard-id k/N): run exactly one element-index
+  // slice and emit an ftpc.shard.v1 artifact directory (core/shard_slice.h).
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_total = 0;  // 0 = shard mode off
+  std::string shard_out;          // artifact directory (required with k/N)
+  std::uint64_t checkpoint_interval = 0;  // global elements; 0 = no ckpts
+  std::string checkpoint_out;  // override <shard_out>/checkpoint.json
+  bool resume = false;
+  std::uint32_t crash_after = 0;  // test hook: die after N checkpoints
+
   bool tracing_requested() const {
     return !trace_out.empty() || !trace_chrome.empty();
   }
@@ -95,7 +106,13 @@ void usage() {
                "[--timeline-interval SECONDS] [--perf-out FILE|-] "
                "[--progress] "
                "[--chaos-profile off|lossy|flaky|hostile] [--chaos-seed S] "
-               "[--retries N]\n");
+               "[--retries N]\n"
+               "       ftpcensus census --shard-id K/N --shard-out DIR "
+               "[--checkpoint-interval E] [--checkpoint-out FILE] "
+               "[--resume] [--crash-after-checkpoint C] [census options]\n"
+               "  shard mode runs only slice K of N and writes an "
+               "ftpc.shard.v1 artifact directory; reduce N directories with "
+               "ftpcmerge.\n");
 }
 
 bool parse_options(int argc, char** argv, Options& options) {
@@ -201,6 +218,48 @@ bool parse_options(int argc, char** argv, Options& options) {
       if (v == nullptr) return false;
       options.retries =
           static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--shard-id") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const unsigned long k = std::strtoul(v, &end, 10);
+      if (end == v || *end != '/') {
+        std::fprintf(stderr, "--shard-id: expected K/N, got %s\n", v);
+        return false;
+      }
+      const char* total_text = end + 1;
+      const unsigned long n = std::strtoul(total_text, &end, 10);
+      if (end == total_text || *end != '\0' || n == 0 || k >= n ||
+          n > 0xffffffffUL) {
+        std::fprintf(stderr,
+                     "--shard-id: K/N needs 0 <= K < N (got %s)\n", v);
+        return false;
+      }
+      options.shard_index = static_cast<std::uint32_t>(k);
+      options.shard_total = static_cast<std::uint32_t>(n);
+    } else if (arg == "--shard-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.shard_out = v;
+    } else if (arg == "--checkpoint-interval") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.checkpoint_interval = std::strtoull(v, nullptr, 10);
+      if (options.checkpoint_interval == 0) {
+        std::fprintf(stderr, "--checkpoint-interval must be > 0 elements\n");
+        return false;
+      }
+    } else if (arg == "--checkpoint-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.checkpoint_out = v;
+    } else if (arg == "--crash-after-checkpoint") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.crash_after =
+          static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--resume") {
+      options.resume = true;
     } else if (arg == "--trace-no-wire") {
       options.trace_no_wire = true;
     } else if (arg == "--progress") {
@@ -211,6 +270,17 @@ bool parse_options(int argc, char** argv, Options& options) {
       std::fprintf(stderr, "unknown option: %s\n", argv[i]);
       return false;
     }
+  }
+  if (options.shard_total > 0 && options.shard_out.empty()) {
+    std::fprintf(stderr, "--shard-id requires --shard-out DIR\n");
+    return false;
+  }
+  if (options.shard_total == 0 &&
+      (!options.shard_out.empty() || options.resume ||
+       options.checkpoint_interval > 0 || !options.checkpoint_out.empty() ||
+       options.crash_after > 0)) {
+    std::fprintf(stderr, "shard-mode options require --shard-id K/N\n");
+    return false;
   }
   return true;
 }
@@ -349,7 +419,69 @@ bool write_artifact(const std::string& path, const std::string& content,
   return ok;
 }
 
+/// `census --shard-id K/N`: run one checkpointed element-index slice and
+/// emit a self-contained ftpc.shard.v1 artifact directory. All four
+/// deterministic channels are always recorded — the artifact must be
+/// self-contained so ftpcmerge can rebuild any single-process output —
+/// with the channel knobs (--trace-sample, --timeline-interval, chaos,
+/// retries) honored exactly as in a plain census run.
+int run_shard_mode(const Options& options) {
+  core::ShardSliceConfig slice;
+  slice.shard = options.shard_index;
+  slice.total_shards = options.shard_total;
+  slice.out_dir = options.shard_out;
+  slice.checkpoint_interval = options.checkpoint_interval;
+  slice.checkpoint_path = options.checkpoint_out;
+  slice.resume = options.resume;
+  slice.crash_after_checkpoints = options.crash_after;
+
+  core::CensusConfig& config = slice.census;
+  config.seed = options.seed;
+  config.scale_shift = options.scale_shift;
+  config.trace.enabled = true;
+  config.trace.sample_rate = options.trace_sample;
+  config.trace.force_hosts = options.trace_hosts;
+  config.trace.capture_wire = !options.trace_no_wire;
+  if (!options.chaos_profile.empty() && options.chaos_profile != "off") {
+    config.chaos_enabled = true;
+    config.chaos = *sim::ChaosProfile::named(options.chaos_profile);
+    config.chaos_seed = options.chaos_seed;
+  }
+  config.probe_retries = options.retries;
+  config.enumerator.command_retries = options.retries;
+  config.timeline.enabled = true;
+  config.timeline.interval_us = static_cast<std::uint64_t>(
+      options.timeline_interval * 1'000'000.0 + 0.5);
+  if (config.timeline.interval_us == 0) config.timeline.interval_us = 1;
+
+  const core::ShardSliceResult result = core::run_shard_slice(
+      slice, [seed = options.seed] {
+        return std::make_unique<popgen::SyntheticPopulation>(seed);
+      });
+  if (result.crashed) {
+    std::fprintf(stderr,
+                 "shard %u/%u stopped after %llu checkpoint(s) "
+                 "(--crash-after-checkpoint); resume with --resume\n",
+                 options.shard_index, options.shard_total,
+                 static_cast<unsigned long long>(result.checkpoints_written));
+    return 3;
+  }
+  if (!result.ok) {
+    std::fprintf(stderr, "ftpcensus: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "shard %u/%u complete: %llu record(s), %llu checkpoint(s) "
+               "-> %s\n",
+               options.shard_index, options.shard_total,
+               static_cast<unsigned long long>(result.records),
+               static_cast<unsigned long long>(result.checkpoints_written),
+               options.shard_out.c_str());
+  return 0;
+}
+
 int run_census(const Options& options) {
+  if (options.shard_total > 0) return run_shard_mode(options);
   popgen::SyntheticPopulation population(options.seed);
 
   analysis::SummaryBuilder builder(

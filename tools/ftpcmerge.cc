@@ -1,0 +1,72 @@
+// ftpcmerge — reduces N ftpc.shard.v1 artifact directories (one per
+// `ftpcensus census --shard-id k/N` process) into byte-identical copies of
+// the single-process artifacts: records.ftpd plus, for each channel the
+// shard manifests declare, metrics.json (ftpc.metrics.v1), trace.jsonl
+// (ftpc.trace.v1) and timeline.jsonl (ftpc.tsdb.v1).
+//
+//   ftpcmerge --out DIR SHARD_DIR...
+//
+// The input set must be complete and coherent: exactly shards 0..N-1 of
+// one census configuration (the manifests carry a config hash). Any
+// missing, duplicate, truncated, or garbled shard fails the merge with a
+// first-divergence diagnostic naming the offending file.
+// Exit: 0 merged, 1 validation/merge failure, 2 usage.
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/shard_artifact.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: ftpcmerge --out DIR SHARD_DIR...\n"
+      "  SHARD_DIR: ftpc.shard.v1 artifact directories, one per shard of\n"
+      "  a single census config (all N of them, in any order)\n"
+      "  DIR: output directory (created if missing) for the merged\n"
+      "  records.ftpd / metrics.json / trace.jsonl / timeline.jsonl\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_dir;
+  std::vector<std::string> shard_dirs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--out") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      out_dir = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      shard_dirs.emplace_back(arg);
+    }
+  }
+  if (out_dir.empty() || shard_dirs.empty()) {
+    usage();
+    return 2;
+  }
+
+  const ftpc::core::MergeResult result =
+      ftpc::core::merge_shard_artifacts(shard_dirs, out_dir);
+  if (!result.ok) {
+    std::fprintf(stderr, "ftpcmerge: %s\n", result.error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "merged %llu shard(s): %llu record(s)%s%s%s -> %s\n",
+               static_cast<unsigned long long>(result.shards),
+               static_cast<unsigned long long>(result.records),
+               result.wrote_metrics ? " + metrics" : "",
+               result.wrote_trace ? " + trace" : "",
+               result.wrote_timeline ? " + timeline" : "", out_dir.c_str());
+  return 0;
+}

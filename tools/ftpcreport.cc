@@ -14,7 +14,11 @@
 //     (real seconds — the perf plane is exempt from byte-identity).
 //
 // The timeline is deterministic, so this report is too (bar --perf).
+// FILE may also be an artifact *directory* (an ftpc.shard.v1 shard dir or
+// an ftpcmerge output dir); its timeline.jsonl is then read.
 // Exit: 0 ok, 2 usage or empty/truncated/non-timeline input.
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <cstdint>
 #include <cstdlib>
@@ -135,7 +139,13 @@ std::string fmt_time(std::uint64_t us) {
   return buffer;
 }
 
-int run_report(const std::string& path, const std::string& perf_path) {
+int run_report(const std::string& input, const std::string& perf_path) {
+  // An artifact directory names its projected timeline channel.
+  std::string path = input;
+  struct stat st{};
+  if (path != "-" && ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+    path += "/timeline.jsonl";
+  }
   std::vector<std::string> lines;
   if (!read_lines(path, lines)) return 2;
   if (lines.front().rfind(kSchemaPrefix, 0) != 0) {
@@ -414,7 +424,8 @@ int run_report(const std::string& path, const std::string& perf_path) {
 void usage() {
   std::fprintf(stderr,
                "usage: ftpcreport FILE [--perf PERF.json]\n"
-               "  FILE: ftpc.tsdb.v1 timeline (\"-\" = stdin)\n"
+               "  FILE: ftpc.tsdb.v1 timeline (\"-\" = stdin), or a "
+               "shard/merge artifact directory (reads its timeline.jsonl)\n"
                "  PERF: optional ftpc.perf.v1 report to append\n");
 }
 

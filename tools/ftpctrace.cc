@@ -12,8 +12,13 @@
 // shard/thread split, so the first divergence between a good and a bad run
 // names the first host whose session behaved differently.
 //
-// FILE may be "-" for stdin (except at most one side of `diff`).
+// FILE may be "-" for stdin (except at most one side of `diff`), or an
+// artifact *directory* (an ftpc.shard.v1 shard dir or an ftpcmerge output
+// dir), in which case the trace.jsonl inside it is read — so shard and
+// merged outputs diff without spelling out the inner file name.
 // Exit: 0 ok / traces identical, 1 divergence found, 2 usage or I/O error.
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -27,7 +32,13 @@ namespace {
 
 constexpr std::string_view kSchemaLine = "{\"schema\":\"ftpc.trace.v1\"}";
 
-bool read_lines(const std::string& path, std::vector<std::string>& lines) {
+bool read_lines(const std::string& input, std::vector<std::string>& lines) {
+  // An artifact directory names its trace channel.
+  std::string path = input;
+  struct stat st{};
+  if (path != "-" && ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+    path += "/trace.jsonl";
+  }
   std::FILE* in = path == "-" ? stdin : std::fopen(path.c_str(), "rb");
   if (in == nullptr) {
     std::fprintf(stderr, "ftpctrace: cannot open %s\n", path.c_str());
@@ -199,7 +210,9 @@ void usage() {
       "usage: ftpctrace summarize FILE\n"
       "       ftpctrace grep FILE [--host IP] [--stage NAME] [--status S] "
       "[--ev span|send|recv]\n"
-      "       ftpctrace diff FILE1 FILE2\n");
+      "       ftpctrace diff FILE1 FILE2\n"
+      "  FILE: ftpc.trace.v1 JSONL, \"-\" = stdin, or a shard/merge "
+      "artifact directory (reads its trace.jsonl)\n");
 }
 
 }  // namespace

@@ -4,7 +4,9 @@
 #
 #   tools/run_tsan.sh                 # sharded_census_test + sim_test +
 #                                     # scan_test + trace_test +
-#                                     # chaos_matrix_test + timeline_test
+#                                     # chaos_matrix_test + timeline_test +
+#                                     # process_shard_test +
+#                                     # checkpoint_resume_test
 #   tools/run_tsan.sh census_test ... # additional test binaries to run
 #
 # Uses a dedicated build tree (build-tsan) so the instrumented objects
@@ -26,8 +28,11 @@ cmake -B "$BUILD_DIR" -S . \
 # chaos_matrix_test runs every fault kind through multi-thread shard
 # splits, so the per-shard ChaosEngine attachment is raced here too;
 # timeline_test races the per-shard TimelineCollector/PerfCollector
-# attachment and the merge-order reduction of their outputs.
-TESTS="sharded_census_test sim_test scan_test trace_test chaos_matrix_test timeline_test"
+# attachment and the merge-order reduction of their outputs;
+# process_shard_test and checkpoint_resume_test run single-threaded slices
+# but are kept here so the segment loop's detach/reattach of the
+# thread-checked collectors stays clean under instrumentation.
+TESTS="sharded_census_test sim_test scan_test trace_test chaos_matrix_test timeline_test process_shard_test checkpoint_resume_test"
 [ "$#" -gt 0 ] && TESTS="$TESTS $*"
 
 # shellcheck disable=SC2086
