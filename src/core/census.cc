@@ -75,7 +75,7 @@ void drive_enumeration_window(sim::Network& network,
   launch();
 
   // Perf plane: a periodic sim-timer samples live shard-local gauges
-  // (in-flight window, undrained hit queue, timer-heap size). The timer
+  // (in-flight window, undrained hit queue, pending-timer count). The timer
   // self-reschedules, so it must be cancelled once the drive loop exits —
   // run_while_pending checks its predicate before every event, so the
   // sampler can never keep the loop alive on its own.

@@ -485,14 +485,14 @@ std::optional<obs::TraceEvent> parse_trace_event(const json::Value& line) {
     const auto status = line.str("status");
     if (!dur || !name || !status) return std::nullopt;
     event.dur = *dur;
-    event.name.assign(*name);
-    event.status.assign(*status);
+    event.name = *name;
+    event.status = *status;
   } else if (*ev == "send" || *ev == "recv") {
     event.kind = *ev == "send" ? obs::TraceEventKind::kSend
                                : obs::TraceEventKind::kRecv;
     const auto text = line.str("line");
     if (!text) return std::nullopt;
-    event.name.assign(*text);
+    event.name = *text;
   } else {
     return std::nullopt;
   }

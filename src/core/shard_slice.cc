@@ -221,10 +221,12 @@ ShardSliceResult run_shard_slice(const ShardSliceConfig& slice,
         ++line_number;
         return true;
       };
+      // Moves `result` out: every call site immediately returns the value,
+      // so the moved-from state is never read again.
       const auto line_error = [&](const std::string& what) {
         result.error =
             journal_path + ":" + std::to_string(line_number) + ": " + what;
-        return result;
+        return std::move(result);
       };
       std::string_view line;
       if (!next_line(line)) return line_error("empty journal");

@@ -84,7 +84,7 @@ CensusStats ShardedCensus::run(RecordSink& sink) {
   const auto merge_started = std::chrono::steady_clock::now();
   const double merge_cpu_started = obs::ScopedStageTimer::thread_cpu_seconds();
   merge.merge_into(sink);
-  CensusStats total = per_shard[0];
+  CensusStats total = std::move(per_shard[0]);
   for (std::uint32_t shard = 1; shard < shards; ++shard) {
     total.merge_from(per_shard[shard]);
   }

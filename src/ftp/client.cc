@@ -381,12 +381,8 @@ void FtpClient::handle_reply_timeout() {
   ++retries_used_;
   ++retries_total_;
   if (auto* metrics = network_.metrics()) metrics->add("retry.command");
-  sim::SimTime backoff = options_.retry_backoff;
-  for (std::uint32_t i = 1;
-       i < retries_used_ && backoff < options_.retry_backoff_cap; ++i) {
-    backoff *= 2;
-  }
-  if (backoff > options_.retry_backoff_cap) backoff = options_.retry_backoff_cap;
+  const sim::SimTime backoff = retry_backoff_for_attempt(
+      options_.retry_backoff, options_.retry_backoff_cap, retries_used_);
   std::weak_ptr<FtpClient> weak = weak_from_this();
   backoff_armed_ = true;
   backoff_timer_ = network_.loop().schedule_after(backoff, [weak] {
@@ -395,6 +391,19 @@ void FtpClient::handle_reply_timeout() {
     self->backoff_armed_ = false;
     self->resend_last_command();
   });
+}
+
+sim::SimTime FtpClient::retry_backoff_for_attempt(sim::SimTime base,
+                                                  sim::SimTime cap,
+                                                  std::uint32_t attempt) noexcept {
+  if (base == 0) base = sim::kMillisecond;
+  if (cap == 0) cap = base;
+  sim::SimTime backoff = base;
+  for (std::uint32_t i = 1; i < attempt && backoff < cap; ++i) {
+    if (backoff > cap / 2) return cap;  // one more doubling would pass (or wrap past) it
+    backoff *= 2;
+  }
+  return backoff < cap ? backoff : cap;
 }
 
 void FtpClient::resend_last_command() {

@@ -67,6 +67,16 @@ class FtpClient : public std::enable_shared_from_this<FtpClient> {
 
   using ReplyHandler = std::function<void(Result<Reply>)>;
   using TransferHandler = std::function<void(Result<TransferOutcome>)>;
+
+  /// Backoff delay before retransmit `attempt` (1-based): base * 2^(attempt-1)
+  /// clamped into (0, cap] without ever wrapping SimTime — the doubling stops
+  /// as soon as it would pass the cap, so a huge base cannot overflow into a
+  /// tiny delay. A zero base is normalized to 1ms (a zero-delay retry storm
+  /// is never an intended configuration), and a zero cap falls back to the
+  /// normalized base. Pure; exposed for unit tests.
+  static sim::SimTime retry_backoff_for_attempt(sim::SimTime base,
+                                                sim::SimTime cap,
+                                                std::uint32_t attempt) noexcept;
   using CertHandler = std::function<void(Result<Certificate>)>;
   using VoidHandler = std::function<void()>;
   using StatusHandler = std::function<void(Status)>;

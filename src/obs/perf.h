@@ -19,7 +19,7 @@
 //     execution, and that is what the guards measure.
 //   - load samples: a periodic sim-timer in each shard samples live
 //     shard-local gauges (in-flight sessions, enumeration queue depth,
-//     event-loop timer-heap size). These per-shard series are the data
+//     event-loop pending-timer count). These per-shard series are the data
 //     the deterministic plane cannot carry (a K-shard run has K
 //     concurrent windows, not one), summarized here per shard.
 //
@@ -61,7 +61,7 @@ struct PerfShard {
   std::uint64_t samples = 0;
   std::uint64_t peak_in_flight = 0;
   std::uint64_t peak_queue = 0;
-  std::uint64_t peak_timers = 0;  // event-loop timer-heap high-water mark
+  std::uint64_t peak_timers = 0;  // event-loop pending-timer high-water mark
   std::uint64_t sum_in_flight = 0;  // for the mean across samples
 };
 

@@ -2,11 +2,31 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 
 #include "common/hash.h"
 #include "common/ipv4.h"
 
 namespace ftpc::obs {
+
+std::string_view StringInterner::intern(std::string_view s) {
+  if (s.empty()) return std::string_view();
+  const auto it = set_.find(s);
+  if (it != set_.end()) return *it;
+  // First sight: copy into the arena. Chunks are reserved up front and only
+  // ever appended to within capacity, so existing data never relocates.
+  if (chunks_.empty() ||
+      chunks_.back().capacity() - chunks_.back().size() < s.size()) {
+    chunks_.emplace_back();
+    chunks_.back().reserve(std::max(kChunkBytes, s.size()));
+  }
+  std::vector<char>& chunk = chunks_.back();
+  const std::size_t offset = chunk.size();
+  chunk.insert(chunk.end(), s.begin(), s.end());
+  const std::string_view stored(chunk.data() + offset, s.size());
+  set_.insert(stored);
+  return stored;
+}
 
 std::string_view trace_event_kind_name(TraceEventKind kind) noexcept {
   switch (kind) {
@@ -22,6 +42,12 @@ std::string_view trace_event_kind_name(TraceEventKind kind) noexcept {
 
 std::string normalize_ephemeral_ports(std::string_view line) {
   std::string out;
+  normalize_ephemeral_ports(line, out);
+  return out;
+}
+
+void normalize_ephemeral_ports(std::string_view line, std::string& out) {
+  out.clear();
   out.reserve(line.size());
   std::size_t i = 0;
   while (i < line.size()) {
@@ -57,7 +83,6 @@ std::string normalize_ephemeral_ports(std::string_view line) {
     }
     i = j;
   }
-  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -65,7 +90,10 @@ std::string normalize_ephemeral_ports(std::string_view line) {
 // ---------------------------------------------------------------------------
 
 void TraceBuffer::merge_from(const TraceBuffer& other) {
-  events_.insert(events_.end(), other.events_.begin(), other.events_.end());
+  // append re-interns: the copied events' views must reference this
+  // buffer's arena, not the (possibly shorter-lived) source buffer's.
+  events_.reserve(events_.size() + other.events_.size());
+  for (const TraceEvent& event : other.events_) append(event);
 }
 
 void TraceBuffer::canonicalize() {
@@ -182,10 +210,9 @@ void TraceSession::stage_end(std::string_view status, TraceTime now) {
   event.host = host_;
   event.seq = next_seq_++;
   event.kind = TraceEventKind::kSpan;
-  event.name = std::move(open_name_);
-  event.status.assign(status);
-  open_name_.clear();
-  buffer_->append(std::move(event));
+  event.name = open_name_;  // append interns; open_name_ is reused
+  event.status = status;
+  buffer_->append(event);
 }
 
 void TraceSession::wire(TraceEventKind kind, std::string_view line,
@@ -196,8 +223,9 @@ void TraceSession::wire(TraceEventKind kind, std::string_view line,
   event.host = host_;
   event.seq = next_seq_++;
   event.kind = kind;
-  event.name = normalize_ephemeral_ports(line);
-  buffer_->append(std::move(event));
+  normalize_ephemeral_ports(line, scratch_);
+  event.name = scratch_;  // append interns before scratch_ is reused
+  buffer_->append(event);
 }
 
 void TraceSession::wire_send(std::string_view line, TraceTime now) {

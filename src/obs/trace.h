@@ -34,6 +34,7 @@
 #include <deque>
 #include <string>
 #include <string_view>
+#include <unordered_set>
 #include <vector>
 
 namespace ftpc::obs {
@@ -51,14 +52,40 @@ enum class TraceEventKind : std::uint8_t {
 
 std::string_view trace_event_kind_name(TraceEventKind kind) noexcept;
 
+/// A trace event's strings are views into its TraceBuffer's interner (see
+/// StringInterner below): TraceBuffer::append copies whatever the views
+/// reference into buffer-owned storage, so callers may point them at
+/// temporaries, and events read back from a buffer stay valid exactly as
+/// long as that buffer lives.
 struct TraceEvent {
   TraceTime start = 0;  // session-relative virtual µs
   TraceTime dur = 0;    // span duration; 0 for wire events
   std::uint32_t host = 0;
   std::uint32_t seq = 0;  // per-host event index (probe span = 0)
   TraceEventKind kind = TraceEventKind::kSpan;
-  std::string name;    // span: stage name; wire: the line text
-  std::string status;  // span: "ok"/"completed"/drop reason; wire: empty
+  std::string_view name;    // span: stage name; wire: the line text
+  std::string_view status;  // span: "ok"/"completed"/drop reason; wire: empty
+};
+
+/// Deduplicating string arena for the trace hot path. The census transcript
+/// is massively repetitive — stage names and statuses come from fixed
+/// taxonomies, and most wire lines ("USER anonymous", "230 Login
+/// successful.", ...) repeat across every host of the same persona — so
+/// storing each distinct line once turns the dominant per-event cost (two
+/// heap strings) into a hash probe. Interned views stay valid for the
+/// interner's lifetime: chunks only grow, never move or shrink.
+class StringInterner {
+ public:
+  /// Returns a stable view of `s`, copying it into the arena on first sight.
+  std::string_view intern(std::string_view s);
+
+  std::size_t unique_strings() const noexcept { return set_.size(); }
+
+ private:
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+  std::vector<std::vector<char>> chunks_;  // data pointers never move
+  std::unordered_set<std::string_view> set_;
 };
 
 /// Replaces the port digits in any "h1,h2,h3,h4,p1,p2" tuple (227 PASV
@@ -68,11 +95,30 @@ struct TraceEvent {
 /// byte-exact.
 std::string normalize_ephemeral_ports(std::string_view line);
 
+/// Allocation-free variant: clears `out` and writes the normalized line into
+/// it, reusing whatever capacity it already has (the wire hot path calls
+/// this with one scratch string per session).
+void normalize_ephemeral_ports(std::string_view line, std::string& out);
+
 /// An ordered batch of trace events. Per-shard instances merge by
 /// concatenation; canonicalize() then imposes the split-invariant order.
+/// Event strings live in a per-buffer interner, so a buffer must not be
+/// copied (the copy's views would alias the original); moving is fine.
 class TraceBuffer {
  public:
-  void append(TraceEvent event) { events_.push_back(std::move(event)); }
+  TraceBuffer() = default;
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+  TraceBuffer(TraceBuffer&&) = default;
+  TraceBuffer& operator=(TraceBuffer&&) = default;
+
+  /// Copies the bytes behind event.name/.status into this buffer's interner
+  /// and records the event; the caller's views may reference temporaries.
+  void append(TraceEvent event) {
+    event.name = strings_.intern(event.name);
+    event.status = strings_.intern(event.status);
+    events_.push_back(event);
+  }
   void merge_from(const TraceBuffer& other);
 
   /// Sorts events by (start, host, seq) — a total order, since seq is
@@ -96,8 +142,11 @@ class TraceBuffer {
   /// one tid per host. Canonicalizes first.
   std::string to_chrome_json();
 
+  const StringInterner& strings() const noexcept { return strings_; }
+
  private:
   std::vector<TraceEvent> events_;
+  StringInterner strings_;
 };
 
 /// Per-host-session recording handle. Owned by the TraceCollector; the
@@ -143,7 +192,8 @@ class TraceSession {
   bool capture_wire_;
   std::uint32_t next_seq_ = 1;  // 0 is reserved for the probe span
   bool stage_open_ = false;
-  std::string open_name_;
+  std::string open_name_;   // reused across stages: assign, never realloc
+  std::string scratch_;     // reused line-normalization buffer
   TraceTime open_started_ = 0;
 };
 

@@ -128,9 +128,14 @@ void Scanner::finish(const ScanCursor& cursor) {
     record_scan_metrics(stats, *metrics);
   }
   // Account for the wire time of the probes (retransmitted SYNs included).
+  // Ceiling division: truncating dropped the sub-second remainder whenever
+  // pps does not divide kSecond, so simulated elapsed time drifted low by
+  // up to a second per shard — enough to skew timeline pacing at odd rates.
   if (config_.probes_per_second > 0) {
-    const sim::SimTime elapsed = (stats.probed + stats.probe_retransmits) *
-                                 sim::kSecond / config_.probes_per_second;
+    const std::uint64_t probes = stats.probed + stats.probe_retransmits;
+    const sim::SimTime elapsed =
+        (probes * sim::kSecond + config_.probes_per_second - 1) /
+        config_.probes_per_second;
     network_.loop().run_until(network_.loop().now() + elapsed);
   }
 }

@@ -1,5 +1,6 @@
 #include "sim/event_loop.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <utility>
@@ -7,51 +8,264 @@
 namespace ftpc::sim {
 
 namespace {
-// Process-wide id source: ids stay unique across the per-shard loops of a
+// Process-wide id sequence: ids stay unique across the per-shard loops of a
 // sharded census, so a TimerId can never be "reused" by a sibling loop.
-std::atomic<std::uint64_t> g_next_timer_id{1};
+// Packed into the top 40 bits of the TimerId (the low 24 are the arena
+// index), which still leaves ~10^12 schedules before wraparound.
+std::atomic<std::uint64_t> g_next_timer_seq{1};
 }  // namespace
 
-TimerId EventLoop::schedule_at(SimTime when, std::function<void()> fn) {
+// ---------------------------------------------------------------------------
+// Node arena
+// ---------------------------------------------------------------------------
+
+EventLoop::TimerNode* EventLoop::acquire_node() {
+  if (!free_.empty()) {
+    TimerNode* node = &arena_[free_.back()];
+    free_.pop_back();
+    return node;
+  }
+  assert(arena_.size() <= kIndexMask &&
+         "timer arena exceeded the 2^24 concurrent-timer id budget");
+  TimerNode& node = arena_.emplace_back();
+  node.index = static_cast<std::uint32_t>(arena_.size() - 1);
+  return &node;
+}
+
+void EventLoop::release_node(TimerNode* node) {
+  node->id = 0;
+  node->prev = nullptr;
+  node->next = nullptr;
+  free_.push_back(node->index);
+}
+
+// ---------------------------------------------------------------------------
+// Wheel placement
+// ---------------------------------------------------------------------------
+
+void EventLoop::place_node(TimerNode* node, bool from_cascade) {
+  const SimTime distance = node->when ^ now_;
+  SlotList* list;
+  if (distance >> kWheelBits != 0) {
+    // Beyond the wheel horizon: park on the overflow list until the clock
+    // enters the timer's 2^48-us window (sweep_overflow).
+    node->level = kOverflowLevel;
+    node->slot = 0;
+    list = &overflow_;
+    ++overflow_count_;
+  } else {
+    // The highest differing bit between `when` and `now_` picks the level:
+    // every field above it agrees, so the slot is always "ahead" of the
+    // clock's index within the same window and never wraps the ring.
+    const int level =
+        distance == 0
+            ? 0
+            : (63 - std::countl_zero(distance)) / kLevelBits;
+    const int slot =
+        static_cast<int>(node->when >> (level * kLevelBits)) & (kSlots - 1);
+    node->level = static_cast<std::uint8_t>(level);
+    node->slot = static_cast<std::uint8_t>(slot);
+    occupied_[level] |= std::uint64_t{1} << slot;
+    if (level == 0 && from_cascade) {
+      // Cascaded batches can interleave out of seq order with timers that
+      // were filed at level 0 directly; the fire path re-sorts.
+      level0_dirty_ |= std::uint64_t{1} << slot;
+    }
+    list = &wheel_[level][slot];
+  }
+  node->prev = list->tail;
+  node->next = nullptr;
+  if (list->tail != nullptr) {
+    list->tail->next = node;
+  } else {
+    list->head = node;
+  }
+  list->tail = node;
+}
+
+void EventLoop::unlink_node(TimerNode* node) {
+  SlotList* list;
+  if (node->level == kOverflowLevel) {
+    list = &overflow_;
+    --overflow_count_;
+  } else {
+    list = &wheel_[node->level][node->slot];
+  }
+  if (node->prev != nullptr) {
+    node->prev->next = node->next;
+  } else {
+    list->head = node->next;
+  }
+  if (node->next != nullptr) {
+    node->next->prev = node->prev;
+  } else {
+    list->tail = node->prev;
+  }
+  node->prev = nullptr;
+  node->next = nullptr;
+  if (node->level != kOverflowLevel && list->head == nullptr) {
+    occupied_[node->level] &= ~(std::uint64_t{1} << node->slot);
+    if (node->level == 0) {
+      level0_dirty_ &= ~(std::uint64_t{1} << node->slot);
+    }
+  }
+}
+
+void EventLoop::cascade_current_slots() {
+  // Top-down: a level-L cascade can land timers in the *current* slot of a
+  // lower level (their delta shrank), and the downward order revisits it.
+  for (int level = kLevels - 1; level >= 1; --level) {
+    const int idx =
+        static_cast<int>(now_ >> (level * kLevelBits)) & (kSlots - 1);
+    const std::uint64_t bit = std::uint64_t{1} << idx;
+    if ((occupied_[level] & bit) == 0) continue;
+    SlotList list = wheel_[level][idx];
+    wheel_[level][idx] = SlotList{};
+    occupied_[level] &= ~bit;
+    for (TimerNode* node = list.head; node != nullptr;) {
+      TimerNode* next = node->next;
+      place_node(node, /*from_cascade=*/true);
+      node = next;
+    }
+  }
+}
+
+void EventLoop::sweep_overflow() {
+  for (TimerNode* node = overflow_.head; node != nullptr;) {
+    TimerNode* next = node->next;
+    if ((node->when ^ now_) >> kWheelBits == 0) {
+      unlink_node(node);
+      place_node(node, /*from_cascade=*/true);
+    }
+    node = next;
+  }
+}
+
+void EventLoop::sort_level0_slot(int slot) {
+  SlotList& list = wheel_[0][slot];
+  sort_scratch_.clear();
+  for (TimerNode* node = list.head; node != nullptr; node = node->next) {
+    sort_scratch_.push_back(node);
+  }
+  std::sort(sort_scratch_.begin(), sort_scratch_.end(),
+            [](const TimerNode* a, const TimerNode* b) {
+              return a->seq < b->seq;
+            });
+  TimerNode* prev = nullptr;
+  for (TimerNode* node : sort_scratch_) {
+    node->prev = prev;
+    if (prev != nullptr) prev->next = node;
+    prev = node;
+  }
+  prev->next = nullptr;
+  list.head = sort_scratch_.front();
+  list.tail = prev;
+}
+
+EventLoop::TimerNode* EventLoop::extract_next(SimTime bound) {
+  if (count_ == 0) return nullptr;
+  for (;;) {
+    cascade_current_slots();
+    if (occupied_[0] != 0) {
+      // Level-0 slots hold exact fire times within the clock's aligned
+      // 64-us window, so the lowest occupied slot is the earliest timer.
+      const int slot = std::countr_zero(occupied_[0]);
+      const SimTime when = (now_ & ~SimTime{kSlots - 1}) | slot;
+      assert(when >= now_);
+      if (when > bound) return nullptr;
+      const std::uint64_t bit = std::uint64_t{1} << slot;
+      if ((level0_dirty_ & bit) != 0) {
+        sort_level0_slot(slot);
+        level0_dirty_ &= ~bit;
+      }
+      TimerNode* node = wheel_[0][slot].head;
+      assert(node->when == when);
+      unlink_node(node);
+      now_ = when;
+      return node;
+    }
+    // Level 0 empty: jump the clock to the start of the earliest occupied
+    // slot (a lower bound on every pending fire time — never an overshoot)
+    // and cascade again from there.
+    SimTime target = ~SimTime{0};
+    for (int level = 1; level < kLevels; ++level) {
+      if (occupied_[level] == 0) continue;
+      const int slot = std::countr_zero(occupied_[level]);
+      const SimTime start =
+          ((((now_ >> ((level + 1) * kLevelBits)) << kLevelBits) |
+            static_cast<SimTime>(slot))
+           << (level * kLevelBits));
+      target = std::min(target, start);
+    }
+    if (target == ~SimTime{0}) {
+      // Wheels empty: everything pending is beyond the 2^48-us horizon.
+      assert(overflow_count_ > 0);
+      SimTime min_when = ~SimTime{0};
+      for (TimerNode* node = overflow_.head; node != nullptr;
+           node = node->next) {
+        min_when = std::min(min_when, node->when);
+      }
+      if (min_when > bound) return nullptr;
+      now_ = min_when;
+      sweep_overflow();
+      continue;
+    }
+    assert(target > now_);
+    if (target > bound) return nullptr;
+    now_ = target;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+TimerId EventLoop::schedule_at(SimTime when, TimerCallback fn) {
   assert(fn && "scheduled callback must be callable");
   assert_owned_by_current_thread();
   if (when < now_) when = now_;
-  const TimerId id =
-      g_next_timer_id.fetch_add(1, std::memory_order_relaxed);
-  queue_.push(Event{.when = when, .seq = next_seq_++, .id = id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
-}
-
-TimerId EventLoop::schedule_after(SimTime delay, std::function<void()> fn) {
-  return schedule_at(now_ + delay, std::move(fn));
+  TimerNode* node = acquire_node();
+  const std::uint64_t id_seq =
+      g_next_timer_seq.fetch_add(1, std::memory_order_relaxed);
+  assert(id_seq < (std::uint64_t{1} << (64 - kIndexBits)) &&
+         "process-wide timer id sequence exhausted");
+  node->id = (id_seq << kIndexBits) | node->index;
+  node->when = when;
+  node->seq = next_seq_++;
+  node->fn = std::move(fn);
+  place_node(node, /*from_cascade=*/false);
+  ++count_;
+  return node->id;
 }
 
 bool EventLoop::cancel(TimerId id) {
   assert_owned_by_current_thread();
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  cancelled_.insert(id);
+  if (id == 0) return false;  // never issued; 0 also marks free nodes
+  const std::uint32_t index = static_cast<std::uint32_t>(id) & kIndexMask;
+  if (index >= arena_.size()) return false;
+  TimerNode* node = &arena_[index];
+  // A fired, cancelled, or foreign id can match the index of a live node
+  // but never its full id (the sequence half is process-wide unique).
+  if (node->id != id) return false;
+  unlink_node(node);
+  node->fn = TimerCallback{};
+  release_node(node);
+  --count_;
   return true;
 }
 
 bool EventLoop::run_one() {
   assert_owned_by_current_thread();
-  while (!queue_.empty()) {
-    const Event event = queue_.top();
-    queue_.pop();
-    if (cancelled_.erase(event.id) > 0) continue;  // skip cancelled
-    const auto it = callbacks_.find(event.id);
-    assert(it != callbacks_.end());
-    std::function<void()> fn = std::move(it->second);
-    callbacks_.erase(it);
-    now_ = event.when;
-    ++processed_;
-    fn();
-    return true;
-  }
-  return false;
+  TimerNode* node = extract_next(~SimTime{0});
+  if (node == nullptr) return false;
+  TimerCallback fn = std::move(node->fn);
+  // Reclaim before dispatch: the callback sees its own id as already fired
+  // (cancel returns false) and may reuse the slot for a new schedule.
+  release_node(node);
+  --count_;
+  ++processed_;
+  fn();
+  return true;
 }
 
 std::uint64_t EventLoop::run_until_idle() {
@@ -61,20 +275,25 @@ std::uint64_t EventLoop::run_until_idle() {
 }
 
 std::uint64_t EventLoop::run_until(SimTime deadline) {
+  assert_owned_by_current_thread();
   std::uint64_t n = 0;
-  while (!queue_.empty()) {
-    // Peek past cancelled entries without firing.
-    const Event& top = queue_.top();
-    if (cancelled_.count(top.id) > 0) {
-      cancelled_.erase(top.id);
-      queue_.pop();
-      continue;
-    }
-    if (top.when > deadline) break;
-    run_one();
+  while (TimerNode* node = extract_next(deadline)) {
+    TimerCallback fn = std::move(node->fn);
+    release_node(node);
+    --count_;
+    ++processed_;
+    fn();
     ++n;
   }
-  if (now_ < deadline) now_ = deadline;
+  if (now_ < deadline) {
+    const bool crossed_window =
+        (now_ >> kWheelBits) != (deadline >> kWheelBits);
+    now_ = deadline;
+    // Entering a new 2^48-us window makes far-future overflow timers
+    // wheel-eligible; re-file them now so later same-time schedules keep
+    // their insertion-order tie-break.
+    if (crossed_window && overflow_count_ > 0) sweep_overflow();
+  }
   return n;
 }
 

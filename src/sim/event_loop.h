@@ -7,20 +7,33 @@
 //
 // Determinism: events fire in (time, insertion order). No wall clock, and
 // no internal threads — but the sharded census runs one private loop per
-// worker thread, so TimerIds are allocated from a process-wide counter
-// (an id from loop A can never alias a pending event of loop B; cancelling
-// it on the wrong loop is a detectable no-op rather than silent corruption)
+// worker thread, so TimerIds carry a process-wide sequence number (an id
+// from loop A can never alias a pending event of loop B; cancelling it on
+// the wrong loop is a detectable no-op rather than silent corruption)
 // and, in debug builds, each loop asserts it is only ever driven by the
 // thread that first used it.
+//
+// Storage is a hierarchical timer wheel (see DESIGN.md "Timer wheel"):
+// eight levels of 64 slots at 6 bits per level cover deltas up to 2^48 us
+// (~8.9 sim-years; anything farther parks on an overflow list until the
+// clock gets close). Schedule and cancel are O(1): a timer lives on an
+// intrusive doubly-linked per-slot list, its callback stored inline in an
+// arena-recycled node, and cancel physically unlinks and reclaims the node
+// immediately — no tombstones, no memory held until a pop. The retry/
+// backoff, reply-timeout, and request-gap timers that dominate the census
+// hot path are exactly the schedule-then-cancel churn this layout is for.
 #pragma once
 
+#include <bit>
 #include <cassert>
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <queue>
+#include <new>
 #include <thread>
-#include <unordered_map>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace ftpc::sim {
@@ -41,6 +54,110 @@ constexpr SimTime kDay = 24 * kHour;
 /// false), never hit another event.
 using TimerId = std::uint64_t;
 
+/// Move-only type-erased callable with a large inline buffer, so the
+/// census hot-path lambdas (weak_ptr + a payload string, a shared_ptr
+/// pair, ...) live inside the timer node instead of in a separate
+/// std::function heap cell. Falls back to the heap for oversized or
+/// over-aligned callables.
+class TimerCallback {
+ public:
+  TimerCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, TimerCallback>>>
+  TimerCallback(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>);
+    if constexpr (sizeof(Fn) <= kInlineSize &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      heap_ = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  TimerCallback(TimerCallback&& other) noexcept
+      : heap_(other.heap_), ops_(other.ops_) {
+    if (ops_ != nullptr && ops_->inline_stored) {
+      ops_->relocate(buf_, other.buf_);
+    }
+    other.ops_ = nullptr;
+    other.heap_ = nullptr;
+  }
+
+  TimerCallback& operator=(TimerCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      heap_ = other.heap_;
+      ops_ = other.ops_;
+      if (ops_ != nullptr && ops_->inline_stored) {
+        ops_->relocate(buf_, other.buf_);
+      }
+      other.ops_ = nullptr;
+      other.heap_ = nullptr;
+    }
+    return *this;
+  }
+
+  TimerCallback(const TimerCallback&) = delete;
+  TimerCallback& operator=(const TimerCallback&) = delete;
+
+  ~TimerCallback() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() {
+    assert(ops_ != nullptr);
+    ops_->invoke(ops_->inline_stored ? static_cast<void*>(buf_) : heap_);
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs dst from src and destroys src (inline storage only).
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+    bool inline_stored;
+  };
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); },
+      true};
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      nullptr,
+      [](void* p) { delete static_cast<Fn*>(p); },
+      false};
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(ops_->inline_stored ? static_cast<void*>(buf_) : heap_);
+      ops_ = nullptr;
+      heap_ = nullptr;
+    }
+  }
+
+  /// Sized for the largest hot-path capture set (shared_ptr + shared_ptr +
+  /// std::string payload) with a little headroom.
+  static constexpr std::size_t kInlineSize = 80;
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  void* heap_ = nullptr;
+  const Ops* ops_ = nullptr;
+};
+
 class EventLoop {
  public:
   EventLoop() = default;
@@ -51,13 +168,16 @@ class EventLoop {
   SimTime now() const noexcept { return now_; }
 
   /// Schedules `fn` at absolute virtual time `when` (clamped to >= now).
-  TimerId schedule_at(SimTime when, std::function<void()> fn);
+  TimerId schedule_at(SimTime when, TimerCallback fn);
 
   /// Schedules `fn` after a relative delay.
-  TimerId schedule_after(SimTime delay, std::function<void()> fn);
+  TimerId schedule_after(SimTime delay, TimerCallback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
 
-  /// Cancels a pending event. Cancelling an already-fired or unknown id is
-  /// a harmless no-op (returns false).
+  /// Cancels a pending event: the node is unlinked from its wheel slot and
+  /// reclaimed immediately. Cancelling an already-fired or unknown id is a
+  /// harmless no-op (returns false).
   bool cancel(TimerId id);
 
   /// Runs the earliest pending event; returns false if the queue is empty.
@@ -78,23 +198,37 @@ class EventLoop {
   std::uint64_t events_processed() const noexcept { return processed_; }
 
   /// Pending (non-cancelled) event count.
-  std::size_t pending() const noexcept {
-    return queue_.size() - cancelled_.size();
-  }
+  std::size_t pending() const noexcept { return count_; }
 
  private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;  // tie-break: FIFO among same-time events
-    TimerId id;
-    // The callback lives outside the priority queue entry so that moving
-    // entries around the heap stays cheap.
+  // Wheel geometry: level L spans deltas [2^(6L), 2^(6(L+1))) at a slot
+  // granularity of 2^(6L) us; level 0 slots are exact microseconds.
+  static constexpr int kLevelBits = 6;
+  static constexpr int kSlots = 1 << kLevelBits;  // 64: one bitmap word
+  static constexpr int kLevels = 8;               // 48 bits: ~8.9 sim-years
+  static constexpr int kWheelBits = kLevelBits * kLevels;
+  static constexpr std::uint8_t kOverflowLevel = 0xff;
+  // TimerId layout: [63..24] process-wide schedule sequence, [23..0] arena
+  // slot index. The sequence half is what makes ids unique across loops
+  // and never reused; the index half makes cancel() a direct array lookup.
+  static constexpr int kIndexBits = 24;
+  static constexpr std::uint32_t kIndexMask = (1u << kIndexBits) - 1;
+
+  struct TimerNode {
+    SimTime when = 0;
+    std::uint64_t seq = 0;  // per-loop insertion order: the FIFO tie-break
+    TimerId id = 0;         // 0 while on the free list
+    TimerNode* prev = nullptr;
+    TimerNode* next = nullptr;
+    std::uint32_t index = 0;  // own position in the arena
+    std::uint8_t level = 0;
+    std::uint8_t slot = 0;
+    TimerCallback fn;
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+
+  struct SlotList {
+    TimerNode* head = nullptr;
+    TimerNode* tail = nullptr;
   };
 
   /// Debug-only single-owner check: a loop binds to the first thread that
@@ -111,6 +245,25 @@ class EventLoop {
 #endif
   }
 
+  TimerNode* acquire_node();
+  void release_node(TimerNode* node);
+  /// Files `node` into its wheel slot (or the overflow list) based on
+  /// `when ^ now_`. Cascade/sweep placements mark level-0 slots dirty so
+  /// the fire path re-establishes seq order before dispatching.
+  void place_node(TimerNode* node, bool from_cascade);
+  void unlink_node(TimerNode* node);
+  /// Moves every timer sitting in a level>=1 slot the clock has reached
+  /// down to its proper level. Must run before trusting level 0.
+  void cascade_current_slots();
+  /// Re-files overflow timers whose 2^48-us window the clock has entered.
+  void sweep_overflow();
+  void sort_level0_slot(int slot);
+  /// Removes and returns the earliest pending timer if its time is
+  /// <= `bound` (advancing now_ to its fire time), else returns nullptr.
+  /// Internal clock jumps never overshoot `bound`, so run_until can park
+  /// now() exactly at its deadline afterwards.
+  TimerNode* extract_next(SimTime bound);
+
 #ifndef NDEBUG
   std::thread::id owner_;
   bool owner_bound_ = false;
@@ -118,10 +271,19 @@ class EventLoop {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::unordered_set<TimerId> cancelled_;
-  // id -> callback for pending events.
-  std::unordered_map<TimerId, std::function<void()>> callbacks_;
+  std::size_t count_ = 0;
+
+  SlotList wheel_[kLevels][kSlots];
+  std::uint64_t occupied_[kLevels] = {};
+  std::uint64_t level0_dirty_ = 0;  // slots needing a seq sort before firing
+  SlotList overflow_;
+  std::size_t overflow_count_ = 0;
+
+  // Node arena: stable addresses (deque), recycled through a free list so
+  // steady-state schedule/cancel churn allocates nothing.
+  std::deque<TimerNode> arena_;
+  std::vector<std::uint32_t> free_;
+  std::vector<TimerNode*> sort_scratch_;
 };
 
 }  // namespace ftpc::sim

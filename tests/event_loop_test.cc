@@ -1,0 +1,372 @@
+// event_loop_test — the EventLoop behavioral contract, pinned before the
+// timer-wheel swap so the heap->wheel replacement is provably
+// behavior-identical.
+//
+// The census engine leans on every corner of this contract: the sharded
+// census byte-identity suites depend on exact (time, insertion seq) fire
+// order, the perf sampler reads pending() live, retry/backoff timers are
+// scheduled and cancelled at high churn, and run_until's
+// advance-to-deadline semantics pace the scanner. Each leg here pins one
+// clause; the randomized leg checks the whole contract against a naive
+// reference model across every timer horizon.
+#include "sim/event_loop.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ftpc::sim {
+namespace {
+
+// -- pending() -------------------------------------------------------------
+
+TEST(EventLoopContract, PendingCountsLiveTimersOnly) {
+  EventLoop loop;
+  EXPECT_EQ(loop.pending(), 0u);
+  const TimerId a = loop.schedule_after(10, [] {});
+  const TimerId b = loop.schedule_after(20, [] {});
+  loop.schedule_after(30, [] {});
+  EXPECT_EQ(loop.pending(), 3u);
+  EXPECT_TRUE(loop.cancel(a));
+  EXPECT_EQ(loop.pending(), 2u);  // drops immediately, not at pop time
+  EXPECT_TRUE(loop.cancel(b));
+  EXPECT_EQ(loop.pending(), 1u);
+  EXPECT_TRUE(loop.run_one());
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_FALSE(loop.run_one());
+}
+
+TEST(EventLoopContract, PendingDropsWhileEventIsFiring) {
+  EventLoop loop;
+  std::size_t seen = 99;
+  loop.schedule_after(5, [&] { seen = loop.pending(); });
+  loop.schedule_after(10, [] {});
+  loop.run_one();
+  // The firing event is no longer pending while its callback runs.
+  EXPECT_EQ(seen, 1u);
+}
+
+// -- cancel() return values ------------------------------------------------
+
+TEST(EventLoopContract, CancelReturnValueMatrix) {
+  EventLoop loop;
+  const TimerId live = loop.schedule_after(10, [] {});
+  EXPECT_TRUE(loop.cancel(live));
+  EXPECT_FALSE(loop.cancel(live));  // double-cancel misses
+  EXPECT_FALSE(loop.cancel(TimerId{0}));
+  EXPECT_FALSE(loop.cancel(TimerId{~0ULL}));
+
+  const TimerId fired = loop.schedule_after(1, [] {});
+  EXPECT_TRUE(loop.run_one());
+  EXPECT_FALSE(loop.cancel(fired));  // already fired
+
+  // A cancelled timer's callback never runs, and the slot is immediately
+  // reusable for a new schedule at the same time.
+  bool ran_cancelled = false;
+  bool ran_fresh = false;
+  const TimerId dead = loop.schedule_after(7, [&] { ran_cancelled = true; });
+  EXPECT_TRUE(loop.cancel(dead));
+  loop.schedule_after(7, [&] { ran_fresh = true; });
+  loop.run_until_idle();
+  EXPECT_FALSE(ran_cancelled);
+  EXPECT_TRUE(ran_fresh);
+}
+
+// -- run_until() deadline semantics ----------------------------------------
+
+TEST(EventLoopContract, RunUntilAdvancesToDeadlineWhenQueueEmptiesEarly) {
+  EventLoop loop;
+  loop.schedule_after(10, [] {});
+  EXPECT_EQ(loop.run_until(100), 1u);
+  EXPECT_EQ(loop.now(), 100u);
+}
+
+TEST(EventLoopContract, RunUntilFiresEventsAtExactlyTheDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(50, [&] { ++fired; });
+  loop.schedule_at(50, [&] { ++fired; });
+  loop.schedule_at(51, [&] { ++fired; });
+  EXPECT_EQ(loop.run_until(50), 2u);  // inclusive deadline
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.now(), 50u);
+  EXPECT_EQ(loop.pending(), 1u);  // the 51 event survives untouched
+}
+
+TEST(EventLoopContract, RunUntilDoesNotCountCancelledEvents) {
+  EventLoop loop;
+  loop.schedule_at(10, [] {});
+  const TimerId dead = loop.schedule_at(20, [] {});
+  loop.schedule_at(30, [] {});
+  loop.cancel(dead);
+  EXPECT_EQ(loop.run_until(100), 2u);
+}
+
+TEST(EventLoopContract, RunUntilNeverMovesTimeBackwards) {
+  EventLoop loop;
+  loop.schedule_at(80, [] {});
+  loop.run_until_idle();
+  EXPECT_EQ(loop.now(), 80u);
+  EXPECT_EQ(loop.run_until(40), 0u);  // deadline in the past: no-op
+  EXPECT_EQ(loop.now(), 80u);
+}
+
+TEST(EventLoopContract, RunUntilHonorsEventsScheduledWithinTheWindow) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(10, [&] {
+    order.push_back(1);
+    loop.schedule_at(20, [&] { order.push_back(2); });
+  });
+  EXPECT_EQ(loop.run_until(30), 2u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.now(), 30u);
+}
+
+// -- FIFO tie-break order --------------------------------------------------
+
+TEST(EventLoopContract, FifoOrderAmongSameTimeEvents) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    loop.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  loop.run_until_idle();
+  ASSERT_EQ(order.size(), 16u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+// The hard FIFO case for any bucketed timer store: events with the same
+// fire time scheduled from *different* current times (so a hierarchical
+// structure would file them at different distances). Insertion order must
+// still win the tie, even interleaved with cancellations.
+TEST(EventLoopContract, FifoOrderAcrossScheduleHorizons) {
+  EventLoop loop;
+  std::vector<int> order;
+  constexpr SimTime kWhen = 5000;
+  loop.schedule_at(kWhen, [&] { order.push_back(0); });  // far: ~5000 ahead
+  loop.schedule_at(4096, [&] {
+    // Mid-flight: same fire time, scheduled from a closer horizon.
+    loop.schedule_at(kWhen, [&] { order.push_back(1); });
+  });
+  loop.schedule_at(4990, [&] {
+    const TimerId doomed = loop.schedule_at(kWhen, [&] { order.push_back(99); });
+    loop.schedule_at(kWhen, [&] { order.push_back(2); });
+    loop.cancel(doomed);
+  });
+  loop.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(loop.now(), kWhen);
+}
+
+TEST(EventLoopContract, PastTimeSchedulesClampAndStayFifo) {
+  EventLoop loop;
+  loop.schedule_at(50, [] {});
+  loop.run_until_idle();
+  std::vector<int> order;
+  loop.schedule_at(10, [&] { order.push_back(0); });  // clamped to now=50
+  loop.schedule_at(50, [&] { order.push_back(1); });
+  loop.schedule_after(0, [&] { order.push_back(2); });
+  loop.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(loop.now(), 50u);
+}
+
+// -- long-horizon timers ---------------------------------------------------
+
+TEST(EventLoopContract, DayScaleAndYearScaleTimersFireInOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  // Horizons chosen to land in every level of a hierarchical store,
+  // including beyond 2^48 us (~8.9 sim-years).
+  const SimTime whens[] = {1,          63,           64,        4097,
+                           kSecond,    kMinute,      kDay,      90 * kDay,
+                           (SimTime{1} << 48) + 123, (SimTime{1} << 50)};
+  for (int i = 9; i >= 0; --i) {
+    loop.schedule_at(whens[i], [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(loop.run_until_idle(), 10u);
+  ASSERT_EQ(order.size(), 10u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(loop.now(), SimTime{1} << 50);
+}
+
+TEST(EventLoopContract, CancelWorksAtEveryHorizon) {
+  EventLoop loop;
+  int fired = 0;
+  std::vector<TimerId> ids;
+  for (unsigned shift = 0; shift <= 52; shift += 4) {
+    ids.push_back(
+        loop.schedule_after(SimTime{1} << shift, [&] { ++fired; }));
+  }
+  for (const TimerId id : ids) EXPECT_TRUE(loop.cancel(id));
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_EQ(loop.run_until_idle(), 0u);
+  EXPECT_EQ(fired, 0);
+}
+
+// -- cancel must reclaim, not tombstone ------------------------------------
+
+// High-churn schedule/cancel at a fixed horizon: the retry/timeout pattern.
+// A tombstoning store would accumulate one dead entry per iteration (the
+// old heap kept cancelled entries until popped); a reclaiming store stays
+// flat. pending() == 0 throughout is the observable half of that contract;
+// the 2M-iteration count makes unbounded growth a timeout/OOM in practice.
+TEST(EventLoopContract, HighChurnCancelDoesNotAccumulateState) {
+  EventLoop loop;
+  for (int i = 0; i < 2'000'000; ++i) {
+    const TimerId id = loop.schedule_after(30 * kSecond, [] {});
+    ASSERT_TRUE(loop.cancel(id));
+    ASSERT_EQ(loop.pending(), 0u);
+  }
+  // The loop is still fully functional afterwards.
+  bool ran = false;
+  loop.schedule_after(1, [&] { ran = true; });
+  EXPECT_EQ(loop.run_until_idle(), 1u);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(loop.events_processed(), 1u);
+}
+
+// -- run_while_pending -----------------------------------------------------
+
+TEST(EventLoopContract, RunWhilePendingChecksPredicateBeforeEachEvent) {
+  EventLoop loop;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) loop.schedule_at(10 * (i + 1), [&] { ++fired; });
+  EXPECT_TRUE(loop.run_while_pending([&] { return fired >= 3; }));
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(loop.pending(), 2u);
+}
+
+// -- randomized differential check vs a reference model --------------------
+
+// Minimal splitmix64: deterministic, seedable, no <random> engine drift.
+struct SplitMix64 {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+};
+
+// Drives random schedule/cancel/run_one/run_until traffic through the loop
+// and an ordered-map reference model simultaneously; any divergence in fire
+// order, fire times, pending counts, cancel results, or run_until counts
+// fails. Deltas are drawn log-uniform so every wheel level (and the
+// overflow horizon) sees traffic.
+TEST(EventLoopContract, MatchesReferenceModelUnderRandomTraffic) {
+  EventLoop loop;
+  SplitMix64 rng{0xf7d0c0ffee15ULL};
+
+  struct ModelEntry {
+    TimerId id;
+    std::uint64_t slot;  // index into `fired`, for order checking
+  };
+  // (when, schedule order) -> entry: exactly the documented fire order.
+  std::map<std::pair<SimTime, std::uint64_t>, ModelEntry> model;
+  std::map<TimerId, std::pair<SimTime, std::uint64_t>> by_id;
+  std::vector<std::uint64_t> fired;
+  std::uint64_t schedule_order = 0;
+  std::uint64_t next_slot = 0;
+
+  const auto expect_front = [&](std::uint64_t slot_fired, bool check_time) {
+    ASSERT_FALSE(model.empty());
+    const auto front = model.begin();
+    EXPECT_EQ(front->second.slot, slot_fired) << "fire order diverged";
+    if (check_time) {
+      EXPECT_EQ(loop.now(), front->first.first) << "fire time diverged";
+    }
+    by_id.erase(front->second.id);
+    model.erase(front);
+  };
+
+  for (int step = 0; step < 60'000; ++step) {
+    const std::uint64_t op = rng.below(100);
+    if (op < 55 || model.empty()) {
+      // Schedule: log-uniform delta across 2^0 .. 2^52 us, with occasional
+      // zero-delay and past-time (clamped) schedules.
+      SimTime when;
+      const std::uint64_t kind = rng.below(16);
+      if (kind == 0) {
+        when = loop.now();  // due immediately
+      } else if (kind == 1) {
+        when = loop.now() - rng.below(1000);  // past: clamps to now
+        if (when > loop.now()) when = 0;      // underflow guard
+      } else {
+        const unsigned shift = static_cast<unsigned>(rng.below(53));
+        when = loop.now() + (SimTime{1} << shift) + rng.below(1u << 10);
+      }
+      const std::uint64_t slot = next_slot++;
+      const TimerId id =
+          loop.schedule_at(when, [&fired, slot] { fired.push_back(slot); });
+      const SimTime effective = std::max(when, loop.now());
+      model.emplace(std::make_pair(effective, schedule_order),
+                    ModelEntry{id, slot});
+      by_id.emplace(id, std::make_pair(effective, schedule_order));
+      ++schedule_order;
+    } else if (op < 75) {
+      // Cancel: mix of live, already-fired, and never-issued ids.
+      if (rng.below(4) == 0) {
+        EXPECT_FALSE(loop.cancel(TimerId{rng.next() | (1ULL << 63)}));
+      } else {
+        auto it = by_id.begin();
+        const std::uint64_t walk =
+            std::min<std::uint64_t>(by_id.size(), 512);
+        std::advance(it, static_cast<long>(rng.below(walk)));
+        EXPECT_TRUE(loop.cancel(it->first));
+        model.erase(it->second);
+        by_id.erase(it);
+        EXPECT_FALSE(loop.cancel(TimerId{0}));
+      }
+    } else if (op < 90) {
+      const bool was_empty = model.empty();
+      const std::size_t before = fired.size();
+      const bool ran = loop.run_one();
+      EXPECT_EQ(ran, !was_empty);
+      if (ran) {
+        ASSERT_EQ(fired.size(), before + 1);
+        expect_front(fired.back(), /*check_time=*/true);
+      }
+    } else {
+      // run_until a deadline somewhere around the model's front.
+      SimTime deadline = loop.now() + (SimTime{1} << rng.below(20));
+      if (!model.empty() && rng.below(2) == 0) {
+        deadline = model.begin()->first.first + rng.below(3);
+      }
+      const SimTime now_before = loop.now();
+      const std::size_t before = fired.size();
+      const std::uint64_t count = loop.run_until(deadline);
+      ASSERT_EQ(fired.size(), before + count);
+      for (std::size_t i = before; i < fired.size(); ++i) {
+        expect_front(fired[i], /*check_time=*/false);
+      }
+      if (!model.empty()) {
+        EXPECT_GT(model.begin()->first.first, deadline);
+      }
+      EXPECT_EQ(loop.now(), std::max(now_before, deadline));
+    }
+    ASSERT_EQ(loop.pending(), model.size());
+  }
+
+  // Drain: everything left fires in model order.
+  const std::size_t before = fired.size();
+  const std::size_t remaining = model.size();
+  loop.run_until_idle();
+  ASSERT_EQ(fired.size(), before + remaining);
+  for (std::size_t i = before; i < fired.size(); ++i) {
+    ASSERT_FALSE(model.empty());
+    EXPECT_EQ(model.begin()->second.slot, fired[i]);
+    model.erase(model.begin());
+  }
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace ftpc::sim

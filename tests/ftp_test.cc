@@ -2,6 +2,7 @@
 
 #include "common/ipv4.h"
 #include "ftp/cert.h"
+#include "ftp/client.h"
 #include "ftp/command.h"
 #include "ftp/listing_parser.h"
 #include "ftp/path.h"
@@ -675,6 +676,48 @@ TEST(CertTest, DecodeRejectsGarbage) {
   EXPECT_FALSE(Certificate::decode("CN=x"));           // missing issuer
   EXPECT_FALSE(Certificate::decode("CN=x|IS=y|SN=zz")); // bad hex
   EXPECT_FALSE(Certificate::decode("XX=1|CN=x|IS=y"));  // unknown field
+}
+
+// ---------------------------------------------------------------------------
+// Retry backoff
+// ---------------------------------------------------------------------------
+
+TEST(RetryBackoffTest, DoublesThenSaturatesAtCap) {
+  constexpr sim::SimTime base = sim::kSecond;
+  constexpr sim::SimTime cap = 8 * sim::kSecond;
+  EXPECT_EQ(FtpClient::retry_backoff_for_attempt(base, cap, 1), sim::kSecond);
+  EXPECT_EQ(FtpClient::retry_backoff_for_attempt(base, cap, 2), 2 * sim::kSecond);
+  EXPECT_EQ(FtpClient::retry_backoff_for_attempt(base, cap, 3), 4 * sim::kSecond);
+  EXPECT_EQ(FtpClient::retry_backoff_for_attempt(base, cap, 4), 8 * sim::kSecond);
+  EXPECT_EQ(FtpClient::retry_backoff_for_attempt(base, cap, 5), 8 * sim::kSecond);
+  EXPECT_EQ(FtpClient::retry_backoff_for_attempt(base, cap, 1000), cap);
+}
+
+TEST(RetryBackoffTest, HugeBaseNeverWrapsBelowTheCap) {
+  // The old doubling loop multiplied before clamping: a base above 2^63
+  // wrapped SimTime and produced a near-zero delay. The clamp must be
+  // multiplicative — the result can never leave (0, cap].
+  constexpr sim::SimTime huge = sim::SimTime{1} << 63;
+  constexpr sim::SimTime cap = ~sim::SimTime{0} - 1;
+  const sim::SimTime b2 = FtpClient::retry_backoff_for_attempt(huge, cap, 2);
+  EXPECT_EQ(b2, cap);  // doubling 2^63 would wrap; saturate instead
+  EXPECT_EQ(FtpClient::retry_backoff_for_attempt(huge, cap, 30), cap);
+  // A base already above the cap clamps straight down to it.
+  EXPECT_EQ(FtpClient::retry_backoff_for_attempt(huge, sim::kSecond, 1),
+            sim::kSecond);
+}
+
+TEST(RetryBackoffTest, ZeroBaseNormalizesInsteadOfRetryStorming) {
+  // A zero base used to yield a 0us delay on every attempt — an immediate
+  // retransmit storm. It now behaves as a 1ms base.
+  EXPECT_EQ(FtpClient::retry_backoff_for_attempt(0, 8 * sim::kSecond, 1),
+            sim::kMillisecond);
+  EXPECT_EQ(FtpClient::retry_backoff_for_attempt(0, 8 * sim::kSecond, 3),
+            4 * sim::kMillisecond);
+  // Zero cap (another storm config) falls back to the normalized base.
+  EXPECT_EQ(FtpClient::retry_backoff_for_attempt(0, 0, 7), sim::kMillisecond);
+  EXPECT_EQ(FtpClient::retry_backoff_for_attempt(sim::kSecond, 0, 7),
+            sim::kSecond);
 }
 
 }  // namespace

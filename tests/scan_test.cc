@@ -373,6 +373,28 @@ TEST(Scanner, AdvancesVirtualTimeByRate) {
   EXPECT_EQ(loop.now(), stats.probed * sim::kSecond / 1000);
 }
 
+TEST(Scanner, PacingCarriesSubSecondRemainderAtOddRates) {
+  // 7000 pps does not divide kSecond (1e6/7000 = 142.857us per probe), so
+  // truncating integer division dropped up to a second of wire time per
+  // shard. The pacing must round the total wire time *up*: never below the
+  // exact rational duration, and within 1us of it.
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  network.set_probe_fn([](Ipv4, std::uint16_t) { return false; });
+  ScanConfig config;
+  config.seed = 3;
+  config.scale_shift = 16;
+  config.probes_per_second = 7000;
+  Scanner scanner(network, config);
+  const ScanStats stats = scanner.run([](Ipv4) {});
+  ASSERT_GT(stats.probed, 0u);
+  const std::uint64_t numerator = stats.probed * sim::kSecond;
+  ASSERT_NE(numerator % 7000, 0u) << "pick a probe count that leaves a "
+                                     "remainder or the test is vacuous";
+  const sim::SimTime exact_floor = numerator / 7000;
+  EXPECT_EQ(loop.now(), exact_floor + 1);  // ceil = floor + 1 here
+}
+
 // ---------------------------------------------------------------------------
 // SYN retransmits under chaos (sim::chaos)
 // ---------------------------------------------------------------------------

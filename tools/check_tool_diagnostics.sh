@@ -2,12 +2,13 @@
 # Checks that the artifact inspectors reject bad input with a diagnostic
 # and a nonzero exit instead of producing a bogus report.
 #
-#   check_tool_diagnostics.sh <ftpctrace> <ftpcreport> <ftpcmerge>
+#   check_tool_diagnostics.sh <ftpctrace> <ftpcreport> <ftpcmerge> <ftpcensus>
 set -u
 
 FTPCTRACE="$1"
 FTPCREPORT="$2"
 FTPCMERGE="$3"
+FTPCENSUS="$4"
 TMP="${TMPDIR:-/tmp}/ftpc_tool_diag_$$"
 mkdir -p "$TMP"
 trap 'rm -rf "$TMP"' EXIT
@@ -80,6 +81,25 @@ printf '{"schema":"ftpc.shard.v1","shard":0,"total_shards":2,"seed":1,"scale_shi
   > "$TMP/shard_lonely/manifest.json"
 expect_fail "ftpcmerge incomplete shard set" \
   "$FTPCMERGE" --out "$TMP/merged" "$TMP/shard_lonely"
+
+# ftpcensus flag-range validation: out-of-range knobs must die in the
+# parser, not overshift the sample budget or divide by a zero tick.
+expect_fail "ftpcensus scale too large" "$FTPCENSUS" census --scale 33
+expect_fail "ftpcensus scale negative" "$FTPCENSUS" census --scale -1
+expect_fail "ftpcensus scale garbage" "$FTPCENSUS" census --scale banana
+expect_fail "ftpcensus timeline interval zero" \
+  "$FTPCENSUS" census --timeline-interval 0
+expect_fail "ftpcensus timeline interval sub-microsecond" \
+  "$FTPCENSUS" census --timeline-interval 1e-9
+
+# Sanity: the boundary values are still accepted. The timeline channel
+# stays off: a 1us cadence parses fine but would export one row per
+# simulated microsecond, which is exactly why only the parser runs here.
+if ! "$FTPCENSUS" census --scale 32 --timeline-interval 1e-6 \
+    > /dev/null 2>&1; then
+  echo "FAIL: ftpcensus rejects in-range --scale/--timeline-interval" >&2
+  fail=1
+fi
 
 # Sanity: well-formed input still succeeds.
 if ! "$FTPCTRACE" summarize "$TMP/trace" > /dev/null 2>&1; then

@@ -130,7 +130,18 @@ bool parse_options(int argc, char** argv, Options& options) {
     } else if (arg == "--scale") {
       const char* v = value();
       if (v == nullptr) return false;
-      options.scale_shift = static_cast<unsigned>(std::atoi(v));
+      // The sample budget is (1 << 32) >> scale_shift elements: shifts past
+      // 32 are an empty scan at best and undefined behaviour at worst
+      // (negative values convert to huge unsigned shift counts), and
+      // non-numeric input must not silently become a full 2^32 scan.
+      char* end = nullptr;
+      const long shift = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || shift < 0 || shift > 32) {
+        std::fprintf(stderr, "--scale must be an integer in [0,32] (got %s)\n",
+                     v);
+        return false;
+      }
+      options.scale_shift = static_cast<unsigned>(shift);
     } else if (arg == "--days") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -193,8 +204,13 @@ bool parse_options(int argc, char** argv, Options& options) {
       const char* v = value();
       if (v == nullptr) return false;
       options.timeline_interval = std::strtod(v, nullptr);
-      if (!(options.timeline_interval > 0.0)) {
-        std::fprintf(stderr, "--timeline-interval must be > 0 seconds\n");
+      // The cadence is stored in whole sim-microseconds: anything that
+      // rounds to 0us (including exact zero) would degenerate the tick
+      // arithmetic into a division by zero or a tick per element.
+      if (!(options.timeline_interval * 1'000'000.0 + 0.5 >= 1.0)) {
+        std::fprintf(stderr,
+                     "--timeline-interval must be >= 1e-6 seconds (got %s)\n",
+                     v);
         return false;
       }
     } else if (arg == "--perf-out") {

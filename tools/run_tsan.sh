@@ -2,7 +2,8 @@
 # run_tsan.sh — build the suite under ThreadSanitizer and run the tests
 # that exercise cross-thread behavior (plus anything extra you name).
 #
-#   tools/run_tsan.sh                 # sharded_census_test + sim_test +
+#   tools/run_tsan.sh                 # event_loop_test +
+#                                     # sharded_census_test + sim_test +
 #                                     # scan_test + trace_test +
 #                                     # chaos_matrix_test + timeline_test +
 #                                     # process_shard_test +
@@ -32,7 +33,7 @@ cmake -B "$BUILD_DIR" -S . \
 # process_shard_test and checkpoint_resume_test run single-threaded slices
 # but are kept here so the segment loop's detach/reattach of the
 # thread-checked collectors stays clean under instrumentation.
-TESTS="sharded_census_test sim_test scan_test trace_test chaos_matrix_test timeline_test process_shard_test checkpoint_resume_test"
+TESTS="event_loop_test sharded_census_test sim_test scan_test trace_test chaos_matrix_test timeline_test process_shard_test checkpoint_resume_test"
 [ "$#" -gt 0 ] && TESTS="$TESTS $*"
 
 # shellcheck disable=SC2086
