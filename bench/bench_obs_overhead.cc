@@ -12,6 +12,10 @@
 //   timeline_off    metrics on, timeline off — prices the always-on
 //                   timeline null checks in the scanner/enumerator hot path
 //   timeline_on     metrics on + --timeline-out recording at 1s cadence
+//   heartbeat_off   metrics on, health plane detached — prices the health
+//                   null checks the hot paths always execute
+//   heartbeat_on    metrics on + HealthState attached and a HealthMonitor
+//                   beating at the default 1s cadence into a scratch dir
 //
 // Gates (exit 1 on violation):
 //   metrics        vs base    < 5%
@@ -19,27 +23,34 @@
 //   trace_sampled  vs metrics < 5%
 //   timeline_off   vs metrics < 1%
 //   timeline_on    vs metrics < 5%
+//   heartbeat_off  vs metrics < 1%
+//   heartbeat_on   vs metrics < 1%
 //   trace_full is reported but not gated — full transcripts are a debug
 //   mode, priced for the record.
 // A gate only trips when the absolute delta also exceeds 20ms, so a tiny
 // --scale run on a noisy machine cannot fail on scheduler jitter alone.
 //
 // Results land in BENCH_obs.json (cwd) for machine consumption; the
-// timeline gates are additionally broken out into BENCH_timeline.json.
+// timeline gates are additionally broken out into BENCH_timeline.json and
+// the heartbeat gates into BENCH_health.json.
 //
 // Environment knobs (same as the table benches):
 //   FTPCENSUS_SEED         population + scan seed   (default 42)
 //   FTPCENSUS_SCALE_SHIFT  scan 1/2^shift of IPv4   (default 14)
+#include <sys/stat.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdint>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "core/census.h"
 #include "core/records.h"
 #include "net/internet.h"
+#include "obs/health.h"
 #include "popgen/population.h"
 #include "sim/network.h"
 
@@ -60,13 +71,16 @@ enum class Leg {
   kTraceFull,
   kTimelineOff,
   kTimelineOn,
+  kHeartbeatOff,
+  kHeartbeatOn,
 };
 
 constexpr const char* kLegNames[] = {"base",          "metrics",
                                      "trace_disabled", "trace_sampled",
                                      "trace_full",     "timeline_off",
-                                     "timeline_on"};
-constexpr int kLegs = 7;
+                                     "timeline_on",    "heartbeat_off",
+                                     "heartbeat_on"};
+constexpr int kLegs = 9;
 
 struct RunResult {
   double seconds = 0.0;
@@ -74,6 +88,7 @@ struct RunResult {
   std::uint64_t counters = 0;       // registry size, sanity only
   std::uint64_t trace_events = 0;   // buffer size, sanity only
   std::uint64_t timeline_hits = 0;  // recorded timeline hosts, sanity only
+  std::uint64_t beats = 0;          // heartbeats emitted, sanity only
 };
 
 RunResult run_census(std::uint64_t seed, unsigned scale_shift, Leg leg) {
@@ -102,10 +117,27 @@ RunResult run_census(std::uint64_t seed, unsigned scale_shift, Leg leg) {
       config.trace.sample_rate = 1.0;
       break;
     case Leg::kTimelineOff:
+    case Leg::kHeartbeatOff:
       break;  // identical to kMetrics: prices the disabled-path null checks
     case Leg::kTimelineOn:
       config.timeline.enabled = true;
       break;
+    case Leg::kHeartbeatOn:
+      break;  // state + monitor attached below
+  }
+  obs::HealthState health_state;
+  std::optional<obs::HealthMonitor> health_monitor;
+  if (leg == Leg::kHeartbeatOn) {
+    // Default production cadence into a scratch dir in cwd (the bench
+    // already writes BENCH_*.json there).
+    ::mkdir("BENCH_health_tmp", 0777);
+    obs::HealthOptions health_options;
+    health_options.enabled = true;
+    health_options.interval_ms = 1000;
+    health_options.dir = "BENCH_health_tmp";
+    health_options.seed = seed;
+    config.health = &health_state;
+    health_monitor.emplace(health_options, health_state);
   }
   core::VectorSink sink;
   core::Census census(network, config);
@@ -113,6 +145,7 @@ RunResult run_census(std::uint64_t seed, unsigned scale_shift, Leg leg) {
   const auto start = std::chrono::steady_clock::now();
   const core::CensusStats stats = census.run(sink);
   const auto stop = std::chrono::steady_clock::now();
+  if (health_monitor) health_monitor->stop(true);
 
   RunResult result;
   result.seconds = std::chrono::duration<double>(stop - start).count();
@@ -120,6 +153,7 @@ RunResult run_census(std::uint64_t seed, unsigned scale_shift, Leg leg) {
   result.counters = stats.metrics.counters().size();
   result.trace_events = stats.trace.size();
   result.timeline_hits = stats.timeline.hosts().size();
+  result.beats = health_monitor ? health_monitor->beats() : 0;
   return result;
 }
 
@@ -137,6 +171,8 @@ constexpr Gate kGates[] = {
     {"trace_full", Leg::kTraceFull, Leg::kMetrics, -1.0},
     {"timeline_off", Leg::kTimelineOff, Leg::kMetrics, 1.0},
     {"timeline_on", Leg::kTimelineOn, Leg::kMetrics, 5.0},
+    {"heartbeat_off", Leg::kHeartbeatOff, Leg::kMetrics, 1.0},
+    {"heartbeat_on", Leg::kHeartbeatOn, Leg::kMetrics, 1.0},
 };
 
 // Relative gates are meaningless at micro time scales: require the leg to
@@ -264,6 +300,43 @@ int main() {
     }
   }
 
+  // Health-specific record (same data, stable location for the health
+  // plane's CI trend line).
+  {
+    const double metrics_s = best[static_cast<int>(Leg::kMetrics)];
+    const double off_s = best[static_cast<int>(Leg::kHeartbeatOff)];
+    const double on_s = best[static_cast<int>(Leg::kHeartbeatOn)];
+    std::string hb = "{\"bench\":\"health_overhead\",\"seed\":" +
+                     std::to_string(seed) +
+                     ",\"scale_shift\":" + std::to_string(scale_shift) +
+                     ",\"hosts\":" + std::to_string(sample[0].hosts) +
+                     ",\"interval_ms\":1000,\"beats\":" +
+                     std::to_string(sample[static_cast<int>(Leg::kHeartbeatOn)]
+                                        .beats) +
+                     ",\"seconds\":{\"metrics\":" + std::to_string(metrics_s) +
+                     ",\"heartbeat_off\":" + std::to_string(off_s) +
+                     ",\"heartbeat_on\":" + std::to_string(on_s) +
+                     "},\"overhead_pct\":{\"heartbeat_off\":" +
+                     std::to_string((off_s / metrics_s - 1.0) * 100.0) +
+                     ",\"heartbeat_on\":" +
+                     std::to_string((on_s / metrics_s - 1.0) * 100.0) +
+                     "},\"pass\":";
+    hb += pass ? "true" : "false";
+    hb += "}\n";
+    std::FILE* hb_out = std::fopen("BENCH_health.json", "wb");
+    if (hb_out != nullptr) {
+      std::fwrite(hb.data(), 1, hb.size(), hb_out);
+      std::fclose(hb_out);
+      std::printf("wrote BENCH_health.json\n");
+    } else {
+      std::printf("warning: cannot write BENCH_health.json\n");
+    }
+  }
+
+  if (sample[static_cast<int>(Leg::kHeartbeatOn)].beats == 0) {
+    std::printf("FAIL: heartbeat_on run emitted no beats\n");
+    return 1;
+  }
   if (sample[static_cast<int>(Leg::kMetrics)].counters == 0) {
     std::printf("FAIL: instrumented run recorded no counters\n");
     return 1;

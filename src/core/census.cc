@@ -24,6 +24,10 @@ void drive_enumeration_window(sim::Network& network,
   std::size_t next = 0;
   std::uint64_t in_flight = 0;
   obs::ProgressCounters* progress = config.progress;
+  // Health gauges come off the network attachment (set by Census::run_shard
+  // or run_shard_slice) so both drivers share one wiring point.
+  obs::HealthState* health = network.health();
+  if (health != nullptr) health->set_stage(obs::PerfStage::kEnumerate);
 
   // Self-referencing launcher; lives on this frame — safe because the
   // function drives the loop to completion before returning.
@@ -31,6 +35,9 @@ void drive_enumeration_window(sim::Network& network,
     while (in_flight < config.concurrency && next < hits.size()) {
       const Ipv4 target(hits[next++]);
       ++in_flight;
+      if (health != nullptr) {
+        health->hosts_attempted.fetch_add(1, std::memory_order_relaxed);
+      }
       EnumeratorOptions options = config.enumerator;
       // Client address is a pure function of the target, not of launch
       // order: sequential and sharded runs must contact each host from the
@@ -49,6 +56,22 @@ void drive_enumeration_window(sim::Network& network,
               metrics->add("census.hosts_enumerated");
               metrics->add("census.requests_used", report.requests_used);
               record_host_funnel(report, *metrics);
+            }
+            if (health != nullptr) {
+              health->hosts_enumerated.fetch_add(1,
+                                                 std::memory_order_relaxed);
+              if (report.connected) {
+                health->connected.fetch_add(1, std::memory_order_relaxed);
+              }
+              if (report.ftp_compliant) {
+                health->ftp_compliant.fetch_add(1, std::memory_order_relaxed);
+              }
+              if (report.anonymous()) {
+                health->anonymous.fetch_add(1, std::memory_order_relaxed);
+              }
+              if (!report.error.is_ok()) {
+                health->errored.fetch_add(1, std::memory_order_relaxed);
+              }
             }
             if (progress != nullptr) {
               progress->hosts_enumerated.fetch_add(1,
@@ -120,6 +143,7 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
       network.set_chaos(nullptr);
       network.set_timeline(nullptr);
       network.set_perf(nullptr);
+      network.set_health(nullptr);
     }
   } detach{network_};
   network_.set_metrics(metrics);
@@ -145,6 +169,9 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
       config_.chaos,
       config_.chaos_seed != 0 ? config_.chaos_seed : config_.seed);
   if (config_.chaos_enabled) network_.set_chaos(&chaos_engine);
+  // Health gauges, same frame-scoped attachment; the monitor thread that
+  // reads them lives with the caller (shard_slice / ftpcensus).
+  if (config_.health != nullptr) network_.set_health(config_.health);
   obs::ProgressCounters* progress = config_.progress;
 
   // Stage 1: ZMap host discovery over this shard's permutation slice.
@@ -173,6 +200,9 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
   // Stage 2: concurrent enumeration over the discovered hits.
   drive_enumeration_window(network_, config_, hits, stats, metrics, sink,
                            perf);
+  if (config_.health != nullptr) {
+    config_.health->set_stage(obs::PerfStage::kFinalize);
+  }
 
   stats.virtual_duration = network_.loop().now() - started;
   if (config_.trace.enabled) {

@@ -10,6 +10,7 @@
 #include "core/enumerator.h"
 #include "core/records.h"
 #include "net/internet.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/perf.h"
 #include "obs/progress.h"
@@ -68,6 +69,11 @@ struct CensusConfig {
   /// per-shard load-skew report into CensusStats::perf. Display/tuning
   /// only — explicitly exempt from the byte-identity contract.
   bool perf_enabled = false;
+  /// Health plane (obs/health.h): relaxed liveness gauges the heartbeat
+  /// thread snapshots. Store-only from the census side; like perf and
+  /// progress, never feeds a deterministic artifact. May be shared across
+  /// shards — the fields are atomics.
+  obs::HealthState* health = nullptr;
 };
 
 struct CensusStats {

@@ -11,6 +11,7 @@
 #include "common/hash.h"
 #include "common/ipv4.h"
 #include "core/dataset.h"
+#include "obs/health.h"
 
 namespace ftpc::core {
 
@@ -1231,6 +1232,32 @@ MergeResult merge_shard_artifacts(const std::vector<std::string>& shard_dirs,
     result.wrote_timeline = true;
   }
   timer.mark("timeline");
+
+  // Health histories: carry each shard's append-only heartbeat log into
+  // the merged artifact as <out>/health/shard-<k>.health.jsonl so the
+  // fleet's liveness record is archivable alongside the data it produced
+  // (ftpcreport renders it as the fleet-health section). The channel is
+  // optional and explicitly non-deterministic — copied verbatim, never
+  // merged or canonicalized, and absent histories are not an error.
+  bool made_health_dir = false;
+  for (std::uint32_t shard = 0; shard < first.total_shards; ++shard) {
+    const std::string src =
+        shard_dirs[owner[shard]] + "/" + obs::kHealthHistoryFile;
+    const auto text = read_file(src);
+    if (!text) continue;
+    if (!made_health_dir) {
+      ::mkdir((out_dir + "/health").c_str(), 0777);
+      made_health_dir = true;
+    }
+    const std::string dst = out_dir + "/health/shard-" +
+                            std::to_string(shard) + ".health.jsonl";
+    if (!write_file(dst, *text)) {
+      result.error = dst + ": write failed";
+      return result;
+    }
+    ++result.health_histories;
+  }
+  timer.mark("health");
 
   result.ok = true;
   return result;

@@ -148,6 +148,10 @@ struct MergeResult {
   bool wrote_metrics = false;
   bool wrote_trace = false;
   bool wrote_timeline = false;
+  /// Shard health histories carried into <out>/health/ (see obs/health.h).
+  /// Optional channel: shards run without --heartbeat-interval contribute
+  /// nothing and that is not an error.
+  std::uint64_t health_histories = 0;
 };
 
 /// Validates `shard_dirs` as one complete ftpc.shard.v1 set (N distinct

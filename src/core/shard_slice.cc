@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string_view>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "core/dataset.h"
 #include "core/shard_artifact.h"
 #include "net/internet.h"
+#include "obs/health.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "scan/scanner.h"
@@ -385,6 +387,7 @@ ShardSliceResult run_shard_slice(const ShardSliceConfig& slice,
       network.set_trace(nullptr);
       network.set_chaos(nullptr);
       network.set_timeline(nullptr);
+      network.set_health(nullptr);
     }
   } detach{network};
   // One chaos engine for the whole slice: fault plans are pure per IP and
@@ -394,6 +397,36 @@ ShardSliceResult run_shard_slice(const ShardSliceConfig& slice,
       census.chaos,
       census.chaos_seed != 0 ? census.chaos_seed : census.seed);
   if (census.chaos_enabled) network.set_chaos(&chaos_engine);
+
+  // Health plane: liveness gauges + background heartbeat thread. The
+  // monitor writes heartbeat.json / health.jsonl into the artifact dir on
+  // a wall-clock cadence; the census side only ever stores into the
+  // relaxed atomics, so the deterministic channels cannot observe it.
+  obs::HealthState health_state;
+  std::optional<obs::HealthMonitor> health_monitor;
+  if (slice.heartbeat_interval_ms > 0) {
+    obs::HealthOptions health_options;
+    health_options.enabled = true;
+    health_options.interval_ms = slice.heartbeat_interval_ms;
+    health_options.dir = slice.out_dir;
+    health_options.shard = slice.shard;
+    health_options.total_shards = slice.total_shards;
+    health_options.seed = census.seed;
+    health_options.config_hash = config_hash;
+    health_options.append = resumed;  // keep history across resume
+    if (resumed && interval > 0 && next_ckpt_boundary >= interval) {
+      health_state.checkpoint_element.store(next_ckpt_boundary - interval,
+                                            std::memory_order_relaxed);
+    }
+    health_monitor.emplace(health_options, health_state);
+    if (!health_monitor->ok()) {
+      log_warn() << slice.out_dir
+                 << ": cannot open health artifacts; heartbeats disabled";
+      health_monitor.reset();
+    } else {
+      network.set_health(&health_state);
+    }
+  }
 
   scan::ScanConfig scan_config;
   scan_config.port = 21;
@@ -528,6 +561,8 @@ ShardSliceResult run_shard_slice(const ShardSliceConfig& slice,
         return result;
       }
       ++result.checkpoints_written;
+      health_state.checkpoint_element.store(next_ckpt_boundary,
+                                            std::memory_order_relaxed);
       next_ckpt_boundary += interval;
       if (slice.crash_after_checkpoints > 0 &&
           result.checkpoints_written >= slice.crash_after_checkpoints) {
@@ -548,6 +583,7 @@ ShardSliceResult run_shard_slice(const ShardSliceConfig& slice,
   // --- Finalize: totals sample + scan metrics + virtual-time advance -------
   // Recomputed from the cumulative cursor under fresh collectors, never
   // journaled — the one piece that must not be summed per segment.
+  health_state.set_stage(obs::PerfStage::kFinalize);
   obs::MetricsRegistry finish_metrics;
   obs::TimelineCollector finish_timeline(census.timeline, census.concurrency);
   network.set_metrics(census.collect_metrics ? &finish_metrics : nullptr);
@@ -634,6 +670,9 @@ ShardSliceResult run_shard_slice(const ShardSliceConfig& slice,
     result.error = manifest_path + ": write failed";
     return result;
   }
+  // Final heartbeat, tagged done=true — a watcher can tell a finished
+  // shard from a dead one even before it reads the manifest.
+  if (health_monitor) health_monitor->stop(true);
 
   result.ok = true;
   result.records = records_count;

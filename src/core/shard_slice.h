@@ -64,6 +64,11 @@ struct ShardSliceConfig {
   /// checkpoints. 0 = never. The result reports crashed=true; the process
   /// wrapper turns that into a distinct exit code.
   std::uint32_t crash_after_checkpoints = 0;
+  /// Wall-clock heartbeat cadence, milliseconds (`--heartbeat-interval`).
+  /// 0 = no health plane. When set, the slice emits ftpc.health.v1 beats
+  /// into out_dir (heartbeat.json + health.jsonl) — explicitly
+  /// non-deterministic; never touches the four deterministic channels.
+  std::uint64_t heartbeat_interval_ms = 0;
 };
 
 struct ShardSliceResult {

@@ -381,6 +381,9 @@ void FtpClient::handle_reply_timeout() {
   ++retries_used_;
   ++retries_total_;
   if (auto* metrics = network_.metrics()) metrics->add("retry.command");
+  if (auto* health = network_.health()) {
+    health->retries.fetch_add(1, std::memory_order_relaxed);
+  }
   const sim::SimTime backoff = retry_backoff_for_attempt(
       options_.retry_backoff, options_.retry_backoff_cap, retries_used_);
   std::weak_ptr<FtpClient> weak = weak_from_this();

@@ -1,0 +1,280 @@
+#include "obs/health.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+
+#include <chrono>
+
+#include "common/json.h"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace ftpc::obs {
+
+namespace {
+
+std::string fmt_seconds(double seconds) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.6f", seconds);
+  return buffer;
+}
+
+}  // namespace
+
+std::string render_health_line(const HealthSample& sample) {
+  std::string out = "{\"schema\":\"ftpc.health.v1\"";
+  out += ",\"seq\":" + std::to_string(sample.seq);
+  out += ",\"ts_ms\":" + std::to_string(sample.ts_ms);
+  out += ",\"pid\":" + std::to_string(sample.pid);
+  out += ",\"shard\":" + std::to_string(sample.shard);
+  out += ",\"total_shards\":" + std::to_string(sample.total_shards);
+  out += ",\"seed\":" + std::to_string(sample.seed);
+  out += ",\"config_hash\":" + std::to_string(sample.config_hash);
+  out += ",\"interval_ms\":" + std::to_string(sample.interval_ms);
+  out += ",\"stage\":\"" + sample.stage + "\"";
+  out += ",\"done\":";
+  out += sample.done ? "true" : "false";
+  out += ",\"global_element\":" + std::to_string(sample.global_element);
+  out += ",\"elements_total\":" + std::to_string(sample.elements_total);
+  out += ",\"hosts_attempted\":" + std::to_string(sample.hosts_attempted);
+  out += ",\"hosts_enumerated\":" + std::to_string(sample.hosts_enumerated);
+  out += ",\"connected\":" + std::to_string(sample.connected);
+  out += ",\"ftp_compliant\":" + std::to_string(sample.ftp_compliant);
+  out += ",\"anonymous\":" + std::to_string(sample.anonymous);
+  out += ",\"errored\":" + std::to_string(sample.errored);
+  out += ",\"retries\":" + std::to_string(sample.retries);
+  out += ",\"chaos_injected\":" + std::to_string(sample.chaos_injected);
+  out += ",\"checkpoint_element\":" + std::to_string(sample.checkpoint_element);
+  out += ",\"wall_s\":" + fmt_seconds(sample.wall_s);
+  out += ",\"cpu_s\":" + fmt_seconds(sample.cpu_s);
+  out += ",\"rss_kb\":" + std::to_string(sample.rss_kb);
+  out += "}\n";
+  return out;
+}
+
+std::optional<HealthSample> parse_health_line(std::string_view line,
+                                              std::string* error) {
+  std::string parse_error;
+  std::optional<json::Value> doc = json::Value::parse(line, &parse_error);
+  if (!doc.has_value()) {
+    if (error != nullptr) *error = "bad heartbeat JSON: " + parse_error;
+    return std::nullopt;
+  }
+  if (!doc->is_object()) {
+    if (error != nullptr) *error = "heartbeat is not a JSON object";
+    return std::nullopt;
+  }
+  const std::optional<std::string_view> schema = doc->str("schema");
+  if (!schema.has_value() || *schema != "ftpc.health.v1") {
+    if (error != nullptr) {
+      *error = "heartbeat schema is not ftpc.health.v1";
+    }
+    return std::nullopt;
+  }
+  HealthSample sample;
+  // Required identity + position fields; any one missing means the writer
+  // was torn mid-line or the file is not really a heartbeat.
+  struct Required {
+    const char* key;
+    std::uint64_t* dst;
+  } required[] = {
+      {"seq", &sample.seq},
+      {"ts_ms", &sample.ts_ms},
+      {"pid", &sample.pid},
+      {"interval_ms", &sample.interval_ms},
+      {"global_element", &sample.global_element},
+      {"elements_total", &sample.elements_total},
+  };
+  for (const Required& field : required) {
+    const std::optional<std::uint64_t> value = doc->u64(field.key);
+    if (!value.has_value()) {
+      if (error != nullptr) {
+        *error = std::string("heartbeat missing field: ") + field.key;
+      }
+      return std::nullopt;
+    }
+    *field.dst = *value;
+  }
+  const std::optional<std::uint64_t> shard = doc->u64("shard");
+  const std::optional<std::uint64_t> total = doc->u64("total_shards");
+  if (!shard.has_value() || !total.has_value()) {
+    if (error != nullptr) *error = "heartbeat missing field: shard";
+    return std::nullopt;
+  }
+  sample.shard = static_cast<std::uint32_t>(*shard);
+  sample.total_shards = static_cast<std::uint32_t>(*total);
+  // Optional gauges default to zero so older/trimmed beats still parse.
+  struct Gauge {
+    const char* key;
+    std::uint64_t* dst;
+  } gauges[] = {
+      {"seed", &sample.seed},
+      {"config_hash", &sample.config_hash},
+      {"hosts_attempted", &sample.hosts_attempted},
+      {"hosts_enumerated", &sample.hosts_enumerated},
+      {"connected", &sample.connected},
+      {"ftp_compliant", &sample.ftp_compliant},
+      {"anonymous", &sample.anonymous},
+      {"errored", &sample.errored},
+      {"retries", &sample.retries},
+      {"chaos_injected", &sample.chaos_injected},
+      {"checkpoint_element", &sample.checkpoint_element},
+      {"rss_kb", &sample.rss_kb},
+  };
+  for (const Gauge& gauge : gauges) {
+    if (const std::optional<std::uint64_t> value = doc->u64(gauge.key)) {
+      *gauge.dst = *value;
+    }
+  }
+  if (const std::optional<std::string_view> stage = doc->str("stage")) {
+    sample.stage = std::string(*stage);
+  }
+  if (const json::Value* done = doc->find("done"); done && done->is_bool()) {
+    sample.done = done->as_bool();
+  }
+  if (const json::Value* wall = doc->find("wall_s");
+      wall && wall->is_number()) {
+    sample.wall_s = wall->as_double();
+  }
+  if (const json::Value* cpu = doc->find("cpu_s"); cpu && cpu->is_number()) {
+    sample.cpu_s = cpu->as_double();
+  }
+  return sample;
+}
+
+std::uint64_t process_rss_kb() noexcept {
+#ifdef __linux__
+  // statm field 2 is resident pages; cheap enough to read every beat.
+  std::FILE* statm = std::fopen("/proc/self/statm", "rb");
+  if (statm == nullptr) return 0;
+  unsigned long long size_pages = 0;
+  unsigned long long resident_pages = 0;
+  const int fields =
+      std::fscanf(statm, "%llu %llu", &size_pages, &resident_pages);
+  std::fclose(statm);
+  if (fields != 2) return 0;
+  const long page = sysconf(_SC_PAGESIZE);
+  if (page <= 0) return 0;
+  return static_cast<std::uint64_t>(resident_pages) *
+         static_cast<std::uint64_t>(page) / 1024;
+#else
+  return 0;
+#endif
+}
+
+double process_cpu_seconds() noexcept {
+#ifdef __unix__
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+  return 0.0;
+#endif
+}
+
+HealthMonitor::HealthMonitor(const HealthOptions& options,
+                             const HealthState& state)
+    : options_(options), state_(state) {
+  started_ = std::chrono::steady_clock::now();
+  const std::string history_path =
+      options_.dir + "/" + kHealthHistoryFile;
+  history_ = std::fopen(history_path.c_str(), options_.append ? "ab" : "wb");
+  if (history_ == nullptr) return;
+  ok_ = true;
+  emit(false);  // beat 0: visible before the first interval elapses
+  thread_ = std::thread([this] { run(); });
+}
+
+HealthMonitor::~HealthMonitor() { stop(false); }
+
+void HealthMonitor::stop(bool completed) {
+  if (!ok_) return;
+  if (!stopped_) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      quit_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+    emit(completed);
+    stopped_ = true;
+  }
+  if (history_ != nullptr) {
+    std::fclose(history_);
+    history_ = nullptr;
+  }
+}
+
+void HealthMonitor::run() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto interval = std::chrono::milliseconds(
+      options_.interval_ms > 0 ? options_.interval_ms : 1);
+  while (!quit_) {
+    if (cv_.wait_for(lock, interval, [this] { return quit_; })) break;
+    lock.unlock();
+    emit(false);
+    lock.lock();
+  }
+}
+
+void HealthMonitor::emit(bool done) {
+  HealthSample sample;
+  sample.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  sample.ts_ms = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+#ifdef __unix__
+  sample.pid = static_cast<std::uint64_t>(getpid());
+#endif
+  sample.shard = options_.shard;
+  sample.total_shards = options_.total_shards;
+  sample.seed = options_.seed;
+  sample.config_hash = options_.config_hash;
+  sample.interval_ms = options_.interval_ms;
+  const PerfStage stage = static_cast<PerfStage>(
+      state_.stage.load(std::memory_order_relaxed));
+  sample.stage = done ? "done" : perf_stage_name(stage);
+  sample.done = done;
+  sample.global_element = state_.global_element.load(std::memory_order_relaxed);
+  sample.elements_total = state_.elements_total.load(std::memory_order_relaxed);
+  sample.hosts_attempted =
+      state_.hosts_attempted.load(std::memory_order_relaxed);
+  sample.hosts_enumerated =
+      state_.hosts_enumerated.load(std::memory_order_relaxed);
+  sample.connected = state_.connected.load(std::memory_order_relaxed);
+  sample.ftp_compliant = state_.ftp_compliant.load(std::memory_order_relaxed);
+  sample.anonymous = state_.anonymous.load(std::memory_order_relaxed);
+  sample.errored = state_.errored.load(std::memory_order_relaxed);
+  sample.retries = state_.retries.load(std::memory_order_relaxed);
+  sample.chaos_injected =
+      state_.chaos_injected.load(std::memory_order_relaxed);
+  sample.checkpoint_element =
+      state_.checkpoint_element.load(std::memory_order_relaxed);
+  sample.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - started_)
+                      .count();
+  sample.cpu_s = process_cpu_seconds();
+  sample.rss_kb = process_rss_kb();
+
+  const std::string line = render_health_line(sample);
+  std::fwrite(line.data(), 1, line.size(), history_);
+  std::fflush(history_);
+
+  // Latest-beat file: write-then-rename so a watcher never reads a torn
+  // heartbeat (same discipline as checkpoint.json).
+  const std::string path = options_.dir + "/" + kHeartbeatFile;
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = std::fopen(tmp.c_str(), "wb");
+  if (out == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), out);
+  std::fclose(out);
+  std::rename(tmp.c_str(), path.c_str());
+}
+
+}  // namespace ftpc::obs

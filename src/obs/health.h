@@ -1,0 +1,181 @@
+// Health plane: wall-clock liveness heartbeats for census/shard processes.
+//
+// The deterministic channels (metrics, trace, timeline, records) describe
+// what a run *did*; the perf plane (obs/perf.h) describes what it *cost*.
+// Neither answers the operational question a fleet conductor has to ask
+// while N `ftpcensus --shard-id k/N` processes are in flight: is shard 7
+// still making progress, or did it die an hour ago? This plane answers
+// exactly that. Each census/shard process emits an ftpc.health.v1
+// heartbeat on a wall-clock cadence:
+//
+//   heartbeat.json   the latest beat, atomic-rename replaced (readers
+//                    never observe a torn write)
+//   health.jsonl     append-only history of every beat, one JSON object
+//                    per line (each line is self-describing so resumed
+//                    runs can append to the same history)
+//
+// A beat carries the process identity (pid, shard k/N, config hash), the
+// pipeline position (PerfStage, global element index, last-checkpoint
+// boundary), progress gauges (hosts attempted/enumerated, funnel
+// snapshot, retry/chaos counters), and resource usage (RSS, wall/CPU
+// seconds — the same clocks the perf plane uses).
+//
+// Like the perf plane, this channel is explicitly NON-deterministic and
+// EXEMPT from the byte-identity contract: it is wall-clock sampled by a
+// background thread. It must never feed a deterministic artifact — the
+// census hot path only ever *stores into* the relaxed atomics below and
+// never reads them back (tests/health_test.cc pins split invariance with
+// heartbeats on vs off).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "obs/perf.h"
+
+namespace ftpc::obs {
+
+/// Live gauges the running census bumps with relaxed stores and the
+/// heartbeat thread snapshots. Display/ops only — nothing here is ever
+/// read back into the deterministic pipeline.
+struct HealthState {
+  std::atomic<std::uint32_t> stage{0};  // PerfStage of the current work
+  /// Global element index of the scan permutation (the shard's position
+  /// mapped back into the unsharded walk), and the full sample budget.
+  std::atomic<std::uint64_t> global_element{0};
+  std::atomic<std::uint64_t> elements_total{0};
+  std::atomic<std::uint64_t> hosts_attempted{0};   // sessions launched
+  std::atomic<std::uint64_t> hosts_enumerated{0};  // sessions finished
+  std::atomic<std::uint64_t> connected{0};
+  std::atomic<std::uint64_t> ftp_compliant{0};
+  std::atomic<std::uint64_t> anonymous{0};
+  std::atomic<std::uint64_t> errored{0};
+  std::atomic<std::uint64_t> retries{0};         // probe + command resends
+  std::atomic<std::uint64_t> chaos_injected{0};  // faults fired
+  std::atomic<std::uint64_t> checkpoint_element{0};
+
+  HealthState() = default;
+  HealthState(const HealthState&) = delete;
+  HealthState& operator=(const HealthState&) = delete;
+
+  void set_stage(PerfStage stage_now) noexcept {
+    stage.store(static_cast<std::uint32_t>(stage_now),
+                std::memory_order_relaxed);
+  }
+};
+
+/// One rendered/parsed beat — the plain-struct form of an ftpc.health.v1
+/// line. render_health_line() is a pure function of this struct, which is
+/// what lets the golden-schema test pin the exact bytes.
+struct HealthSample {
+  std::uint64_t seq = 0;
+  std::uint64_t ts_ms = 0;  // unix epoch milliseconds (wall clock)
+  std::uint64_t pid = 0;
+  std::uint32_t shard = 0;
+  std::uint32_t total_shards = 1;
+  std::uint64_t seed = 0;
+  std::uint64_t config_hash = 0;
+  std::uint64_t interval_ms = 1000;
+  std::string stage;  // perf_stage_name(), or "done" on the final beat
+  bool done = false;
+  std::uint64_t global_element = 0;
+  std::uint64_t elements_total = 0;
+  std::uint64_t hosts_attempted = 0;
+  std::uint64_t hosts_enumerated = 0;
+  std::uint64_t connected = 0;
+  std::uint64_t ftp_compliant = 0;
+  std::uint64_t anonymous = 0;
+  std::uint64_t errored = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t chaos_injected = 0;
+  std::uint64_t checkpoint_element = 0;
+  double wall_s = 0.0;  // real seconds since the monitor started
+  double cpu_s = 0.0;   // process CPU seconds
+  std::uint64_t rss_kb = 0;
+};
+
+/// Canonical one-line ftpc.health.v1 rendering (newline-terminated, fixed
+/// key order, schema-tagged). Pure in `sample`.
+std::string render_health_line(const HealthSample& sample);
+
+/// Inverse of render_health_line; accepts any standard-JSON object with
+/// the ftpc.health.v1 schema tag. Returns nullopt (with a diagnostic in
+/// `error`) on garbled input or a wrong/missing schema.
+std::optional<HealthSample> parse_health_line(std::string_view line,
+                                              std::string* error = nullptr);
+
+/// Current process RSS in KiB (0 where /proc is unavailable).
+std::uint64_t process_rss_kb() noexcept;
+/// Current process CPU time, seconds (0 where unsupported).
+double process_cpu_seconds() noexcept;
+
+struct HealthOptions {
+  bool enabled = false;
+  /// Wall-clock heartbeat cadence, milliseconds (>= 100 enforced by the
+  /// CLI; the monitor itself accepts anything >= 1 for tests).
+  std::uint64_t interval_ms = 1000;
+  /// Directory receiving heartbeat.json + health.jsonl.
+  std::string dir;
+  std::uint32_t shard = 0;
+  std::uint32_t total_shards = 1;
+  std::uint64_t seed = 0;
+  std::uint64_t config_hash = 0;
+  /// Append to an existing health.jsonl (resumed runs keep their history;
+  /// the restart is visible as a seq reset in the stream).
+  bool append = false;
+};
+
+/// Background heartbeat emitter. Construction writes beat 0 immediately
+/// and starts a thread emitting every interval; destruction (or stop())
+/// emits one final beat — tagged done=true when the run finished cleanly —
+/// and joins. The HealthState must outlive the monitor.
+class HealthMonitor {
+ public:
+  HealthMonitor(const HealthOptions& options, const HealthState& state);
+  ~HealthMonitor();
+  HealthMonitor(const HealthMonitor&) = delete;
+  HealthMonitor& operator=(const HealthMonitor&) = delete;
+
+  /// False when the artifact files could not be opened (the monitor is
+  /// then inert; the census itself is unaffected).
+  bool ok() const noexcept { return ok_; }
+
+  /// Stops the thread after one final beat. `completed` marks the beat
+  /// done=true (stage "done") — call with true only after the run really
+  /// finished; a crash/kill path destructs without it and the last beat
+  /// honestly reports the stage the process died in.
+  void stop(bool completed);
+
+  std::uint64_t beats() const noexcept {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+  void emit(bool done);
+
+  HealthOptions options_;
+  const HealthState& state_;
+  bool ok_ = false;
+  bool stopped_ = false;
+  std::atomic<std::uint64_t> seq_{0};
+  std::chrono::steady_clock::time_point started_;
+  std::FILE* history_ = nullptr;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool quit_ = false;
+  std::thread thread_;
+};
+
+// File names inside a shard/census artifact directory.
+inline constexpr const char* kHeartbeatFile = "heartbeat.json";
+inline constexpr const char* kHealthHistoryFile = "health.jsonl";
+
+}  // namespace ftpc::obs

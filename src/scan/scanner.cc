@@ -51,6 +51,15 @@ std::uint64_t Scanner::run_segment(ScanCursor& cursor,
     ept = std::max<std::uint64_t>(
         1, config_.probes_per_second * timeline->interval_us() / 1'000'000);
   }
+  // Health plane: liveness gauges for the heartbeat thread. Store-only and
+  // relaxed — nothing here flows back into a deterministic artifact.
+  obs::HealthState* health = network_.health();
+  if (health != nullptr) {
+    health->elements_total.store((std::uint64_t{1} << 32) >>
+                                     config_.scale_shift,
+                                 std::memory_order_relaxed);
+    health->set_stage(obs::PerfStage::kProbe);
+  }
 
   std::uint32_t address = 0;
   while (walk.next(address)) {
@@ -75,6 +84,15 @@ std::uint64_t Scanner::run_segment(ScanCursor& cursor,
       }
     }
     ++stats.addresses_walked;
+    // Coarse position gauge: a relaxed store every 256 elements keeps the
+    // heartbeat's view fresh without taxing the hot loop per element.
+    if (health != nullptr && (consumed_total & 0xFF) == 0) {
+      health->global_element.store(
+          config_.shard + (consumed_total - 1) *
+                              static_cast<std::uint64_t>(
+                                  config_.total_shards),
+          std::memory_order_relaxed);
+    }
     const Ipv4 ip(address);
     if (is_reserved(ip)) {
       ++stats.blocklisted;
@@ -91,6 +109,9 @@ std::uint64_t Scanner::run_segment(ScanCursor& cursor,
            attempt < config_.probe_retries) {
       ++attempt;
       ++stats.probe_retransmits;
+      if (health != nullptr) {
+        health->retries.fetch_add(1, std::memory_order_relaxed);
+      }
       result = network_.probe_attempt(ip, config_.port, attempt);
     }
     const bool responsive = result == sim::ProbeResult::kAck;
@@ -106,6 +127,12 @@ std::uint64_t Scanner::run_segment(ScanCursor& cursor,
   const std::uint64_t consumed = walk.consumed();
   cursor.elements_consumed += consumed;
   stats.elements_walked = cursor.elements_consumed;
+  if (health != nullptr && cursor.elements_consumed > 0) {
+    health->global_element.store(
+        config_.shard + (cursor.elements_consumed - 1) *
+                            static_cast<std::uint64_t>(config_.total_shards),
+        std::memory_order_relaxed);
+  }
   // The cycle closing early (consumed < granted) also ends the slice.
   if (cursor.elements_consumed >= budget || consumed < granted) {
     cursor.finished = true;

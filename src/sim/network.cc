@@ -152,6 +152,9 @@ void Network::count_injection(FaultKind kind) {
   if (metrics_ != nullptr) {
     metrics_->add("chaos.injected." + std::string(fault_kind_name(kind)));
   }
+  if (health_ != nullptr) {
+    health_->chaos_injected.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace ftpc::sim

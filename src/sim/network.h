@@ -10,6 +10,7 @@
 
 #include "common/ipv4.h"
 #include "common/result.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/perf.h"
 #include "obs/timeline.h"
@@ -127,6 +128,12 @@ class Network {
   void set_perf(obs::PerfCollector* perf) noexcept { perf_ = perf; }
   obs::PerfCollector* perf() const noexcept { return perf_; }
 
+  /// Attaches health gauges (nullptr to detach), same ownership contract.
+  /// Hot paths then bump relaxed liveness counters for the heartbeat
+  /// thread; like perf, health never feeds a deterministic artifact.
+  void set_health(obs::HealthState* health) noexcept { health_ = health; }
+  obs::HealthState* health() const noexcept { return health_; }
+
   // --- Connections ---------------------------------------------------------
 
   /// Result of an asynchronous connect.
@@ -184,6 +191,7 @@ class Network {
   obs::TraceCollector* trace_ = nullptr;
   obs::TimelineCollector* timeline_ = nullptr;
   obs::PerfCollector* perf_ = nullptr;
+  obs::HealthState* health_ = nullptr;
   // Hot-path counter cells resolved once at attach time (probe() runs for
   // every sampled address).
   std::uint64_t* m_probes_ = nullptr;

@@ -1,0 +1,430 @@
+// Health-plane suite: the ftpc.health.v1 heartbeat channel (obs/health.h).
+//
+// Three contracts are pinned here:
+//   1. Schema: render_health_line() is a pure function of HealthSample and
+//      its bytes are golden-pinned (tests/golden/health_v1.json), with
+//      parse_health_line() as its exact inverse.
+//   2. Monitor behavior: HealthMonitor writes beat 0 immediately, beats on
+//      cadence, an atomic-rename heartbeat.json that always parses, and a
+//      final done=true beat on a clean stop.
+//   3. Split invariance: heartbeats are wall-clock telemetry and must not
+//      perturb the four deterministic channels — a shard slice run with
+//      heartbeats on is byte-identical to one with them off.
+// The CLI acceptance leg (4-shard fleet, one killed, ftpcwatch flags
+// exactly that shard dead with the fleet exit code) runs when the build
+// passes the tool binaries in.
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/census.h"
+#include "core/shard_slice.h"
+#include "net/internet.h"
+#include "obs/health.h"
+#include "popgen/population.h"
+#include "sim/network.h"
+
+namespace ftpc {
+namespace {
+
+constexpr std::uint64_t kSeed = 42;
+
+core::PopulationFactory factory(std::uint64_t seed) {
+  return [seed] { return std::make_unique<popgen::SyntheticPopulation>(seed); };
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return {};
+  std::string out;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
+    out.append(buffer, got);
+  }
+  std::fclose(in);
+  return out;
+}
+
+std::string make_temp_root(const std::string& tag) {
+  const std::string root = ::testing::TempDir() + "ftpc_health_" + tag;
+  ::mkdir(root.c_str(), 0777);
+  return root;
+}
+
+std::vector<obs::HealthSample> parse_history(const std::string& path) {
+  std::vector<obs::HealthSample> beats;
+  const std::string body = read_file(path);
+  std::size_t offset = 0;
+  while (offset < body.size()) {
+    std::size_t eol = body.find('\n', offset);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string_view line(body.data() + offset, eol - offset);
+    offset = eol + 1;
+    if (line.empty()) continue;
+    std::string error;
+    const auto sample = obs::parse_health_line(line, &error);
+    EXPECT_TRUE(sample.has_value()) << path << ": " << error;
+    if (sample) beats.push_back(*sample);
+  }
+  return beats;
+}
+
+/// The fixed sample the golden file pins: every field non-default so a
+/// dropped or reordered key cannot hide behind a zero.
+obs::HealthSample golden_sample() {
+  obs::HealthSample sample;
+  sample.seq = 3;
+  sample.ts_ms = 1723111222333;
+  sample.pid = 4242;
+  sample.shard = 2;
+  sample.total_shards = 8;
+  sample.seed = 42;
+  sample.config_hash = 123456789;
+  sample.interval_ms = 1000;
+  sample.stage = "enumerate";
+  sample.done = false;
+  sample.global_element = 1048576;
+  sample.elements_total = 4194304;
+  sample.hosts_attempted = 900;
+  sample.hosts_enumerated = 880;
+  sample.connected = 700;
+  sample.ftp_compliant = 420;
+  sample.anonymous = 77;
+  sample.errored = 180;
+  sample.retries = 12;
+  sample.chaos_injected = 3;
+  sample.checkpoint_element = 786432;
+  sample.wall_s = 12.5;
+  sample.cpu_s = 9.25;
+  sample.rss_kb = 20480;
+  return sample;
+}
+
+// ---------------------------------------------------------------------------
+// Schema: golden bytes + parse round trip
+// ---------------------------------------------------------------------------
+
+// The serialized beat is pinned byte for byte — key order included, since
+// ftpcwatch/ftpcreport and external dashboards key on this line format.
+// Regenerate with: FTPC_UPDATE_GOLDEN=1 ./health_test
+TEST(HealthSchema, RenderedBeatMatchesGoldenFile) {
+  const std::string line = obs::render_health_line(golden_sample());
+  const std::string path = std::string(FTPC_GOLDEN_DIR) + "/health_v1.json";
+  if (std::getenv("FTPC_UPDATE_GOLDEN") != nullptr) {
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr) << "cannot write " << path;
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fclose(out);
+    GTEST_SKIP() << "golden file regenerated at " << path;
+  }
+  const std::string golden = read_file(path);
+  ASSERT_FALSE(golden.empty())
+      << path << " missing; run with FTPC_UPDATE_GOLDEN=1 to create it";
+  EXPECT_EQ(line, golden)
+      << "ftpc.health.v1 beat format drifted; if intentional, regenerate "
+         "with FTPC_UPDATE_GOLDEN=1 and commit the golden diff";
+}
+
+TEST(HealthSchema, ParseIsTheInverseOfRender) {
+  const obs::HealthSample sample = golden_sample();
+  std::string error;
+  const auto parsed =
+      obs::parse_health_line(obs::render_health_line(sample), &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->seq, sample.seq);
+  EXPECT_EQ(parsed->ts_ms, sample.ts_ms);
+  EXPECT_EQ(parsed->pid, sample.pid);
+  EXPECT_EQ(parsed->shard, sample.shard);
+  EXPECT_EQ(parsed->total_shards, sample.total_shards);
+  EXPECT_EQ(parsed->seed, sample.seed);
+  EXPECT_EQ(parsed->config_hash, sample.config_hash);
+  EXPECT_EQ(parsed->interval_ms, sample.interval_ms);
+  EXPECT_EQ(parsed->stage, sample.stage);
+  EXPECT_EQ(parsed->done, sample.done);
+  EXPECT_EQ(parsed->global_element, sample.global_element);
+  EXPECT_EQ(parsed->elements_total, sample.elements_total);
+  EXPECT_EQ(parsed->hosts_attempted, sample.hosts_attempted);
+  EXPECT_EQ(parsed->hosts_enumerated, sample.hosts_enumerated);
+  EXPECT_EQ(parsed->connected, sample.connected);
+  EXPECT_EQ(parsed->ftp_compliant, sample.ftp_compliant);
+  EXPECT_EQ(parsed->anonymous, sample.anonymous);
+  EXPECT_EQ(parsed->errored, sample.errored);
+  EXPECT_EQ(parsed->retries, sample.retries);
+  EXPECT_EQ(parsed->chaos_injected, sample.chaos_injected);
+  EXPECT_EQ(parsed->checkpoint_element, sample.checkpoint_element);
+  EXPECT_DOUBLE_EQ(parsed->wall_s, sample.wall_s);
+  EXPECT_DOUBLE_EQ(parsed->cpu_s, sample.cpu_s);
+  EXPECT_EQ(parsed->rss_kb, sample.rss_kb);
+}
+
+TEST(HealthSchema, ParseRejectsGarbage) {
+  std::string error;
+  EXPECT_FALSE(obs::parse_health_line("not json", &error).has_value());
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(
+      obs::parse_health_line("{\"schema\":\"ftpc.perf.v1\"}", &error)
+          .has_value());
+  // A torn beat (required field missing) must not parse to zeros.
+  EXPECT_FALSE(
+      obs::parse_health_line(
+          "{\"schema\":\"ftpc.health.v1\",\"seq\":1,\"ts_ms\":5", &error)
+          .has_value());
+  EXPECT_FALSE(
+      obs::parse_health_line("{\"schema\":\"ftpc.health.v1\",\"seq\":1}",
+                             &error)
+          .has_value());
+}
+
+TEST(HealthSchema, ResourceProbesReportLiveValues) {
+  // This process is certainly resident and has burned CPU by now.
+  EXPECT_GT(obs::process_rss_kb(), 0u);
+  EXPECT_GT(obs::process_cpu_seconds(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Monitor behavior
+// ---------------------------------------------------------------------------
+
+obs::HealthOptions monitor_options(const std::string& dir,
+                                   std::uint64_t interval_ms) {
+  obs::HealthOptions options;
+  options.enabled = true;
+  options.interval_ms = interval_ms;  // tests may go below the CLI's 100ms
+  options.dir = dir;
+  options.shard = 1;
+  options.total_shards = 4;
+  options.seed = kSeed;
+  options.config_hash = 777;
+  return options;
+}
+
+TEST(HealthMonitor, EmitsBeatZeroThenCadenceThenDoneBeat) {
+  const std::string dir = make_temp_root("monitor");
+  obs::HealthState state;
+  state.elements_total.store(1000, std::memory_order_relaxed);
+  {
+    obs::HealthMonitor monitor(monitor_options(dir, 5), state);
+    ASSERT_TRUE(monitor.ok());
+    // Beat 0 lands before the first interval elapses.
+    EXPECT_GE(monitor.beats(), 1u);
+    state.global_element.store(500, std::memory_order_relaxed);
+    state.set_stage(obs::PerfStage::kEnumerate);
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+    monitor.stop(true);
+  }
+  const auto beats = parse_history(dir + "/" + obs::kHealthHistoryFile);
+  ASSERT_GE(beats.size(), 3u);  // beat 0 + cadence beats + final
+  for (std::size_t i = 0; i < beats.size(); ++i) {
+    EXPECT_EQ(beats[i].seq, i) << "seq must be dense from 0";
+    EXPECT_EQ(beats[i].shard, 1u);
+    EXPECT_EQ(beats[i].total_shards, 4u);
+    EXPECT_EQ(beats[i].interval_ms, 5u);
+    if (i > 0) {
+      EXPECT_GE(beats[i].ts_ms, beats[i - 1].ts_ms);
+    }
+  }
+  EXPECT_FALSE(beats.front().done);
+  EXPECT_TRUE(beats.back().done);
+  EXPECT_EQ(beats.back().stage, "done");
+  EXPECT_EQ(beats.back().global_element, 500u);
+  EXPECT_GT(beats.back().wall_s, 0.0);
+  EXPECT_GT(beats.back().rss_kb, 0u);
+
+  // heartbeat.json is the rename-replaced latest beat.
+  std::string error;
+  const auto latest = obs::parse_health_line(
+      read_file(dir + "/" + obs::kHeartbeatFile), &error);
+  ASSERT_TRUE(latest.has_value()) << error;
+  EXPECT_EQ(latest->seq, beats.back().seq);
+  EXPECT_TRUE(latest->done);
+}
+
+TEST(HealthMonitor, StopWithoutCompletionKeepsLastStageHonest) {
+  const std::string dir = make_temp_root("killed");
+  obs::HealthState state;
+  state.set_stage(obs::PerfStage::kEnumerate);
+  {
+    obs::HealthMonitor monitor(monitor_options(dir, 1000), state);
+    ASSERT_TRUE(monitor.ok());
+    // Destruction without stop(true) = the crash/kill path.
+  }
+  const auto beats = parse_history(dir + "/" + obs::kHealthHistoryFile);
+  ASSERT_GE(beats.size(), 2u);
+  EXPECT_FALSE(beats.back().done);
+  EXPECT_EQ(beats.back().stage, "enumerate");
+}
+
+TEST(HealthMonitor, ResumeAppendsHistoryWithSeqReset) {
+  const std::string dir = make_temp_root("resume");
+  obs::HealthState state;
+  {
+    obs::HealthMonitor first(monitor_options(dir, 1000), state);
+    ASSERT_TRUE(first.ok());
+    first.stop(false);
+  }
+  const std::size_t first_beats =
+      parse_history(dir + "/" + obs::kHealthHistoryFile).size();
+  ASSERT_GE(first_beats, 2u);
+  obs::HealthOptions resumed = monitor_options(dir, 1000);
+  resumed.append = true;
+  {
+    obs::HealthMonitor second(resumed, state);
+    ASSERT_TRUE(second.ok());
+    second.stop(true);
+  }
+  const auto beats = parse_history(dir + "/" + obs::kHealthHistoryFile);
+  ASSERT_GE(beats.size(), first_beats + 2);
+  // The restart is visible as a seq reset mid-stream, not a rewrite.
+  EXPECT_EQ(beats[first_beats].seq, 0u);
+  EXPECT_TRUE(beats.back().done);
+}
+
+// ---------------------------------------------------------------------------
+// Census wiring: gauges move, determinism does not
+// ---------------------------------------------------------------------------
+
+core::CensusConfig census_config() {
+  core::CensusConfig config;
+  config.seed = kSeed;
+  config.scale_shift = 16;  // 65536 elements: CI-sized
+  config.trace.enabled = true;
+  config.timeline.enabled = true;
+  config.timeline.interval_us = 10'000;
+  return config;
+}
+
+TEST(HealthCensus, GaugesTrackTheRealFunnel) {
+  popgen::SyntheticPopulation population(kSeed);
+  sim::EventLoop loop;
+  sim::Network network(loop);
+  net::Internet internet(network, population, 256);
+  core::CensusConfig config = census_config();
+  obs::HealthState health;
+  config.health = &health;
+  core::VectorSink sink;
+  const core::CensusStats stats = core::Census(network, config).run(sink);
+
+  EXPECT_EQ(health.elements_total.load(std::memory_order_relaxed),
+            std::uint64_t{1} << 16);
+  EXPECT_EQ(health.hosts_enumerated.load(std::memory_order_relaxed),
+            stats.hosts_enumerated);
+  EXPECT_EQ(health.ftp_compliant.load(std::memory_order_relaxed),
+            stats.ftp_compliant);
+  EXPECT_EQ(health.anonymous.load(std::memory_order_relaxed),
+            stats.anonymous);
+  EXPECT_EQ(health.errored.load(std::memory_order_relaxed),
+            stats.sessions_errored);
+  EXPECT_EQ(health.hosts_attempted.load(std::memory_order_relaxed),
+            health.hosts_enumerated.load(std::memory_order_relaxed));
+  EXPECT_GT(health.global_element.load(std::memory_order_relaxed), 0u);
+  EXPECT_EQ(health.stage.load(std::memory_order_relaxed),
+            static_cast<std::uint32_t>(obs::PerfStage::kFinalize));
+  // Frame-scoped attachment: the network must not dangle into `health`.
+  EXPECT_EQ(network.health(), nullptr);
+}
+
+// The split-invariance regression the header promises: every deterministic
+// channel byte-identical with the health plane on vs off, while the run
+// with heartbeats actually produced them.
+TEST(HealthCensus, HeartbeatsNeverTouchTheDeterministicChannels) {
+  const std::string off_dir = make_temp_root("hb_off") + "/shard";
+  const std::string on_dir = make_temp_root("hb_on") + "/shard";
+
+  core::ShardSliceConfig off;
+  off.census = census_config();
+  off.out_dir = off_dir;
+  off.checkpoint_interval = 16384;
+  core::ShardSliceConfig on = off;
+  on.out_dir = on_dir;
+  on.heartbeat_interval_ms = 1;  // hammer the plane: ~every millisecond
+
+  const auto off_result = core::run_shard_slice(off, factory(kSeed));
+  ASSERT_TRUE(off_result.ok) << off_result.error;
+  const auto on_result = core::run_shard_slice(on, factory(kSeed));
+  ASSERT_TRUE(on_result.ok) << on_result.error;
+
+  for (const char* file :
+       {"records.ftpd", "metrics.json", "trace.jsonl", "timeline.jsonl",
+        "manifest.json", "journal.jsonl", "checkpoint.json"}) {
+    const std::string expected = read_file(off_dir + "/" + file);
+    ASSERT_FALSE(expected.empty()) << file << ": vacuous comparison";
+    EXPECT_EQ(expected, read_file(on_dir + "/" + file))
+        << file << " diverged with heartbeats enabled";
+  }
+
+  // And the health plane really ran: beats landed, the last one is done,
+  // and the final checkpoint boundary was reported.
+  EXPECT_EQ(read_file(off_dir + "/" + obs::kHealthHistoryFile), "");
+  const auto beats = parse_history(on_dir + "/" + obs::kHealthHistoryFile);
+  ASSERT_GE(beats.size(), 2u);
+  EXPECT_TRUE(beats.back().done);
+  EXPECT_EQ(beats.back().stage, "done");
+  EXPECT_EQ(beats.back().elements_total, std::uint64_t{1} << 16);
+  EXPECT_EQ(beats.back().checkpoint_element, 49152u);
+  EXPECT_EQ(beats.back().hosts_enumerated, on_result.stats.hosts_enumerated);
+}
+
+// ---------------------------------------------------------------------------
+// CLI acceptance: a killed shard is flagged dead, and only that shard
+// ---------------------------------------------------------------------------
+
+#if defined(FTPC_FTPCENSUS_BIN) && defined(FTPC_FTPCWATCH_BIN)
+
+int run_command(const std::string& command) {
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(HealthCli, WatcherFlagsExactlyTheKilledShardDead) {
+  const std::string root = make_temp_root("fleet");
+  const std::string quiet = " >/dev/null 2>&1";
+  const std::string common =
+      " --scale 14 --seed 42 --timeline-interval 0.01 "
+      "--checkpoint-interval 4096 --heartbeat-interval 0.1";
+  // Shards 0,1,3 run to completion; shard 2 dies after its first
+  // checkpoint (exit 3, pid gone, heartbeat not done).
+  for (int shard = 0; shard < 4; ++shard) {
+    std::string cmd = std::string(FTPC_FTPCENSUS_BIN) + " census" + common +
+                      " --shard-id " + std::to_string(shard) + "/4" +
+                      " --shard-out " + root + "/shard" +
+                      std::to_string(shard);
+    if (shard == 2) cmd += " --crash-after-checkpoint 1";
+    ASSERT_EQ(shard == 2 ? 3 : 0, run_command(cmd + quiet)) << cmd;
+  }
+  // Let the dead shard's last beat go stale (interval 100ms, --stale 1).
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+
+  const std::string json_path = root + "/fleet.json";
+  const int code =
+      run_command(std::string(FTPC_FTPCWATCH_BIN) + " --once --json --stale 1 " +
+                  root + " > " + json_path + " 2>/dev/null");
+  EXPECT_EQ(code, 3) << "a dead shard must yield the dead fleet exit code";
+  const std::string json = read_file(json_path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_NE(json.find("\"schema\":\"ftpc.fleet.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"status\":\"dead\""), std::string::npos);
+  EXPECT_NE(json.find("\"done\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"dead\":1"), std::string::npos);
+  // The dead entry is shard 2 specifically.
+  const auto dead_at = json.find("shard2");
+  ASSERT_NE(dead_at, std::string::npos);
+  const auto entry_end = json.find('}', dead_at);
+  const std::string entry = json.substr(dead_at, entry_end - dead_at);
+  EXPECT_NE(entry.find("\"status\":\"dead\""), std::string::npos) << entry;
+  EXPECT_NE(entry.find("\"pid_alive\":false"), std::string::npos) << entry;
+}
+
+#endif  // FTPC_FTPCENSUS_BIN && FTPC_FTPCWATCH_BIN
+
+}  // namespace
+}  // namespace ftpc

@@ -1,0 +1,100 @@
+#!/bin/sh
+# Stall-window edge cases for ftpcreport: the stall detector counts maximal
+# runs of >= 2 consecutive ticks whose full gauge vector did not move.
+# Exercises the shapes the main census never produces: a stall that runs to
+# end-of-stream (no closing "advance" tick), a single-tick stream (no pairs
+# to compare), an all-ticks-stalled timeline, and a mid-stream + trailing
+# pair of windows.
+#
+#   check_report_stalls.sh <ftpcreport>
+set -u
+
+FTPCREPORT="$1"
+TMP="${TMPDIR:-/tmp}/ftpc_report_stalls_$$"
+mkdir -p "$TMP"
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+header() {
+  printf '{"schema":"ftpc.tsdb.v1","interval_us":1000000,"pps":1,"concurrency":1,"t0_us":0,"hits":0,"sessions":0,"ticks":%d}\n' "$1"
+}
+expect_stall_line() {
+  desc="$1"
+  file="$2"
+  want="$3"
+  out=$("$FTPCREPORT" "$file" 2>&1)
+  code=$?
+  if [ "$code" -ne 0 ]; then
+    echo "FAIL: $desc: ftpcreport exited $code" >&2
+    echo "$out" >&2
+    fail=1
+    return
+  fi
+  got=$(echo "$out" | grep '^stalls:')
+  if [ "$got" != "$want" ]; then
+    echo "FAIL: $desc" >&2
+    echo "  want: $want" >&2
+    echo "  got:  $got" >&2
+    fail=1
+  fi
+}
+
+# Trailing stall: the last 3 rows are identical, so the run is still open
+# when the stream ends — the post-loop flush must close the window.
+{
+  header 5
+  printf '{"t":1000000,"enum.done":1}\n'
+  printf '{"t":2000000,"enum.done":2}\n'
+  printf '{"t":3000000,"enum.done":3}\n'
+  printf '{"t":4000000,"enum.done":3}\n'
+  printf '{"t":5000000,"enum.done":3}\n'
+} > "$TMP/trailing"
+expect_stall_line "trailing stall to end-of-stream" "$TMP/trailing" \
+  "stalls: 1 window(s), 2 tick(s) total; longest 2.000s starting at 4.000s"
+
+# Single-tick stream: there is no adjacent pair, so no stall can exist.
+{
+  header 1
+  printf '{"t":1000000,"enum.done":1}\n'
+} > "$TMP/single"
+expect_stall_line "single-tick stream" "$TMP/single" \
+  "stalls: none (every tick advanced at least one gauge)"
+
+# All ticks stalled: every row identical -> one window spanning the whole
+# stream minus the first tick (pairwise comparison starts at tick 2).
+{
+  header 4
+  printf '{"t":1000000,"enum.done":7}\n'
+  printf '{"t":2000000,"enum.done":7}\n'
+  printf '{"t":3000000,"enum.done":7}\n'
+  printf '{"t":4000000,"enum.done":7}\n'
+} > "$TMP/frozen"
+expect_stall_line "all ticks stalled" "$TMP/frozen" \
+  "stalls: 1 window(s), 3 tick(s) total; longest 3.000s starting at 2.000s"
+
+# Mid-stream window + trailing window: both must be counted, and the first
+# (earlier, equal-length) window stays the reported longest.
+{
+  header 7
+  printf '{"t":1000000,"enum.done":1}\n'
+  printf '{"t":2000000,"enum.done":1}\n'
+  printf '{"t":3000000,"enum.done":1}\n'
+  printf '{"t":4000000,"enum.done":2}\n'
+  printf '{"t":5000000,"enum.done":2}\n'
+  printf '{"t":6000000,"enum.done":2}\n'
+  printf '{"t":7000000,"enum.done":3}\n'
+} > "$TMP/two_windows"
+expect_stall_line "mid-stream + trailing windows" "$TMP/two_windows" \
+  "stalls: 2 window(s), 4 tick(s) total; longest 2.000s starting at 2.000s"
+
+# A lone repeated pair (run of 1) is jitter, not a stall window.
+{
+  header 3
+  printf '{"t":1000000,"enum.done":1}\n'
+  printf '{"t":2000000,"enum.done":1}\n'
+  printf '{"t":3000000,"enum.done":2}\n'
+} > "$TMP/jitter"
+expect_stall_line "single repeated tick is not a window" "$TMP/jitter" \
+  "stalls: none (every tick advanced at least one gauge)"
+
+exit "$fail"

@@ -2,13 +2,15 @@
 # Checks that the artifact inspectors reject bad input with a diagnostic
 # and a nonzero exit instead of producing a bogus report.
 #
-#   check_tool_diagnostics.sh <ftpctrace> <ftpcreport> <ftpcmerge> <ftpcensus>
+#   check_tool_diagnostics.sh <ftpctrace> <ftpcreport> <ftpcmerge> \
+#       <ftpcensus> <ftpcwatch>
 set -u
 
 FTPCTRACE="$1"
 FTPCREPORT="$2"
 FTPCMERGE="$3"
 FTPCENSUS="$4"
+FTPCWATCH="$5"
 TMP="${TMPDIR:-/tmp}/ftpc_tool_diag_$$"
 mkdir -p "$TMP"
 trap 'rm -rf "$TMP"' EXIT
@@ -91,6 +93,63 @@ expect_fail "ftpcensus timeline interval zero" \
   "$FTPCENSUS" census --timeline-interval 0
 expect_fail "ftpcensus timeline interval sub-microsecond" \
   "$FTPCENSUS" census --timeline-interval 1e-9
+
+# ftpcensus heartbeat cadence validation: sub-100ms cadences would turn
+# the health plane into a disk-thrashing hot loop; garbage must die in the
+# parser.
+expect_fail "ftpcensus heartbeat interval too small" \
+  "$FTPCENSUS" census --heartbeat-interval 0.05
+expect_fail "ftpcensus heartbeat interval garbage" \
+  "$FTPCENSUS" census --heartbeat-interval banana
+expect_fail "ftpcensus heartbeat interval negative" \
+  "$FTPCENSUS" census --heartbeat-interval -1
+expect_fail "ftpcensus heartbeat without output dir" \
+  "$FTPCENSUS" census --scale 32 --heartbeat-interval 1
+
+# Boundary cadence (0.1s) with an output dir must be accepted and leave a
+# heartbeat behind.
+if ! "$FTPCENSUS" census --scale 32 --heartbeat-interval 0.1 \
+    --heartbeat-out "$TMP/hb_out" > /dev/null 2>&1; then
+  echo "FAIL: ftpcensus rejects in-range --heartbeat-interval" >&2
+  fail=1
+elif [ ! -f "$TMP/hb_out/heartbeat.json" ]; then
+  echo "FAIL: ftpcensus --heartbeat-out left no heartbeat.json" >&2
+  fail=1
+fi
+
+# ftpcwatch: watching nothing is an error, not an empty healthy fleet.
+mkdir -p "$TMP/empty_fleet"
+expect_fail "ftpcwatch empty dir" "$FTPCWATCH" --once "$TMP/empty_fleet"
+expect_fail "ftpcwatch missing dir" "$FTPCWATCH" --once "$TMP/no_such_dir"
+expect_fail "ftpcwatch no dirs" "$FTPCWATCH" --once
+expect_fail "ftpcwatch bad stale" "$FTPCWATCH" --once --stale 0.5 "$TMP"
+expect_fail "ftpcwatch bad stall" "$FTPCWATCH" --once --stall 0 "$TMP"
+
+# ftpcwatch: a garbled heartbeat is a hard error (exit 2), never a silent
+# healthy shard.
+mkdir -p "$TMP/shard_garbled_hb"
+printf 'not a heartbeat\n' > "$TMP/shard_garbled_hb/heartbeat.json"
+expect_fail "ftpcwatch garbled heartbeat" \
+  "$FTPCWATCH" --once "$TMP/shard_garbled_hb"
+
+# ftpcwatch: a stale heartbeat whose pid is gone is a dead shard — fleet
+# verdict exit code 3 and a "dead" classification in the JSON summary.
+mkdir -p "$TMP/shard_dead"
+printf '{"schema":"ftpc.health.v1","seq":5,"ts_ms":1000,"pid":2147483646,"shard":0,"total_shards":1,"seed":1,"config_hash":1,"interval_ms":100,"stage":"enumerate","done":false,"global_element":10,"elements_total":100,"hosts_attempted":3,"hosts_enumerated":2,"connected":2,"ftp_compliant":1,"anonymous":1,"errored":0,"retries":0,"chaos_injected":0,"checkpoint_element":0,"wall_s":1.000000,"cpu_s":0.500000,"rss_kb":1024}\n' \
+  > "$TMP/shard_dead/heartbeat.json"
+dead_out=$("$FTPCWATCH" --once --json "$TMP/shard_dead" 2>&1)
+dead_code=$?
+if [ "$dead_code" -ne 3 ]; then
+  echo "FAIL: ftpcwatch dead shard: expected exit 3, got $dead_code" >&2
+  fail=1
+fi
+case "$dead_out" in
+  *'"status":"dead"'*) : ;;
+  *)
+    echo "FAIL: ftpcwatch dead shard: JSON summary lacks dead status" >&2
+    fail=1
+    ;;
+esac
 
 # Sanity: the boundary values are still accepted. The timeline channel
 # stays off: a 1us cadence parses fine but would export one row per

@@ -13,6 +13,7 @@
 // `analyze` re-runs the full analysis over an archived dataset without
 // touching the (simulated) network — the paper's "iteratively processing
 // the dataset" workflow.
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -21,6 +22,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -35,7 +37,9 @@
 #include "core/sharded_census.h"
 #include "honeypot/attackers.h"
 #include "honeypot/honeypot.h"
+#include "core/shard_artifact.h"
 #include "net/internet.h"
+#include "obs/health.h"
 #include "obs/progress.h"
 #include "popgen/calibration.h"
 #include "popgen/population.h"
@@ -80,6 +84,12 @@ struct Options {
   bool resume = false;
   std::uint32_t crash_after = 0;  // test hook: die after N checkpoints
 
+  // Health plane (obs/health.h): wall-clock heartbeat cadence in seconds
+  // (0 = off). Shard mode beats into the shard dir; a plain census needs
+  // --heartbeat-out DIR. Explicitly non-deterministic.
+  double heartbeat_interval = 0.0;
+  std::string heartbeat_out;
+
   bool tracing_requested() const {
     return !trace_out.empty() || !trace_chrome.empty();
   }
@@ -106,13 +116,18 @@ void usage() {
                "[--timeline-interval SECONDS] [--perf-out FILE|-] "
                "[--progress] "
                "[--chaos-profile off|lossy|flaky|hostile] [--chaos-seed S] "
-               "[--retries N]\n"
+               "[--retries N] "
+               "[--heartbeat-interval SECONDS] [--heartbeat-out DIR]\n"
                "       ftpcensus census --shard-id K/N --shard-out DIR "
                "[--checkpoint-interval E] [--checkpoint-out FILE] "
                "[--resume] [--crash-after-checkpoint C] [census options]\n"
                "  shard mode runs only slice K of N and writes an "
                "ftpc.shard.v1 artifact directory; reduce N directories with "
-               "ftpcmerge.\n");
+               "ftpcmerge.\n"
+               "  --heartbeat-interval (>= 0.1s) emits ftpc.health.v1 "
+               "liveness beats (heartbeat.json + health.jsonl) into the "
+               "shard dir (or --heartbeat-out DIR for a plain census); "
+               "monitor with ftpcwatch.\n");
 }
 
 bool parse_options(int argc, char** argv, Options& options) {
@@ -269,6 +284,24 @@ bool parse_options(int argc, char** argv, Options& options) {
       const char* v = value();
       if (v == nullptr) return false;
       options.checkpoint_out = v;
+    } else if (arg == "--heartbeat-interval") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      options.heartbeat_interval = std::strtod(v, &end);
+      // 100ms floor: the monitor writes two files per beat, and a watcher
+      // classifies staleness in whole intervals — sub-100ms cadences are
+      // pure IO churn with no operational signal.
+      if (end == v || *end != '\0' || !(options.heartbeat_interval >= 0.1)) {
+        std::fprintf(stderr,
+                     "--heartbeat-interval must be >= 0.1 seconds (got %s)\n",
+                     v);
+        return false;
+      }
+    } else if (arg == "--heartbeat-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.heartbeat_out = v;
     } else if (arg == "--crash-after-checkpoint") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -296,6 +329,13 @@ bool parse_options(int argc, char** argv, Options& options) {
        options.checkpoint_interval > 0 || !options.checkpoint_out.empty() ||
        options.crash_after > 0)) {
     std::fprintf(stderr, "shard-mode options require --shard-id K/N\n");
+    return false;
+  }
+  if (options.heartbeat_interval > 0.0 && options.shard_total == 0 &&
+      options.heartbeat_out.empty()) {
+    std::fprintf(stderr,
+                 "--heartbeat-interval without --shard-out requires "
+                 "--heartbeat-out DIR\n");
     return false;
   }
   return true;
@@ -450,6 +490,8 @@ int run_shard_mode(const Options& options) {
   slice.checkpoint_path = options.checkpoint_out;
   slice.resume = options.resume;
   slice.crash_after_checkpoints = options.crash_after;
+  slice.heartbeat_interval_ms =
+      static_cast<std::uint64_t>(options.heartbeat_interval * 1000.0 + 0.5);
 
   core::CensusConfig& config = slice.census;
   config.seed = options.seed;
@@ -557,6 +599,31 @@ int run_census(const Options& options) {
   }
   config.perf_enabled = !options.perf_out.empty();
 
+  // Health plane for a plain (non-shard-mode) census: one shared gauge set
+  // across the in-process shards (the fields are atomics), beating into
+  // --heartbeat-out. Never touches the deterministic artifacts.
+  obs::HealthState health_state;
+  std::optional<obs::HealthMonitor> health_monitor;
+  if (options.heartbeat_interval > 0.0) {
+    ::mkdir(options.heartbeat_out.c_str(), 0777);
+    obs::HealthOptions health_options;
+    health_options.enabled = true;
+    health_options.interval_ms = static_cast<std::uint64_t>(
+        options.heartbeat_interval * 1000.0 + 0.5);
+    health_options.dir = options.heartbeat_out;
+    health_options.shard = 0;
+    health_options.total_shards = 1;
+    health_options.seed = options.seed;
+    health_options.config_hash = core::census_config_fingerprint(config);
+    health_monitor.emplace(health_options, health_state);
+    if (!health_monitor->ok()) {
+      std::fprintf(stderr, "cannot open health artifacts in %s\n",
+                   options.heartbeat_out.c_str());
+      return 1;
+    }
+    config.health = &health_state;
+  }
+
   obs::ProgressCounters progress;
   config.progress = &progress;
   // Progress goes to stderr, so it never mixes with `-` artifacts on
@@ -588,6 +655,7 @@ int run_census(const Options& options) {
     }
     stats = census.run(tee);
   }
+  if (health_monitor) health_monitor->stop(true);
 
   if (!options.metrics_out.empty()) {
     if (!write_artifact(options.metrics_out, stats.metrics.to_json(),

@@ -2,9 +2,12 @@
 // `ftpcensus census --shard-id k/N` process) into byte-identical copies of
 // the single-process artifacts: records.ftpd plus, for each channel the
 // shard manifests declare, metrics.json (ftpc.metrics.v1), trace.jsonl
-// (ftpc.trace.v1) and timeline.jsonl (ftpc.tsdb.v1).
+// (ftpc.trace.v1) and timeline.jsonl (ftpc.tsdb.v1). Shard health
+// histories (ftpc.health.v1), when present, are carried verbatim into
+// health/shard-K.health.jsonl — they are wall-clock telemetry, never
+// merged into the deterministic channels.
 //
-//   ftpcmerge --out DIR SHARD_DIR...
+//   ftpcmerge --out DIR [--verbose] SHARD_DIR...
 //
 // The input set must be complete and coherent: exactly shards 0..N-1 of
 // one census configuration (the manifests carry a config hash). Any
@@ -16,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/log.h"
 #include "core/shard_artifact.h"
 
 namespace {
@@ -23,11 +27,13 @@ namespace {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: ftpcmerge --out DIR SHARD_DIR...\n"
+      "usage: ftpcmerge --out DIR [--verbose] SHARD_DIR...\n"
       "  SHARD_DIR: ftpc.shard.v1 artifact directories, one per shard of\n"
       "  a single census config (all N of them, in any order)\n"
       "  DIR: output directory (created if missing) for the merged\n"
-      "  records.ftpd / metrics.json / trace.jsonl / timeline.jsonl\n");
+      "  records.ftpd / metrics.json / trace.jsonl / timeline.jsonl\n"
+      "  (+ health/shard-K.health.jsonl when shards carried heartbeats)\n"
+      "  --verbose: also log per-stage progress to stderr\n");
 }
 
 }  // namespace
@@ -43,6 +49,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       out_dir = argv[++i];
+    } else if (arg == "--verbose") {
+      ftpc::set_log_level(ftpc::LogLevel::kInfo);
     } else if (!arg.empty() && arg[0] == '-') {
       usage();
       return 2;
@@ -55,18 +63,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  ftpc::log_info() << "merging " << shard_dirs.size() << " shard dir(s) into "
+                   << out_dir;
   const ftpc::core::MergeResult result =
       ftpc::core::merge_shard_artifacts(shard_dirs, out_dir);
   if (!result.ok) {
-    std::fprintf(stderr, "ftpcmerge: %s\n", result.error.c_str());
+    ftpc::log_error() << result.error;
     return 1;
   }
+  std::string health;
+  if (result.health_histories > 0) {
+    health = " + " + std::to_string(result.health_histories) + " health";
+  }
   std::fprintf(stderr,
-               "merged %llu shard(s): %llu record(s)%s%s%s -> %s\n",
+               "merged %llu shard(s): %llu record(s)%s%s%s%s -> %s\n",
                static_cast<unsigned long long>(result.shards),
                static_cast<unsigned long long>(result.records),
                result.wrote_metrics ? " + metrics" : "",
                result.wrote_trace ? " + trace" : "",
-               result.wrote_timeline ? " + timeline" : "", out_dir.c_str());
+               result.wrote_timeline ? " + timeline" : "", health.c_str(),
+               out_dir.c_str());
   return 0;
 }

@@ -1,7 +1,7 @@
 // ftpcreport — renders an ftpc.tsdb.v1 timeline (see obs/timeline.h) into
 // human-readable throughput/percentile tables and a final run report.
 //
-//   ftpcreport FILE [--perf PERF.json]
+//   ftpcreport FILE [--perf PERF.json] [--health PATH] [--verbose]
 //
 // FILE may be "-" for stdin. Sections:
 //   - run header (cadence, probe rate, window size, scan end T0)
@@ -12,11 +12,18 @@
 //     windows (consecutive ticks where no gauge advanced)
 //   - with --perf: the ftpc.perf.v1 stage table and load-skew summary
 //     (real seconds — the perf plane is exempt from byte-identity).
+//   - fleet health: per-shard heartbeat histories (ftpc.health.v1) —
+//     wall-time span and skew, heartbeat gap stats, element stall
+//     windows, peak RSS — joined against the sim-time stall count above.
+//     Auto-discovered from a directory input (health.jsonl in a shard
+//     dir, health/*.health.jsonl in a merged dir) or named via --health.
 //
-// The timeline is deterministic, so this report is too (bar --perf).
+// The timeline is deterministic, so this report is too (bar --perf and
+// the wall-clock fleet-health section).
 // FILE may also be an artifact *directory* (an ftpc.shard.v1 shard dir or
 // an ftpcmerge output dir); its timeline.jsonl is then read.
 // Exit: 0 ok, 2 usage or empty/truncated/non-timeline input.
+#include <dirent.h>
 #include <sys/stat.h>
 
 #include <cstdio>
@@ -29,7 +36,11 @@
 #include <string_view>
 #include <vector>
 
+#include "common/log.h"
+
 namespace {
+
+using ftpc::log_error;
 
 constexpr std::string_view kSchemaPrefix = "{\"schema\":\"ftpc.tsdb.v1\"";
 
@@ -102,7 +113,7 @@ std::optional<double> float_field(std::string_view line,
 bool read_lines(const std::string& path, std::vector<std::string>& lines) {
   std::FILE* in = path == "-" ? stdin : std::fopen(path.c_str(), "rb");
   if (in == nullptr) {
-    std::fprintf(stderr, "ftpcreport: cannot open %s\n", path.c_str());
+    log_error() << "ftpcreport: cannot open " << path;
     return false;
   }
   std::string current;
@@ -117,16 +128,14 @@ bool read_lines(const std::string& path, std::vector<std::string>& lines) {
   }
   if (in != stdin) std::fclose(in);
   if (lines.empty() && current.empty()) {
-    std::fprintf(stderr,
-                 "ftpcreport: %s is empty (not an ftpc.tsdb.v1 file)\n",
-                 path.c_str());
+    log_error() << "ftpcreport: " << path
+                << " is empty (not an ftpc.tsdb.v1 file)";
     return false;
   }
   if (!current.empty()) {
-    std::fprintf(stderr,
-                 "ftpcreport: %s is truncated (final line has no newline, "
-                 "%zu complete line(s) before it)\n",
-                 path.c_str(), lines.size());
+    log_error() << "ftpcreport: " << path
+                << " is truncated (final line has no newline, "
+                << lines.size() << " complete line(s) before it)";
     return false;
   }
   return true;
@@ -139,18 +148,243 @@ std::string fmt_time(std::uint64_t us) {
   return buffer;
 }
 
-int run_report(const std::string& input, const std::string& perf_path) {
+// --- Fleet health (ftpc.health.v1 heartbeat histories) ---------------------
+
+/// One shard's heartbeat history, reduced to the report's aggregates.
+struct HealthSeries {
+  std::string label;
+  std::size_t beats = 0;
+  std::uint64_t shard = 0;
+  std::uint64_t first_ts = 0;  // epoch ms of the first/last beat
+  std::uint64_t last_ts = 0;
+  std::uint64_t interval_ms = 0;
+  std::uint64_t max_gap_ms = 0;
+  double sum_gap_ms = 0.0;
+  std::size_t gaps = 0;
+  std::size_t stall_windows = 0;  // runs of >= 2 beats with a frozen element
+  std::size_t stalled_beats = 0;
+  std::uint64_t peak_rss_kb = 0;
+  std::string last_stage;
+  bool done = false;
+};
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Parses one health.jsonl into aggregates. Unlike read_lines this
+/// tolerates a torn final line — the history of a killed shard ends
+/// mid-write by construction, and that history is exactly the interesting
+/// one. A garbled *complete* line is still an error.
+bool read_health_series(const std::string& path, const std::string& label,
+                        HealthSeries& series) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    log_error() << "ftpcreport: cannot open " << path;
+    return false;
+  }
+  series.label = label;
+  std::string current;
+  std::size_t line_number = 0;
+  std::uint64_t prev_ts = 0;
+  std::uint64_t prev_element = 0;
+  std::size_t run = 0;  // current frozen-element run length
+  bool have_prev = false;
+  const auto close_run = [&series, &run] {
+    if (run >= 2) {
+      ++series.stall_windows;
+      series.stalled_beats += run;
+    }
+    run = 0;
+  };
+  int c;
+  bool failed = false;
+  while ((c = std::fgetc(in)) != EOF && !failed) {
+    if (c != '\n') {
+      current.push_back(static_cast<char>(c));
+      continue;
+    }
+    ++line_number;
+    const std::string line = std::move(current);
+    current.clear();
+    if (line.empty()) continue;
+    if (line.rfind("{\"schema\":\"ftpc.health.v1\"", 0) != 0) {
+      log_error() << "ftpcreport: " << path << ":" << line_number
+                  << ": not an ftpc.health.v1 beat";
+      failed = true;
+      break;
+    }
+    const auto ts = num_field(line, "ts_ms");
+    const auto element = num_field(line, "global_element");
+    if (!ts || !element) {
+      log_error() << "ftpcreport: " << path << ":" << line_number
+                  << ": beat missing ts_ms/global_element";
+      failed = true;
+      break;
+    }
+    ++series.beats;
+    if (series.beats == 1) series.first_ts = *ts;
+    series.last_ts = *ts;
+    series.shard = num_field(line, "shard").value_or(0);
+    series.interval_ms = num_field(line, "interval_ms").value_or(0);
+    series.peak_rss_kb =
+        std::max(series.peak_rss_kb, num_field(line, "rss_kb").value_or(0));
+    series.done = line.find("\"done\":true") != std::string::npos;
+    const auto stage_at = line.find("\"stage\":\"");
+    if (stage_at != std::string::npos) {
+      const auto begin = stage_at + 9;
+      const auto end = line.find('"', begin);
+      if (end != std::string::npos) {
+        series.last_stage = line.substr(begin, end - begin);
+      }
+    }
+    if (have_prev) {
+      const std::uint64_t gap = *ts >= prev_ts ? *ts - prev_ts : 0;
+      series.max_gap_ms = std::max(series.max_gap_ms, gap);
+      series.sum_gap_ms += static_cast<double>(gap);
+      ++series.gaps;
+      if (*element == prev_element) {
+        ++run;
+      } else {
+        close_run();
+      }
+    }
+    prev_ts = *ts;
+    prev_element = *element;
+    have_prev = true;
+  }
+  std::fclose(in);
+  if (failed) return false;
+  close_run();
+  if (series.beats == 0) {
+    log_error() << "ftpcreport: " << path << " has no complete heartbeat";
+    return false;
+  }
+  return true;
+}
+
+/// Expands --health PATH / auto-discovered artifact dirs into the list of
+/// (label, history file) pairs the section renders.
+bool collect_health_sources(
+    const std::string& path,
+    std::vector<std::pair<std::string, std::string>>& sources) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    log_error() << "ftpcreport: cannot open " << path;
+    return false;
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    sources.emplace_back(path, path);
+    return true;
+  }
+  if (file_exists(path + "/health.jsonl")) {
+    sources.emplace_back(path, path + "/health.jsonl");
+    return true;
+  }
+  // Merged-artifact layout: health/shard-K.health.jsonl.
+  const std::string health_dir =
+      file_exists(path + "/health") ? path + "/health" : path;
+  constexpr std::string_view kSuffix = ".health.jsonl";
+  std::vector<std::string> names;
+  if (DIR* dir = ::opendir(health_dir.c_str())) {
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string_view name = entry->d_name;
+      if (name.size() > kSuffix.size() &&
+          name.substr(name.size() - kSuffix.size()) == kSuffix) {
+        names.emplace_back(name);
+      }
+    }
+    ::closedir(dir);
+  }
+  if (names.empty()) {
+    log_error() << "ftpcreport: " << path
+                << " has no health.jsonl or health/*.health.jsonl";
+    return false;
+  }
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    sources.emplace_back(name.substr(0, name.size() - kSuffix.size()),
+                         health_dir + "/" + name);
+  }
+  return true;
+}
+
+std::string fmt_wall_ms(double ms) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.2fs", ms / 1000.0);
+  return buffer;
+}
+
+/// Renders the fleet-health section; `sim_stall_windows`/`sim_stall_ticks`
+/// join the wall-clock stalls against the deterministic sim-time stalls
+/// reported above it.
+bool print_health_section(
+    const std::vector<std::pair<std::string, std::string>>& sources,
+    std::size_t sim_stall_windows, std::size_t sim_stall_ticks) {
+  std::vector<HealthSeries> fleet;
+  fleet.reserve(sources.size());
+  for (const auto& [label, file] : sources) {
+    HealthSeries series;
+    if (!read_health_series(file, label, series)) return false;
+    fleet.push_back(std::move(series));
+  }
+
+  std::printf("\nfleet health (wall clock; NOT deterministic):\n");
+  std::printf("%-16s %6s %10s %16s %14s %10s %s\n", "series", "beats", "span",
+              "gap avg/max", "stalls", "peak_rss", "last");
+  double max_span = 0.0, sum_span = 0.0;
+  std::size_t incomplete = 0;
+  for (const HealthSeries& series : fleet) {
+    const double span_ms =
+        static_cast<double>(series.last_ts - series.first_ts);
+    max_span = std::max(max_span, span_ms);
+    sum_span += span_ms;
+    if (!series.done) ++incomplete;
+    const double avg_gap =
+        series.gaps > 0 ? series.sum_gap_ms / static_cast<double>(series.gaps)
+                        : 0.0;
+    char gap[40];
+    std::snprintf(gap, sizeof gap, "%s/%s", fmt_wall_ms(avg_gap).c_str(),
+                  fmt_wall_ms(static_cast<double>(series.max_gap_ms)).c_str());
+    char stalls[32];
+    std::snprintf(stalls, sizeof stalls, "%zuw/%zub", series.stall_windows,
+                  series.stalled_beats);
+    char rss[32];
+    std::snprintf(rss, sizeof rss, "%.1fMB",
+                  static_cast<double>(series.peak_rss_kb) / 1024.0);
+    std::printf("%-16s %6zu %10s %16s %14s %10s %s\n", series.label.c_str(),
+                series.beats, fmt_wall_ms(span_ms).c_str(), gap, stalls, rss,
+                series.last_stage.c_str());
+  }
+  if (!fleet.empty()) {
+    const double mean_span = sum_span / static_cast<double>(fleet.size());
+    std::printf("fleet wall span: max %s / mean %s = skew %.3f; "
+                "%zu of %zu series finished (done beat)\n",
+                fmt_wall_ms(max_span).c_str(), fmt_wall_ms(mean_span).c_str(),
+                mean_span > 0.0 ? max_span / mean_span : 0.0,
+                fleet.size() - incomplete, fleet.size());
+  }
+  std::printf("sim-time stalls for comparison (timeline above): "
+              "%zu window(s), %zu tick(s)\n",
+              sim_stall_windows, sim_stall_ticks);
+  return true;
+}
+
+int run_report(const std::string& input, const std::string& perf_path,
+               const std::string& health_path) {
   // An artifact directory names its projected timeline channel.
   std::string path = input;
+  bool input_is_dir = false;
   struct stat st{};
   if (path != "-" && ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
     path += "/timeline.jsonl";
+    input_is_dir = true;
   }
   std::vector<std::string> lines;
   if (!read_lines(path, lines)) return 2;
   if (lines.front().rfind(kSchemaPrefix, 0) != 0) {
-    std::fprintf(stderr, "ftpcreport: %s is not an ftpc.tsdb.v1 file\n",
-                 path.c_str());
+    log_error() << "ftpcreport: " << path << " is not an ftpc.tsdb.v1 file";
     return 2;
   }
 
@@ -163,8 +397,7 @@ int run_report(const std::string& input, const std::string& perf_path) {
   const std::uint64_t sessions = num_field(header, "sessions").value_or(0);
   const std::uint64_t ticks_declared = num_field(header, "ticks").value_or(0);
   if (interval_us == 0) {
-    std::fprintf(stderr, "ftpcreport: %s: header missing interval_us\n",
-                 path.c_str());
+    log_error() << "ftpcreport: " << path << ": header missing interval_us";
     return 2;
   }
 
@@ -174,8 +407,8 @@ int run_report(const std::string& input, const std::string& perf_path) {
     Row row;
     const auto t = num_field(lines[i], "t");
     if (!t) {
-      std::fprintf(stderr, "ftpcreport: %s: line %zu has no \"t\" field\n",
-                   path.c_str(), i + 1);
+      log_error() << "ftpcreport: " << path << ": line " << (i + 1)
+                  << " has no \"t\" field";
       return 2;
     }
     row.t = *t;
@@ -185,11 +418,9 @@ int run_report(const std::string& input, const std::string& perf_path) {
     rows.push_back(row);
   }
   if (rows.size() != ticks_declared) {
-    std::fprintf(stderr,
-                 "ftpcreport: %s is truncated (header declares %llu ticks, "
-                 "file has %zu)\n",
-                 path.c_str(),
-                 static_cast<unsigned long long>(ticks_declared), rows.size());
+    log_error() << "ftpcreport: " << path
+                << " is truncated (header declares " << ticks_declared
+                << " ticks, file has " << rows.size() << ")";
     return 2;
   }
 
@@ -356,8 +587,8 @@ int run_report(const std::string& input, const std::string& perf_path) {
     std::string perf;
     for (const std::string& line : perf_lines) perf += line;
     if (perf.rfind("{\"schema\":\"ftpc.perf.v1\"", 0) != 0) {
-      std::fprintf(stderr, "ftpcreport: %s is not an ftpc.perf.v1 file\n",
-                   perf_path.c_str());
+      log_error() << "ftpcreport: " << perf_path
+                  << " is not an ftpc.perf.v1 file";
       return 2;
     }
     std::printf("\nperf (real seconds; NOT deterministic):\n");
@@ -418,15 +649,36 @@ int run_report(const std::string& input, const std::string& perf_path) {
                   float_field(skew, "wall_imbalance").value_or(0.0));
     }
   }
+
+  // --- Fleet health (optional) ---------------------------------------------
+  // Explicit --health always renders (and fails loudly when unreadable);
+  // a directory input renders the section only when it actually carries
+  // the health plane — heartbeats are opt-in, so absence is not an error.
+  std::vector<std::pair<std::string, std::string>> health_sources;
+  if (!health_path.empty()) {
+    if (!collect_health_sources(health_path, health_sources)) return 2;
+  } else if (input_is_dir &&
+             (file_exists(input + "/health.jsonl") ||
+              file_exists(input + "/health"))) {
+    if (!collect_health_sources(input, health_sources)) return 2;
+  }
+  if (!health_sources.empty() &&
+      !print_health_section(health_sources, stall_count, stalled_ticks)) {
+    return 2;
+  }
   return 0;
 }
 
 void usage() {
   std::fprintf(stderr,
-               "usage: ftpcreport FILE [--perf PERF.json]\n"
+               "usage: ftpcreport FILE [--perf PERF.json] [--health PATH] "
+               "[--verbose]\n"
                "  FILE: ftpc.tsdb.v1 timeline (\"-\" = stdin), or a "
-               "shard/merge artifact directory (reads its timeline.jsonl)\n"
-               "  PERF: optional ftpc.perf.v1 report to append\n");
+               "shard/merge artifact directory (reads its timeline.jsonl; "
+               "a health plane inside renders the fleet-health section)\n"
+               "  PERF: optional ftpc.perf.v1 report to append\n"
+               "  PATH: ftpc.health.v1 history file, shard dir, or merged "
+               "health/ dir for the fleet-health section\n");
 }
 
 }  // namespace
@@ -434,6 +686,7 @@ void usage() {
 int main(int argc, char** argv) {
   std::string path;
   std::string perf_path;
+  std::string health_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--perf") {
@@ -442,6 +695,14 @@ int main(int argc, char** argv) {
         return 2;
       }
       perf_path = argv[++i];
+    } else if (arg == "--health") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      health_path = argv[++i];
+    } else if (arg == "--verbose") {
+      ftpc::set_log_level(ftpc::LogLevel::kInfo);
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       usage();
       return 2;
@@ -456,5 +717,5 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  return run_report(path, perf_path);
+  return run_report(path, perf_path, health_path);
 }

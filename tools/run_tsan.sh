@@ -7,7 +7,8 @@
 #                                     # scan_test + trace_test +
 #                                     # chaos_matrix_test + timeline_test +
 #                                     # process_shard_test +
-#                                     # checkpoint_resume_test
+#                                     # checkpoint_resume_test +
+#                                     # health_test
 #   tools/run_tsan.sh census_test ... # additional test binaries to run
 #
 # Uses a dedicated build tree (build-tsan) so the instrumented objects
@@ -32,8 +33,10 @@ cmake -B "$BUILD_DIR" -S . \
 # attachment and the merge-order reduction of their outputs;
 # process_shard_test and checkpoint_resume_test run single-threaded slices
 # but are kept here so the segment loop's detach/reattach of the
-# thread-checked collectors stays clean under instrumentation.
-TESTS="event_loop_test sharded_census_test sim_test scan_test trace_test chaos_matrix_test timeline_test process_shard_test checkpoint_resume_test"
+# thread-checked collectors stays clean under instrumentation;
+# health_test races the HealthMonitor background thread against the census
+# hot path's relaxed gauge stores (the one true cross-thread channel).
+TESTS="event_loop_test sharded_census_test sim_test scan_test trace_test chaos_matrix_test timeline_test process_shard_test checkpoint_resume_test health_test"
 [ "$#" -gt 0 ] && TESTS="$TESTS $*"
 
 # shellcheck disable=SC2086
