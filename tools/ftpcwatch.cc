@@ -1,0 +1,515 @@
+// ftpcwatch — live fleet monitor for sharded census runs.
+//
+//   ftpcwatch [options] DIR...
+//
+// Each DIR is either one shard artifact directory (contains heartbeat.json
+// / health.jsonl, written by `ftpcensus --heartbeat-interval`) or a fleet
+// root whose immediate subdirectories are shard dirs. The watcher renders
+// a fleet table — per-shard rate, progress, ETA, last-heartbeat age — and
+// classifies every shard:
+//
+//   done       final done=true beat seen, or the shard manifest landed
+//   healthy    beating on cadence and progressing at fleet pace
+//   straggler  progressing, but slower than --straggler × the fleet
+//              median rate
+//   stalled    beating, but the global element index has not moved for
+//              --stall consecutive beats (or the pid is alive while the
+//              heartbeat has gone stale — a live-but-wedged process)
+//   dead       heartbeat staler than --stale intervals AND the pid is gone
+//
+// `--once` prints one snapshot and exits with a fleet verdict the
+// conductor can branch on: 0 all healthy/done, 1 degraded (straggler or
+// stalled shards), 3 dead shard present, 2 usage/unreadable input.
+// `--once --json` emits a machine-readable ftpc.fleet.v1 summary instead
+// of the table. Without --once the table redraws every --interval seconds
+// until every shard is done.
+//
+// Reads only the health plane — never the deterministic channels — so
+// watching a run cannot perturb its artifacts.
+#include <dirent.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "obs/health.h"
+
+namespace {
+
+using namespace ftpc;
+
+struct Options {
+  bool once = false;
+  bool json = false;
+  double interval = 2.0;    // live-mode redraw cadence, seconds
+  double stale = 3.0;       // dead/stalled: age > stale × heartbeat interval
+  std::uint64_t stall = 3;  // stalled: element unchanged across this many beats
+  double straggler = 0.5;   // straggler: rate < fraction × fleet median
+  std::vector<std::string> dirs;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: ftpcwatch [--once] [--json] [--interval SECONDS] "
+               "[--stale K] [--stall M] [--straggler FRACTION] [--verbose] "
+               "DIR...\n"
+               "  DIR: a shard artifact directory (heartbeat.json inside) "
+               "or a fleet root containing shard directories.\n"
+               "  exit: 0 healthy/done, 1 degraded, 3 dead shard, 2 bad "
+               "input\n");
+}
+
+bool parse_options(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto positive_double = [&](const char* name, double min,
+                               double& out) -> bool {
+      const char* v = value();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      out = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(out >= min)) {
+        log_error() << name << " must be a number >= " << min << " (got " << v
+                    << ")";
+        return false;
+      }
+      return true;
+    };
+    if (arg == "--once") {
+      options.once = true;
+    } else if (arg == "--json") {
+      options.json = true;
+    } else if (arg == "--interval") {
+      if (!positive_double("--interval", 0.1, options.interval)) return false;
+    } else if (arg == "--stale") {
+      if (!positive_double("--stale", 1.0, options.stale)) return false;
+    } else if (arg == "--stall") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      const unsigned long m = std::strtoul(v, &end, 10);
+      if (end == v || *end != '\0' || m == 0) {
+        log_error() << "--stall must be a positive beat count (got " << v
+                    << ")";
+        return false;
+      }
+      options.stall = m;
+    } else if (arg == "--straggler") {
+      if (!positive_double("--straggler", 0.0, options.straggler)) {
+        return false;
+      }
+    } else if (arg == "--verbose") {
+      set_log_level(LogLevel::kInfo);
+    } else if (!arg.empty() && arg.front() == '-') {
+      log_error() << "unknown option: " << arg;
+      return false;
+    } else {
+      options.dirs.emplace_back(arg);
+    }
+  }
+  if (options.dirs.empty()) {
+    log_error() << "no shard directories given";
+    return false;
+  }
+  return true;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool is_directory(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::string content;
+  char buffer[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(buffer, 1, sizeof(buffer), file);
+    content.append(buffer, got);
+    if (got < sizeof(buffer)) break;
+  }
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  if (!ok) return std::nullopt;
+  return content;
+}
+
+bool has_heartbeat(const std::string& dir) {
+  return file_exists(dir + "/" + obs::kHeartbeatFile) ||
+         file_exists(dir + "/" + obs::kHealthHistoryFile);
+}
+
+/// Expands DIR arguments into shard dirs: an argument carrying a heartbeat
+/// is a shard dir itself; otherwise its immediate subdirectories that do
+/// are the fleet. Returns false (with a diagnostic) when an argument
+/// yields nothing — an empty/wrong directory is an error, not an empty
+/// healthy fleet.
+bool expand_dirs(const std::vector<std::string>& args,
+                 std::vector<std::string>& shard_dirs) {
+  for (const std::string& arg : args) {
+    if (!is_directory(arg)) {
+      log_error() << arg << ": not a directory";
+      return false;
+    }
+    if (has_heartbeat(arg)) {
+      shard_dirs.push_back(arg);
+      continue;
+    }
+    std::vector<std::string> found;
+    if (DIR* dir = ::opendir(arg.c_str())) {
+      while (const dirent* entry = ::readdir(dir)) {
+        const std::string_view name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        const std::string child = arg + "/" + std::string(name);
+        if (is_directory(child) && has_heartbeat(child)) {
+          found.push_back(child);
+        }
+      }
+      ::closedir(dir);
+    }
+    if (found.empty()) {
+      log_error() << arg
+                  << ": no heartbeat.json here or in any subdirectory (is "
+                     "the fleet running with --heartbeat-interval?)";
+      return false;
+    }
+    std::sort(found.begin(), found.end());
+    shard_dirs.insert(shard_dirs.end(), found.begin(), found.end());
+  }
+  return true;
+}
+
+enum class ShardStatus { kDone, kHealthy, kStraggler, kStalled, kDead };
+
+const char* status_name(ShardStatus status) {
+  switch (status) {
+    case ShardStatus::kDone: return "done";
+    case ShardStatus::kHealthy: return "healthy";
+    case ShardStatus::kStraggler: return "straggler";
+    case ShardStatus::kStalled: return "stalled";
+    case ShardStatus::kDead: return "dead";
+  }
+  return "?";
+}
+
+struct ShardView {
+  std::string dir;
+  obs::HealthSample last;  // latest beat (heartbeat.json, or history tail)
+  ShardStatus status = ShardStatus::kHealthy;
+  double age_s = 0.0;   // since the latest beat's wall-clock stamp
+  double rate = 0.0;    // global elements / second, from the history tail
+  double eta_s = -1.0;  // seconds to elements_total at current rate; <0 n/a
+  bool pid_alive = false;
+  bool stalled_beats = false;  // element frozen across --stall beats
+};
+
+bool pid_alive(std::uint64_t pid) {
+  if (pid == 0) return false;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno != ESRCH;  // EPERM = alive but not ours
+}
+
+std::uint64_t now_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Reads one shard dir into a ShardView. Returns false (diagnostic
+/// logged) only for unreadable/garbled health artifacts — classification
+/// itself never fails.
+bool read_shard(const std::string& dir, const Options& options,
+                ShardView& view) {
+  view.dir = dir;
+
+  // History first: rate and stall detection come from the beat sequence.
+  std::vector<obs::HealthSample> history;
+  if (const auto text = read_file(dir + "/" + obs::kHealthHistoryFile)) {
+    std::size_t offset = 0;
+    std::size_t line_number = 0;
+    const std::string_view body(*text);
+    while (offset < body.size()) {
+      std::size_t eol = body.find('\n', offset);
+      if (eol == std::string_view::npos) eol = body.size();
+      const std::string_view line = body.substr(offset, eol - offset);
+      offset = eol + 1;
+      ++line_number;
+      if (line.empty()) continue;
+      std::string error;
+      const auto sample = obs::parse_health_line(line, &error);
+      if (!sample) {
+        // A torn final line (killed mid-write) is expected; garbage
+        // anywhere before the tail is not.
+        if (offset >= body.size() && body.back() != '\n') break;
+        log_error() << dir << "/" << obs::kHealthHistoryFile << ":"
+                    << line_number << ": " << error;
+        return false;
+      }
+      history.push_back(*sample);
+    }
+  }
+
+  if (const auto text = read_file(dir + "/" + obs::kHeartbeatFile)) {
+    std::string error;
+    const auto sample = obs::parse_health_line(*text, &error);
+    if (!sample) {
+      log_error() << dir << "/" << obs::kHeartbeatFile << ": " << error;
+      return false;
+    }
+    view.last = *sample;
+  } else if (!history.empty()) {
+    view.last = history.back();
+  } else {
+    log_error() << dir << ": no readable heartbeat";
+    return false;
+  }
+
+  const std::uint64_t now = now_ms();
+  view.age_s = now > view.last.ts_ms
+                   ? static_cast<double>(now - view.last.ts_ms) / 1000.0
+                   : 0.0;
+  view.pid_alive = pid_alive(view.last.pid);
+
+  // Rate from the last two beats with distinct wall stamps; restarts
+  // (seq reset in an appended history) are skipped by requiring monotone
+  // element progress within the pair.
+  for (std::size_t i = history.size(); i-- > 1;) {
+    const obs::HealthSample& b = history[i];
+    const obs::HealthSample& a = history[i - 1];
+    if (b.seq < a.seq) break;  // resume boundary: older run beyond here
+    if (b.ts_ms > a.ts_ms && b.global_element >= a.global_element) {
+      view.rate = static_cast<double>(b.global_element - a.global_element) /
+                  (static_cast<double>(b.ts_ms - a.ts_ms) / 1000.0);
+      break;
+    }
+  }
+  if (view.rate > 0.0 &&
+      view.last.elements_total > view.last.global_element) {
+    view.eta_s = static_cast<double>(view.last.elements_total -
+                                     view.last.global_element) /
+                 view.rate;
+  }
+
+  // Element index frozen across the last --stall beats (needs stall+1
+  // beats to witness that many unchanged intervals).
+  if (history.size() > options.stall) {
+    bool frozen = true;
+    const std::uint64_t tail_element = history.back().global_element;
+    for (std::size_t i = history.size() - options.stall - 1;
+         i < history.size(); ++i) {
+      if (history[i].global_element != tail_element ||
+          history[i].seq > history.back().seq) {
+        frozen = false;
+        break;
+      }
+    }
+    view.stalled_beats = frozen;
+  }
+
+  // Classification. Done wins (a finished shard stops beating by design);
+  // then the staleness verdict, then beat-level stalls.
+  const bool finished =
+      view.last.done || file_exists(dir + "/manifest.json");
+  const double interval_s =
+      static_cast<double>(view.last.interval_ms) / 1000.0;
+  const bool stale = view.age_s > options.stale * interval_s;
+  if (finished) {
+    view.status = ShardStatus::kDone;
+  } else if (stale && !view.pid_alive) {
+    view.status = ShardStatus::kDead;
+  } else if (stale || view.stalled_beats) {
+    view.status = ShardStatus::kStalled;
+  } else {
+    view.status = ShardStatus::kHealthy;  // straggler pass runs fleet-wide
+  }
+  return true;
+}
+
+/// Second pass: rates below --straggler × the fleet median demote healthy
+/// shards to straggler. Median over running shards only — done/dead/stalled
+/// shards would drag it toward zero.
+void mark_stragglers(std::vector<ShardView>& fleet, double fraction) {
+  std::vector<double> rates;
+  for (const ShardView& view : fleet) {
+    if (view.status == ShardStatus::kHealthy && view.rate > 0.0) {
+      rates.push_back(view.rate);
+    }
+  }
+  if (rates.size() < 2) return;  // no fleet to compare against
+  std::sort(rates.begin(), rates.end());
+  const double median = rates[rates.size() / 2];
+  if (median <= 0.0) return;
+  for (ShardView& view : fleet) {
+    if (view.status == ShardStatus::kHealthy && view.rate > 0.0 &&
+        view.rate < fraction * median) {
+      view.status = ShardStatus::kStraggler;
+    }
+  }
+}
+
+std::string fmt_duration(double seconds) {
+  char buffer[32];
+  if (seconds < 0.0) return "-";
+  if (seconds < 120.0) {
+    std::snprintf(buffer, sizeof buffer, "%.0fs", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buffer, sizeof buffer, "%.1fm", seconds / 60.0);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.1fh", seconds / 3600.0);
+  }
+  return buffer;
+}
+
+void print_table(const std::vector<ShardView>& fleet) {
+  std::printf("%-28s %8s %-10s %8s %12s %8s %8s %-9s\n", "SHARD", "PID",
+              "STAGE", "PROG", "RATE/s", "ETA", "AGE", "STATUS");
+  for (const ShardView& view : fleet) {
+    // Last path component keeps the table narrow for deep fleet roots.
+    std::string name = view.dir;
+    const std::size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos && slash + 1 < name.size()) {
+      name = name.substr(slash + 1);
+    }
+    const double progress =
+        view.last.elements_total > 0
+            ? 100.0 * static_cast<double>(view.last.global_element) /
+                  static_cast<double>(view.last.elements_total)
+            : 0.0;
+    char prog[16];
+    std::snprintf(prog, sizeof prog, "%5.1f%%",
+                  view.status == ShardStatus::kDone ? 100.0 : progress);
+    char rate[24];
+    std::snprintf(rate, sizeof rate, "%.0f", view.rate);
+    std::printf("%-28s %8" PRIu64 " %-10s %8s %12s %8s %8s %-9s\n",
+                name.c_str(), view.last.pid, view.last.stage.c_str(), prog,
+                rate, fmt_duration(view.eta_s).c_str(),
+                fmt_duration(view.age_s).c_str(), status_name(view.status));
+  }
+}
+
+std::string fmt_double(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3f", value);
+  return buffer;
+}
+
+void print_json(const std::vector<ShardView>& fleet,
+                const char* fleet_status) {
+  std::string out = "{\"schema\":\"ftpc.fleet.v1\"";
+  out += ",\"ts_ms\":" + std::to_string(now_ms());
+  out += ",\"status\":\"" + std::string(fleet_status) + "\"";
+  std::size_t counts[5] = {0, 0, 0, 0, 0};
+  for (const ShardView& view : fleet) {
+    ++counts[static_cast<std::size_t>(view.status)];
+  }
+  out += ",\"done\":" + std::to_string(counts[0]);
+  out += ",\"healthy\":" + std::to_string(counts[1]);
+  out += ",\"stragglers\":" + std::to_string(counts[2]);
+  out += ",\"stalled\":" + std::to_string(counts[3]);
+  out += ",\"dead\":" + std::to_string(counts[4]);
+  out += ",\"shards\":[";
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const ShardView& view = fleet[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"dir\":\"" + view.dir + "\"";
+    out += ",\"shard\":" + std::to_string(view.last.shard);
+    out += ",\"total_shards\":" + std::to_string(view.last.total_shards);
+    out += ",\"pid\":" + std::to_string(view.last.pid);
+    out += ",\"pid_alive\":";
+    out += view.pid_alive ? "true" : "false";
+    out += ",\"status\":\"" + std::string(status_name(view.status)) + "\"";
+    out += ",\"stage\":\"" + view.last.stage + "\"";
+    out += ",\"global_element\":" + std::to_string(view.last.global_element);
+    out += ",\"elements_total\":" + std::to_string(view.last.elements_total);
+    out += ",\"rate_per_s\":" + fmt_double(view.rate);
+    out += ",\"eta_s\":" + fmt_double(view.eta_s);
+    out += ",\"age_s\":" + fmt_double(view.age_s);
+    out += ",\"last_seq\":" + std::to_string(view.last.seq) + "}";
+  }
+  out += "]}\n";
+  std::fwrite(out.data(), 1, out.size(), stdout);
+}
+
+/// 0 all healthy/done, 1 degraded, 3 dead present.
+int fleet_exit_code(const std::vector<ShardView>& fleet) {
+  int code = 0;
+  for (const ShardView& view : fleet) {
+    if (view.status == ShardStatus::kDead) return 3;
+    if (view.status == ShardStatus::kStalled ||
+        view.status == ShardStatus::kStraggler) {
+      code = 1;
+    }
+  }
+  return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_options(argc, argv, options)) {
+    usage();
+    return 2;
+  }
+
+  const bool clear_screen = !options.once && isatty(STDOUT_FILENO) == 1;
+  for (;;) {
+    std::vector<std::string> shard_dirs;
+    if (!expand_dirs(options.dirs, shard_dirs)) return 2;
+
+    std::vector<ShardView> fleet;
+    fleet.reserve(shard_dirs.size());
+    for (const std::string& dir : shard_dirs) {
+      ShardView view;
+      if (!read_shard(dir, options, view)) return 2;
+      fleet.push_back(std::move(view));
+    }
+    mark_stragglers(fleet, options.straggler);
+
+    const int code = fleet_exit_code(fleet);
+    if (options.once) {
+      if (options.json) {
+        print_json(fleet, code == 0   ? "healthy"
+                          : code == 1 ? "degraded"
+                                      : "dead");
+      } else {
+        print_table(fleet);
+      }
+      return code;
+    }
+
+    if (clear_screen) std::printf("\x1b[H\x1b[2J");
+    print_table(fleet);
+    std::fflush(stdout);
+    const bool all_done = std::all_of(
+        fleet.begin(), fleet.end(), [](const ShardView& view) {
+          return view.status == ShardStatus::kDone;
+        });
+    if (all_done) return 0;
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<long>(options.interval * 1000)));
+  }
+}
