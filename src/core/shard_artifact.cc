@@ -3,14 +3,19 @@
 #include <sys/stat.h>
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <memory>
+#include <queue>
 
 #include "common/hash.h"
 #include "common/ipv4.h"
 #include "core/dataset.h"
+#include "core/shard_stream.h"
 #include "obs/health.h"
 
 namespace ftpc::core {
@@ -831,10 +836,831 @@ class StageTimer {
       std::chrono::steady_clock::now();
 };
 
+
+// --- Shared reducer state ---------------------------------------------------
+
+/// Everything the per-channel reducers need, built once after the manifest
+/// gate. `owner[shard]` maps a shard id to its input-directory index.
+struct MergeContext {
+  const std::vector<std::string>& shard_dirs;
+  const std::string& out_dir;
+  const MergeOptions& options;
+  const std::vector<ShardManifest>& manifests;
+  const std::vector<int>& owner;
+  MergeResult& result;
+  StreamBudget budget;
+
+  const ShardManifest& first() const { return manifests.front(); }
+  std::uint32_t total_shards() const { return manifests.front().total_shards; }
+  const ShardManifest& manifest(std::uint32_t shard) const {
+    return manifests[static_cast<std::size_t>(owner[shard])];
+  }
+  std::string shard_path(std::uint32_t shard, const char* file) const {
+    return shard_dirs[static_cast<std::size_t>(owner[shard])] + "/" + file;
+  }
+};
+
+/// A streaming reducer's verdict. kFallback defers to the materializing
+/// reducer, which re-reads the channel from scratch — that keeps every
+/// first-divergence diagnostic the corruption suite pins in exactly one
+/// place. kFail means ctx.result.error is already set (only used where the
+/// streamed scan provably mirrors the materializing acceptance).
+enum class StreamStatus { kOk, kFallback, kFail };
+
+// --- Records ----------------------------------------------------------------
+// Streaming shape: pass 1 validates every frame through a bounded
+// FrameReader (identical acceptance to the materializing scan) and keeps a
+// fixed-size sort key per record — (ip, shard, index) plus the frame's
+// file location. Pass 2 re-reads the frames in canonical order and copies
+// them verbatim. Peak buffered bytes are O(shards x buffer) + one max
+// frame; the per-record residual is the 24-byte key, not the frame.
+
+StreamStatus merge_records_streamed(MergeContext& ctx) {
+  MergeResult& result = ctx.result;
+  struct FrameKey {
+    std::uint32_t ip;
+    std::uint32_t shard;
+    std::uint32_t index;
+    std::uint64_t offset;
+    std::uint32_t size;
+  };
+  std::vector<FrameKey> keys;
+  const std::string records_header = dataset_file_header();
+  std::uint32_t max_frame = 0;
+  for (std::uint32_t shard = 0; shard < ctx.total_shards(); ++shard) {
+    const std::string path = ctx.shard_path(shard, kShardRecordsFile);
+    FrameReader reader(&ctx.budget, ctx.options.buffer_bytes);
+    if (!reader.open(path, records_header)) {
+      result.error = path + ": cannot read (missing or bad FTPD header)";
+      return StreamStatus::kFail;
+    }
+    std::uint32_t index = 0;
+    for (;;) {
+      const FrameReader::Status status = reader.next();
+      if (status == FrameReader::Status::kFrame) {
+        keys.push_back(
+            {reader.ip(), shard, index, reader.offset(), reader.frame_size()});
+        ++index;
+        continue;
+      }
+      if (status == FrameReader::Status::kEof) break;
+      if (status == FrameReader::Status::kTorn) {
+        result.error = path + ": truncated after " + std::to_string(index) +
+                       " record(s)";
+        return StreamStatus::kFail;
+      }
+      return StreamStatus::kFallback;  // mid-file read error: re-derive
+    }
+    if (index != ctx.manifest(shard).records) {
+      result.error = path + ": holds " + std::to_string(index) +
+                     " record(s) but the manifest declares " +
+                     std::to_string(ctx.manifest(shard).records);
+      return StreamStatus::kFail;
+    }
+    if (reader.max_frame_size() > max_frame) {
+      max_frame = reader.max_frame_size();
+    }
+  }
+  // The same canonical order ShardMergeSink replays: ascending (IP, shard,
+  // index). Scanned addresses are unique across shards, so a repeated IP
+  // means overlapping slices — reject it.
+  std::sort(keys.begin(), keys.end(),
+            [](const FrameKey& a, const FrameKey& b) {
+              if (a.ip != b.ip) return a.ip < b.ip;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.index < b.index;
+            });
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i].ip == keys[i - 1].ip) {
+      result.error = "duplicate host " + Ipv4(keys[i].ip).str() +
+                     " in shard " + std::to_string(keys[i - 1].shard) +
+                     " and shard " + std::to_string(keys[i].shard) +
+                     " (overlapping slices?)";
+      return StreamStatus::kFail;
+    }
+  }
+  std::vector<std::unique_ptr<FrameFetcher>> fetchers(ctx.total_shards());
+  for (std::uint32_t shard = 0; shard < ctx.total_shards(); ++shard) {
+    fetchers[shard] = std::make_unique<FrameFetcher>();
+    if (!fetchers[shard]->open(ctx.shard_path(shard, kShardRecordsFile))) {
+      result.error =
+          ctx.shard_path(shard, kShardRecordsFile) + ": read failed";
+      return StreamStatus::kFail;
+    }
+  }
+  BufferedWriter writer(&ctx.budget, ctx.options.buffer_bytes);
+  const std::string out_path = ctx.out_dir + "/" + kShardRecordsFile;
+  if (!writer.open(out_path)) {
+    result.error = out_path + ": write failed";
+    return StreamStatus::kFail;
+  }
+  writer.append(records_header);
+  std::string scratch;
+  ctx.budget.add(max_frame);  // the copy pass's reusable frame buffer
+  for (const FrameKey& key : keys) {
+    if (!fetchers[key.shard]->fetch(key.offset, key.size, scratch)) {
+      result.error =
+          ctx.shard_path(key.shard, kShardRecordsFile) + ": read failed";
+      return StreamStatus::kFail;
+    }
+    writer.append(scratch);
+  }
+  ctx.budget.release(max_frame);
+  if (!writer.close()) {
+    result.error = out_path + ": write failed";
+    return StreamStatus::kFail;
+  }
+  result.records = keys.size();
+  result.frame_index_bytes = keys.size() * sizeof(FrameKey);
+  return StreamStatus::kOk;
+}
+
+bool merge_records_materialized(MergeContext& ctx) {
+  MergeResult& result = ctx.result;
+  // Frames are never decoded here: every frame carries an FNV-1a checksum
+  // of its body, and a frame that verifies was produced by our own
+  // encoder, so copying it verbatim IS the canonical re-encoding. The
+  // scan mirrors DatasetReader's acceptance exactly — bad header, torn
+  // frame, and checksum damage produce the same diagnostics.
+  struct FrameRef {
+    std::uint32_t ip;
+    std::uint32_t shard;
+    std::uint32_t index;
+    std::string_view frame;  // length prefix + body + checksum, verbatim
+  };
+  std::vector<std::string> records_texts(ctx.total_shards());
+  std::vector<FrameRef> frames;
+  std::size_t frames_bytes = 0;
+  const std::string records_header = dataset_file_header();
+  for (std::uint32_t shard = 0; shard < ctx.total_shards(); ++shard) {
+    const std::string path = ctx.shard_path(shard, kShardRecordsFile);
+    auto text = read_file(path);
+    if (!text || text->size() < records_header.size() ||
+        std::memcmp(text->data(), records_header.data(),
+                    records_header.size()) != 0) {
+      result.error = path + ": cannot read (missing or bad FTPD header)";
+      return false;
+    }
+    records_texts[shard] = std::move(*text);
+    const std::string_view bytes = records_texts[shard];
+    std::size_t cursor = records_header.size();
+    std::uint32_t index = 0;
+    for (;;) {
+      // Fewer than 4 trailing bytes is a clean EOF, as in DatasetReader.
+      if (bytes.size() - cursor < sizeof(std::uint32_t)) break;
+      std::uint32_t length = 0;
+      std::memcpy(&length, bytes.data() + cursor, sizeof(length));
+      const std::size_t frame_size =
+          sizeof(length) + length + sizeof(std::uint64_t);
+      std::uint64_t checksum = 0;
+      const bool intact =
+          length >= sizeof(std::uint32_t) && length <= (64u << 20) &&
+          bytes.size() - cursor >= frame_size &&
+          (std::memcpy(&checksum,
+                       bytes.data() + cursor + sizeof(length) + length,
+                       sizeof(checksum)),
+           checksum ==
+               fnv1a64(bytes.substr(cursor + sizeof(length), length)));
+      if (!intact) {
+        result.error = path + ": truncated after " + std::to_string(index) +
+                       " record(s)";
+        return false;
+      }
+      std::uint32_t ip = 0;
+      std::memcpy(&ip, bytes.data() + cursor + sizeof(length), sizeof(ip));
+      frames.push_back({ip, shard, index, bytes.substr(cursor, frame_size)});
+      frames_bytes += frame_size;
+      ++index;
+      cursor += frame_size;
+    }
+    if (index != ctx.manifest(shard).records) {
+      result.error = path + ": holds " + std::to_string(index) +
+                     " record(s) but the manifest declares " +
+                     std::to_string(ctx.manifest(shard).records);
+      return false;
+    }
+  }
+  // The same canonical order ShardMergeSink replays: ascending (IP, shard,
+  // index). Scanned addresses are unique across shards, so a repeated IP
+  // means overlapping slices — reject it.
+  std::sort(frames.begin(), frames.end(),
+            [](const FrameRef& a, const FrameRef& b) {
+              if (a.ip != b.ip) return a.ip < b.ip;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.index < b.index;
+            });
+  for (std::size_t i = 1; i < frames.size(); ++i) {
+    if (frames[i].ip == frames[i - 1].ip) {
+      result.error = "duplicate host " + Ipv4(frames[i].ip).str() +
+                     " in shard " + std::to_string(frames[i - 1].shard) +
+                     " and shard " + std::to_string(frames[i].shard) +
+                     " (overlapping slices?)";
+      return false;
+    }
+  }
+  std::string merged;
+  merged.reserve(records_header.size() + frames_bytes);
+  merged += records_header;
+  for (const FrameRef& frame : frames) {
+    merged.append(frame.frame.data(), frame.frame.size());
+  }
+  const std::string path = ctx.out_dir + "/" + kShardRecordsFile;
+  if (!write_file(path, merged)) {
+    result.error = path + ": write failed";
+    return false;
+  }
+  result.records = frames.size();
+  return true;
+}
+
+// --- Metrics ----------------------------------------------------------------
+// Commutative sum in shard order. The documents are a few KB regardless of
+// corpus size, so the fold reads them whole under both strategies.
+
+bool merge_metrics_channel(MergeContext& ctx) {
+  MergeResult& result = ctx.result;
+  obs::MetricsRegistry merged;
+  for (std::uint32_t shard = 0; shard < ctx.total_shards(); ++shard) {
+    const std::string path = ctx.shard_path(shard, kShardMetricsFile);
+    const auto text = read_file(path);
+    if (!text) {
+      result.error = path + ": missing metrics document";
+      return false;
+    }
+    std::string parse_error;
+    const auto doc = json::Value::parse(*text, &parse_error);
+    if (!doc) {
+      result.error = path + ": " + parse_error;
+      return false;
+    }
+    std::string merge_error;
+    if (!merge_metrics_document(*doc, merged, &merge_error)) {
+      result.error = path + ": " + merge_error;
+      return false;
+    }
+  }
+  const std::string path = ctx.out_dir + "/" + kShardMetricsFile;
+  if (!write_file(path, merged.to_json())) {
+    result.error = path + ": write failed";
+    return false;
+  }
+  return true;
+}
+
+// --- Trace ------------------------------------------------------------------
+// Each shard's trace.jsonl came out of TraceBuffer::to_jsonl, so its lines
+// are already in canonical (t, host, seq) order and canonical bytes; hosts
+// never repeat across shards. The merged file is therefore exactly a k-way
+// merge of the input lines, which the streaming reducer performs holding
+// one line per shard. The strict scanner proves each line canonical as it
+// goes; any deviation — non-canonical bytes, out-of-order or colliding
+// keys, unreadable input — abandons the stream and the materializing
+// reducer re-reads the channel.
+
+StreamStatus merge_trace_streamed(MergeContext& ctx) {
+  MergeResult& result = ctx.result;
+  const std::uint32_t n = ctx.total_shards();
+  constexpr std::string_view kTraceHeader = "{\"schema\":\"ftpc.trace.v1\"}";
+  struct TraceCursor {
+    std::unique_ptr<LineReader> reader;
+    std::string_view line;
+    TraceKey key;
+    bool live = false;
+  };
+  std::vector<TraceCursor> cursors(n);
+  const auto advance = [](TraceCursor& cursor) {
+    std::string_view line;
+    const LineReader::Status status = cursor.reader->next(line);
+    if (status == LineReader::Status::kEof) {
+      cursor.live = false;
+      return true;
+    }
+    if (status == LineReader::Status::kError) return false;
+    TraceKey key;
+    if (!scan_canonical_trace_line(line, key)) return false;
+    if (cursor.live && !(cursor.key < key)) return false;  // must ascend
+    cursor.line = line;
+    cursor.key = key;
+    cursor.live = true;
+    return true;
+  };
+  for (std::uint32_t shard = 0; shard < n; ++shard) {
+    cursors[shard].reader = std::make_unique<LineReader>(
+        &ctx.budget, ctx.options.buffer_bytes);
+    std::string_view line;
+    if (!cursors[shard].reader->open(ctx.shard_path(shard, kShardTraceFile)) ||
+        cursors[shard].reader->next(line) != LineReader::Status::kLine ||
+        line != kTraceHeader || !advance(cursors[shard])) {
+      return StreamStatus::kFallback;
+    }
+  }
+  BufferedWriter writer(&ctx.budget, ctx.options.buffer_bytes);
+  const std::string path = ctx.out_dir + "/" + kShardTraceFile;
+  if (!writer.open(path)) {
+    result.error = path + ": write failed";
+    return StreamStatus::kFail;
+  }
+  writer.append(kTraceHeader);
+  writer.append("\n");
+  for (;;) {
+    int best = -1;
+    for (std::uint32_t shard = 0; shard < n; ++shard) {
+      if (!cursors[shard].live) continue;
+      if (best < 0) {
+        best = static_cast<int>(shard);
+      } else if (cursors[shard].key == cursors[best].key) {
+        return StreamStatus::kFallback;  // cross-shard key collision
+      } else if (cursors[shard].key < cursors[best].key) {
+        best = static_cast<int>(shard);
+      }
+    }
+    if (best < 0) break;
+    writer.append(cursors[best].line);
+    writer.append("\n");
+    if (!advance(cursors[best])) return StreamStatus::kFallback;
+  }
+  if (!writer.close()) {
+    result.error = path + ": write failed";
+    return StreamStatus::kFail;
+  }
+  return StreamStatus::kOk;
+}
+
+bool merge_trace_materialized(MergeContext& ctx) {
+  MergeResult& result = ctx.result;
+  const std::uint32_t n = ctx.total_shards();
+  std::vector<std::string> texts(n);
+  std::vector<std::string> paths(n);
+  std::vector<std::vector<std::string_view>> shard_lines(n);
+  std::size_t trace_bytes = 0;
+  for (std::uint32_t shard = 0; shard < n; ++shard) {
+    paths[shard] = ctx.shard_path(shard, kShardTraceFile);
+    auto text = read_file(paths[shard]);
+    if (!text) {
+      result.error = paths[shard] + ": missing trace";
+      return false;
+    }
+    trace_bytes += text->size();
+    texts[shard] = std::move(*text);
+    shard_lines[shard] = split_lines(texts[shard]);
+    if (shard_lines[shard].empty() ||
+        shard_lines[shard][0] != "{\"schema\":\"ftpc.trace.v1\"}") {
+      result.error = paths[shard] + ":1: missing ftpc.trace.v1 header";
+      return false;
+    }
+  }
+  struct KeyedLine {
+    TraceKey key;
+    std::string_view line;
+  };
+  std::vector<std::vector<KeyedLine>> keyed(n);
+  bool fast = true;
+  for (std::uint32_t shard = 0; shard < n && fast; ++shard) {
+    const auto& lines = shard_lines[shard];
+    keyed[shard].reserve(lines.size());
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+      TraceKey key;
+      if (!scan_canonical_trace_line(lines[i], key) ||
+          (!keyed[shard].empty() &&
+           !(keyed[shard].back().key < key))) {
+        fast = false;
+        break;
+      }
+      keyed[shard].push_back({key, lines[i]});
+    }
+  }
+  bool wrote_fast = false;
+  if (fast) {
+    std::string out_text;
+    out_text.reserve(trace_bytes + 1);
+    out_text += "{\"schema\":\"ftpc.trace.v1\"}\n";
+    std::vector<std::size_t> cursor(n, 0);
+    for (;;) {
+      int best = -1;
+      for (std::uint32_t shard = 0; shard < n; ++shard) {
+        if (cursor[shard] >= keyed[shard].size()) continue;
+        const TraceKey& key = keyed[shard][cursor[shard]].key;
+        if (best < 0) {
+          best = static_cast<int>(shard);
+        } else if (key == keyed[best][cursor[best]].key) {
+          fast = false;  // cross-shard key collision: resort generically
+          break;
+        } else if (key < keyed[best][cursor[best]].key) {
+          best = static_cast<int>(shard);
+        }
+      }
+      if (!fast || best < 0) break;
+      const std::string_view line = keyed[best][cursor[best]].line;
+      out_text.append(line.data(), line.size());
+      out_text.push_back('\n');
+      ++cursor[best];
+    }
+    if (fast) {
+      const std::string path = ctx.out_dir + "/" + kShardTraceFile;
+      if (!write_file(path, out_text)) {
+        result.error = path + ": write failed";
+        return false;
+      }
+      wrote_fast = true;
+    }
+  }
+  if (!wrote_fast) {
+    obs::TraceBuffer merged;
+    for (std::uint32_t shard = 0; shard < n; ++shard) {
+      const auto& lines = shard_lines[shard];
+      for (std::size_t i = 1; i < lines.size(); ++i) {
+        const auto value =
+            parse_line(lines[i], paths[shard], i + 1, result.error);
+        if (!value) return false;
+        const auto event = parse_trace_event(*value);
+        if (!event) {
+          result.error = paths[shard] + ":" + std::to_string(i + 1) +
+                         ": malformed trace event";
+          return false;
+        }
+        merged.append(*event);
+      }
+    }
+    const std::string path = ctx.out_dir + "/" + kShardTraceFile;
+    if (!write_file(path, merged.to_jsonl())) {
+      result.error = path + ": write failed";
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- Timeline ---------------------------------------------------------------
+// The materializing path loads every host fact and calls
+// obs::Timeline::project, which sorts sessions by global index and replays
+// the canonical window schedule. But the fact files already store hosts in
+// ascending global index (shard_slice finalize walks the slice in scan
+// order), so a k-way merge of the per-shard streams IS that sorted order —
+// the replay can run incrementally, keeping only the concurrency window
+// and per-tick deltas, and rows can be emitted as they are computed. The
+// projector below is a line-for-line restatement of Timeline::project +
+// to_jsonl; the process-shard equivalence matrix pins the two byte-equal.
+
+class StreamingTimelineProjector {
+ public:
+  StreamingTimelineProjector(std::uint64_t interval_us, std::uint64_t pps,
+                             std::uint32_t concurrency)
+      : interval_us_(interval_us),
+        interval_(std::max<std::uint64_t>(1, interval_us)),
+        pps_(pps),
+        concurrency_(concurrency),
+        cap_(std::max<std::uint32_t>(1, concurrency)) {}
+
+  void add_scan_series(std::vector<obs::TimelineScanSample> series) {
+    scan_series_.push_back(std::move(series));
+  }
+
+  /// Locks in the scan totals (t0, scan end tick). Every series must be
+  /// loaded first — the replay's launch times depend on t0.
+  void begin_replay() {
+    for (const auto& series : scan_series_) {
+      if (series.empty()) continue;
+      const obs::TimelineScanSample& last = series.back();
+      totals_.elements += last.elements;
+      totals_.probed += last.probed;
+      totals_.responsive += last.responsive;
+      totals_.retransmits += last.retransmits;
+    }
+    t0_ = pps_ == 0 ? 0 : (totals_.probed + totals_.retransmits) *
+                              1'000'000 / pps_;
+    scan_end_tick_ = bucket(t0_);
+    last_tick_ = scan_end_tick_;
+  }
+
+  /// Consumes one host fact; callers feed hosts in ascending global index.
+  void add_host(const obs::TimelineHost& host) {
+    ++hits_;
+    if (!host.enumerated) return;
+    ++sessions_;
+    std::uint64_t launch = t0_;
+    if (window_.size() >= cap_) {
+      launch = window_.top();
+      window_.pop();
+    }
+    const std::uint64_t completion = launch + host.duration_us;
+    window_.push(completion);
+    Delta& at_launch = deltas_[bucket(launch)];
+    ++at_launch.launched;
+    Delta& at_done = deltas_[bucket(completion)];
+    ++at_done.done;
+    if (host.connected) ++at_done.connected;
+    if (host.ftp_compliant) ++at_done.ftp;
+    if (host.anonymous) ++at_done.anonymous;
+    if (host.errored) ++at_done.errored;
+    at_done.requests += static_cast<std::int64_t>(host.requests);
+    at_done.retries += static_cast<std::int64_t>(host.retries);
+    last_tick_ = std::max(last_tick_, bucket(completion));
+  }
+
+  /// ftpc.tsdb.v1 header + one row per tick, streamed through `out`.
+  void emit(BufferedWriter& out) const {
+    const std::uint64_t ticks = last_tick_;
+    std::string line = "{\"schema\":\"ftpc.tsdb.v1\"";
+    line += ",\"interval_us\":" + std::to_string(interval_us_);
+    line += ",\"pps\":" + std::to_string(pps_);
+    line += ",\"concurrency\":" + std::to_string(concurrency_);
+    line += ",\"t0_us\":" + std::to_string(t0_);
+    line += ",\"hits\":" + std::to_string(hits_);
+    line += ",\"sessions\":" + std::to_string(sessions_);
+    line += ",\"ticks\":" + std::to_string(ticks);
+    line += "}\n";
+    out.append(line);
+    if (ticks == 0) return;
+    struct SeriesCursor {
+      const std::vector<obs::TimelineScanSample>* series;
+      std::size_t next = 0;
+      obs::TimelineScanSample current{};  // all-zero before the first boundary
+    };
+    std::vector<SeriesCursor> cursors;
+    cursors.reserve(scan_series_.size());
+    for (const auto& series : scan_series_) {
+      cursors.push_back({&series, 0, {}});
+    }
+    auto flat = deltas_.begin();
+    Delta cum;  // running prefix of the enumeration deltas
+    const auto& names = obs::Timeline::gauge_names();
+    std::array<std::uint64_t, obs::Timeline::kGaugeCount> gauges{};
+    for (std::uint64_t k = 1; k <= ticks; ++k) {
+      gauges.fill(0);
+      if (k >= scan_end_tick_) {
+        // At (and beyond) the canonical scan end, the exact merged totals.
+        gauges[obs::Timeline::kScanElements] = totals_.elements;
+        gauges[obs::Timeline::kScanProbed] = totals_.probed;
+        gauges[obs::Timeline::kScanResponsive] = totals_.responsive;
+        gauges[obs::Timeline::kScanRetransmits] = totals_.retransmits;
+      } else {
+        for (SeriesCursor& cursor : cursors) {
+          while (cursor.next < cursor.series->size() &&
+                 (*cursor.series)[cursor.next].boundary <= k) {
+            cursor.current = (*cursor.series)[cursor.next++];
+          }
+          gauges[obs::Timeline::kScanElements] += cursor.current.elements;
+          gauges[obs::Timeline::kScanProbed] += cursor.current.probed;
+          gauges[obs::Timeline::kScanResponsive] += cursor.current.responsive;
+          gauges[obs::Timeline::kScanRetransmits] +=
+              cursor.current.retransmits;
+        }
+      }
+      while (flat != deltas_.end() && flat->first <= k) {
+        const Delta& d = flat->second;
+        ++flat;
+        cum.launched += d.launched;
+        cum.done += d.done;
+        cum.connected += d.connected;
+        cum.ftp += d.ftp;
+        cum.anonymous += d.anonymous;
+        cum.errored += d.errored;
+        cum.requests += d.requests;
+        cum.retries += d.retries;
+      }
+      gauges[obs::Timeline::kEnumLaunched] =
+          static_cast<std::uint64_t>(cum.launched);
+      gauges[obs::Timeline::kEnumInFlight] =
+          static_cast<std::uint64_t>(cum.launched - cum.done);
+      const std::uint64_t discovered =
+          k >= scan_end_tick_ ? sessions_ : 0;
+      gauges[obs::Timeline::kEnumQueue] =
+          discovered - static_cast<std::uint64_t>(cum.launched);
+      gauges[obs::Timeline::kEnumDone] = static_cast<std::uint64_t>(cum.done);
+      gauges[obs::Timeline::kFunnelConnected] =
+          static_cast<std::uint64_t>(cum.connected);
+      gauges[obs::Timeline::kFunnelFtp] = static_cast<std::uint64_t>(cum.ftp);
+      gauges[obs::Timeline::kFunnelAnonymous] =
+          static_cast<std::uint64_t>(cum.anonymous);
+      gauges[obs::Timeline::kFunnelErrored] =
+          static_cast<std::uint64_t>(cum.errored);
+      gauges[obs::Timeline::kFtpRequests] =
+          static_cast<std::uint64_t>(cum.requests);
+      gauges[obs::Timeline::kRetryCommands] =
+          static_cast<std::uint64_t>(cum.retries);
+      line = "{\"t\":" + std::to_string(k * interval_);
+      for (std::size_t i = 0; i < obs::Timeline::kGaugeCount; ++i) {
+        line += ",\"";
+        line += names[i];
+        line += "\":" + std::to_string(gauges[i]);
+      }
+      line += "}\n";
+      out.append(line);
+    }
+  }
+
+ private:
+  struct Delta {
+    std::int64_t launched = 0;
+    std::int64_t done = 0;
+    std::int64_t connected = 0;
+    std::int64_t ftp = 0;
+    std::int64_t anonymous = 0;
+    std::int64_t errored = 0;
+    std::int64_t requests = 0;
+    std::int64_t retries = 0;
+  };
+  struct ScanTotals {
+    std::uint64_t elements = 0;
+    std::uint64_t probed = 0;
+    std::uint64_t responsive = 0;
+    std::uint64_t retransmits = 0;
+  };
+
+  std::uint64_t bucket(std::uint64_t t) const {
+    return (t + interval_ - 1) / interval_;
+  }
+
+  std::uint64_t interval_us_;
+  std::uint64_t interval_;
+  std::uint64_t pps_;
+  std::uint32_t concurrency_;
+  std::uint32_t cap_;
+  std::vector<std::vector<obs::TimelineScanSample>> scan_series_;
+  ScanTotals totals_;
+  std::uint64_t t0_ = 0;
+  std::uint64_t scan_end_tick_ = 0;
+  std::uint64_t last_tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t sessions_ = 0;
+  std::priority_queue<std::uint64_t, std::vector<std::uint64_t>,
+                      std::greater<>>
+      window_;  // min-heap of completion times
+  std::map<std::uint64_t, Delta> deltas_;  // tick -> event deltas, sorted
+};
+
+StreamStatus merge_timeline_streamed(MergeContext& ctx) {
+  MergeResult& result = ctx.result;
+  const ShardManifest& first = ctx.first();
+  const std::uint32_t n = ctx.total_shards();
+  StreamingTimelineProjector projector(first.timeline_interval_us, first.pps,
+                                       first.concurrency);
+  struct FactCursor {
+    std::unique_ptr<LineReader> reader;
+    obs::TimelineHost host;
+    bool live = false;       // `host` holds this shard's next unconsumed fact
+    bool host_seen = false;  // ordering + layout guard
+  };
+  std::vector<FactCursor> cursors(n);
+  const auto advance = [&projector](FactCursor& cursor) {
+    for (;;) {
+      std::string_view line;
+      const LineReader::Status status = cursor.reader->next(line);
+      if (status == LineReader::Status::kEof) {
+        cursor.live = false;
+        return true;
+      }
+      if (status == LineReader::Status::kError) return false;
+      if (const auto host = scan_timeline_host_line(line)) {
+        if (cursor.host_seen &&
+            !(cursor.host.global_index < host->global_index)) {
+          return false;  // not strictly ascending: can't k-way merge
+        }
+        cursor.host = *host;
+        cursor.live = cursor.host_seen = true;
+        return true;
+      }
+      if (auto series = scan_scan_series_line(line)) {
+        // A series after a host fact would change t0 mid-replay; only the
+        // canonical header/series/hosts layout streams.
+        if (cursor.host_seen) return false;
+        projector.add_scan_series(std::move(*series));
+        continue;
+      }
+      return false;  // non-canonical fact: re-derive with diagnostics
+    }
+  };
+  constexpr std::string_view kFactsHeader = "{\"schema\":\"ftpc.shardtl.v1\"";
+  for (std::uint32_t shard = 0; shard < n; ++shard) {
+    cursors[shard].reader = std::make_unique<LineReader>(
+        &ctx.budget, ctx.options.buffer_bytes);
+    std::string_view line;
+    if (!cursors[shard].reader->open(
+            ctx.shard_path(shard, kShardTimelineFactsFile)) ||
+        cursors[shard].reader->next(line) != LineReader::Status::kLine ||
+        line.substr(0, kFactsHeader.size()) != kFactsHeader ||
+        !advance(cursors[shard])) {
+      return StreamStatus::kFallback;
+    }
+  }
+  projector.begin_replay();
+  for (;;) {
+    int best = -1;
+    for (std::uint32_t shard = 0; shard < n; ++shard) {
+      if (!cursors[shard].live) continue;
+      if (best < 0) {
+        best = static_cast<int>(shard);
+      } else if (cursors[shard].host.global_index ==
+                 cursors[best].host.global_index) {
+        // Equal global indexes would hit the materializing path's unstable
+        // sort; don't try to reproduce unspecified behavior.
+        return StreamStatus::kFallback;
+      } else if (cursors[shard].host.global_index <
+                 cursors[best].host.global_index) {
+        best = static_cast<int>(shard);
+      }
+    }
+    if (best < 0) break;
+    projector.add_host(cursors[best].host);
+    if (!advance(cursors[best])) return StreamStatus::kFallback;
+  }
+  BufferedWriter writer(&ctx.budget, ctx.options.buffer_bytes);
+  const std::string path = ctx.out_dir + "/" + kShardTimelineFile;
+  if (!writer.open(path)) {
+    result.error = path + ": write failed";
+    return StreamStatus::kFail;
+  }
+  projector.emit(writer);
+  if (!writer.close()) {
+    result.error = path + ": write failed";
+    return StreamStatus::kFail;
+  }
+  return StreamStatus::kOk;
+}
+
+bool merge_timeline_materialized(MergeContext& ctx) {
+  MergeResult& result = ctx.result;
+  const ShardManifest& first = ctx.first();
+  obs::TimelineOptions options;
+  options.enabled = true;
+  options.interval_us = first.timeline_interval_us;
+  obs::Timeline merged(options, first.concurrency);
+  merged.set_pps(first.pps);
+  for (std::uint32_t shard = 0; shard < ctx.total_shards(); ++shard) {
+    const std::string path =
+        ctx.shard_path(shard, kShardTimelineFactsFile);
+    const auto text = read_file(path);
+    if (!text) {
+      result.error = path + ": missing timeline facts";
+      return false;
+    }
+    const auto lines = split_lines(*text);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (i == 0) {
+        const auto value = parse_line(lines[i], path, i + 1, result.error);
+        if (!value) return false;
+        const auto schema = value->str("schema");
+        if (!schema || *schema != "ftpc.shardtl.v1") {
+          result.error = path + ":1: missing ftpc.shardtl.v1 header";
+          return false;
+        }
+        continue;
+      }
+      // Canonical fact lines take the strict scanners; anything else
+      // falls through to the generic JSON path below (projection output
+      // never echoes input bytes, so lenient acceptance is safe here).
+      if (const auto host = scan_timeline_host_line(lines[i])) {
+        merged.add_host(*host);
+        continue;
+      }
+      if (const auto series = scan_scan_series_line(lines[i])) {
+        merged.add_scan_series(*series);
+        continue;
+      }
+      const auto value = parse_line(lines[i], path, i + 1, result.error);
+      if (!value) return false;
+      const auto kind = value->str("k");
+      if (kind && *kind == "scan") {
+        const auto series = parse_timeline_scan_series(*value);
+        if (!series) {
+          result.error = path + ":" + std::to_string(i + 1) +
+                         ": malformed scan series";
+          return false;
+        }
+        merged.add_scan_series(*series);
+      } else if (kind && *kind == "host") {
+        const auto host = parse_timeline_host(*value);
+        if (!host) {
+          result.error =
+              path + ":" + std::to_string(i + 1) + ": malformed host fact";
+          return false;
+        }
+        merged.add_host(*host);
+      } else {
+        result.error = path + ":" + std::to_string(i + 1) +
+                       ": unknown timeline fact kind";
+        return false;
+      }
+    }
+  }
+  const std::string path = ctx.out_dir + "/" + kShardTimelineFile;
+  if (!write_file(path, merged.to_jsonl())) {
+    result.error = path + ": write failed";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 MergeResult merge_shard_artifacts(const std::vector<std::string>& shard_dirs,
                                   const std::string& out_dir) {
+  return merge_shard_artifacts(shard_dirs, out_dir, MergeOptions{});
+}
+
+MergeResult merge_shard_artifacts(const std::vector<std::string>& shard_dirs,
+                                  const std::string& out_dir,
+                                  const MergeOptions& options) {
   MergeResult result;
   StageTimer timer;
   if (shard_dirs.empty()) {
@@ -916,317 +1742,57 @@ MergeResult merge_shard_artifacts(const std::vector<std::string>& shard_dirs,
   result.shards = first.total_shards;
   timer.mark("manifests");
 
-  // --- Records: checksum-gated frame copy, canonical sort ------------------
-  // Frames are never decoded here: every frame carries an FNV-1a checksum
-  // of its body, and a frame that verifies was produced by our own
-  // encoder, so copying it verbatim IS the canonical re-encoding. The
-  // scan mirrors DatasetReader's acceptance exactly — bad header, torn
-  // frame, and checksum damage produce the same diagnostics.
-  struct FrameRef {
-    std::uint32_t ip;
-    std::uint32_t shard;
-    std::uint32_t index;
-    std::string_view frame;  // length prefix + body + checksum, verbatim
-  };
-  std::vector<std::string> records_texts(first.total_shards);
-  std::vector<FrameRef> frames;
-  std::size_t frames_bytes = 0;
-  const std::string records_header = dataset_file_header();
-  for (std::uint32_t shard = 0; shard < first.total_shards; ++shard) {
-    const std::string& dir = shard_dirs[owner[shard]];
-    const std::string path = dir + "/" + kShardRecordsFile;
-    auto text = read_file(path);
-    if (!text || text->size() < records_header.size() ||
-        std::memcmp(text->data(), records_header.data(),
-                    records_header.size()) != 0) {
-      result.error = path + ": cannot read (missing or bad FTPD header)";
-      return result;
-    }
-    records_texts[shard] = std::move(*text);
-    const std::string_view bytes = records_texts[shard];
-    std::size_t cursor = records_header.size();
-    std::uint32_t index = 0;
-    for (;;) {
-      // Fewer than 4 trailing bytes is a clean EOF, as in DatasetReader.
-      if (bytes.size() - cursor < sizeof(std::uint32_t)) break;
-      std::uint32_t length = 0;
-      std::memcpy(&length, bytes.data() + cursor, sizeof(length));
-      const std::size_t frame_size =
-          sizeof(length) + length + sizeof(std::uint64_t);
-      std::uint64_t checksum = 0;
-      const bool intact =
-          length >= sizeof(std::uint32_t) && length <= (64u << 20) &&
-          bytes.size() - cursor >= frame_size &&
-          (std::memcpy(&checksum,
-                       bytes.data() + cursor + sizeof(length) + length,
-                       sizeof(checksum)),
-           checksum ==
-               fnv1a64(bytes.substr(cursor + sizeof(length), length)));
-      if (!intact) {
-        result.error = path + ": truncated after " + std::to_string(index) +
-                       " record(s)";
-        return result;
-      }
-      std::uint32_t ip = 0;
-      std::memcpy(&ip, bytes.data() + cursor + sizeof(length), sizeof(ip));
-      frames.push_back({ip, shard, index, bytes.substr(cursor, frame_size)});
-      frames_bytes += frame_size;
-      ++index;
-      cursor += frame_size;
-    }
-    if (index != manifests[owner[shard]].records) {
-      result.error = path + ": holds " + std::to_string(index) +
-                     " record(s) but the manifest declares " +
-                     std::to_string(manifests[owner[shard]].records);
-      return result;
-    }
-  }
-  // The same canonical order ShardMergeSink replays: ascending (IP, shard,
-  // index). Scanned addresses are unique across shards, so a repeated IP
-  // means overlapping slices — reject it.
-  std::sort(frames.begin(), frames.end(),
-            [](const FrameRef& a, const FrameRef& b) {
-              if (a.ip != b.ip) return a.ip < b.ip;
-              if (a.shard != b.shard) return a.shard < b.shard;
-              return a.index < b.index;
-            });
-  for (std::size_t i = 1; i < frames.size(); ++i) {
-    if (frames[i].ip == frames[i - 1].ip) {
-      result.error = "duplicate host " + Ipv4(frames[i].ip).str() +
-                     " in shard " + std::to_string(frames[i - 1].shard) +
-                     " and shard " + std::to_string(frames[i].shard) +
-                     " (overlapping slices?)";
-      return result;
-    }
-  }
+  MergeContext ctx{shard_dirs, out_dir, options, manifests, owner, result};
+
+  // Each channel tries the streaming reducer first, falling back to the
+  // materializing one on any non-canonical input. The fallback re-reads
+  // from scratch: slower on damaged inputs, but it keeps all acceptance
+  // and diagnostics in one implementation per strategy, and the two are
+  // pinned byte-equal on everything both accept.
   {
-    std::string merged;
-    merged.reserve(records_header.size() + frames_bytes);
-    merged += records_header;
-    for (const FrameRef& frame : frames) {
-      merged.append(frame.frame.data(), frame.frame.size());
+    StreamStatus status = StreamStatus::kFallback;
+    if (!options.force_materialize) {
+      status = merge_records_streamed(ctx);
+      if (status == StreamStatus::kFail) return result;
     }
-    const std::string path = out_dir + "/" + kShardRecordsFile;
-    if (!write_file(path, merged)) {
-      result.error = path + ": write failed";
+    if (status == StreamStatus::kOk) {
+      result.streamed_records = true;
+    } else if (!merge_records_materialized(ctx)) {
       return result;
     }
-    result.records = frames.size();
   }
-  records_texts.clear();
   timer.mark("records");
 
-  // --- Metrics: commutative sum in shard order -----------------------------
   if (first.has_metrics) {
-    obs::MetricsRegistry merged;
-    for (std::uint32_t shard = 0; shard < first.total_shards; ++shard) {
-      const std::string path =
-          shard_dirs[owner[shard]] + "/" + kShardMetricsFile;
-      const auto text = read_file(path);
-      if (!text) {
-        result.error = path + ": missing metrics document";
-        return result;
-      }
-      std::string parse_error;
-      const auto doc = json::Value::parse(*text, &parse_error);
-      if (!doc) {
-        result.error = path + ": " + parse_error;
-        return result;
-      }
-      std::string merge_error;
-      if (!merge_metrics_document(*doc, merged, &merge_error)) {
-        result.error = path + ": " + merge_error;
-        return result;
-      }
-    }
-    const std::string path = out_dir + "/" + kShardMetricsFile;
-    if (!write_file(path, merged.to_json())) {
-      result.error = path + ": write failed";
-      return result;
-    }
+    if (!merge_metrics_channel(ctx)) return result;
     result.wrote_metrics = true;
   }
   timer.mark("metrics");
 
-  // --- Trace: interleave already-canonical per-shard streams ---------------
-  // Each shard's trace.jsonl came out of TraceBuffer::to_jsonl, so its
-  // lines are already in canonical (t, host, seq) order and canonical
-  // bytes; hosts never repeat across shards. The merged file is therefore
-  // exactly a k-way merge of the input lines. The strict scanner proves
-  // each line is in that canonical form; any deviation — or out-of-order
-  // or colliding keys — sends the whole channel down the generic
-  // parse-and-resort path instead.
   if (first.has_trace) {
-    const std::uint32_t n = first.total_shards;
-    std::vector<std::string> texts(n);
-    std::vector<std::string> paths(n);
-    std::vector<std::vector<std::string_view>> shard_lines(n);
-    std::size_t trace_bytes = 0;
-    for (std::uint32_t shard = 0; shard < n; ++shard) {
-      paths[shard] = shard_dirs[owner[shard]] + "/" + kShardTraceFile;
-      auto text = read_file(paths[shard]);
-      if (!text) {
-        result.error = paths[shard] + ": missing trace";
-        return result;
-      }
-      trace_bytes += text->size();
-      texts[shard] = std::move(*text);
-      shard_lines[shard] = split_lines(texts[shard]);
-      if (shard_lines[shard].empty() ||
-          shard_lines[shard][0] != "{\"schema\":\"ftpc.trace.v1\"}") {
-        result.error = paths[shard] + ":1: missing ftpc.trace.v1 header";
-        return result;
-      }
+    StreamStatus status = StreamStatus::kFallback;
+    if (!options.force_materialize) {
+      status = merge_trace_streamed(ctx);
+      if (status == StreamStatus::kFail) return result;
     }
-    struct KeyedLine {
-      TraceKey key;
-      std::string_view line;
-    };
-    std::vector<std::vector<KeyedLine>> keyed(n);
-    bool fast = true;
-    for (std::uint32_t shard = 0; shard < n && fast; ++shard) {
-      const auto& lines = shard_lines[shard];
-      keyed[shard].reserve(lines.size());
-      for (std::size_t i = 1; i < lines.size(); ++i) {
-        TraceKey key;
-        if (!scan_canonical_trace_line(lines[i], key) ||
-            (!keyed[shard].empty() &&
-             !(keyed[shard].back().key < key))) {
-          fast = false;
-          break;
-        }
-        keyed[shard].push_back({key, lines[i]});
-      }
-    }
-    bool wrote_fast = false;
-    if (fast) {
-      std::string out_text;
-      out_text.reserve(trace_bytes + 1);
-      out_text += "{\"schema\":\"ftpc.trace.v1\"}\n";
-      std::vector<std::size_t> cursor(n, 0);
-      for (;;) {
-        int best = -1;
-        for (std::uint32_t shard = 0; shard < n; ++shard) {
-          if (cursor[shard] >= keyed[shard].size()) continue;
-          const TraceKey& key = keyed[shard][cursor[shard]].key;
-          if (best < 0) {
-            best = static_cast<int>(shard);
-          } else if (key == keyed[best][cursor[best]].key) {
-            fast = false;  // cross-shard key collision: resort generically
-            break;
-          } else if (key < keyed[best][cursor[best]].key) {
-            best = static_cast<int>(shard);
-          }
-        }
-        if (!fast || best < 0) break;
-        const std::string_view line = keyed[best][cursor[best]].line;
-        out_text.append(line.data(), line.size());
-        out_text.push_back('\n');
-        ++cursor[best];
-      }
-      if (fast) {
-        const std::string path = out_dir + "/" + kShardTraceFile;
-        if (!write_file(path, out_text)) {
-          result.error = path + ": write failed";
-          return result;
-        }
-        wrote_fast = true;
-      }
-    }
-    if (!wrote_fast) {
-      obs::TraceBuffer merged;
-      for (std::uint32_t shard = 0; shard < n; ++shard) {
-        const auto& lines = shard_lines[shard];
-        for (std::size_t i = 1; i < lines.size(); ++i) {
-          const auto value =
-              parse_line(lines[i], paths[shard], i + 1, result.error);
-          if (!value) return result;
-          const auto event = parse_trace_event(*value);
-          if (!event) {
-            result.error = paths[shard] + ":" + std::to_string(i + 1) +
-                           ": malformed trace event";
-            return result;
-          }
-          merged.append(*event);
-        }
-      }
-      const std::string path = out_dir + "/" + kShardTraceFile;
-      if (!write_file(path, merged.to_jsonl())) {
-        result.error = path + ": write failed";
-        return result;
-      }
+    if (status == StreamStatus::kOk) {
+      result.streamed_trace = true;
+    } else if (!merge_trace_materialized(ctx)) {
+      return result;
     }
     result.wrote_trace = true;
   }
   timer.mark("trace");
 
-  // --- Timeline: merge facts, project once ---------------------------------
   if (first.has_timeline) {
-    obs::TimelineOptions options;
-    options.enabled = true;
-    options.interval_us = first.timeline_interval_us;
-    obs::Timeline merged(options, first.concurrency);
-    merged.set_pps(first.pps);
-    for (std::uint32_t shard = 0; shard < first.total_shards; ++shard) {
-      const std::string path =
-          shard_dirs[owner[shard]] + "/" + kShardTimelineFactsFile;
-      const auto text = read_file(path);
-      if (!text) {
-        result.error = path + ": missing timeline facts";
-        return result;
-      }
-      const auto lines = split_lines(*text);
-      for (std::size_t i = 0; i < lines.size(); ++i) {
-        if (i == 0) {
-          const auto value = parse_line(lines[i], path, i + 1, result.error);
-          if (!value) return result;
-          const auto schema = value->str("schema");
-          if (!schema || *schema != "ftpc.shardtl.v1") {
-            result.error = path + ":1: missing ftpc.shardtl.v1 header";
-            return result;
-          }
-          continue;
-        }
-        // Canonical fact lines take the strict scanners; anything else
-        // falls through to the generic JSON path below (projection output
-        // never echoes input bytes, so lenient acceptance is safe here).
-        if (const auto host = scan_timeline_host_line(lines[i])) {
-          merged.add_host(*host);
-          continue;
-        }
-        if (const auto series = scan_scan_series_line(lines[i])) {
-          merged.add_scan_series(*series);
-          continue;
-        }
-        const auto value = parse_line(lines[i], path, i + 1, result.error);
-        if (!value) return result;
-        const auto kind = value->str("k");
-        if (kind && *kind == "scan") {
-          const auto series = parse_timeline_scan_series(*value);
-          if (!series) {
-            result.error = path + ":" + std::to_string(i + 1) +
-                           ": malformed scan series";
-            return result;
-          }
-          merged.add_scan_series(*series);
-        } else if (kind && *kind == "host") {
-          const auto host = parse_timeline_host(*value);
-          if (!host) {
-            result.error =
-                path + ":" + std::to_string(i + 1) + ": malformed host fact";
-            return result;
-          }
-          merged.add_host(*host);
-        } else {
-          result.error = path + ":" + std::to_string(i + 1) +
-                         ": unknown timeline fact kind";
-          return result;
-        }
-      }
+    StreamStatus status = StreamStatus::kFallback;
+    if (!options.force_materialize) {
+      status = merge_timeline_streamed(ctx);
+      if (status == StreamStatus::kFail) return result;
     }
-    const std::string path = out_dir + "/" + kShardTimelineFile;
-    if (!write_file(path, merged.to_jsonl())) {
-      result.error = path + ": write failed";
+    if (status == StreamStatus::kOk) {
+      result.streamed_timeline = true;
+    } else if (!merge_timeline_materialized(ctx)) {
       return result;
     }
     result.wrote_timeline = true;
@@ -1259,6 +1825,7 @@ MergeResult merge_shard_artifacts(const std::vector<std::string>& shard_dirs,
   }
   timer.mark("health");
 
+  result.peak_stream_bytes = ctx.budget.peak();
   result.ok = true;
   return result;
 }

@@ -140,6 +140,24 @@ bool merge_metrics_document(const json::Value& doc,
 
 // --- Merge -----------------------------------------------------------------
 
+/// Reduction strategy knobs. The default is the streaming reducer: every
+/// channel is consumed through bounded per-shard buffers (core/
+/// shard_stream.h) so peak buffered bytes are O(shard count x buffer),
+/// independent of corpus size. Canonical artifacts — the only thing our
+/// own writers produce — always stream; any non-canonical input silently
+/// drops that channel to the materializing path, which keeps the
+/// permissive semantics and the first-divergence diagnostics the
+/// corruption suite pins. Both strategies are byte-identical on every
+/// input they both accept (process_shard_test compares them exhaustively).
+struct MergeOptions {
+  /// Per-stream chunk size. Lines/frames larger than this spill (and are
+  /// accounted); the value changes memory and syscall counts, never bytes.
+  std::size_t buffer_bytes = 1 << 20;
+  /// Force the legacy whole-file reducer (ftpcmerge --materialize). The
+  /// equivalence tests and the bench use this as the reference path.
+  bool force_materialize = false;
+};
+
 struct MergeResult {
   bool ok = false;
   std::string error;  // first-divergence diagnostic (file + position)
@@ -152,6 +170,19 @@ struct MergeResult {
   /// Optional channel: shards run without --heartbeat-interval contribute
   /// nothing and that is not an error.
   std::uint64_t health_histories = 0;
+  /// Which channels took the streaming reducer (false after a fallback or
+  /// under force_materialize).
+  bool streamed_records = false;
+  bool streamed_trace = false;
+  bool streamed_timeline = false;
+  /// High-water mark of live stream-buffer bytes (StreamBudget). This is
+  /// the merge's bounded footprint: flat in corpus size at a fixed shard
+  /// count and buffer size. Zero when nothing streamed.
+  std::uint64_t peak_stream_bytes = 0;
+  /// Bytes of the records sort index (a fixed-size key per record — the
+  /// one per-record residual the streaming reducer keeps; ~1-2% of the
+  /// frame bytes it no longer holds).
+  std::uint64_t frame_index_bytes = 0;
 };
 
 /// Validates `shard_dirs` as one complete ftpc.shard.v1 set (N distinct
@@ -161,6 +192,9 @@ struct MergeResult {
 /// timeline.jsonl. On any validation failure (missing/duplicate shard,
 /// config-hash mismatch, truncated records, garbled JSON) returns ok=false
 /// with a diagnostic naming the first offending file.
+MergeResult merge_shard_artifacts(const std::vector<std::string>& shard_dirs,
+                                  const std::string& out_dir,
+                                  const MergeOptions& options);
 MergeResult merge_shard_artifacts(const std::vector<std::string>& shard_dirs,
                                   const std::string& out_dir);
 

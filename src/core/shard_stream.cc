@@ -1,0 +1,256 @@
+#include "core/shard_stream.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace ftpc::core {
+
+namespace {
+
+// Even a pathological buffer_bytes (the equivalence tests run with 64) must
+// leave room for a length prefix read and forward progress.
+constexpr std::size_t kMinChunk = 16;
+
+std::size_t clamp_chunk(std::size_t bytes) {
+  return bytes < kMinChunk ? kMinChunk : bytes;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// LineReader
+// ---------------------------------------------------------------------------
+
+LineReader::LineReader(StreamBudget* budget, std::size_t chunk_bytes)
+    : budget_(budget), chunk_bytes_(clamp_chunk(chunk_bytes)) {}
+
+LineReader::~LineReader() {
+  if (file_ != nullptr) std::fclose(file_);
+  budget_->release(accounted_);
+}
+
+bool LineReader::open(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return false;
+  // Our chunk IS the buffering; stdio's would double-count the budget.
+  std::setvbuf(file_, nullptr, _IONBF, 0);
+  chunk_.resize(chunk_bytes_);
+  budget_->add(chunk_bytes_);
+  accounted_ = chunk_bytes_;
+  return true;
+}
+
+LineReader::Status LineReader::next(std::string_view& line) {
+  if (error_) return Status::kError;
+  spill_.clear();
+  for (;;) {
+    const char* base = chunk_.data() + pos_;
+    const std::size_t avail = len_ - pos_;
+    const void* nl = avail > 0 ? std::memchr(base, '\n', avail) : nullptr;
+    if (nl != nullptr) {
+      const std::size_t n =
+          static_cast<std::size_t>(static_cast<const char*>(nl) - base);
+      if (spill_.empty()) {
+        line = std::string_view(base, n);
+      } else {
+        spill_.append(base, n);
+        line = spill_;
+      }
+      pos_ += n + 1;
+      if (spill_.capacity() > 0 &&
+          accounted_ < chunk_bytes_ + spill_.capacity()) {
+        budget_->add(chunk_bytes_ + spill_.capacity() - accounted_);
+        accounted_ = chunk_bytes_ + spill_.capacity();
+      }
+      return Status::kLine;
+    }
+    spill_.append(base, avail);
+    pos_ = len_ = 0;
+    if (eof_) {
+      if (spill_.empty()) return Status::kEof;
+      line = spill_;  // unterminated tail: a line, per split_lines()
+      return Status::kLine;
+    }
+    const std::size_t got = std::fread(chunk_.data(), 1, chunk_.size(), file_);
+    len_ = got;
+    if (got < chunk_.size()) {
+      if (std::ferror(file_) != 0) {
+        error_ = true;
+        return Status::kError;
+      }
+      eof_ = true;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FrameReader
+// ---------------------------------------------------------------------------
+
+FrameReader::FrameReader(StreamBudget* budget, std::size_t chunk_bytes)
+    : budget_(budget), chunk_bytes_(clamp_chunk(chunk_bytes)) {}
+
+FrameReader::~FrameReader() {
+  if (file_ != nullptr) std::fclose(file_);
+  budget_->release(accounted_);
+}
+
+bool FrameReader::open(const std::string& path,
+                       std::string_view expected_header) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return false;
+  std::setvbuf(file_, nullptr, _IONBF, 0);
+  buffer_.resize(chunk_bytes_);
+  budget_->add(buffer_.size());
+  accounted_ = buffer_.size();
+  std::string header(expected_header.size(), '\0');
+  const std::size_t got =
+      std::fread(header.data(), 1, header.size(), file_);
+  if (got != expected_header.size() ||
+      std::memcmp(header.data(), expected_header.data(), got) != 0) {
+    return false;
+  }
+  base_offset_ = expected_header.size();
+  return true;
+}
+
+bool FrameReader::ensure(std::size_t need) {
+  if (len_ - pos_ >= need) return true;
+  if (pos_ > 0) {
+    std::memmove(buffer_.data(), buffer_.data() + pos_, len_ - pos_);
+    base_offset_ += pos_;
+    len_ -= pos_;
+    pos_ = 0;
+  }
+  if (buffer_.size() < need) {
+    // A frame larger than the chunk (bodies go up to 64 MB) grows the
+    // buffer to exactly that frame; the growth is part of the budget.
+    buffer_.resize(need);
+    budget_->add(buffer_.size() - accounted_);
+    accounted_ = buffer_.size();
+  }
+  while (len_ < need && !eof_) {
+    const std::size_t want = buffer_.size() - len_;
+    const std::size_t got = std::fread(buffer_.data() + len_, 1, want, file_);
+    len_ += got;
+    if (got < want) {
+      if (std::ferror(file_) != 0) {
+        error_ = true;
+        return false;
+      }
+      eof_ = true;
+    }
+  }
+  return len_ >= need;
+}
+
+FrameReader::Status FrameReader::next() {
+  // Fewer than 4 trailing bytes is a clean EOF, as in DatasetReader.
+  if (!ensure(sizeof(std::uint32_t))) {
+    return error_ ? Status::kError : Status::kEof;
+  }
+  frame_offset_ = base_offset_ + pos_;
+  std::uint32_t length = 0;
+  std::memcpy(&length, buffer_.data() + pos_, sizeof(length));
+  if (length < sizeof(std::uint32_t) || length > (64u << 20)) {
+    return Status::kTorn;
+  }
+  const std::size_t frame_size =
+      sizeof(length) + length + sizeof(std::uint64_t);
+  if (!ensure(frame_size)) {
+    return error_ ? Status::kError : Status::kTorn;
+  }
+  std::uint64_t checksum = 0;
+  std::memcpy(&checksum, buffer_.data() + pos_ + sizeof(length) + length,
+              sizeof(checksum));
+  const std::string_view body(buffer_.data() + pos_ + sizeof(length), length);
+  if (checksum != fnv1a64(body)) return Status::kTorn;
+  std::memcpy(&ip_, body.data(), sizeof(ip_));
+  frame_size_ = static_cast<std::uint32_t>(frame_size);
+  if (frame_size_ > max_frame_size_) max_frame_size_ = frame_size_;
+  pos_ += frame_size;
+  return Status::kFrame;
+}
+
+// ---------------------------------------------------------------------------
+// FrameFetcher
+// ---------------------------------------------------------------------------
+
+FrameFetcher::~FrameFetcher() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool FrameFetcher::open(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) return false;
+  std::setvbuf(file_, nullptr, _IONBF, 0);
+  return true;
+}
+
+bool FrameFetcher::fetch(std::uint64_t offset, std::uint32_t size,
+                         std::string& out) {
+  out.resize(size);
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return false;
+  }
+  return std::fread(out.data(), 1, size, file_) == size;
+}
+
+// ---------------------------------------------------------------------------
+// BufferedWriter
+// ---------------------------------------------------------------------------
+
+BufferedWriter::BufferedWriter(StreamBudget* budget, std::size_t buffer_bytes)
+    : budget_(budget), buffer_bytes_(clamp_chunk(buffer_bytes)) {}
+
+BufferedWriter::~BufferedWriter() {
+  if (file_ != nullptr) {
+    flush();
+    std::fclose(file_);
+  }
+  budget_->release(buffer_bytes_);
+}
+
+bool BufferedWriter::open(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) return false;
+  std::setvbuf(file_, nullptr, _IONBF, 0);
+  buffer_.reserve(buffer_bytes_);
+  budget_->add(buffer_bytes_);
+  return true;
+}
+
+bool BufferedWriter::flush() {
+  if (buffer_.empty()) return !error_;
+  if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+      buffer_.size()) {
+    error_ = true;
+  }
+  buffer_.clear();
+  return !error_;
+}
+
+void BufferedWriter::append(std::string_view bytes) {
+  if (file_ == nullptr || error_) return;
+  if (buffer_.size() + bytes.size() > buffer_bytes_) {
+    flush();
+    if (bytes.size() >= buffer_bytes_) {
+      if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+        error_ = true;
+      }
+      return;
+    }
+  }
+  buffer_.append(bytes.data(), bytes.size());
+}
+
+bool BufferedWriter::close() {
+  if (file_ == nullptr) return false;
+  flush();
+  const bool closed = std::fclose(file_) == 0;
+  file_ = nullptr;
+  return closed && !error_;
+}
+
+}  // namespace ftpc::core

@@ -1,0 +1,164 @@
+// Bounded-buffer I/O primitives for the streaming shard-artifact merge.
+//
+// merge_shard_artifacts (core/shard_artifact.h) historically materialized
+// every input channel — all N records files, all N trace files, all N
+// timeline fact files — before reducing them, so its peak RSS was
+// O(corpus). The readers and writer here replace those whole-file loads
+// with fixed-size chunk buffers so the merge's buffered footprint is
+// O(shard count x buffer_bytes) regardless of corpus size:
+//
+//   LineReader    JSONL lines through one chunk buffer; a line longer than
+//                 the chunk spills into a growable side buffer (accounted)
+//                 that is reused across lines.
+//   FrameReader   FTPD record frames: header check plus per-frame length /
+//                 checksum validation with file offsets, mirroring the
+//                 materializing scan's acceptance exactly.
+//   FrameFetcher  random-access re-read of validated frames for the sorted
+//                 copy pass (seek + read into a reusable scratch buffer).
+//   BufferedWriter output coalescing with an explicit error state.
+//
+// Every buffer registers with a StreamBudget, whose high-water mark is the
+// merge's reportable peak (MergeResult::peak_stream_bytes) — the number
+// bench_merge_stream gates on. Streams use unbuffered stdio so the budget
+// is the buffering, not an understatement of it.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ftpc::core {
+
+/// High-water accounting for the live buffer bytes of one merge.
+class StreamBudget {
+ public:
+  void add(std::uint64_t bytes) {
+    live_ += bytes;
+    if (live_ > peak_) peak_ = live_;
+  }
+  void release(std::uint64_t bytes) {
+    live_ = bytes > live_ ? 0 : live_ - bytes;
+  }
+  std::uint64_t live() const noexcept { return live_; }
+  std::uint64_t peak() const noexcept { return peak_; }
+
+ private:
+  std::uint64_t live_ = 0;
+  std::uint64_t peak_ = 0;
+};
+
+/// Incremental JSONL reader. next() yields lines without their '\n'; the
+/// returned view stays valid until the next call on the same reader (the
+/// k-way merges hold one current line per shard). A final line without a
+/// terminating newline is yielded as a line, matching split_lines().
+class LineReader {
+ public:
+  enum class Status { kLine, kEof, kError };
+
+  LineReader(StreamBudget* budget, std::size_t chunk_bytes);
+  ~LineReader();
+  LineReader(const LineReader&) = delete;
+  LineReader& operator=(const LineReader&) = delete;
+
+  bool open(const std::string& path);
+  Status next(std::string_view& line);
+
+ private:
+  StreamBudget* budget_;
+  std::size_t chunk_bytes_;
+  std::FILE* file_ = nullptr;
+  std::string chunk_;
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+  std::string spill_;  // lines crossing a chunk boundary
+  std::uint64_t accounted_ = 0;
+  bool eof_ = false;
+  bool error_ = false;
+};
+
+/// Incremental FTPD frame scanner. open() validates the dataset header;
+/// next() validates one frame (length bounds, trailing FNV-1a checksum)
+/// and exposes its IP, file offset and size — everything the sorted copy
+/// pass needs without keeping the bytes. Acceptance is byte-for-byte the
+/// materializing scan's: fewer than 4 trailing bytes is a clean kEof, any
+/// other damage is kTorn.
+class FrameReader {
+ public:
+  enum class Status { kFrame, kEof, kTorn, kError };
+
+  FrameReader(StreamBudget* budget, std::size_t chunk_bytes);
+  ~FrameReader();
+  FrameReader(const FrameReader&) = delete;
+  FrameReader& operator=(const FrameReader&) = delete;
+
+  bool open(const std::string& path, std::string_view expected_header);
+  Status next();
+
+  std::uint32_t ip() const noexcept { return ip_; }
+  /// File offset of the frame's length prefix.
+  std::uint64_t offset() const noexcept { return frame_offset_; }
+  /// Whole frame: length prefix + body + checksum.
+  std::uint32_t frame_size() const noexcept { return frame_size_; }
+  std::uint32_t max_frame_size() const noexcept { return max_frame_size_; }
+
+ private:
+  bool ensure(std::size_t need);
+
+  StreamBudget* budget_;
+  std::size_t chunk_bytes_;
+  std::FILE* file_ = nullptr;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  std::size_t len_ = 0;
+  std::uint64_t base_offset_ = 0;  // file offset of buffer_[0]
+  std::uint64_t accounted_ = 0;
+  bool eof_ = false;
+  bool error_ = false;
+  std::uint32_t ip_ = 0;
+  std::uint64_t frame_offset_ = 0;
+  std::uint32_t frame_size_ = 0;
+  std::uint32_t max_frame_size_ = 0;
+};
+
+/// Seek-and-read access to frames a FrameReader already validated.
+class FrameFetcher {
+ public:
+  FrameFetcher() = default;
+  ~FrameFetcher();
+  FrameFetcher(const FrameFetcher&) = delete;
+  FrameFetcher& operator=(const FrameFetcher&) = delete;
+
+  bool open(const std::string& path);
+  /// Reads [offset, offset+size) into `out` (resized to fit).
+  bool fetch(std::uint64_t offset, std::uint32_t size, std::string& out);
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Coalescing output writer. Write errors latch: append() keeps accepting
+/// bytes after a failure and close() reports it once.
+class BufferedWriter {
+ public:
+  BufferedWriter(StreamBudget* budget, std::size_t buffer_bytes);
+  ~BufferedWriter();
+  BufferedWriter(const BufferedWriter&) = delete;
+  BufferedWriter& operator=(const BufferedWriter&) = delete;
+
+  bool open(const std::string& path);
+  void append(std::string_view bytes);
+  /// Flushes and closes; true iff every byte reached the file.
+  bool close();
+
+ private:
+  bool flush();
+
+  StreamBudget* budget_;
+  std::size_t buffer_bytes_;
+  std::FILE* file_ = nullptr;
+  std::string buffer_;
+  bool error_ = false;
+};
+
+}  // namespace ftpc::core

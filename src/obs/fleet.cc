@@ -1,0 +1,274 @@
+#include "obs/fleet.h"
+
+#include <signal.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace ftpc::obs {
+
+namespace {
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return std::nullopt;
+  std::string content;
+  char buffer[1 << 16];
+  for (;;) {
+    const std::size_t got = std::fread(buffer, 1, sizeof(buffer), file);
+    content.append(buffer, got);
+    if (got < sizeof(buffer)) break;
+  }
+  const bool ok = std::ferror(file) == 0;
+  std::fclose(file);
+  if (!ok) return std::nullopt;
+  return content;
+}
+
+std::string fmt_double(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.3f", value);
+  return buffer;
+}
+
+}  // namespace
+
+const char* shard_status_name(ShardStatus status) {
+  switch (status) {
+    case ShardStatus::kDone: return "done";
+    case ShardStatus::kHealthy: return "healthy";
+    case ShardStatus::kStraggler: return "straggler";
+    case ShardStatus::kStalled: return "stalled";
+    case ShardStatus::kDead: return "dead";
+  }
+  return "?";
+}
+
+bool shard_pid_alive(std::uint64_t pid) {
+  if (pid == 0) return false;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno != ESRCH;  // EPERM = alive but not ours
+}
+
+std::uint64_t wall_clock_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+bool read_shard_view(const std::string& dir, const FleetPolicy& policy,
+                     ShardView& view) {
+  view.dir = dir;
+
+  // History first: rate and stall detection come from the beat sequence.
+  std::vector<HealthSample> history;
+  if (const auto text = read_file(dir + "/" + kHealthHistoryFile)) {
+    std::size_t offset = 0;
+    std::size_t line_number = 0;
+    const std::string_view body(*text);
+    while (offset < body.size()) {
+      std::size_t eol = body.find('\n', offset);
+      if (eol == std::string_view::npos) eol = body.size();
+      const std::string_view line = body.substr(offset, eol - offset);
+      offset = eol + 1;
+      ++line_number;
+      if (line.empty()) continue;
+      std::string error;
+      const auto sample = parse_health_line(line, &error);
+      if (!sample) {
+        // A torn final line (killed mid-write) is expected; garbage
+        // anywhere before the tail is not.
+        if (offset >= body.size() && body.back() != '\n') break;
+        log_error() << dir << "/" << kHealthHistoryFile << ":" << line_number
+                    << ": " << error;
+        return false;
+      }
+      history.push_back(*sample);
+    }
+  }
+
+  if (const auto text = read_file(dir + "/" + kHeartbeatFile)) {
+    std::string error;
+    const auto sample = parse_health_line(*text, &error);
+    if (!sample) {
+      log_error() << dir << "/" << kHeartbeatFile << ": " << error;
+      return false;
+    }
+    view.last = *sample;
+  } else if (!history.empty()) {
+    view.last = history.back();
+  } else {
+    log_error() << dir << ": no readable heartbeat";
+    return false;
+  }
+
+  const std::uint64_t now = wall_clock_ms();
+  view.age_s = now > view.last.ts_ms
+                   ? static_cast<double>(now - view.last.ts_ms) / 1000.0
+                   : 0.0;
+  view.pid_alive = shard_pid_alive(view.last.pid);
+
+  // Rate from the last two beats with distinct wall stamps; restarts
+  // (seq reset in an appended history) are skipped by requiring monotone
+  // element progress within the pair.
+  for (std::size_t i = history.size(); i-- > 1;) {
+    const HealthSample& b = history[i];
+    const HealthSample& a = history[i - 1];
+    if (b.seq < a.seq) break;  // resume boundary: older run beyond here
+    if (b.ts_ms > a.ts_ms && b.global_element >= a.global_element) {
+      view.rate = static_cast<double>(b.global_element - a.global_element) /
+                  (static_cast<double>(b.ts_ms - a.ts_ms) / 1000.0);
+      break;
+    }
+  }
+  if (view.rate > 0.0 && view.last.elements_total > view.last.global_element) {
+    view.eta_s = static_cast<double>(view.last.elements_total -
+                                     view.last.global_element) /
+                 view.rate;
+  }
+
+  // Element index frozen across the last `stall` beats (needs stall+1
+  // beats to witness that many unchanged intervals).
+  if (history.size() > policy.stall) {
+    bool frozen = true;
+    const std::uint64_t tail_element = history.back().global_element;
+    for (std::size_t i = history.size() - policy.stall - 1; i < history.size();
+         ++i) {
+      if (history[i].global_element != tail_element ||
+          history[i].seq > history.back().seq) {
+        frozen = false;
+        break;
+      }
+    }
+    view.stalled_beats = frozen;
+  }
+
+  // Classification. Done wins (a finished shard stops beating by design);
+  // then the staleness verdict, then beat-level stalls.
+  const bool finished = view.last.done || file_exists(dir + "/manifest.json");
+  const double interval_s =
+      static_cast<double>(view.last.interval_ms) / 1000.0;
+  const bool stale = view.age_s > policy.stale * interval_s;
+  if (finished) {
+    view.status = ShardStatus::kDone;
+  } else if (stale && !view.pid_alive) {
+    view.status = ShardStatus::kDead;
+  } else if (stale || view.stalled_beats) {
+    view.status = ShardStatus::kStalled;
+  } else {
+    view.status = ShardStatus::kHealthy;  // straggler pass runs fleet-wide
+  }
+  return true;
+}
+
+void mark_stragglers(std::vector<ShardView>& fleet, double fraction) {
+  std::vector<double> rates;
+  for (const ShardView& view : fleet) {
+    if (view.status == ShardStatus::kHealthy && view.rate > 0.0) {
+      rates.push_back(view.rate);
+    }
+  }
+  if (rates.size() < 2) return;  // no fleet to compare against
+  std::sort(rates.begin(), rates.end());
+  const double median = rates[rates.size() / 2];
+  if (median <= 0.0) return;
+  for (ShardView& view : fleet) {
+    if (view.status == ShardStatus::kHealthy && view.rate > 0.0 &&
+        view.rate < fraction * median) {
+      view.status = ShardStatus::kStraggler;
+    }
+  }
+}
+
+int fleet_exit_code(const std::vector<ShardView>& fleet) {
+  int code = 0;
+  for (const ShardView& view : fleet) {
+    if (view.status == ShardStatus::kDead) return 3;
+    if (view.status == ShardStatus::kStalled ||
+        view.status == ShardStatus::kStraggler) {
+      code = 1;
+    }
+  }
+  return code;
+}
+
+std::string render_fleet_json(const std::vector<ShardView>& fleet,
+                              const char* fleet_status) {
+  std::string out = "{\"schema\":\"ftpc.fleet.v1\"";
+  out += ",\"ts_ms\":" + std::to_string(wall_clock_ms());
+  out += ",\"status\":\"" + std::string(fleet_status) + "\"";
+  std::size_t counts[5] = {0, 0, 0, 0, 0};
+  for (const ShardView& view : fleet) {
+    ++counts[static_cast<std::size_t>(view.status)];
+  }
+  out += ",\"done\":" + std::to_string(counts[0]);
+  out += ",\"healthy\":" + std::to_string(counts[1]);
+  out += ",\"stragglers\":" + std::to_string(counts[2]);
+  out += ",\"stalled\":" + std::to_string(counts[3]);
+  out += ",\"dead\":" + std::to_string(counts[4]);
+  out += ",\"shards\":[";
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const ShardView& view = fleet[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"dir\":\"" + view.dir + "\"";
+    out += ",\"shard\":" + std::to_string(view.last.shard);
+    out += ",\"total_shards\":" + std::to_string(view.last.total_shards);
+    out += ",\"pid\":" + std::to_string(view.last.pid);
+    out += ",\"pid_alive\":";
+    out += view.pid_alive ? "true" : "false";
+    out += ",\"status\":\"" + std::string(shard_status_name(view.status)) +
+           "\"";
+    out += ",\"stage\":\"" + view.last.stage + "\"";
+    out += ",\"global_element\":" + std::to_string(view.last.global_element);
+    out += ",\"elements_total\":" + std::to_string(view.last.elements_total);
+    out += ",\"rate_per_s\":" + fmt_double(view.rate);
+    out += ",\"eta_s\":" + fmt_double(view.eta_s);
+    out += ",\"age_s\":" + fmt_double(view.age_s);
+    out += ",\"last_seq\":" + std::to_string(view.last.seq) + "}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string render_run_summary(const RunSummary& summary) {
+  std::string out = "{\"schema\":\"ftpc.run.v1\"";
+  out += ",\"ts_ms\":" + std::to_string(wall_clock_ms());
+  out += ",\"outcome\":\"" + summary.outcome + "\"";
+  out += ",\"shards\":" + std::to_string(summary.shards);
+  out += ",\"workers\":" + std::to_string(summary.workers);
+  out += ",\"restarts\":" + std::to_string(summary.restarts);
+  out += ",\"merged\":";
+  out += summary.merged ? "true" : "false";
+  out += ",\"merge_attempts\":" + std::to_string(summary.merge_attempts);
+  out += ",\"census_wall_s\":" + fmt_double(summary.census_wall_s);
+  out += ",\"merge_wall_s\":" + fmt_double(summary.merge_wall_s);
+  out += ",\"merged_dir\":\"" + summary.merged_dir + "\"";
+  out += ",\"error\":\"" + summary.error + "\"";
+  out += ",\"shard_runs\":[";
+  for (std::size_t i = 0; i < summary.shard_runs.size(); ++i) {
+    const RunShardSummary& run = summary.shard_runs[i];
+    if (i > 0) out.push_back(',');
+    out += "{\"shard\":" + std::to_string(run.shard);
+    out += ",\"dir\":\"" + run.dir + "\"";
+    out += ",\"outcome\":\"" + run.outcome + "\"";
+    out += ",\"attempts\":" + std::to_string(run.attempts);
+    out += ",\"restarts\":" + std::to_string(run.restarts);
+    out += ",\"last_exit\":" + std::to_string(run.last_exit);
+    out += ",\"last_status\":\"" + run.last_status + "\"}";
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace ftpc::obs

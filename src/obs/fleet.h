@@ -1,0 +1,119 @@
+// Fleet plane: shard health classification and run summaries.
+//
+// obs/health.h gives each shard process a heartbeat stream; this header
+// gives the processes that *watch* those streams — ftpcwatch (live fleet
+// monitor) and ftpcrun (fleet conductor) — one shared classifier, so a
+// shard that ftpcwatch prints as "dead" is exactly the shard ftpcrun
+// restarts. One shard dir reduces to a ShardView carrying the verdict:
+//
+//   done       final done=true beat seen, or the shard manifest landed
+//   healthy    beating on cadence and progressing at fleet pace
+//   straggler  progressing, but slower than `straggler` x the fleet
+//              median rate (fleet-wide second pass: mark_stragglers)
+//   stalled    beating, but the global element index has not moved for
+//              `stall` consecutive beats (or the pid is alive while the
+//              heartbeat has gone stale — a live-but-wedged process)
+//   dead       heartbeat staler than `stale` intervals AND the pid gone
+//
+// The thresholds live in FleetPolicy so both tools default identically.
+//
+// The second half is ftpc.run.v1: the conductor's machine-readable run
+// record (per-shard attempts/outcome, restart totals, merge verdict).
+// Like the health plane it is wall-clock data — never an input to the
+// deterministic channels, only a description of how one execution went.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/health.h"
+
+namespace ftpc::obs {
+
+enum class ShardStatus { kDone, kHealthy, kStraggler, kStalled, kDead };
+
+const char* shard_status_name(ShardStatus status);
+
+/// Classification thresholds, shared by ftpcwatch flags and ftpcrun.
+struct FleetPolicy {
+  double stale = 3.0;        // dead/stalled: age > stale x heartbeat interval
+  std::uint64_t stall = 3;   // stalled: element unchanged across this many beats
+  double straggler = 0.5;    // straggler: rate < fraction x fleet median
+};
+
+/// One shard dir, read and classified.
+struct ShardView {
+  std::string dir;
+  HealthSample last;  // latest beat (heartbeat.json, or history tail)
+  ShardStatus status = ShardStatus::kHealthy;
+  double age_s = 0.0;   // since the latest beat's wall-clock stamp
+  double rate = 0.0;    // global elements / second, from the history tail
+  double eta_s = -1.0;  // seconds to elements_total at current rate; <0 n/a
+  bool pid_alive = false;
+  bool stalled_beats = false;  // element frozen across `stall` beats
+};
+
+/// True when the pid exists (EPERM counts as alive); false for pid 0.
+bool shard_pid_alive(std::uint64_t pid);
+
+/// Wall clock, unix epoch milliseconds — the health plane's timebase.
+std::uint64_t wall_clock_ms();
+
+/// Reads one shard dir (heartbeat.json / health.jsonl) into a ShardView
+/// and classifies it against `policy`. Returns false (diagnostic logged)
+/// only for unreadable/garbled health artifacts — classification itself
+/// never fails. The straggler demotion is a separate fleet-wide pass.
+bool read_shard_view(const std::string& dir, const FleetPolicy& policy,
+                     ShardView& view);
+
+/// Second pass: rates below `fraction` x the fleet median demote healthy
+/// shards to straggler. Median over running shards only — done/dead/
+/// stalled shards would drag it toward zero.
+void mark_stragglers(std::vector<ShardView>& fleet, double fraction);
+
+/// 0 all healthy/done, 1 degraded (straggler/stalled), 3 dead present.
+int fleet_exit_code(const std::vector<ShardView>& fleet);
+
+/// One-line ftpc.fleet.v1 snapshot (newline-terminated): fleet status,
+/// per-status counts, and one entry per shard. ftpcwatch --once --json
+/// prints exactly this; ftpcrun appends one per poll to fleet.jsonl.
+std::string render_fleet_json(const std::vector<ShardView>& fleet,
+                              const char* fleet_status);
+
+// --- ftpc.run.v1: conductor run summary ------------------------------------
+
+/// One shard's lifecycle under the conductor.
+struct RunShardSummary {
+  std::uint32_t shard = 0;
+  std::string dir;
+  /// "done" (manifest landed) or "failed" (retry budget exhausted).
+  std::string outcome;
+  std::uint32_t attempts = 0;  // launches, including the first
+  std::uint32_t restarts = 0;  // attempts - 1, clamped at 0
+  /// Last attempt's end: exit code, or the negated signal number.
+  int last_exit = 0;
+  /// Human-readable form of last_exit: "exit N" or "signal N".
+  std::string last_status;
+};
+
+struct RunSummary {
+  std::uint32_t shards = 0;
+  std::uint32_t workers = 0;
+  /// "ok", "shard-failed" (budget exhausted) or "merge-failed".
+  std::string outcome;
+  std::uint32_t restarts = 0;       // fleet total
+  std::uint32_t merge_attempts = 0; // 0 when the merge never ran
+  bool merged = false;
+  double census_wall_s = 0.0;  // launch of first shard -> last shard reaped
+  double merge_wall_s = 0.0;
+  std::string merged_dir;  // empty when the merge never ran / failed
+  std::string error;       // first fatal diagnostic, "" on success
+  std::vector<RunShardSummary> shard_runs;
+};
+
+/// Canonical one-document ftpc.run.v1 rendering (newline-terminated,
+/// fixed key order). Pure in `summary`.
+std::string render_run_summary(const RunSummary& summary);
+
+}  // namespace ftpc::obs

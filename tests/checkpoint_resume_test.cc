@@ -7,42 +7,34 @@
 // Torn tails past the last commit (a partial journal line, extra record
 // bytes from a mid-write kill) are truncated on resume and leave no residue
 // in the final bytes. The checkpoint itself is pinned as a pure function of
-// (config, global element boundary): the cadence that produced it must not
+// (config, global element index): the cadence that produced it must not
 // leak into its bytes, so runs checkpointing every I and every 2I elements
 // write identical checkpoints at their common boundaries.
 #include <gtest/gtest.h>
-#include <sys/stat.h>
 
 #include <cstdint>
-#include <cstdio>
-#include <memory>
 #include <string>
-#include <vector>
 
 #include "core/census.h"
 #include "core/shard_artifact.h"
 #include "core/shard_slice.h"
-#include "popgen/population.h"
+#include "shard_fixture.h"
 
 namespace ftpc {
 namespace {
+
+using fixture::append_file;
+using fixture::expect_dirs_identical;
+using fixture::factory;
+using fixture::make_temp_root;
+using fixture::read_file;
 
 constexpr std::uint64_t kSeed = 42;
 constexpr unsigned kScaleShift = 16;       // 65536 global elements
 constexpr std::uint64_t kInterval = 16384;  // boundaries at 16384/32768/49152
 
-core::PopulationFactory factory(std::uint64_t seed) {
-  return [seed] { return std::make_unique<popgen::SyntheticPopulation>(seed); };
-}
-
 core::CensusConfig shard_config(std::uint64_t seed) {
-  core::CensusConfig config;
-  config.seed = seed;
-  config.scale_shift = kScaleShift;
-  config.trace.enabled = true;
-  config.timeline.enabled = true;
-  config.timeline.interval_us = 10'000;
-  return config;
+  return fixture::shard_config(seed, kScaleShift);
 }
 
 core::ShardSliceConfig slice_config(const std::string& out_dir,
@@ -59,57 +51,12 @@ core::ShardSliceConfig slice_config(const std::string& out_dir,
   return slice;
 }
 
-std::string read_file(const std::string& path) {
-  std::FILE* in = std::fopen(path.c_str(), "rb");
-  if (in == nullptr) return {};
-  std::string out;
-  char buffer[4096];
-  std::size_t got;
-  while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
-    out.append(buffer, got);
-  }
-  std::fclose(in);
-  return out;
-}
-
-void append_bytes(const std::string& path, const std::string& bytes) {
-  std::FILE* out = std::fopen(path.c_str(), "ab");
-  ASSERT_NE(out, nullptr) << path;
-  std::fwrite(bytes.data(), 1, bytes.size(), out);
-  std::fclose(out);
-}
-
-std::string make_temp_root(const std::string& tag) {
-  const std::string root = ::testing::TempDir() + "ftpc_ckpt_" + tag;
-  ::mkdir(root.c_str(), 0777);
-  return root;
-}
-
-const char* const kArtifactFiles[] = {
-    "manifest.json", "records.ftpd",         "metrics.json",
-    "trace.jsonl",   "timeline.jsonl",       "timeline_facts.jsonl",
-    "journal.jsonl", "checkpoint.json",
-};
-
-void expect_dirs_identical(const std::string& expected_dir,
-                           const std::string& actual_dir,
-                           const std::string& label) {
-  for (const char* file : kArtifactFiles) {
-    const std::string expected = read_file(expected_dir + "/" + file);
-    const std::string actual = read_file(actual_dir + "/" + file);
-    ASSERT_FALSE(expected.empty()) << label << ": reference " << file
-                                   << " is empty — vacuous comparison";
-    EXPECT_EQ(expected, actual)
-        << label << ": " << file << " diverged after crash/resume";
-  }
-}
-
 class CheckpointResumeTest : public ::testing::Test {
  protected:
   // The uninterrupted same-cadence run every crash leg is compared to.
   static const std::string& reference_dir() {
     static const std::string dir = [] {
-      const std::string root = make_temp_root("reference");
+      const std::string root = make_temp_root("ckpt_reference");
       const auto result =
           core::run_shard_slice(slice_config(root + "/shard"), factory(kSeed));
       EXPECT_TRUE(result.ok) << result.error;
@@ -123,7 +70,7 @@ class CheckpointResumeTest : public ::testing::Test {
 TEST_F(CheckpointResumeTest, KillAtEveryCheckpointBoundaryThenResume) {
   for (const std::uint32_t crash_after : {1u, 2u, 3u}) {
     const std::string label = "crash-after-" + std::to_string(crash_after);
-    const std::string dir = make_temp_root(label) + "/shard";
+    const std::string dir = make_temp_root("ckpt_" + label) + "/shard";
 
     core::ShardSliceConfig crash = slice_config(dir);
     crash.crash_after_checkpoints = crash_after;
@@ -147,7 +94,7 @@ TEST_F(CheckpointResumeTest, RepeatedKillsAcrossSuccessiveBoundaries) {
   // The worst operational case: the process dies again after every single
   // checkpoint it manages to commit. Three kills walk all three
   // boundaries; the final resume still lands on the reference bytes.
-  const std::string dir = make_temp_root("repeated") + "/shard";
+  const std::string dir = make_temp_root("ckpt_repeated") + "/shard";
   core::ShardSliceConfig crash = slice_config(dir);
   crash.crash_after_checkpoints = 1;
   const auto first = core::run_shard_slice(crash, factory(kSeed));
@@ -169,13 +116,13 @@ TEST_F(CheckpointResumeTest, RepeatedKillsAcrossSuccessiveBoundaries) {
 TEST_F(CheckpointResumeTest, TornTailsAreTruncatedOnResume) {
   // A kill mid-write leaves bytes past the last commit: a partial journal
   // line and a partial record frame. Resume must discard both.
-  const std::string dir = make_temp_root("torn") + "/shard";
+  const std::string dir = make_temp_root("ckpt_torn") + "/shard";
   core::ShardSliceConfig crash = slice_config(dir);
   crash.crash_after_checkpoints = 2;
   EXPECT_TRUE(core::run_shard_slice(crash, factory(kSeed)).crashed);
 
-  append_bytes(dir + "/journal.jsonl", "{\"k\":\"trace\",\"t\":99");
-  append_bytes(dir + "/records.ftpd", std::string("\x13\x37garbage", 9));
+  append_file(dir + "/journal.jsonl", "{\"k\":\"trace\",\"t\":99");
+  append_file(dir + "/records.ftpd", std::string("\x13\x37garbage", 9));
 
   core::ShardSliceConfig resume = slice_config(dir);
   resume.resume = true;
@@ -195,7 +142,7 @@ TEST_F(CheckpointResumeTest, ResumeOfCompletedShardIsIdempotent) {
 }
 
 TEST_F(CheckpointResumeTest, ResumeRejectsMismatchedConfig) {
-  const std::string dir = make_temp_root("mismatch") + "/shard";
+  const std::string dir = make_temp_root("ckpt_mismatch") + "/shard";
   core::ShardSliceConfig crash = slice_config(dir);
   crash.crash_after_checkpoints = 1;
   EXPECT_TRUE(core::run_shard_slice(crash, factory(kSeed)).crashed);
@@ -211,12 +158,12 @@ TEST_F(CheckpointResumeTest, ResumeRejectsMismatchedConfig) {
 TEST_F(CheckpointResumeTest, MultiShardSliceResumesIdentically) {
   // Shard 1 of 2: the resumed walk has to re-derive an interior slice
   // (start offset + stride jump), not just the k=0 prefix.
-  const std::string ref_root = make_temp_root("ms_ref");
+  const std::string ref_root = make_temp_root("ckpt_ms_ref");
   const auto ref = core::run_shard_slice(
       slice_config(ref_root + "/shard", kSeed, 1, 2), factory(kSeed));
   ASSERT_TRUE(ref.ok) << ref.error;
 
-  const std::string dir = make_temp_root("ms_crash") + "/shard";
+  const std::string dir = make_temp_root("ckpt_ms_crash") + "/shard";
   core::ShardSliceConfig crash = slice_config(dir, kSeed, 1, 2);
   crash.crash_after_checkpoints = 1;
   EXPECT_TRUE(core::run_shard_slice(crash, factory(kSeed)).crashed);
@@ -236,12 +183,13 @@ TEST(CheckpointPurity, CadenceDoesNotLeakIntoCheckpointBytes) {
   // I = 16384 crashing after its 2nd checkpoint and I = 32768 crashing
   // after its 1st both stop at global boundary 32768 — the checkpoint
   // files must match byte for byte.
-  const std::string dir_fine = make_temp_root("purity_fine") + "/shard";
+  const std::string dir_fine = make_temp_root("ckpt_purity_fine") + "/shard";
   core::ShardSliceConfig fine = slice_config(dir_fine, kSeed, 0, 1, 16384);
   fine.crash_after_checkpoints = 2;
   EXPECT_TRUE(core::run_shard_slice(fine, factory(kSeed)).crashed);
 
-  const std::string dir_coarse = make_temp_root("purity_coarse") + "/shard";
+  const std::string dir_coarse =
+      make_temp_root("ckpt_purity_coarse") + "/shard";
   core::ShardSliceConfig coarse = slice_config(dir_coarse, kSeed, 0, 1, 32768);
   coarse.crash_after_checkpoints = 1;
   EXPECT_TRUE(core::run_shard_slice(coarse, factory(kSeed)).crashed);
@@ -263,12 +211,12 @@ TEST(CheckpointPurity, CadenceDoesNotLeakIntoCheckpointBytes) {
 }
 
 TEST(CheckpointPurity, SeedChangesEveryCheckpointField) {
-  const std::string dir_a = make_temp_root("purity_seed_a") + "/shard";
+  const std::string dir_a = make_temp_root("ckpt_purity_seed_a") + "/shard";
   core::ShardSliceConfig a = slice_config(dir_a, kSeed);
   a.crash_after_checkpoints = 1;
   EXPECT_TRUE(core::run_shard_slice(a, factory(kSeed)).crashed);
 
-  const std::string dir_b = make_temp_root("purity_seed_b") + "/shard";
+  const std::string dir_b = make_temp_root("ckpt_purity_seed_b") + "/shard";
   core::ShardSliceConfig b = slice_config(dir_b, kSeed + 1);
   b.crash_after_checkpoints = 1;
   EXPECT_TRUE(core::run_shard_slice(b, factory(kSeed + 1)).crashed);

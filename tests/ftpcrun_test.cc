@@ -1,0 +1,155 @@
+// Conductor fault-injection battery: ftpcrun must supervise a fleet the
+// way the DESIGN.md contract promises — a shard killed mid-run is
+// restarted with --resume and the final merged artifacts are byte-for-byte
+// the single-process bytes; a shard that keeps dying exhausts its retry
+// budget, fails the run with exit 3, and is named in the ftpc.run.v1
+// summary. Everything here drives the real binaries end to end (fork/exec,
+// waitpid, heartbeat classification), so the suite is gated on the CLI
+// target paths the build passes in.
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "shard_fixture.h"
+
+#if defined(FTPC_FTPCRUN_BIN) && defined(FTPC_FTPCENSUS_BIN)
+
+namespace ftpc {
+namespace {
+
+using fixture::make_temp_root;
+using fixture::read_file;
+using fixture::run_command;
+
+// Deterministic-channel flags shared by the conductor run and the
+// single-process reference. The conductor additionally gets checkpoints
+// dense enough that --crash-after-checkpoint 1 dies with real work left
+// to resume, and fast heartbeats; neither touches the deterministic
+// channels (health_test pins that), so the reference omits them. The
+// supervision policy is slackened far past any execution speed
+// (sanitizer builds run 10-20x slow, and a spurious stall-kill would
+// break the exact attempt counts below): this battery pins the
+// crash -> reap -> restart path, not the wall-clock stall classifier.
+const char kDeterministicFlags[] =
+    " --scale 13 --seed 42 --timeline-interval 0.01";
+const char kConductorFlags[] =
+    " --scale 13 --seed 42 --timeline-interval 0.01"
+    " --checkpoint-interval 4096 --heartbeat-interval 0.1"
+    " --stale 600 --stall 10000";
+
+/// One shard_runs entry from run.json, located by its "shard":K key.
+std::string shard_entry(const std::string& json, unsigned shard) {
+  const std::string needle = "{\"shard\":" + std::to_string(shard) + ",";
+  const auto at = json.find(needle);
+  if (at == std::string::npos) return {};
+  return json.substr(at, json.find('}', at) - at);
+}
+
+TEST(FtpcrunCli, CrashedShardIsRestartedAndMergedBytesMatchSingleProcess) {
+  const std::string root = make_temp_root("ftpcrun_heal");
+  const std::string quiet = " >/dev/null 2>&1";
+
+  // 4 shards on 2 workers; shard 2 crashes (exit 3) after its first
+  // checkpoint on its first attempt only. The conductor must reap it,
+  // relaunch it with --resume, and still converge to a clean merge.
+  ASSERT_EQ(0, run_command(std::string(FTPC_FTPCRUN_BIN) + " --out " + root +
+                           "/fleet --shards 4 --workers 2 --poll 0.2" +
+                           kConductorFlags +
+                           " --crash-shard 2 --crash-after-checkpoint 1" +
+                           quiet));
+
+  const std::string run_json = read_file(root + "/fleet/run.json");
+  ASSERT_FALSE(run_json.empty());
+  EXPECT_NE(run_json.find("\"schema\":\"ftpc.run.v1\""), std::string::npos);
+  EXPECT_NE(run_json.find("\"outcome\":\"ok\""), std::string::npos);
+  EXPECT_NE(run_json.find("\"merged\":true"), std::string::npos);
+  // The induced crash is visible as shard 2's restart — and only its.
+  const std::string healed = shard_entry(run_json, 2);
+  EXPECT_NE(healed.find("\"outcome\":\"done\""), std::string::npos) << healed;
+  EXPECT_NE(healed.find("\"attempts\":2"), std::string::npos) << healed;
+  for (unsigned shard : {0u, 1u, 3u}) {
+    const std::string entry = shard_entry(run_json, shard);
+    EXPECT_NE(entry.find("\"attempts\":1"), std::string::npos) << entry;
+  }
+
+  // Every poll snapshot in the fleet timeline is a ftpc.fleet.v1 line.
+  const std::string fleet_log = read_file(root + "/fleet/fleet.jsonl");
+  ASSERT_FALSE(fleet_log.empty());
+  std::size_t offset = 0;
+  while (offset < fleet_log.size()) {
+    std::size_t eol = fleet_log.find('\n', offset);
+    if (eol == std::string::npos) eol = fleet_log.size();
+    const std::string line = fleet_log.substr(offset, eol - offset);
+    offset = eol + 1;
+    if (line.empty()) continue;
+    EXPECT_EQ(line.find("{\"schema\":\"ftpc.fleet.v1\""), 0u) << line;
+  }
+
+  // The healed fleet's merge is byte-identical to one unorchestrated
+  // single-process census with the same config.
+  ASSERT_EQ(0, run_command(std::string(FTPC_FTPCENSUS_BIN) + " census" +
+                           kDeterministicFlags + " --dataset " + root +
+                           "/single.ftpd --metrics-out " + root +
+                           "/metrics.json --trace-out " + root +
+                           "/trace.jsonl --timeline-out " + root +
+                           "/timeline.jsonl" + quiet));
+  const std::string records = read_file(root + "/single.ftpd");
+  ASSERT_FALSE(records.empty());
+  EXPECT_EQ(records, read_file(root + "/fleet/merged/records.ftpd"));
+  EXPECT_EQ(read_file(root + "/metrics.json"),
+            read_file(root + "/fleet/merged/metrics.json"));
+  EXPECT_EQ(read_file(root + "/trace.jsonl"),
+            read_file(root + "/fleet/merged/trace.jsonl"));
+  EXPECT_EQ(read_file(root + "/timeline.jsonl"),
+            read_file(root + "/fleet/merged/timeline.jsonl"));
+}
+
+TEST(FtpcrunCli, ExhaustedRetryBudgetFailsWithTheShardNamed) {
+  const std::string root = make_temp_root("ftpcrun_budget");
+  const std::string quiet = " >/dev/null 2>&1";
+
+  // Shard 1 crashes on every attempt: first launch + 2 restarts = 3
+  // attempts, then the budget is spent and the run must fail with the
+  // dedicated exit code instead of merging a partial fleet.
+  ASSERT_EQ(3, run_command(std::string(FTPC_FTPCRUN_BIN) + " --out " + root +
+                           "/fleet --shards 2 --retry-budget 2" +
+                           kConductorFlags +
+                           " --crash-shard 1 --crash-after-checkpoint 1"
+                           " --crash-every-attempt" +
+                           quiet));
+
+  const std::string run_json = read_file(root + "/fleet/run.json");
+  ASSERT_FALSE(run_json.empty());
+  EXPECT_NE(run_json.find("\"outcome\":\"shard-failed\""), std::string::npos);
+  EXPECT_NE(run_json.find("\"merged\":false"), std::string::npos);
+  EXPECT_NE(run_json.find("shard 1 failed"), std::string::npos) << run_json;
+  const std::string failed = shard_entry(run_json, 1);
+  EXPECT_NE(failed.find("\"outcome\":\"failed\""), std::string::npos)
+      << failed;
+  EXPECT_NE(failed.find("\"attempts\":3"), std::string::npos) << failed;
+  // The healthy shard still completed; no merged dir was produced.
+  EXPECT_NE(shard_entry(run_json, 0).find("\"outcome\":\"done\""),
+            std::string::npos);
+  EXPECT_TRUE(read_file(root + "/fleet/merged/records.ftpd").empty());
+}
+
+TEST(FtpcrunCli, UsageAndBadInputAreExitTwo) {
+  const std::string quiet = " >/dev/null 2>&1";
+  EXPECT_EQ(2, run_command(std::string(FTPC_FTPCRUN_BIN) + quiet));
+  EXPECT_EQ(2, run_command(std::string(FTPC_FTPCRUN_BIN) +
+                           " --out /tmp/x --shards 0" + quiet));
+  EXPECT_EQ(2, run_command(std::string(FTPC_FTPCRUN_BIN) +
+                           " --out /tmp/x --shards 2 --bogus" + quiet));
+  EXPECT_EQ(2, run_command(std::string(FTPC_FTPCRUN_BIN) +
+                           " --out /tmp/x --shards 2 --census-bin "
+                           "/nonexistent/ftpcensus" +
+                           quiet));
+  EXPECT_EQ(2, run_command(std::string(FTPC_FTPCRUN_BIN) +
+                           " --out /tmp/x --shards 2 --crash-shard 1" +
+                           quiet));
+}
+
+}  // namespace
+}  // namespace ftpc
+
+#endif  // FTPC_FTPCRUN_BIN && FTPC_FTPCENSUS_BIN

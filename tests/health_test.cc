@@ -14,14 +14,11 @@
 // exactly that shard dead with the fleet exit code) runs when the build
 // passes the tool binaries in.
 #include <gtest/gtest.h>
-#include <sys/stat.h>
-#include <sys/wait.h>
 
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
-#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,52 +28,20 @@
 #include "net/internet.h"
 #include "obs/health.h"
 #include "popgen/population.h"
+#include "shard_fixture.h"
 #include "sim/network.h"
 
 namespace ftpc {
 namespace {
 
+using fixture::factory;
+using fixture::parse_history;
+using fixture::read_file;
+
 constexpr std::uint64_t kSeed = 42;
 
-core::PopulationFactory factory(std::uint64_t seed) {
-  return [seed] { return std::make_unique<popgen::SyntheticPopulation>(seed); };
-}
-
-std::string read_file(const std::string& path) {
-  std::FILE* in = std::fopen(path.c_str(), "rb");
-  if (in == nullptr) return {};
-  std::string out;
-  char buffer[4096];
-  std::size_t got;
-  while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
-    out.append(buffer, got);
-  }
-  std::fclose(in);
-  return out;
-}
-
 std::string make_temp_root(const std::string& tag) {
-  const std::string root = ::testing::TempDir() + "ftpc_health_" + tag;
-  ::mkdir(root.c_str(), 0777);
-  return root;
-}
-
-std::vector<obs::HealthSample> parse_history(const std::string& path) {
-  std::vector<obs::HealthSample> beats;
-  const std::string body = read_file(path);
-  std::size_t offset = 0;
-  while (offset < body.size()) {
-    std::size_t eol = body.find('\n', offset);
-    if (eol == std::string::npos) eol = body.size();
-    const std::string_view line(body.data() + offset, eol - offset);
-    offset = eol + 1;
-    if (line.empty()) continue;
-    std::string error;
-    const auto sample = obs::parse_health_line(line, &error);
-    EXPECT_TRUE(sample.has_value()) << path << ": " << error;
-    if (sample) beats.push_back(*sample);
-  }
-  return beats;
+  return fixture::make_temp_root("health_" + tag);
 }
 
 /// The fixed sample the golden file pins: every field non-default so a
@@ -294,13 +259,7 @@ TEST(HealthMonitor, ResumeAppendsHistoryWithSeqReset) {
 // ---------------------------------------------------------------------------
 
 core::CensusConfig census_config() {
-  core::CensusConfig config;
-  config.seed = kSeed;
-  config.scale_shift = 16;  // 65536 elements: CI-sized
-  config.trace.enabled = true;
-  config.timeline.enabled = true;
-  config.timeline.interval_us = 10'000;
-  return config;
+  return fixture::shard_config(kSeed, /*scale_shift=*/16);  // CI-sized
 }
 
 TEST(HealthCensus, GaugesTrackTheRealFunnel) {
@@ -380,10 +339,7 @@ TEST(HealthCensus, HeartbeatsNeverTouchTheDeterministicChannels) {
 
 #if defined(FTPC_FTPCENSUS_BIN) && defined(FTPC_FTPCWATCH_BIN)
 
-int run_command(const std::string& command) {
-  const int status = std::system(command.c_str());
-  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-}
+using fixture::run_command;
 
 TEST(HealthCli, WatcherFlagsExactlyTheKilledShardDead) {
   const std::string root = make_temp_root("fleet");

@@ -6,14 +6,14 @@
 // fail the merge with a first-divergence diagnostic naming the offending
 // file, never silently drop or double-count data. The manifest schema
 // itself is pinned against tests/golden/shard_manifest_v1.json so any
-// drift in ftpc.shard.v1 shows up in review.
+// drift in ftpc.shard.v1 shows up in review. Every rejection is asserted
+// on both reduction strategies: the streaming default and the
+// materializing fallback must refuse the same inputs.
 #include <gtest/gtest.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <cstdint>
-#include <cstdio>
-#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,74 +22,35 @@
 #include "core/records.h"
 #include "core/shard_artifact.h"
 #include "core/shard_slice.h"
-#include "popgen/population.h"
+#include "shard_fixture.h"
 
 namespace ftpc {
 namespace {
 
+using fixture::append_file;
+using fixture::factory;
+using fixture::read_file;
+using fixture::write_file;
+
 constexpr std::uint64_t kSeed = 42;
 constexpr unsigned kScaleShift = 12;  // small: corruption, not scale
-
-core::PopulationFactory factory(std::uint64_t seed) {
-  return [seed] { return std::make_unique<popgen::SyntheticPopulation>(seed); };
-}
 
 /// Mirrors the config `ftpcensus census --shard-id k/N --scale 12 --seed 42
 /// --timeline-interval 0.01` builds — the golden manifest was generated
 /// through that exact CLI invocation.
 core::CensusConfig shard_config(std::uint64_t seed = kSeed) {
-  core::CensusConfig config;
-  config.seed = seed;
-  config.scale_shift = kScaleShift;
-  config.trace.enabled = true;
-  config.trace.sample_rate = 1.0;
-  config.trace.capture_wire = true;
-  config.timeline.enabled = true;
-  config.timeline.interval_us = 10'000;
-  return config;
-}
-
-std::string read_file(const std::string& path) {
-  std::FILE* in = std::fopen(path.c_str(), "rb");
-  if (in == nullptr) return {};
-  std::string out;
-  char buffer[4096];
-  std::size_t got;
-  while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
-    out.append(buffer, got);
-  }
-  std::fclose(in);
-  return out;
-}
-
-void write_file(const std::string& path, const std::string& bytes) {
-  std::FILE* out = std::fopen(path.c_str(), "wb");
-  ASSERT_NE(out, nullptr) << path;
-  std::fwrite(bytes.data(), 1, bytes.size(), out);
-  std::fclose(out);
-}
-
-void append_file(const std::string& path, const std::string& bytes) {
-  std::FILE* out = std::fopen(path.c_str(), "ab");
-  ASSERT_NE(out, nullptr) << path;
-  std::fwrite(bytes.data(), 1, bytes.size(), out);
-  std::fclose(out);
+  fixture::ShardConfigOptions options;
+  options.full_wire = true;
+  return fixture::shard_config(seed, kScaleShift, options);
 }
 
 /// Fresh two-shard artifact set per test: corruption legs mutate in
 /// place, so each test gets a byte copy of one shared pristine run.
 class MergeCorruptTest : public ::testing::Test {
  protected:
-  static constexpr const char* kFiles[] = {
-      "manifest.json", "records.ftpd",         "metrics.json",
-      "trace.jsonl",   "timeline.jsonl",       "timeline_facts.jsonl",
-      "journal.jsonl", "checkpoint.json",
-  };
-
   static const std::vector<std::string>& pristine_dirs() {
     static const std::vector<std::string> dirs = [] {
-      const std::string root = ::testing::TempDir() + "ftpc_mcorrupt_pristine";
-      ::mkdir(root.c_str(), 0777);
+      const std::string root = fixture::make_temp_root("mcorrupt_pristine");
       std::vector<std::string> out;
       for (std::uint32_t shard = 0; shard < 2; ++shard) {
         core::ShardSliceConfig slice;
@@ -112,13 +73,13 @@ class MergeCorruptTest : public ::testing::Test {
   }
 
   void SetUp() override {
-    root_ = ::testing::TempDir() + "ftpc_mcorrupt_" +
-            ::testing::UnitTest::GetInstance()->current_test_info()->name();
-    ::mkdir(root_.c_str(), 0777);
+    root_ = fixture::make_temp_root(
+        std::string("mcorrupt_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name());
     for (std::uint32_t shard = 0; shard < 2; ++shard) {
       const std::string dir = root_ + "/shard" + std::to_string(shard);
       ::mkdir(dir.c_str(), 0777);
-      for (const char* file : kFiles) {
+      for (const char* file : fixture::kShardArtifactFiles) {
         const std::string bytes =
             read_file(pristine_dirs()[shard] + "/" + file);
         ASSERT_FALSE(bytes.empty()) << file;
@@ -138,6 +99,18 @@ class MergeCorruptTest : public ::testing::Test {
     EXPECT_NE(result.error.find(needle), std::string::npos)
         << "diagnostic \"" << result.error << "\" does not mention \""
         << needle << "\"";
+  }
+
+  /// Both reduction strategies must reject the same corrupted inputs with
+  /// the same class of diagnostic.
+  void expect_rejected_both_paths(const std::vector<std::string>& dirs,
+                                  const std::string& needle) {
+    expect_rejected(merge(dirs), needle);
+    core::MergeOptions materialize;
+    materialize.force_materialize = true;
+    expect_rejected(
+        core::merge_shard_artifacts(dirs, root_ + "/merged_mat", materialize),
+        needle);
   }
 
   std::string root_;
@@ -165,13 +138,12 @@ TEST_F(MergeCorruptTest, ManifestMatchesGoldenBytes) {
 
 TEST_F(MergeCorruptTest, RejectsMissingManifest) {
   ASSERT_EQ(::unlink((dirs_[1] + "/manifest.json").c_str()), 0);
-  expect_rejected(merge(dirs_), "manifest");
+  expect_rejected_both_paths(dirs_, "manifest");
 }
 
 TEST_F(MergeCorruptTest, RejectsGarbledManifest) {
   write_file(dirs_[0] + "/manifest.json", "{\"schema\":\"ftpc.shard.v1\",");
-  const auto result = merge(dirs_);
-  expect_rejected(result, "manifest.json");
+  expect_rejected_both_paths(dirs_, "manifest.json");
 }
 
 TEST_F(MergeCorruptTest, RejectsWrongManifestSchema) {
@@ -180,7 +152,7 @@ TEST_F(MergeCorruptTest, RejectsWrongManifestSchema) {
   ASSERT_NE(at, std::string::npos);
   manifest.replace(at, 13, "ftpc.other.v9");
   write_file(dirs_[0] + "/manifest.json", manifest);
-  expect_rejected(merge(dirs_), "manifest.json");
+  expect_rejected_both_paths(dirs_, "manifest.json");
 }
 
 TEST_F(MergeCorruptTest, RejectsTruncatedRecords) {
@@ -188,7 +160,7 @@ TEST_F(MergeCorruptTest, RejectsTruncatedRecords) {
   const std::string bytes = read_file(path);
   ASSERT_GT(bytes.size(), 16u);
   write_file(path, bytes.substr(0, bytes.size() - 7));  // torn final frame
-  expect_rejected(merge(dirs_), "truncated");
+  expect_rejected_both_paths(dirs_, "truncated");
 }
 
 TEST_F(MergeCorruptTest, RejectsRecordsHeaderDamage) {
@@ -196,7 +168,7 @@ TEST_F(MergeCorruptTest, RejectsRecordsHeaderDamage) {
   std::string bytes = read_file(path);
   bytes[0] = 'X';  // breaks the FTPD magic
   write_file(path, bytes);
-  expect_rejected(merge(dirs_), "records.ftpd");
+  expect_rejected_both_paths(dirs_, "records.ftpd");
 }
 
 TEST_F(MergeCorruptTest, RejectsRecordCountMismatch) {
@@ -205,15 +177,15 @@ TEST_F(MergeCorruptTest, RejectsRecordCountMismatch) {
   core::HostReport extra;
   extra.ip = Ipv4(10, 0, 0, 1);
   append_file(dirs_[0] + "/records.ftpd", core::encode_host_frame(extra));
-  expect_rejected(merge(dirs_), "manifest");
+  expect_rejected_both_paths(dirs_, "manifest");
 }
 
 TEST_F(MergeCorruptTest, RejectsDuplicateShard) {
-  expect_rejected(merge({dirs_[0], dirs_[0]}), "duplicate shard 0");
+  expect_rejected_both_paths({dirs_[0], dirs_[0]}, "duplicate shard 0");
 }
 
 TEST_F(MergeCorruptTest, RejectsIncompleteShardSet) {
-  expect_rejected(merge({dirs_[0]}), "2 shard(s)");
+  expect_rejected_both_paths({dirs_[0]}, "2 shard(s)");
 }
 
 TEST_F(MergeCorruptTest, RejectsConfigHashMismatch) {
@@ -225,12 +197,12 @@ TEST_F(MergeCorruptTest, RejectsConfigHashMismatch) {
   slice.total_shards = 2;
   slice.out_dir = root_ + "/alien";
   ASSERT_TRUE(core::run_shard_slice(slice, factory(kSeed + 1)).ok);
-  expect_rejected(merge({dirs_[0], slice.out_dir}), "config");
+  expect_rejected_both_paths({dirs_[0], slice.out_dir}, "config");
 }
 
 TEST_F(MergeCorruptTest, RejectsGarbledTraceLine) {
   append_file(dirs_[1] + "/trace.jsonl", "this is not a trace event\n");
-  expect_rejected(merge(dirs_), "trace.jsonl");
+  expect_rejected_both_paths(dirs_, "trace.jsonl");
 }
 
 TEST_F(MergeCorruptTest, RejectsWrongTraceHeader) {
@@ -239,17 +211,17 @@ TEST_F(MergeCorruptTest, RejectsWrongTraceHeader) {
   ASSERT_NE(eol, std::string::npos);
   trace.replace(0, eol, "{\"schema\":\"ftpc.trace.v2\"}");
   write_file(dirs_[0] + "/trace.jsonl", trace);
-  expect_rejected(merge(dirs_), "trace.jsonl");
+  expect_rejected_both_paths(dirs_, "trace.jsonl");
 }
 
 TEST_F(MergeCorruptTest, RejectsGarbledMetrics) {
   write_file(dirs_[1] + "/metrics.json", "{\"schema\":\"ftpc.metrics.v1\"");
-  expect_rejected(merge(dirs_), "metrics.json");
+  expect_rejected_both_paths(dirs_, "metrics.json");
 }
 
 TEST_F(MergeCorruptTest, RejectsGarbledTimelineFacts) {
   append_file(dirs_[0] + "/timeline_facts.jsonl", "{\"k\":\"host\"}\n");
-  expect_rejected(merge(dirs_), "timeline_facts.jsonl");
+  expect_rejected_both_paths(dirs_, "timeline_facts.jsonl");
 }
 
 TEST_F(MergeCorruptTest, DiagnosticNamesTheOffendingDirectory) {

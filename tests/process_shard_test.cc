@@ -9,125 +9,46 @@
 // retries (the hardest ordering case: retransmits + per-connection fault
 // plans), shuffled merge input order, and — when the driver passes the
 // tool binaries — a true multi-process leg through `ftpcensus census
-// --shard-id k/N` + `ftpcmerge`.
+// --shard-id k/N` + `ftpcmerge`. Every leg also cross-checks the streaming
+// reduction against the materializing one: both must produce the same
+// bytes, so the bounded-memory path can never drift from the reference.
 #include <gtest/gtest.h>
-#include <sys/stat.h>
-#include <sys/wait.h>
 
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/census.h"
 #include "core/dataset.h"
 #include "core/shard_artifact.h"
-#include "core/shard_slice.h"
-#include "core/sharded_census.h"
-#include "popgen/population.h"
-#include "sim/chaos.h"
+#include "shard_fixture.h"
 
 namespace ftpc {
 namespace {
 
+using fixture::SingleProcessArtifacts;
+using fixture::make_temp_root;
+using fixture::read_file;
+using fixture::run_single_process;
+using fixture::run_slices;
+
 constexpr std::uint64_t kSeed = 42;
 constexpr unsigned kScaleShift = 16;  // ~65K addresses: CI-sized
 
-core::PopulationFactory factory(std::uint64_t seed) {
-  return [seed] { return std::make_unique<popgen::SyntheticPopulation>(seed); };
-}
-
-/// The exact census configuration `ftpcensus census --shard-id k/N` builds:
-/// every deterministic channel on, so the artifacts are self-contained.
 core::CensusConfig shard_config(std::uint64_t seed, unsigned scale_shift,
                                 bool chaos_lossy = false,
                                 std::uint32_t retries = 0) {
-  core::CensusConfig config;
-  config.seed = seed;
-  config.scale_shift = scale_shift;
-  config.trace.enabled = true;
-  config.trace.sample_rate = 1.0;
-  config.trace.capture_wire = true;
-  config.timeline.enabled = true;
-  config.timeline.interval_us = 10'000;  // 10k elements per tick at 1M pps
-  if (chaos_lossy) {
-    config.chaos_enabled = true;
-    config.chaos = *sim::ChaosProfile::named("lossy");
-  }
-  config.probe_retries = retries;
-  config.enumerator.command_retries = retries;
-  return config;
+  fixture::ShardConfigOptions options;
+  options.full_wire = true;
+  options.chaos_lossy = chaos_lossy;
+  options.retries = retries;
+  return fixture::shard_config(seed, scale_shift, options);
 }
 
-std::string read_file(const std::string& path) {
-  std::FILE* in = std::fopen(path.c_str(), "rb");
-  if (in == nullptr) return {};
-  std::string out;
-  char buffer[4096];
-  std::size_t got;
-  while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
-    out.append(buffer, got);
-  }
-  std::fclose(in);
-  return out;
-}
-
-std::string make_temp_root(const std::string& tag) {
-  const std::string root = ::testing::TempDir() + "ftpc_pshard_" + tag;
-  ::mkdir(root.c_str(), 0777);
-  return root;
-}
-
-/// The single-process reference: one in-process sharded run (K=1,T=1) with
-/// the same config, artifacts rendered exactly as ftpcensus writes them.
-struct SingleProcessArtifacts {
-  std::string records;  // dataset header + canonical-order frames
-  std::string metrics;
-  std::string trace;
-  std::string timeline;
-};
-
-SingleProcessArtifacts run_single_process(const core::CensusConfig& base) {
-  core::CensusConfig config = base;
-  config.shards = 1;
-  config.threads = 1;
-  core::ShardedCensus census(factory(base.seed), config);
-  core::VectorSink sink;
-  core::CensusStats stats = census.run(sink);
-  SingleProcessArtifacts out;
-  out.records = core::dataset_file_header();
-  for (const core::HostReport& report : sink.reports()) {
-    out.records += core::encode_host_frame(report);
-  }
-  out.metrics = stats.metrics.to_json();
-  out.trace = stats.trace.to_jsonl();
-  out.timeline = stats.timeline.to_jsonl();
-  return out;
-}
-
-/// Runs each shard as its own slice (fresh EventLoop/Network/population per
-/// call — exactly what N separate processes would build) into `root`.
-std::vector<std::string> run_slices(const core::CensusConfig& base,
-                                    std::uint32_t total_shards,
-                                    const std::string& root) {
-  std::vector<std::string> dirs;
-  for (std::uint32_t shard = 0; shard < total_shards; ++shard) {
-    core::ShardSliceConfig slice;
-    slice.census = base;
-    slice.shard = shard;
-    slice.total_shards = total_shards;
-    slice.out_dir = root + "/shard" + std::to_string(shard);
-    const core::ShardSliceResult result =
-        core::run_shard_slice(slice, factory(base.seed));
-    EXPECT_TRUE(result.ok) << "shard " << shard << "/" << total_shards << ": "
-                           << result.error;
-    dirs.push_back(slice.out_dir);
-  }
-  return dirs;
-}
-
+/// Merges `shard_dirs` twice — the default streaming reduction into
+/// `out_dir` and the materializing reference into `out_dir + "_mat"` — and
+/// byte-compares both against the single-process artifacts. Any divergence
+/// between the two reduction strategies fails here first.
 void expect_merge_matches(const SingleProcessArtifacts& expected,
                           const std::vector<std::string>& shard_dirs,
                           const std::string& out_dir,
@@ -139,14 +60,28 @@ void expect_merge_matches(const SingleProcessArtifacts& expected,
   EXPECT_TRUE(merged.wrote_metrics) << label;
   EXPECT_TRUE(merged.wrote_trace) << label;
   EXPECT_TRUE(merged.wrote_timeline) << label;
-  EXPECT_EQ(expected.records, read_file(out_dir + "/records.ftpd"))
-      << label << ": merged records diverged from single-process bytes";
-  EXPECT_EQ(expected.metrics, read_file(out_dir + "/metrics.json"))
-      << label << ": merged metrics diverged from single-process bytes";
-  EXPECT_EQ(expected.trace, read_file(out_dir + "/trace.jsonl"))
-      << label << ": merged trace diverged from single-process bytes";
-  EXPECT_EQ(expected.timeline, read_file(out_dir + "/timeline.jsonl"))
-      << label << ": merged timeline diverged from single-process bytes";
+  // Canonical artifacts must take the bounded-memory path, not fall back.
+  EXPECT_TRUE(merged.streamed_records) << label;
+  EXPECT_TRUE(merged.streamed_trace) << label;
+  EXPECT_TRUE(merged.streamed_timeline) << label;
+  EXPECT_GT(merged.peak_stream_bytes, 0u) << label;
+  fixture::expect_merged_dir_matches(expected, out_dir, label);
+
+  core::MergeOptions materialize;
+  materialize.force_materialize = true;
+  const std::string mat_dir = out_dir + "_mat";
+  const core::MergeResult reference =
+      core::merge_shard_artifacts(shard_dirs, mat_dir, materialize);
+  ASSERT_TRUE(reference.ok) << label << ": " << reference.error;
+  EXPECT_FALSE(reference.streamed_records) << label;
+  EXPECT_FALSE(reference.streamed_trace) << label;
+  EXPECT_FALSE(reference.streamed_timeline) << label;
+  for (const char* file :
+       {"records.ftpd", "metrics.json", "trace.jsonl", "timeline.jsonl"}) {
+    EXPECT_EQ(read_file(mat_dir + "/" + file), read_file(out_dir + "/" + file))
+        << label << ": streaming and materializing merges disagree on "
+        << file;
+  }
 }
 
 class ProcessShardTest : public ::testing::Test {
@@ -170,7 +105,7 @@ TEST_F(ProcessShardTest, GoldenRunIsNonTrivial) {
 TEST_F(ProcessShardTest, ShardMergeIsByteIdenticalAcrossN) {
   for (const std::uint32_t total : {1u, 2u, 4u, 8u}) {
     const std::string label = "N" + std::to_string(total);
-    const std::string root = make_temp_root(label);
+    const std::string root = make_temp_root("pshard_" + label);
     const auto dirs =
         run_slices(shard_config(kSeed, kScaleShift), total, root);
     expect_merge_matches(golden(), dirs, root + "/merged", label);
@@ -180,7 +115,7 @@ TEST_F(ProcessShardTest, ShardMergeIsByteIdenticalAcrossN) {
 TEST_F(ProcessShardTest, MergeInputOrderDoesNotMatter) {
   // The manifests carry the shard index; the directory argument order is
   // presentation, not semantics.
-  const std::string root = make_temp_root("shuffled");
+  const std::string root = make_temp_root("pshard_shuffled");
   auto dirs = run_slices(shard_config(kSeed, kScaleShift), 4, root);
   std::vector<std::string> shuffled = {dirs[2], dirs[0], dirs[3], dirs[1]};
   expect_merge_matches(golden(), shuffled, root + "/merged", "shuffled-N4");
@@ -193,13 +128,29 @@ TEST_F(ProcessShardTest, ChaosWithRetriesStaysByteIdentical) {
       shard_config(kSeed, kScaleShift, /*chaos_lossy=*/true, /*retries=*/2);
   const SingleProcessArtifacts expected = run_single_process(config);
   EXPECT_GT(expected.records.size(), core::dataset_file_header().size());
-  const std::string root = make_temp_root("chaos");
+  const std::string root = make_temp_root("pshard_chaos");
   const auto dirs = run_slices(config, 2, root);
   expect_merge_matches(expected, dirs, root + "/merged", "chaos-lossy-N2");
 }
 
+TEST_F(ProcessShardTest, StreamBufferSizeDoesNotChangeBytes) {
+  // A pathologically small buffer forces every refill/spill edge in the
+  // incremental readers; the output bytes must not notice.
+  const std::string root = make_temp_root("pshard_smallbuf");
+  const auto dirs = run_slices(shard_config(kSeed, kScaleShift), 2, root);
+  core::MergeOptions tiny;
+  tiny.buffer_bytes = 64;  // far below any single line/frame
+  const core::MergeResult merged =
+      core::merge_shard_artifacts(dirs, root + "/merged", tiny);
+  ASSERT_TRUE(merged.ok) << merged.error;
+  EXPECT_TRUE(merged.streamed_records);
+  EXPECT_TRUE(merged.streamed_trace);
+  EXPECT_TRUE(merged.streamed_timeline);
+  fixture::expect_merged_dir_matches(golden(), root + "/merged", "smallbuf");
+}
+
 TEST_F(ProcessShardTest, ManifestRoundTripsAndFingerprintIsLayoutBlind) {
-  const std::string root = make_temp_root("manifest");
+  const std::string root = make_temp_root("pshard_manifest");
   const auto dirs = run_slices(shard_config(kSeed, kScaleShift), 2, root);
   std::string error;
   const auto manifest =
@@ -237,13 +188,10 @@ TEST_F(ProcessShardTest, ManifestRoundTripsAndFingerprintIsLayoutBlind) {
 
 #if defined(FTPC_FTPCENSUS_BIN) && defined(FTPC_FTPCMERGE_BIN)
 
-int run_command(const std::string& command) {
-  const int status = std::system(command.c_str());
-  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-}
+using fixture::run_command;
 
 TEST(ProcessShardCli, BinariesReproduceSingleProcessBytes) {
-  const std::string root = make_temp_root("cli");
+  const std::string root = make_temp_root("pshard_cli");
   const std::string quiet = " >/dev/null 2>&1";
   // Flags mirror shard mode's forced channels: trace + timeline + metrics
   // on, 0.01 sim-seconds = the 10'000us tick the library tests use.
@@ -273,6 +221,14 @@ TEST(ProcessShardCli, BinariesReproduceSingleProcessBytes) {
             read_file(root + "/merged/trace.jsonl"));
   EXPECT_EQ(read_file(root + "/timeline.jsonl"),
             read_file(root + "/merged/timeline.jsonl"));
+
+  // The CLI's materializing escape hatch produces the same bytes.
+  ASSERT_EQ(0, run_command(std::string(FTPC_FTPCMERGE_BIN) +
+                           " --materialize --out " + root + "/merged_mat " +
+                           root + "/shard0 " + root + "/shard1" + quiet));
+  EXPECT_EQ(records, read_file(root + "/merged_mat/records.ftpd"));
+  EXPECT_EQ(read_file(root + "/merged/timeline.jsonl"),
+            read_file(root + "/merged_mat/timeline.jsonl"));
 }
 
 TEST(ProcessShardCli, ShardModeRejectsBadUsage) {

@@ -1,0 +1,172 @@
+#include "shard_fixture.h"
+
+#include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string_view>
+
+#include "core/dataset.h"
+#include "core/shard_artifact.h"
+#include "core/sharded_census.h"
+#include "popgen/population.h"
+#include "sim/chaos.h"
+
+namespace ftpc::fixture {
+
+core::PopulationFactory factory(std::uint64_t seed) {
+  return [seed] { return std::make_unique<popgen::SyntheticPopulation>(seed); };
+}
+
+core::CensusConfig shard_config(std::uint64_t seed, unsigned scale_shift,
+                                const ShardConfigOptions& options) {
+  core::CensusConfig config;
+  config.seed = seed;
+  config.scale_shift = scale_shift;
+  config.trace.enabled = true;
+  if (options.full_wire) {
+    config.trace.sample_rate = 1.0;
+    config.trace.capture_wire = true;
+  }
+  config.timeline.enabled = true;
+  config.timeline.interval_us = 10'000;  // 10k elements per tick at 1M pps
+  if (options.chaos_lossy) {
+    config.chaos_enabled = true;
+    config.chaos = *sim::ChaosProfile::named("lossy");
+  }
+  config.probe_retries = options.retries;
+  config.enumerator.command_retries = options.retries;
+  return config;
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return {};
+  std::string out;
+  char buffer[4096];
+  std::size_t got;
+  while ((got = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
+    out.append(buffer, got);
+  }
+  std::fclose(in);
+  return out;
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(out, nullptr) << path;
+  std::fwrite(bytes.data(), 1, bytes.size(), out);
+  std::fclose(out);
+}
+
+void append_file(const std::string& path, const std::string& bytes) {
+  std::FILE* out = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(out, nullptr) << path;
+  std::fwrite(bytes.data(), 1, bytes.size(), out);
+  std::fclose(out);
+}
+
+std::string make_temp_root(const std::string& tag) {
+  const std::string root = ::testing::TempDir() + "ftpc_" + tag;
+  ::mkdir(root.c_str(), 0777);
+  return root;
+}
+
+const char* const kShardArtifactFiles[8] = {
+    "manifest.json", "records.ftpd",         "metrics.json",
+    "trace.jsonl",   "timeline.jsonl",       "timeline_facts.jsonl",
+    "journal.jsonl", "checkpoint.json",
+};
+
+void expect_dirs_identical(const std::string& expected_dir,
+                           const std::string& actual_dir,
+                           const std::string& label) {
+  for (const char* file : kShardArtifactFiles) {
+    const std::string expected = read_file(expected_dir + "/" + file);
+    const std::string actual = read_file(actual_dir + "/" + file);
+    ASSERT_FALSE(expected.empty()) << label << ": reference " << file
+                                   << " is empty — vacuous comparison";
+    EXPECT_EQ(expected, actual)
+        << label << ": " << file << " diverged after crash/resume";
+  }
+}
+
+SingleProcessArtifacts run_single_process(const core::CensusConfig& base) {
+  core::CensusConfig config = base;
+  config.shards = 1;
+  config.threads = 1;
+  core::ShardedCensus census(factory(base.seed), config);
+  core::VectorSink sink;
+  core::CensusStats stats = census.run(sink);
+  SingleProcessArtifacts out;
+  out.records = core::dataset_file_header();
+  for (const core::HostReport& report : sink.reports()) {
+    out.records += core::encode_host_frame(report);
+  }
+  out.metrics = stats.metrics.to_json();
+  out.trace = stats.trace.to_jsonl();
+  out.timeline = stats.timeline.to_jsonl();
+  return out;
+}
+
+std::vector<std::string> run_slices(const core::CensusConfig& base,
+                                    std::uint32_t total_shards,
+                                    const std::string& root,
+                                    std::uint64_t checkpoint_interval) {
+  std::vector<std::string> dirs;
+  for (std::uint32_t shard = 0; shard < total_shards; ++shard) {
+    core::ShardSliceConfig slice;
+    slice.census = base;
+    slice.shard = shard;
+    slice.total_shards = total_shards;
+    slice.out_dir = root + "/shard" + std::to_string(shard);
+    slice.checkpoint_interval = checkpoint_interval;
+    const core::ShardSliceResult result =
+        core::run_shard_slice(slice, factory(base.seed));
+    EXPECT_TRUE(result.ok) << "shard " << shard << "/" << total_shards << ": "
+                           << result.error;
+    dirs.push_back(slice.out_dir);
+  }
+  return dirs;
+}
+
+void expect_merged_dir_matches(const SingleProcessArtifacts& expected,
+                               const std::string& out_dir,
+                               const std::string& label) {
+  EXPECT_EQ(expected.records, read_file(out_dir + "/records.ftpd"))
+      << label << ": merged records diverged from single-process bytes";
+  EXPECT_EQ(expected.metrics, read_file(out_dir + "/metrics.json"))
+      << label << ": merged metrics diverged from single-process bytes";
+  EXPECT_EQ(expected.trace, read_file(out_dir + "/trace.jsonl"))
+      << label << ": merged trace diverged from single-process bytes";
+  EXPECT_EQ(expected.timeline, read_file(out_dir + "/timeline.jsonl"))
+      << label << ": merged timeline diverged from single-process bytes";
+}
+
+std::vector<obs::HealthSample> parse_history(const std::string& path) {
+  std::vector<obs::HealthSample> beats;
+  const std::string body = read_file(path);
+  std::size_t offset = 0;
+  while (offset < body.size()) {
+    std::size_t eol = body.find('\n', offset);
+    if (eol == std::string::npos) eol = body.size();
+    const std::string_view line(body.data() + offset, eol - offset);
+    offset = eol + 1;
+    if (line.empty()) continue;
+    std::string error;
+    const auto sample = obs::parse_health_line(line, &error);
+    EXPECT_TRUE(sample.has_value()) << path << ": " << error;
+    if (sample) beats.push_back(*sample);
+  }
+  return beats;
+}
+
+int run_command(const std::string& command) {
+  const int status = std::system(command.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+}  // namespace ftpc::fixture

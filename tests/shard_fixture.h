@@ -1,0 +1,96 @@
+// Shared scaffolding for the shard-artifact test suites.
+//
+// process_shard_test, checkpoint_resume_test, merge_corrupt_test,
+// health_test and ftpcrun_test all build the same objects: a census config
+// shaped like `ftpcensus census --shard-id k/N` builds it, a temp artifact
+// root, k/N slice runs, a single-process reference rendering, and byte
+// comparisons over the ftpc.shard.v1 file set. This header is that
+// scaffolding, factored once so the suites pin contracts, not plumbing.
+//
+// Conventions: helpers that can fail use gtest EXPECT/ASSERT internally
+// (call them from a TEST body); pure helpers return values. Each suite
+// passes its own temp-root tag so concurrent ctest runs never collide.
+#ifndef FTPC_TESTS_SHARD_FIXTURE_H_
+#define FTPC_TESTS_SHARD_FIXTURE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/census.h"
+#include "core/shard_slice.h"
+#include "obs/health.h"
+
+namespace ftpc::fixture {
+
+/// Fresh synthetic population per call — what every shard process builds.
+core::PopulationFactory factory(std::uint64_t seed);
+
+/// Knobs that differ between the suites. The defaults mirror the plain
+/// shard-mode CLI (trace + timeline forced on, 10ms ticks); full_wire adds
+/// `--trace-sample 1.0` semantics (sample everything, capture wire bytes),
+/// which the byte-identity suites use so the trace channel is maximal.
+struct ShardConfigOptions {
+  bool full_wire = false;
+  bool chaos_lossy = false;
+  std::uint32_t retries = 0;
+};
+
+/// The exact census configuration `ftpcensus census --shard-id k/N` builds:
+/// every deterministic channel on, so the artifacts are self-contained.
+core::CensusConfig shard_config(std::uint64_t seed, unsigned scale_shift,
+                                const ShardConfigOptions& options = {});
+
+/// Whole-file read; empty string on a missing file (tests assert content).
+std::string read_file(const std::string& path);
+
+/// Write/append with an ASSERT on open failure.
+void write_file(const std::string& path, const std::string& bytes);
+void append_file(const std::string& path, const std::string& bytes);
+
+/// Creates (and returns) ::testing::TempDir()/ftpc_<tag>.
+std::string make_temp_root(const std::string& tag);
+
+/// Every file a completed checkpointed ftpc.shard.v1 artifact dir holds.
+extern const char* const kShardArtifactFiles[8];
+
+/// Byte-compares the full artifact file set; the reference side must be
+/// non-empty so a missing reference can never pass vacuously.
+void expect_dirs_identical(const std::string& expected_dir,
+                           const std::string& actual_dir,
+                           const std::string& label);
+
+/// The single-process reference: one in-process sharded run (K=1,T=1) with
+/// the same config, artifacts rendered exactly as ftpcensus writes them.
+struct SingleProcessArtifacts {
+  std::string records;  // dataset header + canonical-order frames
+  std::string metrics;
+  std::string trace;
+  std::string timeline;
+};
+
+SingleProcessArtifacts run_single_process(const core::CensusConfig& base);
+
+/// Runs each shard as its own slice (fresh EventLoop/Network/population per
+/// call — exactly what N separate processes would build) into
+/// `root/shard<k>`, returning the artifact dirs in shard order.
+std::vector<std::string> run_slices(const core::CensusConfig& base,
+                                    std::uint32_t total_shards,
+                                    const std::string& root,
+                                    std::uint64_t checkpoint_interval = 0);
+
+/// Byte-compares a merged artifact dir's four deterministic channels
+/// against the single-process reference.
+void expect_merged_dir_matches(const SingleProcessArtifacts& expected,
+                               const std::string& out_dir,
+                               const std::string& label);
+
+/// Parses an ftpc.health.v1 history file, EXPECTing every line to parse.
+std::vector<obs::HealthSample> parse_history(const std::string& path);
+
+/// system() wrapper: the child's exit code, or -1 on abnormal termination.
+int run_command(const std::string& command);
+
+}  // namespace ftpc::fixture
+
+#endif  // FTPC_TESTS_SHARD_FIXTURE_H_

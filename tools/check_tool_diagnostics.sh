@@ -3,7 +3,7 @@
 # and a nonzero exit instead of producing a bogus report.
 #
 #   check_tool_diagnostics.sh <ftpctrace> <ftpcreport> <ftpcmerge> \
-#       <ftpcensus> <ftpcwatch>
+#       <ftpcensus> <ftpcwatch> <ftpcrun>
 set -u
 
 FTPCTRACE="$1"
@@ -11,6 +11,7 @@ FTPCREPORT="$2"
 FTPCMERGE="$3"
 FTPCENSUS="$4"
 FTPCWATCH="$5"
+FTPCRUN="$6"
 TMP="${TMPDIR:-/tmp}/ftpc_tool_diag_$$"
 mkdir -p "$TMP"
 trap 'rm -rf "$TMP"' EXIT
@@ -61,9 +62,11 @@ expect_fail "ftpcreport short timeline" "$FTPCREPORT" "$TMP/short_tl"
 expect_fail "ftpctrace diff - -" sh -c \
   "printf '{\"schema\":\"ftpc.trace.v1\"}\n' | '$FTPCTRACE' diff - -"
 
-# ftpcmerge usage errors.
+# ftpcmerge usage errors. An empty shard-dir list must die in the parser:
+# merging nothing is a usage error, never an empty-but-successful merge.
 expect_fail "ftpcmerge no args" "$FTPCMERGE"
 expect_fail "ftpcmerge no shard dirs" "$FTPCMERGE" --out "$TMP/merged"
+expect_fail "ftpcmerge --out without value" "$FTPCMERGE" --out
 expect_fail "ftpcmerge unknown flag" "$FTPCMERGE" --bogus
 
 # ftpcmerge: a shard dir without a manifest is an incomplete artifact.
@@ -117,9 +120,15 @@ elif [ ! -f "$TMP/hb_out/heartbeat.json" ]; then
   fail=1
 fi
 
-# ftpcwatch: watching nothing is an error, not an empty healthy fleet.
+# ftpcwatch: watching nothing is an error, not an empty healthy fleet —
+# both a bare empty dir and a fleet root whose subdirectories carry no
+# heartbeat.json (a typo'd path looks exactly like this).
 mkdir -p "$TMP/empty_fleet"
 expect_fail "ftpcwatch empty dir" "$FTPCWATCH" --once "$TMP/empty_fleet"
+mkdir -p "$TMP/fleet_nohb/shard0"
+printf 'x\n' > "$TMP/fleet_nohb/shard0/notes.txt"
+expect_fail "ftpcwatch fleet without heartbeats" \
+  "$FTPCWATCH" --once "$TMP/fleet_nohb"
 expect_fail "ftpcwatch missing dir" "$FTPCWATCH" --once "$TMP/no_such_dir"
 expect_fail "ftpcwatch no dirs" "$FTPCWATCH" --once
 expect_fail "ftpcwatch bad stale" "$FTPCWATCH" --once --stale 0.5 "$TMP"
@@ -171,6 +180,21 @@ if ! "$FTPCREPORT" "$TMP/good_tl" > /dev/null 2>&1; then
   echo "FAIL: ftpcreport rejects a valid timeline" >&2
   fail=1
 fi
+
+# ftpcrun: conducting nothing, a zero-shard fleet, an unknown flag, or a
+# missing census binary are all usage errors (exit 2) with a diagnostic —
+# never a run that silently supervises an empty fleet.
+expect_fail "ftpcrun no args" "$FTPCRUN"
+expect_fail "ftpcrun zero shards" "$FTPCRUN" --out "$TMP/run0" --shards 0
+expect_fail "ftpcrun unknown flag" \
+  "$FTPCRUN" --out "$TMP/run0" --shards 2 --bogus
+expect_fail "ftpcrun missing census binary" \
+  "$FTPCRUN" --out "$TMP/run0" --shards 2 \
+  --census-bin "$TMP/no_such_ftpcensus"
+expect_fail "ftpcrun crash-shard without checkpoint count" \
+  "$FTPCRUN" --out "$TMP/run0" --shards 2 --crash-shard 1
+expect_fail "ftpcrun zero workers" \
+  "$FTPCRUN" --out "$TMP/run0" --shards 2 --workers 0
 
 # Artifact-directory inputs: both inspectors accept a shard/merge dir and
 # read the channel file inside it.

@@ -7,7 +7,7 @@
 // health/shard-K.health.jsonl — they are wall-clock telemetry, never
 // merged into the deterministic channels.
 //
-//   ftpcmerge --out DIR [--verbose] SHARD_DIR...
+//   ftpcmerge --out DIR [--materialize] [--verbose] SHARD_DIR...
 //
 // The input set must be complete and coherent: exactly shards 0..N-1 of
 // one census configuration (the manifests carry a config hash). Any
@@ -27,12 +27,14 @@ namespace {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: ftpcmerge --out DIR [--verbose] SHARD_DIR...\n"
+      "usage: ftpcmerge --out DIR [--materialize] [--verbose] SHARD_DIR...\n"
       "  SHARD_DIR: ftpc.shard.v1 artifact directories, one per shard of\n"
       "  a single census config (all N of them, in any order)\n"
       "  DIR: output directory (created if missing) for the merged\n"
       "  records.ftpd / metrics.json / trace.jsonl / timeline.jsonl\n"
       "  (+ health/shard-K.health.jsonl when shards carried heartbeats)\n"
+      "  --materialize: use the whole-file reducer instead of the default\n"
+      "  bounded-memory streaming reduction (same bytes, O(corpus) RSS)\n"
       "  --verbose: also log per-stage progress to stderr\n");
 }
 
@@ -41,6 +43,7 @@ void usage() {
 int main(int argc, char** argv) {
   std::string out_dir;
   std::vector<std::string> shard_dirs;
+  ftpc::core::MergeOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--out") {
@@ -49,6 +52,8 @@ int main(int argc, char** argv) {
         return 2;
       }
       out_dir = argv[++i];
+    } else if (arg == "--materialize") {
+      options.force_materialize = true;
     } else if (arg == "--verbose") {
       ftpc::set_log_level(ftpc::LogLevel::kInfo);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -66,7 +71,7 @@ int main(int argc, char** argv) {
   ftpc::log_info() << "merging " << shard_dirs.size() << " shard dir(s) into "
                    << out_dir;
   const ftpc::core::MergeResult result =
-      ftpc::core::merge_shard_artifacts(shard_dirs, out_dir);
+      ftpc::core::merge_shard_artifacts(shard_dirs, out_dir, options);
   if (!result.ok) {
     ftpc::log_error() << result.error;
     return 1;

@@ -1,0 +1,654 @@
+// ftpcrun — fleet conductor for sharded census runs.
+//
+//   ftpcrun --out ROOT --shards N [--workers W] [census options]
+//
+// One command runs the whole fleet workflow that previously took a shell
+// loop plus manual babysitting: launch N `ftpcensus census --shard-id k/N`
+// processes under a bounded worker pool, watch their ftpc.health.v1
+// heartbeats with the same classifier ftpcwatch prints (obs/fleet.h),
+// kill-and-restart shards that die or wedge — restarts run `--resume`, so
+// a checkpointed shard continues instead of starting over — and finish by
+// reducing the N artifact dirs with the streaming merge. Supervision is
+// two planes that never touch the deterministic channels:
+//
+//   reap plane     (main thread) waitpid() on our children. A child that
+//                  exits 0 with its manifest landed is done; anything
+//                  else is re-queued until its retry budget runs out.
+//   watch plane    (watcher thread) polls heartbeats on --poll cadence,
+//                  classifies the fleet, SIGKILLs live-but-wedged shards
+//                  (stalled: beating stale or element frozen while the
+//                  pid is alive) so the reap plane can restart them, and
+//                  appends one ftpc.fleet.v1 snapshot per poll to
+//                  ROOT/fleet.jsonl plus a progress line to stderr.
+//
+// The two planes share one shard table under a mutex. Every run writes
+// ROOT/run.json (ftpc.run.v1): per-shard attempts and outcomes, restart
+// totals, census/merge walls, and the final verdict — wall-clock data,
+// like the health plane, never an input to the deterministic artifacts.
+// Per-shard stdout/stderr append to ROOT/logs/shard<k>.log across
+// restarts.
+//
+// Layout under ROOT:  shard<k>/ (ftpc.shard.v1) for k in 0..N-1,
+// merged/ (the reduced single-process artifacts), logs/, fleet.jsonl,
+// run.json.
+//
+// Exit: 0 ok, 1 merge failed, 2 usage/bad input, 3 a shard exhausted its
+// retry budget (run.json names it).
+//
+// Fault injection (tests): --crash-shard K --crash-after-checkpoint C
+// forwards ftpcensus's crash hook to shard K's first attempt only, so the
+// restart path is exercised deterministically; --crash-every-attempt
+// forwards it to every attempt, exhausting the budget.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "core/shard_artifact.h"
+#include "obs/fleet.h"
+#include "obs/health.h"
+
+namespace {
+
+using namespace ftpc;
+
+struct Options {
+  std::string out_root;
+  std::uint32_t shards = 0;
+  std::uint32_t workers = 0;      // 0 = min(shards, hardware)
+  std::uint32_t retry_budget = 2; // restarts per shard
+  double poll = 0.5;              // watcher cadence, seconds
+  obs::FleetPolicy policy;
+  std::string census_bin;  // default: ftpcensus next to this binary
+  std::uint32_t merge_retries = 2;
+  bool no_merge = false;
+  // Fault injection (forwarded to ftpcensus --crash-after-checkpoint).
+  std::uint32_t crash_shard = UINT32_MAX;
+  std::uint32_t crash_after = 0;
+  bool crash_every_attempt = false;
+  // Census flags forwarded verbatim to every shard process.
+  std::vector<std::string> census_args;
+  double heartbeat_interval = 0.0;  // parsed copy; 0 = not given
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: ftpcrun --out ROOT --shards N [--workers W] [--retry-budget R]"
+      " [--poll SECONDS] [--stale K] [--stall M] [--straggler FRACTION]"
+      " [--census-bin PATH] [--merge-retries K] [--no-merge] [--verbose]"
+      " [census options]\n"
+      "  runs N `ftpcensus census --shard-id k/N` processes under a worker"
+      " pool,\n  restarts dead/stalled shards with --resume (budget R per"
+      " shard), then\n  merges ROOT/shard<k> into ROOT/merged. Writes"
+      " ROOT/run.json (ftpc.run.v1)\n  and per-poll ftpc.fleet.v1 snapshots"
+      " to ROOT/fleet.jsonl.\n"
+      "  census options forwarded to every shard: --seed --scale"
+      " --chaos-profile\n  --chaos-seed --retries --checkpoint-interval"
+      " --heartbeat-interval\n  --timeline-interval --trace-sample"
+      " --trace-no-wire\n"
+      "  fault injection (tests): --crash-shard K --crash-after-checkpoint"
+      " C\n  [--crash-every-attempt]\n"
+      "  exit: 0 ok, 1 merge failed, 2 usage, 3 retry budget exhausted\n");
+}
+
+bool is_directory(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+bool parse_uint32(const char* text, std::uint32_t& out) {
+  if (text == nullptr) return false;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(text, &end, 10);
+  if (end == text || *end != '\0' || v > UINT32_MAX) return false;
+  out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool parse_options(int argc, char** argv, Options& options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto forward = [&](const char* v) {
+      options.census_args.emplace_back(arg);
+      options.census_args.emplace_back(v);
+    };
+    auto positive_double = [&](const char* name, double min,
+                               double& out) -> bool {
+      const char* v = value();
+      if (v == nullptr) return false;
+      char* end = nullptr;
+      out = std::strtod(v, &end);
+      if (end == v || *end != '\0' || !(out >= min)) {
+        log_error() << name << " must be a number >= " << min
+                    << (v ? std::string(" (got ") + v + ")" : "");
+        return false;
+      }
+      return true;
+    };
+    if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.out_root = v;
+    } else if (arg == "--shards") {
+      const char* v = value();
+      if (!parse_uint32(v, options.shards) || options.shards == 0) {
+        log_error() << "--shards must be a positive shard count";
+        return false;
+      }
+    } else if (arg == "--workers") {
+      const char* v = value();
+      if (!parse_uint32(v, options.workers) || options.workers == 0) {
+        log_error() << "--workers must be a positive worker count";
+        return false;
+      }
+    } else if (arg == "--retry-budget") {
+      if (!parse_uint32(value(), options.retry_budget)) {
+        log_error() << "--retry-budget must be a restart count";
+        return false;
+      }
+    } else if (arg == "--poll") {
+      if (!positive_double("--poll", 0.05, options.poll)) return false;
+    } else if (arg == "--stale") {
+      if (!positive_double("--stale", 1.0, options.policy.stale)) return false;
+    } else if (arg == "--stall") {
+      std::uint32_t m = 0;
+      if (!parse_uint32(value(), m) || m == 0) {
+        log_error() << "--stall must be a positive beat count";
+        return false;
+      }
+      options.policy.stall = m;
+    } else if (arg == "--straggler") {
+      if (!positive_double("--straggler", 0.0, options.policy.straggler)) {
+        return false;
+      }
+    } else if (arg == "--census-bin") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.census_bin = v;
+    } else if (arg == "--merge-retries") {
+      if (!parse_uint32(value(), options.merge_retries) ||
+          options.merge_retries == 0) {
+        log_error() << "--merge-retries must be a positive attempt count";
+        return false;
+      }
+    } else if (arg == "--no-merge") {
+      options.no_merge = true;
+    } else if (arg == "--crash-shard") {
+      if (!parse_uint32(value(), options.crash_shard)) {
+        log_error() << "--crash-shard must be a shard index";
+        return false;
+      }
+    } else if (arg == "--crash-after-checkpoint") {
+      if (!parse_uint32(value(), options.crash_after) ||
+          options.crash_after == 0) {
+        log_error() << "--crash-after-checkpoint must be a positive count";
+        return false;
+      }
+    } else if (arg == "--crash-every-attempt") {
+      options.crash_every_attempt = true;
+    } else if (arg == "--heartbeat-interval") {
+      // Forwarded, but also parsed: the watcher paces itself off it.
+      if (!positive_double("--heartbeat-interval", 0.1,
+                           options.heartbeat_interval)) {
+        return false;
+      }
+      forward(argv[i]);
+    } else if (arg == "--seed" || arg == "--scale" || arg == "--max" ||
+               arg == "--chaos-profile" || arg == "--chaos-seed" ||
+               arg == "--retries" || arg == "--checkpoint-interval" ||
+               arg == "--timeline-interval" || arg == "--trace-sample") {
+      const char* v = value();
+      if (v == nullptr) {
+        log_error() << arg << " needs a value";
+        return false;
+      }
+      forward(v);
+    } else if (arg == "--trace-no-wire") {
+      options.census_args.emplace_back(arg);
+    } else if (arg == "--verbose") {
+      set_log_level(LogLevel::kInfo);
+    } else {
+      log_error() << "unknown option: " << arg;
+      return false;
+    }
+  }
+  if (options.out_root.empty()) {
+    log_error() << "--out ROOT is required";
+    return false;
+  }
+  if (options.shards == 0) {
+    log_error() << "--shards N is required";
+    return false;
+  }
+  if (options.crash_shard != UINT32_MAX && options.crash_after == 0) {
+    log_error() << "--crash-shard needs --crash-after-checkpoint C";
+    return false;
+  }
+  if (options.workers == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    options.workers = std::min(options.shards, hw == 0 ? 2u : hw);
+  }
+  // Heartbeats are how the conductor sees its fleet: without an explicit
+  // cadence, inject a default so supervision always has a signal.
+  if (options.heartbeat_interval == 0.0) {
+    options.heartbeat_interval = 0.5;
+    options.census_args.emplace_back("--heartbeat-interval");
+    options.census_args.emplace_back("0.5");
+  }
+  return true;
+}
+
+/// ftpcensus next to our own binary, unless --census-bin overrode it.
+std::string default_census_bin() {
+  char buffer[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n <= 0) return "ftpcensus";
+  buffer[n] = '\0';
+  std::string path(buffer);
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return "ftpcensus";
+  return path.substr(0, slash + 1) + "ftpcensus";
+}
+
+struct ShardProc {
+  enum class State { kPending, kRunning, kDone, kFailed };
+  std::uint32_t shard = 0;
+  std::string dir;
+  State state = State::kPending;
+  pid_t pid = -1;
+  std::uint32_t attempts = 0;  // launches, including the first
+  int last_exit = 0;
+  std::string last_status;
+};
+
+class Conductor {
+ public:
+  explicit Conductor(const Options& options) : options_(options) {}
+
+  int run() {
+    if (!prepare()) return 2;
+    const auto census_start = std::chrono::steady_clock::now();
+    watcher_ = std::thread([this] { watch(); });
+    supervise();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_watcher_ = true;
+    }
+    watcher_cv_.notify_all();
+    watcher_.join();
+    summary_.census_wall_s = seconds_since(census_start);
+    return finish();
+  }
+
+ private:
+  static double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  }
+
+  bool prepare() {
+    if (options_.census_bin.empty()) {
+      options_.census_bin = default_census_bin();
+    }
+    if (!file_exists(options_.census_bin)) {
+      log_error() << "census binary not found: " << options_.census_bin
+                  << " (use --census-bin)";
+      return false;
+    }
+    ::mkdir(options_.out_root.c_str(), 0777);
+    if (!is_directory(options_.out_root)) {
+      log_error() << options_.out_root << ": cannot create output root";
+      return false;
+    }
+    ::mkdir((options_.out_root + "/logs").c_str(), 0777);
+    fleet_log_ =
+        std::fopen((options_.out_root + "/fleet.jsonl").c_str(), "ab");
+    shards_.resize(options_.shards);
+    for (std::uint32_t k = 0; k < options_.shards; ++k) {
+      shards_[k].shard = k;
+      shards_[k].dir = options_.out_root + "/shard" + std::to_string(k);
+    }
+    summary_.shards = options_.shards;
+    summary_.workers = options_.workers;
+    return true;
+  }
+
+  /// Launch one attempt of `proc` (caller holds the mutex).
+  bool launch(ShardProc& proc) {
+    std::vector<std::string> args{options_.census_bin, "census"};
+    args.insert(args.end(), options_.census_args.begin(),
+                options_.census_args.end());
+    args.push_back("--shard-id");
+    args.push_back(std::to_string(proc.shard) + "/" +
+                   std::to_string(options_.shards));
+    args.push_back("--shard-out");
+    args.push_back(proc.dir);
+    // Resume is restart-safe: with no checkpoint on disk it is a fresh
+    // run, with one it continues from the committed boundary.
+    if (proc.attempts > 0) args.push_back("--resume");
+    if (proc.shard == options_.crash_shard &&
+        (proc.attempts == 0 || options_.crash_every_attempt)) {
+      args.push_back("--crash-after-checkpoint");
+      args.push_back(std::to_string(options_.crash_after));
+    }
+
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    const std::string log_path = options_.out_root + "/logs/shard" +
+                                 std::to_string(proc.shard) + ".log";
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      log_error() << "fork failed for shard " << proc.shard << ": "
+                  << std::strerror(errno);
+      return false;
+    }
+    if (pid == 0) {
+      const int fd =
+          ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0666);
+      if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        if (fd > STDERR_FILENO) ::close(fd);
+      }
+      ::execv(argv[0], argv.data());
+      std::fprintf(stderr, "ftpcrun: exec %s: %s\n", argv[0],
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    proc.pid = pid;
+    proc.state = ShardProc::State::kRunning;
+    ++proc.attempts;
+    log_info() << "shard " << proc.shard << " attempt " << proc.attempts
+               << " pid " << pid;
+    return true;
+  }
+
+  /// Reap plane: keep the pool full, reap exits, restart or fail shards.
+  void supervise() {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::uint32_t running = 0;
+        for (const ShardProc& proc : shards_) {
+          if (proc.state == ShardProc::State::kRunning) ++running;
+        }
+        for (ShardProc& proc : shards_) {
+          if (running >= options_.workers) break;
+          if (proc.state != ShardProc::State::kPending) continue;
+          if (!launch(proc)) {
+            proc.state = ShardProc::State::kFailed;
+            proc.last_status = "fork failed";
+            continue;
+          }
+          ++running;
+        }
+        bool all_settled = true;
+        for (const ShardProc& proc : shards_) {
+          if (proc.state == ShardProc::State::kPending ||
+              proc.state == ShardProc::State::kRunning) {
+            all_settled = false;
+            break;
+          }
+        }
+        if (all_settled) return;
+      }
+
+      int status = 0;
+      const pid_t pid = ::waitpid(-1, &status, WNOHANG);
+      if (pid > 0) {
+        handle_exit(pid, status);
+        continue;  // drain further exits before sleeping
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  void handle_exit(pid_t pid, int status) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (ShardProc& proc : shards_) {
+      if (proc.state != ShardProc::State::kRunning || proc.pid != pid) {
+        continue;
+      }
+      if (WIFEXITED(status)) {
+        proc.last_exit = WEXITSTATUS(status);
+        proc.last_status = "exit " + std::to_string(proc.last_exit);
+      } else if (WIFSIGNALED(status)) {
+        proc.last_exit = -WTERMSIG(status);
+        proc.last_status = "signal " + std::to_string(WTERMSIG(status));
+      } else {
+        proc.last_exit = -1;
+        proc.last_status = "unknown";
+      }
+      proc.pid = -1;
+      const bool completed =
+          proc.last_exit == 0 && file_exists(proc.dir + "/manifest.json");
+      if (completed) {
+        proc.state = ShardProc::State::kDone;
+        log_info() << "shard " << proc.shard << " done after "
+                   << proc.attempts << " attempt(s)";
+      } else if (proc.attempts <= options_.retry_budget) {
+        // Re-queued, not relaunched inline: a restart waits for a worker
+        // slot like any other pending shard.
+        proc.state = ShardProc::State::kPending;
+        std::fprintf(stderr,
+                     "[ftpcrun] shard %u %s; restarting with --resume "
+                     "(attempt %u/%u)\n",
+                     proc.shard, proc.last_status.c_str(), proc.attempts + 1,
+                     options_.retry_budget + 1);
+      } else {
+        proc.state = ShardProc::State::kFailed;
+        std::fprintf(stderr,
+                     "[ftpcrun] shard %u %s; retry budget exhausted after "
+                     "%u attempts\n",
+                     proc.shard, proc.last_status.c_str(), proc.attempts);
+      }
+      return;
+    }
+  }
+
+  /// Watch plane: classify heartbeats, kill wedged shards, log progress.
+  void watch() {
+    const auto poll = std::chrono::duration<double>(options_.poll);
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (watcher_cv_.wait_for(lock, poll, [this] { return stop_watcher_; }))
+          return;
+      }
+
+      // Snapshot the running set, then read heartbeats without the lock —
+      // health files are read-only and the pids are checked again before
+      // any kill.
+      std::vector<std::pair<std::uint32_t, std::string>> running;
+      std::uint32_t done = 0, failed = 0, restarts = 0;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const ShardProc& proc : shards_) {
+          if (proc.state == ShardProc::State::kRunning) {
+            running.emplace_back(proc.shard, proc.dir);
+          } else if (proc.state == ShardProc::State::kDone) {
+            ++done;
+          } else if (proc.state == ShardProc::State::kFailed) {
+            ++failed;
+          }
+          restarts += proc.attempts > 0 ? proc.attempts - 1 : 0;
+        }
+      }
+
+      std::vector<obs::ShardView> fleet;
+      for (const auto& [shard, dir] : running) {
+        obs::ShardView view;
+        // A shard between launch and its first beat has nothing to read
+        // yet; skip it this poll rather than misclassify.
+        if (!file_exists(dir + "/" + obs::kHeartbeatFile) &&
+            !file_exists(dir + "/" + obs::kHealthHistoryFile)) {
+          continue;
+        }
+        if (obs::read_shard_view(dir, options_.policy, view)) {
+          fleet.push_back(std::move(view));
+        }
+      }
+      obs::mark_stragglers(fleet, options_.policy.straggler);
+
+      for (const obs::ShardView& view : fleet) {
+        if (view.status != obs::ShardStatus::kStalled || !view.pid_alive) {
+          continue;
+        }
+        // Live-but-wedged: heartbeats stale or element frozen while the
+        // process survives. Kill it under the lock (the reap plane may
+        // have already replaced it) and let waitpid drive the restart.
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (ShardProc& proc : shards_) {
+          if (proc.state == ShardProc::State::kRunning &&
+              proc.dir == view.dir &&
+              proc.pid == static_cast<pid_t>(view.last.pid)) {
+            std::fprintf(stderr, "[ftpcrun] shard %u stalled (%s); killing\n",
+                         proc.shard,
+                         view.stalled_beats ? "element frozen"
+                                            : "heartbeat stale");
+            ::kill(proc.pid, SIGKILL);
+          }
+        }
+      }
+
+      if (fleet_log_ != nullptr && !fleet.empty()) {
+        const int code = obs::fleet_exit_code(fleet);
+        const std::string line = obs::render_fleet_json(
+            fleet, code == 0 ? "healthy" : code == 1 ? "degraded" : "dead");
+        std::fwrite(line.data(), 1, line.size(), fleet_log_);
+        std::fflush(fleet_log_);
+      }
+      std::fprintf(stderr,
+                   "[ftpcrun] done %u/%u running %zu failed %u restarts %u\n",
+                   done, options_.shards, running.size(), failed, restarts);
+    }
+  }
+
+  /// Summarize the fleet, run the merge, write run.json, pick the exit.
+  int finish() {
+    std::vector<std::string> shard_dirs;
+    bool any_failed = false;
+    for (const ShardProc& proc : shards_) {
+      obs::RunShardSummary run;
+      run.shard = proc.shard;
+      run.dir = proc.dir;
+      run.outcome =
+          proc.state == ShardProc::State::kDone ? "done" : "failed";
+      run.attempts = proc.attempts;
+      run.restarts = proc.attempts > 0 ? proc.attempts - 1 : 0;
+      run.last_exit = proc.last_exit;
+      run.last_status = proc.last_status;
+      summary_.restarts += run.restarts;
+      summary_.shard_runs.push_back(std::move(run));
+      if (proc.state == ShardProc::State::kDone) {
+        shard_dirs.push_back(proc.dir);
+      } else {
+        any_failed = true;
+        if (summary_.error.empty()) {
+          summary_.error = "shard " + std::to_string(proc.shard) +
+                           " failed (" + proc.last_status + ") after " +
+                           std::to_string(proc.attempts) + " attempts";
+        }
+      }
+    }
+
+    int code = 0;
+    if (any_failed) {
+      summary_.outcome = "shard-failed";
+      code = 3;
+    } else if (options_.no_merge) {
+      summary_.outcome = "ok";
+    } else {
+      const std::string merged_dir = options_.out_root + "/merged";
+      const auto merge_start = std::chrono::steady_clock::now();
+      core::MergeResult result;
+      for (std::uint32_t attempt = 0; attempt < options_.merge_retries;
+           ++attempt) {
+        ++summary_.merge_attempts;
+        result = core::merge_shard_artifacts(shard_dirs, merged_dir);
+        if (result.ok) break;
+        std::fprintf(stderr, "[ftpcrun] merge attempt %u failed: %s\n",
+                     summary_.merge_attempts, result.error.c_str());
+      }
+      summary_.merge_wall_s = seconds_since(merge_start);
+      if (result.ok) {
+        summary_.outcome = "ok";
+        summary_.merged = true;
+        summary_.merged_dir = merged_dir;
+        std::fprintf(stderr,
+                     "[ftpcrun] merged %llu record(s) into %s "
+                     "(peak stream %llu bytes)\n",
+                     static_cast<unsigned long long>(result.records),
+                     merged_dir.c_str(),
+                     static_cast<unsigned long long>(result.peak_stream_bytes));
+      } else {
+        summary_.outcome = "merge-failed";
+        summary_.error = result.error;
+        code = 1;
+      }
+    }
+
+    const std::string rendered = obs::render_run_summary(summary_);
+    const std::string run_path = options_.out_root + "/run.json";
+    if (std::FILE* file = std::fopen(run_path.c_str(), "wb")) {
+      std::fwrite(rendered.data(), 1, rendered.size(), file);
+      std::fclose(file);
+    } else {
+      log_error() << run_path << ": cannot write run summary";
+    }
+    if (fleet_log_ != nullptr) std::fclose(fleet_log_);
+    std::fprintf(stderr, "[ftpcrun] %s (%u restart(s), run summary %s)\n",
+                 summary_.outcome.c_str(), summary_.restarts,
+                 run_path.c_str());
+    return code;
+  }
+
+  Options options_;
+  std::vector<ShardProc> shards_;
+  std::mutex mutex_;
+  bool stop_watcher_ = false;
+  std::condition_variable watcher_cv_;
+  std::thread watcher_;
+  std::FILE* fleet_log_ = nullptr;
+  obs::RunSummary summary_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!parse_options(argc, argv, options)) {
+    usage();
+    return 2;
+  }
+  Conductor conductor(options);
+  return conductor.run();
+}

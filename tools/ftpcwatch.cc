@@ -6,16 +6,10 @@
 // / health.jsonl, written by `ftpcensus --heartbeat-interval`) or a fleet
 // root whose immediate subdirectories are shard dirs. The watcher renders
 // a fleet table — per-shard rate, progress, ETA, last-heartbeat age — and
-// classifies every shard:
-//
-//   done       final done=true beat seen, or the shard manifest landed
-//   healthy    beating on cadence and progressing at fleet pace
-//   straggler  progressing, but slower than --straggler × the fleet
-//              median rate
-//   stalled    beating, but the global element index has not moved for
-//              --stall consecutive beats (or the pid is alive while the
-//              heartbeat has gone stale — a live-but-wedged process)
-//   dead       heartbeat staler than --stale intervals AND the pid is gone
+// classifies every shard with the shared fleet classifier (obs/fleet.h):
+// done / healthy / straggler / stalled / dead. The same classifier drives
+// ftpcrun's restart decisions, so what this table prints as "dead" is
+// exactly what the conductor restarts.
 //
 // `--once` prints one snapshot and exits with a fleet verdict the
 // conductor can branch on: 0 all healthy/done, 1 degraded (straggler or
@@ -27,12 +21,10 @@
 // Reads only the health plane — never the deterministic channels — so
 // watching a run cannot perturb its artifacts.
 #include <dirent.h>
-#include <signal.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -45,6 +37,7 @@
 #include <vector>
 
 #include "common/log.h"
+#include "obs/fleet.h"
 #include "obs/health.h"
 
 namespace {
@@ -54,10 +47,8 @@ using namespace ftpc;
 struct Options {
   bool once = false;
   bool json = false;
-  double interval = 2.0;    // live-mode redraw cadence, seconds
-  double stale = 3.0;       // dead/stalled: age > stale × heartbeat interval
-  std::uint64_t stall = 3;  // stalled: element unchanged across this many beats
-  double straggler = 0.5;   // straggler: rate < fraction × fleet median
+  double interval = 2.0;  // live-mode redraw cadence, seconds
+  obs::FleetPolicy policy;
   std::vector<std::string> dirs;
 };
 
@@ -98,7 +89,7 @@ bool parse_options(int argc, char** argv, Options& options) {
     } else if (arg == "--interval") {
       if (!positive_double("--interval", 0.1, options.interval)) return false;
     } else if (arg == "--stale") {
-      if (!positive_double("--stale", 1.0, options.stale)) return false;
+      if (!positive_double("--stale", 1.0, options.policy.stale)) return false;
     } else if (arg == "--stall") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -109,9 +100,9 @@ bool parse_options(int argc, char** argv, Options& options) {
                     << ")";
         return false;
       }
-      options.stall = m;
+      options.policy.stall = m;
     } else if (arg == "--straggler") {
-      if (!positive_double("--straggler", 0.0, options.straggler)) {
+      if (!positive_double("--straggler", 0.0, options.policy.straggler)) {
         return false;
       }
     } else if (arg == "--verbose") {
@@ -138,22 +129,6 @@ bool file_exists(const std::string& path) {
 bool is_directory(const std::string& path) {
   struct stat st{};
   return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
-}
-
-std::optional<std::string> read_file(const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) return std::nullopt;
-  std::string content;
-  char buffer[1 << 16];
-  for (;;) {
-    const std::size_t got = std::fread(buffer, 1, sizeof(buffer), file);
-    content.append(buffer, got);
-    if (got < sizeof(buffer)) break;
-  }
-  const bool ok = std::ferror(file) == 0;
-  std::fclose(file);
-  if (!ok) return std::nullopt;
-  return content;
 }
 
 bool has_heartbeat(const std::string& dir) {
@@ -201,175 +176,6 @@ bool expand_dirs(const std::vector<std::string>& args,
   return true;
 }
 
-enum class ShardStatus { kDone, kHealthy, kStraggler, kStalled, kDead };
-
-const char* status_name(ShardStatus status) {
-  switch (status) {
-    case ShardStatus::kDone: return "done";
-    case ShardStatus::kHealthy: return "healthy";
-    case ShardStatus::kStraggler: return "straggler";
-    case ShardStatus::kStalled: return "stalled";
-    case ShardStatus::kDead: return "dead";
-  }
-  return "?";
-}
-
-struct ShardView {
-  std::string dir;
-  obs::HealthSample last;  // latest beat (heartbeat.json, or history tail)
-  ShardStatus status = ShardStatus::kHealthy;
-  double age_s = 0.0;   // since the latest beat's wall-clock stamp
-  double rate = 0.0;    // global elements / second, from the history tail
-  double eta_s = -1.0;  // seconds to elements_total at current rate; <0 n/a
-  bool pid_alive = false;
-  bool stalled_beats = false;  // element frozen across --stall beats
-};
-
-bool pid_alive(std::uint64_t pid) {
-  if (pid == 0) return false;
-  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
-  return errno != ESRCH;  // EPERM = alive but not ours
-}
-
-std::uint64_t now_ms() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::milliseconds>(
-          std::chrono::system_clock::now().time_since_epoch())
-          .count());
-}
-
-/// Reads one shard dir into a ShardView. Returns false (diagnostic
-/// logged) only for unreadable/garbled health artifacts — classification
-/// itself never fails.
-bool read_shard(const std::string& dir, const Options& options,
-                ShardView& view) {
-  view.dir = dir;
-
-  // History first: rate and stall detection come from the beat sequence.
-  std::vector<obs::HealthSample> history;
-  if (const auto text = read_file(dir + "/" + obs::kHealthHistoryFile)) {
-    std::size_t offset = 0;
-    std::size_t line_number = 0;
-    const std::string_view body(*text);
-    while (offset < body.size()) {
-      std::size_t eol = body.find('\n', offset);
-      if (eol == std::string_view::npos) eol = body.size();
-      const std::string_view line = body.substr(offset, eol - offset);
-      offset = eol + 1;
-      ++line_number;
-      if (line.empty()) continue;
-      std::string error;
-      const auto sample = obs::parse_health_line(line, &error);
-      if (!sample) {
-        // A torn final line (killed mid-write) is expected; garbage
-        // anywhere before the tail is not.
-        if (offset >= body.size() && body.back() != '\n') break;
-        log_error() << dir << "/" << obs::kHealthHistoryFile << ":"
-                    << line_number << ": " << error;
-        return false;
-      }
-      history.push_back(*sample);
-    }
-  }
-
-  if (const auto text = read_file(dir + "/" + obs::kHeartbeatFile)) {
-    std::string error;
-    const auto sample = obs::parse_health_line(*text, &error);
-    if (!sample) {
-      log_error() << dir << "/" << obs::kHeartbeatFile << ": " << error;
-      return false;
-    }
-    view.last = *sample;
-  } else if (!history.empty()) {
-    view.last = history.back();
-  } else {
-    log_error() << dir << ": no readable heartbeat";
-    return false;
-  }
-
-  const std::uint64_t now = now_ms();
-  view.age_s = now > view.last.ts_ms
-                   ? static_cast<double>(now - view.last.ts_ms) / 1000.0
-                   : 0.0;
-  view.pid_alive = pid_alive(view.last.pid);
-
-  // Rate from the last two beats with distinct wall stamps; restarts
-  // (seq reset in an appended history) are skipped by requiring monotone
-  // element progress within the pair.
-  for (std::size_t i = history.size(); i-- > 1;) {
-    const obs::HealthSample& b = history[i];
-    const obs::HealthSample& a = history[i - 1];
-    if (b.seq < a.seq) break;  // resume boundary: older run beyond here
-    if (b.ts_ms > a.ts_ms && b.global_element >= a.global_element) {
-      view.rate = static_cast<double>(b.global_element - a.global_element) /
-                  (static_cast<double>(b.ts_ms - a.ts_ms) / 1000.0);
-      break;
-    }
-  }
-  if (view.rate > 0.0 &&
-      view.last.elements_total > view.last.global_element) {
-    view.eta_s = static_cast<double>(view.last.elements_total -
-                                     view.last.global_element) /
-                 view.rate;
-  }
-
-  // Element index frozen across the last --stall beats (needs stall+1
-  // beats to witness that many unchanged intervals).
-  if (history.size() > options.stall) {
-    bool frozen = true;
-    const std::uint64_t tail_element = history.back().global_element;
-    for (std::size_t i = history.size() - options.stall - 1;
-         i < history.size(); ++i) {
-      if (history[i].global_element != tail_element ||
-          history[i].seq > history.back().seq) {
-        frozen = false;
-        break;
-      }
-    }
-    view.stalled_beats = frozen;
-  }
-
-  // Classification. Done wins (a finished shard stops beating by design);
-  // then the staleness verdict, then beat-level stalls.
-  const bool finished =
-      view.last.done || file_exists(dir + "/manifest.json");
-  const double interval_s =
-      static_cast<double>(view.last.interval_ms) / 1000.0;
-  const bool stale = view.age_s > options.stale * interval_s;
-  if (finished) {
-    view.status = ShardStatus::kDone;
-  } else if (stale && !view.pid_alive) {
-    view.status = ShardStatus::kDead;
-  } else if (stale || view.stalled_beats) {
-    view.status = ShardStatus::kStalled;
-  } else {
-    view.status = ShardStatus::kHealthy;  // straggler pass runs fleet-wide
-  }
-  return true;
-}
-
-/// Second pass: rates below --straggler × the fleet median demote healthy
-/// shards to straggler. Median over running shards only — done/dead/stalled
-/// shards would drag it toward zero.
-void mark_stragglers(std::vector<ShardView>& fleet, double fraction) {
-  std::vector<double> rates;
-  for (const ShardView& view : fleet) {
-    if (view.status == ShardStatus::kHealthy && view.rate > 0.0) {
-      rates.push_back(view.rate);
-    }
-  }
-  if (rates.size() < 2) return;  // no fleet to compare against
-  std::sort(rates.begin(), rates.end());
-  const double median = rates[rates.size() / 2];
-  if (median <= 0.0) return;
-  for (ShardView& view : fleet) {
-    if (view.status == ShardStatus::kHealthy && view.rate > 0.0 &&
-        view.rate < fraction * median) {
-      view.status = ShardStatus::kStraggler;
-    }
-  }
-}
-
 std::string fmt_duration(double seconds) {
   char buffer[32];
   if (seconds < 0.0) return "-";
@@ -383,10 +189,10 @@ std::string fmt_duration(double seconds) {
   return buffer;
 }
 
-void print_table(const std::vector<ShardView>& fleet) {
+void print_table(const std::vector<obs::ShardView>& fleet) {
   std::printf("%-28s %8s %-10s %8s %12s %8s %8s %-9s\n", "SHARD", "PID",
               "STAGE", "PROG", "RATE/s", "ETA", "AGE", "STATUS");
-  for (const ShardView& view : fleet) {
+  for (const obs::ShardView& view : fleet) {
     // Last path component keeps the table narrow for deep fleet roots.
     std::string name = view.dir;
     const std::size_t slash = name.find_last_of('/');
@@ -400,70 +206,21 @@ void print_table(const std::vector<ShardView>& fleet) {
             : 0.0;
     char prog[16];
     std::snprintf(prog, sizeof prog, "%5.1f%%",
-                  view.status == ShardStatus::kDone ? 100.0 : progress);
+                  view.status == obs::ShardStatus::kDone ? 100.0 : progress);
     char rate[24];
     std::snprintf(rate, sizeof rate, "%.0f", view.rate);
     std::printf("%-28s %8" PRIu64 " %-10s %8s %12s %8s %8s %-9s\n",
                 name.c_str(), view.last.pid, view.last.stage.c_str(), prog,
                 rate, fmt_duration(view.eta_s).c_str(),
-                fmt_duration(view.age_s).c_str(), status_name(view.status));
+                fmt_duration(view.age_s).c_str(),
+                obs::shard_status_name(view.status));
   }
 }
 
-std::string fmt_double(double value) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof buffer, "%.3f", value);
-  return buffer;
-}
-
-void print_json(const std::vector<ShardView>& fleet,
+void print_json(const std::vector<obs::ShardView>& fleet,
                 const char* fleet_status) {
-  std::string out = "{\"schema\":\"ftpc.fleet.v1\"";
-  out += ",\"ts_ms\":" + std::to_string(now_ms());
-  out += ",\"status\":\"" + std::string(fleet_status) + "\"";
-  std::size_t counts[5] = {0, 0, 0, 0, 0};
-  for (const ShardView& view : fleet) {
-    ++counts[static_cast<std::size_t>(view.status)];
-  }
-  out += ",\"done\":" + std::to_string(counts[0]);
-  out += ",\"healthy\":" + std::to_string(counts[1]);
-  out += ",\"stragglers\":" + std::to_string(counts[2]);
-  out += ",\"stalled\":" + std::to_string(counts[3]);
-  out += ",\"dead\":" + std::to_string(counts[4]);
-  out += ",\"shards\":[";
-  for (std::size_t i = 0; i < fleet.size(); ++i) {
-    const ShardView& view = fleet[i];
-    if (i > 0) out.push_back(',');
-    out += "{\"dir\":\"" + view.dir + "\"";
-    out += ",\"shard\":" + std::to_string(view.last.shard);
-    out += ",\"total_shards\":" + std::to_string(view.last.total_shards);
-    out += ",\"pid\":" + std::to_string(view.last.pid);
-    out += ",\"pid_alive\":";
-    out += view.pid_alive ? "true" : "false";
-    out += ",\"status\":\"" + std::string(status_name(view.status)) + "\"";
-    out += ",\"stage\":\"" + view.last.stage + "\"";
-    out += ",\"global_element\":" + std::to_string(view.last.global_element);
-    out += ",\"elements_total\":" + std::to_string(view.last.elements_total);
-    out += ",\"rate_per_s\":" + fmt_double(view.rate);
-    out += ",\"eta_s\":" + fmt_double(view.eta_s);
-    out += ",\"age_s\":" + fmt_double(view.age_s);
-    out += ",\"last_seq\":" + std::to_string(view.last.seq) + "}";
-  }
-  out += "]}\n";
+  const std::string out = obs::render_fleet_json(fleet, fleet_status);
   std::fwrite(out.data(), 1, out.size(), stdout);
-}
-
-/// 0 all healthy/done, 1 degraded, 3 dead present.
-int fleet_exit_code(const std::vector<ShardView>& fleet) {
-  int code = 0;
-  for (const ShardView& view : fleet) {
-    if (view.status == ShardStatus::kDead) return 3;
-    if (view.status == ShardStatus::kStalled ||
-        view.status == ShardStatus::kStraggler) {
-      code = 1;
-    }
-  }
-  return code;
 }
 
 }  // namespace
@@ -480,16 +237,16 @@ int main(int argc, char** argv) {
     std::vector<std::string> shard_dirs;
     if (!expand_dirs(options.dirs, shard_dirs)) return 2;
 
-    std::vector<ShardView> fleet;
+    std::vector<obs::ShardView> fleet;
     fleet.reserve(shard_dirs.size());
     for (const std::string& dir : shard_dirs) {
-      ShardView view;
-      if (!read_shard(dir, options, view)) return 2;
+      obs::ShardView view;
+      if (!obs::read_shard_view(dir, options.policy, view)) return 2;
       fleet.push_back(std::move(view));
     }
-    mark_stragglers(fleet, options.straggler);
+    obs::mark_stragglers(fleet, options.policy.straggler);
 
-    const int code = fleet_exit_code(fleet);
+    const int code = obs::fleet_exit_code(fleet);
     if (options.once) {
       if (options.json) {
         print_json(fleet, code == 0   ? "healthy"
@@ -505,8 +262,8 @@ int main(int argc, char** argv) {
     print_table(fleet);
     std::fflush(stdout);
     const bool all_done = std::all_of(
-        fleet.begin(), fleet.end(), [](const ShardView& view) {
-          return view.status == ShardStatus::kDone;
+        fleet.begin(), fleet.end(), [](const obs::ShardView& view) {
+          return view.status == obs::ShardStatus::kDone;
         });
     if (all_done) return 0;
     std::this_thread::sleep_for(

@@ -8,7 +8,7 @@
 #                                     # chaos_matrix_test + timeline_test +
 #                                     # process_shard_test +
 #                                     # checkpoint_resume_test +
-#                                     # health_test
+#                                     # health_test + ftpcrun_test
 #   tools/run_tsan.sh census_test ... # additional test binaries to run
 #
 # Uses a dedicated build tree (build-tsan) so the instrumented objects
@@ -35,8 +35,12 @@ cmake -B "$BUILD_DIR" -S . \
 # but are kept here so the segment loop's detach/reattach of the
 # thread-checked collectors stays clean under instrumentation;
 # health_test races the HealthMonitor background thread against the census
-# hot path's relaxed gauge stores (the one true cross-thread channel).
-TESTS="event_loop_test sharded_census_test sim_test scan_test trace_test chaos_matrix_test timeline_test process_shard_test checkpoint_resume_test health_test"
+# hot path's relaxed gauge stores (the one true cross-thread channel);
+# ftpcrun_test drives the conductor's reap plane (main thread: waitpid +
+# relaunch) against its watch plane (poller thread: classify + SIGKILL),
+# which share the shard table under one mutex — the exact interleaving
+# TSan is for.
+TESTS="event_loop_test sharded_census_test sim_test scan_test trace_test chaos_matrix_test timeline_test process_shard_test checkpoint_resume_test health_test ftpcrun_test"
 [ "$#" -gt 0 ] && TESTS="$TESTS $*"
 
 # shellcheck disable=SC2086
