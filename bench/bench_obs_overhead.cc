@@ -16,6 +16,10 @@
 //                   null checks the hot paths always execute
 //   heartbeat_on    metrics on + HealthState attached and a HealthMonitor
 //                   beating at the default 1s cadence into a scratch dir
+//   prof_off        metrics on, profiling compiled in but off — prices the
+//                   null-collector branch every ScopedProfile guard runs
+//   prof_on         metrics on + the profiling plane collecting the full
+//                   scope tree and telemetry counters
 //
 // Gates (exit 1 on violation):
 //   metrics        vs base    < 5%
@@ -25,14 +29,16 @@
 //   timeline_on    vs metrics < 5%
 //   heartbeat_off  vs metrics < 1%
 //   heartbeat_on   vs metrics < 1%
-//   trace_full is reported but not gated — full transcripts are a debug
-//   mode, priced for the record.
+//   prof_off       vs metrics < 1%
+//   trace_full and prof_on are reported but not gated — full transcripts
+//   and live profiling are debug/tuning modes, priced for the record.
 // A gate only trips when the absolute delta also exceeds 20ms, so a tiny
 // --scale run on a noisy machine cannot fail on scheduler jitter alone.
 //
 // Results land in BENCH_obs.json (cwd) for machine consumption; the
-// timeline gates are additionally broken out into BENCH_timeline.json and
-// the heartbeat gates into BENCH_health.json.
+// timeline gates are additionally broken out into BENCH_timeline.json,
+// the heartbeat gates into BENCH_health.json, and the profiling gates
+// into BENCH_prof.json.
 //
 // Environment knobs (same as the table benches):
 //   FTPCENSUS_SEED         population + scan seed   (default 42)
@@ -73,14 +79,17 @@ enum class Leg {
   kTimelineOn,
   kHeartbeatOff,
   kHeartbeatOn,
+  kProfOff,
+  kProfOn,
 };
 
 constexpr const char* kLegNames[] = {"base",          "metrics",
                                      "trace_disabled", "trace_sampled",
                                      "trace_full",     "timeline_off",
                                      "timeline_on",    "heartbeat_off",
-                                     "heartbeat_on"};
-constexpr int kLegs = 9;
+                                     "heartbeat_on",   "prof_off",
+                                     "prof_on"};
+constexpr int kLegs = 11;
 
 struct RunResult {
   double seconds = 0.0;
@@ -89,6 +98,7 @@ struct RunResult {
   std::uint64_t trace_events = 0;   // buffer size, sanity only
   std::uint64_t timeline_hits = 0;  // recorded timeline hosts, sanity only
   std::uint64_t beats = 0;          // heartbeats emitted, sanity only
+  std::uint64_t prof_nodes = 0;     // profile tree size, sanity only
 };
 
 RunResult run_census(std::uint64_t seed, unsigned scale_shift, Leg leg) {
@@ -118,12 +128,16 @@ RunResult run_census(std::uint64_t seed, unsigned scale_shift, Leg leg) {
       break;
     case Leg::kTimelineOff:
     case Leg::kHeartbeatOff:
+    case Leg::kProfOff:
       break;  // identical to kMetrics: prices the disabled-path null checks
     case Leg::kTimelineOn:
       config.timeline.enabled = true;
       break;
     case Leg::kHeartbeatOn:
       break;  // state + monitor attached below
+    case Leg::kProfOn:
+      config.prof_enabled = true;
+      break;
   }
   obs::HealthState health_state;
   std::optional<obs::HealthMonitor> health_monitor;
@@ -154,6 +168,7 @@ RunResult run_census(std::uint64_t seed, unsigned scale_shift, Leg leg) {
   result.trace_events = stats.trace.size();
   result.timeline_hits = stats.timeline.hosts().size();
   result.beats = health_monitor ? health_monitor->beats() : 0;
+  result.prof_nodes = stats.prof.tree().nodes().size() - 1;  // minus root
   return result;
 }
 
@@ -173,6 +188,8 @@ constexpr Gate kGates[] = {
     {"timeline_on", Leg::kTimelineOn, Leg::kMetrics, 5.0},
     {"heartbeat_off", Leg::kHeartbeatOff, Leg::kMetrics, 1.0},
     {"heartbeat_on", Leg::kHeartbeatOn, Leg::kMetrics, 1.0},
+    {"prof_off", Leg::kProfOff, Leg::kMetrics, 1.0},
+    {"prof_on", Leg::kProfOn, Leg::kMetrics, -1.0},
 };
 
 // Relative gates are meaningless at micro time scales: require the leg to
@@ -333,6 +350,47 @@ int main() {
     }
   }
 
+  // Profiling-specific record (same data, stable location for the
+  // profiling plane's CI trend line).
+  {
+    const double metrics_s = best[static_cast<int>(Leg::kMetrics)];
+    const double off_s = best[static_cast<int>(Leg::kProfOff)];
+    const double on_s = best[static_cast<int>(Leg::kProfOn)];
+    std::string pf = "{\"bench\":\"prof_overhead\",\"seed\":" +
+                     std::to_string(seed) +
+                     ",\"scale_shift\":" + std::to_string(scale_shift) +
+                     ",\"hosts\":" + std::to_string(sample[0].hosts) +
+                     ",\"prof_nodes\":" +
+                     std::to_string(sample[static_cast<int>(Leg::kProfOn)]
+                                        .prof_nodes) +
+                     ",\"seconds\":{\"metrics\":" + std::to_string(metrics_s) +
+                     ",\"prof_off\":" + std::to_string(off_s) +
+                     ",\"prof_on\":" + std::to_string(on_s) +
+                     "},\"overhead_pct\":{\"prof_off\":" +
+                     std::to_string((off_s / metrics_s - 1.0) * 100.0) +
+                     ",\"prof_on\":" +
+                     std::to_string((on_s / metrics_s - 1.0) * 100.0) +
+                     "},\"pass\":";
+    pf += pass ? "true" : "false";
+    pf += "}\n";
+    std::FILE* pf_out = std::fopen("BENCH_prof.json", "wb");
+    if (pf_out != nullptr) {
+      std::fwrite(pf.data(), 1, pf.size(), pf_out);
+      std::fclose(pf_out);
+      std::printf("wrote BENCH_prof.json\n");
+    } else {
+      std::printf("warning: cannot write BENCH_prof.json\n");
+    }
+  }
+
+  if (sample[static_cast<int>(Leg::kProfOn)].prof_nodes == 0) {
+    std::printf("FAIL: prof_on run recorded no profile scopes\n");
+    return 1;
+  }
+  if (sample[static_cast<int>(Leg::kProfOff)].prof_nodes != 0) {
+    std::printf("FAIL: prof_off run leaked profile scopes\n");
+    return 1;
+  }
   if (sample[static_cast<int>(Leg::kHeartbeatOn)].beats == 0) {
     std::printf("FAIL: heartbeat_on run emitted no beats\n");
     return 1;

@@ -28,6 +28,10 @@ void drive_enumeration_window(sim::Network& network,
   // or run_shard_slice) so both drivers share one wiring point.
   obs::HealthState* health = network.health();
   if (health != nullptr) health->set_stage(obs::PerfStage::kEnumerate);
+  // Profiling plane rides the same attachment: one scope for the whole
+  // window drive. Like perf, prof is wall-clock data and exempt from the
+  // byte-identity contract (obs/prof.h).
+  obs::ScopedProfile prof_scope(network.prof(), "enumerate.window");
 
   // Self-referencing launcher; lives on this frame — safe because the
   // function drives the loop to completion before returning.
@@ -144,6 +148,7 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
       network.set_timeline(nullptr);
       network.set_perf(nullptr);
       network.set_health(nullptr);
+      network.set_prof(nullptr);
     }
   } detach{network_};
   network_.set_metrics(metrics);
@@ -163,6 +168,13 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
   obs::PerfCollector* perf =
       config_.perf_enabled ? &perf_collector : nullptr;
   if (perf != nullptr) network_.set_perf(perf);
+  // Profiling collector (hierarchical scope tree + subsystem telemetry).
+  // Same frame-scoped attach; ScopedProfile guards throughout the stack
+  // read network.prof() and cost one branch when detached.
+  obs::ProfCollector prof_collector;
+  obs::ProfCollector* prof =
+      config_.prof_enabled ? &prof_collector : nullptr;
+  if (prof != nullptr) network_.set_prof(prof);
   // Per-shard chaos engine, same frame-scoped attachment: fault plans are
   // pure per IP, so every shard's engine agrees on every host's plan.
   sim::ChaosEngine chaos_engine(
@@ -186,6 +198,7 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
   std::vector<std::uint32_t> hits;
   {
     obs::ScopedStageTimer probe_timer(perf, obs::PerfStage::kProbe);
+    obs::ScopedProfile prof_scope(prof, "scan.sweep");
     stats.scan = scanner.run([&hits](Ipv4 ip) { hits.push_back(ip.value()); });
   }
   if (config_.max_hosts != 0 && hits.size() > config_.max_hosts) {
@@ -223,6 +236,23 @@ CensusStats Census::run_shard(RecordSink& sink, std::uint32_t shard,
                                       wall_started)
             .count());
     stats.perf.add_collector(perf_collector);
+  }
+  if (prof != nullptr) {
+    network_.set_prof(nullptr);
+    // Fold subsystem telemetry into the shard's profile: where the timer
+    // wheel's memory went, how hard its recycler worked, and what the
+    // trace interner holds. Summed across shards at merge time.
+    const sim::EventLoop::Telemetry wheel = network_.loop().telemetry();
+    prof_collector.counter_add("wheel.arena_nodes", wheel.arena_nodes);
+    prof_collector.counter_add("wheel.arena_bytes", wheel.arena_bytes);
+    prof_collector.counter_add("wheel.freelist_hits", wheel.freelist_hits);
+    prof_collector.counter_add("wheel.cascades", wheel.cascades);
+    prof_collector.counter_add("loop.events", wheel.events);
+    if (config_.trace.enabled) {
+      prof_collector.counter_add("trace.interner_bytes",
+                                 stats.trace.strings().chunk_bytes());
+    }
+    stats.prof.add_collector(prof_collector);
   }
   return stats;
 }

@@ -13,6 +13,7 @@
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/perf.h"
+#include "obs/prof.h"
 #include "obs/progress.h"
 #include "obs/timeline.h"
 #include "scan/scanner.h"
@@ -69,6 +70,11 @@ struct CensusConfig {
   /// per-shard load-skew report into CensusStats::perf. Display/tuning
   /// only — explicitly exempt from the byte-identity contract.
   bool perf_enabled = false;
+  /// Profiling plane (obs/prof.h): a hierarchical scope tree under the
+  /// perf stages plus subsystem telemetry counters, merged into
+  /// CensusStats::prof. Wall-clock data, exempt from byte identity like
+  /// perf; off = one null check per guarded scope.
+  bool prof_enabled = false;
   /// Health plane (obs/health.h): relaxed liveness gauges the heartbeat
   /// thread snapshots. Store-only from the census side; like perf and
   /// progress, never feeds a deterministic artifact. May be shared across
@@ -104,6 +110,9 @@ struct CensusStats {
   /// Perf-plane report (ftpc.perf.v1) — real seconds, shard layout, load
   /// skew. NOT deterministic; never feeds a deterministic artifact.
   obs::PerfReport perf;
+  /// Profiling-plane report (ftpc.prof.v1) — the merged scope tree and
+  /// telemetry counters. NOT deterministic, same contract as perf.
+  obs::ProfReport prof;
 
   /// Folds another shard's counters into this one. Pure sums except
   /// virtual_duration (max), so the merged value is independent of merge
@@ -120,6 +129,7 @@ struct CensusStats {
     trace.merge_from(other.trace);
     timeline.merge_from(other.timeline);
     perf.merge_from(other.perf);
+    prof.merge_from(other.prof);
   }
 };
 

@@ -3,6 +3,7 @@
 #include "common/strings.h"
 #include "core/funnel.h"
 #include "ftp/path.h"
+#include "obs/prof.h"
 
 namespace ftpc::core {
 
@@ -42,6 +43,7 @@ HostEnumerator::HostEnumerator(sim::Network& network, Ipv4 target,
 
 void HostEnumerator::begin() {
   obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kConnect);
+  obs::ScopedProfile prof(network_.prof(), "session.begin");
   started_ = network_.loop().now();
   // Session-relative trace clock starts now: everything downstream of this
   // point is a pure function of (seed, target), so relative stamps are
@@ -97,6 +99,7 @@ bool HostEnumerator::budget_exhausted() const {
 
 void HostEnumerator::on_banner(Result<ftp::Reply> result) {
   obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kBanner);
+  obs::ScopedProfile prof(network_.prof(), "session.banner");
   if (!result.is_ok()) {
     // `connected` reflects TCP establishment, not banner success: a refused
     // or timed-out *connect* never reached the host, while a silent
@@ -145,6 +148,7 @@ void HostEnumerator::start_login() {
 
 void HostEnumerator::on_user_reply(Result<ftp::Reply> result) {
   obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kLogin);
+  obs::ScopedProfile prof(network_.prof(), "session.login_user");
   if (!result.is_ok()) {
     report_.login = LoginOutcome::kError;
     abort_with(result.status());
@@ -196,6 +200,7 @@ void HostEnumerator::on_user_reply(Result<ftp::Reply> result) {
 
 void HostEnumerator::on_pass_reply(Result<ftp::Reply> result) {
   obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kLogin);
+  obs::ScopedProfile prof(network_.prof(), "session.login_pass");
   if (!result.is_ok()) {
     report_.login = LoginOutcome::kError;
     abort_with(result.status());
@@ -288,6 +293,7 @@ void HostEnumerator::start_traversal() {
 
 void HostEnumerator::traversal_step() {
   obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kEnumerate);
+  obs::ScopedProfile prof(network_.prof(), "session.traverse");
   if (finished_) return;
   if (frontier_.empty()) {
     start_surveys();
@@ -320,6 +326,7 @@ void HostEnumerator::traversal_step() {
 void HostEnumerator::on_listing(std::string dir,
                                 Result<ftp::TransferOutcome> result) {
   obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kEnumerate);
+  obs::ScopedProfile prof(network_.prof(), "session.listing");
   if (finished_) return;
   if (!result.is_ok()) {
     // §III.A: termination mid-traversal is an explicit refusal of service;
@@ -389,6 +396,7 @@ void HostEnumerator::start_surveys() {
 
 void HostEnumerator::survey_step(int stage) {
   obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kFinalize);
+  obs::ScopedProfile prof(network_.prof(), "session.survey");
   if (finished_) return;
   auto self = shared_from_this();
   auto advance = [self](int next) { self->survey_step(next); };
@@ -485,6 +493,7 @@ void HostEnumerator::abort_with(Status error) {
 
 void HostEnumerator::finalize(Status error) {
   obs::ScopedStageTimer perf(network_.perf(), obs::PerfStage::kFinalize);
+  obs::ScopedProfile prof(network_.prof(), "session.finalize");
   if (finished_) return;
   finished_ = true;
   if (gap_armed_) {

@@ -16,7 +16,9 @@
 #include "common/ipv4.h"
 #include "core/dataset.h"
 #include "core/shard_stream.h"
+#include "obs/build_info.h"
 #include "obs/health.h"
+#include "obs/trace.h"
 
 namespace ftpc::core {
 
@@ -201,7 +203,8 @@ std::uint64_t census_config_fingerprint(const CensusConfig& config) {
 // ---------------------------------------------------------------------------
 
 std::string ShardManifest::to_json() const {
-  std::string out = "{\"schema\":\"ftpc.shard.v1\"";
+  std::string out = "{\"schema\":\"ftpc.shard.v1\",";
+  out += obs::build_info_json();
   out += ",\"shard\":" + std::to_string(shard);
   out += ",\"total_shards\":" + std::to_string(total_shards);
   out += ",\"seed\":" + std::to_string(seed);
@@ -1120,7 +1123,12 @@ bool merge_metrics_channel(MergeContext& ctx) {
 StreamStatus merge_trace_streamed(MergeContext& ctx) {
   MergeResult& result = ctx.result;
   const std::uint32_t n = ctx.total_shards();
-  constexpr std::string_view kTraceHeader = "{\"schema\":\"ftpc.trace.v1\"}";
+  // Validate shard headers by schema prefix (a shard written by another
+  // build differs only in its build stamp) and write this build's stamped
+  // header on the merged stream — the same bytes TraceBuffer::to_jsonl
+  // emits, keeping the merge/single-process equivalence byte-exact.
+  constexpr std::string_view kTraceHeaderPrefix =
+      "{\"schema\":\"ftpc.trace.v1\"";
   struct TraceCursor {
     std::unique_ptr<LineReader> reader;
     std::string_view line;
@@ -1150,7 +1158,8 @@ StreamStatus merge_trace_streamed(MergeContext& ctx) {
     std::string_view line;
     if (!cursors[shard].reader->open(ctx.shard_path(shard, kShardTraceFile)) ||
         cursors[shard].reader->next(line) != LineReader::Status::kLine ||
-        line != kTraceHeader || !advance(cursors[shard])) {
+        line.substr(0, kTraceHeaderPrefix.size()) != kTraceHeaderPrefix ||
+        !advance(cursors[shard])) {
       return StreamStatus::kFallback;
     }
   }
@@ -1160,7 +1169,7 @@ StreamStatus merge_trace_streamed(MergeContext& ctx) {
     result.error = path + ": write failed";
     return StreamStatus::kFail;
   }
-  writer.append(kTraceHeader);
+  writer.append(obs::trace_header_line());
   writer.append("\n");
   for (;;) {
     int best = -1;
@@ -1203,8 +1212,11 @@ bool merge_trace_materialized(MergeContext& ctx) {
     trace_bytes += text->size();
     texts[shard] = std::move(*text);
     shard_lines[shard] = split_lines(texts[shard]);
+    constexpr std::string_view kTraceHeaderPrefix =
+        "{\"schema\":\"ftpc.trace.v1\"";
     if (shard_lines[shard].empty() ||
-        shard_lines[shard][0] != "{\"schema\":\"ftpc.trace.v1\"}") {
+        shard_lines[shard][0].substr(0, kTraceHeaderPrefix.size()) !=
+            kTraceHeaderPrefix) {
       result.error = paths[shard] + ":1: missing ftpc.trace.v1 header";
       return false;
     }
@@ -1233,7 +1245,8 @@ bool merge_trace_materialized(MergeContext& ctx) {
   if (fast) {
     std::string out_text;
     out_text.reserve(trace_bytes + 1);
-    out_text += "{\"schema\":\"ftpc.trace.v1\"}\n";
+    out_text += obs::trace_header_line();
+    out_text.push_back('\n');
     std::vector<std::size_t> cursor(n, 0);
     for (;;) {
       int best = -1;
@@ -1360,7 +1373,9 @@ class StreamingTimelineProjector {
   /// ftpc.tsdb.v1 header + one row per tick, streamed through `out`.
   void emit(BufferedWriter& out) const {
     const std::uint64_t ticks = last_tick_;
-    std::string line = "{\"schema\":\"ftpc.tsdb.v1\"";
+    // Byte-for-byte the header Timeline::to_jsonl writes, stamp included.
+    std::string line = "{\"schema\":\"ftpc.tsdb.v1\"," +
+                       obs::build_info_json();
     line += ",\"interval_us\":" + std::to_string(interval_us_);
     line += ",\"pps\":" + std::to_string(pps_);
     line += ",\"concurrency\":" + std::to_string(concurrency_);

@@ -15,6 +15,7 @@
 #include "core/shard_artifact.h"
 #include "net/internet.h"
 #include "obs/health.h"
+#include "obs/prof.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "scan/scanner.h"
@@ -388,8 +389,15 @@ ShardSliceResult run_shard_slice(const ShardSliceConfig& slice,
       network.set_chaos(nullptr);
       network.set_timeline(nullptr);
       network.set_health(nullptr);
+      network.set_prof(nullptr);
     }
   } detach{network};
+  // One profile collector for the whole slice (segments are a checkpoint
+  // detail, not a profiling boundary). Wall-clock data — the deterministic
+  // channels cannot observe it (tests/prof_test.cc pins this).
+  obs::ProfCollector prof_collector;
+  obs::ProfCollector* prof = census.prof_enabled ? &prof_collector : nullptr;
+  if (prof != nullptr) network.set_prof(prof);
   // One chaos engine for the whole slice: fault plans are pure per IP and
   // per-connection chaos progress never spans a segment (sessions complete
   // inside the segment that launched them).
@@ -468,8 +476,11 @@ ShardSliceResult run_shard_slice(const ShardSliceConfig& slice,
     if (census.timeline.enabled) network.set_timeline(&timeline_collector);
 
     std::vector<std::uint32_t> hits;
-    scanner.run_segment(cursor, grant,
-                        [&hits](Ipv4 ip) { hits.push_back(ip.value()); });
+    {
+      obs::ScopedProfile prof_scope(prof, "scan.sweep");
+      scanner.run_segment(cursor, grant,
+                          [&hits](Ipv4 ip) { hits.push_back(ip.value()); });
+    }
     if (census.max_hosts != 0) {
       const std::uint64_t left = census.max_hosts > hosts_enumerated
                                      ? census.max_hosts - hosts_enumerated
@@ -669,6 +680,28 @@ ShardSliceResult run_shard_slice(const ShardSliceConfig& slice,
   if (!write_file(manifest_path, manifest.to_json())) {
     result.error = manifest_path + ": write failed";
     return result;
+  }
+  // Profile export (wall-clock side channel, written after the manifest —
+  // it is not part of the deterministic artifact set the manifest marks
+  // complete). Subsystem telemetry folds in at collection time.
+  if (prof != nullptr) {
+    network.set_prof(nullptr);
+    const sim::EventLoop::Telemetry wheel = loop.telemetry();
+    prof_collector.counter_add("wheel.arena_nodes", wheel.arena_nodes);
+    prof_collector.counter_add("wheel.arena_bytes", wheel.arena_bytes);
+    prof_collector.counter_add("wheel.freelist_hits", wheel.freelist_hits);
+    prof_collector.counter_add("wheel.cascades", wheel.cascades);
+    prof_collector.counter_add("loop.events", wheel.events);
+    if (census.trace.enabled) {
+      prof_collector.counter_add("trace.interner_bytes",
+                                 trace.strings().chunk_bytes());
+    }
+    result.stats.prof.add_collector(prof_collector);
+    if (!slice.prof_out.empty() &&
+        !write_file(slice.prof_out, result.stats.prof.to_json())) {
+      result.error = slice.prof_out + ": write failed";
+      return result;
+    }
   }
   // Final heartbeat, tagged done=true — a watcher can tell a finished
   // shard from a dead one even before it reads the manifest.

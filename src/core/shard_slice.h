@@ -69,6 +69,11 @@ struct ShardSliceConfig {
   /// into out_dir (heartbeat.json + health.jsonl) — explicitly
   /// non-deterministic; never touches the four deterministic channels.
   std::uint64_t heartbeat_interval_ms = 0;
+  /// Where to write this slice's ftpc.prof.v1 profile (`--prof-out`).
+  /// Empty = no profile file. Requires census.prof_enabled for the scope
+  /// guards to actually record. Like the health plane, the profile is
+  /// wall-clock data and never touches the deterministic artifacts.
+  std::string prof_out;
 };
 
 struct ShardSliceResult {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/perf.h"
+#include "obs/prof.h"
 #include "sim/network.h"
 
 namespace ftpc::core {
@@ -83,10 +84,23 @@ CensusStats ShardedCensus::run(RecordSink& sink) {
   // final report directly rather than through a shard collector.
   const auto merge_started = std::chrono::steady_clock::now();
   const double merge_cpu_started = obs::ScopedStageTimer::thread_cpu_seconds();
-  merge.merge_into(sink);
+  // Post-join profile scopes: the merge work belongs to the run, not any
+  // shard, so the collector folds in without bumping the shard count.
+  obs::ProfCollector merge_prof;
+  obs::ProfCollector* mprof = config_.prof_enabled ? &merge_prof : nullptr;
+  {
+    obs::ScopedProfile prof_scope(mprof, "merge.replay");
+    merge.merge_into(sink);
+  }
   CensusStats total = std::move(per_shard[0]);
-  for (std::uint32_t shard = 1; shard < shards; ++shard) {
-    total.merge_from(per_shard[shard]);
+  {
+    obs::ScopedProfile prof_scope(mprof, "merge.fold");
+    for (std::uint32_t shard = 1; shard < shards; ++shard) {
+      total.merge_from(per_shard[shard]);
+    }
+  }
+  if (mprof != nullptr) {
+    total.prof.add_collector(merge_prof, /*count_shard=*/false);
   }
   if (config_.perf_enabled) {
     total.perf.add_stage(

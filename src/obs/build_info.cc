@@ -1,0 +1,113 @@
+#include "obs/build_info.h"
+
+// The sha/flags/build-type land here as compile definitions set by
+// src/obs/CMakeLists.txt (configure-time `git rev-parse`); absent — say,
+// in an out-of-git tarball build — the stamp degrades to "unknown"
+// rather than failing the build.
+#ifndef FTPC_GIT_SHA
+#define FTPC_GIT_SHA "unknown"
+#endif
+#ifndef FTPC_BUILD_TYPE
+#define FTPC_BUILD_TYPE ""
+#endif
+#ifndef FTPC_CXX_FLAGS
+#define FTPC_CXX_FLAGS ""
+#endif
+
+namespace ftpc::obs {
+
+namespace {
+
+constexpr std::string_view kSchemas =
+    "ftpc.metrics.v1,ftpc.trace.v1,ftpc.tsdb.v1,ftpc.perf.v1,"
+    "ftpc.health.v1,ftpc.fleet.v1,ftpc.run.v1,ftpc.shard.v1,ftpc.ckpt.v1,"
+    "ftpc.shardtl.v1,ftpc.shardjournal.v1,ftpc.prof.v1";
+
+void append_escaped(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+std::string render_build_info() {
+  const BuildInfo& info = build_info();
+  std::string out = "\"build\":{\"sha\":";
+  append_escaped(out, info.git_sha);
+  out += ",\"compiler\":";
+  append_escaped(out, info.compiler);
+  out += ",\"build_type\":";
+  append_escaped(out, info.build_type);
+  out += ",\"flags\":";
+  append_escaped(out, info.flags);
+  out += ",\"schemas\":";
+  append_escaped(out, info.schemas);
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+const BuildInfo& build_info() noexcept {
+  static const BuildInfo info{FTPC_GIT_SHA, __VERSION__, FTPC_BUILD_TYPE,
+                              FTPC_CXX_FLAGS, kSchemas};
+  return info;
+}
+
+const std::string& build_info_json() {
+  static const std::string rendered = render_build_info();
+  return rendered;
+}
+
+std::string strip_build_stamp(std::string_view text) {
+  static constexpr std::string_view kNeedle = ",\"build\":{";
+  std::string out;
+  out.reserve(text.size());
+  std::size_t pos = 0;
+  for (;;) {
+    const std::size_t hit = text.find(kNeedle, pos);
+    if (hit == std::string_view::npos) break;
+    out.append(text.substr(pos, hit - pos));
+    // Walk past the stamp object: brace depth, skipping string contents.
+    std::size_t i = hit + kNeedle.size();
+    int depth = 1;
+    bool in_string = false;
+    for (; i < text.size() && depth > 0; ++i) {
+      const char c = text[i];
+      if (in_string) {
+        if (c == '\\') {
+          ++i;  // skip the escaped character
+        } else if (c == '"') {
+          in_string = false;
+        }
+      } else if (c == '"') {
+        in_string = true;
+      } else if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+      }
+    }
+    pos = i;
+  }
+  out.append(text.substr(pos));
+  return out;
+}
+
+}  // namespace ftpc::obs

@@ -1,0 +1,47 @@
+// Build provenance stamping for every artifact writer.
+//
+// "Web Execution Bundles" argues a measurement artifact is only archivable
+// if it carries enough provenance to be compared later; the profiling plane
+// (obs/prof.h) makes the same demand concretely — `ftpcprof diff A B` is
+// meaningless unless both profiles say what binary produced them. This
+// header gives every exporter one shared stamp: a `"build":{...}` JSON
+// fragment carrying the git sha, compiler, build type/flags, and the
+// artifact schema roster, inserted immediately after each header's
+// `"schema"` key.
+//
+// The stamp is a build-time constant: every binary compiled from one build
+// tree embeds byte-identical provenance, so stamping the deterministic
+// channels (metrics/trace/timeline) does NOT break the split-invariance
+// contract — the bytes vary across builds, never across shard splits of
+// one build. Golden-schema tests compare through strip_build_stamp() so
+// the pinned bytes stay commit-independent.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ftpc::obs {
+
+/// The compile-time provenance record. All views reference static storage.
+struct BuildInfo {
+  std::string_view git_sha;     // short commit sha; "unknown" outside git
+  std::string_view compiler;    // __VERSION__ of the compiler that built obs
+  std::string_view build_type;  // CMAKE_BUILD_TYPE ("" for multi-config)
+  std::string_view flags;       // CMAKE_CXX_FLAGS at configure time
+  std::string_view schemas;     // comma-joined roster of artifact schemas
+};
+
+const BuildInfo& build_info() noexcept;
+
+/// The canonical stamp fragment, without enclosing braces or a leading
+/// comma: `"build":{"sha":...,"compiler":...,...}`. Writers splice it in
+/// as `,"build":{...}` right after their `"schema"` key. Computed once.
+const std::string& build_info_json();
+
+/// Removes every `,"build":{...}` stamp from `text` (string-aware brace
+/// matching, so escaped quotes or braces inside stamp values cannot
+/// desynchronize the scan). Golden tests compare stripped bytes; tools
+/// use it to canonicalize artifacts across builds.
+std::string strip_build_stamp(std::string_view text);
+
+}  // namespace ftpc::obs

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "common/log.h"
+#include "obs/build_info.h"
 
 namespace ftpc::obs {
 
@@ -242,7 +243,8 @@ std::string render_fleet_json(const std::vector<ShardView>& fleet,
 }
 
 std::string render_run_summary(const RunSummary& summary) {
-  std::string out = "{\"schema\":\"ftpc.run.v1\"";
+  std::string out = "{\"schema\":\"ftpc.run.v1\",";
+  out += build_info_json();
   out += ",\"ts_ms\":" + std::to_string(wall_clock_ms());
   out += ",\"outcome\":\"" + summary.outcome + "\"";
   out += ",\"shards\":" + std::to_string(summary.shards);
@@ -254,6 +256,7 @@ std::string render_run_summary(const RunSummary& summary) {
   out += ",\"census_wall_s\":" + fmt_double(summary.census_wall_s);
   out += ",\"merge_wall_s\":" + fmt_double(summary.merge_wall_s);
   out += ",\"merged_dir\":\"" + summary.merged_dir + "\"";
+  out += ",\"prof_dir\":\"" + summary.prof_dir + "\"";
   out += ",\"error\":\"" + summary.error + "\"";
   out += ",\"shard_runs\":[";
   for (std::size_t i = 0; i < summary.shard_runs.size(); ++i) {
@@ -265,7 +268,9 @@ std::string render_run_summary(const RunSummary& summary) {
     out += ",\"attempts\":" + std::to_string(run.attempts);
     out += ",\"restarts\":" + std::to_string(run.restarts);
     out += ",\"last_exit\":" + std::to_string(run.last_exit);
-    out += ",\"last_status\":\"" + run.last_status + "\"}";
+    out += ",\"last_status\":\"" + run.last_status + "\"";
+    if (!run.prof.empty()) out += ",\"prof\":\"" + run.prof + "\"";
+    out += "}";
   }
   out += "]}\n";
   return out;

@@ -95,6 +95,8 @@ struct RunShardSummary {
   int last_exit = 0;
   /// Human-readable form of last_exit: "exit N" or "signal N".
   std::string last_status;
+  /// Path of this shard's ftpc.prof.v1 profile ("" when profiling off).
+  std::string prof;
 };
 
 struct RunSummary {
@@ -108,6 +110,7 @@ struct RunSummary {
   double census_wall_s = 0.0;  // launch of first shard -> last shard reaped
   double merge_wall_s = 0.0;
   std::string merged_dir;  // empty when the merge never ran / failed
+  std::string prof_dir;    // ROOT/prof when --prof collected shard profiles
   std::string error;       // first fatal diagnostic, "" on success
   std::vector<RunShardSummary> shard_runs;
 };

@@ -8,6 +8,7 @@
 #include <chrono>
 
 #include "common/json.h"
+#include "obs/build_info.h"
 
 #ifdef __unix__
 #include <unistd.h>
@@ -26,7 +27,11 @@ std::string fmt_seconds(double seconds) {
 }  // namespace
 
 std::string render_health_line(const HealthSample& sample) {
-  std::string out = "{\"schema\":\"ftpc.health.v1\"";
+  // Health lines double as artifact headers (heartbeat.json is a single
+  // line), so each carries the build stamp; parse_health_line and the
+  // fleet readers go through JSON and ignore it.
+  std::string out = "{\"schema\":\"ftpc.health.v1\",";
+  out += build_info_json();
   out += ",\"seq\":" + std::to_string(sample.seq);
   out += ",\"ts_ms\":" + std::to_string(sample.ts_ms);
   out += ",\"pid\":" + std::to_string(sample.pid);

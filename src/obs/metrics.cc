@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/build_info.h"
+
 namespace ftpc::obs {
 
 void Histogram::merge_from(const Histogram& other) {
@@ -69,7 +71,11 @@ void append_u64_array(std::string& out, const std::vector<std::uint64_t>& v) {
 
 std::string MetricsRegistry::to_json() const {
   std::string out;
-  out += "{\"schema\":\"ftpc.metrics.v1\",\"counters\":{";
+  // The build stamp is a build-tree constant, so stamping this
+  // deterministic channel keeps split-invariance intact (obs/build_info.h).
+  out += "{\"schema\":\"ftpc.metrics.v1\",";
+  out += build_info_json();
+  out += ",\"counters\":{";
   bool first = true;
   for (const auto& [name, value] : counters_) {
     if (!first) out.push_back(',');

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/build_info.h"
+
 namespace ftpc::obs {
 
 const char* perf_stage_name(PerfStage stage) noexcept {
@@ -100,7 +102,8 @@ std::string PerfReport::to_json() const {
               return a.shard < b.shard;
             });
 
-  std::string out = "{\"schema\":\"ftpc.perf.v1\"";
+  std::string out = "{\"schema\":\"ftpc.perf.v1\",";
+  out += build_info_json();
   out += ",\"stages\":{";
   bool first = true;
   for (std::size_t i = 0; i < kPerfStageCount; ++i) {

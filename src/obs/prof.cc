@@ -1,0 +1,328 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "obs/build_info.h"
+
+namespace ftpc::obs {
+
+namespace {
+
+// Matches the perf plane's rendering: six decimal places is microsecond
+// resolution, the finest grain a scope guard can meaningfully claim.
+std::string fmt_seconds(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) out.push_back(c);
+    }
+  }
+  out.push_back('"');
+}
+
+/// Children of `node`, ordered by name for a canonical serialization.
+std::vector<std::uint32_t> sorted_children(const ProfTree& tree,
+                                           const ProfNode& node) {
+  std::vector<std::uint32_t> out;
+  out.reserve(node.children.size());
+  for (const auto& [name_id, child] : node.children) {
+    (void)name_id;
+    out.push_back(child);
+  }
+  std::sort(out.begin(), out.end(),
+            [&tree](std::uint32_t a, std::uint32_t b) {
+              return tree.name(tree.nodes()[a].name_id) <
+                     tree.name(tree.nodes()[b].name_id);
+            });
+  return out;
+}
+
+double children_wall(const ProfTree& tree, const ProfNode& node) {
+  double sum = 0.0;
+  for (const auto& [name_id, child] : node.children) {
+    (void)name_id;
+    sum += tree.nodes()[child].wall_s;
+  }
+  return sum;
+}
+
+double children_cpu(const ProfTree& tree, const ProfNode& node) {
+  double sum = 0.0;
+  for (const auto& [name_id, child] : node.children) {
+    (void)name_id;
+    sum += tree.nodes()[child].cpu_s;
+  }
+  return sum;
+}
+
+}  // namespace
+
+// --- ProfTree ---------------------------------------------------------------
+
+ProfTree::ProfTree() {
+  nodes_.emplace_back();  // the synthetic root
+  names_.emplace_back();
+  name_ids_.emplace("", 0);
+}
+
+std::uint32_t ProfTree::intern(std::string_view name) {
+  const auto it = name_ids_.find(std::string(name));
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::uint32_t ProfTree::child(std::uint32_t parent, std::uint32_t name_id) {
+  for (const auto& [id, node] : nodes_[parent].children) {
+    if (id == name_id) return node;
+  }
+  const auto node = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_.back().name_id = name_id;
+  nodes_.back().parent = parent;
+  nodes_[parent].children.emplace_back(name_id, node);
+  return node;
+}
+
+// --- ProfCollector ----------------------------------------------------------
+
+std::uint64_t& ProfCollector::counter_slot(std::string_view name) {
+  const auto it = counter_ids_.find(std::string(name));
+  if (it != counter_ids_.end()) return counter_values_[it->second].second;
+  counter_values_.emplace_back(std::string(name), 0);
+  counter_ids_.emplace(counter_values_.back().first,
+                       counter_values_.size() - 1);
+  return counter_values_.back().second;
+}
+
+void ProfCollector::counter_add(std::string_view name, std::uint64_t value) {
+  counter_slot(name) += value;
+}
+
+void ProfCollector::counter_max(std::string_view name, std::uint64_t value) {
+  std::uint64_t& slot = counter_slot(name);
+  if (value > slot) slot = value;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> ProfCollector::counters()
+    const {
+  auto out = counter_values_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool ProfCollector::empty() const noexcept {
+  return tree_.empty() && counter_values_.empty();
+}
+
+// --- ProfReport -------------------------------------------------------------
+
+void ProfReport::fold(const ProfTree& other) {
+  // Recursive DFS without recursion: (theirs, ours) pairs.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> stack{{0, 0}};
+  while (!stack.empty()) {
+    const auto [theirs, ours] = stack.back();
+    stack.pop_back();
+    const ProfNode& src = other.nodes()[theirs];
+    if (theirs != 0) {
+      ProfNode& dst = tree_.nodes()[ours];
+      dst.wall_s += src.wall_s;
+      dst.cpu_s += src.cpu_s;
+      dst.calls += src.calls;
+    }
+    for (const auto& [name_id, child] : src.children) {
+      const std::uint32_t mapped =
+          tree_.child(ours, tree_.intern(other.name(name_id)));
+      stack.emplace_back(child, mapped);
+    }
+  }
+}
+
+void ProfReport::fold_counters(
+    const std::vector<std::pair<std::string, std::uint64_t>>& other) {
+  for (const auto& [name, value] : other) {
+    const auto it = counter_ids_.find(name);
+    if (it != counter_ids_.end()) {
+      counters_[it->second].second += value;
+    } else {
+      counters_.emplace_back(name, value);
+      counter_ids_.emplace(name, counters_.size() - 1);
+    }
+  }
+}
+
+void ProfReport::add_collector(const ProfCollector& collector,
+                               bool count_shard) {
+  if (count_shard) ++shards_;
+  fold(collector.tree());
+  fold_counters(collector.counters());
+}
+
+void ProfReport::merge_from(const ProfReport& other) {
+  shards_ += other.shards_;
+  fold(other.tree_);
+  fold_counters(other.counters_);
+}
+
+bool ProfReport::empty() const noexcept {
+  return tree_.empty() && counters_.empty() && shards_ == 0;
+}
+
+std::string ProfReport::to_json() const {
+  std::string out = "{\"schema\":\"ftpc.prof.v1\",";
+  out += build_info_json();
+  out += ",\"shards\":" + std::to_string(shards_);
+  out += ",\"counters\":{";
+  auto counters = counters_;
+  std::sort(counters.begin(), counters.end());
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out.push_back(',');
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out += std::to_string(value);
+  }
+  out += "},\"tree\":[";
+
+  // Iterative pre-order with explicit close markers so the nested JSON
+  // arrays open and close in step with the tree walk.
+  struct Frame {
+    std::uint32_t node;
+    bool close;  // true: emit "]}" for an already-rendered node
+    bool first_sibling;
+  };
+  std::vector<Frame> stack;
+  const auto push_children = [&](std::uint32_t node) {
+    const auto kids = sorted_children(tree_, tree_.nodes()[node]);
+    for (std::size_t i = kids.size(); i-- > 0;) {
+      stack.push_back({kids[i], false, i == 0});
+    }
+  };
+  push_children(0);
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.close) {
+      out += "]}";
+      continue;
+    }
+    const ProfNode& node = tree_.nodes()[frame.node];
+    if (!frame.first_sibling) out.push_back(',');
+    out += "{\"name\":";
+    append_json_string(out, tree_.name(node.name_id));
+    out += ",\"calls\":" + std::to_string(node.calls);
+    out += ",\"wall_s\":" + fmt_seconds(node.wall_s);
+    out += ",\"cpu_s\":" + fmt_seconds(node.cpu_s);
+    out += ",\"self_wall_s\":" +
+           fmt_seconds(std::max(0.0, node.wall_s - children_wall(tree_, node)));
+    out += ",\"self_cpu_s\":" +
+           fmt_seconds(std::max(0.0, node.cpu_s - children_cpu(tree_, node)));
+    out += ",\"children\":[";
+    stack.push_back({frame.node, true, false});
+    push_children(frame.node);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string ProfReport::to_collapsed() const {
+  std::string out;
+  std::string path;
+  struct Frame {
+    std::uint32_t node;
+    std::size_t path_len;  // restore point after the subtree
+  };
+  std::vector<Frame> stack;
+  const auto kids0 = sorted_children(tree_, tree_.nodes()[0]);
+  for (std::size_t i = kids0.size(); i-- > 0;) stack.push_back({kids0[i], 0});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    path.resize(frame.path_len);
+    const ProfNode& node = tree_.nodes()[frame.node];
+    if (!path.empty()) path.push_back(';');
+    path += tree_.name(node.name_id);
+    const double self =
+        std::max(0.0, node.wall_s - children_wall(tree_, node));
+    const auto micros = static_cast<long long>(std::llround(self * 1e6));
+    if (micros > 0 || node.children.empty()) {
+      out += path;
+      out.push_back(' ');
+      out += std::to_string(micros);
+      out.push_back('\n');
+    }
+    const auto kids = sorted_children(tree_, node);
+    for (std::size_t i = kids.size(); i-- > 0;) {
+      stack.push_back({kids[i], path.size()});
+    }
+  }
+  return out;
+}
+
+std::string ProfReport::to_chrome_json() const {
+  // The aggregate tree has no real timestamps, so lay siblings out
+  // sequentially inside their parent's span: visually a flamegraph.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  struct Frame {
+    std::uint32_t node;
+    double ts_us;
+  };
+  std::vector<Frame> stack;
+  double cursor = 0.0;
+  for (const std::uint32_t child : sorted_children(tree_, tree_.nodes()[0])) {
+    stack.push_back({child, cursor});
+    cursor += tree_.nodes()[child].wall_s * 1e6;
+  }
+  std::reverse(stack.begin(), stack.end());
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const ProfNode& node = tree_.nodes()[frame.node];
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":";
+    append_json_string(out, tree_.name(node.name_id));
+    out += ",\"ph\":\"X\",\"pid\":0,\"tid\":0,\"ts\":" +
+           fmt_seconds(frame.ts_us) +
+           ",\"dur\":" + fmt_seconds(node.wall_s * 1e6);
+    out += ",\"args\":{\"calls\":" + std::to_string(node.calls) +
+           ",\"cpu_s\":" + fmt_seconds(node.cpu_s) + "}}";
+    double child_ts = frame.ts_us;
+    const auto kids = sorted_children(tree_, node);
+    std::vector<Frame> forward;
+    forward.reserve(kids.size());
+    for (const std::uint32_t child : kids) {
+      forward.push_back({child, child_ts});
+      child_ts += tree_.nodes()[child].wall_s * 1e6;
+    }
+    for (std::size_t i = forward.size(); i-- > 0;) {
+      stack.push_back(forward[i]);
+    }
+  }
+  out += "]}\n";
+  return out;
+}
+
+}  // namespace ftpc::obs

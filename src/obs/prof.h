@@ -1,0 +1,204 @@
+// Profiling plane: hierarchical wall/CPU scope attribution under the
+// perf stages.
+//
+// The perf plane (obs/perf.h) attributes real time to seven coarse
+// pipeline stages; this plane answers the next question — *why* a stage
+// is hot — with a call tree built by RAII ScopedProfile guards nested
+// inside the stage timers. Each shard grows its own tree (names interned
+// to small ids, per-node inclusive wall, thread-CPU, and call counts);
+// trees merge by name-path after the workers join, exactly the
+// one-collector-per-shard contract the other obs channels follow.
+//
+// Like the perf and health planes, this plane is wall-clock data and is
+// explicitly EXEMPT from the byte-identity contract: profiles vary across
+// machines, runs, and shard splits — that is what they measure — and
+// profiler output must never feed a deterministic artifact. The guards
+// themselves are allowed on the deterministic hot path because a null
+// collector reduces a guard to one branch, and an attached collector only
+// ever *observes* (clock reads + private tree writes): control flow never
+// depends on it. The split-invariance matrix in tests/prof_test.cc pins
+// all four deterministic channels byte-identical with profiling on vs off.
+//
+// Subsystem telemetry — timer-wheel arena bytes/freelist hits/cascades,
+// StringInterner chunk bytes, merge stream-budget high-water, event
+// churn — folds into the same artifact as named counters, so one
+// ftpc.prof.v1 document answers both "where did the time go" and "where
+// did the memory go". Exports: canonical JSON (ftpc.prof.v1), collapsed
+// stacks for flamegraph tooling, and Chrome trace-event JSON. The
+// tools/ftpcprof inspector summarizes, flames, and diffs two profiles
+// with a CI-facing regression threshold.
+//
+// No locks, no atomics: one ProfCollector belongs to one shard thread.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/perf.h"
+
+namespace ftpc::obs {
+
+/// One node of a (collector- or report-owned) profile tree. Wall/CPU are
+/// inclusive; self time is derived at export (inclusive minus children).
+struct ProfNode {
+  std::uint32_t name_id = 0;
+  std::uint32_t parent = 0;  // index into the owning arena; root is 0
+  double wall_s = 0.0;       // inclusive real seconds
+  double cpu_s = 0.0;        // inclusive thread-CPU seconds
+  std::uint64_t calls = 0;
+  /// (name_id, node index) pairs; child counts are tiny, linear scan wins.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> children;
+};
+
+/// Shared tree arena: node storage plus the name table. ProfCollector and
+/// ProfReport both build on it; merging walks one tree into another.
+class ProfTree {
+ public:
+  ProfTree();
+
+  std::uint32_t intern(std::string_view name);
+  /// The child of `parent` named `name_id`, created on first sight.
+  std::uint32_t child(std::uint32_t parent, std::uint32_t name_id);
+
+  const std::vector<ProfNode>& nodes() const noexcept { return nodes_; }
+  std::vector<ProfNode>& nodes() noexcept { return nodes_; }
+  const std::vector<std::string>& names() const noexcept { return names_; }
+  std::string_view name(std::uint32_t id) const noexcept {
+    return names_[id];
+  }
+  bool empty() const noexcept { return nodes_.size() == 1; }
+
+ private:
+  std::vector<ProfNode> nodes_;        // nodes_[0] is the synthetic root
+  std::vector<std::string> names_;     // names_[0] = "" (the root)
+  std::unordered_map<std::string, std::uint32_t> name_ids_;
+};
+
+/// One shard's profile recorder, attached to the shard's sim::Network for
+/// the duration of a run (same raw-pointer contract as PerfCollector).
+/// Scopes must nest strictly — guaranteed by ScopedProfile's RAII — and
+/// all calls must come from the owning shard's thread.
+class ProfCollector {
+ public:
+  /// Opens a scope named `name` under the current node and returns the
+  /// node index the matching leave() must credit.
+  std::uint32_t enter(std::string_view name) {
+    const std::uint32_t node =
+        tree_.child(current_, tree_.intern(name));
+    current_ = node;
+    return node;
+  }
+
+  /// Closes `node`, crediting the measured inclusive times.
+  void leave(std::uint32_t node, double wall_s, double cpu_s) noexcept {
+    ProfNode& n = tree_.nodes()[node];
+    n.wall_s += wall_s;
+    n.cpu_s += cpu_s;
+    ++n.calls;
+    current_ = n.parent;
+  }
+
+  /// Named telemetry counter: accumulate (bytes allocated, cache hits...).
+  void counter_add(std::string_view name, std::uint64_t value);
+  /// Named telemetry counter: keep the high-water mark.
+  void counter_max(std::string_view name, std::uint64_t value);
+
+  const ProfTree& tree() const noexcept { return tree_; }
+  /// Sorted (name, value) counter snapshot.
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  bool empty() const noexcept;
+
+ private:
+  std::uint64_t& counter_slot(std::string_view name);
+
+  ProfTree tree_;
+  std::uint32_t current_ = 0;  // root
+  std::vector<std::pair<std::string, std::uint64_t>> counter_values_;
+  std::unordered_map<std::string, std::size_t> counter_ids_;
+};
+
+/// Post-join aggregation across shards; serializes as ftpc.prof.v1.
+/// Trees merge by name-path (two shards' "enumerate/list" nodes fold into
+/// one); counters merge by summation, which every counter's unit is
+/// chosen to make meaningful (bytes and hits total across the fleet).
+class ProfReport {
+ public:
+  /// Folds a shard's collector in. `count_shard = false` folds scopes and
+  /// counters without bumping shards() — for post-join work (the merge
+  /// stage) that belongs to the run, not to any one shard.
+  void add_collector(const ProfCollector& collector, bool count_shard = true);
+  void merge_from(const ProfReport& other);
+
+  bool empty() const noexcept;
+  std::uint32_t shards() const noexcept { return shards_; }
+  const ProfTree& tree() const noexcept { return tree_; }
+  const std::vector<std::pair<std::string, std::uint64_t>>& counters()
+      const noexcept {
+    return counters_;
+  }
+
+  /// ftpc.prof.v1: schema + build stamp, shard count, counters, and the
+  /// nested tree (children sorted by name; wall/cpu as %.6f seconds,
+  /// self values precomputed). Wall-clock data — exempt from byte
+  /// identity, never an input to the deterministic channels.
+  std::string to_json() const;
+
+  /// Collapsed-stack flamegraph lines: "a;b;c <self-wall-microseconds>",
+  /// one per node with nonzero self time (flamegraph.pl / speedscope
+  /// ingest this directly).
+  std::string to_collapsed() const;
+
+  /// Chrome trace-event JSON: the aggregate tree laid out as nested
+  /// complete ("ph":"X") events — children packed sequentially inside
+  /// their parent's span — for chrome://tracing or Perfetto.
+  std::string to_chrome_json() const;
+
+ private:
+  void fold(const ProfTree& other);
+  void fold_counters(
+      const std::vector<std::pair<std::string, std::uint64_t>>& other);
+
+  ProfTree tree_;
+  std::uint32_t shards_ = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> counters_;
+  std::unordered_map<std::string, std::size_t> counter_ids_;
+};
+
+/// RAII scope guard. A null collector costs one branch; an attached one
+/// costs two clock reads and a child-table probe — cheap enough for
+/// per-session callbacks, and sampled wall time is what the plane is for.
+class ScopedProfile {
+ public:
+  ScopedProfile(ProfCollector* collector, std::string_view name) noexcept
+      : collector_(collector) {
+    if (collector_ != nullptr) {
+      node_ = collector_->enter(name);
+      wall_start_ = std::chrono::steady_clock::now();
+      cpu_start_ = ScopedStageTimer::thread_cpu_seconds();
+    }
+  }
+  ~ScopedProfile() {
+    if (collector_ != nullptr) {
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        wall_start_)
+              .count();
+      collector_->leave(node_, wall,
+                        ScopedStageTimer::thread_cpu_seconds() - cpu_start_);
+    }
+  }
+  ScopedProfile(const ScopedProfile&) = delete;
+  ScopedProfile& operator=(const ScopedProfile&) = delete;
+
+ private:
+  ProfCollector* collector_;
+  std::uint32_t node_ = 0;
+  std::chrono::steady_clock::time_point wall_start_;
+  double cpu_start_ = 0.0;
+};
+
+}  // namespace ftpc::obs

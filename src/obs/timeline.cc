@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/build_info.h"
+
 namespace ftpc::obs {
 
 const std::array<const char*, Timeline::kGaugeCount>&
@@ -194,7 +196,8 @@ std::string Timeline::to_jsonl() const {
   for (const TimelineHost& host : hosts_) {
     if (host.enumerated) ++sessions;
   }
-  std::string out = "{\"schema\":\"ftpc.tsdb.v1\"";
+  std::string out = "{\"schema\":\"ftpc.tsdb.v1\",";
+  out += build_info_json();
   out += ",\"interval_us\":" + std::to_string(options_.interval_us);
   out += ",\"pps\":" + std::to_string(pps_);
   out += ",\"concurrency\":" + std::to_string(concurrency_);

@@ -6,6 +6,7 @@
 
 #include "common/hash.h"
 #include "common/ipv4.h"
+#include "obs/build_info.h"
 
 namespace ftpc::obs {
 
@@ -19,6 +20,7 @@ std::string_view StringInterner::intern(std::string_view s) {
       chunks_.back().capacity() - chunks_.back().size() < s.size()) {
     chunks_.emplace_back();
     chunks_.back().reserve(std::max(kChunkBytes, s.size()));
+    chunk_bytes_ += chunks_.back().capacity();
   }
   std::vector<char>& chunk = chunks_.back();
   const std::size_t offset = chunk.size();
@@ -128,9 +130,19 @@ void append_json_string(std::string& out, std::string_view s) {
 
 }  // namespace
 
+const std::string& trace_header_line() {
+  // Shared with the shard merge (core/shard_artifact.cc), which validates
+  // shard headers against it and writes it onto the merged stream — the
+  // build stamp is constant per build tree, so the byte-identity matrix
+  // still holds.
+  static const std::string header =
+      "{\"schema\":\"ftpc.trace.v1\"," + build_info_json() + "}";
+  return header;
+}
+
 std::string TraceBuffer::to_jsonl() {
   canonicalize();
-  std::string out = "{\"schema\":\"ftpc.trace.v1\"}\n";
+  std::string out = trace_header_line() + "\n";
   for (const TraceEvent& event : events_) {
     out += "{\"t\":" + std::to_string(event.start);
     if (event.kind == TraceEventKind::kSpan) {

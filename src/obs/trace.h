@@ -80,13 +80,21 @@ class StringInterner {
   std::string_view intern(std::string_view s);
 
   std::size_t unique_strings() const noexcept { return set_.size(); }
+  /// Total arena capacity reserved so far — the profiling plane's
+  /// "where did the trace memory go" telemetry (obs/prof.h).
+  std::size_t chunk_bytes() const noexcept { return chunk_bytes_; }
 
  private:
   static constexpr std::size_t kChunkBytes = 64 * 1024;
 
   std::vector<std::vector<char>> chunks_;  // data pointers never move
   std::unordered_set<std::string_view> set_;
+  std::size_t chunk_bytes_ = 0;
 };
+
+/// The stamped `{"schema":"ftpc.trace.v1","build":{...}}` header line
+/// (no trailing newline) every trace.jsonl begins with.
+const std::string& trace_header_line();
 
 /// Replaces the port digits in any "h1,h2,h3,h4,p1,p2" tuple (227 PASV
 /// replies, PORT arguments) with "?": exactly-six-number comma runs keep

@@ -23,6 +23,7 @@ EventLoop::TimerNode* EventLoop::acquire_node() {
   if (!free_.empty()) {
     TimerNode* node = &arena_[free_.back()];
     free_.pop_back();
+    ++freelist_hits_;
     return node;
   }
   assert(arena_.size() <= kIndexMask &&
@@ -119,6 +120,7 @@ void EventLoop::cascade_current_slots() {
         static_cast<int>(now_ >> (level * kLevelBits)) & (kSlots - 1);
     const std::uint64_t bit = std::uint64_t{1} << idx;
     if ((occupied_[level] & bit) == 0) continue;
+    ++cascades_;
     SlotList list = wheel_[level][idx];
     wheel_[level][idx] = SlotList{};
     occupied_[level] &= ~bit;

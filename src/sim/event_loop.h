@@ -200,6 +200,27 @@ class EventLoop {
   /// Pending (non-cancelled) event count.
   std::size_t pending() const noexcept { return count_; }
 
+  /// Allocation/churn telemetry for the profiling plane (obs/prof.h):
+  /// where the wheel's memory went and how hard the recycler worked.
+  /// Plain counters bumped on paths that already touch the node — free
+  /// to maintain, read once per shard at collection time.
+  struct Telemetry {
+    std::uint64_t arena_nodes = 0;    // TimerNode slots ever materialized
+    std::uint64_t arena_bytes = 0;    // arena_nodes * sizeof(TimerNode)
+    std::uint64_t freelist_hits = 0;  // acquire_node served by recycling
+    std::uint64_t cascades = 0;       // level>=1 slots cascaded down
+    std::uint64_t events = 0;         // handlers executed (== processed)
+  };
+  Telemetry telemetry() const noexcept {
+    Telemetry t;
+    t.arena_nodes = arena_.size();
+    t.arena_bytes = arena_.size() * sizeof(TimerNode);
+    t.freelist_hits = freelist_hits_;
+    t.cascades = cascades_;
+    t.events = processed_;
+    return t;
+  }
+
  private:
   // Wheel geometry: level L spans deltas [2^(6L), 2^(6(L+1))) at a slot
   // granularity of 2^(6L) us; level 0 slots are exact microseconds.
@@ -272,6 +293,8 @@ class EventLoop {
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   std::size_t count_ = 0;
+  std::uint64_t freelist_hits_ = 0;
+  std::uint64_t cascades_ = 0;
 
   SlotList wheel_[kLevels][kSlots];
   std::uint64_t occupied_[kLevels] = {};

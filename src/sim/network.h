@@ -13,6 +13,7 @@
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/perf.h"
+#include "obs/prof.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "sim/chaos.h"
@@ -134,6 +135,13 @@ class Network {
   void set_health(obs::HealthState* health) noexcept { health_ = health; }
   obs::HealthState* health() const noexcept { return health_; }
 
+  /// Attaches a profile collector (nullptr to detach), same per-shard
+  /// ownership contract. ScopedProfile guards in the stage handlers then
+  /// grow the shard's call tree (obs/prof.h); like perf, profiles are
+  /// wall-clock data and never feed a deterministic artifact.
+  void set_prof(obs::ProfCollector* prof) noexcept { prof_ = prof; }
+  obs::ProfCollector* prof() const noexcept { return prof_; }
+
   // --- Connections ---------------------------------------------------------
 
   /// Result of an asynchronous connect.
@@ -192,6 +200,7 @@ class Network {
   obs::TimelineCollector* timeline_ = nullptr;
   obs::PerfCollector* perf_ = nullptr;
   obs::HealthState* health_ = nullptr;
+  obs::ProfCollector* prof_ = nullptr;
   // Hot-path counter cells resolved once at attach time (probe() runs for
   // every sampled address).
   std::uint64_t* m_probes_ = nullptr;

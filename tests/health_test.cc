@@ -26,6 +26,7 @@
 #include "core/census.h"
 #include "core/shard_slice.h"
 #include "net/internet.h"
+#include "obs/build_info.h"
 #include "obs/health.h"
 #include "popgen/population.h"
 #include "shard_fixture.h"
@@ -83,7 +84,9 @@ obs::HealthSample golden_sample() {
 // ftpcwatch/ftpcreport and external dashboards key on this line format.
 // Regenerate with: FTPC_UPDATE_GOLDEN=1 ./health_test
 TEST(HealthSchema, RenderedBeatMatchesGoldenFile) {
-  const std::string line = obs::render_health_line(golden_sample());
+  // Stamp-free golden: the build stamp varies per commit by design.
+  const std::string line =
+      obs::strip_build_stamp(obs::render_health_line(golden_sample()));
   const std::string path = std::string(FTPC_GOLDEN_DIR) + "/health_v1.json";
   if (std::getenv("FTPC_UPDATE_GOLDEN") != nullptr) {
     std::FILE* out = std::fopen(path.c_str(), "wb");

@@ -1,0 +1,405 @@
+// Profiling-plane suite (obs/prof.h + the ftpcprof inspector).
+//
+// Three contracts pinned here:
+//   1. The data structures: ScopedProfile guards build a correct nested
+//      tree, counters accumulate/high-water as documented, collectors
+//      merge by name-path, and the ftpc.prof.v1 / collapsed / Chrome
+//      exporters emit what they promise.
+//   2. Split invariance: profiling is wall-clock telemetry and must be
+//      invisible to the deterministic channels — all four artifacts
+//      (records, metrics, trace, timeline) byte-identical with profiling
+//      on vs off, across shard and thread splits.
+//   3. The ftpcprof CI gate: diff of two identical profiles passes a
+//      --fail-over threshold; a synthetic 2x hot-scope regression fails
+//      with an exit code and names the regressed scope.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/census.h"
+#include "core/dataset.h"
+#include "core/records.h"
+#include "core/sharded_census.h"
+#include "net/internet.h"
+#include "obs/build_info.h"
+#include "obs/prof.h"
+#include "popgen/population.h"
+#include "shard_fixture.h"
+
+namespace ftpc {
+namespace {
+
+using fixture::read_file;
+using fixture::run_command;
+using fixture::write_file;
+
+// ---------------------------------------------------------------------------
+// Data-structure contracts
+// ---------------------------------------------------------------------------
+
+TEST(ProfCollectorTest, ScopedGuardsBuildNestedTree) {
+  obs::ProfCollector collector;
+  {
+    obs::ScopedProfile outer(&collector, "outer");
+    { obs::ScopedProfile inner(&collector, "inner"); }
+    { obs::ScopedProfile inner(&collector, "inner"); }
+    { obs::ScopedProfile other(&collector, "other"); }
+  }
+  { obs::ScopedProfile outer(&collector, "outer"); }
+
+  const obs::ProfTree& tree = collector.tree();
+  // Root + outer + inner + other.
+  ASSERT_EQ(tree.nodes().size(), 4u);
+  const obs::ProfNode& root = tree.nodes()[0];
+  ASSERT_EQ(root.children.size(), 1u);
+  const obs::ProfNode& outer = tree.nodes()[root.children[0].second];
+  EXPECT_EQ(tree.name(outer.name_id), "outer");
+  EXPECT_EQ(outer.calls, 2u);
+  ASSERT_EQ(outer.children.size(), 2u);
+  std::uint64_t inner_calls = 0, other_calls = 0;
+  for (const auto& [name_id, child] : outer.children) {
+    if (tree.name(name_id) == "inner") {
+      inner_calls = tree.nodes()[child].calls;
+    } else if (tree.name(name_id) == "other") {
+      other_calls = tree.nodes()[child].calls;
+    }
+  }
+  EXPECT_EQ(inner_calls, 2u);
+  EXPECT_EQ(other_calls, 1u);
+}
+
+TEST(ProfCollectorTest, NullCollectorIsANoOp) {
+  // The deterministic hot path runs guards with a null collector; nothing
+  // may be recorded, nothing may crash.
+  obs::ScopedProfile guard(nullptr, "ignored");
+  obs::ProfCollector collector;
+  EXPECT_TRUE(collector.empty());
+}
+
+TEST(ProfCollectorTest, CountersAccumulateAndHighWater) {
+  obs::ProfCollector collector;
+  collector.counter_add("bytes", 100);
+  collector.counter_add("bytes", 50);
+  collector.counter_max("peak", 10);
+  collector.counter_max("peak", 30);
+  collector.counter_max("peak", 20);
+  const auto counters = collector.counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0], (std::pair<std::string, std::uint64_t>{"bytes", 150}));
+  EXPECT_EQ(counters[1], (std::pair<std::string, std::uint64_t>{"peak", 30}));
+}
+
+TEST(ProfReportTest, CollectorsMergeByNamePath) {
+  obs::ProfCollector a, b;
+  {
+    obs::ScopedProfile s(&a, "stage");
+    obs::ScopedProfile t(&a, "step");
+  }
+  {
+    obs::ScopedProfile s(&b, "stage");
+    obs::ScopedProfile t(&b, "step");
+    obs::ScopedProfile u(&b, "extra");
+  }
+  a.counter_add("bytes", 1);
+  b.counter_add("bytes", 2);
+
+  obs::ProfReport report;
+  report.add_collector(a);
+  report.add_collector(b);
+  EXPECT_EQ(report.shards(), 2u);
+
+  const obs::ProfTree& tree = report.tree();
+  const obs::ProfNode& root = tree.nodes()[0];
+  ASSERT_EQ(root.children.size(), 1u);  // both "stage" paths folded
+  const obs::ProfNode& stage = tree.nodes()[root.children[0].second];
+  EXPECT_EQ(stage.calls, 2u);
+  ASSERT_EQ(stage.children.size(), 1u);
+  const obs::ProfNode& step = tree.nodes()[stage.children[0].second];
+  EXPECT_EQ(step.calls, 2u);
+  EXPECT_EQ(step.children.size(), 1u);  // "extra" only under b's step
+  ASSERT_EQ(report.counters().size(), 1u);
+  EXPECT_EQ(report.counters()[0].second, 3u);
+}
+
+TEST(ProfReportTest, UncountedCollectorFoldsWithoutBumpingShards) {
+  // The merge stage profiles as part of the run, not as a shard: its
+  // collector folds with count_shard=false and shards() stays truthful.
+  obs::ProfCollector shard, merge;
+  { obs::ScopedProfile s(&shard, "scan.sweep"); }
+  { obs::ScopedProfile s(&merge, "merge.reduce"); }
+  obs::ProfReport report;
+  report.add_collector(shard);
+  report.add_collector(merge, /*count_shard=*/false);
+  EXPECT_EQ(report.shards(), 1u);
+  EXPECT_EQ(report.tree().nodes()[0].children.size(), 2u);
+}
+
+TEST(ProfReportTest, JsonExportIsCanonicalAndStamped) {
+  obs::ProfCollector collector;
+  {
+    obs::ScopedProfile s(&collector, "beta");
+  }
+  {
+    obs::ScopedProfile s(&collector, "alpha");
+  }
+  collector.counter_add("z.counter", 7);
+  collector.counter_add("a.counter", 3);
+  obs::ProfReport report;
+  report.add_collector(collector);
+
+  const std::string json = report.to_json();
+  EXPECT_EQ(json.rfind("{\"schema\":\"ftpc.prof.v1\",\"build\":{", 0), 0u);
+  EXPECT_EQ(json.back(), '\n');
+  // Canonical ordering: counters and sibling scopes sorted by name.
+  const std::string stripped = obs::strip_build_stamp(json);
+  EXPECT_NE(stripped.find("\"counters\":{\"a.counter\":3,\"z.counter\":7}"),
+            std::string::npos);
+  EXPECT_LT(stripped.find("\"name\":\"alpha\""),
+            stripped.find("\"name\":\"beta\""));
+  EXPECT_NE(stripped.find("\"shards\":1"), std::string::npos);
+  EXPECT_NE(stripped.find("\"calls\":1"), std::string::npos);
+}
+
+TEST(ProfReportTest, CollapsedStacksJoinPathsWithSemicolons) {
+  obs::ProfCollector collector;
+  {
+    obs::ScopedProfile a(&collector, "a");
+    obs::ScopedProfile b(&collector, "b");
+  }
+  obs::ProfReport report;
+  report.add_collector(collector);
+  const std::string collapsed = report.to_collapsed();
+  EXPECT_NE(collapsed.find("a;b "), std::string::npos);
+  // Every line is "path <integer-microseconds>\n".
+  for (std::size_t at = 0; at < collapsed.size();) {
+    const std::size_t eol = collapsed.find('\n', at);
+    ASSERT_NE(eol, std::string::npos);
+    const std::string line = collapsed.substr(at, eol - at);
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NE(line.substr(space + 1), "") << line;
+    at = eol + 1;
+  }
+}
+
+TEST(ProfReportTest, ChromeTraceNestsChildrenInsideParents) {
+  obs::ProfCollector collector;
+  {
+    obs::ScopedProfile a(&collector, "parent");
+    obs::ScopedProfile b(&collector, "child");
+  }
+  obs::ProfReport report;
+  report.add_collector(collector);
+  const std::string chrome = report.to_chrome_json();
+  EXPECT_EQ(chrome.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(chrome.find("\"name\":\"parent\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"child\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Census integration + split invariance
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kSeed = 42;
+constexpr unsigned kScaleShift = 12;  // small: invariance, not throughput
+
+core::CensusConfig census_config(bool prof) {
+  core::CensusConfig config;
+  config.seed = kSeed;
+  config.scale_shift = kScaleShift;
+  config.trace.enabled = true;
+  config.timeline.enabled = true;
+  config.prof_enabled = prof;
+  return config;
+}
+
+struct Channels {
+  std::string records;
+  std::string metrics;
+  std::string trace;
+  std::string timeline;
+};
+
+Channels run_split(bool prof, std::uint32_t shards, std::uint32_t threads,
+                   core::CensusStats* stats_out = nullptr) {
+  core::CensusConfig config = census_config(prof);
+  config.shards = shards;
+  config.threads = threads;
+  core::ShardedCensus census(
+      [] { return std::make_unique<popgen::SyntheticPopulation>(kSeed); },
+      config);
+  core::VectorSink sink;
+  core::CensusStats stats = census.run(sink);
+  Channels out;
+  for (const core::HostReport& report : sink.reports()) {
+    out.records += core::encode_host_report(report);
+  }
+  out.metrics = stats.metrics.to_json();
+  out.trace = stats.trace.to_jsonl();
+  out.timeline = stats.timeline.to_jsonl();
+  if (stats_out != nullptr) *stats_out = std::move(stats);
+  return out;
+}
+
+class ProfSplitInvariance : public ::testing::Test {
+ protected:
+  // One profiling-off baseline for the whole matrix (the expensive run).
+  static const Channels& baseline() {
+    static const Channels channels = run_split(false, 1, 1);
+    return channels;
+  }
+};
+
+TEST_F(ProfSplitInvariance, DeterministicChannelsIdenticalWithProfilingOn) {
+  ASSERT_FALSE(baseline().records.empty());
+  ASSERT_FALSE(baseline().timeline.empty());
+  for (const auto& [shards, threads] :
+       std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {1, 1}, {1, 4}, {4, 1}, {4, 4}}) {
+    const Channels with_prof = run_split(true, shards, threads);
+    const std::string label = "shards=" + std::to_string(shards) +
+                              " threads=" + std::to_string(threads);
+    EXPECT_EQ(with_prof.records, baseline().records) << label;
+    EXPECT_EQ(with_prof.metrics, baseline().metrics) << label;
+    EXPECT_EQ(with_prof.trace, baseline().trace) << label;
+    EXPECT_EQ(with_prof.timeline, baseline().timeline) << label;
+  }
+}
+
+TEST_F(ProfSplitInvariance, ProfilingOffLeavesReportEmpty) {
+  core::CensusStats stats;
+  run_split(false, 2, 2, &stats);
+  EXPECT_TRUE(stats.prof.empty());
+}
+
+TEST(ProfCensusTest, ShardedRunCollectsScopesAndTelemetry) {
+  core::CensusStats stats;
+  run_split(true, 2, 2, &stats);
+  ASSERT_FALSE(stats.prof.empty());
+  EXPECT_EQ(stats.prof.shards(), 2u);
+
+  const std::string json = stats.prof.to_json();
+  // The pipeline's canonical scopes, nested under the stage structure.
+  EXPECT_NE(json.find("\"name\":\"scan.sweep\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"enumerate.window\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"session.begin\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"merge.replay\""), std::string::npos);
+  // Subsystem telemetry folded into the same artifact.
+  EXPECT_NE(json.find("\"wheel.arena_bytes\":"), std::string::npos);
+  EXPECT_NE(json.find("\"wheel.arena_nodes\":"), std::string::npos);
+  EXPECT_NE(json.find("\"loop.events\":"), std::string::npos);
+  EXPECT_NE(json.find("\"trace.interner_bytes\":"), std::string::npos);
+
+  // Wall time is real: the run took nonzero time and every session scope
+  // fired once per enumerated host at least.
+  const std::string collapsed = stats.prof.to_collapsed();
+  EXPECT_NE(collapsed.find("scan.sweep"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ftpcprof inspector (the CI regression gate)
+// ---------------------------------------------------------------------------
+
+/// Synthetic ftpc.prof.v1 document with the given scan.sweep wall time:
+/// the regression fixture pair differs only in that one hot scope.
+std::string synthetic_profile(double sweep_wall_s) {
+  char sweep[64];
+  std::snprintf(sweep, sizeof sweep, "%.6f", sweep_wall_s);
+  return std::string("{\"schema\":\"ftpc.prof.v1\",\"shards\":1,") +
+         "\"counters\":{\"wheel.cascades\":100},\"tree\":[" +
+         "{\"name\":\"enumerate.window\",\"calls\":1,\"wall_s\":2.000000," +
+         "\"cpu_s\":2.000000,\"self_wall_s\":0.500000," +
+         "\"self_cpu_s\":0.500000,\"children\":[" +
+         "{\"name\":\"session.begin\",\"calls\":10,\"wall_s\":1.500000," +
+         "\"cpu_s\":1.500000,\"self_wall_s\":1.500000," +
+         "\"self_cpu_s\":1.500000,\"children\":[]}]}," +
+         "{\"name\":\"scan.sweep\",\"calls\":1,\"wall_s\":" + sweep +
+         ",\"cpu_s\":1.000000,\"self_wall_s\":" + sweep +
+         ",\"self_cpu_s\":1.000000,\"children\":[]}]}\n";
+}
+
+class FtpcprofTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fixture::make_temp_root("ftpcprof");
+    write_file(root_ + "/base.prof.json", synthetic_profile(1.0));
+    write_file(root_ + "/same.prof.json", synthetic_profile(1.0));
+    write_file(root_ + "/regressed.prof.json", synthetic_profile(2.0));
+  }
+
+  int prof(const std::string& args, const std::string& out_file) {
+    return run_command(std::string(FTPC_FTPCPROF_BIN) + " " + args + " > " +
+                       root_ + "/" + out_file + " 2>&1");
+  }
+
+  std::string root_;
+};
+
+TEST_F(FtpcprofTest, DiffOfIdenticalProfilesPassesTheGate) {
+  ASSERT_EQ(prof("diff " + root_ + "/base.prof.json " + root_ +
+                     "/same.prof.json --fail-over 25",
+                 "same.txt"),
+            0);
+  const std::string out = read_file(root_ + "/same.txt");
+  EXPECT_NE(out.find("no scope over +25.0%"), std::string::npos) << out;
+}
+
+TEST_F(FtpcprofTest, DiffNamesTheRegressedScopeAndFails) {
+  // scan.sweep doubled (1.0s -> 2.0s = +100%): over a 25% gate this must
+  // exit nonzero and the diagnostic must name the scope.
+  EXPECT_EQ(prof("diff " + root_ + "/base.prof.json " + root_ +
+                     "/regressed.prof.json --fail-over 25",
+                 "regressed.txt"),
+            1);
+  const std::string out = read_file(root_ + "/regressed.txt");
+  EXPECT_NE(out.find("regression: scan.sweep"), std::string::npos) << out;
+  EXPECT_NE(out.find("100.0%"), std::string::npos) << out;
+}
+
+TEST_F(FtpcprofTest, DiffWithoutGateReportsButPasses) {
+  EXPECT_EQ(prof("diff " + root_ + "/base.prof.json " + root_ +
+                     "/regressed.prof.json",
+                 "report.txt"),
+            0);
+  const std::string out = read_file(root_ + "/report.txt");
+  EXPECT_NE(out.find("scan.sweep"), std::string::npos) << out;
+}
+
+TEST_F(FtpcprofTest, SummarizeAndFlameRenderTheFixture) {
+  ASSERT_EQ(prof("summarize " + root_ + "/base.prof.json", "summary.txt"), 0);
+  const std::string summary = read_file(root_ + "/summary.txt");
+  EXPECT_NE(summary.find("scan.sweep"), std::string::npos);
+  EXPECT_NE(summary.find("enumerate.window;session.begin"),
+            std::string::npos);
+  EXPECT_NE(summary.find("wheel.cascades"), std::string::npos);
+
+  ASSERT_EQ(prof("flame " + root_ + "/base.prof.json", "flame.txt"), 0);
+  const std::string flame = read_file(root_ + "/flame.txt");
+  EXPECT_NE(flame.find("enumerate.window;session.begin 1500000"),
+            std::string::npos)
+      << flame;
+  EXPECT_NE(flame.find("scan.sweep 1000000"), std::string::npos) << flame;
+}
+
+TEST_F(FtpcprofTest, RealProfileRoundTripsThroughTheInspector) {
+  // End to end: a census-produced profile parses, summarizes, and diffs
+  // clean against itself under any threshold.
+  core::CensusStats stats;
+  run_split(true, 2, 1, &stats);
+  write_file(root_ + "/real.prof.json", stats.prof.to_json());
+  ASSERT_EQ(prof("summarize " + root_ + "/real.prof.json", "real.txt"), 0);
+  const std::string out = read_file(root_ + "/real.txt");
+  EXPECT_NE(out.find("scan.sweep"), std::string::npos) << out;
+  EXPECT_EQ(prof("diff " + root_ + "/real.prof.json " + root_ +
+                     "/real.prof.json --fail-over 0",
+                 "real_diff.txt"),
+            0);
+}
+
+}  // namespace
+}  // namespace ftpc

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -70,7 +71,11 @@ void append_file(const std::string& path, const std::string& bytes) {
 }
 
 std::string make_temp_root(const std::string& tag) {
-  const std::string root = ::testing::TempDir() + "ftpc_" + tag;
+  // Pid-qualified: ctest runs each gtest case as its own process, often in
+  // parallel, so a tag-only path (e.g. a fixture's shared "pristine" dir)
+  // would be written concurrently by sibling processes.
+  const std::string root = ::testing::TempDir() + "ftpc_" + tag + "_" +
+                           std::to_string(static_cast<long>(::getpid()));
   ::mkdir(root.c_str(), 0777);
   return root;
 }

@@ -18,6 +18,7 @@
 #include "core/census.h"
 #include "core/sharded_census.h"
 #include "net/internet.h"
+#include "obs/build_info.h"
 #include "obs/timeline.h"
 #include "popgen/population.h"
 #include "sim/network.h"
@@ -277,7 +278,9 @@ TEST(TimelineGoldenTest, TsdbV1MatchesGoldenFile) {
   config.scale_shift = 18;                   // small: keeps the golden short
   config.timeline.interval_us = 10'000'000;  // 10 s cadence -> a few rows
   const core::CensusStats stats = run_sequential(config);
-  const std::string jsonl = stats.timeline.to_jsonl();
+  // The golden is stamp-free: the build stamp varies per commit by design,
+  // so it is stripped before the comparison (and before regeneration).
+  const std::string jsonl = obs::strip_build_stamp(stats.timeline.to_jsonl());
 
   const std::string path =
       std::string(FTPC_GOLDEN_DIR) + "/timeline_v1.jsonl";

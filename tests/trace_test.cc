@@ -15,6 +15,7 @@
 #include "core/sharded_census.h"
 #include "ftp/client.h"
 #include "net/internet.h"
+#include "obs/build_info.h"
 #include "obs/trace.h"
 #include "popgen/population.h"
 #include "sim/network.h"
@@ -127,7 +128,9 @@ TEST(TraceBufferTest, ExportersEmitCanonicalOrderAndSchema) {
   EXPECT_EQ(merged_ab.to_chrome_json(), merged_ba.to_chrome_json());
 
   const std::string jsonl = merged_ab.to_jsonl();
-  EXPECT_EQ(jsonl.find("{\"schema\":\"ftpc.trace.v1\"}\n"), 0u);
+  EXPECT_EQ(jsonl.find(obs::trace_header_line() + "\n"), 0u);
+  EXPECT_EQ(obs::strip_build_stamp(jsonl).find("{\"schema\":\"ftpc.trace.v1\"}\n"),
+            0u);
   // host 0.0.0.1 sorts before 0.0.0.2 at equal start times.
   EXPECT_LT(jsonl.find("0.0.0.1"), jsonl.find("0.0.0.2"));
   EXPECT_NE(jsonl.find("\"status\":\"timeout\""), std::string::npos);

@@ -3,7 +3,7 @@
 # and a nonzero exit instead of producing a bogus report.
 #
 #   check_tool_diagnostics.sh <ftpctrace> <ftpcreport> <ftpcmerge> \
-#       <ftpcensus> <ftpcwatch> <ftpcrun>
+#       <ftpcensus> <ftpcwatch> <ftpcrun> <ftpcprof>
 set -u
 
 FTPCTRACE="$1"
@@ -12,6 +12,7 @@ FTPCMERGE="$3"
 FTPCENSUS="$4"
 FTPCWATCH="$5"
 FTPCRUN="$6"
+FTPCPROF="$7"
 TMP="${TMPDIR:-/tmp}/ftpc_tool_diag_$$"
 mkdir -p "$TMP"
 trap 'rm -rf "$TMP"' EXIT
@@ -195,6 +196,41 @@ expect_fail "ftpcrun crash-shard without checkpoint count" \
   "$FTPCRUN" --out "$TMP/run0" --shards 2 --crash-shard 1
 expect_fail "ftpcrun zero workers" \
   "$FTPCRUN" --out "$TMP/run0" --shards 2 --workers 0
+
+# ftpcprof: no args, empty input, truncated/garbled JSON, wrong schema,
+# unknown flags, and stdin-twice diffs are all diagnostics + nonzero exit.
+expect_fail "ftpcprof no args" "$FTPCPROF"
+expect_fail "ftpcprof unknown command" "$FTPCPROF" bogus "$TMP/empty"
+expect_fail "ftpcprof empty file" "$FTPCPROF" summarize "$TMP/empty"
+expect_fail "ftpcprof missing file" "$FTPCPROF" summarize "$TMP/nonexistent"
+expect_fail "ftpcprof wrong schema" "$FTPCPROF" summarize "$TMP/other"
+printf '{"schema":"ftpc.prof.v1","shards":1,"counters":{},"tree":[' \
+  > "$TMP/trunc_prof"
+expect_fail "ftpcprof truncated JSON" "$FTPCPROF" summarize "$TMP/trunc_prof"
+printf '{"schema":"ftpc.prof.v1","shards":1,"counters":{}}\n' \
+  > "$TMP/treeless_prof"
+expect_fail "ftpcprof missing tree" "$FTPCPROF" summarize "$TMP/treeless_prof"
+printf '{"schema":"ftpc.prof.v1","shards":1,"counters":{},"tree":[]}\n' \
+  > "$TMP/good_prof"
+expect_fail "ftpcprof unknown flag" \
+  "$FTPCPROF" diff "$TMP/good_prof" "$TMP/good_prof" --bogus 1
+expect_fail "ftpcprof bad fail-over" \
+  "$FTPCPROF" diff "$TMP/good_prof" "$TMP/good_prof" --fail-over banana
+expect_fail "ftpcprof diff - -" sh -c \
+  "cat '$TMP/good_prof' | '$FTPCPROF' diff - -"
+if ! "$FTPCPROF" summarize "$TMP/good_prof" > /dev/null 2>&1; then
+  echo "FAIL: ftpcprof rejects a valid profile" >&2
+  fail=1
+fi
+if ! "$FTPCPROF" diff "$TMP/good_prof" "$TMP/good_prof" --fail-over 10 \
+    > /dev/null 2>&1; then
+  echo "FAIL: ftpcprof diff rejects identical profiles" >&2
+  fail=1
+fi
+if ! "$FTPCPROF" flame - < "$TMP/good_prof" > /dev/null 2>&1; then
+  echo "FAIL: ftpcprof flame rejects stdin input" >&2
+  fail=1
+fi
 
 # Artifact-directory inputs: both inspectors accept a shard/merge dir and
 # read the channel file inside it.

@@ -69,6 +69,9 @@ struct Options {
   std::string timeline_chrome;  // Chrome counter-track JSON
   double timeline_interval = 1.0;  // gauge cadence, sim-seconds
   std::string perf_out;            // ftpc.perf.v1 JSON ("-" = stdout)
+  std::string prof_out;            // ftpc.prof.v1 JSON ("-" = stdout)
+  std::string prof_flame;          // collapsed stacks ("-" = stdout)
+  std::string prof_chrome;         // Chrome trace-event JSON ("-" = stdout)
   bool progress = false;  // force plain progress lines even when not a tty
   std::string chaos_profile;     // "" = chaos off
   std::uint64_t chaos_seed = 0;  // 0 = derive from --seed
@@ -96,11 +99,15 @@ struct Options {
   bool timeline_requested() const {
     return !timeline_out.empty() || !timeline_chrome.empty();
   }
+  bool profiling_requested() const {
+    return !prof_out.empty() || !prof_flame.empty() || !prof_chrome.empty();
+  }
   /// True when some deterministic artifact goes to stdout ("-"): the
   /// tables must then stay out of the way entirely.
   bool stdout_output() const {
     return metrics_out == "-" || trace_out == "-" || trace_chrome == "-" ||
-           timeline_out == "-" || timeline_chrome == "-" || perf_out == "-";
+           timeline_out == "-" || timeline_chrome == "-" || perf_out == "-" ||
+           prof_out == "-" || prof_flame == "-" || prof_chrome == "-";
   }
 };
 
@@ -114,6 +121,8 @@ void usage() {
                "[--trace-host IP] [--trace-no-wire] "
                "[--timeline-out FILE|-] [--timeline-chrome FILE|-] "
                "[--timeline-interval SECONDS] [--perf-out FILE|-] "
+               "[--prof-out FILE|-] [--prof-flame FILE|-] "
+               "[--prof-chrome FILE|-] "
                "[--progress] "
                "[--chaos-profile off|lossy|flaky|hostile] [--chaos-seed S] "
                "[--retries N] "
@@ -232,6 +241,18 @@ bool parse_options(int argc, char** argv, Options& options) {
       const char* v = value();
       if (v == nullptr) return false;
       options.perf_out = v;
+    } else if (arg == "--prof-out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.prof_out = v;
+    } else if (arg == "--prof-flame") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.prof_flame = v;
+    } else if (arg == "--prof-chrome") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      options.prof_chrome = v;
     } else if (arg == "--chaos-profile") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -492,6 +513,14 @@ int run_shard_mode(const Options& options) {
   slice.crash_after_checkpoints = options.crash_after;
   slice.heartbeat_interval_ms =
       static_cast<std::uint64_t>(options.heartbeat_interval * 1000.0 + 0.5);
+  // Profiling plane: shard mode writes the slice's ftpc.prof.v1 wherever
+  // --prof-out points (ftpcrun points it into ROOT/prof/). No "-" here:
+  // shard mode has no stdout-artifact convention.
+  if (options.prof_out == "-") {
+    std::fprintf(stderr, "--prof-out - is not supported in shard mode\n");
+    return 2;
+  }
+  slice.prof_out = options.prof_out;
 
   core::CensusConfig& config = slice.census;
   config.seed = options.seed;
@@ -511,6 +540,7 @@ int run_shard_mode(const Options& options) {
   config.timeline.interval_us = static_cast<std::uint64_t>(
       options.timeline_interval * 1'000'000.0 + 0.5);
   if (config.timeline.interval_us == 0) config.timeline.interval_us = 1;
+  config.prof_enabled = !slice.prof_out.empty();
 
   const core::ShardSliceResult result = core::run_shard_slice(
       slice, [seed = options.seed] {
@@ -598,6 +628,7 @@ int run_census(const Options& options) {
     if (config.timeline.interval_us == 0) config.timeline.interval_us = 1;
   }
   config.perf_enabled = !options.perf_out.empty();
+  config.prof_enabled = options.profiling_requested();
 
   // Health plane for a plain (non-shard-mode) census: one shared gauge set
   // across the in-process shards (the fields are atomics), beating into
@@ -705,6 +736,30 @@ int run_census(const Options& options) {
     }
     std::fprintf(stderr, "wrote perf report (%zu shard(s)) to %s\n",
                  stats.perf.shards().size(), options.perf_out.c_str());
+  }
+  if (!options.prof_out.empty()) {
+    if (!write_artifact(options.prof_out, stats.prof.to_json(),
+                        "profile")) {
+      return 1;
+    }
+    std::fprintf(stderr, "wrote profile (%u shard(s)) to %s\n",
+                 stats.prof.shards(), options.prof_out.c_str());
+  }
+  if (!options.prof_flame.empty()) {
+    if (!write_artifact(options.prof_flame, stats.prof.to_collapsed(),
+                        "collapsed stacks")) {
+      return 1;
+    }
+    std::fprintf(stderr, "wrote collapsed stacks to %s\n",
+                 options.prof_flame.c_str());
+  }
+  if (!options.prof_chrome.empty()) {
+    if (!write_artifact(options.prof_chrome, stats.prof.to_chrome_json(),
+                        "chrome profile")) {
+      return 1;
+    }
+    std::fprintf(stderr, "wrote chrome profile to %s\n",
+                 options.prof_chrome.c_str());
   }
 
   if (writer) {

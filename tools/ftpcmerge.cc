@@ -7,7 +7,8 @@
 // health/shard-K.health.jsonl — they are wall-clock telemetry, never
 // merged into the deterministic channels.
 //
-//   ftpcmerge --out DIR [--materialize] [--verbose] SHARD_DIR...
+//   ftpcmerge --out DIR [--materialize] [--verbose] [--prof-out FILE|-]
+//             SHARD_DIR...
 //
 // The input set must be complete and coherent: exactly shards 0..N-1 of
 // one census configuration (the manifests carry a config hash). Any
@@ -21,13 +22,15 @@
 
 #include "common/log.h"
 #include "core/shard_artifact.h"
+#include "obs/prof.h"
 
 namespace {
 
 void usage() {
   std::fprintf(
       stderr,
-      "usage: ftpcmerge --out DIR [--materialize] [--verbose] SHARD_DIR...\n"
+      "usage: ftpcmerge --out DIR [--materialize] [--verbose] "
+      "[--prof-out FILE|-] SHARD_DIR...\n"
       "  SHARD_DIR: ftpc.shard.v1 artifact directories, one per shard of\n"
       "  a single census config (all N of them, in any order)\n"
       "  DIR: output directory (created if missing) for the merged\n"
@@ -35,13 +38,31 @@ void usage() {
       "  (+ health/shard-K.health.jsonl when shards carried heartbeats)\n"
       "  --materialize: use the whole-file reducer instead of the default\n"
       "  bounded-memory streaming reduction (same bytes, O(corpus) RSS)\n"
-      "  --verbose: also log per-stage progress to stderr\n");
+      "  --verbose: also log per-stage progress to stderr\n"
+      "  --prof-out: write an ftpc.prof.v1 profile of the merge itself\n"
+      "  (wall clock + stream-budget telemetry; \"-\" = stdout)\n");
+}
+
+/// Writes `content` to `path`, where "-" means stdout. The profile is the
+/// only channel that honors "-": the merged artifacts are directory-bound.
+bool write_output(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    return std::fwrite(content.data(), 1, content.size(), stdout) ==
+               content.size() &&
+           std::fflush(stdout) == 0;
+  }
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  if (out == nullptr) return false;
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), out) == content.size();
+  return (std::fclose(out) == 0) && ok;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_dir;
+  std::string prof_out;
   std::vector<std::string> shard_dirs;
   ftpc::core::MergeOptions options;
   for (int i = 1; i < argc; ++i) {
@@ -52,6 +73,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       out_dir = argv[++i];
+    } else if (arg == "--prof-out") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      prof_out = argv[++i];
     } else if (arg == "--materialize") {
       options.force_materialize = true;
     } else if (arg == "--verbose") {
@@ -70,11 +97,31 @@ int main(int argc, char** argv) {
 
   ftpc::log_info() << "merging " << shard_dirs.size() << " shard dir(s) into "
                    << out_dir;
-  const ftpc::core::MergeResult result =
-      ftpc::core::merge_shard_artifacts(shard_dirs, out_dir, options);
+  // Optional profile of the merge itself (obs/prof.h): one scope over the
+  // reduction plus the stream-budget telemetry the reducer reports.
+  ftpc::obs::ProfCollector prof;
+  ftpc::obs::ProfCollector* prof_ptr = prof_out.empty() ? nullptr : &prof;
+  ftpc::core::MergeResult result;
+  {
+    ftpc::obs::ScopedProfile prof_scope(prof_ptr, "merge.reduce");
+    result = ftpc::core::merge_shard_artifacts(shard_dirs, out_dir, options);
+  }
   if (!result.ok) {
     ftpc::log_error() << result.error;
     return 1;
+  }
+  if (prof_ptr != nullptr) {
+    prof.counter_add("merge.shards", result.shards);
+    prof.counter_add("merge.records", result.records);
+    prof.counter_max("merge.peak_stream_bytes", result.peak_stream_bytes);
+    prof.counter_add("merge.frame_index_bytes", result.frame_index_bytes);
+    ftpc::obs::ProfReport report;
+    report.add_collector(prof, /*count_shard=*/false);
+    if (!write_output(prof_out, report.to_json())) {
+      std::fprintf(stderr, "ftpcmerge: cannot write profile to %s\n",
+                   prof_out.c_str());
+      return 1;
+    }
   }
   std::string health;
   if (result.health_histories > 0) {

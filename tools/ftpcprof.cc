@@ -1,0 +1,330 @@
+// ftpcprof — inspector for ftpc.prof.v1 profiles (see obs/prof.h).
+//
+//   ftpcprof summarize FILE
+//   ftpcprof flame FILE
+//   ftpcprof diff BASELINE CANDIDATE [--fail-over PCT] [--min-wall S]
+//
+// `summarize` prints the scope table (hottest self-wall first) and the
+// telemetry counters. `flame` re-emits the profile as collapsed stacks
+// ("a;b;c <self-wall-microseconds>") for flamegraph.pl / speedscope.
+// `diff` compares two profiles scope-by-scope (keyed on the full
+// root-to-node path) and reports per-scope wall deltas plus counter
+// drift; with --fail-over PCT it becomes a CI gate — any scope whose
+// inclusive wall grew by more than PCT percent (or appeared outright)
+// fails the run and names the scope. --min-wall S (default 0.001)
+// ignores scopes below S seconds on both sides, so jitter in sub-
+// millisecond scopes cannot fail a build.
+//
+// Profiles are wall-clock data, exempt from the byte-identity contract:
+// two runs of the same binary differ in every duration. The diff is
+// therefore *threshold*-based where ftpctrace's is exact — the tool for
+// "did this commit regress the enumerate path", not "are these runs
+// identical".
+//
+// FILE may be "-" for stdin (at most one side of `diff`).
+// Exit: 0 ok / within threshold, 1 regression over --fail-over,
+// 2 usage or bad input.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+
+namespace {
+
+using ftpc::json::Value;
+
+struct Scope {
+  std::uint64_t calls = 0;
+  double wall_s = 0.0;
+  double cpu_s = 0.0;
+  double self_wall_s = 0.0;
+  double self_cpu_s = 0.0;
+};
+
+struct Profile {
+  std::uint64_t shards = 0;
+  // Full path ("merge.replay" / "session.begin;session.login_user") ->
+  // scope. std::map keeps every report deterministic.
+  std::map<std::string, Scope> scopes;
+  std::map<std::string, std::uint64_t> counters;
+};
+
+bool read_all(const std::string& path, std::string& out) {
+  std::FILE* in = path == "-" ? stdin : std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "ftpcprof: cannot open %s\n", path.c_str());
+    return false;
+  }
+  char buffer[65536];
+  std::size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    out.append(buffer, n);
+  }
+  if (in != stdin) std::fclose(in);
+  return true;
+}
+
+double number_field(const Value& node, std::string_view key) {
+  const Value* v = node.find(key);
+  return (v != nullptr && v->is_number()) ? v->as_double() : 0.0;
+}
+
+/// Flattens one tree node (and its subtree) into path-keyed scopes.
+bool flatten(const Value& node, const std::string& prefix, Profile& profile) {
+  const auto name = node.str("name");
+  if (!name || name->empty()) return false;
+  const std::string path =
+      prefix.empty() ? std::string(*name) : prefix + ";" + std::string(*name);
+  Scope& scope = profile.scopes[path];
+  scope.calls += node.u64("calls").value_or(0);
+  scope.wall_s += number_field(node, "wall_s");
+  scope.cpu_s += number_field(node, "cpu_s");
+  scope.self_wall_s += number_field(node, "self_wall_s");
+  scope.self_cpu_s += number_field(node, "self_cpu_s");
+  const Value* children = node.find("children");
+  if (children == nullptr || !children->is_array()) return false;
+  for (const Value& child : children->array()) {
+    if (!child.is_object() || !flatten(child, path, profile)) return false;
+  }
+  return true;
+}
+
+bool read_profile(const std::string& path, Profile& profile) {
+  std::string text;
+  if (!read_all(path, text)) return false;
+  std::string error;
+  const auto doc = Value::parse(text, &error);
+  if (!doc || !doc->is_object()) {
+    std::fprintf(stderr, "ftpcprof: %s: %s\n", path.c_str(),
+                 error.empty() ? "not a JSON document" : error.c_str());
+    return false;
+  }
+  if (doc->str("schema") != "ftpc.prof.v1") {
+    std::fprintf(stderr, "ftpcprof: %s is not an ftpc.prof.v1 profile\n",
+                 path.c_str());
+    return false;
+  }
+  profile.shards = doc->u64("shards").value_or(0);
+  if (const Value* counters = doc->find("counters");
+      counters != nullptr && counters->is_object()) {
+    for (const auto& [name, value] : counters->object()) {
+      profile.counters[name] = value.as_u64().value_or(0);
+    }
+  }
+  const Value* tree = doc->find("tree");
+  if (tree == nullptr || !tree->is_array()) {
+    std::fprintf(stderr, "ftpcprof: %s has no profile tree\n", path.c_str());
+    return false;
+  }
+  for (const Value& node : tree->array()) {
+    if (!node.is_object() || !flatten(node, "", profile)) {
+      std::fprintf(stderr, "ftpcprof: %s: malformed tree node\n",
+                   path.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_summarize(const std::string& path) {
+  Profile profile;
+  if (!read_profile(path, profile)) return 2;
+  std::printf("ftpc.prof.v1: %llu shard(s), %zu scope(s), %zu counter(s)\n",
+              static_cast<unsigned long long>(profile.shards),
+              profile.scopes.size(), profile.counters.size());
+  // Hottest self time first: the summarize question is "where does the
+  // time actually go", not "what is the call hierarchy" (that is flame).
+  std::vector<std::pair<std::string, const Scope*>> order;
+  order.reserve(profile.scopes.size());
+  for (const auto& [name, scope] : profile.scopes) {
+    order.emplace_back(name, &scope);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.second->self_wall_s != b.second->self_wall_s) {
+      return a.second->self_wall_s > b.second->self_wall_s;
+    }
+    return a.first < b.first;
+  });
+  if (!order.empty()) {
+    std::printf("  %12s %12s %12s %10s  scope\n", "self wall", "wall", "cpu",
+                "calls");
+  }
+  for (const auto& [name, scope] : order) {
+    std::printf("  %11.6fs %11.6fs %11.6fs %10llu  %s\n", scope->self_wall_s,
+                scope->wall_s, scope->cpu_s,
+                static_cast<unsigned long long>(scope->calls), name.c_str());
+  }
+  for (const auto& [name, value] : profile.counters) {
+    std::printf("  counter %-28s %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value));
+  }
+  return 0;
+}
+
+int run_flame(const std::string& path) {
+  Profile profile;
+  if (!read_profile(path, profile)) return 2;
+  for (const auto& [name, scope] : profile.scopes) {
+    const auto micros =
+        static_cast<long long>(std::llround(scope.self_wall_s * 1e6));
+    if (micros > 0) std::printf("%s %lld\n", name.c_str(), micros);
+  }
+  return 0;
+}
+
+int run_diff(const std::string& path_a, const std::string& path_b,
+             double fail_over, double min_wall) {
+  if (path_a == "-" && path_b == "-") {
+    std::fprintf(stderr, "ftpcprof: diff can read at most one side from -\n");
+    return 2;
+  }
+  Profile a, b;
+  if (!read_profile(path_a, a) || !read_profile(path_b, b)) return 2;
+
+  struct Delta {
+    std::string scope;
+    double wall_a = 0.0;
+    double wall_b = 0.0;
+    double pct = 0.0;   // +grew, -shrank; HUGE_VAL = new scope
+    bool fresh = false; // absent from the baseline
+  };
+  std::vector<Delta> deltas;
+  for (const auto& [name, scope_b] : b.scopes) {
+    const auto it = a.scopes.find(name);
+    const double wall_a = it != a.scopes.end() ? it->second.wall_s : 0.0;
+    if (scope_b.wall_s < min_wall && wall_a < min_wall) continue;
+    Delta delta;
+    delta.scope = name;
+    delta.wall_a = wall_a;
+    delta.wall_b = scope_b.wall_s;
+    if (it == a.scopes.end()) {
+      delta.fresh = true;
+      delta.pct = HUGE_VAL;
+    } else if (wall_a > 0.0) {
+      delta.pct = (scope_b.wall_s - wall_a) / wall_a * 100.0;
+    } else {
+      delta.pct = scope_b.wall_s > 0.0 ? HUGE_VAL : 0.0;
+    }
+    deltas.push_back(std::move(delta));
+  }
+  for (const auto& [name, scope_a] : a.scopes) {
+    if (b.scopes.count(name) != 0 || scope_a.wall_s < min_wall) continue;
+    deltas.push_back({name, scope_a.wall_s, 0.0, -100.0, false});
+  }
+  std::sort(deltas.begin(), deltas.end(), [](const Delta& x, const Delta& y) {
+    if (x.pct != y.pct) return x.pct > y.pct;
+    return x.scope < y.scope;
+  });
+
+  for (const Delta& delta : deltas) {
+    if (delta.fresh) {
+      std::printf("  %8s  %-32s %.6fs (new scope)\n", "new", delta.scope.c_str(),
+                  delta.wall_b);
+    } else if (delta.wall_b == 0.0 && delta.pct == -100.0) {
+      std::printf("  %8s  %-32s %.6fs (gone)\n", "gone", delta.scope.c_str(),
+                  delta.wall_a);
+    } else {
+      std::printf("  %+7.1f%%  %-32s %.6fs -> %.6fs\n", delta.pct,
+                  delta.scope.c_str(), delta.wall_a, delta.wall_b);
+    }
+  }
+  for (const auto& [name, value_b] : b.counters) {
+    const auto it = a.counters.find(name);
+    const std::uint64_t value_a = it != a.counters.end() ? it->second : 0;
+    if (value_a == value_b) continue;
+    std::printf("  counter   %-32s %llu -> %llu\n", name.c_str(),
+                static_cast<unsigned long long>(value_a),
+                static_cast<unsigned long long>(value_b));
+  }
+
+  if (fail_over < 0.0) return 0;  // report-only: no gate requested
+  int regressions = 0;
+  for (const Delta& delta : deltas) {
+    if (delta.pct <= fail_over) break;  // sorted: nothing further is over
+    ++regressions;
+    if (delta.fresh) {
+      std::printf("ftpcprof: regression: new scope %s costs %.6fs "
+                  "(threshold %.1f%%)\n",
+                  delta.scope.c_str(), delta.wall_b, fail_over);
+    } else {
+      std::printf("ftpcprof: regression: %s grew %.1f%% (%.6fs -> %.6fs, "
+                  "threshold %.1f%%)\n",
+                  delta.scope.c_str(), delta.pct, delta.wall_a, delta.wall_b,
+                  fail_over);
+    }
+  }
+  if (regressions == 0) {
+    std::printf("no scope over +%.1f%% (min wall %.3fs, %zu scope(s) "
+                "compared)\n",
+                fail_over, min_wall, deltas.size());
+    return 0;
+  }
+  return 1;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: ftpcprof summarize FILE\n"
+      "       ftpcprof flame FILE\n"
+      "       ftpcprof diff BASELINE CANDIDATE [--fail-over PCT] "
+      "[--min-wall S]\n"
+      "  FILE: ftpc.prof.v1 JSON, \"-\" = stdin (at most one diff side)\n"
+      "  --fail-over PCT: exit 1 when any scope's inclusive wall grew more\n"
+      "  than PCT percent over the baseline (new scopes always count)\n"
+      "  --min-wall S: ignore scopes under S seconds on both sides "
+      "(default 0.001)\n");
+}
+
+bool parse_double(const char* text, double& out) {
+  if (text == nullptr) return false;
+  char* end = nullptr;
+  out = std::strtod(text, &end);
+  return end != text && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    usage();
+    return 2;
+  }
+  const std::string_view command = argv[1];
+  if (command == "summarize" && argc == 3) return run_summarize(argv[2]);
+  if (command == "flame" && argc == 3) return run_flame(argv[2]);
+  if (command == "diff" && argc >= 4) {
+    double fail_over = -1.0;  // report-only unless the gate is requested
+    double min_wall = 0.001;
+    for (int i = 4; i < argc; i += 2) {
+      const std::string_view flag = argv[i];
+      const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+      if (flag == "--fail-over") {
+        if (!parse_double(value, fail_over) || fail_over < 0.0) {
+          std::fprintf(stderr,
+                       "ftpcprof: --fail-over needs a percentage >= 0\n");
+          return 2;
+        }
+      } else if (flag == "--min-wall") {
+        if (!parse_double(value, min_wall) || min_wall < 0.0) {
+          std::fprintf(stderr, "ftpcprof: --min-wall needs seconds >= 0\n");
+          return 2;
+        }
+      } else {
+        usage();
+        return 2;
+      }
+    }
+    return run_diff(argv[2], argv[3], fail_over, min_wall);
+  }
+  usage();
+  return 2;
+}

@@ -1,7 +1,8 @@
 // ftpcreport — renders an ftpc.tsdb.v1 timeline (see obs/timeline.h) into
 // human-readable throughput/percentile tables and a final run report.
 //
-//   ftpcreport FILE [--perf PERF.json] [--health PATH] [--verbose]
+//   ftpcreport FILE [--perf PERF.json] [--prof PROF.json] [--health PATH]
+//              [--verbose]
 //
 // FILE may be "-" for stdin. Sections:
 //   - run header (cadence, probe rate, window size, scan end T0)
@@ -12,6 +13,8 @@
 //     windows (consecutive ticks where no gauge advanced)
 //   - with --perf: the ftpc.perf.v1 stage table and load-skew summary
 //     (real seconds — the perf plane is exempt from byte-identity).
+//   - with --prof: the hottest ftpc.prof.v1 scopes (self wall, calls)
+//     and the subsystem telemetry counters — same exemption as --perf.
 //   - fleet health: per-shard heartbeat histories (ftpc.health.v1) —
 //     wall-time span and skew, heartbeat gap stats, element stall
 //     windows, peak RSS — joined against the sim-time stall count above.
@@ -36,6 +39,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/json.h"
 #include "common/log.h"
 
 namespace {
@@ -371,8 +375,93 @@ bool print_health_section(
   return true;
 }
 
+// --- Profile plane (ftpc.prof.v1 scope trees) ------------------------------
+
+struct ProfScope {
+  std::string path;  // "session.begin" / "enumerate.window;session.begin"
+  std::uint64_t calls = 0;
+  double wall_s = 0.0;
+  double self_wall_s = 0.0;
+  double cpu_s = 0.0;
+};
+
+void flatten_prof_tree(const ftpc::json::Value& node, const std::string& prefix,
+                       std::vector<ProfScope>& out) {
+  const auto name = node.str("name");
+  if (!name) return;
+  ProfScope scope;
+  scope.path = prefix.empty() ? std::string(*name)
+                              : prefix + ";" + std::string(*name);
+  scope.calls = node.u64("calls").value_or(0);
+  const auto number = [&node](std::string_view key) {
+    const ftpc::json::Value* v = node.find(key);
+    return (v != nullptr && v->is_number()) ? v->as_double() : 0.0;
+  };
+  scope.wall_s = number("wall_s");
+  scope.self_wall_s = number("self_wall_s");
+  scope.cpu_s = number("cpu_s");
+  const std::string path = scope.path;
+  out.push_back(std::move(scope));
+  const ftpc::json::Value* children = node.find("children");
+  if (children == nullptr || !children->is_array()) return;
+  for (const ftpc::json::Value& child : children->array()) {
+    if (child.is_object()) flatten_prof_tree(child, path, out);
+  }
+}
+
+bool print_prof_section(const std::string& path) {
+  std::vector<std::string> lines;
+  if (!read_lines(path, lines)) return false;
+  std::string text;
+  for (const std::string& line : lines) text += line;
+  std::string error;
+  const auto doc = ftpc::json::Value::parse(text, &error);
+  if (!doc || !doc->is_object() || doc->str("schema") != "ftpc.prof.v1") {
+    log_error() << "ftpcreport: " << path << " is not an ftpc.prof.v1 file";
+    return false;
+  }
+  std::vector<ProfScope> scopes;
+  if (const ftpc::json::Value* tree = doc->find("tree");
+      tree != nullptr && tree->is_array()) {
+    for (const ftpc::json::Value& node : tree->array()) {
+      if (node.is_object()) flatten_prof_tree(node, "", scopes);
+    }
+  }
+  std::printf("\nprofile (real seconds; NOT deterministic): %llu shard(s)\n",
+              static_cast<unsigned long long>(doc->u64("shards").value_or(0)));
+  std::sort(scopes.begin(), scopes.end(),
+            [](const ProfScope& a, const ProfScope& b) {
+              if (a.self_wall_s != b.self_wall_s) {
+                return a.self_wall_s > b.self_wall_s;
+              }
+              return a.path < b.path;
+            });
+  constexpr std::size_t kTopScopes = 12;
+  std::printf("%-40s %12s %12s %10s\n", "scope", "self_wall_s", "wall_s",
+              "calls");
+  for (std::size_t i = 0; i < scopes.size() && i < kTopScopes; ++i) {
+    std::printf("%-40s %12.6f %12.6f %10llu\n", scopes[i].path.c_str(),
+                scopes[i].self_wall_s, scopes[i].wall_s,
+                static_cast<unsigned long long>(scopes[i].calls));
+  }
+  if (scopes.size() > kTopScopes) {
+    std::printf("(%zu more scope(s); ftpcprof summarize for the full tree)\n",
+                scopes.size() - kTopScopes);
+  }
+  if (const ftpc::json::Value* counters = doc->find("counters");
+      counters != nullptr && counters->is_object() &&
+      !counters->object().empty()) {
+    for (const auto& [name, value] : counters->object()) {
+      std::printf("counter %-33s %llu\n", name.c_str(),
+                  static_cast<unsigned long long>(
+                      value.as_u64().value_or(0)));
+    }
+  }
+  return true;
+}
+
 int run_report(const std::string& input, const std::string& perf_path,
-               const std::string& health_path) {
+               const std::string& prof_path, const std::string& health_path) {
   // An artifact directory names its projected timeline channel.
   std::string path = input;
   bool input_is_dir = false;
@@ -650,6 +739,9 @@ int run_report(const std::string& input, const std::string& perf_path,
     }
   }
 
+  // --- Profile plane (optional) --------------------------------------------
+  if (!prof_path.empty() && !print_prof_section(prof_path)) return 2;
+
   // --- Fleet health (optional) ---------------------------------------------
   // Explicit --health always renders (and fails loudly when unreadable);
   // a directory input renders the section only when it actually carries
@@ -671,12 +763,14 @@ int run_report(const std::string& input, const std::string& perf_path,
 
 void usage() {
   std::fprintf(stderr,
-               "usage: ftpcreport FILE [--perf PERF.json] [--health PATH] "
-               "[--verbose]\n"
+               "usage: ftpcreport FILE [--perf PERF.json] [--prof PROF.json] "
+               "[--health PATH] [--verbose]\n"
                "  FILE: ftpc.tsdb.v1 timeline (\"-\" = stdin), or a "
                "shard/merge artifact directory (reads its timeline.jsonl; "
                "a health plane inside renders the fleet-health section)\n"
                "  PERF: optional ftpc.perf.v1 report to append\n"
+               "  PROF: optional ftpc.prof.v1 profile (hottest scopes + "
+               "telemetry counters)\n"
                "  PATH: ftpc.health.v1 history file, shard dir, or merged "
                "health/ dir for the fleet-health section\n");
 }
@@ -686,6 +780,7 @@ void usage() {
 int main(int argc, char** argv) {
   std::string path;
   std::string perf_path;
+  std::string prof_path;
   std::string health_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -695,6 +790,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       perf_path = argv[++i];
+    } else if (arg == "--prof") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      prof_path = argv[++i];
     } else if (arg == "--health") {
       if (i + 1 >= argc) {
         usage();
@@ -717,5 +818,5 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
-  return run_report(path, perf_path, health_path);
+  return run_report(path, perf_path, prof_path, health_path);
 }

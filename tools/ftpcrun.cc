@@ -62,6 +62,7 @@
 #include "core/shard_artifact.h"
 #include "obs/fleet.h"
 #include "obs/health.h"
+#include "obs/prof.h"
 
 namespace {
 
@@ -77,6 +78,10 @@ struct Options {
   std::string census_bin;  // default: ftpcensus next to this binary
   std::uint32_t merge_retries = 2;
   bool no_merge = false;
+  // Collect ftpc.prof.v1 profiles: one per shard under ROOT/prof/, plus
+  // merge.prof.json for the reduction. Wall-clock telemetry, like the
+  // health plane — never an input to the deterministic artifacts.
+  bool prof = false;
   // Fault injection (forwarded to ftpcensus --crash-after-checkpoint).
   std::uint32_t crash_shard = UINT32_MAX;
   std::uint32_t crash_after = 0;
@@ -91,13 +96,16 @@ void usage() {
       stderr,
       "usage: ftpcrun --out ROOT --shards N [--workers W] [--retry-budget R]"
       " [--poll SECONDS] [--stale K] [--stall M] [--straggler FRACTION]"
-      " [--census-bin PATH] [--merge-retries K] [--no-merge] [--verbose]"
-      " [census options]\n"
+      " [--census-bin PATH] [--merge-retries K] [--no-merge] [--prof]"
+      " [--verbose]\n      [census options]\n"
       "  runs N `ftpcensus census --shard-id k/N` processes under a worker"
       " pool,\n  restarts dead/stalled shards with --resume (budget R per"
       " shard), then\n  merges ROOT/shard<k> into ROOT/merged. Writes"
       " ROOT/run.json (ftpc.run.v1)\n  and per-poll ftpc.fleet.v1 snapshots"
       " to ROOT/fleet.jsonl.\n"
+      "  --prof: collect ftpc.prof.v1 profiles (ROOT/prof/shard<k>.prof.json"
+      " per\n  shard, merge.prof.json for the reduction), referenced from"
+      " run.json\n"
       "  census options forwarded to every shard: --seed --scale"
       " --chaos-profile\n  --chaos-seed --retries --checkpoint-interval"
       " --heartbeat-interval\n  --timeline-interval --trace-sample"
@@ -197,6 +205,8 @@ bool parse_options(int argc, char** argv, Options& options) {
       }
     } else if (arg == "--no-merge") {
       options.no_merge = true;
+    } else if (arg == "--prof") {
+      options.prof = true;
     } else if (arg == "--crash-shard") {
       if (!parse_uint32(value(), options.crash_shard)) {
         log_error() << "--crash-shard must be a shard index";
@@ -326,6 +336,13 @@ class Conductor {
       return false;
     }
     ::mkdir((options_.out_root + "/logs").c_str(), 0777);
+    if (options_.prof) {
+      ::mkdir((options_.out_root + "/prof").c_str(), 0777);
+      if (!is_directory(options_.out_root + "/prof")) {
+        log_error() << options_.out_root << "/prof: cannot create profile dir";
+        return false;
+      }
+    }
     fleet_log_ =
         std::fopen((options_.out_root + "/fleet.jsonl").c_str(), "ab");
     shards_.resize(options_.shards);
@@ -338,6 +355,11 @@ class Conductor {
     return true;
   }
 
+  std::string shard_prof_path(std::uint32_t shard) const {
+    return options_.out_root + "/prof/shard" + std::to_string(shard) +
+           ".prof.json";
+  }
+
   /// Launch one attempt of `proc` (caller holds the mutex).
   bool launch(ShardProc& proc) {
     std::vector<std::string> args{options_.census_bin, "census"};
@@ -348,6 +370,12 @@ class Conductor {
                    std::to_string(options_.shards));
     args.push_back("--shard-out");
     args.push_back(proc.dir);
+    // Each attempt rewrites the same profile path, so the file that
+    // survives describes the attempt that completed the shard.
+    if (options_.prof) {
+      args.push_back("--prof-out");
+      args.push_back(shard_prof_path(proc.shard));
+    }
     // Resume is restart-safe: with no checkpoint on disk it is a fresh
     // run, with one it continues from the committed boundary.
     if (proc.attempts > 0) args.push_back("--resume");
@@ -566,6 +594,10 @@ class Conductor {
       run.restarts = proc.attempts > 0 ? proc.attempts - 1 : 0;
       run.last_exit = proc.last_exit;
       run.last_status = proc.last_status;
+      if (options_.prof && proc.state == ShardProc::State::kDone &&
+          file_exists(shard_prof_path(proc.shard))) {
+        run.prof = shard_prof_path(proc.shard);
+      }
       summary_.restarts += run.restarts;
       summary_.shard_runs.push_back(std::move(run));
       if (proc.state == ShardProc::State::kDone) {
@@ -589,16 +621,40 @@ class Conductor {
     } else {
       const std::string merged_dir = options_.out_root + "/merged";
       const auto merge_start = std::chrono::steady_clock::now();
+      obs::ProfCollector merge_prof;
+      obs::ProfCollector* mprof = options_.prof ? &merge_prof : nullptr;
       core::MergeResult result;
       for (std::uint32_t attempt = 0; attempt < options_.merge_retries;
            ++attempt) {
         ++summary_.merge_attempts;
-        result = core::merge_shard_artifacts(shard_dirs, merged_dir);
+        {
+          obs::ScopedProfile prof_scope(mprof, "merge.reduce");
+          result = core::merge_shard_artifacts(shard_dirs, merged_dir);
+        }
         if (result.ok) break;
         std::fprintf(stderr, "[ftpcrun] merge attempt %u failed: %s\n",
                      summary_.merge_attempts, result.error.c_str());
       }
       summary_.merge_wall_s = seconds_since(merge_start);
+      if (mprof != nullptr && result.ok) {
+        merge_prof.counter_add("merge.shards", result.shards);
+        merge_prof.counter_add("merge.records", result.records);
+        merge_prof.counter_max("merge.peak_stream_bytes",
+                               result.peak_stream_bytes);
+        merge_prof.counter_add("merge.frame_index_bytes",
+                               result.frame_index_bytes);
+        obs::ProfReport report;
+        report.add_collector(merge_prof, /*count_shard=*/false);
+        const std::string prof_path =
+            options_.out_root + "/prof/merge.prof.json";
+        if (std::FILE* file = std::fopen(prof_path.c_str(), "wb")) {
+          const std::string json = report.to_json();
+          std::fwrite(json.data(), 1, json.size(), file);
+          std::fclose(file);
+        } else {
+          log_error() << prof_path << ": cannot write merge profile";
+        }
+      }
       if (result.ok) {
         summary_.outcome = "ok";
         summary_.merged = true;
@@ -616,6 +672,7 @@ class Conductor {
       }
     }
 
+    if (options_.prof) summary_.prof_dir = options_.out_root + "/prof";
     const std::string rendered = obs::render_run_summary(summary_);
     const std::string run_path = options_.out_root + "/run.json";
     if (std::FILE* file = std::fopen(run_path.c_str(), "wb")) {

@@ -30,7 +30,10 @@
 
 namespace {
 
-constexpr std::string_view kSchemaLine = "{\"schema\":\"ftpc.trace.v1\"}";
+// Header validation is a prefix match: the header line carries a per-build
+// stamp ({"schema":"ftpc.trace.v1","build":{...}}) after the schema key,
+// and traces from different builds must still be inspectable and diffable.
+constexpr std::string_view kSchemaPrefix = "{\"schema\":\"ftpc.trace.v1\"";
 
 bool read_lines(const std::string& input, std::vector<std::string>& lines) {
   // An artifact directory names its trace channel.
@@ -69,7 +72,7 @@ bool read_lines(const std::string& input, std::vector<std::string>& lines) {
                  path.c_str(), lines.empty() ? 0 : lines.size() - 1);
     return false;
   }
-  if (lines.front() != kSchemaLine) {
+  if (lines.front().compare(0, kSchemaPrefix.size(), kSchemaPrefix) != 0) {
     std::fprintf(stderr, "ftpctrace: %s is not an ftpc.trace.v1 file\n",
                  path.c_str());
     return false;
@@ -183,7 +186,10 @@ int run_diff(const std::string& path_a, const std::string& path_b) {
   std::vector<std::string> a, b;
   if (!read_lines(path_a, a) || !read_lines(path_b, b)) return 2;
   const std::size_t common = a.size() < b.size() ? a.size() : b.size();
-  for (std::size_t i = 0; i < common; ++i) {
+  // Start past the header: both were validated as ftpc.trace.v1 above, and
+  // their build stamps may legitimately differ (that is not a divergence
+  // in the *trace* — cross-build comparison is the tool's whole point).
+  for (std::size_t i = 1; i < common; ++i) {
     if (a[i] == b[i]) continue;
     std::printf("traces diverge at line %zu:\n", i + 1);
     std::printf("  %s: %s\n", path_a.c_str(), describe(a[i]).c_str());

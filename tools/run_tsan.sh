@@ -8,7 +8,8 @@
 #                                     # chaos_matrix_test + timeline_test +
 #                                     # process_shard_test +
 #                                     # checkpoint_resume_test +
-#                                     # health_test + ftpcrun_test
+#                                     # health_test + ftpcrun_test +
+#                                     # prof_test
 #   tools/run_tsan.sh census_test ... # additional test binaries to run
 #
 # Uses a dedicated build tree (build-tsan) so the instrumented objects
@@ -39,8 +40,11 @@ cmake -B "$BUILD_DIR" -S . \
 # ftpcrun_test drives the conductor's reap plane (main thread: waitpid +
 # relaunch) against its watch plane (poller thread: classify + SIGKILL),
 # which share the shard table under one mutex — the exact interleaving
-# TSan is for.
-TESTS="event_loop_test sharded_census_test sim_test scan_test trace_test chaos_matrix_test timeline_test process_shard_test checkpoint_resume_test health_test ftpcrun_test"
+# TSan is for;
+# prof_test runs the split-invariance matrix with per-shard ProfCollectors
+# attached across 4-thread worker pools — the one-collector-per-shard
+# contract (no locks, no sharing) must hold under instrumentation.
+TESTS="event_loop_test sharded_census_test sim_test scan_test trace_test chaos_matrix_test timeline_test process_shard_test checkpoint_resume_test health_test ftpcrun_test prof_test"
 [ "$#" -gt 0 ] && TESTS="$TESTS $*"
 
 # shellcheck disable=SC2086
